@@ -1,0 +1,118 @@
+//! Baseline configuration (Table II defaults for DPiSAX).
+
+use crate::error::BaselineError;
+use crate::ibt::SplitPolicy;
+use tardis_isax::breakpoints::MAX_CARD_BITS;
+
+/// Configuration of the DPiSAX baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineConfig {
+    /// Word length `w` (Table II: 8).
+    pub word_len: usize,
+    /// Initial cardinality bits; the baseline needs a *large* initial
+    /// cardinality to guarantee splittability (Table II: 512 = 2^9).
+    pub initial_card_bits: u8,
+    /// Partition capacity in records (matches TARDIS's `G-MaxSize` for
+    /// fair comparison).
+    pub g_max_size: usize,
+    /// Local leaf split threshold (Table II: 1,000).
+    pub l_max_size: usize,
+    /// Block-level sampling fraction for the global partition table.
+    pub sampling_fraction: f64,
+    /// Split policy for the local iBTs (the iSAX 2.0 statistics policy by
+    /// default; round-robin available for the ablation).
+    pub split_policy: SplitPolicy,
+    /// Seed for sampling.
+    pub seed: u64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            word_len: 8,
+            initial_card_bits: MAX_CARD_BITS, // 2^9 = 512
+            g_max_size: 10_000,
+            l_max_size: 1_000,
+            sampling_fraction: 0.10,
+            split_policy: SplitPolicy::Statistics,
+            seed: 0xD915_A0B5,
+        }
+    }
+}
+
+impl BaselineConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// [`BaselineError::InvalidConfig`] describing the first violation.
+    pub fn validate(&self) -> Result<(), BaselineError> {
+        if self.word_len == 0 || self.word_len > 32 || self.word_len % 4 != 0 {
+            return Err(BaselineError::InvalidConfig {
+                reason: "word_len must be a multiple of 4 in 4..=32".into(),
+            });
+        }
+        if self.initial_card_bits == 0 || self.initial_card_bits > MAX_CARD_BITS {
+            return Err(BaselineError::InvalidConfig {
+                reason: format!("initial_card_bits must be in 1..={MAX_CARD_BITS}"),
+            });
+        }
+        if self.g_max_size == 0 || self.l_max_size == 0 {
+            return Err(BaselineError::InvalidConfig {
+                reason: "split thresholds must be positive".into(),
+            });
+        }
+        if !(self.sampling_fraction > 0.0 && self.sampling_fraction <= 1.0) {
+            return Err(BaselineError::InvalidConfig {
+                reason: "sampling_fraction must be in (0, 1]".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The initial cardinality `2^b` (512 by default).
+    pub fn initial_cardinality(&self) -> u32 {
+        1 << self.initial_card_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table2() {
+        let c = BaselineConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.word_len, 8);
+        assert_eq!(c.initial_cardinality(), 512);
+        assert_eq!(c.l_max_size, 1000);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(BaselineConfig {
+            word_len: 6,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BaselineConfig {
+            initial_card_bits: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BaselineConfig {
+            sampling_fraction: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BaselineConfig {
+            l_max_size: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+}

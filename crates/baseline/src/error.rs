@@ -1,0 +1,78 @@
+//! Error type for the baseline.
+
+use std::fmt;
+use tardis_cluster::ClusterError;
+use tardis_isax::IsaxError;
+
+/// Errors produced by the DPiSAX baseline.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// Invalid configuration value.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+    /// Substrate failure.
+    Cluster(ClusterError),
+    /// Representation failure.
+    Isax(IsaxError),
+    /// A partition id is out of range.
+    UnknownPartition {
+        /// The offending partition id.
+        pid: u32,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::InvalidConfig { reason } => {
+                write!(f, "invalid baseline configuration: {reason}")
+            }
+            BaselineError::Cluster(e) => write!(f, "cluster error: {e}"),
+            BaselineError::Isax(e) => write!(f, "representation error: {e}"),
+            BaselineError::UnknownPartition { pid } => write!(f, "unknown partition id {pid}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Cluster(e) => Some(e),
+            BaselineError::Isax(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClusterError> for BaselineError {
+    fn from(e: ClusterError) -> Self {
+        BaselineError::Cluster(e)
+    }
+}
+
+impl From<IsaxError> for BaselineError {
+    fn from(e: IsaxError) -> Self {
+        BaselineError::Isax(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(BaselineError::InvalidConfig {
+            reason: "x".into()
+        }
+        .to_string()
+        .contains('x'));
+        assert!(BaselineError::UnknownPartition { pid: 3 }
+            .to_string()
+            .contains('3'));
+        let e: BaselineError = IsaxError::InvalidWordLength { w: 3 }.into();
+        assert!(e.to_string().contains("representation"));
+    }
+}

@@ -1,0 +1,337 @@
+//! The DPiSAX global index: a sampled partition table (§II-D).
+//!
+//! The master samples signatures, builds an iBT over the sample whose
+//! leaves have roughly the scaled partition capacity, and then keeps only
+//! the leaves' iSAX words as a *partition table*. Routing a record scans
+//! the table for the key that covers its full-resolution word — the
+//! per-character masked matching whose cost the paper identifies as the
+//! baseline's routing bottleneck ("high matching overhead"). A word not
+//! covered by any table key (possible: the table comes from a sample)
+//! falls back to the key with the minimum lower-bound distance, as in the
+//! DPiSAX paper.
+
+use crate::config::BaselineConfig;
+use crate::error::BaselineError;
+use crate::ibt::{BEntry, Ibt, IbtConfig};
+use std::time::{Duration, Instant};
+use tardis_cluster::{decode_records, Cluster};
+use tardis_isax::{ISaxWord, SaxWord};
+use tardis_ts::Record;
+
+/// Partition id type (kept in sync with the TARDIS core).
+pub type PartitionId = u32;
+
+/// Wall-clock breakdown of the baseline's global construction
+/// (Figure 11's baseline bars: sampling + building the index tree +
+/// extracting the table).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaselineGlobalBreakdown {
+    /// Sampling and signature conversion.
+    pub sampling: Duration,
+    /// Building the iBT over the sampled signatures on the master.
+    pub tree_build: Duration,
+    /// Extracting the leaf table.
+    pub table_extract: Duration,
+}
+
+impl BaselineGlobalBreakdown {
+    /// Total global construction time.
+    pub fn total(&self) -> Duration {
+        self.sampling + self.tree_build + self.table_extract
+    }
+}
+
+/// The partition table.
+#[derive(Debug, Clone)]
+pub struct DpisaxGlobal {
+    /// Table keys: variable-cardinality iSAX words, one per partition.
+    table: Vec<ISaxWord>,
+    w: usize,
+    bits: u8,
+    /// Build breakdown (Figure 11).
+    pub breakdown: BaselineGlobalBreakdown,
+    /// Sampled records feeding the table.
+    pub sampled_records: u64,
+}
+
+impl DpisaxGlobal {
+    /// Builds the partition table from the dataset in `dataset_file`.
+    ///
+    /// # Errors
+    /// Propagates configuration, DFS, and representation errors.
+    pub fn build(
+        cluster: &Cluster,
+        dataset_file: &str,
+        config: &BaselineConfig,
+    ) -> Result<DpisaxGlobal, BaselineError> {
+        config.validate()?;
+        let mut breakdown = BaselineGlobalBreakdown::default();
+
+        // Sampling: workers convert sampled blocks to signatures. DPiSAX
+        // sends the sampled *signatures* to the master.
+        let t0 = Instant::now();
+        let block_ids =
+            cluster
+                .dfs()
+                .sample_block_ids(dataset_file, config.sampling_fraction, config.seed)?;
+        let w = config.word_len;
+        let bits = config.initial_card_bits;
+        let per_block: Vec<Result<Vec<SaxWord>, BaselineError>> =
+            cluster.pool().par_map(block_ids, |id| {
+                let bytes = cluster.dfs().read_block(&id)?;
+                let records: Vec<Record> = decode_records(&bytes)?;
+                cluster.metrics().record_task();
+                records
+                    .iter()
+                    .map(|r| Ok(SaxWord::from_series(r.ts.values(), w, bits)?))
+                    .collect()
+            });
+        let mut words = Vec::new();
+        for block in per_block {
+            words.extend(block?);
+        }
+        let sampled_records = words.len() as u64;
+        breakdown.sampling = t0.elapsed();
+
+        // Master builds an iBT over the sample; leaves sized so that the
+        // scaled leaf ≈ one partition of g_max_size records.
+        let t1 = Instant::now();
+        let scaled_threshold =
+            ((config.g_max_size as f64) * config.sampling_fraction).ceil().max(1.0) as usize;
+        let mut tree = Ibt::new(IbtConfig {
+            w,
+            max_bits: bits,
+            threshold: scaled_threshold,
+            policy: config.split_policy,
+        });
+        for word in words {
+            // The sample tree needs words only; carry an empty record.
+            tree.insert(BEntry::new(word, Record::new(0, tardis_ts::TimeSeries::new(vec![]))));
+        }
+        breakdown.tree_build = t1.elapsed();
+
+        // Extract the leaf table.
+        let t2 = Instant::now();
+        let mut table: Vec<ISaxWord> = tree
+            .leaf_ids()
+            .into_iter()
+            .map(|id| tree.node(id).word.clone().expect("non-root leaf"))
+            .collect();
+        // Deterministic table order → deterministic pids.
+        table.sort_by_key(|wd| {
+            wd.syms()
+                .iter()
+                .map(|s| (s.bits, s.prefix))
+                .collect::<Vec<_>>()
+        });
+        breakdown.table_extract = t2.elapsed();
+
+        Ok(DpisaxGlobal {
+            table,
+            w,
+            bits,
+            breakdown,
+            sampled_records,
+        })
+    }
+
+    /// Number of partitions (table entries); at least 1.
+    pub fn n_partitions(&self) -> usize {
+        self.table.len().max(1)
+    }
+
+    /// The table keys.
+    pub fn table(&self) -> &[ISaxWord] {
+        &self.table
+    }
+
+    /// Word length.
+    pub fn word_len(&self) -> usize {
+        self.w
+    }
+
+    /// Initial cardinality bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Routes a full-resolution word: linear scan for the covering key
+    /// (the costly matching), falling back to the minimum lower-bound
+    /// distance key for uncovered words.
+    pub fn partition_of(&self, word: &SaxWord) -> PartitionId {
+        if self.table.is_empty() {
+            return 0;
+        }
+        for (pid, key) in self.table.iter().enumerate() {
+            if key.covers(word).unwrap_or(false) {
+                return pid as PartitionId;
+            }
+        }
+        // Fallback: nearest key by signature lower bound. Series length is
+        // irrelevant for the argmin (a constant scale factor); use w.
+        let mut best = (f64::INFINITY, 0 as PartitionId);
+        for (pid, key) in self.table.iter().enumerate() {
+            let d = key_distance(key, word, self.w);
+            if d < best.0 {
+                best = (d, pid as PartitionId);
+            }
+        }
+        best.1
+    }
+
+    /// Routes a raw series.
+    ///
+    /// # Errors
+    /// Propagates conversion errors.
+    pub fn partition_of_series(
+        &self,
+        ts: &tardis_ts::TimeSeries,
+    ) -> Result<PartitionId, BaselineError> {
+        Ok(self.partition_of(&SaxWord::from_series(ts.values(), self.w, self.bits)?))
+    }
+
+    /// Semantic table size in bytes (Figure 13a: the baseline stores only
+    /// the leaf table — 2 bytes per character plus the pid — so it is
+    /// smaller than TARDIS's full sigTree).
+    pub fn mem_bytes(&self) -> usize {
+        self.table.len() * (2 * self.w + 4)
+    }
+}
+
+/// Lower-bound distance between a variable-cardinality table key and a
+/// full word. Unit scale: the `sqrt(n/w)` factor of a true MINDIST is
+/// constant across keys, so it cannot change the argmin.
+fn key_distance(key: &ISaxWord, word: &SaxWord, _w: usize) -> f64 {
+    use tardis_isax::Region;
+    let bits = word.bits();
+    let sum_sq: f64 = key
+        .syms()
+        .iter()
+        .zip(word.buckets())
+        .map(|(sym, &b)| {
+            let d = sym.region().dist(&Region::of_bucket(b, bits));
+            d * d
+        })
+        .sum();
+    sum_sq.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tardis_cluster::{encode_records, ClusterConfig};
+    use tardis_ts::TimeSeries;
+
+    fn record(rid: u64) -> Record {
+        let mut x = rid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut acc = 0.0f32;
+        let mut v = Vec::with_capacity(64);
+        for _ in 0..64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc += ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+            v.push(acc);
+        }
+        tardis_ts::z_normalize_in_place(&mut v);
+        Record::new(rid, TimeSeries::new(v))
+    }
+
+    fn cluster_with_data(n: u64) -> Cluster {
+        let cluster = Cluster::new(ClusterConfig {
+            n_workers: 4,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        let blocks: Vec<Vec<u8>> = (0..n)
+            .collect::<Vec<u64>>()
+            .chunks(100)
+            .map(|chunk| encode_records(&chunk.iter().map(|&r| record(r)).collect::<Vec<_>>()))
+            .collect();
+        cluster.dfs().write_blocks("data", blocks).unwrap();
+        cluster
+    }
+
+    fn config() -> BaselineConfig {
+        BaselineConfig {
+            g_max_size: 150,
+            sampling_fraction: 0.5,
+            ..BaselineConfig::default()
+        }
+    }
+
+    #[test]
+    fn builds_a_table_with_multiple_partitions() {
+        let cluster = cluster_with_data(1500);
+        let g = DpisaxGlobal::build(&cluster, "data", &config()).unwrap();
+        assert!(g.n_partitions() >= 2, "{}", g.n_partitions());
+        assert!(g.sampled_records >= 700);
+        assert!(g.breakdown.total() > Duration::ZERO);
+        assert!(g.mem_bytes() > 0);
+    }
+
+    #[test]
+    fn every_record_routes_within_range() {
+        let cluster = cluster_with_data(1000);
+        let g = DpisaxGlobal::build(&cluster, "data", &config()).unwrap();
+        let n = g.n_partitions();
+        for rid in 0..1000 {
+            let pid = g.partition_of_series(&record(rid).ts).unwrap();
+            assert!((pid as usize) < n);
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let cluster = cluster_with_data(600);
+        let g = DpisaxGlobal::build(&cluster, "data", &config()).unwrap();
+        for rid in [0u64, 5, 599] {
+            let ts = record(rid).ts;
+            assert_eq!(
+                g.partition_of_series(&ts).unwrap(),
+                g.partition_of_series(&ts).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn covered_words_route_to_covering_key() {
+        let cluster = cluster_with_data(800);
+        let g = DpisaxGlobal::build(&cluster, "data", &config()).unwrap();
+        let mut covered_checked = 0;
+        for rid in 0..100 {
+            let word = SaxWord::from_series(record(rid).ts.values(), 8, 9).unwrap();
+            let pid = g.partition_of(&word);
+            if g.table()[pid as usize].covers(&word).unwrap_or(false) {
+                covered_checked += 1;
+            }
+        }
+        assert!(covered_checked > 50, "only {covered_checked} covered");
+    }
+
+    #[test]
+    fn table_keys_are_disjoint_on_sampled_data() {
+        // Keys come from iBT leaves, so at most one key covers any word.
+        let cluster = cluster_with_data(800);
+        let g = DpisaxGlobal::build(&cluster, "data", &config()).unwrap();
+        for rid in 0..200 {
+            let word = SaxWord::from_series(record(rid).ts.values(), 8, 9).unwrap();
+            let covering = g
+                .table()
+                .iter()
+                .filter(|k| k.covers(&word).unwrap_or(false))
+                .count();
+            assert!(covering <= 1, "rid {rid} covered by {covering} keys");
+        }
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let cluster = cluster_with_data(10);
+        let bad = BaselineConfig {
+            word_len: 7,
+            ..BaselineConfig::default()
+        };
+        assert!(DpisaxGlobal::build(&cluster, "data", &bad).is_err());
+    }
+}

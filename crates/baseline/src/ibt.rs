@@ -1,0 +1,756 @@
+//! The iSAX Binary Tree (iBT) — §II-C of the paper.
+//!
+//! Structure: one root; a first level of up to `2^w` children, each
+//! identified by the 1-bit-per-segment iSAX word; below the first level,
+//! strictly binary splits, each promoting exactly one character (segment)
+//! by one cardinality bit. The resulting character-level variable
+//! cardinality is what the paper contrasts with TARDIS's word-level
+//! scheme.
+//!
+//! Two split policies are implemented:
+//!
+//! * [`SplitPolicy::RoundRobin`] — the original iSAX policy, cycling
+//!   through segments ("shown to perform excessive and unnecessary
+//!   subdivision").
+//! * [`SplitPolicy::Statistics`] — the iSAX 2.0 policy: pick the segment
+//!   whose next-bit distribution over the leaf's entries is the most
+//!   balanced, i.e. "having a high probability to equally split the leaf
+//!   node".
+
+use tardis_isax::{ISaxWord, SaxWord};
+use tardis_ts::Record;
+
+/// Index of a node within an [`Ibt`] arena.
+pub type IbtNodeId = u32;
+
+/// How to choose the character promoted at a split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitPolicy {
+    /// Cycle segments: parent's split segment + 1 (iSAX).
+    RoundRobin,
+    /// Most-balanced next-bit distribution (iSAX 2.0).
+    Statistics,
+}
+
+/// An iBT leaf entry: a full-resolution SAX word plus the record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BEntry {
+    /// SAX word at the initial cardinality (512 by default).
+    pub word: SaxWord,
+    /// The raw record.
+    pub record: Record,
+}
+
+impl BEntry {
+    /// Creates an entry.
+    pub fn new(word: SaxWord, record: Record) -> BEntry {
+        BEntry { word, record }
+    }
+
+    /// The record id.
+    pub fn rid(&self) -> u64 {
+        self.record.rid
+    }
+}
+
+/// On-disk encoding of a clustered [`BEntry`]: the full-cardinality SAX
+/// word (bits, word length, buckets) followed by the record — mirroring
+/// TARDIS's clustered entry layout so partition reloads skip the costly
+/// 512-cardinality reconversion.
+impl tardis_cluster::Encode for BEntry {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        buf.put_u8(self.word.bits());
+        buf.put_u16_le(self.word.word_len() as u16);
+        for &b in self.word.buckets() {
+            buf.put_u16_le(b);
+        }
+        self.record.encode(buf);
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        3 + self.word.word_len() * 2 + self.record.encoded_len_hint()
+    }
+}
+
+impl tardis_cluster::Decode for BEntry {
+    fn decode(buf: &mut &[u8]) -> Result<Self, tardis_cluster::ClusterError> {
+        use bytes::Buf;
+        let codec_err = |context: &'static str| tardis_cluster::ClusterError::Codec { context };
+        if buf.len() < 3 {
+            return Err(codec_err("bentry header"));
+        }
+        let bits = buf.get_u8();
+        let w = buf.get_u16_le() as usize;
+        if buf.len() < w * 2 {
+            return Err(codec_err("bentry buckets"));
+        }
+        let mut buckets = Vec::with_capacity(w);
+        for _ in 0..w {
+            buckets.push(buf.get_u16_le());
+        }
+        let word =
+            SaxWord::from_buckets(buckets, bits).map_err(|_| codec_err("bentry word"))?;
+        let record = Record::decode(buf)?;
+        Ok(BEntry { word, record })
+    }
+}
+
+/// Configuration of an iBT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IbtConfig {
+    /// Word length `w`.
+    pub w: usize,
+    /// Initial (maximum) cardinality bits of the stored words.
+    pub max_bits: u8,
+    /// Leaf split threshold.
+    pub threshold: usize,
+    /// Split policy.
+    pub policy: SplitPolicy,
+}
+
+/// One iBT node.
+#[derive(Debug, Clone)]
+pub struct IbtNode {
+    /// The node's iSAX word (`None` for the root, which covers all).
+    pub word: Option<ISaxWord>,
+    /// Parent link (`None` for the root).
+    pub parent: Option<IbtNodeId>,
+    /// First-level children of the root, keyed by the packed 1-bit word.
+    pub root_children: std::collections::HashMap<u32, IbtNodeId>,
+    /// Binary children of an internal node (`[bit0, bit1]`).
+    pub bin_children: [Option<IbtNodeId>; 2],
+    /// The segment promoted when this node split (`None` until split, and
+    /// always `None` for the root, which splits by the first-level key).
+    pub split_seg: Option<usize>,
+    /// Entries in the subtree.
+    pub count: u64,
+    /// Leaf payload.
+    pub items: Vec<BEntry>,
+}
+
+impl IbtNode {
+    fn new(word: Option<ISaxWord>, parent: Option<IbtNodeId>) -> IbtNode {
+        IbtNode {
+            word,
+            parent,
+            root_children: std::collections::HashMap::new(),
+            bin_children: [None, None],
+            split_seg: None,
+            count: 0,
+            items: Vec::new(),
+        }
+    }
+
+    /// Whether the node currently stores entries.
+    pub fn is_leaf(&self) -> bool {
+        self.root_children.is_empty() && self.bin_children.iter().all(Option::is_none)
+    }
+
+    /// Depth measure: total bits of the word (0 for the root).
+    pub fn total_bits(&self) -> u32 {
+        self.word.as_ref().map(ISaxWord::total_bits).unwrap_or(0)
+    }
+
+    /// Semantic memory footprint of the node *structure* in bytes: the
+    /// variable-cardinality word (2 bytes per character: prefix + bit
+    /// count), child links, parent link, and counter — mirroring the
+    /// sigTree accounting so Figure 13 compares like with like. Leaf item
+    /// payloads are accounted separately by the index layer.
+    pub fn mem_bytes(&self) -> usize {
+        let word_bytes = self.word.as_ref().map(|w| 2 * w.word_len()).unwrap_or(0);
+        let links = self.root_children.len() * 8
+            + self.bin_children.iter().flatten().count() * 4
+            + 4;
+        word_bytes + links + 8
+    }
+}
+
+/// Structural statistics of an iBT (for the sigTree-vs-iBT comparison).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IbtStats {
+    /// Total nodes including the root.
+    pub n_nodes: usize,
+    /// Internal (split) nodes, excluding the root.
+    pub n_internal: usize,
+    /// Leaf nodes.
+    pub n_leaves: usize,
+    /// Mean leaf depth in *edges* from the root.
+    pub avg_leaf_depth: f64,
+    /// Maximum leaf depth in edges.
+    pub max_leaf_depth: u32,
+    /// Mean entries per leaf.
+    pub avg_leaf_size: f64,
+    /// Structure size in bytes.
+    pub mem_bytes: usize,
+}
+
+/// The iSAX Binary Tree.
+#[derive(Debug, Clone)]
+pub struct Ibt {
+    nodes: Vec<IbtNode>,
+    config: IbtConfig,
+}
+
+impl Ibt {
+    /// Creates an empty tree.
+    ///
+    /// # Panics
+    /// Panics on invalid word length or zero cardinality bits.
+    pub fn new(config: IbtConfig) -> Ibt {
+        tardis_isax::paa::validate_word_len(config.w).expect("invalid word length");
+        assert!(config.max_bits >= 1, "max_bits must be at least 1");
+        Ibt {
+            nodes: vec![IbtNode::new(None, None)],
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &IbtConfig {
+        &self.config
+    }
+
+    /// The root id (always 0).
+    pub fn root(&self) -> IbtNodeId {
+        0
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: IbtNodeId) -> &IbtNode {
+        &self.nodes[id as usize]
+    }
+
+    fn node_mut(&mut self, id: IbtNodeId) -> &mut IbtNode {
+        &mut self.nodes[id as usize]
+    }
+
+    /// Total node count.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total entries.
+    pub fn total_count(&self) -> u64 {
+        self.nodes[0].count
+    }
+
+    /// Packs the 1-bit word of a full-resolution SAX word into the root
+    /// child key.
+    fn root_key(&self, word: &SaxWord) -> u32 {
+        let shift = word.bits() - 1;
+        word.buckets()
+            .iter()
+            .fold(0u32, |acc, &b| (acc << 1) | ((b >> shift) & 1) as u32)
+    }
+
+    /// The branch a full word takes below internal node `id` (which has
+    /// split on `split_seg`).
+    fn branch_of(&self, id: IbtNodeId, word: &SaxWord) -> usize {
+        let node = self.node(id);
+        let seg = node.split_seg.expect("internal node has split_seg");
+        let node_word = node.word.as_ref().expect("non-root");
+        let child_bits = node_word.syms()[seg].bits + 1;
+        ((word.buckets()[seg] >> (word.bits() - child_bits)) & 1) as usize
+    }
+
+    /// Inserts an entry, splitting overfull leaves per the policy.
+    ///
+    /// # Panics
+    /// Panics if the entry's word does not carry `max_bits` bits.
+    pub fn insert(&mut self, entry: BEntry) {
+        assert_eq!(
+            entry.word.bits(),
+            self.config.max_bits,
+            "entry word must be at the initial cardinality"
+        );
+        let mut cur = self.root();
+        loop {
+            self.node_mut(cur).count += 1;
+            let node = self.node(cur);
+            if node.is_leaf() && cur != self.root() {
+                break;
+            }
+            if cur == self.root() {
+                // Root: first-level child by the packed 1-bit word; the
+                // root never stores items itself once the tree is in use.
+                let key = self.root_key(&entry.word);
+                if let Some(&child) = self.node(cur).root_children.get(&key) {
+                    cur = child;
+                } else {
+                    let word = ISaxWord::root_level(&entry.word);
+                    let child = self.push_node(IbtNode::new(Some(word), Some(cur)));
+                    self.node_mut(cur).root_children.insert(key, child);
+                    cur = child;
+                }
+                continue;
+            }
+            // Internal: binary branch.
+            let bit = self.branch_of(cur, &entry.word);
+            if let Some(child) = self.node(cur).bin_children[bit] {
+                cur = child;
+            } else {
+                let seg = self.node(cur).split_seg.expect("internal");
+                let word = self
+                    .node(cur)
+                    .word
+                    .as_ref()
+                    .expect("non-root")
+                    .promoted(seg, bit as u8);
+                let child = self.push_node(IbtNode::new(Some(word), Some(cur)));
+                self.node_mut(cur).bin_children[bit] = Some(child);
+                cur = child;
+            }
+        }
+        self.node_mut(cur).items.push(entry);
+        self.maybe_split(cur);
+    }
+
+    fn push_node(&mut self, node: IbtNode) -> IbtNodeId {
+        let id = self.nodes.len() as IbtNodeId;
+        self.nodes.push(node);
+        id
+    }
+
+    /// Picks the split segment for a leaf, or `None` when every character
+    /// is already at the maximum cardinality.
+    fn pick_split_seg(&self, leaf: IbtNodeId) -> Option<usize> {
+        let node = self.node(leaf);
+        let word = node.word.as_ref().expect("non-root leaf");
+        let candidates: Vec<usize> = (0..self.config.w)
+            .filter(|&s| word.syms()[s].bits < self.config.max_bits)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        match self.config.policy {
+            SplitPolicy::RoundRobin => {
+                // Continue from the parent's split segment.
+                let start = node
+                    .parent
+                    .and_then(|p| self.node(p).split_seg)
+                    .map(|s| s + 1)
+                    .unwrap_or(0);
+                (0..self.config.w)
+                    .map(|off| (start + off) % self.config.w)
+                    .find(|s| candidates.contains(s))
+            }
+            SplitPolicy::Statistics => {
+                // Most balanced next-bit distribution over the items.
+                let full_bits = self.config.max_bits;
+                candidates
+                    .into_iter()
+                    .map(|s| {
+                        let child_bits = word.syms()[s].bits + 1;
+                        let ones: usize = node
+                            .items
+                            .iter()
+                            .filter(|e| {
+                                (e.word.buckets()[s] >> (full_bits - child_bits)) & 1 == 1
+                            })
+                            .count();
+                        let zeros = node.items.len() - ones;
+                        let imbalance = zeros.abs_diff(ones);
+                        (imbalance, s)
+                    })
+                    .min()
+                    .map(|(_, s)| s)
+            }
+        }
+    }
+
+    fn maybe_split(&mut self, leaf: IbtNodeId) {
+        let mut cur = leaf;
+        loop {
+            if self.node(cur).items.len() <= self.config.threshold || cur == self.root() {
+                return;
+            }
+            let Some(seg) = self.pick_split_seg(cur) else {
+                return; // every character exhausted; leaf grows unbounded
+            };
+            self.node_mut(cur).split_seg = Some(seg);
+            let items = std::mem::take(&mut self.node_mut(cur).items);
+            let mut hot: Option<IbtNodeId> = None;
+            for entry in items {
+                let bit = self.branch_of(cur, &entry.word);
+                let child = match self.node(cur).bin_children[bit] {
+                    Some(c) => c,
+                    None => {
+                        let word = self
+                            .node(cur)
+                            .word
+                            .as_ref()
+                            .expect("non-root")
+                            .promoted(seg, bit as u8);
+                        let c = self.push_node(IbtNode::new(Some(word), Some(cur)));
+                        self.node_mut(cur).bin_children[bit] = Some(c);
+                        c
+                    }
+                };
+                let cnode = self.node_mut(child);
+                cnode.count += 1;
+                cnode.items.push(entry);
+                if cnode.items.len() > self.config.threshold {
+                    hot = Some(child);
+                }
+            }
+            match hot {
+                Some(c) => cur = c,
+                None => return,
+            }
+        }
+    }
+
+    /// Descends along a full word to the deepest existing node; returns
+    /// the root→stop path.
+    pub fn descend_path(&self, word: &SaxWord) -> Vec<IbtNodeId> {
+        let mut path = vec![self.root()];
+        let mut cur = self.root();
+        loop {
+            let node = self.node(cur);
+            if node.is_leaf() && cur != self.root() {
+                return path;
+            }
+            let next = if cur == self.root() {
+                let key = self.root_key(word);
+                node.root_children.get(&key).copied()
+            } else if node.split_seg.is_some() {
+                node.bin_children[self.branch_of(cur, word)]
+            } else {
+                None
+            };
+            match next {
+                Some(child) => {
+                    path.push(child);
+                    cur = child;
+                }
+                None => return path,
+            }
+        }
+    }
+
+    /// The deepest node reached by a full word.
+    pub fn descend(&self, word: &SaxWord) -> IbtNodeId {
+        *self.descend_path(word).last().expect("path non-empty")
+    }
+
+    /// The *target node* of a kNN query: deepest node on the path with at
+    /// least `k` entries (root fallback).
+    pub fn target_node(&self, word: &SaxWord, k: usize) -> IbtNodeId {
+        self.descend_path(word)
+            .into_iter()
+            .rev()
+            .find(|&id| self.node(id).count >= k as u64)
+            .unwrap_or(self.root())
+    }
+
+    /// All entries in leaves under `node`.
+    pub fn subtree_items(&self, node: IbtNodeId) -> Vec<&BEntry> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(id) = stack.pop() {
+            let n = self.node(id);
+            out.extend(n.items.iter());
+            stack.extend(n.root_children.values().copied());
+            stack.extend(n.bin_children.iter().flatten().copied());
+        }
+        out
+    }
+
+    /// Ids of all leaves in the tree.
+    pub fn leaf_ids(&self) -> Vec<IbtNodeId> {
+        (0..self.nodes.len() as IbtNodeId)
+            .filter(|&id| self.nodes[id as usize].is_leaf() && id != 0)
+            .collect()
+    }
+
+    /// Entries grouped leaf by leaf (clustered serialization order).
+    pub fn clustered_entries(&self) -> Vec<&BEntry> {
+        let mut out = Vec::with_capacity(self.total_count() as usize);
+        for leaf in self.leaf_ids() {
+            out.extend(self.node(leaf).items.iter());
+        }
+        out
+    }
+
+    /// Edge depth of a node (0 for the root).
+    pub fn depth(&self, id: IbtNodeId) -> u32 {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.node(cur).parent {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> IbtStats {
+        let mut n_internal = 0usize;
+        let mut n_leaves = 0usize;
+        let mut depth_sum = 0u64;
+        let mut max_depth = 0u32;
+        let mut leaf_entries = 0u64;
+        for id in 1..self.nodes.len() as IbtNodeId {
+            let node = self.node(id);
+            if node.is_leaf() {
+                n_leaves += 1;
+                let d = self.depth(id);
+                depth_sum += d as u64;
+                max_depth = max_depth.max(d);
+                leaf_entries += node.count;
+            } else {
+                n_internal += 1;
+            }
+        }
+        IbtStats {
+            n_nodes: self.nodes.len(),
+            n_internal,
+            n_leaves,
+            avg_leaf_depth: if n_leaves == 0 {
+                0.0
+            } else {
+                depth_sum as f64 / n_leaves as f64
+            },
+            max_leaf_depth: max_depth,
+            avg_leaf_size: if n_leaves == 0 {
+                0.0
+            } else {
+                leaf_entries as f64 / n_leaves as f64
+            },
+            mem_bytes: self.mem_bytes(),
+        }
+    }
+
+    /// Approximate structure size in bytes.
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.nodes.iter().map(IbtNode::mem_bytes).sum::<usize>()
+    }
+
+    /// Verifies structural invariants (tests / debug).
+    ///
+    /// # Errors
+    /// A description of the first violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let id = idx as IbtNodeId;
+            if id == 0 {
+                if node.word.is_some() {
+                    return Err("root carries a word".into());
+                }
+                continue;
+            }
+            let Some(p) = node.parent else {
+                return Err(format!("non-root node {id} without parent"));
+            };
+            let parent = self.node(p);
+            let linked = parent.root_children.values().any(|&c| c == id)
+                || parent.bin_children.iter().flatten().any(|&c| c == id);
+            if !linked {
+                return Err(format!("node {id} not linked from parent {p}"));
+            }
+            if !node.is_leaf() {
+                if !node.items.is_empty() {
+                    return Err(format!("internal node {id} holds items"));
+                }
+                let child_sum: u64 = node
+                    .bin_children
+                    .iter()
+                    .flatten()
+                    .map(|&c| self.node(c).count)
+                    .sum();
+                if child_sum != node.count {
+                    return Err(format!(
+                        "node {id} count {} != children {child_sum}",
+                        node.count
+                    ));
+                }
+            } else if node.count != node.items.len() as u64 {
+                return Err(format!("leaf {id} count mismatch"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tardis_ts::TimeSeries;
+
+    fn word_of(rid: u64) -> (SaxWord, Record) {
+        let mut x = rid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut acc = 0.0f32;
+        let mut v = Vec::with_capacity(64);
+        for _ in 0..64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc += ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+            v.push(acc);
+        }
+        tardis_ts::z_normalize_in_place(&mut v);
+        let word = SaxWord::from_series(&v, 8, 9).unwrap();
+        (word, Record::new(rid, TimeSeries::new(v)))
+    }
+
+    fn entry(rid: u64) -> BEntry {
+        let (word, record) = word_of(rid);
+        BEntry::new(word, record)
+    }
+
+    fn tree(threshold: usize, policy: SplitPolicy) -> Ibt {
+        Ibt::new(IbtConfig {
+            w: 8,
+            max_bits: 9,
+            threshold,
+            policy,
+        })
+    }
+
+    #[test]
+    fn inserts_and_counts() {
+        let mut t = tree(10, SplitPolicy::Statistics);
+        for rid in 0..100 {
+            t.insert(entry(rid));
+        }
+        assert_eq!(t.total_count(), 100);
+        t.check_invariants().unwrap();
+        assert_eq!(t.subtree_items(t.root()).len(), 100);
+    }
+
+    #[test]
+    fn first_level_uses_one_bit_words() {
+        let mut t = tree(100, SplitPolicy::Statistics);
+        for rid in 0..50 {
+            t.insert(entry(rid));
+        }
+        for &child in t.node(t.root()).root_children.values() {
+            let w = t.node(child).word.as_ref().unwrap();
+            assert!(w.syms().iter().all(|s| s.bits == 1));
+        }
+    }
+
+    #[test]
+    fn splits_are_binary_below_first_level() {
+        let mut t = tree(3, SplitPolicy::Statistics);
+        for rid in 0..400 {
+            t.insert(entry(rid));
+        }
+        t.check_invariants().unwrap();
+        for id in 1..t.n_nodes() as IbtNodeId {
+            let n = t.node(id);
+            assert!(n.root_children.is_empty(), "non-root with root children");
+            let n_children = n.bin_children.iter().flatten().count();
+            assert!(n_children <= 2);
+        }
+    }
+
+    #[test]
+    fn descend_finds_inserted_entries() {
+        let mut t = tree(4, SplitPolicy::Statistics);
+        let entries: Vec<BEntry> = (0..150).map(entry).collect();
+        for e in &entries {
+            t.insert(e.clone());
+        }
+        for e in &entries {
+            let leaf = t.descend(&e.word);
+            assert!(
+                t.node(leaf).items.iter().any(|x| x.rid() == e.rid()),
+                "rid {} lost",
+                e.rid()
+            );
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_segments() {
+        let mut t = tree(2, SplitPolicy::RoundRobin);
+        for rid in 0..300 {
+            t.insert(entry(rid));
+        }
+        t.check_invariants().unwrap();
+        // Some internal nodes exist with varied split segments.
+        let segs: std::collections::HashSet<usize> = (1..t.n_nodes() as IbtNodeId)
+            .filter_map(|id| t.node(id).split_seg)
+            .collect();
+        assert!(segs.len() > 1, "round robin used one segment only: {segs:?}");
+    }
+
+    #[test]
+    fn ibt_is_deeper_than_fanout_would_allow() {
+        // The paper's compactness claim in reverse: with a binary fan-out
+        // the leaf depth grows well beyond the sigTree's bound.
+        let mut t = tree(2, SplitPolicy::Statistics);
+        for rid in 0..2000 {
+            t.insert(entry(rid));
+        }
+        let stats = t.stats();
+        assert!(
+            stats.max_leaf_depth > 3,
+            "unexpectedly shallow: {}",
+            stats.max_leaf_depth
+        );
+        assert!(stats.n_nodes > 1 + stats.n_leaves, "no internal nodes?");
+    }
+
+    #[test]
+    fn target_node_has_enough_entries() {
+        let mut t = tree(5, SplitPolicy::Statistics);
+        for rid in 0..300 {
+            t.insert(entry(rid));
+        }
+        let (q, _) = word_of(17);
+        for k in [1usize, 10, 100] {
+            let target = t.target_node(&q, k);
+            assert!(t.node(target).count >= k as u64 || target == t.root());
+        }
+    }
+
+    #[test]
+    fn identical_words_do_not_split_forever() {
+        let mut t = tree(2, SplitPolicy::Statistics);
+        let e = entry(1);
+        for _ in 0..50 {
+            t.insert(e.clone());
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.total_count(), 50);
+        // All 50 live in one leaf whose characters are exhausted.
+        let leaf = t.descend(&e.word);
+        assert_eq!(t.node(leaf).items.len(), 50);
+    }
+
+    #[test]
+    fn clustered_entries_cover_everything() {
+        let mut t = tree(4, SplitPolicy::Statistics);
+        for rid in 0..120 {
+            t.insert(entry(rid));
+        }
+        let clustered = t.clustered_entries();
+        assert_eq!(clustered.len(), 120);
+        let rids: std::collections::HashSet<u64> = clustered.iter().map(|e| e.rid()).collect();
+        assert_eq!(rids.len(), 120);
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let mut t = tree(3, SplitPolicy::Statistics);
+        for rid in 0..200 {
+            t.insert(entry(rid));
+        }
+        let s = t.stats();
+        assert_eq!(s.n_nodes, 1 + s.n_internal + s.n_leaves);
+        assert!(s.avg_leaf_depth >= 1.0);
+        assert!(s.mem_bytes > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial cardinality")]
+    fn wrong_cardinality_rejected() {
+        let mut t = tree(3, SplitPolicy::Statistics);
+        let (word, record) = word_of(1);
+        let shallow = word.reduce(4).unwrap();
+        t.insert(BEntry::new(shallow, record));
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! **tardis-baseline** — a from-scratch reimplementation of the DPiSAX
+//! baseline the paper evaluates against (§II-C, §II-D, §VI-A: "we extend
+//! DPiSAX to support clustered index, Exact-Match query and
+//! kNN-Approximate query as the baseline of evaluation").
+//!
+//! Components:
+//!
+//! * [`ibt::Ibt`] — the iSAX Binary Tree: a first level of up to `2^w`
+//!   children (1 bit per segment), binary splits below that, each split
+//!   promoting exactly one character by one bit (character-level variable
+//!   cardinality). Both the round-robin split policy of iSAX and the
+//!   statistics-based policy of iSAX 2.0 are implemented.
+//! * [`global::DpisaxGlobal`] — the sampled partition table: the master
+//!   builds an iBT over sampled signatures, its leaves become the table
+//!   keys; routing a record performs the per-character masked matching
+//!   whose cost the paper highlights ("high matching overhead").
+//! * [`index::DpisaxIndex`] — the full pipeline on the shared cluster
+//!   substrate: sample → table → shuffle (table lookup per record) →
+//!   local iBTs → clustered persistence. The baseline uses the large
+//!   initial cardinality of 512 (Table II) required by its split
+//!   mechanism.
+//! * [`query`] — Exact-Match and kNN-Approximate (target-node access, the
+//!   DPiSAX strategy) against the built index.
+
+pub mod config;
+pub mod error;
+pub mod global;
+pub mod ibt;
+pub mod index;
+pub mod query;
+
+pub use config::BaselineConfig;
+pub use error::BaselineError;
+pub use global::DpisaxGlobal;
+pub use ibt::{BEntry, Ibt, IbtConfig, IbtStats, SplitPolicy};
+pub use index::{BaselineBuildReport, DpisaxIndex};
+pub use query::{
+    baseline_exact_match, baseline_knn, baseline_knn_sig_only, BaselineExactOutcome,
+    BaselineKnnAnswer,
+};

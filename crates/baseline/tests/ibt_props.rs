@@ -1,0 +1,108 @@
+//! Property tests: iBT invariants under arbitrary insert sequences and
+//! both split policies.
+
+use proptest::prelude::*;
+use tardis_baseline::{BEntry, Ibt, IbtConfig, SplitPolicy};
+use tardis_isax::SaxWord;
+use tardis_ts::{Record, TimeSeries};
+
+fn entry_strategy() -> impl Strategy<Value = BEntry> {
+    (prop::collection::vec(-3.0f32..3.0, 64), 0u64..1_000_000).prop_map(|(mut v, rid)| {
+        tardis_ts::z_normalize_in_place(&mut v);
+        let word = SaxWord::from_series(&v, 8, 9).unwrap();
+        BEntry::new(word, Record::new(rid, TimeSeries::new(v)))
+    })
+}
+
+fn policy_strategy() -> impl Strategy<Value = SplitPolicy> {
+    prop_oneof![
+        Just(SplitPolicy::RoundRobin),
+        Just(SplitPolicy::Statistics)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn invariants_hold_after_any_inserts(
+        entries in prop::collection::vec(entry_strategy(), 1..150),
+        threshold in 1usize..12,
+        policy in policy_strategy(),
+    ) {
+        let mut tree = Ibt::new(IbtConfig {
+            w: 8,
+            max_bits: 9,
+            threshold,
+            policy,
+        });
+        for e in &entries {
+            tree.insert(e.clone());
+        }
+        prop_assert!(tree.check_invariants().is_ok(), "{:?}", tree.check_invariants());
+        prop_assert_eq!(tree.total_count(), entries.len() as u64);
+        prop_assert_eq!(tree.subtree_items(tree.root()).len(), entries.len());
+    }
+
+    #[test]
+    fn descend_reaches_node_containing_entry(
+        entries in prop::collection::vec(entry_strategy(), 1..100),
+        policy in policy_strategy(),
+    ) {
+        let mut tree = Ibt::new(IbtConfig {
+            w: 8,
+            max_bits: 9,
+            threshold: 4,
+            policy,
+        });
+        for e in &entries {
+            tree.insert(e.clone());
+        }
+        for e in &entries {
+            let node = tree.descend(&e.word);
+            let found = tree
+                .subtree_items(node)
+                .iter()
+                .any(|x| x.rid() == e.rid() && x.word == e.word);
+            prop_assert!(found, "entry {} not under its descend node", e.rid());
+        }
+    }
+
+    #[test]
+    fn clustered_entries_are_complete(
+        entries in prop::collection::vec(entry_strategy(), 1..120),
+        policy in policy_strategy(),
+    ) {
+        let mut tree = Ibt::new(IbtConfig {
+            w: 8,
+            max_bits: 9,
+            threshold: 6,
+            policy,
+        });
+        for e in &entries {
+            tree.insert(e.clone());
+        }
+        prop_assert_eq!(tree.clustered_entries().len(), entries.len());
+    }
+
+    #[test]
+    fn target_node_holds_enough(
+        entries in prop::collection::vec(entry_strategy(), 5..100),
+        k in 1usize..30,
+        policy in policy_strategy(),
+    ) {
+        let mut tree = Ibt::new(IbtConfig {
+            w: 8,
+            max_bits: 9,
+            threshold: 5,
+            policy,
+        });
+        for e in &entries {
+            tree.insert(e.clone());
+        }
+        let target = tree.target_node(&entries[0].word, k);
+        prop_assert!(
+            tree.node(target).count >= k as u64 || target == tree.root()
+        );
+    }
+}

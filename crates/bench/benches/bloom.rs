@@ -1,0 +1,67 @@
+//! Bloom filter kernels: insert, positive probe, negative probe, and
+//! serialization — the exact-match fast path of §V-A.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tardis_bloom::BloomFilter;
+use tardis_data::{RandomWalk, SeriesGen};
+use tardis_isax::{SaxWord, SigT};
+
+fn signatures(n: u64, seed: u64) -> Vec<Vec<u8>> {
+    let gen = RandomWalk::with_len(seed, 64);
+    (0..n)
+        .map(|rid| {
+            SigT::from_sax(&SaxWord::from_series(gen.series(rid).values(), 8, 6).unwrap())
+                .nibbles()
+                .to_vec()
+        })
+        .collect()
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let keys = signatures(10_000, 1);
+    let absent = signatures(2_000, 2);
+
+    let mut group = c.benchmark_group("bloom");
+    group.bench_function("insert_10k", |b| {
+        b.iter(|| {
+            let mut f = BloomFilter::with_capacity(10_000, 0.005);
+            for k in &keys {
+                f.insert(k);
+            }
+            black_box(f.items())
+        })
+    });
+
+    let mut filter = BloomFilter::with_capacity(10_000, 0.005);
+    for k in &keys {
+        filter.insert(k);
+    }
+    group.bench_function("probe_present", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for k in keys.iter().take(2_000) {
+                hits += filter.contains(k) as usize;
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("probe_absent", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for k in &absent {
+                hits += filter.contains(k) as usize;
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("serialize_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = filter.to_bytes();
+            black_box(BloomFilter::from_bytes(&bytes).unwrap().items())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bloom);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Record codec: the data-path serialization every block read/write and
+//! shuffle pays.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tardis_cluster::{decode_records, encode_records};
+use tardis_data::{RandomWalk, SeriesGen};
+use tardis_ts::Record;
+
+fn bench_codec(c: &mut Criterion) {
+    let gen = RandomWalk::with_len(7, 256);
+    let records: Vec<Record> = (0..1_000u64).map(|rid| gen.record(rid)).collect();
+    let block = encode_records(&records);
+
+    let mut group = c.benchmark_group("codec");
+    group.throughput(criterion::Throughput::Bytes(block.len() as u64));
+    group.bench_function("encode_1k_records", |b| {
+        b.iter(|| black_box(encode_records(&records).len()))
+    });
+    group.bench_function("decode_1k_records", |b| {
+        b.iter(|| black_box(decode_records::<Record>(&block).unwrap().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

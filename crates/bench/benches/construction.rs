@@ -1,0 +1,86 @@
+//! End-to-end index construction at small scale (Figure 10's kernel):
+//! TARDIS vs the DPiSAX baseline on the same stored dataset.
+//!
+//! The `experiments` binary runs the full Figure 10 sweep; this bench
+//! keeps a fixed small size so `cargo bench` stays fast while still
+//! exposing the construction-cost gap.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tardis_bench::{Env, Family};
+
+fn bench_construction(c: &mut Criterion) {
+    let env = Env::prepare(Family::RandomWalk, 4_000, Duration::ZERO);
+
+    let mut group = c.benchmark_group("construction_4k");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(20));
+    group.bench_function("tardis_full_build", |b| {
+        b.iter(|| {
+            let (index, report) = env.build_tardis();
+            black_box((index.n_partitions(), report.n_records))
+        })
+    });
+    group.bench_function("baseline_full_build", |b| {
+        b.iter(|| {
+            let (index, report) = env.build_baseline();
+            black_box((index.n_partitions(), report.n_records))
+        })
+    });
+    group.bench_function("tardis_global_only", |b| {
+        let cfg = env.tardis_config();
+        b.iter(|| {
+            let g = tardis_core::TardisG::build(&env.cluster, &env.file, &cfg).unwrap();
+            black_box(g.n_partitions())
+        })
+    });
+    group.bench_function("baseline_global_only", |b| {
+        let cfg = env.baseline_config();
+        b.iter(|| {
+            let g = tardis_baseline::DpisaxGlobal::build(&env.cluster, &env.file, &cfg).unwrap();
+            black_box(g.n_partitions())
+        })
+    });
+    group.finish();
+}
+
+/// The per-record routing cost the shuffle pays: TARDIS's signature
+/// drop-right + tree descent vs the baseline's partition-table matching —
+/// the paper's "high matching overhead" claim, isolated.
+fn bench_routing(c: &mut Criterion) {
+    let env = Env::prepare(Family::RandomWalk, 8_000, Duration::ZERO);
+    let (tardis, _) = env.build_tardis();
+    let (baseline, _) = env.build_baseline();
+    let series: Vec<_> = (0..512u64).map(|rid| {
+        env.gen.series(rid)
+    }).collect();
+
+    let mut group = c.benchmark_group("partition_routing");
+    group.bench_function("tardis_global_route", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for ts in &series {
+                acc += tardis.global().partition_of_series(ts).unwrap() as u64;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("baseline_table_route", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for ts in &series {
+                acc += baseline.global().partition_of_series(ts).unwrap() as u64;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+    eprintln!(
+        "[routing] tardis {} partitions, baseline {} table keys",
+        tardis.n_partitions(),
+        baseline.global().n_partitions()
+    );
+}
+
+criterion_group!(benches, bench_construction, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Benchmarks for the extension features: exact kNN, ε-range queries,
+//! batch execution, and the DFS block cache.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tardis_bench::{Env, Family};
+use tardis_core::query::exact_knn::exact_knn;
+use tardis_core::{knn_approximate, knn_batch, range_query, KnnStrategy};
+
+fn bench_extension_queries(c: &mut Criterion) {
+    let env = Env::prepare(Family::Noaa, 6_000, Duration::ZERO);
+    let (index, _) = env.build_tardis();
+    let queries: Vec<_> = (0..4u64).map(|i| env.gen.series(i * 113)).collect();
+
+    let mut group = c.benchmark_group("extension_queries");
+    group.sample_size(10);
+    group.bench_function("exact_knn_k20", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(exact_knn(&index, &env.cluster, q, 20).unwrap().neighbors.len());
+            }
+        })
+    });
+    group.bench_function("approx_knn_k20_multi", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(
+                    knn_approximate(&index, &env.cluster, q, 20, KnnStrategy::MultiPartition)
+                        .unwrap()
+                        .neighbors
+                        .len(),
+                );
+            }
+        })
+    });
+    group.bench_function("range_eps5", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(range_query(&index, &env.cluster, q, 5.0).unwrap().matches.len());
+            }
+        })
+    });
+    group.bench_function("knn_batch_8_queries", |b| {
+        let batch: Vec<_> = (0..8u64).map(|i| env.gen.series(i * 71)).collect();
+        b.iter(|| {
+            black_box(
+                knn_batch(&index, &env.cluster, &batch, 20, KnnStrategy::OnePartition)
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    use tardis_cluster::{Cluster, ClusterConfig, DfsConfig};
+    let mk = |cache_bytes: usize| {
+        let cluster = Cluster::new(ClusterConfig {
+            n_workers: 2,
+            dfs: DfsConfig {
+                cache_bytes,
+                ..DfsConfig::default()
+            },
+        })
+        .unwrap();
+        let blocks: Vec<Vec<u8>> = (0..16).map(|i| vec![i as u8; 64 * 1024]).collect();
+        let ids = cluster.dfs().write_blocks("data", blocks).unwrap();
+        (cluster, ids)
+    };
+
+    let mut group = c.benchmark_group("block_cache");
+    let (cold, cold_ids) = mk(0);
+    group.bench_function("read_16_blocks_uncached", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for id in &cold_ids {
+                total += cold.dfs().read_block(id).unwrap().len();
+            }
+            black_box(total)
+        })
+    });
+    let (warm, warm_ids) = mk(16 << 20);
+    // Prime the cache once.
+    for id in &warm_ids {
+        warm.dfs().read_block(id).unwrap();
+    }
+    group.bench_function("read_16_blocks_cached", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for id in &warm_ids {
+                total += warm.dfs().read_block(id).unwrap().len();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extension_queries, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Ablation: the iSAX-T claim (§III-A).
+//!
+//! Cardinality reduction as a signature drop-right vs recomputing the
+//! reduced word character by character, and vs the baseline's
+//! per-character masked matching. This quantifies why word-level
+//! cardinality makes the shuffle's routing step cheap.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tardis_data::{RandomWalk, SeriesGen};
+use tardis_isax::{isaxt::reduce_naive, ISaxWord, SaxWord, SigT};
+
+fn conversion_inputs(n: usize) -> Vec<SaxWord> {
+    let gen = RandomWalk::with_len(5, 256);
+    (0..n as u64)
+        .map(|rid| SaxWord::from_series(gen.series(rid).values(), 8, 9).unwrap())
+        .collect()
+}
+
+fn bench_conversion(c: &mut Criterion) {
+    let words = conversion_inputs(256);
+    let sigs: Vec<SigT> = words.iter().map(SigT::from_sax).collect();
+
+    let mut group = c.benchmark_group("isaxt_conversion");
+    group.bench_function("drop_right_9_to_3", |b| {
+        b.iter(|| {
+            for sig in &sigs {
+                black_box(sig.drop_right(3).unwrap());
+            }
+        })
+    });
+    group.bench_function("naive_recompute_9_to_3", |b| {
+        b.iter(|| {
+            for word in &words {
+                black_box(reduce_naive(word, 3).unwrap());
+            }
+        })
+    });
+    group.bench_function("from_series_card64", |b| {
+        let gen = RandomWalk::with_len(5, 256);
+        let series: Vec<_> = (0..64u64).map(|rid| gen.series(rid)).collect();
+        b.iter(|| {
+            for s in &series {
+                black_box(SigT::from_sax(
+                    &SaxWord::from_series(s.values(), 8, 6).unwrap(),
+                ));
+            }
+        })
+    });
+    group.bench_function("from_series_card512_baseline", |b| {
+        let gen = RandomWalk::with_len(5, 256);
+        let series: Vec<_> = (0..64u64).map(|rid| gen.series(rid)).collect();
+        b.iter(|| {
+            for s in &series {
+                black_box(SaxWord::from_series(s.values(), 8, 9).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    // Signature prefix check (TARDIS routing primitive) vs per-character
+    // masked covers (baseline table matching).
+    let words = conversion_inputs(256);
+    let sigs: Vec<SigT> = words.iter().map(SigT::from_sax).collect();
+    let node_sigs: Vec<SigT> = sigs.iter().map(|s| s.drop_right(3).unwrap()).collect();
+    let node_words: Vec<ISaxWord> = words
+        .iter()
+        .map(|w| ISaxWord::from_sax(w, 3).unwrap())
+        .collect();
+
+    let mut group = c.benchmark_group("signature_matching");
+    group.bench_function("sigt_prefix_check", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for (node, sig) in node_sigs.iter().zip(&sigs) {
+                hits += node.is_prefix_of(sig) as usize;
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("isax_character_covers", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for (node, word) in node_words.iter().zip(&words) {
+                hits += node.covers(word).unwrap() as usize;
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conversion, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Lower-bound distance kernels: the pruning primitives behind every
+//! query strategy.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tardis_data::{RandomWalk, SeriesGen};
+use tardis_isax::{
+    mindist_paa_isax, mindist_paa_sax, mindist_paa_sigt, mindist_sax, paa, ISaxWord, SaxWord,
+    SigT,
+};
+
+fn bench_mindist(c: &mut Criterion) {
+    let gen = RandomWalk::with_len(3, 256);
+    let queries: Vec<Vec<f64>> = (0..64u64)
+        .map(|rid| paa(gen.series(rid).values(), 8).unwrap())
+        .collect();
+    let words: Vec<SaxWord> = (100..164u64)
+        .map(|rid| SaxWord::from_series(gen.series(rid).values(), 8, 6).unwrap())
+        .collect();
+    let sigs: Vec<SigT> = words.iter().map(SigT::from_sax).collect();
+    let isax_words: Vec<ISaxWord> = words
+        .iter()
+        .map(|w| ISaxWord::from_sax(w, 4).unwrap())
+        .collect();
+
+    let mut group = c.benchmark_group("mindist");
+    group.bench_function("sax_sax", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (a, t) in words.iter().zip(words.iter().rev()) {
+                acc += mindist_sax(a, t, 256).unwrap();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("paa_sax", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (q, t) in queries.iter().zip(&words) {
+                acc += mindist_paa_sax(q, t, 256).unwrap();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("paa_sigt", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (q, t) in queries.iter().zip(&sigs) {
+                acc += mindist_paa_sigt(q, t, 256).unwrap();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("paa_isax_baseline", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (q, t) in queries.iter().zip(&isax_words) {
+                acc += mindist_paa_isax(q, t, 256).unwrap();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_euclidean(c: &mut Criterion) {
+    let gen = RandomWalk::with_len(4, 256);
+    let series: Vec<_> = (0..64u64).map(|rid| gen.series(rid)).collect();
+    let q = gen.series(1000);
+    let mut group = c.benchmark_group("euclidean");
+    group.bench_function("full_256", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for s in &series {
+                acc += tardis_ts::squared_euclidean(q.values(), s.values());
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("early_abandon_256", |b| {
+        // Tight threshold → most computations abandon early.
+        b.iter(|| {
+            let mut hits = 0usize;
+            for s in &series {
+                if tardis_ts::euclidean_early_abandon(q.values(), s.values(), 10.0).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mindist, bench_euclidean);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! FFD partition packing (§IV-B, Definition 5) — cost and bin quality at
+//! global-index scales.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tardis_core::packing::{bin_lower_bound, ffd_pack};
+
+fn workload(n: u64) -> Vec<(u64, u64)> {
+    // Leaf sizes skewed like sampled sigTree leaves: many small, few big.
+    (0..n)
+        .map(|i| {
+            let x = i.wrapping_mul(2654435761) % 1000;
+            let size = if x < 700 { x % 80 + 1 } else { x % 900 + 100 };
+            (i, size)
+        })
+        .collect()
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ffd_pack");
+    for n in [100u64, 1_000, 10_000] {
+        let items = workload(n);
+        group.bench_function(format!("pack_{n}_leaves"), |b| {
+            b.iter(|| black_box(ffd_pack(items.clone(), 1_000).len()))
+        });
+    }
+    group.finish();
+
+    // Report packing quality once.
+    let items = workload(10_000);
+    let total: u64 = items.iter().map(|(_, s)| s).sum();
+    let bins = ffd_pack(items, 1_000).len() as u64;
+    let lb = bin_lower_bound(total, 1_000);
+    eprintln!("[packing] 10k leaves: {bins} bins vs lower bound {lb} ({:.3}x)", bins as f64 / lb as f64);
+}
+
+criterion_group!(benches, bench_packing);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Query latency kernels (Figures 14–15's engines): exact match with and
+//! without Bloom filters vs the baseline, and the three kNN strategies.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tardis_baseline::{baseline_exact_match, baseline_knn};
+use tardis_bench::{Env, Family};
+use tardis_core::{exact_match, knn_approximate, KnnStrategy};
+use tardis_data::QueryWorkload;
+
+fn bench_exact(c: &mut Criterion) {
+    let env = Env::prepare(Family::Noaa, 6_000, Duration::ZERO);
+    let (index, _) = env.build_tardis();
+    let (baseline, _) = env.build_baseline();
+    let workload = QueryWorkload::mixed(env.gen.as_ref(), env.n, 20, 11);
+
+    let mut group = c.benchmark_group("exact_match");
+    group.sample_size(20);
+    group.bench_function("tardis_bf", |b| {
+        b.iter(|| {
+            for (q, _) in &workload.queries {
+                black_box(exact_match(&index, &env.cluster, q, true).unwrap().matches.len());
+            }
+        })
+    });
+    group.bench_function("tardis_nobf", |b| {
+        b.iter(|| {
+            for (q, _) in &workload.queries {
+                black_box(exact_match(&index, &env.cluster, q, false).unwrap().matches.len());
+            }
+        })
+    });
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            for (q, _) in &workload.queries {
+                black_box(
+                    baseline_exact_match(&baseline, &env.cluster, q)
+                        .unwrap()
+                        .matches
+                        .len(),
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let env = Env::prepare(Family::Noaa, 6_000, Duration::ZERO);
+    let (index, _) = env.build_tardis();
+    let (baseline, _) = env.build_baseline();
+    let queries: Vec<_> = (0..5u64).map(|i| env.gen.series(i * 97)).collect();
+    let k = 50;
+
+    let mut group = c.benchmark_group("knn_k50");
+    group.sample_size(10);
+    for strategy in KnnStrategy::ALL {
+        group.bench_function(strategy.name().replace(' ', "_").to_lowercase(), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(
+                        knn_approximate(&index, &env.cluster, q, k, strategy)
+                            .unwrap()
+                            .neighbors
+                            .len(),
+                    );
+                }
+            })
+        });
+    }
+    group.bench_function("baseline_target_node", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(baseline_knn(&baseline, &env.cluster, q, k).unwrap().neighbors.len());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact, bench_knn);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Ablation: the sigTree claim (§III-B).
+//!
+//! Insert throughput and routing (descend) cost of the K-ary sigTree vs
+//! the binary iBT over the same data — the "compact structure, shorter
+//! traversal" argument.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tardis_baseline::{BEntry, Ibt, IbtConfig, SplitPolicy};
+use tardis_data::{RandomWalk, SeriesGen};
+use tardis_isax::{SaxWord, SigT};
+use tardis_sigtree::{SigTree, SigTreeConfig};
+use tardis_ts::Record;
+
+const N: u64 = 4_000;
+
+fn sig_entries() -> Vec<SigT> {
+    let gen = RandomWalk::with_len(9, 128);
+    (0..N)
+        .map(|rid| SigT::from_sax(&SaxWord::from_series(gen.series(rid).values(), 8, 6).unwrap()))
+        .collect()
+}
+
+fn ibt_entries() -> Vec<BEntry> {
+    let gen = RandomWalk::with_len(9, 128);
+    (0..N)
+        .map(|rid| {
+            let ts = gen.series(rid);
+            let word = SaxWord::from_series(ts.values(), 8, 9).unwrap();
+            BEntry::new(word, Record::new(rid, ts))
+        })
+        .collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let sigs = sig_entries();
+    let bentries = ibt_entries();
+    let mut group = c.benchmark_group("tree_insert");
+    group.sample_size(10);
+    group.bench_function("sigtree_insert_4k", |b| {
+        b.iter(|| {
+            let mut tree: SigTree<SigT> = SigTree::new(SigTreeConfig::storing(8, 6, 100));
+            for s in &sigs {
+                tree.insert(s.clone());
+            }
+            black_box(tree.n_nodes())
+        })
+    });
+    group.bench_function("ibt_insert_4k", |b| {
+        b.iter(|| {
+            let mut tree = Ibt::new(IbtConfig {
+                w: 8,
+                max_bits: 9,
+                threshold: 100,
+                policy: SplitPolicy::Statistics,
+            });
+            for e in &bentries {
+                tree.insert(e.clone());
+            }
+            black_box(tree.n_nodes())
+        })
+    });
+    group.finish();
+}
+
+fn bench_descend(c: &mut Criterion) {
+    let sigs = sig_entries();
+    let bentries = ibt_entries();
+    let mut sigtree: SigTree<SigT> = SigTree::new(SigTreeConfig::storing(8, 6, 100));
+    for s in &sigs {
+        sigtree.insert(s.clone());
+    }
+    let mut ibt = Ibt::new(IbtConfig {
+        w: 8,
+        max_bits: 9,
+        threshold: 100,
+        policy: SplitPolicy::Statistics,
+    });
+    for e in &bentries {
+        ibt.insert(e.clone());
+    }
+
+    let mut group = c.benchmark_group("tree_descend");
+    group.bench_function("sigtree_descend", |b| {
+        b.iter(|| {
+            for s in sigs.iter().take(512) {
+                black_box(sigtree.descend(s));
+            }
+        })
+    });
+    group.bench_function("ibt_descend", |b| {
+        b.iter(|| {
+            for e in bentries.iter().take(512) {
+                black_box(ibt.descend(&e.word));
+            }
+        })
+    });
+    group.finish();
+
+    // Print the structural comparison once (shape evidence for the claim).
+    let s = sigtree.stats();
+    let i = ibt.stats();
+    eprintln!(
+        "[structure] sigTree: {} nodes, avg leaf depth {:.2}, max {} | iBT: {} nodes, avg leaf depth {:.2}, max {}",
+        s.n_nodes, s.avg_leaf_depth, s.max_leaf_depth, i.n_nodes, i.avg_leaf_depth, i.max_leaf_depth
+    );
+}
+
+criterion_group!(benches, bench_insert, bench_descend);
+criterion_main!(benches);

@@ -1,0 +1,213 @@
+#![warn(missing_docs)]
+
+//! Shared harness for the experiment binary and criterion benches:
+//! dataset setup, index construction, workload execution, and table
+//! formatting.
+//!
+//! Scales are reduced uniformly from the paper's billions to what a
+//! single machine indexes in seconds; every experiment keeps the paper's
+//! *relative* configuration (same sampling fraction, same `L-MaxSize`,
+//! the baseline at initial cardinality 512 vs TARDIS at 64, …) so shapes
+//! and orderings remain comparable. See EXPERIMENTS.md for the recorded
+//! paper-vs-measured results.
+
+use std::time::Duration;
+use tardis_baseline::{BaselineConfig, DpisaxIndex};
+use tardis_cluster::{Cluster, ClusterConfig, DfsConfig};
+use tardis_core::{TardisConfig, TardisIndex};
+use tardis_data::{DnaLike, NoaaLike, RandomWalk, SeriesGen, TexmexLike};
+
+/// Records per dataset block at bench scale.
+pub const BLOCK_RECORDS: usize = 1_000;
+
+/// Partition capacity at bench scale (the paper derives ~110k records
+/// from a 128 MB HDFS block; scaled down ~50x).
+pub const PARTITION_CAPACITY: usize = 2_000;
+
+/// Local leaf threshold at bench scale (paper: 1,000; scaled with the
+/// partition capacity to keep the partition/leaf ratio).
+pub const LOCAL_THRESHOLD: usize = 100;
+
+/// The four dataset families of §VI-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// RandomWalk benchmark, length 256.
+    RandomWalk,
+    /// Texmex-like SIFT vectors, length 128.
+    Texmex,
+    /// DNA-like windows, length 192.
+    Dna,
+    /// NOAA-like station temperature, length 64.
+    Noaa,
+}
+
+impl Family {
+    /// All families, in the paper's presentation order.
+    pub const ALL: [Family; 4] = [Family::RandomWalk, Family::Texmex, Family::Dna, Family::Noaa];
+
+    /// Short name (paper abbreviations: Rw, Tx, Dn, Na).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::RandomWalk => "RandomWalk",
+            Family::Texmex => "Texmex",
+            Family::Dna => "DNA",
+            Family::Noaa => "Noaa",
+        }
+    }
+
+    /// Instantiates the generator with a fixed per-family seed.
+    pub fn generator(&self) -> Box<dyn SeriesGen> {
+        match self {
+            Family::RandomWalk => Box::new(RandomWalk::new(101)),
+            Family::Texmex => Box::new(TexmexLike::new(202)),
+            Family::Dna => Box::new(DnaLike::new(303)),
+            Family::Noaa => Box::new(NoaaLike::new(404)),
+        }
+    }
+}
+
+/// A prepared environment: cluster with the dataset stored as blocks.
+pub struct Env {
+    /// The simulated cluster.
+    pub cluster: Cluster,
+    /// Dataset generator.
+    pub gen: Box<dyn SeriesGen>,
+    /// Dataset DFS file name.
+    pub file: String,
+    /// Records stored.
+    pub n: u64,
+}
+
+impl Env {
+    /// Creates a cluster (optionally with simulated block-read latency)
+    /// and writes `n` records of `family`.
+    ///
+    /// # Panics
+    /// Panics on substrate failure (benches want loud failures).
+    pub fn prepare(family: Family, n: u64, read_latency: Duration) -> Env {
+        let cluster = Cluster::new(ClusterConfig {
+            n_workers: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4),
+            dfs: DfsConfig {
+                read_latency,
+                ..DfsConfig::default()
+            },
+        })
+        .expect("cluster");
+        let gen = family.generator();
+        let file = family.name().to_lowercase();
+        tardis_data::write_dataset(&cluster, &file, gen.as_ref(), n, BLOCK_RECORDS)
+            .expect("write dataset");
+        Env {
+            cluster,
+            gen,
+            file,
+            n,
+        }
+    }
+
+    /// The bench-scale TARDIS configuration (Table II, scaled).
+    pub fn tardis_config(&self) -> TardisConfig {
+        TardisConfig {
+            g_max_size: PARTITION_CAPACITY,
+            l_max_size: LOCAL_THRESHOLD,
+            ..TardisConfig::default()
+        }
+    }
+
+    /// The bench-scale baseline configuration (Table II, scaled; initial
+    /// cardinality 512).
+    pub fn baseline_config(&self) -> BaselineConfig {
+        BaselineConfig {
+            g_max_size: PARTITION_CAPACITY,
+            l_max_size: LOCAL_THRESHOLD,
+            ..BaselineConfig::default()
+        }
+    }
+
+    /// Builds the TARDIS index with the default bench config.
+    ///
+    /// # Panics
+    /// Panics on build failure.
+    pub fn build_tardis(&self) -> (TardisIndex, tardis_core::BuildReport) {
+        TardisIndex::build(&self.cluster, &self.file, &self.tardis_config()).expect("tardis build")
+    }
+
+    /// Builds the baseline index with the default bench config.
+    ///
+    /// # Panics
+    /// Panics on build failure.
+    pub fn build_baseline(&self) -> (DpisaxIndex, tardis_baseline::BaselineBuildReport) {
+        DpisaxIndex::build(&self.cluster, &self.file, &self.baseline_config())
+            .expect("baseline build")
+    }
+}
+
+/// Formats a duration as fractional seconds with 3 decimals.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+/// Formats bytes as KB/MB.
+pub fn human_bytes(b: usize) -> String {
+    if b >= 1024 * 1024 {
+        format!("{:.1} MB", b as f64 / (1024.0 * 1024.0))
+    } else {
+        format!("{:.1} KB", b as f64 / 1024.0)
+    }
+}
+
+/// Prints a markdown-style table: header row then aligned data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("| {} |", line.join(" | "));
+    };
+    fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+    for row in rows {
+        fmt_row(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_have_expected_lengths() {
+        assert_eq!(Family::RandomWalk.generator().series_len(), 256);
+        assert_eq!(Family::Texmex.generator().series_len(), 128);
+        assert_eq!(Family::Dna.generator().series_len(), 192);
+        assert_eq!(Family::Noaa.generator().series_len(), 64);
+    }
+
+    #[test]
+    fn prepare_and_build_smoke() {
+        let env = Env::prepare(Family::Noaa, 1_000, Duration::ZERO);
+        let (index, report) = env.build_tardis();
+        assert_eq!(report.n_records, 1_000);
+        assert!(index.n_partitions() >= 1);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500s");
+        assert!(human_bytes(2048).contains("KB"));
+        assert!(human_bytes(3 * 1024 * 1024).contains("MB"));
+    }
+}

@@ -1,0 +1,179 @@
+//! A compact bit vector backing the Bloom filter.
+
+/// A fixed-size bit vector packed into `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    nbits: usize,
+}
+
+impl BitVec {
+    /// Creates a zeroed bit vector with `nbits` bits.
+    ///
+    /// # Panics
+    /// Panics if `nbits == 0`.
+    pub fn new(nbits: usize) -> Self {
+        assert!(nbits > 0, "bit vector must have at least one bit");
+        BitVec {
+            words: vec![0; nbits.div_ceil(64)],
+            nbits,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.nbits
+    }
+
+    /// Always false: a `BitVec` is never zero-length by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Sets bit `i`, returning its previous value.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize) -> bool {
+        assert!(i < self.nbits, "bit index {i} out of range {}", self.nbits);
+        let mask = 1u64 << (i % 64);
+        let word = &mut self.words[i / 64];
+        let was = *word & mask != 0;
+        *word |= mask;
+        was
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.nbits, "bit index {i} out of range {}", self.nbits);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Unions another bit vector into this one.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn union_with(&mut self, other: &BitVec) {
+        assert_eq!(self.nbits, other.nbits, "bit vector length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Heap + inline size in bytes.
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.words.capacity() * 8
+    }
+
+    /// Serializes to little-endian bytes: `nbits` as u64 then the words.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.words.len() * 8);
+        out.extend_from_slice(&(self.nbits as u64).to_le_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes the [`Self::to_bytes`] format. Returns `None` on any
+    /// structural mismatch.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let nbits = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?) as usize;
+        if nbits == 0 {
+            return None;
+        }
+        let nwords = nbits.div_ceil(64);
+        let body = bytes.get(8..)?;
+        if body.len() != nwords * 8 {
+            return None;
+        }
+        let words = body
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect();
+        Some(BitVec { words, nbits })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get() {
+        let mut bv = BitVec::new(130);
+        assert!(!bv.get(0));
+        assert!(!bv.set(0));
+        assert!(bv.get(0));
+        assert!(bv.set(0), "second set reports previously set");
+        assert!(!bv.set(129));
+        assert!(bv.get(129));
+        assert!(!bv.get(128));
+        assert_eq!(bv.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::new(8).get(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_length_rejected() {
+        BitVec::new(0);
+    }
+
+    #[test]
+    fn union() {
+        let mut a = BitVec::new(100);
+        let mut b = BitVec::new(100);
+        a.set(3);
+        b.set(97);
+        a.union_with(&b);
+        assert!(a.get(3) && a.get(97));
+        assert_eq!(a.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn union_length_mismatch_panics() {
+        let mut a = BitVec::new(64);
+        let b = BitVec::new(65);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut bv = BitVec::new(77);
+        for i in [0usize, 13, 64, 76] {
+            bv.set(i);
+        }
+        let restored = BitVec::from_bytes(&bv.to_bytes()).unwrap();
+        assert_eq!(restored, bv);
+    }
+
+    #[test]
+    fn from_bytes_rejects_truncation() {
+        let bv = BitVec::new(100);
+        let bytes = bv.to_bytes();
+        assert!(BitVec::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(BitVec::from_bytes(&bytes[..4]).is_none());
+    }
+
+    #[test]
+    fn from_bytes_rejects_zero_bits() {
+        let bytes = 0u64.to_le_bytes().to_vec();
+        assert!(BitVec::from_bytes(&bytes).is_none());
+    }
+}

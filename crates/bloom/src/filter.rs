@@ -1,0 +1,304 @@
+//! The Bloom filter proper.
+
+use crate::bitvec::BitVec;
+use crate::hash::{fnv1a_64, xx_like_64};
+
+/// Sizing parameters for a Bloom filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BloomParams {
+    /// Number of bits in the filter.
+    pub nbits: usize,
+    /// Number of hash probes per key.
+    pub nhashes: u32,
+}
+
+impl BloomParams {
+    /// Optimal parameters for `expected_items` keys at the target false
+    /// positive probability `fpp`:
+    /// `m = −n·ln(p)/ln(2)²`, `k = (m/n)·ln(2)`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < fpp < 1` and `expected_items > 0`.
+    pub fn for_capacity(expected_items: usize, fpp: f64) -> BloomParams {
+        assert!(expected_items > 0, "capacity must be positive");
+        assert!(fpp > 0.0 && fpp < 1.0, "fpp must be in (0,1)");
+        let n = expected_items as f64;
+        let ln2 = std::f64::consts::LN_2;
+        let m = (-n * fpp.ln() / (ln2 * ln2)).ceil().max(64.0);
+        let k = ((m / n) * ln2).round().clamp(1.0, 30.0);
+        BloomParams {
+            nbits: m as usize,
+            nhashes: k as u32,
+        }
+    }
+
+    /// The theoretical false-positive probability of these parameters once
+    /// `items` keys are inserted: `(1 − e^(−k·n/m))^k`.
+    pub fn expected_fpp(&self, items: usize) -> f64 {
+        let k = self.nhashes as f64;
+        let exponent = -k * items as f64 / self.nbits as f64;
+        (1.0 - exponent.exp()).powf(k)
+    }
+}
+
+/// A Bloom filter over byte-slice keys.
+///
+/// False positives possible; false negatives impossible — the property the
+/// exact-match algorithm depends on (§V-A: "It can raise false positive but
+/// not false negative").
+///
+/// ```
+/// use tardis_bloom::BloomFilter;
+///
+/// let mut filter = BloomFilter::with_capacity(1_000, 0.01);
+/// filter.insert(b"signature-A");
+/// assert!(filter.contains(b"signature-A")); // never a false negative
+///
+/// // Serialize to persist next to its partition.
+/// let restored = BloomFilter::from_bytes(&filter.to_bytes()).unwrap();
+/// assert!(restored.contains(b"signature-A"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BloomFilter {
+    bits: BitVec,
+    nhashes: u32,
+    items: usize,
+}
+
+impl BloomFilter {
+    /// Creates an empty filter with explicit parameters.
+    pub fn new(params: BloomParams) -> BloomFilter {
+        BloomFilter {
+            bits: BitVec::new(params.nbits),
+            nhashes: params.nhashes,
+            items: 0,
+        }
+    }
+
+    /// Creates an empty filter sized for `expected_items` at `fpp`.
+    pub fn with_capacity(expected_items: usize, fpp: f64) -> BloomFilter {
+        BloomFilter::new(BloomParams::for_capacity(expected_items, fpp))
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let (h1, h2) = self.base_hashes(key);
+        let m = self.bits.len() as u64;
+        for i in 0..self.nhashes as u64 {
+            let idx = h1.wrapping_add(i.wrapping_mul(h2)) % m;
+            self.bits.set(idx as usize);
+        }
+        self.items += 1;
+    }
+
+    /// Tests a key. `false` means *definitely absent*; `true` means
+    /// *probably present*.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        let (h1, h2) = self.base_hashes(key);
+        let m = self.bits.len() as u64;
+        (0..self.nhashes as u64).all(|i| {
+            let idx = h1.wrapping_add(i.wrapping_mul(h2)) % m;
+            self.bits.get(idx as usize)
+        })
+    }
+
+    /// Kirsch–Mitzenmacher base hashes; `h2` is forced odd so the probe
+    /// sequence cycles through distinct positions for power-of-two sizes.
+    #[inline]
+    fn base_hashes(&self, key: &[u8]) -> (u64, u64) {
+        (fnv1a_64(key), xx_like_64(key) | 1)
+    }
+
+    /// Number of keys inserted so far.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Number of probes per key.
+    pub fn nhashes(&self) -> u32 {
+        self.nhashes
+    }
+
+    /// Number of bits in the filter.
+    pub fn nbits(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Fraction of bits set (load factor).
+    pub fn load(&self) -> f64 {
+        self.bits.count_ones() as f64 / self.bits.len() as f64
+    }
+
+    /// Merges a filter built with identical parameters (used when a
+    /// partition's filter is assembled from per-task shards).
+    ///
+    /// # Panics
+    /// Panics if sizes or probe counts differ.
+    pub fn union_with(&mut self, other: &BloomFilter) {
+        assert_eq!(self.nhashes, other.nhashes, "probe count mismatch");
+        self.bits.union_with(&other.bits);
+        self.items += other.items;
+    }
+
+    /// Approximate memory footprint in bytes (index-size accounting;
+    /// §VI-B1 reports ~66 KB per partition filter).
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.bits.mem_bytes()
+    }
+
+    /// Serializes the filter: probe count, item count, then the bit vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.bits.len() / 8);
+        out.extend_from_slice(&self.nhashes.to_le_bytes());
+        out.extend_from_slice(&(self.items as u64).to_le_bytes());
+        out.extend_from_slice(&self.bits.to_bytes());
+        out
+    }
+
+    /// Deserializes the [`Self::to_bytes`] format.
+    pub fn from_bytes(bytes: &[u8]) -> Option<BloomFilter> {
+        let nhashes = u32::from_le_bytes(bytes.get(..4)?.try_into().ok()?);
+        let items = u64::from_le_bytes(bytes.get(4..12)?.try_into().ok()?) as usize;
+        if nhashes == 0 {
+            return None;
+        }
+        let bits = BitVec::from_bytes(bytes.get(12..)?)?;
+        Some(BloomFilter {
+            bits,
+            nhashes,
+            items,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizing_matches_formula() {
+        let p = BloomParams::for_capacity(1000, 0.01);
+        // m ≈ 9585, k ≈ 7 for 1% fpp.
+        assert!((9500..9700).contains(&p.nbits), "nbits {}", p.nbits);
+        assert_eq!(p.nhashes, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "fpp")]
+    fn sizing_rejects_bad_fpp() {
+        BloomParams::for_capacity(10, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn sizing_rejects_zero_capacity() {
+        BloomParams::for_capacity(0, 0.01);
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_capacity(500, 0.01);
+        let keys: Vec<String> = (0..500).map(|i| format!("sig-{i:05}")).collect();
+        for k in &keys {
+            f.insert(k.as_bytes());
+        }
+        for k in &keys {
+            assert!(f.contains(k.as_bytes()), "false negative on {k}");
+        }
+        assert_eq!(f.items(), 500);
+    }
+
+    #[test]
+    fn false_positive_rate_near_target() {
+        let mut f = BloomFilter::with_capacity(2000, 0.01);
+        for i in 0..2000u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        let mut fps = 0usize;
+        let probes = 20_000u32;
+        for i in 10_000..10_000 + probes {
+            if f.contains(&i.to_le_bytes()) {
+                fps += 1;
+            }
+        }
+        let rate = fps as f64 / probes as f64;
+        assert!(rate < 0.03, "false positive rate too high: {rate}");
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::with_capacity(10, 0.01);
+        assert!(!f.contains(b"anything"));
+        assert_eq!(f.load(), 0.0);
+    }
+
+    #[test]
+    fn expected_fpp_increases_with_items() {
+        let p = BloomParams::for_capacity(1000, 0.01);
+        assert!(p.expected_fpp(100) < p.expected_fpp(1000));
+        assert!(p.expected_fpp(1000) < p.expected_fpp(10_000));
+        // At design capacity, close to target.
+        let at_cap = p.expected_fpp(1000);
+        assert!(at_cap < 0.015, "design fpp {at_cap}");
+    }
+
+    #[test]
+    fn union_preserves_membership() {
+        let params = BloomParams::for_capacity(200, 0.01);
+        let mut a = BloomFilter::new(params);
+        let mut b = BloomFilter::new(params);
+        a.insert(b"left");
+        b.insert(b"right");
+        a.union_with(&b);
+        assert!(a.contains(b"left"));
+        assert!(a.contains(b"right"));
+        assert_eq!(a.items(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "probe count mismatch")]
+    fn union_incompatible_panics() {
+        let mut a = BloomFilter::new(BloomParams {
+            nbits: 128,
+            nhashes: 3,
+        });
+        let b = BloomFilter::new(BloomParams {
+            nbits: 128,
+            nhashes: 4,
+        });
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut f = BloomFilter::with_capacity(100, 0.05);
+        for i in 0..100u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        let restored = BloomFilter::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(restored, f);
+        for i in 0..100u32 {
+            assert!(restored.contains(&i.to_le_bytes()));
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(BloomFilter::from_bytes(&[1, 2, 3]).is_none());
+        // Zero hash count rejected.
+        let mut bytes = BloomFilter::with_capacity(10, 0.1).to_bytes();
+        bytes[0] = 0;
+        bytes[1] = 0;
+        bytes[2] = 0;
+        bytes[3] = 0;
+        assert!(BloomFilter::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn paper_scale_filter_is_small() {
+        // §VI-B1: the per-partition filter is ~66 KB. A partition of
+        // ~110k signatures at 0.5% fpp lands in the tens-of-KB range.
+        let f = BloomFilter::with_capacity(50_000, 0.005);
+        assert!(f.mem_bytes() < 200 * 1024, "filter {} bytes", f.mem_bytes());
+    }
+}

@@ -1,0 +1,108 @@
+//! Hash functions for the Bloom filter, implemented from scratch.
+
+/// FNV-1a over a byte slice (64-bit).
+#[inline]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x00000100000001B3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// A strong 64-bit finalizer (splitmix64-style avalanche).
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// A second independent 64-bit hash over bytes: processes 8-byte lanes with
+/// multiply-rotate mixing and finishes with [`mix64`] (xxHash-style
+/// construction, independent constants from FNV).
+#[inline]
+pub fn xx_like_64(bytes: &[u8]) -> u64 {
+    const SEED: u64 = 0x27220A95FE841EED;
+    const M1: u64 = 0xC2B2AE3D27D4EB4F;
+    const M2: u64 = 0x165667B19E3779F9;
+    let mut h = SEED ^ (bytes.len() as u64).wrapping_mul(M1);
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let lane = u64::from_le_bytes(c.try_into().expect("chunk of 8"));
+        h ^= lane.wrapping_mul(M1).rotate_left(31).wrapping_mul(M2);
+        h = h.rotate_left(27).wrapping_mul(M1).wrapping_add(M2);
+    }
+    let mut tail = 0u64;
+    for (i, &b) in chunks.remainder().iter().enumerate() {
+        tail |= (b as u64) << (8 * i);
+    }
+    if !chunks.remainder().is_empty() {
+        h ^= tail.wrapping_mul(M2).rotate_left(17);
+    }
+    mix64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn mix64_is_bijective_on_samples() {
+        // Distinct inputs keep distinct outputs (spot check on a range).
+        let outs: std::collections::HashSet<u64> = (0..10_000u64).map(mix64).collect();
+        assert_eq!(outs.len(), 10_000);
+    }
+
+    #[test]
+    fn hashes_are_independent() {
+        // The two hash families must not be correlated on simple inputs.
+        let inputs: Vec<Vec<u8>> = (0..1000u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        let mut equal = 0;
+        for inp in &inputs {
+            if fnv1a_64(inp) % 1024 == xx_like_64(inp) % 1024 {
+                equal += 1;
+            }
+        }
+        // Expected ~1000/1024 ≈ 1 collision by chance.
+        assert!(equal < 10, "suspicious correlation: {equal}");
+    }
+
+    #[test]
+    fn xx_like_covers_tail_lengths() {
+        // Different lengths (exercising remainder handling) give distinct
+        // hashes for related content.
+        let data = b"abcdefghijklmnop";
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=data.len() {
+            seen.insert(xx_like_64(&data[..len]));
+        }
+        assert_eq!(seen.len(), data.len() + 1);
+    }
+
+    #[test]
+    fn hash_distribution_is_roughly_uniform() {
+        const BUCKETS: usize = 16;
+        let mut counts = [0usize; BUCKETS];
+        for i in 0..16_000u32 {
+            let h = xx_like_64(&i.to_le_bytes());
+            counts[(h % BUCKETS as u64) as usize] += 1;
+        }
+        for &c in &counts {
+            // Each bucket ~1000; allow generous slack.
+            assert!((800..1200).contains(&c), "bucket count {c}");
+        }
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! A Bloom filter built from scratch (Bloom, 1970 — reference 15 of the
+//! paper).
+//!
+//! TARDIS attaches one Bloom filter per partition, keyed by the iSAX-T
+//! signatures of the partition's records, so that exact-match queries for
+//! absent series can skip the high-latency partition load entirely (§IV-C,
+//! §V-A). The filter may report false positives but never false negatives,
+//! which preserves exact-match completeness.
+//!
+//! Hashing uses the Kirsch–Mitzenmacher double-hashing scheme over two
+//! independent 64-bit hashes (FNV-1a and an xxHash-style avalanche mix), so
+//! `k` probes cost two hash evaluations.
+
+pub mod bitvec;
+pub mod filter;
+pub mod hash;
+
+pub use bitvec::BitVec;
+pub use filter::{BloomFilter, BloomParams};
+pub use hash::{fnv1a_64, mix64, xx_like_64};

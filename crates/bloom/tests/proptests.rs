@@ -1,0 +1,95 @@
+//! Property-based tests for the Bloom filter: no false negatives, union
+//! semantics, and serialization fidelity under arbitrary key sets.
+
+use proptest::prelude::*;
+use tardis_bloom::{BloomFilter, BloomParams};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn never_false_negative(
+        keys in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..32), 1..300),
+        fpp in 0.001f64..0.2,
+    ) {
+        let mut filter = BloomFilter::with_capacity(keys.len(), fpp);
+        for k in &keys {
+            filter.insert(k);
+        }
+        for k in &keys {
+            prop_assert!(filter.contains(k), "false negative on {:?}", k);
+        }
+    }
+
+    #[test]
+    fn union_covers_both_sides(
+        left in prop::collection::vec(any::<u64>(), 0..100),
+        right in prop::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let params = BloomParams::for_capacity(256, 0.01);
+        let mut a = BloomFilter::new(params);
+        let mut b = BloomFilter::new(params);
+        for k in &left {
+            a.insert(&k.to_le_bytes());
+        }
+        for k in &right {
+            b.insert(&k.to_le_bytes());
+        }
+        a.union_with(&b);
+        for k in left.iter().chain(&right) {
+            prop_assert!(a.contains(&k.to_le_bytes()));
+        }
+        prop_assert_eq!(a.items(), left.len() + right.len());
+    }
+
+    #[test]
+    fn serialization_preserves_answers(
+        keys in prop::collection::vec(any::<u64>(), 1..200),
+        probes in prop::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let mut filter = BloomFilter::with_capacity(keys.len(), 0.01);
+        for k in &keys {
+            filter.insert(&k.to_le_bytes());
+        }
+        let restored = BloomFilter::from_bytes(&filter.to_bytes()).unwrap();
+        for p in keys.iter().chain(&probes) {
+            prop_assert_eq!(
+                filter.contains(&p.to_le_bytes()),
+                restored.contains(&p.to_le_bytes())
+            );
+        }
+    }
+
+    #[test]
+    fn sizing_formula_is_monotone(
+        n in 1usize..100_000,
+        fpp in 0.001f64..0.5,
+    ) {
+        let p = BloomParams::for_capacity(n, fpp);
+        prop_assert!(p.nbits >= 64);
+        prop_assert!(p.nhashes >= 1);
+        // Halving the fpp never shrinks the filter.
+        let tighter = BloomParams::for_capacity(n, fpp / 2.0);
+        prop_assert!(tighter.nbits >= p.nbits);
+    }
+
+    #[test]
+    fn observed_fpp_stays_reasonable(
+        seed in any::<u32>(),
+    ) {
+        let mut filter = BloomFilter::with_capacity(1_000, 0.02);
+        for i in 0..1_000u64 {
+            filter.insert(&(i ^ seed as u64).to_le_bytes());
+        }
+        let mut fps = 0usize;
+        let probes = 5_000u64;
+        for i in 0..probes {
+            let key = (1_000_000 + i * 7919) ^ seed as u64;
+            if filter.contains(&key.to_le_bytes()) {
+                fps += 1;
+            }
+        }
+        let rate = fps as f64 / probes as f64;
+        prop_assert!(rate < 0.06, "observed fpp {}", rate);
+    }
+}

@@ -1,0 +1,84 @@
+//! Broadcast variables.
+//!
+//! Spark broadcasts read-only state (here: the global index used as a
+//! partitioner during the shuffle, §IV-C "the master broadcasts the
+//! Tardis-G to all workers") to every executor once per job. In-process,
+//! a broadcast is an `Arc`; the abstraction exists so call sites read like
+//! the paper's pipeline and so that broadcast *sizes* are metered.
+
+use crate::metrics::Metrics;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A read-only value shared with every task of a job.
+#[derive(Debug)]
+pub struct Broadcast<T> {
+    value: Arc<T>,
+}
+
+impl<T> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Broadcast {
+            value: Arc::clone(&self.value),
+        }
+    }
+}
+
+impl<T> Broadcast<T> {
+    /// Wraps a value for broadcast, recording its approximate serialized
+    /// size (as reported by `size_bytes`) in the metrics.
+    pub fn new(value: T, size_bytes: usize, metrics: &Metrics) -> Broadcast<T> {
+        metrics.record_broadcast(size_bytes as u64);
+        Broadcast {
+            value: Arc::new(value),
+        }
+    }
+
+    /// Wraps a value without metering (tests, tiny values).
+    pub fn unmetered(value: T) -> Broadcast<T> {
+        Broadcast {
+            value: Arc::new(value),
+        }
+    }
+
+    /// Access to the broadcast value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> Deref for Broadcast<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deref_and_clone_share_value() {
+        let b = Broadcast::unmetered(vec![1, 2, 3]);
+        let c = b.clone();
+        assert_eq!(*b, vec![1, 2, 3]);
+        assert_eq!(c.value(), &vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn broadcast_is_metered() {
+        let m = Metrics::new();
+        let _b = Broadcast::new("hello", 512, &m);
+        assert_eq!(m.snapshot().broadcast_bytes, 512);
+    }
+
+    #[test]
+    fn usable_across_threads() {
+        let b = Broadcast::unmetered(7u64);
+        let pool = crate::pool::WorkerPool::new(4);
+        let out = pool.par_tasks(8, |i| *b.value() + i as u64);
+        assert_eq!(out[3], 10);
+    }
+}

@@ -1,0 +1,218 @@
+//! A byte-bounded LRU cache for DFS blocks, from scratch.
+//!
+//! The paper leans on memory residency throughout: intermediates cached
+//! in RAM make the Bloom-filter construction overhead vanish (Figure 12),
+//! and filters themselves "reside in memory" (§V-A). A production
+//! deployment equally caches hot *partitions* so repeated queries skip
+//! disk. This cache is optional (capacity 0 disables it) and sits inside
+//! [`crate::Dfs`]; hits and misses are metered.
+//!
+//! Implementation: a `HashMap` from block id to an intrusively linked LRU
+//! list node, entries evicted from the tail until the byte budget fits.
+
+use crate::dfs::BlockId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A byte-bounded LRU cache of immutable block payloads.
+///
+/// Not internally synchronized; [`crate::Dfs`] wraps it in a mutex.
+#[derive(Debug)]
+pub struct BlockCache {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    entries: HashMap<BlockId, Entry>,
+    /// Monotone clock for LRU ordering (u64 never wraps in practice).
+    tick: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    bytes: Arc<Vec<u8>>,
+    last_used: u64,
+}
+
+impl BlockCache {
+    /// Creates a cache with the given byte budget (0 = disabled).
+    pub fn new(capacity_bytes: usize) -> BlockCache {
+        BlockCache {
+            capacity_bytes,
+            used_bytes: 0,
+            entries: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    /// Whether caching is enabled.
+    pub fn enabled(&self) -> bool {
+        self.capacity_bytes > 0
+    }
+
+    /// Looks up a block, refreshing its recency on hit.
+    pub fn get(&mut self, id: &BlockId) -> Option<Arc<Vec<u8>>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(id).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.bytes)
+        })
+    }
+
+    /// Inserts a block, evicting least-recently-used entries as needed.
+    /// Blocks larger than the whole budget are not cached.
+    pub fn put(&mut self, id: BlockId, bytes: Arc<Vec<u8>>) {
+        if !self.enabled() || bytes.len() > self.capacity_bytes {
+            return;
+        }
+        self.tick += 1;
+        if let Some(old) = self.entries.insert(
+            id,
+            Entry {
+                bytes: Arc::clone(&bytes),
+                last_used: self.tick,
+            },
+        ) {
+            self.used_bytes -= old.bytes.len();
+        }
+        self.used_bytes += bytes.len();
+        self.evict_to_fit();
+    }
+
+    /// Drops a block (called when its file is deleted or overwritten).
+    pub fn invalidate(&mut self, id: &BlockId) {
+        if let Some(e) = self.entries.remove(id) {
+            self.used_bytes -= e.bytes.len();
+        }
+    }
+
+    /// Drops every cached block of a file.
+    pub fn invalidate_file(&mut self, file: &str) {
+        let victims: Vec<BlockId> = self
+            .entries
+            .keys()
+            .filter(|id| id.file == file)
+            .cloned()
+            .collect();
+        for id in victims {
+            self.invalidate(&id);
+        }
+    }
+
+    /// Bytes currently held.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn evict_to_fit(&mut self) {
+        while self.used_bytes > self.capacity_bytes {
+            // O(n) victim scan: caches hold few, large blocks, so the
+            // scan is dwarfed by the I/O it saves.
+            let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(id, _)| id.clone())
+            else {
+                return;
+            };
+            self.invalidate(&victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(file: &str, index: u32) -> BlockId {
+        BlockId::new(file, index)
+    }
+
+    fn block(n: usize) -> Arc<Vec<u8>> {
+        Arc::new(vec![0u8; n])
+    }
+
+    #[test]
+    fn disabled_cache_stores_nothing() {
+        let mut c = BlockCache::new(0);
+        assert!(!c.enabled());
+        c.put(id("f", 0), block(10));
+        assert!(c.get(&id("f", 0)).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn hit_after_put() {
+        let mut c = BlockCache::new(100);
+        c.put(id("f", 0), block(10));
+        assert_eq!(c.get(&id("f", 0)).unwrap().len(), 10);
+        assert!(c.get(&id("f", 1)).is_none());
+        assert_eq!(c.used_bytes(), 10);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = BlockCache::new(30);
+        c.put(id("f", 0), block(10));
+        c.put(id("f", 1), block(10));
+        c.put(id("f", 2), block(10));
+        // Touch 0 so 1 becomes the LRU.
+        assert!(c.get(&id("f", 0)).is_some());
+        c.put(id("f", 3), block(10));
+        assert!(c.get(&id("f", 1)).is_none(), "LRU evicted");
+        assert!(c.get(&id("f", 0)).is_some());
+        assert!(c.get(&id("f", 2)).is_some());
+        assert!(c.get(&id("f", 3)).is_some());
+        assert!(c.used_bytes() <= 30);
+    }
+
+    #[test]
+    fn oversized_block_not_cached() {
+        let mut c = BlockCache::new(10);
+        c.put(id("f", 0), block(11));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn overwrite_replaces_bytes() {
+        let mut c = BlockCache::new(100);
+        c.put(id("f", 0), block(10));
+        c.put(id("f", 0), block(20));
+        assert_eq!(c.used_bytes(), 20);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_file_drops_all_its_blocks() {
+        let mut c = BlockCache::new(100);
+        c.put(id("a", 0), block(10));
+        c.put(id("a", 1), block(10));
+        c.put(id("b", 0), block(10));
+        c.invalidate_file("a");
+        assert!(c.get(&id("a", 0)).is_none());
+        assert!(c.get(&id("a", 1)).is_none());
+        assert!(c.get(&id("b", 0)).is_some());
+        assert_eq!(c.used_bytes(), 10);
+    }
+
+    #[test]
+    fn eviction_respects_budget_under_churn() {
+        let mut c = BlockCache::new(100);
+        for i in 0..50u32 {
+            c.put(id("f", i), block(17));
+            assert!(c.used_bytes() <= 100, "over budget at i={i}");
+        }
+        assert!(c.len() <= 5);
+    }
+}

@@ -1,0 +1,240 @@
+//! Compact binary codec for the data path.
+//!
+//! Records flow through the DFS and shuffle as raw bytes; this module
+//! defines a small length-prefixed binary format (little-endian) with no
+//! schema overhead. It is deliberately hand-rolled: the data path of an
+//! index build is hot, and the format doubles as the on-disk layout of
+//! partitions.
+
+use crate::error::ClusterError;
+use bytes::{Buf, BufMut, BytesMut};
+use tardis_ts::{Record, TimeSeries};
+
+/// Types that can serialize themselves into a byte buffer.
+pub trait Encode {
+    /// Appends the encoded form to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Size hint in bytes (used for buffer pre-allocation; 0 is allowed).
+    fn encoded_len_hint(&self) -> usize {
+        0
+    }
+}
+
+/// Types that can deserialize themselves from a byte buffer.
+pub trait Decode: Sized {
+    /// Consumes bytes from the front of `buf` and reconstructs a value.
+    fn decode(buf: &mut &[u8]) -> Result<Self, ClusterError>;
+}
+
+#[inline]
+fn need(buf: &&[u8], n: usize, context: &'static str) -> Result<(), ClusterError> {
+    if buf.len() < n {
+        Err(ClusterError::Codec { context })
+    } else {
+        Ok(())
+    }
+}
+
+impl Encode for Record {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(self.rid);
+        buf.put_u32_le(self.ts.len() as u32);
+        for &v in self.ts.values() {
+            buf.put_f32_le(v);
+        }
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        8 + 4 + self.ts.len() * 4
+    }
+}
+
+impl Decode for Record {
+    fn decode(buf: &mut &[u8]) -> Result<Self, ClusterError> {
+        need(buf, 12, "record header")?;
+        let rid = buf.get_u64_le();
+        let len = buf.get_u32_le() as usize;
+        need(buf, len * 4, "record values")?;
+        let mut values = Vec::with_capacity(len);
+        for _ in 0..len {
+            values.push(buf.get_f32_le());
+        }
+        Ok(Record::new(rid, TimeSeries::new(values)))
+    }
+}
+
+impl Encode for u64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u64_le(*self);
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        8
+    }
+}
+
+impl Decode for u64 {
+    fn decode(buf: &mut &[u8]) -> Result<Self, ClusterError> {
+        need(buf, 8, "u64")?;
+        Ok(buf.get_u64_le())
+    }
+}
+
+impl Encode for Vec<u8> {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u32_le(self.len() as u32);
+        buf.put_slice(self);
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl Decode for Vec<u8> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, ClusterError> {
+        need(buf, 4, "bytes header")?;
+        let len = buf.get_u32_le() as usize;
+        need(buf, len, "bytes body")?;
+        let out = buf[..len].to_vec();
+        buf.advance(len);
+        Ok(out)
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        self.0.encoded_len_hint() + self.1.encoded_len_hint()
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(buf: &mut &[u8]) -> Result<Self, ClusterError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+/// Encodes a slice of values into one block buffer: a `u32` count followed
+/// by the concatenated encodings.
+pub fn encode_records<T: Encode>(items: &[T]) -> Vec<u8> {
+    let hint: usize = 4 + items.iter().map(|i| i.encoded_len_hint()).sum::<usize>();
+    let mut buf = BytesMut::with_capacity(hint);
+    buf.put_u32_le(items.len() as u32);
+    for item in items {
+        item.encode(&mut buf);
+    }
+    buf.to_vec()
+}
+
+/// Decodes a block produced by [`encode_records`].
+pub fn decode_records<T: Decode>(mut bytes: &[u8]) -> Result<Vec<T>, ClusterError> {
+    let buf = &mut bytes;
+    need(buf, 4, "block header")?;
+    let count = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        out.push(T::decode(buf)?);
+    }
+    if !buf.is_empty() {
+        return Err(ClusterError::Codec {
+            context: "trailing bytes after block",
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(rid: u64, n: usize) -> Record {
+        Record::new(
+            rid,
+            TimeSeries::new((0..n).map(|i| (i as f32) * 0.5 - rid as f32).collect()),
+        )
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let r = record(42, 16);
+        let mut buf = BytesMut::new();
+        r.encode(&mut buf);
+        assert_eq!(buf.len(), r.encoded_len_hint());
+        let mut slice: &[u8] = &buf;
+        let decoded = Record::decode(&mut slice).unwrap();
+        assert_eq!(decoded, r);
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn empty_series_roundtrip() {
+        let r = Record::new(1, TimeSeries::new(vec![]));
+        let mut buf = BytesMut::new();
+        r.encode(&mut buf);
+        let mut slice: &[u8] = &buf;
+        assert_eq!(Record::decode(&mut slice).unwrap(), r);
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let records: Vec<Record> = (0..100).map(|i| record(i, 8)).collect();
+        let block = encode_records(&records);
+        let decoded: Vec<Record> = decode_records(&block).unwrap();
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn empty_block_roundtrip() {
+        let block = encode_records::<Record>(&[]);
+        let decoded: Vec<Record> = decode_records(&block).unwrap();
+        assert!(decoded.is_empty());
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let r = record(7, 8);
+        let mut buf = BytesMut::new();
+        r.encode(&mut buf);
+        let mut slice: &[u8] = &buf[..buf.len() - 1];
+        assert!(Record::decode(&mut slice).is_err());
+    }
+
+    #[test]
+    fn truncated_block_rejected() {
+        let block = encode_records(&[record(1, 4), record(2, 4)]);
+        assert!(decode_records::<Record>(&block[..block.len() - 2]).is_err());
+        assert!(decode_records::<Record>(&block[..3]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut block = encode_records(&[record(1, 4)]);
+        block.push(0xFF);
+        assert!(decode_records::<Record>(&block).is_err());
+    }
+
+    #[test]
+    fn tuple_and_bytes_roundtrip() {
+        let pair: (u64, Vec<u8>) = (9, vec![1, 2, 3]);
+        let block = encode_records(std::slice::from_ref(&pair));
+        let decoded: Vec<(u64, Vec<u8>)> = decode_records(&block).unwrap();
+        assert_eq!(decoded, vec![pair]);
+    }
+
+    #[test]
+    fn values_survive_bitexactly() {
+        let r = Record::new(
+            0,
+            TimeSeries::new(vec![f32::MIN_POSITIVE, -0.0, 1e30, -1e-30]),
+        );
+        let block = encode_records(std::slice::from_ref(&r));
+        let decoded: Vec<Record> = decode_records(&block).unwrap();
+        assert!(decoded[0].ts.exact_eq(&r.ts));
+    }
+}

@@ -1,0 +1,377 @@
+//! Partitioned in-memory datasets with map-reduce operators.
+//!
+//! A [`Dataset`] models an RDD: a list of partitions processed in parallel
+//! by the worker pool. Only the operators the paper's pipelines use are
+//! provided — `map`, `flat_map`, `filter`, `map_partitions`,
+//! `reduce_by_key`, and a record `shuffle` driven by a partitioner
+//! function (§IV-C "Data Shuffle").
+
+use crate::metrics::Metrics;
+use crate::pool::WorkerPool;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// A partitioned collection of values.
+///
+/// ```
+/// use tardis_cluster::{Dataset, Metrics, WorkerPool};
+///
+/// let pool = WorkerPool::new(4);
+/// let metrics = Metrics::new();
+/// let counts: Vec<(u32, u64)> = Dataset::from_items((0..100u32).collect(), 8)
+///     .map(&pool, |x| (x % 3, 1u64))
+///     .reduce_by_key(&pool, &metrics, 2, |a, b| *a += b)
+///     .collect();
+/// let total: u64 = counts.iter().map(|&(_, c)| c).sum();
+/// assert_eq!(total, 100);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset<T> {
+    partitions: Vec<Vec<T>>,
+}
+
+impl<T: Send> Dataset<T> {
+    /// Wraps explicit partitions.
+    pub fn from_partitions(partitions: Vec<Vec<T>>) -> Dataset<T> {
+        Dataset { partitions }
+    }
+
+    /// Splits a flat vector into `n_partitions` contiguous chunks of
+    /// near-equal size.
+    ///
+    /// # Panics
+    /// Panics if `n_partitions == 0`.
+    pub fn from_items(items: Vec<T>, n_partitions: usize) -> Dataset<T> {
+        assert!(n_partitions > 0, "need at least one partition");
+        let n = items.len();
+        let mut partitions: Vec<Vec<T>> = Vec::with_capacity(n_partitions);
+        let base = n / n_partitions;
+        let extra = n % n_partitions;
+        let mut iter = items.into_iter();
+        for p in 0..n_partitions {
+            let take = base + usize::from(p < extra);
+            partitions.push(iter.by_ref().take(take).collect());
+        }
+        Dataset { partitions }
+    }
+
+    /// Number of partitions.
+    pub fn n_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total number of items across partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the dataset holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrowed access to the partitions.
+    pub fn partitions(&self) -> &[Vec<T>] {
+        &self.partitions
+    }
+
+    /// Consumes the dataset, returning its partitions.
+    pub fn into_partitions(self) -> Vec<Vec<T>> {
+        self.partitions
+    }
+
+    /// Flattens into a single vector (partition order preserved).
+    pub fn collect(self) -> Vec<T> {
+        self.partitions.into_iter().flatten().collect()
+    }
+
+    /// Element-wise map, parallel over partitions.
+    pub fn map<R: Send, F>(self, pool: &WorkerPool, f: F) -> Dataset<R>
+    where
+        F: Fn(T) -> R + Sync,
+    {
+        Dataset {
+            partitions: pool.par_map(self.partitions, |p| p.into_iter().map(&f).collect()),
+        }
+    }
+
+    /// Element-wise flat map, parallel over partitions.
+    pub fn flat_map<R: Send, I, F>(self, pool: &WorkerPool, f: F) -> Dataset<R>
+    where
+        I: IntoIterator<Item = R>,
+        F: Fn(T) -> I + Sync,
+    {
+        Dataset {
+            partitions: pool.par_map(self.partitions, |p| {
+                p.into_iter().flat_map(&f).collect()
+            }),
+        }
+    }
+
+    /// Keeps items satisfying the predicate, parallel over partitions.
+    pub fn filter<F>(self, pool: &WorkerPool, f: F) -> Dataset<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        Dataset {
+            partitions: pool.par_map(self.partitions, |p| p.into_iter().filter(&f).collect()),
+        }
+    }
+
+    /// Whole-partition map (`mapPartition` in the paper's Figure 8): the
+    /// closure receives the partition index and its full contents.
+    pub fn map_partitions<R: Send, F>(self, pool: &WorkerPool, f: F) -> Dataset<R>
+    where
+        F: Fn(usize, Vec<T>) -> Vec<R> + Sync,
+    {
+        Dataset {
+            partitions: pool.par_map_indexed(self.partitions, f),
+        }
+    }
+
+    /// Re-partitions every item into one of `n_out` output partitions
+    /// chosen by `partitioner` (values `>= n_out` are clamped into the last
+    /// partition). Records moved are counted in `metrics`.
+    ///
+    /// # Panics
+    /// Panics if `n_out == 0`.
+    pub fn shuffle<F>(
+        self,
+        pool: &WorkerPool,
+        metrics: &Metrics,
+        n_out: usize,
+        partitioner: F,
+    ) -> Dataset<T>
+    where
+        F: Fn(&T) -> usize + Sync,
+    {
+        assert!(n_out > 0, "need at least one output partition");
+        // Map side: each input partition splits its items by target.
+        let mapped: Vec<Vec<Vec<T>>> = pool.par_map(self.partitions, |part| {
+            let mut buckets: Vec<Vec<T>> = (0..n_out).map(|_| Vec::new()).collect();
+            for item in part {
+                let target = partitioner(&item).min(n_out - 1);
+                buckets[target].push(item);
+            }
+            buckets
+        });
+        let moved: usize = mapped.iter().flatten().map(Vec::len).sum();
+        metrics.record_shuffle(moved as u64);
+
+        // Reduce side: concatenate per-target buckets. Collected in
+        // parallel; output partition p gathers bucket p of every mapper in
+        // mapper order, so the result is deterministic.
+        let shared: Vec<Vec<Mutex<Vec<T>>>> = mapped
+            .into_iter()
+            .map(|buckets| buckets.into_iter().map(Mutex::new).collect())
+            .collect();
+        let partitions = pool.par_tasks(n_out, |p| {
+            let mut out = Vec::new();
+            for mapper in &shared {
+                out.append(&mut mapper[p].lock());
+            }
+            out
+        });
+        Dataset { partitions }
+    }
+}
+
+impl<K, V> Dataset<(K, V)>
+where
+    K: Send + Eq + Hash,
+    V: Send,
+{
+    /// Aggregates values by key (`reduceByKey`): a map-side combine per
+    /// partition, a hash shuffle into `n_out` partitions, then a final
+    /// merge, with `merge` combining two values of one key.
+    ///
+    /// Each output partition owns a disjoint key range; pairs within a
+    /// partition are in unspecified order.
+    ///
+    /// # Panics
+    /// Panics if `n_out == 0`.
+    pub fn reduce_by_key<F>(
+        self,
+        pool: &WorkerPool,
+        metrics: &Metrics,
+        n_out: usize,
+        merge: F,
+    ) -> Dataset<(K, V)>
+    where
+        F: Fn(&mut V, V) + Sync,
+    {
+        assert!(n_out > 0, "need at least one output partition");
+        // Map-side combine.
+        let combined: Dataset<(K, V)> = Dataset {
+            partitions: pool.par_map(self.partitions, |part| {
+                let mut acc: HashMap<K, V> = HashMap::new();
+                for (k, v) in part {
+                    match acc.entry(k) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            merge(e.get_mut(), v)
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(v);
+                        }
+                    }
+                }
+                acc.into_iter().collect()
+            }),
+        };
+        // Hash shuffle by key.
+        let shuffled = combined.shuffle(pool, metrics, n_out, |(k, _)| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            k.hash(&mut h);
+            (h.finish() % n_out as u64) as usize
+        });
+        // Reduce-side final merge.
+        Dataset {
+            partitions: pool.par_map(shuffled.partitions, |part| {
+                let mut acc: HashMap<K, V> = HashMap::new();
+                for (k, v) in part {
+                    match acc.entry(k) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            merge(e.get_mut(), v)
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(v);
+                        }
+                    }
+                }
+                acc.into_iter().collect()
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> WorkerPool {
+        WorkerPool::new(4)
+    }
+
+    #[test]
+    fn from_items_balances_partitions() {
+        let d = Dataset::from_items((0..10).collect::<Vec<u32>>(), 3);
+        assert_eq!(d.n_partitions(), 3);
+        let sizes: Vec<usize> = d.partitions().iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        assert_eq!(d.len(), 10);
+    }
+
+    #[test]
+    fn from_items_more_partitions_than_items() {
+        let d = Dataset::from_items(vec![1, 2], 5);
+        assert_eq!(d.n_partitions(), 5);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn from_items_zero_partitions_panics() {
+        Dataset::from_items(vec![1], 0);
+    }
+
+    #[test]
+    fn map_preserves_partitioning() {
+        let d = Dataset::from_items((0..100).collect::<Vec<u32>>(), 7).map(&pool(), |x| x * 2);
+        assert_eq!(d.n_partitions(), 7);
+        assert_eq!(d.collect(), (0..100).map(|x| x * 2).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn flat_map_expands() {
+        let d =
+            Dataset::from_items(vec![1u32, 2, 3], 2).flat_map(&pool(), |x| vec![x; x as usize]);
+        assert_eq!(d.collect(), vec![1, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn filter_drops() {
+        let d = Dataset::from_items((0..10).collect::<Vec<u32>>(), 3)
+            .filter(&pool(), |x| x % 2 == 0);
+        assert_eq!(d.collect(), vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn map_partitions_sees_whole_partition() {
+        let d = Dataset::from_partitions(vec![vec![1u32, 2], vec![3, 4, 5]])
+            .map_partitions(&pool(), |idx, p| vec![(idx, p.len())]);
+        assert_eq!(d.collect(), vec![(0, 2), (1, 3)]);
+    }
+
+    #[test]
+    fn shuffle_routes_by_partitioner() {
+        let m = Metrics::new();
+        let d = Dataset::from_items((0..100).collect::<Vec<u32>>(), 5).shuffle(
+            &pool(),
+            &m,
+            4,
+            |x| (*x % 4) as usize,
+        );
+        assert_eq!(d.n_partitions(), 4);
+        for (p, part) in d.partitions().iter().enumerate() {
+            assert_eq!(part.len(), 25);
+            assert!(part.iter().all(|x| (*x % 4) as usize == p));
+        }
+        assert_eq!(m.snapshot().shuffled_records, 100);
+    }
+
+    #[test]
+    fn shuffle_clamps_out_of_range_targets() {
+        let m = Metrics::new();
+        let d = Dataset::from_items(vec![0u32, 1, 2], 1).shuffle(&pool(), &m, 2, |_| 99);
+        assert_eq!(d.partitions()[0].len(), 0);
+        assert_eq!(d.partitions()[1].len(), 3);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let m = Metrics::new();
+        let mk = || {
+            Dataset::from_items((0..1000).collect::<Vec<u32>>(), 8).shuffle(
+                &pool(),
+                &m,
+                4,
+                |x| (*x % 4) as usize,
+            )
+        };
+        assert_eq!(mk().into_partitions(), mk().into_partitions());
+    }
+
+    #[test]
+    fn reduce_by_key_counts() {
+        let m = Metrics::new();
+        let pairs: Vec<(u32, u64)> = (0..1000).map(|i| (i % 10, 1u64)).collect();
+        let d = Dataset::from_items(pairs, 7).reduce_by_key(&pool(), &m, 3, |a, b| *a += b);
+        let mut out = d.collect();
+        out.sort_unstable();
+        assert_eq!(out.len(), 10);
+        assert!(out.iter().all(|&(_, c)| c == 100));
+    }
+
+    #[test]
+    fn reduce_by_key_keys_are_disjoint_across_partitions() {
+        let m = Metrics::new();
+        let pairs: Vec<(u32, u64)> = (0..100).map(|i| (i % 20, 1u64)).collect();
+        let d = Dataset::from_items(pairs, 5).reduce_by_key(&pool(), &m, 4, |a, b| *a += b);
+        let mut seen = std::collections::HashSet::new();
+        for part in d.partitions() {
+            for (k, _) in part {
+                assert!(seen.insert(*k), "key {k} in two partitions");
+            }
+        }
+        assert_eq!(seen.len(), 20);
+    }
+
+    #[test]
+    fn reduce_by_key_empty_dataset() {
+        let m = Metrics::new();
+        let d: Dataset<(u32, u64)> = Dataset::from_partitions(vec![vec![], vec![]]);
+        let out = d.reduce_by_key(&pool(), &m, 2, |a, b| *a += b);
+        assert!(out.is_empty());
+    }
+}

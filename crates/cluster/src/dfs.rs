@@ -1,0 +1,440 @@
+//! A block-based distributed-file-system stand-in backed by local disk.
+//!
+//! HDFS stores files as large blocks (64/128 MB, Table II) spread over the
+//! cluster; loading a block is a high-latency operation the paper's Bloom
+//! filters exist to avoid (§V-A). `Dfs` reproduces that I/O model: every
+//! named file is a directory of numbered block files, reads/writes go
+//! through real file I/O, and a configurable artificial per-block latency
+//! lets experiments model a remote store whose blocks are *not* hot in the
+//! OS page cache.
+
+use crate::error::ClusterError;
+use crate::metrics::Metrics;
+use crate::rng::SplitMix64;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifier of a block: file name plus block index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId {
+    /// The DFS file this block belongs to.
+    pub file: String,
+    /// Zero-based block index within the file.
+    pub index: u32,
+}
+
+impl BlockId {
+    /// Creates a block id.
+    pub fn new(file: impl Into<String>, index: u32) -> BlockId {
+        BlockId {
+            file: file.into(),
+            index,
+        }
+    }
+}
+
+/// Storage-layer configuration.
+#[derive(Debug, Clone, Default)]
+pub struct DfsConfig {
+    /// Artificial latency added to every block read (simulates remote /
+    /// cold storage; 0 by default for tests).
+    pub read_latency: Duration,
+    /// Artificial latency added to every block write.
+    pub write_latency: Duration,
+    /// Byte budget of the in-memory LRU block cache (0 disables caching;
+    /// cached reads skip disk and the read latency).
+    pub cache_bytes: usize,
+}
+
+/// The block store. Cloneable-by-reference via the owning [`crate::Cluster`].
+pub struct Dfs {
+    root: PathBuf,
+    config: DfsConfig,
+    metrics: Arc<Metrics>,
+    /// Next block index per file (appends are serialized per store).
+    next_index: Mutex<HashMap<String, u32>>,
+    /// Optional LRU block cache.
+    cache: Mutex<crate::cache::BlockCache>,
+    /// Whether `root` is a temp dir we own and must remove on drop.
+    owns_root: bool,
+}
+
+impl Dfs {
+    /// Creates a store in a fresh temporary directory (removed on drop).
+    pub fn temp(config: DfsConfig, metrics: Arc<Metrics>) -> Result<Dfs, ClusterError> {
+        let root = std::env::temp_dir().join(format!(
+            "tardis-dfs-{}-{:x}",
+            std::process::id(),
+            SplitMix64::new(
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(0)
+            )
+            .next_u64()
+        ));
+        fs::create_dir_all(&root)?;
+        let cache = Mutex::new(crate::cache::BlockCache::new(config.cache_bytes));
+        Ok(Dfs {
+            root,
+            config,
+            metrics,
+            next_index: Mutex::new(HashMap::new()),
+            cache,
+            owns_root: true,
+        })
+    }
+
+    /// Creates a store rooted at an existing directory (not removed on
+    /// drop). Existing block files under it are picked up lazily.
+    pub fn at_dir(dir: &Path, config: DfsConfig, metrics: Arc<Metrics>) -> Result<Dfs, ClusterError> {
+        fs::create_dir_all(dir)?;
+        let cache = Mutex::new(crate::cache::BlockCache::new(config.cache_bytes));
+        Ok(Dfs {
+            root: dir.to_path_buf(),
+            config,
+            metrics,
+            next_index: Mutex::new(HashMap::new()),
+            cache,
+            owns_root: false,
+        })
+    }
+
+    /// The root directory of the store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn file_dir(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    fn block_path(&self, id: &BlockId) -> PathBuf {
+        self.file_dir(&id.file).join(format!("block-{:06}.bin", id.index))
+    }
+
+    /// Appends one block to `name` (creating the file on first append).
+    /// Returns the new block's id.
+    pub fn append_block(&self, name: &str, bytes: &[u8]) -> Result<BlockId, ClusterError> {
+        let index = {
+            let mut map = self.next_index.lock();
+            let next = map.entry(name.to_string()).or_insert_with(|| {
+                // Resume after existing blocks if the dir already has some.
+                self.scan_block_count(name)
+            });
+            let idx = *next;
+            *next += 1;
+            idx
+        };
+        let id = BlockId::new(name, index);
+        let dir = self.file_dir(name);
+        fs::create_dir_all(&dir)?;
+        if !self.config.write_latency.is_zero() {
+            std::thread::sleep(self.config.write_latency);
+        }
+        let tmp = dir.join(format!("block-{index:06}.tmp"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+        }
+        fs::rename(&tmp, self.block_path(&id))?;
+        self.metrics.record_block_write(bytes.len() as u64);
+        Ok(id)
+    }
+
+    /// Writes a sequence of blocks to `name`, returning their ids.
+    pub fn write_blocks(
+        &self,
+        name: &str,
+        blocks: impl IntoIterator<Item = Vec<u8>>,
+    ) -> Result<Vec<BlockId>, ClusterError> {
+        blocks
+            .into_iter()
+            .map(|b| self.append_block(name, &b))
+            .collect()
+    }
+
+    /// Reads one block fully into memory; served from the LRU cache when
+    /// enabled and hot (a cached read pays neither disk I/O nor the
+    /// simulated latency, and is metered as a cache hit, not a block
+    /// read).
+    pub fn read_block(&self, id: &BlockId) -> Result<Vec<u8>, ClusterError> {
+        // Cache fast path.
+        {
+            let mut cache = self.cache.lock();
+            if cache.enabled() {
+                if let Some(bytes) = cache.get(id) {
+                    self.metrics.record_cache_hit();
+                    return Ok(bytes.as_ref().clone());
+                }
+                self.metrics.record_cache_miss();
+            }
+        }
+        let path = self.block_path(id);
+        if !path.exists() {
+            return Err(ClusterError::MissingBlock {
+                file: id.file.clone(),
+                index: id.index,
+            });
+        }
+        if !self.config.read_latency.is_zero() {
+            std::thread::sleep(self.config.read_latency);
+        }
+        let mut bytes = Vec::new();
+        fs::File::open(&path)?.read_to_end(&mut bytes)?;
+        self.metrics.record_block_read(bytes.len() as u64);
+        {
+            let mut cache = self.cache.lock();
+            if cache.enabled() {
+                cache.put(id.clone(), Arc::new(bytes.clone()));
+            }
+        }
+        Ok(bytes)
+    }
+
+    /// Current LRU cache occupancy in bytes (0 when disabled).
+    pub fn cache_used_bytes(&self) -> usize {
+        self.cache.lock().used_bytes()
+    }
+
+    /// Number of blocks currently stored under `name` (0 if absent).
+    fn scan_block_count(&self, name: &str) -> u32 {
+        let dir = self.file_dir(name);
+        match fs::read_dir(&dir) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok())
+                .filter(|e| {
+                    e.file_name()
+                        .to_str()
+                        .map(|n| n.starts_with("block-") && n.ends_with(".bin"))
+                        .unwrap_or(false)
+                })
+                .count() as u32,
+            Err(_) => 0,
+        }
+    }
+
+    /// Lists the blocks of a file in index order.
+    ///
+    /// # Errors
+    /// [`ClusterError::MissingFile`] when the file does not exist.
+    pub fn list_blocks(&self, name: &str) -> Result<Vec<BlockId>, ClusterError> {
+        if !self.file_dir(name).exists() {
+            return Err(ClusterError::MissingFile {
+                name: name.to_string(),
+            });
+        }
+        let count = self.scan_block_count(name);
+        Ok((0..count).map(|i| BlockId::new(name, i)).collect())
+    }
+
+    /// Whether a file exists.
+    pub fn file_exists(&self, name: &str) -> bool {
+        self.file_dir(name).exists()
+    }
+
+    /// Deletes a file and all its blocks (no-op if absent), dropping any
+    /// cached copies so a re-created file never serves stale bytes.
+    pub fn delete_file(&self, name: &str) -> Result<(), ClusterError> {
+        self.cache.lock().invalidate_file(name);
+        let dir = self.file_dir(name);
+        if dir.exists() {
+            fs::remove_dir_all(dir)?;
+        }
+        self.next_index.lock().remove(name);
+        Ok(())
+    }
+
+    /// Total stored size of a file in bytes.
+    pub fn file_size(&self, name: &str) -> Result<u64, ClusterError> {
+        let mut total = 0;
+        for id in self.list_blocks(name)? {
+            total += fs::metadata(self.block_path(&id))?.len();
+        }
+        Ok(total)
+    }
+
+    /// Block-level sampling (§IV-B "Data Preprocessing"): selects
+    /// `ceil(fraction · n_blocks)` distinct blocks uniformly at random with
+    /// the given seed. `fraction >= 1.0` returns every block (in order).
+    ///
+    /// # Panics
+    /// Panics if `fraction <= 0`.
+    pub fn sample_block_ids(
+        &self,
+        name: &str,
+        fraction: f64,
+        seed: u64,
+    ) -> Result<Vec<BlockId>, ClusterError> {
+        assert!(fraction > 0.0, "sampling fraction must be positive");
+        let mut ids = self.list_blocks(name)?;
+        if fraction >= 1.0 || ids.is_empty() {
+            return Ok(ids);
+        }
+        let take = ((fraction * ids.len() as f64).ceil() as usize).clamp(1, ids.len());
+        let mut rng = SplitMix64::new(seed);
+        rng.shuffle(&mut ids);
+        ids.truncate(take);
+        ids.sort();
+        Ok(ids)
+    }
+}
+
+impl Drop for Dfs {
+    fn drop(&mut self) {
+        if self.owns_root {
+            let _ = fs::remove_dir_all(&self.root);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dfs() -> Dfs {
+        Dfs::temp(DfsConfig::default(), Arc::new(Metrics::new())).unwrap()
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let dfs = temp_dfs();
+        let id = dfs.append_block("data", &[1, 2, 3, 4]).unwrap();
+        assert_eq!(id, BlockId::new("data", 0));
+        assert_eq!(dfs.read_block(&id).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn append_increments_indices() {
+        let dfs = temp_dfs();
+        let a = dfs.append_block("f", &[1]).unwrap();
+        let b = dfs.append_block("f", &[2]).unwrap();
+        assert_eq!((a.index, b.index), (0, 1));
+        assert_eq!(dfs.list_blocks("f").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn missing_block_and_file_errors() {
+        let dfs = temp_dfs();
+        assert!(matches!(
+            dfs.read_block(&BlockId::new("nope", 0)),
+            Err(ClusterError::MissingBlock { .. })
+        ));
+        assert!(matches!(
+            dfs.list_blocks("nope"),
+            Err(ClusterError::MissingFile { .. })
+        ));
+    }
+
+    #[test]
+    fn write_blocks_bulk() {
+        let dfs = temp_dfs();
+        let ids = dfs
+            .write_blocks("bulk", (0..5).map(|i| vec![i as u8; 3]))
+            .unwrap();
+        assert_eq!(ids.len(), 5);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(dfs.read_block(id).unwrap(), vec![i as u8; 3]);
+        }
+    }
+
+    #[test]
+    fn delete_file_removes_blocks() {
+        let dfs = temp_dfs();
+        dfs.append_block("gone", &[9]).unwrap();
+        assert!(dfs.file_exists("gone"));
+        dfs.delete_file("gone").unwrap();
+        assert!(!dfs.file_exists("gone"));
+        // Re-created file restarts numbering at 0.
+        let id = dfs.append_block("gone", &[8]).unwrap();
+        assert_eq!(id.index, 0);
+    }
+
+    #[test]
+    fn file_size_sums_blocks() {
+        let dfs = temp_dfs();
+        dfs.append_block("s", &[0; 10]).unwrap();
+        dfs.append_block("s", &[0; 32]).unwrap();
+        assert_eq!(dfs.file_size("s").unwrap(), 42);
+    }
+
+    #[test]
+    fn metrics_track_io() {
+        let metrics = Arc::new(Metrics::new());
+        let dfs = Dfs::temp(DfsConfig::default(), Arc::clone(&metrics)).unwrap();
+        let id = dfs.append_block("m", &[0; 7]).unwrap();
+        dfs.read_block(&id).unwrap();
+        let s = metrics.snapshot();
+        assert_eq!(s.blocks_written, 1);
+        assert_eq!(s.bytes_written, 7);
+        assert_eq!(s.blocks_read, 1);
+        assert_eq!(s.bytes_read, 7);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_sized() {
+        let dfs = temp_dfs();
+        dfs.write_blocks("d", (0..20).map(|_| vec![0u8])).unwrap();
+        let a = dfs.sample_block_ids("d", 0.25, 7).unwrap();
+        let b = dfs.sample_block_ids("d", 0.25, 7).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        let c = dfs.sample_block_ids("d", 0.25, 8).unwrap();
+        assert!(c != a || c.len() == a.len(), "different seed may differ");
+    }
+
+    #[test]
+    fn sampling_full_fraction_returns_all() {
+        let dfs = temp_dfs();
+        dfs.write_blocks("d", (0..4).map(|_| vec![0u8])).unwrap();
+        assert_eq!(dfs.sample_block_ids("d", 1.0, 1).unwrap().len(), 4);
+        assert_eq!(dfs.sample_block_ids("d", 5.0, 1).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn sampling_tiny_fraction_returns_at_least_one() {
+        let dfs = temp_dfs();
+        dfs.write_blocks("d", (0..10).map(|_| vec![0u8])).unwrap();
+        assert_eq!(dfs.sample_block_ids("d", 0.001, 1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn read_latency_is_applied() {
+        let metrics = Arc::new(Metrics::new());
+        let dfs = Dfs::temp(
+            DfsConfig {
+                read_latency: Duration::from_millis(20),
+                ..DfsConfig::default()
+            },
+            metrics,
+        )
+        .unwrap();
+        let id = dfs.append_block("slow", &[1]).unwrap();
+        let t0 = std::time::Instant::now();
+        dfs.read_block(&id).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn at_dir_resumes_block_numbering() {
+        let root = std::env::temp_dir().join(format!("tardis-dfs-resume-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        {
+            let dfs = Dfs::at_dir(&root, DfsConfig::default(), Arc::new(Metrics::new())).unwrap();
+            dfs.append_block("f", &[1]).unwrap();
+            dfs.append_block("f", &[2]).unwrap();
+        }
+        {
+            let dfs = Dfs::at_dir(&root, DfsConfig::default(), Arc::new(Metrics::new())).unwrap();
+            let id = dfs.append_block("f", &[3]).unwrap();
+            assert_eq!(id.index, 2);
+            assert_eq!(dfs.list_blocks("f").unwrap().len(), 3);
+        }
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

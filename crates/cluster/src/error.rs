@@ -1,0 +1,87 @@
+//! Error type for the cluster substrate.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by the cluster substrate.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// A named DFS file does not exist.
+    MissingFile {
+        /// The file name.
+        name: String,
+    },
+    /// A block id does not resolve to a stored block.
+    MissingBlock {
+        /// The file name.
+        file: String,
+        /// The block index within the file.
+        index: u32,
+    },
+    /// A byte buffer could not be decoded.
+    Codec {
+        /// Human-readable context.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Io(e) => write!(f, "I/O error: {e}"),
+            ClusterError::MissingFile { name } => write!(f, "DFS file not found: {name}"),
+            ClusterError::MissingBlock { file, index } => {
+                write!(f, "DFS block not found: {file}/block-{index}")
+            }
+            ClusterError::Codec { context } => write!(f, "decode error: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClusterError {
+    fn from(e: io::Error) -> Self {
+        ClusterError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ClusterError::MissingFile {
+            name: "data".into()
+        }
+        .to_string()
+        .contains("data"));
+        assert!(ClusterError::MissingBlock {
+            file: "f".into(),
+            index: 3
+        }
+        .to_string()
+        .contains("block-3"));
+        assert!(ClusterError::Codec { context: "rid" }.to_string().contains("rid"));
+        let io_err = ClusterError::from(io::Error::other("boom"));
+        assert!(io_err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error;
+        let e = ClusterError::from(io::Error::other("x"));
+        assert!(e.source().is_some());
+        assert!(ClusterError::Codec { context: "c" }.source().is_none());
+    }
+}

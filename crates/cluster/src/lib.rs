@@ -1,0 +1,154 @@
+#![warn(missing_docs)]
+
+//! The distributed-runtime substrate that replaces Apache Spark + HDFS in
+//! this reproduction.
+//!
+//! TARDIS's algorithms (§IV) are phrased as map-reduce jobs over HDFS
+//! blocks and Spark partitions: block-level sampling, `(key, freq)`
+//! aggregation, a broadcast partitioner, a record shuffle, and
+//! `mapPartition` index construction. This crate provides exactly those
+//! primitives, in-process:
+//!
+//! * [`dfs::Dfs`] — a block-based file store backed by real files on local
+//!   disk, with configurable per-block read latency so that experiments can
+//!   reproduce the *I/O shape* of a distributed file system (partition
+//!   loads are expensive; Bloom filters that avoid them pay off).
+//! * [`codec`] — a compact hand-rolled binary codec for records and common
+//!   tuple shapes (no serde overhead in the data path).
+//! * [`pool::WorkerPool`] — a fixed-width worker pool (the "cluster").
+//! * [`dataset::Dataset`] — a partitioned in-memory collection with
+//!   `map` / `flat_map` / `map_partitions` / `reduce_by_key` / `shuffle`,
+//!   all executed across the pool.
+//! * [`broadcast::Broadcast`] — read-only state shared with every task
+//!   (the global index during the shuffle).
+//! * [`metrics::Metrics`] — counters for blocks/bytes read and written,
+//!   records shuffled, and tasks run; every experiment reports them
+//!   alongside wall-clock time.
+
+pub mod broadcast;
+pub mod cache;
+pub mod codec;
+pub mod dataset;
+pub mod dfs;
+pub mod error;
+pub mod metrics;
+pub mod pool;
+pub mod rng;
+
+pub use broadcast::Broadcast;
+pub use cache::BlockCache;
+pub use codec::{decode_records, encode_records, Decode, Encode};
+pub use dataset::Dataset;
+pub use dfs::{BlockId, Dfs, DfsConfig};
+pub use error::ClusterError;
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use pool::WorkerPool;
+
+use std::path::Path;
+use std::sync::Arc;
+
+/// Configuration of the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of parallel workers (Spark executor cores).
+    pub n_workers: usize,
+    /// Storage-layer behaviour.
+    pub dfs: DfsConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            n_workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            dfs: DfsConfig::default(),
+        }
+    }
+}
+
+/// A simulated cluster: worker pool + distributed file system + metrics.
+///
+/// This is the substrate every index (TARDIS and the DPiSAX baseline) is
+/// built on, so comparative experiments share identical storage and
+/// parallelism behaviour.
+pub struct Cluster {
+    pool: WorkerPool,
+    dfs: Dfs,
+    metrics: Arc<Metrics>,
+}
+
+impl Cluster {
+    /// Creates a cluster whose DFS lives in a fresh temporary directory
+    /// (removed when the `Cluster` is dropped).
+    pub fn new(config: ClusterConfig) -> Result<Cluster, ClusterError> {
+        let metrics = Arc::new(Metrics::new());
+        let dfs = Dfs::temp(config.dfs, Arc::clone(&metrics))?;
+        Ok(Cluster {
+            pool: WorkerPool::new(config.n_workers),
+            dfs,
+            metrics,
+        })
+    }
+
+    /// Creates a cluster rooted at an existing directory (not removed on
+    /// drop) — for examples that want to inspect the stored blocks.
+    pub fn at_dir(dir: &Path, config: ClusterConfig) -> Result<Cluster, ClusterError> {
+        let metrics = Arc::new(Metrics::new());
+        let dfs = Dfs::at_dir(dir, config.dfs, Arc::clone(&metrics))?;
+        Ok(Cluster {
+            pool: WorkerPool::new(config.n_workers),
+            dfs,
+            metrics,
+        })
+    }
+
+    /// The worker pool.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// The distributed file system.
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    /// Live metrics counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_has_workers() {
+        let c = ClusterConfig::default();
+        assert!(c.n_workers >= 1);
+    }
+
+    #[test]
+    fn cluster_constructs_and_cleans_up() {
+        let dir;
+        {
+            let cluster = Cluster::new(ClusterConfig::default()).unwrap();
+            dir = cluster.dfs().root().to_path_buf();
+            assert!(dir.exists());
+        }
+        assert!(!dir.exists(), "temp DFS dir should be removed on drop");
+    }
+
+    #[test]
+    fn cluster_at_dir_persists() {
+        let root = std::env::temp_dir().join(format!("tardis-test-{}", std::process::id()));
+        std::fs::create_dir_all(&root).unwrap();
+        {
+            let cluster = Cluster::at_dir(&root, ClusterConfig::default()).unwrap();
+            cluster.dfs().write_blocks("f", vec![vec![1, 2, 3]]).unwrap();
+        }
+        assert!(root.exists(), "explicit dir survives drop");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

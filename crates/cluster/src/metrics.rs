@@ -1,0 +1,202 @@
+//! Run-time metrics counters.
+//!
+//! Wall-clock on a laptop does not transfer to the paper's 112-core
+//! cluster, but I/O and task counts do: every experiment reports these
+//! counters so that the *shape* of each result (e.g. "the Bloom filter
+//! avoided N partition loads") is visible and machine-independent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters shared by the DFS, shuffle, and worker pool.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    blocks_read: AtomicU64,
+    bytes_read: AtomicU64,
+    blocks_written: AtomicU64,
+    bytes_written: AtomicU64,
+    shuffled_records: AtomicU64,
+    tasks_run: AtomicU64,
+    broadcast_bytes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Blocks read from the DFS.
+    pub blocks_read: u64,
+    /// Bytes read from the DFS.
+    pub bytes_read: u64,
+    /// Blocks written to the DFS.
+    pub blocks_written: u64,
+    /// Bytes written to the DFS.
+    pub bytes_written: u64,
+    /// Records moved through shuffles.
+    pub shuffled_records: u64,
+    /// Tasks executed by the worker pool.
+    pub tasks_run: u64,
+    /// Bytes handed to broadcasts.
+    pub broadcast_bytes: u64,
+    /// Block reads served from the LRU cache.
+    pub cache_hits: u64,
+    /// Block reads that missed the LRU cache (when enabled).
+    pub cache_misses: u64,
+}
+
+impl MetricsSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            blocks_read: self.blocks_read.saturating_sub(earlier.blocks_read),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            blocks_written: self.blocks_written.saturating_sub(earlier.blocks_written),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            shuffled_records: self
+                .shuffled_records
+                .saturating_sub(earlier.shuffled_records),
+            tasks_run: self.tasks_run.saturating_sub(earlier.tasks_run),
+            broadcast_bytes: self.broadcast_bytes.saturating_sub(earlier.broadcast_bytes),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+        }
+    }
+}
+
+impl Metrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records a block read of `bytes` bytes.
+    pub fn record_block_read(&self, bytes: u64) {
+        self.blocks_read.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a block write of `bytes` bytes.
+    pub fn record_block_write(&self, bytes: u64) {
+        self.blocks_written.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records `n` records passing through a shuffle.
+    pub fn record_shuffle(&self, n: u64) {
+        self.shuffled_records.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a completed task.
+    pub fn record_task(&self) {
+        self.tasks_run.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a broadcast of `bytes` bytes.
+    pub fn record_broadcast(&self, bytes: u64) {
+        self.broadcast_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records a block read served from the cache.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a block read that missed the cache.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot (relaxed loads; counters are
+    /// monotone so deltas remain meaningful).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            blocks_read: self.blocks_read.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            blocks_written: self.blocks_written.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            shuffled_records: self.shuffled_records.load(Ordering::Relaxed),
+            tasks_run: self.tasks_run.load(Ordering::Relaxed),
+            broadcast_bytes: self.broadcast_bytes.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.blocks_read.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.blocks_written.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.shuffled_records.store(0, Ordering::Relaxed);
+        self.tasks_run.store(0, Ordering::Relaxed);
+        self.broadcast_bytes.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.record_block_read(100);
+        m.record_block_read(50);
+        m.record_block_write(10);
+        m.record_shuffle(7);
+        m.record_task();
+        m.record_broadcast(5);
+        let s = m.snapshot();
+        assert_eq!(s.blocks_read, 2);
+        assert_eq!(s.bytes_read, 150);
+        assert_eq!(s.blocks_written, 1);
+        assert_eq!(s.bytes_written, 10);
+        assert_eq!(s.shuffled_records, 7);
+        assert_eq!(s.tasks_run, 1);
+        assert_eq!(s.broadcast_bytes, 5);
+    }
+
+    #[test]
+    fn delta_since() {
+        let m = Metrics::new();
+        m.record_block_read(10);
+        let before = m.snapshot();
+        m.record_block_read(5);
+        m.record_task();
+        let after = m.snapshot();
+        let d = after.delta_since(&before);
+        assert_eq!(d.blocks_read, 1);
+        assert_eq!(d.bytes_read, 5);
+        assert_eq!(d.tasks_run, 1);
+        assert_eq!(d.blocks_written, 0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let m = Metrics::new();
+        m.record_block_read(10);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_updates_are_counted() {
+        let m = std::sync::Arc::new(Metrics::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = std::sync::Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    m.record_task();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.snapshot().tasks_run, 8000);
+    }
+}

@@ -1,0 +1,188 @@
+//! A fixed-width worker pool — the "cluster executors".
+//!
+//! Tasks are distributed by work stealing over an atomic cursor; each
+//! `par_*` call spawns scoped threads so closures may borrow from the
+//! caller, matching the way Spark stages close over broadcast state.
+
+use crossbeam::thread;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A pool of `n_workers` parallel workers.
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    n_workers: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool. `n_workers` is clamped to at least 1.
+    pub fn new(n_workers: usize) -> WorkerPool {
+        WorkerPool {
+            n_workers: n_workers.max(1),
+        }
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Applies `f` to every item in parallel, preserving input order in the
+    /// result vector.
+    pub fn par_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        self.par_map_indexed(items, |_, item| f(item))
+    }
+
+    /// Like [`Self::par_map`] but the closure also receives the item index.
+    pub fn par_map_indexed<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Single worker or single item: run inline, no thread overhead.
+        if self.n_workers == 1 || n == 1 {
+            return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        // Items become slots workers claim through an atomic cursor.
+        let slots: Vec<parking_lot::Mutex<Option<T>>> = items
+            .into_iter()
+            .map(|t| parking_lot::Mutex::new(Some(t)))
+            .collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = self.n_workers.min(n);
+
+        let mut buckets: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let slots = &slots;
+                let cursor = &cursor;
+                let f = &f;
+                handles.push(scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = slots[i].lock().take().expect("slot claimed once");
+                        local.push((i, f(i, item)));
+                    }
+                    local
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+        .expect("scope panicked");
+
+        let mut flat: Vec<(usize, R)> = Vec::with_capacity(n);
+        for b in buckets.drain(..) {
+            flat.extend(b);
+        }
+        flat.sort_by_key(|(i, _)| *i);
+        flat.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Runs `n_tasks` closures of the form `f(task_index)` in parallel and
+    /// collects their results in task order.
+    pub fn par_tasks<R, F>(&self, n_tasks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.par_map((0..n_tasks).collect(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pool_clamps_to_one_worker() {
+        assert_eq!(WorkerPool::new(0).n_workers(), 1);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let pool = WorkerPool::new(4);
+        let out = pool.par_map((0..1000).collect(), |x: u32| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let pool = WorkerPool::new(4);
+        let out: Vec<u32> = pool.par_map(Vec::<u32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_map_single_worker_inline() {
+        let pool = WorkerPool::new(1);
+        let out = pool.par_map(vec![1, 2, 3], |x: u32| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn par_map_indexed_gets_indices() {
+        let pool = WorkerPool::new(3);
+        let out = pool.par_map_indexed(vec!["a", "b", "c"], |i, s| format!("{i}{s}"));
+        assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn par_tasks_runs_each_once() {
+        let pool = WorkerPool::new(8);
+        let counter = AtomicU64::new(0);
+        let out = pool.par_tasks(100, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i * i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(out[7], 49);
+    }
+
+    #[test]
+    fn closures_can_borrow_caller_state() {
+        let pool = WorkerPool::new(4);
+        let shared = [10u64, 20, 30];
+        let out = pool.par_map(vec![0usize, 1, 2], |i| shared[i] + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn actually_runs_in_parallel() {
+        // With 4 workers, 4 tasks of 50 ms should finish well under 200 ms.
+        let pool = WorkerPool::new(4);
+        let t0 = std::time::Instant::now();
+        pool.par_tasks(4, |_| std::thread::sleep(std::time::Duration::from_millis(50)));
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(160),
+            "took {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn handles_more_items_than_workers() {
+        let pool = WorkerPool::new(2);
+        let out = pool.par_map((0..10_000).collect(), |x: u64| x % 7);
+        assert_eq!(out.len(), 10_000);
+        assert_eq!(out[6], 6);
+        assert_eq!(out[7], 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Integration tests for the DFS LRU block cache: correctness under
+//! delete/rewrite, metering, and latency savings.
+
+use std::time::Duration;
+use tardis_cluster::{Cluster, ClusterConfig, DfsConfig};
+
+fn cached_cluster(cache_bytes: usize, latency_ms: u64) -> Cluster {
+    Cluster::new(ClusterConfig {
+        n_workers: 2,
+        dfs: DfsConfig {
+            read_latency: Duration::from_millis(latency_ms),
+            write_latency: Duration::ZERO,
+            cache_bytes,
+        },
+    })
+    .unwrap()
+}
+
+#[test]
+fn repeated_reads_hit_cache() {
+    let c = cached_cluster(1 << 20, 0);
+    let id = c.dfs().append_block("f", &[1, 2, 3]).unwrap();
+    assert_eq!(c.dfs().read_block(&id).unwrap(), vec![1, 2, 3]);
+    assert_eq!(c.dfs().read_block(&id).unwrap(), vec![1, 2, 3]);
+    assert_eq!(c.dfs().read_block(&id).unwrap(), vec![1, 2, 3]);
+    let m = c.metrics().snapshot();
+    assert_eq!(m.cache_misses, 1);
+    assert_eq!(m.cache_hits, 2);
+    assert_eq!(m.blocks_read, 1, "disk touched once");
+    assert!(c.dfs().cache_used_bytes() >= 3);
+}
+
+#[test]
+fn cache_disabled_by_default() {
+    let c = Cluster::new(ClusterConfig {
+        n_workers: 2,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let id = c.dfs().append_block("f", &[9]).unwrap();
+    c.dfs().read_block(&id).unwrap();
+    c.dfs().read_block(&id).unwrap();
+    let m = c.metrics().snapshot();
+    assert_eq!(m.cache_hits, 0);
+    assert_eq!(m.cache_misses, 0);
+    assert_eq!(m.blocks_read, 2);
+}
+
+#[test]
+fn delete_and_rewrite_never_serves_stale_bytes() {
+    let c = cached_cluster(1 << 20, 0);
+    let id = c.dfs().append_block("f", &[1]).unwrap();
+    assert_eq!(c.dfs().read_block(&id).unwrap(), vec![1]);
+    c.dfs().delete_file("f").unwrap();
+    let id2 = c.dfs().append_block("f", &[2]).unwrap();
+    assert_eq!(id2.index, 0, "re-created file restarts numbering");
+    assert_eq!(c.dfs().read_block(&id2).unwrap(), vec![2], "no stale cache");
+}
+
+#[test]
+fn cached_reads_skip_simulated_latency() {
+    let c = cached_cluster(1 << 20, 15);
+    let id = c.dfs().append_block("f", &[0; 64]).unwrap();
+    let t0 = std::time::Instant::now();
+    c.dfs().read_block(&id).unwrap();
+    let cold = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    for _ in 0..10 {
+        c.dfs().read_block(&id).unwrap();
+    }
+    let hot = t1.elapsed();
+    assert!(cold >= Duration::from_millis(15));
+    assert!(hot < cold, "10 hot reads {hot:?} vs one cold {cold:?}");
+}
+
+#[test]
+fn tiny_cache_evicts_but_stays_correct() {
+    // Cache fits only one of the two blocks; answers stay right.
+    let c = cached_cluster(100, 0);
+    let a = c.dfs().append_block("f", &[1u8; 80]).unwrap();
+    let b = c.dfs().append_block("f", &[2u8; 80]).unwrap();
+    for _ in 0..5 {
+        assert_eq!(c.dfs().read_block(&a).unwrap(), vec![1u8; 80]);
+        assert_eq!(c.dfs().read_block(&b).unwrap(), vec![2u8; 80]);
+    }
+    assert!(c.dfs().cache_used_bytes() <= 100);
+}
+
+// (The end-to-end "queries hit the cache" test lives in the root suite,
+// tests/durability.rs, where the index crates are available.)

@@ -1,0 +1,110 @@
+//! Property tests: parallel Dataset operators must be semantically
+//! identical to their sequential reference implementations, regardless of
+//! partitioning and worker count.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tardis_cluster::{Dataset, Metrics, WorkerPool};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn map_matches_sequential(
+        items in prop::collection::vec(0u32..10_000, 0..500),
+        n_parts in 1usize..8,
+        workers in 1usize..6,
+    ) {
+        let pool = WorkerPool::new(workers);
+        let expected: Vec<u64> = items.iter().map(|&x| x as u64 * 3 + 1).collect();
+        let got = Dataset::from_items(items, n_parts)
+            .map(&pool, |x| x as u64 * 3 + 1)
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn filter_flat_map_compose(
+        items in prop::collection::vec(0u32..1000, 0..300),
+        n_parts in 1usize..6,
+    ) {
+        let pool = WorkerPool::new(4);
+        let expected: Vec<u32> = items
+            .iter()
+            .filter(|&&x| x % 3 == 0)
+            .flat_map(|&x| vec![x, x + 1])
+            .collect();
+        let got = Dataset::from_items(items, n_parts)
+            .filter(&pool, |x| x % 3 == 0)
+            .flat_map(&pool, |x| vec![x, x + 1])
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_respecting_partitioner(
+        items in prop::collection::vec(0u32..10_000, 0..400),
+        n_parts in 1usize..6,
+        n_out in 1usize..7,
+    ) {
+        let pool = WorkerPool::new(4);
+        let metrics = Metrics::new();
+        let shuffled = Dataset::from_items(items.clone(), n_parts).shuffle(
+            &pool,
+            &metrics,
+            n_out,
+            |x| (*x as usize) % n_out,
+        );
+        prop_assert_eq!(shuffled.n_partitions(), n_out);
+        // Routing respected.
+        for (p, part) in shuffled.partitions().iter().enumerate() {
+            for x in part {
+                prop_assert_eq!((*x as usize) % n_out, p);
+            }
+        }
+        // Multiset preserved.
+        let mut a = items;
+        let mut b = shuffled.collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reduce_by_key_matches_hashmap(
+        pairs in prop::collection::vec((0u32..50, 1u64..10), 0..400),
+        n_parts in 1usize..6,
+        n_out in 1usize..5,
+    ) {
+        let pool = WorkerPool::new(4);
+        let metrics = Metrics::new();
+        let mut expected: HashMap<u32, u64> = HashMap::new();
+        for &(k, v) in &pairs {
+            *expected.entry(k).or_default() += v;
+        }
+        let mut got: Vec<(u32, u64)> = Dataset::from_items(pairs, n_parts)
+            .reduce_by_key(&pool, &metrics, n_out, |a, b| *a += b)
+            .collect();
+        got.sort_unstable();
+        let mut want: Vec<(u32, u64)> = expected.into_iter().collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn worker_count_never_changes_results(
+        items in prop::collection::vec(0u32..1000, 1..300),
+    ) {
+        let metrics = Metrics::new();
+        let run = |workers: usize| {
+            let pool = WorkerPool::new(workers);
+            Dataset::from_items(items.clone(), 5)
+                .map(&pool, |x| x * 2)
+                .shuffle(&pool, &metrics, 3, |x| (*x as usize) % 3)
+                .map_partitions(&pool, |idx, p| vec![(idx, p.len(), p.iter().sum::<u32>())])
+                .collect()
+        };
+        prop_assert_eq!(run(1), run(4));
+        prop_assert_eq!(run(2), run(8));
+    }
+}

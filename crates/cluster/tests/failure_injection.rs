@@ -1,0 +1,136 @@
+//! Failure-injection tests: the substrate must fail loudly and cleanly
+//! when blocks are corrupted, truncated, or deleted out from under a
+//! pipeline — never return wrong data.
+
+use std::fs;
+use std::sync::Arc;
+use tardis_cluster::{
+    decode_records, encode_records, BlockId, Cluster, ClusterConfig, ClusterError, Dfs,
+    DfsConfig, Metrics,
+};
+use tardis_ts::{Record, TimeSeries};
+
+fn record(rid: u64) -> Record {
+    Record::new(rid, TimeSeries::new(vec![rid as f32; 8]))
+}
+
+fn cluster() -> Cluster {
+    Cluster::new(ClusterConfig {
+        n_workers: 2,
+        ..ClusterConfig::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn corrupted_block_fails_decode_not_garbage() {
+    let c = cluster();
+    let block = encode_records(&[record(1), record(2)]);
+    let id = c.dfs().append_block("data", &block).unwrap();
+    // Corrupt the stored file in place (flip the record count header).
+    let path = c
+        .dfs()
+        .root()
+        .join("data")
+        .join(format!("block-{:06}.bin", id.index));
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[0] = 0xFF;
+    bytes[1] = 0xFF;
+    fs::write(&path, &bytes).unwrap();
+
+    let loaded = c.dfs().read_block(&id).unwrap();
+    assert!(decode_records::<Record>(&loaded).is_err());
+}
+
+#[test]
+fn truncated_block_fails_decode() {
+    let c = cluster();
+    let block = encode_records(&[record(1), record(2), record(3)]);
+    let id = c.dfs().append_block("data", &block).unwrap();
+    let path = c
+        .dfs()
+        .root()
+        .join("data")
+        .join(format!("block-{:06}.bin", id.index));
+    let bytes = fs::read(&path).unwrap();
+    fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+    let loaded = c.dfs().read_block(&id).unwrap();
+    assert!(decode_records::<Record>(&loaded).is_err());
+}
+
+#[test]
+fn deleted_file_mid_pipeline_errors() {
+    let c = cluster();
+    c.dfs()
+        .write_blocks("data", vec![encode_records(&[record(1)])])
+        .unwrap();
+    let ids = c.dfs().list_blocks("data").unwrap();
+    c.dfs().delete_file("data").unwrap();
+    assert!(matches!(
+        c.dfs().read_block(&ids[0]),
+        Err(ClusterError::MissingBlock { .. })
+    ));
+    assert!(matches!(
+        c.dfs().list_blocks("data"),
+        Err(ClusterError::MissingFile { .. })
+    ));
+}
+
+#[test]
+fn block_id_to_wrong_file_is_missing() {
+    let c = cluster();
+    c.dfs()
+        .write_blocks("a", vec![encode_records(&[record(1)])])
+        .unwrap();
+    let foreign = BlockId::new("b", 0);
+    assert!(matches!(
+        c.dfs().read_block(&foreign),
+        Err(ClusterError::MissingBlock { .. })
+    ));
+}
+
+#[test]
+fn concurrent_appends_produce_distinct_blocks() {
+    let c = Arc::new(cluster());
+    let mut handles = Vec::new();
+    for t in 0..8u64 {
+        let c = Arc::clone(&c);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..20u64 {
+                c.dfs()
+                    .append_block("shared", &encode_records(&[record(t * 100 + i)]))
+                    .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let ids = c.dfs().list_blocks("shared").unwrap();
+    assert_eq!(ids.len(), 160);
+    // Every block decodes and every record appears exactly once.
+    let mut seen = std::collections::HashSet::new();
+    for id in ids {
+        let bytes = c.dfs().read_block(&id).unwrap();
+        for r in decode_records::<Record>(&bytes).unwrap() {
+            assert!(seen.insert(r.rid));
+        }
+    }
+    assert_eq!(seen.len(), 160);
+}
+
+#[test]
+fn dfs_survives_pre_existing_partial_state() {
+    // A directory with stray non-block files must not confuse listing.
+    let root = std::env::temp_dir().join(format!("tardis-stray-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(root.join("data")).unwrap();
+    fs::write(root.join("data").join("README.txt"), b"not a block").unwrap();
+    let dfs = Dfs::at_dir(&root, DfsConfig::default(), Arc::new(Metrics::new())).unwrap();
+    assert_eq!(dfs.list_blocks("data").unwrap().len(), 0);
+    let id = dfs.append_block("data", &[1, 2, 3]).unwrap();
+    assert_eq!(id.index, 0);
+    assert_eq!(dfs.list_blocks("data").unwrap().len(), 1);
+    fs::remove_dir_all(&root).unwrap();
+}

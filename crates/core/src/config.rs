@@ -1,0 +1,191 @@
+//! TARDIS configuration (Table I notation, Table II defaults).
+
+use crate::error::CoreError;
+use tardis_isax::breakpoints::MAX_CARD_BITS;
+
+/// Configuration of the whole TARDIS framework.
+///
+/// Defaults follow Table II of the paper, with the partition capacity
+/// (`g_max_size`) left to the caller since it scales with the deployment
+/// (the paper derives it from the HDFS block size: ~110,000 records per
+/// 128 MB block for length-256 series).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TardisConfig {
+    /// Word length `w` — number of PAA segments (Table II: 8).
+    pub word_len: usize,
+    /// Initial cardinality bits `b`; every signature carries `b` planes
+    /// and the trees are at most `b` layers deep (Table II: 64 = 2^6).
+    pub initial_card_bits: u8,
+    /// `G-MaxSize`: split threshold of Tardis-G leaves = partition
+    /// capacity in records.
+    pub g_max_size: usize,
+    /// `L-MaxSize`: split threshold of Tardis-L leaves (Table II: 1,000).
+    pub l_max_size: usize,
+    /// Block-level sampling fraction for global-index statistics
+    /// (Table II: 10%).
+    pub sampling_fraction: f64,
+    /// `pth`: maximum partitions loaded by Multi-Partitions Access
+    /// (Table II: 40).
+    pub pth: usize,
+    /// Bloom filter false-positive target per partition.
+    pub bloom_fpp: f64,
+    /// Whether partition Bloom filters are built at all (disable for the
+    /// Figure 12 overhead ablation; exact-match then behaves like the
+    /// non-Bloom variant regardless of the query flag).
+    pub bloom_enabled: bool,
+    /// Whether partition Bloom filters stay resident in master memory
+    /// (§V-A: "it resides in memory or is read from disk with low
+    /// latency").
+    pub bloom_in_memory: bool,
+    /// Clustered index (records stored in partitions, the headline
+    /// configuration) vs un-clustered (partitions store signatures +
+    /// record ids only).
+    pub clustered: bool,
+    /// Seed for sampling and any tie-breaking randomness.
+    pub seed: u64,
+}
+
+impl Default for TardisConfig {
+    fn default() -> Self {
+        TardisConfig {
+            word_len: 8,
+            initial_card_bits: 6,
+            g_max_size: 10_000,
+            l_max_size: 1_000,
+            sampling_fraction: 0.10,
+            pth: 40,
+            bloom_fpp: 0.005,
+            bloom_enabled: true,
+            bloom_in_memory: true,
+            clustered: true,
+            seed: 0x7A12_D15C,
+        }
+    }
+}
+
+impl TardisConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidConfig`] describing the first violation.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.word_len == 0 || self.word_len > 32 || self.word_len % 4 != 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "word_len must be a multiple of 4 in 4..=32".into(),
+            });
+        }
+        if self.initial_card_bits == 0 || self.initial_card_bits > MAX_CARD_BITS {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("initial_card_bits must be in 1..={MAX_CARD_BITS}"),
+            });
+        }
+        if self.g_max_size == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "g_max_size must be positive".into(),
+            });
+        }
+        if self.l_max_size == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "l_max_size must be positive".into(),
+            });
+        }
+        if !(self.sampling_fraction > 0.0 && self.sampling_fraction <= 1.0) {
+            return Err(CoreError::InvalidConfig {
+                reason: "sampling_fraction must be in (0, 1]".into(),
+            });
+        }
+        if self.pth == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "pth must be positive".into(),
+            });
+        }
+        if !(self.bloom_fpp > 0.0 && self.bloom_fpp < 1.0) {
+            return Err(CoreError::InvalidConfig {
+                reason: "bloom_fpp must be in (0, 1)".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The initial cardinality `2^b`.
+    pub fn initial_cardinality(&self) -> u32 {
+        1 << self.initial_card_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_table2() {
+        let c = TardisConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.word_len, 8);
+        assert_eq!(c.initial_cardinality(), 64);
+        assert_eq!(c.l_max_size, 1000);
+        assert_eq!(c.sampling_fraction, 0.10);
+        assert_eq!(c.pth, 40);
+        assert!(c.clustered);
+    }
+
+    #[test]
+    fn rejects_bad_word_len() {
+        for w in [0usize, 3, 5, 36] {
+            let c = TardisConfig {
+                word_len: w,
+                ..Default::default()
+            };
+            assert!(c.validate().is_err(), "w={w}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_cardinality() {
+        for b in [0u8, 10] {
+            let c = TardisConfig {
+                initial_card_bits: b,
+                ..Default::default()
+            };
+            assert!(c.validate().is_err(), "b={b}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_fractions() {
+        for f in [0.0f64, -0.5, 1.5] {
+            let c = TardisConfig {
+                sampling_fraction: f,
+                ..Default::default()
+            };
+            assert!(c.validate().is_err(), "f={f}");
+        }
+        let c = TardisConfig {
+            bloom_fpp: 0.0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_sizes() {
+        for field in 0..3 {
+            let mut c = TardisConfig::default();
+            match field {
+                0 => c.g_max_size = 0,
+                1 => c.l_max_size = 0,
+                _ => c.pth = 0,
+            }
+            assert!(c.validate().is_err(), "field {field}");
+        }
+    }
+
+    #[test]
+    fn full_sampling_is_allowed() {
+        let c = TardisConfig {
+            sampling_fraction: 1.0,
+            ..Default::default()
+        };
+        c.validate().unwrap();
+    }
+}

@@ -1,0 +1,97 @@
+//! Series → signature conversion bound to a configuration.
+
+use crate::config::TardisConfig;
+use crate::error::CoreError;
+use tardis_isax::{paa, SaxWord, SigT};
+use tardis_ts::TimeSeries;
+
+/// A converter binding the word length and initial cardinality, so the
+/// hot conversion path carries no per-call parameter validation.
+#[derive(Debug, Clone, Copy)]
+pub struct Converter {
+    w: usize,
+    bits: u8,
+}
+
+impl Converter {
+    /// Creates a converter from a validated configuration.
+    pub fn new(config: &TardisConfig) -> Converter {
+        Converter {
+            w: config.word_len,
+            bits: config.initial_card_bits,
+        }
+    }
+
+    /// Creates a converter from explicit parameters.
+    pub fn with_params(w: usize, bits: u8) -> Converter {
+        Converter { w, bits }
+    }
+
+    /// Word length `w`.
+    pub fn word_len(&self) -> usize {
+        self.w
+    }
+
+    /// Initial cardinality bits `b`.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Converts a (z-normalized) series to its iSAX-T signature at the
+    /// initial cardinality.
+    ///
+    /// # Errors
+    /// Propagates representation errors (series shorter than `w`, …).
+    pub fn sig_of(&self, ts: &TimeSeries) -> Result<SigT, CoreError> {
+        let word = SaxWord::from_series(ts.values(), self.w, self.bits)?;
+        Ok(SigT::from_sax(&word))
+    }
+
+    /// The PAA of a series at the configured word length (used for
+    /// lower-bound pruning at query time).
+    ///
+    /// # Errors
+    /// Propagates representation errors.
+    pub fn paa_of(&self, ts: &TimeSeries) -> Result<Vec<f64>, CoreError> {
+        Ok(paa(ts.values(), self.w)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> TimeSeries {
+        let mut v: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.3).sin()).collect();
+        tardis_ts::z_normalize_in_place(&mut v);
+        TimeSeries::new(v)
+    }
+
+    #[test]
+    fn sig_has_configured_shape() {
+        let conv = Converter::new(&TardisConfig::default());
+        let sig = conv.sig_of(&series()).unwrap();
+        assert_eq!(sig.word_len(), 8);
+        assert_eq!(sig.bits(), 6);
+    }
+
+    #[test]
+    fn paa_has_word_len_segments() {
+        let conv = Converter::new(&TardisConfig::default());
+        assert_eq!(conv.paa_of(&series()).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn short_series_errors() {
+        let conv = Converter::with_params(8, 6);
+        let tiny = TimeSeries::new(vec![1.0, 2.0]);
+        assert!(conv.sig_of(&tiny).is_err());
+        assert!(conv.paa_of(&tiny).is_err());
+    }
+
+    #[test]
+    fn conversion_is_deterministic() {
+        let conv = Converter::new(&TardisConfig::default());
+        assert_eq!(conv.sig_of(&series()).unwrap(), conv.sig_of(&series()).unwrap());
+    }
+}

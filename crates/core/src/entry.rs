@@ -1,0 +1,173 @@
+//! Index entries: the `(isaxt(b), ts, rid)` triples flowing through the
+//! construction pipeline (Figure 8).
+
+use tardis_cluster::{ClusterError, Decode, Encode};
+use tardis_isax::SigT;
+use tardis_sigtree::HasSig;
+use tardis_ts::{Record, RecordId};
+
+/// A clustered-index entry: signature plus the full record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// iSAX-T signature at the initial cardinality.
+    pub sig: SigT,
+    /// The raw record (id + series).
+    pub record: Record,
+}
+
+impl Entry {
+    /// Creates an entry.
+    pub fn new(sig: SigT, record: Record) -> Entry {
+        Entry { sig, record }
+    }
+
+    /// The record id.
+    pub fn rid(&self) -> RecordId {
+        self.record.rid
+    }
+}
+
+impl HasSig for Entry {
+    fn sig(&self) -> &SigT {
+        &self.sig
+    }
+}
+
+/// On-disk encoding of a clustered [`Entry`]: the signature (word length,
+/// nibble count, nibbles) followed by the record — the paper's
+/// `(isaxt(b), ts, rid)` layout, so partition loads need no reconversion.
+impl Encode for Entry {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        buf.put_u16_le(self.sig.word_len() as u16);
+        buf.put_u16_le(self.sig.nibbles().len() as u16);
+        buf.put_slice(self.sig.nibbles());
+        self.record.encode(buf);
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        4 + self.sig.nibbles().len() + self.record.encoded_len_hint()
+    }
+}
+
+impl Decode for Entry {
+    fn decode(buf: &mut &[u8]) -> Result<Self, ClusterError> {
+        use bytes::Buf;
+        if buf.len() < 4 {
+            return Err(ClusterError::Codec {
+                context: "entry header",
+            });
+        }
+        let w = buf.get_u16_le() as usize;
+        let n = buf.get_u16_le() as usize;
+        if buf.len() < n {
+            return Err(ClusterError::Codec {
+                context: "entry nibbles",
+            });
+        }
+        let nibbles = buf[..n].to_vec();
+        buf.advance(n);
+        let sig = SigT::from_nibbles(nibbles, w).map_err(|_| ClusterError::Codec {
+            context: "entry signature",
+        })?;
+        let record = Record::decode(buf)?;
+        Ok(Entry { sig, record })
+    }
+}
+
+/// An un-clustered-index entry: signature plus record id only (the raw
+/// series stays in the original dataset file; §II-D describes DPiSAX's
+/// un-clustered layout, which TARDIS also supports).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SigEntry {
+    /// iSAX-T signature at the initial cardinality.
+    pub sig: SigT,
+    /// The record id pointing into the original dataset.
+    pub rid: RecordId,
+}
+
+impl SigEntry {
+    /// Creates an entry.
+    pub fn new(sig: SigT, rid: RecordId) -> SigEntry {
+        SigEntry { sig, rid }
+    }
+}
+
+impl HasSig for SigEntry {
+    fn sig(&self) -> &SigT {
+        &self.sig
+    }
+}
+
+/// On-disk encoding of [`SigEntry`]: rid, word length, nibble bytes.
+impl Encode for SigEntry {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        buf.put_u64_le(self.rid);
+        buf.put_u16_le(self.sig.word_len() as u16);
+        buf.put_u16_le(self.sig.nibbles().len() as u16);
+        buf.put_slice(self.sig.nibbles());
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        8 + 4 + self.sig.nibbles().len()
+    }
+}
+
+impl Decode for SigEntry {
+    fn decode(buf: &mut &[u8]) -> Result<Self, ClusterError> {
+        use bytes::Buf;
+        if buf.len() < 12 {
+            return Err(ClusterError::Codec {
+                context: "sig entry header",
+            });
+        }
+        let rid = buf.get_u64_le();
+        let w = buf.get_u16_le() as usize;
+        let n = buf.get_u16_le() as usize;
+        if buf.len() < n {
+            return Err(ClusterError::Codec {
+                context: "sig entry nibbles",
+            });
+        }
+        let nibbles = buf[..n].to_vec();
+        buf.advance(n);
+        let sig = SigT::from_nibbles(nibbles, w).map_err(|_| ClusterError::Codec {
+            context: "sig entry signature",
+        })?;
+        Ok(SigEntry { sig, rid })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tardis_cluster::{decode_records, encode_records};
+    use tardis_isax::SaxWord;
+    use tardis_ts::TimeSeries;
+
+    fn sig() -> SigT {
+        SigT::from_sax(&SaxWord::from_buckets(vec![0b10, 0b01, 0b11, 0b00], 2).unwrap())
+    }
+
+    #[test]
+    fn entry_exposes_sig_and_rid() {
+        let e = Entry::new(sig(), Record::new(7, TimeSeries::new(vec![1.0; 8])));
+        assert_eq!(e.rid(), 7);
+        assert_eq!(HasSig::sig(&e), &sig());
+    }
+
+    #[test]
+    fn sig_entry_roundtrip() {
+        let entries = vec![SigEntry::new(sig(), 1), SigEntry::new(sig(), 99)];
+        let block = encode_records(&entries);
+        let decoded: Vec<SigEntry> = decode_records(&block).unwrap();
+        assert_eq!(decoded, entries);
+    }
+
+    #[test]
+    fn sig_entry_rejects_truncation() {
+        let block = encode_records(&[SigEntry::new(sig(), 1)]);
+        assert!(decode_records::<SigEntry>(&block[..block.len() - 1]).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Error type for the TARDIS core.
+
+use std::fmt;
+use tardis_cluster::ClusterError;
+use tardis_isax::IsaxError;
+use tardis_ts::TsError;
+
+/// Errors produced by index construction and query processing.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Invalid configuration value.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+    /// Substrate (DFS / shuffle / codec) failure.
+    Cluster(ClusterError),
+    /// Representation failure (word length / cardinality mismatch).
+    Isax(IsaxError),
+    /// Time-series primitive failure (length mismatch etc.).
+    Ts(TsError),
+    /// A query's series length does not match the indexed dataset.
+    QueryLengthMismatch {
+        /// Length of the query series.
+        query: usize,
+        /// Length of the indexed series.
+        indexed: usize,
+    },
+    /// A partition id is out of range.
+    UnknownPartition {
+        /// The offending partition id.
+        pid: u32,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            CoreError::Cluster(e) => write!(f, "cluster error: {e}"),
+            CoreError::Isax(e) => write!(f, "representation error: {e}"),
+            CoreError::Ts(e) => write!(f, "time-series error: {e}"),
+            CoreError::QueryLengthMismatch { query, indexed } => write!(
+                f,
+                "query length {query} does not match indexed series length {indexed}"
+            ),
+            CoreError::UnknownPartition { pid } => write!(f, "unknown partition id {pid}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Cluster(e) => Some(e),
+            CoreError::Isax(e) => Some(e),
+            CoreError::Ts(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClusterError> for CoreError {
+    fn from(e: ClusterError) -> Self {
+        CoreError::Cluster(e)
+    }
+}
+
+impl From<IsaxError> for CoreError {
+    fn from(e: IsaxError) -> Self {
+        CoreError::Isax(e)
+    }
+}
+
+impl From<TsError> for CoreError {
+    fn from(e: TsError) -> Self {
+        CoreError::Ts(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error;
+        let e = CoreError::InvalidConfig {
+            reason: "bad".into(),
+        };
+        assert!(e.to_string().contains("bad"));
+        assert!(e.source().is_none());
+
+        let e: CoreError = IsaxError::InvalidWordLength { w: 3 }.into();
+        assert!(e.to_string().contains("representation"));
+        assert!(e.source().is_some());
+
+        let e: CoreError = TsError::EmptySeries.into();
+        assert!(e.source().is_some());
+
+        let e = CoreError::QueryLengthMismatch {
+            query: 10,
+            indexed: 64,
+        };
+        assert!(e.to_string().contains("10"));
+
+        let e = CoreError::UnknownPartition { pid: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,269 @@
+//! Ground truth and search-quality metrics (§VI-C2).
+//!
+//! * [`recall`] — Equation 5: `|G(q) ∩ R(q)| / |G(q)|`.
+//! * [`error_ratio`] — Equation 6: mean of `ED(q, rⱼ) / ED(q, gⱼ)` over
+//!   ranks `j`, ≥ 1 with 1 the ideal.
+//! * [`ground_truth_knn`] — exact kNN by a parallel brute-force scan over
+//!   the dataset blocks (practical at reproduction scale; the paper's
+//!   faster threshold-filter shortcut exists as
+//!   [`ground_truth_knn_filtered`]).
+
+use crate::error::CoreError;
+use crate::index::TardisIndex;
+use crate::query::knn::KnnStrategy;
+use std::collections::HashSet;
+use tardis_cluster::{decode_records, Cluster};
+use tardis_ts::{squared_euclidean, Record, RecordId, TimeSeries};
+
+/// One exact neighbor: distance and record id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Euclidean distance to the query.
+    pub distance: f64,
+    /// The neighbor's record id.
+    pub rid: RecordId,
+}
+
+/// Exact kNN by brute force: scans every block of `dataset_file` in
+/// parallel and merges per-block top-k sets.
+///
+/// # Errors
+/// Propagates DFS and decoding errors.
+pub fn ground_truth_knn(
+    cluster: &Cluster,
+    dataset_file: &str,
+    query: &TimeSeries,
+    k: usize,
+) -> Result<Vec<Neighbor>, CoreError> {
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let block_ids = cluster.dfs().list_blocks(dataset_file)?;
+    let per_block: Vec<Result<Vec<Neighbor>, CoreError>> =
+        cluster.pool().par_map(block_ids, |id| {
+            let bytes = cluster.dfs().read_block(&id)?;
+            let records: Vec<Record> = decode_records(&bytes)?;
+            cluster.metrics().record_task();
+            let mut local: Vec<Neighbor> = records
+                .iter()
+                .map(|r| Neighbor {
+                    distance: squared_euclidean(query.values(), r.ts.values()).sqrt(),
+                    rid: r.rid,
+                })
+                .collect();
+            local.sort_by(|a, b| {
+                a.distance
+                    .partial_cmp(&b.distance)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            local.truncate(k);
+            Ok(local)
+        });
+    let mut merged = Vec::with_capacity(k * per_block.len());
+    for block in per_block {
+        merged.extend(block?);
+    }
+    merged.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    merged.truncate(k);
+    Ok(merged)
+}
+
+/// The paper's faster ground-truth method (§VI-C2): use the index's lower
+/// bounds to filter partitions and nodes with a distance threshold (7.5 in
+/// the paper), then take the top-k among surviving candidates. Falls back
+/// to the brute-force scan when fewer than `k` candidates survive.
+///
+/// # Errors
+/// Propagates DFS, conversion, and decoding errors.
+pub fn ground_truth_knn_filtered(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    dataset_file: &str,
+    query: &TimeSeries,
+    k: usize,
+    threshold: f64,
+) -> Result<Vec<Neighbor>, CoreError> {
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let converter = index.global().converter();
+    let paa = converter.paa_of(query)?;
+    let n = query.len();
+    // Filter partitions by the lower bound of their covering node: a
+    // partition can be skipped when every candidate in it is provably
+    // farther than the threshold.
+    let mut survivors: Vec<Neighbor> = Vec::new();
+    for pid in 0..index.n_partitions() as u32 {
+        let local = index.load_partition(cluster, pid)?;
+        for entry in local.prune_scan(&paa, n, threshold)? {
+            let d = squared_euclidean(query.values(), entry.record.ts.values()).sqrt();
+            if d <= threshold {
+                survivors.push(Neighbor {
+                    distance: d,
+                    rid: entry.rid(),
+                });
+            }
+        }
+    }
+    if survivors.len() < k {
+        return ground_truth_knn(cluster, dataset_file, query, k);
+    }
+    survivors.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    survivors.truncate(k);
+    Ok(survivors)
+}
+
+/// Recall (Equation 5): `|G(q) ∩ R(q)| / |G(q)|` — the fraction of exact
+/// neighbor *ids* recovered. Set semantics: duplicate ids in the result
+/// count once.
+///
+/// Returns 1.0 for an empty ground truth (vacuous).
+pub fn recall(result: &[(f64, RecordId)], truth: &[Neighbor]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let truth_ids: HashSet<RecordId> = truth.iter().map(|n| n.rid).collect();
+    let result_ids: HashSet<RecordId> = result.iter().map(|&(_, rid)| rid).collect();
+    truth_ids.intersection(&result_ids).count() as f64 / truth_ids.len() as f64
+}
+
+/// Error ratio (Equation 6): mean over ranks of
+/// `ED(q, rⱼ) / ED(q, gⱼ)`, ≥ 1, ideal 1. Zero distances (the query is a
+/// dataset member) are floored at a small epsilon on both sides so the
+/// member rank contributes 1 rather than 0/0.
+///
+/// Ranks beyond the result length contribute nothing; an empty result
+/// yields `f64::INFINITY` when the truth is non-empty.
+pub fn error_ratio(result: &[(f64, RecordId)], truth: &[Neighbor]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    if result.is_empty() {
+        return f64::INFINITY;
+    }
+    const EPS: f64 = 1e-9;
+    let k = truth.len().min(result.len());
+    let sum: f64 = (0..k)
+        .map(|j| result[j].0.max(EPS) / truth[j].distance.max(EPS))
+        .sum();
+    sum / k as f64
+}
+
+/// Convenience: runs a strategy over a query set and aggregates recall,
+/// error ratio, and mean query time against the provided ground truths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualitySummary {
+    /// Mean recall over the workload.
+    pub recall: f64,
+    /// Mean error ratio over the workload.
+    pub error_ratio: f64,
+    /// Mean wall-clock per query.
+    pub avg_query_time: std::time::Duration,
+    /// Mean partitions loaded per query.
+    pub avg_partitions_loaded: f64,
+}
+
+/// Evaluates a kNN strategy over queries with precomputed ground truths.
+///
+/// # Panics
+/// Panics if `queries` and `truths` lengths differ or are empty.
+///
+/// # Errors
+/// Propagates query errors.
+pub fn evaluate_strategy(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    queries: &[TimeSeries],
+    truths: &[Vec<Neighbor>],
+    k: usize,
+    strategy: KnnStrategy,
+) -> Result<QualitySummary, CoreError> {
+    assert_eq!(queries.len(), truths.len(), "queries/truths mismatch");
+    assert!(!queries.is_empty(), "need at least one query");
+    let mut recall_sum = 0.0;
+    let mut ratio_sum = 0.0;
+    let mut loads = 0usize;
+    let t0 = std::time::Instant::now();
+    for (q, truth) in queries.iter().zip(truths) {
+        let ans = crate::query::knn::knn_approximate(index, cluster, q, k, strategy)?;
+        recall_sum += recall(&ans.neighbors, truth);
+        ratio_sum += error_ratio(&ans.neighbors, truth);
+        loads += ans.partitions_loaded;
+    }
+    let n = queries.len() as f64;
+    Ok(QualitySummary {
+        recall: recall_sum / n,
+        error_ratio: ratio_sum / n,
+        avg_query_time: t0.elapsed() / queries.len() as u32,
+        avg_partitions_loaded: loads as f64 / n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nb(distance: f64, rid: u64) -> Neighbor {
+        Neighbor { distance, rid }
+    }
+
+    #[test]
+    fn recall_basics() {
+        let truth = vec![nb(0.0, 1), nb(1.0, 2), nb(2.0, 3), nb(3.0, 4)];
+        let result = vec![(0.0, 1u64), (1.5, 9), (2.0, 3), (9.0, 8)];
+        assert_eq!(recall(&result, &truth), 0.5);
+        assert_eq!(recall(&[], &truth), 0.0);
+        assert_eq!(recall(&result, &[]), 1.0);
+    }
+
+    #[test]
+    fn recall_perfect() {
+        let truth = vec![nb(0.0, 1), nb(1.0, 2)];
+        let result = vec![(0.0, 2u64), (0.1, 1)];
+        assert_eq!(recall(&result, &truth), 1.0);
+    }
+
+    #[test]
+    fn error_ratio_ideal_is_one() {
+        let truth = vec![nb(1.0, 1), nb(2.0, 2)];
+        let result = vec![(1.0, 1u64), (2.0, 2)];
+        assert!((error_ratio(&result, &truth) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_ratio_above_one_for_worse_results() {
+        let truth = vec![nb(1.0, 1), nb(2.0, 2)];
+        let result = vec![(2.0, 9u64), (4.0, 8)];
+        assert!((error_ratio(&result, &truth) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_ratio_handles_zero_distance_member() {
+        // Query is a dataset member: g₁ = 0 and r₁ = 0 → contributes 1.
+        let truth = vec![nb(0.0, 1), nb(2.0, 2)];
+        let result = vec![(0.0, 1u64), (2.0, 2)];
+        assert!((error_ratio(&result, &truth) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_ratio_empty_result_is_infinite() {
+        let truth = vec![nb(1.0, 1)];
+        assert!(error_ratio(&[], &truth).is_infinite());
+        assert_eq!(error_ratio(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn error_ratio_truncates_to_shorter() {
+        let truth = vec![nb(1.0, 1), nb(2.0, 2), nb(3.0, 3)];
+        let result = vec![(1.0, 1u64)];
+        assert!((error_ratio(&result, &truth) - 1.0).abs() < 1e-12);
+    }
+}

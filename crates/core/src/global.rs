@@ -1,0 +1,719 @@
+//! **Tardis-G** — the centralized global index (§IV-B).
+//!
+//! Construction pipeline (all four steps are timed separately for the
+//! Figure 11 breakdown):
+//!
+//! 1. **Data preprocessing** — block-level sampling; sampled blocks are
+//!    read and converted in parallel to `(isaxt(b), freq)` pairs by one
+//!    map-reduce job.
+//! 2. **Node statistics** — layer by layer in ascending order, the base
+//!    pairs are aggregated to per-node frequencies `(isaxt(i), freq(i))`;
+//!    nodes whose *estimated full-dataset* frequency fits `G-MaxSize`
+//!    become leaves and their base pairs are filtered out; overfull nodes
+//!    continue to the next layer.
+//! 3. **Skeleton building** — the collected statistics are inserted into a
+//!    sigTree on the master, layer by layer.
+//! 4. **Partition assignment** — under each internal (or root) node, the
+//!    sibling leaf nodes are FFD-packed into partitions of capacity
+//!    `G-MaxSize`; assigned partition ids are synchronized into the id
+//!    lists of all ancestor nodes ("to facilitate future information
+//!    retrieval of sibling nodes").
+
+use crate::config::TardisConfig;
+use crate::convert::Converter;
+use crate::error::CoreError;
+use crate::packing::ffd_pack;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use tardis_cluster::{decode_records, Cluster, Dataset};
+use tardis_isax::SigT;
+use tardis_sigtree::{Descend, NodeId, SigTree, SigTreeConfig};
+use tardis_ts::Record;
+
+/// Identifier of a data partition.
+pub type PartitionId = u32;
+
+/// Wall-clock breakdown of the global-index construction (Figure 11).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalBuildBreakdown {
+    /// Step 1: sample blocks, convert, aggregate base pairs.
+    pub sampling: Duration,
+    /// Step 2: layer-by-layer node statistics.
+    pub statistics: Duration,
+    /// Step 3: skeleton building on the master.
+    pub skeleton: Duration,
+    /// Step 4: FFD partition assignment.
+    pub packing: Duration,
+}
+
+impl GlobalBuildBreakdown {
+    /// Total global-index construction time.
+    pub fn total(&self) -> Duration {
+        self.sampling + self.statistics + self.skeleton + self.packing
+    }
+}
+
+/// The global index: a skeleton sigTree whose leaves map to partitions.
+#[derive(Debug, Clone)]
+pub struct TardisG {
+    tree: SigTree<SigT>,
+    /// Leaf node → its assigned partition.
+    leaf_pid: HashMap<NodeId, PartitionId>,
+    /// Every node → sorted ids of all partitions under it (the paper's
+    /// "id list" synchronized to ancestors).
+    node_pids: HashMap<NodeId, Vec<PartitionId>>,
+    /// Number of partitions assigned.
+    n_partitions: usize,
+    converter: Converter,
+    /// How the build went (timings for Figure 11).
+    pub breakdown: GlobalBuildBreakdown,
+    /// Number of sampled records that fed the statistics.
+    pub sampled_records: u64,
+}
+
+impl TardisG {
+    /// Builds the global index from the dataset stored in DFS file
+    /// `dataset_file` (blocks of encoded [`Record`]s).
+    ///
+    /// # Errors
+    /// Propagates configuration, DFS, and representation errors.
+    pub fn build(
+        cluster: &Cluster,
+        dataset_file: &str,
+        config: &TardisConfig,
+    ) -> Result<TardisG, CoreError> {
+        config.validate()?;
+        let converter = Converter::new(config);
+        let mut breakdown = GlobalBuildBreakdown::default();
+
+        // ------ Step 1: data preprocessing (block-level sampling). ------
+        let t0 = Instant::now();
+        let block_ids =
+            cluster
+                .dfs()
+                .sample_block_ids(dataset_file, config.sampling_fraction, config.seed)?;
+        let per_block: Vec<Result<Vec<(SigT, u64)>, CoreError>> =
+            cluster.pool().par_map(block_ids, |id| {
+                let bytes = cluster.dfs().read_block(&id)?;
+                let records: Vec<Record> = decode_records(&bytes)?;
+                cluster.metrics().record_task();
+                records
+                    .iter()
+                    .map(|r| Ok((converter.sig_of(&r.ts)?, 1u64)))
+                    .collect()
+            });
+        let mut pairs = Vec::new();
+        for block in per_block {
+            pairs.extend(block?);
+        }
+        let sampled_records = pairs.len() as u64;
+        // Reduce to (isaxt(b), freq(b)).
+        let n_workers = cluster.pool().n_workers();
+        let base: Vec<(SigT, u64)> = Dataset::from_items(pairs, n_workers.max(1))
+            .reduce_by_key(cluster.pool(), cluster.metrics(), n_workers.max(1), |a, b| {
+                *a += b
+            })
+            .collect();
+        breakdown.sampling = t0.elapsed();
+
+        // ------ Step 2: node statistics, layer by layer. ------
+        let t1 = Instant::now();
+        // Estimated full-dataset count per sampled record.
+        let scale = 1.0 / config.sampling_fraction;
+        let capacity = config.g_max_size as u64;
+        let max_bits = config.initial_card_bits;
+        // Per layer: the (sig(layer), freq) node statistics to insert.
+        let mut layer_stats: Vec<Vec<(SigT, u64)>> = Vec::new();
+        let mut active: Vec<(SigT, u64)> = base;
+        for layer in 1..=max_bits {
+            if active.is_empty() {
+                break;
+            }
+            // Aggregate the active base pairs at this layer's prefix.
+            let aggregated: Vec<(SigT, u64)> =
+                Dataset::from_items(std::mem::take(&mut active), n_workers.max(1))
+                    .map(cluster.pool(), |(sig, freq)| {
+                        (sig.drop_right(layer).expect("layer <= bits"), (sig, freq))
+                    })
+                    .into_partitions()
+                    .into_iter()
+                    .flatten()
+                    .fold(
+                        HashMap::<SigT, (u64, Vec<(SigT, u64)>)>::new(),
+                        |mut acc, (prefix, (sig, freq))| {
+                            let slot = acc.entry(prefix).or_default();
+                            slot.0 += freq;
+                            slot.1.push((sig, freq));
+                            acc
+                        },
+                    )
+                    .into_iter()
+                    .map(|(prefix, (freq, members))| {
+                        // Members of overfull nodes continue to the next
+                        // layer (unless this is the last one).
+                        let estimated = (freq as f64 * scale).round() as u64;
+                        if estimated > capacity && layer < max_bits {
+                            active.extend(members);
+                        }
+                        (prefix, freq)
+                    })
+                    .collect();
+            layer_stats.push(aggregated);
+        }
+        breakdown.statistics = t1.elapsed();
+
+        // ------ Step 3: skeleton building on the master. ------
+        let t2 = Instant::now();
+        let mut tree: SigTree<SigT> =
+            SigTree::new(SigTreeConfig::skeleton(config.word_len, max_bits));
+        let mut total = 0u64;
+        for (li, layer) in layer_stats.iter().enumerate() {
+            // Deterministic insertion order.
+            let mut sorted: Vec<&(SigT, u64)> = layer.iter().collect();
+            sorted.sort_by(|a, b| a.0.cmp(&b.0));
+            for (sig, freq) in sorted {
+                // Scale sampled frequencies to full-dataset estimates.
+                let estimated = ((*freq as f64) * scale).round().max(1.0) as u64;
+                tree.insert_stat(sig.clone(), estimated);
+                if li == 0 {
+                    total += estimated;
+                }
+            }
+        }
+        tree.set_root_count(total);
+        breakdown.skeleton = t2.elapsed();
+
+        // ------ Step 4: partition assignment (FFD packing). ------
+        let t3 = Instant::now();
+        let mut leaf_pid: HashMap<NodeId, PartitionId> = HashMap::new();
+        let mut next_pid: PartitionId = 0;
+        // For every node with children: pack its *leaf* children.
+        for id in 0..tree.n_nodes() as NodeId {
+            let node = tree.node(id);
+            if node.children.is_empty() {
+                continue;
+            }
+            let mut leaf_children: Vec<(NodeId, u64)> = node
+                .children
+                .values()
+                .map(|&c| (c, tree.node(c)))
+                .filter(|(_, n)| n.is_leaf())
+                .map(|(c, n)| (c, n.count))
+                .collect();
+            if leaf_children.is_empty() {
+                continue;
+            }
+            // Deterministic order before the stable FFD sort.
+            leaf_children.sort_by_key(|&(c, _)| c);
+            for bin in ffd_pack(leaf_children, capacity) {
+                for leaf in bin {
+                    leaf_pid.insert(leaf, next_pid);
+                }
+                next_pid += 1;
+            }
+        }
+        // Synchronize pid lists up the ancestors.
+        let mut node_pids: HashMap<NodeId, Vec<PartitionId>> = HashMap::new();
+        for (&leaf, &pid) in &leaf_pid {
+            let mut cur = Some(leaf);
+            while let Some(id) = cur {
+                node_pids.entry(id).or_default().push(pid);
+                cur = tree.node(id).parent;
+            }
+        }
+        for pids in node_pids.values_mut() {
+            pids.sort_unstable();
+            pids.dedup();
+        }
+        breakdown.packing = t3.elapsed();
+
+        Ok(TardisG {
+            tree,
+            leaf_pid,
+            node_pids,
+            n_partitions: next_pid as usize,
+            converter,
+            breakdown,
+            sampled_records,
+        })
+    }
+
+    /// Number of partitions the index routes into (at least 1 even for a
+    /// degenerate sample — routing falls back to partition 0).
+    pub fn n_partitions(&self) -> usize {
+        self.n_partitions.max(1)
+    }
+
+    /// The skeleton tree (read-only).
+    pub fn tree(&self) -> &SigTree<SigT> {
+        &self.tree
+    }
+
+    /// The converter bound to this index's parameters.
+    pub fn converter(&self) -> &Converter {
+        &self.converter
+    }
+
+    /// Routes a full-resolution signature to its partition. Signatures
+    /// missing from the sampled skeleton fall back to a deterministic
+    /// partition under the deepest matching node ("least-loaded" is
+    /// approximated by hashing into the node's id list, which both
+    /// balances and stays deterministic).
+    pub fn partition_of(&self, sig: &SigT) -> PartitionId {
+        match self.tree.descend(sig) {
+            Descend::Leaf(id) => match self.leaf_pid.get(&id) {
+                Some(&pid) => pid,
+                // Root acting as leaf (empty skeleton) or unassigned leaf.
+                None => self.fallback_pid(id, sig),
+            },
+            Descend::NoChild(id) => self.fallback_pid(id, sig),
+        }
+    }
+
+    fn fallback_pid(&self, node: NodeId, sig: &SigT) -> PartitionId {
+        match self.node_pids.get(&node) {
+            Some(pids) if !pids.is_empty() => {
+                // Deterministic spread over the node's partitions.
+                let mut h = 0xcbf29ce484222325u64;
+                for &n in sig.nibbles() {
+                    h ^= n as u64;
+                    h = h.wrapping_mul(0x100000001B3);
+                }
+                pids[(h % pids.len() as u64) as usize]
+            }
+            _ => 0,
+        }
+    }
+
+    /// The partition list of the *parent* of the node reached by `sig` —
+    /// Algorithm 1's `fetchFromParent`: the sibling partitions used by
+    /// Multi-Partitions Access. Includes the query's own partition.
+    pub fn sibling_partitions(&self, sig: &SigT) -> Vec<PartitionId> {
+        let reached = self.tree.descend(sig).node();
+        let anchor = match self.tree.node(reached).parent {
+            Some(parent) => parent,
+            None => reached, // root
+        };
+        self.node_pids.get(&anchor).cloned().unwrap_or_default()
+    }
+
+    /// Routes a raw series (converted internally).
+    ///
+    /// # Errors
+    /// Propagates conversion errors.
+    pub fn partition_of_series(&self, ts: &tardis_ts::TimeSeries) -> Result<PartitionId, CoreError> {
+        Ok(self.partition_of(&self.converter.sig_of(ts)?))
+    }
+
+    /// Estimated record count of each partition (from the scaled sampled
+    /// statistics) — used by the Figure 17(c) partition-size-distribution
+    /// metric.
+    pub fn estimated_partition_sizes(&self) -> Vec<u64> {
+        let mut sizes = vec![0u64; self.n_partitions()];
+        for (&leaf, &pid) in &self.leaf_pid {
+            sizes[pid as usize] += self.tree.node(leaf).count;
+        }
+        sizes
+    }
+
+    /// The partition assigned to the global leaf covering `sig`, if the
+    /// descent ends at an assigned leaf (used by the exact-kNN extension
+    /// to lower-bound partitions).
+    pub fn leaf_partition(&self, sig: &SigT) -> Option<PartitionId> {
+        match self.tree.descend(sig) {
+            Descend::Leaf(id) => self.leaf_pid.get(&id).copied(),
+            Descend::NoChild(_) => None,
+        }
+    }
+
+    /// Serializes the global index: converter parameters, every non-root
+    /// node's `(signature, count)`, and the leaf → partition map. The
+    /// structure is fully reconstructible because signatures encode their
+    /// own tree position.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use bytes::BufMut;
+        let mut buf = bytes::BytesMut::new();
+        buf.put_u16_le(self.converter.word_len() as u16);
+        buf.put_u8(self.converter.bits());
+        buf.put_u32_le(self.n_partitions as u32);
+        buf.put_u64_le(self.sampled_records);
+        buf.put_u64_le(self.tree.total_count());
+        // Nodes sorted by layer then signature → valid insert_stat order.
+        let mut nodes: Vec<(&SigT, u64)> = (1..self.tree.n_nodes() as NodeId)
+            .map(|id| {
+                let n = self.tree.node(id);
+                (&n.sig, n.count)
+            })
+            .collect();
+        nodes.sort_by(|a, b| a.0.bits().cmp(&b.0.bits()).then_with(|| a.0.cmp(b.0)));
+        buf.put_u32_le(nodes.len() as u32);
+        for (sig, count) in nodes {
+            buf.put_u16_le(sig.nibbles().len() as u16);
+            buf.put_slice(sig.nibbles());
+            buf.put_u64_le(count);
+        }
+        // Leaf partition assignments, by signature.
+        let mut leaves: Vec<(&SigT, PartitionId)> = self
+            .leaf_pid
+            .iter()
+            .map(|(&id, &pid)| (&self.tree.node(id).sig, pid))
+            .collect();
+        leaves.sort_by(|a, b| a.0.cmp(b.0));
+        buf.put_u32_le(leaves.len() as u32);
+        for (sig, pid) in leaves {
+            buf.put_u16_le(sig.nibbles().len() as u16);
+            buf.put_slice(sig.nibbles());
+            buf.put_u32_le(pid);
+        }
+        // Integrity checksum: semantic corruption (e.g. a flipped pid)
+        // is otherwise undetectable by structural parsing alone.
+        let checksum = tardis_bloom::fnv1a_64(&buf);
+        buf.put_u64_le(checksum);
+        buf.to_vec()
+    }
+
+    /// Reconstructs a global index from [`Self::to_bytes`] output.
+    ///
+    /// # Errors
+    /// [`CoreError::Cluster`] with a codec context on any malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<TardisG, CoreError> {
+        use bytes::Buf;
+        fn codec_err(context: &'static str) -> CoreError {
+            CoreError::Cluster(tardis_cluster::ClusterError::Codec { context })
+        }
+        // Verify the trailing checksum before interpreting anything.
+        if bytes.len() < 8 {
+            return Err(codec_err("global image too short"));
+        }
+        let (payload, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+        if tardis_bloom::fnv1a_64(payload) != stored {
+            return Err(codec_err("global image checksum mismatch"));
+        }
+        let mut buf = payload;
+        if buf.len() < 2 + 1 + 4 + 8 + 8 + 4 {
+            return Err(codec_err("global header"));
+        }
+        let w = buf.get_u16_le() as usize;
+        let bits = buf.get_u8();
+        // Validate the header before handing it to constructors that
+        // assert (corrupted images must error, not panic).
+        if tardis_isax::paa::validate_word_len(w).is_err()
+            || bits == 0
+            || bits > tardis_isax::breakpoints::MAX_CARD_BITS
+        {
+            return Err(codec_err("invalid global header parameters"));
+        }
+        let n_partitions = buf.get_u32_le() as usize;
+        let sampled_records = buf.get_u64_le();
+        let root_count = buf.get_u64_le();
+        let converter = Converter::with_params(w, bits);
+
+        let mut tree: SigTree<SigT> = SigTree::new(SigTreeConfig::skeleton(w, bits));
+        let n_nodes = buf.get_u32_le() as usize;
+        for _ in 0..n_nodes {
+            if buf.len() < 2 {
+                return Err(codec_err("node header"));
+            }
+            let len = buf.get_u16_le() as usize;
+            if buf.len() < len + 8 {
+                return Err(codec_err("node body"));
+            }
+            let nibbles = buf[..len].to_vec();
+            buf.advance(len);
+            let count = buf.get_u64_le();
+            let sig = SigT::from_nibbles(nibbles, w)
+                .map_err(|_| codec_err("node signature"))?;
+            tree.insert_stat(sig, count);
+        }
+        tree.set_root_count(root_count);
+
+        let mut leaf_pid = HashMap::new();
+        if buf.len() < 4 {
+            return Err(codec_err("leaf table header"));
+        }
+        let n_leaves = buf.get_u32_le() as usize;
+        for _ in 0..n_leaves {
+            if buf.len() < 2 {
+                return Err(codec_err("leaf header"));
+            }
+            let len = buf.get_u16_le() as usize;
+            if buf.len() < len + 4 {
+                return Err(codec_err("leaf body"));
+            }
+            let nibbles = buf[..len].to_vec();
+            buf.advance(len);
+            let pid = buf.get_u32_le();
+            let sig = SigT::from_nibbles(nibbles, w)
+                .map_err(|_| codec_err("leaf signature"))?;
+            // Locate the node by walking the signature's planes.
+            let mut cur = tree.root();
+            for layer in 0..sig.bits() {
+                let key = sig.plane_key(layer).expect("layer < bits");
+                cur = *tree
+                    .node(cur)
+                    .children
+                    .get(&key)
+                    .ok_or_else(|| codec_err("leaf not in tree"))?;
+            }
+            leaf_pid.insert(cur, pid);
+        }
+        if !buf.is_empty() {
+            return Err(codec_err("trailing bytes after global index"));
+        }
+
+        // Recompute ancestor pid lists.
+        let mut node_pids: HashMap<NodeId, Vec<PartitionId>> = HashMap::new();
+        for (&leaf, &pid) in &leaf_pid {
+            let mut cur = Some(leaf);
+            while let Some(id) = cur {
+                node_pids.entry(id).or_default().push(pid);
+                cur = tree.node(id).parent;
+            }
+        }
+        for pids in node_pids.values_mut() {
+            pids.sort_unstable();
+            pids.dedup();
+        }
+
+        Ok(TardisG {
+            tree,
+            leaf_pid,
+            node_pids,
+            n_partitions,
+            converter,
+            breakdown: GlobalBuildBreakdown::default(),
+            sampled_records,
+        })
+    }
+
+    /// Approximate in-memory size of the whole global index in bytes
+    /// (Figure 13a: TARDIS keeps the entire sigTree, trading size for
+    /// routing speed).
+    pub fn mem_bytes(&self) -> usize {
+        self.tree.mem_bytes()
+            + self.leaf_pid.len() * (std::mem::size_of::<(NodeId, PartitionId)>() + 8)
+            + self
+                .node_pids
+                .values()
+                .map(|v| v.len() * std::mem::size_of::<PartitionId>() + 24)
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tardis_cluster::{encode_records, ClusterConfig};
+    use tardis_ts::TimeSeries;
+
+    /// Deterministic pseudo-random-walk record.
+    fn record(rid: u64, len: usize) -> Record {
+        let mut x = rid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut acc = 0.0f32;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc += ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+            v.push(acc);
+        }
+        tardis_ts::z_normalize_in_place(&mut v);
+        Record::new(rid, TimeSeries::new(v))
+    }
+
+    fn write_dataset(cluster: &Cluster, n: u64, per_block: usize) {
+        let blocks: Vec<Vec<u8>> = (0..n)
+            .collect::<Vec<u64>>()
+            .chunks(per_block)
+            .map(|chunk| {
+                let records: Vec<Record> = chunk.iter().map(|&rid| record(rid, 64)).collect();
+                encode_records(&records)
+            })
+            .collect();
+        cluster.dfs().write_blocks("data", blocks).unwrap();
+    }
+
+    fn test_cluster() -> Cluster {
+        Cluster::new(ClusterConfig {
+            n_workers: 4,
+            ..ClusterConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn small_config() -> TardisConfig {
+        TardisConfig {
+            g_max_size: 100,
+            l_max_size: 20,
+            sampling_fraction: 0.5,
+            ..TardisConfig::default()
+        }
+    }
+
+    #[test]
+    fn build_produces_partitions() {
+        let cluster = test_cluster();
+        write_dataset(&cluster, 2000, 100);
+        let g = TardisG::build(&cluster, "data", &small_config()).unwrap();
+        assert!(g.n_partitions() >= 2, "got {}", g.n_partitions());
+        assert!(g.sampled_records >= 900, "sampled {}", g.sampled_records);
+        assert!(g.tree().n_nodes() > 1);
+        assert!(g.mem_bytes() > 0);
+    }
+
+    #[test]
+    fn breakdown_times_are_recorded() {
+        let cluster = test_cluster();
+        write_dataset(&cluster, 500, 50);
+        let g = TardisG::build(&cluster, "data", &small_config()).unwrap();
+        let b = g.breakdown;
+        assert!(b.total() > Duration::ZERO);
+        assert!(b.sampling > Duration::ZERO);
+    }
+
+    #[test]
+    fn every_series_routes_to_a_valid_partition() {
+        let cluster = test_cluster();
+        write_dataset(&cluster, 1000, 100);
+        let g = TardisG::build(&cluster, "data", &small_config()).unwrap();
+        let n = g.n_partitions();
+        // Route *all* records (including unsampled ones) successfully.
+        for rid in 0..1000 {
+            let pid = g.partition_of_series(&record(rid, 64).ts).unwrap();
+            assert!((pid as usize) < n, "pid {pid} out of {n}");
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let cluster = test_cluster();
+        write_dataset(&cluster, 500, 50);
+        let g = TardisG::build(&cluster, "data", &small_config()).unwrap();
+        for rid in [0u64, 13, 99, 499] {
+            let ts = record(rid, 64).ts;
+            assert_eq!(
+                g.partition_of_series(&ts).unwrap(),
+                g.partition_of_series(&ts).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn same_build_same_seed_is_reproducible() {
+        let config = small_config();
+        let mk = || {
+            let cluster = test_cluster();
+            write_dataset(&cluster, 800, 80);
+            let g = TardisG::build(&cluster, "data", &config).unwrap();
+            let routes: Vec<PartitionId> = (0..100)
+                .map(|rid| g.partition_of_series(&record(rid, 64).ts).unwrap())
+                .collect();
+            (g.n_partitions(), routes)
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn sibling_partitions_contain_own_partition() {
+        let cluster = test_cluster();
+        write_dataset(&cluster, 2000, 100);
+        let g = TardisG::build(&cluster, "data", &small_config()).unwrap();
+        let mut checked = 0;
+        for rid in 0..50 {
+            let ts = record(rid, 64).ts;
+            let sig = g.converter().sig_of(&ts).unwrap();
+            let pid = g.partition_of(&sig);
+            let sibs = g.sibling_partitions(&sig);
+            if !sibs.is_empty() {
+                assert!(sibs.contains(&pid), "rid {rid}: {pid} not in {sibs:?}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no routable queries checked");
+    }
+
+    #[test]
+    fn estimated_sizes_cover_all_partitions() {
+        let cluster = test_cluster();
+        write_dataset(&cluster, 2000, 100);
+        let g = TardisG::build(&cluster, "data", &small_config()).unwrap();
+        let sizes = g.estimated_partition_sizes();
+        assert_eq!(sizes.len(), g.n_partitions());
+        assert!(sizes.iter().all(|&s| s > 0), "empty partition: {sizes:?}");
+        let total: u64 = sizes.iter().sum();
+        // Scaled estimate should be in the ballpark of the dataset size.
+        assert!((1000..=4000).contains(&total), "total estimate {total}");
+    }
+
+    #[test]
+    fn full_sampling_estimates_exact_total() {
+        let cluster = test_cluster();
+        write_dataset(&cluster, 600, 60);
+        let config = TardisConfig {
+            sampling_fraction: 1.0,
+            g_max_size: 50,
+            ..TardisConfig::default()
+        };
+        let g = TardisG::build(&cluster, "data", &config).unwrap();
+        assert_eq!(g.sampled_records, 600);
+        let total: u64 = g.estimated_partition_sizes().iter().sum();
+        assert_eq!(total, 600);
+    }
+
+    #[test]
+    fn bigger_gmax_means_fewer_partitions() {
+        let cluster = test_cluster();
+        write_dataset(&cluster, 2000, 100);
+        let small = TardisG::build(
+            &cluster,
+            "data",
+            &TardisConfig {
+                g_max_size: 50,
+                sampling_fraction: 1.0,
+                ..TardisConfig::default()
+            },
+        )
+        .unwrap();
+        let large = TardisG::build(
+            &cluster,
+            "data",
+            &TardisConfig {
+                g_max_size: 1000,
+                sampling_fraction: 1.0,
+                ..TardisConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            small.n_partitions() > large.n_partitions(),
+            "{} vs {}",
+            small.n_partitions(),
+            large.n_partitions()
+        );
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let cluster = test_cluster();
+        write_dataset(&cluster, 10, 10);
+        let bad = TardisConfig {
+            word_len: 5,
+            ..TardisConfig::default()
+        };
+        assert!(matches!(
+            TardisG::build(&cluster, "data", &bad),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_dataset_errors() {
+        let cluster = test_cluster();
+        assert!(matches!(
+            TardisG::build(&cluster, "nope", &small_config()),
+            Err(CoreError::Cluster(_))
+        ));
+    }
+}

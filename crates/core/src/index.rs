@@ -1,0 +1,655 @@
+//! The full TARDIS index: global + local construction pipeline (§IV,
+//! Figure 8) and the handle queries run against.
+//!
+//! Build pipeline:
+//!
+//! 1. Build [`TardisG`] from sampled statistics.
+//! 2. Broadcast it as the shuffle partitioner.
+//! 3. Read every dataset block in parallel, convert each record to
+//!    `(isaxt(b), ts, rid)`, and shuffle to its target partition.
+//! 4. Per partition (`mapPartition`): build the [`TardisL`] sigTree while
+//!    synchronously feeding the Bloom filter; persist the clustered
+//!    records (grouped leaf by leaf) and the filter to the DFS.
+//!
+//! The un-clustered variant persists `(signature, rid)` pairs instead of
+//! records; queries then fetch raw series from the original dataset file
+//! (random I/O, as the paper describes for DPiSAX's layout).
+
+use crate::config::TardisConfig;
+use crate::entry::{Entry, SigEntry};
+use crate::error::CoreError;
+use crate::global::{PartitionId, TardisG};
+use crate::local::TardisL;
+use std::time::{Duration, Instant};
+use tardis_bloom::BloomFilter;
+use tardis_cluster::{decode_records, encode_records, Broadcast, Cluster, Dataset};
+use tardis_ts::{Record, RecordId};
+
+/// Records per persisted partition block (a partition spans a handful of
+/// blocks, mirroring an HDFS file).
+const PARTITION_BLOCK_RECORDS: usize = 2048;
+
+/// Per-partition metadata kept on the master.
+#[derive(Debug, Clone)]
+pub struct PartitionMeta {
+    /// Partition id.
+    pub pid: PartitionId,
+    /// Records stored.
+    pub n_records: u64,
+    /// DFS file holding the partition's blocks.
+    pub file: String,
+    /// DFS file holding the Bloom filter.
+    pub bloom_file: String,
+    /// Structure-only local-index size in bytes (Figure 13b).
+    pub index_bytes: usize,
+    /// Bloom filter size in bytes (§VI-B1's ~66 KB per partition).
+    pub bloom_bytes: usize,
+}
+
+/// Timings and sizes of a full index build.
+#[derive(Debug, Clone, Default)]
+pub struct BuildReport {
+    /// Global-index step timings (Figure 11).
+    pub global: crate::global::GlobalBuildBreakdown,
+    /// Read + convert time — the step the paper singles out ("TARDIS
+    /// takes 66 mins to read and convert data for 1 billion dataset,
+    /// whereas the baseline takes 2007 mins", §VI-B1).
+    pub read_convert: Duration,
+    /// Partitioner routing + shuffle time.
+    pub shuffle: Duration,
+    /// Local tree + Bloom construction and persistence time.
+    pub local_build: Duration,
+    /// Records indexed.
+    pub n_records: u64,
+    /// Partitions created.
+    pub n_partitions: usize,
+    /// Global index size in bytes (Figure 13a).
+    pub global_index_bytes: usize,
+    /// Total local index size in bytes (Figure 13b).
+    pub local_index_bytes: usize,
+    /// Total Bloom filter bytes (Figure 12).
+    pub bloom_bytes: usize,
+}
+
+impl BuildReport {
+    /// End-to-end construction time.
+    pub fn total_time(&self) -> Duration {
+        self.global.total() + self.read_convert + self.shuffle + self.local_build
+    }
+}
+
+/// The built index handle.
+pub struct TardisIndex {
+    config: TardisConfig,
+    global: TardisG,
+    parts: Vec<PartitionMeta>,
+    /// In-memory Bloom filters (when `config.bloom_in_memory`).
+    blooms: Vec<Option<BloomFilter>>,
+    /// The original dataset file (used by the un-clustered layout to
+    /// fetch raw series).
+    dataset_file: String,
+    /// Original dataset block size in records (for rid → block lookup).
+    dataset_block_records: usize,
+}
+
+impl TardisIndex {
+    /// Builds the complete index over the dataset in DFS file
+    /// `dataset_file`.
+    ///
+    /// # Errors
+    /// Propagates configuration, DFS, and representation errors.
+    pub fn build(
+        cluster: &Cluster,
+        dataset_file: &str,
+        config: &TardisConfig,
+    ) -> Result<(TardisIndex, BuildReport), CoreError> {
+        config.validate()?;
+        let mut report = BuildReport::default();
+
+        // ---- Step 1: global index. ----
+        let global = TardisG::build(cluster, dataset_file, config)?;
+        report.global = global.breakdown;
+        report.global_index_bytes = global.mem_bytes();
+        let n_partitions = global.n_partitions();
+
+        // ---- Step 2: broadcast the partitioner. ----
+        let partitioner = Broadcast::new(global, report.global_index_bytes, cluster.metrics());
+
+        // ---- Step 3: read + convert + shuffle. ----
+        let t0 = Instant::now();
+        let block_ids = cluster.dfs().list_blocks(dataset_file)?;
+        let converter = *partitioner.converter();
+        let per_block: Vec<Result<Vec<Entry>, CoreError>> =
+            cluster.pool().par_map(block_ids.clone(), |id| {
+                let bytes = cluster.dfs().read_block(&id)?;
+                let records: Vec<Record> = decode_records(&bytes)?;
+                cluster.metrics().record_task();
+                records
+                    .into_iter()
+                    .map(|r| Ok(Entry::new(converter.sig_of(&r.ts)?, r)))
+                    .collect()
+            });
+        let mut partitions_in = Vec::with_capacity(per_block.len());
+        let mut n_records = 0u64;
+        let mut dataset_block_records = 0usize;
+        for block in per_block {
+            let entries = block?;
+            dataset_block_records = dataset_block_records.max(entries.len());
+            n_records += entries.len() as u64;
+            partitions_in.push(entries);
+        }
+        report.read_convert = t0.elapsed();
+        let t_shuffle = Instant::now();
+        let shuffled = Dataset::from_partitions(partitions_in).shuffle(
+            cluster.pool(),
+            cluster.metrics(),
+            n_partitions,
+            |e: &Entry| partitioner.partition_of(&e.sig) as usize,
+        );
+        report.shuffle = t_shuffle.elapsed();
+        report.n_records = n_records;
+        report.n_partitions = n_partitions;
+
+        // ---- Step 4: per-partition local construction (mapPartition). ----
+        let t1 = Instant::now();
+        let inputs: Vec<(PartitionId, Vec<Entry>)> = shuffled
+            .into_partitions()
+            .into_iter()
+            .enumerate()
+            .map(|(pid, entries)| (pid as PartitionId, entries))
+            .collect();
+        let built: Vec<Result<(PartitionMeta, Option<BloomFilter>), CoreError>> = cluster
+            .pool()
+            .par_map(inputs, |(pid, entries)| {
+                cluster.metrics().record_task();
+                build_partition(cluster, config, pid, entries)
+            });
+        let mut parts = Vec::with_capacity(built.len());
+        let mut blooms = Vec::with_capacity(built.len());
+        for item in built {
+            let (meta, bloom) = item?;
+            report.local_index_bytes += meta.index_bytes;
+            report.bloom_bytes += meta.bloom_bytes;
+            parts.push(meta);
+            blooms.push(bloom);
+        }
+        report.local_build = t1.elapsed();
+
+        let global = partitioner.value().clone();
+
+        Ok((
+            TardisIndex {
+                config: config.clone(),
+                global,
+                parts,
+                blooms,
+                dataset_file: dataset_file.to_string(),
+                dataset_block_records: dataset_block_records.max(1),
+            },
+            report,
+        ))
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &TardisConfig {
+        &self.config
+    }
+
+    /// The global index.
+    pub fn global(&self) -> &TardisG {
+        &self.global
+    }
+
+    /// Partition metadata, indexed by pid.
+    pub fn partitions(&self) -> &[PartitionMeta] {
+        &self.parts
+    }
+
+    /// Number of partitions.
+    pub fn n_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Tests the Bloom filter of partition `pid` for a signature:
+    /// `Ok(false)` means definitely absent. Reads the filter from DFS when
+    /// not memory-resident.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownPartition`] or DFS errors.
+    pub fn bloom_test(
+        &self,
+        cluster: &Cluster,
+        pid: PartitionId,
+        sig_nibbles: &[u8],
+    ) -> Result<bool, CoreError> {
+        let meta = self
+            .parts
+            .get(pid as usize)
+            .ok_or(CoreError::UnknownPartition { pid })?;
+        if !self.config.bloom_enabled {
+            // No filters exist: behave like the non-Bloom variant.
+            return Ok(true);
+        }
+        if let Some(Some(filter)) = self.blooms.get(pid as usize) {
+            return Ok(filter.contains(sig_nibbles));
+        }
+        // Read from DFS (small, single block).
+        let blocks = cluster.dfs().list_blocks(&meta.bloom_file)?;
+        let bytes = cluster.dfs().read_block(&blocks[0])?;
+        let filter = BloomFilter::from_bytes(&bytes).ok_or(CoreError::Cluster(
+            tardis_cluster::ClusterError::Codec {
+                context: "bloom filter",
+            },
+        ))?;
+        Ok(filter.contains(sig_nibbles))
+    }
+
+    /// Loads a partition from DFS and rebuilds its local index (the
+    /// query-time "load the partition and traverse the Tardis-L" step).
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownPartition`] or DFS/decoding errors.
+    pub fn load_partition(
+        &self,
+        cluster: &Cluster,
+        pid: PartitionId,
+    ) -> Result<TardisL, CoreError> {
+        let meta = self
+            .parts
+            .get(pid as usize)
+            .ok_or(CoreError::UnknownPartition { pid })?;
+        if self.config.clustered {
+            // Entries carry their signatures on disk: no reconversion.
+            let mut entries = Vec::with_capacity(meta.n_records as usize);
+            for id in cluster.dfs().list_blocks(&meta.file)? {
+                let bytes = cluster.dfs().read_block(&id)?;
+                entries.extend(decode_records::<Entry>(&bytes)?);
+            }
+            Ok(TardisL::build(entries, &self.config, None))
+        } else {
+            // Un-clustered: load (sig, rid) pairs, then fetch raw series
+            // from the original dataset via random block reads.
+            let mut sig_entries: Vec<SigEntry> = Vec::with_capacity(meta.n_records as usize);
+            for id in cluster.dfs().list_blocks(&meta.file)? {
+                let bytes = cluster.dfs().read_block(&id)?;
+                sig_entries.extend(decode_records::<SigEntry>(&bytes)?);
+            }
+            let records = self.fetch_records(cluster, sig_entries.iter().map(|e| e.rid))?;
+            let entries = sig_entries
+                .into_iter()
+                .zip(records)
+                .map(|(se, record)| Entry::new(se.sig, record))
+                .collect();
+            Ok(TardisL::build(entries, &self.config, None))
+        }
+    }
+
+    /// Fetches raw records by id from the original dataset file (the
+    /// un-clustered layout's "expensive random I/O" refine path). Blocks
+    /// are read once each even when several rids share one.
+    ///
+    /// # Errors
+    /// DFS/decoding errors; silently skips rids beyond the dataset.
+    pub fn fetch_records(
+        &self,
+        cluster: &Cluster,
+        rids: impl Iterator<Item = RecordId>,
+    ) -> Result<Vec<Record>, CoreError> {
+        use std::collections::HashMap;
+        let per_block = self.dataset_block_records as u64;
+        let mut wanted: Vec<RecordId> = rids.collect();
+        let mut by_block: HashMap<u32, Vec<RecordId>> = HashMap::new();
+        for &rid in &wanted {
+            by_block.entry((rid / per_block) as u32).or_default().push(rid);
+        }
+        let mut found: HashMap<RecordId, Record> = HashMap::new();
+        for (block, rids) in by_block {
+            let id = tardis_cluster::BlockId::new(self.dataset_file.clone(), block);
+            let bytes = cluster.dfs().read_block(&id)?;
+            let records: Vec<Record> = decode_records(&bytes)?;
+            for r in records {
+                if rids.contains(&r.rid) {
+                    found.insert(r.rid, r);
+                }
+            }
+        }
+        // Preserve request order (duplicates allowed: cloned per request).
+        wanted.retain(|rid| found.contains_key(rid));
+        Ok(wanted
+            .into_iter()
+            .map(|rid| found.get(&rid).cloned().expect("retained"))
+            .collect())
+    }
+
+    /// Appends new records to the built index incrementally (an extension
+    /// beyond the paper's batch-only design): each record is routed by
+    /// the existing global index, appended to its partition's DFS file,
+    /// and inserted into the partition's Bloom filter, which is
+    /// re-persisted. The global skeleton is *not* re-balanced — like any
+    /// sampled partitioning, heavy sustained skew eventually calls for a
+    /// rebuild — but counts are updated so target-node selection stays
+    /// meaningful.
+    ///
+    /// Clustered layout only.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidConfig`] for un-clustered indexes; conversion
+    /// and DFS errors otherwise.
+    pub fn insert_batch(
+        &mut self,
+        cluster: &Cluster,
+        records: Vec<Record>,
+    ) -> Result<(), CoreError> {
+        if !self.config.clustered {
+            return Err(CoreError::InvalidConfig {
+                reason: "incremental insert requires the clustered layout".into(),
+            });
+        }
+        let converter = *self.global.converter();
+        // Route and group by partition.
+        let mut by_pid: std::collections::HashMap<PartitionId, Vec<(Entry, ())>> =
+            std::collections::HashMap::new();
+        for record in records {
+            let sig = converter.sig_of(&record.ts)?;
+            let pid = self.global.partition_of(&sig);
+            by_pid
+                .entry(pid)
+                .or_default()
+                .push((Entry::new(sig, record), ()));
+        }
+        for (pid, entries) in by_pid {
+            let meta = self
+                .parts
+                .get(pid as usize)
+                .ok_or(CoreError::UnknownPartition { pid })?
+                .clone();
+            // Append one block with the new entries (clustered layout).
+            let new_entries: Vec<Entry> =
+                entries.iter().map(|(e, _)| e.clone()).collect();
+            cluster
+                .dfs()
+                .append_block(&meta.file, &encode_records(&new_entries))?;
+            // Update and re-persist the Bloom filter.
+            if self.config.bloom_enabled {
+                let mut filter = match self.blooms.get(pid as usize).and_then(Option::as_ref) {
+                    Some(f) => f.clone(),
+                    None => {
+                        let blocks = cluster.dfs().list_blocks(&meta.bloom_file)?;
+                        let bytes = cluster.dfs().read_block(&blocks[0])?;
+                        BloomFilter::from_bytes(&bytes).ok_or(CoreError::Cluster(
+                            tardis_cluster::ClusterError::Codec {
+                                context: "bloom filter",
+                            },
+                        ))?
+                    }
+                };
+                for (entry, _) in &entries {
+                    filter.insert(entry.sig.nibbles());
+                }
+                cluster.dfs().delete_file(&meta.bloom_file)?;
+                cluster
+                    .dfs()
+                    .append_block(&meta.bloom_file, &filter.to_bytes())?;
+                if self.config.bloom_in_memory {
+                    self.blooms[pid as usize] = Some(filter);
+                }
+            }
+            // Update partition metadata.
+            self.parts[pid as usize].n_records += entries.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Persists the index manifest (configuration, global index, and
+    /// partition metadata) to the DFS file `name`, so the index can be
+    /// reopened with [`Self::open`] without rebuilding. Partition data and
+    /// Bloom filters are already on the DFS from the build.
+    ///
+    /// # Errors
+    /// Propagates DFS errors.
+    pub fn save(&self, cluster: &Cluster, name: &str) -> Result<(), CoreError> {
+        use bytes::BufMut;
+        let mut buf = bytes::BytesMut::new();
+        // Config.
+        buf.put_u16_le(self.config.word_len as u16);
+        buf.put_u8(self.config.initial_card_bits);
+        buf.put_u64_le(self.config.g_max_size as u64);
+        buf.put_u64_le(self.config.l_max_size as u64);
+        buf.put_f64_le(self.config.sampling_fraction);
+        buf.put_u32_le(self.config.pth as u32);
+        buf.put_f64_le(self.config.bloom_fpp);
+        buf.put_u8(self.config.bloom_enabled as u8);
+        buf.put_u8(self.config.bloom_in_memory as u8);
+        buf.put_u8(self.config.clustered as u8);
+        buf.put_u64_le(self.config.seed);
+        // Dataset linkage.
+        put_str(&mut buf, &self.dataset_file);
+        buf.put_u64_le(self.dataset_block_records as u64);
+        // Global index.
+        let global = self.global.to_bytes();
+        buf.put_u32_le(global.len() as u32);
+        buf.put_slice(&global);
+        // Partitions.
+        buf.put_u32_le(self.parts.len() as u32);
+        for meta in &self.parts {
+            buf.put_u32_le(meta.pid);
+            buf.put_u64_le(meta.n_records);
+            put_str(&mut buf, &meta.file);
+            put_str(&mut buf, &meta.bloom_file);
+            buf.put_u64_le(meta.index_bytes as u64);
+            buf.put_u64_le(meta.bloom_bytes as u64);
+        }
+        // Integrity checksum over the whole manifest.
+        let checksum = tardis_bloom::fnv1a_64(&buf);
+        buf.put_u64_le(checksum);
+        cluster.dfs().delete_file(name)?;
+        cluster.dfs().append_block(name, &buf)?;
+        Ok(())
+    }
+
+    /// Reopens an index previously persisted with [`Self::save`].
+    /// Bloom filters are reloaded into memory when the saved configuration
+    /// asked for residency.
+    ///
+    /// # Errors
+    /// Propagates DFS errors; malformed manifests yield codec errors.
+    pub fn open(cluster: &Cluster, name: &str) -> Result<TardisIndex, CoreError> {
+        use bytes::Buf;
+        fn codec_err(context: &'static str) -> CoreError {
+            CoreError::Cluster(tardis_cluster::ClusterError::Codec { context })
+        }
+        let blocks = cluster.dfs().list_blocks(name)?;
+        let bytes = cluster
+            .dfs()
+            .read_block(blocks.first().ok_or_else(|| codec_err("empty manifest"))?)?;
+        if bytes.len() < 8 {
+            return Err(codec_err("manifest too short"));
+        }
+        let (payload, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+        if tardis_bloom::fnv1a_64(payload) != stored {
+            return Err(codec_err("manifest checksum mismatch"));
+        }
+        let mut buf = payload;
+        if buf.len() < 2 + 1 + 8 + 8 + 8 + 4 + 8 + 3 + 8 {
+            return Err(codec_err("manifest header"));
+        }
+        let config = TardisConfig {
+            word_len: buf.get_u16_le() as usize,
+            initial_card_bits: buf.get_u8(),
+            g_max_size: buf.get_u64_le() as usize,
+            l_max_size: buf.get_u64_le() as usize,
+            sampling_fraction: buf.get_f64_le(),
+            pth: buf.get_u32_le() as usize,
+            bloom_fpp: buf.get_f64_le(),
+            bloom_enabled: buf.get_u8() != 0,
+            bloom_in_memory: buf.get_u8() != 0,
+            clustered: buf.get_u8() != 0,
+            seed: buf.get_u64_le(),
+        };
+        config.validate()?;
+        let dataset_file = get_str(&mut buf).ok_or_else(|| codec_err("dataset file"))?;
+        if buf.len() < 8 + 4 {
+            return Err(codec_err("dataset block size"));
+        }
+        let dataset_block_records = buf.get_u64_le() as usize;
+        let global_len = buf.get_u32_le() as usize;
+        if buf.len() < global_len {
+            return Err(codec_err("global index body"));
+        }
+        let global = TardisG::from_bytes(&buf[..global_len])?;
+        buf.advance(global_len);
+        if buf.len() < 4 {
+            return Err(codec_err("partition table header"));
+        }
+        let n_parts = buf.get_u32_le() as usize;
+        let mut parts = Vec::with_capacity(n_parts);
+        for _ in 0..n_parts {
+            if buf.len() < 12 {
+                return Err(codec_err("partition header"));
+            }
+            let pid = buf.get_u32_le();
+            let n_records = buf.get_u64_le();
+            let file = get_str(&mut buf).ok_or_else(|| codec_err("partition file"))?;
+            let bloom_file = get_str(&mut buf).ok_or_else(|| codec_err("bloom file"))?;
+            if buf.len() < 16 {
+                return Err(codec_err("partition sizes"));
+            }
+            let index_bytes = buf.get_u64_le() as usize;
+            let bloom_bytes = buf.get_u64_le() as usize;
+            parts.push(PartitionMeta {
+                pid,
+                n_records,
+                file,
+                bloom_file,
+                index_bytes,
+                bloom_bytes,
+            });
+        }
+        if !buf.is_empty() {
+            return Err(codec_err("trailing manifest bytes"));
+        }
+        // Reload Bloom filters when configured resident.
+        let mut blooms = Vec::with_capacity(parts.len());
+        for meta in &parts {
+            if config.bloom_enabled && config.bloom_in_memory {
+                let b = cluster.dfs().list_blocks(&meta.bloom_file)?;
+                let bytes = cluster.dfs().read_block(&b[0])?;
+                let filter =
+                    BloomFilter::from_bytes(&bytes).ok_or_else(|| codec_err("bloom filter"))?;
+                blooms.push(Some(filter));
+            } else {
+                blooms.push(None);
+            }
+        }
+        Ok(TardisIndex {
+            config,
+            global,
+            parts,
+            blooms,
+            dataset_file,
+            dataset_block_records,
+        })
+    }
+
+    /// Total Bloom-filter memory currently resident (0 when filters live
+    /// on disk only).
+    pub fn resident_bloom_bytes(&self) -> usize {
+        self.blooms
+            .iter()
+            .flatten()
+            .map(BloomFilter::mem_bytes)
+            .sum()
+    }
+}
+
+/// Appends a length-prefixed UTF-8 string.
+fn put_str(buf: &mut bytes::BytesMut, s: &str) {
+    use bytes::BufMut;
+    buf.put_u16_le(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Reads a length-prefixed UTF-8 string; `None` on malformed input.
+fn get_str(buf: &mut &[u8]) -> Option<String> {
+    use bytes::Buf;
+    if buf.len() < 2 {
+        return None;
+    }
+    let len = buf.get_u16_le() as usize;
+    if buf.len() < len {
+        return None;
+    }
+    let s = std::str::from_utf8(&buf[..len]).ok()?.to_string();
+    buf.advance(len);
+    Some(s)
+}
+
+/// Builds, persists, and summarizes one partition.
+fn build_partition(
+    cluster: &Cluster,
+    config: &TardisConfig,
+    pid: PartitionId,
+    entries: Vec<Entry>,
+) -> Result<(PartitionMeta, Option<BloomFilter>), CoreError> {
+    let part_file = format!("part-{pid:05}");
+    let bloom_file = format!("bloom-{pid:05}");
+    let n_records = entries.len() as u64;
+
+    let mut bloom = config
+        .bloom_enabled
+        .then(|| BloomFilter::with_capacity(entries.len().max(16), config.bloom_fpp));
+    let local = TardisL::build(entries, config, bloom.as_mut());
+    let index_bytes = local.index_mem_bytes();
+    let bloom_bytes = bloom.as_ref().map(BloomFilter::mem_bytes).unwrap_or(0);
+
+    // Persist the partition, clustered leaf by leaf. The clustered layout
+    // stores full entries — `(isaxt(b), ts, rid)` as in Figure 8 — so
+    // reloading a partition skips signature reconversion.
+    cluster.dfs().delete_file(&part_file)?;
+    if config.clustered {
+        let ordered: Vec<Entry> = local
+            .clustered_entries()
+            .into_iter()
+            .cloned()
+            .collect();
+        for chunk in ordered.chunks(PARTITION_BLOCK_RECORDS.max(1)) {
+            cluster.dfs().append_block(&part_file, &encode_records(chunk))?;
+        }
+        if ordered.is_empty() {
+            cluster
+                .dfs()
+                .append_block(&part_file, &encode_records::<Entry>(&[]))?;
+        }
+    } else {
+        let ordered: Vec<SigEntry> = local
+            .clustered_entries()
+            .into_iter()
+            .map(|e| SigEntry::new(e.sig.clone(), e.rid()))
+            .collect();
+        for chunk in ordered.chunks(PARTITION_BLOCK_RECORDS.max(1)) {
+            cluster.dfs().append_block(&part_file, &encode_records(chunk))?;
+        }
+        if ordered.is_empty() {
+            cluster
+                .dfs()
+                .append_block(&part_file, &encode_records::<SigEntry>(&[]))?;
+        }
+    }
+    // Persist the Bloom filter (single small block).
+    if let Some(filter) = &bloom {
+        cluster.dfs().delete_file(&bloom_file)?;
+        cluster.dfs().append_block(&bloom_file, &filter.to_bytes())?;
+    }
+
+    let meta = PartitionMeta {
+        pid,
+        n_records,
+        file: part_file,
+        bloom_file,
+        index_bytes,
+        bloom_bytes,
+    };
+    let resident = if config.bloom_in_memory { bloom } else { None };
+    Ok((meta, resident))
+}

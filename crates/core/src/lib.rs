@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! **tardis-core** — the TARDIS distributed time-series indexing framework
+//! (the paper's primary contribution, §IV–§V).
+//!
+//! TARDIS is a two-level index over massive time-series datasets:
+//!
+//! * **Tardis-G** ([`global::TardisG`]) — one centralized global sigTree on
+//!   the master, built from block-level sampled `(iSAX-T, frequency)`
+//!   statistics; its leaves name the data partitions produced by FFD
+//!   packing of sibling leaves (§IV-B).
+//! * **Tardis-L** ([`local::TardisL`]) — one local sigTree per partition,
+//!   built in parallel after the global index repartitions (clusters) the
+//!   data; each partition also carries a Bloom filter over signatures for
+//!   exact-match short-circuiting (§IV-C).
+//!
+//! Queries (§V):
+//!
+//! * **Exact match** ([`query::exact`]) — global route → Bloom test →
+//!   partition load → local traversal → bitwise comparison; the Bloom
+//!   filter eliminates partition loads for absent queries.
+//! * **kNN approximate** ([`query::knn`]) — three strategies of increasing
+//!   candidate scope and accuracy: *Target Node Access*, *One Partition
+//!   Access*, and *Multi-Partitions Access* (Algorithm 1), the latter two
+//!   pruning with the iSAX-T lower-bound distance.
+//!
+//! Ground truth and quality metrics (recall, error ratio) live in
+//! [`eval`].
+
+pub mod config;
+pub mod convert;
+pub mod entry;
+pub mod error;
+pub mod eval;
+pub mod global;
+pub mod index;
+pub mod local;
+pub mod packing;
+pub mod query;
+
+pub use config::TardisConfig;
+pub use convert::Converter;
+pub use entry::{Entry, SigEntry};
+pub use error::CoreError;
+pub use eval::{error_ratio, ground_truth_knn, recall, Neighbor};
+pub use global::{GlobalBuildBreakdown, PartitionId, TardisG};
+pub use index::{BuildReport, TardisIndex};
+pub use local::TardisL;
+pub use query::batch::{exact_match_batch, knn_batch};
+pub use query::exact::{exact_match, ExactMatchOutcome, ExactMatchStats};
+pub use query::exact_knn::{exact_knn, ExactKnnAnswer};
+pub use query::range::{range_query, RangeAnswer};
+pub use query::knn::{knn_approximate, KnnAnswer, KnnStrategy};

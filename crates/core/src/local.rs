@@ -1,0 +1,376 @@
+//! **Tardis-L** — the per-partition local index (§IV-C).
+//!
+//! Each partition of the clustered layout carries a sigTree whose leaves
+//! hold the actual time-series entries, plus a Bloom filter over the
+//! entries' iSAX-T signatures, generated synchronously with the tree:
+//! inserting an entry both routes it to its leaf and encodes `isaxt(b)`
+//! into the filter.
+
+use crate::config::TardisConfig;
+use crate::convert::Converter;
+use crate::entry::Entry;
+use crate::error::CoreError;
+use tardis_bloom::BloomFilter;
+use tardis_isax::{mindist_paa_sigt, SigT};
+use tardis_sigtree::{Descend, NodeId, SigTree, SigTreeConfig};
+use tardis_ts::{RecordId, TimeSeries};
+
+/// The local index of one partition.
+#[derive(Debug, Clone)]
+pub struct TardisL {
+    tree: SigTree<Entry>,
+    series_len: usize,
+}
+
+impl TardisL {
+    /// Builds the local index over a partition's entries, synchronously
+    /// feeding the Bloom filter when one is supplied (the `mapPartition`
+    /// step of Figure 8).
+    pub fn build(
+        entries: Vec<Entry>,
+        config: &TardisConfig,
+        mut bloom: Option<&mut BloomFilter>,
+    ) -> TardisL {
+        let mut tree = SigTree::new(SigTreeConfig::storing(
+            config.word_len,
+            config.initial_card_bits,
+            config.l_max_size,
+        ));
+        let series_len = entries.first().map(|e| e.record.ts.len()).unwrap_or(0);
+        for entry in entries {
+            if let Some(filter) = bloom.as_deref_mut() {
+                filter.insert(entry.sig.nibbles());
+            }
+            tree.insert(entry);
+        }
+        TardisL { tree, series_len }
+    }
+
+    /// The underlying sigTree (read-only).
+    pub fn tree(&self) -> &SigTree<Entry> {
+        &self.tree
+    }
+
+    /// Number of entries indexed.
+    pub fn len(&self) -> usize {
+        self.tree.total_count() as usize
+    }
+
+    /// Whether the partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Length of the indexed series (0 for an empty partition).
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// Exact lookup: descends to the covering leaf and returns the record
+    /// ids whose series equal `query` bit-for-bit (§V-A step 4).
+    pub fn lookup_exact(&self, sig: &SigT, query: &TimeSeries) -> Vec<RecordId> {
+        match self.tree.descend(sig) {
+            Descend::Leaf(leaf) => self
+                .tree
+                .node(leaf)
+                .items
+                .iter()
+                .filter(|e| e.record.ts.exact_eq(query))
+                .map(|e| e.rid())
+                .collect(),
+            Descend::NoChild(_) => Vec::new(),
+        }
+    }
+
+    /// The *target node* for a kNN query: deepest node on `sig`'s path
+    /// holding at least `k` entries (§V-B).
+    pub fn target_node(&self, sig: &SigT, k: usize) -> NodeId {
+        self.tree.target_node(sig, k)
+    }
+
+    /// All entries under a node (the Target Node Access candidate set).
+    pub fn candidates_under(&self, node: NodeId) -> Vec<&Entry> {
+        self.tree.subtree_items(node)
+    }
+
+    /// Lower-bound pruning scan (One Partition Access, §V-B): collects
+    /// every entry in nodes whose `MINDIST(query PAA, node signature)` does
+    /// not exceed `threshold`. The per-entry signatures are *not*
+    /// re-checked (the paper prunes at node granularity; the refine step
+    /// computes true distances anyway).
+    ///
+    /// # Errors
+    /// Propagates representation errors (mismatched word length).
+    pub fn prune_scan(
+        &self,
+        query_paa: &[f64],
+        series_len: usize,
+        threshold: f64,
+    ) -> Result<Vec<&Entry>, CoreError> {
+        let mut error: Option<CoreError> = None;
+        let mut out = Vec::new();
+        self.tree.prune_walk(
+            |node| {
+                if error.is_some() {
+                    return false;
+                }
+                match mindist_paa_sigt(query_paa, &node.sig, series_len) {
+                    Ok(d) => d <= threshold,
+                    Err(e) => {
+                        error = Some(e.into());
+                        false
+                    }
+                }
+            },
+            |_, node| out.extend(node.items.iter()),
+        );
+        match error {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    /// Structure-only size in bytes, excluding the stored series payloads
+    /// (Figure 13b's "local index which excludes indexed data").
+    pub fn index_mem_bytes(&self) -> usize {
+        // Semantic size: node structures (packed signatures + links) plus
+        // one packed entry header per record — the iSAX-T signature at
+        // `w·b` bits and the record id — excluding the series payloads
+        // (the data). This matches what Figure 13(b) compares: TARDIS
+        // stores 8×6 = 48 signature bits per entry, the baseline 8×9 = 72.
+        let per_entry: usize = self
+            .tree
+            .subtree_items(self.tree.root())
+            .iter()
+            .map(|e| e.sig.nibbles().len().div_ceil(2) + 8)
+            .sum();
+        self.tree.mem_bytes() + per_entry
+    }
+
+    /// Clustered serialization order: entries grouped leaf by leaf, so
+    /// that similar series are adjacent on disk.
+    pub fn clustered_entries(&self) -> Vec<&Entry> {
+        let mut out = Vec::with_capacity(self.len());
+        for leaf in self.tree.subtree_leaves(self.tree.root()) {
+            out.extend(self.tree.node(leaf).items.iter());
+        }
+        out
+    }
+
+    /// Rebuilds a local index from a loaded partition's records
+    /// (signatures recomputed with the index converter).
+    ///
+    /// # Errors
+    /// Propagates conversion errors.
+    pub fn from_records(
+        records: Vec<tardis_ts::Record>,
+        config: &TardisConfig,
+        converter: &Converter,
+    ) -> Result<TardisL, CoreError> {
+        let entries = records
+            .into_iter()
+            .map(|r| Ok(Entry::new(converter.sig_of(&r.ts)?, r)))
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        Ok(TardisL::build(entries, config, None))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tardis_bloom::BloomFilter;
+    use tardis_ts::Record;
+
+    fn series(rid: u64) -> TimeSeries {
+        let mut x = rid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut acc = 0.0f32;
+        let mut v = Vec::with_capacity(64);
+        for _ in 0..64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc += ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+            v.push(acc);
+        }
+        tardis_ts::z_normalize_in_place(&mut v);
+        TimeSeries::new(v)
+    }
+
+    fn config() -> TardisConfig {
+        TardisConfig {
+            l_max_size: 10,
+            ..TardisConfig::default()
+        }
+    }
+
+    fn entries(n: u64) -> Vec<Entry> {
+        let conv = Converter::new(&config());
+        (0..n)
+            .map(|rid| {
+                let ts = series(rid);
+                Entry::new(conv.sig_of(&ts).unwrap(), Record::new(rid, ts))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_indexes_everything() {
+        let l = TardisL::build(entries(200), &config(), None);
+        assert_eq!(l.len(), 200);
+        assert_eq!(l.series_len(), 64);
+        assert!(!l.is_empty());
+        l.tree().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn empty_partition() {
+        let l = TardisL::build(Vec::new(), &config(), None);
+        assert!(l.is_empty());
+        assert_eq!(l.series_len(), 0);
+        assert!(l.clustered_entries().is_empty());
+    }
+
+    #[test]
+    fn bloom_is_fed_synchronously() {
+        let mut bloom = BloomFilter::with_capacity(300, 0.01);
+        let es = entries(100);
+        let sigs: Vec<SigT> = es.iter().map(|e| e.sig.clone()).collect();
+        let _l = TardisL::build(es, &config(), Some(&mut bloom));
+        assert_eq!(bloom.items(), 100);
+        for sig in &sigs {
+            assert!(bloom.contains(sig.nibbles()), "no false negatives");
+        }
+    }
+
+    #[test]
+    fn lookup_exact_finds_member() {
+        let cfg = config();
+        let conv = Converter::new(&cfg);
+        let l = TardisL::build(entries(150), &cfg, None);
+        for rid in [0u64, 7, 149] {
+            let q = series(rid);
+            let sig = conv.sig_of(&q).unwrap();
+            let found = l.lookup_exact(&sig, &q);
+            assert_eq!(found, vec![rid]);
+        }
+    }
+
+    #[test]
+    fn lookup_exact_misses_absent() {
+        let cfg = config();
+        let conv = Converter::new(&cfg);
+        let l = TardisL::build(entries(100), &cfg, None);
+        let q = series(10_000);
+        let sig = conv.sig_of(&q).unwrap();
+        assert!(l.lookup_exact(&sig, &q).is_empty());
+    }
+
+    #[test]
+    fn target_node_candidates_cover_k() {
+        let cfg = config();
+        let conv = Converter::new(&cfg);
+        let l = TardisL::build(entries(200), &cfg, None);
+        let q = series(3);
+        let sig = conv.sig_of(&q).unwrap();
+        for k in [1usize, 5, 50] {
+            let node = l.target_node(&sig, k);
+            let cands = l.candidates_under(node);
+            assert!(
+                cands.len() >= k || node == l.tree().root(),
+                "k={k}: {} candidates",
+                cands.len()
+            );
+        }
+    }
+
+    #[test]
+    fn prune_scan_threshold_inf_returns_all() {
+        let cfg = config();
+        let conv = Converter::new(&cfg);
+        let l = TardisL::build(entries(120), &cfg, None);
+        let q = series(5);
+        let paa = conv.paa_of(&q).unwrap();
+        let all = l.prune_scan(&paa, 64, f64::INFINITY).unwrap();
+        assert_eq!(all.len(), 120);
+    }
+
+    #[test]
+    fn prune_scan_never_drops_entries_within_threshold() {
+        // Soundness: any entry whose true distance ≤ threshold must
+        // survive pruning (lower-bound property at node level).
+        let cfg = config();
+        let conv = Converter::new(&cfg);
+        let es = entries(150);
+        let l = TardisL::build(es.clone(), &cfg, None);
+        let q = series(42);
+        let paa = conv.paa_of(&q).unwrap();
+        let threshold = 6.0;
+        let kept: std::collections::HashSet<u64> = l
+            .prune_scan(&paa, 64, threshold)
+            .unwrap()
+            .iter()
+            .map(|e| e.rid())
+            .collect();
+        for e in &es {
+            let d = tardis_ts::squared_euclidean(q.values(), e.record.ts.values()).sqrt();
+            if d <= threshold {
+                assert!(kept.contains(&e.rid()), "rid {} dropped (d={d})", e.rid());
+            }
+        }
+    }
+
+    #[test]
+    fn prune_scan_tight_threshold_prunes_something() {
+        let cfg = config();
+        let conv = Converter::new(&cfg);
+        let l = TardisL::build(entries(300), &cfg, None);
+        let q = series(1);
+        let paa = conv.paa_of(&q).unwrap();
+        let kept = l.prune_scan(&paa, 64, 1.0).unwrap();
+        assert!(kept.len() < 300, "nothing pruned");
+    }
+
+    #[test]
+    fn clustered_entries_keep_leaf_adjacency() {
+        let cfg = config();
+        let l = TardisL::build(entries(150), &cfg, None);
+        let clustered = l.clustered_entries();
+        assert_eq!(clustered.len(), 150);
+        // Entries of the same leaf are contiguous: the sequence of leaf
+        // signatures (prefix of each entry sig at each leaf's layer) never
+        // revisits an earlier leaf.
+        let leaves = l.tree().subtree_leaves(l.tree().root());
+        let mut seen = std::collections::HashSet::new();
+        let mut current: Option<NodeId> = None;
+        let mut idx = 0usize;
+        for leaf in leaves {
+            let n = l.tree().node(leaf).items.len();
+            if n == 0 {
+                continue;
+            }
+            assert!(seen.insert(leaf), "leaf revisited");
+            current = Some(leaf);
+            idx += n;
+        }
+        assert_eq!(idx, 150);
+        assert!(current.is_some());
+    }
+
+    #[test]
+    fn from_records_roundtrip() {
+        let cfg = config();
+        let conv = Converter::new(&cfg);
+        let records: Vec<Record> = (0..80).map(|rid| Record::new(rid, series(rid))).collect();
+        let l = TardisL::from_records(records, &cfg, &conv).unwrap();
+        assert_eq!(l.len(), 80);
+        let q = series(10);
+        let sig = conv.sig_of(&q).unwrap();
+        assert_eq!(l.lookup_exact(&sig, &q), vec![10]);
+    }
+
+    #[test]
+    fn index_size_accounting_is_positive() {
+        let l = TardisL::build(entries(100), &config(), None);
+        assert!(l.index_mem_bytes() > 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Batch query execution: run a workload of queries in parallel across
+//! the worker pool.
+//!
+//! The evaluation (§VI-C) measures workloads of 100 queries; a Spark
+//! deployment would execute them as concurrent jobs. This module provides
+//! the same throughput-oriented path for applications: queries fan out
+//! over the pool, each following the ordinary single-query code, and
+//! results return in workload order.
+
+use crate::error::CoreError;
+use crate::index::TardisIndex;
+use crate::query::exact::{exact_match, ExactMatchOutcome};
+use crate::query::knn::{knn_approximate, KnnAnswer, KnnStrategy};
+use tardis_cluster::Cluster;
+use tardis_ts::TimeSeries;
+
+/// Runs an exact-match workload in parallel; results in input order.
+///
+/// # Errors
+/// The first query error encountered (remaining results are dropped).
+pub fn exact_match_batch(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    queries: &[TimeSeries],
+    use_bloom: bool,
+) -> Result<Vec<ExactMatchOutcome>, CoreError> {
+    let results: Vec<Result<ExactMatchOutcome, CoreError>> = cluster
+        .pool()
+        .par_map(queries.iter().collect(), |q| {
+            cluster.metrics().record_task();
+            exact_match(index, cluster, q, use_bloom)
+        });
+    results.into_iter().collect()
+}
+
+/// Runs a kNN workload in parallel; results in input order.
+///
+/// # Errors
+/// The first query error encountered (remaining results are dropped).
+pub fn knn_batch(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    queries: &[TimeSeries],
+    k: usize,
+    strategy: KnnStrategy,
+) -> Result<Vec<KnnAnswer>, CoreError> {
+    let results: Vec<Result<KnnAnswer, CoreError>> = cluster
+        .pool()
+        .par_map(queries.iter().collect(), |q| {
+            cluster.metrics().record_task();
+            knn_approximate(index, cluster, q, k, strategy)
+        });
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TardisConfig;
+    use tardis_cluster::{encode_records, ClusterConfig};
+    use tardis_ts::Record;
+
+    fn series(rid: u64) -> TimeSeries {
+        let mut x = rid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut acc = 0.0f32;
+        let mut v = Vec::with_capacity(64);
+        for _ in 0..64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc += ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+            v.push(acc);
+        }
+        tardis_ts::z_normalize_in_place(&mut v);
+        TimeSeries::new(v)
+    }
+
+    fn setup(n: u64) -> (Cluster, TardisIndex) {
+        let cluster = Cluster::new(ClusterConfig {
+            n_workers: 4,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        let blocks: Vec<Vec<u8>> = (0..n)
+            .collect::<Vec<u64>>()
+            .chunks(100)
+            .map(|chunk| {
+                encode_records(
+                    &chunk
+                        .iter()
+                        .map(|&rid| Record::new(rid, series(rid)))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        cluster.dfs().write_blocks("data", blocks).unwrap();
+        let config = TardisConfig {
+            g_max_size: 200,
+            l_max_size: 40,
+            sampling_fraction: 0.5,
+            ..TardisConfig::default()
+        };
+        let (index, _) = TardisIndex::build(&cluster, "data", &config).unwrap();
+        (cluster, index)
+    }
+
+    #[test]
+    fn batch_exact_matches_sequential() {
+        let (cluster, index) = setup(600);
+        let queries: Vec<TimeSeries> = (0..30)
+            .map(|i| series(if i % 2 == 0 { i * 17 } else { 100_000 + i }))
+            .collect();
+        let batch = exact_match_batch(&index, &cluster, &queries, true).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (q, out) in queries.iter().zip(&batch) {
+            let single = exact_match(&index, &cluster, q, true).unwrap();
+            assert_eq!(out.matches, single.matches);
+        }
+    }
+
+    #[test]
+    fn batch_knn_matches_sequential_in_order() {
+        let (cluster, index) = setup(600);
+        let queries: Vec<TimeSeries> = (0..12).map(|i| series(i * 31)).collect();
+        let batch =
+            knn_batch(&index, &cluster, &queries, 5, KnnStrategy::OnePartition).unwrap();
+        assert_eq!(batch.len(), 12);
+        for (q, ans) in queries.iter().zip(&batch) {
+            let single =
+                knn_approximate(&index, &cluster, q, 5, KnnStrategy::OnePartition).unwrap();
+            assert_eq!(ans.neighbors, single.neighbors);
+        }
+    }
+
+    #[test]
+    fn batch_propagates_errors() {
+        let (cluster, index) = setup(200);
+        let queries = vec![series(1), TimeSeries::new(vec![0.0; 3])];
+        assert!(exact_match_batch(&index, &cluster, &queries, true).is_err());
+        assert!(knn_batch(&index, &cluster, &queries, 3, KnnStrategy::TargetNode).is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let (cluster, index) = setup(200);
+        assert!(exact_match_batch(&index, &cluster, &[], true)
+            .unwrap()
+            .is_empty());
+        assert!(knn_batch(&index, &cluster, &[], 3, KnnStrategy::TargetNode)
+            .unwrap()
+            .is_empty());
+    }
+}

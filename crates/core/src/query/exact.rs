@@ -1,0 +1,207 @@
+//! Exact-Match query processing (§V-A).
+//!
+//! Steps: (1) convert the query to its iSAX-T signature; (2) traverse
+//! Tardis-G to identify the partition; (3) test the partition's Bloom
+//! filter — a negative terminates with zero results and, crucially, zero
+//! partition loads; (4) on a positive, load the partition, traverse
+//! Tardis-L to the leaf, and compare series bit-for-bit.
+//!
+//! The non-Bloom variant skips step 3 and always loads the identified
+//! partition ("takes more time with the same query accuracy").
+
+use crate::error::CoreError;
+use crate::index::TardisIndex;
+use tardis_cluster::Cluster;
+use tardis_ts::{RecordId, TimeSeries};
+
+/// What an exact-match query did and found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExactMatchOutcome {
+    /// Record ids whose series equal the query exactly (empty = absent).
+    pub matches: Vec<RecordId>,
+    /// Whether the Bloom filter short-circuited the query.
+    pub bloom_rejected: bool,
+    /// Partitions loaded from the DFS (0 or 1 for exact match).
+    pub partitions_loaded: usize,
+}
+
+/// Aggregate statistics over a workload of exact-match queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactMatchStats {
+    /// Queries executed.
+    pub queries: u64,
+    /// Queries answered positively.
+    pub hits: u64,
+    /// Queries rejected by the Bloom filter without a partition load.
+    pub bloom_rejections: u64,
+    /// Total partitions loaded.
+    pub partitions_loaded: u64,
+}
+
+impl ExactMatchStats {
+    /// Accumulates one outcome.
+    pub fn absorb(&mut self, outcome: &ExactMatchOutcome) {
+        self.queries += 1;
+        if !outcome.matches.is_empty() {
+            self.hits += 1;
+        }
+        if outcome.bloom_rejected {
+            self.bloom_rejections += 1;
+        }
+        self.partitions_loaded += outcome.partitions_loaded as u64;
+    }
+}
+
+/// Runs one exact-match query.
+///
+/// `use_bloom` selects between the Bloom-filtered algorithm and the
+/// non-Bloom variant of §V-A.
+///
+/// # Errors
+/// Propagates conversion and DFS errors;
+/// [`CoreError::QueryLengthMismatch`] if the query length differs from the
+/// indexed series length (detected at conversion).
+pub fn exact_match(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    query: &TimeSeries,
+    use_bloom: bool,
+) -> Result<ExactMatchOutcome, CoreError> {
+    let converter = index.global().converter();
+    let sig = converter.sig_of(query)?;
+
+    // Step 2: global traversal.
+    let pid = index.global().partition_of(&sig);
+
+    // Step 3: Bloom test.
+    if use_bloom && !index.bloom_test(cluster, pid, sig.nibbles())? {
+        return Ok(ExactMatchOutcome {
+            matches: Vec::new(),
+            bloom_rejected: true,
+            partitions_loaded: 0,
+        });
+    }
+
+    // Step 4: load the partition and look up the leaf.
+    let local = index.load_partition(cluster, pid)?;
+    let matches = local.lookup_exact(&sig, query);
+    Ok(ExactMatchOutcome {
+        matches,
+        bloom_rejected: false,
+        partitions_loaded: 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TardisConfig;
+    use crate::index::TardisIndex;
+    use tardis_cluster::{encode_records, ClusterConfig};
+    use tardis_ts::Record;
+
+    fn series(rid: u64) -> TimeSeries {
+        let mut x = rid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut acc = 0.0f32;
+        let mut v = Vec::with_capacity(64);
+        for _ in 0..64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc += ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+            v.push(acc);
+        }
+        tardis_ts::z_normalize_in_place(&mut v);
+        TimeSeries::new(v)
+    }
+
+    fn build_index(n: u64) -> (Cluster, TardisIndex) {
+        let cluster = Cluster::new(ClusterConfig {
+            n_workers: 4,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        let blocks: Vec<Vec<u8>> = (0..n)
+            .collect::<Vec<u64>>()
+            .chunks(100)
+            .map(|chunk| {
+                let records: Vec<Record> =
+                    chunk.iter().map(|&rid| Record::new(rid, series(rid))).collect();
+                encode_records(&records)
+            })
+            .collect();
+        cluster.dfs().write_blocks("data", blocks).unwrap();
+        let config = TardisConfig {
+            g_max_size: 200,
+            l_max_size: 50,
+            sampling_fraction: 0.5,
+            ..TardisConfig::default()
+        };
+        let (index, _) = TardisIndex::build(&cluster, "data", &config).unwrap();
+        (cluster, index)
+    }
+
+    #[test]
+    fn finds_every_member() {
+        let (cluster, index) = build_index(800);
+        for rid in (0..800).step_by(97) {
+            let out = exact_match(&index, &cluster, &series(rid), true).unwrap();
+            assert_eq!(out.matches, vec![rid], "rid {rid}");
+            assert!(!out.bloom_rejected);
+            assert_eq!(out.partitions_loaded, 1);
+        }
+    }
+
+    #[test]
+    fn misses_absent_queries() {
+        let (cluster, index) = build_index(500);
+        let mut stats = ExactMatchStats::default();
+        for rid in 10_000..10_050u64 {
+            let out = exact_match(&index, &cluster, &series(rid), true).unwrap();
+            assert!(out.matches.is_empty(), "rid {rid} falsely matched");
+            stats.absorb(&out);
+        }
+        // The Bloom filter should reject most absent queries without any
+        // partition load.
+        assert!(
+            stats.bloom_rejections >= 40,
+            "only {} bloom rejections",
+            stats.bloom_rejections
+        );
+        assert!(stats.partitions_loaded <= 10);
+    }
+
+    #[test]
+    fn non_bloom_variant_same_answers_more_loads() {
+        let (cluster, index) = build_index(400);
+        for rid in [5u64, 399, 12_345] {
+            let with = exact_match(&index, &cluster, &series(rid), true).unwrap();
+            let without = exact_match(&index, &cluster, &series(rid), false).unwrap();
+            assert_eq!(with.matches, without.matches, "rid {rid}");
+            assert!(!without.bloom_rejected);
+            assert_eq!(without.partitions_loaded, 1, "non-bloom always loads");
+        }
+    }
+
+    #[test]
+    fn recall_is_total_over_a_workload() {
+        // §VI-C1: "the recall rates are all 100%".
+        let (cluster, index) = build_index(600);
+        let mut stats = ExactMatchStats::default();
+        for rid in 0..60u64 {
+            let out = exact_match(&index, &cluster, &series(rid * 10), true).unwrap();
+            assert_eq!(out.matches, vec![rid * 10]);
+            stats.absorb(&out);
+        }
+        assert_eq!(stats.hits, 60);
+        assert_eq!(stats.queries, 60);
+        assert_eq!(stats.bloom_rejections, 0);
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error() {
+        let (cluster, index) = build_index(100);
+        let short = TimeSeries::new(vec![0.0; 3]);
+        assert!(exact_match(&index, &cluster, &short, true).is_err());
+    }
+}

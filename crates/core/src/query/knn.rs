@@ -1,0 +1,453 @@
+//! kNN-Approximate query processing (§V-B, Algorithm 1).
+//!
+//! Three strategies of increasing candidate scope (and accuracy):
+//!
+//! * **Target Node Access** — route to one partition, descend Tardis-L to
+//!   the *target node* (deepest node on the query's path holding ≥ k
+//!   entries), refine its candidates.
+//! * **One Partition Access** — use the k-th distance from the target
+//!   node as a threshold, prune the whole partition's sigTree with the
+//!   iSAX-T lower bound, and refine the survivors.
+//! * **Multi-Partitions Access** — additionally load up to `pth` sibling
+//!   partitions (the partition list of the parent node in Tardis-G) in
+//!   parallel and apply the same threshold pruning to all of them.
+
+use crate::error::CoreError;
+use crate::index::TardisIndex;
+use crate::local::TardisL;
+use tardis_cluster::Cluster;
+use tardis_cluster::rng::SplitMix64;
+use tardis_ts::{euclidean_early_abandon, squared_euclidean, RecordId, TimeSeries};
+
+/// The query strategies of §V-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KnnStrategy {
+    /// Fetch the target node's subtree only.
+    TargetNode,
+    /// Prune-scan the routed partition.
+    OnePartition,
+    /// Prune-scan up to `pth` sibling partitions in parallel.
+    MultiPartition,
+}
+
+impl KnnStrategy {
+    /// All strategies, in increasing candidate scope.
+    pub const ALL: [KnnStrategy; 3] = [
+        KnnStrategy::TargetNode,
+        KnnStrategy::OnePartition,
+        KnnStrategy::MultiPartition,
+    ];
+
+    /// Human-readable name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KnnStrategy::TargetNode => "Target Node Access",
+            KnnStrategy::OnePartition => "One Partition Access",
+            KnnStrategy::MultiPartition => "Multi-Partitions Access",
+        }
+    }
+}
+
+/// A kNN answer: neighbors plus the work done.
+#[derive(Debug, Clone)]
+pub struct KnnAnswer {
+    /// `(distance, rid)` pairs, ascending by distance, at most `k`.
+    pub neighbors: Vec<(f64, RecordId)>,
+    /// Partitions loaded.
+    pub partitions_loaded: usize,
+    /// Candidates whose true distance was evaluated.
+    pub candidates_refined: usize,
+}
+
+/// Runs one kNN-approximate query.
+///
+/// # Errors
+/// Propagates conversion and DFS errors. `k == 0` yields an empty answer.
+pub fn knn_approximate(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    query: &TimeSeries,
+    k: usize,
+    strategy: KnnStrategy,
+) -> Result<KnnAnswer, CoreError> {
+    if k == 0 {
+        return Ok(KnnAnswer {
+            neighbors: Vec::new(),
+            partitions_loaded: 0,
+            candidates_refined: 0,
+        });
+    }
+    let converter = index.global().converter();
+    let sig = converter.sig_of(query)?;
+    let paa = converter.paa_of(query)?;
+    let n = query.len();
+
+    // Steps 1–2: route to the primary partition and load it.
+    let pid = index.global().partition_of(&sig);
+    let primary = index.load_partition(cluster, pid)?;
+    let mut partitions_loaded = 1;
+
+    // Step 3: the target node's candidates give the initial top-k.
+    let target = primary.target_node(&sig, k);
+    let mut heap = TopK::new(k);
+    let mut refined = 0usize;
+    for entry in primary.candidates_under(target) {
+        let d = squared_euclidean(query.values(), entry.record.ts.values());
+        heap.push(d, entry.rid());
+        refined += 1;
+    }
+
+    match strategy {
+        KnnStrategy::TargetNode => {}
+        KnnStrategy::OnePartition => {
+            // Threshold = current k-th distance; prune-scan the partition.
+            let th = heap.kth_distance().sqrt();
+            refined += refine_partition(&primary, query, &paa, n, th, &mut heap)?;
+        }
+        KnnStrategy::MultiPartition => {
+            let th = heap.kth_distance().sqrt();
+            // Algorithm 1 lines 4–7: sibling partition list, capped at pth.
+            let mut pid_list = index.global().sibling_partitions(&sig);
+            pid_list.retain(|&p| p != pid);
+            if pid_list.len() > index.config().pth.saturating_sub(1) {
+                let mut rng = SplitMix64::new(index.config().seed ^ 0x517B_1E55);
+                rng.shuffle(&mut pid_list);
+                pid_list.truncate(index.config().pth.saturating_sub(1));
+                pid_list.sort_unstable();
+            }
+            // Scan the primary partition with the threshold first.
+            refined += refine_partition(&primary, query, &paa, n, th, &mut heap)?;
+            // Load + scan siblings in parallel; merge their survivors.
+            type SiblingScan = Result<(Vec<(f64, RecordId)>, usize), CoreError>;
+            let sibling_results: Vec<SiblingScan> =
+                cluster.pool().par_map(pid_list, |sib| {
+                    cluster.metrics().record_task();
+                    let local = index.load_partition(cluster, sib)?;
+                    let mut local_heap = TopK::new(k);
+                    // Seed the sibling heap with the current threshold so
+                    // early-abandon kicks in immediately.
+                    local_heap.force_threshold(th * th);
+                    let count =
+                        refine_partition(&local, query, &paa, n, th, &mut local_heap)?;
+                    Ok((local_heap.into_sorted(), count))
+                });
+            for result in sibling_results {
+                let (neighbors, count) = result?;
+                partitions_loaded += 1;
+                refined += count;
+                for (d, rid) in neighbors {
+                    heap.push(d, rid);
+                }
+            }
+        }
+    }
+
+    Ok(KnnAnswer {
+        neighbors: heap
+            .into_sorted()
+            .into_iter()
+            .map(|(d, rid)| (d.sqrt(), rid))
+            .collect(),
+        partitions_loaded,
+        candidates_refined: refined,
+    })
+}
+
+/// Prune-scans one partition with the lower-bound threshold and refines
+/// survivors into the heap. Returns the number of candidates refined.
+fn refine_partition(
+    local: &TardisL,
+    query: &TimeSeries,
+    paa: &[f64],
+    n: usize,
+    threshold: f64,
+    heap: &mut TopK,
+) -> Result<usize, CoreError> {
+    let candidates = local.prune_scan(paa, n, threshold)?;
+    let mut refined = 0usize;
+    for entry in candidates {
+        let bound = heap.kth_distance();
+        match euclidean_early_abandon(query.values(), entry.record.ts.values(), bound) {
+            Some(d) => {
+                heap.push(d, entry.rid());
+                refined += 1;
+            }
+            None => refined += 1,
+        }
+    }
+    Ok(refined)
+}
+
+/// A bounded max-heap keeping the k smallest (distance², rid) pairs.
+/// Rid-unique: the same record pushed twice (the target-node refine and a
+/// later partition scan overlap) counts once.
+struct TopK {
+    k: usize,
+    // Max-heap by distance: the root is the current k-th best.
+    heap: std::collections::BinaryHeap<HeapItem>,
+    members: std::collections::HashSet<RecordId>,
+    forced_threshold: Option<f64>,
+}
+
+struct HeapItem(f64, RecordId);
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0 && self.1 == other.1
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(self.1.cmp(&other.1))
+    }
+}
+
+impl TopK {
+    fn new(k: usize) -> TopK {
+        TopK {
+            k,
+            heap: std::collections::BinaryHeap::with_capacity(k + 1),
+            members: std::collections::HashSet::with_capacity(k + 1),
+            forced_threshold: None,
+        }
+    }
+
+    /// Caps the effective k-th distance from outside (used to seed sibling
+    /// scans with the primary partition's threshold).
+    fn force_threshold(&mut self, distance_sq: f64) {
+        self.forced_threshold = Some(distance_sq);
+    }
+
+    fn push(&mut self, distance_sq: f64, rid: RecordId) {
+        if self.members.contains(&rid) {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(HeapItem(distance_sq, rid));
+            self.members.insert(rid);
+        } else if let Some(top) = self.heap.peek() {
+            if distance_sq < top.0 {
+                let evicted = self.heap.pop().expect("non-empty");
+                self.members.remove(&evicted.1);
+                self.heap.push(HeapItem(distance_sq, rid));
+                self.members.insert(rid);
+            }
+        }
+    }
+
+    /// Squared distance of the current k-th best (infinite until k items
+    /// arrive, unless a threshold was forced).
+    fn kth_distance(&self) -> f64 {
+        let natural = if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap.peek().map(|i| i.0).unwrap_or(f64::INFINITY)
+        };
+        match self.forced_threshold {
+            Some(f) => natural.min(f),
+            None => natural,
+        }
+    }
+
+    fn into_sorted(self) -> Vec<(f64, RecordId)> {
+        let mut v: Vec<(f64, RecordId)> =
+            self.heap.into_iter().map(|HeapItem(d, r)| (d, r)).collect();
+        v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TardisConfig;
+    use crate::index::TardisIndex;
+    use tardis_cluster::{encode_records, ClusterConfig};
+    use tardis_ts::Record;
+
+    fn series(rid: u64) -> TimeSeries {
+        let mut x = rid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut acc = 0.0f32;
+        let mut v = Vec::with_capacity(64);
+        for _ in 0..64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc += ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+            v.push(acc);
+        }
+        tardis_ts::z_normalize_in_place(&mut v);
+        TimeSeries::new(v)
+    }
+
+    fn build_index(n: u64) -> (Cluster, TardisIndex) {
+        let cluster = Cluster::new(ClusterConfig {
+            n_workers: 4,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        let blocks: Vec<Vec<u8>> = (0..n)
+            .collect::<Vec<u64>>()
+            .chunks(100)
+            .map(|chunk| {
+                let records: Vec<Record> =
+                    chunk.iter().map(|&rid| Record::new(rid, series(rid))).collect();
+                encode_records(&records)
+            })
+            .collect();
+        cluster.dfs().write_blocks("data", blocks).unwrap();
+        let config = TardisConfig {
+            g_max_size: 150,
+            l_max_size: 30,
+            sampling_fraction: 0.5,
+            pth: 5,
+            ..TardisConfig::default()
+        };
+        let (index, _) = TardisIndex::build(&cluster, "data", &config).unwrap();
+        (cluster, index)
+    }
+
+    fn brute_force(n: u64, q: &TimeSeries, k: usize) -> Vec<(f64, u64)> {
+        let mut all: Vec<(f64, u64)> = (0..n)
+            .map(|rid| {
+                (
+                    squared_euclidean(q.values(), series(rid).values()).sqrt(),
+                    rid,
+                )
+            })
+            .collect();
+        all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn returns_k_sorted_neighbors() {
+        let (cluster, index) = build_index(600);
+        let q = series(7);
+        for strategy in KnnStrategy::ALL {
+            let ans = knn_approximate(&index, &cluster, &q, 10, strategy).unwrap();
+            assert_eq!(ans.neighbors.len(), 10, "{strategy:?}");
+            for w in ans.neighbors.windows(2) {
+                assert!(w[0].0 <= w[1].0, "{strategy:?} not sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn member_query_finds_itself_first() {
+        let (cluster, index) = build_index(500);
+        let q = series(123);
+        for strategy in KnnStrategy::ALL {
+            let ans = knn_approximate(&index, &cluster, &q, 5, strategy).unwrap();
+            assert_eq!(ans.neighbors[0].1, 123, "{strategy:?}");
+            assert!(ans.neighbors[0].0 < 1e-6);
+        }
+    }
+
+    #[test]
+    fn approximate_distances_lower_bounded_by_ground_truth() {
+        let (cluster, index) = build_index(500);
+        let q = series(42);
+        let truth = brute_force(500, &q, 10);
+        for strategy in KnnStrategy::ALL {
+            let ans = knn_approximate(&index, &cluster, &q, 10, strategy).unwrap();
+            for (j, (d, _)) in ans.neighbors.iter().enumerate() {
+                assert!(
+                    *d + 1e-9 >= truth[j].0,
+                    "{strategy:?} rank {j}: {d} < truth {}",
+                    truth[j].0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wider_strategies_never_do_worse() {
+        // Candidate scope grows TargetNode ⊆ OnePartition ⊆ MultiPartition,
+        // so the summed distance of the answer set must not increase.
+        let (cluster, index) = build_index(800);
+        let score = |s: KnnStrategy, q: &TimeSeries| -> f64 {
+            knn_approximate(&index, &cluster, q, 20, s)
+                .unwrap()
+                .neighbors
+                .iter()
+                .map(|(d, _)| d)
+                .sum()
+        };
+        for rid in [3u64, 77, 310] {
+            let q = series(rid);
+            let tn = score(KnnStrategy::TargetNode, &q);
+            let op = score(KnnStrategy::OnePartition, &q);
+            let mp = score(KnnStrategy::MultiPartition, &q);
+            assert!(op <= tn + 1e-6, "rid {rid}: one-partition {op} > target {tn}");
+            assert!(mp <= op + 1e-6, "rid {rid}: multi {mp} > one {op}");
+        }
+    }
+
+    #[test]
+    fn multi_partition_loads_more_partitions() {
+        let (cluster, index) = build_index(900);
+        let q = series(11);
+        let single = knn_approximate(&index, &cluster, &q, 10, KnnStrategy::OnePartition).unwrap();
+        let multi = knn_approximate(&index, &cluster, &q, 10, KnnStrategy::MultiPartition).unwrap();
+        assert_eq!(single.partitions_loaded, 1);
+        assert!(multi.partitions_loaded >= single.partitions_loaded);
+        // pth bound respected.
+        assert!(multi.partitions_loaded <= index.config().pth);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let (cluster, index) = build_index(200);
+        let ans =
+            knn_approximate(&index, &cluster, &series(0), 0, KnnStrategy::TargetNode).unwrap();
+        assert!(ans.neighbors.is_empty());
+        assert_eq!(ans.partitions_loaded, 0);
+    }
+
+    #[test]
+    fn k_larger_than_partition_still_answers() {
+        let (cluster, index) = build_index(300);
+        let ans =
+            knn_approximate(&index, &cluster, &series(5), 250, KnnStrategy::MultiPartition)
+                .unwrap();
+        assert!(!ans.neighbors.is_empty());
+        assert!(ans.neighbors.len() <= 250);
+    }
+
+    #[test]
+    fn topk_heap_behaviour() {
+        let mut h = TopK::new(3);
+        assert_eq!(h.kth_distance(), f64::INFINITY);
+        h.push(4.0, 1);
+        h.push(1.0, 2);
+        h.push(9.0, 3);
+        assert_eq!(h.kth_distance(), 9.0);
+        h.push(2.0, 4); // evicts 9.0
+        assert_eq!(h.kth_distance(), 4.0);
+        let sorted = h.into_sorted();
+        assert_eq!(
+            sorted.iter().map(|&(_, r)| r).collect::<Vec<_>>(),
+            vec![2, 4, 1]
+        );
+    }
+
+    #[test]
+    fn topk_forced_threshold_caps_kth() {
+        let mut h = TopK::new(5);
+        h.force_threshold(2.5);
+        assert_eq!(h.kth_distance(), 2.5);
+        h.push(1.0, 1);
+        assert_eq!(h.kth_distance(), 2.5, "still capped while underfull");
+    }
+}

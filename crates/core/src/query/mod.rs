@@ -1,0 +1,7 @@
+//! Query processing (§V): exact-match and kNN-approximate strategies.
+
+pub mod batch;
+pub mod exact;
+pub mod exact_knn;
+pub mod range;
+pub mod knn;

@@ -1,0 +1,259 @@
+//! Exact ε-range queries (an extension beyond the paper).
+//!
+//! `range(q, ε)` returns *every* record within Euclidean distance ε of
+//! the query — the other classical similarity query next to kNN, and the
+//! basis of density-based analytics (DBSCAN-style clustering, duplicate
+//! clusters, anomaly neighborhoods). The lower-bound machinery makes it
+//! exact and index-accelerated:
+//!
+//! * a partition can be skipped when the MINDIST of every global leaf
+//!   assigned to it exceeds ε;
+//! * within a partition, the Tardis-L prune-scan with threshold ε
+//!   collects candidates, which the refine step verifies with
+//!   early-abandoning distances.
+//!
+//! Soundness follows from `MINDIST ≤ ED`; completeness from scanning
+//! every partition whose bound does not exceed ε.
+
+use crate::error::CoreError;
+use crate::eval::Neighbor;
+use crate::index::TardisIndex;
+use tardis_isax::mindist_paa_sigt;
+use tardis_ts::{euclidean_early_abandon, TimeSeries};
+
+/// A range-query answer plus the work done.
+#[derive(Debug, Clone)]
+pub struct RangeAnswer {
+    /// Every record within ε, ascending by distance.
+    pub matches: Vec<Neighbor>,
+    /// Partitions loaded.
+    pub partitions_loaded: usize,
+    /// Partitions skipped by their lower bound.
+    pub partitions_pruned: usize,
+    /// Candidates whose true distance was evaluated.
+    pub candidates_refined: usize,
+}
+
+/// Runs an exact ε-range query.
+///
+/// # Errors
+/// Propagates conversion and DFS errors; a negative `epsilon` yields an
+/// empty answer.
+pub fn range_query(
+    index: &TardisIndex,
+    cluster: &tardis_cluster::Cluster,
+    query: &TimeSeries,
+    epsilon: f64,
+) -> Result<RangeAnswer, CoreError> {
+    if epsilon < 0.0 {
+        return Ok(RangeAnswer {
+            matches: Vec::new(),
+            partitions_loaded: 0,
+            partitions_pruned: 0,
+            candidates_refined: 0,
+        });
+    }
+    let converter = index.global().converter();
+    let paa = converter.paa_of(query)?;
+    let n = query.len();
+    let global = index.global();
+    let tree = global.tree();
+
+    // Per-partition lower bound = min bound over its global leaves.
+    let mut part_bound = vec![f64::INFINITY; index.n_partitions()];
+    for leaf in tree.leaf_ids() {
+        let node = tree.node(leaf);
+        let bound = mindist_paa_sigt(&paa, &node.sig, n)?;
+        if let Some(pid) = global.leaf_partition(&node.sig) {
+            let slot = &mut part_bound[pid as usize];
+            if bound < *slot {
+                *slot = bound;
+            }
+        }
+    }
+    // Partitions that received no leaf bound (fallback routing targets)
+    // must be scanned to stay complete.
+    for slot in part_bound.iter_mut() {
+        if !slot.is_finite() {
+            *slot = 0.0;
+        }
+    }
+
+    // Scan qualifying partitions in parallel.
+    let qualifying: Vec<u32> = part_bound
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b <= epsilon)
+        .map(|(pid, _)| pid as u32)
+        .collect();
+    let pruned = index.n_partitions() - qualifying.len();
+
+    type PartScan = Result<(Vec<Neighbor>, usize), CoreError>;
+    let scans: Vec<PartScan> = cluster.pool().par_map(qualifying.clone(), |pid| {
+        cluster.metrics().record_task();
+        let local = index.load_partition(cluster, pid)?;
+        let mut found = Vec::new();
+        let mut refined = 0usize;
+        for entry in local.prune_scan(&paa, n, epsilon)? {
+            refined += 1;
+            if let Some(d_sq) = euclidean_early_abandon(
+                query.values(),
+                entry.record.ts.values(),
+                epsilon * epsilon,
+            ) {
+                found.push(Neighbor {
+                    distance: d_sq.sqrt(),
+                    rid: entry.rid(),
+                });
+            }
+        }
+        Ok((found, refined))
+    });
+
+    let mut matches = Vec::new();
+    let mut refined = 0usize;
+    for scan in scans {
+        let (found, r) = scan?;
+        matches.extend(found);
+        refined += r;
+    }
+    matches.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.rid.cmp(&b.rid))
+    });
+    Ok(RangeAnswer {
+        matches,
+        partitions_loaded: qualifying.len(),
+        partitions_pruned: pruned,
+        candidates_refined: refined,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TardisConfig;
+    use tardis_cluster::{encode_records, Cluster, ClusterConfig};
+    use tardis_ts::{squared_euclidean, Record};
+
+    fn series(rid: u64) -> TimeSeries {
+        let mut x = rid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut acc = 0.0f32;
+        let mut v = Vec::with_capacity(64);
+        for _ in 0..64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc += ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+            v.push(acc);
+        }
+        tardis_ts::z_normalize_in_place(&mut v);
+        TimeSeries::new(v)
+    }
+
+    fn setup(n: u64) -> (Cluster, TardisIndex) {
+        let cluster = Cluster::new(ClusterConfig {
+            n_workers: 4,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        let blocks: Vec<Vec<u8>> = (0..n)
+            .collect::<Vec<u64>>()
+            .chunks(100)
+            .map(|chunk| {
+                encode_records(
+                    &chunk
+                        .iter()
+                        .map(|&rid| Record::new(rid, series(rid)))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        cluster.dfs().write_blocks("data", blocks).unwrap();
+        let config = TardisConfig {
+            g_max_size: 200,
+            l_max_size: 40,
+            sampling_fraction: 0.5,
+            ..TardisConfig::default()
+        };
+        let (index, _) = TardisIndex::build(&cluster, "data", &config).unwrap();
+        (cluster, index)
+    }
+
+    fn brute_range(n: u64, q: &TimeSeries, epsilon: f64) -> Vec<(f64, u64)> {
+        let mut out: Vec<(f64, u64)> = (0..n)
+            .filter_map(|rid| {
+                let d = squared_euclidean(q.values(), series(rid).values()).sqrt();
+                (d <= epsilon).then_some((d, rid))
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        out
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let (cluster, index) = setup(800);
+        for (qrid, eps) in [(5u64, 6.0), (400, 7.5), (799, 5.0)] {
+            let q = series(qrid);
+            let got = range_query(&index, &cluster, &q, eps).unwrap();
+            let want = brute_range(800, &q, eps);
+            assert_eq!(got.matches.len(), want.len(), "qrid {qrid} eps {eps}");
+            for (a, (d, rid)) in got.matches.iter().zip(&want) {
+                assert_eq!(a.rid, *rid);
+                assert!((a.distance - d).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn self_is_always_in_range() {
+        let (cluster, index) = setup(500);
+        let q = series(123);
+        let got = range_query(&index, &cluster, &q, 0.0).unwrap();
+        assert!(got.matches.iter().any(|m| m.rid == 123 && m.distance == 0.0));
+    }
+
+    #[test]
+    fn tiny_epsilon_finds_only_self() {
+        let (cluster, index) = setup(500);
+        let q = series(77);
+        let got = range_query(&index, &cluster, &q, 1e-6).unwrap();
+        assert_eq!(got.matches.len(), 1);
+        assert_eq!(got.matches[0].rid, 77);
+    }
+
+    #[test]
+    fn negative_epsilon_is_empty() {
+        let (cluster, index) = setup(200);
+        let got = range_query(&index, &cluster, &series(0), -1.0).unwrap();
+        assert!(got.matches.is_empty());
+        assert_eq!(got.partitions_loaded, 0);
+    }
+
+    #[test]
+    fn small_epsilon_prunes_partitions() {
+        let (cluster, index) = setup(900);
+        let q = series(9);
+        let tight = range_query(&index, &cluster, &q, 3.0).unwrap();
+        let loose = range_query(&index, &cluster, &q, 50.0).unwrap();
+        assert!(tight.partitions_loaded <= loose.partitions_loaded);
+        assert_eq!(
+            loose.partitions_loaded + loose.partitions_pruned,
+            index.n_partitions()
+        );
+        // Wide ε covers everything.
+        assert_eq!(loose.matches.len(), 900);
+    }
+
+    #[test]
+    fn results_sorted_ascending() {
+        let (cluster, index) = setup(400);
+        let got = range_query(&index, &cluster, &series(1), 8.0).unwrap();
+        for w in got.matches.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Integration tests for the ground-truth engines (§VI-C2): the parallel
+//! brute-force scan and the paper's threshold-filter shortcut must agree.
+
+use tardis_cluster::{encode_records, Cluster, ClusterConfig};
+use tardis_core::eval::{ground_truth_knn, ground_truth_knn_filtered};
+use tardis_core::{TardisConfig, TardisIndex};
+use tardis_ts::{squared_euclidean, Record, TimeSeries};
+
+fn series(rid: u64) -> TimeSeries {
+    let mut x = rid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut acc = 0.0f32;
+    let mut v = Vec::with_capacity(64);
+    for _ in 0..64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc += ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+        v.push(acc);
+    }
+    tardis_ts::z_normalize_in_place(&mut v);
+    TimeSeries::new(v)
+}
+
+fn setup(n: u64) -> (Cluster, TardisIndex) {
+    let cluster = Cluster::new(ClusterConfig {
+        n_workers: 4,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let blocks: Vec<Vec<u8>> = (0..n)
+        .collect::<Vec<u64>>()
+        .chunks(100)
+        .map(|chunk| {
+            encode_records(
+                &chunk
+                    .iter()
+                    .map(|&rid| Record::new(rid, series(rid)))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    cluster.dfs().write_blocks("data", blocks).unwrap();
+    let config = TardisConfig {
+        g_max_size: 300,
+        l_max_size: 50,
+        sampling_fraction: 0.5,
+        ..TardisConfig::default()
+    };
+    let (index, _) = TardisIndex::build(&cluster, "data", &config).unwrap();
+    (cluster, index)
+}
+
+#[test]
+fn brute_force_matches_reference() {
+    let (cluster, _) = setup(500);
+    let q = series(42);
+    let got = ground_truth_knn(&cluster, "data", &q, 10).unwrap();
+    // Sequential reference.
+    let mut want: Vec<(f64, u64)> = (0..500)
+        .map(|rid| {
+            (
+                squared_euclidean(q.values(), series(rid).values()).sqrt(),
+                rid,
+            )
+        })
+        .collect();
+    want.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    want.truncate(10);
+    assert_eq!(got.len(), 10);
+    for (g, (d, rid)) in got.iter().zip(&want) {
+        assert_eq!(g.rid, *rid);
+        assert!((g.distance - d).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn filtered_matches_brute_force_with_generous_threshold() {
+    let (cluster, index) = setup(800);
+    for qrid in [3u64, 400, 799] {
+        let q = series(qrid);
+        let brute = ground_truth_knn(&cluster, "data", &q, 8).unwrap();
+        // The paper's threshold (7.5) is generous for z-normalized
+        // length-64 walks.
+        let filtered =
+            ground_truth_knn_filtered(&index, &cluster, "data", &q, 8, 7.5).unwrap();
+        assert_eq!(brute.len(), filtered.len(), "qrid {qrid}");
+        for (a, b) in brute.iter().zip(&filtered) {
+            assert_eq!(a.rid, b.rid, "qrid {qrid}");
+            assert!((a.distance - b.distance).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn filtered_falls_back_when_threshold_too_tight() {
+    let (cluster, index) = setup(400);
+    let q = series(7);
+    // Threshold so tight almost nothing survives → fallback to brute
+    // force, still correct.
+    let filtered = ground_truth_knn_filtered(&index, &cluster, "data", &q, 12, 1e-6).unwrap();
+    let brute = ground_truth_knn(&cluster, "data", &q, 12).unwrap();
+    assert_eq!(filtered.len(), 12);
+    for (a, b) in brute.iter().zip(&filtered) {
+        assert_eq!(a.rid, b.rid);
+    }
+}
+
+#[test]
+fn k_zero_and_k_over_dataset() {
+    let (cluster, index) = setup(200);
+    let q = series(0);
+    assert!(ground_truth_knn(&cluster, "data", &q, 0).unwrap().is_empty());
+    let all = ground_truth_knn(&cluster, "data", &q, 500).unwrap();
+    assert_eq!(all.len(), 200, "k beyond dataset returns everything");
+    let filtered = ground_truth_knn_filtered(&index, &cluster, "data", &q, 0, 7.5).unwrap();
+    assert!(filtered.is_empty());
+}
+
+#[test]
+fn ground_truth_is_sorted_ascending() {
+    let (cluster, _) = setup(300);
+    let got = ground_truth_knn(&cluster, "data", &series(9), 25).unwrap();
+    for w in got.windows(2) {
+        assert!(w[0].distance <= w[1].distance);
+    }
+    // Self first at distance 0.
+    assert_eq!(got[0].rid, 9);
+    assert!(got[0].distance < 1e-9);
+}

@@ -1,0 +1,151 @@
+//! Incremental insert: appended records become queryable, counts stay
+//! consistent, Bloom filters keep their no-false-negative guarantee, and
+//! a saved-then-reopened index still sees the appends.
+
+use tardis_cluster::{encode_records, Cluster, ClusterConfig};
+use tardis_core::{exact_match, knn_approximate, KnnStrategy, TardisConfig, TardisIndex};
+use tardis_ts::{Record, TimeSeries};
+
+fn series(rid: u64) -> TimeSeries {
+    let mut x = rid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut acc = 0.0f32;
+    let mut v = Vec::with_capacity(64);
+    for _ in 0..64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc += ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+        v.push(acc);
+    }
+    tardis_ts::z_normalize_in_place(&mut v);
+    TimeSeries::new(v)
+}
+
+fn setup(n: u64) -> (Cluster, TardisIndex) {
+    let cluster = Cluster::new(ClusterConfig {
+        n_workers: 4,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let blocks: Vec<Vec<u8>> = (0..n)
+        .collect::<Vec<u64>>()
+        .chunks(100)
+        .map(|chunk| {
+            encode_records(
+                &chunk
+                    .iter()
+                    .map(|&rid| Record::new(rid, series(rid)))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    cluster.dfs().write_blocks("data", blocks).unwrap();
+    let config = TardisConfig {
+        g_max_size: 300,
+        l_max_size: 50,
+        sampling_fraction: 0.5,
+        ..TardisConfig::default()
+    };
+    let (index, _) = TardisIndex::build(&cluster, "data", &config).unwrap();
+    (cluster, index)
+}
+
+#[test]
+fn inserted_records_become_exact_matchable() {
+    let (cluster, mut index) = setup(800);
+    // New records with fresh ids beyond the original dataset.
+    let fresh: Vec<Record> = (10_000..10_040)
+        .map(|rid| Record::new(rid, series(rid)))
+        .collect();
+    // Before: absent.
+    for r in &fresh {
+        let out = exact_match(&index, &cluster, &r.ts, true).unwrap();
+        assert!(out.matches.is_empty(), "rid {} present early", r.rid);
+    }
+    index.insert_batch(&cluster, fresh.clone()).unwrap();
+    // After: every insert found, Bloom filters included them.
+    for r in &fresh {
+        let out = exact_match(&index, &cluster, &r.ts, true).unwrap();
+        assert_eq!(out.matches, vec![r.rid]);
+        assert!(!out.bloom_rejected, "bloom false negative after insert");
+    }
+    // Old records unaffected.
+    for rid in [0u64, 400, 799] {
+        let out = exact_match(&index, &cluster, &series(rid), true).unwrap();
+        assert_eq!(out.matches, vec![rid]);
+    }
+}
+
+#[test]
+fn counts_and_knn_reflect_inserts() {
+    let (cluster, mut index) = setup(600);
+    let before: u64 = index.partitions().iter().map(|p| p.n_records).sum();
+    let fresh: Vec<Record> = (20_000..20_025)
+        .map(|rid| Record::new(rid, series(rid)))
+        .collect();
+    index.insert_batch(&cluster, fresh).unwrap();
+    let after: u64 = index.partitions().iter().map(|p| p.n_records).sum();
+    assert_eq!(after, before + 25);
+    // A kNN query for an inserted record finds it first.
+    let q = series(20_010);
+    let ans = knn_approximate(&index, &cluster, &q, 5, KnnStrategy::OnePartition).unwrap();
+    assert_eq!(ans.neighbors[0].1, 20_010);
+    assert!(ans.neighbors[0].0 < 1e-6);
+}
+
+#[test]
+fn inserts_survive_save_and_reopen() {
+    let (cluster, mut index) = setup(500);
+    index
+        .insert_batch(
+            &cluster,
+            vec![Record::new(30_000, series(30_000))],
+        )
+        .unwrap();
+    index.save(&cluster, "manifest").unwrap();
+    let reopened = TardisIndex::open(&cluster, "manifest").unwrap();
+    let out = exact_match(&reopened, &cluster, &series(30_000), true).unwrap();
+    assert_eq!(out.matches, vec![30_000]);
+}
+
+#[test]
+fn unclustered_index_rejects_inserts() {
+    let cluster = Cluster::new(ClusterConfig {
+        n_workers: 2,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let blocks: Vec<Vec<u8>> = (0..300u64)
+        .collect::<Vec<u64>>()
+        .chunks(100)
+        .map(|chunk| {
+            encode_records(
+                &chunk
+                    .iter()
+                    .map(|&rid| Record::new(rid, series(rid)))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    cluster.dfs().write_blocks("data", blocks).unwrap();
+    let config = TardisConfig {
+        clustered: false,
+        g_max_size: 150,
+        l_max_size: 40,
+        sampling_fraction: 0.5,
+        ..TardisConfig::default()
+    };
+    let (mut index, _) = TardisIndex::build(&cluster, "data", &config).unwrap();
+    assert!(index
+        .insert_batch(&cluster, vec![Record::new(1_000, series(1_000))])
+        .is_err());
+}
+
+#[test]
+fn empty_insert_is_a_noop() {
+    let (cluster, mut index) = setup(300);
+    let before: u64 = index.partitions().iter().map(|p| p.n_records).sum();
+    index.insert_batch(&cluster, Vec::new()).unwrap();
+    let after: u64 = index.partitions().iter().map(|p| p.n_records).sum();
+    assert_eq!(before, after);
+}

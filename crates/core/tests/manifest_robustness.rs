@@ -1,0 +1,98 @@
+//! Robustness of the persistence parsers: truncating or corrupting a
+//! manifest / global-index image at *any* offset must produce an error,
+//! never a panic or a silently wrong index.
+
+use tardis_cluster::{encode_records, Cluster, ClusterConfig};
+use tardis_core::{TardisConfig, TardisG, TardisIndex};
+use tardis_ts::{Record, TimeSeries};
+
+fn series(rid: u64) -> TimeSeries {
+    let mut x = rid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut acc = 0.0f32;
+    let mut v = Vec::with_capacity(64);
+    for _ in 0..64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc += ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+        v.push(acc);
+    }
+    tardis_ts::z_normalize_in_place(&mut v);
+    TimeSeries::new(v)
+}
+
+fn setup() -> (Cluster, TardisIndex) {
+    let cluster = Cluster::new(ClusterConfig {
+        n_workers: 2,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let blocks: Vec<Vec<u8>> = (0..400u64)
+        .collect::<Vec<u64>>()
+        .chunks(100)
+        .map(|chunk| {
+            encode_records(
+                &chunk
+                    .iter()
+                    .map(|&rid| Record::new(rid, series(rid)))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    cluster.dfs().write_blocks("data", blocks).unwrap();
+    let config = TardisConfig {
+        g_max_size: 150,
+        l_max_size: 30,
+        sampling_fraction: 0.5,
+        ..TardisConfig::default()
+    };
+    let (index, _) = TardisIndex::build(&cluster, "data", &config).unwrap();
+    (cluster, index)
+}
+
+#[test]
+fn global_from_bytes_never_panics_on_any_truncation() {
+    let (_cluster, index) = setup();
+    let bytes = index.global().to_bytes();
+    // Every strict prefix must be rejected as an error (not panic, and
+    // not silently accepted).
+    for cut in 0..bytes.len() {
+        let result = std::panic::catch_unwind(|| TardisG::from_bytes(&bytes[..cut]));
+        let outcome = result.unwrap_or_else(|_| panic!("panicked at cut {cut}"));
+        assert!(outcome.is_err(), "truncation at {cut} accepted");
+    }
+    // The full image still parses.
+    assert!(TardisG::from_bytes(&bytes).is_ok());
+}
+
+#[test]
+fn global_from_bytes_detects_every_single_byte_flip() {
+    let (_cluster, index) = setup();
+    let bytes = index.global().to_bytes();
+    // The image carries an FNV checksum: any single-byte corruption must
+    // be rejected, never panic and never parse.
+    for pos in (0..bytes.len()).step_by(3) {
+        let mut corrupted = bytes.clone();
+        corrupted[pos] ^= 0x5A;
+        let result = std::panic::catch_unwind(|| TardisG::from_bytes(&corrupted));
+        let outcome = result.unwrap_or_else(|_| panic!("panicked at byte {pos}"));
+        assert!(outcome.is_err(), "corruption at byte {pos} accepted");
+    }
+}
+
+#[test]
+fn open_never_panics_on_truncated_manifest() {
+    let (cluster, index) = setup();
+    index.save(&cluster, "m").unwrap();
+    let blocks = cluster.dfs().list_blocks("m").unwrap();
+    let bytes = cluster.dfs().read_block(&blocks[0]).unwrap();
+    for cut in (0..bytes.len()).step_by(11) {
+        cluster.dfs().delete_file("m").unwrap();
+        cluster.dfs().append_block("m", &bytes[..cut]).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            TardisIndex::open(&cluster, "m")
+        }));
+        let outcome = result.unwrap_or_else(|_| panic!("panicked at cut {cut}"));
+        assert!(outcome.is_err(), "truncation at {cut} accepted");
+    }
+}

@@ -1,0 +1,158 @@
+//! Index persistence: a saved index reopens with identical routing and
+//! query behaviour, without rebuilding.
+
+use tardis_cluster::{encode_records, Cluster, ClusterConfig};
+use tardis_core::{exact_match, knn_approximate, KnnStrategy, TardisConfig, TardisG, TardisIndex};
+use tardis_ts::{Record, TimeSeries};
+
+fn series(rid: u64) -> TimeSeries {
+    let mut x = rid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut acc = 0.0f32;
+    let mut v = Vec::with_capacity(64);
+    for _ in 0..64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc += ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+        v.push(acc);
+    }
+    tardis_ts::z_normalize_in_place(&mut v);
+    TimeSeries::new(v)
+}
+
+fn setup(n: u64, config: &TardisConfig) -> (Cluster, TardisIndex) {
+    let cluster = Cluster::new(ClusterConfig {
+        n_workers: 4,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let blocks: Vec<Vec<u8>> = (0..n)
+        .collect::<Vec<u64>>()
+        .chunks(100)
+        .map(|chunk| {
+            encode_records(
+                &chunk
+                    .iter()
+                    .map(|&rid| Record::new(rid, series(rid)))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    cluster.dfs().write_blocks("data", blocks).unwrap();
+    let (index, _) = TardisIndex::build(&cluster, "data", config).unwrap();
+    (cluster, index)
+}
+
+fn test_config() -> TardisConfig {
+    TardisConfig {
+        g_max_size: 300,
+        l_max_size: 50,
+        sampling_fraction: 0.5,
+        pth: 5,
+        ..TardisConfig::default()
+    }
+}
+
+#[test]
+fn global_index_roundtrips_through_bytes() {
+    let (_cluster, index) = setup(1_000, &test_config());
+    let original = index.global();
+    let restored = TardisG::from_bytes(&original.to_bytes()).unwrap();
+    assert_eq!(restored.n_partitions(), original.n_partitions());
+    assert_eq!(restored.sampled_records, original.sampled_records);
+    assert_eq!(restored.tree().n_nodes(), original.tree().n_nodes());
+    // Routing identical for members and strangers.
+    for rid in (0..1_000).step_by(37).chain([50_000, 99_999]) {
+        let ts = series(rid);
+        assert_eq!(
+            restored.partition_of_series(&ts).unwrap(),
+            original.partition_of_series(&ts).unwrap(),
+            "rid {rid}"
+        );
+    }
+    // Sibling partition lists identical.
+    for rid in [1u64, 500, 999] {
+        let sig = original.converter().sig_of(&series(rid)).unwrap();
+        assert_eq!(
+            restored.sibling_partitions(&sig),
+            original.sibling_partitions(&sig)
+        );
+    }
+}
+
+#[test]
+fn global_from_bytes_rejects_corruption() {
+    let (_cluster, index) = setup(500, &test_config());
+    let bytes = index.global().to_bytes();
+    assert!(TardisG::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+    assert!(TardisG::from_bytes(&bytes[..3]).is_err());
+    let mut trailing = bytes.clone();
+    trailing.push(0);
+    assert!(TardisG::from_bytes(&trailing).is_err());
+}
+
+#[test]
+fn saved_index_reopens_with_identical_answers() {
+    let (cluster, index) = setup(1_200, &test_config());
+    index.save(&cluster, "manifest").unwrap();
+    let reopened = TardisIndex::open(&cluster, "manifest").unwrap();
+
+    assert_eq!(reopened.n_partitions(), index.n_partitions());
+    assert_eq!(reopened.config(), index.config());
+    assert!(reopened.resident_bloom_bytes() > 0, "blooms reloaded");
+
+    for rid in [0u64, 321, 1_199, 77_000] {
+        let q = series(rid);
+        let a = exact_match(&index, &cluster, &q, true).unwrap();
+        let b = exact_match(&reopened, &cluster, &q, true).unwrap();
+        assert_eq!(a.matches, b.matches, "rid {rid}");
+    }
+    for strategy in KnnStrategy::ALL {
+        let q = series(42);
+        let a = knn_approximate(&index, &cluster, &q, 10, strategy).unwrap();
+        let b = knn_approximate(&reopened, &cluster, &q, 10, strategy).unwrap();
+        assert_eq!(a.neighbors, b.neighbors, "{strategy:?}");
+    }
+}
+
+#[test]
+fn saved_unclustered_index_reopens() {
+    let config = TardisConfig {
+        clustered: false,
+        ..test_config()
+    };
+    let (cluster, index) = setup(800, &config);
+    index.save(&cluster, "manifest").unwrap();
+    let reopened = TardisIndex::open(&cluster, "manifest").unwrap();
+    assert!(!reopened.config().clustered);
+    let q = series(100);
+    let a = exact_match(&index, &cluster, &q, true).unwrap();
+    let b = exact_match(&reopened, &cluster, &q, true).unwrap();
+    assert_eq!(a.matches, b.matches);
+    assert_eq!(a.matches, vec![100]);
+}
+
+#[test]
+fn open_missing_or_corrupt_manifest_errors() {
+    let (cluster, index) = setup(300, &test_config());
+    assert!(TardisIndex::open(&cluster, "nope").is_err());
+    // Corrupt manifest.
+    index.save(&cluster, "manifest").unwrap();
+    let blocks = cluster.dfs().list_blocks("manifest").unwrap();
+    let bytes = cluster.dfs().read_block(&blocks[0]).unwrap();
+    cluster.dfs().delete_file("manifest").unwrap();
+    cluster
+        .dfs()
+        .append_block("manifest", &bytes[..bytes.len() / 3])
+        .unwrap();
+    assert!(TardisIndex::open(&cluster, "manifest").is_err());
+}
+
+#[test]
+fn save_overwrites_previous_manifest() {
+    let (cluster, index) = setup(400, &test_config());
+    index.save(&cluster, "manifest").unwrap();
+    index.save(&cluster, "manifest").unwrap();
+    assert_eq!(cluster.dfs().list_blocks("manifest").unwrap().len(), 1);
+    assert!(TardisIndex::open(&cluster, "manifest").is_ok());
+}

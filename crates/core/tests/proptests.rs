@@ -1,0 +1,117 @@
+//! Property-based tests for the TARDIS core building blocks that don't
+//! need a full cluster: FFD packing, evaluation metrics, and the
+//! converter.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use tardis_core::eval::{error_ratio, recall, Neighbor};
+use tardis_core::packing::{bin_lower_bound, ffd_pack};
+use tardis_core::Converter;
+use tardis_ts::TimeSeries;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ffd_places_every_item_once(
+        sizes in prop::collection::vec(1u64..500, 0..100),
+        capacity in 1u64..1000,
+    ) {
+        let items: Vec<(usize, u64)> = sizes.iter().copied().enumerate().collect();
+        let packing = ffd_pack(items, capacity);
+        let mut seen = HashSet::new();
+        for bin in &packing {
+            for &key in bin {
+                prop_assert!(seen.insert(key), "item {} placed twice", key);
+            }
+        }
+        prop_assert_eq!(seen.len(), sizes.len());
+    }
+
+    #[test]
+    fn ffd_respects_capacity_for_fitting_items(
+        sizes in prop::collection::vec(1u64..100, 1..80),
+        capacity in 100u64..400,
+    ) {
+        let items: Vec<(usize, u64)> = sizes.iter().copied().enumerate().collect();
+        let packing = ffd_pack(items, capacity);
+        for bin in &packing {
+            let total: u64 = bin.iter().map(|&k| sizes[k]).sum();
+            // All items < capacity here, so every bin obeys it.
+            prop_assert!(total <= capacity, "bin total {} > {}", total, capacity);
+        }
+    }
+
+    #[test]
+    fn ffd_bin_count_bounded(
+        sizes in prop::collection::vec(1u64..100, 1..120),
+        capacity in 100u64..300,
+    ) {
+        let total: u64 = sizes.iter().sum();
+        let items: Vec<(usize, u64)> = sizes.iter().copied().enumerate().collect();
+        let bins = ffd_pack(items, capacity).len() as u64;
+        let lb = bin_lower_bound(total, capacity);
+        prop_assert!(bins >= lb);
+        // FFD ≤ (3/2)·OPT + 1 and OPT ≥ LB.
+        prop_assert!(bins <= lb * 2 + 1, "bins {} vs lb {}", bins, lb);
+    }
+
+    #[test]
+    fn recall_bounded_and_monotone(
+        truth_ids in prop::collection::hash_set(0u64..100, 1..20),
+        result_ids in prop::collection::vec(0u64..100, 0..30),
+    ) {
+        let truth: Vec<Neighbor> = truth_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &rid)| Neighbor { distance: i as f64, rid })
+            .collect();
+        let result: Vec<(f64, u64)> =
+            result_ids.iter().map(|&rid| (0.0, rid)).collect();
+        let r = recall(&result, &truth);
+        prop_assert!((0.0..=1.0).contains(&r));
+        // Adding a guaranteed-hit raises (or keeps) recall.
+        let mut better = result.clone();
+        better.push((0.0, *truth_ids.iter().next().unwrap()));
+        prop_assert!(recall(&better, &truth) >= r - 1e-12);
+    }
+
+    #[test]
+    fn error_ratio_at_least_one_when_result_worse(
+        base in prop::collection::vec(0.1f64..50.0, 1..20),
+        inflation in 1.0f64..3.0,
+    ) {
+        let mut sorted = base.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let truth: Vec<Neighbor> = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| Neighbor { distance: d, rid: i as u64 })
+            .collect();
+        let result: Vec<(f64, u64)> = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d * inflation, 1000 + i as u64))
+            .collect();
+        let er = error_ratio(&result, &truth);
+        prop_assert!(er >= 1.0 - 1e-9);
+        prop_assert!((er - inflation).abs() < 1e-9);
+    }
+
+    #[test]
+    fn converter_is_stable_under_tiny_noise_sometimes_and_always_valid(
+        values in prop::collection::vec(-3.0f32..3.0, 64),
+    ) {
+        let mut v = values;
+        tardis_ts::z_normalize_in_place(&mut v);
+        let conv = Converter::with_params(8, 6);
+        let ts = TimeSeries::new(v);
+        let sig = conv.sig_of(&ts).unwrap();
+        prop_assert_eq!(sig.word_len(), 8);
+        prop_assert_eq!(sig.bits(), 6);
+        // PAA and signature agree: bucketizing the PAA reproduces the sig.
+        let paa = conv.paa_of(&ts).unwrap();
+        let word = tardis_isax::SaxWord::from_paa(&paa, 6).unwrap();
+        prop_assert_eq!(tardis_isax::SigT::from_sax(&word), sig);
+    }
+}

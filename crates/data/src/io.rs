@@ -1,0 +1,310 @@
+//! Plain-text import/export of series collections.
+//!
+//! Real deployments index their own data, not generators. This module
+//! reads and writes the de-facto interchange format of the time-series
+//! indexing literature (the UCR-archive style): one series per line,
+//! values separated by whitespace, commas, or tabs. Loaded collections
+//! implement [`SeriesGen`] (record id = line number), so everything that
+//! works with generated datasets — `write_dataset`, query workloads,
+//! profiling — works with imported data too.
+
+use crate::generator::SeriesGen;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use tardis_ts::{RecordId, TimeSeries};
+
+/// Errors from text import.
+#[derive(Debug)]
+pub enum ImportError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A token failed to parse as `f32`.
+    BadValue {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A line's length differs from the first line's.
+    RaggedLine {
+        /// 1-based line number.
+        line: usize,
+        /// Values found.
+        found: usize,
+        /// Values expected (from the first line).
+        expected: usize,
+    },
+    /// The file holds no series.
+    Empty,
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::Io(e) => write!(f, "I/O error: {e}"),
+            ImportError::BadValue { line, token } => {
+                write!(f, "line {line}: cannot parse '{token}' as a number")
+            }
+            ImportError::RaggedLine {
+                line,
+                found,
+                expected,
+            } => write!(
+                f,
+                "line {line}: {found} values but the first series has {expected}"
+            ),
+            ImportError::Empty => write!(f, "no series found"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+impl From<std::io::Error> for ImportError {
+    fn from(e: std::io::Error) -> Self {
+        ImportError::Io(e)
+    }
+}
+
+/// A series collection held in memory, typically loaded from a file.
+/// Implements [`SeriesGen`] with record id = position.
+#[derive(Debug, Clone)]
+pub struct InMemoryDataset {
+    name: String,
+    series: Vec<TimeSeries>,
+}
+
+impl InMemoryDataset {
+    /// Wraps owned series (all must share one length).
+    ///
+    /// # Panics
+    /// Panics if `series` is empty or lengths differ.
+    pub fn new(name: impl Into<String>, series: Vec<TimeSeries>) -> InMemoryDataset {
+        assert!(!series.is_empty(), "dataset must be non-empty");
+        let len = series[0].len();
+        assert!(
+            series.iter().all(|s| s.len() == len),
+            "all series must share one length"
+        );
+        InMemoryDataset {
+            name: name.into(),
+            series,
+        }
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether the collection is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Borrowed access to the series.
+    pub fn series_slice(&self) -> &[TimeSeries] {
+        &self.series
+    }
+}
+
+impl SeriesGen for InMemoryDataset {
+    fn series_len(&self) -> usize {
+        self.series[0].len()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the series at `rid % len` — wrapping keeps the trait's
+    /// total contract (query-workload helpers probe beyond the dataset
+    /// for "absent" queries, which a finite collection cannot produce;
+    /// for imported data use explicit query files instead).
+    fn series(&self, rid: RecordId) -> TimeSeries {
+        self.series[(rid % self.series.len() as u64) as usize].clone()
+    }
+}
+
+/// Reads a whitespace/comma/tab-separated series file. Empty lines and
+/// lines starting with `#` are skipped. Set `z_normalize` to normalize
+/// each series on load (what every paper dataset does).
+///
+/// # Errors
+/// [`ImportError`] on I/O failure, a malformed number, ragged rows, or an
+/// empty file.
+pub fn read_series_file(
+    path: &Path,
+    z_normalize: bool,
+) -> Result<InMemoryDataset, ImportError> {
+    let reader = BufReader::new(std::fs::File::open(path)?);
+    let mut series: Vec<TimeSeries> = Vec::new();
+    let mut expected: Option<usize> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut values = Vec::new();
+        for token in trimmed.split(|c: char| c.is_whitespace() || c == ',') {
+            if token.is_empty() {
+                continue;
+            }
+            let v: f32 = token.parse().map_err(|_| ImportError::BadValue {
+                line: idx + 1,
+                token: token.to_string(),
+            })?;
+            values.push(v);
+        }
+        if values.is_empty() {
+            continue;
+        }
+        match expected {
+            None => expected = Some(values.len()),
+            Some(e) if e != values.len() => {
+                return Err(ImportError::RaggedLine {
+                    line: idx + 1,
+                    found: values.len(),
+                    expected: e,
+                })
+            }
+            _ => {}
+        }
+        if z_normalize {
+            tardis_ts::z_normalize_in_place(&mut values);
+        }
+        series.push(TimeSeries::new(values));
+    }
+    if series.is_empty() {
+        return Err(ImportError::Empty);
+    }
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("imported")
+        .to_string();
+    Ok(InMemoryDataset::new(name, series))
+}
+
+/// Writes series as whitespace-separated lines (the format
+/// [`read_series_file`] reads back).
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_series_file<'a>(
+    path: &Path,
+    series: impl IntoIterator<Item = &'a TimeSeries>,
+) -> Result<(), std::io::Error> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    for ts in series {
+        let mut first = true;
+        for v in ts.values() {
+            if !first {
+                write!(out, " ")?;
+            }
+            write!(out, "{v}")?;
+            first = false;
+        }
+        writeln!(out)?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_walk::RandomWalk;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("tardis-io-{tag}-{}.txt", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let gen = RandomWalk::with_len(1, 16);
+        let series: Vec<TimeSeries> = (0..5).map(|rid| gen.series(rid)).collect();
+        let path = temp_path("roundtrip");
+        write_series_file(&path, &series).unwrap();
+        let loaded = read_series_file(&path, false).unwrap();
+        assert_eq!(loaded.len(), 5);
+        assert_eq!(loaded.series_len(), 16);
+        for (a, b) in loaded.series_slice().iter().zip(&series) {
+            for (x, y) in a.values().iter().zip(b.values()) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reads_csv_commas_comments_and_blanks() {
+        let path = temp_path("csv");
+        std::fs::write(&path, "# header comment\n1.0,2.0,3.0\n\n4.0,5.0,6.0\n").unwrap();
+        let loaded = read_series_file(&path, false).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.series(1).values(), &[4.0, 5.0, 6.0]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn z_normalizes_on_request() {
+        let path = temp_path("znorm");
+        std::fs::write(&path, "10 20 30 40\n").unwrap();
+        let loaded = read_series_file(&path, true).unwrap();
+        let (mean, std) = tardis_ts::znorm_params(loaded.series(0).values());
+        assert!(mean.abs() < 1e-6);
+        assert!((std - 1.0).abs() < 1e-6);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_values_and_ragged_rows() {
+        let path = temp_path("bad");
+        std::fs::write(&path, "1 2 x\n").unwrap();
+        assert!(matches!(
+            read_series_file(&path, false),
+            Err(ImportError::BadValue { line: 1, .. })
+        ));
+        std::fs::write(&path, "1 2 3\n4 5\n").unwrap();
+        assert!(matches!(
+            read_series_file(&path, false),
+            Err(ImportError::RaggedLine {
+                line: 2,
+                found: 2,
+                expected: 3
+            })
+        ));
+        std::fs::write(&path, "# only comments\n").unwrap();
+        assert!(matches!(
+            read_series_file(&path, false),
+            Err(ImportError::Empty)
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn in_memory_dataset_wraps_rid() {
+        let gen = RandomWalk::with_len(2, 8);
+        let ds = InMemoryDataset::new("d", (0..3).map(|rid| gen.series(rid)).collect());
+        assert!(ds.series(0).exact_eq(&ds.series(3)));
+        assert_eq!(ds.name(), "d");
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "share one length")]
+    fn mixed_lengths_rejected() {
+        InMemoryDataset::new(
+            "bad",
+            vec![TimeSeries::new(vec![1.0]), TimeSeries::new(vec![1.0, 2.0])],
+        );
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_series_file(Path::new("/nonexistent/nope.txt"), false).unwrap_err();
+        assert!(matches!(err, ImportError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! Dataset generators and query workloads for the TARDIS evaluation
+//! (§VI-A of the paper).
+//!
+//! Four dataset families are provided, matching the paper's choices in
+//! series length and in the *skewness of value-occurrence frequencies*
+//! (Figure 9) — the property that drives index shape:
+//!
+//! * [`RandomWalk`] — the standard time-series indexing benchmark, length
+//!   256; generated exactly as in the original iSAX papers (cumulative sum
+//!   of unit Gaussian steps, z-normalized). Fully faithful.
+//! * [`TexmexLike`] — a synthetic analogue of the Texmex SIFT corpus:
+//!   length-128 non-negative gradient-histogram-style vectors drawn from a
+//!   mixture of clusters. (The 1-billion-vector corpus itself is not
+//!   redistributable at this scale; see DESIGN.md.)
+//! * [`DnaLike`] — a synthetic analogue of the UCSC human-genome dataset:
+//!   length-192 windows of a cumulative walk over a low-entropy,
+//!   repeat-biased base sequence, the standard DNA→time-series conversion.
+//! * [`NoaaLike`] — a synthetic analogue of the NOAA station-temperature
+//!   dataset: length-64 seasonal series with station-specific baselines
+//!   and autocorrelated noise, producing the strongly skewed value
+//!   distribution of weather data.
+//!
+//! Every generator is deterministic per `(dataset seed, record id)`, so
+//! datasets of any size stream without being materialized, and any record
+//! can be regenerated on demand (used for ground-truth checks).
+
+pub mod dna;
+pub mod generator;
+pub mod io;
+pub mod loader;
+pub mod noaa;
+pub mod profile;
+pub mod queries;
+pub mod random_walk;
+pub mod texmex;
+
+pub use dna::DnaLike;
+pub use generator::{normal_pair, rng_for_record, SeriesGen};
+pub use io::{read_series_file, write_series_file, ImportError, InMemoryDataset};
+pub use loader::{write_dataset, DatasetLayout};
+pub use noaa::NoaaLike;
+pub use profile::{profile_dataset, DatasetProfile};
+pub use queries::{QueryKind, QueryWorkload};
+pub use random_walk::RandomWalk;
+pub use texmex::TexmexLike;

@@ -1,0 +1,129 @@
+//! Writing generated datasets into the cluster DFS.
+//!
+//! Datasets are stored as blocks of encoded records — the layout the
+//! paper's pipelines consume (block-level sampling, block-parallel
+//! conversion). Block generation is parallel across the worker pool and
+//! deterministic: block `b` holds records `[b·per_block, …)`.
+
+use crate::generator::SeriesGen;
+use tardis_cluster::{encode_records, Cluster, ClusterError};
+use tardis_ts::Record;
+
+/// Where and how a dataset was laid out on the DFS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetLayout {
+    /// DFS file name holding the blocks.
+    pub file: String,
+    /// Total records written.
+    pub n_records: u64,
+    /// Records per block (last block may be smaller).
+    pub records_per_block: usize,
+    /// Number of blocks written.
+    pub n_blocks: usize,
+}
+
+impl DatasetLayout {
+    /// The record-id range stored in block `index`.
+    pub fn block_range(&self, index: u32) -> std::ops::Range<u64> {
+        let start = index as u64 * self.records_per_block as u64;
+        let end = (start + self.records_per_block as u64).min(self.n_records);
+        start..end
+    }
+}
+
+/// Generates `n_records` records from `gen` and writes them to the DFS
+/// file `name` in blocks of `records_per_block`.
+///
+/// # Panics
+/// Panics if `records_per_block == 0` or `n_records == 0`.
+///
+/// # Errors
+/// Propagates DFS write errors.
+pub fn write_dataset(
+    cluster: &Cluster,
+    name: &str,
+    gen: &dyn SeriesGen,
+    n_records: u64,
+    records_per_block: usize,
+) -> Result<DatasetLayout, ClusterError> {
+    assert!(records_per_block > 0, "records_per_block must be positive");
+    assert!(n_records > 0, "dataset must be non-empty");
+    let n_blocks = (n_records as usize).div_ceil(records_per_block);
+    // Generate blocks in parallel, then append sequentially in block order
+    // (DFS appends are ordered; generation dominates the cost).
+    let blocks: Vec<Vec<u8>> = cluster.pool().par_tasks(n_blocks, |b| {
+        let start = b as u64 * records_per_block as u64;
+        let end = (start + records_per_block as u64).min(n_records);
+        let records: Vec<Record> = (start..end).map(|rid| gen.record(rid)).collect();
+        cluster.metrics().record_task();
+        encode_records(&records)
+    });
+    cluster.dfs().write_blocks(name, blocks)?;
+    Ok(DatasetLayout {
+        file: name.to_string(),
+        n_records,
+        records_per_block,
+        n_blocks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_walk::RandomWalk;
+    use tardis_cluster::{decode_records, ClusterConfig};
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig {
+            n_workers: 4,
+            ..ClusterConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn writes_expected_block_count() {
+        let c = cluster();
+        let g = RandomWalk::with_len(1, 32);
+        let layout = write_dataset(&c, "rw", &g, 25, 10).unwrap();
+        assert_eq!(layout.n_blocks, 3);
+        assert_eq!(c.dfs().list_blocks("rw").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn blocks_hold_correct_records() {
+        let c = cluster();
+        let g = RandomWalk::with_len(2, 16);
+        let layout = write_dataset(&c, "rw", &g, 23, 10).unwrap();
+        for id in c.dfs().list_blocks("rw").unwrap() {
+            let bytes = c.dfs().read_block(&id).unwrap();
+            let records: Vec<Record> = decode_records(&bytes).unwrap();
+            let range = layout.block_range(id.index);
+            assert_eq!(records.len() as u64, range.end - range.start);
+            for (r, rid) in records.iter().zip(range) {
+                assert_eq!(r.rid, rid);
+                assert!(r.ts.exact_eq(&g.series(rid)), "rid {rid} regenerable");
+            }
+        }
+    }
+
+    #[test]
+    fn block_range_clamps_last_block() {
+        let layout = DatasetLayout {
+            file: "f".into(),
+            n_records: 25,
+            records_per_block: 10,
+            n_blocks: 3,
+        };
+        assert_eq!(layout.block_range(0), 0..10);
+        assert_eq!(layout.block_range(2), 20..25);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_dataset_rejected() {
+        let c = cluster();
+        let g = RandomWalk::with_len(1, 16);
+        let _ = write_dataset(&c, "rw", &g, 0, 10);
+    }
+}

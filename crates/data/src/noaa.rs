@@ -1,0 +1,146 @@
+//! Synthetic analogue of the NOAA station-temperature dataset (§VI-A).
+//!
+//! The real dataset extracts the temperature feature from ~20,000 global
+//! stations (1901–present) into 200 million series of length 64. Station
+//! temperature data is strongly structured: a seasonal cycle, a
+//! station-specific baseline (latitude/altitude), and autocorrelated
+//! day-to-day noise. The global mixture of station baselines produces the
+//! heavily skewed, multi-modal value distribution of Figure 9's NOAA panel.
+//!
+//! Each record here is one station-window: baseline + seasonal sinusoid +
+//! AR(1) noise, z-normalized.
+
+use crate::generator::{normal_pair, rng_for_record, SeriesGen};
+use rand::Rng;
+use tardis_ts::{RecordId, TimeSeries};
+
+/// NOAA-like station-temperature generator (length 64).
+#[derive(Debug, Clone)]
+pub struct NoaaLike {
+    seed: u64,
+    len: usize,
+    n_stations: u64,
+}
+
+impl NoaaLike {
+    /// Creates a generator with the paper's series length (64) and 20,000
+    /// synthetic stations (the NOAA network size).
+    pub fn new(seed: u64) -> NoaaLike {
+        NoaaLike {
+            seed,
+            len: 64,
+            n_stations: 20_000,
+        }
+    }
+
+    /// Overrides the number of stations (fewer stations = stronger
+    /// clustering of identical signatures).
+    ///
+    /// # Panics
+    /// Panics if `n_stations == 0`.
+    pub fn with_stations(seed: u64, n_stations: u64) -> NoaaLike {
+        assert!(n_stations > 0, "need at least one station");
+        NoaaLike {
+            seed,
+            len: 64,
+            n_stations,
+        }
+    }
+
+    /// Station climate parameters: (baseline °C, seasonal amplitude,
+    /// noise persistence).
+    fn station_params(&self, station: u64) -> (f64, f64, f64) {
+        let mut x = self
+            .seed
+            .wrapping_mul(0xD6E8FEB86659FD93)
+            .wrapping_add(station);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x ^= x >> 27;
+        // Latitude-like skew: most stations temperate, a tail of polar and
+        // tropical ones (squared uniform pushes mass to one side).
+        let u = (x % 100_000) as f64 / 100_000.0;
+        let baseline = 25.0 - 45.0 * u * u;
+        let amplitude = 2.0 + 18.0 * u; // bigger swings at high latitude
+        let persistence = 0.7;
+        (baseline, amplitude, persistence)
+    }
+}
+
+impl SeriesGen for NoaaLike {
+    fn series_len(&self) -> usize {
+        self.len
+    }
+
+    fn name(&self) -> &str {
+        "noaa"
+    }
+
+    fn series(&self, rid: RecordId) -> TimeSeries {
+        let mut rng = rng_for_record(self.seed, rid);
+        let station = rng.gen_range(0..self.n_stations);
+        let (baseline, amplitude, persistence) = self.station_params(station);
+        let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let mut ar = 0.0f64;
+        let mut values = Vec::with_capacity(self.len);
+        for t in 0..self.len {
+            let season =
+                amplitude * (std::f64::consts::TAU * t as f64 / self.len as f64 + phase).sin();
+            let (shock, _) = normal_pair(&mut rng);
+            ar = persistence * ar + 1.5 * shock;
+            values.push((baseline + season + ar) as f32);
+        }
+        tardis_ts::z_normalize_in_place(&mut values);
+        TimeSeries::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_normalization() {
+        let g = NoaaLike::new(1);
+        let ts = g.series(0);
+        assert_eq!(ts.len(), 64);
+        let (mean, std) = tardis_ts::znorm_params(ts.values());
+        assert!(mean.abs() < 1e-5);
+        assert!((std - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = NoaaLike::new(5);
+        assert!(g.series(3).exact_eq(&g.series(3)));
+    }
+
+    #[test]
+    fn seasonal_cycle_dominates() {
+        // Autocorrelation at small lags should be strongly positive.
+        let g = NoaaLike::new(2);
+        let ts = g.series(8);
+        let v = ts.values();
+        let n = v.len();
+        let lag = 2;
+        let mut corr = 0.0f64;
+        for i in 0..n - lag {
+            corr += v[i] as f64 * v[i + lag] as f64;
+        }
+        corr /= (n - lag) as f64;
+        assert!(corr > 0.3, "lag-2 autocorrelation {corr}");
+    }
+
+    #[test]
+    fn station_mixture_produces_variety() {
+        let g = NoaaLike::with_stations(3, 50);
+        let a = g.series(0);
+        let b = g.series(1);
+        assert!(!a.exact_eq(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one station")]
+    fn zero_stations_rejected() {
+        NoaaLike::with_stations(1, 0);
+    }
+}

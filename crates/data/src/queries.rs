@@ -1,0 +1,165 @@
+//! Query workload generation.
+//!
+//! The exact-match evaluation (§VI-C1) uses 100 queries per run, "50%
+//! randomly selected from the dataset while the other 50% are guaranteed
+//! to not exist". kNN evaluations use randomly selected dataset members
+//! as queries. Absent queries are drawn from the same generator family at
+//! record ids beyond the dataset size, so they follow the data
+//! distribution without (bit-exactly) colliding with any stored series.
+
+use crate::generator::SeriesGen;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tardis_ts::TimeSeries;
+
+/// Whether a query series is a dataset member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Copied from a stored record (exact match must find it).
+    Existing {
+        /// The record it was copied from.
+        rid: u64,
+    },
+    /// Generated outside the stored id range (exact match must miss).
+    Absent,
+}
+
+/// A generated query workload.
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    /// The query series, z-normalized like the data.
+    pub queries: Vec<(TimeSeries, QueryKind)>,
+}
+
+impl QueryWorkload {
+    /// Builds a mixed workload of `n` queries: `n/2` existing (sampled
+    /// uniformly from `[0, dataset_size)`) and `n − n/2` absent, shuffled
+    /// deterministically.
+    ///
+    /// # Panics
+    /// Panics if `dataset_size == 0` or `n == 0`.
+    pub fn mixed(gen: &dyn SeriesGen, dataset_size: u64, n: usize, seed: u64) -> QueryWorkload {
+        assert!(dataset_size > 0, "dataset must be non-empty");
+        assert!(n > 0, "workload must be non-empty");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x51AB_F00D);
+        let n_existing = n / 2;
+        let mut queries = Vec::with_capacity(n);
+        for _ in 0..n_existing {
+            let rid = rng.gen_range(0..dataset_size);
+            queries.push((gen.series(rid), QueryKind::Existing { rid }));
+        }
+        for i in 0..(n - n_existing) {
+            // Ids beyond the dataset: same distribution, not stored.
+            let rid = dataset_size + seed % 1000 + i as u64;
+            queries.push((gen.series(rid), QueryKind::Absent));
+        }
+        // Deterministic shuffle so existing/absent interleave.
+        for i in (1..queries.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            queries.swap(i, j);
+        }
+        QueryWorkload { queries }
+    }
+
+    /// Builds a kNN workload of `n` queries, all sampled from the dataset
+    /// (the paper's kNN queries are dataset members).
+    ///
+    /// # Panics
+    /// Panics if `dataset_size == 0` or `n == 0`.
+    pub fn existing(gen: &dyn SeriesGen, dataset_size: u64, n: usize, seed: u64) -> QueryWorkload {
+        assert!(dataset_size > 0, "dataset must be non-empty");
+        assert!(n > 0, "workload must be non-empty");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xE81D_CAFE);
+        let queries = (0..n)
+            .map(|_| {
+                let rid = rng.gen_range(0..dataset_size);
+                (gen.series(rid), QueryKind::Existing { rid })
+            })
+            .collect();
+        QueryWorkload { queries }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the workload is empty (never true for constructed ones).
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Count of existing-kind queries.
+    pub fn n_existing(&self) -> usize {
+        self.queries
+            .iter()
+            .filter(|(_, k)| matches!(k, QueryKind::Existing { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_walk::RandomWalk;
+
+    #[test]
+    fn mixed_is_half_and_half() {
+        let g = RandomWalk::with_len(1, 32);
+        let w = QueryWorkload::mixed(&g, 1000, 100, 7);
+        assert_eq!(w.len(), 100);
+        assert_eq!(w.n_existing(), 50);
+    }
+
+    #[test]
+    fn mixed_existing_queries_match_their_records() {
+        let g = RandomWalk::with_len(1, 32);
+        let w = QueryWorkload::mixed(&g, 50, 20, 3);
+        for (ts, kind) in &w.queries {
+            if let QueryKind::Existing { rid } = kind {
+                assert!(ts.exact_eq(&g.series(*rid)));
+                assert!(*rid < 50);
+            }
+        }
+    }
+
+    #[test]
+    fn absent_queries_are_outside_dataset() {
+        let g = RandomWalk::with_len(1, 32);
+        let w = QueryWorkload::mixed(&g, 10, 10, 3);
+        for (ts, kind) in &w.queries {
+            if matches!(kind, QueryKind::Absent) {
+                // Not bit-equal to any stored record.
+                for rid in 0..10 {
+                    assert!(!ts.exact_eq(&g.series(rid)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = RandomWalk::with_len(1, 32);
+        let a = QueryWorkload::mixed(&g, 100, 10, 5);
+        let b = QueryWorkload::mixed(&g, 100, 10, 5);
+        for (x, y) in a.queries.iter().zip(&b.queries) {
+            assert!(x.0.exact_eq(&y.0));
+            assert_eq!(x.1, y.1);
+        }
+    }
+
+    #[test]
+    fn existing_workload_is_all_members() {
+        let g = RandomWalk::with_len(1, 32);
+        let w = QueryWorkload::existing(&g, 100, 30, 5);
+        assert_eq!(w.n_existing(), 30);
+    }
+
+    #[test]
+    fn odd_count_splits_rounding_down_existing() {
+        let g = RandomWalk::with_len(1, 32);
+        let w = QueryWorkload::mixed(&g, 100, 9, 5);
+        assert_eq!(w.n_existing(), 4);
+        assert_eq!(w.len(), 9);
+    }
+}

@@ -1,0 +1,113 @@
+//! The RandomWalk benchmark generator.
+//!
+//! "This dataset is generated for 1 billion time series with 256 points"
+//! (§VI-A); the generation procedure is the one used across the iSAX
+//! literature: each series is the cumulative sum of independent standard
+//! Gaussian steps, then z-normalized.
+
+use crate::generator::{fill_normal, rng_for_record, SeriesGen};
+use tardis_ts::{RecordId, TimeSeries};
+
+/// RandomWalk dataset generator (default length 256).
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    seed: u64,
+    len: usize,
+}
+
+impl RandomWalk {
+    /// Creates a generator with the paper's series length (256).
+    pub fn new(seed: u64) -> RandomWalk {
+        RandomWalk { seed, len: 256 }
+    }
+
+    /// Creates a generator with a custom series length.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`.
+    pub fn with_len(seed: u64, len: usize) -> RandomWalk {
+        assert!(len > 0, "series length must be positive");
+        RandomWalk { seed, len }
+    }
+}
+
+impl SeriesGen for RandomWalk {
+    fn series_len(&self) -> usize {
+        self.len
+    }
+
+    fn name(&self) -> &str {
+        "randomwalk"
+    }
+
+    fn series(&self, rid: RecordId) -> TimeSeries {
+        let mut rng = rng_for_record(self.seed, rid);
+        let mut steps = vec![0.0f64; self.len];
+        fill_normal(&mut rng, &mut steps);
+        let mut acc = 0.0f64;
+        let mut values = Vec::with_capacity(self.len);
+        for s in steps {
+            acc += s;
+            values.push(acc as f32);
+        }
+        tardis_ts::z_normalize_in_place(&mut values);
+        TimeSeries::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_shape() {
+        let g = RandomWalk::new(1);
+        let ts = g.series(0);
+        assert_eq!(ts.len(), 256);
+        let (mean, std) = tardis_ts::znorm_params(ts.values());
+        assert!(mean.abs() < 1e-5);
+        assert!((std - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn deterministic_per_rid() {
+        let g = RandomWalk::new(9);
+        assert!(g.series(5).exact_eq(&g.series(5)));
+        assert!(!g.series(5).exact_eq(&g.series(6)));
+    }
+
+    #[test]
+    fn seeds_decorrelate_datasets() {
+        let a = RandomWalk::new(1).series(0);
+        let b = RandomWalk::new(2).series(0);
+        assert!(!a.exact_eq(&b));
+    }
+
+    #[test]
+    fn custom_length() {
+        let g = RandomWalk::with_len(1, 64);
+        assert_eq!(g.series_len(), 64);
+        assert_eq!(g.series(3).len(), 64);
+    }
+
+    #[test]
+    fn successive_values_are_autocorrelated() {
+        // Walks move smoothly: adjacent differences are much smaller than
+        // the overall range.
+        let ts = RandomWalk::new(4).series(17);
+        let v = ts.values();
+        let max_jump = v
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .fold(0.0f32, f32::max);
+        let range = v.iter().fold(f32::MIN, |a, &b| a.max(b))
+            - v.iter().fold(f32::MAX, |a, &b| a.min(b));
+        assert!(max_jump < range / 2.0, "jump {max_jump} vs range {range}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_length_rejected() {
+        RandomWalk::with_len(1, 0);
+    }
+}

@@ -1,0 +1,364 @@
+//! SAX breakpoints: nested Gaussian quantiles.
+//!
+//! SAX divides the value space of a z-normalized series into `c` horizontal
+//! stripes of equal probability under N(0,1) (§II-B). The breakpoints for
+//! cardinality `2^b` are the quantiles `Φ⁻¹(i / 2^b)` for `i = 1..2^b-1`.
+//!
+//! Because `Φ⁻¹(i / 2^(b-1)) = Φ⁻¹(2i / 2^b)`, the breakpoint sets for
+//! powers of two are *nested*: the table for `b-1` bits is every other entry
+//! of the table for `b` bits. This nesting is exactly what makes iSAX
+//! cardinality reduction a bit-shift on bucket indices — and iSAX-T
+//! reduction a string drop-right.
+
+use std::sync::OnceLock;
+
+/// Maximum supported cardinality bits. `2^9 = 512` is the baseline's
+/// default initial cardinality (Table II), the largest any component needs.
+pub const MAX_CARD_BITS: u8 = 9;
+
+/// Inverse CDF (quantile function) of the standard normal distribution.
+///
+/// Peter Acklam's rational approximation polished by one Halley step
+/// against a double-precision normal CDF (Hart 1968); absolute error is
+/// below ~1e-13 over `(0, 1)`, far tighter than the f32 storage of the
+/// series themselves.
+///
+/// Returns `-inf` for `p <= 0` and `+inf` for `p >= 1`.
+pub fn inv_normal_cdf(p: f64) -> f64 {
+    if p <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p >= 1.0 {
+        return f64::INFINITY;
+    }
+
+    // Coefficients for the central and tail rational approximations.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        // Lower tail.
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        // Central region.
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        // Upper tail (by symmetry).
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley step against the double-precision CDF.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Standard normal lower-tail CDF, Hart (1968) rational approximation as
+/// popularized by West; accurate to ~1e-15 in double precision.
+fn normal_cdf(x: f64) -> f64 {
+    let xabs = x.abs();
+    let tail = if xabs > 37.0 {
+        0.0
+    } else {
+        let expo = (-xabs * xabs / 2.0).exp();
+        if xabs < 7.071_067_811_865_47 {
+            let num = (((((3.526_249_659_989_11e-2 * xabs + 0.700_383_064_443_688) * xabs
+                + 6.373_962_203_531_65)
+                * xabs
+                + 33.912_866_078_383)
+                * xabs
+                + 112.079_291_497_871)
+                * xabs
+                + 221.213_596_169_931)
+                * xabs
+                + 220.206_867_912_376;
+            let den = ((((((8.838_834_764_831_84e-2 * xabs + 1.755_667_163_182_64) * xabs
+                + 16.064_177_579_207)
+                * xabs
+                + 86.780_732_202_946_1)
+                * xabs
+                + 296.564_248_779_674)
+                * xabs
+                + 637.333_633_378_831)
+                * xabs
+                + 793.826_512_519_948)
+                * xabs
+                + 440.413_735_824_752;
+            expo * num / den
+        } else {
+            let b = xabs + 0.65;
+            let b = xabs + 4.0 / b;
+            let b = xabs + 3.0 / b;
+            let b = xabs + 2.0 / b;
+            let b = xabs + 1.0 / b;
+            expo / b / 2.506_628_274_631
+        }
+    };
+    if x > 0.0 {
+        1.0 - tail
+    } else {
+        tail
+    }
+}
+
+/// The master breakpoint table at [`MAX_CARD_BITS`]: `2^MAX - 1` sorted
+/// quantiles. Lower-cardinality tables are strided views into this one so
+/// that nesting is bit-exact.
+fn master_table() -> &'static [f64] {
+    static TABLE: OnceLock<Vec<f64>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let c = 1usize << MAX_CARD_BITS;
+        (1..c).map(|i| inv_normal_cdf(i as f64 / c as f64)).collect()
+    })
+}
+
+/// Breakpoints for cardinality `2^bits`, as an iterator of `2^bits - 1`
+/// ascending values taken from the master table.
+///
+/// # Panics
+/// Panics if `bits` is 0 or exceeds [`MAX_CARD_BITS`].
+pub fn breakpoints(bits: u8) -> impl Iterator<Item = f64> + Clone + 'static {
+    assert!(
+        (1..=MAX_CARD_BITS).contains(&bits),
+        "cardinality bits {bits} out of range 1..={MAX_CARD_BITS}"
+    );
+    let stride = 1usize << (MAX_CARD_BITS - bits);
+    master_table().iter().copied().skip(stride - 1).step_by(stride)
+}
+
+/// The `i`-th breakpoint (0-based) at cardinality `2^bits`.
+///
+/// # Panics
+/// Panics if `bits` is out of range or `i >= 2^bits - 1`.
+#[inline]
+pub fn breakpoint_at(bits: u8, i: usize) -> f64 {
+    assert!(
+        (1..=MAX_CARD_BITS).contains(&bits),
+        "cardinality bits {bits} out of range 1..={MAX_CARD_BITS}"
+    );
+    assert!(i < (1usize << bits) - 1, "breakpoint index {i} out of range");
+    let stride = 1usize << (MAX_CARD_BITS - bits);
+    master_table()[stride * (i + 1) - 1]
+}
+
+/// Maps a (z-normalized) value to its SAX bucket at cardinality `2^bits`.
+///
+/// Buckets are numbered bottom-up: bucket 0 is `(-inf, β₁)` and bucket
+/// `2^bits - 1` is `[β_last, +inf)`. Stripes are half-open `[lo, hi)` as in
+/// Figure 1(c) of the paper, so a value exactly on a breakpoint belongs to
+/// the stripe above it.
+///
+/// The nesting property guarantees `bucket_of(v, b-1) == bucket_of(v, b) >> 1`.
+#[inline]
+pub fn bucket_of(value: f64, bits: u8) -> u16 {
+    assert!(
+        (1..=MAX_CARD_BITS).contains(&bits),
+        "cardinality bits {bits} out of range 1..={MAX_CARD_BITS}"
+    );
+    // Binary search in the max-cardinality table, then shift down: one
+    // search serves every cardinality.
+    let table = master_table();
+    let max_bucket = table.partition_point(|&b| b <= value) as u16;
+    max_bucket >> (MAX_CARD_BITS - bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn inv_cdf_median_is_zero() {
+        assert_close(inv_normal_cdf(0.5), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn inv_cdf_known_quantiles() {
+        // Classic SAX cardinality-4 breakpoints: ±0.6745, 0.
+        assert_close(inv_normal_cdf(0.25), -0.6744897501960817, 1e-9);
+        assert_close(inv_normal_cdf(0.75), 0.6744897501960817, 1e-9);
+        // Cardinality-8 outer breakpoints: ±1.1503.
+        assert_close(inv_normal_cdf(0.125), -1.1503493803760079, 1e-9);
+        // 97.5% quantile — the 1.96 of confidence-interval fame.
+        assert_close(inv_normal_cdf(0.975), 1.959963984540054, 1e-9);
+    }
+
+    #[test]
+    fn inv_cdf_symmetry() {
+        for &p in &[0.001, 0.01, 0.1, 0.3, 0.49] {
+            assert_close(inv_normal_cdf(p), -inv_normal_cdf(1.0 - p), 1e-11);
+        }
+    }
+
+    #[test]
+    fn inv_cdf_edges() {
+        assert_eq!(inv_normal_cdf(0.0), f64::NEG_INFINITY);
+        assert_eq!(inv_normal_cdf(1.0), f64::INFINITY);
+        assert_eq!(inv_normal_cdf(-0.5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn inv_cdf_monotone() {
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..1000 {
+            let x = inv_normal_cdf(i as f64 / 1000.0);
+            assert!(x > prev, "not monotone at i={i}");
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn breakpoints_counts() {
+        for bits in 1..=MAX_CARD_BITS {
+            assert_eq!(breakpoints(bits).count(), (1 << bits) - 1, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn breakpoints_sorted() {
+        for bits in 1..=MAX_CARD_BITS {
+            let bp: Vec<f64> = breakpoints(bits).collect();
+            for w in bp.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn breakpoints_are_nested() {
+        for bits in 2..=MAX_CARD_BITS {
+            let hi: Vec<f64> = breakpoints(bits).collect();
+            let lo: Vec<f64> = breakpoints(bits - 1).collect();
+            for (j, &b) in lo.iter().enumerate() {
+                // lo[j] must be hi[2j+1] (bit-exact: same master entries).
+                assert_eq!(b, hi[2 * j + 1], "bits={bits} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn breakpoint_at_matches_iterator() {
+        for bits in [1u8, 3, 6, 9] {
+            let all: Vec<f64> = breakpoints(bits).collect();
+            for (i, &b) in all.iter().enumerate() {
+                assert_eq!(breakpoint_at(bits, i), b);
+            }
+        }
+    }
+
+    #[test]
+    fn card2_breakpoint_is_zero() {
+        let bp: Vec<f64> = breakpoints(1).collect();
+        assert_eq!(bp.len(), 1);
+        assert_close(bp[0], 0.0, 1e-12);
+    }
+
+    #[test]
+    fn bucket_of_basics() {
+        // 1 bit: negative → 0, non-negative → 1 (half-open [0, inf)).
+        assert_eq!(bucket_of(-0.5, 1), 0);
+        assert_eq!(bucket_of(0.0, 1), 1);
+        assert_eq!(bucket_of(0.5, 1), 1);
+        // 2 bits: boundaries at ~-0.674, 0, 0.674.
+        assert_eq!(bucket_of(-1.0, 2), 0);
+        assert_eq!(bucket_of(-0.3, 2), 1);
+        assert_eq!(bucket_of(0.3, 2), 2);
+        assert_eq!(bucket_of(1.0, 2), 3);
+    }
+
+    #[test]
+    fn bucket_on_breakpoint_goes_up() {
+        let b = breakpoint_at(2, 2); // ~0.6745
+        assert_eq!(bucket_of(b, 2), 3);
+        assert_eq!(bucket_of(b - 1e-9, 2), 2);
+    }
+
+    #[test]
+    fn bucket_nesting_property() {
+        let values = [-3.0, -1.2, -0.674, -0.1, 0.0, 0.1, 0.674, 1.2, 3.0, 0.33];
+        for &v in &values {
+            for bits in 2..=MAX_CARD_BITS {
+                assert_eq!(
+                    bucket_of(v, bits - 1),
+                    bucket_of(v, bits) >> 1,
+                    "v={v} bits={bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_cover_full_range() {
+        assert_eq!(bucket_of(f64::NEG_INFINITY, 9), 0);
+        assert_eq!(bucket_of(f64::INFINITY, 9), 511);
+        assert_eq!(bucket_of(-100.0, 9), 0);
+        assert_eq!(bucket_of(100.0, 9), 511);
+    }
+
+    #[test]
+    fn buckets_are_equiprobable_under_normal() {
+        // Sample the inverse CDF uniformly; each bucket should receive an
+        // equal share of quantile positions.
+        let bits = 3;
+        let c = 1usize << bits;
+        let mut counts = vec![0usize; c];
+        let n = 8000;
+        for i in 0..n {
+            let p = (i as f64 + 0.5) / n as f64;
+            counts[bucket_of(inv_normal_cdf(p), bits) as usize] += 1;
+        }
+        for &cnt in &counts {
+            assert_eq!(cnt, n / c);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bucket_of_rejects_zero_bits() {
+        bucket_of(0.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn breakpoints_reject_excess_bits() {
+        let _ = breakpoints(MAX_CARD_BITS + 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for representation operations.
+
+use std::fmt;
+
+/// Errors produced when constructing or converting iSAX representations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaxError {
+    /// Word length must be positive, a multiple of 4 (hex packing), at most
+    /// 32, and not longer than the series.
+    InvalidWordLength {
+        /// The offending word length.
+        w: usize,
+    },
+    /// Cardinality bits outside `1..=MAX_CARD_BITS`.
+    InvalidCardinality {
+        /// The offending bit count.
+        bits: u8,
+    },
+    /// Series shorter than the word length.
+    SeriesTooShort {
+        /// Series length.
+        len: usize,
+        /// Word length requested.
+        w: usize,
+    },
+    /// A conversion targeted a higher cardinality than the source holds.
+    CannotPromote {
+        /// Bits held by the source representation.
+        have: u8,
+        /// Bits requested.
+        want: u8,
+    },
+    /// Two representations with different word lengths were combined.
+    WordLengthMismatch {
+        /// Left operand word length.
+        left: usize,
+        /// Right operand word length.
+        right: usize,
+    },
+}
+
+impl fmt::Display for IsaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaxError::InvalidWordLength { w } => write!(
+                f,
+                "invalid word length {w}: must be in 4..=32 and a multiple of 4"
+            ),
+            IsaxError::InvalidCardinality { bits } => write!(
+                f,
+                "invalid cardinality: 2^{bits} (bits must be 1..={})",
+                crate::breakpoints::MAX_CARD_BITS
+            ),
+            IsaxError::SeriesTooShort { len, w } => {
+                write!(f, "series of length {len} shorter than word length {w}")
+            }
+            IsaxError::CannotPromote { have, want } => {
+                write!(f, "cannot promote representation from {have} to {want} bits")
+            }
+            IsaxError::WordLengthMismatch { left, right } => {
+                write!(f, "word length mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsaxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(IsaxError::InvalidWordLength { w: 5 }
+            .to_string()
+            .contains("multiple of 4"));
+        assert!(IsaxError::InvalidCardinality { bits: 12 }
+            .to_string()
+            .contains("2^12"));
+        assert!(IsaxError::SeriesTooShort { len: 3, w: 8 }
+            .to_string()
+            .contains("shorter"));
+        assert!(IsaxError::CannotPromote { have: 2, want: 5 }
+            .to_string()
+            .contains("promote"));
+        assert!(IsaxError::WordLengthMismatch { left: 4, right: 8 }
+            .to_string()
+            .contains("mismatch"));
+    }
+}

@@ -1,0 +1,327 @@
+//! Character-level variable-cardinality iSAX words — the representation
+//! used by the iBT / DPiSAX baseline (§II-B, §II-C).
+//!
+//! Unlike iSAX-T, every segment (character) of an iSAX word carries its own
+//! cardinality: `[0₁, 11₂, 0₁]` uses 1, 2, and 1 bits. Splitting a leaf in
+//! the binary iSAX tree promotes exactly one character by one bit. This is
+//! the representation whose comparison/matching cost the paper identifies
+//! as a bottleneck ("high matching overhead").
+
+use crate::error::IsaxError;
+use crate::paa::validate_word_len;
+use crate::region::Region;
+use crate::sax::SaxWord;
+use std::fmt;
+
+/// One character of an iSAX word: a bucket prefix at `bits` cardinality
+/// bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ISaxSym {
+    /// Bucket index at cardinality `2^bits` (the top `bits` bits of the
+    /// full-resolution bucket).
+    pub prefix: u16,
+    /// Number of cardinality bits used by this character.
+    pub bits: u8,
+}
+
+impl ISaxSym {
+    /// The value-space region covered by this character.
+    pub fn region(&self) -> Region {
+        Region::of_bucket(self.prefix, self.bits)
+    }
+
+    /// Whether a full-resolution bucket (at `full_bits`) falls under this
+    /// character's prefix.
+    ///
+    /// # Panics
+    /// Debug-asserts `full_bits >= self.bits`.
+    #[inline]
+    pub fn covers(&self, full_bucket: u16, full_bits: u8) -> bool {
+        debug_assert!(full_bits >= self.bits);
+        (full_bucket >> (full_bits - self.bits)) == self.prefix
+    }
+
+    /// The two children of this character after a 1-bit promotion.
+    pub fn split(&self) -> (ISaxSym, ISaxSym) {
+        let bits = self.bits + 1;
+        (
+            ISaxSym {
+                prefix: self.prefix << 1,
+                bits,
+            },
+            ISaxSym {
+                prefix: (self.prefix << 1) | 1,
+                bits,
+            },
+        )
+    }
+}
+
+/// A character-level iSAX word: per-segment variable cardinality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ISaxWord {
+    syms: Vec<ISaxSym>,
+}
+
+impl ISaxWord {
+    /// Builds an iSAX word from characters.
+    ///
+    /// # Errors
+    /// [`IsaxError::InvalidWordLength`] for a bad segment count.
+    pub fn new(syms: Vec<ISaxSym>) -> Result<Self, IsaxError> {
+        validate_word_len(syms.len())?;
+        Ok(ISaxWord { syms })
+    }
+
+    /// Converts a uniform-cardinality SAX word into an iSAX word where
+    /// every character uses `bits` bits.
+    pub fn from_sax(word: &SaxWord, bits: u8) -> Result<Self, IsaxError> {
+        if bits > word.bits() {
+            return Err(IsaxError::CannotPromote {
+                have: word.bits(),
+                want: bits,
+            });
+        }
+        let shift = word.bits() - bits;
+        Ok(ISaxWord {
+            syms: word
+                .buckets()
+                .iter()
+                .map(|&b| ISaxSym {
+                    prefix: b >> shift,
+                    bits,
+                })
+                .collect(),
+        })
+    }
+
+    /// The root-level word: every character at 1 bit.
+    pub fn root_level(word: &SaxWord) -> Self {
+        ISaxWord::from_sax(word, 1).expect("1 bit always available")
+    }
+
+    /// Word length (number of characters).
+    pub fn word_len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// The characters.
+    pub fn syms(&self) -> &[ISaxSym] {
+        &self.syms
+    }
+
+    /// Sum of per-character bits — the "depth" of this word in an iBT.
+    pub fn total_bits(&self) -> u32 {
+        self.syms.iter().map(|s| s.bits as u32).sum()
+    }
+
+    /// Whether a full-resolution SAX word falls under this iSAX word
+    /// (every character covers the corresponding bucket).
+    ///
+    /// This per-character masking is the baseline's routing primitive; its
+    /// cost is what iSAX-T's drop-right replaces.
+    pub fn covers(&self, full: &SaxWord) -> Result<bool, IsaxError> {
+        if full.word_len() != self.word_len() {
+            return Err(IsaxError::WordLengthMismatch {
+                left: self.word_len(),
+                right: full.word_len(),
+            });
+        }
+        let full_bits = full.bits();
+        if self.syms.iter().any(|s| s.bits > full_bits) {
+            return Err(IsaxError::CannotPromote {
+                have: full_bits,
+                want: self.syms.iter().map(|s| s.bits).max().unwrap_or(0),
+            });
+        }
+        Ok(self
+            .syms
+            .iter()
+            .zip(full.buckets())
+            .all(|(s, &b)| s.covers(b, full_bits)))
+    }
+
+    /// Returns a copy with character `seg` promoted by one bit, taking the
+    /// branch indicated by `bit` (0 = lower half, 1 = upper half).
+    ///
+    /// # Panics
+    /// Panics if `seg` is out of range or `bit > 1`.
+    pub fn promoted(&self, seg: usize, bit: u8) -> ISaxWord {
+        assert!(bit <= 1, "branch bit must be 0 or 1");
+        let mut syms = self.syms.clone();
+        let s = &mut syms[seg];
+        s.prefix = (s.prefix << 1) | bit as u16;
+        s.bits += 1;
+        ISaxWord { syms }
+    }
+
+    /// The branch bit (0 or 1) a full-resolution word takes at character
+    /// `seg` when this word is promoted there.
+    ///
+    /// # Panics
+    /// Debug-asserts the full word has enough bits.
+    pub fn branch_bit(&self, seg: usize, full: &SaxWord) -> u8 {
+        let s = self.syms[seg];
+        let full_bits = full.bits();
+        debug_assert!(full_bits > s.bits);
+        ((full.buckets()[seg] >> (full_bits - s.bits - 1)) & 1) as u8
+    }
+
+    /// Per-character regions (for lower-bound distances).
+    pub fn regions(&self) -> impl Iterator<Item = Region> + '_ {
+        self.syms.iter().map(|s| s.region())
+    }
+
+    /// Approximate in-memory footprint in bytes (index-size accounting).
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.syms.capacity() * std::mem::size_of::<ISaxSym>()
+    }
+}
+
+impl fmt::Display for ISaxWord {
+    /// Paper-style rendering: `[0₁, 11₂, 0₁]` as `[0@1,11@2,0@1]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, s) in self.syms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{:0width$b}@{}", s.prefix, s.bits, width = s.bits as usize)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sax(buckets: Vec<u16>, bits: u8) -> SaxWord {
+        SaxWord::from_buckets(buckets, bits).unwrap()
+    }
+
+    #[test]
+    fn from_sax_uniform() {
+        let w = sax(vec![0b110, 0b011, 0b101, 0b000], 3);
+        let i = ISaxWord::from_sax(&w, 2).unwrap();
+        assert_eq!(
+            i.syms(),
+            &[
+                ISaxSym { prefix: 0b11, bits: 2 },
+                ISaxSym { prefix: 0b01, bits: 2 },
+                ISaxSym { prefix: 0b10, bits: 2 },
+                ISaxSym { prefix: 0b00, bits: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn root_level_is_one_bit() {
+        let w = sax(vec![0b110, 0b011, 0b101, 0b000], 3);
+        let r = ISaxWord::root_level(&w);
+        assert!(r.syms().iter().all(|s| s.bits == 1));
+        assert_eq!(
+            r.syms().iter().map(|s| s.prefix).collect::<Vec<_>>(),
+            vec![1, 0, 1, 0]
+        );
+    }
+
+    #[test]
+    fn covers_accepts_own_extension() {
+        let full = sax(vec![0b110, 0b011, 0b101, 0b000], 3);
+        let node = ISaxWord::from_sax(&full, 2).unwrap();
+        assert!(node.covers(&full).unwrap());
+    }
+
+    #[test]
+    fn covers_rejects_other_branch() {
+        let full = sax(vec![0b110, 0b011, 0b101, 0b000], 3);
+        let mut node = ISaxWord::from_sax(&full, 1).unwrap();
+        node = node.promoted(0, 0); // full has branch bit 1 at seg 0.
+        assert!(!node.covers(&full).unwrap());
+    }
+
+    #[test]
+    fn covers_mixed_cardinalities() {
+        // Paper Figure 2(a): node [0@1, 11@2, 0@1] covers [0xx, 11x, 0xx].
+        let node = ISaxWord::new(vec![
+            ISaxSym { prefix: 0, bits: 1 },
+            ISaxSym { prefix: 0b11, bits: 2 },
+            ISaxSym { prefix: 0, bits: 1 },
+            ISaxSym { prefix: 1, bits: 1 },
+        ])
+        .unwrap();
+        let inside = sax(vec![0b011, 0b110, 0b001, 0b111], 3);
+        let outside = sax(vec![0b011, 0b100, 0b001, 0b111], 3);
+        assert!(node.covers(&inside).unwrap());
+        assert!(!node.covers(&outside).unwrap());
+    }
+
+    #[test]
+    fn covers_errors_on_word_length_mismatch() {
+        let node = ISaxWord::new(vec![ISaxSym { prefix: 0, bits: 1 }; 8]).unwrap();
+        let full = sax(vec![0; 4], 3);
+        assert!(matches!(
+            node.covers(&full),
+            Err(IsaxError::WordLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn covers_errors_when_node_deeper_than_query() {
+        let node = ISaxWord::new(vec![ISaxSym { prefix: 0, bits: 5 }; 4]).unwrap();
+        let full = sax(vec![0; 4], 3);
+        assert!(matches!(
+            node.covers(&full),
+            Err(IsaxError::CannotPromote { .. })
+        ));
+    }
+
+    #[test]
+    fn split_produces_siblings() {
+        let s = ISaxSym { prefix: 0b10, bits: 2 };
+        let (lo, hi) = s.split();
+        assert_eq!(lo, ISaxSym { prefix: 0b100, bits: 3 });
+        assert_eq!(hi, ISaxSym { prefix: 0b101, bits: 3 });
+    }
+
+    #[test]
+    fn promoted_adjusts_one_character() {
+        let node = ISaxWord::new(vec![ISaxSym { prefix: 0, bits: 1 }; 4]).unwrap();
+        let p = node.promoted(2, 1);
+        assert_eq!(p.syms()[2], ISaxSym { prefix: 0b01, bits: 2 });
+        assert_eq!(p.syms()[0], ISaxSym { prefix: 0, bits: 1 });
+        assert_eq!(p.total_bits(), 5);
+    }
+
+    #[test]
+    fn branch_bit_reads_next_bit() {
+        let full = sax(vec![0b110, 0b011, 0b101, 0b000], 3);
+        let node = ISaxWord::from_sax(&full, 1).unwrap();
+        // Segment 0: bucket 110; after the first bit (1), next bit is 1.
+        assert_eq!(node.branch_bit(0, &full), 1);
+        // Segment 1: bucket 011; after 0, next bit is 1.
+        assert_eq!(node.branch_bit(1, &full), 1);
+        // Segment 3: bucket 000; next bit 0.
+        assert_eq!(node.branch_bit(3, &full), 0);
+    }
+
+    #[test]
+    fn display_paper_style() {
+        let node = ISaxWord::new(vec![
+            ISaxSym { prefix: 0, bits: 1 },
+            ISaxSym { prefix: 0b11, bits: 2 },
+            ISaxSym { prefix: 0, bits: 1 },
+            ISaxSym { prefix: 1, bits: 1 },
+        ])
+        .unwrap();
+        assert_eq!(node.to_string(), "[0@1,11@2,0@1,1@1]");
+    }
+
+    #[test]
+    fn total_bits_counts_depth() {
+        let w = sax(vec![0, 1, 0, 1], 1);
+        let node = ISaxWord::root_level(&w);
+        assert_eq!(node.total_bits(), 4);
+    }
+}

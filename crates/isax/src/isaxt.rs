@@ -1,0 +1,466 @@
+//! iSAX-Transposition (iSAX-T) signatures — the paper's new word-level
+//! signature scheme (§III-A, Figure 4).
+//!
+//! A uniform-cardinality SAX word of `w` segments × `b` bits forms a `w×b`
+//! bit matrix (one row per segment, MSB-first columns). iSAX-T *transposes*
+//! it into `b` bit-planes of `w` bits each and packs every plane into
+//! `w/4` hex nibbles. The signature string is the concatenation of planes,
+//! most-significant plane first.
+//!
+//! Because all segments of a word share one cardinality (word-level
+//! cardinality), reducing cardinality from `2^hc` to `2^lc` is a string
+//! drop-right of `(log₂hc − log₂lc)·w/4` letters (Equation 2) — no
+//! per-character masking.
+
+use crate::error::IsaxError;
+use crate::sax::SaxWord;
+use std::fmt;
+
+/// Hexadecimal alphabet used by [`SigT::to_hex`]/[`fmt::Display`].
+const HEX: &[u8; 16] = b"0123456789ABCDEF";
+
+/// An iSAX-T signature: hex nibbles of the transposed bit matrix.
+///
+/// `nibbles[k]` holds 4 consecutive segments of one bit-plane; plane `j`
+/// (0-based from the most significant bit) occupies nibbles
+/// `j·w/4 .. (j+1)·w/4`. Within a nibble, the earlier segment is the more
+/// significant bit, so the hex string reads exactly as in Figure 4.
+///
+/// ```
+/// use tardis_isax::{SaxWord, SigT};
+///
+/// // The paper's Figure 4 example: SAX(T,4,16) = [1100, 1101, 0110, 0001].
+/// let word = SaxWord::from_buckets(vec![0b1100, 0b1101, 0b0110, 0b0001], 4).unwrap();
+/// let sig = SigT::from_sax(&word);
+/// assert_eq!(sig.to_hex(), "CE25");
+///
+/// // Cardinality reduction is a string drop-right (Equation 2).
+/// assert_eq!(sig.drop_right(2).unwrap().to_hex(), "CE");
+/// assert_eq!(sig.drop_right(1).unwrap().to_hex(), "C");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SigT {
+    nibbles: Vec<u8>,
+    w: u16,
+}
+
+impl SigT {
+    /// Builds a signature from a uniform-cardinality SAX word.
+    ///
+    /// The resulting signature has `word.bits()` planes.
+    pub fn from_sax(word: &SaxWord) -> SigT {
+        let w = word.word_len();
+        let bits = word.bits();
+        let npp = w / 4; // nibbles per plane
+        let mut nibbles = vec![0u8; npp * bits as usize];
+        for (plane, chunk) in nibbles.chunks_exact_mut(npp).enumerate() {
+            let shift = bits as usize - 1 - plane;
+            for (k, nib) in chunk.iter_mut().enumerate() {
+                let mut v = 0u8;
+                for s in 0..4 {
+                    let bucket = word.buckets()[k * 4 + s];
+                    v = (v << 1) | (((bucket >> shift) & 1) as u8);
+                }
+                *nib = v;
+            }
+        }
+        SigT {
+            nibbles,
+            w: w as u16,
+        }
+    }
+
+    /// Builds a signature directly from raw nibble values.
+    ///
+    /// # Errors
+    /// * [`IsaxError::InvalidWordLength`] for a bad `w`.
+    /// * [`IsaxError::InvalidCardinality`] if the nibble count is not a
+    ///   multiple of `w/4` (i.e. not a whole number of planes) or exceeds
+    ///   the maximum cardinality.
+    pub fn from_nibbles(nibbles: Vec<u8>, w: usize) -> Result<SigT, IsaxError> {
+        crate::paa::validate_word_len(w)?;
+        let npp = w / 4;
+        if nibbles.len() % npp != 0 {
+            return Err(IsaxError::InvalidCardinality {
+                bits: (nibbles.len() / npp) as u8,
+            });
+        }
+        let bits = nibbles.len() / npp;
+        if bits == 0 || bits > crate::breakpoints::MAX_CARD_BITS as usize {
+            return Err(IsaxError::InvalidCardinality { bits: bits as u8 });
+        }
+        // This is a parsing entry point (hex strings, persisted images):
+        // reject out-of-range nibbles rather than asserting.
+        if nibbles.iter().any(|&n| n >= 16) {
+            return Err(IsaxError::InvalidCardinality { bits: bits as u8 });
+        }
+        Ok(SigT {
+            nibbles,
+            w: w as u16,
+        })
+    }
+
+    /// Parses a hex string produced by [`Self::to_hex`].
+    ///
+    /// # Errors
+    /// Propagates the nibble-level errors; non-hex characters yield
+    /// [`IsaxError::InvalidCardinality`] via a sentinel (rejected before
+    /// construction).
+    pub fn from_hex(s: &str, w: usize) -> Result<SigT, IsaxError> {
+        let mut nibbles = Vec::with_capacity(s.len());
+        for c in s.bytes() {
+            let v = match c {
+                b'0'..=b'9' => c - b'0',
+                b'A'..=b'F' => c - b'A' + 10,
+                b'a'..=b'f' => c - b'a' + 10,
+                _ => return Err(IsaxError::InvalidCardinality { bits: 0 }),
+            };
+            nibbles.push(v);
+        }
+        SigT::from_nibbles(nibbles, w)
+    }
+
+    /// Word length `w`.
+    pub fn word_len(&self) -> usize {
+        self.w as usize
+    }
+
+    /// Nibbles per bit-plane (`w/4`).
+    #[inline]
+    pub fn nibbles_per_plane(&self) -> usize {
+        (self.w / 4) as usize
+    }
+
+    /// Number of cardinality bits (planes) this signature carries.
+    #[inline]
+    pub fn bits(&self) -> u8 {
+        (self.nibbles.len() / self.nibbles_per_plane()) as u8
+    }
+
+    /// Raw nibble values (each `< 16`).
+    pub fn nibbles(&self) -> &[u8] {
+        &self.nibbles
+    }
+
+    /// Signature length in letters (nibbles) — the paper's string length.
+    pub fn len(&self) -> usize {
+        self.nibbles.len()
+    }
+
+    /// Whether the signature is empty (zero planes — never produced by
+    /// [`Self::from_sax`], but the root of a sigTree uses an empty prefix).
+    pub fn is_empty(&self) -> bool {
+        self.nibbles.is_empty()
+    }
+
+    /// The root signature: zero planes (covers the whole space).
+    pub fn root(w: usize) -> Result<SigT, IsaxError> {
+        crate::paa::validate_word_len(w)?;
+        Ok(SigT {
+            nibbles: Vec::new(),
+            w: w as u16,
+        })
+    }
+
+    /// **The drop-right conversion (Equation 2).** Reduces the signature to
+    /// `to_bits` cardinality bits by truncating
+    /// `(self.bits() − to_bits)·w/4` letters. O(kept length), no
+    /// per-character work.
+    ///
+    /// # Errors
+    /// [`IsaxError::CannotPromote`] if `to_bits > self.bits()`.
+    pub fn drop_right(&self, to_bits: u8) -> Result<SigT, IsaxError> {
+        if to_bits > self.bits() {
+            return Err(IsaxError::CannotPromote {
+                have: self.bits(),
+                want: to_bits,
+            });
+        }
+        Ok(SigT {
+            nibbles: self.nibbles[..self.nibbles_per_plane() * to_bits as usize].to_vec(),
+            w: self.w,
+        })
+    }
+
+    /// Borrowed prefix view at `to_bits` planes (no allocation); `None`
+    /// when the signature is shallower than requested.
+    pub fn prefix_nibbles(&self, to_bits: u8) -> Option<&[u8]> {
+        let n = self.nibbles_per_plane() * to_bits as usize;
+        self.nibbles.get(..n)
+    }
+
+    /// Whether `self` is a prefix of (or equal to) `other` — i.e. `other`
+    /// lies in the subtree rooted at `self` in a sigTree.
+    pub fn is_prefix_of(&self, other: &SigT) -> bool {
+        self.w == other.w
+            && other.nibbles.len() >= self.nibbles.len()
+            && other.nibbles[..self.nibbles.len()] == self.nibbles[..]
+    }
+
+    /// The bit-plane at `layer` (0-based) packed into a `u32` key — the
+    /// child-routing key inside a sigTree node. `None` if the signature has
+    /// fewer planes.
+    pub fn plane_key(&self, layer: u8) -> Option<u32> {
+        let npp = self.nibbles_per_plane();
+        let start = npp * layer as usize;
+        let plane = self.nibbles.get(start..start + npp)?;
+        let mut key = 0u32;
+        for &n in plane {
+            key = (key << 4) | n as u32;
+        }
+        Some(key)
+    }
+
+    /// Extends the signature by one plane given its packed key (inverse of
+    /// [`Self::plane_key`]); used when enumerating sigTree children.
+    pub fn child(&self, key: u32) -> SigT {
+        let npp = self.nibbles_per_plane();
+        let mut nibbles = Vec::with_capacity(self.nibbles.len() + npp);
+        nibbles.extend_from_slice(&self.nibbles);
+        for i in (0..npp).rev() {
+            nibbles.push(((key >> (4 * i)) & 0xF) as u8);
+        }
+        SigT {
+            nibbles,
+            w: self.w,
+        }
+    }
+
+    /// Recovers per-segment bucket indices (the inverse transposition).
+    /// Used to evaluate lower-bound distances against a node signature.
+    pub fn to_buckets(&self) -> Vec<u16> {
+        let w = self.w as usize;
+        let bits = self.bits();
+        let npp = self.nibbles_per_plane();
+        let mut buckets = vec![0u16; w];
+        for plane in 0..bits as usize {
+            for (k, &nib) in self.nibbles[plane * npp..(plane + 1) * npp].iter().enumerate() {
+                for s in 0..4 {
+                    let bit = (nib >> (3 - s)) & 1;
+                    buckets[k * 4 + s] = (buckets[k * 4 + s] << 1) | bit as u16;
+                }
+            }
+        }
+        buckets
+    }
+
+    /// Converts back into a uniform-cardinality SAX word.
+    ///
+    /// # Panics
+    /// Panics if the signature is empty (the root has no word form).
+    pub fn to_sax(&self) -> SaxWord {
+        assert!(!self.is_empty(), "root signature has no SAX word form");
+        SaxWord::from_buckets(self.to_buckets(), self.bits()).expect("valid by construction")
+    }
+
+    /// Hex string rendering (`"CE25"` style, Figure 4).
+    pub fn to_hex(&self) -> String {
+        self.nibbles.iter().map(|&n| HEX[n as usize] as char).collect()
+    }
+
+    /// Approximate in-memory footprint in bytes (index-size accounting).
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.nibbles.capacity()
+    }
+}
+
+impl fmt::Display for SigT {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "ε")
+        } else {
+            f.write_str(&self.to_hex())
+        }
+    }
+}
+
+/// Reference implementation of cardinality reduction *without* the
+/// transposition trick: recompute the reduced word character by character
+/// (shift each bucket), then re-encode. Semantically identical to
+/// [`SigT::drop_right`]; exists for the ablation benchmark that quantifies
+/// the iSAX-T claim.
+pub fn reduce_naive(word: &SaxWord, to_bits: u8) -> Result<SigT, IsaxError> {
+    let reduced = word.reduce(to_bits)?;
+    Ok(SigT::from_sax(&reduced))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sax(buckets: Vec<u16>, bits: u8) -> SaxWord {
+        SaxWord::from_buckets(buckets, bits).unwrap()
+    }
+
+    /// The worked example of Figure 4: SAX(T,4,16) = [1100,1101,0110,0001].
+    fn figure4_word() -> SaxWord {
+        sax(vec![0b1100, 0b1101, 0b0110, 0b0001], 4)
+    }
+
+    #[test]
+    fn figure4_signature_is_ce25() {
+        let sig = SigT::from_sax(&figure4_word());
+        assert_eq!(sig.to_hex(), "CE25");
+        assert_eq!(sig.bits(), 4);
+        assert_eq!(sig.word_len(), 4);
+    }
+
+    #[test]
+    fn figure4_drop_right_ladder() {
+        // Figure 4(b): C → CE → CE2 → CE25 across cardinalities 2,4,8,16.
+        let sig = SigT::from_sax(&figure4_word());
+        assert_eq!(sig.drop_right(1).unwrap().to_hex(), "C");
+        assert_eq!(sig.drop_right(2).unwrap().to_hex(), "CE");
+        assert_eq!(sig.drop_right(3).unwrap().to_hex(), "CE2");
+        assert_eq!(sig.drop_right(4).unwrap().to_hex(), "CE25");
+    }
+
+    #[test]
+    fn drop_right_letter_count_matches_equation2() {
+        // Eq. 2: n = (log2 hc − log2 lc) · w/4.
+        let word = sax([0b11001; 8].iter().map(|&b| b as u16).collect(), 5);
+        let sig = SigT::from_sax(&word);
+        for lc_bits in 1..=5u8 {
+            let reduced = sig.drop_right(lc_bits).unwrap();
+            let dropped = sig.len() - reduced.len();
+            assert_eq!(dropped, (5 - lc_bits) as usize * 8 / 4);
+        }
+    }
+
+    #[test]
+    fn drop_right_matches_naive_reduction() {
+        let word = sax(vec![0b110, 0b011, 0b101, 0b000, 0b111, 0b100, 0b010, 0b001], 3);
+        let sig = SigT::from_sax(&word);
+        for bits in 1..=3u8 {
+            assert_eq!(
+                sig.drop_right(bits).unwrap(),
+                reduce_naive(&word, bits).unwrap(),
+                "bits={bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn drop_right_cannot_promote() {
+        let sig = SigT::from_sax(&sax(vec![1, 0, 1, 0], 1));
+        assert!(matches!(
+            sig.drop_right(2),
+            Err(IsaxError::CannotPromote { have: 1, want: 2 })
+        ));
+    }
+
+    #[test]
+    fn to_buckets_roundtrip() {
+        let word = figure4_word();
+        let sig = SigT::from_sax(&word);
+        assert_eq!(sig.to_buckets(), word.buckets());
+        assert_eq!(sig.to_sax(), word);
+    }
+
+    #[test]
+    fn roundtrip_through_hex() {
+        let word = sax(vec![0b10110, 0b00101, 0b11111, 0b00000], 5);
+        let sig = SigT::from_sax(&word);
+        let parsed = SigT::from_hex(&sig.to_hex(), 4).unwrap();
+        assert_eq!(parsed, sig);
+        assert_eq!(parsed.to_sax(), word);
+    }
+
+    #[test]
+    fn from_hex_rejects_garbage() {
+        assert!(SigT::from_hex("XY", 4).is_err());
+    }
+
+    #[test]
+    fn from_nibbles_rejects_partial_planes() {
+        // w=8 → 2 nibbles per plane; 3 nibbles is not a whole plane count.
+        assert!(SigT::from_nibbles(vec![1, 2, 3], 8).is_err());
+    }
+
+    #[test]
+    fn from_nibbles_rejects_excess_planes() {
+        let nibbles = vec![0u8; 10]; // w=4 → 10 planes > MAX_CARD_BITS = 9.
+        assert!(SigT::from_nibbles(nibbles, 4).is_err());
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let word = figure4_word();
+        let sig = SigT::from_sax(&word);
+        let p = sig.drop_right(2).unwrap();
+        assert!(p.is_prefix_of(&sig));
+        assert!(!sig.is_prefix_of(&p));
+        assert!(sig.is_prefix_of(&sig));
+        let root = SigT::root(4).unwrap();
+        assert!(root.is_prefix_of(&sig));
+    }
+
+    #[test]
+    fn prefix_requires_same_word_len() {
+        let a = SigT::from_sax(&sax(vec![1, 0, 1, 0], 1));
+        let b = SigT::from_sax(&sax(vec![1, 0, 1, 0, 1, 0, 1, 0], 1));
+        assert!(!a.is_prefix_of(&b));
+    }
+
+    #[test]
+    fn plane_key_and_child_roundtrip() {
+        let word = sax(vec![0b10, 0b01, 0b11, 0b00, 0b11, 0b10, 0b00, 0b01], 2);
+        let sig = SigT::from_sax(&word);
+        let root = SigT::root(8).unwrap();
+        let k0 = sig.plane_key(0).unwrap();
+        let k1 = sig.plane_key(1).unwrap();
+        assert!(sig.plane_key(2).is_none());
+        let rebuilt = root.child(k0).child(k1);
+        assert_eq!(rebuilt, sig);
+    }
+
+    #[test]
+    fn plane_key_packs_msb_first() {
+        // w=8, plane of bits 1,0,1,1,0,0,1,0 → nibbles 0b1011, 0b0010 →
+        // key 0xB2.
+        let word = sax(vec![1, 0, 1, 1, 0, 0, 1, 0], 1);
+        let sig = SigT::from_sax(&word);
+        assert_eq!(sig.plane_key(0), Some(0xB2));
+        assert_eq!(sig.to_hex(), "B2");
+    }
+
+    #[test]
+    fn example3_walkthrough() {
+        // Example 3: T = [0110₄, 0011₄, 1011₄, …] converts to "1473…".
+        // The paper's example uses w=3 which cannot hex-pack; reproduce the
+        // per-plane packing semantics with w=4 by appending a 0 segment:
+        // planes of [0110, 0011, 1011, 0000]:
+        //   plane0: 0,0,1,0 → 2 ... checks transposition order instead.
+        let word = sax(vec![0b0110, 0b0011, 0b1011, 0b0000], 4);
+        let sig = SigT::from_sax(&word);
+        // plane0 (MSBs): 0,0,1,0 → 0b0010 = 2
+        // plane1: 1,0,0,0 → 8; plane2: 1,1,1,0 → E; plane3: 0,1,1,0 → 6
+        assert_eq!(sig.to_hex(), "28E6");
+        // Matching an internal node at 1-bit cardinality = first plane.
+        assert_eq!(sig.drop_right(1).unwrap().to_hex(), "2");
+    }
+
+    #[test]
+    fn root_is_empty_and_displays_epsilon() {
+        let root = SigT::root(8).unwrap();
+        assert!(root.is_empty());
+        assert_eq!(root.bits(), 0);
+        assert_eq!(root.to_string(), "ε");
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let sig = SigT::from_sax(&figure4_word());
+        assert_eq!(sig.to_string(), "CE25");
+    }
+
+    #[test]
+    fn w8_two_letters_per_plane() {
+        // §IV (Fig. 7 caption): word length 8 → 2 letters per bit of
+        // cardinality.
+        let word = sax(vec![1, 1, 0, 0, 1, 0, 1, 0], 1);
+        let sig = SigT::from_sax(&word);
+        assert_eq!(sig.len(), 2);
+        assert_eq!(sig.to_hex(), "CA");
+    }
+}

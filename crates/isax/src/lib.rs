@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! iSAX representations for the TARDIS distributed index.
+//!
+//! This crate implements, from scratch, the full representation stack of the
+//! paper (§II-B, §III-A):
+//!
+//! * [`paa`] — Piecewise Aggregate Approximation.
+//! * [`breakpoints`] — nested Gaussian-quantile SAX breakpoints for
+//!   cardinalities 2¹..2⁹ (512, the baseline's initial cardinality).
+//! * [`sax`] — fixed-cardinality SAX words.
+//! * [`isax`] — *character-level* variable-cardinality iSAX words, used by
+//!   the DPiSAX/iBT baseline.
+//! * [`isaxt`] — *word-level* iSAX-Transposition signatures ([`SigT`]), the
+//!   paper's new signature scheme where cardinality reduction is a
+//!   drop-right on a hex string (Figure 4 / Equation 2).
+//! * [`mindist`] — lower-bounding distances (SAX–SAX, PAA–SAX, PAA–iSAX),
+//!   all guaranteed ≤ the true Euclidean distance.
+
+pub mod breakpoints;
+pub mod error;
+pub mod isax;
+pub mod isaxt;
+pub mod mindist;
+pub mod paa;
+pub mod region;
+pub mod sax;
+
+pub use breakpoints::{breakpoints, bucket_of, inv_normal_cdf, MAX_CARD_BITS};
+pub use error::IsaxError;
+pub use isax::{ISaxSym, ISaxWord};
+pub use isaxt::SigT;
+pub use mindist::{mindist_paa_isax, mindist_paa_sax, mindist_paa_sigt, mindist_sax};
+pub use paa::{paa, paa_into};
+pub use region::Region;
+pub use sax::SaxWord;

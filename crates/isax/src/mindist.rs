@@ -1,0 +1,276 @@
+//! Lower-bounding distances (MINDIST).
+//!
+//! SAX's defining property (§II-B) is that distances computed from stripe
+//! boundaries lower-bound the true Euclidean distance. All functions here
+//! return values guaranteed `≤ ED(X, Y)` for any series X, Y with the given
+//! representations; property tests in this crate verify the guarantee.
+//!
+//! The scaling follows Keogh's PAA bound: for word length `w` over series
+//! length `n`, `MINDIST = sqrt(n/w) · sqrt(Σᵢ dᵢ²)` where `dᵢ` is a
+//! per-segment region distance.
+
+use crate::error::IsaxError;
+use crate::isax::ISaxWord;
+use crate::isaxt::SigT;
+use crate::region::Region;
+use crate::sax::SaxWord;
+
+/// Scales the per-segment squared sum into the final lower bound.
+#[inline]
+fn scale(sum_sq: f64, n: usize, w: usize) -> f64 {
+    ((n as f64 / w as f64) * sum_sq).sqrt()
+}
+
+/// MINDIST between two uniform-cardinality SAX words over series of length
+/// `n`. Words may have different cardinalities (region gaps handle it).
+///
+/// # Errors
+/// [`IsaxError::WordLengthMismatch`] when the word lengths differ.
+pub fn mindist_sax(a: &SaxWord, b: &SaxWord, n: usize) -> Result<f64, IsaxError> {
+    if a.word_len() != b.word_len() {
+        return Err(IsaxError::WordLengthMismatch {
+            left: a.word_len(),
+            right: b.word_len(),
+        });
+    }
+    let sum_sq: f64 = a
+        .buckets()
+        .iter()
+        .zip(b.buckets())
+        .map(|(&ba, &bb)| {
+            let d = Region::of_bucket(ba, a.bits()).dist(&Region::of_bucket(bb, b.bits()));
+            d * d
+        })
+        .sum();
+    Ok(scale(sum_sq, n, a.word_len()))
+}
+
+/// MINDIST between a raw query (via its PAA) and a SAX word — the tighter
+/// bound used "since the query time series is provided" (§V-B).
+///
+/// # Errors
+/// [`IsaxError::WordLengthMismatch`] when lengths differ.
+pub fn mindist_paa_sax(paa: &[f64], word: &SaxWord, n: usize) -> Result<f64, IsaxError> {
+    if paa.len() != word.word_len() {
+        return Err(IsaxError::WordLengthMismatch {
+            left: paa.len(),
+            right: word.word_len(),
+        });
+    }
+    let sum_sq: f64 = paa
+        .iter()
+        .zip(word.buckets())
+        .map(|(&m, &b)| {
+            let d = Region::of_bucket(b, word.bits()).dist_point(m);
+            d * d
+        })
+        .sum();
+    Ok(scale(sum_sq, n, paa.len()))
+}
+
+/// MINDIST between a query PAA and a character-level iSAX word (per-segment
+/// variable cardinality) — the baseline's pruning bound.
+///
+/// # Errors
+/// [`IsaxError::WordLengthMismatch`] when lengths differ.
+pub fn mindist_paa_isax(paa: &[f64], word: &ISaxWord, n: usize) -> Result<f64, IsaxError> {
+    if paa.len() != word.word_len() {
+        return Err(IsaxError::WordLengthMismatch {
+            left: paa.len(),
+            right: word.word_len(),
+        });
+    }
+    let sum_sq: f64 = paa
+        .iter()
+        .zip(word.regions())
+        .map(|(&m, r)| {
+            let d = r.dist_point(m);
+            d * d
+        })
+        .sum();
+    Ok(scale(sum_sq, n, paa.len()))
+}
+
+/// MINDIST between a query PAA and an iSAX-T signature (a sigTree node) —
+/// TARDIS's pruning bound. The signature's word-level cardinality applies
+/// to every segment.
+///
+/// The root signature (zero planes) covers the whole space, so its bound
+/// is 0.
+///
+/// # Errors
+/// [`IsaxError::WordLengthMismatch`] when lengths differ.
+pub fn mindist_paa_sigt(paa: &[f64], sig: &SigT, n: usize) -> Result<f64, IsaxError> {
+    if paa.len() != sig.word_len() {
+        return Err(IsaxError::WordLengthMismatch {
+            left: paa.len(),
+            right: sig.word_len(),
+        });
+    }
+    if sig.is_empty() {
+        return Ok(0.0);
+    }
+    let bits = sig.bits();
+    let buckets = sig.to_buckets();
+    let sum_sq: f64 = paa
+        .iter()
+        .zip(&buckets)
+        .map(|(&m, &b)| {
+            let d = Region::of_bucket(b, bits).dist_point(m);
+            d * d
+        })
+        .sum();
+    Ok(scale(sum_sq, n, paa.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paa::paa;
+
+    fn norm(values: &mut [f32]) {
+        tardis_ts::z_normalize_in_place(values);
+    }
+
+    fn series(seed: u64, n: usize) -> Vec<f32> {
+        // Cheap deterministic pseudo-random walk.
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut acc = 0.0f32;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let step = ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+            acc += step;
+            v.push(acc);
+        }
+        norm(&mut v);
+        v
+    }
+
+    #[test]
+    fn identical_words_have_zero_mindist() {
+        let v = series(1, 64);
+        let w = SaxWord::from_series(&v, 8, 4).unwrap();
+        assert_eq!(mindist_sax(&w, &w, 64).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn sax_mindist_lower_bounds_ed() {
+        for (sa, sb) in [(1u64, 2u64), (3, 4), (5, 6), (7, 8)] {
+            let a = series(sa, 64);
+            let b = series(sb, 64);
+            let ed = tardis_ts::squared_euclidean(&a, &b).sqrt();
+            for bits in [1u8, 2, 4, 8] {
+                let wa = SaxWord::from_series(&a, 8, bits).unwrap();
+                let wb = SaxWord::from_series(&b, 8, bits).unwrap();
+                let md = mindist_sax(&wa, &wb, 64).unwrap();
+                assert!(md <= ed + 1e-9, "bits={bits}: {md} > {ed}");
+            }
+        }
+    }
+
+    #[test]
+    fn paa_sax_bound_tighter_than_sax_sax() {
+        let a = series(11, 64);
+        let b = series(12, 64);
+        let pa = paa(&a, 8).unwrap();
+        let wa = SaxWord::from_series(&a, 8, 3).unwrap();
+        let wb = SaxWord::from_series(&b, 8, 3).unwrap();
+        let loose = mindist_sax(&wa, &wb, 64).unwrap();
+        let tight = mindist_paa_sax(&pa, &wb, 64).unwrap();
+        let ed = tardis_ts::squared_euclidean(&a, &b).sqrt();
+        assert!(tight + 1e-12 >= loose, "{tight} < {loose}");
+        assert!(tight <= ed + 1e-9);
+    }
+
+    #[test]
+    fn paa_sax_zero_when_paa_inside_regions() {
+        let a = series(21, 64);
+        let pa = paa(&a, 8).unwrap();
+        let wa = SaxWord::from_paa(&pa, 5).unwrap();
+        // The query's own word contains each PAA value in its region.
+        assert_eq!(mindist_paa_sax(&pa, &wa, 64).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn isax_bound_lower_bounds_ed_mixed_cardinalities() {
+        let a = series(31, 64);
+        let b = series(32, 64);
+        let pa = paa(&a, 8).unwrap();
+        let ed = tardis_ts::squared_euclidean(&a, &b).sqrt();
+        let wb = SaxWord::from_series(&b, 8, 6).unwrap();
+        // Build an iSAX word with irregular per-character bits.
+        let mut word = ISaxWord::from_sax(&wb, 1).unwrap();
+        // Promote a few characters along b's own path.
+        for seg in [0usize, 2, 5] {
+            let bit = word.branch_bit(seg, &wb);
+            word = word.promoted(seg, bit);
+        }
+        let md = mindist_paa_isax(&pa, &word, 64).unwrap();
+        assert!(md <= ed + 1e-9, "{md} > {ed}");
+    }
+
+    #[test]
+    fn sigt_bound_matches_sax_form() {
+        let a = series(41, 64);
+        let b = series(42, 64);
+        let pa = paa(&a, 8).unwrap();
+        let wb = SaxWord::from_series(&b, 8, 4).unwrap();
+        let sig = SigT::from_sax(&wb);
+        let via_sax = mindist_paa_sax(&pa, &wb, 64).unwrap();
+        let via_sig = mindist_paa_sigt(&pa, &sig, 64).unwrap();
+        assert!((via_sax - via_sig).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigt_bound_monotone_in_depth() {
+        // Deeper (higher-cardinality) prefixes give tighter (larger) bounds.
+        let a = series(51, 64);
+        let b = series(52, 64);
+        let pa = paa(&a, 8).unwrap();
+        let sig = SigT::from_sax(&SaxWord::from_series(&b, 8, 6).unwrap());
+        let mut prev = 0.0;
+        for bits in 1..=6u8 {
+            let md = mindist_paa_sigt(&pa, &sig.drop_right(bits).unwrap(), 64).unwrap();
+            assert!(md + 1e-12 >= prev, "bits={bits}: {md} < {prev}");
+            prev = md;
+        }
+    }
+
+    #[test]
+    fn root_signature_bound_is_zero() {
+        let a = series(61, 64);
+        let pa = paa(&a, 8).unwrap();
+        let root = SigT::root(8).unwrap();
+        assert_eq!(mindist_paa_sigt(&pa, &root, 64).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn word_length_mismatch_errors() {
+        let a = series(71, 64);
+        let pa8 = paa(&a, 8).unwrap();
+        let w4 = SaxWord::from_series(&a, 4, 2).unwrap();
+        assert!(mindist_paa_sax(&pa8, &w4, 64).is_err());
+        let w8 = SaxWord::from_series(&a, 8, 2).unwrap();
+        assert!(mindist_sax(&w8, &w4, 64).is_err());
+        let i4 = ISaxWord::from_sax(&w4, 1).unwrap();
+        assert!(mindist_paa_isax(&pa8, &i4, 64).is_err());
+        let s4 = SigT::from_sax(&w4);
+        assert!(mindist_paa_sigt(&pa8, &s4, 64).is_err());
+    }
+
+    #[test]
+    fn scaling_uses_segment_width() {
+        // One segment differs by regions that are far apart; check the
+        // sqrt(n/w) factor concretely: n=16, w=4 → factor 2.
+        let qa = vec![-3.0f64, 0.5, 0.5, 0.5];
+        // Build a word whose first segment is the top region.
+        let wb = SaxWord::from_paa(&[3.0, 0.5, 0.5, 0.5], 2).unwrap();
+        let md = mindist_paa_sax(&qa, &wb, 16).unwrap();
+        let top_lo = crate::breakpoints::breakpoint_at(2, 2);
+        let expected = 2.0 * (top_lo - (-3.0));
+        assert!((md - expected).abs() < 1e-9, "{md} vs {expected}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Piecewise Aggregate Approximation (PAA).
+//!
+//! PAA divides a series into `w` equal-length segments and represents each
+//! by its mean (§II-B, Figure 1(b)). For series lengths not divisible by
+//! `w`, segment `i` covers indices `[i·n/w, (i+1)·n/w)` (integer division of
+//! the products), the standard generalization which reduces to equal-length
+//! segments in the divisible case that all paper datasets satisfy
+//! (256/8, 128/8, 192/8, 64/8).
+
+use crate::error::IsaxError;
+
+/// Validates a word length: 4..=32 and a multiple of 4 (the hex-nibble
+/// packing of iSAX-T signatures requires `w % 4 == 0`; 32 keeps a
+/// bit-plane within a `u32` child key).
+pub fn validate_word_len(w: usize) -> Result<(), IsaxError> {
+    if w == 0 || w > 32 || w % 4 != 0 {
+        return Err(IsaxError::InvalidWordLength { w });
+    }
+    Ok(())
+}
+
+/// Computes the PAA of `values` with `w` segments into `out`.
+///
+/// `out` is cleared and filled with exactly `w` segment means (in `f64`).
+///
+/// # Errors
+/// * [`IsaxError::InvalidWordLength`] if `w` fails [`validate_word_len`].
+/// * [`IsaxError::SeriesTooShort`] if the series has fewer than `w` values.
+pub fn paa_into(values: &[f32], w: usize, out: &mut Vec<f64>) -> Result<(), IsaxError> {
+    validate_word_len(w)?;
+    let n = values.len();
+    if n < w {
+        return Err(IsaxError::SeriesTooShort { len: n, w });
+    }
+    out.clear();
+    out.reserve(w);
+    if n % w == 0 {
+        // Fast path: equal-length segments.
+        let seg = n / w;
+        for chunk in values.chunks_exact(seg) {
+            let sum: f64 = chunk.iter().map(|&v| v as f64).sum();
+            out.push(sum / seg as f64);
+        }
+    } else {
+        for i in 0..w {
+            let start = i * n / w;
+            let end = (i + 1) * n / w;
+            let sum: f64 = values[start..end].iter().map(|&v| v as f64).sum();
+            out.push(sum / (end - start) as f64);
+        }
+    }
+    Ok(())
+}
+
+/// Computes the PAA of `values` with `w` segments, returning a fresh vector.
+///
+/// See [`paa_into`] for the error conditions.
+pub fn paa(values: &[f32], w: usize) -> Result<Vec<f64>, IsaxError> {
+    let mut out = Vec::with_capacity(w);
+    paa_into(values, w, &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paa_of_divisible_series() {
+        let v: Vec<f32> = vec![1.0, 3.0, 2.0, 4.0, -1.0, 1.0, 0.0, 0.0];
+        let p = paa(&v, 4).unwrap();
+        assert_eq!(p, vec![2.0, 3.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn paa_identity_when_w_equals_n() {
+        let v: Vec<f32> = vec![1.0, -2.0, 3.0, 0.5];
+        let p = paa(&v, 4).unwrap();
+        assert_eq!(p, vec![1.0, -2.0, 3.0, 0.5]);
+    }
+
+    #[test]
+    fn paa_of_non_divisible_series_covers_everything() {
+        // n = 10, w = 4 → segments [0,2) [2,5) [5,7) [7,10).
+        let v: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let p = paa(&v, 4).unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p[0], 0.5);
+        assert_eq!(p[1], 3.0);
+        assert_eq!(p[2], 5.5);
+        assert_eq!(p[3], 8.0);
+    }
+
+    #[test]
+    fn paa_mean_preserved_when_divisible() {
+        let v: Vec<f32> = (0..64).map(|i| ((i * 7) % 13) as f32).collect();
+        let p = paa(&v, 8).unwrap();
+        let mean_v: f64 = v.iter().map(|&x| x as f64).sum::<f64>() / 64.0;
+        let mean_p: f64 = p.iter().sum::<f64>() / 8.0;
+        assert!((mean_v - mean_p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paa_rejects_bad_word_lengths() {
+        let v = vec![0.0f32; 16];
+        assert_eq!(paa(&v, 0), Err(IsaxError::InvalidWordLength { w: 0 }));
+        assert_eq!(paa(&v, 5), Err(IsaxError::InvalidWordLength { w: 5 }));
+        assert_eq!(paa(&v, 36), Err(IsaxError::InvalidWordLength { w: 36 }));
+    }
+
+    #[test]
+    fn paa_rejects_short_series() {
+        let v = vec![0.0f32; 3];
+        assert_eq!(paa(&v, 4), Err(IsaxError::SeriesTooShort { len: 3, w: 4 }));
+    }
+
+    #[test]
+    fn paa_into_reuses_buffer() {
+        let mut buf = vec![99.0; 2];
+        paa_into(&[1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0], 4, &mut buf).unwrap();
+        assert_eq!(buf, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Value-space regions (SAX stripes) and distances between them.
+
+use crate::breakpoints::{breakpoint_at, MAX_CARD_BITS};
+
+/// A half-open stripe `[lo, hi)` of the (z-normalized) value space, where
+/// `lo` may be `-inf` and `hi` may be `+inf`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Region {
+    /// Inclusive lower boundary (possibly `-inf`).
+    pub lo: f64,
+    /// Exclusive upper boundary (possibly `+inf`).
+    pub hi: f64,
+}
+
+impl Region {
+    /// Region of `bucket` at cardinality `2^bits`.
+    ///
+    /// # Panics
+    /// Panics if `bits` is out of `1..=MAX_CARD_BITS` or the bucket exceeds
+    /// the cardinality.
+    pub fn of_bucket(bucket: u16, bits: u8) -> Region {
+        assert!(
+            (1..=MAX_CARD_BITS).contains(&bits),
+            "cardinality bits {bits} out of range"
+        );
+        let card = 1u32 << bits;
+        assert!((bucket as u32) < card, "bucket {bucket} out of range for 2^{bits}");
+        let lo = if bucket == 0 {
+            f64::NEG_INFINITY
+        } else {
+            breakpoint_at(bits, bucket as usize - 1)
+        };
+        let hi = if bucket as u32 == card - 1 {
+            f64::INFINITY
+        } else {
+            breakpoint_at(bits, bucket as usize)
+        };
+        Region { lo, hi }
+    }
+
+    /// Whether a value falls inside the region (`lo <= x < hi`).
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x < self.hi
+    }
+
+    /// Distance from a point to the region (0 if inside).
+    pub fn dist_point(&self, x: f64) -> f64 {
+        if x < self.lo {
+            self.lo - x
+        } else if x > self.hi {
+            x - self.hi
+        } else {
+            0.0
+        }
+    }
+
+    /// Distance between two regions: 0 when they overlap or touch,
+    /// otherwise the gap between the nearest boundaries.
+    pub fn dist(&self, other: &Region) -> f64 {
+        if self.lo > other.hi {
+            self.lo - other.hi
+        } else if other.lo > self.hi {
+            other.lo - self.hi
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breakpoints::breakpoint_at;
+
+    #[test]
+    fn bucket_regions_tile_the_line() {
+        for bits in [1u8, 2, 3] {
+            let card = 1u16 << bits;
+            let first = Region::of_bucket(0, bits);
+            assert_eq!(first.lo, f64::NEG_INFINITY);
+            let last = Region::of_bucket(card - 1, bits);
+            assert_eq!(last.hi, f64::INFINITY);
+            for b in 0..card - 1 {
+                let r = Region::of_bucket(b, bits);
+                let next = Region::of_bucket(b + 1, bits);
+                assert_eq!(r.hi, next.lo, "bits={bits} bucket={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn card4_matches_paper_figure() {
+        // Figure 1(c): stripe "11" = [0.67, inf), stripe "01" = [-0.67, 0).
+        let top = Region::of_bucket(3, 2);
+        assert!((top.lo - 0.6744897501960817).abs() < 1e-9);
+        assert_eq!(top.hi, f64::INFINITY);
+        let second = Region::of_bucket(1, 2);
+        assert!((second.lo + 0.6744897501960817).abs() < 1e-9);
+        assert!((second.hi - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let r = Region::of_bucket(1, 2); // [-0.674, 0)
+        assert!(r.contains(-0.5));
+        assert!(r.contains(r.lo));
+        assert!(!r.contains(0.0));
+    }
+
+    #[test]
+    fn dist_point_inside_is_zero() {
+        let r = Region::of_bucket(2, 2); // [0, 0.674)
+        assert_eq!(r.dist_point(0.3), 0.0);
+        assert!(r.dist_point(-0.5) > 0.0);
+        assert!(r.dist_point(1.0) > 0.0);
+    }
+
+    #[test]
+    fn adjacent_regions_have_zero_distance() {
+        let a = Region::of_bucket(1, 2);
+        let b = Region::of_bucket(2, 2);
+        assert_eq!(a.dist(&b), 0.0);
+        assert_eq!(b.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn far_regions_have_breakpoint_gap() {
+        let a = Region::of_bucket(0, 2); // (-inf, -0.674)
+        let b = Region::of_bucket(3, 2); // [0.674, inf)
+        let expected = breakpoint_at(2, 2) - breakpoint_at(2, 0);
+        assert!((a.dist(&b) - expected).abs() < 1e-12);
+        assert_eq!(a.dist(&b), b.dist(&a));
+    }
+
+    #[test]
+    fn same_region_zero_distance() {
+        let a = Region::of_bucket(1, 3);
+        assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn mixed_cardinality_overlap_is_zero() {
+        // Bucket 1 of 1 bit is [0, inf); bucket 3 of 2 bits is [0.674, inf):
+        // they overlap, so distance 0.
+        let wide = Region::of_bucket(1, 1);
+        let narrow = Region::of_bucket(3, 2);
+        assert_eq!(wide.dist(&narrow), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket 4 out of range")]
+    fn bucket_out_of_range_panics() {
+        Region::of_bucket(4, 2);
+    }
+}

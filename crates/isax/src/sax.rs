@@ -1,0 +1,209 @@
+//! Fixed-cardinality SAX words.
+
+use crate::breakpoints::{bucket_of, MAX_CARD_BITS};
+use crate::error::IsaxError;
+use crate::paa::{paa, validate_word_len};
+use std::fmt;
+
+/// A SAX word: `w` segments, every one discretized at the *same*
+/// cardinality `2^bits` (§II-B). This uniform-cardinality representation is
+/// the input to both iSAX (character-level, baseline) and iSAX-T
+/// (word-level, TARDIS) conversions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SaxWord {
+    buckets: Vec<u16>,
+    bits: u8,
+}
+
+impl SaxWord {
+    /// Builds a SAX word directly from bucket indices.
+    ///
+    /// # Errors
+    /// * [`IsaxError::InvalidWordLength`] for a bad segment count.
+    /// * [`IsaxError::InvalidCardinality`] for bits outside `1..=MAX`.
+    pub fn from_buckets(buckets: Vec<u16>, bits: u8) -> Result<Self, IsaxError> {
+        validate_word_len(buckets.len())?;
+        if bits == 0 || bits > MAX_CARD_BITS {
+            return Err(IsaxError::InvalidCardinality { bits });
+        }
+        let card = 1u32 << bits;
+        debug_assert!(
+            buckets.iter().all(|&b| (b as u32) < card),
+            "bucket exceeds cardinality"
+        );
+        Ok(SaxWord { buckets, bits })
+    }
+
+    /// SAX(T, w, 2^bits): computes PAA then discretizes each segment.
+    ///
+    /// The input series is expected to be z-normalized already (this
+    /// function does not normalize).
+    pub fn from_series(values: &[f32], w: usize, bits: u8) -> Result<Self, IsaxError> {
+        if bits == 0 || bits > MAX_CARD_BITS {
+            return Err(IsaxError::InvalidCardinality { bits });
+        }
+        let p = paa(values, w)?;
+        Ok(SaxWord {
+            buckets: p.iter().map(|&m| bucket_of(m, bits)).collect(),
+            bits,
+        })
+    }
+
+    /// Discretizes an existing PAA vector.
+    pub fn from_paa(paa: &[f64], bits: u8) -> Result<Self, IsaxError> {
+        validate_word_len(paa.len())?;
+        if bits == 0 || bits > MAX_CARD_BITS {
+            return Err(IsaxError::InvalidCardinality { bits });
+        }
+        Ok(SaxWord {
+            buckets: paa.iter().map(|&m| bucket_of(m, bits)).collect(),
+            bits,
+        })
+    }
+
+    /// Word length (number of segments).
+    pub fn word_len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Cardinality bits per segment.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Bucket indices per segment.
+    pub fn buckets(&self) -> &[u16] {
+        &self.buckets
+    }
+
+    /// Reduces the word to a lower cardinality by dropping low-order bits
+    /// of every bucket (valid because breakpoints nest).
+    ///
+    /// # Errors
+    /// [`IsaxError::CannotPromote`] when `to_bits > self.bits()` and
+    /// [`IsaxError::InvalidCardinality`] when `to_bits == 0`.
+    pub fn reduce(&self, to_bits: u8) -> Result<SaxWord, IsaxError> {
+        if to_bits == 0 {
+            return Err(IsaxError::InvalidCardinality { bits: to_bits });
+        }
+        if to_bits > self.bits {
+            return Err(IsaxError::CannotPromote {
+                have: self.bits,
+                want: to_bits,
+            });
+        }
+        let shift = self.bits - to_bits;
+        Ok(SaxWord {
+            buckets: self.buckets.iter().map(|&b| b >> shift).collect(),
+            bits: to_bits,
+        })
+    }
+}
+
+impl fmt::Display for SaxWord {
+    /// Renders as `{b1, b2, …}₂ᵇ` style: bucket list with the cardinality.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, b) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{b:0width$b}", width = self.bits as usize)?;
+        }
+        write!(f, "}}@{}", self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_series_card4_paper_example() {
+        // Figure 1(b): PAA(T,4) = [-1.5, -0.4, 0.3, 1.5]. At cardinality 4
+        // (breakpoints -0.674, 0, 0.674) the buckets are [0, 1, 2, 3] which
+        // is SAX 00, 01, 10, 11 — the paper's Figure 1(c) reading (their
+        // label order differs; region membership is what matters).
+        let values = [-1.5f32, -0.4, 0.3, 1.5];
+        let w = SaxWord::from_series(&values, 4, 2).unwrap();
+        assert_eq!(w.buckets(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn from_paa_matches_from_series_when_w_equals_n() {
+        let values = [-1.5f32, -0.4, 0.3, 1.5];
+        let p: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        let a = SaxWord::from_series(&values, 4, 3).unwrap();
+        let b = SaxWord::from_paa(&p, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reduce_shifts_buckets() {
+        let w = SaxWord::from_buckets(vec![0b110, 0b011, 0b111, 0b000], 3).unwrap();
+        let r = w.reduce(1).unwrap();
+        assert_eq!(r.buckets(), &[1, 0, 1, 0]);
+        assert_eq!(r.bits(), 1);
+    }
+
+    #[test]
+    fn reduce_to_same_is_identity() {
+        let w = SaxWord::from_buckets(vec![1, 2, 3, 0], 2).unwrap();
+        assert_eq!(w.reduce(2).unwrap(), w);
+    }
+
+    #[test]
+    fn reduce_cannot_promote() {
+        let w = SaxWord::from_buckets(vec![1, 0, 1, 0], 1).unwrap();
+        assert_eq!(
+            w.reduce(2),
+            Err(IsaxError::CannotPromote { have: 1, want: 2 })
+        );
+    }
+
+    #[test]
+    fn reduce_rejects_zero_bits() {
+        let w = SaxWord::from_buckets(vec![1, 0, 1, 0], 1).unwrap();
+        assert_eq!(w.reduce(0), Err(IsaxError::InvalidCardinality { bits: 0 }));
+    }
+
+    #[test]
+    fn reduce_equals_direct_conversion() {
+        // Reducing a high-cardinality word must equal converting the series
+        // directly at the low cardinality (the nesting property end-to-end).
+        let values: Vec<f32> = (0..64)
+            .map(|i| ((i as f32) * 0.7).sin() * 1.5)
+            .collect();
+        let hi = SaxWord::from_series(&values, 8, 9).unwrap();
+        for bits in 1..=8u8 {
+            let direct = SaxWord::from_series(&values, 8, bits).unwrap();
+            assert_eq!(hi.reduce(bits).unwrap(), direct, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn invalid_word_length_rejected() {
+        assert!(matches!(
+            SaxWord::from_buckets(vec![0, 0, 0], 1),
+            Err(IsaxError::InvalidWordLength { w: 3 })
+        ));
+    }
+
+    #[test]
+    fn invalid_cardinality_rejected() {
+        assert!(matches!(
+            SaxWord::from_buckets(vec![0; 4], 0),
+            Err(IsaxError::InvalidCardinality { bits: 0 })
+        ));
+        assert!(matches!(
+            SaxWord::from_buckets(vec![0; 4], 10),
+            Err(IsaxError::InvalidCardinality { bits: 10 })
+        ));
+    }
+
+    #[test]
+    fn display_shows_binary() {
+        let w = SaxWord::from_buckets(vec![0b10, 0b01, 0b11, 0b00], 2).unwrap();
+        assert_eq!(w.to_string(), "{10,01,11,00}@2");
+    }
+}

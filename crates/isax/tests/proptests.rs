@@ -1,0 +1,165 @@
+//! Property-based tests for the representation stack.
+//!
+//! These pin down the invariants the paper's correctness rests on:
+//! breakpoint nesting, iSAX-T drop-right equivalence, transposition
+//! round-trips, and the lower-bound guarantee of every MINDIST variant.
+
+use proptest::prelude::*;
+use tardis_isax::{
+    breakpoints::bucket_of, isaxt::reduce_naive, mindist_paa_isax, mindist_paa_sax,
+    mindist_paa_sigt, mindist_sax, paa, ISaxWord, SaxWord, SigT,
+};
+use tardis_ts::{squared_euclidean, z_normalize_in_place};
+
+/// Strategy: a z-normalized series of length `n`.
+fn znorm_series(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-5.0f32..5.0, n).prop_map(|mut v| {
+        z_normalize_in_place(&mut v);
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bucket_nesting_holds_everywhere(v in -6.0f64..6.0) {
+        for bits in 2..=9u8 {
+            prop_assert_eq!(bucket_of(v, bits - 1), bucket_of(v, bits) >> 1);
+        }
+    }
+
+    #[test]
+    fn sax_reduce_commutes_with_conversion(series in znorm_series(64), bits in 1u8..=8) {
+        let hi = SaxWord::from_series(&series, 8, 9).unwrap();
+        let direct = SaxWord::from_series(&series, 8, bits).unwrap();
+        prop_assert_eq!(hi.reduce(bits).unwrap(), direct);
+    }
+
+    #[test]
+    fn sigt_roundtrips_buckets(series in znorm_series(64), bits in 1u8..=9) {
+        let word = SaxWord::from_series(&series, 8, bits).unwrap();
+        let sig = SigT::from_sax(&word);
+        let buckets = sig.to_buckets();
+        prop_assert_eq!(buckets.as_slice(), word.buckets());
+        prop_assert_eq!(sig.to_sax(), word);
+    }
+
+    #[test]
+    fn sigt_hex_roundtrip(series in znorm_series(32), bits in 1u8..=9) {
+        let word = SaxWord::from_series(&series, 8, bits).unwrap();
+        let sig = SigT::from_sax(&word);
+        let parsed = SigT::from_hex(&sig.to_hex(), 8).unwrap();
+        prop_assert_eq!(parsed, sig);
+    }
+
+    #[test]
+    fn drop_right_equals_naive_reduction(series in znorm_series(64), to_bits in 1u8..=6) {
+        let word = SaxWord::from_series(&series, 8, 6).unwrap();
+        let sig = SigT::from_sax(&word);
+        prop_assert_eq!(
+            sig.drop_right(to_bits).unwrap(),
+            reduce_naive(&word, to_bits).unwrap()
+        );
+    }
+
+    #[test]
+    fn drop_right_is_a_prefix(series in znorm_series(64), to_bits in 1u8..=6) {
+        let sig = SigT::from_sax(&SaxWord::from_series(&series, 8, 6).unwrap());
+        let reduced = sig.drop_right(to_bits).unwrap();
+        prop_assert!(reduced.is_prefix_of(&sig));
+        prop_assert!(sig.to_hex().starts_with(&reduced.to_hex()));
+    }
+
+    #[test]
+    fn mindist_sax_lower_bounds_ed(
+        a in znorm_series(64),
+        b in znorm_series(64),
+        bits in 1u8..=8,
+    ) {
+        let ed = squared_euclidean(&a, &b).sqrt();
+        let wa = SaxWord::from_series(&a, 8, bits).unwrap();
+        let wb = SaxWord::from_series(&b, 8, bits).unwrap();
+        let md = mindist_sax(&wa, &wb, 64).unwrap();
+        prop_assert!(md <= ed + 1e-6, "mindist {} > ed {}", md, ed);
+    }
+
+    #[test]
+    fn mindist_paa_sax_lower_bounds_ed(
+        a in znorm_series(64),
+        b in znorm_series(64),
+        bits in 1u8..=9,
+    ) {
+        let ed = squared_euclidean(&a, &b).sqrt();
+        let pa = paa(&a, 8).unwrap();
+        let wb = SaxWord::from_series(&b, 8, bits).unwrap();
+        let md = mindist_paa_sax(&pa, &wb, 64).unwrap();
+        prop_assert!(md <= ed + 1e-6, "mindist {} > ed {}", md, ed);
+    }
+
+    #[test]
+    fn mindist_sigt_lower_bounds_ed_at_every_depth(
+        a in znorm_series(64),
+        b in znorm_series(64),
+    ) {
+        let ed = squared_euclidean(&a, &b).sqrt();
+        let pa = paa(&a, 8).unwrap();
+        let sig = SigT::from_sax(&SaxWord::from_series(&b, 8, 6).unwrap());
+        for bits in 1..=6u8 {
+            let md = mindist_paa_sigt(&pa, &sig.drop_right(bits).unwrap(), 64).unwrap();
+            prop_assert!(md <= ed + 1e-6, "bits {}: mindist {} > ed {}", bits, md, ed);
+        }
+    }
+
+    #[test]
+    fn mindist_isax_lower_bounds_ed_random_promotions(
+        a in znorm_series(64),
+        b in znorm_series(64),
+        promos in prop::collection::vec(0usize..8, 0..12),
+    ) {
+        let ed = squared_euclidean(&a, &b).sqrt();
+        let pa = paa(&a, 8).unwrap();
+        let full = SaxWord::from_series(&b, 8, 9).unwrap();
+        let mut word = ISaxWord::from_sax(&full, 1).unwrap();
+        for seg in promos {
+            if word.syms()[seg].bits < 9 {
+                let bit = word.branch_bit(seg, &full);
+                word = word.promoted(seg, bit);
+            }
+        }
+        // The promoted word still covers b, so it must lower-bound ED(a, b).
+        prop_assert!(word.covers(&full).unwrap());
+        let md = mindist_paa_isax(&pa, &word, 64).unwrap();
+        prop_assert!(md <= ed + 1e-6, "mindist {} > ed {}", md, ed);
+    }
+
+    #[test]
+    fn paa_lower_bound_property(a in znorm_series(64), b in znorm_series(64)) {
+        // sqrt(n/w)·ED(PAA(a), PAA(b)) ≤ ED(a, b) — Keogh's PAA bound,
+        // which underlies every MINDIST above.
+        let ed = squared_euclidean(&a, &b).sqrt();
+        let pa = paa(&a, 8).unwrap();
+        let pb = paa(&b, 8).unwrap();
+        let sum_sq: f64 = pa.iter().zip(&pb).map(|(x, y)| (x - y) * (x - y)).sum();
+        let bound = (64.0f64 / 8.0 * sum_sq).sqrt();
+        prop_assert!(bound <= ed + 1e-6, "paa bound {} > ed {}", bound, ed);
+    }
+
+    #[test]
+    fn plane_key_child_roundtrip(series in znorm_series(64)) {
+        let sig = SigT::from_sax(&SaxWord::from_series(&series, 8, 6).unwrap());
+        let mut rebuilt = SigT::root(8).unwrap();
+        for layer in 0..6u8 {
+            rebuilt = rebuilt.child(sig.plane_key(layer).unwrap());
+        }
+        prop_assert_eq!(rebuilt, sig);
+    }
+
+    #[test]
+    fn isax_covers_iff_prefix(series in znorm_series(64), bits in 1u8..=9, node_bits in 1u8..=9) {
+        prop_assume!(node_bits <= bits);
+        let full = SaxWord::from_series(&series, 8, bits).unwrap();
+        let node = ISaxWord::from_sax(&full, node_bits).unwrap();
+        prop_assert!(node.covers(&full).unwrap());
+    }
+}

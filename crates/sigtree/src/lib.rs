@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! The **sigTree**: a hierarchical K-ary tree over iSAX-T signatures
+//! (§III-B of the paper).
+//!
+//! Each node carries an iSAX-T signature prefix; a node at layer `l`
+//! covers every time series whose signature starts with that prefix of
+//! `l` cardinality bits. A node has at most `2^w` children (one extra bit
+//! across all `w` segments). Three node classes exist:
+//!
+//! * **root** — empty signature, covers the whole space;
+//! * **internal** — promoted from a leaf when the leaf exceeds the split
+//!   threshold; splitting adds one cardinality bit to *every* segment
+//!   (word-level split), redistributing entries over ≤ `2^w` children;
+//! * **leaf** — stores entries (what an entry is depends on the index:
+//!   Tardis-L leaves hold records, Tardis-G leaves hold partition info).
+//!
+//! Nodes are doubly linked (parent and children), so sibling sets can be
+//! enumerated from any node — the Multi-Partitions Access query strategy
+//! relies on that (§V-B).
+//!
+//! The tree is an arena ([`SigTree`]) generic over the leaf item type,
+//! supporting both construction modes used by the paper:
+//! entry-at-a-time insertion with automatic splitting (Tardis-L, §IV-C)
+//! and layer-by-layer skeleton building from `(signature, frequency)`
+//! statistics (Tardis-G, §IV-B).
+
+pub mod node;
+pub mod stats;
+pub mod tree;
+
+pub use node::{Node, NodeId, NodeKind};
+pub use stats::TreeStats;
+pub use tree::{Descend, HasSig, SigTree, SigTreeConfig};

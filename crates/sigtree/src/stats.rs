@@ -1,0 +1,140 @@
+//! Structural statistics of a sigTree — the quantities behind the paper's
+//! compactness claims (fewer internal nodes, shorter leaf depth than the
+//! binary iBT; §III-B "Benefits") and the index-size figures (Figure 13).
+
+use crate::node::NodeKind;
+use crate::tree::{HasSig, SigTree};
+
+/// Structural summary of a tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeStats {
+    /// Total nodes including the root.
+    pub n_nodes: usize,
+    /// Internal (non-root, non-leaf) nodes.
+    pub n_internal: usize,
+    /// Leaf nodes.
+    pub n_leaves: usize,
+    /// Entries accounted for at the root.
+    pub total_count: u64,
+    /// Per-layer leaf counts, index = layer.
+    pub leaf_depths: Vec<usize>,
+    /// Mean leaf depth (0 when there are no leaves).
+    pub avg_leaf_depth: f64,
+    /// Maximum leaf depth.
+    pub max_leaf_depth: u8,
+    /// Mean number of entries per leaf (0 when there are no leaves).
+    pub avg_leaf_size: f64,
+    /// Structure size in bytes.
+    pub mem_bytes: usize,
+}
+
+impl TreeStats {
+    /// Computes statistics for a tree.
+    pub fn compute<I: HasSig>(tree: &SigTree<I>) -> TreeStats {
+        let mut n_internal = 0usize;
+        let mut n_leaves = 0usize;
+        let mut leaf_depths = Vec::new();
+        let mut depth_sum = 0u64;
+        let mut max_depth = 0u8;
+        let mut leaf_entries = 0u64;
+        for id in 0..tree.n_nodes() as u32 {
+            let node = tree.node(id);
+            match node.kind() {
+                NodeKind::Root => {}
+                NodeKind::Internal => n_internal += 1,
+                NodeKind::Leaf => {
+                    n_leaves += 1;
+                    let d = node.layer();
+                    if leaf_depths.len() <= d as usize {
+                        leaf_depths.resize(d as usize + 1, 0);
+                    }
+                    leaf_depths[d as usize] += 1;
+                    depth_sum += d as u64;
+                    max_depth = max_depth.max(d);
+                    leaf_entries += node.count;
+                }
+            }
+        }
+        TreeStats {
+            n_nodes: tree.n_nodes(),
+            n_internal,
+            n_leaves,
+            total_count: tree.total_count(),
+            avg_leaf_depth: if n_leaves == 0 {
+                0.0
+            } else {
+                depth_sum as f64 / n_leaves as f64
+            },
+            max_leaf_depth: max_depth,
+            avg_leaf_size: if n_leaves == 0 {
+                0.0
+            } else {
+                leaf_entries as f64 / n_leaves as f64
+            },
+            leaf_depths,
+            mem_bytes: tree.mem_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::SigTreeConfig;
+    use tardis_isax::{SaxWord, SigT};
+
+    fn sig_from_values(values: &[f32]) -> SigT {
+        SigT::from_sax(&SaxWord::from_series(values, 8, 6).unwrap())
+    }
+
+    fn walk(seed: u64) -> Vec<f32> {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut acc = 0.0f32;
+        let mut v = Vec::with_capacity(64);
+        for _ in 0..64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc += ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+            v.push(acc);
+        }
+        tardis_ts::z_normalize_in_place(&mut v);
+        v
+    }
+
+    #[test]
+    fn stats_of_empty_tree() {
+        let t: SigTree<SigT> = SigTree::new(SigTreeConfig::storing(8, 6, 4));
+        let s = t.stats();
+        assert_eq!(s.n_nodes, 1);
+        assert_eq!(s.n_leaves, 0, "root alone is not counted as a leaf");
+        assert_eq!(s.n_internal, 0);
+        assert_eq!(s.avg_leaf_depth, 0.0);
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let mut t: SigTree<SigT> = SigTree::new(SigTreeConfig::storing(8, 6, 3));
+        for s in 0..200 {
+            t.insert(sig_from_values(&walk(s)));
+        }
+        let s = t.stats();
+        assert_eq!(s.n_nodes, 1 + s.n_internal + s.n_leaves);
+        assert_eq!(s.total_count, 200);
+        assert_eq!(s.leaf_depths.iter().sum::<usize>(), s.n_leaves);
+        assert!(s.max_leaf_depth <= 6);
+        assert!(s.avg_leaf_depth > 0.0);
+        assert!(s.avg_leaf_size > 0.0);
+        assert!(s.mem_bytes > 0);
+    }
+
+    #[test]
+    fn avg_leaf_depth_below_max() {
+        let mut t: SigTree<SigT> = SigTree::new(SigTreeConfig::storing(8, 6, 2));
+        for s in 0..500 {
+            t.insert(sig_from_values(&walk(s)));
+        }
+        let s = t.stats();
+        assert!(s.avg_leaf_depth <= s.max_leaf_depth as f64);
+    }
+}

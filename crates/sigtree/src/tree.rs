@@ -1,0 +1,775 @@
+//! The sigTree arena and its two construction modes.
+
+use crate::node::{Node, NodeId, NodeKind};
+use tardis_isax::SigT;
+
+/// Items storable in sigTree leaves must expose their full-resolution
+/// iSAX-T signature so the tree can route and split them.
+pub trait HasSig {
+    /// The item's signature at the tree's initial (maximum) cardinality.
+    fn sig(&self) -> &SigT;
+}
+
+impl HasSig for SigT {
+    fn sig(&self) -> &SigT {
+        self
+    }
+}
+
+impl<A> HasSig for (SigT, A) {
+    fn sig(&self) -> &SigT {
+        &self.0
+    }
+}
+
+/// Configuration of a sigTree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SigTreeConfig {
+    /// Word length `w` (segments per series); fan-out is at most `2^w`.
+    pub w: usize,
+    /// Initial cardinality bits `b` — the maximum tree depth. Entries
+    /// carry signatures of exactly this many bits.
+    pub max_bits: u8,
+    /// Split threshold: a leaf exceeding this many entries is promoted to
+    /// an internal node (unless already at `max_bits`). `None` disables
+    /// splitting (skeleton mode).
+    pub split_threshold: Option<usize>,
+}
+
+impl SigTreeConfig {
+    /// Entry-storing configuration (Tardis-L style).
+    pub fn storing(w: usize, max_bits: u8, split_threshold: usize) -> SigTreeConfig {
+        SigTreeConfig {
+            w,
+            max_bits,
+            split_threshold: Some(split_threshold),
+        }
+    }
+
+    /// Skeleton configuration (Tardis-G style — no automatic splits).
+    pub fn skeleton(w: usize, max_bits: u8) -> SigTreeConfig {
+        SigTreeConfig {
+            w,
+            max_bits,
+            split_threshold: None,
+        }
+    }
+}
+
+/// Result of descending the tree along a signature (§III-B Example 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Descend {
+    /// Reached a leaf that covers the signature.
+    Leaf(NodeId),
+    /// Stopped at an internal node that has no child on the signature's
+    /// path (possible in skeleton trees built from samples).
+    NoChild(NodeId),
+}
+
+impl Descend {
+    /// The node where descent stopped, whichever case.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            Descend::Leaf(id) | Descend::NoChild(id) => id,
+        }
+    }
+}
+
+/// A sigTree arena.
+///
+/// ```
+/// use tardis_isax::{SaxWord, SigT};
+/// use tardis_sigtree::{Descend, SigTree, SigTreeConfig};
+///
+/// let mut tree: SigTree<SigT> = SigTree::new(SigTreeConfig::storing(8, 6, 4));
+/// let sig = SigT::from_sax(
+///     &SaxWord::from_buckets(vec![5, 12, 63, 0, 31, 31, 40, 7], 6).unwrap(),
+/// );
+/// tree.insert(sig.clone());
+/// assert_eq!(tree.total_count(), 1);
+/// match tree.descend(&sig) {
+///     Descend::Leaf(leaf) => assert!(tree.node(leaf).items.contains(&sig)),
+///     Descend::NoChild(_) => unreachable!("inserted signatures are reachable"),
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SigTree<I> {
+    nodes: Vec<Node<I>>,
+    config: SigTreeConfig,
+}
+
+impl<I: HasSig> SigTree<I> {
+    /// Creates an empty tree with a root node.
+    ///
+    /// # Panics
+    /// Panics on an invalid word length (must be a positive multiple of 4,
+    /// at most 32) or `max_bits == 0`.
+    pub fn new(config: SigTreeConfig) -> SigTree<I> {
+        tardis_isax::paa::validate_word_len(config.w).expect("invalid word length");
+        assert!(config.max_bits >= 1, "max_bits must be at least 1");
+        let root = Node::new_leaf(SigT::root(config.w).expect("validated"), None);
+        SigTree {
+            nodes: vec![root],
+            config,
+        }
+    }
+
+    /// The tree configuration.
+    pub fn config(&self) -> &SigTreeConfig {
+        &self.config
+    }
+
+    /// The root node id (always 0).
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    /// Panics on an unknown id.
+    pub fn node(&self, id: NodeId) -> &Node<I> {
+        &self.nodes[id as usize]
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node<I> {
+        &mut self.nodes[id as usize]
+    }
+
+    /// Total number of nodes (including the root).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of entries the root accounts for.
+    pub fn total_count(&self) -> u64 {
+        self.nodes[0].count
+    }
+
+    /// Iterator over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as NodeId).filter(move |_| true)
+    }
+
+    /// Ids of all leaf nodes.
+    pub fn leaf_ids(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as NodeId)
+            .filter(|&id| self.nodes[id as usize].is_leaf())
+            .collect()
+    }
+
+    /// Sibling nodes: the parent's other children (empty for the root).
+    pub fn siblings(&self, id: NodeId) -> Vec<NodeId> {
+        match self.node(id).parent {
+            None => Vec::new(),
+            Some(p) => self
+                .node(p)
+                .children
+                .values()
+                .copied()
+                .filter(|&c| c != id)
+                .collect(),
+        }
+    }
+
+    /// Descends from the root along `sig`'s bit-planes as deep as possible.
+    ///
+    /// # Panics
+    /// Debug-asserts that `sig` carries enough planes for the descent
+    /// (entries use `max_bits`-bit signatures).
+    pub fn descend(&self, sig: &SigT) -> Descend {
+        let mut cur = self.root();
+        loop {
+            let node = self.node(cur);
+            if node.is_leaf() {
+                return Descend::Leaf(cur);
+            }
+            let layer = node.layer();
+            match sig.plane_key(layer) {
+                Some(key) => match node.children.get(&key) {
+                    Some(&child) => cur = child,
+                    None => return Descend::NoChild(cur),
+                },
+                // Signature shallower than the tree here: treat like a
+                // missing child (callers decide the fallback).
+                None => return Descend::NoChild(cur),
+            }
+        }
+    }
+
+    /// The full root→stop path of a descent (inclusive on both ends).
+    pub fn descend_path(&self, sig: &SigT) -> Vec<NodeId> {
+        let mut path = vec![self.root()];
+        let mut cur = self.root();
+        loop {
+            let node = self.node(cur);
+            if node.is_leaf() {
+                return path;
+            }
+            match sig
+                .plane_key(node.layer())
+                .and_then(|key| node.children.get(&key).copied())
+            {
+                Some(child) => {
+                    path.push(child);
+                    cur = child;
+                }
+                None => return path,
+            }
+        }
+    }
+
+    /// The *target node* of a kNN query (§V-B): the deepest node on the
+    /// signature's path whose subtree holds at least `k` entries. Falls
+    /// back to the root when even the root holds fewer.
+    pub fn target_node(&self, sig: &SigT, k: usize) -> NodeId {
+        self.descend_path(sig)
+            .into_iter()
+            .rev()
+            .find(|&id| self.node(id).count >= k as u64)
+            .unwrap_or(self.root())
+    }
+
+    /// Inserts an entry (Tardis-L mode): descends to a leaf — creating a
+    /// new leaf child under an internal node when the path is missing —
+    /// places the item, bumps counts along the path, and splits the leaf
+    /// if it exceeds the threshold and is not yet at `max_bits`.
+    ///
+    /// # Panics
+    /// Panics if the item's signature has fewer than `max_bits` planes.
+    pub fn insert(&mut self, item: I) {
+        assert!(
+            item.sig().bits() >= self.config.max_bits,
+            "entry signature shallower than the tree's initial cardinality"
+        );
+        let mut cur = self.root();
+        loop {
+            self.node_mut(cur).count += 1;
+            if self.node(cur).is_leaf() {
+                break;
+            }
+            let layer = self.node(cur).layer();
+            let key = item
+                .sig()
+                .plane_key(layer)
+                .expect("checked: signature deep enough");
+            if let Some(&child) = self.node(cur).children.get(&key) {
+                cur = child;
+            } else {
+                // New branch below an internal node.
+                let child_sig = self.node(cur).sig.child(key);
+                let child = self.push_node(Node::new_leaf(child_sig, Some(cur)));
+                self.node_mut(cur).children.insert(key, child);
+                cur = child;
+            }
+        }
+        self.node_mut(cur).items.push(item);
+        self.maybe_split(cur);
+    }
+
+    fn push_node(&mut self, node: Node<I>) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(node);
+        id
+    }
+
+    /// Splits `leaf` if it exceeds the threshold; recursion handles the
+    /// rare case where all entries fall into one child that still exceeds
+    /// the threshold.
+    fn maybe_split(&mut self, leaf: NodeId) {
+        let Some(threshold) = self.config.split_threshold else {
+            return;
+        };
+        // Iterate: a split may leave one child still overfull (all items
+        // share the next plane), which then splits in turn.
+        let mut cur = leaf;
+        loop {
+            let node = self.node(cur);
+            if node.items.len() <= threshold || node.layer() >= self.config.max_bits {
+                return;
+            }
+            let layer = node.layer();
+            let items = std::mem::take(&mut self.node_mut(cur).items);
+            // Redistribute by the next bit-plane; ≤ 2^w children.
+            let mut hot_child: Option<NodeId> = None;
+            for item in items {
+                let key = item
+                    .sig()
+                    .plane_key(layer)
+                    .expect("entries are max_bits deep");
+                let child = match self.node(cur).children.get(&key) {
+                    Some(&c) => c,
+                    None => {
+                        let child_sig = self.node(cur).sig.child(key);
+                        let c = self.push_node(Node::new_leaf(child_sig, Some(cur)));
+                        self.node_mut(cur).children.insert(key, c);
+                        c
+                    }
+                };
+                let cnode = self.node_mut(child);
+                cnode.count += 1;
+                cnode.items.push(item);
+                if cnode.items.len() > threshold {
+                    hot_child = Some(child);
+                }
+            }
+            match hot_child {
+                Some(c) => cur = c,
+                None => return,
+            }
+        }
+    }
+
+    /// Skeleton insertion (Tardis-G mode): places a node with a known
+    /// subtree frequency at layer `sig.bits()`. Ancestors must already
+    /// exist (the paper inserts statistics layer by layer in ascending
+    /// order); the root's count is *not* recomputed — callers set it from
+    /// the layer-1 sums via [`Self::set_root_count`].
+    ///
+    /// # Panics
+    /// Panics if an ancestor on the path is missing or if a node with the
+    /// same signature was already inserted.
+    pub fn insert_stat(&mut self, sig: SigT, count: u64) {
+        assert!(
+            sig.bits() >= 1 && sig.bits() <= self.config.max_bits,
+            "stat node layer out of range"
+        );
+        let parent_layer = sig.bits() - 1;
+        // Walk to the parent prefix.
+        let mut cur = self.root();
+        for layer in 0..parent_layer {
+            let key = sig.plane_key(layer).expect("layer < bits");
+            cur = *self
+                .node(cur)
+                .children
+                .get(&key)
+                .expect("ancestor missing: stats must be inserted layer by layer");
+        }
+        let key = sig.plane_key(parent_layer).expect("last plane");
+        assert!(
+            !self.node(cur).children.contains_key(&key),
+            "duplicate stat node {sig}"
+        );
+        let mut node = Node::new_leaf(sig, Some(cur));
+        node.count = count;
+        let id = self.push_node(node);
+        self.node_mut(cur).children.insert(key, id);
+    }
+
+    /// Sets the root's total count (skeleton mode).
+    pub fn set_root_count(&mut self, count: u64) {
+        self.node_mut(0).count = count;
+    }
+
+    /// All items stored in leaves under `node`, depth-first.
+    pub fn subtree_items(&self, node: NodeId) -> Vec<&I> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(id) = stack.pop() {
+            let n = self.node(id);
+            out.extend(n.items.iter());
+            stack.extend(n.children.values().copied());
+        }
+        out
+    }
+
+    /// All leaf ids under `node` (including `node` itself if a leaf).
+    pub fn subtree_leaves(&self, node: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(id) = stack.pop() {
+            let n = self.node(id);
+            if n.is_leaf() {
+                out.push(id);
+            } else {
+                stack.extend(n.children.values().copied());
+            }
+        }
+        out
+    }
+
+    /// Visits every node depth-first, pruning subtrees for which `keep`
+    /// returns false; calls `visit` on each kept node. This is the
+    /// lower-bound pruning walk of One/Multi-Partition Access (§V-B).
+    pub fn prune_walk<'a, K, V>(&'a self, mut keep: K, mut visit: V)
+    where
+        K: FnMut(&'a Node<I>) -> bool,
+        V: FnMut(NodeId, &'a Node<I>),
+    {
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            let n = self.node(id);
+            if !keep(n) {
+                continue;
+            }
+            visit(id, n);
+            stack.extend(n.children.values().copied());
+        }
+    }
+
+    /// Approximate index size in bytes (structure only, excluding item
+    /// heap payloads — matching the paper's "local index which excludes
+    /// indexed data", Figure 13).
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.nodes.iter().map(Node::mem_bytes).sum::<usize>()
+    }
+
+    /// Structural statistics (node/leaf counts, depth histogram).
+    pub fn stats(&self) -> crate::stats::TreeStats {
+        crate::stats::TreeStats::compute(self)
+    }
+
+    /// Verifies structural invariants; used by tests and debug assertions.
+    /// Returns a description of the first violation, if any.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let id = idx as NodeId;
+            // Parent/child link symmetry.
+            if let Some(p) = node.parent {
+                let parent = self.node(p);
+                if !parent.children.values().any(|&c| c == id) {
+                    return Err(format!("node {id} not registered in parent {p}"));
+                }
+                if node.sig.bits() != parent.sig.bits() + 1 {
+                    return Err(format!("node {id} not one layer below parent"));
+                }
+                if !parent.sig.is_prefix_of(&node.sig) {
+                    return Err(format!("node {id} signature not extending parent"));
+                }
+            } else if id != 0 {
+                return Err(format!("non-root node {id} has no parent"));
+            }
+            // Internal nodes hold no items; counts add up.
+            if !node.children.is_empty() {
+                if !node.items.is_empty() {
+                    return Err(format!("internal node {id} holds items"));
+                }
+                let child_sum: u64 = node.children.values().map(|&c| self.node(c).count).sum();
+                if child_sum != node.count {
+                    return Err(format!(
+                        "node {id} count {} != children sum {child_sum}",
+                        node.count
+                    ));
+                }
+            }
+            // Leaves in storing mode: count equals item count.
+            if node.children.is_empty()
+                && self.config.split_threshold.is_some()
+                && node.count != node.items.len() as u64
+            {
+                return Err(format!(
+                    "leaf {id} count {} != items {}",
+                    node.count,
+                    node.items.len()
+                ));
+            }
+            if node.layer() > self.config.max_bits {
+                return Err(format!("node {id} deeper than max_bits"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Convenience: kind of a node by id.
+impl<I: HasSig> SigTree<I> {
+    /// The classification of node `id`.
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.node(id).kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tardis_isax::SaxWord;
+    use tardis_ts::z_normalize_in_place;
+
+    /// Builds the iSAX-T signature of a deterministic pseudo-random walk.
+    fn sig_of_series(seed: u64, w: usize, bits: u8) -> SigT {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut acc = 0.0f32;
+        let mut v = Vec::with_capacity(64);
+        for _ in 0..64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc += ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+            v.push(acc);
+        }
+        z_normalize_in_place(&mut v);
+        SigT::from_sax(&SaxWord::from_series(&v, w, bits).unwrap())
+    }
+
+    fn storing_tree(threshold: usize) -> SigTree<SigT> {
+        SigTree::new(SigTreeConfig::storing(8, 6, threshold))
+    }
+
+    #[test]
+    fn empty_tree_has_root_leaf() {
+        let t = storing_tree(4);
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.kind(t.root()), NodeKind::Root);
+        assert!(t.node(t.root()).is_leaf());
+        assert_eq!(t.total_count(), 0);
+    }
+
+    #[test]
+    fn insert_without_split_stays_in_root() {
+        let mut t = storing_tree(10);
+        for seed in 0..5 {
+            t.insert(sig_of_series(seed, 8, 6));
+        }
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.total_count(), 5);
+        assert_eq!(t.node(t.root()).items.len(), 5);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_beyond_threshold_splits() {
+        let mut t = storing_tree(4);
+        for seed in 0..50 {
+            t.insert(sig_of_series(seed, 8, 6));
+        }
+        assert!(t.n_nodes() > 1, "tree should have split");
+        assert_eq!(t.total_count(), 50);
+        t.check_invariants().unwrap();
+        // All items still present.
+        assert_eq!(t.subtree_items(t.root()).len(), 50);
+    }
+
+    #[test]
+    fn split_respects_fanout_bound() {
+        let mut t = storing_tree(2);
+        for seed in 0..300 {
+            t.insert(sig_of_series(seed, 8, 6));
+        }
+        t.check_invariants().unwrap();
+        for id in 0..t.n_nodes() as NodeId {
+            assert!(t.node(id).children.len() <= 256, "fan-out exceeds 2^8");
+        }
+    }
+
+    #[test]
+    fn leaf_at_max_depth_grows_unbounded() {
+        // Identical signatures cannot be separated; the leaf at max depth
+        // absorbs them all without splitting.
+        let mut t = storing_tree(2);
+        let sig = sig_of_series(1, 8, 6);
+        for _ in 0..20 {
+            t.insert(sig.clone());
+        }
+        t.check_invariants().unwrap();
+        let d = t.descend(&sig);
+        let leaf = match d {
+            Descend::Leaf(id) => id,
+            _ => panic!("expected leaf"),
+        };
+        assert_eq!(t.node(leaf).items.len(), 20);
+        assert!(t.node(leaf).layer() <= 6);
+    }
+
+    #[test]
+    fn descend_finds_inserted_leaf() {
+        let mut t = storing_tree(3);
+        let sigs: Vec<SigT> = (0..40).map(|s| sig_of_series(s, 8, 6)).collect();
+        for s in &sigs {
+            t.insert(s.clone());
+        }
+        for s in &sigs {
+            match t.descend(s) {
+                Descend::Leaf(id) => {
+                    assert!(t.node(id).sig.is_prefix_of(s));
+                    assert!(t
+                        .node(id)
+                        .items
+                        .iter()
+                        .any(|item| item == s));
+                }
+                Descend::NoChild(_) => panic!("inserted signature must reach a leaf"),
+            }
+        }
+    }
+
+    #[test]
+    fn descend_path_starts_at_root_and_is_chained() {
+        let mut t = storing_tree(2);
+        for s in 0..100 {
+            t.insert(sig_of_series(s, 8, 6));
+        }
+        let q = sig_of_series(3, 8, 6);
+        let path = t.descend_path(&q);
+        assert_eq!(path[0], t.root());
+        for w in path.windows(2) {
+            assert_eq!(t.node(w[1]).parent, Some(w[0]));
+        }
+    }
+
+    #[test]
+    fn target_node_selects_deepest_with_k() {
+        let mut t = storing_tree(2);
+        for s in 0..100 {
+            t.insert(sig_of_series(s, 8, 6));
+        }
+        let q = sig_of_series(7, 8, 6);
+        // k=1: deepest node on the path (its leaf) qualifies.
+        let t1 = t.target_node(&q, 1);
+        let path = t.descend_path(&q);
+        assert_eq!(t1, *path.last().unwrap());
+        // k = everything: only the root qualifies.
+        assert_eq!(t.target_node(&q, 100), t.root());
+        // k bigger than the dataset: root fallback.
+        assert_eq!(t.target_node(&q, 1000), t.root());
+        // Monotonicity: larger k climbs toward the root.
+        let mut prev_layer = u8::MAX;
+        for k in [1usize, 5, 20, 50, 100] {
+            let layer = t.node(t.target_node(&q, k)).layer();
+            assert!(layer <= prev_layer, "k={k} went deeper");
+            prev_layer = layer;
+        }
+        // Target node always holds at least k (or is the root).
+        for k in [1usize, 3, 10, 60] {
+            let tn = t.target_node(&q, k);
+            assert!(t.node(tn).count >= k as u64 || tn == t.root());
+        }
+    }
+
+    #[test]
+    fn siblings_via_parent() {
+        let mut t = storing_tree(1);
+        for s in 0..60 {
+            t.insert(sig_of_series(s, 8, 6));
+        }
+        // Find an internal node with several children.
+        let internal = (0..t.n_nodes() as NodeId)
+            .find(|&id| t.node(id).children.len() >= 2)
+            .expect("some split happened");
+        let children: Vec<NodeId> = t.node(internal).children.values().copied().collect();
+        let sibs = t.siblings(children[0]);
+        assert_eq!(sibs.len(), children.len() - 1);
+        assert!(!sibs.contains(&children[0]));
+        assert!(t.siblings(t.root()).is_empty());
+    }
+
+    #[test]
+    fn skeleton_insertion_layer_by_layer() {
+        let mut t: SigTree<SigT> = SigTree::new(SigTreeConfig::skeleton(8, 6));
+        let sig = sig_of_series(5, 8, 6);
+        let l1 = sig.drop_right(1).unwrap();
+        let l2 = sig.drop_right(2).unwrap();
+        t.insert_stat(l1.clone(), 100);
+        t.insert_stat(l2.clone(), 60);
+        t.set_root_count(100);
+        assert_eq!(t.n_nodes(), 3);
+        match t.descend(&sig) {
+            Descend::Leaf(id) => assert_eq!(t.node(id).sig, l2),
+            _ => panic!("expected leaf"),
+        }
+        // A signature diverging at layer 2 stops at the layer-1 node.
+        let mut other = None;
+        for s in 0..100 {
+            let cand = sig_of_series(s, 8, 6);
+            if cand.drop_right(1).unwrap() == l1 && cand.drop_right(2).unwrap() != l2 {
+                other = Some(cand);
+                break;
+            }
+        }
+        if let Some(o) = other {
+            match t.descend(&o) {
+                Descend::NoChild(id) => assert_eq!(t.node(id).sig, l1),
+                Descend::Leaf(_) => panic!("should not reach a leaf"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ancestor missing")]
+    fn skeleton_requires_ancestors() {
+        let mut t: SigTree<SigT> = SigTree::new(SigTreeConfig::skeleton(8, 6));
+        let sig = sig_of_series(5, 8, 6);
+        t.insert_stat(sig.drop_right(2).unwrap(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate stat node")]
+    fn skeleton_rejects_duplicates() {
+        let mut t: SigTree<SigT> = SigTree::new(SigTreeConfig::skeleton(8, 6));
+        let sig = sig_of_series(5, 8, 6).drop_right(1).unwrap();
+        t.insert_stat(sig.clone(), 10);
+        t.insert_stat(sig, 20);
+    }
+
+    #[test]
+    fn subtree_leaves_and_items_agree() {
+        let mut t = storing_tree(3);
+        for s in 0..80 {
+            t.insert(sig_of_series(s, 8, 6));
+        }
+        let leaves = t.subtree_leaves(t.root());
+        let by_leaves: usize = leaves.iter().map(|&l| t.node(l).items.len()).sum();
+        assert_eq!(by_leaves, 80);
+        assert_eq!(t.subtree_items(t.root()).len(), 80);
+        assert_eq!(t.leaf_ids().len(), leaves.len());
+    }
+
+    #[test]
+    fn prune_walk_visits_kept_subtrees_only() {
+        let mut t = storing_tree(2);
+        for s in 0..60 {
+            t.insert(sig_of_series(s, 8, 6));
+        }
+        // Keep everything: visits all nodes.
+        let mut all = 0;
+        t.prune_walk(|_| true, |_, _| all += 1);
+        assert_eq!(all, t.n_nodes());
+        // Keep only the root: visits exactly 1.
+        let mut one = 0;
+        let mut first = true;
+        t.prune_walk(
+            |_| {
+                let keep = first;
+                first = false;
+                keep
+            },
+            |_, _| one += 1,
+        );
+        assert_eq!(one, 1);
+    }
+
+    #[test]
+    fn insert_rejects_shallow_signature() {
+        let mut t = storing_tree(2);
+        let shallow = sig_of_series(1, 8, 3);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.insert(shallow);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn compactness_vs_depth() {
+        // The sigTree claim: depth stays ≤ max_bits even for large inserts,
+        // thanks to 2^w fan-out.
+        let mut t = storing_tree(8);
+        for s in 0..2000 {
+            t.insert(sig_of_series(s, 8, 6));
+        }
+        t.check_invariants().unwrap();
+        let max_layer = (0..t.n_nodes() as NodeId)
+            .map(|id| t.node(id).layer())
+            .max()
+            .unwrap();
+        assert!(max_layer <= 6);
+    }
+
+    #[test]
+    fn mem_bytes_grows_with_inserts() {
+        let mut t = storing_tree(2);
+        let before = t.mem_bytes();
+        for s in 0..100 {
+            t.insert(sig_of_series(s, 8, 6));
+        }
+        assert!(t.mem_bytes() > before);
+    }
+}

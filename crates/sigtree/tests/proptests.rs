@@ -1,0 +1,118 @@
+//! Property-based tests: sigTree invariants under arbitrary insert
+//! sequences.
+
+use proptest::prelude::*;
+use tardis_isax::{SaxWord, SigT};
+use tardis_sigtree::{Descend, SigTree, SigTreeConfig};
+use tardis_ts::z_normalize_in_place;
+
+fn sig_strategy() -> impl Strategy<Value = SigT> {
+    prop::collection::vec(-3.0f32..3.0, 64).prop_map(|mut v| {
+        z_normalize_in_place(&mut v);
+        SigT::from_sax(&SaxWord::from_series(&v, 8, 6).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn invariants_hold_after_any_inserts(
+        sigs in prop::collection::vec(sig_strategy(), 1..200),
+        threshold in 1usize..10,
+    ) {
+        let mut tree: SigTree<SigT> = SigTree::new(SigTreeConfig::storing(8, 6, threshold));
+        for s in &sigs {
+            tree.insert(s.clone());
+        }
+        prop_assert!(tree.check_invariants().is_ok(), "{:?}", tree.check_invariants());
+        prop_assert_eq!(tree.total_count(), sigs.len() as u64);
+        prop_assert_eq!(tree.subtree_items(tree.root()).len(), sigs.len());
+    }
+
+    #[test]
+    fn every_inserted_sig_is_findable(
+        sigs in prop::collection::vec(sig_strategy(), 1..100),
+    ) {
+        let mut tree: SigTree<SigT> = SigTree::new(SigTreeConfig::storing(8, 6, 3));
+        for s in &sigs {
+            tree.insert(s.clone());
+        }
+        for s in &sigs {
+            match tree.descend(s) {
+                Descend::Leaf(id) => {
+                    prop_assert!(tree.node(id).items.iter().any(|i| i == s));
+                }
+                Descend::NoChild(_) => prop_assert!(false, "lost signature"),
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_sizes_respect_threshold_or_max_depth(
+        sigs in prop::collection::vec(sig_strategy(), 1..150),
+        threshold in 1usize..8,
+    ) {
+        let mut tree: SigTree<SigT> = SigTree::new(SigTreeConfig::storing(8, 6, threshold));
+        for s in &sigs {
+            tree.insert(s.clone());
+        }
+        for id in tree.leaf_ids() {
+            let n = tree.node(id);
+            // A leaf may exceed the threshold only when it cannot split
+            // further (already at maximum cardinality).
+            prop_assert!(
+                n.items.len() <= threshold || n.layer() == 6,
+                "leaf layer {} size {}",
+                n.layer(),
+                n.items.len()
+            );
+        }
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_leaf_assignment(
+        sigs in prop::collection::vec(sig_strategy(), 2..60),
+    ) {
+        let build = |order: &[SigT]| {
+            let mut tree: SigTree<SigT> = SigTree::new(SigTreeConfig::storing(8, 6, 2));
+            for s in order {
+                tree.insert(s.clone());
+            }
+            // Canonical view: sorted (leaf signature, sorted leaf items).
+            let mut view: Vec<(String, Vec<String>)> = tree
+                .leaf_ids()
+                .into_iter()
+                .map(|id| {
+                    let n = tree.node(id);
+                    let mut items: Vec<String> =
+                        n.items.iter().map(|s| s.to_hex()).collect();
+                    items.sort();
+                    (n.sig.to_hex(), items)
+                })
+                .collect();
+            view.sort();
+            view
+        };
+        let forward = build(&sigs);
+        let mut reversed = sigs.clone();
+        reversed.reverse();
+        let backward = build(&reversed);
+        prop_assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn target_node_count_is_sufficient(
+        sigs in prop::collection::vec(sig_strategy(), 10..100),
+        k in 1usize..20,
+    ) {
+        let mut tree: SigTree<SigT> = SigTree::new(SigTreeConfig::storing(8, 6, 3));
+        for s in &sigs {
+            tree.insert(s.clone());
+        }
+        let q = &sigs[0];
+        let target = tree.target_node(q, k);
+        let node = tree.node(target);
+        prop_assert!(node.count >= k as u64 || target == tree.root());
+    }
+}

@@ -1,0 +1,506 @@
+//! `tardis` — the command-line front end.
+//!
+//! Operates on a persistent cluster directory so that datasets and
+//! indexes survive between invocations:
+//!
+//! ```sh
+//! tardis generate --dir /tmp/demo --dataset rw --family randomwalk --records 50000
+//! tardis build    --dir /tmp/demo --dataset rw --index rw-idx --capacity 5000
+//! tardis stats    --dir /tmp/demo --index rw-idx
+//! tardis knn      --dir /tmp/demo --index rw-idx --rid 123 --k 10 --strategy multi
+//! tardis exact    --dir /tmp/demo --index rw-idx --rid 123
+//! tardis range    --dir /tmp/demo --index rw-idx --rid 123 --epsilon 5.0
+//! tardis profile  --family noaa --records 2000
+//! ```
+//!
+//! Queries take either `--rid <n>` (regenerate a dataset member — the
+//! dataset family and seed are recorded in a sidecar) or
+//! `--query-file <path>` (one f32 value per line).
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tardis::core::query::exact_knn::exact_knn;
+use tardis::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, flags)) = parse(&args) else {
+        usage();
+        return ExitCode::from(2);
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "import" => cmd_import(&flags),
+        "build" => cmd_build(&flags),
+        "stats" => cmd_stats(&flags),
+        "exact" => cmd_exact(&flags),
+        "knn" => cmd_knn(&flags),
+        "range" => cmd_range(&flags),
+        "profile" => cmd_profile(&flags),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("tardis — distributed time-series index (TARDIS, ICDE 2019 reproduction)");
+    eprintln!();
+    eprintln!("commands:");
+    eprintln!("  generate --dir D --dataset NAME --family F --records N [--seed S] [--len L]");
+    eprintln!("  import   --dir D --dataset NAME --file PATH (one series per line)");
+    eprintln!("  build    --dir D --dataset NAME --index NAME [--capacity N] [--leaf N] [--sampling PCT]");
+    eprintln!("  stats    --dir D --index NAME");
+    eprintln!("  exact    --dir D --index NAME (--rid N | --query-file PATH) [--no-bloom]");
+    eprintln!("  knn      --dir D --index NAME (--rid N | --query-file PATH) --k N");
+    eprintln!("           [--strategy target|one|multi|exact]");
+    eprintln!("  range    --dir D --index NAME (--rid N | --query-file PATH) --epsilon E");
+    eprintln!("  profile  --family F --records N [--seed S]");
+    eprintln!();
+    eprintln!("families: randomwalk | texmex | dna | noaa");
+}
+
+type Flags = HashMap<String, String>;
+
+/// Prints one line, tolerating a closed stdout (e.g. `tardis … | head`).
+/// Returns false once the pipe is gone so bulk output loops can stop.
+fn out(line: std::fmt::Arguments<'_>) -> bool {
+    let mut stdout = std::io::stdout().lock();
+    writeln!(stdout, "{line}").is_ok()
+}
+
+macro_rules! say {
+    ($($arg:tt)*) => {
+        if !out(format_args!($($arg)*)) {
+            return Ok(());
+        }
+    };
+}
+
+/// Splits `cmd --key value --key2 value2` argument lists.
+fn parse(args: &[String]) -> Option<(String, Flags)> {
+    let mut iter = args.iter();
+    let cmd = iter.next()?.clone();
+    let mut flags = HashMap::new();
+    let rest: Vec<&String> = iter.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let key = rest[i].strip_prefix("--")?;
+        // Boolean flags take no value.
+        if key == "no-bloom" {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let value = rest.get(i + 1)?;
+        flags.insert(key.to_string(), value.to_string());
+        i += 2;
+    }
+    Some((cmd, flags))
+}
+
+fn req<'a>(flags: &'a Flags, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+fn opt_num<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> Result<T, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("invalid --{key} '{v}'")),
+        None => Ok(default),
+    }
+}
+
+fn open_cluster(flags: &Flags) -> Result<Cluster, String> {
+    let dir = PathBuf::from(req(flags, "dir")?);
+    Cluster::at_dir(&dir, ClusterConfig::default()).map_err(|e| e.to_string())
+}
+
+fn family_gen(family: &str, seed: u64, len: Option<usize>) -> Result<Box<dyn SeriesGen>, String> {
+    Ok(match family {
+        "randomwalk" => Box::new(match len {
+            Some(l) => RandomWalk::with_len(seed, l),
+            None => RandomWalk::new(seed),
+        }),
+        "texmex" => Box::new(TexmexLike::new(seed)),
+        "dna" => Box::new(DnaLike::new(seed)),
+        "noaa" => Box::new(NoaaLike::new(seed)),
+        other => return Err(format!("unknown family '{other}'")),
+    })
+}
+
+/// Sidecar describing a generated dataset (family + seed + size), so
+/// `--rid` queries can regenerate members later.
+fn write_sidecar(
+    cluster: &Cluster,
+    dataset: &str,
+    family: &str,
+    seed: u64,
+    len: usize,
+    records: u64,
+) -> Result<(), String> {
+    let body = format!("{family}\n{seed}\n{len}\n{records}\n");
+    let name = format!("{dataset}.meta");
+    cluster.dfs().delete_file(&name).map_err(|e| e.to_string())?;
+    cluster
+        .dfs()
+        .append_block(&name, body.as_bytes())
+        .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn read_sidecar(cluster: &Cluster, dataset: &str) -> Result<(String, u64, usize, u64), String> {
+    let name = format!("{dataset}.meta");
+    let blocks = cluster
+        .dfs()
+        .list_blocks(&name)
+        .map_err(|_| format!("dataset '{dataset}' has no metadata (generated elsewhere?)"))?;
+    let bytes = cluster
+        .dfs()
+        .read_block(&blocks[0])
+        .map_err(|e| e.to_string())?;
+    let text = String::from_utf8(bytes).map_err(|_| "corrupt sidecar".to_string())?;
+    let mut lines = text.lines();
+    let family = lines.next().ok_or("corrupt sidecar")?.to_string();
+    let seed = lines
+        .next()
+        .and_then(|l| l.parse().ok())
+        .ok_or("corrupt sidecar")?;
+    let len = lines
+        .next()
+        .and_then(|l| l.parse().ok())
+        .ok_or("corrupt sidecar")?;
+    let records = lines
+        .next()
+        .and_then(|l| l.parse().ok())
+        .ok_or("corrupt sidecar")?;
+    Ok((family, seed, len, records))
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let cluster = open_cluster(flags)?;
+    let dataset = req(flags, "dataset")?;
+    let family = req(flags, "family")?;
+    let records: u64 = opt_num(flags, "records", 10_000)?;
+    let seed: u64 = opt_num(flags, "seed", 42)?;
+    let len: Option<usize> = flags
+        .get("len")
+        .map(|v| v.parse().map_err(|_| format!("invalid --len '{v}'")))
+        .transpose()?;
+    let gen = family_gen(family, seed, len)?;
+    let per_block: usize = opt_num(flags, "block-records", 1_000)?;
+    let t0 = std::time::Instant::now();
+    if cluster.dfs().file_exists(dataset) {
+        cluster.dfs().delete_file(dataset).map_err(|e| e.to_string())?;
+    }
+    let layout = write_dataset(&cluster, dataset, gen.as_ref(), records, per_block)
+        .map_err(|e| e.to_string())?;
+    write_sidecar(&cluster, dataset, family, seed, gen.series_len(), records)?;
+    println!(
+        "generated {} x len-{} {} series into {} blocks in {:?}",
+        layout.n_records,
+        gen.series_len(),
+        family,
+        layout.n_blocks,
+        t0.elapsed()
+    );
+    Ok(())
+}
+
+fn cmd_import(flags: &Flags) -> Result<(), String> {
+    let cluster = open_cluster(flags)?;
+    let dataset = req(flags, "dataset")?;
+    let file = PathBuf::from(req(flags, "file")?);
+    let loaded =
+        tardis::data::read_series_file(&file, true).map_err(|e| e.to_string())?;
+    let per_block: usize = opt_num(flags, "block-records", 1_000)?;
+    if cluster.dfs().file_exists(dataset) {
+        cluster.dfs().delete_file(dataset).map_err(|e| e.to_string())?;
+    }
+    let layout = write_dataset(
+        &cluster,
+        dataset,
+        &loaded,
+        loaded.len() as u64,
+        per_block,
+    )
+    .map_err(|e| e.to_string())?;
+    // No sidecar: imported datasets answer --query-file queries only.
+    println!(
+        "imported {} series x {} points from {} into {} blocks",
+        layout.n_records,
+        loaded.series_len(),
+        file.display(),
+        layout.n_blocks
+    );
+    Ok(())
+}
+
+fn cmd_build(flags: &Flags) -> Result<(), String> {
+    let cluster = open_cluster(flags)?;
+    let dataset = req(flags, "dataset")?;
+    let index_name = req(flags, "index")?;
+    let config = TardisConfig {
+        g_max_size: opt_num(flags, "capacity", 10_000)?,
+        l_max_size: opt_num(flags, "leaf", 1_000)?,
+        sampling_fraction: opt_num::<f64>(flags, "sampling", 10.0)? / 100.0,
+        pth: opt_num(flags, "pth", 40)?,
+        ..TardisConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    let (index, report) =
+        TardisIndex::build(&cluster, dataset, &config).map_err(|e| e.to_string())?;
+    index.save(&cluster, index_name).map_err(|e| e.to_string())?;
+    // Remember which dataset this index covers.
+    let link = format!("{index_name}.dataset");
+    cluster.dfs().delete_file(&link).map_err(|e| e.to_string())?;
+    cluster
+        .dfs()
+        .append_block(&link, dataset.as_bytes())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "built + saved '{index_name}': {} records, {} partitions, {:?} total \
+         (global {:?}, shuffle {:?}, local {:?})",
+        report.n_records,
+        report.n_partitions,
+        t0.elapsed(),
+        report.global.total(),
+        report.shuffle,
+        report.local_build
+    );
+    Ok(())
+}
+
+fn open_index(cluster: &Cluster, flags: &Flags) -> Result<(TardisIndex, String), String> {
+    let index_name = req(flags, "index")?;
+    let index = TardisIndex::open(cluster, index_name).map_err(|e| e.to_string())?;
+    let link = format!("{index_name}.dataset");
+    let dataset = cluster
+        .dfs()
+        .list_blocks(&link)
+        .ok()
+        .and_then(|b| cluster.dfs().read_block(&b[0]).ok())
+        .and_then(|bytes| String::from_utf8(bytes).ok())
+        .unwrap_or_default();
+    Ok((index, dataset))
+}
+
+fn load_query(
+    cluster: &Cluster,
+    dataset: &str,
+    flags: &Flags,
+) -> Result<TimeSeries, String> {
+    if let Some(rid) = flags.get("rid") {
+        let rid: u64 = rid.parse().map_err(|_| "invalid --rid".to_string())?;
+        let (family, seed, len, records) = read_sidecar(cluster, dataset)?;
+        if rid >= records {
+            eprintln!("note: rid {rid} is beyond the dataset ({records} records) — an absent query");
+        }
+        let gen = family_gen(&family, seed, Some(len))?;
+        Ok(gen.series(rid))
+    } else if let Some(path) = flags.get("query-file") {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let values: Result<Vec<f32>, _> = text
+            .split_whitespace()
+            .map(|tok| tok.parse::<f32>())
+            .collect();
+        let values = values.map_err(|_| "query file must contain f32 values".to_string())?;
+        if values.is_empty() {
+            return Err("query file is empty".into());
+        }
+        Ok(z_normalize(&TimeSeries::new(values)))
+    } else {
+        Err("provide --rid or --query-file".into())
+    }
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    let cluster = open_cluster(flags)?;
+    let (index, dataset) = open_index(&cluster, flags)?;
+    let g = index.global();
+    let tree_stats = g.tree().stats();
+    say!("index over dataset '{dataset}':");
+    say!("  partitions          : {}", index.n_partitions());
+    say!("  global tree nodes   : {} ({} leaves)", tree_stats.n_nodes, tree_stats.n_leaves);
+    say!("  global tree depth   : avg {:.2}, max {}", tree_stats.avg_leaf_depth, tree_stats.max_leaf_depth);
+    say!("  global index size   : {} bytes", g.mem_bytes());
+    say!("  sampled records     : {}", g.sampled_records);
+    let total: u64 = index.partitions().iter().map(|p| p.n_records).sum();
+    let largest = index.partitions().iter().map(|p| p.n_records).max().unwrap_or(0);
+    say!("  records indexed     : {total}");
+    say!("  largest partition   : {largest}");
+    say!(
+        "  bloom bytes resident: {}",
+        index.resident_bloom_bytes()
+    );
+    Ok(())
+}
+
+fn cmd_exact(flags: &Flags) -> Result<(), String> {
+    let cluster = open_cluster(flags)?;
+    let (index, dataset) = open_index(&cluster, flags)?;
+    let query = load_query(&cluster, &dataset, flags)?;
+    let use_bloom = !flags.contains_key("no-bloom");
+    let t0 = std::time::Instant::now();
+    let out = exact_match(&index, &cluster, &query, use_bloom).map_err(|e| e.to_string())?;
+    let elapsed = t0.elapsed();
+    if out.matches.is_empty() {
+        println!(
+            "no exact match ({}; {} partition(s) loaded) in {elapsed:?}",
+            if out.bloom_rejected {
+                "bloom filter rejected"
+            } else {
+                "leaf scanned"
+            },
+            out.partitions_loaded
+        );
+    } else {
+        println!("exact match: record ids {:?} in {elapsed:?}", out.matches);
+    }
+    Ok(())
+}
+
+fn cmd_knn(flags: &Flags) -> Result<(), String> {
+    let cluster = open_cluster(flags)?;
+    let (index, dataset) = open_index(&cluster, flags)?;
+    let query = load_query(&cluster, &dataset, flags)?;
+    let k: usize = opt_num(flags, "k", 10)?;
+    let strategy = flags.get("strategy").map(String::as_str).unwrap_or("multi");
+    let t0 = std::time::Instant::now();
+    let neighbors: Vec<(f64, u64)> = match strategy {
+        "target" => {
+            knn_approximate(&index, &cluster, &query, k, KnnStrategy::TargetNode)
+                .map_err(|e| e.to_string())?
+                .neighbors
+        }
+        "one" => {
+            knn_approximate(&index, &cluster, &query, k, KnnStrategy::OnePartition)
+                .map_err(|e| e.to_string())?
+                .neighbors
+        }
+        "multi" => {
+            knn_approximate(&index, &cluster, &query, k, KnnStrategy::MultiPartition)
+                .map_err(|e| e.to_string())?
+                .neighbors
+        }
+        "exact" => exact_knn(&index, &cluster, &query, k)
+            .map_err(|e| e.to_string())?
+            .neighbors
+            .into_iter()
+            .map(|nb| (nb.distance, nb.rid))
+            .collect(),
+        other => return Err(format!("unknown strategy '{other}' (target|one|multi|exact)")),
+    };
+    say!("{strategy} {k}-NN in {:?}:", t0.elapsed());
+    for (rank, (d, rid)) in neighbors.iter().enumerate() {
+        say!("  #{:<3} record {:>10}  distance {:.6}", rank + 1, rid, d);
+    }
+    Ok(())
+}
+
+fn cmd_range(flags: &Flags) -> Result<(), String> {
+    let cluster = open_cluster(flags)?;
+    let (index, dataset) = open_index(&cluster, flags)?;
+    let query = load_query(&cluster, &dataset, flags)?;
+    let epsilon: f64 = opt_num(flags, "epsilon", 1.0)?;
+    let t0 = std::time::Instant::now();
+    let out = range_query(&index, &cluster, &query, epsilon).map_err(|e| e.to_string())?;
+    say!(
+        "{} record(s) within ε = {epsilon} in {:?} ({} partitions loaded, {} pruned):",
+        out.matches.len(),
+        t0.elapsed(),
+        out.partitions_loaded,
+        out.partitions_pruned
+    );
+    for nb in out.matches.iter().take(50) {
+        say!("  record {:>10}  distance {:.6}", nb.rid, nb.distance);
+    }
+    if out.matches.len() > 50 {
+        say!("  … and {} more", out.matches.len() - 50);
+    }
+    Ok(())
+}
+
+fn cmd_profile(flags: &Flags) -> Result<(), String> {
+    let family = req(flags, "family")?;
+    let records: u64 = opt_num(flags, "records", 1_000)?;
+    let seed: u64 = opt_num(flags, "seed", 42)?;
+    let gen = family_gen(family, seed, None)?;
+    let p = profile_dataset(gen.as_ref(), records);
+    say!("{} ({} records x {} points):", p.name, p.n_records, p.series_len);
+    say!("  mean {:.4}  std {:.4}", p.stats.mean(), p.stats.std_dev());
+    say!("  skewness {:+.4}  peak bin freq {:.4}", p.skewness(), p.peak_frequency());
+    // A coarse text histogram.
+    let freqs = p.histogram.frequencies();
+    let max = freqs.iter().cloned().fold(0.0f64, f64::max).max(1e-9);
+    say!("  value distribution over [-4, 4):");
+    for (i, chunk) in freqs.chunks(8).enumerate() {
+        let f: f64 = chunk.iter().sum();
+        let bar = "#".repeat(((f / (max * 8.0)) * 60.0).round() as usize);
+        let lo = -4.0 + i as f64;
+        say!("    [{:>4.1},{:>4.1}) {bar}", lo, lo + 1.0);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_command_and_flags() {
+        let (cmd, flags) = parse(&args(&["knn", "--dir", "/d", "--k", "5"])).unwrap();
+        assert_eq!(cmd, "knn");
+        assert_eq!(flags.get("dir").unwrap(), "/d");
+        assert_eq!(flags.get("k").unwrap(), "5");
+    }
+
+    #[test]
+    fn parse_boolean_flag_takes_no_value() {
+        let (_, flags) = parse(&args(&["exact", "--no-bloom", "--rid", "3"])).unwrap();
+        assert_eq!(flags.get("no-bloom").unwrap(), "true");
+        assert_eq!(flags.get("rid").unwrap(), "3");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse(&args(&[])).is_none());
+        assert!(parse(&args(&["knn", "stray"])).is_none());
+        assert!(parse(&args(&["knn", "--dangling"])).is_none());
+    }
+
+    #[test]
+    fn req_and_opt_num() {
+        let (_, flags) = parse(&args(&["x", "--k", "7", "--bad", "zz"])).unwrap();
+        assert_eq!(req(&flags, "k").unwrap(), "7");
+        assert!(req(&flags, "missing").is_err());
+        assert_eq!(opt_num::<u64>(&flags, "k", 1).unwrap(), 7);
+        assert_eq!(opt_num::<u64>(&flags, "absent", 9).unwrap(), 9);
+        assert!(opt_num::<u64>(&flags, "bad", 0).is_err());
+    }
+
+    #[test]
+    fn family_gen_resolves_all_families() {
+        for f in ["randomwalk", "texmex", "dna", "noaa"] {
+            assert!(family_gen(f, 1, None).is_ok(), "{f}");
+        }
+        assert!(family_gen("nope", 1, None).is_err());
+    }
+}

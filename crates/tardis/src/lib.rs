@@ -1,0 +1,75 @@
+#![warn(missing_docs)]
+
+//! **TARDIS** — a distributed indexing framework for big time series data.
+//!
+//! This is the facade crate of the workspace: it re-exports the public
+//! API of every component so that applications can depend on a single
+//! crate.
+//!
+//! ```
+//! use tardis::prelude::*;
+//!
+//! // Simulated cluster with a block DFS on local disk.
+//! let cluster = Cluster::new(ClusterConfig::default()).unwrap();
+//!
+//! // Generate and store a small RandomWalk dataset.
+//! let gen = RandomWalk::with_len(42, 64);
+//! write_dataset(&cluster, "demo", &gen, 2_000, 200).unwrap();
+//!
+//! // Build the index.
+//! let config = TardisConfig {
+//!     g_max_size: 500,
+//!     l_max_size: 100,
+//!     ..TardisConfig::default()
+//! };
+//! let (index, report) = TardisIndex::build(&cluster, "demo", &config).unwrap();
+//! assert!(report.n_partitions >= 1);
+//!
+//! // Exact-match query for a stored series.
+//! let q = gen.series(7);
+//! let hit = exact_match(&index, &cluster, &q, true).unwrap();
+//! assert_eq!(hit.matches, vec![7]);
+//!
+//! // Approximate 5-NN.
+//! let ans = knn_approximate(&index, &cluster, &q, 5, KnnStrategy::MultiPartition).unwrap();
+//! assert_eq!(ans.neighbors[0].1, 7);
+//! ```
+
+pub use tardis_baseline as baseline;
+pub use tardis_bloom as bloom;
+pub use tardis_cluster as cluster;
+pub use tardis_core as core;
+pub use tardis_data as data;
+pub use tardis_isax as isax;
+pub use tardis_sigtree as sigtree;
+pub use tardis_ts as ts;
+
+/// Everything an application typically needs.
+pub mod prelude {
+    pub use tardis_baseline::{
+        baseline_exact_match, baseline_knn, BaselineConfig, DpisaxIndex, SplitPolicy,
+    };
+    pub use tardis_bloom::BloomFilter;
+    pub use tardis_cluster::{Cluster, ClusterConfig, Dataset, DfsConfig, WorkerPool};
+    pub use tardis_core::{
+        error_ratio, exact_knn, exact_match, ground_truth_knn, knn_approximate, range_query,
+        recall, CoreError, KnnStrategy, TardisConfig, TardisIndex,
+    };
+    pub use tardis_data::{
+        profile_dataset, read_series_file, write_dataset, write_series_file, DnaLike,
+        InMemoryDataset, NoaaLike, QueryKind, QueryWorkload, RandomWalk, SeriesGen, TexmexLike,
+    };
+    pub use tardis_isax::{SaxWord, SigT};
+    pub use tardis_ts::{euclidean, z_normalize, Record, TimeSeries};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile() {
+        use crate::prelude::*;
+        let _c = TardisConfig::default();
+        let _b = BaselineConfig::default();
+        let _ = KnnStrategy::ALL;
+    }
+}

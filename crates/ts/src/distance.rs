@@ -1,0 +1,147 @@
+//! Euclidean distance kernels (Definition 2 of the paper).
+
+use crate::error::TsError;
+use crate::series::TimeSeries;
+
+/// Squared Euclidean distance between two equal-length slices, accumulated
+/// in `f64`.
+///
+/// This is the hot kernel behind every refine step; it is kept panic-free by
+/// truncating to the shorter length, so callers that need strict length
+/// checking should use [`euclidean`].
+#[inline]
+pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance between two series (Definition 2).
+///
+/// # Errors
+/// Returns [`TsError::LengthMismatch`] if the series lengths differ.
+pub fn euclidean(a: &TimeSeries, b: &TimeSeries) -> Result<f64, TsError> {
+    if a.len() != b.len() {
+        return Err(TsError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    Ok(squared_euclidean(a.values(), b.values()).sqrt())
+}
+
+/// Early-abandoning squared Euclidean distance.
+///
+/// Accumulates the squared distance and returns `None` as soon as the
+/// running sum exceeds `threshold_sq` — the classic optimization for kNN
+/// refinement where `threshold_sq` is the squared distance of the current
+/// k-th best candidate. Returns `Some(distance_squared)` when the full
+/// distance is within the threshold.
+#[inline]
+pub fn euclidean_early_abandon(a: &[f32], b: &[f32], threshold_sq: f64) -> Option<f64> {
+    let mut acc = 0.0f64;
+    // Process in strides of 8 so the threshold check does not dominate.
+    let mut chunks_a = a.chunks_exact(8);
+    let mut chunks_b = b.chunks_exact(8);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        for (x, y) in ca.iter().zip(cb.iter()) {
+            let d = *x as f64 - *y as f64;
+            acc += d * d;
+        }
+        if acc > threshold_sq {
+            return None;
+        }
+    }
+    for (x, y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        let d = *x as f64 - *y as f64;
+        acc += d * d;
+    }
+    if acc > threshold_sq {
+        None
+    } else {
+        Some(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_distance_basic() {
+        assert_eq!(squared_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn euclidean_basic() {
+        let a = TimeSeries::new(vec![0.0, 0.0]);
+        let b = TimeSeries::new(vec![3.0, 4.0]);
+        assert_eq!(euclidean(&a, &b).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn euclidean_zero_for_identical() {
+        let a = TimeSeries::new(vec![1.5, -2.0, 0.25]);
+        assert_eq!(euclidean(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn euclidean_length_mismatch() {
+        let a = TimeSeries::new(vec![1.0]);
+        let b = TimeSeries::new(vec![1.0, 2.0]);
+        assert_eq!(
+            euclidean(&a, &b),
+            Err(TsError::LengthMismatch { left: 1, right: 2 })
+        );
+    }
+
+    #[test]
+    fn euclidean_is_symmetric() {
+        let a = TimeSeries::new(vec![1.0, 2.0, 3.0, 4.0]);
+        let b = TimeSeries::new(vec![-1.0, 0.5, 2.0, 8.0]);
+        assert_eq!(euclidean(&a, &b).unwrap(), euclidean(&b, &a).unwrap());
+    }
+
+    #[test]
+    fn early_abandon_within_threshold_matches_full() {
+        let a: Vec<f32> = (0..37).map(|i| i as f32 * 0.1).collect();
+        let b: Vec<f32> = (0..37).map(|i| i as f32 * 0.1 + 0.5).collect();
+        let full = squared_euclidean(&a, &b);
+        let ea = euclidean_early_abandon(&a, &b, full + 1e-9).unwrap();
+        assert!((ea - full).abs() < 1e-9);
+    }
+
+    #[test]
+    fn early_abandon_bails_over_threshold() {
+        let a = vec![0.0f32; 64];
+        let b = vec![10.0f32; 64];
+        assert_eq!(euclidean_early_abandon(&a, &b, 1.0), None);
+    }
+
+    #[test]
+    fn early_abandon_exact_threshold_is_kept() {
+        // Sum exactly equal to the threshold should be kept (not abandoned).
+        let a = vec![0.0f32; 4];
+        let b = vec![1.0f32; 4];
+        assert_eq!(euclidean_early_abandon(&a, &b, 4.0), Some(4.0));
+    }
+
+    #[test]
+    fn early_abandon_handles_remainder_lengths() {
+        // Lengths not divisible by the stride of 8.
+        for len in [1usize, 7, 8, 9, 15, 17] {
+            let a: Vec<f32> = (0..len).map(|i| i as f32).collect();
+            let b: Vec<f32> = (0..len).map(|i| i as f32 + 1.0).collect();
+            let full = squared_euclidean(&a, &b);
+            assert_eq!(
+                euclidean_early_abandon(&a, &b, full),
+                Some(full),
+                "len {len}"
+            );
+        }
+    }
+}

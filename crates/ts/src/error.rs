@@ -1,0 +1,72 @@
+//! Error type for time-series primitive operations.
+
+use std::fmt;
+
+/// Errors produced by time-series primitive operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TsError {
+    /// Two series of different lengths were given to an operation that
+    /// requires equal lengths (e.g. Euclidean distance).
+    LengthMismatch {
+        /// Length of the left operand.
+        left: usize,
+        /// Length of the right operand.
+        right: usize,
+    },
+    /// An operation that requires a non-empty series was given an empty one.
+    EmptySeries,
+    /// A series contained a non-finite value (NaN or infinity).
+    NonFiniteValue {
+        /// Index of the first offending value.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsError::LengthMismatch { left, right } => {
+                write!(f, "series length mismatch: {left} vs {right}")
+            }
+            TsError::EmptySeries => write!(f, "operation requires a non-empty series"),
+            TsError::NonFiniteValue { index } => {
+                write!(f, "series contains a non-finite value at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TsError::LengthMismatch { left: 3, right: 5 };
+        assert_eq!(e.to_string(), "series length mismatch: 3 vs 5");
+    }
+
+    #[test]
+    fn display_empty() {
+        assert_eq!(
+            TsError::EmptySeries.to_string(),
+            "operation requires a non-empty series"
+        );
+    }
+
+    #[test]
+    fn display_non_finite() {
+        assert_eq!(
+            TsError::NonFiniteValue { index: 7 }.to_string(),
+            "series contains a non-finite value at index 7"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<TsError>();
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Time-series primitives shared by every crate in the TARDIS workspace.
+//!
+//! This crate intentionally knows nothing about indexing: it defines the
+//! [`TimeSeries`] and [`Record`] value types, z-normalization, Euclidean
+//! distances (plain, squared, and early-abandoning), and the summary
+//! statistics used to profile dataset skew (Figure 9 of the paper).
+//!
+//! All series values are stored as `f32` (matching the storage format of the
+//! evaluation datasets) while every distance and statistic accumulates in
+//! `f64` for accuracy.
+
+pub mod distance;
+pub mod error;
+pub mod norm;
+pub mod series;
+pub mod stats;
+
+pub use distance::{euclidean, euclidean_early_abandon, squared_euclidean};
+pub use error::TsError;
+pub use norm::{z_normalize, z_normalize_in_place, znorm_params};
+pub use series::{Record, RecordId, TimeSeries};
+pub use stats::{distribution_mse, histogram, skewness, Histogram, SummaryStats};

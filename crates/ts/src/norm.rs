@@ -1,0 +1,119 @@
+//! Z-normalization.
+//!
+//! Every dataset in the paper's evaluation is z-normalized before indexing
+//! (§VI-A): each series is shifted/scaled to mean 0 and standard deviation 1.
+
+use crate::series::TimeSeries;
+
+/// Minimum standard deviation below which a series is treated as constant;
+/// constant series normalize to all zeros (the convention used by the UCR
+/// suite and the iSAX reference implementations).
+pub const STD_EPSILON: f64 = 1e-8;
+
+/// Mean and (population) standard deviation of a series, in `f64`.
+///
+/// Returns `(0.0, 0.0)` for an empty series.
+pub fn znorm_params(values: &[f32]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var = values
+        .iter()
+        .map(|&v| {
+            let d = v as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    (mean, var.sqrt())
+}
+
+/// Z-normalizes a slice in place.
+///
+/// Constant (or near-constant, std < [`STD_EPSILON`]) series become all
+/// zeros rather than dividing by ~0.
+pub fn z_normalize_in_place(values: &mut [f32]) {
+    let (mean, std) = znorm_params(values);
+    if std < STD_EPSILON {
+        values.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    for v in values.iter_mut() {
+        *v = ((*v as f64 - mean) / std) as f32;
+    }
+}
+
+/// Returns a z-normalized copy of the series.
+pub fn z_normalize(ts: &TimeSeries) -> TimeSeries {
+    let mut values = ts.values().to_vec();
+    z_normalize_in_place(&mut values);
+    TimeSeries::new(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn params_of_known_series() {
+        let (mean, std) = znorm_params(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_close(mean, 5.0, 1e-12);
+        assert_close(std, 2.0, 1e-12);
+    }
+
+    #[test]
+    fn params_of_empty() {
+        assert_eq!(znorm_params(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn normalized_has_zero_mean_unit_std() {
+        let mut v: Vec<f32> = (0..100).map(|i| (i as f32).sin() * 3.0 + 7.0).collect();
+        z_normalize_in_place(&mut v);
+        let (mean, std) = znorm_params(&v);
+        assert_close(mean, 0.0, 1e-6);
+        assert_close(std, 1.0, 1e-6);
+    }
+
+    #[test]
+    fn constant_series_becomes_zeros() {
+        let mut v = vec![5.0f32; 10];
+        z_normalize_in_place(&mut v);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn near_constant_series_becomes_zeros() {
+        let mut v = vec![5.0f32; 10];
+        v[0] = 5.0 + 1e-12;
+        z_normalize_in_place(&mut v);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn z_normalize_copies() {
+        let ts = TimeSeries::new(vec![1.0, 2.0, 3.0]);
+        let normed = z_normalize(&ts);
+        // Original untouched.
+        assert_eq!(ts.values(), &[1.0, 2.0, 3.0]);
+        let (mean, _) = znorm_params(normed.values());
+        assert_close(mean, 0.0, 1e-6);
+    }
+
+    #[test]
+    fn normalization_is_idempotent_up_to_f32() {
+        let mut v: Vec<f32> = (0..64).map(|i| ((i * 37) % 11) as f32).collect();
+        z_normalize_in_place(&mut v);
+        let first = v.clone();
+        z_normalize_in_place(&mut v);
+        for (a, b) in first.iter().zip(&v) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

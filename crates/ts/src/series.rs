@@ -1,0 +1,251 @@
+//! Core value types: [`TimeSeries`] and [`Record`].
+
+use crate::error::TsError;
+use std::fmt;
+use std::ops::Index;
+
+/// Identifier of a record within a dataset.
+///
+/// The paper's `(ts, rid)` pairs use an opaque record id; we use a dense
+/// `u64` assigned at generation/ingest time.
+pub type RecordId = u64;
+
+/// An ordered sequence of equally-spaced real-valued readings.
+///
+/// Per Definition 1 of the paper, timestamps are implicit: a series is just
+/// its values. Values are stored as `f32` for storage parity with the
+/// evaluation datasets; all arithmetic on series accumulates in `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    values: Vec<f32>,
+}
+
+impl TimeSeries {
+    /// Creates a series from raw values.
+    pub fn new(values: Vec<f32>) -> Self {
+        TimeSeries { values }
+    }
+
+    /// Creates a series from raw values, validating that it is non-empty and
+    /// contains only finite values.
+    pub fn try_new(values: Vec<f32>) -> Result<Self, TsError> {
+        if values.is_empty() {
+            return Err(TsError::EmptySeries);
+        }
+        if let Some(index) = values.iter().position(|v| !v.is_finite()) {
+            return Err(TsError::NonFiniteValue { index });
+        }
+        Ok(TimeSeries { values })
+    }
+
+    /// Number of readings in the series.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series has no readings.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw values as a slice.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Mutable access to the raw values.
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
+    /// Consumes the series, returning its value buffer.
+    pub fn into_values(self) -> Vec<f32> {
+        self.values
+    }
+
+    /// Iterator over values as `f64` (the accumulation type).
+    pub fn iter_f64(&self) -> impl Iterator<Item = f64> + '_ {
+        self.values.iter().map(|&v| v as f64)
+    }
+
+    /// Returns true if every value in `self` equals the corresponding value
+    /// of `other` bit-for-bit. This is the "exact match" notion used by the
+    /// exact-match query (Euclidean distance zero on f32 storage).
+    pub fn exact_eq(&self, other: &TimeSeries) -> bool {
+        self.values.len() == other.values.len()
+            && self
+                .values
+                .iter()
+                .zip(&other.values)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    /// Heap + inline memory footprint in bytes (used by index-size accounting).
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.values.capacity() * std::mem::size_of::<f32>()
+    }
+}
+
+impl From<Vec<f32>> for TimeSeries {
+    fn from(values: Vec<f32>) -> Self {
+        TimeSeries::new(values)
+    }
+}
+
+impl From<&[f32]> for TimeSeries {
+    fn from(values: &[f32]) -> Self {
+        TimeSeries::new(values.to_vec())
+    }
+}
+
+impl Index<usize> for TimeSeries {
+    type Output = f32;
+
+    fn index(&self, idx: usize) -> &f32 {
+        &self.values[idx]
+    }
+}
+
+impl fmt::Display for TimeSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        const PREVIEW: usize = 8;
+        for (i, v) in self.values.iter().take(PREVIEW).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.3}")?;
+        }
+        if self.values.len() > PREVIEW {
+            write!(f, ", … ({} values)", self.values.len())?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A time series paired with its record id — the `(ts, rid)` unit that flows
+/// through every construction pipeline in the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Dataset-unique record id.
+    pub rid: RecordId,
+    /// The series payload.
+    pub ts: TimeSeries,
+}
+
+impl Record {
+    /// Creates a record.
+    pub fn new(rid: RecordId, ts: TimeSeries) -> Self {
+        Record { rid, ts }
+    }
+
+    /// Series length of the payload.
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    /// Heap + inline memory footprint in bytes.
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<RecordId>() + self.ts.mem_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_new_rejects_empty() {
+        assert_eq!(TimeSeries::try_new(vec![]), Err(TsError::EmptySeries));
+    }
+
+    #[test]
+    fn try_new_rejects_nan() {
+        assert_eq!(
+            TimeSeries::try_new(vec![1.0, f32::NAN, 2.0]),
+            Err(TsError::NonFiniteValue { index: 1 })
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_infinity() {
+        assert_eq!(
+            TimeSeries::try_new(vec![f32::INFINITY]),
+            Err(TsError::NonFiniteValue { index: 0 })
+        );
+    }
+
+    #[test]
+    fn try_new_accepts_finite() {
+        let ts = TimeSeries::try_new(vec![1.0, -2.5, 3.25]).unwrap();
+        assert_eq!(ts.len(), 3);
+        assert!(!ts.is_empty());
+    }
+
+    #[test]
+    fn exact_eq_matches_identical() {
+        let a = TimeSeries::new(vec![1.0, 2.0, 3.0]);
+        let b = TimeSeries::new(vec![1.0, 2.0, 3.0]);
+        assert!(a.exact_eq(&b));
+    }
+
+    #[test]
+    fn exact_eq_rejects_different_value() {
+        let a = TimeSeries::new(vec![1.0, 2.0, 3.0]);
+        let b = TimeSeries::new(vec![1.0, 2.0, 3.0 + f32::EPSILON * 4.0]);
+        assert!(!a.exact_eq(&b));
+    }
+
+    #[test]
+    fn exact_eq_rejects_different_length() {
+        let a = TimeSeries::new(vec![1.0, 2.0]);
+        let b = TimeSeries::new(vec![1.0, 2.0, 3.0]);
+        assert!(!a.exact_eq(&b));
+    }
+
+    #[test]
+    fn exact_eq_distinguishes_zero_signs() {
+        // ED would be 0 but bitwise equality distinguishes -0.0 from +0.0; the
+        // dedup example relies on bitwise semantics being at least as strict.
+        let a = TimeSeries::new(vec![0.0]);
+        let b = TimeSeries::new(vec![-0.0]);
+        assert!(!a.exact_eq(&b));
+    }
+
+    #[test]
+    fn indexing_and_iter_f64() {
+        let ts = TimeSeries::new(vec![1.5, 2.5]);
+        assert_eq!(ts[1], 2.5);
+        let collected: Vec<f64> = ts.iter_f64().collect();
+        assert_eq!(collected, vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn display_truncates_long_series() {
+        let ts = TimeSeries::new((0..20).map(|i| i as f32).collect());
+        let s = ts.to_string();
+        assert!(s.contains("… (20 values)"), "got {s}");
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let r = Record::new(42, TimeSeries::new(vec![1.0, 2.0]));
+        assert_eq!(r.rid, 42);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert!(r.mem_bytes() >= 8 + 2 * 4);
+    }
+
+    #[test]
+    fn from_slice_and_vec() {
+        let v = vec![1.0f32, 2.0];
+        let a = TimeSeries::from(v.clone());
+        let b = TimeSeries::from(v.as_slice());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,371 @@
+//! Summary statistics and value-frequency histograms.
+//!
+//! These back the dataset-distribution profiling of Figure 9 (the datasets
+//! are "chosen to cover a wide range of skewness with respect to the values'
+//! occurrence frequencies") and the partition-size MSE metric of Figure 17c.
+
+/// Streaming summary statistics over `f64` observations: count, mean,
+/// variance (population), min, max, and third central moment for skewness.
+#[derive(Debug, Clone, Default)]
+pub struct SummaryStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    min: f64,
+    max: f64,
+}
+
+impl SummaryStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        SummaryStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a single observation (Welford/Terriberry update).
+    pub fn push(&mut self, x: f64) {
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds every value of a slice.
+    pub fn extend_from_slice(&mut self, xs: &[f32]) {
+        for &x in xs {
+            self.push(x as f64);
+        }
+    }
+
+    /// Merges another accumulator into this one (order-insensitive).
+    pub fn merge(&mut self, other: &SummaryStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let na = self.n as f64;
+        let nb = other.n as f64;
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * nb / n;
+        let m2 = self.m2 + other.m2 + delta * delta * na * nb / n;
+        let m3 = self.m3
+            + other.m3
+            + delta.powi(3) * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0 if empty.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Population skewness (g1), or 0 for degenerate distributions.
+    pub fn skewness(&self) -> f64 {
+        if self.n == 0 || self.m2 <= 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        (self.m3 / n) / (self.m2 / n).powf(1.5)
+    }
+
+    /// Minimum observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Convenience: population skewness of a slice.
+pub fn skewness(xs: &[f32]) -> f64 {
+    let mut s = SummaryStats::new();
+    s.extend_from_slice(xs);
+    s.skewness()
+}
+
+/// A fixed-width histogram over a value range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Observations below `lo`.
+    pub underflow: u64,
+    /// Observations at or above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (x - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Merges a compatible histogram (same range and bin count).
+    ///
+    /// # Panics
+    /// Panics if the histograms are not compatible.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo, other.lo, "histogram lo mismatch");
+        assert_eq!(self.hi, other.hi, "histogram hi mismatch");
+        assert_eq!(self.counts.len(), other.counts.len(), "bin count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Center value of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + width * (i as f64 + 0.5)
+    }
+
+    /// Normalized per-bin frequencies (each in `[0,1]`, ignoring
+    /// under/overflow). Empty histogram yields zeros.
+    pub fn frequencies(&self) -> Vec<f64> {
+        let total = self.counts.iter().sum::<u64>();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+}
+
+/// Builds a histogram of a slice over `[lo, hi)`.
+pub fn histogram(xs: &[f32], lo: f64, hi: f64, bins: usize) -> Histogram {
+    let mut h = Histogram::new(lo, hi, bins);
+    for &x in xs {
+        h.push(x as f64);
+    }
+    h
+}
+
+/// Mean squared error between two equal-length probability vectors — the
+/// paper's Figure 17(c) metric over partition-size distributions.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn distribution_mse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distribution length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn summary_of_known_values() {
+        let mut s = SummaryStats::new();
+        s.extend_from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert_close(s.mean(), 5.0, 1e-12);
+        assert_close(s.std_dev(), 2.0, 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroish() {
+        let s = SummaryStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.skewness(), 0.0);
+    }
+
+    #[test]
+    fn skewness_sign() {
+        // Right-skewed data has positive skewness.
+        let right: Vec<f32> = vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 10.0];
+        assert!(skewness(&right) > 0.5);
+        // Symmetric data has near-zero skewness.
+        let sym: Vec<f32> = vec![-2.0, -1.0, 0.0, 1.0, 2.0];
+        assert!(skewness(&sym).abs() < 1e-9);
+        // Left-skewed is negative.
+        let left: Vec<f32> = right.iter().map(|v| -v).collect();
+        assert!(skewness(&left) < -0.5);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f32> = (0..50).map(|i| ((i * 31) % 17) as f32).collect();
+        let mut whole = SummaryStats::new();
+        whole.extend_from_slice(&xs);
+        let mut a = SummaryStats::new();
+        a.extend_from_slice(&xs[..20]);
+        let mut b = SummaryStats::new();
+        b.extend_from_slice(&xs[20..]);
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_close(a.mean(), whole.mean(), 1e-9);
+        assert_close(a.variance(), whole.variance(), 1e-9);
+        assert_close(a.skewness(), whole.skewness(), 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_sides() {
+        let mut a = SummaryStats::new();
+        let mut b = SummaryStats::new();
+        b.push(3.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let empty = SummaryStats::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let h = histogram(&[0.0, 0.5, 0.99, 1.0, -0.1, 2.5], 0.0, 2.0, 4);
+        assert_eq!(h.counts(), &[1, 2, 1, 0]);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn histogram_bin_centers() {
+        let h = Histogram::new(0.0, 4.0, 4);
+        assert_eq!(h.bin_center(0), 0.5);
+        assert_eq!(h.bin_center(3), 3.5);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = histogram(&[0.1, 0.2], 0.0, 1.0, 2);
+        let b = histogram(&[0.7], 0.0, 1.0, 2);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin count mismatch")]
+    fn histogram_merge_incompatible_panics() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        let b = Histogram::new(0.0, 1.0, 3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let h = histogram(&[0.1, 0.3, 0.6, 0.9], 0.0, 1.0, 4);
+        let f = h.frequencies();
+        assert_close(f.iter().sum::<f64>(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn frequencies_of_empty_are_zero() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.frequencies(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(distribution_mse(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert_close(distribution_mse(&[1.0, 0.0], &[0.0, 1.0]), 1.0, 1e-12);
+    }
+}

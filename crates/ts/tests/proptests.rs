@@ -1,0 +1,93 @@
+//! Property-based tests for the time-series primitives.
+
+use proptest::prelude::*;
+use tardis_ts::{
+    euclidean_early_abandon, squared_euclidean, z_normalize_in_place, znorm_params, SummaryStats,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn znorm_produces_zero_mean_unit_std(
+        mut values in prop::collection::vec(-1000.0f32..1000.0, 2..300),
+    ) {
+        // Skip (near-)constant inputs: they normalize to all zeros.
+        let (_, std) = znorm_params(&values);
+        prop_assume!(std > 1e-3);
+        z_normalize_in_place(&mut values);
+        let (mean, std) = znorm_params(&values);
+        prop_assert!(mean.abs() < 1e-3, "mean {}", mean);
+        prop_assert!((std - 1.0).abs() < 1e-3, "std {}", std);
+    }
+
+    #[test]
+    fn znorm_is_shift_and_scale_invariant(
+        base in prop::collection::vec(-10.0f32..10.0, 4..100),
+        shift in -100.0f32..100.0,
+        scale in 0.1f32..50.0,
+    ) {
+        let (_, std) = znorm_params(&base);
+        prop_assume!(std > 1e-2);
+        let mut a = base.clone();
+        let mut b: Vec<f32> = base.iter().map(|&v| v * scale + shift).collect();
+        z_normalize_in_place(&mut a);
+        z_normalize_in_place(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-2, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn distance_axioms(
+        a in prop::collection::vec(-10.0f32..10.0, 16),
+        b in prop::collection::vec(-10.0f32..10.0, 16),
+        c in prop::collection::vec(-10.0f32..10.0, 16),
+    ) {
+        let dab = squared_euclidean(&a, &b).sqrt();
+        let dba = squared_euclidean(&b, &a).sqrt();
+        let dac = squared_euclidean(&a, &c).sqrt();
+        let dcb = squared_euclidean(&c, &b).sqrt();
+        // Symmetry, identity, triangle inequality.
+        prop_assert!((dab - dba).abs() < 1e-9);
+        prop_assert_eq!(squared_euclidean(&a, &a), 0.0);
+        prop_assert!(dab <= dac + dcb + 1e-6);
+    }
+
+    #[test]
+    fn early_abandon_agrees_with_full(
+        a in prop::collection::vec(-5.0f32..5.0, 1..64),
+        b_seed in prop::collection::vec(-5.0f32..5.0, 64),
+        threshold in 0.0f64..500.0,
+    ) {
+        let b = &b_seed[..a.len()];
+        let full = squared_euclidean(&a, b);
+        match euclidean_early_abandon(&a, b, threshold) {
+            Some(d) => {
+                prop_assert!((d - full).abs() < 1e-9);
+                prop_assert!(full <= threshold + 1e-9);
+            }
+            None => prop_assert!(full > threshold),
+        }
+    }
+
+    #[test]
+    fn summary_merge_is_associative_enough(
+        xs in prop::collection::vec(-100.0f32..100.0, 3..200),
+        split in 1usize..100,
+    ) {
+        let split = split.min(xs.len() - 1);
+        let mut whole = SummaryStats::new();
+        whole.extend_from_slice(&xs);
+        let mut left = SummaryStats::new();
+        left.extend_from_slice(&xs[..split]);
+        let mut right = SummaryStats::new();
+        right.extend_from_slice(&xs[split..]);
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-4);
+        prop_assert_eq!(left.min(), whole.min());
+        prop_assert_eq!(left.max(), whole.max());
+    }
+}

@@ -1,0 +1,94 @@
+//! Image-descriptor similarity search: TARDIS vs the DPiSAX baseline.
+//!
+//! The paper's Texmex corpus is one billion SIFT descriptors; similarity
+//! search over descriptors powers near-duplicate image detection. This
+//! example indexes a Texmex-like corpus with *both* systems on the same
+//! cluster substrate and compares construction cost and kNN accuracy —
+//! a miniature of the paper's headline comparison.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example image_search
+//! ```
+
+use tardis::prelude::*;
+
+fn main() {
+    let cluster = Cluster::new(ClusterConfig::default()).expect("cluster");
+
+    // 15,000 SIFT-like descriptors of length 128 from 48 latent clusters.
+    let gen = TexmexLike::with_clusters(21, 48);
+    let n: u64 = 15_000;
+    write_dataset(&cluster, "texmex", &gen, n, 1_000).expect("write dataset");
+
+    // --- TARDIS (initial cardinality 64) ---
+    let t_config = TardisConfig {
+        g_max_size: 2_000,
+        l_max_size: 200,
+        pth: 8,
+        ..TardisConfig::default()
+    };
+    let (tardis_idx, t_report) = TardisIndex::build(&cluster, "texmex", &t_config).expect("tardis");
+    println!(
+        "TARDIS  : built in {:?} ({} partitions, global index {:.1} KB)",
+        t_report.total_time(),
+        t_report.n_partitions,
+        t_report.global_index_bytes as f64 / 1024.0
+    );
+
+    // --- DPiSAX baseline (initial cardinality 512) ---
+    let b_config = BaselineConfig {
+        g_max_size: 2_000,
+        l_max_size: 200,
+        ..BaselineConfig::default()
+    };
+    let (baseline_idx, b_report) =
+        DpisaxIndex::build(&cluster, "texmex", &b_config).expect("baseline");
+    println!(
+        "Baseline: built in {:?} ({} partitions, partition table {:.1} KB)",
+        b_report.total_time(),
+        b_report.n_partitions,
+        b_report.global_index_bytes as f64 / 1024.0
+    );
+    println!(
+        "construction speedup: {:.2}x\n",
+        b_report.total_time().as_secs_f64() / t_report.total_time().as_secs_f64()
+    );
+
+    // --- Accuracy shoot-out: k = 100 over 10 member queries. ---
+    let workload = QueryWorkload::existing(&gen, n, 10, 31);
+    let k = 100;
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    let mut base = (0.0f64, 0.0f64);
+    for (q, _) in &workload.queries {
+        let truth = ground_truth_knn(&cluster, "texmex", q, k).expect("truth");
+        let b = baseline_knn(&baseline_idx, &cluster, q, k).expect("baseline knn");
+        base.0 += recall(&b.neighbors, &truth);
+        base.1 += error_ratio(&b.neighbors, &truth);
+    }
+    rows.push((
+        "DPiSAX baseline".into(),
+        base.0 / workload.len() as f64,
+        base.1 / workload.len() as f64,
+    ));
+    for strategy in KnnStrategy::ALL {
+        let mut acc = (0.0f64, 0.0f64);
+        for (q, _) in &workload.queries {
+            let truth = ground_truth_knn(&cluster, "texmex", q, k).expect("truth");
+            let ans = knn_approximate(&tardis_idx, &cluster, q, k, strategy).expect("knn");
+            acc.0 += recall(&ans.neighbors, &truth);
+            acc.1 += error_ratio(&ans.neighbors, &truth);
+        }
+        rows.push((
+            format!("TARDIS {}", strategy.name()),
+            acc.0 / workload.len() as f64,
+            acc.1 / workload.len() as f64,
+        ));
+    }
+
+    println!("k = {k} accuracy over {} queries:", workload.len());
+    println!("  {:<38} {:>8} {:>12}", "system", "recall", "error ratio");
+    for (name, r, er) in rows {
+        println!("  {:<38} {:>7.1}% {:>12.3}", name, r * 100.0, er);
+    }
+}

@@ -1,0 +1,93 @@
+//! Quickstart: build a TARDIS index over a RandomWalk dataset, run an
+//! exact-match query and a kNN-approximate query, and print what
+//! happened.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tardis::prelude::*;
+
+fn main() {
+    // 1. A simulated cluster: worker pool + block DFS in a temp dir.
+    let cluster = Cluster::new(ClusterConfig::default()).expect("cluster");
+    println!(
+        "cluster up: {} workers, DFS at {}",
+        cluster.pool().n_workers(),
+        cluster.dfs().root().display()
+    );
+
+    // 2. Generate and store 20,000 RandomWalk series of length 256 (the
+    //    paper's benchmark generator at laptop scale).
+    let gen = RandomWalk::new(7);
+    let n: u64 = 20_000;
+    let layout = write_dataset(&cluster, "randomwalk", &gen, n, 1_000).expect("write dataset");
+    println!(
+        "dataset: {} series x {} points in {} blocks",
+        layout.n_records,
+        gen.series_len(),
+        layout.n_blocks
+    );
+
+    // 3. Build the index (Table II defaults; partition capacity scaled to
+    //    the dataset).
+    let config = TardisConfig {
+        g_max_size: 2_000,
+        l_max_size: 200,
+        ..TardisConfig::default()
+    };
+    let (index, report) = TardisIndex::build(&cluster, "randomwalk", &config).expect("build");
+    println!(
+        "index built in {:?}: {} partitions, global {:.1} KB, locals {:.1} KB, blooms {:.1} KB",
+        report.total_time(),
+        report.n_partitions,
+        report.global_index_bytes as f64 / 1024.0,
+        report.local_index_bytes as f64 / 1024.0,
+        report.bloom_bytes as f64 / 1024.0,
+    );
+
+    // 4. Exact-match: one stored series, one absent series.
+    let member = gen.series(123);
+    let hit = exact_match(&index, &cluster, &member, true).expect("query");
+    println!("exact match for record 123 -> rids {:?}", hit.matches);
+
+    let absent = gen.series(n + 5); // same distribution, never stored
+    let miss = exact_match(&index, &cluster, &absent, true).expect("query");
+    println!(
+        "exact match for an absent series -> {} matches (bloom rejected: {}, partitions loaded: {})",
+        miss.matches.len(),
+        miss.bloom_rejected,
+        miss.partitions_loaded
+    );
+
+    // 5. Approximate 10-NN with each strategy; compare against the exact
+    //    answer computed by brute force.
+    let query = gen.series(4_321);
+    let truth = ground_truth_knn(&cluster, "randomwalk", &query, 10).expect("ground truth");
+    println!("\n10-NN for record 4321 (ground truth dist range {:.3}..{:.3}):",
+        truth.first().map(|n| n.distance).unwrap_or(0.0),
+        truth.last().map(|n| n.distance).unwrap_or(0.0));
+    for strategy in KnnStrategy::ALL {
+        let ans = knn_approximate(&index, &cluster, &query, 10, strategy).expect("knn");
+        let r = recall(&ans.neighbors, &truth);
+        let er = error_ratio(&ans.neighbors, &truth);
+        println!(
+            "  {:<24} recall {:>5.1}%  error ratio {:.3}  partitions loaded {}",
+            strategy.name(),
+            r * 100.0,
+            er,
+            ans.partitions_loaded
+        );
+    }
+
+    // 6. Cluster-level I/O accounting for the whole session.
+    let m = cluster.metrics().snapshot();
+    println!(
+        "\nI/O totals: {} blocks read ({:.1} MB), {} blocks written, {} records shuffled",
+        m.blocks_read,
+        m.bytes_read as f64 / (1024.0 * 1024.0),
+        m.blocks_written,
+        m.shuffled_records
+    );
+}

@@ -1,0 +1,68 @@
+//! Sensor-analytics scenario: approximate kNN over station weather data.
+//!
+//! The paper's NOAA dataset motivates this workload: given one station's
+//! temperature window, find the k most similar windows network-wide —
+//! the primitive behind climate-analog search, anomaly triage, and
+//! station quality control. Exact kNN over the whole network is a full
+//! scan; TARDIS answers approximately from a few partitions.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example seismic_knn
+//! ```
+
+use tardis::prelude::*;
+
+fn main() {
+    let cluster = Cluster::new(ClusterConfig::default()).expect("cluster");
+
+    // A NOAA-like network: 30,000 windows of length 64 from 2,000
+    // synthetic stations (seasonal cycle + station baseline + AR noise).
+    let gen = NoaaLike::with_stations(11, 2_000);
+    let n: u64 = 30_000;
+    write_dataset(&cluster, "noaa", &gen, n, 1_500).expect("write dataset");
+
+    let config = TardisConfig {
+        g_max_size: 3_000,
+        l_max_size: 250,
+        pth: 8,
+        ..TardisConfig::default()
+    };
+    let (index, report) = TardisIndex::build(&cluster, "noaa", &config).expect("build");
+    println!(
+        "indexed {} windows into {} partitions in {:?}",
+        report.n_records, report.n_partitions, report.total_time()
+    );
+
+    // Evaluate 10 queries at k = 50 with all three strategies against the
+    // exact answer, reproducing the paper's accuracy ordering.
+    let workload = QueryWorkload::existing(&gen, n, 10, 99);
+    let k = 50;
+    let mut sums = [(0.0f64, 0.0f64); 3];
+    for (q, _) in &workload.queries {
+        let truth = ground_truth_knn(&cluster, "noaa", q, k).expect("truth");
+        for (i, strategy) in KnnStrategy::ALL.iter().enumerate() {
+            let ans = knn_approximate(&index, &cluster, q, k, *strategy).expect("knn");
+            sums[i].0 += recall(&ans.neighbors, &truth);
+            sums[i].1 += error_ratio(&ans.neighbors, &truth);
+        }
+    }
+    println!("\nmean over {} queries, k = {k}:", workload.len());
+    for (i, strategy) in KnnStrategy::ALL.iter().enumerate() {
+        println!(
+            "  {:<24} recall {:>5.1}%  error ratio {:.3}",
+            strategy.name(),
+            sums[i].0 / workload.len() as f64 * 100.0,
+            sums[i].1 / workload.len() as f64
+        );
+    }
+
+    // Show one concrete analog search: the nearest non-self neighbors.
+    let q = gen.series(17);
+    let ans =
+        knn_approximate(&index, &cluster, &q, 6, KnnStrategy::MultiPartition).expect("knn");
+    println!("\nclosest analogs of window 17:");
+    for (d, rid) in ans.neighbors.iter().filter(|(_, rid)| *rid != 17) {
+        println!("  window {rid:>6}  distance {d:.4}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Thread-safety: one built index serves concurrent queries from many
+//! threads with consistent answers (the master serves many clients in a
+//! deployment).
+
+use std::sync::Arc;
+use tardis::prelude::*;
+
+#[test]
+fn concurrent_queries_agree_with_sequential() {
+    let cluster = Arc::new(
+        Cluster::new(ClusterConfig {
+            n_workers: 2,
+            ..ClusterConfig::default()
+        })
+        .unwrap(),
+    );
+    let gen = RandomWalk::with_len(17, 64);
+    write_dataset(&cluster, "ds", &gen, 2_000, 200).unwrap();
+    let config = TardisConfig {
+        g_max_size: 400,
+        l_max_size: 60,
+        sampling_fraction: 0.5,
+        ..TardisConfig::default()
+    };
+    let (index, _) = TardisIndex::build(&cluster, "ds", &config).unwrap();
+    let index = Arc::new(index);
+
+    // Reference answers computed sequentially.
+    let rids: Vec<u64> = (0..32).map(|i| i * 61).collect();
+    let reference: Vec<Vec<(f64, u64)>> = rids
+        .iter()
+        .map(|&rid| {
+            knn_approximate(
+                &index,
+                &cluster,
+                &gen.series(rid),
+                5,
+                KnnStrategy::OnePartition,
+            )
+            .unwrap()
+            .neighbors
+        })
+        .collect();
+
+    // Hammer the same queries from 8 threads.
+    let mut handles = Vec::new();
+    for t in 0..8usize {
+        let index = Arc::clone(&index);
+        let cluster = Arc::clone(&cluster);
+        let rids = rids.clone();
+        let reference = reference.clone();
+        let gen = gen.clone();
+        handles.push(std::thread::spawn(move || {
+            for (i, &rid) in rids.iter().enumerate().skip(t % 4) {
+                let ans = knn_approximate(
+                    &index,
+                    &cluster,
+                    &gen.series(rid),
+                    5,
+                    KnnStrategy::OnePartition,
+                )
+                .unwrap();
+                assert_eq!(ans.neighbors, reference[i], "thread {t} rid {rid}");
+                // Exact match concurrently, too.
+                let hit = exact_match(&index, &cluster, &gen.series(rid), true).unwrap();
+                assert_eq!(hit.matches, vec![rid]);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn concurrent_queries_with_cache_stay_consistent() {
+    let cluster = Arc::new(
+        Cluster::new(ClusterConfig {
+            n_workers: 2,
+            dfs: DfsConfig {
+                cache_bytes: 8 << 20,
+                ..DfsConfig::default()
+            },
+        })
+        .unwrap(),
+    );
+    let gen = NoaaLike::with_stations(7, 200);
+    write_dataset(&cluster, "ds", &gen, 1_500, 150).unwrap();
+    let config = TardisConfig {
+        g_max_size: 300,
+        l_max_size: 50,
+        sampling_fraction: 0.5,
+        ..TardisConfig::default()
+    };
+    let (index, _) = TardisIndex::build(&cluster, "ds", &config).unwrap();
+    let index = Arc::new(index);
+
+    let mut handles = Vec::new();
+    for t in 0..6u64 {
+        let index = Arc::clone(&index);
+        let cluster = Arc::clone(&cluster);
+        let gen = gen.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..20u64 {
+                let rid = (t * 37 + i * 13) % 1_500;
+                let hit = exact_match(&index, &cluster, &gen.series(rid), true).unwrap();
+                assert_eq!(hit.matches, vec![rid], "thread {t} rid {rid}");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // The cache saw traffic.
+    assert!(cluster.metrics().snapshot().cache_hits > 0);
+}

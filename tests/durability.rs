@@ -1,0 +1,190 @@
+//! Storage-layer integration: clustered layout on disk, Bloom filter
+//! persistence, partition reload fidelity, and metrics accounting.
+
+use tardis::prelude::*;
+use tardis_cluster::decode_records;
+use tardis_core::Entry;
+
+fn cluster() -> Cluster {
+    Cluster::new(ClusterConfig {
+        n_workers: 4,
+        ..ClusterConfig::default()
+    })
+    .unwrap()
+}
+
+fn config() -> TardisConfig {
+    TardisConfig {
+        g_max_size: 500,
+        l_max_size: 80,
+        sampling_fraction: 0.5,
+        ..TardisConfig::default()
+    }
+}
+
+#[test]
+fn partition_files_hold_every_record_exactly_once() {
+    let c = cluster();
+    let gen = RandomWalk::with_len(3, 64);
+    write_dataset(&c, "ds", &gen, 2_000, 200).unwrap();
+    let (index, _) = TardisIndex::build(&c, "ds", &config()).unwrap();
+
+    let mut seen = std::collections::HashSet::new();
+    for meta in index.partitions() {
+        for block in c.dfs().list_blocks(&meta.file).unwrap() {
+            let bytes = c.dfs().read_block(&block).unwrap();
+            for entry in decode_records::<Entry>(&bytes).unwrap() {
+                let rid = entry.rid();
+                assert!(seen.insert(rid), "rid {rid} stored twice");
+                // Stored series identical to the generated one, and the
+                // stored signature matches a fresh conversion.
+                assert!(entry.record.ts.exact_eq(&gen.series(rid)));
+                let conv = index.global().converter();
+                assert_eq!(entry.sig, conv.sig_of(&entry.record.ts).unwrap());
+            }
+        }
+    }
+    assert_eq!(seen.len(), 2_000);
+}
+
+#[test]
+fn clustered_partitions_group_similar_series() {
+    // The point of clustering: consecutive records in a partition file
+    // share signature prefixes much more often than random pairs do.
+    let c = cluster();
+    let gen = RandomWalk::with_len(8, 64);
+    write_dataset(&c, "ds", &gen, 3_000, 300).unwrap();
+    let cfg = config();
+    let (index, _) = TardisIndex::build(&c, "ds", &cfg).unwrap();
+
+    let mut adjacent_same_prefix = 0usize;
+    let mut adjacent_total = 0usize;
+    for meta in index.partitions().iter().take(3) {
+        let mut sigs = Vec::new();
+        for block in c.dfs().list_blocks(&meta.file).unwrap() {
+            let bytes = c.dfs().read_block(&block).unwrap();
+            for entry in decode_records::<Entry>(&bytes).unwrap() {
+                sigs.push(entry.sig);
+            }
+        }
+        for w in sigs.windows(2) {
+            adjacent_total += 1;
+            if w[0].drop_right(2).unwrap() == w[1].drop_right(2).unwrap() {
+                adjacent_same_prefix += 1;
+            }
+        }
+    }
+    assert!(adjacent_total > 0);
+    let rate = adjacent_same_prefix as f64 / adjacent_total as f64;
+    assert!(rate > 0.5, "adjacent 2-bit-prefix share rate {rate}");
+}
+
+#[test]
+fn bloom_filter_roundtrips_through_dfs() {
+    let c = cluster();
+    let gen = RandomWalk::with_len(5, 64);
+    write_dataset(&c, "ds", &gen, 1_000, 100).unwrap();
+    let (index, report) = TardisIndex::build(&c, "ds", &config()).unwrap();
+    assert!(report.bloom_bytes > 0);
+    // Every partition has a persisted, loadable Bloom filter.
+    for meta in index.partitions() {
+        let blocks = c.dfs().list_blocks(&meta.bloom_file).unwrap();
+        assert_eq!(blocks.len(), 1, "bloom is a single small block");
+        let bytes = c.dfs().read_block(&blocks[0]).unwrap();
+        let filter = BloomFilter::from_bytes(&bytes).expect("valid filter");
+        assert_eq!(filter.items() as u64, meta.n_records);
+    }
+}
+
+#[test]
+fn reloaded_partition_equals_built_partition() {
+    let c = cluster();
+    let gen = NoaaLike::with_stations(4, 300);
+    write_dataset(&c, "ds", &gen, 1_200, 150).unwrap();
+    let (index, _) = TardisIndex::build(&c, "ds", &config()).unwrap();
+    for pid in 0..index.n_partitions() as u32 {
+        let local = index.load_partition(&c, pid).unwrap();
+        assert_eq!(
+            local.len() as u64,
+            index.partitions()[pid as usize].n_records,
+            "pid {pid}"
+        );
+        local.tree().check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn metrics_reflect_build_io() {
+    let c = cluster();
+    let gen = RandomWalk::with_len(6, 64);
+    write_dataset(&c, "ds", &gen, 1_000, 100).unwrap();
+    let before = c.metrics().snapshot();
+    let (_index, report) = TardisIndex::build(&c, "ds", &config()).unwrap();
+    let delta = c.metrics().snapshot().delta_since(&before);
+    // Sampling reads + full read → more block reads than dataset blocks.
+    assert!(delta.blocks_read >= 10, "blocks read {}", delta.blocks_read);
+    // Every record flowed through the shuffle once.
+    assert!(delta.shuffled_records >= 1_000);
+    // Partitions + blooms were written.
+    assert!(delta.blocks_written as usize >= report.n_partitions * 2);
+    // The global index was broadcast.
+    assert!(delta.broadcast_bytes > 0);
+}
+
+#[test]
+fn queries_benefit_from_partition_caching() {
+    // End-to-end: a repeated kNN query against one index is served from
+    // the DFS block cache on the second pass.
+    let c = Cluster::new(ClusterConfig {
+        n_workers: 2,
+        dfs: DfsConfig {
+            cache_bytes: 64 << 20,
+            ..DfsConfig::default()
+        },
+    })
+    .unwrap();
+    let gen = RandomWalk::with_len(3, 64);
+    write_dataset(&c, "ds", &gen, 2_000, 200).unwrap();
+    let (index, _) = TardisIndex::build(&c, "ds", &config()).unwrap();
+
+    let q = gen.series(100);
+    knn_approximate(&index, &c, &q, 10, KnnStrategy::OnePartition).unwrap();
+    let before = c.metrics().snapshot();
+    knn_approximate(&index, &c, &q, 10, KnnStrategy::OnePartition).unwrap();
+    let delta = c.metrics().snapshot().delta_since(&before);
+    assert!(delta.cache_hits > 0, "second query should hit the cache");
+    assert_eq!(delta.blocks_read, 0, "no disk reads on the warm query");
+}
+
+#[test]
+fn read_latency_makes_bloom_savings_visible() {
+    // With a simulated per-block read latency, the Bloom path is
+    // measurably faster for absent queries (Figure 14's mechanism).
+    let c = Cluster::new(ClusterConfig {
+        n_workers: 4,
+        dfs: DfsConfig {
+            read_latency: std::time::Duration::from_millis(3),
+            ..DfsConfig::default()
+        },
+    })
+    .unwrap();
+    let gen = RandomWalk::with_len(2, 64);
+    write_dataset(&c, "ds", &gen, 1_500, 150).unwrap();
+    let (index, _) = TardisIndex::build(&c, "ds", &config()).unwrap();
+
+    let absent: Vec<TimeSeries> = (0..20).map(|i| gen.series(50_000 + i)).collect();
+    let time = |use_bloom: bool| {
+        let t0 = std::time::Instant::now();
+        for q in &absent {
+            let out = exact_match(&index, &c, q, use_bloom).unwrap();
+            assert!(out.matches.is_empty());
+        }
+        t0.elapsed()
+    };
+    let with_bloom = time(true);
+    let without = time(false);
+    assert!(
+        with_bloom < without,
+        "bloom {with_bloom:?} not faster than no-bloom {without:?}"
+    );
+}

@@ -1,0 +1,183 @@
+//! End-to-end integration: generate → store → index → query, on every
+//! dataset family.
+
+use tardis::prelude::*;
+
+fn small_cluster() -> Cluster {
+    Cluster::new(ClusterConfig {
+        n_workers: 4,
+        ..ClusterConfig::default()
+    })
+    .unwrap()
+}
+
+fn small_config() -> TardisConfig {
+    TardisConfig {
+        g_max_size: 600,
+        l_max_size: 100,
+        sampling_fraction: 0.4,
+        pth: 6,
+        ..TardisConfig::default()
+    }
+}
+
+/// Builds an index over `n` records of `gen` and validates exact match
+/// plus kNN sanity on it.
+fn exercise(gen: &dyn SeriesGen, n: u64) {
+    let cluster = small_cluster();
+    write_dataset(&cluster, "ds", gen, n, 250).unwrap();
+    let (index, report) = TardisIndex::build(&cluster, "ds", &small_config()).unwrap();
+    assert_eq!(report.n_records, n);
+    let stored: u64 = index.partitions().iter().map(|p| p.n_records).sum();
+    assert_eq!(stored, n, "clustered layout holds every record once");
+
+    // Exact match: members found, absents rejected.
+    for rid in [0u64, n / 2, n - 1] {
+        let q = gen.series(rid);
+        let out = exact_match(&index, &cluster, &q, true).unwrap();
+        assert_eq!(out.matches, vec![rid], "{} rid {rid}", gen.name());
+    }
+    for rid in [n + 1, n + 77] {
+        let q = gen.series(rid);
+        let out = exact_match(&index, &cluster, &q, true).unwrap();
+        assert!(out.matches.is_empty(), "{} absent rid {rid}", gen.name());
+    }
+
+    // kNN: member query finds itself; distances sorted; k respected.
+    let q = gen.series(n / 3);
+    for strategy in KnnStrategy::ALL {
+        let ans = knn_approximate(&index, &cluster, &q, 10, strategy).unwrap();
+        assert!(!ans.neighbors.is_empty(), "{:?}", strategy);
+        assert_eq!(ans.neighbors[0].1, n / 3, "{:?} self-hit", strategy);
+        assert!(ans.neighbors.len() <= 10);
+        for w in ans.neighbors.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+}
+
+#[test]
+fn randomwalk_end_to_end() {
+    exercise(&RandomWalk::with_len(1, 128), 3_000);
+}
+
+#[test]
+fn texmex_end_to_end() {
+    exercise(&TexmexLike::new(2), 3_000);
+}
+
+#[test]
+fn dna_end_to_end() {
+    exercise(&DnaLike::new(3), 3_000);
+}
+
+#[test]
+fn noaa_end_to_end() {
+    exercise(&NoaaLike::new(4), 3_000);
+}
+
+#[test]
+fn unclustered_layout_end_to_end() {
+    let cluster = small_cluster();
+    let gen = RandomWalk::with_len(9, 64);
+    write_dataset(&cluster, "ds", &gen, 2_000, 200).unwrap();
+    let config = TardisConfig {
+        clustered: false,
+        ..small_config()
+    };
+    let (index, report) = TardisIndex::build(&cluster, "ds", &config).unwrap();
+    assert_eq!(report.n_records, 2_000);
+    // Exact match still works: the un-clustered layout fetches raw series
+    // from the original dataset file.
+    for rid in [0u64, 999, 1_999] {
+        let q = gen.series(rid);
+        let out = exact_match(&index, &cluster, &q, true).unwrap();
+        assert_eq!(out.matches, vec![rid]);
+    }
+    // And kNN self-hit.
+    let q = gen.series(500);
+    let ans = knn_approximate(&index, &cluster, &q, 5, KnnStrategy::TargetNode).unwrap();
+    assert_eq!(ans.neighbors[0].1, 500);
+}
+
+#[test]
+fn mixed_workload_recall_is_total() {
+    // §VI-C1: exact-match recall is always 100%: every member found,
+    // every absent rejected.
+    let cluster = small_cluster();
+    let gen = RandomWalk::with_len(5, 64);
+    write_dataset(&cluster, "ds", &gen, 2_000, 200).unwrap();
+    let (index, _) = TardisIndex::build(&cluster, "ds", &small_config()).unwrap();
+    let workload = QueryWorkload::mixed(&gen, 2_000, 60, 8);
+    for (q, kind) in &workload.queries {
+        let out = exact_match(&index, &cluster, q, true).unwrap();
+        match kind {
+            QueryKind::Existing { rid } => {
+                assert_eq!(out.matches, vec![*rid]);
+            }
+            QueryKind::Absent => assert!(out.matches.is_empty()),
+        }
+    }
+}
+
+#[test]
+fn knn_truth_is_lower_bound_for_all_strategies() {
+    let cluster = small_cluster();
+    let gen = NoaaLike::with_stations(6, 500);
+    write_dataset(&cluster, "ds", &gen, 2_500, 250).unwrap();
+    let (index, _) = TardisIndex::build(&cluster, "ds", &small_config()).unwrap();
+    let q = gen.series(321);
+    let truth = ground_truth_knn(&cluster, "ds", &q, 15).unwrap();
+    for strategy in KnnStrategy::ALL {
+        let ans = knn_approximate(&index, &cluster, &q, 15, strategy).unwrap();
+        // Error ratio ≥ 1 (Definition 4 / Equation 6).
+        let er = error_ratio(&ans.neighbors, &truth);
+        assert!(er >= 1.0 - 1e-9, "{:?}: error ratio {er}", strategy);
+        // Recall in [0, 1].
+        let r = recall(&ans.neighbors, &truth);
+        assert!((0.0..=1.0).contains(&r));
+    }
+}
+
+#[test]
+fn bloom_in_memory_and_on_disk_agree() {
+    let cluster = small_cluster();
+    let gen = RandomWalk::with_len(13, 64);
+    write_dataset(&cluster, "ds", &gen, 1_500, 150).unwrap();
+    let mem_cfg = TardisConfig {
+        bloom_in_memory: true,
+        ..small_config()
+    };
+    let disk_cfg = TardisConfig {
+        bloom_in_memory: false,
+        ..small_config()
+    };
+    let (mem_idx, _) = TardisIndex::build(&cluster, "ds", &mem_cfg).unwrap();
+    assert!(mem_idx.resident_bloom_bytes() > 0);
+    let (disk_idx, _) = TardisIndex::build(&cluster, "ds", &disk_cfg).unwrap();
+    assert_eq!(disk_idx.resident_bloom_bytes(), 0);
+    for rid in [3u64, 900, 40_000, 77_777] {
+        let q = gen.series(rid);
+        let a = exact_match(&mem_idx, &cluster, &q, true).unwrap();
+        let b = exact_match(&disk_idx, &cluster, &q, true).unwrap();
+        assert_eq!(a.matches, b.matches, "rid {rid}");
+    }
+}
+
+#[test]
+fn scaling_dataset_size_scales_partitions() {
+    let config = small_config();
+    let mut last = 0usize;
+    for n in [1_000u64, 4_000] {
+        let cluster = small_cluster();
+        let gen = RandomWalk::with_len(2, 64);
+        write_dataset(&cluster, "ds", &gen, n, 200).unwrap();
+        let (index, _) = TardisIndex::build(&cluster, "ds", &config).unwrap();
+        assert!(
+            index.n_partitions() >= last,
+            "partitions should grow with data"
+        );
+        last = index.n_partitions();
+    }
+    assert!(last >= 4, "4k records over 600-capacity → several partitions");
+}

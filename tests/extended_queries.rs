@@ -1,0 +1,134 @@
+//! Integration tests for the extension query types (exact kNN and
+//! ε-range) across dataset families, against brute force.
+
+use tardis::core::query::exact_knn::exact_knn;
+use tardis::prelude::*;
+
+fn cluster() -> Cluster {
+    Cluster::new(ClusterConfig {
+        n_workers: 4,
+        ..ClusterConfig::default()
+    })
+    .unwrap()
+}
+
+fn build(gen: &dyn SeriesGen, n: u64) -> (Cluster, TardisIndex) {
+    let c = cluster();
+    write_dataset(&c, "ds", gen, n, 250).unwrap();
+    let config = TardisConfig {
+        g_max_size: 500,
+        l_max_size: 80,
+        sampling_fraction: 0.4,
+        pth: 6,
+        ..TardisConfig::default()
+    };
+    let (index, _) = TardisIndex::build(&c, "ds", &config).unwrap();
+    (c, index)
+}
+
+#[test]
+fn exact_knn_matches_ground_truth_on_every_family() {
+    let gens: Vec<Box<dyn SeriesGen>> = vec![
+        Box::new(RandomWalk::with_len(1, 96)),
+        Box::new(TexmexLike::new(2)),
+        Box::new(DnaLike::new(3)),
+        Box::new(NoaaLike::new(4)),
+    ];
+    for gen in gens {
+        let (c, index) = build(gen.as_ref(), 2_000);
+        let q = gen.series(777);
+        let truth = ground_truth_knn(&c, "ds", &q, 8).unwrap();
+        let got = exact_knn(&index, &c, &q, 8).unwrap();
+        assert_eq!(got.neighbors.len(), 8, "{}", gen.name());
+        for (a, b) in got.neighbors.iter().zip(&truth) {
+            assert!(
+                (a.distance - b.distance).abs() < 1e-9,
+                "{}: {} vs {}",
+                gen.name(),
+                a.distance,
+                b.distance
+            );
+        }
+    }
+}
+
+#[test]
+fn range_query_complete_and_sound_on_every_family() {
+    let gens: Vec<Box<dyn SeriesGen>> = vec![
+        Box::new(RandomWalk::with_len(5, 96)),
+        Box::new(NoaaLike::new(6)),
+    ];
+    for gen in gens {
+        let n = 1_500u64;
+        let (c, index) = build(gen.as_ref(), n);
+        let q = gen.series(321);
+        let eps = 7.0;
+        let got = range_query(&index, &c, &q, eps).unwrap();
+        // Sound: every returned distance really ≤ ε and correct.
+        for m in &got.matches {
+            let d = euclidean(&q, &gen.series(m.rid)).unwrap();
+            assert!((d - m.distance).abs() < 1e-9, "{}", gen.name());
+            assert!(d <= eps + 1e-9);
+        }
+        // Complete: brute force finds nothing extra.
+        let mut expected = 0usize;
+        for rid in 0..n {
+            if euclidean(&q, &gen.series(rid)).unwrap() <= eps {
+                expected += 1;
+            }
+        }
+        assert_eq!(got.matches.len(), expected, "{}", gen.name());
+    }
+}
+
+#[test]
+fn range_of_epsilon_zero_equals_exact_match() {
+    let gen = RandomWalk::with_len(9, 64);
+    let (c, index) = build(&gen, 1_000);
+    let q = gen.series(404);
+    let range = range_query(&index, &c, &q, 0.0).unwrap();
+    let exact = exact_match(&index, &c, &q, true).unwrap();
+    let range_rids: Vec<u64> = range.matches.iter().map(|m| m.rid).collect();
+    assert_eq!(range_rids, exact.matches);
+}
+
+#[test]
+fn exact_knn_on_reopened_index() {
+    let gen = RandomWalk::with_len(11, 64);
+    let (c, index) = build(&gen, 1_200);
+    index.save(&c, "m").unwrap();
+    let reopened = TardisIndex::open(&c, "m").unwrap();
+    let q = gen.series(100);
+    let a = exact_knn(&index, &c, &q, 6).unwrap();
+    let b = exact_knn(&reopened, &c, &q, 6).unwrap();
+    for (x, y) in a.neighbors.iter().zip(&b.neighbors) {
+        assert_eq!(x.rid, y.rid);
+    }
+}
+
+#[test]
+fn imported_dataset_full_pipeline() {
+    // Write a series file, import it via tardis-data, index it, query it.
+    let gen = NoaaLike::with_stations(7, 100);
+    let series: Vec<TimeSeries> = (0..600).map(|rid| gen.series(rid)).collect();
+    let path = std::env::temp_dir().join(format!("tardis-import-{}.txt", std::process::id()));
+    tardis::data::write_series_file(&path, &series).unwrap();
+    let loaded = tardis::data::read_series_file(&path, true).unwrap();
+    assert_eq!(loaded.len(), 600);
+
+    let c = cluster();
+    write_dataset(&c, "imported", &loaded, 600, 100).unwrap();
+    let config = TardisConfig {
+        g_max_size: 200,
+        l_max_size: 40,
+        sampling_fraction: 0.5,
+        ..TardisConfig::default()
+    };
+    let (index, report) = TardisIndex::build(&c, "imported", &config).unwrap();
+    assert_eq!(report.n_records, 600);
+    // Query with a member of the imported file.
+    let q = loaded.series(42);
+    let hit = exact_match(&index, &c, &q, true).unwrap();
+    assert!(hit.matches.contains(&42));
+    std::fs::remove_file(&path).unwrap();
+}

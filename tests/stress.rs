@@ -1,0 +1,77 @@
+//! Opt-in stress tests at a larger scale (run with `cargo test -- --ignored`).
+//!
+//! These exercise the same pipelines as the regular suite but at sizes
+//! closer to a real deployment's per-node share, taking tens of seconds.
+
+use tardis::prelude::*;
+
+#[test]
+#[ignore = "large: ~200k records, run with --ignored"]
+fn two_hundred_thousand_records_end_to_end() {
+    let cluster = Cluster::new(ClusterConfig::default()).unwrap();
+    let gen = RandomWalk::with_len(99, 128);
+    let n: u64 = 200_000;
+    write_dataset(&cluster, "big", &gen, n, 5_000).unwrap();
+    let config = TardisConfig {
+        g_max_size: 20_000,
+        l_max_size: 1_000, // the paper's actual L-MaxSize
+        ..TardisConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    let (index, report) = TardisIndex::build(&cluster, "big", &config).unwrap();
+    println!(
+        "built {} records into {} partitions in {:?}",
+        report.n_records,
+        report.n_partitions,
+        t0.elapsed()
+    );
+    assert_eq!(report.n_records, n);
+    let stored: u64 = index.partitions().iter().map(|p| p.n_records).sum();
+    assert_eq!(stored, n);
+
+    // Exact-match spot checks.
+    for rid in [0u64, 99_999, 199_999] {
+        let out = exact_match(&index, &cluster, &gen.series(rid), true).unwrap();
+        assert_eq!(out.matches, vec![rid]);
+    }
+    // Absent queries mostly skip partition loads.
+    let mut loads = 0;
+    for rid in 0..50u64 {
+        let out = exact_match(&index, &cluster, &gen.series(n + rid), true).unwrap();
+        assert!(out.matches.is_empty());
+        loads += out.partitions_loaded;
+    }
+    assert!(loads <= 5, "bloom filters should stop most absent loads: {loads}");
+
+    // kNN self-hit at the paper's k scale.
+    let q = gen.series(123_456);
+    let ans = knn_approximate(&index, &cluster, &q, 500, KnnStrategy::MultiPartition).unwrap();
+    assert_eq!(ans.neighbors[0].1, 123_456);
+    assert_eq!(ans.neighbors.len(), 500);
+}
+
+#[test]
+#[ignore = "large: persistence at 100k records, run with --ignored"]
+fn persistence_roundtrip_at_scale() {
+    let cluster = Cluster::new(ClusterConfig::default()).unwrap();
+    let gen = NoaaLike::new(5);
+    let n: u64 = 100_000;
+    write_dataset(&cluster, "big", &gen, n, 5_000).unwrap();
+    let config = TardisConfig {
+        g_max_size: 10_000,
+        l_max_size: 1_000,
+        ..TardisConfig::default()
+    };
+    let (index, _) = TardisIndex::build(&cluster, "big", &config).unwrap();
+    index.save(&cluster, "big-idx").unwrap();
+    let t0 = std::time::Instant::now();
+    let reopened = TardisIndex::open(&cluster, "big-idx").unwrap();
+    println!("reopened {} partitions in {:?}", reopened.n_partitions(), t0.elapsed());
+    for rid in (0..n).step_by(9_973) {
+        let q = gen.series(rid);
+        assert_eq!(
+            exact_match(&reopened, &cluster, &q, true).unwrap().matches,
+            exact_match(&index, &cluster, &q, true).unwrap().matches
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Cross-crate property tests: end-to-end invariants that must hold for
+//! arbitrary (small) datasets and configurations.
+
+use proptest::prelude::*;
+use tardis::prelude::*;
+
+fn build(seed: u64, n: u64, g_max: usize, l_max: usize) -> (Cluster, TardisIndex, RandomWalk) {
+    let cluster = Cluster::new(ClusterConfig {
+        n_workers: 2,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let gen = RandomWalk::with_len(seed, 64);
+    write_dataset(&cluster, "ds", &gen, n, 64).unwrap();
+    let config = TardisConfig {
+        g_max_size: g_max,
+        l_max_size: l_max,
+        sampling_fraction: 0.5,
+        pth: 4,
+        ..TardisConfig::default()
+    };
+    let (index, _) = TardisIndex::build(&cluster, "ds", &config).unwrap();
+    (cluster, index, gen)
+}
+
+proptest! {
+    // Each case builds a full index; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn every_member_is_exactly_matchable(
+        seed in 1u64..1000,
+        n in 200u64..600,
+        g_max in 100usize..300,
+        l_max in 20usize..80,
+    ) {
+        let (cluster, index, gen) = build(seed, n, g_max, l_max);
+        // Partition counts conserve records.
+        let stored: u64 = index.partitions().iter().map(|p| p.n_records).sum();
+        prop_assert_eq!(stored, n);
+        for rid in [0, n / 2, n - 1] {
+            let q = gen.series(rid);
+            let out = exact_match(&index, &cluster, &q, true).unwrap();
+            prop_assert_eq!(out.matches, vec![rid]);
+        }
+    }
+
+    #[test]
+    fn knn_always_returns_self_for_member_queries(
+        seed in 1u64..1000,
+        n in 200u64..500,
+        k in 1usize..20,
+    ) {
+        let (cluster, index, gen) = build(seed, n, 150, 30);
+        let rid = seed % n;
+        let q = gen.series(rid);
+        for strategy in KnnStrategy::ALL {
+            let ans = knn_approximate(&index, &cluster, &q, k, strategy).unwrap();
+            prop_assert!(!ans.neighbors.is_empty());
+            prop_assert_eq!(ans.neighbors[0].1, rid);
+            prop_assert!(ans.neighbors[0].0 < 1e-6);
+            prop_assert!(ans.neighbors.len() <= k);
+        }
+    }
+
+    #[test]
+    fn error_ratio_at_least_one(
+        seed in 1u64..500,
+        n in 200u64..400,
+    ) {
+        let (cluster, index, gen) = build(seed, n, 150, 30);
+        let q = gen.series((seed * 7) % n);
+        let truth = ground_truth_knn(&cluster, "ds", &q, 10).unwrap();
+        for strategy in KnnStrategy::ALL {
+            let ans = knn_approximate(&index, &cluster, &q, 10, strategy).unwrap();
+            let er = error_ratio(&ans.neighbors, &truth);
+            prop_assert!(er >= 1.0 - 1e-9, "{:?}: {}", strategy, er);
+        }
+    }
+
+    #[test]
+    fn bloom_never_false_negative_end_to_end(
+        seed in 1u64..500,
+        n in 200u64..500,
+    ) {
+        let (cluster, index, gen) = build(seed, n, 200, 40);
+        // Every member must pass the Bloom test of its own partition.
+        for rid in (0..n).step_by((n as usize / 10).max(1)) {
+            let q = gen.series(rid);
+            let out = exact_match(&index, &cluster, &q, true).unwrap();
+            prop_assert!(!out.bloom_rejected, "member {rid} bloom-rejected");
+            prop_assert_eq!(out.matches, vec![rid]);
+        }
+    }
+}
