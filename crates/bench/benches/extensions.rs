@@ -62,6 +62,7 @@ fn bench_cache(c: &mut Criterion) {
                 cache_bytes,
                 ..DfsConfig::default()
             },
+            ..ClusterConfig::default()
         })
         .unwrap();
         let blocks: Vec<Vec<u8>> = (0..16).map(|i| vec![i as u8; 64 * 1024]).collect();

@@ -696,6 +696,7 @@ fn ablations(scale: Scale) {
                 cache_bytes: 256 << 20,
                 ..DfsConfig::default()
             },
+            ..ClusterConfig::default()
         })
         .expect("cluster");
         tardis_data::write_dataset(&cluster, "rw", env.gen.as_ref(), n, 1_000)

@@ -93,6 +93,7 @@ impl Env {
                 read_latency,
                 ..DfsConfig::default()
             },
+            ..ClusterConfig::default()
         })
         .expect("cluster");
         let gen = family.generator();

@@ -6,6 +6,7 @@
 //! `reduce_by_key`, and a record `shuffle` driven by a partitioner
 //! function (§IV-C "Data Shuffle").
 
+use crate::error::ClusterError;
 use crate::metrics::Metrics;
 use crate::pool::WorkerPool;
 use parking_lot::Mutex;
@@ -177,6 +178,112 @@ impl<T: Send> Dataset<T> {
     }
 }
 
+/// Fault-tolerant operator variants.
+///
+/// These run the same computations as their infallible counterparts but
+/// through the pool's `try_par_*` entry points: tasks may be failed by a
+/// seeded [`crate::fault::FaultInjector`], panics in closures are caught,
+/// and transient failures retry with backoff — exactly Spark's task
+/// semantics. A clean pool (no injector) makes them behave identically to
+/// the plain operators, so pipelines can use `try_` unconditionally.
+///
+/// `T: Sync + Clone` because a retried task re-reads its input partition.
+impl<T: Send + Sync + Clone> Dataset<T> {
+    /// Fault-tolerant [`Dataset::map`].
+    pub fn try_map<R: Send, F>(self, pool: &WorkerPool, f: F) -> Result<Dataset<R>, ClusterError>
+    where
+        F: Fn(T) -> R + Sync,
+    {
+        Ok(Dataset {
+            partitions: pool
+                .try_par_map(self.partitions, |p| Ok::<_, ClusterError>(p.into_iter().map(&f).collect()))?,
+        })
+    }
+
+    /// Fault-tolerant [`Dataset::flat_map`].
+    pub fn try_flat_map<R: Send, I, F>(
+        self,
+        pool: &WorkerPool,
+        f: F,
+    ) -> Result<Dataset<R>, ClusterError>
+    where
+        I: IntoIterator<Item = R>,
+        F: Fn(T) -> I + Sync,
+    {
+        Ok(Dataset {
+            partitions: pool.try_par_map(self.partitions, |p| {
+                Ok::<_, ClusterError>(p.into_iter().flat_map(&f).collect())
+            })?,
+        })
+    }
+
+    /// Fault-tolerant [`Dataset::filter`].
+    pub fn try_filter<F>(self, pool: &WorkerPool, f: F) -> Result<Dataset<T>, ClusterError>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        Ok(Dataset {
+            partitions: pool
+                .try_par_map(self.partitions, |p| Ok::<_, ClusterError>(p.into_iter().filter(&f).collect()))?,
+        })
+    }
+
+    /// Fault-tolerant [`Dataset::map_partitions`].
+    pub fn try_map_partitions<R: Send, F>(
+        self,
+        pool: &WorkerPool,
+        f: F,
+    ) -> Result<Dataset<R>, ClusterError>
+    where
+        F: Fn(usize, Vec<T>) -> Vec<R> + Sync,
+    {
+        Ok(Dataset {
+            partitions: pool.try_par_map_indexed(self.partitions, |i, p| Ok::<_, ClusterError>(f(i, p)))?,
+        })
+    }
+
+    /// Fault-tolerant [`Dataset::shuffle`]. Faults hit the map side (the
+    /// expensive routing work); the gather drains the mapped buckets
+    /// destructively and therefore runs on the infallible path — in Spark
+    /// terms it is the driver collecting already-materialized shuffle
+    /// output, not a retryable task.
+    pub fn try_shuffle<F>(
+        self,
+        pool: &WorkerPool,
+        metrics: &Metrics,
+        n_out: usize,
+        partitioner: F,
+    ) -> Result<Dataset<T>, ClusterError>
+    where
+        F: Fn(&T) -> usize + Sync,
+    {
+        assert!(n_out > 0, "need at least one output partition");
+        let mapped: Vec<Vec<Vec<T>>> = pool.try_par_map(self.partitions, |part| {
+            let mut buckets: Vec<Vec<T>> = (0..n_out).map(|_| Vec::new()).collect();
+            for item in part {
+                let target = partitioner(&item).min(n_out - 1);
+                buckets[target].push(item);
+            }
+            Ok::<_, ClusterError>(buckets)
+        })?;
+        let moved: usize = mapped.iter().flatten().map(Vec::len).sum();
+        metrics.record_shuffle(moved as u64);
+
+        let shared: Vec<Vec<Mutex<Vec<T>>>> = mapped
+            .into_iter()
+            .map(|buckets| buckets.into_iter().map(Mutex::new).collect())
+            .collect();
+        let partitions = pool.par_tasks(n_out, |p| {
+            let mut out = Vec::new();
+            for mapper in &shared {
+                out.append(&mut mapper[p].lock());
+            }
+            out
+        });
+        Ok(Dataset { partitions })
+    }
+}
+
 impl<K, V> Dataset<(K, V)>
 where
     K: Send + Eq + Hash,
@@ -242,6 +349,54 @@ where
                 acc.into_iter().collect()
             }),
         }
+    }
+}
+
+impl<K, V> Dataset<(K, V)>
+where
+    K: Send + Sync + Clone + Eq + Hash,
+    V: Send + Sync + Clone,
+{
+    /// Fault-tolerant [`Dataset::reduce_by_key`]: the map-side combine,
+    /// shuffle map side, and reduce-side merge all run as retryable
+    /// tasks.
+    ///
+    /// # Panics
+    /// Panics if `n_out == 0`.
+    pub fn try_reduce_by_key<F>(
+        self,
+        pool: &WorkerPool,
+        metrics: &Metrics,
+        n_out: usize,
+        merge: F,
+    ) -> Result<Dataset<(K, V)>, ClusterError>
+    where
+        F: Fn(&mut V, V) + Sync,
+    {
+        assert!(n_out > 0, "need at least one output partition");
+        let combine = |part: Vec<(K, V)>| -> Vec<(K, V)> {
+            let mut acc: HashMap<K, V> = HashMap::new();
+            for (k, v) in part {
+                match acc.entry(k) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => merge(e.get_mut(), v),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(v);
+                    }
+                }
+            }
+            acc.into_iter().collect()
+        };
+        let combined: Dataset<(K, V)> = Dataset {
+            partitions: pool.try_par_map(self.partitions, |p| Ok::<_, ClusterError>(combine(p)))?,
+        };
+        let shuffled = combined.try_shuffle(pool, metrics, n_out, |(k, _)| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            k.hash(&mut h);
+            (h.finish() % n_out as u64) as usize
+        })?;
+        Ok(Dataset {
+            partitions: pool.try_par_map(shuffled.partitions, |p| Ok::<_, ClusterError>(combine(p)))?,
+        })
     }
 }
 
@@ -373,5 +528,89 @@ mod tests {
         let d: Dataset<(u32, u64)> = Dataset::from_partitions(vec![vec![], vec![]]);
         let out = d.reduce_by_key(&pool(), &m, 2, |a, b| *a += b);
         assert!(out.is_empty());
+    }
+
+    use crate::fault::{FaultInjector, FaultPlan, RetryPolicy};
+    use std::sync::Arc;
+
+    /// A pool whose tasks fail 20% of the time but has budget to recover.
+    fn faulty_pool(metrics: &Arc<Metrics>) -> WorkerPool {
+        let injector = Arc::new(FaultInjector::new(
+            FaultPlan {
+                seed: 77,
+                task_fail_p: 0.2,
+                ..FaultPlan::none()
+            },
+            Arc::clone(metrics),
+        ));
+        WorkerPool::new(4)
+            .with_metrics(Arc::clone(metrics))
+            .with_retry(RetryPolicy {
+                max_attempts: 8,
+                backoff_base: std::time::Duration::ZERO,
+                backoff_cap: std::time::Duration::ZERO,
+            })
+            .with_fault_injection(injector)
+    }
+
+    #[test]
+    fn try_ops_without_faults_match_plain_ops() {
+        let m = Metrics::new();
+        let plain = Dataset::from_items((0..500u32).collect::<Vec<_>>(), 8)
+            .map(&pool(), |x| x * 2)
+            .filter(&pool(), |x| x % 3 != 0)
+            .collect();
+        let tried = Dataset::from_items((0..500u32).collect::<Vec<_>>(), 8)
+            .try_map(&pool(), |x| x * 2)
+            .unwrap()
+            .try_filter(&pool(), |x| x % 3 != 0)
+            .unwrap()
+            .collect();
+        assert_eq!(plain, tried);
+        assert_eq!(m.snapshot().task_retries, 0);
+    }
+
+    #[test]
+    fn faulted_pipeline_produces_identical_output() {
+        let metrics = Arc::new(Metrics::new());
+        let faulty = faulty_pool(&metrics);
+        let clean = pool();
+        let m_clean = Metrics::new();
+
+        let run = |p: &WorkerPool, m: &Metrics| -> Vec<(u32, u64)> {
+            let mut out = Dataset::from_items((0..2000u32).collect::<Vec<_>>(), 16)
+                .try_map(p, |x| (x % 13, 1u64))
+                .unwrap()
+                .try_reduce_by_key(p, m, 4, |a, b| *a += b)
+                .unwrap()
+                .collect();
+            out.sort_unstable();
+            out
+        };
+        let faulted = run(&faulty, &metrics);
+        let reference = run(&clean, &m_clean);
+        assert_eq!(faulted, reference);
+        let s = metrics.snapshot();
+        assert!(s.faults_injected > 0, "no faults injected");
+        assert!(s.task_retries > 0, "faults were not retried");
+        assert_eq!(s.tasks_failed_permanently, 0);
+    }
+
+    #[test]
+    fn faulted_shuffle_is_deterministic_and_correct() {
+        let metrics = Arc::new(Metrics::new());
+        let faulty = faulty_pool(&metrics);
+        let mk = || {
+            Dataset::from_items((0..1000u32).collect::<Vec<_>>(), 8)
+                .try_shuffle(&faulty, &metrics, 4, |x| (*x % 4) as usize)
+                .unwrap()
+                .into_partitions()
+        };
+        let a = mk();
+        assert_eq!(a, mk());
+        for (p, part) in a.iter().enumerate() {
+            assert_eq!(part.len(), 250);
+            assert!(part.iter().all(|x| (*x % 4) as usize == p));
+        }
     }
 }

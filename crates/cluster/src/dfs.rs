@@ -8,7 +8,8 @@
 //! lets experiments model a remote store whose blocks are *not* hot in the
 //! OS page cache.
 
-use crate::error::ClusterError;
+use crate::error::{ClusterError, MaybeTransient};
+use crate::fault::{FaultInjector, FaultSite, RetryPolicy};
 use crate::metrics::Metrics;
 use crate::rng::SplitMix64;
 use parking_lot::Mutex;
@@ -62,6 +63,10 @@ pub struct Dfs {
     cache: Mutex<crate::cache::BlockCache>,
     /// Whether `root` is a temp dir we own and must remove on drop.
     owns_root: bool,
+    /// Seeded fault oracle (None = no injection).
+    injector: Option<Arc<FaultInjector>>,
+    /// Retry budget for transient block I/O failures.
+    retry: RetryPolicy,
 }
 
 impl Dfs {
@@ -87,6 +92,8 @@ impl Dfs {
             next_index: Mutex::new(HashMap::new()),
             cache,
             owns_root: true,
+            injector: None,
+            retry: RetryPolicy::default(),
         })
     }
 
@@ -102,7 +109,21 @@ impl Dfs {
             next_index: Mutex::new(HashMap::new()),
             cache,
             owns_root: false,
+            injector: None,
+            retry: RetryPolicy::default(),
         })
+    }
+
+    /// Arms fault injection: block reads/writes consult `injector` on
+    /// every attempt and transient failures are retried per `retry`.
+    pub fn set_fault_injection(&mut self, injector: Arc<FaultInjector>, retry: RetryPolicy) {
+        self.injector = Some(injector);
+        self.retry = retry;
+    }
+
+    /// The retry policy in force for block I/O.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     /// The root directory of the store.
@@ -134,17 +155,58 @@ impl Dfs {
         let id = BlockId::new(name, index);
         let dir = self.file_dir(name);
         fs::create_dir_all(&dir)?;
+        let key = FaultInjector::block_key(name, index);
+        let attempts = self.retry.attempts();
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match self.write_block_attempt(&id, &dir, bytes, key, attempt) {
+                Ok(()) => {
+                    self.metrics.record_block_write(bytes.len() as u64);
+                    return Ok(id);
+                }
+                Err(e) if e.is_transient() && attempt < attempts => {
+                    self.metrics.record_block_write_retry();
+                    std::thread::sleep(self.retry.backoff(attempt));
+                }
+                Err(e) if e.is_transient() => {
+                    return Err(ClusterError::RetriesExhausted {
+                        op: "block write",
+                        attempts: attempt,
+                        source: Box::new(e),
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One write attempt: injected fault check, latency, tmp-write, rename.
+    fn write_block_attempt(
+        &self,
+        id: &BlockId,
+        dir: &Path,
+        bytes: &[u8],
+        key: u64,
+        attempt: u32,
+    ) -> Result<(), ClusterError> {
+        if let Some(inj) = &self.injector {
+            if let Some(e) = inj.fault_for(FaultSite::BlockWrite, key, attempt) {
+                return Err(e);
+            }
+        }
         if !self.config.write_latency.is_zero() {
             std::thread::sleep(self.config.write_latency);
         }
-        let tmp = dir.join(format!("block-{index:06}.tmp"));
+        // Write-then-rename keeps a faulted/interrupted attempt invisible:
+        // readers only ever see fully written blocks, so retries are safe.
+        let tmp = dir.join(format!("block-{:06}.tmp", id.index));
         {
             let mut f = fs::File::create(&tmp)?;
             f.write_all(bytes)?;
         }
-        fs::rename(&tmp, self.block_path(&id))?;
-        self.metrics.record_block_write(bytes.len() as u64);
-        Ok(id)
+        fs::rename(&tmp, self.block_path(id))?;
+        Ok(())
     }
 
     /// Writes a sequence of blocks to `name`, returning their ids.
@@ -162,9 +224,11 @@ impl Dfs {
     /// Reads one block fully into memory; served from the LRU cache when
     /// enabled and hot (a cached read pays neither disk I/O nor the
     /// simulated latency, and is metered as a cache hit, not a block
-    /// read).
+    /// read). Uncached reads model remote I/O: with fault injection armed
+    /// they may fail transiently and are retried per the [`RetryPolicy`]
+    /// before a typed [`ClusterError::RetriesExhausted`] surfaces.
     pub fn read_block(&self, id: &BlockId) -> Result<Vec<u8>, ClusterError> {
-        // Cache fast path.
+        // Cache fast path (local memory — no remote I/O, no faults).
         {
             let mut cache = self.cache.lock();
             if cache.enabled() {
@@ -173,6 +237,50 @@ impl Dfs {
                     return Ok(bytes.as_ref().clone());
                 }
                 self.metrics.record_cache_miss();
+            }
+        }
+        let key = FaultInjector::block_key(&id.file, id.index);
+        let attempts = self.retry.attempts();
+        let mut attempt = 0;
+        let bytes = loop {
+            attempt += 1;
+            match self.read_block_attempt(id, key, attempt) {
+                Ok(bytes) => break bytes,
+                Err(e) if e.is_transient() && attempt < attempts => {
+                    self.metrics.record_block_read_retry();
+                    std::thread::sleep(self.retry.backoff(attempt));
+                }
+                Err(e) if e.is_transient() => {
+                    return Err(ClusterError::RetriesExhausted {
+                        op: "block read",
+                        attempts: attempt,
+                        source: Box::new(e),
+                    });
+                }
+                // Permanent (e.g. MissingBlock): no retry can help.
+                Err(e) => return Err(e),
+            }
+        };
+        {
+            let mut cache = self.cache.lock();
+            if cache.enabled() {
+                cache.put(id.clone(), Arc::new(bytes.clone()));
+            }
+        }
+        Ok(bytes)
+    }
+
+    /// One read attempt: stall/fault checks, latency, disk read.
+    fn read_block_attempt(
+        &self,
+        id: &BlockId,
+        key: u64,
+        attempt: u32,
+    ) -> Result<Vec<u8>, ClusterError> {
+        if let Some(inj) = &self.injector {
+            inj.maybe_stall_read(key, attempt);
+            if let Some(e) = inj.fault_for(FaultSite::BlockRead, key, attempt) {
+                return Err(e);
             }
         }
         let path = self.block_path(id);
@@ -188,12 +296,6 @@ impl Dfs {
         let mut bytes = Vec::new();
         fs::File::open(&path)?.read_to_end(&mut bytes)?;
         self.metrics.record_block_read(bytes.len() as u64);
-        {
-            let mut cache = self.cache.lock();
-            if cache.enabled() {
-                cache.put(id.clone(), Arc::new(bytes.clone()));
-            }
-        }
         Ok(bytes)
     }
 
@@ -418,6 +520,124 @@ mod tests {
         let t0 = std::time::Instant::now();
         dfs.read_block(&id).unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    fn faulty_dfs(plan: crate::fault::FaultPlan, retry: RetryPolicy) -> (Dfs, Arc<Metrics>) {
+        let metrics = Arc::new(Metrics::new());
+        let mut dfs = Dfs::temp(DfsConfig::default(), Arc::clone(&metrics)).unwrap();
+        let inj = Arc::new(FaultInjector::new(plan, Arc::clone(&metrics)));
+        dfs.set_fault_injection(inj, retry);
+        (dfs, metrics)
+    }
+
+    /// A generous zero-backoff budget so tests exercising *masking* are
+    /// deterministic-in-outcome regardless of seed (p=0.3 over 8
+    /// attempts leaves ~7e-5 exhaustion odds per block).
+    fn deep_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 8,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn retries_mask_transient_read_faults() {
+        let (dfs, metrics) = faulty_dfs(
+            crate::fault::FaultPlan {
+                seed: 3,
+                block_read_fail_p: 0.3,
+                ..crate::fault::FaultPlan::none()
+            },
+            deep_retry(),
+        );
+        let ids = dfs
+            .write_blocks("r", (0..40).map(|i| vec![i as u8; 8]))
+            .unwrap();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(dfs.read_block(id).unwrap(), vec![i as u8; 8]);
+        }
+        let s = metrics.snapshot();
+        assert!(s.faults_injected > 0, "plan injected nothing");
+        assert!(s.block_read_retries > 0, "no retries recorded");
+    }
+
+    #[test]
+    fn retries_mask_transient_write_faults() {
+        let (dfs, metrics) = faulty_dfs(
+            crate::fault::FaultPlan {
+                seed: 5,
+                block_write_fail_p: 0.3,
+                ..crate::fault::FaultPlan::none()
+            },
+            deep_retry(),
+        );
+        let ids = dfs
+            .write_blocks("w", (0..40).map(|i| vec![i as u8; 4]))
+            .unwrap();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(dfs.read_block(id).unwrap(), vec![i as u8; 4]);
+        }
+        assert!(metrics.snapshot().block_write_retries > 0);
+    }
+
+    #[test]
+    fn certain_faults_exhaust_into_typed_error() {
+        let (dfs, metrics) = faulty_dfs(
+            crate::fault::FaultPlan {
+                block_read_fail_p: 1.0,
+                ..crate::fault::FaultPlan::none()
+            },
+            RetryPolicy {
+                max_attempts: 3,
+                backoff_base: Duration::ZERO,
+                backoff_cap: Duration::ZERO,
+            },
+        );
+        let id = dfs.append_block("x", &[1, 2, 3]).unwrap();
+        match dfs.read_block(&id) {
+            Err(ClusterError::RetriesExhausted { op, attempts, .. }) => {
+                assert_eq!(op, "block read");
+                assert_eq!(attempts, 3);
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        assert_eq!(metrics.snapshot().block_read_retries, 2);
+    }
+
+    #[test]
+    fn missing_block_is_not_retried() {
+        let (dfs, metrics) = faulty_dfs(
+            crate::fault::FaultPlan::none(),
+            RetryPolicy::default(),
+        );
+        assert!(matches!(
+            dfs.read_block(&BlockId::new("absent", 0)),
+            Err(ClusterError::MissingBlock { .. })
+        ));
+        assert_eq!(metrics.snapshot().block_read_retries, 0);
+    }
+
+    #[test]
+    fn faulted_runs_read_identical_bytes() {
+        // The determinism contract: same data read through a faulty DFS
+        // and a clean one must be byte-identical.
+        let clean = temp_dfs();
+        let (faulty, _) = faulty_dfs(
+            crate::fault::FaultPlan {
+                seed: 11,
+                block_read_fail_p: 0.25,
+                block_write_fail_p: 0.25,
+                ..crate::fault::FaultPlan::none()
+            },
+            deep_retry(),
+        );
+        let payloads: Vec<Vec<u8>> = (0..30).map(|i| vec![(i * 7) as u8; 16]).collect();
+        let a = clean.write_blocks("d", payloads.clone()).unwrap();
+        let b = faulty.write_blocks("d", payloads).unwrap();
+        for (ca, cb) in a.iter().zip(&b) {
+            assert_eq!(clean.read_block(ca).unwrap(), faulty.read_block(cb).unwrap());
+        }
     }
 
     #[test]

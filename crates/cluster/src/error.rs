@@ -25,6 +25,60 @@ pub enum ClusterError {
         /// Human-readable context.
         context: &'static str,
     },
+    /// A fault deliberately injected by a seeded [`FaultPlan`]
+    /// (transient by definition: the same operation may succeed on
+    /// retry).
+    ///
+    /// [`FaultPlan`]: crate::fault::FaultPlan
+    InjectedFault {
+        /// Injection site name ("block read", "block write", "task").
+        site: &'static str,
+        /// Stable decision key of the faulted operation.
+        key: u64,
+        /// 1-based attempt number that faulted.
+        attempt: u32,
+    },
+    /// A worker-pool task panicked; the panic was caught and converted
+    /// (transient: Spark restarts crashed executors).
+    TaskPanicked {
+        /// The panic payload, rendered to a string.
+        message: String,
+    },
+    /// A transient operation still failed after its full retry budget.
+    /// This is the terminal, *permanent* form a transient failure takes.
+    RetriesExhausted {
+        /// What was being attempted.
+        op: &'static str,
+        /// Total attempts made.
+        attempts: u32,
+        /// The error from the final attempt.
+        source: Box<dyn std::error::Error + Send + Sync>,
+    },
+}
+
+/// Classifies errors into transient (worth retrying) and permanent.
+///
+/// Implemented by [`ClusterError`] and expected of error types flowing
+/// through the fallible worker-pool entry points, so higher layers (e.g.
+/// `tardis-core`) decide which of their own failures a retry can mask.
+pub trait MaybeTransient {
+    /// `true` when retrying the same operation may succeed.
+    fn is_transient(&self) -> bool;
+}
+
+impl MaybeTransient for ClusterError {
+    fn is_transient(&self) -> bool {
+        match self {
+            // Lost connections / faulted reads / crashed executors: retry.
+            ClusterError::Io(_) | ClusterError::InjectedFault { .. } => true,
+            ClusterError::TaskPanicked { .. } => true,
+            // Logical errors no retry can fix.
+            ClusterError::MissingFile { .. }
+            | ClusterError::MissingBlock { .. }
+            | ClusterError::Codec { .. }
+            | ClusterError::RetriesExhausted { .. } => false,
+        }
+    }
 }
 
 impl fmt::Display for ClusterError {
@@ -36,6 +90,15 @@ impl fmt::Display for ClusterError {
                 write!(f, "DFS block not found: {file}/block-{index}")
             }
             ClusterError::Codec { context } => write!(f, "decode error: {context}"),
+            ClusterError::InjectedFault { site, key, attempt } => {
+                write!(f, "injected {site} fault (key {key:#x}, attempt {attempt})")
+            }
+            ClusterError::TaskPanicked { message } => {
+                write!(f, "task panicked: {message}")
+            }
+            ClusterError::RetriesExhausted { op, attempts, source } => {
+                write!(f, "{op} failed permanently after {attempts} attempts: {source}")
+            }
         }
     }
 }
@@ -44,6 +107,7 @@ impl std::error::Error for ClusterError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ClusterError::Io(e) => Some(e),
+            ClusterError::RetriesExhausted { source, .. } => Some(&**source),
             _ => None,
         }
     }
@@ -83,5 +147,43 @@ mod tests {
         let e = ClusterError::from(io::Error::other("x"));
         assert!(e.source().is_some());
         assert!(ClusterError::Codec { context: "c" }.source().is_none());
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(ClusterError::from(io::Error::other("net")).is_transient());
+        assert!(ClusterError::InjectedFault {
+            site: "block read",
+            key: 1,
+            attempt: 1
+        }
+        .is_transient());
+        assert!(ClusterError::TaskPanicked { message: "p".into() }.is_transient());
+        assert!(!ClusterError::MissingFile { name: "f".into() }.is_transient());
+        assert!(!ClusterError::MissingBlock {
+            file: "f".into(),
+            index: 0
+        }
+        .is_transient());
+        assert!(!ClusterError::Codec { context: "c" }.is_transient());
+    }
+
+    #[test]
+    fn retries_exhausted_wraps_final_error() {
+        use std::error::Error;
+        let e = ClusterError::RetriesExhausted {
+            op: "block read",
+            attempts: 4,
+            source: Box::new(ClusterError::InjectedFault {
+                site: "block read",
+                key: 0xAB,
+                attempt: 4,
+            }),
+        };
+        // Terminal: the wrapper itself must not be retried again.
+        assert!(!e.is_transient());
+        let msg = e.to_string();
+        assert!(msg.contains("after 4 attempts"), "{msg}");
+        assert!(e.source().unwrap().to_string().contains("injected"));
     }
 }

@@ -1,0 +1,401 @@
+//! Deterministic fault injection and retry policy.
+//!
+//! TARDIS phrases index construction as Spark jobs, and Spark's execution
+//! model assumes tasks and block reads fail and are retried; Odyssey
+//! likewise treats node/task failure as a first-class concern of
+//! distributed series indexing. This module gives the in-process
+//! substrate the same failure semantics, *deterministically*: every fault
+//! decision is a pure function of `(plan seed, injection site, stable
+//! key, attempt number)` — never of thread scheduling — so a seeded chaos
+//! run is exactly reproducible and a faulted build must produce
+//! byte-identical results to a fault-free one once retries mask the
+//! faults.
+//!
+//! Injection sites:
+//!
+//! * [`FaultSite::BlockRead`] / [`FaultSite::BlockWrite`] — the DFS fails
+//!   (or stalls, for reads) a block operation before touching disk,
+//!   modelling a lost datanode connection.
+//! * [`FaultSite::Task`] — the worker pool fails a task at dispatch,
+//!   modelling an executor crash. Only the fallible `try_par_*` entry
+//!   points inject task faults; the infallible `par_*` family stays pure
+//!   computation.
+//!
+//! Recovery is governed by [`RetryPolicy`]: capped exponential backoff up
+//! to `max_attempts`, after which the typed
+//! [`ClusterError::RetriesExhausted`](crate::ClusterError::RetriesExhausted)
+//! surfaces — never a panic, never a hang.
+
+use crate::error::ClusterError;
+use crate::metrics::Metrics;
+use crate::rng::{hash_bytes, SplitMix64};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// A DFS block read.
+    BlockRead,
+    /// A DFS block write.
+    BlockWrite,
+    /// A worker-pool task (fallible `try_par_*` family).
+    Task,
+}
+
+impl FaultSite {
+    /// Stable per-site salt for decision hashing.
+    fn salt(self) -> u64 {
+        match self {
+            FaultSite::BlockRead => 0x9E37_79B9_0000_0001,
+            FaultSite::BlockWrite => 0x9E37_79B9_0000_0002,
+            FaultSite::Task => 0x9E37_79B9_0000_0003,
+        }
+    }
+
+    /// Human-readable site name (used in error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::BlockRead => "block read",
+            FaultSite::BlockWrite => "block write",
+            FaultSite::Task => "task",
+        }
+    }
+}
+
+/// A seeded description of which faults to inject and how often.
+///
+/// Probabilities are per *attempt*: with `block_read_fail_p = 0.05` each
+/// retry of the same block re-rolls an independent (but deterministic)
+/// 5% decision, so the chance a read fails `max_attempts` times in a row
+/// is `0.05^max_attempts`.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed every decision derives from.
+    pub seed: u64,
+    /// Probability a block read fails.
+    pub block_read_fail_p: f64,
+    /// Probability a block write fails.
+    pub block_write_fail_p: f64,
+    /// Probability a task fails at dispatch.
+    pub task_fail_p: f64,
+    /// Probability a block read stalls for [`FaultPlan::stall`] first
+    /// (independent of failing; models a slow datanode).
+    pub block_read_stall_p: f64,
+    /// Stall duration for slow reads.
+    pub stall: Duration,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            block_read_fail_p: 0.0,
+            block_write_fail_p: 0.0,
+            task_fail_p: 0.0,
+            block_read_stall_p: 0.0,
+            stall: Duration::ZERO,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan injecting nothing (identical to running without one).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Failure probability at one site.
+    pub fn fail_p(&self, site: FaultSite) -> f64 {
+        match site {
+            FaultSite::BlockRead => self.block_read_fail_p,
+            FaultSite::BlockWrite => self.block_write_fail_p,
+            FaultSite::Task => self.task_fail_p,
+        }
+    }
+
+    /// Validates probabilities.
+    ///
+    /// # Panics
+    /// Panics when any probability is outside `[0, 1]`.
+    pub fn assert_valid(&self) {
+        for (name, p) in [
+            ("block_read_fail_p", self.block_read_fail_p),
+            ("block_write_fail_p", self.block_write_fail_p),
+            ("task_fail_p", self.task_fail_p),
+            ("block_read_stall_p", self.block_read_stall_p),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name}={p} outside [0, 1]");
+        }
+    }
+}
+
+/// How transient failures are retried.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (1 = no retries). Clamped to ≥ 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per further attempt.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(20),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn no_retries() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Effective attempt budget (≥ 1).
+    pub fn attempts(&self) -> u32 {
+        self.max_attempts.max(1)
+    }
+
+    /// Capped exponential backoff after failed attempt number `attempt`
+    /// (1-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        self.backoff_base
+            .saturating_mul(factor)
+            .min(self.backoff_cap)
+    }
+}
+
+/// The seeded fault oracle shared by the DFS and the worker pool.
+///
+/// Decisions are stateless: two injectors built from the same plan give
+/// identical answers, and concurrent queries never perturb each other —
+/// the property the chaos suite's byte-identical guarantee rests on. The
+/// only mutable state is the task-epoch counter, which the driver
+/// advances once per `try_par_*` stage (driver stages run sequentially,
+/// so epochs are deterministic too).
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    metrics: Arc<Metrics>,
+    /// Per-stage namespace for task keys, so "task 3 of the shuffle" and
+    /// "task 3 of the local build" roll independent faults.
+    task_epoch: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Creates an injector; injected faults are counted in `metrics`.
+    ///
+    /// # Panics
+    /// Panics when the plan's probabilities are invalid.
+    pub fn new(plan: FaultPlan, metrics: Arc<Metrics>) -> FaultInjector {
+        plan.assert_valid();
+        FaultInjector {
+            plan,
+            metrics,
+            task_epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Reserves a fresh task-key namespace for one `try_par_*` stage.
+    pub fn next_task_epoch(&self) -> u64 {
+        self.task_epoch.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Stable key for a DFS block.
+    pub fn block_key(file: &str, index: u32) -> u64 {
+        hash_bytes(file.as_bytes()) ^ SplitMix64::new(index as u64).next_u64()
+    }
+
+    /// Stable key for a pool task.
+    pub fn task_key(epoch: u64, task_index: usize) -> u64 {
+        SplitMix64::new(epoch.wrapping_mul(0x2545_F491_4F6C_DD1D)).next_u64()
+            ^ (task_index as u64)
+    }
+
+    /// The deterministic unit-interval roll for one decision.
+    fn roll(&self, site: FaultSite, key: u64, attempt: u32, salt2: u64) -> f64 {
+        let mut mix = SplitMix64::new(self.plan.seed ^ site.salt() ^ salt2);
+        let a = mix.next_u64() ^ key;
+        let b = SplitMix64::new(a).next_u64() ^ (attempt as u64);
+        SplitMix64::new(b).next_f64()
+    }
+
+    /// Decides whether attempt `attempt` of the operation identified by
+    /// `(site, key)` fails; a returned error has already been counted in
+    /// `faults_injected`.
+    pub fn fault_for(&self, site: FaultSite, key: u64, attempt: u32) -> Option<ClusterError> {
+        let p = self.plan.fail_p(site);
+        if p <= 0.0 || self.roll(site, key, attempt, 0) >= p {
+            return None;
+        }
+        self.metrics.record_fault_injected();
+        Some(ClusterError::InjectedFault {
+            site: site.name(),
+            key,
+            attempt,
+        })
+    }
+
+    /// Sleeps for the plan's stall duration when this block-read attempt
+    /// is chosen as "slow" (independent of failure injection).
+    pub fn maybe_stall_read(&self, key: u64, attempt: u32) {
+        let p = self.plan.block_read_stall_p;
+        if p <= 0.0 || self.plan.stall.is_zero() {
+            return;
+        }
+        if self.roll(FaultSite::BlockRead, key, attempt, 0xDEAD_BEEF) < p {
+            std::thread::sleep(self.plan.stall);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn injector(plan: FaultPlan) -> FaultInjector {
+        FaultInjector::new(plan, Arc::new(Metrics::new()))
+    }
+
+    #[test]
+    fn zero_probability_never_faults() {
+        let inj = injector(FaultPlan::none());
+        for key in 0..1000 {
+            assert!(inj.fault_for(FaultSite::BlockRead, key, 1).is_none());
+            assert!(inj.fault_for(FaultSite::Task, key, 1).is_none());
+        }
+    }
+
+    #[test]
+    fn full_probability_always_faults() {
+        let inj = injector(FaultPlan {
+            block_read_fail_p: 1.0,
+            ..FaultPlan::none()
+        });
+        for key in 0..100 {
+            assert!(inj.fault_for(FaultSite::BlockRead, key, 1).is_some());
+            // Other sites stay clean.
+            assert!(inj.fault_for(FaultSite::Task, key, 1).is_none());
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_across_injectors() {
+        let plan = FaultPlan {
+            seed: 42,
+            block_read_fail_p: 0.3,
+            task_fail_p: 0.2,
+            ..FaultPlan::none()
+        };
+        let a = injector(plan.clone());
+        let b = injector(plan);
+        for key in 0..500 {
+            for attempt in 1..4 {
+                assert_eq!(
+                    a.fault_for(FaultSite::BlockRead, key, attempt).is_some(),
+                    b.fault_for(FaultSite::BlockRead, key, attempt).is_some()
+                );
+                assert_eq!(
+                    a.fault_for(FaultSite::Task, key, attempt).is_some(),
+                    b.fault_for(FaultSite::Task, key, attempt).is_some()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rate_tracks_probability() {
+        let inj = injector(FaultPlan {
+            seed: 7,
+            block_read_fail_p: 0.25,
+            ..FaultPlan::none()
+        });
+        let hits = (0..10_000u64)
+            .filter(|&k| inj.fault_for(FaultSite::BlockRead, k, 1).is_some())
+            .count();
+        assert!((2000..3000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn attempts_roll_independently() {
+        let inj = injector(FaultPlan {
+            seed: 9,
+            block_read_fail_p: 0.5,
+            ..FaultPlan::none()
+        });
+        // Some key must fail attempt 1 but pass attempt 2 — the property
+        // retries rely on.
+        let recovered = (0..200u64).any(|k| {
+            inj.fault_for(FaultSite::BlockRead, k, 1).is_some()
+                && inj.fault_for(FaultSite::BlockRead, k, 2).is_none()
+        });
+        assert!(recovered);
+    }
+
+    #[test]
+    fn faults_are_metered() {
+        let metrics = Arc::new(Metrics::new());
+        let inj = FaultInjector::new(
+            FaultPlan {
+                block_read_fail_p: 1.0,
+                ..FaultPlan::none()
+            },
+            Arc::clone(&metrics),
+        );
+        for key in 0..5 {
+            let _ = inj.fault_for(FaultSite::BlockRead, key, 1);
+        }
+        assert_eq!(metrics.snapshot().faults_injected, 5);
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(9),
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(2));
+        assert_eq!(p.backoff(2), Duration::from_millis(4));
+        assert_eq!(p.backoff(3), Duration::from_millis(8));
+        assert_eq!(p.backoff(4), Duration::from_millis(9));
+        assert_eq!(p.backoff(30), Duration::from_millis(9));
+    }
+
+    #[test]
+    fn task_epochs_advance() {
+        let inj = injector(FaultPlan::none());
+        assert_eq!(inj.next_task_epoch(), 0);
+        assert_eq!(inj.next_task_epoch(), 1);
+        assert_ne!(
+            FaultInjector::task_key(0, 3),
+            FaultInjector::task_key(1, 3),
+            "same task index in different stages must roll independently"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_probability_rejected() {
+        injector(FaultPlan {
+            task_fail_p: 1.5,
+            ..FaultPlan::none()
+        });
+    }
+}

@@ -24,6 +24,9 @@
 //! * [`metrics::Metrics`] — counters for blocks/bytes read and written,
 //!   records shuffled, and tasks run; every experiment reports them
 //!   alongside wall-clock time.
+//! * [`fault`] — a seeded, deterministic fault-injection layer plus the
+//!   retry-with-backoff machinery that masks transient block-I/O and
+//!   task failures, mirroring Spark's task-retry fault model.
 
 pub mod broadcast;
 pub mod cache;
@@ -31,6 +34,7 @@ pub mod codec;
 pub mod dataset;
 pub mod dfs;
 pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod pool;
 pub mod rng;
@@ -40,9 +44,10 @@ pub use cache::BlockCache;
 pub use codec::{decode_records, encode_records, Decode, Encode};
 pub use dataset::Dataset;
 pub use dfs::{BlockId, Dfs, DfsConfig};
-pub use error::ClusterError;
+pub use error::{ClusterError, MaybeTransient};
+pub use fault::{FaultInjector, FaultPlan, FaultSite, RetryPolicy};
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use pool::WorkerPool;
+pub use pool::{TaskError, WorkerPool};
 
 use std::path::Path;
 use std::sync::Arc;
@@ -54,6 +59,10 @@ pub struct ClusterConfig {
     pub n_workers: usize,
     /// Storage-layer behaviour.
     pub dfs: DfsConfig,
+    /// Seeded fault plan; `None` disables injection entirely.
+    pub faults: Option<FaultPlan>,
+    /// Retry budget for transient block-I/O and task failures.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ClusterConfig {
@@ -63,6 +72,8 @@ impl Default for ClusterConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             dfs: DfsConfig::default(),
+            faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -76,6 +87,7 @@ pub struct Cluster {
     pool: WorkerPool,
     dfs: Dfs,
     metrics: Arc<Metrics>,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl Cluster {
@@ -84,11 +96,7 @@ impl Cluster {
     pub fn new(config: ClusterConfig) -> Result<Cluster, ClusterError> {
         let metrics = Arc::new(Metrics::new());
         let dfs = Dfs::temp(config.dfs, Arc::clone(&metrics))?;
-        Ok(Cluster {
-            pool: WorkerPool::new(config.n_workers),
-            dfs,
-            metrics,
-        })
+        Ok(Self::assemble(config.n_workers, dfs, metrics, config.faults, config.retry))
     }
 
     /// Creates a cluster rooted at an existing directory (not removed on
@@ -96,11 +104,32 @@ impl Cluster {
     pub fn at_dir(dir: &Path, config: ClusterConfig) -> Result<Cluster, ClusterError> {
         let metrics = Arc::new(Metrics::new());
         let dfs = Dfs::at_dir(dir, config.dfs, Arc::clone(&metrics))?;
-        Ok(Cluster {
-            pool: WorkerPool::new(config.n_workers),
+        Ok(Self::assemble(config.n_workers, dfs, metrics, config.faults, config.retry))
+    }
+
+    /// Wires the fault injector (when configured) into both the DFS and
+    /// the worker pool so every layer shares one seeded oracle.
+    fn assemble(
+        n_workers: usize,
+        mut dfs: Dfs,
+        metrics: Arc<Metrics>,
+        faults: Option<FaultPlan>,
+        retry: RetryPolicy,
+    ) -> Cluster {
+        let injector = faults.map(|plan| Arc::new(FaultInjector::new(plan, Arc::clone(&metrics))));
+        let mut pool = WorkerPool::new(n_workers)
+            .with_metrics(Arc::clone(&metrics))
+            .with_retry(retry.clone());
+        if let Some(inj) = &injector {
+            dfs.set_fault_injection(Arc::clone(inj), retry);
+            pool = pool.with_fault_injection(Arc::clone(inj));
+        }
+        Cluster {
+            pool,
             dfs,
             metrics,
-        })
+            injector,
+        }
     }
 
     /// The worker pool.
@@ -116,6 +145,11 @@ impl Cluster {
     /// Live metrics counters.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The fault injector, when the cluster was configured with a plan.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
     }
 }
 

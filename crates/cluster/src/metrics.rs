@@ -19,6 +19,11 @@ pub struct Metrics {
     broadcast_bytes: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    faults_injected: AtomicU64,
+    task_retries: AtomicU64,
+    block_read_retries: AtomicU64,
+    block_write_retries: AtomicU64,
+    tasks_failed_permanently: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -42,6 +47,16 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// Block reads that missed the LRU cache (when enabled).
     pub cache_misses: u64,
+    /// Faults deliberately injected by a seeded fault plan.
+    pub faults_injected: u64,
+    /// Worker-pool tasks that were retried after a transient failure.
+    pub task_retries: u64,
+    /// DFS block reads that were retried after a transient failure.
+    pub block_read_retries: u64,
+    /// DFS block writes that were retried after a transient failure.
+    pub block_write_retries: u64,
+    /// Tasks that exhausted their retry budget and surfaced an error.
+    pub tasks_failed_permanently: u64,
 }
 
 impl MetricsSnapshot {
@@ -59,6 +74,17 @@ impl MetricsSnapshot {
             broadcast_bytes: self.broadcast_bytes.saturating_sub(earlier.broadcast_bytes),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
+            task_retries: self.task_retries.saturating_sub(earlier.task_retries),
+            block_read_retries: self
+                .block_read_retries
+                .saturating_sub(earlier.block_read_retries),
+            block_write_retries: self
+                .block_write_retries
+                .saturating_sub(earlier.block_write_retries),
+            tasks_failed_permanently: self
+                .tasks_failed_permanently
+                .saturating_sub(earlier.tasks_failed_permanently),
         }
     }
 }
@@ -106,6 +132,31 @@ impl Metrics {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one injected fault.
+    pub fn record_fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one task retry.
+    pub fn record_task_retry(&self) {
+        self.task_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one block-read retry.
+    pub fn record_block_read_retry(&self) {
+        self.block_read_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one block-write retry.
+    pub fn record_block_write_retry(&self) {
+        self.block_write_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a task that failed after exhausting its retries.
+    pub fn record_task_failed_permanently(&self) {
+        self.tasks_failed_permanently.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a consistent-enough snapshot (relaxed loads; counters are
     /// monotone so deltas remain meaningful).
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -119,6 +170,11 @@ impl Metrics {
             broadcast_bytes: self.broadcast_bytes.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            task_retries: self.task_retries.load(Ordering::Relaxed),
+            block_read_retries: self.block_read_retries.load(Ordering::Relaxed),
+            block_write_retries: self.block_write_retries.load(Ordering::Relaxed),
+            tasks_failed_permanently: self.tasks_failed_permanently.load(Ordering::Relaxed),
         }
     }
 
@@ -133,6 +189,11 @@ impl Metrics {
         self.broadcast_bytes.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
+        self.faults_injected.store(0, Ordering::Relaxed);
+        self.task_retries.store(0, Ordering::Relaxed);
+        self.block_read_retries.store(0, Ordering::Relaxed);
+        self.block_write_retries.store(0, Ordering::Relaxed);
+        self.tasks_failed_permanently.store(0, Ordering::Relaxed);
     }
 }
 
@@ -178,8 +239,27 @@ mod tests {
     fn reset_zeroes() {
         let m = Metrics::new();
         m.record_block_read(10);
+        m.record_fault_injected();
+        m.record_task_retry();
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let m = Metrics::new();
+        m.record_fault_injected();
+        m.record_fault_injected();
+        m.record_task_retry();
+        m.record_block_read_retry();
+        m.record_block_write_retry();
+        m.record_task_failed_permanently();
+        let s = m.snapshot();
+        assert_eq!(s.faults_injected, 2);
+        assert_eq!(s.task_retries, 1);
+        assert_eq!(s.block_read_retries, 1);
+        assert_eq!(s.block_write_retries, 1);
+        assert_eq!(s.tasks_failed_permanently, 1);
     }
 
     #[test]

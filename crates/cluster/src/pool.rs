@@ -3,14 +3,36 @@
 //! Tasks are distributed by work stealing over an atomic cursor; each
 //! `par_*` call spawns scoped threads so closures may borrow from the
 //! caller, matching the way Spark stages close over broadcast state.
+//!
+//! Two families of entry points:
+//!
+//! * `par_*` — infallible pure computation; a panicking closure aborts
+//!   the stage (a bug, not a fault).
+//! * `try_par_*` — Spark-style fault-tolerant tasks. Each task may fail
+//!   (closure `Err`), crash (panic — caught), or be failed by the seeded
+//!   [`FaultInjector`]; transient failures are retried with capped
+//!   exponential backoff, and only an exhausted retry budget or a
+//!   permanent (logical) error surfaces to the caller — deterministically
+//!   as the lowest-indexed failing task's error.
 
-use crossbeam::thread;
+use crate::error::{ClusterError, MaybeTransient};
+use crate::fault::{FaultInjector, FaultSite, RetryPolicy};
+use crate::metrics::Metrics;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
 
 /// A pool of `n_workers` parallel workers.
 #[derive(Debug, Clone)]
 pub struct WorkerPool {
     n_workers: usize,
+    /// Counters for task retries / permanent failures (None = unmetered).
+    metrics: Option<Arc<Metrics>>,
+    /// Seeded fault oracle for `try_par_*` tasks (None = no injection).
+    injector: Option<Arc<FaultInjector>>,
+    /// Retry budget for transient task failures.
+    retry: RetryPolicy,
 }
 
 impl WorkerPool {
@@ -18,7 +40,28 @@ impl WorkerPool {
     pub fn new(n_workers: usize) -> WorkerPool {
         WorkerPool {
             n_workers: n_workers.max(1),
+            metrics: None,
+            injector: None,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Attaches metrics counters (builder style).
+    pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> WorkerPool {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Sets the retry policy for `try_par_*` tasks (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> WorkerPool {
+        self.retry = retry;
+        self
+    }
+
+    /// Arms fault injection for `try_par_*` tasks (builder style).
+    pub fn with_fault_injection(mut self, injector: Arc<FaultInjector>) -> WorkerPool {
+        self.injector = Some(injector);
+        self
     }
 
     /// Number of workers.
@@ -67,7 +110,7 @@ impl WorkerPool {
                 let slots = &slots;
                 let cursor = &cursor;
                 let f = &f;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut local = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -84,8 +127,7 @@ impl WorkerPool {
                 .into_iter()
                 .map(|h| h.join().expect("worker panicked"))
                 .collect()
-        })
-        .expect("scope panicked");
+        });
 
         let mut flat: Vec<(usize, R)> = Vec::with_capacity(n);
         for b in buckets.drain(..) {
@@ -103,6 +145,184 @@ impl WorkerPool {
         F: Fn(usize) -> R + Sync,
     {
         self.par_map((0..n_tasks).collect(), f)
+    }
+
+    /// Fault-tolerant [`Self::par_map`]: each task returns a `Result`,
+    /// panics are caught, injected faults apply, and transient failures
+    /// are retried per the pool's [`RetryPolicy`].
+    ///
+    /// `T: Clone` because a failed attempt consumes its input; the final
+    /// attempt moves the original, so the last retry pays no clone.
+    /// When tasks fail permanently, the error of the lowest-indexed
+    /// failing task is returned (deterministic under any scheduling).
+    pub fn try_par_map<T, R, E, F>(&self, items: Vec<T>, f: F) -> Result<Vec<R>, E>
+    where
+        T: Send + Sync + Clone,
+        R: Send,
+        E: TaskError,
+        F: Fn(T) -> Result<R, E> + Sync,
+    {
+        self.try_par_map_indexed(items, |_, item| f(item))
+    }
+
+    /// Like [`Self::try_par_map`] but the closure also receives the item
+    /// index.
+    pub fn try_par_map_indexed<T, R, E, F>(&self, items: Vec<T>, f: F) -> Result<Vec<R>, E>
+    where
+        T: Send + Sync + Clone,
+        R: Send,
+        E: TaskError,
+        F: Fn(usize, T) -> Result<R, E> + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        // One epoch per stage: task keys are namespaced so retries of
+        // "task i" in different stages roll independent fault decisions.
+        let epoch = self
+            .injector
+            .as_ref()
+            .map(|inj| inj.next_task_epoch())
+            .unwrap_or(0);
+
+        if self.n_workers == 1 || n == 1 {
+            let mut out = Vec::with_capacity(n);
+            for (i, item) in items.into_iter().enumerate() {
+                out.push(self.run_task(epoch, i, item, &f)?);
+            }
+            return Ok(out);
+        }
+
+        let slots: Vec<parking_lot::Mutex<Option<T>>> = items
+            .into_iter()
+            .map(|t| parking_lot::Mutex::new(Some(t)))
+            .collect();
+        let cursor = AtomicUsize::new(0);
+        let workers = self.n_workers.min(n);
+
+        let buckets: Vec<Vec<(usize, Result<R, E>)>> = thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let slots = &slots;
+                let cursor = &cursor;
+                let f = &f;
+                let this = &*self;
+                handles.push(scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = slots[i].lock().take().expect("slot claimed once");
+                        local.push((i, this.run_task(epoch, i, item, f)));
+                    }
+                    local
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+
+        let mut flat: Vec<(usize, Result<R, E>)> = buckets.into_iter().flatten().collect();
+        flat.sort_by_key(|(i, _)| *i);
+        // First error in task order wins — independent of which worker
+        // hit it first on the wall clock.
+        flat.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Fault-tolerant [`Self::par_tasks`].
+    pub fn try_par_tasks<R, E, F>(&self, n_tasks: usize, f: F) -> Result<Vec<R>, E>
+    where
+        R: Send,
+        E: TaskError,
+        F: Fn(usize) -> Result<R, E> + Sync,
+    {
+        self.try_par_map_indexed((0..n_tasks).collect(), |_, i| f(i))
+    }
+
+    /// Runs one task through the full attempt loop: injection check,
+    /// panic capture, transient-retry with backoff, typed exhaustion.
+    fn run_task<T, R, E, F>(&self, epoch: u64, index: usize, item: T, f: &F) -> Result<R, E>
+    where
+        T: Clone,
+        E: TaskError,
+        F: Fn(usize, T) -> Result<R, E>,
+    {
+        let attempts = self.retry.attempts();
+        let key = FaultInjector::task_key(epoch, index);
+        let mut item = Some(item);
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let err: E = 'attempt: {
+                if let Some(inj) = &self.injector {
+                    if let Some(e) = inj.fault_for(FaultSite::Task, key, attempt) {
+                        break 'attempt E::from(e);
+                    }
+                }
+                let arg = if attempt == attempts {
+                    item.take().expect("input consumed before final attempt")
+                } else {
+                    item.clone().expect("input consumed before final attempt")
+                };
+                match catch_unwind(AssertUnwindSafe(|| f(index, arg))) {
+                    Ok(Ok(r)) => return Ok(r),
+                    Ok(Err(e)) => e,
+                    // `as_ref` matters: `&payload` would unsize the Box
+                    // itself into `dyn Any` and every downcast would miss.
+                    Err(payload) => E::from(ClusterError::TaskPanicked {
+                        message: panic_message(payload.as_ref()),
+                    }),
+                }
+            };
+            if err.is_transient() && attempt < attempts {
+                if let Some(m) = &self.metrics {
+                    m.record_task_retry();
+                }
+                std::thread::sleep(self.retry.backoff(attempt));
+                continue;
+            }
+            if let Some(m) = &self.metrics {
+                m.record_task_failed_permanently();
+            }
+            if err.is_transient() {
+                return Err(E::from(ClusterError::RetriesExhausted {
+                    op: "task",
+                    attempts: attempt,
+                    source: Box::new(err),
+                }));
+            }
+            return Err(err);
+        }
+    }
+}
+
+/// Bound alias for errors flowing through `try_par_*` tasks: convertible
+/// from [`ClusterError`] (so injected faults, caught panics, and retry
+/// exhaustion can be expressed in the caller's error type) and
+/// classifiable as transient or permanent.
+pub trait TaskError:
+    std::error::Error + From<ClusterError> + MaybeTransient + Send + Sync + 'static
+{
+}
+
+impl<E> TaskError for E where
+    E: std::error::Error + From<ClusterError> + MaybeTransient + Send + Sync + 'static
+{
+}
+
+/// Renders a caught panic payload for [`ClusterError::TaskPanicked`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -184,5 +404,165 @@ mod tests {
         assert_eq!(out.len(), 10_000);
         assert_eq!(out[6], 6);
         assert_eq!(out[7], 0);
+    }
+
+    use crate::fault::FaultPlan;
+    use crate::ClusterError;
+
+    fn fast_retry(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts,
+            backoff_base: std::time::Duration::ZERO,
+            backoff_cap: std::time::Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn try_par_map_ok_preserves_order_under_contention() {
+        // Many more items than workers so the cursor is contended.
+        let pool = WorkerPool::new(8).with_retry(fast_retry(2));
+        let out: Vec<u64> = pool
+            .try_par_map((0..5000u64).collect(), |x| Ok::<_, ClusterError>(x * 3))
+            .unwrap();
+        assert_eq!(out, (0..5000).map(|x| x * 3).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn try_par_map_empty_is_ok() {
+        let pool = WorkerPool::new(4);
+        let out: Result<Vec<u32>, ClusterError> = pool.try_par_map(Vec::<u32>::new(), Ok);
+        assert_eq!(out.unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn panicking_task_is_retried_then_succeeds() {
+        // Panics on the first attempt for every odd item, succeeds on
+        // retry — models a crashing executor that recovers.
+        let metrics = Arc::new(Metrics::new());
+        let pool = WorkerPool::new(4)
+            .with_metrics(Arc::clone(&metrics))
+            .with_retry(fast_retry(3));
+        let first_tries = (0..100)
+            .map(|_| AtomicUsize::new(0))
+            .collect::<Vec<_>>();
+        let out: Vec<u64> = pool
+            .try_par_map_indexed((0..100u64).collect(), |i, x| {
+                if x % 2 == 1 && first_tries[i].fetch_add(1, Ordering::Relaxed) == 0 {
+                    panic!("simulated crash on task {i}");
+                }
+                Ok::<_, ClusterError>(x + 1)
+            })
+            .unwrap();
+        assert_eq!(out, (1..=100).collect::<Vec<u64>>());
+        assert_eq!(metrics.snapshot().task_retries, 50);
+        assert_eq!(metrics.snapshot().tasks_failed_permanently, 0);
+    }
+
+    #[test]
+    fn always_panicking_task_surfaces_typed_error_not_hang() {
+        let metrics = Arc::new(Metrics::new());
+        let pool = WorkerPool::new(4)
+            .with_metrics(Arc::clone(&metrics))
+            .with_retry(fast_retry(3));
+        let err = pool
+            .try_par_map((0..10u64).collect(), |x| {
+                if x == 7 {
+                    panic!("permanently broken");
+                }
+                Ok::<_, ClusterError>(x)
+            })
+            .unwrap_err();
+        match err {
+            ClusterError::RetriesExhausted { op, attempts, source } => {
+                assert_eq!(op, "task");
+                assert_eq!(attempts, 3);
+                assert!(source.to_string().contains("permanently broken"));
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        assert_eq!(metrics.snapshot().task_retries, 2);
+        assert_eq!(metrics.snapshot().tasks_failed_permanently, 1);
+    }
+
+    #[test]
+    fn permanent_error_is_not_retried() {
+        let metrics = Arc::new(Metrics::new());
+        let pool = WorkerPool::new(2)
+            .with_metrics(Arc::clone(&metrics))
+            .with_retry(fast_retry(5));
+        let err = pool
+            .try_par_map((0..4u32).collect(), |x| {
+                if x == 2 {
+                    Err(ClusterError::Codec { context: "bad record" })
+                } else {
+                    Ok(x)
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Codec { .. }));
+        assert_eq!(metrics.snapshot().task_retries, 0);
+    }
+
+    #[test]
+    fn lowest_indexed_error_wins_deterministically() {
+        let pool = WorkerPool::new(8).with_retry(fast_retry(1));
+        for _ in 0..20 {
+            let err = pool
+                .try_par_map((0..100u32).collect(), |x| {
+                    if x >= 40 {
+                        Err(ClusterError::MissingFile {
+                            name: format!("f{x}"),
+                        })
+                    } else {
+                        Ok(x)
+                    }
+                })
+                .unwrap_err();
+            assert!(matches!(err, ClusterError::MissingFile { name } if name == "f40"));
+        }
+    }
+
+    #[test]
+    fn injected_task_faults_are_masked_by_retries() {
+        let metrics = Arc::new(Metrics::new());
+        let injector = Arc::new(FaultInjector::new(
+            FaultPlan {
+                seed: 21,
+                task_fail_p: 0.2,
+                ..FaultPlan::none()
+            },
+            Arc::clone(&metrics),
+        ));
+        let pool = WorkerPool::new(4)
+            .with_metrics(Arc::clone(&metrics))
+            .with_retry(fast_retry(6))
+            .with_fault_injection(injector);
+        let out: Vec<u64> = pool
+            .try_par_map((0..200u64).collect(), |x| Ok::<_, ClusterError>(x * x))
+            .unwrap();
+        assert_eq!(out, (0..200).map(|x| x * x).collect::<Vec<u64>>());
+        let s = metrics.snapshot();
+        assert!(s.faults_injected > 0);
+        assert!(s.task_retries > 0);
+        assert_eq!(s.tasks_failed_permanently, 0);
+    }
+
+    #[test]
+    fn try_par_tasks_single_worker_short_circuits() {
+        let pool = WorkerPool::new(1).with_retry(fast_retry(1));
+        let ran = AtomicUsize::new(0);
+        let err = pool
+            .try_par_tasks(10, |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if i == 3 {
+                    Err(ClusterError::Codec { context: "stop" })
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Codec { .. }));
+        // Inline execution stops at the first failure.
+        assert_eq!(ran.load(Ordering::Relaxed), 4);
     }
 }

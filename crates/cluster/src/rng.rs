@@ -5,6 +5,19 @@
 //! an explicit seed. This is a splitmix64 generator — statistically solid
 //! for sampling decisions, not cryptographic.
 
+/// FNV-1a hash of a byte string.
+///
+/// Used to derive stable 64-bit keys from names (e.g. DFS file names)
+/// for seeded per-site decisions such as fault injection.
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 /// Splitmix64 PRNG.
 #[derive(Debug, Clone)]
 pub struct SplitMix64 {
@@ -123,5 +136,12 @@ mod tests {
     #[should_panic(expected = "bound must be positive")]
     fn below_zero_bound_panics() {
         SplitMix64::new(1).next_below(0);
+    }
+
+    #[test]
+    fn hash_bytes_is_stable_and_spread() {
+        assert_eq!(hash_bytes(b"records"), hash_bytes(b"records"));
+        assert_ne!(hash_bytes(b"records"), hash_bytes(b"record"));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
     }
 }

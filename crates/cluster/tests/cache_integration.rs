@@ -1,8 +1,9 @@
 //! Integration tests for the DFS LRU block cache: correctness under
-//! delete/rewrite, metering, and latency savings.
+//! delete/rewrite, metering, latency savings, and interaction with the
+//! fault-injection retry path.
 
 use std::time::Duration;
-use tardis_cluster::{Cluster, ClusterConfig, DfsConfig};
+use tardis_cluster::{Cluster, ClusterConfig, DfsConfig, FaultPlan, RetryPolicy};
 
 fn cached_cluster(cache_bytes: usize, latency_ms: u64) -> Cluster {
     Cluster::new(ClusterConfig {
@@ -12,6 +13,7 @@ fn cached_cluster(cache_bytes: usize, latency_ms: u64) -> Cluster {
             write_latency: Duration::ZERO,
             cache_bytes,
         },
+        ..ClusterConfig::default()
     })
     .unwrap()
 }
@@ -84,6 +86,80 @@ fn tiny_cache_evicts_but_stays_correct() {
         assert_eq!(c.dfs().read_block(&b).unwrap(), vec![2u8; 80]);
     }
     assert!(c.dfs().cache_used_bytes() <= 100);
+}
+
+#[test]
+fn hit_miss_accounting_matches_read_pattern() {
+    let c = cached_cluster(1 << 20, 0);
+    let ids: Vec<_> = (0..4)
+        .map(|i| c.dfs().append_block("f", &[i as u8; 16]).unwrap())
+        .collect();
+
+    // First pass: 4 cold reads. Second and third pass: 8 hot reads.
+    for _ in 0..3 {
+        for id in &ids {
+            c.dfs().read_block(id).unwrap();
+        }
+    }
+    let m = c.metrics().snapshot();
+    assert_eq!(m.cache_misses, 4);
+    assert_eq!(m.cache_hits, 8);
+    assert_eq!(m.blocks_read, 4, "disk touched once per block");
+    assert_eq!(
+        m.cache_hits + m.cache_misses,
+        12,
+        "every read is accounted exactly once"
+    );
+}
+
+/// A read that fails with an injected fault, then succeeds on retry,
+/// must still populate the cache: the *next* read of the same block is
+/// a pure cache hit with no further disk I/O.
+#[test]
+fn retried_read_after_fault_repopulates_cache() {
+    // p = 0.9 with a deep zero-backoff budget: the first uncached read
+    // almost surely eats several injected faults before succeeding.
+    let c = Cluster::new(ClusterConfig {
+        n_workers: 2,
+        dfs: DfsConfig {
+            read_latency: Duration::ZERO,
+            write_latency: Duration::ZERO,
+            cache_bytes: 1 << 20,
+        },
+        faults: Some(FaultPlan {
+            seed: 0xCAC4E,
+            block_read_fail_p: 0.9,
+            ..FaultPlan::default()
+        }),
+        retry: RetryPolicy {
+            max_attempts: 64,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+        },
+    })
+    .unwrap();
+
+    let id = c.dfs().append_block("f", &[7u8; 32]).unwrap();
+    assert_eq!(c.dfs().read_block(&id).unwrap(), vec![7u8; 32]);
+
+    let after_first = c.metrics().snapshot();
+    assert!(
+        after_first.faults_injected > 0 && after_first.block_read_retries > 0,
+        "first read should have been faulted and retried: {after_first:?}"
+    );
+    assert_eq!(after_first.cache_misses, 1);
+    assert_eq!(after_first.blocks_read, 1, "retries settle into one read");
+
+    // Second read: pure cache hit — no disk, no new retries, and the
+    // injector never even gets consulted on the fast path.
+    assert_eq!(c.dfs().read_block(&id).unwrap(), vec![7u8; 32]);
+    let after_second = c.metrics().snapshot();
+    assert_eq!(after_second.cache_hits, 1);
+    assert_eq!(after_second.blocks_read, after_first.blocks_read);
+    assert_eq!(
+        after_second.block_read_retries, after_first.block_read_retries,
+        "cache hits never re-enter the retry loop"
+    );
 }
 
 // (The end-to-end "queries hit the cache" test lives in the root suite,

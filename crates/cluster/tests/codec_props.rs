@@ -1,0 +1,143 @@
+//! Property tests for the hand-rolled binary codec: every encodable
+//! shape round-trips exactly, any strict truncation of a block is a
+//! decode *error* (never a panic), and corrupted or random bytes are
+//! handled without panicking or reading past the buffer.
+
+use proptest::prelude::*;
+use tardis_cluster::{decode_records, encode_records, Decode, Encode};
+use tardis_ts::{Record, TimeSeries};
+
+fn records(rids: &[u64], lens: &[u8]) -> Vec<Record> {
+    rids.iter()
+        .zip(lens.iter().cycle())
+        .map(|(&rid, &len)| {
+            Record::new(
+                rid,
+                TimeSeries::new(
+                    (0..len as usize)
+                        .map(|i| (rid as f32).sin() + i as f32 * 0.25)
+                        .collect(),
+                ),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Records of arbitrary rid and length round-trip exactly through a
+    /// block, and the encoded-length hint is exact for every shape.
+    #[test]
+    fn record_blocks_roundtrip(
+        rids in prop::collection::vec(0u64..u64::MAX, 0..40),
+        lens in prop::collection::vec(0u8..32, 1..8),
+    ) {
+        let items = records(&rids, &lens);
+        let block = encode_records(&items);
+        let hint: usize = 4 + items.iter().map(|r| r.encoded_len_hint()).sum::<usize>();
+        prop_assert_eq!(block.len(), hint);
+        let decoded: Vec<Record> = decode_records(&block).unwrap();
+        prop_assert_eq!(decoded, items);
+    }
+
+    /// Every tuple shape the shuffle uses round-trips: bare keys, byte
+    /// payloads, pairs, and nested pairs.
+    #[test]
+    fn tuple_shapes_roundtrip(
+        keys in prop::collection::vec(0u64..u64::MAX, 0..50),
+        payload in prop::collection::vec(prop::collection::vec(0u8..=255, 0..30), 0..20),
+    ) {
+        let block = encode_records(&keys);
+        let back: Vec<u64> = decode_records(&block).unwrap();
+        prop_assert_eq!(&back, &keys);
+
+        let bytes: Vec<Vec<u8>> = payload.clone();
+        let block = encode_records(&bytes);
+        let back: Vec<Vec<u8>> = decode_records(&block).unwrap();
+        prop_assert_eq!(&back, &bytes);
+
+        let pairs: Vec<(u64, Vec<u8>)> = keys
+            .iter()
+            .zip(payload.iter().cycle().chain(std::iter::repeat(&vec![])))
+            .map(|(&k, v)| (k, v.clone()))
+            .collect();
+        let block = encode_records(&pairs);
+        let back: Vec<(u64, Vec<u8>)> = decode_records(&block).unwrap();
+        prop_assert_eq!(&back, &pairs);
+
+        let nested: Vec<((u64, u64), Vec<u8>)> = pairs
+            .iter()
+            .map(|(k, v)| ((*k, k.wrapping_mul(31)), v.clone()))
+            .collect();
+        let block = encode_records(&nested);
+        let back: Vec<((u64, u64), Vec<u8>)> = decode_records(&block).unwrap();
+        prop_assert_eq!(back, nested);
+    }
+
+    /// Chopping a non-empty block anywhere strictly before its end must
+    /// produce a typed decode error — never a panic, never an `Ok`.
+    #[test]
+    fn any_truncation_is_an_error(
+        rids in prop::collection::vec(0u64..10_000, 1..20),
+        lens in prop::collection::vec(1u8..16, 1..4),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let items = records(&rids, &lens);
+        let block = encode_records(&items);
+        let cut = ((block.len() as f64) * cut_frac) as usize; // < block.len()
+        let res = decode_records::<Record>(&block[..cut]);
+        prop_assert!(res.is_err(), "truncation at {cut}/{} decoded", block.len());
+    }
+
+    /// Flipping one byte anywhere in a block never panics or over-reads;
+    /// the decoder either rejects it or returns *some* well-formed value.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        rids in prop::collection::vec(0u64..10_000, 1..20),
+        lens in prop::collection::vec(1u8..16, 1..4),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let items = records(&rids, &lens);
+        let mut block = encode_records(&items);
+        let pos = ((block.len() as f64) * pos_frac) as usize;
+        block[pos] ^= flip;
+        // The property is simply "no panic, no out-of-bounds": both
+        // outcomes of decode are acceptable for corrupted input.
+        let _ = decode_records::<Record>(&block);
+    }
+
+    /// Feeding completely arbitrary bytes to the decoder never panics,
+    /// for every decodable shape.
+    #[test]
+    fn random_bytes_never_panic(
+        junk in prop::collection::vec(0u8..=255, 0..200),
+    ) {
+        let _ = decode_records::<Record>(&junk);
+        let _ = decode_records::<u64>(&junk);
+        let _ = decode_records::<Vec<u8>>(&junk);
+        let _ = decode_records::<(u64, Vec<u8>)>(&junk);
+    }
+
+    /// A decoder consumes *exactly* the bytes its encoder produced: with
+    /// arbitrary trailing bytes appended, single-item decode leaves the
+    /// suffix untouched (proof there is no over-read).
+    #[test]
+    fn decode_consumes_exactly_what_encode_wrote(
+        rid in 0u64..u64::MAX,
+        len in 0u8..32,
+        suffix in prop::collection::vec(0u8..=255, 0..50),
+    ) {
+        let item = records(&[rid], &[len]).pop().unwrap();
+        let mut buf = bytes::BytesMut::new();
+        item.encode(&mut buf);
+        let mut wire = buf.to_vec();
+        wire.extend_from_slice(&suffix);
+
+        let mut slice: &[u8] = &wire;
+        let decoded = Record::decode(&mut slice).unwrap();
+        prop_assert_eq!(decoded, item);
+        prop_assert_eq!(slice, &suffix[..], "decoder read past its encoding");
+    }
+}

@@ -1,7 +1,7 @@
 //! Error type for the TARDIS core.
 
 use std::fmt;
-use tardis_cluster::ClusterError;
+use tardis_cluster::{ClusterError, MaybeTransient};
 use tardis_isax::IsaxError;
 use tardis_ts::TsError;
 
@@ -66,6 +66,18 @@ impl From<ClusterError> for CoreError {
     }
 }
 
+impl MaybeTransient for CoreError {
+    /// Only substrate failures can be transient (lost reads, injected
+    /// faults, crashed tasks); every core-level error is logical and
+    /// retrying the task would deterministically fail again.
+    fn is_transient(&self) -> bool {
+        match self {
+            CoreError::Cluster(e) => e.is_transient(),
+            _ => false,
+        }
+    }
+}
+
 impl From<IsaxError> for CoreError {
     fn from(e: IsaxError) -> Self {
         CoreError::Isax(e)
@@ -106,5 +118,27 @@ mod tests {
 
         let e = CoreError::UnknownPartition { pid: 7 };
         assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn transience_follows_the_cluster_layer() {
+        let transient: CoreError = ClusterError::InjectedFault {
+            site: "task",
+            key: 1,
+            attempt: 1,
+        }
+        .into();
+        assert!(transient.is_transient());
+
+        let permanent: CoreError = ClusterError::Codec { context: "hdr" }.into();
+        assert!(!permanent.is_transient());
+
+        // Core-level logical errors never retry.
+        assert!(!CoreError::UnknownPartition { pid: 0 }.is_transient());
+        assert!(!CoreError::QueryLengthMismatch {
+            query: 1,
+            indexed: 2
+        }
+        .is_transient());
     }
 }

@@ -116,36 +116,41 @@ impl TardisIndex {
         let partitioner = Broadcast::new(global, report.global_index_bytes, cluster.metrics());
 
         // ---- Step 3: read + convert + shuffle. ----
+        // Spark-style fault-tolerant tasks: when the cluster is
+        // configured with a fault plan, read/convert tasks may be failed
+        // or crashed and are retried transparently; only an exhausted
+        // retry budget or a logical error aborts the build.
         let t0 = Instant::now();
         let block_ids = cluster.dfs().list_blocks(dataset_file)?;
         let converter = *partitioner.converter();
-        let per_block: Vec<Result<Vec<Entry>, CoreError>> =
-            cluster.pool().par_map(block_ids.clone(), |id| {
-                let bytes = cluster.dfs().read_block(&id)?;
-                let records: Vec<Record> = decode_records(&bytes)?;
-                cluster.metrics().record_task();
-                records
-                    .into_iter()
-                    .map(|r| Ok(Entry::new(converter.sig_of(&r.ts)?, r)))
-                    .collect()
-            });
+        let per_block: Vec<Vec<Entry>> =
+            cluster
+                .pool()
+                .try_par_map(block_ids.clone(), |id| -> Result<Vec<Entry>, CoreError> {
+                    let bytes = cluster.dfs().read_block(&id)?;
+                    let records: Vec<Record> = decode_records(&bytes)?;
+                    cluster.metrics().record_task();
+                    records
+                        .into_iter()
+                        .map(|r| Ok(Entry::new(converter.sig_of(&r.ts)?, r)))
+                        .collect()
+                })?;
         let mut partitions_in = Vec::with_capacity(per_block.len());
         let mut n_records = 0u64;
         let mut dataset_block_records = 0usize;
-        for block in per_block {
-            let entries = block?;
+        for entries in per_block {
             dataset_block_records = dataset_block_records.max(entries.len());
             n_records += entries.len() as u64;
             partitions_in.push(entries);
         }
         report.read_convert = t0.elapsed();
         let t_shuffle = Instant::now();
-        let shuffled = Dataset::from_partitions(partitions_in).shuffle(
+        let shuffled = Dataset::from_partitions(partitions_in).try_shuffle(
             cluster.pool(),
             cluster.metrics(),
             n_partitions,
             |e: &Entry| partitioner.partition_of(&e.sig) as usize,
-        );
+        )?;
         report.shuffle = t_shuffle.elapsed();
         report.n_records = n_records;
         report.n_partitions = n_partitions;
@@ -158,16 +163,14 @@ impl TardisIndex {
             .enumerate()
             .map(|(pid, entries)| (pid as PartitionId, entries))
             .collect();
-        let built: Vec<Result<(PartitionMeta, Option<BloomFilter>), CoreError>> = cluster
-            .pool()
-            .par_map(inputs, |(pid, entries)| {
+        let built: Vec<(PartitionMeta, Option<BloomFilter>)> =
+            cluster.pool().try_par_map(inputs, |(pid, entries)| {
                 cluster.metrics().record_task();
                 build_partition(cluster, config, pid, entries)
-            });
+            })?;
         let mut parts = Vec::with_capacity(built.len());
         let mut blooms = Vec::with_capacity(built.len());
-        for item in built {
-            let (meta, bloom) = item?;
+        for (meta, bloom) in built {
             report.local_index_bytes += meta.index_bytes;
             report.bloom_bytes += meta.bloom_bytes;
             parts.push(meta);

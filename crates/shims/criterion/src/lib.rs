@@ -1,0 +1,181 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the tiny API surface the workspace's benches use: a
+//! [`Criterion`] handle, named benchmark groups, `bench_function` with a
+//! [`Bencher`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is a simple
+//! median-of-batches timer — adequate for relative comparisons in this
+//! repo, with none of the real crate's statistics, plotting, or history.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (recorded, reported alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        eprintln!("\n== group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_millis(300),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Times one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+            }
+            if budget_start.elapsed() > self.measurement_time.saturating_mul(4) {
+                break;
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(0.0);
+        let extra = match self.throughput {
+            Some(Throughput::Bytes(b)) if median > 0.0 => {
+                format!("  ({:.1} MiB/s)", b as f64 / median / (1 << 20) as f64)
+            }
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  ({:.0} elem/s)", n as f64 / median)
+            }
+            _ => String::new(),
+        };
+        eprintln!(
+            "{}/{id}: median {:.3} µs over {} samples{extra}",
+            self.name,
+            median * 1e6,
+            samples.len()
+        );
+        self
+    }
+
+    /// Ends the group (printing is incremental; this is a no-op hook).
+    pub fn finish(&mut self) {}
+}
+
+/// Per-benchmark iteration timer.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated runs of `f` (a small fixed batch per sample).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        const BATCH: u64 = 8;
+        let t0 = Instant::now();
+        for _ in 0..BATCH {
+            black_box(f());
+        }
+        self.elapsed += t0.elapsed();
+        self.iters += BATCH;
+    }
+}
+
+/// Declares a benchmark group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .throughput(Throughput::Bytes(1024));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

@@ -50,7 +50,10 @@ pub mod prelude {
         baseline_exact_match, baseline_knn, BaselineConfig, DpisaxIndex, SplitPolicy,
     };
     pub use tardis_bloom::BloomFilter;
-    pub use tardis_cluster::{Cluster, ClusterConfig, Dataset, DfsConfig, WorkerPool};
+    pub use tardis_cluster::{
+        Cluster, ClusterConfig, ClusterError, Dataset, DfsConfig, FaultPlan, MaybeTransient,
+        MetricsSnapshot, RetryPolicy, WorkerPool,
+    };
     pub use tardis_core::{
         error_ratio, exact_knn, exact_match, ground_truth_knn, knn_approximate, range_query,
         recall, CoreError, KnnStrategy, TardisConfig, TardisIndex,

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green.
+#
+#   scripts/tier1.sh            # full build + test suite
+#   scripts/tier1.sh --chaos    # additionally re-run the seeded chaos
+#                               # suite by itself (verbose)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: full test suite =="
+cargo test -q
+
+if [[ "${1:-}" == "--chaos" ]]; then
+    echo "== tier-1: seeded chaos suite (deterministic fault injection) =="
+    cargo test --test chaos -- --nocapture
+fi
+
+echo "== tier-1: OK =="

@@ -81,6 +81,7 @@ fn concurrent_queries_with_cache_stay_consistent() {
                 cache_bytes: 8 << 20,
                 ..DfsConfig::default()
             },
+            ..ClusterConfig::default()
         })
         .unwrap(),
     );

@@ -141,6 +141,7 @@ fn queries_benefit_from_partition_caching() {
             cache_bytes: 64 << 20,
             ..DfsConfig::default()
         },
+        ..ClusterConfig::default()
     })
     .unwrap();
     let gen = RandomWalk::with_len(3, 64);
@@ -166,6 +167,7 @@ fn read_latency_makes_bloom_savings_visible() {
             read_latency: std::time::Duration::from_millis(3),
             ..DfsConfig::default()
         },
+        ..ClusterConfig::default()
     })
     .unwrap();
     let gen = RandomWalk::with_len(2, 64);
