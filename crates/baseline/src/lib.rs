@@ -37,6 +37,7 @@ pub use global::DpisaxGlobal;
 pub use ibt::{BEntry, Ibt, IbtConfig, IbtStats, SplitPolicy};
 pub use index::{BaselineBuildReport, DpisaxIndex};
 pub use query::{
-    baseline_exact_match, baseline_knn, baseline_knn_sig_only, BaselineExactOutcome,
+    baseline_exact_match, baseline_exact_match_profiled, baseline_knn, baseline_knn_profiled,
+    baseline_knn_sig_only, baseline_knn_sig_only_profiled, BaselineExactOutcome,
     BaselineKnnAnswer,
 };

@@ -9,7 +9,7 @@
 
 use crate::error::BaselineError;
 use crate::index::DpisaxIndex;
-use tardis_cluster::Cluster;
+use tardis_cluster::{Cluster, QueryProfile, Tracer};
 use tardis_isax::SaxWord;
 use tardis_ts::{squared_euclidean, RecordId, TimeSeries};
 
@@ -43,25 +43,64 @@ pub fn baseline_exact_match(
     cluster: &Cluster,
     query: &TimeSeries,
 ) -> Result<BaselineExactOutcome, BaselineError> {
+    Ok(baseline_exact_match_profiled(index, cluster, query, &Tracer::disabled())?.0)
+}
+
+/// [`baseline_exact_match`] with a [`QueryProfile`] and spans
+/// (`dpisax-exact` → `route` / `load` / `refine`) accumulated in
+/// `tracer`. There is no `prune` phase: DPiSAX has no Bloom filter, so
+/// every query pays the partition load.
+///
+/// # Errors
+/// Same as [`baseline_exact_match`].
+pub fn baseline_exact_match_profiled(
+    index: &DpisaxIndex,
+    cluster: &Cluster,
+    query: &TimeSeries,
+    tracer: &Tracer,
+) -> Result<(BaselineExactOutcome, QueryProfile), BaselineError> {
+    let root = tracer.root("dpisax-exact");
+    let root_id = root.id();
+    let route_span = root.child("route");
     let word = SaxWord::from_series(
         query.values(),
         index.config().word_len,
         index.config().initial_card_bits,
     )?;
     let pid = index.global().partition_of(&word);
+    drop(route_span);
+    let load_span = root.child("load");
     let tree = index.load_partition(cluster, pid)?;
+    load_span.add("partitions_loaded", 1);
+    drop(load_span);
+    let refine_span = root.child("refine");
     let leaf = tree.descend(&word);
-    let matches = tree
+    let matches: Vec<RecordId> = tree
         .node(leaf)
         .items
         .iter()
         .filter(|e| e.record.ts.exact_eq(query))
         .map(|e| e.rid())
         .collect();
-    Ok(BaselineExactOutcome {
-        matches,
+    refine_span.add("candidates_refined", matches.len() as u64);
+    drop(refine_span);
+    drop(root);
+    let mut profile = QueryProfile {
         partitions_loaded: 1,
-    })
+        partition_ids: vec![pid as u64],
+        candidates_refined: matches.len() as u64,
+        ..QueryProfile::default()
+    };
+    if let Some(id) = root_id {
+        profile.spans = tracer.span_tree_under(id);
+    }
+    Ok((
+        BaselineExactOutcome {
+            matches,
+            partitions_loaded: 1,
+        },
+        profile,
+    ))
 }
 
 /// Runs one baseline kNN-approximate query (target-node access).
@@ -74,20 +113,46 @@ pub fn baseline_knn(
     query: &TimeSeries,
     k: usize,
 ) -> Result<BaselineKnnAnswer, BaselineError> {
+    Ok(baseline_knn_profiled(index, cluster, query, k, &Tracer::disabled())?.0)
+}
+
+/// [`baseline_knn`] with a [`QueryProfile`] and spans (`dpisax-knn` →
+/// `route` / `load` / `refine`) accumulated in `tracer`.
+///
+/// # Errors
+/// Same as [`baseline_knn`].
+pub fn baseline_knn_profiled(
+    index: &DpisaxIndex,
+    cluster: &Cluster,
+    query: &TimeSeries,
+    k: usize,
+    tracer: &Tracer,
+) -> Result<(BaselineKnnAnswer, QueryProfile), BaselineError> {
     if k == 0 {
-        return Ok(BaselineKnnAnswer {
-            neighbors: Vec::new(),
-            partitions_loaded: 0,
-            candidates_refined: 0,
-        });
+        return Ok((
+            BaselineKnnAnswer {
+                neighbors: Vec::new(),
+                partitions_loaded: 0,
+                candidates_refined: 0,
+            },
+            QueryProfile::default(),
+        ));
     }
+    let root = tracer.root("dpisax-knn");
+    let root_id = root.id();
+    let route_span = root.child("route");
     let word = SaxWord::from_series(
         query.values(),
         index.config().word_len,
         index.config().initial_card_bits,
     )?;
     let pid = index.global().partition_of(&word);
+    drop(route_span);
+    let load_span = root.child("load");
     let tree = index.load_partition(cluster, pid)?;
+    load_span.add("partitions_loaded", 1);
+    drop(load_span);
+    let refine_span = root.child("refine");
     let target = tree.target_node(&word, k);
     let mut neighbors: Vec<(f64, RecordId)> = tree
         .subtree_items(target)
@@ -100,13 +165,28 @@ pub fn baseline_knn(
         })
         .collect();
     let refined = neighbors.len();
+    refine_span.add("candidates_refined", refined as u64);
+    drop(refine_span);
     neighbors.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
     neighbors.truncate(k);
-    Ok(BaselineKnnAnswer {
-        neighbors,
+    drop(root);
+    let mut profile = QueryProfile {
         partitions_loaded: 1,
-        candidates_refined: refined,
-    })
+        partition_ids: vec![pid as u64],
+        candidates_refined: refined as u64,
+        ..QueryProfile::default()
+    };
+    if let Some(id) = root_id {
+        profile.spans = tracer.span_tree_under(id);
+    }
+    Ok((
+        BaselineKnnAnswer {
+            neighbors,
+            partitions_loaded: 1,
+            candidates_refined: refined,
+        },
+        profile,
+    ))
 }
 
 /// Signature-only kNN: ranks the target node's candidates by the iSAX
@@ -124,20 +204,49 @@ pub fn baseline_knn_sig_only(
     query: &TimeSeries,
     k: usize,
 ) -> Result<BaselineKnnAnswer, BaselineError> {
+    Ok(baseline_knn_sig_only_profiled(index, cluster, query, k, &Tracer::disabled())?.0)
+}
+
+/// [`baseline_knn_sig_only`] with a [`QueryProfile`] and spans
+/// (`dpisax-knn-sig` → `route` / `load` / `refine`) accumulated in
+/// `tracer`. The refine span here covers lower-bound *estimation* only;
+/// no true distances are computed, which is exactly the accuracy defect
+/// the paper calls out.
+///
+/// # Errors
+/// Same as [`baseline_knn_sig_only`].
+pub fn baseline_knn_sig_only_profiled(
+    index: &DpisaxIndex,
+    cluster: &Cluster,
+    query: &TimeSeries,
+    k: usize,
+    tracer: &Tracer,
+) -> Result<(BaselineKnnAnswer, QueryProfile), BaselineError> {
     if k == 0 {
-        return Ok(BaselineKnnAnswer {
-            neighbors: Vec::new(),
-            partitions_loaded: 0,
-            candidates_refined: 0,
-        });
+        return Ok((
+            BaselineKnnAnswer {
+                neighbors: Vec::new(),
+                partitions_loaded: 0,
+                candidates_refined: 0,
+            },
+            QueryProfile::default(),
+        ));
     }
+    let root = tracer.root("dpisax-knn-sig");
+    let root_id = root.id();
+    let route_span = root.child("route");
     let w = index.config().word_len;
     let bits = index.config().initial_card_bits;
     let word = SaxWord::from_series(query.values(), w, bits)?;
     let paa = tardis_isax::paa(query.values(), w)?;
     let n = query.len();
     let pid = index.global().partition_of(&word);
+    drop(route_span);
+    let load_span = root.child("load");
     let tree = index.load_partition(cluster, pid)?;
+    load_span.add("partitions_loaded", 1);
+    drop(load_span);
+    let refine_span = root.child("refine");
     let target = tree.target_node(&word, k);
     let mut neighbors: Vec<(f64, RecordId)> = tree
         .subtree_items(target)
@@ -149,13 +258,28 @@ pub fn baseline_knn_sig_only(
         })
         .collect();
     let considered = neighbors.len();
+    refine_span.add("candidates_estimated", considered as u64);
+    drop(refine_span);
     neighbors.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
     neighbors.truncate(k);
-    Ok(BaselineKnnAnswer {
-        neighbors,
+    drop(root);
+    let mut profile = QueryProfile {
         partitions_loaded: 1,
-        candidates_refined: considered,
-    })
+        partition_ids: vec![pid as u64],
+        candidates_refined: considered as u64,
+        ..QueryProfile::default()
+    };
+    if let Some(id) = root_id {
+        profile.spans = tracer.span_tree_under(id);
+    }
+    Ok((
+        BaselineKnnAnswer {
+            neighbors,
+            partitions_loaded: 1,
+            candidates_refined: considered,
+        },
+        profile,
+    ))
 }
 
 #[cfg(test)]
@@ -255,6 +379,36 @@ mod tests {
         assert!(ans.neighbors.is_empty());
         let sig = baseline_knn_sig_only(&index, &cluster, &series(1), 0).unwrap();
         assert!(sig.neighbors.is_empty());
+    }
+
+    #[test]
+    fn profiled_baseline_queries_carry_phase_spans() {
+        let (cluster, index) = setup(500);
+        let tracer = Tracer::new();
+        let (out, profile) =
+            baseline_exact_match_profiled(&index, &cluster, &series(42), &tracer).unwrap();
+        assert_eq!(out.matches, vec![42]);
+        assert_eq!(profile.partitions_loaded, 1);
+        let root = &profile.spans[0];
+        assert_eq!(root.name, "dpisax-exact");
+        for phase in ["route", "load", "refine"] {
+            assert!(root.find(phase).is_some(), "missing {phase}");
+        }
+        // No prune span: the baseline has no Bloom filter.
+        assert!(root.find("prune").is_none());
+        let (ans, profile) =
+            baseline_knn_profiled(&index, &cluster, &series(7), 5, &Tracer::new()).unwrap();
+        assert_eq!(ans.neighbors[0].1, 7);
+        assert_eq!(profile.candidates_refined, ans.candidates_refined as u64);
+        assert_eq!(profile.spans[0].name, "dpisax-knn");
+        let (ans, profile) =
+            baseline_knn_sig_only_profiled(&index, &cluster, &series(7), 5, &Tracer::new())
+                .unwrap();
+        assert_eq!(profile.candidates_refined, ans.candidates_refined as u64);
+        assert_eq!(
+            profile.spans[0].find("refine").unwrap().counter("candidates_estimated"),
+            Some(ans.candidates_refined as u64)
+        );
     }
 
     #[test]

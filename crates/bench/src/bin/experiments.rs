@@ -7,8 +7,9 @@
 //! ```
 //!
 //! Subcommands: `table2`, `fig9`, `fig10`, `fig11`, `fig12`, `fig13`,
-//! `fig14`, `fig15`, `fig16`, `fig17`, `all`, and `quick` (a reduced-size
-//! pass over everything for smoke testing).
+//! `fig14`, `fig15`, `fig16`, `fig17`, `ablations`, `profiles` (the
+//! observability demo: spans + merged Prometheus dump), `all`, and
+//! `quick` (a reduced-size pass over everything for smoke testing).
 
 use std::time::Duration;
 use tardis_baseline::baseline_knn;
@@ -82,15 +83,18 @@ fn main() {
     if run_all || cmd == "ablations" {
         ablations(scale);
     }
+    if run_all || cmd == "profiles" {
+        profiles(scale);
+    }
     if !run_all
         && ![
             "table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-            "fig17", "ablations",
+            "fig17", "ablations", "profiles",
         ]
         .contains(&cmd)
     {
         eprintln!("unknown experiment '{cmd}'");
-        eprintln!("usage: experiments [table2|fig9|...|fig17|ablations|all|quick] [--quick]");
+        eprintln!("usage: experiments [table2|fig9|...|fig17|ablations|profiles|all|quick] [--quick]");
         std::process::exit(2);
     }
     println!("\n(total experiment time: {})", secs(t0.elapsed()));
@@ -740,6 +744,60 @@ fn ablations(scale: Scale) {
         ],
     );
     println!("(hot partitions served from memory skip disk and latency)");
+}
+
+/// Query-path observability demo: build and query under one live tracer
+/// on a fault-injected cluster, then dump per-query profiles, span
+/// aggregates, and the merged Prometheus text (span counters next to the
+/// cluster's fault/retry counters).
+fn profiles(scale: Scale) {
+    banner("Profiles", "query-path observability (spans + Prometheus)");
+    use tardis_cluster::{Cluster, ClusterConfig, FaultPlan, RetryPolicy, Tracer};
+    let n = scale.base / 2;
+    let gen = Family::RandomWalk.generator();
+    // A lively fault plan with a deep zero-backoff retry budget: faults
+    // and retries show up in the Prometheus dump while every operation
+    // still succeeds.
+    let cluster = Cluster::new(ClusterConfig {
+        n_workers: 4,
+        faults: Some(FaultPlan {
+            seed: 7,
+            block_read_fail_p: 0.3,
+            task_fail_p: 0.1,
+            ..FaultPlan::default()
+        }),
+        retry: RetryPolicy {
+            max_attempts: 32,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+        },
+        ..ClusterConfig::default()
+    })
+    .expect("cluster");
+    tardis_data::write_dataset(&cluster, "rw", gen.as_ref(), n, tardis_bench::BLOCK_RECORDS)
+        .expect("write");
+    let cfg = TardisConfig {
+        g_max_size: tardis_bench::PARTITION_CAPACITY,
+        l_max_size: tardis_bench::LOCAL_THRESHOLD,
+        ..TardisConfig::default()
+    };
+    let tracer = Tracer::new();
+    let (index, _) =
+        TardisIndex::build_profiled(&cluster, "rw", &cfg, &tracer).expect("build");
+    let q = gen.series(17);
+    let (_, profile) =
+        tardis_core::exact_match_profiled(&index, &cluster, &q, true, &tracer).expect("exact");
+    println!("\nexact-match profile:\n{}", profile.render());
+    for strategy in KnnStrategy::ALL {
+        let (_, profile) = tardis_core::knn_approximate_profiled(
+            &index, &cluster, &q, 20, strategy, &tracer,
+        )
+        .expect("knn");
+        println!("{} profile:\n{}", strategy.name(), profile.render());
+    }
+    let aggregates = tracer.aggregates();
+    let prom = cluster.metrics().snapshot().prometheus_text(Some(&aggregates));
+    println!("merged Prometheus dump (cluster + span counters):\n{prom}");
 }
 
 /// Normalized histogram of actual partition sizes (15-bucket analogue of

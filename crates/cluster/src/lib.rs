@@ -27,6 +27,10 @@
 //! * [`fault`] — a seeded, deterministic fault-injection layer plus the
 //!   retry-with-backoff machinery that masks transient block-I/O and
 //!   task failures, mirroring Spark's task-retry fault model.
+//! * [`obs`] (re-export of `tardis-obs`) — hierarchical spans, per-query
+//!   profiles, and chrome-trace / Prometheus exporters;
+//!   [`MetricsSnapshot::prometheus_text`] merges these counters with span
+//!   aggregates into one dump.
 
 pub mod broadcast;
 pub mod cache;
@@ -39,6 +43,8 @@ pub mod metrics;
 pub mod pool;
 pub mod rng;
 
+pub use tardis_obs as obs;
+
 pub use broadcast::Broadcast;
 pub use cache::BlockCache;
 pub use codec::{decode_records, encode_records, Decode, Encode};
@@ -47,6 +53,7 @@ pub use dfs::{BlockId, Dfs, DfsConfig};
 pub use error::{ClusterError, MaybeTransient};
 pub use fault::{FaultInjector, FaultPlan, FaultSite, RetryPolicy};
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use obs::{chrome_trace_json, PromText, QueryProfile, Span, SpanAggregate, SpanNode, SpanRecord, Tracer};
 pub use pool::{TaskError, WorkerPool};
 
 use std::path::Path;

@@ -60,6 +60,79 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format,
+    /// optionally merging per-span aggregates from a
+    /// [`Tracer`](tardis_obs::Tracer) into the same dump.
+    pub fn prometheus_text(&self, spans: Option<&[tardis_obs::SpanAggregate]>) -> String {
+        let mut p = tardis_obs::PromText::new();
+        p.counter("tardis_blocks_read", "Blocks read from the DFS.", self.blocks_read);
+        p.counter("tardis_bytes_read", "Bytes read from the DFS.", self.bytes_read);
+        p.counter(
+            "tardis_blocks_written",
+            "Blocks written to the DFS.",
+            self.blocks_written,
+        );
+        p.counter(
+            "tardis_bytes_written",
+            "Bytes written to the DFS.",
+            self.bytes_written,
+        );
+        p.counter(
+            "tardis_shuffled_records",
+            "Records moved through shuffles.",
+            self.shuffled_records,
+        );
+        p.counter(
+            "tardis_tasks_run",
+            "Tasks executed by the worker pool.",
+            self.tasks_run,
+        );
+        p.counter(
+            "tardis_broadcast_bytes",
+            "Bytes handed to broadcasts.",
+            self.broadcast_bytes,
+        );
+        p.counter(
+            "tardis_cache_hits",
+            "Block reads served from the LRU cache.",
+            self.cache_hits,
+        );
+        p.counter(
+            "tardis_cache_misses",
+            "Block reads that missed the LRU cache.",
+            self.cache_misses,
+        );
+        p.counter(
+            "tardis_faults_injected",
+            "Faults deliberately injected by a seeded fault plan.",
+            self.faults_injected,
+        );
+        p.counter(
+            "tardis_task_retries",
+            "Worker-pool tasks retried after a transient failure.",
+            self.task_retries,
+        );
+        p.counter(
+            "tardis_block_read_retries",
+            "DFS block reads retried after a transient failure.",
+            self.block_read_retries,
+        );
+        p.counter(
+            "tardis_block_write_retries",
+            "DFS block writes retried after a transient failure.",
+            self.block_write_retries,
+        );
+        p.counter(
+            "tardis_tasks_failed_permanently",
+            "Tasks that exhausted their retry budget.",
+            self.tasks_failed_permanently,
+        );
+        if let Some(aggregates) = spans {
+            p.spans(aggregates);
+        }
+        p.finish()
+    }
+
     /// Counter-wise difference `self - earlier` (saturating).
     pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -260,6 +333,27 @@ mod tests {
         assert_eq!(s.block_read_retries, 1);
         assert_eq!(s.block_write_retries, 1);
         assert_eq!(s.tasks_failed_permanently, 1);
+    }
+
+    #[test]
+    fn prometheus_text_carries_fault_and_span_counters() {
+        let m = Metrics::new();
+        m.record_fault_injected();
+        m.record_task_retry();
+        m.record_task_retry();
+        let tracer = tardis_obs::Tracer::new();
+        {
+            let _route = tracer.root("route");
+        }
+        let text = m.snapshot().prometheus_text(Some(&tracer.aggregates()));
+        assert!(text.contains("tardis_faults_injected 1"));
+        assert!(text.contains("tardis_task_retries 2"));
+        assert!(text.contains("# TYPE tardis_task_retries counter"));
+        assert!(text.contains("tardis_span_count{span=\"route\"} 1"));
+        // Without span aggregates the dump still carries every counter.
+        let plain = m.snapshot().prometheus_text(None);
+        assert!(plain.contains("tardis_blocks_read 0"));
+        assert!(!plain.contains("tardis_span_count"));
     }
 
     #[test]

@@ -82,11 +82,26 @@ impl TardisG {
         dataset_file: &str,
         config: &TardisConfig,
     ) -> Result<TardisG, CoreError> {
+        Self::build_traced(cluster, dataset_file, config, &tardis_cluster::Span::noop())
+    }
+
+    /// [`Self::build`] with build-step spans (`sample`, `stats`,
+    /// `skeleton`, `pack`) opened under `parent`.
+    ///
+    /// # Errors
+    /// Propagates configuration, DFS, and representation errors.
+    pub fn build_traced(
+        cluster: &Cluster,
+        dataset_file: &str,
+        config: &TardisConfig,
+        parent: &tardis_cluster::Span,
+    ) -> Result<TardisG, CoreError> {
         config.validate()?;
         let converter = Converter::new(config);
         let mut breakdown = GlobalBuildBreakdown::default();
 
         // ------ Step 1: data preprocessing (block-level sampling). ------
+        let sample_span = parent.child("sample");
         let t0 = Instant::now();
         let block_ids =
             cluster
@@ -115,8 +130,11 @@ impl TardisG {
             })
             .collect();
         breakdown.sampling = t0.elapsed();
+        sample_span.add("sampled_records", sampled_records);
+        drop(sample_span);
 
         // ------ Step 2: node statistics, layer by layer. ------
+        let stats_span = parent.child("stats");
         let t1 = Instant::now();
         // Estimated full-dataset count per sampled record.
         let scale = 1.0 / config.sampling_fraction;
@@ -161,8 +179,10 @@ impl TardisG {
             layer_stats.push(aggregated);
         }
         breakdown.statistics = t1.elapsed();
+        drop(stats_span);
 
         // ------ Step 3: skeleton building on the master. ------
+        let skeleton_span = parent.child("skeleton");
         let t2 = Instant::now();
         let mut tree: SigTree<SigT> =
             SigTree::new(SigTreeConfig::skeleton(config.word_len, max_bits));
@@ -182,8 +202,11 @@ impl TardisG {
         }
         tree.set_root_count(total);
         breakdown.skeleton = t2.elapsed();
+        skeleton_span.add("tree_nodes", tree.n_nodes() as u64);
+        drop(skeleton_span);
 
         // ------ Step 4: partition assignment (FFD packing). ------
+        let pack_span = parent.child("pack");
         let t3 = Instant::now();
         let mut leaf_pid: HashMap<NodeId, PartitionId> = HashMap::new();
         let mut next_pid: PartitionId = 0;
@@ -226,6 +249,8 @@ impl TardisG {
             pids.dedup();
         }
         breakdown.packing = t3.elapsed();
+        pack_span.add("partitions", next_pid as u64);
+        drop(pack_span);
 
         Ok(TardisG {
             tree,
@@ -295,6 +320,36 @@ impl TardisG {
             None => reached, // root
         };
         self.node_pids.get(&anchor).cloned().unwrap_or_default()
+    }
+
+    /// iSAX-T lower bound between a query PAA and each listed partition:
+    /// the minimum `MINDIST` over the global leaves assigned to that
+    /// partition (infinite for partitions with no assigned leaf, e.g.
+    /// fallback-only targets). Multi-Partitions Access uses this to rank
+    /// siblings by query proximity before truncating to `pth - 1`.
+    ///
+    /// # Errors
+    /// Propagates representation errors from the MINDIST computation.
+    pub fn partition_lower_bounds(
+        &self,
+        paa: &[f64],
+        series_len: usize,
+        pids: &[PartitionId],
+    ) -> Result<Vec<f64>, CoreError> {
+        let mut bounds = HashMap::with_capacity(pids.len());
+        for &pid in pids {
+            bounds.insert(pid, f64::INFINITY);
+        }
+        for (&leaf, &pid) in &self.leaf_pid {
+            let Some(slot) = bounds.get_mut(&pid) else {
+                continue;
+            };
+            let d = tardis_isax::mindist_paa_sigt(paa, &self.tree.node(leaf).sig, series_len)?;
+            if d < *slot {
+                *slot = d;
+            }
+        }
+        Ok(pids.iter().map(|pid| bounds[pid]).collect())
     }
 
     /// Routes a raw series (converted internally).

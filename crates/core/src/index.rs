@@ -103,11 +103,29 @@ impl TardisIndex {
         dataset_file: &str,
         config: &TardisConfig,
     ) -> Result<(TardisIndex, BuildReport), CoreError> {
+        Self::build_profiled(cluster, dataset_file, config, &tardis_cluster::Tracer::disabled())
+    }
+
+    /// [`Self::build`] with build-phase spans accumulated in `tracer`:
+    /// a `build` root with children `sample` / `stats` / `skeleton` /
+    /// `pack` (the Tardis-G steps), `read-convert`, `shuffle`, and
+    /// `local-build` (one nested `partition` span per partition, each
+    /// carrying the worker thread that built it).
+    ///
+    /// # Errors
+    /// Same as [`Self::build`].
+    pub fn build_profiled(
+        cluster: &Cluster,
+        dataset_file: &str,
+        config: &TardisConfig,
+        tracer: &tardis_cluster::Tracer,
+    ) -> Result<(TardisIndex, BuildReport), CoreError> {
         config.validate()?;
+        let root = tracer.root("build");
         let mut report = BuildReport::default();
 
         // ---- Step 1: global index. ----
-        let global = TardisG::build(cluster, dataset_file, config)?;
+        let global = TardisG::build_traced(cluster, dataset_file, config, &root)?;
         report.global = global.breakdown;
         report.global_index_bytes = global.mem_bytes();
         let n_partitions = global.n_partitions();
@@ -121,6 +139,7 @@ impl TardisIndex {
         // or crashed and are retried transparently; only an exhausted
         // retry budget or a logical error aborts the build.
         let t0 = Instant::now();
+        let read_span = root.child("read-convert");
         let block_ids = cluster.dfs().list_blocks(dataset_file)?;
         let converter = *partitioner.converter();
         let per_block: Vec<Vec<Entry>> =
@@ -143,20 +162,25 @@ impl TardisIndex {
             n_records += entries.len() as u64;
             partitions_in.push(entries);
         }
+        read_span.add("records", n_records);
+        drop(read_span);
         report.read_convert = t0.elapsed();
         let t_shuffle = Instant::now();
+        let shuffle_span = root.child("shuffle");
         let shuffled = Dataset::from_partitions(partitions_in).try_shuffle(
             cluster.pool(),
             cluster.metrics(),
             n_partitions,
             |e: &Entry| partitioner.partition_of(&e.sig) as usize,
         )?;
+        drop(shuffle_span);
         report.shuffle = t_shuffle.elapsed();
         report.n_records = n_records;
         report.n_partitions = n_partitions;
 
         // ---- Step 4: per-partition local construction (mapPartition). ----
         let t1 = Instant::now();
+        let local_span = root.child("local-build");
         let inputs: Vec<(PartitionId, Vec<Entry>)> = shuffled
             .into_partitions()
             .into_iter()
@@ -166,6 +190,9 @@ impl TardisIndex {
         let built: Vec<(PartitionMeta, Option<BloomFilter>)> =
             cluster.pool().try_par_map(inputs, |(pid, entries)| {
                 cluster.metrics().record_task();
+                let part_span = local_span.child("partition");
+                part_span.add("pid", pid as u64);
+                part_span.add("records", entries.len() as u64);
                 build_partition(cluster, config, pid, entries)
             })?;
         let mut parts = Vec::with_capacity(built.len());
@@ -176,6 +203,8 @@ impl TardisIndex {
             parts.push(meta);
             blooms.push(bloom);
         }
+        local_span.add("partitions", parts.len() as u64);
+        drop(local_span);
         report.local_build = t1.elapsed();
 
         let global = partitioner.value().clone();

@@ -47,7 +47,8 @@ pub use global::{GlobalBuildBreakdown, PartitionId, TardisG};
 pub use index::{BuildReport, TardisIndex};
 pub use local::TardisL;
 pub use query::batch::{exact_match_batch, knn_batch};
-pub use query::exact::{exact_match, ExactMatchOutcome, ExactMatchStats};
-pub use query::exact_knn::{exact_knn, ExactKnnAnswer};
+pub use query::exact::{exact_match, exact_match_profiled, ExactMatchOutcome, ExactMatchStats};
+pub use query::exact_knn::{exact_knn, exact_knn_profiled, ExactKnnAnswer};
 pub use query::range::{range_query, RangeAnswer};
-pub use query::knn::{knn_approximate, KnnAnswer, KnnStrategy};
+pub use query::knn::{knn_approximate, knn_approximate_profiled, KnnAnswer, KnnStrategy};
+pub use tardis_cluster::{QueryProfile, Tracer};

@@ -11,7 +11,7 @@
 
 use crate::error::CoreError;
 use crate::index::TardisIndex;
-use tardis_cluster::Cluster;
+use tardis_cluster::{Cluster, QueryProfile, Tracer};
 use tardis_ts::{RecordId, TimeSeries};
 
 /// What an exact-match query did and found.
@@ -67,29 +67,87 @@ pub fn exact_match(
     query: &TimeSeries,
     use_bloom: bool,
 ) -> Result<ExactMatchOutcome, CoreError> {
-    let converter = index.global().converter();
-    let sig = converter.sig_of(query)?;
+    Ok(exact_match_profiled(index, cluster, query, use_bloom, &Tracer::disabled())?.0)
+}
+
+/// Runs one exact-match query and returns its [`QueryProfile`] alongside
+/// the outcome. Span records (`exact-match` → `route` / `prune` /
+/// `load` / `refine`; the `prune` span is the Bloom test, which prunes
+/// partition loads) accumulate in `tracer`; with a disabled tracer the
+/// profile carries the work counters but an empty span tree.
+///
+/// # Errors
+/// Same as [`exact_match`].
+pub fn exact_match_profiled(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    query: &TimeSeries,
+    use_bloom: bool,
+    tracer: &Tracer,
+) -> Result<(ExactMatchOutcome, QueryProfile), CoreError> {
+    let root = tracer.root("exact-match");
+    let root_id = root.id();
+    let finish = |root: tardis_cluster::Span,
+                  outcome: ExactMatchOutcome,
+                  mut profile: QueryProfile| {
+        drop(root);
+        if let Some(id) = root_id {
+            profile.spans = tracer.span_tree_under(id);
+        }
+        Ok((outcome, profile))
+    };
 
     // Step 2: global traversal.
+    let route_span = root.child("route");
+    let converter = index.global().converter();
+    let sig = converter.sig_of(query)?;
     let pid = index.global().partition_of(&sig);
+    drop(route_span);
 
-    // Step 3: Bloom test.
+    // Step 3: Bloom test — prunes the partition load on a negative.
+    let prune_span = root.child("prune");
     if use_bloom && !index.bloom_test(cluster, pid, sig.nibbles())? {
-        return Ok(ExactMatchOutcome {
-            matches: Vec::new(),
-            bloom_rejected: true,
-            partitions_loaded: 0,
-        });
+        prune_span.add("bloom_rejected", 1);
+        drop(prune_span);
+        return finish(
+            root,
+            ExactMatchOutcome {
+                matches: Vec::new(),
+                bloom_rejected: true,
+                partitions_loaded: 0,
+            },
+            QueryProfile {
+                bloom_rejected: 1,
+                ..QueryProfile::default()
+            },
+        );
     }
+    drop(prune_span);
 
     // Step 4: load the partition and look up the leaf.
+    let load_span = root.child("load");
     let local = index.load_partition(cluster, pid)?;
+    load_span.add("partitions_loaded", 1);
+    drop(load_span);
+    let refine_span = root.child("refine");
     let matches = local.lookup_exact(&sig, query);
-    Ok(ExactMatchOutcome {
-        matches,
-        bloom_rejected: false,
-        partitions_loaded: 1,
-    })
+    refine_span.add("candidates_refined", matches.len() as u64);
+    drop(refine_span);
+    let n_matches = matches.len() as u64;
+    finish(
+        root,
+        ExactMatchOutcome {
+            matches,
+            bloom_rejected: false,
+            partitions_loaded: 1,
+        },
+        QueryProfile {
+            partitions_loaded: 1,
+            partition_ids: vec![pid as u64],
+            candidates_refined: n_matches,
+            ..QueryProfile::default()
+        },
+    )
 }
 
 #[cfg(test)]
@@ -196,6 +254,50 @@ mod tests {
         assert_eq!(stats.hits, 60);
         assert_eq!(stats.queries, 60);
         assert_eq!(stats.bloom_rejections, 0);
+    }
+
+    #[test]
+    fn profiled_exact_match_spans_and_counters() {
+        let (cluster, index) = build_index(500);
+        // Present query: route → prune → load → refine, one partition.
+        let tracer = Tracer::new();
+        let (out, profile) =
+            exact_match_profiled(&index, &cluster, &series(42), true, &tracer).unwrap();
+        assert_eq!(out.matches, vec![42]);
+        assert_eq!(profile.partitions_loaded, 1);
+        assert_eq!(profile.partition_ids.len(), 1);
+        assert_eq!(profile.candidates_refined, 1);
+        assert_eq!(profile.bloom_rejected, 0);
+        let root = &profile.spans[0];
+        assert_eq!(root.name, "exact-match");
+        for phase in ["route", "prune", "load", "refine"] {
+            assert!(root.find(phase).is_some(), "missing {phase}");
+        }
+        // Bloom-rejected query: no load/refine spans, no partitions.
+        let mut rejected = None;
+        for rid in 10_000..10_050u64 {
+            let (out, profile) =
+                exact_match_profiled(&index, &cluster, &series(rid), true, &Tracer::new())
+                    .unwrap();
+            if out.bloom_rejected {
+                rejected = Some(profile);
+                break;
+            }
+        }
+        let profile = rejected.expect("some absent query bloom-rejected");
+        assert_eq!(profile.partitions_loaded, 0);
+        assert_eq!(profile.bloom_rejected, 1);
+        let root = &profile.spans[0];
+        assert!(root.find("prune").is_some());
+        assert!(root.find("load").is_none(), "rejected query loaded nothing");
+        assert_eq!(root.find("prune").unwrap().counter("bloom_rejected"), Some(1));
+        // The non-Bloom variant also profiles (prune span runs, rejects
+        // nothing).
+        let (out, profile) =
+            exact_match_profiled(&index, &cluster, &series(7), false, &Tracer::new()).unwrap();
+        assert_eq!(out.matches, vec![7]);
+        assert_eq!(profile.partitions_loaded, 1);
+        assert!(profile.spans[0].find("refine").is_some());
     }
 
     #[test]

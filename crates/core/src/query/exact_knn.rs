@@ -20,7 +20,8 @@
 use crate::error::CoreError;
 use crate::eval::Neighbor;
 use crate::index::TardisIndex;
-use crate::query::knn::{knn_approximate, KnnStrategy};
+use crate::query::knn::{knn_impl, KnnStrategy};
+use tardis_cluster::{QueryProfile, Tracer};
 use tardis_isax::mindist_paa_sigt;
 use tardis_ts::{euclidean_early_abandon, TimeSeries};
 
@@ -47,20 +48,47 @@ pub fn exact_knn(
     query: &TimeSeries,
     k: usize,
 ) -> Result<ExactKnnAnswer, CoreError> {
+    Ok(exact_knn_profiled(index, cluster, query, k, &Tracer::disabled())?.0)
+}
+
+/// Runs an exact kNN query and returns its [`QueryProfile`] alongside
+/// the answer. Span records (`exact-knn` → the seed's `knn` subtree,
+/// `route` for the partition-bound ordering, then `load` / `prune` /
+/// `refine` per visited partition) accumulate in `tracer`.
+///
+/// # Errors
+/// Same as [`exact_knn`].
+pub fn exact_knn_profiled(
+    index: &TardisIndex,
+    cluster: &tardis_cluster::Cluster,
+    query: &TimeSeries,
+    k: usize,
+    tracer: &Tracer,
+) -> Result<(ExactKnnAnswer, QueryProfile), CoreError> {
+    let root = tracer.root("exact-knn");
+    let root_id = root.id();
     if k == 0 {
-        return Ok(ExactKnnAnswer {
-            neighbors: Vec::new(),
-            partitions_loaded: 0,
-            partitions_pruned: 0,
-        });
+        drop(root);
+        return Ok((
+            ExactKnnAnswer {
+                neighbors: Vec::new(),
+                partitions_loaded: 0,
+                partitions_pruned: 0,
+            },
+            QueryProfile::default(),
+        ));
     }
     let converter = index.global().converter();
     let sig = converter.sig_of(query)?;
     let paa = converter.paa_of(query)?;
     let n = query.len();
 
-    // Step 1: seed with the approximate answer.
-    let seed = knn_approximate(index, cluster, query, k, KnnStrategy::MultiPartition)?;
+    // Step 1: seed with the approximate answer (its spans nest under a
+    // `knn` child of this query's root).
+    let (seed, seed_profile) = {
+        let seed_span = root.child("knn");
+        knn_impl(index, cluster, query, k, KnnStrategy::MultiPartition, &seed_span)?
+    };
     let mut best: Vec<Neighbor> = seed
         .neighbors
         .iter()
@@ -84,6 +112,7 @@ pub fn exact_knn(
     // covering node overall. A cheap sound bound per partition: walk all
     // global leaves once and take the minimum bound among leaves assigned
     // to each partition.
+    let route_span = root.child("route");
     let global = index.global();
     let mut part_bound = vec![f64::INFINITY; index.n_partitions()];
     let tree = global.tree();
@@ -108,6 +137,7 @@ pub fn exact_knn(
         .map(|(pid, &b)| (b, pid as u32))
         .collect();
     order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    drop(route_span);
 
     // Step 3: visit in bound order with pruning.
     let mut visited: std::collections::HashSet<u32> = std::collections::HashSet::new();
@@ -116,6 +146,10 @@ pub fn exact_knn(
     // only the primary is guaranteed fully scanned, so re-scan everything
     // except nothing — correctness first. (Loads are counted once.)
     let mut pruned = 0usize;
+    let mut visited_pids: Vec<u32> = Vec::new();
+    let mut candidates_pruned = seed_profile.candidates_pruned;
+    let mut candidates_refined = seed_profile.candidates_refined;
+    let mut candidates_abandoned = seed_profile.candidates_abandoned;
     let mut pool: Vec<Neighbor> = best;
     for (bound, pid) in order {
         if bound > kth {
@@ -125,18 +159,37 @@ pub fn exact_knn(
         if !visited.insert(pid) {
             continue;
         }
+        let load_span = root.child("load");
         let local = index.load_partition(cluster, pid)?;
+        load_span.add("partitions_loaded", 1);
+        drop(load_span);
         loaded += 1;
-        for entry in local.prune_scan(&paa, n, kth)? {
-            if let Some(d_sq) =
-                euclidean_early_abandon(query.values(), entry.record.ts.values(), kth * kth)
-            {
-                pool.push(Neighbor {
-                    distance: d_sq.sqrt(),
-                    rid: entry.rid(),
-                });
+        visited_pids.push(pid);
+        let prune_span = root.child("prune");
+        let survivors = local.prune_scan(&paa, n, kth)?;
+        let pruned_here = local.len().saturating_sub(survivors.len());
+        candidates_pruned += pruned_here as u64;
+        prune_span.add("candidates_pruned", pruned_here as u64);
+        drop(prune_span);
+        let refine_span = root.child("refine");
+        let (mut refined_here, mut abandoned_here) = (0u64, 0u64);
+        for entry in survivors {
+            match euclidean_early_abandon(query.values(), entry.record.ts.values(), kth * kth) {
+                Some(d_sq) => {
+                    refined_here += 1;
+                    pool.push(Neighbor {
+                        distance: d_sq.sqrt(),
+                        rid: entry.rid(),
+                    });
+                }
+                None => abandoned_here += 1,
             }
         }
+        candidates_refined += refined_here;
+        candidates_abandoned += abandoned_here;
+        refine_span.add("candidates_refined", refined_here);
+        refine_span.add("candidates_abandoned", abandoned_here);
+        drop(refine_span);
         // Re-tighten the k-th distance.
         pool.sort_by(|a, b| {
             a.distance
@@ -159,11 +212,39 @@ pub fn exact_knn(
     let mut seen = std::collections::HashSet::new();
     pool.retain(|nb| seen.insert(nb.rid));
     pool.truncate(k);
-    Ok(ExactKnnAnswer {
-        neighbors: pool,
+    drop(root);
+
+    // Profile: the union of partitions touched by either phase,
+    // ascending (load *operations* are counted in `partitions_loaded`,
+    // so a partition visited by both phases counts twice there).
+    let mut partition_ids: Vec<u64> = seed_profile
+        .partition_ids
+        .iter()
+        .copied()
+        .chain(visited_pids.iter().map(|&p| p as u64))
+        .collect();
+    partition_ids.sort_unstable();
+    partition_ids.dedup();
+    let mut profile = QueryProfile {
         partitions_loaded: loaded,
-        partitions_pruned: pruned,
-    })
+        partition_ids,
+        candidates_pruned,
+        candidates_refined,
+        candidates_abandoned,
+        bloom_rejected: 0,
+        spans: Vec::new(),
+    };
+    if let Some(id) = root_id {
+        profile.spans = tracer.span_tree_under(id);
+    }
+    Ok((
+        ExactKnnAnswer {
+            neighbors: pool,
+            partitions_loaded: loaded,
+            partitions_pruned: pruned,
+        },
+        profile,
+    ))
 }
 
 /// The partition assigned to a global leaf, if any.
@@ -269,6 +350,26 @@ mod tests {
         for w in all.neighbors.windows(2) {
             assert!(w[0].distance <= w[1].distance);
         }
+    }
+
+    #[test]
+    fn profiled_exact_knn_nests_seed_under_root() {
+        let (cluster, index) = setup(600);
+        let tracer = Tracer::new();
+        let (ans, profile) =
+            exact_knn_profiled(&index, &cluster, &series(9), 5, &tracer).unwrap();
+        assert_eq!(ans.neighbors.len(), 5);
+        assert_eq!(profile.partitions_loaded, ans.partitions_loaded);
+        assert!(!profile.partition_ids.is_empty());
+        assert_eq!(profile.spans.len(), 1);
+        let root = &profile.spans[0];
+        assert_eq!(root.name, "exact-knn");
+        // The approximate seed phase nests inside this query's tree.
+        let seed = root.find("knn").expect("seed span");
+        assert!(seed.find("route").is_some());
+        assert!(root.find("load").is_some());
+        assert!(root.find("prune").is_some());
+        assert!(root.find("refine").is_some());
     }
 
     #[test]

@@ -13,10 +13,10 @@
 //!   parallel and apply the same threshold pruning to all of them.
 
 use crate::error::CoreError;
+use crate::global::PartitionId;
 use crate::index::TardisIndex;
 use crate::local::TardisL;
-use tardis_cluster::Cluster;
-use tardis_cluster::rng::SplitMix64;
+use tardis_cluster::{Cluster, QueryProfile, Span, Tracer};
 use tardis_ts::{euclidean_early_abandon, squared_euclidean, RecordId, TimeSeries};
 
 /// The query strategies of §V-B.
@@ -55,8 +55,14 @@ pub struct KnnAnswer {
     pub neighbors: Vec<(f64, RecordId)>,
     /// Partitions loaded.
     pub partitions_loaded: usize,
-    /// Candidates whose true distance was evaluated.
+    /// Candidates whose raw-series distance was *fully* computed. Does
+    /// not include early-abandoned candidates — see
+    /// [`Self::candidates_abandoned`].
     pub candidates_refined: usize,
+    /// Candidates whose raw-series distance computation was cut off
+    /// early by the current k-th distance (early abandoning). These cost
+    /// a partial scan of the series, not a full refine.
+    pub candidates_abandoned: usize,
 }
 
 /// Runs one kNN-approximate query.
@@ -70,31 +76,85 @@ pub fn knn_approximate(
     k: usize,
     strategy: KnnStrategy,
 ) -> Result<KnnAnswer, CoreError> {
-    if k == 0 {
-        return Ok(KnnAnswer {
-            neighbors: Vec::new(),
-            partitions_loaded: 0,
-            candidates_refined: 0,
-        });
+    Ok(knn_approximate_profiled(index, cluster, query, k, strategy, &Tracer::disabled())?.0)
+}
+
+/// Runs one kNN-approximate query and returns its [`QueryProfile`]
+/// alongside the answer. Span records (`knn` → `route` / `load` /
+/// `prune` / `refine`, plus one `sibling` subtree per sibling partition
+/// scanned) accumulate in `tracer`; with a disabled tracer the profile
+/// still carries the work counters but an empty span tree.
+///
+/// # Errors
+/// Propagates conversion and DFS errors. `k == 0` yields an empty answer.
+pub fn knn_approximate_profiled(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    query: &TimeSeries,
+    k: usize,
+    strategy: KnnStrategy,
+    tracer: &Tracer,
+) -> Result<(KnnAnswer, QueryProfile), CoreError> {
+    let root = tracer.root("knn");
+    let root_id = root.id();
+    let (answer, mut profile) = knn_impl(index, cluster, query, k, strategy, &root)?;
+    drop(root);
+    if let Some(id) = root_id {
+        profile.spans = tracer.span_tree_under(id);
     }
+    Ok((answer, profile))
+}
+
+/// The strategy dispatch, opening its phase spans under `root` (which is
+/// the query span itself — exact-kNN reuses this with a child span so the
+/// seed phase nests under its own root).
+pub(crate) fn knn_impl(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    query: &TimeSeries,
+    k: usize,
+    strategy: KnnStrategy,
+    root: &Span,
+) -> Result<(KnnAnswer, QueryProfile), CoreError> {
+    if k == 0 {
+        return Ok((
+            KnnAnswer {
+                neighbors: Vec::new(),
+                partitions_loaded: 0,
+                candidates_refined: 0,
+                candidates_abandoned: 0,
+            },
+            QueryProfile::default(),
+        ));
+    }
+    // Step 1: route — convert the query and traverse Tardis-G.
+    let route_span = root.child("route");
     let converter = index.global().converter();
     let sig = converter.sig_of(query)?;
     let paa = converter.paa_of(query)?;
     let n = query.len();
-
-    // Steps 1–2: route to the primary partition and load it.
     let pid = index.global().partition_of(&sig);
+    drop(route_span);
+
+    // Step 2: load the primary partition.
+    let load_span = root.child("load");
     let primary = index.load_partition(cluster, pid)?;
-    let mut partitions_loaded = 1;
+    load_span.add("partitions_loaded", 1);
+    drop(load_span);
+    let mut loaded_pids: Vec<PartitionId> = vec![pid];
 
     // Step 3: the target node's candidates give the initial top-k.
-    let target = primary.target_node(&sig, k);
     let mut heap = TopK::new(k);
-    let mut refined = 0usize;
-    for entry in primary.candidates_under(target) {
-        let d = squared_euclidean(query.values(), entry.record.ts.values());
-        heap.push(d, entry.rid());
-        refined += 1;
+    let mut stats = RefineStats::default();
+    {
+        let refine_span = root.child("refine");
+        let target = primary.target_node(&sig, k);
+        for entry in primary.candidates_under(target) {
+            let d = squared_euclidean(query.values(), entry.record.ts.values());
+            heap.push(d, entry.rid());
+            stats.refined += 1;
+        }
+        refine_span.add("candidates_refined", stats.refined as u64);
     }
 
     match strategy {
@@ -102,39 +162,57 @@ pub fn knn_approximate(
         KnnStrategy::OnePartition => {
             // Threshold = current k-th distance; prune-scan the partition.
             let th = heap.kth_distance().sqrt();
-            refined += refine_partition(&primary, query, &paa, n, th, &mut heap)?;
+            stats += refine_partition(&primary, query, &paa, n, th, &mut heap, root)?;
         }
         KnnStrategy::MultiPartition => {
             let th = heap.kth_distance().sqrt();
-            // Algorithm 1 lines 4–7: sibling partition list, capped at pth.
+            // Algorithm 1 lines 4–7: sibling partition list, capped at
+            // pth. Siblings are ranked by the iSAX-T lower bound between
+            // the query PAA and each partition (mindist ascending, pid
+            // tiebreak) so the query visits its *nearest* siblings — a
+            // query-independent choice here would load the same subset
+            // for every query routed to this parent.
             let mut pid_list = index.global().sibling_partitions(&sig);
             pid_list.retain(|&p| p != pid);
-            if pid_list.len() > index.config().pth.saturating_sub(1) {
-                let mut rng = SplitMix64::new(index.config().seed ^ 0x517B_1E55);
-                rng.shuffle(&mut pid_list);
-                pid_list.truncate(index.config().pth.saturating_sub(1));
+            let cap = index.config().pth.saturating_sub(1);
+            if pid_list.len() > cap {
+                let bounds = index.global().partition_lower_bounds(&paa, n, &pid_list)?;
+                let mut ranked: Vec<(f64, PartitionId)> =
+                    bounds.into_iter().zip(pid_list.iter().copied()).collect();
+                ranked.sort_by(|a, b| {
+                    a.0.partial_cmp(&b.0)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.1.cmp(&b.1))
+                });
+                pid_list = ranked.into_iter().take(cap).map(|(_, p)| p).collect();
+                // Ascending pid for a deterministic load order.
                 pid_list.sort_unstable();
             }
             // Scan the primary partition with the threshold first.
-            refined += refine_partition(&primary, query, &paa, n, th, &mut heap)?;
+            stats += refine_partition(&primary, query, &paa, n, th, &mut heap, root)?;
             // Load + scan siblings in parallel; merge their survivors.
-            type SiblingScan = Result<(Vec<(f64, RecordId)>, usize), CoreError>;
+            type SiblingScan = Result<(Vec<(f64, RecordId)>, RefineStats, PartitionId), CoreError>;
             let sibling_results: Vec<SiblingScan> =
                 cluster.pool().par_map(pid_list, |sib| {
                     cluster.metrics().record_task();
+                    let sib_span = root.child("sibling");
+                    sib_span.add("pid", sib as u64);
+                    let load_span = sib_span.child("load");
                     let local = index.load_partition(cluster, sib)?;
+                    load_span.add("partitions_loaded", 1);
+                    drop(load_span);
                     let mut local_heap = TopK::new(k);
                     // Seed the sibling heap with the current threshold so
                     // early-abandon kicks in immediately.
                     local_heap.force_threshold(th * th);
-                    let count =
-                        refine_partition(&local, query, &paa, n, th, &mut local_heap)?;
-                    Ok((local_heap.into_sorted(), count))
+                    let stats =
+                        refine_partition(&local, query, &paa, n, th, &mut local_heap, &sib_span)?;
+                    Ok((local_heap.into_sorted(), stats, sib))
                 });
             for result in sibling_results {
-                let (neighbors, count) = result?;
-                partitions_loaded += 1;
-                refined += count;
+                let (neighbors, sib_stats, sib) = result?;
+                loaded_pids.push(sib);
+                stats += sib_stats;
                 for (d, rid) in neighbors {
                     heap.push(d, rid);
                 }
@@ -142,19 +220,54 @@ pub fn knn_approximate(
         }
     }
 
-    Ok(KnnAnswer {
-        neighbors: heap
-            .into_sorted()
-            .into_iter()
-            .map(|(d, rid)| (d.sqrt(), rid))
-            .collect(),
-        partitions_loaded,
-        candidates_refined: refined,
-    })
+    loaded_pids.sort_unstable();
+    let profile = QueryProfile {
+        partitions_loaded: loaded_pids.len(),
+        partition_ids: loaded_pids.iter().map(|&p| p as u64).collect(),
+        candidates_pruned: stats.pruned as u64,
+        candidates_refined: stats.refined as u64,
+        candidates_abandoned: stats.abandoned as u64,
+        bloom_rejected: 0,
+        spans: Vec::new(),
+    };
+    Ok((
+        KnnAnswer {
+            neighbors: heap
+                .into_sorted()
+                .into_iter()
+                .map(|(d, rid)| (d.sqrt(), rid))
+                .collect(),
+            partitions_loaded: profile.partitions_loaded,
+            candidates_refined: stats.refined,
+            candidates_abandoned: stats.abandoned,
+        },
+        profile,
+    ))
+}
+
+/// Candidate-level accounting for one prune-scan + refine pass. The
+/// three counters are disjoint: a surviving candidate is either fully
+/// refined or early-abandoned, never both.
+#[derive(Debug, Clone, Copy, Default)]
+struct RefineStats {
+    /// Fully computed raw-series distances.
+    refined: usize,
+    /// Distance computations cut off early by the k-th distance.
+    abandoned: usize,
+    /// Candidates eliminated by the lower bound before any distance work.
+    pruned: usize,
+}
+
+impl std::ops::AddAssign for RefineStats {
+    fn add_assign(&mut self, rhs: RefineStats) {
+        self.refined += rhs.refined;
+        self.abandoned += rhs.abandoned;
+        self.pruned += rhs.pruned;
+    }
 }
 
 /// Prune-scans one partition with the lower-bound threshold and refines
-/// survivors into the heap. Returns the number of candidates refined.
+/// survivors into the heap, under `prune` / `refine` spans of `parent`.
 fn refine_partition(
     local: &TardisL,
     query: &TimeSeries,
@@ -162,20 +275,30 @@ fn refine_partition(
     n: usize,
     threshold: f64,
     heap: &mut TopK,
-) -> Result<usize, CoreError> {
+    parent: &Span,
+) -> Result<RefineStats, CoreError> {
+    let prune_span = parent.child("prune");
     let candidates = local.prune_scan(paa, n, threshold)?;
-    let mut refined = 0usize;
+    let mut stats = RefineStats {
+        pruned: local.len().saturating_sub(candidates.len()),
+        ..RefineStats::default()
+    };
+    prune_span.add("candidates_pruned", stats.pruned as u64);
+    drop(prune_span);
+    let refine_span = parent.child("refine");
     for entry in candidates {
         let bound = heap.kth_distance();
         match euclidean_early_abandon(query.values(), entry.record.ts.values(), bound) {
             Some(d) => {
                 heap.push(d, entry.rid());
-                refined += 1;
+                stats.refined += 1;
             }
-            None => refined += 1,
+            None => stats.abandoned += 1,
         }
     }
-    Ok(refined)
+    refine_span.add("candidates_refined", stats.refined as u64);
+    refine_span.add("candidates_abandoned", stats.abandoned as u64);
+    Ok(stats)
 }
 
 /// A bounded max-heap keeping the k smallest (distance², rid) pairs.
@@ -426,6 +549,231 @@ mod tests {
     }
 
     #[test]
+    fn sibling_selection_is_query_dependent() {
+        // Regression for the fixed-seed sibling shuffle: Multi-Partitions
+        // Access used to truncate every query's sibling list with the
+        // same seeded permutation, so two queries routed to the same
+        // parent (and the same primary partition) always loaded the
+        // *identical* sibling subset. With lower-bound ranking, the
+        // subset follows the query.
+        let cluster = Cluster::new(ClusterConfig {
+            n_workers: 4,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        let n = 2000u64;
+        let blocks: Vec<Vec<u8>> = (0..n)
+            .collect::<Vec<u64>>()
+            .chunks(100)
+            .map(|chunk| {
+                let records: Vec<Record> =
+                    chunk.iter().map(|&rid| Record::new(rid, series(rid))).collect();
+                encode_records(&records)
+            })
+            .collect();
+        cluster.dfs().write_blocks("data", blocks).unwrap();
+        let config = TardisConfig {
+            g_max_size: 100,
+            l_max_size: 30,
+            sampling_fraction: 0.5,
+            pth: 3, // cap of 2 siblings → truncation bites often
+            ..TardisConfig::default()
+        };
+        let (index, _) = TardisIndex::build(&cluster, "data", &config).unwrap();
+        let cap = config.pth - 1;
+
+        // Group queries by (parent's partition list, own partition): the
+        // old code loaded one fixed sibling subset per such group.
+        use std::collections::HashMap;
+        let mut groups: HashMap<(Vec<u32>, u32), Vec<u64>> = HashMap::new();
+        for rid in 0..500u64 {
+            let q = series(rid);
+            let sig = index.global().converter().sig_of(&q).unwrap();
+            let own = index.global().partition_of(&sig);
+            let sibs = index.global().sibling_partitions(&sig);
+            let others = sibs.iter().filter(|&&p| p != own).count();
+            if others > cap {
+                groups.entry((sibs, own)).or_default().push(rid);
+            }
+        }
+        let candidates: Vec<&Vec<u64>> = groups.values().filter(|v| v.len() >= 2).collect();
+        assert!(
+            !candidates.is_empty(),
+            "dataset produced no truncated sibling group with ≥ 2 queries"
+        );
+
+        let loaded_siblings = |rid: u64| -> (Vec<u64>, u64) {
+            let q = series(rid);
+            let sig = index.global().converter().sig_of(&q).unwrap();
+            let own = index.global().partition_of(&sig) as u64;
+            let (_, profile) = knn_approximate_profiled(
+                &index,
+                &cluster,
+                &q,
+                5,
+                KnnStrategy::MultiPartition,
+                &tardis_cluster::Tracer::disabled(),
+            )
+            .unwrap();
+            let sibs: Vec<u64> =
+                profile.partition_ids.iter().copied().filter(|&p| p != own).collect();
+            (sibs, own)
+        };
+
+        // At least one group must show two queries loading different
+        // sibling subsets — impossible under the old fixed-seed shuffle.
+        let mut found_different = false;
+        for rids in &candidates {
+            let mut seen: std::collections::HashSet<Vec<u64>> = std::collections::HashSet::new();
+            for &rid in rids.iter() {
+                seen.insert(loaded_siblings(rid).0);
+            }
+            if seen.len() > 1 {
+                found_different = true;
+                break;
+            }
+        }
+        assert!(
+            found_different,
+            "every same-parent same-primary query group loaded one sibling subset"
+        );
+
+        // And the chosen siblings are exactly the lowest-lower-bound
+        // ones (mindist ascending, pid tiebreak).
+        let rid = candidates[0][0];
+        let q = series(rid);
+        let sig = index.global().converter().sig_of(&q).unwrap();
+        let paa = index.global().converter().paa_of(&q).unwrap();
+        let own = index.global().partition_of(&sig);
+        let mut others: Vec<u32> = index
+            .global()
+            .sibling_partitions(&sig)
+            .into_iter()
+            .filter(|&p| p != own)
+            .collect();
+        let bounds = index
+            .global()
+            .partition_lower_bounds(&paa, q.len(), &others)
+            .unwrap();
+        let mut ranked: Vec<(f64, u32)> =
+            bounds.into_iter().zip(others.drain(..)).collect();
+        ranked.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let mut expected: Vec<u64> =
+            ranked.into_iter().take(cap).map(|(_, p)| p as u64).collect();
+        expected.sort_unstable();
+        let (got, _) = loaded_siblings(rid);
+        assert_eq!(got, expected, "rid {rid}: not the nearest siblings");
+    }
+
+    #[test]
+    fn refine_partition_separates_abandoned_from_refined() {
+        // Regression for the accounting bug: early-abandoned candidates
+        // used to be counted as refined. With the heap's k-th distance
+        // forced to 0, every candidate's distance scan aborts at the
+        // first nonzero term — all abandoned, none refined.
+        let config = TardisConfig {
+            l_max_size: 10,
+            ..TardisConfig::default()
+        };
+        let converter = crate::convert::Converter::new(&config);
+        let entries: Vec<crate::entry::Entry> = (0..50u64)
+            .map(|rid| {
+                let ts = series(rid);
+                crate::entry::Entry::new(
+                    converter.sig_of(&ts).unwrap(),
+                    Record::new(rid, ts),
+                )
+            })
+            .collect();
+        let local = TardisL::build(entries, &config, None);
+        let q = series(1_000); // not among the entries
+        let paa = converter.paa_of(&q).unwrap();
+        let mut heap = TopK::new(1);
+        heap.push(0.0, 99_999); // k-th distance = 0 → everything abandons
+        let stats = refine_partition(
+            &local,
+            &q,
+            &paa,
+            q.len(),
+            f64::INFINITY, // keep every candidate past the prune
+            &mut heap,
+            &Span::noop(),
+        )
+        .unwrap();
+        assert_eq!(stats.pruned, 0);
+        assert_eq!(stats.refined, 0, "abandoned candidates counted as refined");
+        assert_eq!(stats.abandoned, 50);
+    }
+
+    #[test]
+    fn answer_and_profile_counters_agree() {
+        let (cluster, index) = build_index(600);
+        let q = series(17);
+        for strategy in KnnStrategy::ALL {
+            let (ans, profile) = knn_approximate_profiled(
+                &index,
+                &cluster,
+                &q,
+                10,
+                strategy,
+                &tardis_cluster::Tracer::disabled(),
+            )
+            .unwrap();
+            assert_eq!(ans.partitions_loaded, profile.partitions_loaded, "{strategy:?}");
+            assert_eq!(ans.candidates_refined as u64, profile.candidates_refined);
+            assert_eq!(ans.candidates_abandoned as u64, profile.candidates_abandoned);
+            assert_eq!(profile.partition_ids.len(), profile.partitions_loaded);
+            assert!(profile.spans.is_empty(), "disabled tracer ⇒ no spans");
+            // The profiled and unprofiled paths are the same code.
+            let plain = knn_approximate(&index, &cluster, &q, 10, strategy).unwrap();
+            assert_eq!(plain.neighbors, ans.neighbors, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn profiled_query_span_tree_accounts_for_phases() {
+        let (cluster, index) = build_index(900);
+        let tracer = tardis_cluster::Tracer::new();
+        let (_, profile) = knn_approximate_profiled(
+            &index,
+            &cluster,
+            &series(11),
+            10,
+            KnnStrategy::MultiPartition,
+            &tracer,
+        )
+        .unwrap();
+        assert_eq!(profile.spans.len(), 1, "one root span");
+        let root = &profile.spans[0];
+        assert_eq!(root.name, "knn");
+        for phase in ["route", "load", "prune", "refine"] {
+            assert!(root.find(phase).is_some(), "missing {phase} span");
+        }
+        // Sibling scans (if any) carry their own nested load span.
+        if profile.partitions_loaded > 1 {
+            let sib = root.find("sibling").expect("sibling span");
+            assert!(sib.find("load").is_some());
+        }
+        // Aggregated refine counters across the tree match the profile.
+        fn sum_counter(node: &tardis_cluster::SpanNode, name: &str) -> u64 {
+            node.counter(name).unwrap_or(0)
+                + node.children.iter().map(|c| sum_counter(c, name)).sum::<u64>()
+        }
+        assert_eq!(
+            sum_counter(root, "candidates_refined"),
+            profile.candidates_refined
+        );
+        assert_eq!(
+            sum_counter(root, "candidates_abandoned"),
+            profile.candidates_abandoned
+        );
+        assert_eq!(
+            sum_counter(root, "partitions_loaded"),
+            profile.partitions_loaded as u64
+        );
+    }
+
+    #[test]
     fn topk_heap_behaviour() {
         let mut h = TopK::new(3);
         assert_eq!(h.kth_distance(), f64::INFINITY);
@@ -449,5 +797,85 @@ mod tests {
         assert_eq!(h.kth_distance(), 2.5);
         h.push(1.0, 1);
         assert_eq!(h.kth_distance(), 2.5, "still capped while underfull");
+    }
+
+    #[test]
+    fn topk_rid_evicted_then_repushed_counts_once() {
+        let mut h = TopK::new(2);
+        h.push(1.0, 1);
+        h.push(2.0, 2);
+        h.push(0.5, 3); // evicts rid 2
+        h.push(0.7, 2); // re-push of the evicted rid must be accepted
+        let sorted = h.into_sorted();
+        assert_eq!(
+            sorted.iter().map(|&(_, r)| r).collect::<Vec<_>>(),
+            vec![3, 2]
+        );
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn topk_rids_stay_unique_under_eviction_and_repush(
+            pushes in prop::collection::vec((0.0f64..100.0, 0u64..12), 0..120),
+            k in 1usize..6,
+        ) {
+            // Small rid range against a long push sequence forces heavy
+            // duplication, eviction, and re-push of evicted rids.
+            let mut h = TopK::new(k);
+            for &(d, rid) in &pushes {
+                h.push(d, rid);
+            }
+            let sorted = h.into_sorted();
+            prop_assert!(sorted.len() <= k);
+            let rids: std::collections::HashSet<RecordId> =
+                sorted.iter().map(|&(_, r)| r).collect();
+            prop_assert_eq!(rids.len(), sorted.len(), "duplicate rid survived");
+            for w in sorted.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0, "not sorted ascending");
+            }
+        }
+
+        #[test]
+        fn topk_kth_distance_monotone_non_increasing(
+            pushes in prop::collection::vec((0.0f64..100.0, 0u64..1000), 1..150),
+            k in 1usize..6,
+        ) {
+            let mut h = TopK::new(k);
+            let mut prev = h.kth_distance();
+            for &(d, rid) in &pushes {
+                h.push(d, rid);
+                let now = h.kth_distance();
+                prop_assert!(now <= prev, "kth rose from {} to {}", prev, now);
+                prev = now;
+            }
+        }
+
+        #[test]
+        fn topk_forced_threshold_with_underfull_heap(
+            pushes in prop::collection::vec((0.0f64..100.0, 0u64..1000), 0..10),
+            k in 10usize..20,
+            forced in 0.0f64..50.0,
+        ) {
+            // Fewer than k members: the natural k-th distance stays
+            // infinite, so the forced threshold must rule throughout —
+            // and pushes below it must still be accepted.
+            let mut h = TopK::new(k);
+            h.force_threshold(forced);
+            for &(d, rid) in &pushes {
+                h.push(d, rid);
+                prop_assert!(h.heap.len() < k, "heap unexpectedly full");
+                prop_assert_eq!(h.kth_distance(), forced);
+            }
+            let n_unique: usize = {
+                let rids: std::collections::HashSet<RecordId> =
+                    pushes.iter().map(|&(_, r)| r).collect();
+                rids.len()
+            };
+            prop_assert_eq!(h.into_sorted().len(), n_unique);
+        }
     }
 }

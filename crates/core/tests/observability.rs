@@ -1,0 +1,333 @@
+//! End-to-end observability: build + query under one live tracer on a
+//! fault-injected cluster, then validate the exported artifacts — the
+//! chrome-trace JSON (well-formed, events nested inside their parents)
+//! and the merged Prometheus dump (span aggregates next to the cluster's
+//! fault/retry counters).
+
+use std::collections::HashMap;
+use std::time::Duration;
+use tardis_cluster::{
+    chrome_trace_json, encode_records, Cluster, ClusterConfig, FaultPlan, RetryPolicy, SpanRecord,
+    Tracer,
+};
+use tardis_core::{
+    exact_match_profiled, knn_approximate_profiled, KnnStrategy, TardisConfig, TardisIndex,
+};
+use tardis_ts::{Record, TimeSeries};
+
+fn series(rid: u64) -> TimeSeries {
+    let mut x = rid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut acc = 0.0f32;
+    let mut v = Vec::with_capacity(64);
+    for _ in 0..64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc += ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+        v.push(acc);
+    }
+    tardis_ts::z_normalize_in_place(&mut v);
+    TimeSeries::new(v)
+}
+
+/// A faulty-but-recoverable cluster: every operation succeeds after
+/// retries, and the injected faults are visible in the metrics.
+fn faulty_cluster() -> Cluster {
+    Cluster::new(ClusterConfig {
+        n_workers: 4,
+        faults: Some(FaultPlan {
+            seed: 0x0B5E_11A8,
+            block_read_fail_p: 0.3,
+            task_fail_p: 0.1,
+            ..FaultPlan::default()
+        }),
+        retry: RetryPolicy {
+            max_attempts: 64,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+        },
+        ..ClusterConfig::default()
+    })
+    .unwrap()
+}
+
+fn write_data(cluster: &Cluster, n: u64) {
+    let blocks: Vec<Vec<u8>> = (0..n)
+        .collect::<Vec<u64>>()
+        .chunks(100)
+        .map(|chunk| {
+            encode_records(
+                &chunk
+                    .iter()
+                    .map(|&rid| Record::new(rid, series(rid)))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    cluster.dfs().write_blocks("data", blocks).unwrap();
+}
+
+/// Builds and queries under one tracer; returns the cluster and tracer
+/// with a full workload recorded.
+fn traced_workload() -> (Cluster, Tracer) {
+    let cluster = faulty_cluster();
+    write_data(&cluster, 1_000);
+    let config = TardisConfig {
+        g_max_size: 200,
+        l_max_size: 50,
+        sampling_fraction: 0.5,
+        ..TardisConfig::default()
+    };
+    let tracer = Tracer::new();
+    let (index, _) = TardisIndex::build_profiled(&cluster, "data", &config, &tracer).unwrap();
+    let (out, _) = exact_match_profiled(&index, &cluster, &series(42), true, &tracer).unwrap();
+    assert_eq!(out.matches, vec![42]);
+    for strategy in KnnStrategy::ALL {
+        let (ans, _) =
+            knn_approximate_profiled(&index, &cluster, &series(7), 5, strategy, &tracer).unwrap();
+        assert_eq!(ans.neighbors[0].1, 7, "{strategy:?}");
+    }
+    (cluster, tracer)
+}
+
+// ---- A minimal hand-rolled JSON validator (no serde in the tree). ----
+
+struct Json<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Json<'a> {
+    fn new(text: &'a str) -> Json<'a> {
+        Json {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.eat(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.eat(b':')?;
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("bad object at {other:?}, byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.eat(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("bad array at {other:?}, byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.eat(b'"')?;
+        while let Some(c) = self.peek() {
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(()),
+                b'\\' => self.pos += 1, // skip the escaped byte
+                _ => {}
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            Err(format!("empty number at byte {start}"))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Validates the whole input as one JSON value with no trailing junk.
+    fn validate(mut self) -> Result<(), String> {
+        self.literal_check()?;
+        Ok(())
+    }
+
+    fn literal_check(&mut self) -> Result<(), String> {
+        self.value()?;
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing bytes after value at {}", self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected literal {lit} at byte {}", self.pos))
+        }
+    }
+}
+
+#[test]
+fn chrome_trace_is_wellformed_json_with_expected_events() {
+    let (_cluster, tracer) = traced_workload();
+    let json = chrome_trace_json(&tracer.records());
+    Json::new(&json).validate().expect("well-formed JSON");
+    // The workload's phases all appear as "X" complete events.
+    for name in [
+        "\"name\":\"build\"",
+        "\"name\":\"sample\"",
+        "\"name\":\"skeleton\"",
+        "\"name\":\"pack\"",
+        "\"name\":\"read-convert\"",
+        "\"name\":\"shuffle\"",
+        "\"name\":\"local-build\"",
+        "\"name\":\"partition\"",
+        "\"name\":\"exact-match\"",
+        "\"name\":\"knn\"",
+        "\"name\":\"route\"",
+        "\"name\":\"load\"",
+        "\"name\":\"refine\"",
+        "\"ph\":\"X\"",
+    ] {
+        assert!(json.contains(name), "missing {name} in trace");
+    }
+}
+
+#[test]
+fn span_records_nest_inside_their_parents() {
+    let (_cluster, tracer) = traced_workload();
+    let records = tracer.records();
+    assert!(records.len() > 20, "expected a rich trace");
+    let by_id: HashMap<u32, &SpanRecord> = records.iter().map(|r| (r.id, r)).collect();
+    let mut nested = 0usize;
+    for r in &records {
+        let Some(pid) = r.parent else { continue };
+        let parent = by_id
+            .get(&pid)
+            .unwrap_or_else(|| panic!("span {} has unknown parent {pid}", r.id));
+        assert!(
+            r.start_us >= parent.start_us
+                && r.start_us + r.dur_us <= parent.start_us + parent.dur_us,
+            "span {} [{}, {}] escapes parent {} [{}, {}]",
+            r.name,
+            r.start_us,
+            r.start_us + r.dur_us,
+            parent.name,
+            parent.start_us,
+            parent.start_us + parent.dur_us,
+        );
+        nested += 1;
+    }
+    assert!(nested > 10, "expected many nested spans, got {nested}");
+    // Per-partition local-build spans ran on worker threads, distinct
+    // from the thread that opened the build root.
+    let root_thread = records.iter().find(|r| r.name == "build").unwrap().thread;
+    assert!(
+        records
+            .iter()
+            .any(|r| r.name == "partition" && r.thread != root_thread),
+        "partition spans should run on pool workers"
+    );
+}
+
+#[test]
+fn prometheus_dump_merges_cluster_and_span_counters() {
+    let (cluster, tracer) = traced_workload();
+    let aggregates = tracer.aggregates();
+    let text = cluster.metrics().snapshot().prometheus_text(Some(&aggregates));
+    // The fault/retry counters from the chaos substrate are present and
+    // nonzero: the seeded plan injected faults that retries masked.
+    let counter = |name: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("missing counter {name} in:\n{text}"))
+    };
+    assert!(counter("tardis_faults_injected") > 0, "no faults injected");
+    assert!(
+        counter("tardis_task_retries") + counter("tardis_block_read_retries") > 0,
+        "no retries recorded"
+    );
+    // Span aggregates appear with both count and total-time series.
+    assert!(text.contains("tardis_span_count{span=\"build\"} 1"));
+    assert!(text.contains("tardis_span_count{span=\"knn\"}"));
+    assert!(text.contains("tardis_span_total_us{span=\"load\"}"));
+    // Each metric family is typed exactly once.
+    let headers = text
+        .lines()
+        .filter(|l| *l == "# TYPE tardis_span_count counter")
+        .count();
+    assert_eq!(headers, 1);
+}

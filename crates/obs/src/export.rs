@@ -1,0 +1,198 @@
+//! Exporters: chrome-trace JSON and Prometheus text.
+//!
+//! * [`chrome_trace_json`] renders finished spans as complete (`"ph":
+//!   "X"`) events in the [Trace Event Format] — drop the file onto
+//!   `about:tracing` or load it in Perfetto to see the query/build
+//!   timeline per thread.
+//! * [`PromText`] accumulates `# HELP` / `# TYPE` / sample lines in the
+//!   Prometheus text exposition format; the cluster crate uses it to
+//!   merge its `MetricsSnapshot` counters with span aggregates.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::span::SpanRecord;
+use std::fmt::Write;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders span records as a chrome-trace JSON array of complete
+/// (`"ph": "X"`) events. Timestamps and durations are microseconds, as
+/// the format requires; `pid` is fixed (one process), `tid` is the dense
+/// thread id each span ran on, and `args` carries the span id, parent
+/// id, and any attached counters.
+pub fn chrome_trace_json(records: &[SpanRecord]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"tardis\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"id\":{}",
+            json_escape(r.name),
+            r.start_us,
+            r.dur_us,
+            r.thread,
+            r.id
+        );
+        if let Some(parent) = r.parent {
+            let _ = write!(out, ",\"parent\":{parent}");
+        }
+        for (name, value) in &r.counters {
+            let _ = write!(out, ",\"{}\":{}", json_escape(name), value);
+        }
+        out.push_str("}}");
+    }
+    out.push(']');
+    out
+}
+
+/// Accumulates metrics in the Prometheus text exposition format.
+///
+/// Each distinct metric name gets `# HELP` and `# TYPE` header lines the
+/// first time it appears; labeled samples of the same name share one
+/// header block (as the format requires).
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+    seen: std::collections::BTreeSet<String>,
+}
+
+impl PromText {
+    /// Creates an empty dump.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str) {
+        if self.seen.insert(name.to_string()) {
+            let _ = writeln!(self.out, "# HELP {name} {help}");
+            let _ = writeln!(self.out, "# TYPE {name} counter");
+        }
+    }
+
+    /// Appends an unlabeled counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help);
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// Appends a counter sample with one label.
+    pub fn labeled_counter(
+        &mut self,
+        name: &str,
+        help: &str,
+        label_key: &str,
+        label_value: &str,
+        value: u64,
+    ) {
+        self.header(name, help);
+        let _ = writeln!(self.out, "{name}{{{label_key}=\"{label_value}\"}} {value}");
+    }
+
+    /// Appends per-span-name `count` and `total microseconds` counters
+    /// from a tracer's aggregates.
+    pub fn spans(&mut self, aggregates: &[crate::span::SpanAggregate]) {
+        for agg in aggregates {
+            self.labeled_counter(
+                "tardis_span_count",
+                "Finished spans by name.",
+                "span",
+                agg.name,
+                agg.count,
+            );
+        }
+        for agg in aggregates {
+            self.labeled_counter(
+                "tardis_span_total_us",
+                "Summed span wall-clock time by name, microseconds.",
+                "span",
+                agg.name,
+                agg.total_us,
+            );
+        }
+    }
+
+    /// The accumulated text dump.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Tracer;
+
+    #[test]
+    fn chrome_trace_is_wellformed_for_nested_spans() {
+        let t = Tracer::new();
+        {
+            let root = t.root("query");
+            let load = root.child("load");
+            load.add("partitions_loaded", 2);
+        }
+        let json = t.chrome_trace_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"query\""));
+        assert!(json.contains("\"partitions_loaded\":2"));
+        assert!(json.contains("\"parent\":"));
+    }
+
+    #[test]
+    fn empty_trace_is_an_empty_array() {
+        assert_eq!(Tracer::disabled().chrome_trace_json(), "[]");
+        assert_eq!(Tracer::new().chrome_trace_json(), "[]");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn prom_text_emits_headers_once() {
+        let mut p = PromText::new();
+        p.counter("tardis_blocks_read", "Blocks read.", 4);
+        p.labeled_counter("tardis_span_count", "Spans.", "span", "route", 2);
+        p.labeled_counter("tardis_span_count", "Spans.", "span", "load", 1);
+        let text = p.finish();
+        assert_eq!(text.matches("# TYPE tardis_span_count counter").count(), 1);
+        assert!(text.contains("tardis_blocks_read 4"));
+        assert!(text.contains("tardis_span_count{span=\"route\"} 2"));
+        assert!(text.contains("tardis_span_count{span=\"load\"} 1"));
+    }
+
+    #[test]
+    fn spans_section_renders_aggregates() {
+        let t = Tracer::new();
+        {
+            let _a = t.root("route");
+        }
+        let mut p = PromText::new();
+        p.spans(&t.aggregates());
+        let text = p.finish();
+        assert!(text.contains("tardis_span_count{span=\"route\"} 1"));
+        assert!(text.contains("tardis_span_total_us{span=\"route\"}"));
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Query-path observability for the TARDIS reproduction.
+//!
+//! The paper's evaluation (§VI, Figures 13–16) hinges on per-stage
+//! accounting — partitions loaded, candidates refined, per-stage build
+//! time — and distributed similarity search more generally lives or dies
+//! on per-node work accounting. This crate provides the measurement
+//! substrate:
+//!
+//! * [`Tracer`] / [`Span`] — hierarchical wall-clock spans with counter
+//!   attachment. Spans are created explicitly from a parent (no
+//!   thread-local magic), so worker-pool tasks can open children of a
+//!   query span from any thread; each record carries the thread that
+//!   produced it.
+//! * [`QueryProfile`] — the per-query work summary every query path
+//!   returns alongside its answer: partitions loaded, candidates
+//!   pruned / refined / abandoned, and the span tree.
+//! * [`export`] — a chrome-trace JSON exporter (loadable in
+//!   `about:tracing` / Perfetto) and a Prometheus text renderer that the
+//!   cluster merges with its [`MetricsSnapshot`]-style counters.
+//!
+//! **Overhead contract:** a disabled tracer ([`Tracer::disabled`], the
+//! default for library users) must cost *one branch and no allocation*
+//! per span operation. [`Span::noop`], `Tracer::disabled().root(..)`,
+//! `child(..)`, and `add(..)` on a disabled span never allocate and
+//! never read the clock; `crates/obs/tests/no_alloc.rs` pins this with a
+//! counting global allocator.
+
+pub mod export;
+pub mod profile;
+pub mod span;
+
+pub use export::{chrome_trace_json, PromText};
+pub use profile::QueryProfile;
+pub use span::{Span, SpanAggregate, SpanNode, SpanRecord, Tracer};

@@ -1,0 +1,91 @@
+//! Per-query work summary.
+
+use crate::span::SpanNode;
+use std::fmt::Write;
+
+/// What one query cost: the partitions it touched, the candidate-level
+/// accounting, and its span tree.
+///
+/// Counter semantics (they are disjoint — a candidate is exactly one of
+/// pruned / abandoned / refined):
+///
+/// * `candidates_pruned` — eliminated by an iSAX-T lower bound *before*
+///   any raw-series distance work.
+/// * `candidates_abandoned` — raw-series distance started but cut off
+///   early by the current kNN threshold (early abandoning).
+/// * `candidates_refined` — full raw-series distance computed.
+#[derive(Debug, Clone, Default)]
+pub struct QueryProfile {
+    /// Partitions whose payload was loaded from the DFS.
+    pub partitions_loaded: usize,
+    /// Which partitions were loaded, ascending.
+    pub partition_ids: Vec<u64>,
+    /// Candidates eliminated by a lower bound before distance work.
+    pub candidates_pruned: u64,
+    /// Candidates whose distance computation was abandoned early.
+    pub candidates_abandoned: u64,
+    /// Candidates with a fully computed raw-series distance.
+    pub candidates_refined: u64,
+    /// Exact-match probes rejected by a partition Bloom filter.
+    pub bloom_rejected: u64,
+    /// Span forest for the query (usually one root).
+    pub spans: Vec<SpanNode>,
+}
+
+impl QueryProfile {
+    /// Finds the first span named `name` anywhere in the forest.
+    pub fn span(&self, name: &str) -> Option<&SpanNode> {
+        self.spans.iter().find_map(|s| s.find(name))
+    }
+
+    /// Renders the profile as indented text for CLI dumps.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "partitions_loaded={} pruned={} abandoned={} refined={} bloom_rejected={}",
+            self.partitions_loaded,
+            self.candidates_pruned,
+            self.candidates_abandoned,
+            self.candidates_refined,
+            self.bloom_rejected,
+        );
+        if !self.partition_ids.is_empty() {
+            let ids: Vec<String> = self.partition_ids.iter().map(|p| p.to_string()).collect();
+            let _ = writeln!(out, "partitions=[{}]", ids.join(","));
+        }
+        for span in &self.spans {
+            out.push_str(&span.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Tracer;
+
+    #[test]
+    fn render_includes_counters_and_spans() {
+        let t = Tracer::new();
+        {
+            let root = t.root("query");
+            let _route = root.child("route");
+        }
+        let profile = QueryProfile {
+            partitions_loaded: 2,
+            partition_ids: vec![3, 7],
+            candidates_pruned: 10,
+            candidates_abandoned: 4,
+            candidates_refined: 6,
+            bloom_rejected: 0,
+            spans: t.span_tree(),
+        };
+        let text = profile.render();
+        assert!(text.contains("partitions_loaded=2"));
+        assert!(text.contains("partitions=[3,7]"));
+        assert!(text.contains("query"));
+        assert!(profile.span("route").is_some());
+    }
+}

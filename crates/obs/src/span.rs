@@ -1,0 +1,480 @@
+//! Hierarchical wall-clock spans with counter attachment.
+//!
+//! The span model is explicit-parent rather than thread-local: a
+//! [`Tracer`] hands out root spans, and every child is opened from its
+//! parent (`span.child("load")`). This makes parentage deterministic
+//! when work fans out across a worker pool — a task running on any
+//! thread opens a child of the query span it was given, and the record
+//! it produces carries that thread's id for the chrome-trace view.
+//!
+//! A disabled tracer costs one branch and zero allocations per span
+//! operation (see the crate docs for the overhead contract).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Small dense per-thread id for trace output (`ThreadId` is opaque and
+/// its integer accessor is unstable).
+fn current_tid() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// One finished span: name, interval, thread, parentage, counters.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Tracer-unique span id (assigned at open time, so parents have
+    /// smaller ids than their children).
+    pub id: u32,
+    /// Parent span id, `None` for roots.
+    pub parent: Option<u32>,
+    /// Static span name (e.g. `"route"`, `"refine"`).
+    pub name: &'static str,
+    /// Start offset from the tracer epoch, microseconds.
+    pub start_us: u64,
+    /// Wall-clock duration, microseconds.
+    pub dur_us: u64,
+    /// Dense id of the thread the span ran on.
+    pub thread: u64,
+    /// Counters attached while the span was open (merged by name).
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// A span record re-threaded into its tree position.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Static span name.
+    pub name: &'static str,
+    /// Start offset from the tracer epoch, microseconds.
+    pub start_us: u64,
+    /// Wall-clock duration, microseconds.
+    pub dur_us: u64,
+    /// Dense id of the thread the span ran on.
+    pub thread: u64,
+    /// Counters attached while the span was open.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Child spans, ascending by start time.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Looks up an attached counter by name (first match).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| *n == name).map(|&(_, v)| v)
+    }
+
+    /// Depth-first search for the first descendant (or self) with `name`.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let _ = write!(out, "{:indent$}{} {}us", "", self.name, self.dur_us, indent = depth * 2);
+        for (name, value) in &self.counters {
+            let _ = write!(out, " {name}={value}");
+        }
+        out.push('\n');
+        for child in &self.children {
+            child.render_into(out, depth + 1);
+        }
+    }
+
+    /// Renders the subtree as indented text (for CLI profile dumps).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+}
+
+/// Per-name aggregate over a tracer's records (for the Prometheus dump).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanAggregate {
+    /// Span name.
+    pub name: &'static str,
+    /// Number of finished spans with this name.
+    pub count: u64,
+    /// Summed wall-clock duration, microseconds.
+    pub total_us: u64,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    epoch: Instant,
+    records: Mutex<Vec<SpanRecord>>,
+    next_id: AtomicU32,
+}
+
+/// A handle that collects span records; cheap to clone and share.
+///
+/// [`Tracer::disabled`] (also the [`Default`]) collects nothing and
+/// makes every span operation a no-op costing one branch.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// Creates an *enabled* tracer whose epoch is "now".
+    pub fn new() -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(TracerInner {
+                epoch: Instant::now(),
+                records: Mutex::new(Vec::new()),
+                next_id: AtomicU32::new(1),
+            })),
+        }
+    }
+
+    /// Creates a disabled tracer: spans opened from it are no-ops.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// Whether spans opened from this tracer record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a root span.
+    pub fn root(&self, name: &'static str) -> Span {
+        match &self.inner {
+            None => Span { active: None },
+            Some(inner) => Span::open(Arc::clone(inner), None, name),
+        }
+    }
+
+    /// Snapshot of every *finished* span, ascending by start time (ties
+    /// broken by id, so parents precede the children they enclose).
+    pub fn records(&self) -> Vec<SpanRecord> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut records = inner.records.lock().clone();
+        records.sort_by_key(|r| (r.start_us, r.id));
+        records
+    }
+
+    /// Re-threads the finished spans into their forest of trees.
+    pub fn span_tree(&self) -> Vec<SpanNode> {
+        build_tree(&self.records())
+    }
+
+    /// The subtree rooted at span `root` (by id), or empty if that span
+    /// has not finished. Lets a per-query profile carry only its own
+    /// spans when one tracer is shared across many queries.
+    pub fn span_tree_under(&self, root: u32) -> Vec<SpanNode> {
+        let mut keep = std::collections::HashSet::from([root]);
+        // Records are sorted (start, id) and ids grow at open time, so a
+        // parent always precedes its children: one pass closes the set.
+        let kept: Vec<SpanRecord> = self
+            .records()
+            .into_iter()
+            .filter(|r| {
+                if r.id == root || r.parent.is_some_and(|p| keep.contains(&p)) {
+                    keep.insert(r.id);
+                    true
+                } else {
+                    false
+                }
+            })
+            .collect();
+        build_tree(&kept)
+    }
+
+    /// Per-name `(count, total duration)` aggregates, sorted by name.
+    pub fn aggregates(&self) -> Vec<SpanAggregate> {
+        let mut by_name: std::collections::BTreeMap<&'static str, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for r in self.records() {
+            let slot = by_name.entry(r.name).or_default();
+            slot.0 += 1;
+            slot.1 += r.dur_us;
+        }
+        by_name
+            .into_iter()
+            .map(|(name, (count, total_us))| SpanAggregate { name, count, total_us })
+            .collect()
+    }
+
+    /// Exports every finished span as chrome-trace "X" (complete) events
+    /// — a JSON array loadable in `about:tracing` / Perfetto. Span
+    /// counters and parentage ride along in `args`.
+    pub fn chrome_trace_json(&self) -> String {
+        crate::export::chrome_trace_json(&self.records())
+    }
+}
+
+/// Builds the span forest from records sorted by `(start_us, id)`.
+pub(crate) fn build_tree(records: &[SpanRecord]) -> Vec<SpanNode> {
+    use std::collections::HashMap;
+    let mut nodes: HashMap<u32, SpanNode> = HashMap::new();
+    // Children of each parent, in record (= start) order.
+    let mut children_of: HashMap<u32, Vec<u32>> = HashMap::new();
+    let mut roots: Vec<u32> = Vec::new();
+    for r in records {
+        nodes.insert(
+            r.id,
+            SpanNode {
+                name: r.name,
+                start_us: r.start_us,
+                dur_us: r.dur_us,
+                thread: r.thread,
+                counters: r.counters.clone(),
+                children: Vec::new(),
+            },
+        );
+        match r.parent {
+            // Ids are assigned at open time and records are sorted by
+            // (start, id), so a finished parent was inserted before any
+            // of its children. A parent with no record (still open at
+            // export time) promotes its children to roots.
+            Some(p) if nodes.contains_key(&p) => {
+                children_of.entry(p).or_default().push(r.id);
+            }
+            _ => roots.push(r.id),
+        }
+    }
+    fn assemble(
+        id: u32,
+        nodes: &mut std::collections::HashMap<u32, SpanNode>,
+        children_of: &std::collections::HashMap<u32, Vec<u32>>,
+    ) -> SpanNode {
+        let mut node = nodes.remove(&id).expect("node inserted above");
+        if let Some(kids) = children_of.get(&id) {
+            for &kid in kids {
+                node.children.push(assemble(kid, nodes, children_of));
+            }
+        }
+        node.children.sort_by_key(|c| c.start_us);
+        node
+    }
+    roots
+        .into_iter()
+        .map(|id| assemble(id, &mut nodes, &children_of))
+        .collect()
+}
+
+struct ActiveSpan {
+    tracer: Arc<TracerInner>,
+    id: u32,
+    parent: Option<u32>,
+    name: &'static str,
+    start: Instant,
+    counters: Mutex<Vec<(&'static str, u64)>>,
+}
+
+/// An open span. Dropping it records the interval; counters added while
+/// open ride along on the record. Opened from a disabled tracer, every
+/// method is a single-branch no-op.
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.active {
+            Some(a) => write!(f, "Span({}, id {})", a.name, a.id),
+            None => write!(f, "Span(noop)"),
+        }
+    }
+}
+
+impl Span {
+    fn open(tracer: Arc<TracerInner>, parent: Option<u32>, name: &'static str) -> Span {
+        let id = tracer.next_id.fetch_add(1, Ordering::Relaxed);
+        Span {
+            active: Some(ActiveSpan {
+                tracer,
+                id,
+                parent,
+                name,
+                start: Instant::now(),
+                counters: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// A span that records nothing (what a disabled tracer hands out).
+    pub fn noop() -> Span {
+        Span { active: None }
+    }
+
+    /// Whether this span records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// This span's tracer-unique id (`None` for no-op spans). Pair with
+    /// [`Tracer::span_tree_under`] to extract one query's subtree.
+    pub fn id(&self) -> Option<u32> {
+        self.active.as_ref().map(|a| a.id)
+    }
+
+    /// Opens a child span. Callable from any thread; the child's record
+    /// carries the opening thread's id.
+    pub fn child(&self, name: &'static str) -> Span {
+        match &self.active {
+            None => Span { active: None },
+            Some(a) => Span::open(Arc::clone(&a.tracer), Some(a.id), name),
+        }
+    }
+
+    /// Attaches (or accumulates into) a named counter on this span.
+    pub fn add(&self, name: &'static str, value: u64) {
+        if let Some(a) = &self.active {
+            let mut counters = a.counters.lock();
+            match counters.iter_mut().find(|(n, _)| *n == name) {
+                Some(slot) => slot.1 += value,
+                None => counters.push((name, value)),
+            }
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else {
+            return;
+        };
+        let dur_us = a.start.elapsed().as_micros() as u64;
+        let start_us = a
+            .start
+            .saturating_duration_since(a.tracer.epoch)
+            .as_micros() as u64;
+        let record = SpanRecord {
+            id: a.id,
+            parent: a.parent,
+            name: a.name,
+            start_us,
+            dur_us,
+            thread: current_tid(),
+            counters: a.counters.into_inner(),
+        };
+        a.tracer.records.lock().push(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        {
+            let root = t.root("query");
+            assert!(!root.is_enabled());
+            let child = root.child("load");
+            child.add("partitions", 3);
+        }
+        assert!(t.records().is_empty());
+        assert!(t.span_tree().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_carry_counters() {
+        let t = Tracer::new();
+        {
+            let root = t.root("query");
+            {
+                let load = root.child("load");
+                load.add("partitions", 2);
+                load.add("partitions", 1);
+            }
+            let _refine = root.child("refine");
+        }
+        let tree = t.span_tree();
+        assert_eq!(tree.len(), 1);
+        let root = &tree[0];
+        assert_eq!(root.name, "query");
+        assert_eq!(root.children.len(), 2);
+        let load = root.find("load").unwrap();
+        assert_eq!(load.counter("partitions"), Some(3));
+        // Children are contained in the parent's interval.
+        for c in &root.children {
+            assert!(c.start_us >= root.start_us);
+            assert!(c.start_us + c.dur_us <= root.start_us + root.dur_us + 1);
+        }
+    }
+
+    #[test]
+    fn cross_thread_children_are_attributed() {
+        let t = Tracer::new();
+        {
+            let root = t.root("query");
+            std::thread::scope(|scope| {
+                for _ in 0..3 {
+                    let root = &root;
+                    scope.spawn(move || {
+                        let s = root.child("task");
+                        s.add("work", 1);
+                    });
+                }
+            });
+        }
+        let tree = t.span_tree();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[0].children.len(), 3);
+        let tids: std::collections::HashSet<u64> =
+            tree[0].children.iter().map(|c| c.thread).collect();
+        assert!(tids.len() >= 2, "worker spans keep their thread ids");
+    }
+
+    #[test]
+    fn span_tree_under_isolates_one_query() {
+        let t = Tracer::new();
+        {
+            let _q1 = t.root("query");
+        }
+        let root_id;
+        {
+            let q2 = t.root("query");
+            root_id = q2.id().unwrap();
+            let _load = q2.child("load");
+        }
+        assert_eq!(t.span_tree().len(), 2, "two roots in the full forest");
+        let sub = t.span_tree_under(root_id);
+        assert_eq!(sub.len(), 1);
+        assert_eq!(sub[0].children.len(), 1);
+        assert_eq!(sub[0].children[0].name, "load");
+        assert!(t.span_tree_under(999).is_empty());
+    }
+
+    #[test]
+    fn aggregates_merge_by_name() {
+        let t = Tracer::new();
+        for _ in 0..4 {
+            let _s = t.root("route");
+        }
+        {
+            let _s = t.root("load");
+        }
+        let aggs = t.aggregates();
+        assert_eq!(aggs.len(), 2);
+        let route = aggs.iter().find(|a| a.name == "route").unwrap();
+        assert_eq!(route.count, 4);
+    }
+
+    #[test]
+    fn records_sorted_by_start() {
+        let t = Tracer::new();
+        {
+            let a = t.root("a");
+            let _b = a.child("b");
+        }
+        let records = t.records();
+        assert_eq!(records.len(), 2);
+        assert!(records[0].start_us <= records[1].start_us);
+    }
+}

@@ -1,0 +1,59 @@
+//! Pins the overhead contract: with tracing disabled, span operations
+//! allocate nothing.
+//!
+//! This file must hold exactly one test — the default test harness runs
+//! tests on multiple threads, and a sibling test's allocations would
+//! pollute the global counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_spans_allocate_nothing() {
+    let tracer = tardis_obs::Tracer::disabled();
+    // Warm up thread-local state outside the measured window.
+    {
+        let warm = tracer.root("warm");
+        let _ = warm.child("warm-child");
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..1_000 {
+        let root = tracer.root("query");
+        let route = root.child("route");
+        route.add("partitions", 1);
+        let load = root.child("load");
+        load.add("bytes", 4096);
+        drop(load);
+        drop(route);
+        drop(root);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled span path must not allocate (contract in crate docs)"
+    );
+}

@@ -21,7 +21,6 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use tardis::core::query::exact_knn::exact_knn;
 use tardis::prelude::*;
 
 fn main() -> ExitCode {
@@ -63,8 +62,9 @@ fn usage() {
     eprintln!("  build    --dir D --dataset NAME --index NAME [--capacity N] [--leaf N] [--sampling PCT]");
     eprintln!("  stats    --dir D --index NAME");
     eprintln!("  exact    --dir D --index NAME (--rid N | --query-file PATH) [--no-bloom]");
+    eprintln!("           [--profile] [--trace-out PATH]");
     eprintln!("  knn      --dir D --index NAME (--rid N | --query-file PATH) --k N");
-    eprintln!("           [--strategy target|one|multi|exact]");
+    eprintln!("           [--strategy target|one|multi|exact] [--profile] [--trace-out PATH]");
     eprintln!("  range    --dir D --index NAME (--rid N | --query-file PATH) --epsilon E");
     eprintln!("  profile  --family F --records N [--seed S]");
     eprintln!();
@@ -98,7 +98,7 @@ fn parse(args: &[String]) -> Option<(String, Flags)> {
     while i < rest.len() {
         let key = rest[i].strip_prefix("--")?;
         // Boolean flags take no value.
-        if key == "no-bloom" {
+        if key == "no-bloom" || key == "profile" {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -349,13 +349,39 @@ fn cmd_stats(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// A tracer that records spans only when `--profile` or `--trace-out`
+/// asked for them; otherwise queries run at the disabled-tracer cost.
+fn tracer_for(flags: &Flags) -> Tracer {
+    if flags.contains_key("profile") || flags.contains_key("trace-out") {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
+    }
+}
+
+/// Emits the per-query profile (`--profile`) and/or a chrome-trace JSON
+/// file (`--trace-out PATH`, loadable in about:tracing / Perfetto).
+fn emit_profile(flags: &Flags, tracer: &Tracer, profile: &QueryProfile) -> Result<(), String> {
+    if flags.contains_key("profile") {
+        out(format_args!("{}", profile.render()));
+    }
+    if let Some(path) = flags.get("trace-out") {
+        let json = chrome_trace_json(&tracer.records());
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        out(format_args!("wrote chrome trace to {path}"));
+    }
+    Ok(())
+}
+
 fn cmd_exact(flags: &Flags) -> Result<(), String> {
     let cluster = open_cluster(flags)?;
     let (index, dataset) = open_index(&cluster, flags)?;
     let query = load_query(&cluster, &dataset, flags)?;
     let use_bloom = !flags.contains_key("no-bloom");
+    let tracer = tracer_for(flags);
     let t0 = std::time::Instant::now();
-    let out = exact_match(&index, &cluster, &query, use_bloom).map_err(|e| e.to_string())?;
+    let (out, profile) = exact_match_profiled(&index, &cluster, &query, use_bloom, &tracer)
+        .map_err(|e| e.to_string())?;
     let elapsed = t0.elapsed();
     if out.matches.is_empty() {
         println!(
@@ -370,6 +396,7 @@ fn cmd_exact(flags: &Flags) -> Result<(), String> {
     } else {
         println!("exact match: record ids {:?} in {elapsed:?}", out.matches);
     }
+    emit_profile(flags, &tracer, &profile)?;
     Ok(())
 }
 
@@ -379,35 +406,35 @@ fn cmd_knn(flags: &Flags) -> Result<(), String> {
     let query = load_query(&cluster, &dataset, flags)?;
     let k: usize = opt_num(flags, "k", 10)?;
     let strategy = flags.get("strategy").map(String::as_str).unwrap_or("multi");
+    let tracer = tracer_for(flags);
+    let approx = |s: KnnStrategy| -> Result<(Vec<(f64, u64)>, QueryProfile), String> {
+        let (ans, profile) = knn_approximate_profiled(&index, &cluster, &query, k, s, &tracer)
+            .map_err(|e| e.to_string())?;
+        Ok((ans.neighbors, profile))
+    };
     let t0 = std::time::Instant::now();
-    let neighbors: Vec<(f64, u64)> = match strategy {
-        "target" => {
-            knn_approximate(&index, &cluster, &query, k, KnnStrategy::TargetNode)
-                .map_err(|e| e.to_string())?
-                .neighbors
+    let (neighbors, profile): (Vec<(f64, u64)>, QueryProfile) = match strategy {
+        "target" => approx(KnnStrategy::TargetNode)?,
+        "one" => approx(KnnStrategy::OnePartition)?,
+        "multi" => approx(KnnStrategy::MultiPartition)?,
+        "exact" => {
+            let (ans, profile) = exact_knn_profiled(&index, &cluster, &query, k, &tracer)
+                .map_err(|e| e.to_string())?;
+            (
+                ans.neighbors
+                    .into_iter()
+                    .map(|nb| (nb.distance, nb.rid))
+                    .collect(),
+                profile,
+            )
         }
-        "one" => {
-            knn_approximate(&index, &cluster, &query, k, KnnStrategy::OnePartition)
-                .map_err(|e| e.to_string())?
-                .neighbors
-        }
-        "multi" => {
-            knn_approximate(&index, &cluster, &query, k, KnnStrategy::MultiPartition)
-                .map_err(|e| e.to_string())?
-                .neighbors
-        }
-        "exact" => exact_knn(&index, &cluster, &query, k)
-            .map_err(|e| e.to_string())?
-            .neighbors
-            .into_iter()
-            .map(|nb| (nb.distance, nb.rid))
-            .collect(),
         other => return Err(format!("unknown strategy '{other}' (target|one|multi|exact)")),
     };
     say!("{strategy} {k}-NN in {:?}:", t0.elapsed());
     for (rank, (d, rid)) in neighbors.iter().enumerate() {
         say!("  #{:<3} record {:>10}  distance {:.6}", rank + 1, rid, d);
     }
+    emit_profile(flags, &tracer, &profile)?;
     Ok(())
 }
 

@@ -47,16 +47,18 @@ pub use tardis_ts as ts;
 /// Everything an application typically needs.
 pub mod prelude {
     pub use tardis_baseline::{
-        baseline_exact_match, baseline_knn, BaselineConfig, DpisaxIndex, SplitPolicy,
+        baseline_exact_match, baseline_exact_match_profiled, baseline_knn, baseline_knn_profiled,
+        BaselineConfig, DpisaxIndex, SplitPolicy,
     };
     pub use tardis_bloom::BloomFilter;
     pub use tardis_cluster::{
-        Cluster, ClusterConfig, ClusterError, Dataset, DfsConfig, FaultPlan, MaybeTransient,
-        MetricsSnapshot, RetryPolicy, WorkerPool,
+        chrome_trace_json, Cluster, ClusterConfig, ClusterError, Dataset, DfsConfig, FaultPlan,
+        MaybeTransient, MetricsSnapshot, PromText, QueryProfile, RetryPolicy, Tracer, WorkerPool,
     };
     pub use tardis_core::{
-        error_ratio, exact_knn, exact_match, ground_truth_knn, knn_approximate, range_query,
-        recall, CoreError, KnnStrategy, TardisConfig, TardisIndex,
+        error_ratio, exact_knn, exact_knn_profiled, exact_match, exact_match_profiled,
+        ground_truth_knn, knn_approximate, knn_approximate_profiled, range_query, recall,
+        CoreError, KnnStrategy, TardisConfig, TardisIndex,
     };
     pub use tardis_data::{
         profile_dataset, read_series_file, write_dataset, write_series_file, DnaLike,

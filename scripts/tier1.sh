@@ -10,6 +10,9 @@ cd "$(dirname "$0")/.."
 echo "== tier-1: release build =="
 cargo build --release
 
+echo "== tier-1: clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== tier-1: full test suite =="
 cargo test -q
 
