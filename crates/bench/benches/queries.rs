@@ -5,7 +5,10 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 use tardis_baseline::{baseline_exact_match, baseline_knn};
 use tardis_bench::{Env, Family};
-use tardis_core::{exact_match, knn_approximate, KnnStrategy};
+use tardis_core::{
+    exact_match, exact_match_batch, exact_match_batch_naive, knn_approximate, knn_batch,
+    knn_batch_naive, KnnStrategy,
+};
 use tardis_data::QueryWorkload;
 
 fn bench_exact(c: &mut Criterion) {
@@ -78,5 +81,58 @@ fn bench_knn(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_exact, bench_knn);
+fn bench_batch(c: &mut Criterion) {
+    let env = Env::prepare(Family::Noaa, 6_000, Duration::ZERO);
+    let (index, _) = env.build_tardis();
+    // 100 queries over 25 distinct stored series: heavy partition
+    // overlap, the workload shape the shared-scan engine is built for.
+    let queries: Vec<_> = (0..100u64).map(|i| env.gen.series((i % 25) * 97)).collect();
+    let k = 10;
+
+    let mut group = c.benchmark_group("batch_knn_100q");
+    group.sample_size(10);
+    group.bench_function("naive_per_query", |b| {
+        b.iter(|| {
+            black_box(
+                knn_batch_naive(&index, &env.cluster, &queries, k, KnnStrategy::MultiPartition)
+                    .unwrap()
+                    .len(),
+            );
+        })
+    });
+    group.bench_function("shared_scan", |b| {
+        b.iter(|| {
+            black_box(
+                knn_batch(&index, &env.cluster, &queries, k, KnnStrategy::MultiPartition)
+                    .unwrap()
+                    .len(),
+            );
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("batch_exact_100q");
+    group.sample_size(10);
+    group.bench_function("naive_per_query", |b| {
+        b.iter(|| {
+            black_box(
+                exact_match_batch_naive(&index, &env.cluster, &queries, true)
+                    .unwrap()
+                    .len(),
+            );
+        })
+    });
+    group.bench_function("shared_scan", |b| {
+        b.iter(|| {
+            black_box(
+                exact_match_batch(&index, &env.cluster, &queries, true)
+                    .unwrap()
+                    .len(),
+            );
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact, bench_knn, bench_batch);
 criterion_main!(benches);

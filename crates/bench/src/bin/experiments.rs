@@ -8,8 +8,10 @@
 //!
 //! Subcommands: `table2`, `fig9`, `fig10`, `fig11`, `fig12`, `fig13`,
 //! `fig14`, `fig15`, `fig16`, `fig17`, `ablations`, `profiles` (the
-//! observability demo: spans + merged Prometheus dump), `all`, and
-//! `quick` (a reduced-size pass over everything for smoke testing).
+//! observability demo: spans + merged Prometheus dump), `queries` (the
+//! shared-scan batch engine vs the naive per-query baseline; writes
+//! `BENCH_queries.json`), `all`, and `quick` (a reduced-size pass over
+//! everything for smoke testing).
 
 use std::time::Duration;
 use tardis_baseline::baseline_knn;
@@ -86,15 +88,18 @@ fn main() {
     if run_all || cmd == "profiles" {
         profiles(scale);
     }
+    if run_all || cmd == "queries" {
+        queries(scale);
+    }
     if !run_all
         && ![
             "table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-            "fig17", "ablations", "profiles",
+            "fig17", "ablations", "profiles", "queries",
         ]
         .contains(&cmd)
     {
         eprintln!("unknown experiment '{cmd}'");
-        eprintln!("usage: experiments [table2|fig9|...|fig17|ablations|profiles|all|quick] [--quick]");
+        eprintln!("usage: experiments [table2|fig9|...|fig17|ablations|profiles|queries|all|quick] [--quick]");
         std::process::exit(2);
     }
     println!("\n(total experiment time: {})", secs(t0.elapsed()));
@@ -798,6 +803,114 @@ fn profiles(scale: Scale) {
     let aggregates = tracer.aggregates();
     let prom = cluster.metrics().snapshot().prometheus_text(Some(&aggregates));
     println!("merged Prometheus dump (cluster + span counters):\n{prom}");
+}
+
+/// Batch-query baseline: the shared-scan engine vs naive per-query
+/// execution on a partition-overlapping workload. Prints a table and
+/// writes `BENCH_queries.json` (the repo's first checked-in benchmark
+/// baseline) with both timings and the sharing counters.
+fn queries(scale: Scale) {
+    banner("Queries", "shared-scan batch engine vs naive per-query baseline");
+    use tardis_cluster::Tracer;
+    use tardis_core::{
+        exact_match_batch, exact_match_batch_naive, knn_batch_naive, knn_batch_profiled,
+    };
+    let env = Env::prepare(Family::Noaa, scale.base, Duration::ZERO);
+    let (index, _) = env.build_tardis();
+    // scale.queries queries over scale.queries/4 distinct stored series:
+    // guaranteed partition overlap, the shape batch workloads take when
+    // many clients probe the same hot region.
+    let distinct = (scale.queries / 4).max(1) as u64;
+    let queries: Vec<TimeSeries> = (0..scale.queries as u64)
+        .map(|i| env.gen.series((i % distinct) * 97))
+        .collect();
+    let k = 10;
+
+    let time = |f: &mut dyn FnMut()| {
+        // One warm-up, then best of 3 (the block cache is hot either
+        // way, so "best" measures compute, not cache luck).
+        f();
+        (0..3)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                f();
+                t.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+
+    let naive_knn = time(&mut || {
+        knn_batch_naive(&index, &env.cluster, &queries, k, KnnStrategy::MultiPartition).unwrap();
+    });
+    let mut last_profile = None;
+    let shared_knn = time(&mut || {
+        let (_, p) = knn_batch_profiled(
+            &index,
+            &env.cluster,
+            &queries,
+            k,
+            KnnStrategy::MultiPartition,
+            &Tracer::disabled(),
+        )
+        .unwrap();
+        last_profile = Some(p);
+    });
+    let profile = last_profile.unwrap();
+
+    let naive_exact = time(&mut || {
+        exact_match_batch_naive(&index, &env.cluster, &queries, true).unwrap();
+    });
+    let shared_exact = time(&mut || {
+        exact_match_batch(&index, &env.cluster, &queries, true).unwrap();
+    });
+
+    let knn_speedup = naive_knn.as_secs_f64() / shared_knn.as_secs_f64().max(1e-9);
+    let exact_speedup = naive_exact.as_secs_f64() / shared_exact.as_secs_f64().max(1e-9);
+    print_table(
+        &["Workload", "Naive", "Shared scan", "Speedup"],
+        &[
+            vec![
+                format!("kNN Multi-Partitions k={k}, {} queries", queries.len()),
+                secs(naive_knn),
+                secs(shared_knn),
+                format!("{knn_speedup:.2}x"),
+            ],
+            vec![
+                format!("exact match (Bloom), {} queries", queries.len()),
+                secs(naive_exact),
+                secs(shared_exact),
+                format!("{exact_speedup:.2}x"),
+            ],
+        ],
+    );
+    println!(
+        "kNN sharing: {} logical loads served by {} physical ({} avoided)",
+        profile.logical_loads(),
+        profile.partitions_loaded,
+        profile.partitions_shared,
+    );
+
+    // Hand-rolled JSON (the workspace deliberately has no serde).
+    let json = format!(
+        "{{\n  \"bench\": \"queries\",\n  \"dataset\": \"Noaa\",\n  \"n_records\": {},\n  \"n_queries\": {},\n  \"k\": {},\n  \"knn\": {{\n    \"strategy\": \"MultiPartition\",\n    \"naive_ms\": {:.3},\n    \"shared_ms\": {:.3},\n    \"speedup\": {:.3},\n    \"logical_loads\": {},\n    \"physical_loads\": {},\n    \"shared_loads\": {}\n  }},\n  \"exact\": {{\n    \"bloom\": true,\n    \"naive_ms\": {:.3},\n    \"shared_ms\": {:.3},\n    \"speedup\": {:.3}\n  }}\n}}\n",
+        scale.base,
+        queries.len(),
+        k,
+        naive_knn.as_secs_f64() * 1e3,
+        shared_knn.as_secs_f64() * 1e3,
+        knn_speedup,
+        profile.logical_loads(),
+        profile.partitions_loaded,
+        profile.partitions_shared,
+        naive_exact.as_secs_f64() * 1e3,
+        shared_exact.as_secs_f64() * 1e3,
+        exact_speedup,
+    );
+    match std::fs::write("BENCH_queries.json", &json) {
+        Ok(()) => println!("wrote BENCH_queries.json"),
+        Err(e) => eprintln!("could not write BENCH_queries.json: {e}"),
+    }
 }
 
 /// Normalized histogram of actual partition sizes (15-bucket analogue of

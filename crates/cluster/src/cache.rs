@@ -31,6 +31,11 @@ pub struct BlockCache {
     entries: HashMap<BlockId, Entry>,
     /// Monotone clock for LRU ordering (u64 never wraps in practice).
     tick: u64,
+    /// Files whose blocks are exempt from eviction (in-flight partition
+    /// loads in the shared-scan batch engine). Pinning may let the cache
+    /// run temporarily over budget rather than drop a block another
+    /// worker is about to read.
+    pinned: std::collections::HashSet<String>,
 }
 
 #[derive(Debug)]
@@ -47,7 +52,21 @@ impl BlockCache {
             used_bytes: 0,
             entries: HashMap::new(),
             tick: 0,
+            pinned: std::collections::HashSet::new(),
         }
+    }
+
+    /// Exempts every block of `file` from eviction until unpinned.
+    /// Idempotent; pins on a disabled cache are harmless no-ops.
+    pub fn pin_file(&mut self, file: &str) {
+        self.pinned.insert(file.to_string());
+    }
+
+    /// Lifts the eviction exemption and re-applies the byte budget (the
+    /// file's blocks stay cached but become ordinary LRU citizens).
+    pub fn unpin_file(&mut self, file: &str) {
+        self.pinned.remove(file);
+        self.evict_to_fit();
     }
 
     /// Whether caching is enabled.
@@ -128,11 +147,14 @@ impl BlockCache {
             let Some(victim) = self
                 .entries
                 .iter()
+                .filter(|(id, _)| !self.pinned.contains(&id.file))
                 .min_by(|(ida, ea), (idb, eb)| {
                     ea.last_used.cmp(&eb.last_used).then_with(|| ida.cmp(idb))
                 })
                 .map(|(id, _)| id.clone())
             else {
+                // Only pinned blocks remain: run over budget rather than
+                // evict data an in-flight load is relying on.
                 return;
             };
             self.invalidate(&victim);
@@ -272,6 +294,45 @@ mod tests {
         assert_eq!(evicted_orders[0], vec![0, 1, 2, 3]);
         assert_eq!(evicted_orders[0], evicted_orders[1]);
         assert_eq!(evicted_orders[1], evicted_orders[2]);
+    }
+
+    #[test]
+    fn pinned_file_survives_eviction_pressure() {
+        let mut c = BlockCache::new(30);
+        c.put(id("hot", 0), block(10));
+        c.pin_file("hot");
+        // Three more blocks would normally evict "hot" (the LRU).
+        for i in 0..3u32 {
+            c.put(id("cold", i), block(10));
+        }
+        assert!(c.get(&id("hot", 0)).is_some(), "pinned block evicted");
+        // Budget still enforced on the unpinned remainder.
+        assert!(c.used_bytes() <= 30);
+    }
+
+    #[test]
+    fn all_pinned_cache_may_run_over_budget() {
+        let mut c = BlockCache::new(25);
+        c.pin_file("f");
+        for i in 0..4u32 {
+            c.put(id("f", i), block(10));
+        }
+        assert_eq!(c.len(), 4, "pinned blocks must all stay");
+        assert!(c.used_bytes() > 25, "over budget by design while pinned");
+        c.unpin_file("f");
+        assert!(c.used_bytes() <= 25, "unpin re-applies the budget");
+    }
+
+    #[test]
+    fn unpin_makes_file_evictable_again() {
+        let mut c = BlockCache::new(30);
+        c.put(id("a", 0), block(10));
+        c.pin_file("a");
+        c.unpin_file("a");
+        c.put(id("b", 0), block(10));
+        c.put(id("b", 1), block(10));
+        c.put(id("b", 2), block(10));
+        assert!(c.get(&id("a", 0)).is_none(), "unpinned LRU should evict");
     }
 
     #[test]

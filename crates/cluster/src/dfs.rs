@@ -304,6 +304,19 @@ impl Dfs {
         self.cache.lock().used_bytes()
     }
 
+    /// Exempts every cached block of `name` from LRU eviction (see
+    /// [`crate::cache::BlockCache::pin_file`]). The shared-scan batch
+    /// engine pins a partition's file while its load is in flight so a
+    /// concurrent partition's blocks cannot evict it mid-deserialize.
+    pub fn pin_file(&self, name: &str) {
+        self.cache.lock().pin_file(name);
+    }
+
+    /// Lifts a [`Self::pin_file`] pin and re-applies the cache budget.
+    pub fn unpin_file(&self, name: &str) {
+        self.cache.lock().unpin_file(name);
+    }
+
     /// Number of blocks currently stored under `name` (0 if absent).
     fn scan_block_count(&self, name: &str) -> u32 {
         let dir = self.file_dir(name);

@@ -53,7 +53,7 @@ pub use dfs::{BlockId, Dfs, DfsConfig};
 pub use error::{ClusterError, MaybeTransient};
 pub use fault::{FaultInjector, FaultPlan, FaultSite, RetryPolicy};
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use obs::{chrome_trace_json, PromText, QueryProfile, Span, SpanAggregate, SpanNode, SpanRecord, Tracer};
+pub use obs::{chrome_trace_json, BatchProfile, PromText, QueryProfile, Span, SpanAggregate, SpanNode, SpanRecord, Tracer};
 pub use pool::{TaskError, WorkerPool};
 
 use std::path::Path;

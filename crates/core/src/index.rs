@@ -290,6 +290,10 @@ impl TardisIndex {
             .parts
             .get(pid as usize)
             .ok_or(CoreError::UnknownPartition { pid })?;
+        // Unified accounting: one task per physical partition load, metered
+        // here so single-query, batch, sibling, and range paths all agree
+        // (a batch of one records exactly what a single call records).
+        cluster.metrics().record_task();
         if self.config.clustered {
             // Entries carry their signatures on disk: no reconversion.
             let mut entries = Vec::with_capacity(meta.n_records as usize);

@@ -46,9 +46,13 @@ pub use eval::{error_ratio, ground_truth_knn, recall, Neighbor};
 pub use global::{GlobalBuildBreakdown, PartitionId, TardisG};
 pub use index::{BuildReport, TardisIndex};
 pub use local::TardisL;
-pub use query::batch::{exact_match_batch, knn_batch};
+pub use query::batch::{
+    exact_knn_batch, exact_knn_batch_naive, exact_knn_batch_profiled, exact_match_batch,
+    exact_match_batch_naive, exact_match_batch_profiled, knn_batch, knn_batch_naive,
+    knn_batch_profiled,
+};
 pub use query::exact::{exact_match, exact_match_profiled, ExactMatchOutcome, ExactMatchStats};
 pub use query::exact_knn::{exact_knn, exact_knn_profiled, ExactKnnAnswer};
 pub use query::range::{range_query, RangeAnswer};
 pub use query::knn::{knn_approximate, knn_approximate_profiled, KnnAnswer, KnnStrategy};
-pub use tardis_cluster::{QueryProfile, Tracer};
+pub use tardis_cluster::{BatchProfile, QueryProfile, Tracer};

@@ -1,42 +1,217 @@
-//! Batch query execution: run a workload of queries in parallel across
-//! the worker pool.
+//! Batch query execution: a partition-major **shared-scan engine**.
 //!
-//! The evaluation (§VI-C) measures workloads of 100 queries; a Spark
-//! deployment would execute them as concurrent jobs. This module provides
-//! the same throughput-oriented path for applications: queries fan out
-//! over the pool, each following the ordinary single-query code, and
-//! results return in workload order.
+//! The evaluation (§VI-C) measures workloads of 100 queries. Running each
+//! query through the single-query code independently deserializes the
+//! same partitions over and over whenever queries overlap — and only the
+//! block cache softens the blow. This module instead executes a workload
+//! in partition-major order:
+//!
+//! 1. **Plan** — walk Tardis-G once per query (no partition I/O) to
+//!    collect the complete set of partitions the query can touch: the
+//!    routed partition for exact match, the primary plus capped sibling
+//!    list for kNN (all three [`KnnStrategy`] variants), the
+//!    Multi-Partitions seed set for exact kNN.
+//! 2. **Invert** — turn the per-query plans into a partition → queries
+//!    map (`BTreeMap`, so scheduling order is deterministic).
+//! 3. **Load** — schedule one load task per *distinct* partition over the
+//!    [`WorkerPool`](tardis_cluster::WorkerPool) (`try_par_*`, so fault
+//!    injection and task retry apply); each partition's local sigTree and
+//!    raw series are deserialized **once** and pinned in the block cache
+//!    while in flight.
+//! 4. **Scan** — run the per-partition query kernels
+//!    ([`scan_primary`] / [`scan_sibling`] / [`exact_visit_partition`] —
+//!    the same code the single-query paths execute) against the shared
+//!    deserialized partitions, grouped by partition.
+//! 5. **Merge** — combine per-query `TopK` state in ascending-pid order
+//!    (exactly the order the sequential path uses) and return results in
+//!    input order.
+//!
+//! **Determinism.** Results are bit-identical to sequential single-query
+//! execution and independent of pool width: plans are computed in input
+//! order, partition groups are scheduled from ordered maps, `try_par_map`
+//! preserves input order and surfaces the lowest-indexed error, and every
+//! merge folds sibling partials in ascending-pid order — the same
+//! tie-breaking path `knn_impl` takes. Worker scheduling can change
+//! *when* a scan runs, never *what* it computes or how it is merged.
+//!
+//! The naive per-query variants (`*_batch_naive`) are retained as the
+//! benchmark baseline and as an equivalence oracle in tests.
 
 use crate::error::CoreError;
+use crate::eval::Neighbor;
+use crate::global::PartitionId;
 use crate::index::TardisIndex;
+use crate::local::TardisL;
 use crate::query::exact::{exact_match, ExactMatchOutcome};
-use crate::query::knn::{knn_approximate, KnnAnswer, KnnStrategy};
-use tardis_cluster::Cluster;
-use tardis_ts::TimeSeries;
+use crate::query::exact_knn::{
+    exact_knn, exact_visit_partition, partition_bound_order, ExactKnnAnswer,
+};
+use crate::query::knn::{
+    knn_approximate, plan_knn, scan_primary, scan_sibling, KnnAnswer, KnnPlan, KnnStrategy,
+    PrimaryScan, RefineStats,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use tardis_cluster::{BatchProfile, Cluster, Dfs, QueryProfile, Span, Tracer};
+use tardis_ts::{RecordId, TimeSeries};
 
-/// Runs an exact-match workload in parallel; results in input order.
+// ---------------------------------------------------------------------
+// Exact match
+// ---------------------------------------------------------------------
+
+/// Runs an exact-match workload through the shared-scan engine; results
+/// in input order, identical to sequential single-query execution.
 ///
 /// # Errors
-/// The first query error encountered (remaining results are dropped).
+/// The first planning error in input order; load/scan errors surface
+/// deterministically (lowest-indexed failing partition task).
 pub fn exact_match_batch(
     index: &TardisIndex,
     cluster: &Cluster,
     queries: &[TimeSeries],
     use_bloom: bool,
 ) -> Result<Vec<ExactMatchOutcome>, CoreError> {
-    let results: Vec<Result<ExactMatchOutcome, CoreError>> = cluster
-        .pool()
-        .par_map(queries.iter().collect(), |q| {
-            cluster.metrics().record_task();
-            exact_match(index, cluster, q, use_bloom)
-        });
-    results.into_iter().collect()
+    Ok(exact_match_batch_profiled(index, cluster, queries, use_bloom, &Tracer::disabled())?.0)
 }
 
-/// Runs a kNN workload in parallel; results in input order.
+/// [`exact_match_batch`] plus a [`BatchProfile`]: per-query profiles in
+/// input order and the batch's physical/shared partition-load counters.
+/// Batch-level spans (`batch-exact` → `plan` / `load` / `scan` /
+/// `merge`) accumulate in `tracer`; per-query span trees are not
+/// reconstructed in batch mode (the batch phases subsume them).
 ///
 /// # Errors
-/// The first query error encountered (remaining results are dropped).
+/// Same as [`exact_match_batch`].
+pub fn exact_match_batch_profiled(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    queries: &[TimeSeries],
+    use_bloom: bool,
+    tracer: &Tracer,
+) -> Result<(Vec<ExactMatchOutcome>, BatchProfile), CoreError> {
+    let root = tracer.root("batch-exact");
+    let root_id = root.id();
+
+    // Plan: route every query and run its Bloom probe (no partition
+    // loads). Sequential, so conversion errors surface in input order.
+    let plan_span = root.child("plan");
+    let converter = index.global().converter();
+    let mut target: Vec<Option<PartitionId>> = Vec::with_capacity(queries.len());
+    let mut sigs = Vec::with_capacity(queries.len());
+    for q in queries {
+        let sig = converter.sig_of(q)?;
+        let pid = index.global().partition_of(&sig);
+        if use_bloom && !index.bloom_test(cluster, pid, sig.nibbles())? {
+            target.push(None);
+        } else {
+            target.push(Some(pid));
+        }
+        sigs.push(sig);
+    }
+    plan_span.add("queries", queries.len() as u64);
+    drop(plan_span);
+
+    // Invert + load each distinct partition once.
+    let by_pid = invert(target.iter().enumerate().filter_map(|(i, p)| p.map(|p| (p, i))));
+    let load_span = root.child("load");
+    let store = load_partitions(index, cluster, by_pid.keys().copied().collect(), &load_span)?;
+    drop(load_span);
+
+    // Scan: one task per partition serves every query routed to it.
+    let scan_span = root.child("scan");
+    let groups: Vec<(PartitionId, Vec<usize>)> = by_pid.into_iter().collect();
+    type ExactScan = (PartitionId, Vec<(usize, Vec<RecordId>)>);
+    let scans: Vec<ExactScan> = cluster.pool().try_par_map(groups, |(pid, qidxs)| {
+        let part_span = scan_span.child("partition");
+        part_span.add("pid", pid as u64);
+        part_span.add("queries", qidxs.len() as u64);
+        let local = store[&pid].as_ref();
+        let found = qidxs
+            .iter()
+            .map(|&i| (i, local.lookup_exact(&sigs[i], &queries[i])))
+            .collect();
+        Ok::<ExactScan, CoreError>((pid, found))
+    })?;
+    drop(scan_span);
+
+    // Merge in input order.
+    let merge_span = root.child("merge");
+    let mut matched: Vec<Option<Vec<RecordId>>> = vec![None; queries.len()];
+    for (_, items) in scans {
+        for (i, m) in items {
+            matched[i] = Some(m);
+        }
+    }
+    let mut outcomes = Vec::with_capacity(queries.len());
+    let mut profiles = Vec::with_capacity(queries.len());
+    for (i, pid) in target.iter().enumerate() {
+        match pid {
+            None => {
+                outcomes.push(ExactMatchOutcome {
+                    matches: Vec::new(),
+                    bloom_rejected: true,
+                    partitions_loaded: 0,
+                });
+                profiles.push(QueryProfile {
+                    bloom_rejected: 1,
+                    ..QueryProfile::default()
+                });
+            }
+            Some(pid) => {
+                let matches = matched[i].take().expect("scanned");
+                profiles.push(QueryProfile {
+                    partitions_loaded: 1,
+                    partition_ids: vec![*pid as u64],
+                    candidates_refined: matches.len() as u64,
+                    ..QueryProfile::default()
+                });
+                outcomes.push(ExactMatchOutcome {
+                    matches,
+                    bloom_rejected: false,
+                    partitions_loaded: 1,
+                });
+            }
+        }
+    }
+    drop(merge_span);
+    drop(root);
+
+    let batch = finish_batch(profiles, store.len(), root_id, tracer);
+    Ok((outcomes, batch))
+}
+
+/// The naive per-query baseline: each query runs the ordinary
+/// single-query path independently over the pool. Retained for
+/// benchmarking against the shared-scan engine and as an equivalence
+/// oracle.
+///
+/// # Errors
+/// The first query error in input order.
+pub fn exact_match_batch_naive(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    queries: &[TimeSeries],
+    use_bloom: bool,
+) -> Result<Vec<ExactMatchOutcome>, CoreError> {
+    cluster
+        .pool()
+        .par_map(queries.iter().collect(), |q| exact_match(index, cluster, q, use_bloom))
+        .into_iter()
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Approximate kNN
+// ---------------------------------------------------------------------
+
+/// Runs a kNN workload through the shared-scan engine; results in input
+/// order, identical to sequential single-query execution for every
+/// [`KnnStrategy`].
+///
+/// # Errors
+/// The first planning error in input order; load/scan errors surface
+/// deterministically (lowest-indexed failing partition task).
 pub fn knn_batch(
     index: &TardisIndex,
     cluster: &Cluster,
@@ -44,13 +219,571 @@ pub fn knn_batch(
     k: usize,
     strategy: KnnStrategy,
 ) -> Result<Vec<KnnAnswer>, CoreError> {
-    let results: Vec<Result<KnnAnswer, CoreError>> = cluster
+    Ok(knn_batch_profiled(index, cluster, queries, k, strategy, &Tracer::disabled())?.0)
+}
+
+/// [`knn_batch`] plus a [`BatchProfile`]. Batch-level spans
+/// (`batch-knn` → `plan` / `load` / `scan` / `merge`, with per-partition
+/// `partition` / `sibling` children) accumulate in `tracer`.
+///
+/// # Errors
+/// Same as [`knn_batch`].
+pub fn knn_batch_profiled(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    queries: &[TimeSeries],
+    k: usize,
+    strategy: KnnStrategy,
+    tracer: &Tracer,
+) -> Result<(Vec<KnnAnswer>, BatchProfile), CoreError> {
+    let root = tracer.root("batch-knn");
+    let root_id = root.id();
+    if k == 0 {
+        // Mirror the single-query contract: k == 0 yields empty answers
+        // without planning (so malformed queries do not error).
+        drop(root);
+        return Ok((
+            queries.iter().map(|_| empty_knn_answer()).collect(),
+            finish_batch(vec![QueryProfile::default(); queries.len()], 0, root_id, tracer),
+        ));
+    }
+    let out = knn_batch_impl(index, cluster, queries, k, strategy, &root)?;
+    drop(root);
+    let physical = out.store.len();
+    let batch = finish_batch(out.profiles, physical, root_id, tracer);
+    Ok((out.answers, batch))
+}
+
+/// The naive per-query kNN baseline (see [`exact_match_batch_naive`]).
+///
+/// # Errors
+/// The first query error in input order.
+pub fn knn_batch_naive(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    queries: &[TimeSeries],
+    k: usize,
+    strategy: KnnStrategy,
+) -> Result<Vec<KnnAnswer>, CoreError> {
+    cluster
         .pool()
         .par_map(queries.iter().collect(), |q| {
-            cluster.metrics().record_task();
             knn_approximate(index, cluster, q, k, strategy)
+        })
+        .into_iter()
+        .collect()
+}
+
+/// Everything the kNN shared scan produced — kept `pub(crate)` so the
+/// exact-kNN batch can reuse the seed phase's deserialized partitions
+/// and plans instead of reloading them.
+pub(crate) struct KnnBatchOutput {
+    pub(crate) answers: Vec<KnnAnswer>,
+    pub(crate) profiles: Vec<QueryProfile>,
+    pub(crate) plans: Vec<KnnPlan>,
+    pub(crate) store: HashMap<PartitionId, Arc<TardisL>>,
+}
+
+/// The shared-scan kNN pipeline: plan → invert → load → scan (primary
+/// wave, then sibling wave) → merge. `root` hosts the phase spans.
+pub(crate) fn knn_batch_impl(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    queries: &[TimeSeries],
+    k: usize,
+    strategy: KnnStrategy,
+    root: &Span,
+) -> Result<KnnBatchOutput, CoreError> {
+    // Plan (sequential: errors surface in input order).
+    let plan_span = root.child("plan");
+    let mut plans = Vec::with_capacity(queries.len());
+    for q in queries {
+        plans.push(plan_knn(index, q, strategy)?);
+    }
+    plan_span.add("queries", queries.len() as u64);
+    drop(plan_span);
+
+    // Invert into the complete distinct-partition set and load each once.
+    let pids: BTreeSet<PartitionId> = plans
+        .iter()
+        .flat_map(|p| std::iter::once(p.primary).chain(p.siblings.iter().copied()))
+        .collect();
+    let load_span = root.child("load");
+    let store = load_partitions(index, cluster, pids.into_iter().collect(), &load_span)?;
+    drop(load_span);
+
+    let scan_span = root.child("scan");
+
+    // Wave A: primary-partition kernels, grouped by partition.
+    let primary_groups: Vec<(PartitionId, Vec<usize>)> =
+        invert(plans.iter().enumerate().map(|(i, p)| (p.primary, i)))
+            .into_iter()
+            .collect();
+    type PrimaryWave = Vec<(usize, PrimaryScan)>;
+    let wave_a: Vec<PrimaryWave> = cluster.pool().try_par_map(primary_groups, |(pid, qidxs)| {
+        let part_span = scan_span.child("partition");
+        part_span.add("pid", pid as u64);
+        part_span.add("queries", qidxs.len() as u64);
+        let local = store[&pid].as_ref();
+        qidxs
+            .iter()
+            .map(|&i| {
+                scan_primary(local, &queries[i], &plans[i], k, strategy, &part_span)
+                    .map(|s| (i, s))
+            })
+            .collect::<Result<PrimaryWave, CoreError>>()
+    })?;
+    let mut primary_scans: Vec<Option<PrimaryScan>> = (0..queries.len()).map(|_| None).collect();
+    for group in wave_a {
+        for (i, scan) in group {
+            primary_scans[i] = Some(scan);
+        }
+    }
+
+    // Wave B: sibling kernels (Multi-Partitions only), grouped by
+    // sibling partition, seeded with each query's wave-A threshold.
+    let thresholds: Vec<f64> = primary_scans
+        .iter()
+        .map(|s| s.as_ref().expect("wave A complete").threshold)
+        .collect();
+    let sibling_groups: Vec<(PartitionId, Vec<usize>)> = invert(
+        plans
+            .iter()
+            .enumerate()
+            .flat_map(|(i, p)| p.siblings.iter().map(move |&s| (s, i))),
+    )
+    .into_iter()
+    .collect();
+    type SiblingWave = (PartitionId, Vec<(usize, Vec<(f64, RecordId)>, RefineStats)>);
+    let wave_b: Vec<SiblingWave> = cluster.pool().try_par_map(sibling_groups, |(pid, qidxs)| {
+        let part_span = scan_span.child("sibling");
+        part_span.add("pid", pid as u64);
+        part_span.add("queries", qidxs.len() as u64);
+        let local = store[&pid].as_ref();
+        let scans = qidxs
+            .iter()
+            .map(|&i| {
+                scan_sibling(local, &queries[i], &plans[i], k, thresholds[i], &part_span)
+                    .map(|(neighbors, stats)| (i, neighbors, stats))
+            })
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        Ok::<SiblingWave, CoreError>((pid, scans))
+    })?;
+    drop(scan_span);
+
+    // Merge per query in input order; sibling partials fold in
+    // ascending-pid order (BTreeMap), the exact order `knn_impl` pushes
+    // them, so `TopK` tie-breaking is identical to sequential execution.
+    let merge_span = root.child("merge");
+    type SibPartial = (Vec<(f64, RecordId)>, RefineStats);
+    let mut partials: Vec<BTreeMap<PartitionId, SibPartial>> =
+        (0..queries.len()).map(|_| BTreeMap::new()).collect();
+    for (pid, items) in wave_b {
+        for (i, neighbors, stats) in items {
+            partials[i].insert(pid, (neighbors, stats));
+        }
+    }
+    let mut answers = Vec::with_capacity(queries.len());
+    let mut profiles = Vec::with_capacity(queries.len());
+    for (i, plan) in plans.iter().enumerate() {
+        let PrimaryScan {
+            mut heap,
+            mut stats,
+            ..
+        } = primary_scans[i].take().expect("wave A complete");
+        let mut loaded_pids: Vec<PartitionId> = vec![plan.primary];
+        for (&pid, (neighbors, sib_stats)) in &partials[i] {
+            loaded_pids.push(pid);
+            stats += *sib_stats;
+            for &(d, rid) in neighbors {
+                heap.push(d, rid);
+            }
+        }
+        loaded_pids.sort_unstable();
+        profiles.push(QueryProfile {
+            partitions_loaded: loaded_pids.len(),
+            partition_ids: loaded_pids.iter().map(|&p| p as u64).collect(),
+            candidates_pruned: stats.pruned as u64,
+            candidates_refined: stats.refined as u64,
+            candidates_abandoned: stats.abandoned as u64,
+            ..QueryProfile::default()
         });
-    results.into_iter().collect()
+        answers.push(KnnAnswer {
+            neighbors: heap
+                .into_sorted()
+                .into_iter()
+                .map(|(d, rid)| (d.sqrt(), rid))
+                .collect(),
+            partitions_loaded: loaded_pids.len(),
+            candidates_refined: stats.refined,
+            candidates_abandoned: stats.abandoned,
+        });
+    }
+    drop(merge_span);
+
+    Ok(KnnBatchOutput {
+        answers,
+        profiles,
+        plans,
+        store,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Exact kNN
+// ---------------------------------------------------------------------
+
+/// Runs an exact-kNN workload through the shared-scan engine: the
+/// Multi-Partitions seed phase is the shared-scan kNN batch, and the
+/// refine phase's bound-ordered partition visits draw from a lazily
+/// extended shared partition store (each residual partition is loaded at
+/// most once for the whole batch). Answers are identical to sequential
+/// [`exact_knn`] execution, in input order.
+///
+/// # Errors
+/// The first planning error in input order; load/scan errors surface
+/// deterministically.
+pub fn exact_knn_batch(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    queries: &[TimeSeries],
+    k: usize,
+) -> Result<Vec<ExactKnnAnswer>, CoreError> {
+    Ok(exact_knn_batch_profiled(index, cluster, queries, k, &Tracer::disabled())?.0)
+}
+
+/// [`exact_knn_batch`] plus a [`BatchProfile`]. Batch-level spans
+/// (`batch-exact-knn` → the seed's `batch-knn` subtree phases under
+/// `knn`, then `route` and `visit`) accumulate in `tracer`.
+///
+/// # Errors
+/// Same as [`exact_knn_batch`].
+pub fn exact_knn_batch_profiled(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    queries: &[TimeSeries],
+    k: usize,
+    tracer: &Tracer,
+) -> Result<(Vec<ExactKnnAnswer>, BatchProfile), CoreError> {
+    let root = tracer.root("batch-exact-knn");
+    let root_id = root.id();
+    if k == 0 {
+        drop(root);
+        return Ok((
+            queries
+                .iter()
+                .map(|_| ExactKnnAnswer {
+                    neighbors: Vec::new(),
+                    partitions_loaded: 0,
+                    partitions_pruned: 0,
+                })
+                .collect(),
+            finish_batch(vec![QueryProfile::default(); queries.len()], 0, root_id, tracer),
+        ));
+    }
+
+    // Phase 1: shared-scan Multi-Partitions seed.
+    let seed_span = root.child("knn");
+    let seed = knn_batch_impl(index, cluster, queries, k, KnnStrategy::MultiPartition, &seed_span)?;
+    drop(seed_span);
+
+    // Phase 2: per-query partition bound order (pure global-index CPU).
+    let route_span = root.child("route");
+    let orders: Vec<Vec<(f64, PartitionId)>> = cluster
+        .pool()
+        .par_map((0..queries.len()).collect(), |i: usize| {
+            partition_bound_order(index, &seed.plans[i].paa, seed.plans[i].n, seed.plans[i].primary)
+        })
+        .into_iter()
+        .collect::<Result<_, CoreError>>()?;
+    drop(route_span);
+
+    // Phase 3: per-query bound-ordered visits against a shared store
+    // seeded with the phase-1 partitions; residual partitions load
+    // lazily, once for the whole batch.
+    let visit_span = root.child("visit");
+    let shared = SharedPartitionStore::new(index, cluster, seed.store);
+    type Visited = (ExactKnnAnswer, QueryProfile);
+    let results: Vec<Visited> =
+        cluster
+            .pool()
+            .try_par_map((0..queries.len()).collect::<Vec<usize>>(), |i| {
+                let q_span = visit_span.child("query");
+                let query = &queries[i];
+                let plan = &seed.plans[i];
+                let seed_ans = &seed.answers[i];
+                let seed_profile = &seed.profiles[i];
+
+                // From here on this is the sequential `exact_knn` body,
+                // with partition loads routed through the shared store.
+                let mut best: Vec<Neighbor> = seed_ans
+                    .neighbors
+                    .iter()
+                    .map(|&(distance, rid)| Neighbor { distance, rid })
+                    .collect();
+                best.sort_by(|a, b| {
+                    a.distance
+                        .partial_cmp(&b.distance)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let mut kth = if best.len() >= k {
+                    best[k - 1].distance
+                } else {
+                    f64::INFINITY
+                };
+                let mut loaded = seed_ans.partitions_loaded;
+                let mut visited: HashSet<PartitionId> = HashSet::new();
+                let mut pruned = 0usize;
+                let mut visited_pids: Vec<PartitionId> = Vec::new();
+                let mut candidates_pruned = seed_profile.candidates_pruned;
+                let mut candidates_refined = seed_profile.candidates_refined;
+                let mut candidates_abandoned = seed_profile.candidates_abandoned;
+                let mut pool: Vec<Neighbor> = best;
+                for &(bound, pid) in &orders[i] {
+                    if bound > kth {
+                        pruned += 1;
+                        continue;
+                    }
+                    if !visited.insert(pid) {
+                        continue;
+                    }
+                    let load_span = q_span.child("load");
+                    let local = shared.get_or_load(pid)?;
+                    load_span.add("partitions_loaded", 1);
+                    drop(load_span);
+                    loaded += 1;
+                    visited_pids.push(pid);
+                    let visit = exact_visit_partition(
+                        local.as_ref(),
+                        query,
+                        &plan.paa,
+                        plan.n,
+                        k,
+                        &mut kth,
+                        &mut pool,
+                        &q_span,
+                    )?;
+                    candidates_pruned += visit.pruned;
+                    candidates_refined += visit.refined;
+                    candidates_abandoned += visit.abandoned;
+                }
+                pool.sort_by(|a, b| {
+                    a.distance
+                        .partial_cmp(&b.distance)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let mut seen = HashSet::new();
+                pool.retain(|nb| seen.insert(nb.rid));
+                pool.truncate(k);
+
+                let mut partition_ids: Vec<u64> = seed_profile
+                    .partition_ids
+                    .iter()
+                    .copied()
+                    .chain(visited_pids.iter().map(|&p| p as u64))
+                    .collect();
+                partition_ids.sort_unstable();
+                partition_ids.dedup();
+                let profile = QueryProfile {
+                    partitions_loaded: loaded,
+                    partition_ids,
+                    candidates_pruned,
+                    candidates_refined,
+                    candidates_abandoned,
+                    ..QueryProfile::default()
+                };
+                Ok::<Visited, CoreError>((
+                    ExactKnnAnswer {
+                        neighbors: pool,
+                        partitions_loaded: loaded,
+                        partitions_pruned: pruned,
+                    },
+                    profile,
+                ))
+            })?;
+    drop(visit_span);
+    drop(root);
+
+    let physical = shared.physical_loads();
+    let mut answers = Vec::with_capacity(queries.len());
+    let mut profiles = Vec::with_capacity(queries.len());
+    for (answer, profile) in results {
+        answers.push(answer);
+        profiles.push(profile);
+    }
+    let batch = finish_batch(profiles, physical, root_id, tracer);
+    Ok((answers, batch))
+}
+
+/// The naive per-query exact-kNN baseline (see
+/// [`exact_match_batch_naive`]).
+///
+/// # Errors
+/// The first query error in input order.
+pub fn exact_knn_batch_naive(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    queries: &[TimeSeries],
+    k: usize,
+) -> Result<Vec<ExactKnnAnswer>, CoreError> {
+    cluster
+        .pool()
+        .par_map(queries.iter().collect(), |q| exact_knn(index, cluster, q, k))
+        .into_iter()
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Shared machinery
+// ---------------------------------------------------------------------
+
+/// Inverts `(pid, query-index)` pairs into an ordered partition →
+/// queries map. `BTreeMap` keys give a deterministic scheduling order;
+/// query indices stay in input order within each group.
+fn invert(pairs: impl Iterator<Item = (PartitionId, usize)>) -> BTreeMap<PartitionId, Vec<usize>> {
+    let mut map: BTreeMap<PartitionId, Vec<usize>> = BTreeMap::new();
+    for (pid, qidx) in pairs {
+        map.entry(pid).or_default().push(qidx);
+    }
+    map
+}
+
+/// Loads each distinct partition once over the pool (`try_par_map`, so
+/// task faults inject and retry). Every partition's DFS file is pinned
+/// in the block cache while its load is in flight, so concurrent loads
+/// cannot evict each other's blocks mid-deserialize.
+fn load_partitions(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    pids: Vec<PartitionId>,
+    parent: &Span,
+) -> Result<HashMap<PartitionId, Arc<TardisL>>, CoreError> {
+    parent.add("partitions", pids.len() as u64);
+    let loaded: Vec<(PartitionId, Arc<TardisL>)> =
+        cluster.pool().try_par_map(pids, |pid| {
+            let part_span = parent.child("partition");
+            part_span.add("pid", pid as u64);
+            let _pin = PinGuard::new(
+                cluster.dfs(),
+                index.partitions().get(pid as usize).map(|m| m.file.clone()),
+            );
+            Ok::<_, CoreError>((pid, Arc::new(index.load_partition(cluster, pid)?)))
+        })?;
+    Ok(loaded.into_iter().collect())
+}
+
+/// Pins a DFS file in the block cache for the guard's lifetime; dropping
+/// the guard (including on an error path) unpins it.
+struct PinGuard<'a> {
+    dfs: &'a Dfs,
+    file: Option<String>,
+}
+
+impl<'a> PinGuard<'a> {
+    fn new(dfs: &'a Dfs, file: Option<String>) -> PinGuard<'a> {
+        if let Some(f) = &file {
+            dfs.pin_file(f);
+        }
+        PinGuard { dfs, file }
+    }
+}
+
+impl Drop for PinGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(f) = &self.file {
+            self.dfs.unpin_file(f);
+        }
+    }
+}
+
+/// A lazily extended shared partition store for the exact-kNN refine
+/// phase: per-partition cells, each loaded at most once for the whole
+/// batch. The cell's lock is held across the load, so two queries
+/// demanding the same partition serialize on it instead of loading
+/// twice; a task retried after a fault finds already-loaded partitions
+/// cached and the physical-load accounting stays exact.
+struct SharedPartitionStore<'a> {
+    index: &'a TardisIndex,
+    cluster: &'a Cluster,
+    cells: Vec<Mutex<Option<Arc<TardisL>>>>,
+    /// Physical loads: the seeded partitions plus lazy loads so far.
+    physical: AtomicUsize,
+}
+
+impl<'a> SharedPartitionStore<'a> {
+    fn new(
+        index: &'a TardisIndex,
+        cluster: &'a Cluster,
+        seed: HashMap<PartitionId, Arc<TardisL>>,
+    ) -> SharedPartitionStore<'a> {
+        let physical = AtomicUsize::new(seed.len());
+        let mut cells: Vec<Mutex<Option<Arc<TardisL>>>> =
+            (0..index.n_partitions()).map(|_| Mutex::new(None)).collect();
+        for (pid, local) in seed {
+            if let Some(cell) = cells.get_mut(pid as usize) {
+                *cell.get_mut().expect("unpoisoned") = Some(local);
+            }
+        }
+        SharedPartitionStore {
+            index,
+            cluster,
+            cells,
+            physical,
+        }
+    }
+
+    fn get_or_load(&self, pid: PartitionId) -> Result<Arc<TardisL>, CoreError> {
+        let cell = self
+            .cells
+            .get(pid as usize)
+            .ok_or(CoreError::UnknownPartition { pid })?;
+        let mut slot = cell.lock().expect("unpoisoned");
+        if let Some(local) = &*slot {
+            return Ok(Arc::clone(local));
+        }
+        let _pin = PinGuard::new(
+            self.cluster.dfs(),
+            self.index.partitions().get(pid as usize).map(|m| m.file.clone()),
+        );
+        let local = Arc::new(self.index.load_partition(self.cluster, pid)?);
+        self.physical.fetch_add(1, Ordering::Relaxed);
+        *slot = Some(Arc::clone(&local));
+        Ok(local)
+    }
+
+    fn physical_loads(&self) -> usize {
+        self.physical.load(Ordering::Relaxed)
+    }
+}
+
+/// Assembles the [`BatchProfile`]: physical loads, sharing savings
+/// (logical demand minus physical), and the batch span tree.
+fn finish_batch(
+    profiles: Vec<QueryProfile>,
+    physical: usize,
+    root_id: Option<u32>,
+    tracer: &Tracer,
+) -> BatchProfile {
+    let logical: usize = profiles.iter().map(|p| p.partitions_loaded).sum();
+    let mut batch = BatchProfile {
+        queries: profiles,
+        partitions_loaded: physical,
+        partitions_shared: logical.saturating_sub(physical),
+        spans: Vec::new(),
+    };
+    if let Some(id) = root_id {
+        batch.spans = tracer.span_tree_under(id);
+    }
+    batch
+}
+
+fn empty_knn_answer() -> KnnAnswer {
+    KnnAnswer {
+        neighbors: Vec::new(),
+        partitions_loaded: 0,
+        candidates_refined: 0,
+        candidates_abandoned: 0,
+    }
 }
 
 #[cfg(test)]
@@ -110,11 +843,13 @@ mod tests {
         let queries: Vec<TimeSeries> = (0..30)
             .map(|i| series(if i % 2 == 0 { i * 17 } else { 100_000 + i }))
             .collect();
-        let batch = exact_match_batch(&index, &cluster, &queries, true).unwrap();
-        assert_eq!(batch.len(), queries.len());
-        for (q, out) in queries.iter().zip(&batch) {
-            let single = exact_match(&index, &cluster, q, true).unwrap();
-            assert_eq!(out.matches, single.matches);
+        for use_bloom in [true, false] {
+            let batch = exact_match_batch(&index, &cluster, &queries, use_bloom).unwrap();
+            assert_eq!(batch.len(), queries.len());
+            for (q, out) in queries.iter().zip(&batch) {
+                let single = exact_match(&index, &cluster, q, use_bloom).unwrap();
+                assert_eq!(*out, single);
+            }
         }
     }
 
@@ -129,6 +864,86 @@ mod tests {
             let single =
                 knn_approximate(&index, &cluster, q, 5, KnnStrategy::OnePartition).unwrap();
             assert_eq!(ans.neighbors, single.neighbors);
+            assert_eq!(ans.partitions_loaded, single.partitions_loaded);
+        }
+    }
+
+    #[test]
+    fn batch_exact_knn_matches_sequential() {
+        let (cluster, index) = setup(500);
+        let queries: Vec<TimeSeries> = (0..8).map(|i| series(i * 61)).collect();
+        let batch = exact_knn_batch(&index, &cluster, &queries, 6).unwrap();
+        for (q, ans) in queries.iter().zip(&batch) {
+            let single = exact_knn(&index, &cluster, q, 6).unwrap();
+            assert_eq!(ans.neighbors.len(), single.neighbors.len());
+            for (a, b) in ans.neighbors.iter().zip(&single.neighbors) {
+                assert_eq!(a.rid, b.rid);
+                assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+            }
+            assert_eq!(ans.partitions_loaded, single.partitions_loaded);
+            assert_eq!(ans.partitions_pruned, single.partitions_pruned);
+        }
+    }
+
+    #[test]
+    fn shared_engine_matches_naive_baseline() {
+        let (cluster, index) = setup(700);
+        let queries: Vec<TimeSeries> = (0..20).map(|i| series(i * 13)).collect();
+        let shared = knn_batch(&index, &cluster, &queries, 5, KnnStrategy::MultiPartition).unwrap();
+        let naive =
+            knn_batch_naive(&index, &cluster, &queries, 5, KnnStrategy::MultiPartition).unwrap();
+        for (a, b) in shared.iter().zip(&naive) {
+            assert_eq!(a.neighbors, b.neighbors);
+        }
+        let shared = exact_match_batch(&index, &cluster, &queries, true).unwrap();
+        let naive = exact_match_batch_naive(&index, &cluster, &queries, true).unwrap();
+        assert_eq!(shared, naive);
+    }
+
+    #[test]
+    fn batch_profile_accounts_for_sharing() {
+        let (cluster, index) = setup(800);
+        // Repeat queries so partition overlap is guaranteed.
+        let queries: Vec<TimeSeries> =
+            (0..24).map(|i| series((i % 6) * 37)).collect();
+        let tracer = Tracer::new();
+        let (answers, profile) = knn_batch_profiled(
+            &index,
+            &cluster,
+            &queries,
+            5,
+            KnnStrategy::MultiPartition,
+            &tracer,
+        )
+        .unwrap();
+        assert_eq!(answers.len(), queries.len());
+        assert_eq!(profile.queries.len(), queries.len());
+        // 24 queries over 6 distinct series must share partitions.
+        assert!(profile.logical_loads() > profile.partitions_loaded);
+        assert_eq!(
+            profile.partitions_shared,
+            profile.logical_loads() - profile.partitions_loaded
+        );
+        // Per-query profiles mirror the sequential counters.
+        for (q, qp) in queries.iter().zip(&profile.queries) {
+            let (_, single) = crate::query::knn::knn_approximate_profiled(
+                &index,
+                &cluster,
+                q,
+                5,
+                KnnStrategy::MultiPartition,
+                &Tracer::disabled(),
+            )
+            .unwrap();
+            assert_eq!(qp.partitions_loaded, single.partitions_loaded);
+            assert_eq!(qp.partition_ids, single.partition_ids);
+            assert_eq!(qp.candidates_refined, single.candidates_refined);
+        }
+        // Batch phase spans present.
+        let root = &profile.spans[0];
+        assert_eq!(root.name, "batch-knn");
+        for phase in ["plan", "load", "scan", "merge"] {
+            assert!(root.find(phase).is_some(), "missing {phase} span");
         }
     }
 
@@ -138,6 +953,7 @@ mod tests {
         let queries = vec![series(1), TimeSeries::new(vec![0.0; 3])];
         assert!(exact_match_batch(&index, &cluster, &queries, true).is_err());
         assert!(knn_batch(&index, &cluster, &queries, 3, KnnStrategy::TargetNode).is_err());
+        assert!(exact_knn_batch(&index, &cluster, &queries, 3).is_err());
     }
 
     #[test]
@@ -149,5 +965,18 @@ mod tests {
         assert!(knn_batch(&index, &cluster, &[], 3, KnnStrategy::TargetNode)
             .unwrap()
             .is_empty());
+        assert!(exact_knn_batch(&index, &cluster, &[], 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn k_zero_batch_is_all_empty_without_errors() {
+        let (cluster, index) = setup(200);
+        // Mirrors the single-query contract: k == 0 answers before any
+        // planning, so even a malformed query cannot error.
+        let queries = vec![series(1), TimeSeries::new(vec![0.0; 3])];
+        let answers = knn_batch(&index, &cluster, &queries, 0, KnnStrategy::MultiPartition).unwrap();
+        assert!(answers.iter().all(|a| a.neighbors.is_empty()));
+        let answers = exact_knn_batch(&index, &cluster, &queries, 0).unwrap();
+        assert!(answers.iter().all(|a| a.neighbors.is_empty()));
     }
 }

@@ -106,37 +106,10 @@ pub fn exact_knn_profiled(
     };
     let mut loaded = seed.partitions_loaded;
 
-    // Step 2: lower-bound every partition via its *covering node* in the
-    // global tree — the deepest node on the query's path whose id list
-    // contains the partition; failing that, the partition's shallowest
-    // covering node overall. A cheap sound bound per partition: walk all
-    // global leaves once and take the minimum bound among leaves assigned
-    // to each partition.
+    // Step 2: lower-bound every partition and order the visit schedule.
     let route_span = root.child("route");
-    let global = index.global();
-    let mut part_bound = vec![f64::INFINITY; index.n_partitions()];
-    let tree = global.tree();
-    for leaf in tree.leaf_ids() {
-        let node = tree.node(leaf);
-        let bound = mindist_paa_sigt(&paa, &node.sig, n)?;
-        if let Some(pid) = global_leaf_pid(global, leaf) {
-            let slot = &mut part_bound[pid as usize];
-            if bound < *slot {
-                *slot = bound;
-            }
-        }
-    }
-    // Partitions with no assigned leaf (possible only for pid 0 fallback
-    // targets) must be treated as unbounded-below.
-    let own_pid = global.partition_of(&sig);
-    part_bound[own_pid as usize] = 0.0;
-
-    let mut order: Vec<(f64, u32)> = part_bound
-        .iter()
-        .enumerate()
-        .map(|(pid, &b)| (b, pid as u32))
-        .collect();
-    order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let own_pid = index.global().partition_of(&sig);
+    let order = partition_bound_order(index, &paa, n, own_pid)?;
     drop(route_span);
 
     // Step 3: visit in bound order with pruning.
@@ -165,42 +138,10 @@ pub fn exact_knn_profiled(
         drop(load_span);
         loaded += 1;
         visited_pids.push(pid);
-        let prune_span = root.child("prune");
-        let survivors = local.prune_scan(&paa, n, kth)?;
-        let pruned_here = local.len().saturating_sub(survivors.len());
-        candidates_pruned += pruned_here as u64;
-        prune_span.add("candidates_pruned", pruned_here as u64);
-        drop(prune_span);
-        let refine_span = root.child("refine");
-        let (mut refined_here, mut abandoned_here) = (0u64, 0u64);
-        for entry in survivors {
-            match euclidean_early_abandon(query.values(), entry.record.ts.values(), kth * kth) {
-                Some(d_sq) => {
-                    refined_here += 1;
-                    pool.push(Neighbor {
-                        distance: d_sq.sqrt(),
-                        rid: entry.rid(),
-                    });
-                }
-                None => abandoned_here += 1,
-            }
-        }
-        candidates_refined += refined_here;
-        candidates_abandoned += abandoned_here;
-        refine_span.add("candidates_refined", refined_here);
-        refine_span.add("candidates_abandoned", abandoned_here);
-        drop(refine_span);
-        // Re-tighten the k-th distance.
-        pool.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        pool.dedup_by_key(|nb| nb.rid);
-        pool.truncate(4 * k.max(8));
-        if pool.len() >= k {
-            kth = pool[k - 1].distance;
-        }
+        let visit = exact_visit_partition(&local, query, &paa, n, k, &mut kth, &mut pool, &root)?;
+        candidates_pruned += visit.pruned;
+        candidates_refined += visit.refined;
+        candidates_abandoned += visit.abandoned;
     }
 
     pool.sort_by(|a, b| {
@@ -245,6 +186,108 @@ pub fn exact_knn_profiled(
         },
         profile,
     ))
+}
+
+/// Lower-bounds every partition for one query and returns the visit
+/// schedule `(bound, pid)` sorted ascending by bound.
+///
+/// A cheap sound bound per partition: walk all global leaves once and
+/// take the minimum `MINDIST(query PAA, leaf signature)` among leaves
+/// assigned to each partition (a partition's covering node is at least as
+/// coarse as its leaves, so the leaf minimum lower-bounds every series it
+/// holds). The query's own partition is pinned to bound 0 — partitions
+/// with no assigned leaf (possible only for fallback routing targets)
+/// must not be skipped on an infinite bound.
+pub(crate) fn partition_bound_order(
+    index: &TardisIndex,
+    paa: &[f64],
+    n: usize,
+    own_pid: u32,
+) -> Result<Vec<(f64, u32)>, CoreError> {
+    let global = index.global();
+    let mut part_bound = vec![f64::INFINITY; index.n_partitions()];
+    let tree = global.tree();
+    for leaf in tree.leaf_ids() {
+        let node = tree.node(leaf);
+        let bound = mindist_paa_sigt(paa, &node.sig, n)?;
+        if let Some(pid) = global_leaf_pid(global, leaf) {
+            let slot = &mut part_bound[pid as usize];
+            if bound < *slot {
+                *slot = bound;
+            }
+        }
+    }
+    part_bound[own_pid as usize] = 0.0;
+    let mut order: Vec<(f64, u32)> = part_bound
+        .iter()
+        .enumerate()
+        .map(|(pid, &b)| (b, pid as u32))
+        .collect();
+    order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(order)
+}
+
+/// Candidate accounting of one exact-kNN partition visit.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ExactVisitStats {
+    /// Candidates eliminated by the lower bound.
+    pub(crate) pruned: u64,
+    /// Fully computed raw-series distances.
+    pub(crate) refined: u64,
+    /// Distance computations cut off early.
+    pub(crate) abandoned: u64,
+}
+
+/// Per-partition kernel of the exact refine phase: prune-scan with the
+/// current k-th distance, refine survivors into the candidate pool, then
+/// re-tighten `kth`. Opens `prune` / `refine` spans under `parent`.
+/// Shared verbatim between the sequential visit loop and the batch
+/// engine's residual phase, so both produce identical pools.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exact_visit_partition(
+    local: &crate::local::TardisL,
+    query: &TimeSeries,
+    paa: &[f64],
+    n: usize,
+    k: usize,
+    kth: &mut f64,
+    pool: &mut Vec<Neighbor>,
+    parent: &tardis_cluster::Span,
+) -> Result<ExactVisitStats, CoreError> {
+    let mut stats = ExactVisitStats::default();
+    let prune_span = parent.child("prune");
+    let survivors = local.prune_scan(paa, n, *kth)?;
+    stats.pruned = local.len().saturating_sub(survivors.len()) as u64;
+    prune_span.add("candidates_pruned", stats.pruned);
+    drop(prune_span);
+    let refine_span = parent.child("refine");
+    for entry in survivors {
+        match euclidean_early_abandon(query.values(), entry.record.ts.values(), *kth * *kth) {
+            Some(d_sq) => {
+                stats.refined += 1;
+                pool.push(Neighbor {
+                    distance: d_sq.sqrt(),
+                    rid: entry.rid(),
+                });
+            }
+            None => stats.abandoned += 1,
+        }
+    }
+    refine_span.add("candidates_refined", stats.refined);
+    refine_span.add("candidates_abandoned", stats.abandoned);
+    drop(refine_span);
+    // Re-tighten the k-th distance.
+    pool.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    pool.dedup_by_key(|nb| nb.rid);
+    pool.truncate(4 * k.max(8));
+    if pool.len() >= k {
+        *kth = pool[k - 1].distance;
+    }
+    Ok(stats)
 }
 
 /// The partition assigned to a global leaf, if any.

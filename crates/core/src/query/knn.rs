@@ -17,6 +17,7 @@ use crate::global::PartitionId;
 use crate::index::TardisIndex;
 use crate::local::TardisL;
 use tardis_cluster::{Cluster, QueryProfile, Span, Tracer};
+use tardis_isax::SigT;
 use tardis_ts::{euclidean_early_abandon, squared_euclidean, RecordId, TimeSeries};
 
 /// The query strategies of §V-B.
@@ -127,95 +128,52 @@ pub(crate) fn knn_impl(
             QueryProfile::default(),
         ));
     }
-    // Step 1: route — convert the query and traverse Tardis-G.
+    // Step 1: route — convert the query and traverse Tardis-G. The plan
+    // is global-only: every partition this query can touch is known
+    // before any partition load (the shared-scan batch engine relies on
+    // exactly this property).
     let route_span = root.child("route");
-    let converter = index.global().converter();
-    let sig = converter.sig_of(query)?;
-    let paa = converter.paa_of(query)?;
-    let n = query.len();
-    let pid = index.global().partition_of(&sig);
+    let plan = plan_knn(index, query, strategy)?;
     drop(route_span);
 
     // Step 2: load the primary partition.
     let load_span = root.child("load");
-    let primary = index.load_partition(cluster, pid)?;
+    let primary = index.load_partition(cluster, plan.primary)?;
     load_span.add("partitions_loaded", 1);
     drop(load_span);
-    let mut loaded_pids: Vec<PartitionId> = vec![pid];
+    let mut loaded_pids: Vec<PartitionId> = vec![plan.primary];
 
-    // Step 3: the target node's candidates give the initial top-k.
-    let mut heap = TopK::new(k);
-    let mut stats = RefineStats::default();
-    {
-        let refine_span = root.child("refine");
-        let target = primary.target_node(&sig, k);
-        for entry in primary.candidates_under(target) {
-            let d = squared_euclidean(query.values(), entry.record.ts.values());
-            heap.push(d, entry.rid());
-            stats.refined += 1;
-        }
-        refine_span.add("candidates_refined", stats.refined as u64);
-    }
+    // Step 3: target-node refine, then (strategy-dependent) a threshold
+    // prune-scan of the primary partition.
+    let PrimaryScan {
+        mut heap,
+        mut stats,
+        threshold,
+    } = scan_primary(&primary, query, &plan, k, strategy, root)?;
 
-    match strategy {
-        KnnStrategy::TargetNode => {}
-        KnnStrategy::OnePartition => {
-            // Threshold = current k-th distance; prune-scan the partition.
-            let th = heap.kth_distance().sqrt();
-            stats += refine_partition(&primary, query, &paa, n, th, &mut heap, root)?;
-        }
-        KnnStrategy::MultiPartition => {
-            let th = heap.kth_distance().sqrt();
-            // Algorithm 1 lines 4–7: sibling partition list, capped at
-            // pth. Siblings are ranked by the iSAX-T lower bound between
-            // the query PAA and each partition (mindist ascending, pid
-            // tiebreak) so the query visits its *nearest* siblings — a
-            // query-independent choice here would load the same subset
-            // for every query routed to this parent.
-            let mut pid_list = index.global().sibling_partitions(&sig);
-            pid_list.retain(|&p| p != pid);
-            let cap = index.config().pth.saturating_sub(1);
-            if pid_list.len() > cap {
-                let bounds = index.global().partition_lower_bounds(&paa, n, &pid_list)?;
-                let mut ranked: Vec<(f64, PartitionId)> =
-                    bounds.into_iter().zip(pid_list.iter().copied()).collect();
-                ranked.sort_by(|a, b| {
-                    a.0.partial_cmp(&b.0)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.1.cmp(&b.1))
-                });
-                pid_list = ranked.into_iter().take(cap).map(|(_, p)| p).collect();
-                // Ascending pid for a deterministic load order.
-                pid_list.sort_unstable();
-            }
-            // Scan the primary partition with the threshold first.
-            stats += refine_partition(&primary, query, &paa, n, th, &mut heap, root)?;
-            // Load + scan siblings in parallel; merge their survivors.
-            type SiblingScan = Result<(Vec<(f64, RecordId)>, RefineStats, PartitionId), CoreError>;
-            let sibling_results: Vec<SiblingScan> =
-                cluster.pool().par_map(pid_list, |sib| {
-                    cluster.metrics().record_task();
-                    let sib_span = root.child("sibling");
-                    sib_span.add("pid", sib as u64);
-                    let load_span = sib_span.child("load");
-                    let local = index.load_partition(cluster, sib)?;
-                    load_span.add("partitions_loaded", 1);
-                    drop(load_span);
-                    let mut local_heap = TopK::new(k);
-                    // Seed the sibling heap with the current threshold so
-                    // early-abandon kicks in immediately.
-                    local_heap.force_threshold(th * th);
-                    let stats =
-                        refine_partition(&local, query, &paa, n, th, &mut local_heap, &sib_span)?;
-                    Ok((local_heap.into_sorted(), stats, sib))
-                });
-            for result in sibling_results {
-                let (neighbors, sib_stats, sib) = result?;
-                loaded_pids.push(sib);
-                stats += sib_stats;
-                for (d, rid) in neighbors {
-                    heap.push(d, rid);
-                }
+    // Step 4 (Multi-Partitions only): load + scan siblings in parallel;
+    // merge their survivors in ascending-pid order (`plan.siblings` is
+    // sorted), which fixes the tie-breaking deterministically.
+    if !plan.siblings.is_empty() {
+        type SiblingScan = Result<(Vec<(f64, RecordId)>, RefineStats, PartitionId), CoreError>;
+        let sibling_results: Vec<SiblingScan> =
+            cluster.pool().par_map(plan.siblings.clone(), |sib| {
+                let sib_span = root.child("sibling");
+                sib_span.add("pid", sib as u64);
+                let load_span = sib_span.child("load");
+                let local = index.load_partition(cluster, sib)?;
+                load_span.add("partitions_loaded", 1);
+                drop(load_span);
+                let (neighbors, stats) =
+                    scan_sibling(&local, query, &plan, k, threshold, &sib_span)?;
+                Ok((neighbors, stats, sib))
+            });
+        for result in sibling_results {
+            let (neighbors, sib_stats, sib) = result?;
+            loaded_pids.push(sib);
+            stats += sib_stats;
+            for (d, rid) in neighbors {
+                heap.push(d, rid);
             }
         }
     }
@@ -245,17 +203,153 @@ pub(crate) fn knn_impl(
     ))
 }
 
+/// A kNN query's global-only execution plan: the signature, PAA, and the
+/// complete set of partitions the query will touch, computed without a
+/// single partition load. The sequential path and the shared-scan batch
+/// engine both execute from this plan, so their partition sets — and
+/// therefore their answers — agree by construction.
+pub(crate) struct KnnPlan {
+    /// iSAX-T signature of the query.
+    pub(crate) sig: SigT,
+    /// PAA coefficients of the query.
+    pub(crate) paa: Vec<f64>,
+    /// Query length in points.
+    pub(crate) n: usize,
+    /// The partition Tardis-G routes the query to.
+    pub(crate) primary: PartitionId,
+    /// Sibling partitions to scan (Multi-Partitions only), ascending.
+    pub(crate) siblings: Vec<PartitionId>,
+}
+
+/// Computes a query's [`KnnPlan`] from the global index alone.
+///
+/// Algorithm 1 lines 4–7 for Multi-Partitions: the sibling partition
+/// list (the parent node's partitions), capped at `pth`. Siblings are
+/// ranked by the iSAX-T lower bound between the query PAA and each
+/// partition (mindist ascending, pid tiebreak) so the query visits its
+/// *nearest* siblings — a query-independent choice here would load the
+/// same subset for every query routed to this parent. The final list is
+/// ascending-pid for a deterministic load and merge order.
+pub(crate) fn plan_knn(
+    index: &TardisIndex,
+    query: &TimeSeries,
+    strategy: KnnStrategy,
+) -> Result<KnnPlan, CoreError> {
+    let converter = index.global().converter();
+    let sig = converter.sig_of(query)?;
+    let paa = converter.paa_of(query)?;
+    let n = query.len();
+    let primary = index.global().partition_of(&sig);
+    let siblings = if strategy == KnnStrategy::MultiPartition {
+        let mut pid_list = index.global().sibling_partitions(&sig);
+        pid_list.retain(|&p| p != primary);
+        let cap = index.config().pth.saturating_sub(1);
+        if pid_list.len() > cap {
+            let bounds = index.global().partition_lower_bounds(&paa, n, &pid_list)?;
+            let mut ranked: Vec<(f64, PartitionId)> =
+                bounds.into_iter().zip(pid_list.iter().copied()).collect();
+            ranked.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.1.cmp(&b.1))
+            });
+            pid_list = ranked.into_iter().take(cap).map(|(_, p)| p).collect();
+            pid_list.sort_unstable();
+        }
+        pid_list
+    } else {
+        Vec::new()
+    };
+    Ok(KnnPlan {
+        sig,
+        paa,
+        n,
+        primary,
+        siblings,
+    })
+}
+
+/// What the primary-partition kernel produced: the query's heap so far,
+/// its candidate accounting, and the (un-squared) threshold taken from
+/// the target node's k-th distance.
+pub(crate) struct PrimaryScan {
+    pub(crate) heap: TopK,
+    pub(crate) stats: RefineStats,
+    pub(crate) threshold: f64,
+}
+
+/// Per-partition kernel for the routed (primary) partition: descend to
+/// the target node and refine its candidates (`refine` span), then — for
+/// One-Partition and Multi-Partitions — prune-scan the whole partition
+/// with the k-th distance threshold.
+pub(crate) fn scan_primary(
+    primary: &TardisL,
+    query: &TimeSeries,
+    plan: &KnnPlan,
+    k: usize,
+    strategy: KnnStrategy,
+    parent: &Span,
+) -> Result<PrimaryScan, CoreError> {
+    let mut heap = TopK::new(k);
+    let mut stats = RefineStats::default();
+    {
+        let refine_span = parent.child("refine");
+        let target = primary.target_node(&plan.sig, k);
+        for entry in primary.candidates_under(target) {
+            let d = squared_euclidean(query.values(), entry.record.ts.values());
+            heap.push(d, entry.rid());
+            stats.refined += 1;
+        }
+        refine_span.add("candidates_refined", stats.refined as u64);
+    }
+    let threshold = heap.kth_distance().sqrt();
+    if strategy != KnnStrategy::TargetNode {
+        stats += refine_partition(primary, query, &plan.paa, plan.n, threshold, &mut heap, parent)?;
+    }
+    Ok(PrimaryScan {
+        heap,
+        stats,
+        threshold,
+    })
+}
+
+/// Per-partition kernel for one sibling partition: a fresh heap seeded
+/// with the primary scan's threshold (so early-abandon kicks in
+/// immediately), prune-scanned under `parent`. Returns the sibling's
+/// surviving neighbors sorted ascending, ready to merge.
+pub(crate) fn scan_sibling(
+    local: &TardisL,
+    query: &TimeSeries,
+    plan: &KnnPlan,
+    k: usize,
+    threshold: f64,
+    parent: &Span,
+) -> Result<(Vec<(f64, RecordId)>, RefineStats), CoreError> {
+    let mut local_heap = TopK::new(k);
+    local_heap.force_threshold(threshold * threshold);
+    let stats = refine_partition(
+        local,
+        query,
+        &plan.paa,
+        plan.n,
+        threshold,
+        &mut local_heap,
+        parent,
+    )?;
+    Ok((local_heap.into_sorted(), stats))
+}
+
 /// Candidate-level accounting for one prune-scan + refine pass. The
 /// three counters are disjoint: a surviving candidate is either fully
 /// refined or early-abandoned, never both.
 #[derive(Debug, Clone, Copy, Default)]
-struct RefineStats {
+pub(crate) struct RefineStats {
     /// Fully computed raw-series distances.
-    refined: usize,
+    pub(crate) refined: usize,
     /// Distance computations cut off early by the k-th distance.
-    abandoned: usize,
+    pub(crate) abandoned: usize,
     /// Candidates eliminated by the lower bound before any distance work.
-    pruned: usize,
+    pub(crate) pruned: usize,
 }
 
 impl std::ops::AddAssign for RefineStats {
@@ -268,7 +362,7 @@ impl std::ops::AddAssign for RefineStats {
 
 /// Prune-scans one partition with the lower-bound threshold and refines
 /// survivors into the heap, under `prune` / `refine` spans of `parent`.
-fn refine_partition(
+pub(crate) fn refine_partition(
     local: &TardisL,
     query: &TimeSeries,
     paa: &[f64],
@@ -304,7 +398,7 @@ fn refine_partition(
 /// A bounded max-heap keeping the k smallest (distance², rid) pairs.
 /// Rid-unique: the same record pushed twice (the target-node refine and a
 /// later partition scan overlap) counts once.
-struct TopK {
+pub(crate) struct TopK {
     k: usize,
     // Max-heap by distance: the root is the current k-th best.
     heap: std::collections::BinaryHeap<HeapItem>,
@@ -335,7 +429,7 @@ impl Ord for HeapItem {
 }
 
 impl TopK {
-    fn new(k: usize) -> TopK {
+    pub(crate) fn new(k: usize) -> TopK {
         TopK {
             k,
             heap: std::collections::BinaryHeap::with_capacity(k + 1),
@@ -346,11 +440,11 @@ impl TopK {
 
     /// Caps the effective k-th distance from outside (used to seed sibling
     /// scans with the primary partition's threshold).
-    fn force_threshold(&mut self, distance_sq: f64) {
+    pub(crate) fn force_threshold(&mut self, distance_sq: f64) {
         self.forced_threshold = Some(distance_sq);
     }
 
-    fn push(&mut self, distance_sq: f64, rid: RecordId) {
+    pub(crate) fn push(&mut self, distance_sq: f64, rid: RecordId) {
         if self.members.contains(&rid) {
             return;
         }
@@ -369,7 +463,7 @@ impl TopK {
 
     /// Squared distance of the current k-th best (infinite until k items
     /// arrive, unless a threshold was forced).
-    fn kth_distance(&self) -> f64 {
+    pub(crate) fn kth_distance(&self) -> f64 {
         let natural = if self.heap.len() < self.k {
             f64::INFINITY
         } else {
@@ -381,7 +475,7 @@ impl TopK {
         }
     }
 
-    fn into_sorted(self) -> Vec<(f64, RecordId)> {
+    pub(crate) fn into_sorted(self) -> Vec<(f64, RecordId)> {
         let mut v: Vec<(f64, RecordId)> =
             self.heap.into_iter().map(|HeapItem(d, r)| (d, r)).collect();
         v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));

@@ -90,7 +90,6 @@ pub fn range_query(
 
     type PartScan = Result<(Vec<Neighbor>, usize), CoreError>;
     let scans: Vec<PartScan> = cluster.pool().par_map(qualifying.clone(), |pid| {
-        cluster.metrics().record_task();
         let local = index.load_partition(cluster, pid)?;
         let mut found = Vec::new();
         let mut refined = 0usize;

@@ -1,0 +1,281 @@
+//! Equivalence properties for the shared-scan batch engine: for every
+//! query path — exact match (Bloom and non-Bloom), all three kNN
+//! strategies, and exact kNN — a batched workload must return exactly
+//! what sequential single-query execution returns, in input order, and
+//! the answers must be byte-identical regardless of worker-pool width.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use tardis_cluster::{encode_records, Cluster, ClusterConfig};
+use tardis_core::{
+    exact_knn, exact_knn_batch, exact_knn_batch_naive, exact_match, exact_match_batch,
+    exact_match_batch_naive, knn_approximate, knn_batch, knn_batch_naive, KnnStrategy,
+    TardisConfig, TardisIndex,
+};
+use tardis_ts::{Record, TimeSeries};
+
+const N_RECORDS: u64 = 900;
+
+fn series(rid: u64) -> TimeSeries {
+    let mut x = rid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut acc = 0.0f32;
+    let mut v = Vec::with_capacity(64);
+    for _ in 0..64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc += ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+        v.push(acc);
+    }
+    tardis_ts::z_normalize_in_place(&mut v);
+    TimeSeries::new(v)
+}
+
+fn write_data(cluster: &Cluster, n: u64) {
+    let blocks: Vec<Vec<u8>> = (0..n)
+        .collect::<Vec<u64>>()
+        .chunks(100)
+        .map(|chunk| {
+            encode_records(
+                &chunk
+                    .iter()
+                    .map(|&rid| Record::new(rid, series(rid)))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    cluster.dfs().write_blocks("data", blocks).unwrap();
+}
+
+fn config() -> TardisConfig {
+    TardisConfig {
+        g_max_size: 250,
+        l_max_size: 50,
+        sampling_fraction: 0.5,
+        ..TardisConfig::default()
+    }
+}
+
+struct Fixture {
+    cluster: Cluster,
+    index: TardisIndex,
+}
+
+/// One index shared by every property (building it dominates test time).
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let cluster = Cluster::new(ClusterConfig {
+            n_workers: 4,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        write_data(&cluster, N_RECORDS);
+        let (index, _) = TardisIndex::build(&cluster, "data", &config()).unwrap();
+        Fixture { cluster, index }
+    })
+}
+
+/// Turns proptest-chosen seeds into a workload mixing stored series
+/// (even seeds) with absent ones (odd seeds map past the dataset).
+fn workload(seeds: &[u64]) -> Vec<TimeSeries> {
+    seeds
+        .iter()
+        .map(|&s| {
+            if s % 2 == 0 {
+                series(s % N_RECORDS)
+            } else {
+                series(1_000_000 + s)
+            }
+        })
+        .collect()
+}
+
+fn assert_knn_bit_identical(batch: &[tardis_core::KnnAnswer], queries: &[TimeSeries], k: usize, strategy: KnnStrategy) {
+    let f = fixture();
+    for (q, ans) in queries.iter().zip(batch) {
+        let single = knn_approximate(&f.index, &f.cluster, q, k, strategy).unwrap();
+        assert_eq!(ans.neighbors.len(), single.neighbors.len());
+        for (a, b) in ans.neighbors.iter().zip(&single.neighbors) {
+            assert_eq!(a.1, b.1, "rid mismatch");
+            assert_eq!(a.0.to_bits(), b.0.to_bits(), "distance bits mismatch");
+        }
+        assert_eq!(ans.partitions_loaded, single.partitions_loaded);
+        assert_eq!(ans.candidates_refined, single.candidates_refined);
+        assert_eq!(ans.candidates_abandoned, single.candidates_abandoned);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn exact_match_batch_equals_sequential(
+        seeds in prop::collection::vec(0u64..2000, 1..40),
+        use_bloom in 0u8..2,
+    ) {
+        let f = fixture();
+        let queries = workload(&seeds);
+        let use_bloom = use_bloom == 1;
+        let batch = exact_match_batch(&f.index, &f.cluster, &queries, use_bloom).unwrap();
+        prop_assert_eq!(batch.len(), queries.len());
+        for (q, out) in queries.iter().zip(&batch) {
+            let single = exact_match(&f.index, &f.cluster, q, use_bloom).unwrap();
+            prop_assert_eq!(out, &single);
+        }
+        let naive = exact_match_batch_naive(&f.index, &f.cluster, &queries, use_bloom).unwrap();
+        prop_assert_eq!(&batch, &naive);
+    }
+
+    #[test]
+    fn knn_batch_equals_sequential_all_strategies(
+        seeds in prop::collection::vec(0u64..2000, 1..25),
+        k in 1usize..8,
+    ) {
+        let f = fixture();
+        let queries = workload(&seeds);
+        for strategy in [
+            KnnStrategy::TargetNode,
+            KnnStrategy::OnePartition,
+            KnnStrategy::MultiPartition,
+        ] {
+            let batch = knn_batch(&f.index, &f.cluster, &queries, k, strategy).unwrap();
+            prop_assert_eq!(batch.len(), queries.len());
+            assert_knn_bit_identical(&batch, &queries, k, strategy);
+            let naive = knn_batch_naive(&f.index, &f.cluster, &queries, k, strategy).unwrap();
+            for (a, b) in batch.iter().zip(&naive) {
+                prop_assert_eq!(&a.neighbors, &b.neighbors);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_knn_batch_equals_sequential(
+        seeds in prop::collection::vec(0u64..2000, 1..12),
+        k in 1usize..7,
+    ) {
+        let f = fixture();
+        let queries = workload(&seeds);
+        let batch = exact_knn_batch(&f.index, &f.cluster, &queries, k).unwrap();
+        prop_assert_eq!(batch.len(), queries.len());
+        for (q, ans) in queries.iter().zip(&batch) {
+            let single = exact_knn(&f.index, &f.cluster, q, k).unwrap();
+            prop_assert_eq!(ans.neighbors.len(), single.neighbors.len());
+            for (a, b) in ans.neighbors.iter().zip(&single.neighbors) {
+                prop_assert_eq!(a.rid, b.rid);
+                prop_assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+            }
+            prop_assert_eq!(ans.partitions_loaded, single.partitions_loaded);
+            prop_assert_eq!(ans.partitions_pruned, single.partitions_pruned);
+        }
+        let naive = exact_knn_batch_naive(&f.index, &f.cluster, &queries, k).unwrap();
+        for (a, b) in batch.iter().zip(&naive) {
+            prop_assert_eq!(a.neighbors.len(), b.neighbors.len());
+            for (x, y) in a.neighbors.iter().zip(&b.neighbors) {
+                prop_assert_eq!(x.rid, y.rid);
+                prop_assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+            }
+        }
+    }
+}
+
+/// The same workload on pools of width 1, 4, and 8 must produce
+/// byte-identical results — same neighbor sets, same order, same f64
+/// bits — for every query path. The index is built once and shared; only
+/// the cluster (worker pool + DFS handle over the same directory)
+/// varies.
+#[test]
+fn results_identical_across_pool_widths() {
+    let dir = std::env::temp_dir().join(format!("tardis-batch-widths-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let build_cluster = Cluster::at_dir(&dir, ClusterConfig {
+        n_workers: 4,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    write_data(&build_cluster, 600);
+    let (index, _) = TardisIndex::build(&build_cluster, "data", &config()).unwrap();
+
+    let queries: Vec<TimeSeries> = (0..30)
+        .map(|i| if i % 3 == 0 { series(i * 13 % 600) } else { series(10_000 + i) })
+        .collect();
+    let k = 5;
+
+    let mut reference: Option<(
+        Vec<tardis_core::ExactMatchOutcome>,
+        Vec<tardis_core::KnnAnswer>,
+        Vec<tardis_core::ExactKnnAnswer>,
+    )> = None;
+    for width in [1usize, 4, 8] {
+        let cluster = Cluster::at_dir(&dir, ClusterConfig {
+            n_workers: width,
+            ..ClusterConfig::default()
+        })
+        .unwrap();
+        let exact = exact_match_batch(&index, &cluster, &queries, true).unwrap();
+        let knn = knn_batch(&index, &cluster, &queries, k, KnnStrategy::MultiPartition).unwrap();
+        let eknn = exact_knn_batch(&index, &cluster, &queries, k).unwrap();
+        match &reference {
+            None => reference = Some((exact, knn, eknn)),
+            Some((re, rk, rx)) => {
+                assert_eq!(&exact, re, "exact-match differs at width {width}");
+                for (a, b) in knn.iter().zip(rk) {
+                    assert_eq!(a.neighbors.len(), b.neighbors.len());
+                    for (x, y) in a.neighbors.iter().zip(&b.neighbors) {
+                        assert_eq!(x.1, y.1, "kNN rid differs at width {width}");
+                        assert_eq!(
+                            x.0.to_bits(),
+                            y.0.to_bits(),
+                            "kNN distance bits differ at width {width}"
+                        );
+                    }
+                    assert_eq!(a.partitions_loaded, b.partitions_loaded);
+                }
+                for (a, b) in eknn.iter().zip(rx) {
+                    assert_eq!(a.neighbors.len(), b.neighbors.len());
+                    for (x, y) in a.neighbors.iter().zip(&b.neighbors) {
+                        assert_eq!(x.rid, y.rid, "exact-kNN rid differs at width {width}");
+                        assert_eq!(
+                            x.distance.to_bits(),
+                            y.distance.to_bits(),
+                            "exact-kNN distance bits differ at width {width}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    drop(build_cluster);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Regression for the unified task accounting: a batch of one must run
+/// exactly as many pool tasks as the equivalent single-query call — one
+/// `record_task` per physical partition load, wherever the load happens.
+#[test]
+fn batch_of_one_runs_same_task_count_as_single() {
+    let f = fixture();
+    let q = series(11);
+
+    let before = f.cluster.metrics().snapshot();
+    exact_match(&f.index, &f.cluster, &q, true).unwrap();
+    let single_exact = f.cluster.metrics().snapshot().delta_since(&before).tasks_run;
+    let before = f.cluster.metrics().snapshot();
+    exact_match_batch(&f.index, &f.cluster, std::slice::from_ref(&q), true).unwrap();
+    let batch_exact = f.cluster.metrics().snapshot().delta_since(&before).tasks_run;
+    assert_eq!(single_exact, batch_exact, "exact-match task count diverged");
+
+    for strategy in [
+        KnnStrategy::TargetNode,
+        KnnStrategy::OnePartition,
+        KnnStrategy::MultiPartition,
+    ] {
+        let before = f.cluster.metrics().snapshot();
+        knn_approximate(&f.index, &f.cluster, &q, 5, strategy).unwrap();
+        let single = f.cluster.metrics().snapshot().delta_since(&before).tasks_run;
+        let before = f.cluster.metrics().snapshot();
+        knn_batch(&f.index, &f.cluster, std::slice::from_ref(&q), 5, strategy).unwrap();
+        let batch = f.cluster.metrics().snapshot().delta_since(&before).tasks_run;
+        assert_eq!(single, batch, "kNN task count diverged for {strategy:?}");
+    }
+}

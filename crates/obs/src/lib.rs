@@ -32,5 +32,5 @@ pub mod profile;
 pub mod span;
 
 pub use export::{chrome_trace_json, PromText};
-pub use profile::QueryProfile;
+pub use profile::{BatchProfile, QueryProfile};
 pub use span::{Span, SpanAggregate, SpanNode, SpanRecord, Tracer};

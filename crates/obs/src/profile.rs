@@ -61,10 +61,104 @@ impl QueryProfile {
     }
 }
 
+/// What one *workload* cost under the shared-scan batch engine: every
+/// query's own [`QueryProfile`] (in input order) plus the batch-level
+/// sharing accounting the per-query view cannot express.
+///
+/// `partitions_loaded` counts *physical* loads — distinct partitions
+/// deserialized from the DFS once for the whole batch. The logical
+/// demand is the sum of the per-query `partitions_loaded` counters;
+/// `partitions_shared` is the difference (logical − physical), i.e. the
+/// number of loads the engine avoided by serving one deserialized
+/// partition to several queries.
+#[derive(Debug, Clone, Default)]
+pub struct BatchProfile {
+    /// Per-query profiles, in workload (input) order.
+    pub queries: Vec<QueryProfile>,
+    /// Distinct partitions physically deserialized for the batch.
+    pub partitions_loaded: usize,
+    /// Partition loads avoided by sharing (logical demand − physical).
+    pub partitions_shared: usize,
+    /// Batch-level span forest (plan / load / scan / merge phases).
+    pub spans: Vec<SpanNode>,
+}
+
+impl BatchProfile {
+    /// Sum of the per-query logical partition-load counters.
+    pub fn logical_loads(&self) -> usize {
+        self.queries.iter().map(|q| q.partitions_loaded).sum()
+    }
+
+    /// Finds the first span named `name` anywhere in the batch forest.
+    pub fn span(&self, name: &str) -> Option<&SpanNode> {
+        self.spans.iter().find_map(|s| s.find(name))
+    }
+
+    /// Renders the batch summary plus each query's profile for CLI dumps.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "batch queries={} partitions_loaded={} partitions_shared={} (logical={})",
+            self.queries.len(),
+            self.partitions_loaded,
+            self.partitions_shared,
+            self.logical_loads(),
+        );
+        for span in &self.spans {
+            out.push_str(&span.render());
+        }
+        for (i, q) in self.queries.iter().enumerate() {
+            let _ = writeln!(out, "query #{i}:");
+            for line in q.render().lines() {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::span::Tracer;
+
+    #[test]
+    fn batch_profile_accounting_and_render() {
+        let per_query = |loaded: usize| QueryProfile {
+            partitions_loaded: loaded,
+            ..QueryProfile::default()
+        };
+        let batch = BatchProfile {
+            queries: vec![per_query(2), per_query(1), per_query(2)],
+            partitions_loaded: 3,
+            partitions_shared: 2,
+            spans: Vec::new(),
+        };
+        assert_eq!(batch.logical_loads(), 5);
+        assert_eq!(batch.logical_loads() - batch.partitions_loaded, 2);
+        let text = batch.render();
+        assert!(text.contains("queries=3"));
+        assert!(text.contains("partitions_loaded=3"));
+        assert!(text.contains("partitions_shared=2"));
+        assert!(text.contains("query #2"));
+    }
+
+    #[test]
+    fn batch_profile_span_lookup() {
+        let t = Tracer::new();
+        {
+            let root = t.root("batch-knn");
+            let _plan = root.child("plan");
+        }
+        let batch = BatchProfile {
+            spans: t.span_tree(),
+            ..BatchProfile::default()
+        };
+        assert!(batch.span("plan").is_some());
+        assert!(batch.span("nope").is_none());
+        assert!(batch.render().contains("batch-knn"));
+    }
 
     #[test]
     fn render_includes_counters_and_spans() {

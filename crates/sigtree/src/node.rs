@@ -1,6 +1,6 @@
 //! sigTree nodes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tardis_isax::SigT;
 
 /// Index of a node within a [`crate::SigTree`] arena.
@@ -29,7 +29,13 @@ pub struct Node<I> {
     pub parent: Option<NodeId>,
     /// Children keyed by the packed bit-plane that extends `sig` by one
     /// cardinality bit ([`SigT::plane_key`] at this node's layer).
-    pub children: HashMap<u32, NodeId>,
+    ///
+    /// Ordered (`BTreeMap`), so every tree walk enumerates children in
+    /// key order: two deserializations of the same partition — or the
+    /// sequential and shared-scan-batch query paths — visit candidates
+    /// in the same order, which keeps refine/early-abandon accounting
+    /// and kNN tie-breaking bit-identical across loads.
+    pub children: BTreeMap<u32, NodeId>,
     /// Number of time series in this subtree (for skeleton trees, the
     /// sampled frequency).
     pub count: u64,
@@ -43,7 +49,7 @@ impl<I> Node<I> {
         Node {
             sig,
             parent,
-            children: HashMap::new(),
+            children: BTreeMap::new(),
             count: 0,
             items: Vec::new(),
         }

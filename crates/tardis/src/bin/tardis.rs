@@ -36,6 +36,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&flags),
         "exact" => cmd_exact(&flags),
         "knn" => cmd_knn(&flags),
+        "query-batch" => cmd_query_batch(&flags),
         "range" => cmd_range(&flags),
         "profile" => cmd_profile(&flags),
         "help" | "--help" | "-h" => {
@@ -65,6 +66,9 @@ fn usage() {
     eprintln!("           [--profile] [--trace-out PATH]");
     eprintln!("  knn      --dir D --index NAME (--rid N | --query-file PATH) --k N");
     eprintln!("           [--strategy target|one|multi|exact] [--profile] [--trace-out PATH]");
+    eprintln!("  query-batch --dir D --index NAME --count N [--seed S] [--k N]");
+    eprintln!("           [--mode exact|knn|exact-knn] [--strategy target|one|multi]");
+    eprintln!("           [--no-bloom] [--profile] [--trace-out PATH]");
     eprintln!("  range    --dir D --index NAME (--rid N | --query-file PATH) --epsilon E");
     eprintln!("  profile  --family F --records N [--seed S]");
     eprintln!();
@@ -435,6 +439,110 @@ fn cmd_knn(flags: &Flags) -> Result<(), String> {
         say!("  #{:<3} record {:>10}  distance {:.6}", rank + 1, rid, d);
     }
     emit_profile(flags, &tracer, &profile)?;
+    Ok(())
+}
+
+/// Runs a generated workload through the shared-scan batch engine:
+/// `--count` queries drawn from the index's dataset (three in four are
+/// stored members, one in four is absent), executed partition-major so
+/// overlapping queries share one deserialization per partition.
+fn cmd_query_batch(flags: &Flags) -> Result<(), String> {
+    let cluster = open_cluster(flags)?;
+    let (index, dataset) = open_index(&cluster, flags)?;
+    let count: usize = opt_num(flags, "count", 16)?;
+    let seed: u64 = opt_num(flags, "seed", 0)?;
+    let k: usize = opt_num(flags, "k", 10)?;
+    let mode = flags.get("mode").map(String::as_str).unwrap_or("knn");
+
+    let (family, gen_seed, len, records) = read_sidecar(&cluster, &dataset)?;
+    let gen = family_gen(&family, gen_seed, Some(len))?;
+    let queries: Vec<TimeSeries> = (0..count as u64)
+        .map(|i| {
+            let r = seed.wrapping_add(i.wrapping_mul(131));
+            if i % 4 == 3 {
+                gen.series(records + r) // absent
+            } else {
+                gen.series(r % records.max(1))
+            }
+        })
+        .collect();
+
+    let tracer = tracer_for(flags);
+    let t0 = std::time::Instant::now();
+    let batch: BatchProfile = match mode {
+        "exact" => {
+            let use_bloom = !flags.contains_key("no-bloom");
+            let (outs, batch) =
+                exact_match_batch_profiled(&index, &cluster, &queries, use_bloom, &tracer)
+                    .map_err(|e| e.to_string())?;
+            let elapsed = t0.elapsed();
+            say!("exact-match batch of {count} in {elapsed:?}:");
+            for (i, o) in outs.iter().enumerate() {
+                if o.bloom_rejected {
+                    say!("  #{i:<3} bloom-rejected");
+                } else if o.matches.is_empty() {
+                    say!("  #{i:<3} no match");
+                } else {
+                    say!("  #{i:<3} record ids {:?}", o.matches);
+                }
+            }
+            batch
+        }
+        "knn" => {
+            let strategy = match flags.get("strategy").map(String::as_str).unwrap_or("multi") {
+                "target" => KnnStrategy::TargetNode,
+                "one" => KnnStrategy::OnePartition,
+                "multi" => KnnStrategy::MultiPartition,
+                other => return Err(format!("unknown strategy '{other}' (target|one|multi)")),
+            };
+            let (answers, batch) =
+                knn_batch_profiled(&index, &cluster, &queries, k, strategy, &tracer)
+                    .map_err(|e| e.to_string())?;
+            let elapsed = t0.elapsed();
+            say!("{k}-NN batch of {count} in {elapsed:?}:");
+            for (i, a) in answers.iter().enumerate() {
+                let top: Vec<String> = a
+                    .neighbors
+                    .iter()
+                    .take(3)
+                    .map(|(d, rid)| format!("{rid}@{d:.4}"))
+                    .collect();
+                say!("  #{i:<3} [{}{}]", top.join(", "), if a.neighbors.len() > 3 { ", …" } else { "" });
+            }
+            batch
+        }
+        "exact-knn" => {
+            let (answers, batch) = exact_knn_batch_profiled(&index, &cluster, &queries, k, &tracer)
+                .map_err(|e| e.to_string())?;
+            let elapsed = t0.elapsed();
+            say!("exact {k}-NN batch of {count} in {elapsed:?}:");
+            for (i, a) in answers.iter().enumerate() {
+                let top: Vec<String> = a
+                    .neighbors
+                    .iter()
+                    .take(3)
+                    .map(|nb| format!("{}@{:.4}", nb.rid, nb.distance))
+                    .collect();
+                say!("  #{i:<3} [{}{}]", top.join(", "), if a.neighbors.len() > 3 { ", …" } else { "" });
+            }
+            batch
+        }
+        other => return Err(format!("unknown mode '{other}' (exact|knn|exact-knn)")),
+    };
+    say!(
+        "partitions: {} physical loads served {} logical ({} avoided by sharing)",
+        batch.partitions_loaded,
+        batch.logical_loads(),
+        batch.partitions_shared,
+    );
+    if flags.contains_key("profile") {
+        out(format_args!("{}", batch.render()));
+    }
+    if let Some(path) = flags.get("trace-out") {
+        let json = chrome_trace_json(&tracer.records());
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        out(format_args!("wrote chrome trace to {path}"));
+    }
     Ok(())
 }
 

@@ -56,9 +56,11 @@ pub mod prelude {
         MaybeTransient, MetricsSnapshot, PromText, QueryProfile, RetryPolicy, Tracer, WorkerPool,
     };
     pub use tardis_core::{
-        error_ratio, exact_knn, exact_knn_profiled, exact_match, exact_match_profiled,
-        ground_truth_knn, knn_approximate, knn_approximate_profiled, range_query, recall,
-        CoreError, KnnStrategy, TardisConfig, TardisIndex,
+        error_ratio, exact_knn, exact_knn_batch, exact_knn_batch_naive, exact_knn_batch_profiled,
+        exact_knn_profiled, exact_match, exact_match_batch, exact_match_batch_naive,
+        exact_match_batch_profiled, exact_match_profiled, ground_truth_knn, knn_approximate,
+        knn_approximate_profiled, knn_batch, knn_batch_naive, knn_batch_profiled, range_query,
+        recall, BatchProfile, CoreError, KnnStrategy, TardisConfig, TardisIndex,
     };
     pub use tardis_data::{
         profile_dataset, read_series_file, write_dataset, write_series_file, DnaLike,

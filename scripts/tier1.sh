@@ -16,6 +16,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier-1: full test suite =="
 cargo test -q
 
+echo "== tier-1: batch-query benchmark smoke (quick scale) =="
+cargo run --release -p tardis-bench --bin experiments -- queries --quick
+
 if [[ "${1:-}" == "--chaos" ]]; then
     echo "== tier-1: seeded chaos suite (deterministic fault injection) =="
     cargo test --test chaos -- --nocapture

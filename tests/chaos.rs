@@ -149,6 +149,61 @@ fn same_seed_same_chaos() {
     assert_eq!(m_a.block_write_retries, m_b.block_write_retries);
 }
 
+/// Shared-scan batch engine under chaos: a batched workload on a
+/// fault-injected cluster must return the same answers in the same
+/// order as the fault-free run (task and DFS faults only perturb *when*
+/// work happens), and the retry machinery must be visible in the merged
+/// Prometheus dump.
+#[test]
+fn batch_under_faults_matches_clean_run() {
+    let gen = RandomWalk::with_len(777, 64);
+    let queries: Vec<TimeSeries> = (0..40)
+        .map(|i| gen.series(if i % 4 == 0 { N_RECORDS + i } else { (i * 131) % N_RECORDS }))
+        .collect();
+
+    let run = |cluster: &Cluster| {
+        write_dataset(cluster, "chaos-batch", &gen, N_RECORDS, BLOCK_RECORDS as usize).unwrap();
+        let (index, _) = TardisIndex::build(cluster, "chaos-batch", &chaos_config()).unwrap();
+        let exact = exact_match_batch(&index, cluster, &queries, true).unwrap();
+        let knn = knn_batch(&index, cluster, &queries, 8, KnnStrategy::MultiPartition).unwrap();
+        let eknn = exact_knn_batch(&index, cluster, &queries[..10], 5).unwrap();
+        (exact, knn, eknn)
+    };
+
+    let clean = cluster_with(None, RetryPolicy::default());
+    let (c_exact, c_knn, c_eknn) = run(&clean);
+
+    let faulted = cluster_with(Some(chaos_plan(0xBA7C_4A05)), chaos_retry());
+    let (f_exact, f_knn, f_eknn) = run(&faulted);
+
+    assert_eq!(c_exact, f_exact, "batched exact-match answers diverged");
+    for (a, b) in c_knn.iter().zip(&f_knn) {
+        assert_eq!(a.neighbors, b.neighbors, "batched kNN answers diverged");
+        assert_eq!(a.partitions_loaded, b.partitions_loaded);
+    }
+    for (a, b) in c_eknn.iter().zip(&f_eknn) {
+        assert_eq!(a.neighbors.len(), b.neighbors.len());
+        for (x, y) in a.neighbors.iter().zip(&b.neighbors) {
+            assert_eq!(x.rid, y.rid, "batched exact-kNN answers diverged");
+            assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+        }
+    }
+
+    let m = faulted.metrics().snapshot();
+    assert!(m.faults_injected > 0, "plan injected nothing: {m:?}");
+    assert!(m.task_retries > 0, "no task was ever retried: {m:?}");
+    assert_eq!(m.tasks_failed_permanently, 0, "a task leaked: {m:?}");
+    // The retries are visible in the merged Prometheus dump.
+    let dump = m.prometheus_text(None);
+    assert!(dump.contains("task_retries"), "missing retry metric:\n{dump}");
+    let line = dump
+        .lines()
+        .find(|l| l.contains("task_retries") && !l.starts_with('#'))
+        .unwrap();
+    let value: f64 = line.split_whitespace().last().unwrap().parse().unwrap();
+    assert!(value > 0.0, "retry counter not exported: {line}");
+}
+
 /// Over-budget faults surface as a clean typed error — no panic, no
 /// hang: every block read fails and the budget is tiny, so the build
 /// must report an exhausted retry chain through the core error type.
