@@ -1,0 +1,154 @@
+//! Refine kernels: scalar baselines vs the lane kernels vs the full
+//! block cascade (PAA pre-filter + contiguous-arena early abandoning).
+//!
+//! Each group fixes a candidate set of 256 series at lengths 64 / 256 /
+//! 1024 and measures the cost of refining the whole set against one
+//! query — the unit of work `refine_cascade` performs per partition.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tardis_data::{RandomWalk, SeriesGen};
+use tardis_isax::{paa, segment_lengths};
+use tardis_ts::{
+    euclidean_early_abandon, euclidean_early_abandon_block, paa_prefilter_block,
+    squared_euclidean, squared_euclidean_lanes,
+};
+
+const CANDIDATES: usize = 256;
+const PAA_WIDTH: usize = 8;
+
+struct Fixture {
+    len: usize,
+    query: Vec<f32>,
+    query_paa: Vec<f64>,
+    weights: Vec<f64>,
+    /// Contiguous arena: candidate `i` at `[i*len, (i+1)*len)`.
+    arena: Vec<f32>,
+    /// PAA sidecar: candidate `i` at `[i*PAA_WIDTH, (i+1)*PAA_WIDTH)`.
+    paa_arena: Vec<f64>,
+    idxs: Vec<u32>,
+    /// A mid-tight bound (the 10th-smallest true distance), so the
+    /// early-abandon and pre-filter paths see a realistic mix.
+    bound_sq: f64,
+}
+
+fn fixture(len: usize) -> Fixture {
+    let gen = RandomWalk::with_len(7, len);
+    let query: Vec<f32> = gen.series(100_000).values().to_vec();
+    let query_paa = paa(&query, PAA_WIDTH).unwrap();
+    let weights = segment_lengths(len, PAA_WIDTH).unwrap();
+    let mut arena = Vec::with_capacity(CANDIDATES * len);
+    let mut paa_arena = Vec::with_capacity(CANDIDATES * PAA_WIDTH);
+    for rid in 0..CANDIDATES as u64 {
+        let s = gen.series(rid);
+        paa_arena.extend(paa(s.values(), PAA_WIDTH).unwrap());
+        arena.extend_from_slice(s.values());
+    }
+    let mut dists: Vec<f64> = (0..CANDIDATES)
+        .map(|i| squared_euclidean(&query, &arena[i * len..(i + 1) * len]))
+        .collect();
+    dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Fixture {
+        len,
+        query,
+        query_paa,
+        weights,
+        arena,
+        paa_arena,
+        idxs: (0..CANDIDATES as u32).collect(),
+        bound_sq: dists[9],
+    }
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    for len in [64usize, 256, 1024] {
+        let f = fixture(len);
+        let mut group = c.benchmark_group(format!("kernels_{len}"));
+
+        group.bench_function("scalar_full", |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..CANDIDATES {
+                    acc += squared_euclidean(&f.query, &f.arena[i * f.len..(i + 1) * f.len]);
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function("lanes_full", |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..CANDIDATES {
+                    acc += squared_euclidean_lanes(&f.query, &f.arena[i * f.len..(i + 1) * f.len]);
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function("scalar_early_abandon", |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for i in 0..CANDIDATES {
+                    if euclidean_early_abandon(
+                        &f.query,
+                        &f.arena[i * f.len..(i + 1) * f.len],
+                        f.bound_sq,
+                    )
+                    .is_some()
+                    {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+        group.bench_function("block_early_abandon", |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                euclidean_early_abandon_block(
+                    &f.query,
+                    &f.arena,
+                    f.len,
+                    &f.idxs,
+                    f.bound_sq,
+                    |_, d| {
+                        if d.is_some() {
+                            hits += 1;
+                        }
+                    },
+                );
+                black_box(hits)
+            })
+        });
+        group.bench_function("block_cascade", |b| {
+            let mut survivors = Vec::with_capacity(CANDIDATES);
+            b.iter(|| {
+                survivors.clear();
+                let pruned = paa_prefilter_block(
+                    &f.query_paa,
+                    &f.weights,
+                    &f.paa_arena,
+                    PAA_WIDTH,
+                    &f.idxs,
+                    f.bound_sq,
+                    &mut survivors,
+                );
+                let mut hits = 0usize;
+                euclidean_early_abandon_block(
+                    &f.query,
+                    &f.arena,
+                    f.len,
+                    &survivors,
+                    f.bound_sq,
+                    |_, d| {
+                        if d.is_some() {
+                            hits += 1;
+                        }
+                    },
+                );
+                black_box((pruned, hits))
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -10,8 +10,10 @@
 //! `fig14`, `fig15`, `fig16`, `fig17`, `ablations`, `profiles` (the
 //! observability demo: spans + merged Prometheus dump), `queries` (the
 //! shared-scan batch engine vs the naive per-query baseline; writes
-//! `BENCH_queries.json`), `all`, and `quick` (a reduced-size pass over
-//! everything for smoke testing).
+//! `BENCH_queries.json`), `kernels` (refine-kernel throughput: scalar
+//! baselines vs the lane kernels and the PAA-prefilter block cascade;
+//! writes `BENCH_kernels.json`), `all`, and `quick` (a reduced-size
+//! pass over everything for smoke testing).
 
 use std::time::Duration;
 use tardis_baseline::baseline_knn;
@@ -91,15 +93,18 @@ fn main() {
     if run_all || cmd == "queries" {
         queries(scale);
     }
+    if run_all || cmd == "kernels" {
+        kernels(scale);
+    }
     if !run_all
         && ![
             "table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-            "fig17", "ablations", "profiles", "queries",
+            "fig17", "ablations", "profiles", "queries", "kernels",
         ]
         .contains(&cmd)
     {
         eprintln!("unknown experiment '{cmd}'");
-        eprintln!("usage: experiments [table2|fig9|...|fig17|ablations|profiles|queries|all|quick] [--quick]");
+        eprintln!("usage: experiments [table2|fig9|...|fig17|ablations|profiles|queries|kernels|all|quick] [--quick]");
         std::process::exit(2);
     }
     println!("\n(total experiment time: {})", secs(t0.elapsed()));
@@ -107,6 +112,11 @@ fn main() {
 
 fn banner(id: &str, what: &str) {
     println!("\n=== {id}: {what} ===");
+}
+
+/// Strips the ground-truth labels off a workload, keeping the queries.
+fn workload_queries(workload: &QueryWorkload) -> Vec<TimeSeries> {
+    workload.queries.iter().map(|(q, _)| q.clone()).collect()
 }
 
 /// Table II — resolved experimental configuration.
@@ -394,7 +404,7 @@ fn knn_setup(
     let (index, _) = env.build_tardis();
     let (baseline, _) = env.build_baseline();
     let workload = QueryWorkload::existing(env.gen.as_ref(), env.n, n_queries, 7);
-    let queries: Vec<TimeSeries> = workload.queries.iter().map(|(q, _)| q.clone()).collect();
+    let queries = workload_queries(&workload);
     let truths: Vec<Vec<Neighbor>> = queries
         .iter()
         .map(|q| ground_truth_knn(&env.cluster, &env.file, q, k).expect("truth"))
@@ -440,7 +450,7 @@ fn fig16(scale: Scale) {
     let (index, _) = env.build_tardis();
     let (baseline, _) = env.build_baseline();
     let workload = QueryWorkload::existing(env.gen.as_ref(), env.n, scale.knn_queries, 7);
-    let queries: Vec<TimeSeries> = workload.queries.iter().map(|(q, _)| q.clone()).collect();
+    let queries = workload_queries(&workload);
     for k in [10usize, 50, 100, 200] {
         let truths: Vec<Vec<Neighbor>> = queries
             .iter()
@@ -461,7 +471,7 @@ fn fig17(scale: Scale) {
     let env = Env::prepare(Family::RandomWalk, n, Duration::ZERO);
     let k = 50;
     let workload = QueryWorkload::existing(env.gen.as_ref(), env.n, scale.knn_queries, 7);
-    let queries: Vec<TimeSeries> = workload.queries.iter().map(|(q, _)| q.clone()).collect();
+    let queries = workload_queries(&workload);
     let truths: Vec<Vec<Neighbor>> = queries
         .iter()
         .map(|q| ground_truth_knn(&env.cluster, &env.file, q, k).expect("truth"))
@@ -567,7 +577,7 @@ fn ablations(scale: Scale) {
     println!("\n(b) TARDIS initial cardinality on RandomWalk ({n} records), k = 50:");
     let k = 50;
     let workload = QueryWorkload::existing(env.gen.as_ref(), env.n, scale.knn_queries, 7);
-    let queries: Vec<TimeSeries> = workload.queries.iter().map(|(q, _)| q.clone()).collect();
+    let queries = workload_queries(&workload);
     let truths: Vec<Vec<Neighbor>> = queries
         .iter()
         .map(|q| ground_truth_knn(&env.cluster, &env.file, q, k).expect("truth"))
@@ -907,9 +917,149 @@ fn queries(scale: Scale) {
         shared_exact.as_secs_f64() * 1e3,
         exact_speedup,
     );
+    // Quick (CI smoke) runs must not clobber the checked-in full-scale
+    // baseline numbers.
+    if scale.base != FULL.base {
+        println!("quick scale: not writing BENCH_queries.json");
+        return;
+    }
     match std::fs::write("BENCH_queries.json", &json) {
         Ok(()) => println!("wrote BENCH_queries.json"),
         Err(e) => eprintln!("could not write BENCH_queries.json: {e}"),
+    }
+}
+
+/// Refine-kernel throughput: the scalar per-candidate baselines vs the
+/// lane kernels and the full PAA-prefilter block cascade, over a
+/// contiguous candidate arena at several series lengths. Prints a table
+/// and writes `BENCH_kernels.json`.
+fn kernels(scale: Scale) {
+    banner("Kernels", "refine kernels: scalar vs lanes vs block cascade");
+    use tardis_data::{RandomWalk, SeriesGen};
+    use tardis_isax::{paa, segment_lengths};
+    use tardis_ts::{
+        euclidean_early_abandon, euclidean_early_abandon_block, paa_prefilter_block,
+        squared_euclidean, squared_euclidean_lanes,
+    };
+    const PAA_WIDTH: usize = 8;
+    let candidates = if scale.base >= FULL.base { 4096usize } else { 1024 };
+
+    // Best-of-5 wall time for one full pass over the candidate set.
+    let time = |f: &mut dyn FnMut()| {
+        f();
+        (0..5)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                f();
+                t.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+
+    let mut rows = Vec::new();
+    let mut json_lens = Vec::new();
+    for len in [64usize, 256, 1024] {
+        let gen = RandomWalk::with_len(7, len);
+        let query: Vec<f32> = gen.series(1_000_000).values().to_vec();
+        let query_paa = paa(&query, PAA_WIDTH).expect("paa");
+        let weights = segment_lengths(len, PAA_WIDTH).expect("weights");
+        let mut arena = Vec::with_capacity(candidates * len);
+        let mut paa_arena = Vec::with_capacity(candidates * PAA_WIDTH);
+        for rid in 0..candidates as u64 {
+            let s = gen.series(rid);
+            paa_arena.extend(paa(s.values(), PAA_WIDTH).expect("paa"));
+            arena.extend_from_slice(s.values());
+        }
+        let idxs: Vec<u32> = (0..candidates as u32).collect();
+        // Mid-tight bound (10th-smallest true distance): the realistic
+        // mid-query state where most candidates abandon or pre-prune.
+        let mut dists: Vec<f64> = (0..candidates)
+            .map(|i| squared_euclidean(&query, &arena[i * len..(i + 1) * len]))
+            .collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let bound_sq = dists[9];
+
+        let scalar_full = time(&mut || {
+            let mut acc = 0.0;
+            for i in 0..candidates {
+                acc += squared_euclidean(&query, &arena[i * len..(i + 1) * len]);
+            }
+            std::hint::black_box(acc);
+        });
+        let lanes_full = time(&mut || {
+            let mut acc = 0.0;
+            for i in 0..candidates {
+                acc += squared_euclidean_lanes(&query, &arena[i * len..(i + 1) * len]);
+            }
+            std::hint::black_box(acc);
+        });
+        let scalar_ea = time(&mut || {
+            let mut hits = 0usize;
+            for i in 0..candidates {
+                if euclidean_early_abandon(&query, &arena[i * len..(i + 1) * len], bound_sq)
+                    .is_some()
+                {
+                    hits += 1;
+                }
+            }
+            std::hint::black_box(hits);
+        });
+        let mut paa_pruned = 0usize;
+        let mut survivors: Vec<u32> = Vec::with_capacity(candidates);
+        let cascade = time(&mut || {
+            survivors.clear();
+            paa_pruned = paa_prefilter_block(
+                &query_paa, &weights, &paa_arena, PAA_WIDTH, &idxs, bound_sq, &mut survivors,
+            );
+            let mut hits = 0usize;
+            euclidean_early_abandon_block(&query, &arena, len, &survivors, bound_sq, |_, d| {
+                if d.is_some() {
+                    hits += 1;
+                }
+            });
+            std::hint::black_box(hits);
+        });
+
+        let full_speedup = scalar_full.as_secs_f64() / lanes_full.as_secs_f64().max(1e-12);
+        let refine_speedup = scalar_ea.as_secs_f64() / cascade.as_secs_f64().max(1e-12);
+        rows.push(vec![
+            len.to_string(),
+            format!("{:.3}", scalar_full.as_secs_f64() * 1e3),
+            format!("{:.3}", lanes_full.as_secs_f64() * 1e3),
+            format!("{full_speedup:.2}x"),
+            format!("{:.3}", scalar_ea.as_secs_f64() * 1e3),
+            format!("{:.3}", cascade.as_secs_f64() * 1e3),
+            format!("{refine_speedup:.2}x"),
+            paa_pruned.to_string(),
+        ]);
+        json_lens.push(format!(
+            "    {{\n      \"series_len\": {len},\n      \"scalar_full_ms\": {:.4},\n      \"lanes_full_ms\": {:.4},\n      \"full_speedup\": {:.3},\n      \"scalar_early_abandon_ms\": {:.4},\n      \"block_cascade_ms\": {:.4},\n      \"refine_speedup\": {:.3},\n      \"paa_pruned\": {paa_pruned}\n    }}",
+            scalar_full.as_secs_f64() * 1e3,
+            lanes_full.as_secs_f64() * 1e3,
+            full_speedup,
+            scalar_ea.as_secs_f64() * 1e3,
+            cascade.as_secs_f64() * 1e3,
+            refine_speedup,
+        ));
+    }
+    print_table(
+        &[
+            "Len", "ScalarFull", "LanesFull", "Speedup", "ScalarEA", "Cascade", "Speedup",
+            "PAA-pruned",
+        ],
+        &rows,
+    );
+    println!("(times are ms per pass over {candidates} candidates; bound = 10th-NN)");
+
+    // Hand-rolled JSON (the workspace deliberately has no serde).
+    let json = format!(
+        "{{\n  \"bench\": \"kernels\",\n  \"n_candidates\": {candidates},\n  \"paa_width\": {PAA_WIDTH},\n  \"bound\": \"10th_smallest_distance\",\n  \"lens\": [\n{}\n  ]\n}}\n",
+        json_lens.join(",\n"),
+    );
+    match std::fs::write("BENCH_kernels.json", &json) {
+        Ok(()) => println!("wrote BENCH_kernels.json"),
+        Err(e) => eprintln!("could not write BENCH_kernels.json: {e}"),
     }
 }
 

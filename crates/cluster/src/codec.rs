@@ -57,11 +57,41 @@ impl Decode for Record {
         let len = buf.get_u32_le() as usize;
         need(buf, len * 4, "record values")?;
         let mut values = Vec::with_capacity(len);
-        for _ in 0..len {
-            values.push(buf.get_f32_le());
-        }
+        extend_f32_le(&mut values, buf, len);
         Ok(Record::new(rid, TimeSeries::new(values)))
     }
+}
+
+/// Appends `len` little-endian `f32`s from the front of `buf` to `out` in
+/// one bulk pass (single capacity check, no per-element cursor updates).
+/// The caller must have verified `buf` holds at least `len * 4` bytes.
+#[inline]
+fn extend_f32_le(out: &mut Vec<f32>, buf: &mut &[u8], len: usize) {
+    let bytes = &buf[..len * 4];
+    out.extend(
+        bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+    );
+    buf.advance(len * 4);
+}
+
+/// Decodes one [`Record`] from the wire format directly into a caller-owned
+/// arena: the series values are appended to `arena` with no intermediate
+/// per-record `Vec`, which is how partition loads build their contiguous
+/// `SeriesBlock` straight from DFS block bytes.
+///
+/// Returns `(rid, appended_len)`. On error nothing is appended.
+pub fn decode_record_into(
+    buf: &mut &[u8],
+    arena: &mut Vec<f32>,
+) -> Result<(u64, usize), ClusterError> {
+    need(buf, 12, "record header")?;
+    let rid = buf.get_u64_le();
+    let len = buf.get_u32_le() as usize;
+    need(buf, len * 4, "record values")?;
+    extend_f32_le(arena, buf, len);
+    Ok((rid, len))
 }
 
 impl Encode for u64 {
@@ -179,6 +209,35 @@ mod tests {
         r.encode(&mut buf);
         let mut slice: &[u8] = &buf;
         assert_eq!(Record::decode(&mut slice).unwrap(), r);
+    }
+
+    #[test]
+    fn decode_record_into_appends_to_arena() {
+        let a = record(7, 5);
+        let b = record(8, 3);
+        let mut buf = BytesMut::new();
+        a.encode(&mut buf);
+        b.encode(&mut buf);
+        let mut slice: &[u8] = &buf;
+        let mut arena = vec![9.0f32]; // pre-existing content must survive
+        let (rid_a, len_a) = decode_record_into(&mut slice, &mut arena).unwrap();
+        let (rid_b, len_b) = decode_record_into(&mut slice, &mut arena).unwrap();
+        assert!(slice.is_empty());
+        assert_eq!((rid_a, len_a), (7, 5));
+        assert_eq!((rid_b, len_b), (8, 3));
+        assert_eq!(&arena[1..6], a.ts.values());
+        assert_eq!(&arena[6..9], b.ts.values());
+    }
+
+    #[test]
+    fn decode_record_into_rejects_truncation_without_appending() {
+        let r = record(3, 4);
+        let mut buf = BytesMut::new();
+        r.encode(&mut buf);
+        let mut slice: &[u8] = &buf[..buf.len() - 1];
+        let mut arena = Vec::new();
+        assert!(decode_record_into(&mut slice, &mut arena).is_err());
+        assert!(arena.is_empty());
     }
 
     #[test]

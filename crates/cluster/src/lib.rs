@@ -47,7 +47,7 @@ pub use tardis_obs as obs;
 
 pub use broadcast::Broadcast;
 pub use cache::BlockCache;
-pub use codec::{decode_records, encode_records, Decode, Encode};
+pub use codec::{decode_record_into, decode_records, encode_records, Decode, Encode};
 pub use dataset::Dataset;
 pub use dfs::{BlockId, Dfs, DfsConfig};
 pub use error::{ClusterError, MaybeTransient};

@@ -1,0 +1,318 @@
+//! Contiguous per-partition series storage: the [`SeriesBlock`] arena.
+//!
+//! A clustered partition used to hold one heap-allocated `Vec<f32>` per
+//! series, scattered wherever the decoder happened to allocate them. The
+//! refine step — the dominant per-partition cost once loads are shared —
+//! then chased a pointer per candidate. A [`SeriesBlock`] instead packs
+//! every series of a partition into **one** `Vec<f32>` in leaf-clustered
+//! order, with an offset table and a parallel [`RecordId`] table; local
+//! sigTree leaves hold `u32` indices into the block, so refine walks the
+//! arena cache-linearly. Decoding a DFS block appends straight into the
+//! arena ([`tardis_cluster::decode_record_into`]) — no per-record buffers.
+//!
+//! The block also carries a precomputed **PAA sidecar**: `w` coefficients
+//! per series, stored contiguously, plus the PAA segment lengths. The
+//! weighted PAA distance `Σⱼ sⱼ·(q̄ⱼ − c̄ⱼ)²` lower-bounds the true squared
+//! Euclidean distance (per-segment Cauchy–Schwarz), so the refine cascade
+//! batch-prunes candidates against the current k-th bound before touching
+//! any full-resolution values. The sidecar is disabled (never consulted)
+//! when the partition's series lengths are non-uniform or too short for
+//! the configured word length.
+
+use tardis_isax::{paa_lanes_into, segment_lengths};
+use tardis_ts::RecordId;
+
+/// Immutable contiguous storage for one partition's series.
+#[derive(Debug, Clone, Default)]
+pub struct SeriesBlock {
+    values: Vec<f32>,
+    /// `len() + 1` offsets into `values`; series `i` is
+    /// `values[offsets[i] .. offsets[i+1]]`.
+    offsets: Vec<u32>,
+    rids: Vec<RecordId>,
+    /// PAA sidecar: `paa_width` coefficients per series, empty when the
+    /// sidecar is disabled.
+    paa: Vec<f64>,
+    paa_width: usize,
+    paa_weights: Vec<f64>,
+    /// Common series length; 0 when empty or non-uniform.
+    series_len: usize,
+}
+
+impl SeriesBlock {
+    /// Number of series stored.
+    pub fn len(&self) -> usize {
+        self.rids.len()
+    }
+
+    /// Whether the block holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.rids.is_empty()
+    }
+
+    /// Common series length (0 for an empty or non-uniform block).
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// The uniform stride of the arena, when every series has the same
+    /// non-zero length — the precondition for the batched block kernels.
+    pub fn uniform_stride(&self) -> Option<usize> {
+        (self.series_len > 0).then_some(self.series_len)
+    }
+
+    /// Raw values of series `idx`.
+    pub fn series(&self, idx: usize) -> &[f32] {
+        &self.values[self.offsets[idx] as usize..self.offsets[idx + 1] as usize]
+    }
+
+    /// Record id of series `idx`.
+    pub fn rid(&self, idx: usize) -> RecordId {
+        self.rids[idx]
+    }
+
+    /// The whole arena (series `i` at `offsets[i]..offsets[i+1]`).
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// All record ids, in block order.
+    pub fn rids(&self) -> &[RecordId] {
+        &self.rids
+    }
+
+    /// Whether the PAA sidecar is available.
+    pub fn has_paa(&self) -> bool {
+        !self.paa.is_empty() && self.paa.len() == self.rids.len() * self.paa_width
+    }
+
+    /// The PAA sidecar arena (`paa_width` coefficients per series).
+    pub fn paa_values(&self) -> &[f64] {
+        &self.paa
+    }
+
+    /// Number of PAA coefficients per series.
+    pub fn paa_width(&self) -> usize {
+        self.paa_width
+    }
+
+    /// PAA segment lengths (the weights of the lower-bound pre-filter).
+    pub fn paa_weights(&self) -> &[f64] {
+        &self.paa_weights
+    }
+
+    /// Heap footprint in bytes (arena + tables + sidecar).
+    pub fn mem_bytes(&self) -> usize {
+        self.values.capacity() * std::mem::size_of::<f32>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.rids.capacity() * std::mem::size_of::<RecordId>()
+            + (self.paa.capacity() + self.paa_weights.capacity()) * std::mem::size_of::<f64>()
+    }
+}
+
+/// Incrementally builds a [`SeriesBlock`] in storage order.
+///
+/// Two ingestion paths share one bookkeeping routine: [`push`](Self::push)
+/// copies a decoded slice, while the zero-copy wire path appends values
+/// straight into [`values_mut`](Self::values_mut) (e.g. via
+/// [`tardis_cluster::decode_record_into`]) and then calls
+/// [`commit`](Self::commit) with the record id and appended length.
+#[derive(Debug)]
+pub struct SeriesBlockBuilder {
+    block: SeriesBlock,
+    paa_ok: bool,
+    scratch: Vec<f64>,
+}
+
+impl SeriesBlockBuilder {
+    /// Creates a builder whose sidecar uses `paa_width` segments per
+    /// series (the index word length).
+    pub fn new(paa_width: usize) -> SeriesBlockBuilder {
+        SeriesBlockBuilder {
+            block: SeriesBlock {
+                offsets: vec![0],
+                paa_width,
+                ..SeriesBlock::default()
+            },
+            paa_ok: paa_width > 0,
+            scratch: Vec::with_capacity(paa_width),
+        }
+    }
+
+    /// Mutable access to the value arena for the zero-copy wire path.
+    /// Every append must be sealed by a matching [`commit`](Self::commit).
+    pub fn values_mut(&mut self) -> &mut Vec<f32> {
+        &mut self.block.values
+    }
+
+    /// Seals the last `appended_len` arena values as one series owned by
+    /// `rid`, updating offsets, the series-length invariant, and the PAA
+    /// sidecar.
+    pub fn commit(&mut self, rid: RecordId, appended_len: usize) {
+        self.commit_inner(rid, appended_len, None);
+    }
+
+    /// Like [`commit`](Self::commit), but takes a precomputed PAA row
+    /// (e.g. read straight off the persisted partition format) instead of
+    /// computing one from the appended values. A row of the wrong width
+    /// disables the sidecar.
+    pub fn commit_with_paa(&mut self, rid: RecordId, appended_len: usize, row: &[f64]) {
+        self.commit_inner(rid, appended_len, Some(row));
+    }
+
+    fn commit_inner(&mut self, rid: RecordId, appended_len: usize, row: Option<&[f64]>) {
+        let end = self.block.values.len();
+        debug_assert_eq!(
+            end,
+            self.block.offsets.last().copied().unwrap_or(0) as usize + appended_len,
+            "commit length does not match arena growth"
+        );
+        debug_assert!(end <= u32::MAX as usize, "series block exceeds u32 offsets");
+        let first = self.block.rids.is_empty();
+        if first {
+            self.block.series_len = appended_len;
+            if self.paa_ok {
+                match segment_lengths(appended_len, self.block.paa_width) {
+                    Ok(w) => self.block.paa_weights = w,
+                    Err(_) => self.disable_paa(),
+                }
+            }
+        } else if self.block.series_len != appended_len {
+            // Non-uniform partition: no uniform stride, no sidecar.
+            self.block.series_len = 0;
+            self.disable_paa();
+        }
+        if self.paa_ok {
+            match row {
+                Some(r) if r.len() == self.block.paa_width => {
+                    self.block.paa.extend_from_slice(r);
+                }
+                Some(_) => self.disable_paa(),
+                None => {
+                    // Lane-order means: the sidecar only feeds lower
+                    // bounds, so it does not need `paa_into`'s exact bits,
+                    // and the lane sum makes computing a row several times
+                    // faster.
+                    let start = end - appended_len;
+                    match paa_lanes_into(
+                        &self.block.values[start..end],
+                        self.block.paa_width,
+                        &mut self.scratch,
+                    ) {
+                        Ok(()) => self.block.paa.extend_from_slice(&self.scratch),
+                        Err(_) => self.disable_paa(),
+                    }
+                }
+            }
+        }
+        self.block.offsets.push(end as u32);
+        self.block.rids.push(rid);
+    }
+
+    /// Appends one series by copying `values` into the arena.
+    pub fn push(&mut self, rid: RecordId, values: &[f32]) {
+        self.block.values.extend_from_slice(values);
+        self.commit(rid, values.len());
+    }
+
+    fn disable_paa(&mut self) {
+        self.paa_ok = false;
+        self.block.paa = Vec::new();
+        self.block.paa_weights = Vec::new();
+    }
+
+    /// Finalizes the block.
+    pub fn finish(self) -> SeriesBlock {
+        self.block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tardis_isax::paa;
+
+    #[test]
+    fn builder_packs_series_contiguously() {
+        let mut b = SeriesBlockBuilder::new(4);
+        b.push(10, &[1.0, 2.0, 3.0, 4.0]);
+        b.push(20, &[5.0, 6.0, 7.0, 8.0]);
+        let block = b.finish();
+        assert_eq!(block.len(), 2);
+        assert_eq!(block.series_len(), 4);
+        assert_eq!(block.uniform_stride(), Some(4));
+        assert_eq!(block.series(0), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(block.series(1), &[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(block.rid(0), 10);
+        assert_eq!(block.rid(1), 20);
+        assert_eq!(block.values().len(), 8);
+    }
+
+    #[test]
+    fn sidecar_matches_paa_of_each_series() {
+        let mut b = SeriesBlockBuilder::new(4);
+        let s0: Vec<f32> = (0..16).map(|i| i as f32 * 0.25).collect();
+        let s1: Vec<f32> = (0..16).map(|i| (i * i) as f32 * 0.01).collect();
+        b.push(0, &s0);
+        b.push(1, &s1);
+        let block = b.finish();
+        assert!(block.has_paa());
+        assert_eq!(block.paa_width(), 4);
+        assert_eq!(block.paa_weights(), &[4.0, 4.0, 4.0, 4.0]);
+        // The sidecar uses the lane-order sum: same means as `paa` up to
+        // rounding (exact here — segment sums of these values are exact).
+        for (got, want) in block.paa_values()[0..4].iter().zip(paa(&s0, 4).unwrap()) {
+            assert!((got - want).abs() <= 1e-12, "{got} vs {want}");
+        }
+        for (got, want) in block.paa_values()[4..8].iter().zip(paa(&s1, 4).unwrap()) {
+            assert!((got - want).abs() <= 1e-12, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn non_uniform_lengths_disable_stride_and_sidecar() {
+        let mut b = SeriesBlockBuilder::new(4);
+        b.push(0, &[1.0; 8]);
+        b.push(1, &[2.0; 12]);
+        let block = b.finish();
+        assert_eq!(block.len(), 2);
+        assert_eq!(block.uniform_stride(), None);
+        assert!(!block.has_paa());
+        // Offset-based access still works.
+        assert_eq!(block.series(0).len(), 8);
+        assert_eq!(block.series(1).len(), 12);
+    }
+
+    #[test]
+    fn too_short_series_disable_sidecar_only() {
+        let mut b = SeriesBlockBuilder::new(8);
+        b.push(0, &[1.0; 4]); // shorter than the word length
+        b.push(1, &[2.0; 4]);
+        let block = b.finish();
+        assert!(!block.has_paa());
+        assert_eq!(block.uniform_stride(), Some(4));
+    }
+
+    #[test]
+    fn wire_path_commit_matches_push() {
+        let mut a = SeriesBlockBuilder::new(4);
+        a.push(7, &[1.0, 2.0, 3.0, 4.0]);
+        let mut b = SeriesBlockBuilder::new(4);
+        b.values_mut().extend_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        b.commit(7, 4);
+        let (a, b) = (a.finish(), b.finish());
+        assert_eq!(a.series(0), b.series(0));
+        assert_eq!(a.rid(0), b.rid(0));
+        assert_eq!(a.paa_values(), b.paa_values());
+    }
+
+    #[test]
+    fn empty_block() {
+        let block = SeriesBlockBuilder::new(8).finish();
+        assert!(block.is_empty());
+        assert_eq!(block.series_len(), 0);
+        assert_eq!(block.uniform_stride(), None);
+        assert!(!block.has_paa());
+        assert!(block.mem_bytes() < 1024);
+    }
+}

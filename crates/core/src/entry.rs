@@ -50,29 +50,115 @@ impl Encode for Entry {
     }
 }
 
+/// Decodes the signature header shared by [`Entry`] and the zero-copy
+/// arena load path (word length, nibble count, nibbles).
+pub(crate) fn decode_sig(buf: &mut &[u8]) -> Result<SigT, ClusterError> {
+    use bytes::Buf;
+    if buf.len() < 4 {
+        return Err(ClusterError::Codec {
+            context: "entry header",
+        });
+    }
+    let w = buf.get_u16_le() as usize;
+    let n = buf.get_u16_le() as usize;
+    if buf.len() < n {
+        return Err(ClusterError::Codec {
+            context: "entry nibbles",
+        });
+    }
+    let nibbles = buf[..n].to_vec();
+    buf.advance(n);
+    SigT::from_nibbles(nibbles, w).map_err(|_| ClusterError::Codec {
+        context: "entry signature",
+    })
+}
+
 impl Decode for Entry {
     fn decode(buf: &mut &[u8]) -> Result<Self, ClusterError> {
-        use bytes::Buf;
-        if buf.len() < 4 {
-            return Err(ClusterError::Codec {
-                context: "entry header",
-            });
-        }
-        let w = buf.get_u16_le() as usize;
-        let n = buf.get_u16_le() as usize;
-        if buf.len() < n {
-            return Err(ClusterError::Codec {
-                context: "entry nibbles",
-            });
-        }
-        let nibbles = buf[..n].to_vec();
-        buf.advance(n);
-        let sig = SigT::from_nibbles(nibbles, w).map_err(|_| ClusterError::Codec {
-            context: "entry signature",
-        })?;
+        let sig = decode_sig(buf)?;
         let record = Record::decode(buf)?;
         Ok(Entry { sig, record })
     }
+}
+
+/// Serializes one clustered partition block: a `u32` record count, a `u8`
+/// PAA sidecar width, then per record the [`Entry`] encoding followed by
+/// `width` little-endian `f64` PAA coefficients.
+///
+/// Persisting the sidecar moves its computation to index build time: a
+/// partition is written once but loaded on every query that routes to it,
+/// and recomputing `w` segment means per series per load was a measurable
+/// slice of the load path. The coefficients are produced by
+/// [`tardis_isax::paa_lanes_into`], the same routine the arena builder
+/// uses, so a reader that recomputes them (width 0, or a width mismatch)
+/// derives bit-identical values. The sidecar is written only when every
+/// record in the block admits a `word_len`-segment PAA; otherwise the
+/// width is 0 and readers fall back to computing (and then typically
+/// disabling, e.g. for non-uniform partitions) their own.
+pub(crate) fn encode_clustered_block(entries: &[Entry], word_len: usize) -> Vec<u8> {
+    use bytes::BufMut;
+    debug_assert!(word_len <= u8::MAX as usize, "sidecar width fits a u8");
+    let mut rows: Vec<f64> = Vec::with_capacity(entries.len() * word_len);
+    let mut scratch = Vec::with_capacity(word_len);
+    let mut paa_w = word_len.min(u8::MAX as usize);
+    for e in entries {
+        if tardis_isax::paa_lanes_into(e.record.ts.values(), paa_w, &mut scratch).is_err() {
+            rows.clear();
+            paa_w = 0;
+            break;
+        }
+        rows.extend_from_slice(&scratch);
+    }
+    let hint =
+        5 + entries.iter().map(|e| e.encoded_len_hint()).sum::<usize>() + rows.len() * 8;
+    let mut buf = bytes::BytesMut::with_capacity(hint);
+    buf.put_u32_le(entries.len() as u32);
+    buf.put_u8(paa_w as u8);
+    for (i, e) in entries.iter().enumerate() {
+        e.encode(&mut buf);
+        for &v in &rows[i * paa_w..(i + 1) * paa_w] {
+            buf.put_f64_le(v);
+        }
+    }
+    buf.to_vec()
+}
+
+/// Decodes one clustered partition block written by
+/// [`encode_clustered_block`], returning the entries and discarding the
+/// persisted PAA sidecar rows (the arena load path in
+/// [`crate::TardisL::from_clustered_blocks`] consumes those; this decoder
+/// serves tools and tests that want the `(isaxt(b), ts, rid)` triples).
+///
+/// # Errors
+/// [`ClusterError::Codec`] on truncation, trailing bytes, or malformed
+/// signatures.
+pub fn decode_clustered_block(mut bytes: &[u8]) -> Result<Vec<Entry>, ClusterError> {
+    use bytes::Buf;
+    let buf = &mut bytes;
+    if buf.len() < 5 {
+        return Err(ClusterError::Codec {
+            context: "record block header",
+        });
+    }
+    let count = buf.get_u32_le() as usize;
+    let paa_w = buf.get_u8() as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let entry = Entry::decode(buf)?;
+        if buf.len() < paa_w * 8 {
+            return Err(ClusterError::Codec {
+                context: "record block paa row",
+            });
+        }
+        buf.advance(paa_w * 8);
+        out.push(entry);
+    }
+    if !buf.is_empty() {
+        return Err(ClusterError::Codec {
+            context: "record block trailing bytes",
+        });
+    }
+    Ok(out)
 }
 
 /// An un-clustered-index entry: signature plus record id only (the raw
@@ -163,6 +249,31 @@ mod tests {
         let block = encode_records(&entries);
         let decoded: Vec<SigEntry> = decode_records(&block).unwrap();
         assert_eq!(decoded, entries);
+    }
+
+    #[test]
+    fn clustered_block_roundtrips_entries() {
+        let entries: Vec<Entry> = (0..3)
+            .map(|i| {
+                Entry::new(
+                    sig(),
+                    Record::new(i, TimeSeries::new((0..16).map(|j| (i * 16 + j) as f32).collect())),
+                )
+            })
+            .collect();
+        // With a sidecar (uniform, long-enough series) and without (width 0
+        // after a too-short series).
+        let block = encode_clustered_block(&entries, 4);
+        assert_eq!(decode_clustered_block(&block).unwrap(), entries);
+        let mut short = entries.clone();
+        short.push(Entry::new(sig(), Record::new(9, TimeSeries::new(vec![1.0; 2]))));
+        let block = encode_clustered_block(&short, 4);
+        assert_eq!(decode_clustered_block(&block).unwrap(), short);
+        // Truncation and trailing garbage are rejected.
+        assert!(decode_clustered_block(&block[..block.len() - 1]).is_err());
+        let mut garbage = block.clone();
+        garbage.push(0);
+        assert!(decode_clustered_block(&garbage).is_err());
     }
 
     #[test]

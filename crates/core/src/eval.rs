@@ -99,12 +99,12 @@ pub fn ground_truth_knn_filtered(
     let mut survivors: Vec<Neighbor> = Vec::new();
     for pid in 0..index.n_partitions() as u32 {
         let local = index.load_partition(cluster, pid)?;
-        for entry in local.prune_scan(&paa, n, threshold)? {
-            let d = squared_euclidean(query.values(), entry.record.ts.values()).sqrt();
+        for idx in local.prune_scan(&paa, n, threshold)? {
+            let d = squared_euclidean(query.values(), local.block().series(idx as usize)).sqrt();
             if d <= threshold {
                 survivors.push(Neighbor {
                     distance: d,
-                    rid: entry.rid(),
+                    rid: local.block().rid(idx as usize),
                 });
             }
         }

@@ -340,11 +340,17 @@ impl TardisG {
         for &pid in pids {
             bounds.insert(pid, f64::INFINITY);
         }
+        let mut scratch: Vec<u16> = Vec::new();
         for (&leaf, &pid) in &self.leaf_pid {
             let Some(slot) = bounds.get_mut(&pid) else {
                 continue;
             };
-            let d = tardis_isax::mindist_paa_sigt(paa, &self.tree.node(leaf).sig, series_len)?;
+            let d = tardis_isax::mindist_paa_sigt_scratch(
+                paa,
+                &self.tree.node(leaf).sig,
+                series_len,
+                &mut scratch,
+            )?;
             if d < *slot {
                 *slot = d;
             }

@@ -16,7 +16,7 @@
 //! (random I/O, as the paper describes for DPiSAX's layout).
 
 use crate::config::TardisConfig;
-use crate::entry::{Entry, SigEntry};
+use crate::entry::{encode_clustered_block, Entry, SigEntry};
 use crate::error::CoreError;
 use crate::global::{PartitionId, TardisG};
 use crate::local::TardisL;
@@ -296,12 +296,13 @@ impl TardisIndex {
         cluster.metrics().record_task();
         if self.config.clustered {
             // Entries carry their signatures on disk: no reconversion.
-            let mut entries = Vec::with_capacity(meta.n_records as usize);
+            let mut blocks = Vec::new();
             for id in cluster.dfs().list_blocks(&meta.file)? {
-                let bytes = cluster.dfs().read_block(&id)?;
-                entries.extend(decode_records::<Entry>(&bytes)?);
+                blocks.push(cluster.dfs().read_block(&id)?);
             }
-            Ok(TardisL::build(entries, &self.config, None))
+            // Decodes straight into the partition's contiguous series
+            // arena — no per-record `TimeSeries` allocations.
+            TardisL::from_clustered_blocks(&blocks, &self.config)
         } else {
             // Un-clustered: load (sig, rid) pairs, then fetch raw series
             // from the original dataset via random block reads.
@@ -404,7 +405,7 @@ impl TardisIndex {
                 entries.iter().map(|(e, _)| e.clone()).collect();
             cluster
                 .dfs()
-                .append_block(&meta.file, &encode_records(&new_entries))?;
+                .append_block(&meta.file, &encode_clustered_block(&new_entries, self.config.word_len))?;
             // Update and re-persist the Bloom filter.
             if self.config.bloom_enabled {
                 let mut filter = match self.blooms.get(pid as usize).and_then(Option::as_ref) {
@@ -640,28 +641,27 @@ fn build_partition(
     let bloom_bytes = bloom.as_ref().map(BloomFilter::mem_bytes).unwrap_or(0);
 
     // Persist the partition, clustered leaf by leaf. The clustered layout
-    // stores full entries — `(isaxt(b), ts, rid)` as in Figure 8 — so
-    // reloading a partition skips signature reconversion.
+    // stores full entries — `(isaxt(b), ts, rid)` as in Figure 8 — plus a
+    // per-record PAA sidecar row, so reloading a partition needs neither
+    // signature reconversion nor sidecar recomputation.
     cluster.dfs().delete_file(&part_file)?;
     if config.clustered {
-        let ordered: Vec<Entry> = local
-            .clustered_entries()
-            .into_iter()
-            .cloned()
-            .collect();
+        let ordered: Vec<Entry> = local.clustered_entries();
         for chunk in ordered.chunks(PARTITION_BLOCK_RECORDS.max(1)) {
-            cluster.dfs().append_block(&part_file, &encode_records(chunk))?;
+            cluster
+                .dfs()
+                .append_block(&part_file, &encode_clustered_block(chunk, config.word_len))?;
         }
         if ordered.is_empty() {
             cluster
                 .dfs()
-                .append_block(&part_file, &encode_records::<Entry>(&[]))?;
+                .append_block(&part_file, &encode_clustered_block(&[], config.word_len))?;
         }
     } else {
         let ordered: Vec<SigEntry> = local
             .clustered_entries()
             .into_iter()
-            .map(|e| SigEntry::new(e.sig.clone(), e.rid()))
+            .map(|e| SigEntry::new(e.sig, e.record.rid))
             .collect();
         for chunk in ordered.chunks(PARTITION_BLOCK_RECORDS.max(1)) {
             cluster.dfs().append_block(&part_file, &encode_records(chunk))?;

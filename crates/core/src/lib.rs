@@ -27,6 +27,7 @@
 //! Ground truth and quality metrics (recall, error ratio) live in
 //! [`eval`].
 
+pub mod block;
 pub mod config;
 pub mod convert;
 pub mod entry;
@@ -38,14 +39,15 @@ pub mod local;
 pub mod packing;
 pub mod query;
 
+pub use block::{SeriesBlock, SeriesBlockBuilder};
 pub use config::TardisConfig;
 pub use convert::Converter;
-pub use entry::{Entry, SigEntry};
+pub use entry::{decode_clustered_block, Entry, SigEntry};
 pub use error::CoreError;
 pub use eval::{error_ratio, ground_truth_knn, recall, Neighbor};
 pub use global::{GlobalBuildBreakdown, PartitionId, TardisG};
 pub use index::{BuildReport, TardisIndex};
-pub use local::TardisL;
+pub use local::{BlockEntry, TardisL};
 pub use query::batch::{
     exact_knn_batch, exact_knn_batch_naive, exact_knn_batch_profiled, exact_match_batch,
     exact_match_batch_naive, exact_match_batch_profiled, knn_batch, knn_batch_naive,

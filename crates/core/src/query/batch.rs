@@ -328,7 +328,9 @@ pub(crate) fn knn_batch_impl(
         qidxs
             .iter()
             .map(|&i| {
-                scan_primary(local, &queries[i], &plans[i], k, strategy, &part_span)
+                // Already inside a pool task: the refine cascade must not
+                // fan out onto the pool again.
+                scan_primary(local, &queries[i], &plans[i], k, strategy, None, &part_span)
                     .map(|s| (i, s))
             })
             .collect::<Result<PrimaryWave, CoreError>>()
@@ -363,7 +365,7 @@ pub(crate) fn knn_batch_impl(
         let scans = qidxs
             .iter()
             .map(|&i| {
-                scan_sibling(local, &queries[i], &plans[i], k, thresholds[i], &part_span)
+                scan_sibling(local, &queries[i], &plans[i], k, thresholds[i], None, &part_span)
                     .map(|(neighbors, stats)| (i, neighbors, stats))
             })
             .collect::<Result<Vec<_>, CoreError>>()?;
@@ -406,6 +408,8 @@ pub(crate) fn knn_batch_impl(
             candidates_pruned: stats.pruned as u64,
             candidates_refined: stats.refined as u64,
             candidates_abandoned: stats.abandoned as u64,
+            lanes_pruned_paa: stats.paa_pruned as u64,
+            refine_block_candidates: stats.block as u64,
             ..QueryProfile::default()
         });
         answers.push(KnnAnswer {
@@ -538,6 +542,8 @@ pub fn exact_knn_batch_profiled(
                 let mut candidates_pruned = seed_profile.candidates_pruned;
                 let mut candidates_refined = seed_profile.candidates_refined;
                 let mut candidates_abandoned = seed_profile.candidates_abandoned;
+                let mut lanes_pruned_paa = seed_profile.lanes_pruned_paa;
+                let mut refine_block_candidates = seed_profile.refine_block_candidates;
                 let mut pool: Vec<Neighbor> = best;
                 for &(bound, pid) in &orders[i] {
                     if bound > kth {
@@ -561,11 +567,14 @@ pub fn exact_knn_batch_profiled(
                         k,
                         &mut kth,
                         &mut pool,
+                        None,
                         &q_span,
                     )?;
                     candidates_pruned += visit.pruned;
                     candidates_refined += visit.refined;
                     candidates_abandoned += visit.abandoned;
+                    lanes_pruned_paa += visit.paa_pruned;
+                    refine_block_candidates += visit.block;
                 }
                 pool.sort_by(|a, b| {
                     a.distance
@@ -590,6 +599,8 @@ pub fn exact_knn_batch_profiled(
                     candidates_pruned,
                     candidates_refined,
                     candidates_abandoned,
+                    lanes_pruned_paa,
+                    refine_block_candidates,
                     ..QueryProfile::default()
                 };
                 Ok::<Visited, CoreError>((

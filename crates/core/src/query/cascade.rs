@@ -1,0 +1,356 @@
+//! The refine cascade: PAA pre-filter → block early-abandon kernel, with
+//! an optional deterministic `WorkerPool` fan-out for large candidate
+//! sets.
+//!
+//! Every refine site (primary scan, sibling scan, exact-kNN visit, range
+//! scan) funnels its prune-scan survivors through [`refine_cascade`]:
+//!
+//! 1. **PAA pre-filter** — when the partition block carries a PAA sidecar,
+//!    every candidate's weighted PAA distance (a lower bound on its true
+//!    squared distance) is tested against the sink's entry bound; provably
+//!    out-of-bound candidates are dropped before any full-resolution
+//!    values are touched (`lanes_pruned_paa`).
+//! 2. **Block early-abandon kernel** — survivors go through the 8-lane
+//!    early-abandon kernel over the contiguous arena, cache-linearly.
+//!
+//! # Determinism
+//!
+//! Results must be bit-identical whether or not a pool is available (the
+//! sequential path hands the cascade a pool; the batch waves, which
+//! already run inside `par_map`, do not). Mode selection therefore
+//! depends only on the survivor count:
+//!
+//! * **< [`PAR_FANOUT_MIN`] survivors** — sequential: one candidate at a
+//!   time, re-reading the sink's bound before each so a tightening k-th
+//!   distance abandons later candidates as soon as possible (the same
+//!   cadence the scalar refine loop historically used).
+//! * **≥ [`PAR_FANOUT_MIN`] survivors** — fan-out: every chunk of
+//!   [`PAR_CHUNK`] uses the *same* bound (read once at mode entry), chunk
+//!   results are merged into the sink in chunk order. With a pool the
+//!   chunks run on worker threads; without one they run inline — same
+//!   bound, same order, same bits either way.
+
+use crate::block::SeriesBlock;
+use tardis_cluster::WorkerPool;
+use tardis_ts::{
+    euclidean_early_abandon_block, euclidean_early_abandon_lanes, paa_prefilter_block, RecordId,
+    TimeSeries,
+};
+
+/// Candidate-set size at which the cascade fans out over the pool.
+pub(crate) const PAR_FANOUT_MIN: usize = 1024;
+/// Chunk size in fan-out mode (fixed bound).
+pub(crate) const PAR_CHUNK: usize = 256;
+
+/// Where refined candidates land, and where the abandon bound comes from.
+/// One implementation wraps the kNN `TopK` heap (bound tightens as
+/// neighbors arrive); fixed-bound sites (exact-kNN visit, range scan)
+/// return a constant.
+pub(crate) trait CascadeSink {
+    /// Current squared-distance bound for abandoning/pruning.
+    fn bound_sq(&self) -> f64;
+    /// Accepts a candidate whose full squared distance is within bound.
+    fn accept(&mut self, rid: RecordId, d_sq: f64);
+}
+
+/// Work accounting for one cascade pass. `block_candidates` = `refined` +
+/// `abandoned` (every candidate entering the block kernel ends in exactly
+/// one of the two).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct CascadeStats {
+    /// Candidates eliminated by the PAA lower-bound pre-filter.
+    pub(crate) paa_pruned: usize,
+    /// Candidates that entered the block early-abandon kernel.
+    pub(crate) block_candidates: usize,
+    /// Fully computed raw-series distances.
+    pub(crate) refined: usize,
+    /// Distance computations cut off early by the bound.
+    pub(crate) abandoned: usize,
+}
+
+/// Runs the candidates (block indices) through the cascade into `sink`.
+pub(crate) fn refine_cascade<S: CascadeSink>(
+    block: &SeriesBlock,
+    query: &TimeSeries,
+    query_paa: &[f64],
+    candidates: Vec<u32>,
+    pool: Option<&WorkerPool>,
+    sink: &mut S,
+) -> CascadeStats {
+    let mut stats = CascadeStats::default();
+    let entry_bound = sink.bound_sq();
+
+    // Stage 1: PAA pre-filter. Only sound/meaningful when the sidecar
+    // matches the query's PAA resolution and the series lengths line up;
+    // an infinite bound prunes nothing, so skip the pass entirely.
+    let survivors = if entry_bound.is_finite()
+        && block.has_paa()
+        && block.paa_width() == query_paa.len()
+        && block.series_len() == query.len()
+    {
+        let mut kept = Vec::with_capacity(candidates.len());
+        stats.paa_pruned = paa_prefilter_block(
+            query_paa,
+            block.paa_weights(),
+            block.paa_values(),
+            block.paa_width(),
+            &candidates,
+            entry_bound,
+            &mut kept,
+        );
+        kept
+    } else {
+        candidates
+    };
+    stats.block_candidates = survivors.len();
+
+    // Stage 2: block early-abandon kernel.
+    if survivors.len() < PAR_FANOUT_MIN {
+        for &idx in &survivors {
+            let r = run_one(block, query, idx, sink.bound_sq());
+            merge_one(block, sink, &mut stats, idx, r);
+        }
+    } else {
+        // Fixed bound + chunk-order merge: identical results with any
+        // pool width, or with no pool at all.
+        let bound = sink.bound_sq();
+        let chunks: Vec<&[u32]> = survivors.chunks(PAR_CHUNK).collect();
+        let per_chunk: Vec<Vec<(u32, Option<f64>)>> = match pool {
+            Some(pool) => pool.par_map(chunks, |chunk| {
+                let mut out = Vec::with_capacity(chunk.len());
+                run_chunk(block, query, chunk, bound, |idx, r| out.push((idx, r)));
+                out
+            }),
+            None => chunks
+                .into_iter()
+                .map(|chunk| {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    run_chunk(block, query, chunk, bound, |idx, r| out.push((idx, r)));
+                    out
+                })
+                .collect(),
+        };
+        for chunk in per_chunk {
+            for (idx, r) in chunk {
+                merge_one(block, sink, &mut stats, idx, r);
+            }
+        }
+    }
+    stats
+}
+
+#[inline]
+fn run_one(block: &SeriesBlock, query: &TimeSeries, idx: u32, bound: f64) -> Option<f64> {
+    let row = block.series(idx as usize);
+    if row.len() == query.len() {
+        euclidean_early_abandon_lanes(query.values(), row, bound)
+    } else {
+        // Length-mismatched candidate can never be an exact kNN of the
+        // query; treat as abandoned.
+        None
+    }
+}
+
+#[inline]
+fn run_chunk(
+    block: &SeriesBlock,
+    query: &TimeSeries,
+    chunk: &[u32],
+    bound: f64,
+    mut sink: impl FnMut(u32, Option<f64>),
+) {
+    match block.uniform_stride() {
+        Some(stride) if stride == query.len() => {
+            euclidean_early_abandon_block(query.values(), block.values(), stride, chunk, bound, sink)
+        }
+        _ => {
+            for &idx in chunk {
+                let row = block.series(idx as usize);
+                let r = if row.len() == query.len() {
+                    euclidean_early_abandon_lanes(query.values(), row, bound)
+                } else {
+                    // Length-mismatched candidate can never be an exact
+                    // kNN of the query; treat as abandoned.
+                    None
+                };
+                sink(idx, r);
+            }
+        }
+    }
+}
+
+#[inline]
+fn merge_one<S: CascadeSink>(
+    block: &SeriesBlock,
+    sink: &mut S,
+    stats: &mut CascadeStats,
+    idx: u32,
+    r: Option<f64>,
+) {
+    match r {
+        Some(d_sq) => {
+            sink.accept(block.rid(idx as usize), d_sq);
+            stats.refined += 1;
+        }
+        None => stats.abandoned += 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::SeriesBlockBuilder;
+    use tardis_ts::squared_euclidean_lanes;
+
+    struct CollectSink {
+        bound: f64,
+        got: Vec<(RecordId, f64)>,
+    }
+
+    impl CascadeSink for CollectSink {
+        fn bound_sq(&self) -> f64 {
+            self.bound
+        }
+        fn accept(&mut self, rid: RecordId, d_sq: f64) {
+            self.got.push((rid, d_sq));
+        }
+    }
+
+    fn series(seed: u64, len: usize) -> Vec<f32> {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    fn block(n: u64, len: usize) -> SeriesBlock {
+        let mut b = SeriesBlockBuilder::new(8);
+        for rid in 0..n {
+            b.push(rid, &series(rid, len));
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn infinite_bound_refines_everything() {
+        let blk = block(100, 64);
+        let q = TimeSeries::new(series(999, 64));
+        let paa = tardis_isax::paa(q.values(), 8).unwrap();
+        let mut sink = CollectSink {
+            bound: f64::INFINITY,
+            got: Vec::new(),
+        };
+        let stats = refine_cascade(&blk, &q, &paa, (0..100).collect(), None, &mut sink);
+        assert_eq!(stats.paa_pruned, 0, "infinite bound skips the pre-filter");
+        assert_eq!(stats.block_candidates, 100);
+        assert_eq!(stats.refined, 100);
+        assert_eq!(stats.abandoned, 0);
+        assert_eq!(sink.got.len(), 100);
+        for &(rid, d) in &sink.got {
+            let expect = squared_euclidean_lanes(q.values(), blk.series(rid as usize));
+            assert_eq!(d.to_bits(), expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn counters_partition_the_candidate_set() {
+        let blk = block(200, 64);
+        let q = TimeSeries::new(series(5, 64)); // equals stored rid 5
+        let paa = tardis_isax::paa(q.values(), 8).unwrap();
+        let mut sink = CollectSink {
+            bound: 1.0,
+            got: Vec::new(),
+        };
+        let stats = refine_cascade(&blk, &q, &paa, (0..200).collect(), None, &mut sink);
+        assert_eq!(
+            stats.paa_pruned + stats.block_candidates,
+            200,
+            "pre-filter splits the set"
+        );
+        assert_eq!(stats.refined + stats.abandoned, stats.block_candidates);
+        // The self-match must survive both stages (lower bound is 0).
+        assert!(sink.got.iter().any(|&(rid, d)| rid == 5 && d == 0.0));
+        assert!(stats.paa_pruned > 0, "tight bound prunes something");
+    }
+
+    #[test]
+    fn fanout_and_sequential_merge_identically() {
+        // Enough survivors to trip PAR_FANOUT_MIN; fixed bound so the
+        // sequential small-chunk path is not exercised. Pool-backed and
+        // inline execution must produce bitwise-identical accept streams.
+        let n = (PAR_FANOUT_MIN + 500) as u64;
+        let blk = block(n, 32);
+        let q = TimeSeries::new(series(4_242, 32));
+        let paa = tardis_isax::paa(q.values(), 8).unwrap();
+        let run = |pool: Option<&WorkerPool>| {
+            let mut sink = CollectSink {
+                bound: f64::INFINITY,
+                got: Vec::new(),
+            };
+            let stats = refine_cascade(&blk, &q, &paa, (0..n as u32).collect(), pool, &mut sink);
+            (stats, sink.got)
+        };
+        let (s_none, g_none) = run(None);
+        for width in [1usize, 2, 7] {
+            let pool = WorkerPool::new(width);
+            let (s_pool, g_pool) = run(Some(&pool));
+            assert_eq!(s_none, s_pool, "stats differ at width {width}");
+            assert_eq!(g_none.len(), g_pool.len());
+            for (a, b) in g_none.iter().zip(&g_pool) {
+                assert_eq!(a.0, b.0, "rid order differs at width {width}");
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "distance bits differ");
+            }
+        }
+    }
+
+    #[test]
+    fn prefilter_never_drops_within_bound_candidates() {
+        // Soundness: any candidate whose true squared distance ≤ bound
+        // must be accepted (the PAA distance lower-bounds the true one).
+        let blk = block(300, 64);
+        let q = TimeSeries::new(series(17, 64));
+        let paa = tardis_isax::paa(q.values(), 8).unwrap();
+        for bound in [0.5, 2.0, 10.0, 50.0] {
+            let mut sink = CollectSink {
+                bound,
+                got: Vec::new(),
+            };
+            refine_cascade(&blk, &q, &paa, (0..300).collect(), None, &mut sink);
+            let accepted: std::collections::HashSet<RecordId> =
+                sink.got.iter().map(|&(r, _)| r).collect();
+            for rid in 0..300u64 {
+                let d = squared_euclidean_lanes(q.values(), blk.series(rid as usize));
+                if d <= bound {
+                    assert!(accepted.contains(&rid), "bound {bound}: rid {rid} (d²={d}) lost");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sidecarless_block_skips_prefilter() {
+        // Non-uniform lengths disable the sidecar; the cascade must fall
+        // back to per-candidate kernels without pruning anything.
+        let mut b = SeriesBlockBuilder::new(8);
+        b.push(0, &series(0, 64));
+        b.push(1, &series(1, 48));
+        b.push(2, &series(2, 64));
+        let blk = b.finish();
+        let q = TimeSeries::new(series(9, 64));
+        let paa = tardis_isax::paa(q.values(), 8).unwrap();
+        let mut sink = CollectSink {
+            bound: f64::INFINITY,
+            got: Vec::new(),
+        };
+        let stats = refine_cascade(&blk, &q, &paa, vec![0, 1, 2], None, &mut sink);
+        assert_eq!(stats.paa_pruned, 0);
+        // The length-mismatched candidate abandons; the others refine.
+        assert_eq!(stats.refined, 2);
+        assert_eq!(stats.abandoned, 1);
+    }
+}

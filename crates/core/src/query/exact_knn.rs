@@ -20,10 +20,11 @@
 use crate::error::CoreError;
 use crate::eval::Neighbor;
 use crate::index::TardisIndex;
+use crate::query::cascade::{refine_cascade, CascadeSink};
 use crate::query::knn::{knn_impl, KnnStrategy};
-use tardis_cluster::{QueryProfile, Tracer};
-use tardis_isax::mindist_paa_sigt;
-use tardis_ts::{euclidean_early_abandon, TimeSeries};
+use tardis_cluster::{QueryProfile, Tracer, WorkerPool};
+use tardis_isax::mindist_paa_sigt_scratch;
+use tardis_ts::{RecordId, TimeSeries};
 
 /// An exact kNN answer plus the work done.
 #[derive(Debug, Clone)]
@@ -123,6 +124,8 @@ pub fn exact_knn_profiled(
     let mut candidates_pruned = seed_profile.candidates_pruned;
     let mut candidates_refined = seed_profile.candidates_refined;
     let mut candidates_abandoned = seed_profile.candidates_abandoned;
+    let mut lanes_pruned_paa = seed_profile.lanes_pruned_paa;
+    let mut refine_block_candidates = seed_profile.refine_block_candidates;
     let mut pool: Vec<Neighbor> = best;
     for (bound, pid) in order {
         if bound > kth {
@@ -138,10 +141,22 @@ pub fn exact_knn_profiled(
         drop(load_span);
         loaded += 1;
         visited_pids.push(pid);
-        let visit = exact_visit_partition(&local, query, &paa, n, k, &mut kth, &mut pool, &root)?;
+        let visit = exact_visit_partition(
+            &local,
+            query,
+            &paa,
+            n,
+            k,
+            &mut kth,
+            &mut pool,
+            Some(cluster.pool()),
+            &root,
+        )?;
         candidates_pruned += visit.pruned;
         candidates_refined += visit.refined;
         candidates_abandoned += visit.abandoned;
+        lanes_pruned_paa += visit.paa_pruned;
+        refine_block_candidates += visit.block;
     }
 
     pool.sort_by(|a, b| {
@@ -172,6 +187,8 @@ pub fn exact_knn_profiled(
         candidates_pruned,
         candidates_refined,
         candidates_abandoned,
+        lanes_pruned_paa,
+        refine_block_candidates,
         bloom_rejected: 0,
         spans: Vec::new(),
     };
@@ -207,9 +224,10 @@ pub(crate) fn partition_bound_order(
     let global = index.global();
     let mut part_bound = vec![f64::INFINITY; index.n_partitions()];
     let tree = global.tree();
+    let mut scratch: Vec<u16> = Vec::new();
     for leaf in tree.leaf_ids() {
         let node = tree.node(leaf);
-        let bound = mindist_paa_sigt(paa, &node.sig, n)?;
+        let bound = mindist_paa_sigt_scratch(paa, &node.sig, n, &mut scratch)?;
         if let Some(pid) = global_leaf_pid(global, leaf) {
             let slot = &mut part_bound[pid as usize];
             if bound < *slot {
@@ -230,19 +248,44 @@ pub(crate) fn partition_bound_order(
 /// Candidate accounting of one exact-kNN partition visit.
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct ExactVisitStats {
-    /// Candidates eliminated by the lower bound.
+    /// Candidates eliminated by the node-level lower bound.
     pub(crate) pruned: u64,
     /// Fully computed raw-series distances.
     pub(crate) refined: u64,
     /// Distance computations cut off early.
     pub(crate) abandoned: u64,
+    /// Candidates eliminated by the PAA lower-bound pre-filter.
+    pub(crate) paa_pruned: u64,
+    /// Candidates that entered the lane/block distance kernels.
+    pub(crate) block: u64,
+}
+
+/// Cascade sink of one exact visit: the bound is the k-th distance fixed
+/// at visit entry (the pool is only re-tightened after the partition),
+/// accepted candidates join the pool.
+struct VisitSink<'a> {
+    bound_sq: f64,
+    pool: &'a mut Vec<Neighbor>,
+}
+
+impl CascadeSink for VisitSink<'_> {
+    fn bound_sq(&self) -> f64 {
+        self.bound_sq
+    }
+    fn accept(&mut self, rid: RecordId, d_sq: f64) {
+        self.pool.push(Neighbor {
+            distance: d_sq.sqrt(),
+            rid,
+        });
+    }
 }
 
 /// Per-partition kernel of the exact refine phase: prune-scan with the
-/// current k-th distance, refine survivors into the candidate pool, then
-/// re-tighten `kth`. Opens `prune` / `refine` spans under `parent`.
-/// Shared verbatim between the sequential visit loop and the batch
-/// engine's residual phase, so both produce identical pools.
+/// current k-th distance, run survivors through the refine cascade into
+/// the candidate pool, then re-tighten `kth`. Opens `prune` / `refine`
+/// spans under `parent`. Shared verbatim between the sequential visit
+/// loop and the batch engine's residual phase, so both produce identical
+/// pools.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn exact_visit_partition(
     local: &crate::local::TardisL,
@@ -252,6 +295,7 @@ pub(crate) fn exact_visit_partition(
     k: usize,
     kth: &mut f64,
     pool: &mut Vec<Neighbor>,
+    workers: Option<&WorkerPool>,
     parent: &tardis_cluster::Span,
 ) -> Result<ExactVisitStats, CoreError> {
     let mut stats = ExactVisitStats::default();
@@ -261,18 +305,17 @@ pub(crate) fn exact_visit_partition(
     prune_span.add("candidates_pruned", stats.pruned);
     drop(prune_span);
     let refine_span = parent.child("refine");
-    for entry in survivors {
-        match euclidean_early_abandon(query.values(), entry.record.ts.values(), *kth * *kth) {
-            Some(d_sq) => {
-                stats.refined += 1;
-                pool.push(Neighbor {
-                    distance: d_sq.sqrt(),
-                    rid: entry.rid(),
-                });
-            }
-            None => stats.abandoned += 1,
-        }
-    }
+    let mut sink = VisitSink {
+        bound_sq: *kth * *kth,
+        pool,
+    };
+    let cascade = refine_cascade(local.block(), query, paa, survivors, workers, &mut sink);
+    stats.refined = cascade.refined as u64;
+    stats.abandoned = cascade.abandoned as u64;
+    stats.paa_pruned = cascade.paa_pruned as u64;
+    stats.block = cascade.block_candidates as u64;
+    refine_span.add("lanes_pruned_paa", stats.paa_pruned);
+    refine_span.add("refine_block_candidates", stats.block);
     refine_span.add("candidates_refined", stats.refined);
     refine_span.add("candidates_abandoned", stats.abandoned);
     drop(refine_span);

@@ -16,9 +16,10 @@ use crate::error::CoreError;
 use crate::global::PartitionId;
 use crate::index::TardisIndex;
 use crate::local::TardisL;
-use tardis_cluster::{Cluster, QueryProfile, Span, Tracer};
+use crate::query::cascade::{refine_cascade, CascadeSink};
+use tardis_cluster::{Cluster, QueryProfile, Span, Tracer, WorkerPool};
 use tardis_isax::SigT;
-use tardis_ts::{euclidean_early_abandon, squared_euclidean, RecordId, TimeSeries};
+use tardis_ts::{squared_euclidean_lanes, RecordId, TimeSeries};
 
 /// The query strategies of §V-B.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -149,7 +150,15 @@ pub(crate) fn knn_impl(
         mut heap,
         mut stats,
         threshold,
-    } = scan_primary(&primary, query, &plan, k, strategy, root)?;
+    } = scan_primary(
+        &primary,
+        query,
+        &plan,
+        k,
+        strategy,
+        Some(cluster.pool()),
+        root,
+    )?;
 
     // Step 4 (Multi-Partitions only): load + scan siblings in parallel;
     // merge their survivors in ascending-pid order (`plan.siblings` is
@@ -164,8 +173,11 @@ pub(crate) fn knn_impl(
                 let local = index.load_partition(cluster, sib)?;
                 load_span.add("partitions_loaded", 1);
                 drop(load_span);
+                // Already inside a pool task: the cascade runs inline
+                // (nested fan-out would oversubscribe; results are
+                // identical either way by construction).
                 let (neighbors, stats) =
-                    scan_sibling(&local, query, &plan, k, threshold, &sib_span)?;
+                    scan_sibling(&local, query, &plan, k, threshold, None, &sib_span)?;
                 Ok((neighbors, stats, sib))
             });
         for result in sibling_results {
@@ -185,6 +197,8 @@ pub(crate) fn knn_impl(
         candidates_pruned: stats.pruned as u64,
         candidates_refined: stats.refined as u64,
         candidates_abandoned: stats.abandoned as u64,
+        lanes_pruned_paa: stats.paa_pruned as u64,
+        refine_block_candidates: stats.block as u64,
         bloom_rejected: 0,
         spans: Vec::new(),
     };
@@ -288,23 +302,37 @@ pub(crate) fn scan_primary(
     plan: &KnnPlan,
     k: usize,
     strategy: KnnStrategy,
+    pool: Option<&WorkerPool>,
     parent: &Span,
 ) -> Result<PrimaryScan, CoreError> {
     let mut heap = TopK::new(k);
     let mut stats = RefineStats::default();
     {
+        // Target-node refine: every candidate gets a full-resolution
+        // distance (no bound exists yet), via the lane kernel over the
+        // block arena.
         let refine_span = parent.child("refine");
         let target = primary.target_node(&plan.sig, k);
-        for entry in primary.candidates_under(target) {
-            let d = squared_euclidean(query.values(), entry.record.ts.values());
-            heap.push(d, entry.rid());
+        let block = primary.block();
+        for idx in primary.candidates_under(target) {
+            let row = block.series(idx as usize);
+            if row.len() != query.len() {
+                stats.abandoned += 1;
+                stats.block += 1;
+                continue;
+            }
+            let d = squared_euclidean_lanes(query.values(), row);
+            heap.push(d, block.rid(idx as usize));
             stats.refined += 1;
+            stats.block += 1;
         }
         refine_span.add("candidates_refined", stats.refined as u64);
     }
     let threshold = heap.kth_distance().sqrt();
     if strategy != KnnStrategy::TargetNode {
-        stats += refine_partition(primary, query, &plan.paa, plan.n, threshold, &mut heap, parent)?;
+        stats += refine_partition(
+            primary, query, &plan.paa, plan.n, threshold, &mut heap, pool, parent,
+        )?;
     }
     Ok(PrimaryScan {
         heap,
@@ -323,6 +351,7 @@ pub(crate) fn scan_sibling(
     plan: &KnnPlan,
     k: usize,
     threshold: f64,
+    pool: Option<&WorkerPool>,
     parent: &Span,
 ) -> Result<(Vec<(f64, RecordId)>, RefineStats), CoreError> {
     let mut local_heap = TopK::new(k);
@@ -334,22 +363,30 @@ pub(crate) fn scan_sibling(
         plan.n,
         threshold,
         &mut local_heap,
+        pool,
         parent,
     )?;
     Ok((local_heap.into_sorted(), stats))
 }
 
 /// Candidate-level accounting for one prune-scan + refine pass. The
-/// three counters are disjoint: a surviving candidate is either fully
-/// refined or early-abandoned, never both.
+/// `pruned` / `paa_pruned` / `refined` / `abandoned` counters are
+/// disjoint: a candidate is node-pruned, PAA-prefiltered, fully refined,
+/// or early-abandoned — exactly one. `block` counts the candidates that
+/// entered the lane/block kernels (= `refined` + `abandoned`).
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct RefineStats {
     /// Fully computed raw-series distances.
     pub(crate) refined: usize,
     /// Distance computations cut off early by the k-th distance.
     pub(crate) abandoned: usize,
-    /// Candidates eliminated by the lower bound before any distance work.
+    /// Candidates eliminated by the node-level lower bound before any
+    /// per-candidate work.
     pub(crate) pruned: usize,
+    /// Candidates eliminated by the PAA lower-bound pre-filter.
+    pub(crate) paa_pruned: usize,
+    /// Candidates that entered the lane/block distance kernels.
+    pub(crate) block: usize,
 }
 
 impl std::ops::AddAssign for RefineStats {
@@ -357,11 +394,29 @@ impl std::ops::AddAssign for RefineStats {
         self.refined += rhs.refined;
         self.abandoned += rhs.abandoned;
         self.pruned += rhs.pruned;
+        self.paa_pruned += rhs.paa_pruned;
+        self.block += rhs.block;
     }
 }
 
-/// Prune-scans one partition with the lower-bound threshold and refines
-/// survivors into the heap, under `prune` / `refine` spans of `parent`.
+/// Adapts the kNN [`TopK`] heap to the cascade: the abandon bound is the
+/// live k-th squared distance, tightening as neighbors arrive.
+struct HeapSink<'a>(&'a mut TopK);
+
+impl CascadeSink for HeapSink<'_> {
+    fn bound_sq(&self) -> f64 {
+        self.0.kth_distance()
+    }
+    fn accept(&mut self, rid: RecordId, d_sq: f64) {
+        self.0.push(d_sq, rid);
+    }
+}
+
+/// Prune-scans one partition with the lower-bound threshold and runs the
+/// survivors through the refine cascade (PAA pre-filter → block
+/// early-abandon kernel) into the heap, under `prune` / `refine` spans of
+/// `parent`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn refine_partition(
     local: &TardisL,
     query: &TimeSeries,
@@ -369,6 +424,7 @@ pub(crate) fn refine_partition(
     n: usize,
     threshold: f64,
     heap: &mut TopK,
+    pool: Option<&WorkerPool>,
     parent: &Span,
 ) -> Result<RefineStats, CoreError> {
     let prune_span = parent.child("prune");
@@ -380,16 +436,14 @@ pub(crate) fn refine_partition(
     prune_span.add("candidates_pruned", stats.pruned as u64);
     drop(prune_span);
     let refine_span = parent.child("refine");
-    for entry in candidates {
-        let bound = heap.kth_distance();
-        match euclidean_early_abandon(query.values(), entry.record.ts.values(), bound) {
-            Some(d) => {
-                heap.push(d, entry.rid());
-                stats.refined += 1;
-            }
-            None => stats.abandoned += 1,
-        }
-    }
+    let mut sink = HeapSink(heap);
+    let cascade = refine_cascade(local.block(), query, paa, candidates, pool, &mut sink);
+    stats.refined = cascade.refined;
+    stats.abandoned = cascade.abandoned;
+    stats.paa_pruned = cascade.paa_pruned;
+    stats.block = cascade.block_candidates;
+    refine_span.add("lanes_pruned_paa", stats.paa_pruned as u64);
+    refine_span.add("refine_block_candidates", stats.block as u64);
     refine_span.add("candidates_refined", stats.refined as u64);
     refine_span.add("candidates_abandoned", stats.abandoned as u64);
     Ok(stats)
@@ -489,7 +543,7 @@ mod tests {
     use crate::config::TardisConfig;
     use crate::index::TardisIndex;
     use tardis_cluster::{encode_records, ClusterConfig};
-    use tardis_ts::Record;
+    use tardis_ts::{squared_euclidean, Record};
 
     fn series(rid: u64) -> TimeSeries {
         let mut x = rid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
@@ -763,8 +817,10 @@ mod tests {
     fn refine_partition_separates_abandoned_from_refined() {
         // Regression for the accounting bug: early-abandoned candidates
         // used to be counted as refined. With the heap's k-th distance
-        // forced to 0, every candidate's distance scan aborts at the
-        // first nonzero term — all abandoned, none refined.
+        // forced to 0, every candidate is eliminated before a full
+        // distance exists: either the PAA pre-filter proves it out of
+        // bound, or the block kernel abandons at the first nonzero term.
+        // None may be counted as refined.
         let config = TardisConfig {
             l_max_size: 10,
             ..TardisConfig::default()
@@ -791,12 +847,15 @@ mod tests {
             q.len(),
             f64::INFINITY, // keep every candidate past the prune
             &mut heap,
+            None,
             &Span::noop(),
         )
         .unwrap();
         assert_eq!(stats.pruned, 0);
         assert_eq!(stats.refined, 0, "abandoned candidates counted as refined");
-        assert_eq!(stats.abandoned, 50);
+        assert_eq!(stats.paa_pruned + stats.abandoned, 50);
+        assert_eq!(stats.block, stats.refined + stats.abandoned);
+        assert!(stats.paa_pruned > 0, "zero bound must PAA-prune something");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Query processing (§V): exact-match and kNN-approximate strategies.
 
 pub mod batch;
+pub(crate) mod cascade;
 pub mod exact;
 pub mod exact_knn;
 pub mod range;

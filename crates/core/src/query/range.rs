@@ -18,8 +18,9 @@
 use crate::error::CoreError;
 use crate::eval::Neighbor;
 use crate::index::TardisIndex;
-use tardis_isax::mindist_paa_sigt;
-use tardis_ts::{euclidean_early_abandon, TimeSeries};
+use crate::query::cascade::{refine_cascade, CascadeSink};
+use tardis_isax::mindist_paa_sigt_scratch;
+use tardis_ts::{RecordId, TimeSeries};
 
 /// A range-query answer plus the work done.
 #[derive(Debug, Clone)]
@@ -61,9 +62,10 @@ pub fn range_query(
 
     // Per-partition lower bound = min bound over its global leaves.
     let mut part_bound = vec![f64::INFINITY; index.n_partitions()];
+    let mut scratch: Vec<u16> = Vec::new();
     for leaf in tree.leaf_ids() {
         let node = tree.node(leaf);
-        let bound = mindist_paa_sigt(&paa, &node.sig, n)?;
+        let bound = mindist_paa_sigt_scratch(&paa, &node.sig, n, &mut scratch)?;
         if let Some(pid) = global.leaf_partition(&node.sig) {
             let slot = &mut part_bound[pid as usize];
             if bound < *slot {
@@ -88,25 +90,37 @@ pub fn range_query(
         .collect();
     let pruned = index.n_partitions() - qualifying.len();
 
+    struct RangeSink {
+        bound_sq: f64,
+        found: Vec<Neighbor>,
+    }
+    impl CascadeSink for RangeSink {
+        fn bound_sq(&self) -> f64 {
+            self.bound_sq
+        }
+        fn accept(&mut self, rid: RecordId, d_sq: f64) {
+            self.found.push(Neighbor {
+                distance: d_sq.sqrt(),
+                rid,
+            });
+        }
+    }
+
     type PartScan = Result<(Vec<Neighbor>, usize), CoreError>;
     let scans: Vec<PartScan> = cluster.pool().par_map(qualifying.clone(), |pid| {
         let local = index.load_partition(cluster, pid)?;
-        let mut found = Vec::new();
-        let mut refined = 0usize;
-        for entry in local.prune_scan(&paa, n, epsilon)? {
-            refined += 1;
-            if let Some(d_sq) = euclidean_early_abandon(
-                query.values(),
-                entry.record.ts.values(),
-                epsilon * epsilon,
-            ) {
-                found.push(Neighbor {
-                    distance: d_sq.sqrt(),
-                    rid: entry.rid(),
-                });
-            }
-        }
-        Ok((found, refined))
+        let candidates = local.prune_scan(&paa, n, epsilon)?;
+        // `candidates_refined` keeps its historical meaning: prune-scan
+        // survivors entering per-candidate evaluation (the cascade may
+        // PAA-prune some before a full distance).
+        let refined = candidates.len();
+        let mut sink = RangeSink {
+            bound_sq: epsilon * epsilon,
+            found: Vec::new(),
+        };
+        // Already inside a pool task: run the cascade inline.
+        refine_cascade(local.block(), query, &paa, candidates, None, &mut sink);
+        Ok((sink.found, refined))
     });
 
     let mut matches = Vec::new();

@@ -229,19 +229,28 @@ impl SigT {
     /// Recovers per-segment bucket indices (the inverse transposition).
     /// Used to evaluate lower-bound distances against a node signature.
     pub fn to_buckets(&self) -> Vec<u16> {
+        let mut buckets = Vec::new();
+        self.to_buckets_into(&mut buckets);
+        buckets
+    }
+
+    /// [`Self::to_buckets`] into a caller-owned buffer (cleared first).
+    /// Lower-bound scans evaluate a bound per tree node; reusing one
+    /// scratch buffer across nodes keeps the walk allocation-free.
+    pub fn to_buckets_into(&self, out: &mut Vec<u16>) {
         let w = self.w as usize;
         let bits = self.bits();
         let npp = self.nibbles_per_plane();
-        let mut buckets = vec![0u16; w];
+        out.clear();
+        out.resize(w, 0);
         for plane in 0..bits as usize {
             for (k, &nib) in self.nibbles[plane * npp..(plane + 1) * npp].iter().enumerate() {
                 for s in 0..4 {
                     let bit = (nib >> (3 - s)) & 1;
-                    buckets[k * 4 + s] = (buckets[k * 4 + s] << 1) | bit as u16;
+                    out[k * 4 + s] = (out[k * 4 + s] << 1) | bit as u16;
                 }
             }
         }
-        buckets
     }
 
     /// Converts back into a uniform-cardinality SAX word.

@@ -30,7 +30,9 @@ pub use breakpoints::{breakpoints, bucket_of, inv_normal_cdf, MAX_CARD_BITS};
 pub use error::IsaxError;
 pub use isax::{ISaxSym, ISaxWord};
 pub use isaxt::SigT;
-pub use mindist::{mindist_paa_isax, mindist_paa_sax, mindist_paa_sigt, mindist_sax};
-pub use paa::{paa, paa_into};
+pub use mindist::{
+    mindist_paa_isax, mindist_paa_sax, mindist_paa_sigt, mindist_paa_sigt_scratch, mindist_sax,
+};
+pub use paa::{paa, paa_into, paa_lanes_into, segment_lengths};
 pub use region::Region;
 pub use sax::SaxWord;

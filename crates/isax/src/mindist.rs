@@ -101,6 +101,24 @@ pub fn mindist_paa_isax(paa: &[f64], word: &ISaxWord, n: usize) -> Result<f64, I
 /// # Errors
 /// [`IsaxError::WordLengthMismatch`] when lengths differ.
 pub fn mindist_paa_sigt(paa: &[f64], sig: &SigT, n: usize) -> Result<f64, IsaxError> {
+    let mut scratch = Vec::new();
+    mindist_paa_sigt_scratch(paa, sig, n, &mut scratch)
+}
+
+/// [`mindist_paa_sigt`] with a caller-owned bucket scratch buffer.
+///
+/// Pruning scans evaluate this bound once per tree node; threading one
+/// scratch buffer through the walk makes the whole scan allocation-free
+/// (the per-call `to_buckets` vector dominated the bound's cost).
+///
+/// # Errors
+/// [`IsaxError::WordLengthMismatch`] when lengths differ.
+pub fn mindist_paa_sigt_scratch(
+    paa: &[f64],
+    sig: &SigT,
+    n: usize,
+    scratch: &mut Vec<u16>,
+) -> Result<f64, IsaxError> {
     if paa.len() != sig.word_len() {
         return Err(IsaxError::WordLengthMismatch {
             left: paa.len(),
@@ -111,10 +129,10 @@ pub fn mindist_paa_sigt(paa: &[f64], sig: &SigT, n: usize) -> Result<f64, IsaxEr
         return Ok(0.0);
     }
     let bits = sig.bits();
-    let buckets = sig.to_buckets();
+    sig.to_buckets_into(scratch);
     let sum_sq: f64 = paa
         .iter()
-        .zip(&buckets)
+        .zip(scratch.iter())
         .map(|(&m, &b)| {
             let d = Region::of_bucket(b, bits).dist_point(m);
             d * d

@@ -61,6 +61,74 @@ pub fn paa(values: &[f32], w: usize) -> Result<Vec<f64>, IsaxError> {
     Ok(out)
 }
 
+/// Computes the PAA of `values` with `w` segments into `out`, summing each
+/// segment in 8-lane order: element `8t+j` of the segment accumulates into
+/// lane `j`, remainder element `j` into lane `j`, and the lanes fold as
+/// `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`.
+///
+/// Mathematically these are the same segment means as [`paa_into`] over the
+/// same `[i·n/w, (i+1)·n/w)` boundaries, but breaking the sequential-add
+/// dependency chain makes bulk sidecar construction (one call per series at
+/// every partition load) several times faster. The result can differ from
+/// [`paa_into`] in the last bits, so keep [`paa_into`] wherever PAA values
+/// feed signature quantization — a signature must not depend on which
+/// routine produced its PAA — and use this routine where the values only
+/// feed lower bounds, which hold for any faithful rounding of the mean.
+///
+/// # Errors
+/// Same conditions as [`paa_into`]: invalid `w` or `n < w`.
+pub fn paa_lanes_into(values: &[f32], w: usize, out: &mut Vec<f64>) -> Result<(), IsaxError> {
+    validate_word_len(w)?;
+    let n = values.len();
+    if n < w {
+        return Err(IsaxError::SeriesTooShort { len: n, w });
+    }
+    out.clear();
+    out.reserve(w);
+    for i in 0..w {
+        let start = i * n / w;
+        let end = (i + 1) * n / w;
+        out.push(lane_sum(&values[start..end]) / (end - start) as f64);
+    }
+    Ok(())
+}
+
+/// Deterministic 8-lane sum used by [`paa_lanes_into`].
+#[inline]
+fn lane_sum(seg: &[f32]) -> f64 {
+    let mut lanes = [0.0f64; 8];
+    let mut chunks = seg.chunks_exact(8);
+    for c in &mut chunks {
+        for j in 0..8 {
+            lanes[j] += c[j] as f64;
+        }
+    }
+    for (j, &v) in chunks.remainder().iter().enumerate() {
+        lanes[j] += v as f64;
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+}
+
+/// Per-segment lengths `sⱼ` (as `f64`) of the PAA segmentation of an
+/// `n`-point series into `w` segments, using the same `[i·n/w, (i+1)·n/w)`
+/// boundaries as [`paa_into`]. They sum to `n`.
+///
+/// These are the weights of the weighted PAA lower bound used by the refine
+/// pre-filter: per-segment Cauchy–Schwarz gives `ED²(q, c) ≥ Σⱼ sⱼ·(q̄ⱼ −
+/// c̄ⱼ)²`, valid also when `n` is not divisible by `w`.
+///
+/// # Errors
+/// Same conditions as [`paa_into`]: invalid `w` or `n < w`.
+pub fn segment_lengths(n: usize, w: usize) -> Result<Vec<f64>, IsaxError> {
+    validate_word_len(w)?;
+    if n < w {
+        return Err(IsaxError::SeriesTooShort { len: n, w });
+    }
+    Ok((0..w)
+        .map(|i| ((i + 1) * n / w - i * n / w) as f64)
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +187,101 @@ mod tests {
         let mut buf = vec![99.0; 2];
         paa_into(&[1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0], 4, &mut buf).unwrap();
         assert_eq!(buf, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn segment_lengths_match_paa_boundaries() {
+        // Divisible case: all segments equal.
+        assert_eq!(segment_lengths(64, 8).unwrap(), vec![8.0; 8]);
+        // Non-divisible: n = 10, w = 4 → [0,2) [2,5) [5,7) [7,10).
+        assert_eq!(segment_lengths(10, 4).unwrap(), vec![2.0, 3.0, 2.0, 3.0]);
+        // Always sums to n.
+        for (n, w) in [(10usize, 4usize), (37, 8), (100, 12), (64, 8)] {
+            let s: f64 = segment_lengths(n, w).unwrap().iter().sum();
+            assert_eq!(s, n as f64, "n={n} w={w}");
+        }
+    }
+
+    #[test]
+    fn segment_lengths_rejects_bad_inputs() {
+        assert_eq!(
+            segment_lengths(16, 5),
+            Err(IsaxError::InvalidWordLength { w: 5 })
+        );
+        assert_eq!(
+            segment_lengths(3, 4),
+            Err(IsaxError::SeriesTooShort { len: 3, w: 4 })
+        );
+    }
+
+    #[test]
+    fn paa_lanes_matches_paa_values() {
+        // Same means up to rounding, same errors, on divisible and
+        // non-divisible lengths.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+        };
+        for (n, w) in [(64usize, 8usize), (256, 8), (37, 8), (10, 4), (100, 12)] {
+            let v: Vec<f32> = (0..n).map(|_| next()).collect();
+            let a = paa(&v, w).unwrap();
+            let mut b = Vec::new();
+            paa_lanes_into(&v, w, &mut b).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() <= 1e-12 * x.abs().max(1.0), "n={n} w={w}: {x} vs {y}");
+            }
+        }
+        let short = vec![0.0f32; 3];
+        let mut out = Vec::new();
+        assert_eq!(
+            paa_lanes_into(&short, 4, &mut out),
+            Err(IsaxError::SeriesTooShort { len: 3, w: 4 })
+        );
+        assert_eq!(
+            paa_lanes_into(&[0.0; 16], 5, &mut out),
+            Err(IsaxError::InvalidWordLength { w: 5 })
+        );
+    }
+
+    #[test]
+    fn weighted_paa_bound_is_sound() {
+        // ED²(a, b) ≥ Σⱼ sⱼ·(āⱼ − b̄ⱼ)² on arbitrary (incl. non-divisible)
+        // lengths — the per-segment Cauchy–Schwarz bound the refine
+        // pre-filter relies on.
+        let mut x = 0x243F6A8885A308D3u64;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+        };
+        for (n, w) in [(64usize, 8usize), (37, 8), (100, 12), (10, 4)] {
+            let a: Vec<f32> = (0..n).map(|_| next()).collect();
+            let b: Vec<f32> = (0..n).map(|_| next()).collect();
+            let ed_sq: f64 = a
+                .iter()
+                .zip(&b)
+                .map(|(&p, &q)| {
+                    let d = p as f64 - q as f64;
+                    d * d
+                })
+                .sum();
+            let pa = paa(&a, w).unwrap();
+            let pb = paa(&b, w).unwrap();
+            let s = segment_lengths(n, w).unwrap();
+            let bound: f64 = s
+                .iter()
+                .zip(pa.iter().zip(&pb))
+                .map(|(sj, (x, y))| sj * (x - y) * (x - y))
+                .sum();
+            assert!(
+                bound <= ed_sq + 1e-9,
+                "n={n} w={w}: bound {bound} > ed² {ed_sq}"
+            );
+        }
     }
 }

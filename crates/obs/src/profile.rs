@@ -14,6 +14,13 @@ use std::fmt::Write;
 /// * `candidates_abandoned` — raw-series distance started but cut off
 ///   early by the current kNN threshold (early abandoning).
 /// * `candidates_refined` — full raw-series distance computed.
+///
+/// The refine-cascade counters slice the same work a different way:
+/// `lanes_pruned_paa` counts candidates eliminated by the batched
+/// PAA-vs-query lower-bound pre-filter (a subset of the work that would
+/// otherwise have been abandoned or refined), and
+/// `refine_block_candidates` counts candidates that reached the lane
+/// distance kernels (`refined + abandoned` of the cascade stage).
 #[derive(Debug, Clone, Default)]
 pub struct QueryProfile {
     /// Partitions whose payload was loaded from the DFS.
@@ -28,6 +35,10 @@ pub struct QueryProfile {
     pub candidates_refined: u64,
     /// Exact-match probes rejected by a partition Bloom filter.
     pub bloom_rejected: u64,
+    /// Candidates eliminated by the batched PAA lower-bound pre-filter.
+    pub lanes_pruned_paa: u64,
+    /// Candidates that entered the lane/block distance kernels.
+    pub refine_block_candidates: u64,
     /// Span forest for the query (usually one root).
     pub spans: Vec<SpanNode>,
 }
@@ -43,12 +54,15 @@ impl QueryProfile {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "partitions_loaded={} pruned={} abandoned={} refined={} bloom_rejected={}",
+            "partitions_loaded={} pruned={} abandoned={} refined={} bloom_rejected={} \
+             paa_pruned={} block_candidates={}",
             self.partitions_loaded,
             self.candidates_pruned,
             self.candidates_abandoned,
             self.candidates_refined,
             self.bloom_rejected,
+            self.lanes_pruned_paa,
+            self.refine_block_candidates,
         );
         if !self.partition_ids.is_empty() {
             let ids: Vec<String> = self.partition_ids.iter().map(|p| p.to_string()).collect();
@@ -174,10 +188,14 @@ mod tests {
             candidates_abandoned: 4,
             candidates_refined: 6,
             bloom_rejected: 0,
+            lanes_pruned_paa: 3,
+            refine_block_candidates: 10,
             spans: t.span_tree(),
         };
         let text = profile.render();
         assert!(text.contains("partitions_loaded=2"));
+        assert!(text.contains("paa_pruned=3"));
+        assert!(text.contains("block_candidates=10"));
         assert!(text.contains("partitions=[3,7]"));
         assert!(text.contains("query"));
         assert!(profile.span("route").is_some());

@@ -6,11 +6,17 @@ use crate::series::TimeSeries;
 /// Squared Euclidean distance between two equal-length slices, accumulated
 /// in `f64`.
 ///
-/// This is the hot kernel behind every refine step; it is kept panic-free by
-/// truncating to the shorter length, so callers that need strict length
-/// checking should use [`euclidean`].
+/// This is the hot kernel behind every refine step; it is kept panic-free in
+/// release builds by truncating to the shorter length, but a length mismatch
+/// is always a caller bug, so debug builds assert on it. Callers that need a
+/// recoverable error should use [`euclidean`].
 #[inline]
 pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(
+        a.len(),
+        b.len(),
+        "squared_euclidean on mismatched lengths"
+    );
     a.iter()
         .zip(b.iter())
         .map(|(&x, &y)| {

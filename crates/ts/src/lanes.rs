@@ -1,0 +1,463 @@
+//! Lane-based refine kernels: portable 8-wide loops over `f32` data with
+//! `f64` accumulation, written so LLVM can autovectorize them on stable
+//! Rust (no nightly `std::simd`).
+//!
+//! # Accumulation order (the determinism contract)
+//!
+//! Floating-point addition is not associative, so a vectorized kernel and
+//! a scalar one generally round differently. These kernels therefore fix
+//! one *documented* accumulation order, and every kernel — lane loop,
+//! batched block variant, and scalar oracle — implements exactly that
+//! order, making their outputs **bit-identical** by construction:
+//!
+//! 1. Eight independent `f64` lane accumulators `l0..l7`.
+//! 2. The inputs are walked in chunks of 8; element `8t + j` of a chunk
+//!    accumulates into lane `j` (`l_j += d²` where `d = a[i] as f64 -
+//!    b[i] as f64`).
+//! 3. The `r = len % 8` remainder elements fold into lanes `0..r`, one
+//!    element per lane, in index order.
+//! 4. The final sum is the fixed tree reduction
+//!    `((l0+l1) + (l2+l3)) + ((l4+l5) + (l6+l7))`.
+//!
+//! The independence of the eight lanes is what breaks the sequential
+//! dependency chain of [`squared_euclidean`](crate::squared_euclidean)
+//! and lets the compiler keep several FMAs in flight (or emit packed SIMD
+//! adds); the fixed tree reduction makes the result reproducible across
+//! lane widths the hardware actually uses.
+//!
+//! The PAA pre-filter kernel uses the same scheme at width 4 (PAA word
+//! lengths are multiples of 4), with the tree reduction
+//! `(l0+l1) + (l2+l3)`.
+//!
+//! Early-abandon kernels reduce the lanes after every 8-element chunk and
+//! abandon when the running sum strictly exceeds the threshold — sums
+//! exactly equal to the threshold are kept, matching
+//! [`euclidean_early_abandon`](crate::euclidean_early_abandon).
+
+const LANES: usize = 8;
+const PAA_LANES: usize = 4;
+
+#[inline(always)]
+fn reduce8(l: &[f64; LANES]) -> f64 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+#[inline(always)]
+fn reduce4(l: &[f64; PAA_LANES]) -> f64 {
+    (l[0] + l[1]) + (l[2] + l[3])
+}
+
+/// Squared Euclidean distance with the documented 8-lane accumulation
+/// order. Bit-identical to [`squared_euclidean_lanes_scalar`]; generally
+/// *not* bit-identical to the sequential
+/// [`squared_euclidean`](crate::squared_euclidean) (different rounding
+/// order), though both are within normal f64 rounding of the true value.
+#[inline]
+pub fn squared_euclidean_lanes(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "lane kernel on mismatched lengths");
+    let mut lanes = [0.0f64; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for j in 0..LANES {
+            let d = xa[j] as f64 - xb[j] as f64;
+            lanes[j] += d * d;
+        }
+    }
+    for (j, (x, y)) in ca.remainder().iter().zip(cb.remainder()).enumerate() {
+        let d = *x as f64 - *y as f64;
+        lanes[j] += d * d;
+    }
+    reduce8(&lanes)
+}
+
+/// Scalar oracle for [`squared_euclidean_lanes`]: a naive indexed loop
+/// implementing the identical documented order (used by the equivalence
+/// proptests; kept `pub` so benches can compare against it).
+pub fn squared_euclidean_lanes_scalar(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "lane kernel on mismatched lengths");
+    let mut lanes = [0.0f64; LANES];
+    let full = a.len() / LANES * LANES;
+    let mut i = 0;
+    while i < full {
+        let d = a[i] as f64 - b[i] as f64;
+        lanes[i % LANES] += d * d;
+        i += 1;
+    }
+    let mut j = 0;
+    while i < a.len() {
+        let d = a[i] as f64 - b[i] as f64;
+        lanes[j] += d * d;
+        i += 1;
+        j += 1;
+    }
+    reduce8(&lanes)
+}
+
+/// 8-element chunks between abandon checks: the horizontal lane
+/// reduction costs several dependent adds, so checking after every chunk
+/// would dominate the (vectorizable) accumulation. Because the
+/// accumulation is monotone non-decreasing, a sparser check cadence
+/// never changes the keep/abandon *decision* — a prefix that exceeds the
+/// threshold keeps exceeding it — only how much extra work an abandoned
+/// candidate does before the scan notices.
+const ABANDON_CHECK_PERIOD: usize = 8;
+
+/// Early-abandoning squared Euclidean distance in the 8-lane order: the
+/// lanes are reduced for an abandon check every [`ABANDON_CHECK_PERIOD`]
+/// 8-element chunks (and once at the end), and the scan abandons
+/// (returns `None`) once the running sum strictly exceeds `threshold_sq`.
+/// Keeps sums exactly equal to the threshold.
+#[inline]
+pub fn euclidean_early_abandon_lanes(a: &[f32], b: &[f32], threshold_sq: f64) -> Option<f64> {
+    debug_assert_eq!(a.len(), b.len(), "lane kernel on mismatched lengths");
+    let mut lanes = [0.0f64; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    let mut chunk = 0usize;
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for j in 0..LANES {
+            let d = xa[j] as f64 - xb[j] as f64;
+            lanes[j] += d * d;
+        }
+        chunk += 1;
+        if chunk % ABANDON_CHECK_PERIOD == 0 && reduce8(&lanes) > threshold_sq {
+            return None;
+        }
+    }
+    for (j, (x, y)) in ca.remainder().iter().zip(cb.remainder()).enumerate() {
+        let d = *x as f64 - *y as f64;
+        lanes[j] += d * d;
+    }
+    let total = reduce8(&lanes);
+    if total > threshold_sq {
+        None
+    } else {
+        Some(total)
+    }
+}
+
+/// Scalar oracle for [`euclidean_early_abandon_lanes`] (identical
+/// accumulation order and abandon rule, naive loops).
+pub fn euclidean_early_abandon_lanes_scalar(
+    a: &[f32],
+    b: &[f32],
+    threshold_sq: f64,
+) -> Option<f64> {
+    debug_assert_eq!(a.len(), b.len(), "lane kernel on mismatched lengths");
+    let mut lanes = [0.0f64; LANES];
+    let full = a.len() / LANES * LANES;
+    let check_every = LANES * ABANDON_CHECK_PERIOD;
+    let mut i = 0;
+    while i < full {
+        let d = a[i] as f64 - b[i] as f64;
+        lanes[i % LANES] += d * d;
+        i += 1;
+        if i % check_every == 0 && reduce8(&lanes) > threshold_sq {
+            return None;
+        }
+    }
+    let mut j = 0;
+    while i < a.len() {
+        let d = a[i] as f64 - b[i] as f64;
+        lanes[j] += d * d;
+        i += 1;
+        j += 1;
+    }
+    let total = reduce8(&lanes);
+    if total > threshold_sq {
+        None
+    } else {
+        Some(total)
+    }
+}
+
+/// Batched early-abandon kernel over a contiguous arena of equal-length
+/// series: candidate `i` occupies `arena[i*stride .. (i+1)*stride]`.
+/// Runs [`euclidean_early_abandon_lanes`] against each candidate row in
+/// the order given, invoking `sink(idx, result)` per candidate — so per
+/// candidate it agrees bit-for-bit with the per-candidate kernel, while
+/// the loop walks the arena cache-linearly when the candidate indices are
+/// (mostly) ascending, as leaf-clustered candidate sets are.
+#[inline]
+pub fn euclidean_early_abandon_block(
+    query: &[f32],
+    arena: &[f32],
+    stride: usize,
+    candidates: &[u32],
+    threshold_sq: f64,
+    mut sink: impl FnMut(u32, Option<f64>),
+) {
+    debug_assert!(stride > 0 || candidates.is_empty(), "zero stride");
+    for &idx in candidates {
+        let start = idx as usize * stride;
+        let row = &arena[start..start + stride];
+        sink(idx, euclidean_early_abandon_lanes(query, row, threshold_sq));
+    }
+}
+
+/// Weighted squared PAA distance in the 4-lane order: `Σⱼ wⱼ·(qⱼ-cⱼ)²`
+/// reduced as `(l0+l1) + (l2+l3)`. With `weights[j]` the length of PAA
+/// segment `j`, this lower-bounds the squared Euclidean distance of the
+/// underlying series (per-segment Cauchy–Schwarz), which is what the
+/// pre-filter relies on.
+#[inline]
+pub fn paa_lower_bound_sq(weights: &[f64], q: &[f64], c: &[f64]) -> f64 {
+    debug_assert_eq!(weights.len(), q.len(), "weights/query PAA mismatch");
+    debug_assert_eq!(q.len(), c.len(), "PAA width mismatch");
+    let mut lanes = [0.0f64; PAA_LANES];
+    let mut cw = weights.chunks_exact(PAA_LANES);
+    let mut cq = q.chunks_exact(PAA_LANES);
+    let mut cc = c.chunks_exact(PAA_LANES);
+    for ((w, xq), xc) in (&mut cw).zip(&mut cq).zip(&mut cc) {
+        for j in 0..PAA_LANES {
+            let d = xq[j] - xc[j];
+            lanes[j] += w[j] * d * d;
+        }
+    }
+    for (j, ((w, x), y)) in cw
+        .remainder()
+        .iter()
+        .zip(cq.remainder())
+        .zip(cc.remainder())
+        .enumerate()
+    {
+        let d = x - y;
+        lanes[j] += w * d * d;
+    }
+    reduce4(&lanes)
+}
+
+/// Scalar oracle for [`paa_lower_bound_sq`] (identical order, naive
+/// loops).
+pub fn paa_lower_bound_sq_scalar(weights: &[f64], q: &[f64], c: &[f64]) -> f64 {
+    debug_assert_eq!(weights.len(), q.len(), "weights/query PAA mismatch");
+    debug_assert_eq!(q.len(), c.len(), "PAA width mismatch");
+    let mut lanes = [0.0f64; PAA_LANES];
+    let full = q.len() / PAA_LANES * PAA_LANES;
+    let mut i = 0;
+    while i < full {
+        let d = q[i] - c[i];
+        lanes[i % PAA_LANES] += weights[i] * d * d;
+        i += 1;
+    }
+    let mut j = 0;
+    while i < q.len() {
+        let d = q[i] - c[i];
+        lanes[j] += weights[i] * d * d;
+        i += 1;
+        j += 1;
+    }
+    reduce4(&lanes)
+}
+
+/// Batched PAA lower-bound pre-filter over a contiguous PAA sidecar:
+/// candidate `i`'s coefficients occupy `paa_arena[i*width ..
+/// (i+1)*width]`. Keeps (pushes into `survivors`, preserving order) every
+/// candidate whose weighted squared PAA distance does **not** exceed
+/// `bound_sq`, and returns the number pruned. Since the PAA distance
+/// lower-bounds the true squared distance, pruned candidates are provably
+/// outside the bound — the filter never drops a true neighbor.
+#[inline]
+pub fn paa_prefilter_block(
+    query_paa: &[f64],
+    weights: &[f64],
+    paa_arena: &[f64],
+    width: usize,
+    candidates: &[u32],
+    bound_sq: f64,
+    survivors: &mut Vec<u32>,
+) -> usize {
+    debug_assert_eq!(query_paa.len(), width, "query PAA width mismatch");
+    let mut pruned = 0usize;
+    for &idx in candidates {
+        let start = idx as usize * width;
+        let row = &paa_arena[start..start + width];
+        if paa_lower_bound_sq(weights, query_paa, row) > bound_sq {
+            pruned += 1;
+        } else {
+            survivors.push(idx);
+        }
+    }
+    pruned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::{euclidean_early_abandon, squared_euclidean};
+    use proptest::prelude::*;
+
+    fn series(seed: u64, len: usize) -> Vec<f32> {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lanes_matches_plain_squared_distance_numerically() {
+        for len in [1usize, 7, 8, 9, 15, 16, 63, 64, 256] {
+            let a = series(1, len);
+            let b = series(2, len);
+            let plain = squared_euclidean(&a, &b);
+            let lanes = squared_euclidean_lanes(&a, &b);
+            assert!(
+                (plain - lanes).abs() <= 1e-9 * plain.max(1.0),
+                "len {len}: {plain} vs {lanes}"
+            );
+        }
+    }
+
+    #[test]
+    fn early_abandon_lanes_exact_threshold_is_kept() {
+        let a = vec![0.0f32; 4];
+        let b = vec![1.0f32; 4];
+        assert_eq!(euclidean_early_abandon_lanes(&a, &b, 4.0), Some(4.0));
+        assert_eq!(euclidean_early_abandon_lanes(&a, &b, 3.999), None);
+    }
+
+    #[test]
+    fn early_abandon_lanes_agrees_with_full_when_kept() {
+        for len in [1usize, 7, 8, 9, 17, 64, 100] {
+            let a = series(3, len);
+            let b = series(4, len);
+            let full = squared_euclidean_lanes(&a, &b);
+            assert_eq!(
+                euclidean_early_abandon_lanes(&a, &b, full),
+                Some(full),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_kernel_walks_candidates_in_order() {
+        let stride = 16;
+        let arena: Vec<f32> = (0..5).flat_map(|i| series(i, stride)).collect();
+        let q = series(99, stride);
+        let mut seen = Vec::new();
+        euclidean_early_abandon_block(&q, &arena, stride, &[3, 0, 4], f64::INFINITY, |i, r| {
+            seen.push((i, r));
+        });
+        assert_eq!(seen.len(), 3);
+        assert_eq!(
+            seen.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![3, 0, 4]
+        );
+        for (i, r) in seen {
+            let start = i as usize * stride;
+            let expect = squared_euclidean_lanes(&q, &arena[start..start + stride]);
+            assert_eq!(r, Some(expect));
+        }
+    }
+
+    #[test]
+    fn paa_prefilter_keeps_within_bound() {
+        let width = 8;
+        let weights = vec![8.0f64; width];
+        let paa_arena: Vec<f64> = (0..4)
+            .flat_map(|i| series(i, width).into_iter().map(|v| v as f64))
+            .collect();
+        let q: Vec<f64> = paa_arena[..width].to_vec(); // identical to candidate 0
+        let mut survivors = Vec::new();
+        let pruned =
+            paa_prefilter_block(&q, &weights, &paa_arena, width, &[0, 1, 2, 3], 0.0, &mut survivors);
+        assert!(survivors.contains(&0), "self must survive a zero bound");
+        assert_eq!(pruned + survivors.len(), 4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn lanes_bit_identical_to_scalar_oracle(
+            seed in 0u64..1_000, len in 1usize..130,
+        ) {
+            let a = series(seed, len);
+            let b = series(seed.wrapping_add(7), len);
+            prop_assert_eq!(
+                squared_euclidean_lanes(&a, &b).to_bits(),
+                squared_euclidean_lanes_scalar(&a, &b).to_bits()
+            );
+        }
+
+        #[test]
+        fn early_abandon_lanes_bit_identical_to_scalar_oracle(
+            seed in 0u64..1_000, len in 1usize..130, frac in 0.0f64..1.5,
+        ) {
+            let a = series(seed, len);
+            let b = series(seed.wrapping_add(13), len);
+            let full = squared_euclidean_lanes(&a, &b);
+            let threshold = full * frac;
+            let fast = euclidean_early_abandon_lanes(&a, &b, threshold);
+            let slow = euclidean_early_abandon_lanes_scalar(&a, &b, threshold);
+            prop_assert_eq!(fast.map(f64::to_bits), slow.map(f64::to_bits));
+        }
+
+        #[test]
+        fn early_abandon_lanes_never_disagrees_with_exhaustive(
+            seed in 0u64..1_000, len in 1usize..100, frac in 0.0f64..2.0,
+        ) {
+            // Abandon ⇒ the full distance really exceeds the threshold;
+            // keep ⇒ the returned value is the full lane distance.
+            let a = series(seed, len);
+            let b = series(seed.wrapping_add(3), len);
+            let full = squared_euclidean_lanes(&a, &b);
+            let threshold = full * frac;
+            match euclidean_early_abandon_lanes(&a, &b, threshold) {
+                Some(d) => prop_assert_eq!(d.to_bits(), full.to_bits()),
+                None => prop_assert!(full > threshold),
+            }
+        }
+
+        #[test]
+        fn block_kernel_agrees_with_per_candidate_kernels(
+            seed in 0u64..500, stride in 1usize..70, n in 1usize..10, frac in 0.0f64..1.5,
+        ) {
+            // The block kernel must agree bit-for-bit with both the lane
+            // per-candidate kernel (by construction) and — on the
+            // keep/abandon decision and kept values within rounding — the
+            // legacy sequential `euclidean_early_abandon`.
+            let arena: Vec<f32> = (0..n as u64).flat_map(|i| series(seed + i, stride)).collect();
+            let q = series(seed + 1_000, stride);
+            let candidates: Vec<u32> = (0..n as u32).collect();
+            let ref_full = squared_euclidean_lanes(&q, &arena[..stride]);
+            let threshold = ref_full * frac;
+            let mut got = Vec::new();
+            euclidean_early_abandon_block(&q, &arena, stride, &candidates, threshold, |i, r| {
+                got.push((i, r));
+            });
+            prop_assert_eq!(got.len(), n);
+            for (i, r) in got {
+                let row = &arena[i as usize * stride..(i as usize + 1) * stride];
+                let per = euclidean_early_abandon_lanes(&q, row, threshold);
+                prop_assert_eq!(r.map(f64::to_bits), per.map(f64::to_bits));
+                // Keep/abandon can only differ from the sequential kernel
+                // on rounding ties at the threshold, which the uniform
+                // random inputs here do not produce.
+                let legacy = euclidean_early_abandon(&q, row, threshold);
+                prop_assert_eq!(r.is_some(), legacy.is_some());
+            }
+        }
+
+        #[test]
+        fn paa_kernel_bit_identical_to_scalar_oracle(
+            seed in 0u64..1_000, w4 in 1usize..9,
+        ) {
+            let w = w4 * 4;
+            let q: Vec<f64> = series(seed, w).into_iter().map(|v| v as f64).collect();
+            let c: Vec<f64> = series(seed + 5, w).into_iter().map(|v| v as f64).collect();
+            let weights: Vec<f64> = (0..w).map(|i| 1.0 + (i % 3) as f64).collect();
+            prop_assert_eq!(
+                paa_lower_bound_sq(&weights, &q, &c).to_bits(),
+                paa_lower_bound_sq_scalar(&weights, &q, &c).to_bits()
+            );
+        }
+    }
+}

@@ -13,11 +13,16 @@
 
 pub mod distance;
 pub mod error;
+pub mod lanes;
 pub mod norm;
 pub mod series;
 pub mod stats;
 
 pub use distance::{euclidean, euclidean_early_abandon, squared_euclidean};
+pub use lanes::{
+    euclidean_early_abandon_block, euclidean_early_abandon_lanes, paa_lower_bound_sq,
+    paa_prefilter_block, squared_euclidean_lanes, squared_euclidean_lanes_scalar,
+};
 pub use error::TsError;
 pub use norm::{z_normalize, z_normalize_in_place, znorm_params};
 pub use series::{Record, RecordId, TimeSeries};

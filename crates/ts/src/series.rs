@@ -80,6 +80,18 @@ impl TimeSeries {
                 .all(|(a, b)| a.to_bits() == b.to_bits())
     }
 
+    /// Like [`exact_eq`](Self::exact_eq) but against a raw value slice, so
+    /// arena-backed storage (e.g. a partition `SeriesBlock`) can be compared
+    /// without materializing a `TimeSeries`.
+    pub fn exact_eq_values(&self, other: &[f32]) -> bool {
+        self.values.len() == other.len()
+            && self
+                .values
+                .iter()
+                .zip(other)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
     /// Heap + inline memory footprint in bytes (used by index-size accounting).
     pub fn mem_bytes(&self) -> usize {
         std::mem::size_of::<Self>() + self.values.capacity() * std::mem::size_of::<f32>()

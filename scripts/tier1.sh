@@ -16,6 +16,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier-1: full test suite =="
 cargo test -q
 
+echo "== tier-1: kernel equivalence smoke (lane kernels vs scalar oracles) =="
+cargo test -q -p tardis-ts lanes
+cargo test -q -p tardis-core cascade
+
 echo "== tier-1: batch-query benchmark smoke (quick scale) =="
 cargo run --release -p tardis-bench --bin experiments -- queries --quick
 

@@ -2,8 +2,7 @@
 //! persistence, partition reload fidelity, and metrics accounting.
 
 use tardis::prelude::*;
-use tardis_cluster::decode_records;
-use tardis_core::Entry;
+use tardis_core::decode_clustered_block;
 
 fn cluster() -> Cluster {
     Cluster::new(ClusterConfig {
@@ -33,7 +32,7 @@ fn partition_files_hold_every_record_exactly_once() {
     for meta in index.partitions() {
         for block in c.dfs().list_blocks(&meta.file).unwrap() {
             let bytes = c.dfs().read_block(&block).unwrap();
-            for entry in decode_records::<Entry>(&bytes).unwrap() {
+            for entry in decode_clustered_block(&bytes).unwrap() {
                 let rid = entry.rid();
                 assert!(seen.insert(rid), "rid {rid} stored twice");
                 // Stored series identical to the generated one, and the
@@ -63,7 +62,7 @@ fn clustered_partitions_group_similar_series() {
         let mut sigs = Vec::new();
         for block in c.dfs().list_blocks(&meta.file).unwrap() {
             let bytes = c.dfs().read_block(&block).unwrap();
-            for entry in decode_records::<Entry>(&bytes).unwrap() {
+            for entry in decode_clustered_block(&bytes).unwrap() {
                 sigs.push(entry.sig);
             }
         }
