@@ -785,6 +785,7 @@ fn profiles(scale: Scale) {
             max_attempts: 32,
             backoff_base: Duration::ZERO,
             backoff_cap: Duration::ZERO,
+            ..RetryPolicy::default()
         },
         ..ClusterConfig::default()
     })

@@ -111,6 +111,15 @@ impl BlockCache {
         }
     }
 
+    /// Drops every cached block of a file *and* its pin entry. Used by
+    /// file deletion: a rebuilt file must never serve stale cached
+    /// blocks, and a deleted file's pin must not exempt future blocks
+    /// of the same name from eviction.
+    pub fn purge_file(&mut self, file: &str) {
+        self.pinned.remove(file);
+        self.invalidate_file(file);
+    }
+
     /// Drops every cached block of a file.
     pub fn invalidate_file(&mut self, file: &str) {
         let victims: Vec<BlockId> = self
@@ -333,6 +342,22 @@ mod tests {
         c.put(id("b", 1), block(10));
         c.put(id("b", 2), block(10));
         assert!(c.get(&id("a", 0)).is_none(), "unpinned LRU should evict");
+    }
+
+    #[test]
+    fn purge_drops_blocks_and_pin_entry() {
+        let mut c = BlockCache::new(30);
+        c.put(id("a", 0), block(10));
+        c.pin_file("a");
+        c.purge_file("a");
+        assert!(c.get(&id("a", 0)).is_none(), "purged block must be gone");
+        // The pin is gone too: re-inserted blocks of the same name are
+        // ordinary LRU citizens and evict under pressure.
+        c.put(id("a", 0), block(10));
+        c.put(id("b", 0), block(10));
+        c.put(id("b", 1), block(10));
+        c.put(id("b", 2), block(10));
+        assert!(c.get(&id("a", 0)).is_none(), "stale pin survived purge");
     }
 
     #[test]

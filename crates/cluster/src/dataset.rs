@@ -549,6 +549,7 @@ mod tests {
                 max_attempts: 8,
                 backoff_base: std::time::Duration::ZERO,
                 backoff_cap: std::time::Duration::ZERO,
+                ..RetryPolicy::default()
             })
             .with_fault_injection(injector)
     }

@@ -3,22 +3,105 @@
 //! HDFS stores files as large blocks (64/128 MB, Table II) spread over the
 //! cluster; loading a block is a high-latency operation the paper's Bloom
 //! filters exist to avoid (§V-A). `Dfs` reproduces that I/O model: every
-//! named file is a directory of numbered block files, reads/writes go
-//! through real file I/O, and a configurable artificial per-block latency
-//! lets experiments model a remote store whose blocks are *not* hot in the
-//! OS page cache.
+//! named file is a set of numbered block files, reads/writes go through
+//! real file I/O, and a configurable artificial per-block latency lets
+//! experiments model a remote store whose blocks are *not* hot in the OS
+//! page cache.
+//!
+//! # Replication
+//!
+//! HDFS also replicates: every block lives on R datanodes, reads fail
+//! over between replicas, and a background scrubber re-replicates blocks
+//! whose copy count dropped. `Dfs` reproduces that durability model with
+//! simulated datanode directories `root/node-<d>/`:
+//!
+//! - [`DfsConfig::replication`] replicas of every block are written
+//!   across [`DfsConfig::datanodes`] directories, placed by a
+//!   deterministic hash of the block id (replica `r` lands on node
+//!   `(start + r) % datanodes`), so any process reading the same store
+//!   computes the same placement.
+//! - Every on-disk block is framed with a 12-byte header — `u32` magic
+//!   `"TBLK"` plus the `u64` FNV-1a checksum of the payload, both little
+//!   endian — and [`Dfs::read_block`] verifies the frame, failing over
+//!   replica-by-replica on a dead datanode, a missing copy, or a
+//!   checksum mismatch. Only when *every* replica is gone does the
+//!   permanent [`ClusterError::AllReplicasFailed`] surface.
+//! - [`Dfs::scrub`] walks every block, verifies every replica directly
+//!   on disk (no fault injection — it models a local maintenance
+//!   daemon), and rewrites missing or corrupt replicas from a healthy
+//!   sibling.
+//!
+//! Metrics stay *logical*: one `record_block_write` of payload length
+//! per append and one `record_block_read` per successful read, exactly
+//! as before replication — replica fan-out is a storage detail, like
+//! HDFS's.
 
 use crate::error::{ClusterError, MaybeTransient};
 use crate::fault::{FaultInjector, FaultSite, RetryPolicy};
 use crate::metrics::Metrics;
 use crate::rng::SplitMix64;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fs;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Magic prefix of every on-disk block frame (`"TBLK"`, little endian).
+const BLOCK_MAGIC: u32 = 0x4B4C_4254;
+/// Frame header length: `u32` magic + `u64` FNV-1a payload checksum.
+const HEADER_LEN: usize = 12;
+/// Salt for the placement hash (which datanode hosts replica 0).
+const PLACEMENT_SALT: u64 = 0x7AD1_5000_0000_0001;
+/// Salt for the deterministic corrupt-byte position.
+const CORRUPT_POS_SALT: u64 = 0x7AD1_5000_0000_0002;
+
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Wraps a payload in the checksummed block frame.
+fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&BLOCK_MAGIC.to_le_bytes());
+    out.extend_from_slice(&fnv1a_64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Verifies a frame, returning the payload on success.
+fn decode_frame(frame: &[u8]) -> Option<&[u8]> {
+    if frame.len() < HEADER_LEN {
+        return None;
+    }
+    let magic = u32::from_le_bytes(frame[0..4].try_into().ok()?);
+    if magic != BLOCK_MAGIC {
+        return None;
+    }
+    let sum = u64::from_le_bytes(frame[4..12].try_into().ok()?);
+    let payload = &frame[HEADER_LEN..];
+    (fnv1a_64(payload) == sum).then_some(payload)
+}
+
+/// Flips one payload byte (or a checksum byte for empty payloads) at a
+/// position derived deterministically from `(key, replica)`, so the same
+/// seeded plan damages the same byte of the same replica every run.
+fn corrupt_frame(frame: &mut [u8], key: u64, replica: u32) {
+    let mix = SplitMix64::new(key ^ ((replica as u64) << 32) ^ CORRUPT_POS_SALT).next_u64();
+    let payload_len = frame.len() - HEADER_LEN;
+    let pos = if payload_len == 0 {
+        4 + (mix as usize % 8)
+    } else {
+        HEADER_LEN + (mix as usize % payload_len)
+    };
+    frame[pos] ^= 0xA5;
+}
 
 /// Identifier of a block: file name plus block index.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -40,7 +123,7 @@ impl BlockId {
 }
 
 /// Storage-layer configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct DfsConfig {
     /// Artificial latency added to every block read (simulates remote /
     /// cold storage; 0 by default for tests).
@@ -50,6 +133,37 @@ pub struct DfsConfig {
     /// Byte budget of the in-memory LRU block cache (0 disables caching;
     /// cached reads skip disk and the read latency).
     pub cache_bytes: usize,
+    /// Replicas written per block, clamped to `datanodes` (1 disables
+    /// replication). HDFS defaults to 3; 2 keeps the simulation's disk
+    /// fan-out modest while still surviving any single replica loss.
+    pub replication: u32,
+    /// Simulated datanode directories (`node-<d>/`) replicas spread over.
+    pub datanodes: u32,
+}
+
+impl Default for DfsConfig {
+    fn default() -> DfsConfig {
+        DfsConfig {
+            read_latency: Duration::ZERO,
+            write_latency: Duration::ZERO,
+            cache_bytes: 0,
+            replication: 2,
+            datanodes: 3,
+        }
+    }
+}
+
+/// Outcome of a [`Dfs::scrub`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScrubReport {
+    /// Blocks examined (every block of every file).
+    pub blocks_checked: u64,
+    /// Replicas rewritten from a healthy sibling (missing or corrupt).
+    pub replicas_repaired: u64,
+    /// Replicas whose on-disk frame failed verification.
+    pub corrupt_replicas: u64,
+    /// Blocks with no healthy replica left — unrepairable data loss.
+    pub blocks_lost: u64,
 }
 
 /// The block store. Cloneable-by-reference via the owning [`crate::Cluster`].
@@ -131,12 +245,38 @@ impl Dfs {
         &self.root
     }
 
-    fn file_dir(&self, name: &str) -> PathBuf {
-        self.root.join(name)
+    /// Replicas actually written per block (`replication` clamped to the
+    /// datanode count — a copy per node is the most durability the
+    /// simulated cluster can hold).
+    pub fn replication(&self) -> u32 {
+        self.config.replication.clamp(1, self.datanodes())
     }
 
-    fn block_path(&self, id: &BlockId) -> PathBuf {
-        self.file_dir(&id.file).join(format!("block-{:06}.bin", id.index))
+    /// Number of simulated datanode directories.
+    pub fn datanodes(&self) -> u32 {
+        self.config.datanodes.max(1)
+    }
+
+    /// Directory of simulated datanode `node` (`root/node-<node>`). Wipe
+    /// it to simulate losing that datanode.
+    pub fn datanode_dir(&self, node: u32) -> PathBuf {
+        self.root.join(format!("node-{node}"))
+    }
+
+    /// Datanode hosting replica 0 of the block with placement hash `key`.
+    fn placement_start(key: u64, datanodes: u32) -> u32 {
+        (SplitMix64::new(key ^ PLACEMENT_SALT).next_u64() % datanodes as u64) as u32
+    }
+
+    /// Path of replica `replica` of `id` under its placement-assigned
+    /// datanode directory.
+    fn replica_path(&self, id: &BlockId, replica: u32) -> PathBuf {
+        let key = FaultInjector::block_key(&id.file, id.index);
+        let d = self.datanodes();
+        let node = (Self::placement_start(key, d) + replica) % d;
+        self.datanode_dir(node)
+            .join(&id.file)
+            .join(format!("block-{:06}.bin", id.index))
     }
 
     /// Appends one block to `name` (creating the file on first append).
@@ -145,7 +285,7 @@ impl Dfs {
         let index = {
             let mut map = self.next_index.lock();
             let next = map.entry(name.to_string()).or_insert_with(|| {
-                // Resume after existing blocks if the dir already has some.
+                // Resume after existing blocks if the store already has some.
                 self.scan_block_count(name)
             });
             let idx = *next;
@@ -153,21 +293,20 @@ impl Dfs {
             idx
         };
         let id = BlockId::new(name, index);
-        let dir = self.file_dir(name);
-        fs::create_dir_all(&dir)?;
         let key = FaultInjector::block_key(name, index);
         let attempts = self.retry.attempts();
         let mut attempt = 0;
         loop {
             attempt += 1;
-            match self.write_block_attempt(&id, &dir, bytes, key, attempt) {
+            match self.write_block_attempt(&id, bytes, key, attempt) {
                 Ok(()) => {
+                    // Logical write: replica fan-out is a storage detail.
                     self.metrics.record_block_write(bytes.len() as u64);
                     return Ok(id);
                 }
                 Err(e) if e.is_transient() && attempt < attempts => {
                     self.metrics.record_block_write_retry();
-                    std::thread::sleep(self.retry.backoff(attempt));
+                    self.retry.sleep_backoff(attempt);
                 }
                 Err(e) if e.is_transient() => {
                     return Err(ClusterError::RetriesExhausted {
@@ -181,12 +320,15 @@ impl Dfs {
         }
     }
 
-    /// One write attempt: injected fault check, latency, tmp-write, rename.
+    /// One write attempt: injected fault check, latency, then every
+    /// replica written tmp-then-rename. A seeded [`FaultSite::BlockCorrupt`]
+    /// plan flips one byte of chosen replicas *after* the checksum is
+    /// computed, so the damage is persistent on disk, detectable on read,
+    /// and repairable by [`Self::scrub`].
     fn write_block_attempt(
         &self,
         id: &BlockId,
-        dir: &Path,
-        bytes: &[u8],
+        payload: &[u8],
         key: u64,
         attempt: u32,
     ) -> Result<(), ClusterError> {
@@ -198,14 +340,25 @@ impl Dfs {
         if !self.config.write_latency.is_zero() {
             std::thread::sleep(self.config.write_latency);
         }
-        // Write-then-rename keeps a faulted/interrupted attempt invisible:
-        // readers only ever see fully written blocks, so retries are safe.
-        let tmp = dir.join(format!("block-{:06}.tmp", id.index));
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(bytes)?;
+        for replica in 0..self.replication() {
+            let mut frame = encode_frame(payload);
+            if let Some(inj) = &self.injector {
+                if inj.corrupts_write(key, replica) {
+                    corrupt_frame(&mut frame, key, replica);
+                }
+            }
+            let path = self.replica_path(id, replica);
+            let dir = path.parent().expect("replica path has a parent");
+            fs::create_dir_all(dir)?;
+            // Write-then-rename keeps a faulted/interrupted attempt
+            // invisible: readers only ever see fully written replicas.
+            let tmp = dir.join(format!("block-{:06}.tmp", id.index));
+            {
+                let mut f = fs::File::create(&tmp)?;
+                f.write_all(&frame)?;
+            }
+            fs::rename(&tmp, &path)?;
         }
-        fs::rename(&tmp, self.block_path(id))?;
         Ok(())
     }
 
@@ -225,8 +378,12 @@ impl Dfs {
     /// enabled and hot (a cached read pays neither disk I/O nor the
     /// simulated latency, and is metered as a cache hit, not a block
     /// read). Uncached reads model remote I/O: with fault injection armed
-    /// they may fail transiently and are retried per the [`RetryPolicy`]
-    /// before a typed [`ClusterError::RetriesExhausted`] surfaces.
+    /// they may fail transiently and are retried per the [`RetryPolicy`];
+    /// *within* one attempt the read fails over replica-by-replica past
+    /// dead datanodes, missing copies, and checksum mismatches. Only when
+    /// every replica is unusable does the permanent
+    /// [`ClusterError::AllReplicasFailed`] surface (no retry can help —
+    /// only [`Self::scrub`] from a surviving copy could).
     pub fn read_block(&self, id: &BlockId) -> Result<Vec<u8>, ClusterError> {
         // Cache fast path (local memory — no remote I/O, no faults).
         {
@@ -248,7 +405,7 @@ impl Dfs {
                 Ok(bytes) => break bytes,
                 Err(e) if e.is_transient() && attempt < attempts => {
                     self.metrics.record_block_read_retry();
-                    std::thread::sleep(self.retry.backoff(attempt));
+                    self.retry.sleep_backoff(attempt);
                 }
                 Err(e) if e.is_transient() => {
                     return Err(ClusterError::RetriesExhausted {
@@ -257,7 +414,7 @@ impl Dfs {
                         source: Box::new(e),
                     });
                 }
-                // Permanent (e.g. MissingBlock): no retry can help.
+                // Permanent (e.g. MissingBlock, AllReplicasFailed).
                 Err(e) => return Err(e),
             }
         };
@@ -270,7 +427,10 @@ impl Dfs {
         Ok(bytes)
     }
 
-    /// One read attempt: stall/fault checks, latency, disk read.
+    /// One read attempt: stall/fault checks, latency, then the replica
+    /// failover loop. Whole-attempt injected faults stay *transient*
+    /// (they model a flaky network path, which a retry may route around);
+    /// per-replica failures are handled by failover inside the attempt.
     fn read_block_attempt(
         &self,
         id: &BlockId,
@@ -283,20 +443,152 @@ impl Dfs {
                 return Err(e);
             }
         }
-        let path = self.block_path(id);
-        if !path.exists() {
-            return Err(ClusterError::MissingBlock {
-                file: id.file.clone(),
-                index: id.index,
-            });
-        }
         if !self.config.read_latency.is_zero() {
             std::thread::sleep(self.config.read_latency);
         }
-        let mut bytes = Vec::new();
-        fs::File::open(&path)?.read_to_end(&mut bytes)?;
-        self.metrics.record_block_read(bytes.len() as u64);
-        Ok(bytes)
+        let replicas = self.replication();
+        let killed = self
+            .injector
+            .as_ref()
+            .and_then(|inj| inj.killed_replica(key, replicas));
+        // True once any replica of the block is physically present: it
+        // separates "the block was never written" (MissingBlock) from
+        // "every copy is dead or corrupt" (AllReplicasFailed).
+        let mut any_present = false;
+        let mut skipped = 0u32;
+        for replica in 0..replicas {
+            let path = self.replica_path(id, replica);
+            if !path.exists() {
+                skipped += 1;
+                continue;
+            }
+            any_present = true;
+            if killed == Some(replica) {
+                // Simulated dead datanode: the bytes are there, but the
+                // node hosting them is not answering this run.
+                skipped += 1;
+                continue;
+            }
+            let mut frame = Vec::new();
+            fs::File::open(&path)?.read_to_end(&mut frame)?;
+            match decode_frame(&frame) {
+                Some(payload) => {
+                    if skipped > 0 {
+                        self.metrics.record_replica_failover();
+                    }
+                    self.metrics.record_block_read(payload.len() as u64);
+                    return Ok(payload.to_vec());
+                }
+                None => {
+                    self.metrics.record_checksum_failure();
+                    skipped += 1;
+                }
+            }
+        }
+        if any_present {
+            Err(ClusterError::AllReplicasFailed {
+                file: id.file.clone(),
+                index: id.index,
+                replicas,
+            })
+        } else {
+            Err(ClusterError::MissingBlock {
+                file: id.file.clone(),
+                index: id.index,
+            })
+        }
+    }
+
+    /// Healthy replicas of a block currently on disk (frame verifies).
+    /// Direct disk inspection — no fault injection, latency, or metrics.
+    pub fn replica_count(&self, id: &BlockId) -> u32 {
+        let mut n = 0;
+        for replica in 0..self.replication() {
+            let Ok(mut f) = fs::File::open(self.replica_path(id, replica)) else {
+                continue;
+            };
+            let mut frame = Vec::new();
+            if f.read_to_end(&mut frame).is_ok() && decode_frame(&frame).is_some() {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Names of every stored file (union across datanodes), ascending.
+    pub fn list_files(&self) -> Vec<String> {
+        let mut names = BTreeSet::new();
+        for node in 0..self.datanodes() {
+            let Ok(entries) = fs::read_dir(self.datanode_dir(node)) else {
+                continue;
+            };
+            for e in entries.filter_map(|e| e.ok()) {
+                if e.path().is_dir() {
+                    if let Some(s) = e.file_name().to_str() {
+                        names.insert(s.to_string());
+                    }
+                }
+            }
+        }
+        names.into_iter().collect()
+    }
+
+    /// Walks every block of every file, verifies each replica directly on
+    /// disk, and rewrites missing or corrupt replicas from the first
+    /// healthy sibling — the HDFS re-replication daemon in miniature.
+    ///
+    /// Scrubbing bypasses fault injection, simulated latency, and the
+    /// I/O metrics: it models a maintenance process local to the storage
+    /// layer, and its repair writes must stick even under a seeded
+    /// corruption plan (which only damages *foreground* writes).
+    pub fn scrub(&self) -> Result<ScrubReport, ClusterError> {
+        let mut report = ScrubReport::default();
+        let replicas = self.replication();
+        for name in self.list_files() {
+            for index in 0..self.scan_block_count(&name) {
+                let id = BlockId::new(name.as_str(), index);
+                report.blocks_checked += 1;
+                let mut healthy: Option<Vec<u8>> = None;
+                let mut broken: Vec<u32> = Vec::new();
+                for replica in 0..replicas {
+                    match fs::File::open(self.replica_path(&id, replica)) {
+                        Ok(mut f) => {
+                            let mut frame = Vec::new();
+                            f.read_to_end(&mut frame)?;
+                            if decode_frame(&frame).is_some() {
+                                if healthy.is_none() {
+                                    healthy = Some(frame);
+                                }
+                            } else {
+                                report.corrupt_replicas += 1;
+                                broken.push(replica);
+                            }
+                        }
+                        Err(_) => broken.push(replica),
+                    }
+                }
+                let Some(frame) = healthy else {
+                    report.blocks_lost += 1;
+                    continue;
+                };
+                for replica in broken {
+                    let path = self.replica_path(&id, replica);
+                    let dir = path.parent().expect("replica path has a parent");
+                    fs::create_dir_all(dir)?;
+                    let tmp = dir.join(format!("block-{index:06}.tmp"));
+                    {
+                        let mut f = fs::File::create(&tmp)?;
+                        f.write_all(&frame)?;
+                    }
+                    fs::rename(&tmp, &path)?;
+                    report.replicas_repaired += 1;
+                }
+            }
+        }
+        if report.replicas_repaired > 0 {
+            self.metrics.record_scrub_repairs(report.replicas_repaired);
+        }
+        Ok(report)
     }
 
     /// Current LRU cache occupancy in bytes (0 when disabled).
@@ -317,21 +609,21 @@ impl Dfs {
         self.cache.lock().unpin_file(name);
     }
 
-    /// Number of blocks currently stored under `name` (0 if absent).
+    /// Number of blocks stored under `name`: one past the highest block
+    /// index present on any datanode (0 if absent).
     fn scan_block_count(&self, name: &str) -> u32 {
-        let dir = self.file_dir(name);
-        match fs::read_dir(&dir) {
-            Ok(entries) => entries
-                .filter_map(|e| e.ok())
-                .filter(|e| {
-                    e.file_name()
-                        .to_str()
-                        .map(|n| n.starts_with("block-") && n.ends_with(".bin"))
-                        .unwrap_or(false)
-                })
-                .count() as u32,
-            Err(_) => 0,
+        let mut count = 0u32;
+        for node in 0..self.datanodes() {
+            let Ok(entries) = fs::read_dir(self.datanode_dir(node).join(name)) else {
+                continue;
+            };
+            for e in entries.filter_map(|e| e.ok()) {
+                if let Some(idx) = parse_block_index(&e.file_name()) {
+                    count = count.max(idx + 1);
+                }
+            }
         }
+        count
     }
 
     /// Lists the blocks of a file in index order.
@@ -339,7 +631,7 @@ impl Dfs {
     /// # Errors
     /// [`ClusterError::MissingFile`] when the file does not exist.
     pub fn list_blocks(&self, name: &str) -> Result<Vec<BlockId>, ClusterError> {
-        if !self.file_dir(name).exists() {
+        if !self.file_exists(name) {
             return Err(ClusterError::MissingFile {
                 name: name.to_string(),
             });
@@ -348,28 +640,41 @@ impl Dfs {
         Ok((0..count).map(|i| BlockId::new(name, i)).collect())
     }
 
-    /// Whether a file exists.
+    /// Whether a file exists (on any datanode).
     pub fn file_exists(&self, name: &str) -> bool {
-        self.file_dir(name).exists()
+        (0..self.datanodes()).any(|node| self.datanode_dir(node).join(name).exists())
     }
 
-    /// Deletes a file and all its blocks (no-op if absent), dropping any
-    /// cached copies so a re-created file never serves stale bytes.
+    /// Deletes a file and all its replicas (no-op if absent), dropping
+    /// cached copies *and* the file's cache pin so a re-created file can
+    /// neither serve stale bytes nor inherit a stale eviction exemption.
     pub fn delete_file(&self, name: &str) -> Result<(), ClusterError> {
-        self.cache.lock().invalidate_file(name);
-        let dir = self.file_dir(name);
-        if dir.exists() {
-            fs::remove_dir_all(dir)?;
+        self.cache.lock().purge_file(name);
+        for node in 0..self.datanodes() {
+            let dir = self.datanode_dir(node).join(name);
+            if dir.exists() {
+                fs::remove_dir_all(dir)?;
+            }
         }
         self.next_index.lock().remove(name);
         Ok(())
     }
 
-    /// Total stored size of a file in bytes.
+    /// Total logical size of a file in payload bytes (replica fan-out and
+    /// frame headers excluded, like HDFS file sizes).
     pub fn file_size(&self, name: &str) -> Result<u64, ClusterError> {
         let mut total = 0;
-        for id in self.list_blocks(name)? {
-            total += fs::metadata(self.block_path(&id))?.len();
+        'blocks: for id in self.list_blocks(name)? {
+            for replica in 0..self.replication() {
+                if let Ok(meta) = fs::metadata(self.replica_path(&id, replica)) {
+                    total += meta.len().saturating_sub(HEADER_LEN as u64);
+                    continue 'blocks;
+                }
+            }
+            return Err(ClusterError::MissingBlock {
+                file: id.file,
+                index: id.index,
+            });
         }
         Ok(total)
     }
@@ -398,6 +703,15 @@ impl Dfs {
         ids.sort();
         Ok(ids)
     }
+}
+
+/// Parses `block-NNNNNN.bin` into its index.
+fn parse_block_index(name: &std::ffi::OsStr) -> Option<u32> {
+    name.to_str()?
+        .strip_prefix("block-")?
+        .strip_suffix(".bin")?
+        .parse()
+        .ok()
 }
 
 impl Drop for Dfs {
@@ -465,6 +779,7 @@ mod tests {
         assert!(dfs.file_exists("gone"));
         dfs.delete_file("gone").unwrap();
         assert!(!dfs.file_exists("gone"));
+        assert!(dfs.list_files().is_empty());
         // Re-created file restarts numbering at 0.
         let id = dfs.append_block("gone", &[8]).unwrap();
         assert_eq!(id.index, 0);
@@ -485,6 +800,7 @@ mod tests {
         let id = dfs.append_block("m", &[0; 7]).unwrap();
         dfs.read_block(&id).unwrap();
         let s = metrics.snapshot();
+        // Logical I/O: replica fan-out and frame headers don't inflate it.
         assert_eq!(s.blocks_written, 1);
         assert_eq!(s.bytes_written, 7);
         assert_eq!(s.blocks_read, 1);
@@ -535,6 +851,156 @@ mod tests {
         assert!(t0.elapsed() >= Duration::from_millis(20));
     }
 
+    // ---- replication, failover, scrubbing ----
+
+    #[test]
+    fn replicas_land_on_distinct_datanodes() {
+        let dfs = temp_dfs();
+        let ids = dfs
+            .write_blocks("r", (0..10).map(|i| vec![i as u8; 4]))
+            .unwrap();
+        for id in &ids {
+            assert_eq!(dfs.replica_count(id), 2);
+            let (a, b) = (dfs.replica_path(id, 0), dfs.replica_path(id, 1));
+            assert_ne!(a.parent(), b.parent(), "replicas share a datanode");
+            assert!(a.exists() && b.exists());
+        }
+        // Placement is a pure function of the block id.
+        assert_eq!(
+            dfs.replica_path(&ids[0], 0),
+            dfs.replica_path(&BlockId::new("r", 0), 0)
+        );
+    }
+
+    #[test]
+    fn replication_one_writes_single_copy() {
+        let dfs = Dfs::temp(
+            DfsConfig {
+                replication: 1,
+                ..DfsConfig::default()
+            },
+            Arc::new(Metrics::new()),
+        )
+        .unwrap();
+        let id = dfs.append_block("solo", &[5; 9]).unwrap();
+        assert_eq!(dfs.replica_count(&id), 1);
+        assert_eq!(dfs.read_block(&id).unwrap(), vec![5; 9]);
+    }
+
+    #[test]
+    fn replication_is_clamped_to_datanodes() {
+        let dfs = Dfs::temp(
+            DfsConfig {
+                replication: 5,
+                datanodes: 2,
+                ..DfsConfig::default()
+            },
+            Arc::new(Metrics::new()),
+        )
+        .unwrap();
+        assert_eq!(dfs.replication(), 2);
+        let id = dfs.append_block("c", &[1]).unwrap();
+        assert_eq!(dfs.replica_count(&id), 2);
+    }
+
+    #[test]
+    fn datanode_wipe_is_masked_by_failover() {
+        let metrics = Arc::new(Metrics::new());
+        let dfs = Dfs::temp(DfsConfig::default(), Arc::clone(&metrics)).unwrap();
+        let ids = dfs
+            .write_blocks("w", (0..12).map(|i| vec![i as u8; 8]))
+            .unwrap();
+        fs::remove_dir_all(dfs.datanode_dir(0)).unwrap();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(dfs.read_block(id).unwrap(), vec![i as u8; 8]);
+        }
+        let s = metrics.snapshot();
+        assert!(s.replica_failovers > 0, "no failover despite a dead node");
+        assert_eq!(s.block_read_retries, 0, "failover must not burn retries");
+    }
+
+    #[test]
+    fn corrupt_replica_is_detected_and_failed_over() {
+        let metrics = Arc::new(Metrics::new());
+        let dfs = Dfs::temp(DfsConfig::default(), Arc::clone(&metrics)).unwrap();
+        let id = dfs.append_block("x", &[7; 32]).unwrap();
+        // Flip one payload byte of replica 0 on disk.
+        let path = dfs.replica_path(&id, 0);
+        let mut frame = fs::read(&path).unwrap();
+        frame[HEADER_LEN + 3] ^= 0xFF;
+        fs::write(&path, &frame).unwrap();
+        assert_eq!(dfs.read_block(&id).unwrap(), vec![7; 32]);
+        let s = metrics.snapshot();
+        assert_eq!(s.checksum_failures, 1);
+        assert_eq!(s.replica_failovers, 1);
+    }
+
+    #[test]
+    fn all_replicas_corrupt_is_permanent() {
+        let dfs = temp_dfs();
+        let id = dfs.append_block("dead", &[3; 16]).unwrap();
+        for r in 0..2 {
+            let path = dfs.replica_path(&id, r);
+            let mut frame = fs::read(&path).unwrap();
+            frame[HEADER_LEN] ^= 0xFF;
+            fs::write(&path, &frame).unwrap();
+        }
+        match dfs.read_block(&id) {
+            Err(ClusterError::AllReplicasFailed { replicas, .. }) => assert_eq!(replicas, 2),
+            other => panic!("expected AllReplicasFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scrub_restores_replicas_after_datanode_wipe() {
+        let metrics = Arc::new(Metrics::new());
+        let dfs = Dfs::temp(DfsConfig::default(), Arc::clone(&metrics)).unwrap();
+        let ids = dfs
+            .write_blocks("s", (0..12).map(|i| vec![i as u8; 8]))
+            .unwrap();
+        fs::remove_dir_all(dfs.datanode_dir(1)).unwrap();
+        let degraded: u32 = ids.iter().map(|id| 2 - dfs.replica_count(id)).sum();
+        assert!(degraded > 0, "wipe should cost some replicas");
+        let report = dfs.scrub().unwrap();
+        assert_eq!(report.blocks_checked, 12);
+        assert_eq!(report.replicas_repaired, degraded as u64);
+        assert_eq!(report.blocks_lost, 0);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(dfs.replica_count(id), 2, "block {i} not re-replicated");
+            assert_eq!(dfs.read_block(id).unwrap(), vec![i as u8; 8]);
+        }
+        assert_eq!(metrics.snapshot().scrub_repairs, degraded as u64);
+        // A second scrub finds nothing to do.
+        assert_eq!(dfs.scrub().unwrap().replicas_repaired, 0);
+    }
+
+    #[test]
+    fn scrub_repairs_corrupt_replica_and_reports_loss() {
+        let dfs = temp_dfs();
+        let a = dfs.append_block("f", &[1; 8]).unwrap();
+        let b = dfs.append_block("f", &[2; 8]).unwrap();
+        // Corrupt one replica of `a` (repairable) and both of `b` (lost).
+        for (id, replicas) in [(&a, 0..1u32), (&b, 0..2u32)] {
+            for r in replicas {
+                let path = dfs.replica_path(id, r);
+                let mut frame = fs::read(&path).unwrap();
+                frame[HEADER_LEN + 1] ^= 0xA5;
+                fs::write(&path, &frame).unwrap();
+            }
+        }
+        let report = dfs.scrub().unwrap();
+        assert_eq!(report.blocks_checked, 2);
+        assert_eq!(report.corrupt_replicas, 3);
+        assert_eq!(report.replicas_repaired, 1);
+        assert_eq!(report.blocks_lost, 1);
+        assert_eq!(dfs.replica_count(&a), 2);
+        assert_eq!(dfs.read_block(&a).unwrap(), vec![1; 8]);
+        assert!(matches!(
+            dfs.read_block(&b),
+            Err(ClusterError::AllReplicasFailed { .. })
+        ));
+    }
+
     fn faulty_dfs(plan: crate::fault::FaultPlan, retry: RetryPolicy) -> (Dfs, Arc<Metrics>) {
         let metrics = Arc::new(Metrics::new());
         let mut dfs = Dfs::temp(DfsConfig::default(), Arc::clone(&metrics)).unwrap();
@@ -551,6 +1017,7 @@ mod tests {
             max_attempts: 8,
             backoff_base: Duration::ZERO,
             backoff_cap: Duration::ZERO,
+            ..RetryPolicy::default()
         }
     }
 
@@ -605,6 +1072,7 @@ mod tests {
                 max_attempts: 3,
                 backoff_base: Duration::ZERO,
                 backoff_cap: Duration::ZERO,
+                ..RetryPolicy::default()
             },
         );
         let id = dfs.append_block("x", &[1, 2, 3]).unwrap();
@@ -620,15 +1088,84 @@ mod tests {
 
     #[test]
     fn missing_block_is_not_retried() {
-        let (dfs, metrics) = faulty_dfs(
-            crate::fault::FaultPlan::none(),
-            RetryPolicy::default(),
-        );
+        let (dfs, metrics) = faulty_dfs(crate::fault::FaultPlan::none(), RetryPolicy::default());
         assert!(matches!(
             dfs.read_block(&BlockId::new("absent", 0)),
             Err(ClusterError::MissingBlock { .. })
         ));
         assert_eq!(metrics.snapshot().block_read_retries, 0);
+    }
+
+    #[test]
+    fn killing_one_replica_of_every_block_is_fully_masked() {
+        let (dfs, metrics) = faulty_dfs(
+            crate::fault::FaultPlan {
+                seed: 0xDEAD,
+                kill_one_replica: true,
+                ..crate::fault::FaultPlan::none()
+            },
+            RetryPolicy::default(),
+        );
+        let ids = dfs
+            .write_blocks("k", (0..20).map(|i| vec![i as u8; 8]))
+            .unwrap();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(dfs.read_block(id).unwrap(), vec![i as u8; 8]);
+        }
+        let s = metrics.snapshot();
+        // Worst single-replica loss: handled entirely by failover, not
+        // by the retry budget.
+        assert!(s.replica_failovers > 0, "some killed replica 0 expected");
+        assert_eq!(s.block_read_retries, 0);
+    }
+
+    #[test]
+    fn seeded_write_corruption_is_masked_then_scrubbed() {
+        // Pick (deterministically) a seed whose corruption pattern
+        // damages some replicas but never both replicas of one block, so
+        // every read stays serveable and every damaged copy scrubbable.
+        let keys: Vec<u64> = (0..30).map(|i| FaultInjector::block_key("c", i)).collect();
+        let seed = (1..200u64)
+            .find(|&s| {
+                let inj = FaultInjector::new(
+                    crate::fault::FaultPlan {
+                        seed: s,
+                        block_corrupt_p: 0.2,
+                        ..crate::fault::FaultPlan::none()
+                    },
+                    Arc::new(Metrics::new()),
+                );
+                let hits: Vec<(bool, bool)> = keys
+                    .iter()
+                    .map(|&k| (inj.corrupts_write(k, 0), inj.corrupts_write(k, 1)))
+                    .collect();
+                hits.iter().any(|&(a, b)| a || b) && !hits.iter().any(|&(a, b)| a && b)
+            })
+            .expect("some seed under 200 must qualify");
+        let (dfs, metrics) = faulty_dfs(
+            crate::fault::FaultPlan {
+                seed,
+                block_corrupt_p: 0.2,
+                ..crate::fault::FaultPlan::none()
+            },
+            RetryPolicy::default(),
+        );
+        let ids = dfs
+            .write_blocks("c", (0..30).map(|i| vec![i as u8; 16]))
+            .unwrap();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(dfs.read_block(id).unwrap(), vec![i as u8; 16]);
+        }
+        assert!(metrics.snapshot().checksum_failures > 0, "no corruption hit");
+        let report = dfs.scrub().unwrap();
+        assert!(report.corrupt_replicas > 0);
+        assert_eq!(report.replicas_repaired, report.corrupt_replicas);
+        assert_eq!(report.blocks_lost, 0);
+        for id in &ids {
+            assert_eq!(dfs.replica_count(id), 2);
+        }
+        // Repairs stick: a fresh scrub is clean.
+        assert_eq!(dfs.scrub().unwrap().corrupt_replicas, 0);
     }
 
     #[test]

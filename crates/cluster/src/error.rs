@@ -54,6 +54,18 @@ pub enum ClusterError {
         /// The error from the final attempt.
         source: Box<dyn std::error::Error + Send + Sync>,
     },
+    /// Every replica of a block was dead, unreadable, or failed its
+    /// checksum — replication-level failover found no healthy copy.
+    /// Permanent: only re-replication (a scrub from a surviving copy)
+    /// can bring the block back; retrying the read cannot.
+    AllReplicasFailed {
+        /// The file name.
+        file: String,
+        /// The block index within the file.
+        index: u32,
+        /// Replicas that were tried.
+        replicas: u32,
+    },
 }
 
 /// Classifies errors into transient (worth retrying) and permanent.
@@ -76,7 +88,8 @@ impl MaybeTransient for ClusterError {
             ClusterError::MissingFile { .. }
             | ClusterError::MissingBlock { .. }
             | ClusterError::Codec { .. }
-            | ClusterError::RetriesExhausted { .. } => false,
+            | ClusterError::RetriesExhausted { .. }
+            | ClusterError::AllReplicasFailed { .. } => false,
         }
     }
 }
@@ -98,6 +111,12 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::RetriesExhausted { op, attempts, source } => {
                 write!(f, "{op} failed permanently after {attempts} attempts: {source}")
+            }
+            ClusterError::AllReplicasFailed { file, index, replicas } => {
+                write!(
+                    f,
+                    "all {replicas} replicas of {file}/block-{index} dead or corrupt"
+                )
             }
         }
     }
@@ -166,6 +185,13 @@ mod tests {
         }
         .is_transient());
         assert!(!ClusterError::Codec { context: "c" }.is_transient());
+        let e = ClusterError::AllReplicasFailed {
+            file: "f".into(),
+            index: 2,
+            replicas: 2,
+        };
+        assert!(!e.is_transient(), "replica exhaustion must be permanent");
+        assert!(e.to_string().contains("2 replicas"), "{e}");
     }
 
     #[test]

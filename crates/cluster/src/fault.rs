@@ -42,6 +42,12 @@ pub enum FaultSite {
     BlockWrite,
     /// A worker-pool task (fallible `try_par_*` family).
     Task,
+    /// Silent corruption of one stored block replica: a deterministic
+    /// byte flip applied at write time, so the damage is *persistent*
+    /// on disk until the replica is re-replicated by a scrub pass. The
+    /// per-block checksum is computed before the flip, so reads detect
+    /// the mismatch and fail over to a healthy replica.
+    BlockCorrupt,
 }
 
 impl FaultSite {
@@ -51,6 +57,7 @@ impl FaultSite {
             FaultSite::BlockRead => 0x9E37_79B9_0000_0001,
             FaultSite::BlockWrite => 0x9E37_79B9_0000_0002,
             FaultSite::Task => 0x9E37_79B9_0000_0003,
+            FaultSite::BlockCorrupt => 0x9E37_79B9_0000_0004,
         }
     }
 
@@ -60,6 +67,7 @@ impl FaultSite {
             FaultSite::BlockRead => "block read",
             FaultSite::BlockWrite => "block write",
             FaultSite::Task => "task",
+            FaultSite::BlockCorrupt => "block corrupt",
         }
     }
 }
@@ -85,6 +93,17 @@ pub struct FaultPlan {
     pub block_read_stall_p: f64,
     /// Stall duration for slow reads.
     pub stall: Duration,
+    /// Probability a stored *replica* is silently corrupted at write
+    /// time ([`FaultSite::BlockCorrupt`]). The decision is keyed on
+    /// `(block, replica)` — not on the attempt — so the corruption is
+    /// persistent on disk, exactly what checksum verification and
+    /// scrubbing exist to catch.
+    pub block_corrupt_p: f64,
+    /// When set, exactly one replica of *every* block (chosen by a
+    /// seeded hash of the block key) is treated as dead on read: the
+    /// worst single-replica loss pattern, which replication must mask
+    /// completely without a single retry.
+    pub kill_one_replica: bool,
 }
 
 impl Default for FaultPlan {
@@ -96,6 +115,8 @@ impl Default for FaultPlan {
             task_fail_p: 0.0,
             block_read_stall_p: 0.0,
             stall: Duration::ZERO,
+            block_corrupt_p: 0.0,
+            kill_one_replica: false,
         }
     }
 }
@@ -112,6 +133,7 @@ impl FaultPlan {
             FaultSite::BlockRead => self.block_read_fail_p,
             FaultSite::BlockWrite => self.block_write_fail_p,
             FaultSite::Task => self.task_fail_p,
+            FaultSite::BlockCorrupt => self.block_corrupt_p,
         }
     }
 
@@ -125,8 +147,60 @@ impl FaultPlan {
             ("block_write_fail_p", self.block_write_fail_p),
             ("task_fail_p", self.task_fail_p),
             ("block_read_stall_p", self.block_read_stall_p),
+            ("block_corrupt_p", self.block_corrupt_p),
         ] {
             assert!((0.0..=1.0).contains(&p), "{name}={p} outside [0, 1]");
+        }
+    }
+}
+
+/// A virtual backoff clock: accumulates would-be sleep time instead of
+/// blocking the thread. Tests (and the chaos suite in particular) attach
+/// one so retry backoff costs zero wall-clock while remaining auditable.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    slept_nanos: AtomicU64,
+}
+
+impl VirtualClock {
+    /// Creates a clock at zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Records a virtual sleep.
+    pub fn advance(&self, d: Duration) {
+        self.slept_nanos
+            .fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+    }
+
+    /// Total virtual time slept so far.
+    pub fn slept(&self) -> Duration {
+        Duration::from_nanos(self.slept_nanos.load(Ordering::Relaxed))
+    }
+}
+
+/// Where retry backoff sleeps go: the real thread clock, or a
+/// [`VirtualClock`] that only accounts for the time (zero-delay mode).
+#[derive(Debug, Clone, Default)]
+pub enum BackoffClock {
+    /// `std::thread::sleep` — production behaviour.
+    #[default]
+    Real,
+    /// Accumulate the duration in the shared clock; never block.
+    Virtual(Arc<VirtualClock>),
+}
+
+impl BackoffClock {
+    /// Sleeps (really or virtually) for `d`.
+    pub fn sleep(&self, d: Duration) {
+        match self {
+            BackoffClock::Real => {
+                if !d.is_zero() {
+                    std::thread::sleep(d);
+                }
+            }
+            BackoffClock::Virtual(clock) => clock.advance(d),
         }
     }
 }
@@ -140,6 +214,9 @@ pub struct RetryPolicy {
     pub backoff_base: Duration,
     /// Upper bound on any single backoff.
     pub backoff_cap: Duration,
+    /// Where the backoff sleeps go (real thread sleep by default; a
+    /// [`VirtualClock`] makes every backoff free for tests).
+    pub clock: BackoffClock,
 }
 
 impl Default for RetryPolicy {
@@ -148,6 +225,7 @@ impl Default for RetryPolicy {
             max_attempts: 4,
             backoff_base: Duration::from_millis(1),
             backoff_cap: Duration::from_millis(20),
+            clock: BackoffClock::Real,
         }
     }
 }
@@ -159,6 +237,13 @@ impl RetryPolicy {
             max_attempts: 1,
             ..RetryPolicy::default()
         }
+    }
+
+    /// Routes this policy's backoff sleeps into `clock` instead of the
+    /// real thread clock (builder style).
+    pub fn with_virtual_clock(mut self, clock: Arc<VirtualClock>) -> RetryPolicy {
+        self.clock = BackoffClock::Virtual(clock);
+        self
     }
 
     /// Effective attempt budget (≥ 1).
@@ -173,6 +258,13 @@ impl RetryPolicy {
         self.backoff_base
             .saturating_mul(factor)
             .min(self.backoff_cap)
+    }
+
+    /// Sleeps out the backoff for failed attempt `attempt` on this
+    /// policy's [`BackoffClock`] — the single choke point every retry
+    /// loop (DFS block I/O, pool task dispatch) goes through.
+    pub fn sleep_backoff(&self, attempt: u32) {
+        self.clock.sleep(self.backoff(attempt));
     }
 }
 
@@ -262,6 +354,34 @@ impl FaultInjector {
         if self.roll(FaultSite::BlockRead, key, attempt, 0xDEAD_BEEF) < p {
             std::thread::sleep(self.plan.stall);
         }
+    }
+
+    /// Under [`FaultPlan::kill_one_replica`], which replica of the block
+    /// identified by `key` is dead (seed-chosen, stable for the run).
+    /// `None` when the mode is off or there is nothing to fail over to.
+    pub fn killed_replica(&self, key: u64, replication: u32) -> Option<u32> {
+        if !self.plan.kill_one_replica || replication < 2 {
+            return None;
+        }
+        let mix = SplitMix64::new(self.plan.seed ^ key ^ 0x9E37_79B9_0000_0005).next_u64();
+        Some((mix % replication as u64) as u32)
+    }
+
+    /// Whether the write of replica `replica` of the block identified by
+    /// `key` is silently corrupted ([`FaultSite::BlockCorrupt`]). Keyed
+    /// on `(key, replica)` only — retried write attempts re-corrupt the
+    /// same replica the same way, so the damage is persistent on disk.
+    /// A firing decision is counted in `faults_injected`.
+    pub fn corrupts_write(&self, key: u64, replica: u32) -> bool {
+        let p = self.plan.block_corrupt_p;
+        if p <= 0.0 {
+            return false;
+        }
+        let fired = self.roll(FaultSite::BlockCorrupt, key, replica, 0) < p;
+        if fired {
+            self.metrics.record_fault_injected();
+        }
+        fired
     }
 }
 
@@ -370,6 +490,7 @@ mod tests {
             max_attempts: 5,
             backoff_base: Duration::from_millis(2),
             backoff_cap: Duration::from_millis(9),
+            ..RetryPolicy::default()
         };
         assert_eq!(p.backoff(1), Duration::from_millis(2));
         assert_eq!(p.backoff(2), Duration::from_millis(4));
@@ -397,5 +518,63 @@ mod tests {
             task_fail_p: 1.5,
             ..FaultPlan::none()
         });
+    }
+
+    #[test]
+    fn kill_one_replica_is_deterministic_and_in_range() {
+        let plan = FaultPlan {
+            seed: 17,
+            kill_one_replica: true,
+            ..FaultPlan::none()
+        };
+        let a = injector(plan.clone());
+        let b = injector(plan);
+        let mut seen = [false; 3];
+        for key in 0..500u64 {
+            let dead = a.killed_replica(key, 3).expect("mode is on");
+            assert!(dead < 3);
+            assert_eq!(Some(dead), b.killed_replica(key, 3));
+            seen[dead as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "kill choice never varied: {seen:?}");
+        // Off-mode and single-replica stores have nothing to kill.
+        assert_eq!(a.killed_replica(1, 1), None);
+        assert_eq!(injector(FaultPlan::none()).killed_replica(1, 3), None);
+    }
+
+    #[test]
+    fn corruption_is_per_replica_and_persistent() {
+        let inj = injector(FaultPlan {
+            seed: 23,
+            block_corrupt_p: 0.5,
+            ..FaultPlan::none()
+        });
+        let mut differs = false;
+        for key in 0..200u64 {
+            // Re-consulting gives the same answer (persistence).
+            assert_eq!(inj.corrupts_write(key, 0), inj.corrupts_write(key, 0));
+            if inj.corrupts_write(key, 0) != inj.corrupts_write(key, 1) {
+                differs = true;
+            }
+        }
+        assert!(differs, "replicas never rolled independently");
+        assert!(!injector(FaultPlan::none()).corrupts_write(1, 0));
+    }
+
+    #[test]
+    fn virtual_clock_accounts_backoff_without_sleeping() {
+        let clock = Arc::new(VirtualClock::new());
+        let p = RetryPolicy {
+            max_attempts: 5,
+            backoff_base: Duration::from_secs(10),
+            backoff_cap: Duration::from_secs(40),
+            clock: BackoffClock::Virtual(Arc::clone(&clock)),
+        };
+        let t0 = std::time::Instant::now();
+        p.sleep_backoff(1); // 10s
+        p.sleep_backoff(2); // 20s
+        p.sleep_backoff(3); // 40s (capped)
+        assert!(t0.elapsed() < Duration::from_secs(1), "virtual sleep blocked");
+        assert_eq!(clock.slept(), Duration::from_secs(70));
     }
 }

@@ -49,9 +49,9 @@ pub use broadcast::Broadcast;
 pub use cache::BlockCache;
 pub use codec::{decode_record_into, decode_records, encode_records, Decode, Encode};
 pub use dataset::Dataset;
-pub use dfs::{BlockId, Dfs, DfsConfig};
+pub use dfs::{BlockId, Dfs, DfsConfig, ScrubReport};
 pub use error::{ClusterError, MaybeTransient};
-pub use fault::{FaultInjector, FaultPlan, FaultSite, RetryPolicy};
+pub use fault::{BackoffClock, FaultInjector, FaultPlan, FaultSite, RetryPolicy, VirtualClock};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use obs::{chrome_trace_json, BatchProfile, PromText, QueryProfile, Span, SpanAggregate, SpanNode, SpanRecord, Tracer};
 pub use pool::{TaskError, WorkerPool};

@@ -5,7 +5,19 @@
 //! counters so that the *shape* of each result (e.g. "the Bloom filter
 //! avoided N partition loads") is visible and machine-independent.
 
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-partition failure accounting: how often each partition's storage
+/// failed permanently, and which partitions are quarantined as
+/// unavailable (every replica of some block exhausted). Ordered
+/// containers keep reports deterministic.
+#[derive(Debug, Default)]
+struct PartitionHealth {
+    failures: BTreeMap<u32, u64>,
+    unavailable: BTreeSet<u32>,
+}
 
 /// Atomic counters shared by the DFS, shuffle, and worker pool.
 #[derive(Debug, Default)]
@@ -24,6 +36,11 @@ pub struct Metrics {
     block_read_retries: AtomicU64,
     block_write_retries: AtomicU64,
     tasks_failed_permanently: AtomicU64,
+    replica_failovers: AtomicU64,
+    checksum_failures: AtomicU64,
+    scrub_repairs: AtomicU64,
+    partitions_skipped: AtomicU64,
+    partition_health: Mutex<PartitionHealth>,
 }
 
 /// A point-in-time copy of the counters.
@@ -57,6 +74,18 @@ pub struct MetricsSnapshot {
     pub block_write_retries: u64,
     /// Tasks that exhausted their retry budget and surfaced an error.
     pub tasks_failed_permanently: u64,
+    /// Block reads served after one or more replica failures.
+    pub replica_failovers: u64,
+    /// Replica reads rejected by checksum/header verification.
+    pub checksum_failures: u64,
+    /// Replicas re-replicated by scrub passes.
+    pub scrub_repairs: u64,
+    /// Partition loads skipped by degraded (best-effort) query serving.
+    pub partitions_skipped: u64,
+    /// Total permanent partition-storage failures (sum over partitions).
+    pub partition_failures: u64,
+    /// Partitions currently quarantined as unavailable.
+    pub partitions_unavailable: u64,
 }
 
 impl MetricsSnapshot {
@@ -127,6 +156,36 @@ impl MetricsSnapshot {
             "Tasks that exhausted their retry budget.",
             self.tasks_failed_permanently,
         );
+        p.counter(
+            "tardis_replica_failovers",
+            "Block reads served after one or more replica failures.",
+            self.replica_failovers,
+        );
+        p.counter(
+            "tardis_checksum_failures",
+            "Replica reads rejected by checksum verification.",
+            self.checksum_failures,
+        );
+        p.counter(
+            "tardis_scrub_repairs",
+            "Replicas re-replicated by scrub passes.",
+            self.scrub_repairs,
+        );
+        p.counter(
+            "tardis_partitions_skipped_degraded",
+            "Partition loads skipped by best-effort degraded serving.",
+            self.partitions_skipped,
+        );
+        p.counter(
+            "tardis_partition_failures",
+            "Permanent partition-storage failures.",
+            self.partition_failures,
+        );
+        p.counter(
+            "tardis_partitions_unavailable",
+            "Partitions currently quarantined as unavailable.",
+            self.partitions_unavailable,
+        );
         if let Some(aggregates) = spans {
             p.spans(aggregates);
         }
@@ -158,6 +217,22 @@ impl MetricsSnapshot {
             tasks_failed_permanently: self
                 .tasks_failed_permanently
                 .saturating_sub(earlier.tasks_failed_permanently),
+            replica_failovers: self
+                .replica_failovers
+                .saturating_sub(earlier.replica_failovers),
+            checksum_failures: self
+                .checksum_failures
+                .saturating_sub(earlier.checksum_failures),
+            scrub_repairs: self.scrub_repairs.saturating_sub(earlier.scrub_repairs),
+            partitions_skipped: self
+                .partitions_skipped
+                .saturating_sub(earlier.partitions_skipped),
+            partition_failures: self
+                .partition_failures
+                .saturating_sub(earlier.partition_failures),
+            // A quarantine count is a gauge, not a monotone counter: the
+            // delta keeps the current value.
+            partitions_unavailable: self.partitions_unavailable,
         }
     }
 }
@@ -230,6 +305,66 @@ impl Metrics {
         self.tasks_failed_permanently.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a block read that succeeded only after skipping one or
+    /// more dead/corrupt replicas.
+    pub fn record_replica_failover(&self) {
+        self.replica_failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a replica read rejected by checksum/header verification.
+    pub fn record_checksum_failure(&self) {
+        self.checksum_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` replicas re-replicated by a scrub pass.
+    pub fn record_scrub_repairs(&self, n: u64) {
+        self.scrub_repairs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a partition load skipped by best-effort degraded serving.
+    pub fn record_partition_skipped(&self) {
+        self.partitions_skipped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a permanent storage failure of partition `pid`; returns
+    /// the partition's accumulated failure count.
+    pub fn record_partition_failure(&self, pid: u32) -> u64 {
+        let mut health = self.partition_health.lock();
+        let slot = health.failures.entry(pid).or_insert(0);
+        *slot += 1;
+        *slot
+    }
+
+    /// Quarantines partition `pid` as unavailable (idempotent).
+    pub fn mark_partition_unavailable(&self, pid: u32) {
+        self.partition_health.lock().unavailable.insert(pid);
+    }
+
+    /// Whether partition `pid` is still serving (not quarantined).
+    pub fn partition_available(&self, pid: u32) -> bool {
+        !self.partition_health.lock().unavailable.contains(&pid)
+    }
+
+    /// Quarantined partitions, ascending.
+    pub fn unavailable_partitions(&self) -> Vec<u32> {
+        self.partition_health
+            .lock()
+            .unavailable
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Per-partition permanent-failure counts, ascending by partition.
+    pub fn partition_failures(&self) -> Vec<(u32, u64)> {
+        self.partition_health
+            .lock()
+            .failures
+            .iter()
+            .map(|(&p, &n)| (p, n))
+            .collect()
+    }
+
     /// Takes a consistent-enough snapshot (relaxed loads; counters are
     /// monotone so deltas remain meaningful).
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -248,7 +383,24 @@ impl Metrics {
             block_read_retries: self.block_read_retries.load(Ordering::Relaxed),
             block_write_retries: self.block_write_retries.load(Ordering::Relaxed),
             tasks_failed_permanently: self.tasks_failed_permanently.load(Ordering::Relaxed),
+            replica_failovers: self.replica_failovers.load(Ordering::Relaxed),
+            checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
+            scrub_repairs: self.scrub_repairs.load(Ordering::Relaxed),
+            partitions_skipped: self.partitions_skipped.load(Ordering::Relaxed),
+            partition_failures: {
+                let health = self.partition_health.lock();
+                health.failures.values().sum()
+            },
+            partitions_unavailable: self.partition_health.lock().unavailable.len() as u64,
         }
+    }
+
+    /// Resets the degraded-serving state added by replication: failure
+    /// accounting, quarantine set, and the associated counters.
+    fn reset_partition_health(&self) {
+        let mut health = self.partition_health.lock();
+        health.failures.clear();
+        health.unavailable.clear();
     }
 
     /// Resets every counter to zero.
@@ -267,6 +419,11 @@ impl Metrics {
         self.block_read_retries.store(0, Ordering::Relaxed);
         self.block_write_retries.store(0, Ordering::Relaxed);
         self.tasks_failed_permanently.store(0, Ordering::Relaxed);
+        self.replica_failovers.store(0, Ordering::Relaxed);
+        self.checksum_failures.store(0, Ordering::Relaxed);
+        self.scrub_repairs.store(0, Ordering::Relaxed);
+        self.partitions_skipped.store(0, Ordering::Relaxed);
+        self.reset_partition_health();
     }
 }
 
@@ -354,6 +511,41 @@ mod tests {
         let plain = m.snapshot().prometheus_text(None);
         assert!(plain.contains("tardis_blocks_read 0"));
         assert!(!plain.contains("tardis_span_count"));
+    }
+
+    #[test]
+    fn partition_health_accounting_and_quarantine() {
+        let m = Metrics::new();
+        assert!(m.partition_available(3));
+        assert_eq!(m.record_partition_failure(3), 1);
+        assert_eq!(m.record_partition_failure(3), 2);
+        assert_eq!(m.record_partition_failure(7), 1);
+        m.mark_partition_unavailable(3);
+        m.mark_partition_unavailable(3); // idempotent
+        assert!(!m.partition_available(3));
+        assert!(m.partition_available(7));
+        assert_eq!(m.unavailable_partitions(), vec![3]);
+        assert_eq!(m.partition_failures(), vec![(3, 2), (7, 1)]);
+        m.record_replica_failover();
+        m.record_checksum_failure();
+        m.record_scrub_repairs(4);
+        m.record_partition_skipped();
+        let s = m.snapshot();
+        assert_eq!(s.partition_failures, 3);
+        assert_eq!(s.partitions_unavailable, 1);
+        assert_eq!(s.replica_failovers, 1);
+        assert_eq!(s.checksum_failures, 1);
+        assert_eq!(s.scrub_repairs, 4);
+        assert_eq!(s.partitions_skipped, 1);
+        let text = s.prometheus_text(None);
+        assert!(text.contains("tardis_replica_failovers 1"));
+        assert!(text.contains("tardis_checksum_failures 1"));
+        assert!(text.contains("tardis_scrub_repairs 4"));
+        assert!(text.contains("tardis_partitions_skipped_degraded 1"));
+        assert!(text.contains("tardis_partitions_unavailable 1"));
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        assert!(m.partition_available(3));
     }
 
     #[test]

@@ -283,7 +283,7 @@ impl WorkerPool {
                 if let Some(m) = &self.metrics {
                     m.record_task_retry();
                 }
-                std::thread::sleep(self.retry.backoff(attempt));
+                self.retry.sleep_backoff(attempt);
                 continue;
             }
             if let Some(m) = &self.metrics {
@@ -414,6 +414,7 @@ mod tests {
             max_attempts,
             backoff_base: std::time::Duration::ZERO,
             backoff_cap: std::time::Duration::ZERO,
+            ..RetryPolicy::default()
         }
     }
 

@@ -12,6 +12,7 @@ fn cached_cluster(cache_bytes: usize, latency_ms: u64) -> Cluster {
             read_latency: Duration::from_millis(latency_ms),
             write_latency: Duration::ZERO,
             cache_bytes,
+            ..DfsConfig::default()
         },
         ..ClusterConfig::default()
     })
@@ -125,6 +126,7 @@ fn retried_read_after_fault_repopulates_cache() {
             read_latency: Duration::ZERO,
             write_latency: Duration::ZERO,
             cache_bytes: 1 << 20,
+            ..DfsConfig::default()
         },
         faults: Some(FaultPlan {
             seed: 0xCAC4E,
@@ -135,6 +137,7 @@ fn retried_read_after_fault_repopulates_cache() {
             max_attempts: 64,
             backoff_base: Duration::ZERO,
             backoff_cap: Duration::ZERO,
+            ..RetryPolicy::default()
         },
     })
     .unwrap();

@@ -22,24 +22,55 @@ fn cluster() -> Cluster {
     .unwrap()
 }
 
+/// On-disk paths of every stored replica of `id`, via the public
+/// datanode-directory accessor.
+fn replica_paths(dfs: &Dfs, id: &BlockId) -> Vec<std::path::PathBuf> {
+    (0..dfs.datanodes())
+        .map(|n| {
+            dfs.datanode_dir(n)
+                .join(&id.file)
+                .join(format!("block-{:06}.bin", id.index))
+        })
+        .filter(|p| p.exists())
+        .collect()
+}
+
 #[test]
-fn corrupted_block_fails_decode_not_garbage() {
+fn corrupted_replica_is_masked_by_checksum_failover() {
     let c = cluster();
     let block = encode_records(&[record(1), record(2)]);
     let id = c.dfs().append_block("data", &block).unwrap();
-    // Corrupt the stored file in place (flip the record count header).
-    let path = c
-        .dfs()
-        .root()
-        .join("data")
-        .join(format!("block-{:06}.bin", id.index));
-    let mut bytes = fs::read(&path).unwrap();
+    // Corrupt one stored replica in place (stomp the frame header).
+    let paths = replica_paths(c.dfs(), &id);
+    assert_eq!(paths.len(), 2, "default replication is 2");
+    let mut bytes = fs::read(&paths[0]).unwrap();
     bytes[0] = 0xFF;
     bytes[1] = 0xFF;
-    fs::write(&path, &bytes).unwrap();
+    fs::write(&paths[0], &bytes).unwrap();
 
+    // The checksum catches the damage and the healthy replica serves.
     let loaded = c.dfs().read_block(&id).unwrap();
-    assert!(decode_records::<Record>(&loaded).is_err());
+    let records = decode_records::<Record>(&loaded).unwrap();
+    assert_eq!(records.len(), 2);
+    assert!(c.metrics().snapshot().checksum_failures >= 1);
+}
+
+#[test]
+fn fully_corrupted_block_fails_loudly_not_garbage() {
+    let c = cluster();
+    let block = encode_records(&[record(1), record(2)]);
+    let id = c.dfs().append_block("data", &block).unwrap();
+    for path in replica_paths(c.dfs(), &id) {
+        let mut bytes = fs::read(&path).unwrap();
+        for b in bytes.iter_mut() {
+            *b = 0xFF;
+        }
+        fs::write(&path, &bytes).unwrap();
+    }
+    assert!(matches!(
+        c.dfs().read_block(&id),
+        Err(ClusterError::AllReplicasFailed { .. })
+    ));
 }
 
 #[test]
@@ -47,16 +78,16 @@ fn truncated_block_fails_decode() {
     let c = cluster();
     let block = encode_records(&[record(1), record(2), record(3)]);
     let id = c.dfs().append_block("data", &block).unwrap();
-    let path = c
-        .dfs()
-        .root()
-        .join("data")
-        .join(format!("block-{:06}.bin", id.index));
-    let bytes = fs::read(&path).unwrap();
-    fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
-
-    let loaded = c.dfs().read_block(&id).unwrap();
-    assert!(decode_records::<Record>(&loaded).is_err());
+    // Truncate every replica: no healthy copy can mask the damage, and
+    // the checksum frame must reject the short reads loudly.
+    for path in replica_paths(c.dfs(), &id) {
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    }
+    assert!(matches!(
+        c.dfs().read_block(&id),
+        Err(ClusterError::AllReplicasFailed { .. })
+    ));
 }
 
 #[test]
@@ -125,8 +156,12 @@ fn dfs_survives_pre_existing_partial_state() {
     // A directory with stray non-block files must not confuse listing.
     let root = std::env::temp_dir().join(format!("tardis-stray-{}", std::process::id()));
     let _ = fs::remove_dir_all(&root);
-    fs::create_dir_all(root.join("data")).unwrap();
-    fs::write(root.join("data").join("README.txt"), b"not a block").unwrap();
+    fs::create_dir_all(root.join("node-0").join("data")).unwrap();
+    fs::write(
+        root.join("node-0").join("data").join("README.txt"),
+        b"not a block",
+    )
+    .unwrap();
     let dfs = Dfs::at_dir(&root, DfsConfig::default(), Arc::new(Metrics::new())).unwrap();
     assert_eq!(dfs.list_blocks("data").unwrap().len(), 0);
     let id = dfs.append_block("data", &[1, 2, 3]).unwrap();

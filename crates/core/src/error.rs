@@ -31,6 +31,14 @@ pub enum CoreError {
         /// The offending partition id.
         pid: u32,
     },
+    /// A partition is quarantined: a previous load lost every replica of
+    /// some block, so its data is unreachable until re-replicated (see
+    /// `Dfs::scrub`). Raised by fail-fast queries; best-effort queries
+    /// skip the partition and report it in their `Completeness` instead.
+    PartitionUnavailable {
+        /// The quarantined partition id.
+        pid: u32,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -45,6 +53,10 @@ impl fmt::Display for CoreError {
                 "query length {query} does not match indexed series length {indexed}"
             ),
             CoreError::UnknownPartition { pid } => write!(f, "unknown partition id {pid}"),
+            CoreError::PartitionUnavailable { pid } => write!(
+                f,
+                "partition {pid} is unavailable (all replicas of some block are dead or corrupt)"
+            ),
         }
     }
 }
@@ -118,6 +130,10 @@ mod tests {
 
         let e = CoreError::UnknownPartition { pid: 7 };
         assert!(e.to_string().contains('7'));
+
+        let e = CoreError::PartitionUnavailable { pid: 3 };
+        assert!(e.to_string().contains("partition 3"));
+        assert!(e.source().is_none());
     }
 
     #[test]
@@ -135,6 +151,7 @@ mod tests {
 
         // Core-level logical errors never retry.
         assert!(!CoreError::UnknownPartition { pid: 0 }.is_transient());
+        assert!(!CoreError::PartitionUnavailable { pid: 0 }.is_transient());
         assert!(!CoreError::QueryLengthMismatch {
             query: 1,
             indexed: 2

@@ -49,12 +49,20 @@ pub use global::{GlobalBuildBreakdown, PartitionId, TardisG};
 pub use index::{BuildReport, TardisIndex};
 pub use local::{BlockEntry, TardisL};
 pub use query::batch::{
-    exact_knn_batch, exact_knn_batch_naive, exact_knn_batch_profiled, exact_match_batch,
-    exact_match_batch_naive, exact_match_batch_profiled, knn_batch, knn_batch_naive,
+    exact_knn_batch, exact_knn_batch_degraded, exact_knn_batch_naive, exact_knn_batch_profiled,
+    exact_match_batch, exact_match_batch_degraded, exact_match_batch_naive,
+    exact_match_batch_profiled, knn_batch, knn_batch_degraded, knn_batch_naive,
     knn_batch_profiled,
 };
-pub use query::exact::{exact_match, exact_match_profiled, ExactMatchOutcome, ExactMatchStats};
-pub use query::exact_knn::{exact_knn, exact_knn_profiled, ExactKnnAnswer};
-pub use query::range::{range_query, RangeAnswer};
-pub use query::knn::{knn_approximate, knn_approximate_profiled, KnnAnswer, KnnStrategy};
+pub use query::degraded::{Completeness, Degraded, DegradedPolicy};
+pub use query::exact::{
+    exact_match, exact_match_degraded, exact_match_degraded_profiled, exact_match_profiled,
+    ExactMatchOutcome, ExactMatchStats,
+};
+pub use query::exact_knn::{exact_knn, exact_knn_degraded, exact_knn_profiled, ExactKnnAnswer};
+pub use query::range::{range_query, range_query_degraded, RangeAnswer};
+pub use query::knn::{
+    knn_approximate, knn_approximate_degraded, knn_approximate_degraded_profiled,
+    knn_approximate_profiled, KnnAnswer, KnnStrategy,
+};
 pub use tardis_cluster::{BatchProfile, QueryProfile, Tracer};

@@ -42,13 +42,14 @@ use crate::eval::Neighbor;
 use crate::global::PartitionId;
 use crate::index::TardisIndex;
 use crate::local::TardisL;
+use crate::query::degraded::{Completeness, Degraded, DegradedPolicy};
 use crate::query::exact::{exact_match, ExactMatchOutcome};
 use crate::query::exact_knn::{
-    exact_knn, exact_visit_partition, partition_bound_order, ExactKnnAnswer,
+    exact_knn, exact_knn_degraded, exact_visit_partition, partition_bound_order, ExactKnnAnswer,
 };
 use crate::query::knn::{
     knn_approximate, plan_knn, scan_primary, scan_sibling, KnnAnswer, KnnPlan, KnnStrategy,
-    PrimaryScan, RefineStats,
+    PrimaryScan, RefineStats, TopK,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -201,6 +202,96 @@ pub fn exact_match_batch_naive(
         .collect()
 }
 
+/// Runs an exact-match workload through the shared-scan engine under a
+/// degraded-serving [`DegradedPolicy`]. Queries routed to a partition
+/// with no readable replicas return empty matches (`BestEffort`) or fail
+/// the batch (`FailFast`). The batch-level [`Completeness`] counts
+/// *physical* partitions: `partitions_visited` is the number of distinct
+/// partitions deserialized, `partitions_skipped` the distinct partitions
+/// the workload demanded but could not load, and `exact` holds only when
+/// nothing was skipped (answers then equal fault-free execution).
+///
+/// # Errors
+/// Same as [`exact_match_batch`], plus
+/// [`CoreError::PartitionUnavailable`] under `FailFast`.
+pub fn exact_match_batch_degraded(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    queries: &[TimeSeries],
+    use_bloom: bool,
+    policy: DegradedPolicy,
+) -> Result<Degraded<Vec<ExactMatchOutcome>>, CoreError> {
+    // Plan: route every query and run its Bloom probe (Blooms are
+    // memory-resident, so probing needs no partition I/O).
+    let converter = index.global().converter();
+    let mut target: Vec<Option<PartitionId>> = Vec::with_capacity(queries.len());
+    let mut sigs = Vec::with_capacity(queries.len());
+    for q in queries {
+        let sig = converter.sig_of(q)?;
+        let pid = index.global().partition_of(&sig);
+        if use_bloom && !index.bloom_test(cluster, pid, sig.nibbles())? {
+            target.push(None);
+        } else {
+            target.push(Some(pid));
+        }
+        sigs.push(sig);
+    }
+
+    let by_pid = invert(target.iter().enumerate().filter_map(|(i, p)| p.map(|p| (p, i))));
+    let (store, skipped) =
+        load_partitions_degraded(index, cluster, by_pid.keys().copied().collect(), policy)?;
+
+    // Scan only the partitions that loaded.
+    let groups: Vec<(PartitionId, Vec<usize>)> = by_pid
+        .into_iter()
+        .filter(|(pid, _)| store.contains_key(pid))
+        .collect();
+    type ExactScan = (PartitionId, Vec<(usize, Vec<RecordId>)>);
+    let scans: Vec<ExactScan> = cluster.pool().try_par_map(groups, |(pid, qidxs)| {
+        let local = store[&pid].as_ref();
+        let found = qidxs
+            .iter()
+            .map(|&i| (i, local.lookup_exact(&sigs[i], &queries[i])))
+            .collect();
+        Ok::<ExactScan, CoreError>((pid, found))
+    })?;
+
+    // Merge in input order; a query whose partition was skipped keeps an
+    // empty (not bloom-rejected) outcome.
+    let skipped_set: HashSet<PartitionId> = skipped.iter().copied().collect();
+    let mut matched: Vec<Option<Vec<RecordId>>> = vec![None; queries.len()];
+    for (_, items) in scans {
+        for (i, m) in items {
+            matched[i] = Some(m);
+        }
+    }
+    let mut outcomes = Vec::with_capacity(queries.len());
+    for (i, pid) in target.iter().enumerate() {
+        outcomes.push(match pid {
+            None => ExactMatchOutcome {
+                matches: Vec::new(),
+                bloom_rejected: true,
+                partitions_loaded: 0,
+            },
+            Some(pid) if skipped_set.contains(pid) => ExactMatchOutcome {
+                matches: Vec::new(),
+                bloom_rejected: false,
+                partitions_loaded: 0,
+            },
+            Some(_) => ExactMatchOutcome {
+                matches: matched[i].take().expect("scanned"),
+                bloom_rejected: false,
+                partitions_loaded: 1,
+            },
+        });
+    }
+    let exact = skipped.is_empty();
+    Ok(Degraded {
+        answer: outcomes,
+        completeness: Completeness::from_parts(store.len(), skipped, exact),
+    })
+}
+
 // ---------------------------------------------------------------------
 // Approximate kNN
 // ---------------------------------------------------------------------
@@ -272,6 +363,149 @@ pub fn knn_batch_naive(
         })
         .into_iter()
         .collect()
+}
+
+/// Runs a kNN workload through the shared-scan engine under a
+/// degraded-serving [`DegradedPolicy`]. Unreadable partitions are
+/// dropped from every query's candidate scope (`BestEffort`) or fail the
+/// batch (`FailFast`): a query whose primary was skipped starts its heap
+/// empty with an unbounded sibling threshold, and skipped siblings
+/// simply shrink the scope — exactly the semantics of
+/// [`knn_approximate_degraded`](crate::query::knn::knn_approximate_degraded)
+/// per query. The batch-level [`Completeness`] counts *physical*
+/// partitions (distinct deserialized vs distinct demanded-but-dead);
+/// `exact` holds only when nothing was skipped, and answers then equal
+/// fault-free execution bit for bit.
+///
+/// # Errors
+/// Same as [`knn_batch`], plus [`CoreError::PartitionUnavailable`] under
+/// `FailFast`.
+pub fn knn_batch_degraded(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    queries: &[TimeSeries],
+    k: usize,
+    strategy: KnnStrategy,
+    policy: DegradedPolicy,
+) -> Result<Degraded<Vec<KnnAnswer>>, CoreError> {
+    if k == 0 {
+        return Ok(Degraded {
+            answer: queries.iter().map(|_| empty_knn_answer()).collect(),
+            completeness: Completeness::complete(0),
+        });
+    }
+    // Plan (sequential: errors surface in input order).
+    let mut plans = Vec::with_capacity(queries.len());
+    for q in queries {
+        plans.push(plan_knn(index, q, strategy)?);
+    }
+    let pids: BTreeSet<PartitionId> = plans
+        .iter()
+        .flat_map(|p| std::iter::once(p.primary).chain(p.siblings.iter().copied()))
+        .collect();
+    let (store, skipped) =
+        load_partitions_degraded(index, cluster, pids.into_iter().collect(), policy)?;
+
+    let span = Span::noop();
+
+    // Wave A: primary-partition kernels over the partitions that loaded.
+    let primary_groups: Vec<(PartitionId, Vec<usize>)> =
+        invert(plans.iter().enumerate().map(|(i, p)| (p.primary, i)))
+            .into_iter()
+            .filter(|(pid, _)| store.contains_key(pid))
+            .collect();
+    type PrimaryWave = Vec<(usize, PrimaryScan)>;
+    let wave_a: Vec<PrimaryWave> = cluster.pool().try_par_map(primary_groups, |(pid, qidxs)| {
+        let local = store[&pid].as_ref();
+        qidxs
+            .iter()
+            .map(|&i| {
+                // Already inside a pool task: the refine cascade must not
+                // fan out onto the pool again.
+                scan_primary(local, &queries[i], &plans[i], k, strategy, None, &span).map(|s| (i, s))
+            })
+            .collect::<Result<PrimaryWave, CoreError>>()
+    })?;
+    let mut primary_scans: Vec<Option<PrimaryScan>> = (0..queries.len()).map(|_| None).collect();
+    for group in wave_a {
+        for (i, scan) in group {
+            primary_scans[i] = Some(scan);
+        }
+    }
+
+    // Wave B: sibling kernels; a skipped primary leaves the query's
+    // threshold unbounded (its heap starts empty).
+    let thresholds: Vec<f64> = primary_scans
+        .iter()
+        .map(|s| s.as_ref().map_or(f64::INFINITY, |s| s.threshold))
+        .collect();
+    let sibling_groups: Vec<(PartitionId, Vec<usize>)> = invert(
+        plans
+            .iter()
+            .enumerate()
+            .flat_map(|(i, p)| p.siblings.iter().map(move |&s| (s, i))),
+    )
+    .into_iter()
+    .filter(|(pid, _)| store.contains_key(pid))
+    .collect();
+    type SiblingWave = (PartitionId, Vec<(usize, Vec<(f64, RecordId)>, RefineStats)>);
+    let wave_b: Vec<SiblingWave> = cluster.pool().try_par_map(sibling_groups, |(pid, qidxs)| {
+        let local = store[&pid].as_ref();
+        let scans = qidxs
+            .iter()
+            .map(|&i| {
+                scan_sibling(local, &queries[i], &plans[i], k, thresholds[i], None, &span)
+                    .map(|(neighbors, stats)| (i, neighbors, stats))
+            })
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        Ok::<SiblingWave, CoreError>((pid, scans))
+    })?;
+
+    // Merge per query in input order; sibling partials fold in
+    // ascending-pid order — identical tie-breaking to the sequential
+    // degraded path.
+    type SibPartial = (Vec<(f64, RecordId)>, RefineStats);
+    let mut partials: Vec<BTreeMap<PartitionId, SibPartial>> =
+        (0..queries.len()).map(|_| BTreeMap::new()).collect();
+    for (pid, items) in wave_b {
+        for (i, neighbors, stats) in items {
+            partials[i].insert(pid, (neighbors, stats));
+        }
+    }
+    let mut answers = Vec::with_capacity(queries.len());
+    for (i, plan) in plans.iter().enumerate() {
+        let mut loaded_pids: Vec<PartitionId> = Vec::new();
+        let (mut heap, mut stats) = match primary_scans[i].take() {
+            Some(PrimaryScan { heap, stats, .. }) => {
+                loaded_pids.push(plan.primary);
+                (heap, stats)
+            }
+            None => (TopK::new(k), RefineStats::default()),
+        };
+        for (&pid, (neighbors, sib_stats)) in &partials[i] {
+            loaded_pids.push(pid);
+            stats += *sib_stats;
+            for &(d, rid) in neighbors {
+                heap.push(d, rid);
+            }
+        }
+        loaded_pids.sort_unstable();
+        answers.push(KnnAnswer {
+            neighbors: heap
+                .into_sorted()
+                .into_iter()
+                .map(|(d, rid)| (d.sqrt(), rid))
+                .collect(),
+            partitions_loaded: loaded_pids.len(),
+            candidates_refined: stats.refined,
+            candidates_abandoned: stats.abandoned,
+        });
+    }
+    let exact = skipped.is_empty();
+    Ok(Degraded {
+        answer: answers,
+        completeness: Completeness::from_parts(store.len(), skipped, exact),
+    })
 }
 
 /// Everything the kNN shared scan produced — kept `pub(crate)` so the
@@ -644,6 +878,53 @@ pub fn exact_knn_batch_naive(
         .collect()
 }
 
+/// Runs an exact-kNN workload under a degraded-serving
+/// [`DegradedPolicy`], one query at a time over the pool (the per-query
+/// path is [`exact_knn_degraded`]). The refine phase's visit schedule
+/// depends on each query's evolving k-th distance, so which partitions a
+/// query demands is only known mid-flight — a shared partition store
+/// cannot pre-plan it, and under degradation the bookkeeping (which
+/// skips broke which query's exactness) is per-query anyway. Block-cache
+/// sharing still applies across queries.
+///
+/// The batch-level [`Completeness`] aggregates the per-query reports:
+/// `partitions_visited` sums load operations, `partitions_skipped` is
+/// the union of skipped partitions, and `exact` holds only when every
+/// query's answer is provably exact.
+///
+/// # Errors
+/// The first query error in input order; [`CoreError::PartitionUnavailable`]
+/// under `FailFast`.
+pub fn exact_knn_batch_degraded(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    queries: &[TimeSeries],
+    k: usize,
+    policy: DegradedPolicy,
+) -> Result<Degraded<Vec<ExactKnnAnswer>>, CoreError> {
+    let results: Vec<Degraded<ExactKnnAnswer>> = cluster
+        .pool()
+        .par_map(queries.iter().collect(), |q| {
+            exact_knn_degraded(index, cluster, q, k, policy)
+        })
+        .into_iter()
+        .collect::<Result<_, CoreError>>()?;
+    let mut visited = 0usize;
+    let mut skipped: Vec<PartitionId> = Vec::new();
+    let mut exact = true;
+    let mut answers = Vec::with_capacity(results.len());
+    for r in results {
+        visited += r.completeness.partitions_visited;
+        skipped.extend(&r.completeness.partitions_skipped);
+        exact &= r.completeness.exact;
+        answers.push(r.answer);
+    }
+    Ok(Degraded {
+        answer: answers,
+        completeness: Completeness::from_parts(visited, skipped, exact),
+    })
+}
+
 // ---------------------------------------------------------------------
 // Shared machinery
 // ---------------------------------------------------------------------
@@ -681,6 +962,46 @@ fn load_partitions(
             Ok::<_, CoreError>((pid, Arc::new(index.load_partition(cluster, pid)?)))
         })?;
     Ok(loaded.into_iter().collect())
+}
+
+/// [`load_partitions`] under a degraded-serving policy: partitions whose
+/// every replica is dead or corrupt are quarantined and returned in the
+/// skip list (`BestEffort`) or fail the load wave (`FailFast`).
+/// Transient faults still retry inside `try_par_map`; only permanent
+/// cluster errors degrade. The skip list is ascending and deduplicated.
+type DegradedStore = (HashMap<PartitionId, Arc<TardisL>>, Vec<PartitionId>);
+
+fn load_partitions_degraded(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    pids: Vec<PartitionId>,
+    policy: DegradedPolicy,
+) -> Result<DegradedStore, CoreError> {
+    let loaded: Vec<(PartitionId, Option<Arc<TardisL>>)> =
+        cluster.pool().try_par_map(pids, |pid| {
+            let _pin = PinGuard::new(
+                cluster.dfs(),
+                index.partitions().get(pid as usize).map(|m| m.file.clone()),
+            );
+            Ok::<_, CoreError>((
+                pid,
+                index
+                    .load_partition_degraded(cluster, pid, policy)?
+                    .map(Arc::new),
+            ))
+        })?;
+    let mut store = HashMap::new();
+    let mut skipped = Vec::new();
+    for (pid, local) in loaded {
+        match local {
+            Some(local) => {
+                store.insert(pid, local);
+            }
+            None => skipped.push(pid),
+        }
+    }
+    skipped.sort_unstable();
+    Ok((store, skipped))
 }
 
 /// Pins a DFS file in the block cache for the guard's lifetime; dropping

@@ -1,0 +1,179 @@
+//! Degraded-mode query serving.
+//!
+//! Replication masks single-replica loss transparently, but when *every*
+//! replica of a partition's block is dead or corrupt the query layer has
+//! to choose: fail the query, or answer from the partitions that are
+//! still reachable. [`DegradedPolicy`] makes that choice explicit, and
+//! every degraded entry point returns a [`Degraded`] wrapper whose
+//! [`Completeness`] report says exactly which partitions were skipped and
+//! whether the answer still carries its full guarantee.
+//!
+//! The first permanent storage failure a partition load hits quarantines
+//! the partition in [`Metrics`](tardis_cluster::Metrics) (per-partition
+//! failure counters plus an unavailable set), so later queries skip it —
+//! or fail fast with [`CoreError::PartitionUnavailable`] — without
+//! re-walking the dead blocks. A successful `Dfs::scrub` followed by
+//! `Metrics::reset_partition_health` lifts the quarantine.
+
+use crate::error::CoreError;
+use crate::index::TardisIndex;
+use crate::local::TardisL;
+use tardis_cluster::Cluster;
+
+/// How a query responds to a partition with no readable replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DegradedPolicy {
+    /// Propagate the storage failure (or
+    /// [`CoreError::PartitionUnavailable`] once quarantined). This is
+    /// what the plain, non-degraded entry points do.
+    #[default]
+    FailFast,
+    /// Skip unreachable partitions and answer from the rest, reporting
+    /// the gap in the [`Completeness`].
+    BestEffort,
+}
+
+/// Which partitions a degraded query actually covered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Completeness {
+    /// Partition loads performed (matches the answer's
+    /// `partitions_loaded` accounting).
+    pub partitions_visited: usize,
+    /// Partitions skipped because no replica could serve them, ascending
+    /// and deduplicated.
+    pub partitions_skipped: Vec<u32>,
+    /// Whether the answer still carries the full guarantee of its query
+    /// type. Exact match / range / exact kNN: equality with fault-free
+    /// execution. A skip does not always break it — exact kNN stays
+    /// exact when only seed-phase partitions were skipped and every
+    /// pruned-in partition of the refine phase was visited.
+    pub exact: bool,
+}
+
+impl Completeness {
+    /// A fully served query: nothing skipped, guarantee intact.
+    pub fn complete(partitions_visited: usize) -> Completeness {
+        Completeness {
+            partitions_visited,
+            partitions_skipped: Vec::new(),
+            exact: true,
+        }
+    }
+
+    /// Normalizes a skip list into a report: sorted, deduplicated, with
+    /// `exact` as given (callers decide whether the skips broke the
+    /// guarantee).
+    pub(crate) fn from_parts(
+        partitions_visited: usize,
+        mut partitions_skipped: Vec<u32>,
+        exact: bool,
+    ) -> Completeness {
+        partitions_skipped.sort_unstable();
+        partitions_skipped.dedup();
+        Completeness {
+            partitions_visited,
+            partitions_skipped,
+            exact,
+        }
+    }
+
+    /// True when no partition was skipped.
+    pub fn is_complete(&self) -> bool {
+        self.partitions_skipped.is_empty()
+    }
+}
+
+/// An answer produced under a [`DegradedPolicy`], with its coverage
+/// report attached.
+#[derive(Debug, Clone)]
+pub struct Degraded<T> {
+    /// The (possibly partial) answer.
+    pub answer: T,
+    /// Which partitions the query covered and what that means for the
+    /// answer's guarantee.
+    pub completeness: Completeness,
+}
+
+impl TardisIndex {
+    /// Loads a partition under a degraded-serving policy.
+    ///
+    /// * An already-quarantined partition is not touched: `FailFast`
+    ///   returns [`CoreError::PartitionUnavailable`], `BestEffort`
+    ///   returns `Ok(None)` and bumps the skip counter.
+    /// * A load that fails with a *permanent* storage error (every
+    ///   replica of some block dead or corrupt) records the failure
+    ///   against the partition and quarantines it, then resolves the
+    ///   same way.
+    /// * Transient storage errors (a retry budget exhausted on an
+    ///   injected fault) and logical errors propagate under both
+    ///   policies — skipping them would make best-effort answers
+    ///   nondeterministic.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownPartition`], [`CoreError::PartitionUnavailable`]
+    /// (fail-fast), or the underlying load error as described above.
+    pub fn load_partition_degraded(
+        &self,
+        cluster: &Cluster,
+        pid: u32,
+        policy: DegradedPolicy,
+    ) -> Result<Option<TardisL>, CoreError> {
+        use tardis_cluster::MaybeTransient;
+        if self.partitions().get(pid as usize).is_none() {
+            return Err(CoreError::UnknownPartition { pid });
+        }
+        let metrics = cluster.metrics();
+        if !metrics.partition_available(pid) {
+            return match policy {
+                DegradedPolicy::FailFast => Err(CoreError::PartitionUnavailable { pid }),
+                DegradedPolicy::BestEffort => {
+                    metrics.record_partition_skipped();
+                    Ok(None)
+                }
+            };
+        }
+        match self.load_partition(cluster, pid) {
+            Ok(local) => Ok(Some(local)),
+            Err(e @ CoreError::Cluster(_)) if !e.is_transient() => {
+                metrics.record_partition_failure(pid);
+                metrics.mark_partition_unavailable(pid);
+                match policy {
+                    DegradedPolicy::FailFast => Err(e),
+                    DegradedPolicy::BestEffort => {
+                        metrics.record_partition_skipped();
+                        Ok(None)
+                    }
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completeness_helpers() {
+        let c = Completeness::complete(3);
+        assert_eq!(c.partitions_visited, 3);
+        assert!(c.is_complete());
+        assert!(c.exact);
+
+        let c = Completeness::from_parts(2, vec![5, 1, 5], false);
+        assert_eq!(c.partitions_skipped, vec![1, 5]);
+        assert!(!c.is_complete());
+        assert!(!c.exact);
+
+        // Callers may keep `exact` despite skips (seed-only skips).
+        let c = Completeness::from_parts(2, vec![7], true);
+        assert!(c.exact);
+        assert!(!c.is_complete());
+    }
+
+    #[test]
+    fn policy_default_is_fail_fast() {
+        assert_eq!(DegradedPolicy::default(), DegradedPolicy::FailFast);
+    }
+}

@@ -11,6 +11,7 @@
 
 use crate::error::CoreError;
 use crate::index::TardisIndex;
+use crate::query::degraded::{Completeness, Degraded, DegradedPolicy};
 use tardis_cluster::{Cluster, QueryProfile, Tracer};
 use tardis_ts::{RecordId, TimeSeries};
 
@@ -148,6 +149,97 @@ pub fn exact_match_profiled(
             ..QueryProfile::default()
         },
     )
+}
+
+/// Runs one exact-match query under a degraded-serving [`DegradedPolicy`]:
+/// when the routed partition has no readable replicas, `BestEffort`
+/// returns an empty, non-exact answer whose [`Completeness`] names the
+/// skipped partition, while `FailFast` propagates the storage failure
+/// (or [`CoreError::PartitionUnavailable`] once quarantined).
+///
+/// With every partition healthy the answer equals [`exact_match`].
+///
+/// # Errors
+/// Same as [`exact_match`], plus [`CoreError::PartitionUnavailable`]
+/// under `FailFast` for a quarantined partition.
+pub fn exact_match_degraded(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    query: &TimeSeries,
+    use_bloom: bool,
+    policy: DegradedPolicy,
+) -> Result<Degraded<ExactMatchOutcome>, CoreError> {
+    Ok(exact_match_degraded_profiled(index, cluster, query, use_bloom, policy)?.0)
+}
+
+/// [`exact_match_degraded`] plus the query's [`QueryProfile`] (spans are
+/// not collected — the degraded path reports coverage through the
+/// [`Completeness`] instead).
+///
+/// # Errors
+/// Same as [`exact_match_degraded`].
+pub fn exact_match_degraded_profiled(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    query: &TimeSeries,
+    use_bloom: bool,
+    policy: DegradedPolicy,
+) -> Result<(Degraded<ExactMatchOutcome>, QueryProfile), CoreError> {
+    let converter = index.global().converter();
+    let sig = converter.sig_of(query)?;
+    let pid = index.global().partition_of(&sig);
+    if use_bloom && !index.bloom_test(cluster, pid, sig.nibbles())? {
+        return Ok((
+            Degraded {
+                answer: ExactMatchOutcome {
+                    matches: Vec::new(),
+                    bloom_rejected: true,
+                    partitions_loaded: 0,
+                },
+                completeness: Completeness::complete(0),
+            },
+            QueryProfile {
+                bloom_rejected: 1,
+                ..QueryProfile::default()
+            },
+        ));
+    }
+    match index.load_partition_degraded(cluster, pid, policy)? {
+        Some(local) => {
+            let matches = local.lookup_exact(&sig, query);
+            let n_matches = matches.len() as u64;
+            Ok((
+                Degraded {
+                    answer: ExactMatchOutcome {
+                        matches,
+                        bloom_rejected: false,
+                        partitions_loaded: 1,
+                    },
+                    completeness: Completeness::complete(1),
+                },
+                QueryProfile {
+                    partitions_loaded: 1,
+                    partition_ids: vec![pid as u64],
+                    candidates_refined: n_matches,
+                    ..QueryProfile::default()
+                },
+            ))
+        }
+        None => Ok((
+            Degraded {
+                answer: ExactMatchOutcome {
+                    matches: Vec::new(),
+                    bloom_rejected: false,
+                    partitions_loaded: 0,
+                },
+                completeness: Completeness::from_parts(0, vec![pid], false),
+            },
+            QueryProfile {
+                partitions_skipped: 1,
+                ..QueryProfile::default()
+            },
+        )),
+    }
 }
 
 #[cfg(test)]

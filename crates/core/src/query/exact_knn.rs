@@ -21,8 +21,9 @@ use crate::error::CoreError;
 use crate::eval::Neighbor;
 use crate::index::TardisIndex;
 use crate::query::cascade::{refine_cascade, CascadeSink};
-use crate::query::knn::{knn_impl, KnnStrategy};
-use tardis_cluster::{QueryProfile, Tracer, WorkerPool};
+use crate::query::degraded::{Completeness, Degraded, DegradedPolicy};
+use crate::query::knn::{knn_approximate_degraded_profiled, knn_impl, KnnStrategy};
+use tardis_cluster::{QueryProfile, Span, Tracer, WorkerPool};
 use tardis_isax::mindist_paa_sigt_scratch;
 use tardis_ts::{RecordId, TimeSeries};
 
@@ -189,8 +190,7 @@ pub fn exact_knn_profiled(
         candidates_abandoned,
         lanes_pruned_paa,
         refine_block_candidates,
-        bloom_rejected: 0,
-        spans: Vec::new(),
+        ..QueryProfile::default()
     };
     if let Some(id) = root_id {
         profile.spans = tracer.span_tree_under(id);
@@ -203,6 +203,130 @@ pub fn exact_knn_profiled(
         },
         profile,
     ))
+}
+
+/// Runs an exact kNN query under a degraded-serving [`DegradedPolicy`].
+///
+/// Exactness bookkeeping is asymmetric between the two phases:
+///
+/// * **Seed-phase skips don't break exactness.** The approximate seed
+///   only tightens the prune bound; a looser bound makes the visit phase
+///   scan *more* partitions, never fewer, so correctness is unaffected.
+/// * **A visit-phase skip of a pruned-in partition breaks exactness.**
+///   If a partition's lower bound is within the current k-th distance
+///   but no replica can serve it, true neighbors may be missing — the
+///   answer downgrades to best-effort (`Completeness::exact == false`).
+///
+/// Both phases' skips are reported in `partitions_skipped`.
+/// `partitions_visited` counts load *operations* across both phases,
+/// matching [`ExactKnnAnswer::partitions_loaded`] semantics.
+///
+/// # Errors
+/// Same as [`exact_knn`], plus
+/// [`CoreError::PartitionUnavailable`] under `FailFast` for a
+/// quarantined partition.
+pub fn exact_knn_degraded(
+    index: &TardisIndex,
+    cluster: &tardis_cluster::Cluster,
+    query: &TimeSeries,
+    k: usize,
+    policy: DegradedPolicy,
+) -> Result<Degraded<ExactKnnAnswer>, CoreError> {
+    if k == 0 {
+        return Ok(Degraded {
+            answer: ExactKnnAnswer {
+                neighbors: Vec::new(),
+                partitions_loaded: 0,
+                partitions_pruned: 0,
+            },
+            completeness: Completeness::complete(0),
+        });
+    }
+    let converter = index.global().converter();
+    let sig = converter.sig_of(query)?;
+    let paa = converter.paa_of(query)?;
+    let n = query.len();
+
+    // Step 1: seed approximately under the same policy.
+    let (seed, _) =
+        knn_approximate_degraded_profiled(index, cluster, query, k, KnnStrategy::MultiPartition, policy)?;
+    let mut skipped: Vec<u32> = seed.completeness.partitions_skipped.clone();
+    let mut visited_ops = seed.completeness.partitions_visited;
+    let mut pool: Vec<Neighbor> = seed
+        .answer
+        .neighbors
+        .iter()
+        .map(|&(distance, rid)| Neighbor { distance, rid })
+        .collect();
+    pool.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut kth = if pool.len() >= k {
+        pool[k - 1].distance
+    } else {
+        f64::INFINITY
+    };
+    let mut loaded = seed.answer.partitions_loaded;
+
+    // Step 2: lower-bound every partition and order the visit schedule.
+    let own_pid = index.global().partition_of(&sig);
+    let order = partition_bound_order(index, &paa, n, own_pid)?;
+
+    // Step 3: visit in bound order with pruning; a pruned-in partition
+    // that cannot be served downgrades the exactness claim.
+    let span = Span::noop();
+    let mut visited: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut pruned = 0usize;
+    let mut exact = true;
+    for (bound, pid) in order {
+        if bound > kth {
+            pruned += 1;
+            continue;
+        }
+        if !visited.insert(pid) {
+            continue;
+        }
+        match index.load_partition_degraded(cluster, pid, policy)? {
+            Some(local) => {
+                loaded += 1;
+                visited_ops += 1;
+                exact_visit_partition(
+                    &local,
+                    query,
+                    &paa,
+                    n,
+                    k,
+                    &mut kth,
+                    &mut pool,
+                    Some(cluster.pool()),
+                    &span,
+                )?;
+            }
+            None => {
+                skipped.push(pid);
+                exact = false;
+            }
+        }
+    }
+
+    pool.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut seen = std::collections::HashSet::new();
+    pool.retain(|nb| seen.insert(nb.rid));
+    pool.truncate(k);
+    Ok(Degraded {
+        answer: ExactKnnAnswer {
+            neighbors: pool,
+            partitions_loaded: loaded,
+            partitions_pruned: pruned,
+        },
+        completeness: Completeness::from_parts(visited_ops, skipped, exact),
+    })
 }
 
 /// Lower-bounds every partition for one query and returns the visit

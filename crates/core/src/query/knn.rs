@@ -17,6 +17,7 @@ use crate::global::PartitionId;
 use crate::index::TardisIndex;
 use crate::local::TardisL;
 use crate::query::cascade::{refine_cascade, CascadeSink};
+use crate::query::degraded::{Completeness, Degraded, DegradedPolicy};
 use tardis_cluster::{Cluster, QueryProfile, Span, Tracer, WorkerPool};
 use tardis_isax::SigT;
 use tardis_ts::{squared_euclidean_lanes, RecordId, TimeSeries};
@@ -199,8 +200,7 @@ pub(crate) fn knn_impl(
         candidates_abandoned: stats.abandoned as u64,
         lanes_pruned_paa: stats.paa_pruned as u64,
         refine_block_candidates: stats.block as u64,
-        bloom_rejected: 0,
-        spans: Vec::new(),
+        ..QueryProfile::default()
     };
     Ok((
         KnnAnswer {
@@ -212,6 +212,136 @@ pub(crate) fn knn_impl(
             partitions_loaded: profile.partitions_loaded,
             candidates_refined: stats.refined,
             candidates_abandoned: stats.abandoned,
+        },
+        profile,
+    ))
+}
+
+/// Runs one kNN-approximate query under a degraded-serving
+/// [`DegradedPolicy`]: partitions with no readable replicas are skipped
+/// (`BestEffort`) or fail the query (`FailFast`). A skipped primary
+/// leaves the candidate scope to the surviving siblings (the heap starts
+/// empty with an unbounded threshold); skipped siblings simply shrink
+/// the scope. The [`Completeness`] lists every skipped partition, and
+/// `exact` holds only when nothing was skipped (the answer then equals
+/// fault-free execution bit for bit).
+///
+/// # Errors
+/// Same as [`knn_approximate`], plus
+/// [`CoreError::PartitionUnavailable`] under `FailFast` for a
+/// quarantined partition.
+pub fn knn_approximate_degraded(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    query: &TimeSeries,
+    k: usize,
+    strategy: KnnStrategy,
+    policy: DegradedPolicy,
+) -> Result<Degraded<KnnAnswer>, CoreError> {
+    Ok(knn_approximate_degraded_profiled(index, cluster, query, k, strategy, policy)?.0)
+}
+
+/// [`knn_approximate_degraded`] plus the query's [`QueryProfile`]
+/// (`partitions_skipped` counts the degraded skips; spans are not
+/// collected on this path).
+///
+/// # Errors
+/// Same as [`knn_approximate_degraded`].
+pub fn knn_approximate_degraded_profiled(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    query: &TimeSeries,
+    k: usize,
+    strategy: KnnStrategy,
+    policy: DegradedPolicy,
+) -> Result<(Degraded<KnnAnswer>, QueryProfile), CoreError> {
+    if k == 0 {
+        return Ok((
+            Degraded {
+                answer: KnnAnswer {
+                    neighbors: Vec::new(),
+                    partitions_loaded: 0,
+                    candidates_refined: 0,
+                    candidates_abandoned: 0,
+                },
+                completeness: Completeness::complete(0),
+            },
+            QueryProfile::default(),
+        ));
+    }
+    let plan = plan_knn(index, query, strategy)?;
+    let span = Span::noop();
+    let mut skipped: Vec<u32> = Vec::new();
+    let mut loaded_pids: Vec<PartitionId> = Vec::new();
+    let (mut heap, mut stats, threshold) =
+        match index.load_partition_degraded(cluster, plan.primary, policy)? {
+            Some(primary) => {
+                loaded_pids.push(plan.primary);
+                let PrimaryScan {
+                    heap,
+                    stats,
+                    threshold,
+                } = scan_primary(&primary, query, &plan, k, strategy, Some(cluster.pool()), &span)?;
+                (heap, stats, threshold)
+            }
+            None => {
+                skipped.push(plan.primary);
+                (TopK::new(k), RefineStats::default(), f64::INFINITY)
+            }
+        };
+    if !plan.siblings.is_empty() {
+        type SibScan = Result<Option<(Vec<(f64, RecordId)>, RefineStats)>, CoreError>;
+        let results: Vec<SibScan> = cluster.pool().par_map(plan.siblings.clone(), |sib| {
+            match index.load_partition_degraded(cluster, sib, policy)? {
+                // Already inside a pool task: run the cascade inline.
+                Some(local) => {
+                    scan_sibling(&local, query, &plan, k, threshold, None, &span).map(Some)
+                }
+                None => Ok(None),
+            }
+        });
+        // `par_map` preserves input order, and `plan.siblings` is
+        // ascending — the same merge order the fail-fast path uses.
+        for (&sib, result) in plan.siblings.iter().zip(results) {
+            match result? {
+                Some((neighbors, sib_stats)) => {
+                    loaded_pids.push(sib);
+                    stats += sib_stats;
+                    for (d, rid) in neighbors {
+                        heap.push(d, rid);
+                    }
+                }
+                None => skipped.push(sib),
+            }
+        }
+    }
+    loaded_pids.sort_unstable();
+    let exact = skipped.is_empty();
+    let completeness = Completeness::from_parts(loaded_pids.len(), skipped, exact);
+    let profile = QueryProfile {
+        partitions_loaded: loaded_pids.len(),
+        partition_ids: loaded_pids.iter().map(|&p| p as u64).collect(),
+        candidates_pruned: stats.pruned as u64,
+        candidates_refined: stats.refined as u64,
+        candidates_abandoned: stats.abandoned as u64,
+        lanes_pruned_paa: stats.paa_pruned as u64,
+        refine_block_candidates: stats.block as u64,
+        partitions_skipped: completeness.partitions_skipped.len() as u64,
+        ..QueryProfile::default()
+    };
+    Ok((
+        Degraded {
+            answer: KnnAnswer {
+                neighbors: heap
+                    .into_sorted()
+                    .into_iter()
+                    .map(|(d, rid)| (d.sqrt(), rid))
+                    .collect(),
+                partitions_loaded: profile.partitions_loaded,
+                candidates_refined: stats.refined,
+                candidates_abandoned: stats.abandoned,
+            },
+            completeness,
         },
         profile,
     ))

@@ -2,6 +2,7 @@
 
 pub mod batch;
 pub(crate) mod cascade;
+pub mod degraded;
 pub mod exact;
 pub mod exact_knn;
 pub mod range;

@@ -18,7 +18,9 @@
 use crate::error::CoreError;
 use crate::eval::Neighbor;
 use crate::index::TardisIndex;
+use crate::local::TardisL;
 use crate::query::cascade::{refine_cascade, CascadeSink};
+use crate::query::degraded::{Completeness, Degraded, DegradedPolicy};
 use tardis_isax::mindist_paa_sigt_scratch;
 use tardis_ts::{RecordId, TimeSeries};
 
@@ -57,70 +59,12 @@ pub fn range_query(
     let converter = index.global().converter();
     let paa = converter.paa_of(query)?;
     let n = query.len();
-    let global = index.global();
-    let tree = global.tree();
-
-    // Per-partition lower bound = min bound over its global leaves.
-    let mut part_bound = vec![f64::INFINITY; index.n_partitions()];
-    let mut scratch: Vec<u16> = Vec::new();
-    for leaf in tree.leaf_ids() {
-        let node = tree.node(leaf);
-        let bound = mindist_paa_sigt_scratch(&paa, &node.sig, n, &mut scratch)?;
-        if let Some(pid) = global.leaf_partition(&node.sig) {
-            let slot = &mut part_bound[pid as usize];
-            if bound < *slot {
-                *slot = bound;
-            }
-        }
-    }
-    // Partitions that received no leaf bound (fallback routing targets)
-    // must be scanned to stay complete.
-    for slot in part_bound.iter_mut() {
-        if !slot.is_finite() {
-            *slot = 0.0;
-        }
-    }
-
-    // Scan qualifying partitions in parallel.
-    let qualifying: Vec<u32> = part_bound
-        .iter()
-        .enumerate()
-        .filter(|(_, &b)| b <= epsilon)
-        .map(|(pid, _)| pid as u32)
-        .collect();
-    let pruned = index.n_partitions() - qualifying.len();
-
-    struct RangeSink {
-        bound_sq: f64,
-        found: Vec<Neighbor>,
-    }
-    impl CascadeSink for RangeSink {
-        fn bound_sq(&self) -> f64 {
-            self.bound_sq
-        }
-        fn accept(&mut self, rid: RecordId, d_sq: f64) {
-            self.found.push(Neighbor {
-                distance: d_sq.sqrt(),
-                rid,
-            });
-        }
-    }
+    let (qualifying, pruned) = qualifying_partitions(index, &paa, n, epsilon)?;
 
     type PartScan = Result<(Vec<Neighbor>, usize), CoreError>;
     let scans: Vec<PartScan> = cluster.pool().par_map(qualifying.clone(), |pid| {
         let local = index.load_partition(cluster, pid)?;
-        let candidates = local.prune_scan(&paa, n, epsilon)?;
-        // `candidates_refined` keeps its historical meaning: prune-scan
-        // survivors entering per-candidate evaluation (the cascade may
-        // PAA-prune some before a full distance).
-        let refined = candidates.len();
-        let mut sink = RangeSink {
-            bound_sq: epsilon * epsilon,
-            found: Vec::new(),
-        };
-        // Already inside a pool task: run the cascade inline.
-        refine_cascade(local.block(), query, &paa, candidates, None, &mut sink);
-        Ok((sink.found, refined))
+        scan_partition_range(&local, query, &paa, n, epsilon)
     });
 
     let mut matches = Vec::new();
@@ -130,18 +74,170 @@ pub fn range_query(
         matches.extend(found);
         refined += r;
     }
-    matches.sort_by(|a, b| {
-        a.distance
-            .partial_cmp(&b.distance)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.rid.cmp(&b.rid))
-    });
+    sort_range_matches(&mut matches);
     Ok(RangeAnswer {
         matches,
         partitions_loaded: qualifying.len(),
         partitions_pruned: pruned,
         candidates_refined: refined,
     })
+}
+
+/// Runs an exact ε-range query under a degraded-serving
+/// [`DegradedPolicy`]: qualifying partitions with no readable replicas
+/// are skipped (`BestEffort`) or fail the query (`FailFast`). Any skip
+/// breaks the completeness claim — matches inside the skipped partition
+/// cannot be ruled out — so `exact` holds only when nothing was skipped.
+///
+/// # Errors
+/// Same as [`range_query`], plus
+/// [`CoreError::PartitionUnavailable`] under `FailFast` for a
+/// quarantined partition.
+pub fn range_query_degraded(
+    index: &TardisIndex,
+    cluster: &tardis_cluster::Cluster,
+    query: &TimeSeries,
+    epsilon: f64,
+    policy: DegradedPolicy,
+) -> Result<Degraded<RangeAnswer>, CoreError> {
+    if epsilon < 0.0 {
+        return Ok(Degraded {
+            answer: RangeAnswer {
+                matches: Vec::new(),
+                partitions_loaded: 0,
+                partitions_pruned: 0,
+                candidates_refined: 0,
+            },
+            completeness: Completeness::complete(0),
+        });
+    }
+    let converter = index.global().converter();
+    let paa = converter.paa_of(query)?;
+    let n = query.len();
+    let (qualifying, pruned) = qualifying_partitions(index, &paa, n, epsilon)?;
+
+    type PartScan = Result<Option<(Vec<Neighbor>, usize)>, CoreError>;
+    let scans: Vec<PartScan> = cluster.pool().par_map(qualifying.clone(), |pid| {
+        match index.load_partition_degraded(cluster, pid, policy)? {
+            Some(local) => scan_partition_range(&local, query, &paa, n, epsilon).map(Some),
+            None => Ok(None),
+        }
+    });
+
+    let mut matches = Vec::new();
+    let mut refined = 0usize;
+    let mut skipped: Vec<u32> = Vec::new();
+    // `par_map` preserves input order, so the zip is exact.
+    for (&pid, scan) in qualifying.iter().zip(scans) {
+        match scan? {
+            Some((found, r)) => {
+                matches.extend(found);
+                refined += r;
+            }
+            None => skipped.push(pid),
+        }
+    }
+    sort_range_matches(&mut matches);
+    let visited = qualifying.len() - skipped.len();
+    let exact = skipped.is_empty();
+    Ok(Degraded {
+        answer: RangeAnswer {
+            matches,
+            partitions_loaded: visited,
+            partitions_pruned: pruned,
+            candidates_refined: refined,
+        },
+        completeness: Completeness::from_parts(visited, skipped, exact),
+    })
+}
+
+/// Partitions whose lower bound admits matches within ε, plus the count
+/// of provably skippable partitions. The bound per partition is the
+/// minimum `MINDIST(query PAA, leaf signature)` over its global leaves;
+/// partitions with no leaf bound (fallback routing targets) must be
+/// scanned to stay complete.
+fn qualifying_partitions(
+    index: &TardisIndex,
+    paa: &[f64],
+    n: usize,
+    epsilon: f64,
+) -> Result<(Vec<u32>, usize), CoreError> {
+    let global = index.global();
+    let tree = global.tree();
+    let mut part_bound = vec![f64::INFINITY; index.n_partitions()];
+    let mut scratch: Vec<u16> = Vec::new();
+    for leaf in tree.leaf_ids() {
+        let node = tree.node(leaf);
+        let bound = mindist_paa_sigt_scratch(paa, &node.sig, n, &mut scratch)?;
+        if let Some(pid) = global.leaf_partition(&node.sig) {
+            let slot = &mut part_bound[pid as usize];
+            if bound < *slot {
+                *slot = bound;
+            }
+        }
+    }
+    for slot in part_bound.iter_mut() {
+        if !slot.is_finite() {
+            *slot = 0.0;
+        }
+    }
+    let qualifying: Vec<u32> = part_bound
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b <= epsilon)
+        .map(|(pid, _)| pid as u32)
+        .collect();
+    let pruned = index.n_partitions() - qualifying.len();
+    Ok((qualifying, pruned))
+}
+
+struct RangeSink {
+    bound_sq: f64,
+    found: Vec<Neighbor>,
+}
+
+impl CascadeSink for RangeSink {
+    fn bound_sq(&self) -> f64 {
+        self.bound_sq
+    }
+    fn accept(&mut self, rid: RecordId, d_sq: f64) {
+        self.found.push(Neighbor {
+            distance: d_sq.sqrt(),
+            rid,
+        });
+    }
+}
+
+/// Prune-scan plus refine of one loaded partition. `candidates_refined`
+/// keeps its historical meaning: prune-scan survivors entering
+/// per-candidate evaluation (the cascade may PAA-prune some before a
+/// full distance). Runs the cascade inline — callers are already inside
+/// a pool task.
+fn scan_partition_range(
+    local: &TardisL,
+    query: &TimeSeries,
+    paa: &[f64],
+    n: usize,
+    epsilon: f64,
+) -> Result<(Vec<Neighbor>, usize), CoreError> {
+    let candidates = local.prune_scan(paa, n, epsilon)?;
+    let refined = candidates.len();
+    let mut sink = RangeSink {
+        bound_sq: epsilon * epsilon,
+        found: Vec::new(),
+    };
+    refine_cascade(local.block(), query, paa, candidates, None, &mut sink);
+    Ok((sink.found, refined))
+}
+
+/// Canonical result order: ascending by distance with rid tie-break.
+fn sort_range_matches(matches: &mut [Neighbor]) {
+    matches.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.rid.cmp(&b.rid))
+    });
 }
 
 #[cfg(test)]

@@ -1,0 +1,187 @@
+//! Degraded-serving equivalence: on *healthy* storage every `_degraded`
+//! query path must produce answers bit-identical to its fail-fast
+//! counterpart under both policies, with a complete (`exact`) report and
+//! no skips. Dead-partition behaviour is exercised end-to-end in the
+//! workspace durability/chaos suites; these tests pin the invariant that
+//! the degraded machinery is a pure pass-through when nothing is broken.
+
+use tardis_cluster::{encode_records, Cluster, ClusterConfig};
+use tardis_core::{
+    exact_knn, exact_knn_batch, exact_knn_batch_degraded, exact_knn_degraded, exact_match,
+    exact_match_batch, exact_match_batch_degraded, exact_match_degraded, knn_approximate,
+    knn_batch, knn_batch_degraded, knn_approximate_degraded, range_query, range_query_degraded,
+    DegradedPolicy, KnnStrategy, TardisConfig, TardisIndex,
+};
+use tardis_ts::{Record, TimeSeries};
+
+fn series(rid: u64) -> TimeSeries {
+    let mut x = rid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut acc = 0.0f32;
+    let mut v = Vec::with_capacity(64);
+    for _ in 0..64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc += ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+        v.push(acc);
+    }
+    tardis_ts::z_normalize_in_place(&mut v);
+    TimeSeries::new(v)
+}
+
+fn setup(n: u64) -> (Cluster, TardisIndex) {
+    let cluster = Cluster::new(ClusterConfig {
+        n_workers: 4,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let blocks: Vec<Vec<u8>> = (0..n)
+        .collect::<Vec<u64>>()
+        .chunks(100)
+        .map(|chunk| {
+            encode_records(
+                &chunk
+                    .iter()
+                    .map(|&rid| Record::new(rid, series(rid)))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    cluster.dfs().write_blocks("data", blocks).unwrap();
+    let config = TardisConfig {
+        g_max_size: 200,
+        l_max_size: 40,
+        sampling_fraction: 0.5,
+        pth: 4,
+        ..TardisConfig::default()
+    };
+    let (index, _) = TardisIndex::build(&cluster, "data", &config).unwrap();
+    (cluster, index)
+}
+
+const POLICIES: [DegradedPolicy; 2] = [DegradedPolicy::FailFast, DegradedPolicy::BestEffort];
+
+#[test]
+fn healthy_exact_match_is_a_pass_through() {
+    let (cluster, index) = setup(600);
+    for rid in [0u64, 7, 599, 700_000] {
+        let q = series(rid);
+        for use_bloom in [true, false] {
+            let plain = exact_match(&index, &cluster, &q, use_bloom).unwrap();
+            for policy in POLICIES {
+                let deg = exact_match_degraded(&index, &cluster, &q, use_bloom, policy).unwrap();
+                assert_eq!(deg.answer, plain, "rid {rid} bloom {use_bloom}");
+                assert!(deg.completeness.exact);
+                assert!(deg.completeness.partitions_skipped.is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn healthy_knn_is_a_pass_through_for_every_strategy() {
+    let (cluster, index) = setup(700);
+    for rid in [3u64, 350, 695] {
+        let q = series(rid);
+        for strategy in KnnStrategy::ALL {
+            let plain = knn_approximate(&index, &cluster, &q, 10, strategy).unwrap();
+            for policy in POLICIES {
+                let deg =
+                    knn_approximate_degraded(&index, &cluster, &q, 10, strategy, policy).unwrap();
+                assert_eq!(deg.answer.neighbors, plain.neighbors, "rid {rid} {strategy:?}");
+                assert_eq!(deg.answer.partitions_loaded, plain.partitions_loaded);
+                assert!(deg.completeness.exact);
+                assert_eq!(
+                    deg.completeness.partitions_visited,
+                    plain.partitions_loaded
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn healthy_exact_knn_and_range_are_pass_throughs() {
+    let (cluster, index) = setup(600);
+    let q = series(123);
+    let plain = exact_knn(&index, &cluster, &q, 8).unwrap();
+    for policy in POLICIES {
+        let deg = exact_knn_degraded(&index, &cluster, &q, 8, policy).unwrap();
+        assert_eq!(deg.answer.neighbors.len(), plain.neighbors.len());
+        for (a, b) in deg.answer.neighbors.iter().zip(&plain.neighbors) {
+            assert_eq!(a.rid, b.rid);
+            assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+        }
+        assert_eq!(deg.answer.partitions_loaded, plain.partitions_loaded);
+        assert_eq!(deg.answer.partitions_pruned, plain.partitions_pruned);
+        assert!(deg.completeness.exact);
+    }
+
+    let plain = range_query(&index, &cluster, &q, 7.0).unwrap();
+    for policy in POLICIES {
+        let deg = range_query_degraded(&index, &cluster, &q, 7.0, policy).unwrap();
+        assert_eq!(deg.answer.matches.len(), plain.matches.len());
+        for (a, b) in deg.answer.matches.iter().zip(&plain.matches) {
+            assert_eq!(a.rid, b.rid);
+            assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+        }
+        assert!(deg.completeness.exact);
+    }
+}
+
+#[test]
+fn healthy_batches_are_pass_throughs() {
+    let (cluster, index) = setup(600);
+    let queries: Vec<TimeSeries> = (0..16).map(|i| series(i * 37)).collect();
+
+    let plain = exact_match_batch(&index, &cluster, &queries, true).unwrap();
+    for policy in POLICIES {
+        let deg = exact_match_batch_degraded(&index, &cluster, &queries, true, policy).unwrap();
+        assert_eq!(deg.answer, plain);
+        assert!(deg.completeness.exact);
+        assert!(deg.completeness.partitions_visited > 0);
+    }
+
+    let plain = knn_batch(&index, &cluster, &queries, 6, KnnStrategy::MultiPartition).unwrap();
+    for policy in POLICIES {
+        let deg =
+            knn_batch_degraded(&index, &cluster, &queries, 6, KnnStrategy::MultiPartition, policy)
+                .unwrap();
+        for (a, b) in deg.answer.iter().zip(&plain) {
+            assert_eq!(a.neighbors, b.neighbors);
+            assert_eq!(a.partitions_loaded, b.partitions_loaded);
+        }
+        assert!(deg.completeness.exact);
+    }
+
+    let plain = exact_knn_batch(&index, &cluster, &queries[..6], 5).unwrap();
+    for policy in POLICIES {
+        let deg = exact_knn_batch_degraded(&index, &cluster, &queries[..6], 5, policy).unwrap();
+        for (a, b) in deg.answer.iter().zip(&plain) {
+            assert_eq!(a.neighbors.len(), b.neighbors.len());
+            for (x, y) in a.neighbors.iter().zip(&b.neighbors) {
+                assert_eq!(x.rid, y.rid);
+                assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+            }
+        }
+        assert!(deg.completeness.exact);
+    }
+}
+
+#[test]
+fn k_zero_degraded_is_empty_and_complete() {
+    let (cluster, index) = setup(200);
+    let q = series(1);
+    for policy in POLICIES {
+        let deg =
+            knn_approximate_degraded(&index, &cluster, &q, 0, KnnStrategy::MultiPartition, policy)
+                .unwrap();
+        assert!(deg.answer.neighbors.is_empty());
+        assert!(deg.completeness.exact);
+        let deg = exact_knn_degraded(&index, &cluster, &q, 0, policy).unwrap();
+        assert!(deg.answer.neighbors.is_empty());
+        let deg = range_query_degraded(&index, &cluster, &q, -1.0, policy).unwrap();
+        assert!(deg.answer.matches.is_empty());
+        assert!(deg.completeness.is_complete());
+    }
+}

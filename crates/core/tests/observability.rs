@@ -45,6 +45,7 @@ fn faulty_cluster() -> Cluster {
             max_attempts: 64,
             backoff_base: Duration::ZERO,
             backoff_cap: Duration::ZERO,
+            ..RetryPolicy::default()
         },
         ..ClusterConfig::default()
     })

@@ -39,6 +39,9 @@ pub struct QueryProfile {
     pub lanes_pruned_paa: u64,
     /// Candidates that entered the lane/block distance kernels.
     pub refine_block_candidates: u64,
+    /// Partitions skipped by a best-effort degraded query because no
+    /// replica could serve them (0 outside degraded mode).
+    pub partitions_skipped: u64,
     /// Span forest for the query (usually one root).
     pub spans: Vec<SpanNode>,
 }
@@ -64,6 +67,9 @@ impl QueryProfile {
             self.lanes_pruned_paa,
             self.refine_block_candidates,
         );
+        if self.partitions_skipped > 0 {
+            let _ = writeln!(out, "partitions_skipped={} (degraded)", self.partitions_skipped);
+        }
         if !self.partition_ids.is_empty() {
             let ids: Vec<String> = self.partition_ids.iter().map(|p| p.to_string()).collect();
             let _ = writeln!(out, "partitions=[{}]", ids.join(","));
@@ -190,14 +196,25 @@ mod tests {
             bloom_rejected: 0,
             lanes_pruned_paa: 3,
             refine_block_candidates: 10,
+            partitions_skipped: 0,
             spans: t.span_tree(),
         };
         let text = profile.render();
         assert!(text.contains("partitions_loaded=2"));
+        assert!(!text.contains("partitions_skipped"), "hidden when zero");
         assert!(text.contains("paa_pruned=3"));
         assert!(text.contains("block_candidates=10"));
         assert!(text.contains("partitions=[3,7]"));
         assert!(text.contains("query"));
         assert!(profile.span("route").is_some());
+    }
+
+    #[test]
+    fn render_shows_degraded_skips() {
+        let profile = QueryProfile {
+            partitions_skipped: 2,
+            ..QueryProfile::default()
+        };
+        assert!(profile.render().contains("partitions_skipped=2 (degraded)"));
     }
 }

@@ -38,6 +38,7 @@ fn main() -> ExitCode {
         "knn" => cmd_knn(&flags),
         "query-batch" => cmd_query_batch(&flags),
         "range" => cmd_range(&flags),
+        "scrub" => cmd_scrub(&flags),
         "profile" => cmd_profile(&flags),
         "help" | "--help" | "-h" => {
             usage();
@@ -70,7 +71,13 @@ fn usage() {
     eprintln!("           [--mode exact|knn|exact-knn] [--strategy target|one|multi]");
     eprintln!("           [--no-bloom] [--profile] [--trace-out PATH]");
     eprintln!("  range    --dir D --index NAME (--rid N | --query-file PATH) --epsilon E");
+    eprintln!("  scrub    --dir D (verify every replica, re-replicate from healthy siblings)");
     eprintln!("  profile  --family F --records N [--seed S]");
+    eprintln!();
+    eprintln!("storage flags (any command taking --dir):");
+    eprintln!("  --replication N      replicas per block when creating the cluster (default 2)");
+    eprintln!("  --degraded POLICY    fail-fast (default) or best-effort; best-effort skips");
+    eprintln!("                       partitions with no serveable replica and reports which");
     eprintln!();
     eprintln!("families: randomwalk | texmex | dna | noaa");
 }
@@ -130,7 +137,41 @@ fn opt_num<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> Result
 
 fn open_cluster(flags: &Flags) -> Result<Cluster, String> {
     let dir = PathBuf::from(req(flags, "dir")?);
-    Cluster::at_dir(&dir, ClusterConfig::default()).map_err(|e| e.to_string())
+    let mut config = ClusterConfig::default();
+    if let Some(r) = flags.get("replication") {
+        let r: u32 = r.parse().map_err(|_| format!("invalid --replication '{r}'"))?;
+        if r == 0 {
+            return Err("--replication must be at least 1".into());
+        }
+        config.dfs.replication = r;
+        config.dfs.datanodes = config.dfs.datanodes.max(r);
+    }
+    Cluster::at_dir(&dir, config).map_err(|e| e.to_string())
+}
+
+/// Parses `--degraded fail-fast|best-effort` into the query policy.
+/// `None` means the flag was absent: queries run the plain (fail-fast)
+/// code paths with no completeness report.
+fn degraded_policy(flags: &Flags) -> Result<Option<DegradedPolicy>, String> {
+    match flags.get("degraded").map(String::as_str) {
+        None => Ok(None),
+        Some("fail-fast") => Ok(Some(DegradedPolicy::FailFast)),
+        Some("best-effort") => Ok(Some(DegradedPolicy::BestEffort)),
+        Some(other) => Err(format!("unknown --degraded '{other}' (fail-fast|best-effort)")),
+    }
+}
+
+fn completeness_line(c: &Completeness) -> String {
+    if c.partitions_skipped.is_empty() {
+        format!("completeness: exact ({} partition(s) visited, none skipped)", c.partitions_visited)
+    } else {
+        format!(
+            "completeness: {} ({} partition(s) visited, skipped {:?})",
+            if c.exact { "exact" } else { "PARTIAL" },
+            c.partitions_visited,
+            c.partitions_skipped
+        )
+    }
 }
 
 fn family_gen(family: &str, seed: u64, len: Option<usize>) -> Result<Box<dyn SeriesGen>, String> {
@@ -384,8 +425,19 @@ fn cmd_exact(flags: &Flags) -> Result<(), String> {
     let use_bloom = !flags.contains_key("no-bloom");
     let tracer = tracer_for(flags);
     let t0 = std::time::Instant::now();
-    let (out, profile) = exact_match_profiled(&index, &cluster, &query, use_bloom, &tracer)
-        .map_err(|e| e.to_string())?;
+    let (out, profile, completeness) = match degraded_policy(flags)? {
+        Some(policy) => {
+            let (deg, profile) =
+                exact_match_degraded_profiled(&index, &cluster, &query, use_bloom, policy)
+                    .map_err(|e| e.to_string())?;
+            (deg.answer, profile, Some(deg.completeness))
+        }
+        None => {
+            let (out, profile) = exact_match_profiled(&index, &cluster, &query, use_bloom, &tracer)
+                .map_err(|e| e.to_string())?;
+            (out, profile, None)
+        }
+    };
     let elapsed = t0.elapsed();
     if out.matches.is_empty() {
         println!(
@@ -400,6 +452,9 @@ fn cmd_exact(flags: &Flags) -> Result<(), String> {
     } else {
         println!("exact match: record ids {:?} in {elapsed:?}", out.matches);
     }
+    if let Some(c) = completeness {
+        say!("{}", completeness_line(&c));
+    }
     emit_profile(flags, &tracer, &profile)?;
     Ok(())
 }
@@ -410,33 +465,65 @@ fn cmd_knn(flags: &Flags) -> Result<(), String> {
     let query = load_query(&cluster, &dataset, flags)?;
     let k: usize = opt_num(flags, "k", 10)?;
     let strategy = flags.get("strategy").map(String::as_str).unwrap_or("multi");
+    let policy = degraded_policy(flags)?;
     let tracer = tracer_for(flags);
-    let approx = |s: KnnStrategy| -> Result<(Vec<(f64, u64)>, QueryProfile), String> {
-        let (ans, profile) = knn_approximate_profiled(&index, &cluster, &query, k, s, &tracer)
-            .map_err(|e| e.to_string())?;
-        Ok((ans.neighbors, profile))
+    type KnnOut = (Vec<(f64, u64)>, QueryProfile, Option<Completeness>);
+    let approx = |s: KnnStrategy| -> Result<KnnOut, String> {
+        match policy {
+            Some(policy) => {
+                let (deg, profile) =
+                    knn_approximate_degraded_profiled(&index, &cluster, &query, k, s, policy)
+                        .map_err(|e| e.to_string())?;
+                Ok((deg.answer.neighbors, profile, Some(deg.completeness)))
+            }
+            None => {
+                let (ans, profile) =
+                    knn_approximate_profiled(&index, &cluster, &query, k, s, &tracer)
+                        .map_err(|e| e.to_string())?;
+                Ok((ans.neighbors, profile, None))
+            }
+        }
     };
     let t0 = std::time::Instant::now();
-    let (neighbors, profile): (Vec<(f64, u64)>, QueryProfile) = match strategy {
+    let (neighbors, profile, completeness) = match strategy {
         "target" => approx(KnnStrategy::TargetNode)?,
         "one" => approx(KnnStrategy::OnePartition)?,
         "multi" => approx(KnnStrategy::MultiPartition)?,
-        "exact" => {
-            let (ans, profile) = exact_knn_profiled(&index, &cluster, &query, k, &tracer)
-                .map_err(|e| e.to_string())?;
-            (
-                ans.neighbors
-                    .into_iter()
-                    .map(|nb| (nb.distance, nb.rid))
-                    .collect(),
-                profile,
-            )
-        }
+        "exact" => match policy {
+            Some(policy) => {
+                let deg = exact_knn_degraded(&index, &cluster, &query, k, policy)
+                    .map_err(|e| e.to_string())?;
+                (
+                    deg.answer
+                        .neighbors
+                        .into_iter()
+                        .map(|nb| (nb.distance, nb.rid))
+                        .collect(),
+                    QueryProfile::default(),
+                    Some(deg.completeness),
+                )
+            }
+            None => {
+                let (ans, profile) = exact_knn_profiled(&index, &cluster, &query, k, &tracer)
+                    .map_err(|e| e.to_string())?;
+                (
+                    ans.neighbors
+                        .into_iter()
+                        .map(|nb| (nb.distance, nb.rid))
+                        .collect(),
+                    profile,
+                    None,
+                )
+            }
+        },
         other => return Err(format!("unknown strategy '{other}' (target|one|multi|exact)")),
     };
     say!("{strategy} {k}-NN in {:?}:", t0.elapsed());
     for (rank, (d, rid)) in neighbors.iter().enumerate() {
         say!("  #{:<3} record {:>10}  distance {:.6}", rank + 1, rid, d);
+    }
+    if let Some(c) = completeness {
+        say!("{}", completeness_line(&c));
     }
     emit_profile(flags, &tracer, &profile)?;
     Ok(())
@@ -466,6 +553,10 @@ fn cmd_query_batch(flags: &Flags) -> Result<(), String> {
             }
         })
         .collect();
+
+    if let Some(policy) = degraded_policy(flags)? {
+        return run_batch_degraded(&cluster, &index, &queries, k, mode, flags, policy);
+    }
 
     let tracer = tracer_for(flags);
     let t0 = std::time::Instant::now();
@@ -546,13 +637,96 @@ fn cmd_query_batch(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--degraded` arm of `query-batch`: same workload, but through the
+/// degraded batch engines, reporting one batch-wide completeness instead
+/// of the shared-scan profile.
+fn run_batch_degraded(
+    cluster: &Cluster,
+    index: &TardisIndex,
+    queries: &[TimeSeries],
+    k: usize,
+    mode: &str,
+    flags: &Flags,
+    policy: DegradedPolicy,
+) -> Result<(), String> {
+    let count = queries.len();
+    let t0 = std::time::Instant::now();
+    let completeness = match mode {
+        "exact" => {
+            let use_bloom = !flags.contains_key("no-bloom");
+            let deg = exact_match_batch_degraded(index, cluster, queries, use_bloom, policy)
+                .map_err(|e| e.to_string())?;
+            say!("exact-match batch of {count} in {:?}:", t0.elapsed());
+            for (i, o) in deg.answer.iter().enumerate() {
+                if o.bloom_rejected {
+                    say!("  #{i:<3} bloom-rejected");
+                } else if o.matches.is_empty() {
+                    say!("  #{i:<3} no match");
+                } else {
+                    say!("  #{i:<3} record ids {:?}", o.matches);
+                }
+            }
+            deg.completeness
+        }
+        "knn" => {
+            let strategy = match flags.get("strategy").map(String::as_str).unwrap_or("multi") {
+                "target" => KnnStrategy::TargetNode,
+                "one" => KnnStrategy::OnePartition,
+                "multi" => KnnStrategy::MultiPartition,
+                other => return Err(format!("unknown strategy '{other}' (target|one|multi)")),
+            };
+            let deg = knn_batch_degraded(index, cluster, queries, k, strategy, policy)
+                .map_err(|e| e.to_string())?;
+            say!("{k}-NN batch of {count} in {:?}:", t0.elapsed());
+            for (i, a) in deg.answer.iter().enumerate() {
+                let top: Vec<String> = a
+                    .neighbors
+                    .iter()
+                    .take(3)
+                    .map(|(d, rid)| format!("{rid}@{d:.4}"))
+                    .collect();
+                say!("  #{i:<3} [{}{}]", top.join(", "), if a.neighbors.len() > 3 { ", …" } else { "" });
+            }
+            deg.completeness
+        }
+        "exact-knn" => {
+            let deg = exact_knn_batch_degraded(index, cluster, queries, k, policy)
+                .map_err(|e| e.to_string())?;
+            say!("exact {k}-NN batch of {count} in {:?}:", t0.elapsed());
+            for (i, a) in deg.answer.iter().enumerate() {
+                let top: Vec<String> = a
+                    .neighbors
+                    .iter()
+                    .take(3)
+                    .map(|nb| format!("{}@{:.4}", nb.rid, nb.distance))
+                    .collect();
+                say!("  #{i:<3} [{}{}]", top.join(", "), if a.neighbors.len() > 3 { ", …" } else { "" });
+            }
+            deg.completeness
+        }
+        other => return Err(format!("unknown mode '{other}' (exact|knn|exact-knn)")),
+    };
+    say!("{}", completeness_line(&completeness));
+    Ok(())
+}
+
 fn cmd_range(flags: &Flags) -> Result<(), String> {
     let cluster = open_cluster(flags)?;
     let (index, dataset) = open_index(&cluster, flags)?;
     let query = load_query(&cluster, &dataset, flags)?;
     let epsilon: f64 = opt_num(flags, "epsilon", 1.0)?;
     let t0 = std::time::Instant::now();
-    let out = range_query(&index, &cluster, &query, epsilon).map_err(|e| e.to_string())?;
+    let (out, completeness) = match degraded_policy(flags)? {
+        Some(policy) => {
+            let deg = range_query_degraded(&index, &cluster, &query, epsilon, policy)
+                .map_err(|e| e.to_string())?;
+            (deg.answer, Some(deg.completeness))
+        }
+        None => (
+            range_query(&index, &cluster, &query, epsilon).map_err(|e| e.to_string())?,
+            None,
+        ),
+    };
     say!(
         "{} record(s) within ε = {epsilon} in {:?} ({} partitions loaded, {} pruned):",
         out.matches.len(),
@@ -565,6 +739,33 @@ fn cmd_range(flags: &Flags) -> Result<(), String> {
     }
     if out.matches.len() > 50 {
         say!("  … and {} more", out.matches.len() - 50);
+    }
+    if let Some(c) = completeness {
+        say!("{}", completeness_line(&c));
+    }
+    Ok(())
+}
+
+/// Verifies every replica of every block and re-replicates from healthy
+/// siblings. Run after a datanode loss (or on a schedule) to restore
+/// full replication before a second failure can cause data loss.
+fn cmd_scrub(flags: &Flags) -> Result<(), String> {
+    let cluster = open_cluster(flags)?;
+    let t0 = std::time::Instant::now();
+    let report = cluster.dfs().scrub().map_err(|e| e.to_string())?;
+    say!(
+        "scrubbed {} block(s) in {:?}: {} corrupt replica(s) found, {} replica(s) repaired, {} block(s) lost",
+        report.blocks_checked,
+        t0.elapsed(),
+        report.corrupt_replicas,
+        report.replicas_repaired,
+        report.blocks_lost
+    );
+    if report.blocks_lost > 0 {
+        return Err(format!(
+            "{} block(s) have no healthy replica left",
+            report.blocks_lost
+        ));
     }
     Ok(())
 }

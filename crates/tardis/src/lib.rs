@@ -52,15 +52,20 @@ pub mod prelude {
     };
     pub use tardis_bloom::BloomFilter;
     pub use tardis_cluster::{
-        chrome_trace_json, Cluster, ClusterConfig, ClusterError, Dataset, DfsConfig, FaultPlan,
-        MaybeTransient, MetricsSnapshot, PromText, QueryProfile, RetryPolicy, Tracer, WorkerPool,
+        chrome_trace_json, BackoffClock, Cluster, ClusterConfig, ClusterError, Dataset, DfsConfig,
+        FaultPlan, FaultSite, MaybeTransient, MetricsSnapshot, PromText, QueryProfile, RetryPolicy,
+        ScrubReport, Tracer, VirtualClock, WorkerPool,
     };
     pub use tardis_core::{
-        error_ratio, exact_knn, exact_knn_batch, exact_knn_batch_naive, exact_knn_batch_profiled,
-        exact_knn_profiled, exact_match, exact_match_batch, exact_match_batch_naive,
-        exact_match_batch_profiled, exact_match_profiled, ground_truth_knn, knn_approximate,
-        knn_approximate_profiled, knn_batch, knn_batch_naive, knn_batch_profiled, range_query,
-        recall, BatchProfile, CoreError, KnnStrategy, TardisConfig, TardisIndex,
+        error_ratio, exact_knn, exact_knn_batch, exact_knn_batch_degraded, exact_knn_batch_naive,
+        exact_knn_batch_profiled, exact_knn_degraded, exact_knn_profiled, exact_match,
+        exact_match_batch, exact_match_batch_degraded, exact_match_batch_naive,
+        exact_match_batch_profiled, exact_match_degraded, exact_match_degraded_profiled,
+        exact_match_profiled, ground_truth_knn, knn_approximate, knn_approximate_degraded,
+        knn_approximate_degraded_profiled, knn_approximate_profiled, knn_batch, knn_batch_degraded,
+        knn_batch_naive, knn_batch_profiled, range_query, range_query_degraded, recall,
+        BatchProfile, Completeness, CoreError, Degraded, DegradedPolicy, KnnStrategy, TardisConfig,
+        TardisIndex,
     };
     pub use tardis_data::{
         profile_dataset, read_series_file, write_dataset, write_series_file, DnaLike,

@@ -23,6 +23,30 @@ cargo test -q -p tardis-core cascade
 echo "== tier-1: batch-query benchmark smoke (quick scale) =="
 cargo run --release -p tardis-bench --bin experiments -- queries --quick
 
+echo "== tier-1: degraded-mode smoke (replication, scrub, best-effort serving) =="
+DEMO="$(mktemp -d)"
+trap 'rm -rf "$DEMO"' EXIT
+T="target/release/tardis"
+"$T" generate --dir "$DEMO" --dataset rw --family randomwalk --records 3000 --replication 2
+"$T" build --dir "$DEMO" --dataset rw --index idx --capacity 300 --leaf 100 --replication 2
+# One datanode dies: every block keeps a replica on another node, so even
+# a fail-fast query is fully masked by replica failover...
+rm -rf "$DEMO/node-0"
+"$T" exact --dir "$DEMO" --index idx --rid 7 --replication 2 --degraded fail-fast
+# ...and scrub restores full replication (it exits non-zero on data loss).
+"$T" scrub --dir "$DEMO" --replication 2
+# Every replica of every partition dies: fail-fast must error out while
+# best-effort still answers and flags the result as partial.
+rm -rf "$DEMO"/node-*/part-*
+if "$T" knn --dir "$DEMO" --index idx --rid 7 --k 5 --replication 2 --degraded fail-fast >/dev/null 2>&1; then
+    echo "degraded smoke FAILED: fail-fast succeeded with every replica dead" >&2
+    exit 1
+fi
+"$T" knn --dir "$DEMO" --index idx --rid 7 --k 5 --replication 2 --degraded best-effort | grep -q "PARTIAL" || {
+    echo "degraded smoke FAILED: best-effort did not report a partial answer" >&2
+    exit 1
+}
+
 if [[ "${1:-}" == "--chaos" ]]; then
     echo "== tier-1: seeded chaos suite (deterministic fault injection) =="
     cargo test --test chaos -- --nocapture

@@ -31,6 +31,7 @@ fn chaos_plan(seed: u64) -> FaultPlan {
         task_fail_p: 0.02,
         block_read_stall_p: 0.01,
         stall: Duration::from_micros(200),
+        ..FaultPlan::none()
     }
 }
 
@@ -43,6 +44,7 @@ fn chaos_retry() -> RetryPolicy {
         max_attempts: 8,
         backoff_base: Duration::ZERO,
         backoff_cap: Duration::ZERO,
+        ..RetryPolicy::default()
     }
 }
 
@@ -220,6 +222,7 @@ fn over_budget_faults_surface_typed_error() {
             max_attempts: 2,
             backoff_base: Duration::ZERO,
             backoff_cap: Duration::ZERO,
+            ..RetryPolicy::default()
         },
     );
     // Writes are unaffected, so storing the dataset succeeds.
@@ -249,6 +252,145 @@ fn over_budget_faults_surface_typed_error() {
     assert!(
         m.tasks_failed_permanently > 0 || m.block_read_retries > 0,
         "failure should have gone through the retry machinery: {m:?}"
+    );
+}
+
+/// Replication acceptance: with the default replication factor (2),
+/// killing one seed-chosen replica of *every* block — the worst
+/// single-replica loss pattern — is masked entirely by replica failover.
+/// Exact-match, kNN, and batch answers are byte-identical to a fault-free
+/// run, failovers are visible in the metrics, and not a single block
+/// read burns a retry attempt (failover happens *within* one attempt).
+#[test]
+fn killing_one_replica_of_every_block_is_fully_masked() {
+    let gen = RandomWalk::with_len(31_337, 64);
+    let queries: Vec<TimeSeries> = (0..24)
+        .map(|i| gen.series((i * 197) % N_RECORDS))
+        .collect();
+
+    let run = |cluster: &Cluster| {
+        let out = run_pipeline(cluster, &gen);
+        write_dataset(cluster, "chaos-b", &gen, N_RECORDS, BLOCK_RECORDS as usize).unwrap();
+        let (index, _) = TardisIndex::build(cluster, "chaos-b", &chaos_config()).unwrap();
+        let exact = exact_match_batch(&index, cluster, &queries, true).unwrap();
+        let knn = knn_batch(&index, cluster, &queries, 8, KnnStrategy::MultiPartition).unwrap();
+        (out, exact, knn)
+    };
+
+    let clean = cluster_with(None, RetryPolicy::default());
+    let (c_out, c_exact, c_knn) = run(&clean);
+
+    let lossy = cluster_with(
+        Some(FaultPlan {
+            seed: 0xDEAD_0001,
+            kill_one_replica: true,
+            ..FaultPlan::none()
+        }),
+        RetryPolicy::default(),
+    );
+    let (l_out, l_exact, l_knn) = run(&lossy);
+
+    assert_eq!(c_out, l_out, "single-query answers diverged");
+    assert_eq!(c_exact, l_exact, "batched exact-match answers diverged");
+    for (a, b) in c_knn.iter().zip(&l_knn) {
+        assert_eq!(a.neighbors, b.neighbors, "batched kNN answers diverged");
+    }
+
+    let m = lossy.metrics().snapshot();
+    assert!(m.replica_failovers > 0, "no failover ever fired: {m:?}");
+    assert_eq!(
+        m.block_read_retries, 0,
+        "replica failover must not burn retry attempts: {m:?}"
+    );
+    assert_eq!(m.tasks_failed_permanently, 0);
+}
+
+/// Silent write-time corruption of stored replicas is detected by the
+/// per-block checksum and masked by failing over to a healthy replica:
+/// answers stay byte-identical and the checksum failures are metered.
+/// Replication 3 keeps the odds of a fully-corrupted block negligible;
+/// the seed is fixed and verified by the assertion itself.
+#[test]
+fn write_time_corruption_is_masked_by_checksum_failover() {
+    let gen = RandomWalk::with_len(2_024, 64);
+
+    let cluster_corrupt = |seed: u64| {
+        Cluster::new(ClusterConfig {
+            n_workers: 4,
+            dfs: DfsConfig {
+                replication: 3,
+                datanodes: 3,
+                ..DfsConfig::default()
+            },
+            faults: Some(FaultPlan {
+                seed,
+                block_corrupt_p: 0.15,
+                ..FaultPlan::none()
+            }),
+            retry: RetryPolicy::default(),
+        })
+        .unwrap()
+    };
+
+    let clean = cluster_with(None, RetryPolicy::default());
+    let clean_out = run_pipeline(&clean, &gen);
+
+    let corrupt = cluster_corrupt(0x0C04_40B7);
+    let corrupt_out = run_pipeline(&corrupt, &gen);
+
+    assert_eq!(clean_out, corrupt_out, "corruption leaked into answers");
+    let m = corrupt.metrics().snapshot();
+    assert!(m.faults_injected > 0, "no corruption was ever injected: {m:?}");
+    assert!(
+        m.checksum_failures > 0,
+        "corrupt replicas were never read, the test proves nothing: {m:?}"
+    );
+    assert!(m.replica_failovers > 0, "no failover ever fired: {m:?}");
+}
+
+/// Backoff sleeps route through the injectable clock: a retry-heavy run
+/// with second-scale backoff completes instantly on the wall clock while
+/// the virtual clock audits exactly how long production would have
+/// slept.
+#[test]
+fn retry_backoff_goes_through_virtual_clock() {
+    use std::sync::Arc;
+    let gen = RandomWalk::with_len(606, 64);
+    let clock = Arc::new(VirtualClock::new());
+    let cluster = cluster_with(
+        Some(FaultPlan {
+            seed: 0x0BAC_C0FF,
+            block_read_fail_p: 0.2,
+            task_fail_p: 0.05,
+            ..FaultPlan::none()
+        }),
+        RetryPolicy {
+            max_attempts: 8,
+            backoff_base: Duration::from_secs(1),
+            backoff_cap: Duration::from_secs(8),
+            ..RetryPolicy::default()
+        }
+        .with_virtual_clock(Arc::clone(&clock)),
+    );
+
+    let t0 = std::time::Instant::now();
+    write_dataset(&cluster, "vclock", &gen, 1_000, 100).unwrap();
+    let (index, _) = TardisIndex::build(&cluster, "vclock", &chaos_config()).unwrap();
+    let q = gen.series(3);
+    assert_eq!(exact_match(&index, &cluster, &q, true).unwrap().matches, vec![3]);
+
+    let m = cluster.metrics().snapshot();
+    assert!(m.block_read_retries > 0, "no retry ever slept: {m:?}");
+    assert!(
+        clock.slept() >= Duration::from_secs(1),
+        "backoff never reached the virtual clock: slept {:?}",
+        clock.slept()
+    );
+    assert!(
+        t0.elapsed() < clock.slept(),
+        "virtual backoff must not block the wall clock (elapsed {:?}, virtual {:?})",
+        t0.elapsed(),
+        clock.slept()
     );
 }
 

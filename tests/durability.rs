@@ -157,6 +157,152 @@ fn queries_benefit_from_partition_caching() {
 }
 
 #[test]
+fn scrub_restores_replicas_after_datanode_wipe() {
+    let c = cluster();
+    let gen = RandomWalk::with_len(11, 64);
+    write_dataset(&c, "ds", &gen, 1_500, 150).unwrap();
+    let (index, _) = TardisIndex::build(&c, "ds", &config()).unwrap();
+
+    // Losing one whole datanode drops at most one replica per block
+    // (replicas are placed on distinct nodes), so nothing is lost — but
+    // the store is degraded until re-replicated.
+    std::fs::remove_dir_all(c.dfs().datanode_dir(0)).unwrap();
+    let degraded = c.dfs().list_files().iter().any(|f| {
+        c.dfs()
+            .list_blocks(f)
+            .unwrap()
+            .iter()
+            .any(|b| c.dfs().replica_count(b) < c.dfs().replication())
+    });
+    assert!(degraded, "the wipe should have cost some block a replica");
+
+    let report = c.dfs().scrub().unwrap();
+    assert!(report.replicas_repaired > 0, "{report:?}");
+    assert_eq!(report.blocks_lost, 0, "{report:?}");
+
+    // Every block is back at full strength and queries are exact again.
+    for f in c.dfs().list_files() {
+        for b in c.dfs().list_blocks(&f).unwrap() {
+            assert_eq!(
+                c.dfs().replica_count(&b),
+                c.dfs().replication(),
+                "block {b:?} not re-replicated"
+            );
+        }
+    }
+    let q = gen.series(7);
+    assert_eq!(exact_match(&index, &c, &q, true).unwrap().matches, vec![7]);
+    assert!(c.metrics().snapshot().scrub_repairs > 0);
+}
+
+#[test]
+fn dead_partition_degrades_gracefully_and_is_reported() {
+    let c = cluster();
+    let gen = RandomWalk::with_len(17, 64);
+    write_dataset(&c, "ds", &gen, 2_000, 200).unwrap();
+    let (index, _) = TardisIndex::build(&c, "ds", &config()).unwrap();
+    assert!(index.n_partitions() > 1, "need more than one partition");
+
+    // Find the partition serving this query, then kill every replica of
+    // its file — the one failure replication cannot mask.
+    let q = gen.series(42);
+    let (_, profile) =
+        exact_match_profiled(&index, &c, &q, false, &Tracer::disabled()).unwrap();
+    let pid = profile.partition_ids[0] as u32;
+    let file = &index.partitions()[pid as usize].file;
+    for node in 0..c.dfs().datanodes() {
+        let dir = c.dfs().datanode_dir(node).join(file);
+        if dir.exists() {
+            std::fs::remove_dir_all(dir).unwrap();
+        }
+    }
+
+    // Fail-fast: the first load surfaces the storage error and
+    // quarantines the partition; from then on the typed unavailability
+    // error names it.
+    match exact_match_degraded(&index, &c, &q, false, DegradedPolicy::FailFast) {
+        Err(CoreError::Cluster(e)) => assert!(!e.is_transient(), "got transient {e}"),
+        other => panic!("expected a permanent cluster error, got {other:?}"),
+    }
+    match exact_match_degraded(&index, &c, &q, false, DegradedPolicy::FailFast) {
+        Err(CoreError::PartitionUnavailable { pid: p }) => assert_eq!(p, pid),
+        other => panic!("expected PartitionUnavailable, got {other:?}"),
+    }
+
+    // Best-effort: a deterministic partial answer whose completeness
+    // report names exactly the dead partition.
+    let run_exact = || {
+        exact_match_degraded(&index, &c, &q, false, DegradedPolicy::BestEffort).unwrap()
+    };
+    let a = run_exact();
+    assert!(a.answer.matches.is_empty());
+    assert_eq!(a.completeness.partitions_skipped, vec![pid]);
+    assert!(!a.completeness.exact);
+    let b = run_exact();
+    assert_eq!(a.answer.matches, b.answer.matches, "partial answer not deterministic");
+
+    let knn_a =
+        knn_approximate_degraded(&index, &c, &q, 10, KnnStrategy::MultiPartition, DegradedPolicy::BestEffort)
+            .unwrap();
+    assert!(knn_a.completeness.partitions_skipped.contains(&pid));
+    assert!(!knn_a.completeness.exact);
+    let knn_b =
+        knn_approximate_degraded(&index, &c, &q, 10, KnnStrategy::MultiPartition, DegradedPolicy::BestEffort)
+            .unwrap();
+    assert_eq!(knn_a.answer.neighbors, knn_b.answer.neighbors);
+
+    let eknn = exact_knn_degraded(&index, &c, &q, 5, DegradedPolicy::BestEffort).unwrap();
+    assert!(eknn.completeness.partitions_skipped.contains(&pid));
+    assert!(
+        !eknn.completeness.exact,
+        "the query's own partition is always pruned-in; skipping it must downgrade exactness"
+    );
+
+    let range = range_query_degraded(&index, &c, &q, 50.0, DegradedPolicy::BestEffort).unwrap();
+    assert!(range.completeness.partitions_skipped.contains(&pid));
+
+    let batch =
+        knn_batch_degraded(&index, &c, std::slice::from_ref(&q), 10, KnnStrategy::MultiPartition, DegradedPolicy::BestEffort)
+            .unwrap();
+    assert!(batch.completeness.partitions_skipped.contains(&pid));
+    assert_eq!(batch.answer[0].neighbors, knn_a.answer.neighbors);
+
+    // The health accounting and the merged Prometheus dump carry the
+    // whole story: skips, the quarantined partition, and the failover /
+    // corruption counters (present even at zero).
+    let m = c.metrics().snapshot();
+    assert!(m.partitions_skipped > 0, "{m:?}");
+    assert_eq!(m.partitions_unavailable, 1, "{m:?}");
+    assert!(m.partition_failures >= 1, "{m:?}");
+    let dump = m.prometheus_text(None);
+    for metric in [
+        "tardis_partitions_skipped_degraded",
+        "tardis_partitions_unavailable 1",
+        "tardis_partition_failures",
+        "tardis_replica_failovers",
+        "tardis_checksum_failures",
+        "tardis_scrub_repairs",
+    ] {
+        assert!(dump.contains(metric), "missing {metric} in:\n{dump}");
+    }
+
+    // A record living in a healthy partition still answers exactly.
+    let other_rid = (0..2_000u64)
+        .find(|&rid| {
+            exact_match_degraded(&index, &c, &gen.series(rid), false, DegradedPolicy::BestEffort)
+                .unwrap()
+                .completeness
+                .exact
+        })
+        .expect("some record lives outside the dead partition");
+    let healthy =
+        exact_match_degraded(&index, &c, &gen.series(other_rid), false, DegradedPolicy::BestEffort)
+            .unwrap();
+    assert!(healthy.completeness.exact);
+    assert_eq!(healthy.answer.matches, vec![other_rid]);
+}
+
+#[test]
 fn read_latency_makes_bloom_savings_visible() {
     // With a simulated per-block read latency, the Bloom path is
     // measurably faster for absent queries (Figure 14's mechanism).
