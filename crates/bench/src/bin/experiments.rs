@@ -12,7 +12,9 @@
 //! shared-scan batch engine vs the naive per-query baseline; writes
 //! `BENCH_queries.json`), `kernels` (refine-kernel throughput: scalar
 //! baselines vs the lane kernels and the PAA-prefilter block cascade;
-//! writes `BENCH_kernels.json`), `all`, and `quick` (a reduced-size
+//! writes `BENCH_kernels.json`), `server` (resident `tardis-server`
+//! daemon vs cold per-query CLI-style index opens; writes
+//! `BENCH_server.json`), `all`, and `quick` (a reduced-size
 //! pass over everything for smoke testing).
 
 use std::time::Duration;
@@ -96,15 +98,18 @@ fn main() {
     if run_all || cmd == "kernels" {
         kernels(scale);
     }
+    if run_all || cmd == "server" {
+        server(scale);
+    }
     if !run_all
         && ![
             "table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-            "fig17", "ablations", "profiles", "queries", "kernels",
+            "fig17", "ablations", "profiles", "queries", "kernels", "server",
         ]
         .contains(&cmd)
     {
         eprintln!("unknown experiment '{cmd}'");
-        eprintln!("usage: experiments [table2|fig9|...|fig17|ablations|profiles|queries|kernels|all|quick] [--quick]");
+        eprintln!("usage: experiments [table2|fig9|...|fig17|ablations|profiles|queries|kernels|server|all|quick] [--quick]");
         std::process::exit(2);
     }
     println!("\n(total experiment time: {})", secs(t0.elapsed()));
@@ -1061,6 +1066,218 @@ fn kernels(scale: Scale) {
     match std::fs::write("BENCH_kernels.json", &json) {
         Ok(()) => println!("wrote BENCH_kernels.json"),
         Err(e) => eprintln!("could not write BENCH_kernels.json: {e}"),
+    }
+}
+
+/// Resident daemon vs cold CLI-style execution: the same query mix runs
+/// (a) through a long-lived `tardis-server` daemon over TCP — index,
+/// leaf arenas, and block cache resident across requests — and (b) with
+/// a fresh cluster handle plus a full `TardisIndex::open` per query,
+/// the floor every stateless `tardis query` invocation pays before it
+/// can even route. Prints a table and writes `BENCH_server.json`.
+fn server(scale: Scale) {
+    banner("Server", "resident daemon vs cold per-query index opens");
+    use std::sync::Arc;
+    use tardis_cluster::{Cluster, ClusterConfig, DfsConfig};
+    use tardis_server::{Client, Op, QueryServer, Request, ServerConfig};
+
+    const K: usize = 10;
+    const N_CLIENTS: usize = 4;
+    const DEADLINE_MS: u64 = 2_000;
+
+    let gen = Family::RandomWalk.generator();
+    let n = scale.base;
+    let dir = std::env::temp_dir().join(format!("tardis-bench-server-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    // Identical cluster config on both sides; the daemon's edge is
+    // purely that it keeps this state alive between requests. Block
+    // reads carry the same simulated HDFS latency as fig14 — the cost
+    // the resident cache absorbs and a cold process pays every time.
+    let config = || ClusterConfig {
+        dfs: DfsConfig {
+            cache_bytes: 256 << 20,
+            read_latency: Duration::from_millis(2),
+            ..DfsConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    {
+        let cluster = Cluster::at_dir(&dir, config()).expect("cluster");
+        tardis_data::write_dataset(&cluster, "ds", gen.as_ref(), n, tardis_bench::BLOCK_RECORDS)
+            .expect("write dataset");
+        let cfg = TardisConfig {
+            g_max_size: tardis_bench::PARTITION_CAPACITY,
+            l_max_size: tardis_bench::LOCAL_THRESHOLD,
+            ..TardisConfig::default()
+        };
+        let (index, _) = TardisIndex::build(&cluster, "ds", &cfg).expect("build");
+        index.save(&cluster, "idx").expect("save");
+    }
+
+    // The query mix: alternating exact match and multi-partition kNN,
+    // with a 2-query shared-scan batch every fifth request. Every
+    // request carries the same fixed deadline.
+    let requests: Vec<Request> = (0..scale.queries as u64)
+        .map(|i| {
+            let rid = (i * 389) % n;
+            let mut r = if i % 5 == 4 {
+                let mut r = Request::new(i + 1, Op::Batch);
+                r.queries = vec![
+                    gen.series(rid).values().to_vec(),
+                    gen.series((rid + 7_919) % n).values().to_vec(),
+                ];
+                r.k = K;
+                r
+            } else if i % 2 == 0 {
+                let mut r = Request::new(i + 1, Op::Exact);
+                r.query = gen.series(rid).values().to_vec();
+                r
+            } else {
+                let mut r = Request::new(i + 1, Op::Knn);
+                r.query = gen.series(rid).values().to_vec();
+                r.k = K;
+                r
+            };
+            r.deadline_ms = Some(DEADLINE_MS);
+            r
+        })
+        .collect();
+
+    // (a) Cold: fresh cluster handle + index open per query.
+    let t0 = std::time::Instant::now();
+    for req in &requests {
+        let cluster = Cluster::at_dir(&dir, config()).expect("cluster");
+        let index = TardisIndex::open(&cluster, "idx").expect("open");
+        match req.op {
+            Op::Exact => {
+                exact_match(&index, &cluster, &req.series(), true).expect("exact");
+            }
+            Op::Knn => {
+                tardis_core::knn_approximate(&index, &cluster, &req.series(), req.k, req.strategy)
+                    .expect("knn");
+            }
+            Op::Batch => {
+                tardis_core::knn_batch(&index, &cluster, &req.batch_series(), req.k, req.strategy)
+                    .expect("batch");
+            }
+            Op::ExactKnn | Op::Range => unreachable!("mix only issues exact/knn/batch"),
+        }
+    }
+    let cold = t0.elapsed();
+    let cold_qps = requests.len() as f64 / cold.as_secs_f64().max(1e-9);
+
+    // (b) Resident: one daemon, N_CLIENTS concurrent TCP clients
+    // splitting the same mix.
+    let cluster = Arc::new(Cluster::at_dir(&dir, config()).expect("cluster"));
+    let index = Arc::new(TardisIndex::open(&cluster, "idx").expect("open"));
+    let handle = QueryServer::start(
+        Arc::clone(&cluster),
+        Arc::clone(&index),
+        ServerConfig {
+            max_in_flight: N_CLIENTS * 2,
+            queue_capacity: requests.len().max(16),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start");
+    let addr = handle.addr().to_string();
+
+    // Warm-up pass: loads every partition the mix touches into the
+    // resident cache — the steady state a long-lived daemon serves from.
+    {
+        let mut client = Client::connect(&addr).expect("connect");
+        for req in &requests {
+            client.send(req).expect("warm-up");
+        }
+    }
+
+    let mut chunks: Vec<Vec<Request>> = vec![Vec::new(); N_CLIENTS];
+    for (i, req) in requests.iter().enumerate() {
+        chunks[i % N_CLIENTS].push(req.clone());
+    }
+    let t0 = std::time::Instant::now();
+    let workers: Vec<_> = chunks
+        .into_iter()
+        .map(|chunk| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let mut lats = Vec::with_capacity(chunk.len());
+                let mut shed = 0u64;
+                for req in &chunk {
+                    let t = std::time::Instant::now();
+                    let response = client.send(req).expect("send");
+                    lats.push(t.elapsed());
+                    if !response.contains("\"ok\":true") {
+                        shed += 1;
+                    }
+                }
+                (lats, shed)
+            })
+        })
+        .collect();
+    let mut lats = Vec::with_capacity(requests.len());
+    let mut shed = 0u64;
+    for w in workers {
+        let (l, s) = w.join().expect("client thread");
+        lats.extend(l);
+        shed += s;
+    }
+    let daemon = t0.elapsed();
+    let stolen = cluster.metrics().snapshot().tasks_stolen;
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let served = requests.len() as u64 - shed;
+    let daemon_qps = requests.len() as f64 / daemon.as_secs_f64().max(1e-9);
+    lats.sort();
+    let p99 = lats[lats.len().saturating_sub(1) * 99 / 100];
+    let speedup = daemon_qps / cold_qps.max(1e-9);
+    print_table(
+        &["Mode", "Total", "QPS", "p99", "Shed"],
+        &[
+            vec![
+                "cold per-query open".into(),
+                secs(cold),
+                format!("{cold_qps:.1}"),
+                "-".into(),
+                "-".into(),
+            ],
+            vec![
+                format!("resident daemon ({N_CLIENTS} clients)"),
+                secs(daemon),
+                format!("{daemon_qps:.1}"),
+                format!("{:.1} ms", p99.as_secs_f64() * 1e3),
+                shed.to_string(),
+            ],
+        ],
+    );
+    println!(
+        "resident speedup: {speedup:.2}x at a {DEADLINE_MS} ms per-request deadline \
+         ({stolen} stolen task(s) during the timed pass)"
+    );
+
+    // Hand-rolled JSON (the workspace deliberately has no serde).
+    let json = format!(
+        "{{\n  \"bench\": \"server\",\n  \"dataset\": \"RandomWalk\",\n  \"n_records\": {n},\n  \"n_queries\": {},\n  \"mix\": \"exact/knn alternating, shared-scan batch every 5th\",\n  \"k\": {K},\n  \"clients\": {N_CLIENTS},\n  \"deadline_ms\": {DEADLINE_MS},\n  \"cold\": {{\n    \"total_ms\": {:.3},\n    \"qps\": {:.3}\n  }},\n  \"daemon\": {{\n    \"total_ms\": {:.3},\n    \"qps\": {:.3},\n    \"p99_ms\": {:.3},\n    \"served\": {served},\n    \"shed\": {shed}\n  }},\n  \"speedup\": {:.3}\n}}\n",
+        requests.len(),
+        cold.as_secs_f64() * 1e3,
+        cold_qps,
+        daemon.as_secs_f64() * 1e3,
+        daemon_qps,
+        p99.as_secs_f64() * 1e3,
+        speedup,
+    );
+    // Quick (CI smoke) runs must not clobber the checked-in full-scale
+    // baseline numbers.
+    if scale.base != FULL.base {
+        println!("quick scale: not writing BENCH_server.json");
+        return;
+    }
+    match std::fs::write("BENCH_server.json", &json) {
+        Ok(()) => println!("wrote BENCH_server.json"),
+        Err(e) => eprintln!("could not write BENCH_server.json: {e}"),
     }
 }
 

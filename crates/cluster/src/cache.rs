@@ -32,10 +32,12 @@ pub struct BlockCache {
     /// Monotone clock for LRU ordering (u64 never wraps in practice).
     tick: u64,
     /// Files whose blocks are exempt from eviction (in-flight partition
-    /// loads in the shared-scan batch engine). Pinning may let the cache
-    /// run temporarily over budget rather than drop a block another
-    /// worker is about to read.
-    pinned: std::collections::HashSet<String>,
+    /// loads in the shared-scan batch engine), with a *count* per file:
+    /// concurrent loads of the same partition each hold a pin, and the
+    /// exemption lifts only when the last one drops. Pinning may let the
+    /// cache run temporarily over budget rather than drop a block
+    /// another worker is about to read.
+    pinned: HashMap<String, usize>,
 }
 
 #[derive(Debug)]
@@ -52,21 +54,41 @@ impl BlockCache {
             used_bytes: 0,
             entries: HashMap::new(),
             tick: 0,
-            pinned: std::collections::HashSet::new(),
+            pinned: HashMap::new(),
         }
     }
 
-    /// Exempts every block of `file` from eviction until unpinned.
-    /// Idempotent; pins on a disabled cache are harmless no-ops.
+    /// Exempts every block of `file` from eviction until the matching
+    /// [`Self::unpin_file`]. Pins are counted: n concurrent pinners need
+    /// n unpins before the file becomes evictable again. Pins on a
+    /// disabled cache are harmless no-ops.
     pub fn pin_file(&mut self, file: &str) {
-        self.pinned.insert(file.to_string());
+        *self.pinned.entry(file.to_string()).or_insert(0) += 1;
     }
 
-    /// Lifts the eviction exemption and re-applies the byte budget (the
-    /// file's blocks stay cached but become ordinary LRU citizens).
+    /// Drops one pin on `file`; when the last pin goes, the eviction
+    /// exemption lifts and the byte budget is re-applied (the file's
+    /// blocks stay cached but become ordinary LRU citizens). Unpinning
+    /// an unpinned file is a no-op.
     pub fn unpin_file(&mut self, file: &str) {
-        self.pinned.remove(file);
-        self.evict_to_fit();
+        if let Some(n) = self.pinned.get_mut(file) {
+            *n -= 1;
+            if *n == 0 {
+                self.pinned.remove(file);
+                self.evict_to_fit();
+            }
+        }
+    }
+
+    /// Current pin count on `file` (0 = evictable).
+    pub fn pin_count(&self, file: &str) -> usize {
+        self.pinned.get(file).copied().unwrap_or(0)
+    }
+
+    /// Sum of all outstanding pin counts (0 = no file pinned; the
+    /// server's drain check asserts this returns to zero).
+    pub fn total_pins(&self) -> usize {
+        self.pinned.values().sum()
     }
 
     /// Whether caching is enabled.
@@ -156,7 +178,7 @@ impl BlockCache {
             let Some(victim) = self
                 .entries
                 .iter()
-                .filter(|(id, _)| !self.pinned.contains(&id.file))
+                .filter(|(id, _)| !self.pinned.contains_key(&id.file))
                 .min_by(|(ida, ea), (idb, eb)| {
                     ea.last_used.cmp(&eb.last_used).then_with(|| ida.cmp(idb))
                 })
@@ -358,6 +380,38 @@ mod tests {
         c.put(id("b", 1), block(10));
         c.put(id("b", 2), block(10));
         assert!(c.get(&id("a", 0)).is_none(), "stale pin survived purge");
+    }
+
+    #[test]
+    fn pins_are_counted_not_idempotent() {
+        let mut c = BlockCache::new(30);
+        c.put(id("hot", 0), block(10));
+        // Two concurrent loads of the same partition both pin it.
+        c.pin_file("hot");
+        c.pin_file("hot");
+        assert_eq!(c.pin_count("hot"), 2);
+        assert_eq!(c.total_pins(), 2);
+        // The first finishing load must NOT lift the exemption.
+        c.unpin_file("hot");
+        assert_eq!(c.pin_count("hot"), 1);
+        for i in 0..3u32 {
+            c.put(id("cold", i), block(10));
+        }
+        assert!(
+            c.get(&id("hot", 0)).is_some(),
+            "file with an outstanding pin was evicted"
+        );
+        c.unpin_file("hot");
+        assert_eq!(c.total_pins(), 0);
+        // The get above refreshed "hot", so flush everything older first;
+        // three more puts make it the LRU victim again.
+        for i in 3..6u32 {
+            c.put(id("cold", i), block(10));
+        }
+        assert!(c.get(&id("hot", 0)).is_none(), "fully unpinned LRU evicts");
+        // Unpinning an unpinned file stays a no-op.
+        c.unpin_file("hot");
+        assert_eq!(c.pin_count("hot"), 0);
     }
 
     #[test]

@@ -396,13 +396,56 @@ impl Dfs {
                 self.metrics.record_cache_miss();
             }
         }
+        let bytes = self.read_block_retrying(id)?;
+        {
+            let mut cache = self.cache.lock();
+            if cache.enabled() {
+                cache.put(id.clone(), Arc::new(bytes.clone()));
+            }
+        }
+        Ok(bytes)
+    }
+
+    /// [`Self::read_block`] returning the cache's own `Arc` instead of a
+    /// copied `Vec`. A cache hit is zero-copy *and* skips the frame walk
+    /// entirely — the payload was checksum-verified when it entered the
+    /// cache, and cached bytes are immutable, so re-verifying on every
+    /// pinned re-acquisition would just re-read and re-hash data that
+    /// cannot have changed (the resident server's cold-start double-read
+    /// fix). On a miss the payload is verified, wrapped once, and the
+    /// same `Arc` is cached and returned.
+    pub fn read_block_shared(&self, id: &BlockId) -> Result<Arc<Vec<u8>>, ClusterError> {
+        {
+            let mut cache = self.cache.lock();
+            if cache.enabled() {
+                if let Some(bytes) = cache.get(id) {
+                    self.metrics.record_cache_hit();
+                    return Ok(bytes);
+                }
+                self.metrics.record_cache_miss();
+            }
+        }
+        let bytes = Arc::new(self.read_block_retrying(id)?);
+        {
+            let mut cache = self.cache.lock();
+            if cache.enabled() {
+                cache.put(id.clone(), Arc::clone(&bytes));
+            }
+        }
+        Ok(bytes)
+    }
+
+    /// The uncached read path: the retry loop over
+    /// [`Self::read_block_attempt`], shared by [`Self::read_block`] and
+    /// [`Self::read_block_shared`].
+    fn read_block_retrying(&self, id: &BlockId) -> Result<Vec<u8>, ClusterError> {
         let key = FaultInjector::block_key(&id.file, id.index);
         let attempts = self.retry.attempts();
         let mut attempt = 0;
-        let bytes = loop {
+        loop {
             attempt += 1;
             match self.read_block_attempt(id, key, attempt) {
-                Ok(bytes) => break bytes,
+                Ok(bytes) => return Ok(bytes),
                 Err(e) if e.is_transient() && attempt < attempts => {
                     self.metrics.record_block_read_retry();
                     self.retry.sleep_backoff(attempt);
@@ -417,14 +460,7 @@ impl Dfs {
                 // Permanent (e.g. MissingBlock, AllReplicasFailed).
                 Err(e) => return Err(e),
             }
-        };
-        {
-            let mut cache = self.cache.lock();
-            if cache.enabled() {
-                cache.put(id.clone(), Arc::new(bytes.clone()));
-            }
         }
-        Ok(bytes)
     }
 
     /// One read attempt: stall/fault checks, latency, then the replica
@@ -607,6 +643,17 @@ impl Dfs {
     /// Lifts a [`Self::pin_file`] pin and re-applies the cache budget.
     pub fn unpin_file(&self, name: &str) {
         self.cache.lock().unpin_file(name);
+    }
+
+    /// Outstanding pin count on `name` (0 = evictable).
+    pub fn pin_count(&self, name: &str) -> usize {
+        self.cache.lock().pin_count(name)
+    }
+
+    /// Sum of all outstanding cache pins — zero once every in-flight
+    /// query has drained (the server's leak check).
+    pub fn total_pins(&self) -> usize {
+        self.cache.lock().total_pins()
     }
 
     /// Number of blocks stored under `name`: one past the highest block
@@ -805,6 +852,45 @@ mod tests {
         assert_eq!(s.bytes_written, 7);
         assert_eq!(s.blocks_read, 1);
         assert_eq!(s.bytes_read, 7);
+    }
+
+    #[test]
+    fn shared_read_cache_hit_skips_frame_verification() {
+        let metrics = Arc::new(Metrics::new());
+        let dfs = Dfs::temp(
+            DfsConfig {
+                cache_bytes: 1 << 20,
+                ..DfsConfig::default()
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let id = dfs.append_block("p", &[5; 64]).unwrap();
+        // Corrupt one replica on disk: the first (miss) read must detect
+        // it, fail over, and cache the verified payload.
+        let path = dfs.replica_path(&id, 0);
+        let mut frame = fs::read(&path).unwrap();
+        let last = frame.len() - 1;
+        frame[last] ^= 0xFF;
+        fs::write(&path, &frame).unwrap();
+        let first = dfs.read_block_shared(&id).unwrap();
+        assert_eq!(first.as_slice(), &[5u8; 64]);
+        let s1 = metrics.snapshot();
+        assert_eq!(s1.checksum_failures, 1);
+        assert_eq!(s1.cache_misses, 1);
+        assert_eq!(s1.replica_failovers, 1);
+        // Pinned re-acquisition: the hit must return the *same* Arc —
+        // zero copies, no frame walk, so the bad replica on disk cannot
+        // grow checksum_failures again (the cold-start double-read fix).
+        dfs.pin_file("p");
+        let second = dfs.read_block_shared(&id).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "hit must be zero-copy");
+        let s2 = metrics.snapshot();
+        assert_eq!(s2.checksum_failures, 1, "cache hit re-walked frames");
+        assert_eq!(s2.cache_hits, 1);
+        assert_eq!(s2.blocks_read, 1, "hit must not re-read the block");
+        dfs.unpin_file("p");
+        assert_eq!(dfs.total_pins(), 0);
     }
 
     #[test]

@@ -104,6 +104,12 @@ pub struct FaultPlan {
     /// worst single-replica loss pattern, which replication must mask
     /// completely without a single retry.
     pub kill_one_replica: bool,
+    /// When set, every pool task whose *scheduling key* (e.g. partition
+    /// id in the batch engine) equals `.0` sleeps for `.1` before its
+    /// first attempt — a deterministic straggler for scheduler tests.
+    /// Unlike `stall`, this is not a fault: nothing fails or retries,
+    /// the task is simply slow.
+    pub slow_task: Option<(u64, Duration)>,
 }
 
 impl Default for FaultPlan {
@@ -117,6 +123,7 @@ impl Default for FaultPlan {
             stall: Duration::ZERO,
             block_corrupt_p: 0.0,
             kill_one_replica: false,
+            slow_task: None,
         }
     }
 }
@@ -307,6 +314,15 @@ impl FaultInjector {
     /// Reserves a fresh task-key namespace for one `try_par_*` stage.
     pub fn next_task_epoch(&self) -> u64 {
         self.task_epoch.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Injected delay for a task with scheduling key `key` (see
+    /// [`FaultPlan::slow_task`]); `None` for tasks the plan leaves alone.
+    pub fn task_delay(&self, key: u64) -> Option<Duration> {
+        match self.plan.slow_task {
+            Some((slow_key, delay)) if slow_key == key => Some(delay),
+            _ => None,
+        }
     }
 
     /// Stable key for a DFS block.

@@ -42,6 +42,7 @@ pub mod fault;
 pub mod metrics;
 pub mod pool;
 pub mod rng;
+pub mod steal;
 
 pub use tardis_obs as obs;
 
@@ -55,6 +56,7 @@ pub use fault::{BackoffClock, FaultInjector, FaultPlan, FaultSite, RetryPolicy, 
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use obs::{chrome_trace_json, BatchProfile, PromText, QueryProfile, Span, SpanAggregate, SpanNode, SpanRecord, Tracer};
 pub use pool::{TaskError, WorkerPool};
+pub use steal::{Claimed, StealQueues};
 
 use std::path::Path;
 use std::sync::Arc;
@@ -152,6 +154,12 @@ impl Cluster {
     /// Live metrics counters.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The shared metrics handle, for components that must outlive a
+    /// borrow of the cluster (e.g. a resident server's admission gate).
+    pub fn metrics_arc(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// The fault injector, when the cluster was configured with a plan.

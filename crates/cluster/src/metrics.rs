@@ -40,6 +40,11 @@ pub struct Metrics {
     checksum_failures: AtomicU64,
     scrub_repairs: AtomicU64,
     partitions_skipped: AtomicU64,
+    tasks_stolen: AtomicU64,
+    queries_served: AtomicU64,
+    queries_shed: AtomicU64,
+    queue_depth: AtomicU64,
+    queries_in_flight: AtomicU64,
     partition_health: Mutex<PartitionHealth>,
 }
 
@@ -82,6 +87,16 @@ pub struct MetricsSnapshot {
     pub scrub_repairs: u64,
     /// Partition loads skipped by degraded (best-effort) query serving.
     pub partitions_skipped: u64,
+    /// Pool tasks claimed from another worker's deque (work stealing).
+    pub tasks_stolen: u64,
+    /// Queries the server answered (any status except shed).
+    pub queries_served: u64,
+    /// Queries the server shed at admission (overload / shutdown).
+    pub queries_shed: u64,
+    /// Queries waiting in the server's admission queue (gauge).
+    pub queue_depth: u64,
+    /// Queries currently executing in the server (gauge).
+    pub queries_in_flight: u64,
     /// Total permanent partition-storage failures (sum over partitions).
     pub partition_failures: u64,
     /// Partitions currently quarantined as unavailable.
@@ -177,6 +192,31 @@ impl MetricsSnapshot {
             self.partitions_skipped,
         );
         p.counter(
+            "tardis_tasks_stolen",
+            "Pool tasks claimed from another worker's deque.",
+            self.tasks_stolen,
+        );
+        p.counter(
+            "tardis_queries_served",
+            "Queries the server answered.",
+            self.queries_served,
+        );
+        p.counter(
+            "tardis_queries_shed",
+            "Queries the server shed at admission.",
+            self.queries_shed,
+        );
+        p.gauge(
+            "tardis_queue_depth",
+            "Queries waiting in the server's admission queue.",
+            self.queue_depth,
+        );
+        p.gauge(
+            "tardis_queries_in_flight",
+            "Queries currently executing in the server.",
+            self.queries_in_flight,
+        );
+        p.counter(
             "tardis_partition_failures",
             "Permanent partition-storage failures.",
             self.partition_failures,
@@ -227,6 +267,13 @@ impl MetricsSnapshot {
             partitions_skipped: self
                 .partitions_skipped
                 .saturating_sub(earlier.partitions_skipped),
+            tasks_stolen: self.tasks_stolen.saturating_sub(earlier.tasks_stolen),
+            queries_served: self.queries_served.saturating_sub(earlier.queries_served),
+            queries_shed: self.queries_shed.saturating_sub(earlier.queries_shed),
+            // Scheduler occupancy is a gauge pair: deltas keep current
+            // values, same as the quarantine count below.
+            queue_depth: self.queue_depth,
+            queries_in_flight: self.queries_in_flight,
             partition_failures: self
                 .partition_failures
                 .saturating_sub(earlier.partition_failures),
@@ -326,6 +373,31 @@ impl Metrics {
         self.partitions_skipped.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a pool task claimed from another worker's deque.
+    pub fn record_task_steal(&self) {
+        self.tasks_stolen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a query the server answered.
+    pub fn record_query_served(&self) {
+        self.queries_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a query the server shed at admission.
+    pub fn record_query_shed(&self) {
+        self.queries_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sets the admission-queue depth gauge.
+    pub fn set_queue_depth(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Sets the executing-queries gauge.
+    pub fn set_queries_in_flight(&self, n: u64) {
+        self.queries_in_flight.store(n, Ordering::Relaxed);
+    }
+
     /// Records a permanent storage failure of partition `pid`; returns
     /// the partition's accumulated failure count.
     pub fn record_partition_failure(&self, pid: u32) -> u64 {
@@ -387,6 +459,11 @@ impl Metrics {
             checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
             scrub_repairs: self.scrub_repairs.load(Ordering::Relaxed),
             partitions_skipped: self.partitions_skipped.load(Ordering::Relaxed),
+            tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+            queries_shed: self.queries_shed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queries_in_flight: self.queries_in_flight.load(Ordering::Relaxed),
             partition_failures: {
                 let health = self.partition_health.lock();
                 health.failures.values().sum()
@@ -423,6 +500,11 @@ impl Metrics {
         self.checksum_failures.store(0, Ordering::Relaxed);
         self.scrub_repairs.store(0, Ordering::Relaxed);
         self.partitions_skipped.store(0, Ordering::Relaxed);
+        self.tasks_stolen.store(0, Ordering::Relaxed);
+        self.queries_served.store(0, Ordering::Relaxed);
+        self.queries_shed.store(0, Ordering::Relaxed);
+        self.queue_depth.store(0, Ordering::Relaxed);
+        self.queries_in_flight.store(0, Ordering::Relaxed);
         self.reset_partition_health();
     }
 }
@@ -546,6 +628,39 @@ mod tests {
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
         assert!(m.partition_available(3));
+    }
+
+    #[test]
+    fn scheduler_counters_and_gauges() {
+        let m = Metrics::new();
+        m.record_task_steal();
+        m.record_query_served();
+        m.record_query_served();
+        m.record_query_shed();
+        m.set_queue_depth(3);
+        m.set_queries_in_flight(2);
+        let before = m.snapshot();
+        assert_eq!(before.tasks_stolen, 1);
+        assert_eq!(before.queries_served, 2);
+        assert_eq!(before.queries_shed, 1);
+        assert_eq!(before.queue_depth, 3);
+        assert_eq!(before.queries_in_flight, 2);
+        // Deltas: counters subtract, gauges keep their current value.
+        m.record_query_served();
+        m.set_queue_depth(1);
+        let d = m.snapshot().delta_since(&before);
+        assert_eq!(d.queries_served, 1);
+        assert_eq!(d.tasks_stolen, 0);
+        assert_eq!(d.queue_depth, 1);
+        assert_eq!(d.queries_in_flight, 2);
+        let text = m.snapshot().prometheus_text(None);
+        assert!(text.contains("tardis_tasks_stolen 1"));
+        assert!(text.contains("tardis_queries_served 3"));
+        assert!(text.contains("tardis_queries_shed 1"));
+        assert!(text.contains("# TYPE tardis_queue_depth gauge"));
+        assert!(text.contains("tardis_queries_in_flight 2"));
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! A fixed-width worker pool — the "cluster executors".
 //!
-//! Tasks are distributed by work stealing over an atomic cursor; each
-//! `par_*` call spawns scoped threads so closures may borrow from the
-//! caller, matching the way Spark stages close over broadcast state.
+//! Tasks are distributed through per-worker work-stealing deques
+//! ([`crate::steal::StealQueues`]): each worker drains its own deque and
+//! then steals from its neighbours, so one expensive task no longer
+//! pins the whole stage behind the worker that drew it. Each `par_*`
+//! call spawns scoped threads so closures may borrow from the caller,
+//! matching the way Spark stages close over broadcast state. Results
+//! are re-sorted by submission index, so scheduling order never changes
+//! what a stage returns.
 //!
 //! Two families of entry points:
 //!
@@ -14,12 +19,17 @@
 //!   exponential backoff, and only an exhausted retry budget or a
 //!   permanent (logical) error surfaces to the caller — deterministically
 //!   as the lowest-indexed failing task's error.
+//!
+//! The `*_keyed` variants additionally attach a scheduling key (e.g. a
+//! partition id) to every task; the seeded [`FaultInjector`] can then
+//! impose a per-key delay (`FaultPlan::slow_task`) to model one slow
+//! partition for scheduler tests.
 
 use crate::error::{ClusterError, MaybeTransient};
 use crate::fault::{FaultInjector, FaultSite, RetryPolicy};
 use crate::metrics::Metrics;
+use crate::steal::StealQueues;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 
@@ -96,29 +106,25 @@ impl WorkerPool {
             return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
         }
 
-        // Items become slots workers claim through an atomic cursor.
-        let slots: Vec<parking_lot::Mutex<Option<T>>> = items
-            .into_iter()
-            .map(|t| parking_lot::Mutex::new(Some(t)))
-            .collect();
-        let cursor = AtomicUsize::new(0);
-        let workers = self.n_workers.min(n);
+        // Items land in per-worker deques; idle workers steal.
+        let queues = StealQueues::new(items, self.n_workers.min(n));
+        let workers = queues.workers();
 
         let mut buckets: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
-            for _ in 0..workers {
-                let slots = &slots;
-                let cursor = &cursor;
+            for w in 0..workers {
+                let queues = &queues;
                 let f = &f;
+                let metrics = self.metrics.as_deref();
                 handles.push(scope.spawn(move || {
                     let mut local = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
+                    while let Some(claimed) = queues.next(w) {
+                        if claimed.stolen {
+                            if let Some(m) = metrics {
+                                m.record_task_steal();
+                            }
                         }
-                        let item = slots[i].lock().take().expect("slot claimed once");
-                        local.push((i, f(i, item)));
+                        local.push((claimed.index, f(claimed.index, claimed.item)));
                     }
                     local
                 }));
@@ -174,6 +180,39 @@ impl WorkerPool {
         E: TaskError,
         F: Fn(usize, T) -> Result<R, E> + Sync,
     {
+        self.try_par_map_scheduled(items, None, f)
+    }
+
+    /// [`Self::try_par_map`] with a per-item scheduling key (e.g. a
+    /// partition id). The key has no effect on results; it lets the
+    /// seeded [`FaultInjector`] target individual tasks — currently a
+    /// per-key delay (`FaultPlan::slow_task`) that models one slow
+    /// partition so scheduler behaviour can be tested deterministically.
+    pub fn try_par_map_keyed<T, R, E, F, K>(&self, items: Vec<T>, key: K, f: F) -> Result<Vec<R>, E>
+    where
+        T: Send + Sync + Clone,
+        R: Send,
+        E: TaskError,
+        F: Fn(T) -> Result<R, E> + Sync,
+        K: Fn(&T) -> u64 + Sync,
+    {
+        self.try_par_map_scheduled(items, Some(&key), |_, item| f(item))
+    }
+
+    /// Shared core of the fault-tolerant stages: work-stealing claim
+    /// loop, per-task attempt loop, deterministic merge.
+    fn try_par_map_scheduled<T, R, E, F>(
+        &self,
+        items: Vec<T>,
+        key: Option<&(dyn Fn(&T) -> u64 + Sync)>,
+        f: F,
+    ) -> Result<Vec<R>, E>
+    where
+        T: Send + Sync + Clone,
+        R: Send,
+        E: TaskError,
+        F: Fn(usize, T) -> Result<R, E> + Sync,
+    {
         let n = items.len();
         if n == 0 {
             return Ok(Vec::new());
@@ -189,34 +228,36 @@ impl WorkerPool {
         if self.n_workers == 1 || n == 1 {
             let mut out = Vec::with_capacity(n);
             for (i, item) in items.into_iter().enumerate() {
-                out.push(self.run_task(epoch, i, item, &f)?);
+                let sched = key.map(|k| k(&item));
+                out.push(self.run_task(epoch, i, sched, item, &f)?);
             }
             return Ok(out);
         }
 
-        let slots: Vec<parking_lot::Mutex<Option<T>>> = items
-            .into_iter()
-            .map(|t| parking_lot::Mutex::new(Some(t)))
-            .collect();
-        let cursor = AtomicUsize::new(0);
-        let workers = self.n_workers.min(n);
+        // Items land in per-worker deques; idle workers steal.
+        let queues = StealQueues::new(items, self.n_workers.min(n));
+        let workers = queues.workers();
 
         let buckets: Vec<Vec<(usize, Result<R, E>)>> = thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
-            for _ in 0..workers {
-                let slots = &slots;
-                let cursor = &cursor;
+            for w in 0..workers {
+                let queues = &queues;
                 let f = &f;
+                let key = &key;
                 let this = &*self;
                 handles.push(scope.spawn(move || {
                     let mut local = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
+                    while let Some(claimed) = queues.next(w) {
+                        if claimed.stolen {
+                            if let Some(m) = &this.metrics {
+                                m.record_task_steal();
+                            }
                         }
-                        let item = slots[i].lock().take().expect("slot claimed once");
-                        local.push((i, this.run_task(epoch, i, item, f)));
+                        let sched = key.map(|k| k(&claimed.item));
+                        local.push((
+                            claimed.index,
+                            this.run_task(epoch, claimed.index, sched, claimed.item, f),
+                        ));
                     }
                     local
                 }));
@@ -246,12 +287,27 @@ impl WorkerPool {
 
     /// Runs one task through the full attempt loop: injection check,
     /// panic capture, transient-retry with backoff, typed exhaustion.
-    fn run_task<T, R, E, F>(&self, epoch: u64, index: usize, item: T, f: &F) -> Result<R, E>
+    /// A scheduling key (when present) may carry an injected per-task
+    /// delay — applied once, before the first attempt, like a genuinely
+    /// slow partition rather than a retryable fault.
+    fn run_task<T, R, E, F>(
+        &self,
+        epoch: u64,
+        index: usize,
+        sched_key: Option<u64>,
+        item: T,
+        f: &F,
+    ) -> Result<R, E>
     where
         T: Clone,
         E: TaskError,
         F: Fn(usize, T) -> Result<R, E>,
     {
+        if let (Some(inj), Some(k)) = (&self.injector, sched_key) {
+            if let Some(delay) = inj.task_delay(k) {
+                thread::sleep(delay);
+            }
+        }
         let attempts = self.retry.attempts();
         let key = FaultInjector::task_key(epoch, index);
         let mut item = Some(item);
@@ -329,7 +385,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
     #[test]
     fn pool_clamps_to_one_worker() {
@@ -546,6 +602,56 @@ mod tests {
         assert!(s.faults_injected > 0);
         assert!(s.task_retries > 0);
         assert_eq!(s.tasks_failed_permanently, 0);
+    }
+
+    #[test]
+    fn stealing_preserves_results_and_is_metered() {
+        let metrics = Arc::new(Metrics::new());
+        let pool = WorkerPool::new(4).with_metrics(Arc::clone(&metrics));
+        // Item 0 pins worker 0 (round-robin seeding); the rest of that
+        // worker's deque must be stolen by the idle workers.
+        let out = pool.par_map((0..64u64).collect(), |x| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(40));
+            }
+            x * 2
+        });
+        assert_eq!(out, (0..64).map(|x| x * 2).collect::<Vec<u64>>());
+        assert!(
+            metrics.snapshot().tasks_stolen > 0,
+            "idle workers should steal from the stalled worker's deque"
+        );
+    }
+
+    #[test]
+    fn keyed_delay_applies_only_to_matching_key() {
+        use std::time::{Duration, Instant};
+        let metrics = Arc::new(Metrics::new());
+        let injector = Arc::new(FaultInjector::new(
+            FaultPlan {
+                slow_task: Some((7, Duration::from_millis(100))),
+                ..FaultPlan::none()
+            },
+            Arc::clone(&metrics),
+        ));
+        let pool = WorkerPool::new(2).with_fault_injection(injector);
+        let t0 = Instant::now();
+        let out: Vec<u64> = pool
+            .try_par_map_keyed((0..4u64).collect(), |x| *x, |x| {
+                Ok::<_, ClusterError>(x + 1)
+            })
+            .unwrap();
+        assert_eq!(out, vec![1, 2, 3, 4]);
+        assert!(t0.elapsed() < Duration::from_millis(80), "no key matched");
+        let t1 = Instant::now();
+        let out: Vec<u64> = pool
+            .try_par_map_keyed((6..9u64).collect(), |x| *x, Ok::<_, ClusterError>)
+            .unwrap();
+        assert_eq!(out, vec![6, 7, 8]);
+        assert!(
+            t1.elapsed() >= Duration::from_millis(100),
+            "key 7 must incur the injected delay"
+        );
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! Work-stealing task queues for the worker pool.
+//!
+//! The pool used to hand out tasks through a single atomic cursor: every
+//! worker claimed the next unclaimed index. That distributes *count*
+//! evenly but not *cost* — one slow task at the cursor front effectively
+//! serialises claims behind the worker that drew it. Here each worker
+//! owns a deque seeded round-robin; it pops its own deque from the
+//! front and, when empty, steals from the *back* of its victims' deques
+//! (cyclic scan starting at its right-hand neighbour). Stealing moves
+//! work away from busy workers without any coordination beyond one
+//! short mutex hold per claim.
+//!
+//! Determinism contract: stealing changes *which thread* runs a task and
+//! *when*, never *what* the task computes. Every claimed item keeps its
+//! original submission index, results are re-sorted by that index after
+//! the stage, and error selection remains lowest-index-wins — so the
+//! pool's bit-identical-results guarantee is unaffected (asserted by the
+//! equivalence suites in `tests/`).
+//!
+//! Items are only ever enqueued before workers start; nothing is added
+//! mid-stage. A worker that scans every deque and finds them all empty
+//! is therefore done — any remaining work is already claimed and
+//! in-flight on another worker.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// One claimed task: the item, its original submission index, and
+/// whether the claim was a steal (taken from another worker's deque).
+#[derive(Debug)]
+pub struct Claimed<T> {
+    /// Index of the item in the submitted batch (drives result ordering
+    /// and deterministic error selection).
+    pub index: usize,
+    /// The task input itself.
+    pub item: T,
+    /// `true` when the item came from another worker's deque.
+    pub stolen: bool,
+}
+
+/// Per-worker deques with back-stealing, seeded once at construction.
+#[derive(Debug)]
+pub struct StealQueues<T> {
+    queues: Vec<Mutex<VecDeque<(usize, T)>>>,
+}
+
+impl<T> StealQueues<T> {
+    /// Distributes `items` round-robin over `workers` deques (item `i`
+    /// lands on deque `i % workers`), preserving submission indices.
+    /// `workers` is clamped to at least 1.
+    pub fn new(items: Vec<T>, workers: usize) -> StealQueues<T> {
+        let workers = workers.max(1);
+        let mut queues: Vec<VecDeque<(usize, T)>> =
+            (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            queues[i % workers].push_back((i, item));
+        }
+        StealQueues {
+            queues: queues.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Claims the next task for `worker`: its own deque's front, else a
+    /// steal from the back of the first non-empty victim (cyclic scan
+    /// starting at `worker + 1`). `None` means the whole stage is
+    /// drained — no queue holds unclaimed work.
+    pub fn next(&self, worker: usize) -> Option<Claimed<T>> {
+        let n = self.queues.len();
+        let w = worker % n;
+        if let Some((index, item)) = self.queues[w].lock().pop_front() {
+            return Some(Claimed {
+                index,
+                item,
+                stolen: false,
+            });
+        }
+        for offset in 1..n {
+            let victim = (w + offset) % n;
+            if let Some((index, item)) = self.queues[victim].lock().pop_back() {
+                return Some(Claimed {
+                    index,
+                    item,
+                    stolen: true,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn seeds_round_robin_and_drains_exactly_once() {
+        let q = StealQueues::new((0..10u32).collect(), 3);
+        assert_eq!(q.workers(), 3);
+        let mut seen = BTreeSet::new();
+        // Worker 0 drains everything (its own queue, then steals).
+        while let Some(c) = q.next(0) {
+            assert_eq!(c.item as usize, c.index);
+            assert!(seen.insert(c.index), "index {} claimed twice", c.index);
+        }
+        assert_eq!(seen.len(), 10);
+        assert!(q.next(1).is_none());
+    }
+
+    #[test]
+    fn own_queue_claims_are_not_steals() {
+        let q = StealQueues::new((0..6u32).collect(), 2);
+        // Worker 0 owns indices 0, 2, 4.
+        for expected in [0usize, 2, 4] {
+            let c = q.next(0).unwrap();
+            assert_eq!(c.index, expected);
+            assert!(!c.stolen);
+        }
+        // Its queue is now empty: further claims steal from worker 1's
+        // back (index 5 first).
+        let c = q.next(0).unwrap();
+        assert_eq!(c.index, 5);
+        assert!(c.stolen);
+    }
+
+    #[test]
+    fn workers_clamped_to_one() {
+        let q = StealQueues::new(vec![7u8], 0);
+        assert_eq!(q.workers(), 1);
+        assert_eq!(q.next(0).unwrap().index, 0);
+    }
+
+    #[test]
+    fn concurrent_drain_claims_each_item_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let q = StealQueues::new((0..1000u32).collect(), 4);
+        let claimed: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let q = &q;
+                let claimed = &claimed;
+                s.spawn(move || {
+                    while let Some(c) = q.next(w) {
+                        claimed[c.index].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert!(claimed.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+}

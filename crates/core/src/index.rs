@@ -296,19 +296,24 @@ impl TardisIndex {
         cluster.metrics().record_task();
         if self.config.clustered {
             // Entries carry their signatures on disk: no reconversion.
+            // Shared reads make a cache hit zero-copy *and* frame-walk
+            // free: the payload was checksum-verified when it entered
+            // the cache, so a pinned re-acquisition (two queries racing
+            // on one hot partition) must not re-read or re-hash it.
             let mut blocks = Vec::new();
             for id in cluster.dfs().list_blocks(&meta.file)? {
-                blocks.push(cluster.dfs().read_block(&id)?);
+                blocks.push(cluster.dfs().read_block_shared(&id)?);
             }
+            let views: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
             // Decodes straight into the partition's contiguous series
             // arena — no per-record `TimeSeries` allocations.
-            TardisL::from_clustered_blocks(&blocks, &self.config)
+            TardisL::from_clustered_blocks(&views, &self.config)
         } else {
             // Un-clustered: load (sig, rid) pairs, then fetch raw series
             // from the original dataset via random block reads.
             let mut sig_entries: Vec<SigEntry> = Vec::with_capacity(meta.n_records as usize);
             for id in cluster.dfs().list_blocks(&meta.file)? {
-                let bytes = cluster.dfs().read_block(&id)?;
+                let bytes = cluster.dfs().read_block_shared(&id)?;
                 sig_entries.extend(decode_records::<SigEntry>(&bytes)?);
             }
             let records = self.fetch_records(cluster, sig_entries.iter().map(|e| e.rid))?;

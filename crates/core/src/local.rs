@@ -97,8 +97,8 @@ impl TardisL {
     /// # Errors
     /// [`CoreError::Cluster`] on malformed bytes (truncation, trailing
     /// garbage, bad signatures).
-    pub fn from_clustered_blocks(
-        blocks: &[Vec<u8>],
+    pub fn from_clustered_blocks<B: AsRef<[u8]>>(
+        blocks: &[B],
         config: &TardisConfig,
     ) -> Result<TardisL, CoreError> {
         use bytes::Buf;
@@ -107,14 +107,14 @@ impl TardisL {
         // The arena ends up slightly smaller than the raw payload (headers,
         // sigs, rids); reserving the payload size up front keeps the decode
         // loop from re-allocating — and memcpy-ing — the arena as it grows.
-        builder
-            .values_mut()
-            .reserve(blocks.iter().map(|b| b.len()).sum::<usize>() / std::mem::size_of::<f32>());
+        builder.values_mut().reserve(
+            blocks.iter().map(|b| b.as_ref().len()).sum::<usize>() / std::mem::size_of::<f32>(),
+        );
         let mut series_len = 0usize;
         let mut idx: u32 = 0;
         let mut row: Vec<f64> = Vec::new();
         for bytes in blocks {
-            let mut buf: &[u8] = bytes;
+            let mut buf: &[u8] = bytes.as_ref();
             if buf.len() < 5 {
                 return Err(ClusterError::Codec {
                     context: "record block header",

@@ -26,13 +26,24 @@
 //!    (exactly the order the sequential path uses) and return results in
 //!    input order.
 //!
+//! **Scheduling.** Load and scan stages run as *keyed* pool stages
+//! (`try_par_map_keyed`, key = partition id) over the pool's
+//! work-stealing deques ([`tardis_cluster::StealQueues`]): per-partition
+//! tasks are seeded round-robin across workers, and an idle worker
+//! steals from a busy one's deque instead of waiting out the old static
+//! wave. One slow partition therefore delays only the queries routed to
+//! it; unrelated partitions keep flowing through the other workers. The
+//! key also lets the seeded fault plan target a single partition
+//! (`FaultPlan::slow_task`) so that property is testable.
+//!
 //! **Determinism.** Results are bit-identical to sequential single-query
 //! execution and independent of pool width: plans are computed in input
-//! order, partition groups are scheduled from ordered maps, `try_par_map`
-//! preserves input order and surfaces the lowest-indexed error, and every
-//! merge folds sibling partials in ascending-pid order — the same
-//! tie-breaking path `knn_impl` takes. Worker scheduling can change
-//! *when* a scan runs, never *what* it computes or how it is merged.
+//! order, partition groups are scheduled from ordered maps, the pool
+//! re-sorts stage results by submission index and surfaces the
+//! lowest-indexed error, and every merge folds sibling partials in
+//! ascending-pid order — the same tie-breaking path `knn_impl` takes.
+//! Worker scheduling (stealing included) can change *when* and *where* a
+//! scan runs, never *what* it computes or how it is merged.
 //!
 //! The naive per-query variants (`*_batch_naive`) are retained as the
 //! benchmark baseline and as an equivalence oracle in tests.
@@ -123,17 +134,20 @@ pub fn exact_match_batch_profiled(
     let scan_span = root.child("scan");
     let groups: Vec<(PartitionId, Vec<usize>)> = by_pid.into_iter().collect();
     type ExactScan = (PartitionId, Vec<(usize, Vec<RecordId>)>);
-    let scans: Vec<ExactScan> = cluster.pool().try_par_map(groups, |(pid, qidxs)| {
-        let part_span = scan_span.child("partition");
-        part_span.add("pid", pid as u64);
-        part_span.add("queries", qidxs.len() as u64);
-        let local = store[&pid].as_ref();
-        let found = qidxs
-            .iter()
-            .map(|&i| (i, local.lookup_exact(&sigs[i], &queries[i])))
-            .collect();
-        Ok::<ExactScan, CoreError>((pid, found))
-    })?;
+    let scans: Vec<ExactScan> =
+        cluster
+            .pool()
+            .try_par_map_keyed(groups, |(pid, _)| *pid as u64, |(pid, qidxs)| {
+                let part_span = scan_span.child("partition");
+                part_span.add("pid", pid as u64);
+                part_span.add("queries", qidxs.len() as u64);
+                let local = store[&pid].as_ref();
+                let found = qidxs
+                    .iter()
+                    .map(|&i| (i, local.lookup_exact(&sigs[i], &queries[i])))
+                    .collect();
+                Ok::<ExactScan, CoreError>((pid, found))
+            })?;
     drop(scan_span);
 
     // Merge in input order.
@@ -247,14 +261,17 @@ pub fn exact_match_batch_degraded(
         .filter(|(pid, _)| store.contains_key(pid))
         .collect();
     type ExactScan = (PartitionId, Vec<(usize, Vec<RecordId>)>);
-    let scans: Vec<ExactScan> = cluster.pool().try_par_map(groups, |(pid, qidxs)| {
-        let local = store[&pid].as_ref();
-        let found = qidxs
-            .iter()
-            .map(|&i| (i, local.lookup_exact(&sigs[i], &queries[i])))
-            .collect();
-        Ok::<ExactScan, CoreError>((pid, found))
-    })?;
+    let scans: Vec<ExactScan> =
+        cluster
+            .pool()
+            .try_par_map_keyed(groups, |(pid, _)| *pid as u64, |(pid, qidxs)| {
+                let local = store[&pid].as_ref();
+                let found = qidxs
+                    .iter()
+                    .map(|&i| (i, local.lookup_exact(&sigs[i], &queries[i])))
+                    .collect();
+                Ok::<ExactScan, CoreError>((pid, found))
+            })?;
 
     // Merge in input order; a query whose partition was skipped keeps an
     // empty (not bloom-rejected) outcome.
@@ -415,17 +432,22 @@ pub fn knn_batch_degraded(
             .filter(|(pid, _)| store.contains_key(pid))
             .collect();
     type PrimaryWave = Vec<(usize, PrimaryScan)>;
-    let wave_a: Vec<PrimaryWave> = cluster.pool().try_par_map(primary_groups, |(pid, qidxs)| {
-        let local = store[&pid].as_ref();
-        qidxs
-            .iter()
-            .map(|&i| {
-                // Already inside a pool task: the refine cascade must not
-                // fan out onto the pool again.
-                scan_primary(local, &queries[i], &plans[i], k, strategy, None, &span).map(|s| (i, s))
-            })
-            .collect::<Result<PrimaryWave, CoreError>>()
-    })?;
+    let wave_a: Vec<PrimaryWave> = cluster.pool().try_par_map_keyed(
+        primary_groups,
+        |(pid, _)| *pid as u64,
+        |(pid, qidxs)| {
+            let local = store[&pid].as_ref();
+            qidxs
+                .iter()
+                .map(|&i| {
+                    // Already inside a pool task: the refine cascade must
+                    // not fan out onto the pool again.
+                    scan_primary(local, &queries[i], &plans[i], k, strategy, None, &span)
+                        .map(|s| (i, s))
+                })
+                .collect::<Result<PrimaryWave, CoreError>>()
+        },
+    )?;
     let mut primary_scans: Vec<Option<PrimaryScan>> = (0..queries.len()).map(|_| None).collect();
     for group in wave_a {
         for (i, scan) in group {
@@ -449,17 +471,21 @@ pub fn knn_batch_degraded(
     .filter(|(pid, _)| store.contains_key(pid))
     .collect();
     type SiblingWave = (PartitionId, Vec<(usize, Vec<(f64, RecordId)>, RefineStats)>);
-    let wave_b: Vec<SiblingWave> = cluster.pool().try_par_map(sibling_groups, |(pid, qidxs)| {
-        let local = store[&pid].as_ref();
-        let scans = qidxs
-            .iter()
-            .map(|&i| {
-                scan_sibling(local, &queries[i], &plans[i], k, thresholds[i], None, &span)
-                    .map(|(neighbors, stats)| (i, neighbors, stats))
-            })
-            .collect::<Result<Vec<_>, CoreError>>()?;
-        Ok::<SiblingWave, CoreError>((pid, scans))
-    })?;
+    let wave_b: Vec<SiblingWave> = cluster.pool().try_par_map_keyed(
+        sibling_groups,
+        |(pid, _)| *pid as u64,
+        |(pid, qidxs)| {
+            let local = store[&pid].as_ref();
+            let scans = qidxs
+                .iter()
+                .map(|&i| {
+                    scan_sibling(local, &queries[i], &plans[i], k, thresholds[i], None, &span)
+                        .map(|(neighbors, stats)| (i, neighbors, stats))
+                })
+                .collect::<Result<Vec<_>, CoreError>>()?;
+            Ok::<SiblingWave, CoreError>((pid, scans))
+        },
+    )?;
 
     // Merge per query in input order; sibling partials fold in
     // ascending-pid order — identical tie-breaking to the sequential
@@ -554,21 +580,25 @@ pub(crate) fn knn_batch_impl(
             .into_iter()
             .collect();
     type PrimaryWave = Vec<(usize, PrimaryScan)>;
-    let wave_a: Vec<PrimaryWave> = cluster.pool().try_par_map(primary_groups, |(pid, qidxs)| {
-        let part_span = scan_span.child("partition");
-        part_span.add("pid", pid as u64);
-        part_span.add("queries", qidxs.len() as u64);
-        let local = store[&pid].as_ref();
-        qidxs
-            .iter()
-            .map(|&i| {
-                // Already inside a pool task: the refine cascade must not
-                // fan out onto the pool again.
-                scan_primary(local, &queries[i], &plans[i], k, strategy, None, &part_span)
-                    .map(|s| (i, s))
-            })
-            .collect::<Result<PrimaryWave, CoreError>>()
-    })?;
+    let wave_a: Vec<PrimaryWave> = cluster.pool().try_par_map_keyed(
+        primary_groups,
+        |(pid, _)| *pid as u64,
+        |(pid, qidxs)| {
+            let part_span = scan_span.child("partition");
+            part_span.add("pid", pid as u64);
+            part_span.add("queries", qidxs.len() as u64);
+            let local = store[&pid].as_ref();
+            qidxs
+                .iter()
+                .map(|&i| {
+                    // Already inside a pool task: the refine cascade must
+                    // not fan out onto the pool again.
+                    scan_primary(local, &queries[i], &plans[i], k, strategy, None, &part_span)
+                        .map(|s| (i, s))
+                })
+                .collect::<Result<PrimaryWave, CoreError>>()
+        },
+    )?;
     let mut primary_scans: Vec<Option<PrimaryScan>> = (0..queries.len()).map(|_| None).collect();
     for group in wave_a {
         for (i, scan) in group {
@@ -591,20 +621,24 @@ pub(crate) fn knn_batch_impl(
     .into_iter()
     .collect();
     type SiblingWave = (PartitionId, Vec<(usize, Vec<(f64, RecordId)>, RefineStats)>);
-    let wave_b: Vec<SiblingWave> = cluster.pool().try_par_map(sibling_groups, |(pid, qidxs)| {
-        let part_span = scan_span.child("sibling");
-        part_span.add("pid", pid as u64);
-        part_span.add("queries", qidxs.len() as u64);
-        let local = store[&pid].as_ref();
-        let scans = qidxs
-            .iter()
-            .map(|&i| {
-                scan_sibling(local, &queries[i], &plans[i], k, thresholds[i], None, &part_span)
-                    .map(|(neighbors, stats)| (i, neighbors, stats))
-            })
-            .collect::<Result<Vec<_>, CoreError>>()?;
-        Ok::<SiblingWave, CoreError>((pid, scans))
-    })?;
+    let wave_b: Vec<SiblingWave> = cluster.pool().try_par_map_keyed(
+        sibling_groups,
+        |(pid, _)| *pid as u64,
+        |(pid, qidxs)| {
+            let part_span = scan_span.child("sibling");
+            part_span.add("pid", pid as u64);
+            part_span.add("queries", qidxs.len() as u64);
+            let local = store[&pid].as_ref();
+            let scans = qidxs
+                .iter()
+                .map(|&i| {
+                    scan_sibling(local, &queries[i], &plans[i], k, thresholds[i], None, &part_span)
+                        .map(|(neighbors, stats)| (i, neighbors, stats))
+                })
+                .collect::<Result<Vec<_>, CoreError>>()?;
+            Ok::<SiblingWave, CoreError>((pid, scans))
+        },
+    )?;
     drop(scan_span);
 
     // Merge per query in input order; sibling partials fold in
@@ -952,7 +986,7 @@ fn load_partitions(
 ) -> Result<HashMap<PartitionId, Arc<TardisL>>, CoreError> {
     parent.add("partitions", pids.len() as u64);
     let loaded: Vec<(PartitionId, Arc<TardisL>)> =
-        cluster.pool().try_par_map(pids, |pid| {
+        cluster.pool().try_par_map_keyed(pids, |pid| *pid as u64, |pid| {
             let part_span = parent.child("partition");
             part_span.add("pid", pid as u64);
             let _pin = PinGuard::new(
@@ -978,7 +1012,7 @@ fn load_partitions_degraded(
     policy: DegradedPolicy,
 ) -> Result<DegradedStore, CoreError> {
     let loaded: Vec<(PartitionId, Option<Arc<TardisL>>)> =
-        cluster.pool().try_par_map(pids, |pid| {
+        cluster.pool().try_par_map_keyed(pids, |pid| *pid as u64, |pid| {
             let _pin = PinGuard::new(
                 cluster.dfs(),
                 index.partitions().get(pid as usize).map(|m| m.file.clone()),

@@ -82,16 +82,23 @@ impl PromText {
         PromText::default()
     }
 
-    fn header(&mut self, name: &str, help: &str) {
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
         if self.seen.insert(name.to_string()) {
             let _ = writeln!(self.out, "# HELP {name} {help}");
-            let _ = writeln!(self.out, "# TYPE {name} counter");
+            let _ = writeln!(self.out, "# TYPE {name} {kind}");
         }
     }
 
     /// Appends an unlabeled counter sample.
     pub fn counter(&mut self, name: &str, help: &str, value: u64) {
-        self.header(name, help);
+        self.header(name, help, "counter");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// Appends an unlabeled gauge sample (a value that can go down —
+    /// queue depths, in-flight counts).
+    pub fn gauge(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "gauge");
         let _ = writeln!(self.out, "{name} {value}");
     }
 
@@ -104,7 +111,7 @@ impl PromText {
         label_value: &str,
         value: u64,
     ) {
-        self.header(name, help);
+        self.header(name, help, "counter");
         let _ = writeln!(self.out, "{name}{{{label_key}=\"{label_value}\"}} {value}");
     }
 
@@ -174,11 +181,14 @@ mod tests {
     fn prom_text_emits_headers_once() {
         let mut p = PromText::new();
         p.counter("tardis_blocks_read", "Blocks read.", 4);
+        p.gauge("tardis_queue_depth", "Waiting queries.", 3);
         p.labeled_counter("tardis_span_count", "Spans.", "span", "route", 2);
         p.labeled_counter("tardis_span_count", "Spans.", "span", "load", 1);
         let text = p.finish();
         assert_eq!(text.matches("# TYPE tardis_span_count counter").count(), 1);
         assert!(text.contains("tardis_blocks_read 4"));
+        assert!(text.contains("# TYPE tardis_queue_depth gauge"));
+        assert!(text.contains("tardis_queue_depth 3"));
         assert!(text.contains("tardis_span_count{span=\"route\"} 2"));
         assert!(text.contains("tardis_span_count{span=\"load\"} 1"));
     }

@@ -1,0 +1,385 @@
+//! Admission control: a bounded in-flight gate with a bounded,
+//! priority-ordered waiting queue, per-query deadlines, and explicit
+//! load shedding.
+//!
+//! Every request passes through [`Admission::admit`] before touching the
+//! index:
+//!
+//! * If fewer than `max_in_flight` queries are executing **and** nothing
+//!   is queued ahead, the request is admitted immediately and holds a
+//!   [`Permit`] for the duration of its execution.
+//! * Otherwise it joins the waiting queue — unless the queue is at
+//!   `queue_capacity`, in which case it is shed with
+//!   [`Admitted::Overloaded`] *immediately*. An overloaded daemon
+//!   answers fast instead of hanging; the client retries with backoff.
+//! * Waiters are admitted highest-priority-first, FIFO within a
+//!   priority. A waiter whose deadline passes before admission is shed
+//!   with [`Admitted::DeadlineExceeded`] instead of executing late.
+//!
+//! # Deadline clock
+//!
+//! Deadlines are measured against the cluster's [`BackoffClock`] so the
+//! soak tests can drive them deterministically: under
+//! [`BackoffClock::Virtual`] "now" is the virtual clock's accumulated
+//! sleep, which only the test advances. A deadline of `0` therefore
+//! always sheds when the request has to wait (now ≥ enqueue time
+//! instantly), and a generous deadline always admits — deterministic in
+//! both directions, independent of scheduling noise. Under
+//! [`BackoffClock::Real`] "now" is wall time since the gate was built.
+//!
+//! # Metrics
+//!
+//! The gate keeps the scheduler gauges live on the shared [`Metrics`]:
+//! `tardis_queue_depth` and `tardis_queries_in_flight` track every
+//! transition, `tardis_queries_shed` counts both shed flavors, and
+//! `tardis_queries_served` counts permits released after execution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use tardis_cluster::{BackoffClock, Metrics};
+
+/// Outcome of an admission attempt.
+#[derive(Debug)]
+pub enum Admitted {
+    /// Admitted; execute while holding the permit.
+    Permit(Permit),
+    /// Shed: the waiting queue was full (or the gate is closed).
+    Overloaded,
+    /// Shed: the deadline passed while queued.
+    DeadlineExceeded,
+}
+
+struct Waiter {
+    priority: u8,
+    seq: u64,
+}
+
+struct State {
+    in_flight: usize,
+    waiting: Vec<Waiter>,
+    closed: bool,
+}
+
+/// The admission gate. Shared by every connection thread.
+pub struct Admission {
+    max_in_flight: usize,
+    queue_capacity: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+    clock: BackoffClock,
+    start: Instant,
+    seq: AtomicU64,
+    metrics: Option<Arc<Metrics>>,
+}
+
+impl Admission {
+    /// Builds a gate. `max_in_flight` and `queue_capacity` are clamped
+    /// to at least 1 and 0 respectively (a zero-capacity queue sheds
+    /// everything that cannot run immediately).
+    pub fn new(
+        max_in_flight: usize,
+        queue_capacity: usize,
+        clock: BackoffClock,
+        metrics: Option<Arc<Metrics>>,
+    ) -> Arc<Admission> {
+        Arc::new(Admission {
+            max_in_flight: max_in_flight.max(1),
+            queue_capacity,
+            state: Mutex::new(State {
+                in_flight: 0,
+                waiting: Vec::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            clock,
+            start: Instant::now(),
+            seq: AtomicU64::new(0),
+            metrics,
+        })
+    }
+
+    /// Milliseconds on the admission clock: virtual-sleep total under a
+    /// virtual clock, wall time since construction otherwise.
+    pub fn now_ms(&self) -> u64 {
+        match &self.clock {
+            BackoffClock::Virtual(clock) => clock.slept().as_millis() as u64,
+            _ => self.start.elapsed().as_millis() as u64,
+        }
+    }
+
+    /// Queries currently executing.
+    pub fn in_flight(&self) -> usize {
+        self.state.lock().unwrap().in_flight
+    }
+
+    /// Queries currently waiting for admission.
+    pub fn queue_depth(&self) -> usize {
+        self.state.lock().unwrap().waiting.len()
+    }
+
+    /// Requests admission, blocking while queued.
+    ///
+    /// `deadline` bounds the *wait*: a request that cannot be admitted
+    /// by `now + deadline` is shed. `None` waits indefinitely (until
+    /// admission or [`close`](Self::close)).
+    pub fn admit(self: &Arc<Self>, priority: u8, deadline: Option<Duration>) -> Admitted {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            self.shed();
+            return Admitted::Overloaded;
+        }
+        // Fast path: capacity free and nobody queued ahead.
+        if st.in_flight < self.max_in_flight && st.waiting.is_empty() {
+            st.in_flight += 1;
+            self.publish(&st);
+            return Admitted::Permit(Permit {
+                gate: Arc::clone(self),
+            });
+        }
+        if st.waiting.len() >= self.queue_capacity {
+            self.shed();
+            return Admitted::Overloaded;
+        }
+
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let deadline_at = deadline.map(|d| self.now_ms().saturating_add(d.as_millis() as u64));
+        st.waiting.push(Waiter { priority, seq });
+        self.publish(&st);
+        loop {
+            if st.closed {
+                Self::remove(&mut st, seq);
+                self.publish(&st);
+                self.shed();
+                self.cv.notify_all();
+                return Admitted::Overloaded;
+            }
+            if let Some(dl) = deadline_at {
+                // `>=` so a zero deadline expires without any clock
+                // motion: waiting at all already missed it.
+                if self.now_ms() >= dl {
+                    Self::remove(&mut st, seq);
+                    self.publish(&st);
+                    self.shed();
+                    self.cv.notify_all();
+                    return Admitted::DeadlineExceeded;
+                }
+            }
+            if st.in_flight < self.max_in_flight && Self::is_head(&st, priority, seq) {
+                Self::remove(&mut st, seq);
+                st.in_flight += 1;
+                self.publish(&st);
+                // Another slot may be free for the next-best waiter.
+                self.cv.notify_all();
+                return Admitted::Permit(Permit {
+                    gate: Arc::clone(self),
+                });
+            }
+            // Bounded wait so virtual-clock deadline expiry is noticed
+            // even when no permit is released.
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, Duration::from_millis(10))
+                .unwrap();
+            st = guard;
+        }
+    }
+
+    /// Closes the gate: everything queued and everything that arrives
+    /// later is shed with `Overloaded`. In-flight permits drain
+    /// normally. Used for graceful shutdown.
+    pub fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// True iff `(priority, seq)` is the best waiting entry: highest
+    /// priority, then lowest sequence number.
+    fn is_head(st: &State, priority: u8, seq: u64) -> bool {
+        st.waiting
+            .iter()
+            .min_by_key(|w| (std::cmp::Reverse(w.priority), w.seq))
+            .map(|w| w.priority == priority && w.seq == seq)
+            .unwrap_or(false)
+    }
+
+    fn remove(st: &mut State, seq: u64) {
+        st.waiting.retain(|w| w.seq != seq);
+    }
+
+    fn publish(&self, st: &State) {
+        if let Some(m) = &self.metrics {
+            m.set_queue_depth(st.waiting.len() as u64);
+            m.set_queries_in_flight(st.in_flight as u64);
+        }
+    }
+
+    fn shed(&self) {
+        if let Some(m) = &self.metrics {
+            m.record_query_shed();
+        }
+    }
+
+    fn release(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.in_flight -= 1;
+        self.publish(&st);
+        if let Some(m) = &self.metrics {
+            m.record_query_served();
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+/// An execution slot. Dropping it releases the slot, counts the query
+/// as served, and wakes the best waiter.
+pub struct Permit {
+    gate: Arc<Admission>,
+}
+
+impl std::fmt::Debug for Permit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Permit")
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.gate.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::thread;
+    use tardis_cluster::VirtualClock;
+
+    fn virtual_gate(max: usize, cap: usize) -> (Arc<Admission>, Arc<VirtualClock>) {
+        let clock = Arc::new(VirtualClock::new());
+        let gate = Admission::new(max, cap, BackoffClock::Virtual(Arc::clone(&clock)), None);
+        (gate, clock)
+    }
+
+    #[test]
+    fn sheds_immediately_when_queue_is_full() {
+        let (gate, _clock) = virtual_gate(1, 0);
+        let p = match gate.admit(0, None) {
+            Admitted::Permit(p) => p,
+            other => panic!("expected permit, got {other:?}"),
+        };
+        // Slot taken, zero-capacity queue: instant Overloaded, no block.
+        assert!(matches!(gate.admit(0, None), Admitted::Overloaded));
+        drop(p);
+        assert!(matches!(gate.admit(0, None), Admitted::Permit(_)));
+    }
+
+    #[test]
+    fn zero_deadline_sheds_deterministically_when_queued() {
+        let (gate, _clock) = virtual_gate(1, 4);
+        let _p = match gate.admit(0, None) {
+            Admitted::Permit(p) => p,
+            other => panic!("expected permit, got {other:?}"),
+        };
+        // Must queue; virtual now never advances, so deadline 0 has
+        // already passed the instant it waits.
+        assert!(matches!(
+            gate.admit(0, Some(Duration::from_millis(0))),
+            Admitted::DeadlineExceeded
+        ));
+        // A generous deadline with a free slot admits.
+        drop(_p);
+        assert!(matches!(
+            gate.admit(0, Some(Duration::from_secs(3600))),
+            Admitted::Permit(_)
+        ));
+    }
+
+    #[test]
+    fn waiters_admit_by_priority_then_fifo() {
+        let (gate, _clock) = virtual_gate(1, 8);
+        let blocker = match gate.admit(0, None) {
+            Admitted::Permit(p) => p,
+            other => panic!("expected permit, got {other:?}"),
+        };
+        let (tx, rx) = mpsc::channel::<u8>();
+        let mut handles = Vec::new();
+        // Enqueue low priority first, then high; high must win the slot.
+        for (delay_ms, prio) in [(0u64, 1u8), (60, 5), (120, 5)] {
+            let gate = Arc::clone(&gate);
+            let tx = tx.clone();
+            handles.push(thread::spawn(move || {
+                thread::sleep(Duration::from_millis(delay_ms));
+                match gate.admit(prio, None) {
+                    Admitted::Permit(p) => {
+                        tx.send(prio).unwrap();
+                        drop(p);
+                    }
+                    other => panic!("expected permit, got {other:?}"),
+                }
+            }));
+        }
+        // Let all three queue up behind the blocker.
+        thread::sleep(Duration::from_millis(300));
+        assert_eq!(gate.queue_depth(), 3);
+        drop(blocker);
+        let order: Vec<u8> = (0..3).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(order, vec![5, 5, 1], "high priority first, FIFO within");
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn close_sheds_all_waiters_and_new_arrivals() {
+        let (gate, _clock) = virtual_gate(1, 8);
+        let blocker = match gate.admit(0, None) {
+            Admitted::Permit(p) => p,
+            other => panic!("expected permit, got {other:?}"),
+        };
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            thread::spawn(move || matches!(gate.admit(0, None), Admitted::Overloaded))
+        };
+        thread::sleep(Duration::from_millis(100));
+        gate.close();
+        assert!(waiter.join().unwrap(), "queued waiter shed on close");
+        assert!(matches!(gate.admit(0, None), Admitted::Overloaded));
+        drop(blocker);
+        assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn gauges_track_admission_transitions() {
+        let metrics = Arc::new(Metrics::new());
+        let gate = Admission::new(1, 2, BackoffClock::Real, Some(Arc::clone(&metrics)));
+        let p = match gate.admit(0, None) {
+            Admitted::Permit(p) => p,
+            other => panic!("expected permit, got {other:?}"),
+        };
+        assert_eq!(metrics.snapshot().queries_in_flight, 1);
+        drop(p);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.queries_in_flight, 0);
+        assert_eq!(snap.queries_served, 1);
+        // Fill the slot and the queue, then overflow → shed.
+        let _p = gate.admit(0, None);
+        let g2 = Arc::clone(&gate);
+        let t = thread::spawn(move || g2.admit(0, None));
+        thread::sleep(Duration::from_millis(100));
+        assert_eq!(metrics.snapshot().queue_depth, 1);
+        let g3 = Arc::clone(&gate);
+        let t2 = thread::spawn(move || g3.admit(0, None));
+        thread::sleep(Duration::from_millis(100));
+        assert!(matches!(gate.admit(0, None), Admitted::Overloaded));
+        assert_eq!(metrics.snapshot().queries_shed, 1);
+        drop(_p);
+        t.join().unwrap();
+        t2.join().unwrap();
+    }
+}

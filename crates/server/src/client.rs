@@ -1,0 +1,83 @@
+//! A small blocking client for the daemon's wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection. Requests are written as
+//! single lines and answered in order, so `send` is a simple
+//! write-then-read-line exchange. The CLI's `client` subcommand and the
+//! integration tests both go through this type; [`scrape_metrics`]
+//! fetches the Prometheus text the same way `curl` would.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use crate::protocol::Request;
+
+/// A connected protocol client.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    /// Propagates connect/clone failures.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Sends one raw request line and reads one response line (without
+    /// the trailing newline).
+    ///
+    /// # Errors
+    /// I/O failures, or an unexpected EOF before a response arrived.
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+
+    /// Sends a [`Request`] and returns the raw response line.
+    ///
+    /// # Errors
+    /// Same as [`Self::send_line`].
+    pub fn send(&mut self, request: &Request) -> std::io::Result<String> {
+        self.send_line(&request.to_line())
+    }
+}
+
+/// Fetches the daemon's Prometheus metrics text over the query port
+/// (the body of `GET /metrics`).
+///
+/// # Errors
+/// I/O failures, or a malformed HTTP response.
+pub fn scrape_metrics(addr: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    match raw.split_once("\r\n\r\n") {
+        Some((head, body)) if head.starts_with("HTTP/1.0 200") => Ok(body.to_string()),
+        _ => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "malformed /metrics response",
+        )),
+    }
+}

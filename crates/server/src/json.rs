@@ -1,0 +1,429 @@
+//! A minimal JSON value: parser and canonical emitter.
+//!
+//! The wire protocol needs exactly one thing from its serialization
+//! layer: **byte determinism**. The same logical response must encode to
+//! the same bytes on the daemon and in the sequential oracle of the
+//! equivalence tests, so answers can be compared as raw lines. Hence a
+//! hand-rolled value type rather than a serialization framework (the
+//! build has no crates.io access anyway):
+//!
+//! * Objects preserve insertion order (a `Vec` of pairs, not a map), so
+//!   key order is exactly the order the encoder wrote.
+//! * Numbers emit through one function: integral values in `±2^53` print
+//!   as integers, everything else through `f64`'s shortest-roundtrip
+//!   `Display`. Parsing back and re-emitting is the identity for every
+//!   number we produce.
+//! * The emitter inserts no whitespace.
+//!
+//! Parsing is a permissive recursive descent over the JSON grammar —
+//! good enough to accept any output of the emitter plus hand-written
+//! requests with arbitrary whitespace.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; integers survive to `±2^53`.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; pairs keep insertion order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks a key up in an object; `None` for absent keys and
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9.007_199_254_740_992e15 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Writes a number the canonical way: integral values in `±2^53` as
+/// integers, the rest via `f64` `Display` (shortest roundtrip).
+/// Non-finite values (which valid queries never produce) emit `null`.
+pub fn fmt_num(f: &mut fmt::Formatter<'_>, n: f64) -> fmt::Result {
+    if !n.is_finite() {
+        return f.write_str("null");
+    }
+    if n.fract() == 0.0 && n.abs() <= 9.007_199_254_740_992e15 {
+        write!(f, "{}", n as i64)
+    } else {
+        write!(f, "{n}")
+    }
+}
+
+fn fmt_str(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => f.write_str("null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::Num(n) => fmt_num(f, *n),
+            JsonValue::Str(s) => fmt_str(f, s),
+            JsonValue::Arr(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            JsonValue::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    fmt_str(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// A parse failure: byte offset and a short description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset where parsing failed.
+    pub at: usize,
+    /// What went wrong.
+    pub what: &'static str,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.what)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(JsonError {
+            at: pos,
+            what: "trailing characters",
+        });
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8, what: &'static str) -> Result<(), JsonError> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(JsonError { at: *pos, what })
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(JsonError {
+            at: *pos,
+            what: "unexpected end of input",
+        }),
+        Some(b'n') => parse_lit(b, pos, b"null", JsonValue::Null),
+        Some(b't') => parse_lit(b, pos, b"true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, b"false", JsonValue::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(JsonValue::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            at: *pos,
+                            what: "expected ',' or ']'",
+                        })
+                    }
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':', "expected ':'")?;
+                let value = parse_value(b, pos)?;
+                pairs.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(pairs));
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            at: *pos,
+                            what: "expected ',' or '}'",
+                        })
+                    }
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(
+    b: &[u8],
+    pos: &mut usize,
+    lit: &'static [u8],
+    value: JsonValue,
+) -> Result<JsonValue, JsonError> {
+    if b.len() - *pos >= lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(JsonError {
+            at: *pos,
+            what: "invalid literal",
+        })
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(b, pos, b'"', "expected '\"'")?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => {
+                return Err(JsonError {
+                    at: *pos,
+                    what: "unterminated string",
+                })
+            }
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        if *pos + 4 >= b.len() {
+                            return Err(JsonError {
+                                at: *pos,
+                                what: "truncated \\u escape",
+                            });
+                        }
+                        let hex = std::str::from_utf8(&b[*pos + 1..*pos + 5])
+                            .ok()
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or(JsonError {
+                                at: *pos,
+                                what: "invalid \\u escape",
+                            })?;
+                        // Surrogate pairs are not needed by this protocol;
+                        // lone surrogates map to the replacement character.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            at: *pos,
+                            what: "invalid escape",
+                        })
+                    }
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so byte
+                // boundaries are valid).
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xc0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|_| JsonError {
+                    at: start,
+                    what: "invalid UTF-8",
+                })?);
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(JsonValue::Num)
+        .ok_or(JsonError {
+            at: start,
+            what: "invalid number",
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_nested_values() {
+        let src = r#"{"id":7,"ok":true,"neighbors":[[1.5,3],[2.25,9]],"note":"a\"b\\c","none":null}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(v.to_string(), src);
+        assert_eq!(v.get("id").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("note").unwrap().as_str(), Some("a\"b\\c"));
+        let arr = v.get("neighbors").unwrap().as_arr().unwrap();
+        assert_eq!(arr[1].as_arr().unwrap()[0].as_f64(), Some(2.25));
+    }
+
+    #[test]
+    fn parses_whitespace_and_rejects_trailing_garbage() {
+        let v = parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.to_string(), r#"{"a":[1,2]}"#);
+        assert!(parse("{} x").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,").is_err());
+    }
+
+    #[test]
+    fn numbers_roundtrip_bit_exactly() {
+        // Shortest-roundtrip f64 display: parse(emit(x)) == x bitwise.
+        for &x in &[
+            0.0f64,
+            -1.0,
+            3.5,
+            0.1,
+            1.0e-12,
+            123_456_789.123_456_79,
+            f64::from(7.25f32),
+            9007199254740992.0,
+        ] {
+            let emitted = JsonValue::Num(x).to_string();
+            let back = parse(&emitted).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {emitted}");
+        }
+        // Integral values print without a fraction.
+        assert_eq!(JsonValue::Num(42.0).to_string(), "42");
+        assert_eq!(JsonValue::Num(-3.0).to_string(), "-3");
+        assert_eq!(JsonValue::Num(f64::NAN).to_string(), "null");
+    }
+}

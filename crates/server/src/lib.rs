@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! The resident TARDIS query daemon.
+//!
+//! The CLI pays the full index-open cost — mmap-free block reads, Bloom
+//! sidecar loads, Tardis-G deserialization — on **every** invocation. A
+//! deployment serves thousands of queries against one build, so this
+//! crate keeps everything resident instead: one process holds the
+//! [`TardisIndex`](tardis_core::TardisIndex) (Tardis-G plus partition
+//! metadata), the SeriesBlock arenas reachable through the shared
+//! [`BlockCache`](tardis_cluster) pins, and the cluster's worker pool,
+//! and serves concurrent clients over a line-delimited-JSON TCP
+//! protocol.
+//!
+//! The moving parts, each its own module:
+//!
+//! * [`json`] — a dependency-free JSON value with a byte-deterministic
+//!   emitter (the equivalence tests compare raw response lines).
+//! * [`protocol`] — request/response codecs shared by the daemon, the
+//!   client, and the test oracle.
+//! * [`admission`] — the bounded in-flight gate: priority queue,
+//!   per-query deadlines, explicit `Overloaded` shedding, live
+//!   scheduler gauges.
+//! * [`server`] — the accept loop, connection threads, the `/metrics`
+//!   endpoint, and graceful SIGTERM shutdown.
+//! * [`client`] — a blocking client used by the CLI and the tests.
+//!
+//! Partition work inside each query runs on the cluster's work-stealing
+//! [`WorkerPool`](tardis_cluster::WorkerPool) scheduler, so one slow
+//! partition delays only queries that touch it; the admission gate
+//! bounds memory and tail latency under overload.
+
+pub mod admission;
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{Admission, Admitted, Permit};
+pub use client::{scrape_metrics, Client};
+pub use protocol::{Op, Request};
+pub use server::{
+    install_signal_handlers, sigterm_flag, QueryServer, ServerConfig, ServerHandle,
+};

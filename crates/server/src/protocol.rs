@@ -1,0 +1,452 @@
+//! The wire protocol: line-delimited JSON requests and responses.
+//!
+//! One TCP connection carries a sequence of newline-terminated JSON
+//! request objects; the daemon answers each with exactly one
+//! newline-terminated JSON response object, in request order per
+//! connection. A line starting with `GET ` switches the connection to a
+//! one-shot HTTP response carrying the Prometheus metrics text instead
+//! (see [`crate::server`]).
+//!
+//! # Request fields
+//!
+//! | field         | type        | ops          | default           |
+//! |---------------|-------------|--------------|-------------------|
+//! | `id`          | number      | all          | required          |
+//! | `op`          | string      | all          | required — `"exact"`, `"knn"`, `"exact-knn"`, `"range"`, `"batch"` |
+//! | `query`       | `[number]`  | single ops   | required          |
+//! | `queries`     | `[[number]]`| `batch`      | required          |
+//! | `k`           | number      | kNN ops      | `1`               |
+//! | `strategy`    | string      | `knn`/`batch`| `"multi"` (`"target"`, `"one"`) |
+//! | `epsilon`     | number      | `range`      | `0`               |
+//! | `no_bloom`    | bool        | `exact`      | `false`           |
+//! | `priority`    | number      | all          | `0` (higher admits first) |
+//! | `deadline_ms` | number      | all          | server default    |
+//!
+//! # Response shapes
+//!
+//! Every response carries `id` (echoed), `ok`, and `op`. Successful
+//! answers add the op-specific payload; under a degraded-serving policy
+//! they also carry `partial`, `skipped`, and `exact` from the
+//! [`Completeness`] report. Failures carry `error` (a stable code:
+//! `Overloaded`, `DeadlineExceeded`, `BadRequest`, `QueryError`) and
+//! `detail`.
+//!
+//! The encoders here are the **single source of truth** for response
+//! bytes: the daemon calls them, and the equivalence tests call the same
+//! functions on sequentially computed answers, then compare raw lines.
+
+use crate::json::{parse, JsonError, JsonValue};
+use tardis_core::{
+    Completeness, ExactKnnAnswer, ExactMatchOutcome, KnnAnswer, KnnStrategy, RangeAnswer,
+};
+use tardis_ts::TimeSeries;
+
+/// A query operation, one per query path the daemon serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Exact-match lookup (§V-A).
+    Exact,
+    /// Approximate kNN (§V-B).
+    Knn,
+    /// Exact kNN (approximate seed + bound-ordered refine).
+    ExactKnn,
+    /// Exact ε-range query.
+    Range,
+    /// Shared-scan kNN batch through the partition-task scheduler.
+    Batch,
+}
+
+impl Op {
+    /// The wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Exact => "exact",
+            Op::Knn => "knn",
+            Op::ExactKnn => "exact-knn",
+            Op::Range => "range",
+            Op::Batch => "batch",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Op> {
+        match s {
+            "exact" => Some(Op::Exact),
+            "knn" => Some(Op::Knn),
+            "exact-knn" => Some(Op::ExactKnn),
+            "range" => Some(Op::Range),
+            "batch" => Some(Op::Batch),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded request line.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen id, echoed verbatim in the response.
+    pub id: u64,
+    /// The operation.
+    pub op: Op,
+    /// The query series (single-query ops).
+    pub query: Vec<f32>,
+    /// The query series (batch op).
+    pub queries: Vec<Vec<f32>>,
+    /// Neighbor count for kNN ops.
+    pub k: usize,
+    /// Partition-scope strategy for approximate kNN.
+    pub strategy: KnnStrategy,
+    /// Radius for range queries.
+    pub epsilon: f64,
+    /// Whether exact match may use the Bloom filter.
+    pub use_bloom: bool,
+    /// Admission priority; higher queues ahead of lower.
+    pub priority: u8,
+    /// Admission deadline; `None` uses the server default.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Request {
+    /// A request template: fill in `op` plus the fields it reads.
+    pub fn new(id: u64, op: Op) -> Request {
+        Request {
+            id,
+            op,
+            query: Vec::new(),
+            queries: Vec::new(),
+            k: 1,
+            strategy: KnnStrategy::MultiPartition,
+            epsilon: 0.0,
+            use_bloom: true,
+            priority: 0,
+            deadline_ms: None,
+        }
+    }
+
+    /// Decodes one request line.
+    ///
+    /// # Errors
+    /// A human-readable description of the first problem found; the
+    /// caller wraps it in a `BadRequest` response.
+    pub fn from_line(line: &str) -> Result<Request, String> {
+        let v = parse(line).map_err(|e: JsonError| e.to_string())?;
+        let id = v
+            .get("id")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing or invalid 'id'")?;
+        let op = v
+            .get("op")
+            .and_then(JsonValue::as_str)
+            .and_then(Op::from_name)
+            .ok_or("missing or unknown 'op'")?;
+        let mut req = Request::new(id, op);
+
+        if let Some(q) = v.get("query") {
+            req.query = series_values(q).ok_or("'query' must be an array of numbers")?;
+        }
+        if let Some(qs) = v.get("queries") {
+            let arr = qs.as_arr().ok_or("'queries' must be an array")?;
+            req.queries = arr
+                .iter()
+                .map(series_values)
+                .collect::<Option<Vec<_>>>()
+                .ok_or("'queries' must be arrays of numbers")?;
+        }
+        if let Some(k) = v.get("k") {
+            req.k = k.as_u64().ok_or("'k' must be a non-negative integer")? as usize;
+        }
+        if let Some(s) = v.get("strategy") {
+            req.strategy = match s.as_str() {
+                Some("target") => KnnStrategy::TargetNode,
+                Some("one") => KnnStrategy::OnePartition,
+                Some("multi") => KnnStrategy::MultiPartition,
+                _ => return Err("'strategy' must be \"target\", \"one\", or \"multi\"".into()),
+            };
+        }
+        if let Some(e) = v.get("epsilon") {
+            req.epsilon = e.as_f64().ok_or("'epsilon' must be a number")?;
+        }
+        if let Some(b) = v.get("no_bloom") {
+            req.use_bloom = !b.as_bool().ok_or("'no_bloom' must be a boolean")?;
+        }
+        if let Some(p) = v.get("priority") {
+            let p = p.as_u64().ok_or("'priority' must be a non-negative integer")?;
+            req.priority = p.min(u64::from(u8::MAX)) as u8;
+        }
+        if let Some(d) = v.get("deadline_ms") {
+            req.deadline_ms = Some(d.as_u64().ok_or("'deadline_ms' must be a non-negative integer")?);
+        }
+
+        match op {
+            Op::Batch => {
+                if req.queries.is_empty() {
+                    return Err("'batch' requires a non-empty 'queries'".into());
+                }
+            }
+            _ => {
+                if req.query.is_empty() {
+                    return Err(format!("'{}' requires a non-empty 'query'", op.name()));
+                }
+            }
+        }
+        Ok(req)
+    }
+
+    /// Encodes the request as a wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut pairs = vec![
+            ("id".to_string(), JsonValue::Num(self.id as f64)),
+            ("op".to_string(), JsonValue::Str(self.op.name().to_string())),
+        ];
+        if !self.query.is_empty() {
+            pairs.push(("query".to_string(), values_json(&self.query)));
+        }
+        if !self.queries.is_empty() {
+            pairs.push((
+                "queries".to_string(),
+                JsonValue::Arr(self.queries.iter().map(|q| values_json(q)).collect()),
+            ));
+        }
+        match self.op {
+            Op::Knn | Op::ExactKnn | Op::Batch => {
+                pairs.push(("k".to_string(), JsonValue::Num(self.k as f64)));
+            }
+            Op::Range => {
+                pairs.push(("epsilon".to_string(), JsonValue::Num(self.epsilon)));
+            }
+            Op::Exact => {}
+        }
+        if matches!(self.op, Op::Knn | Op::Batch) {
+            let name = match self.strategy {
+                KnnStrategy::TargetNode => "target",
+                KnnStrategy::OnePartition => "one",
+                KnnStrategy::MultiPartition => "multi",
+            };
+            pairs.push(("strategy".to_string(), JsonValue::Str(name.to_string())));
+        }
+        if !self.use_bloom {
+            pairs.push(("no_bloom".to_string(), JsonValue::Bool(true)));
+        }
+        if self.priority != 0 {
+            pairs.push(("priority".to_string(), JsonValue::Num(f64::from(self.priority))));
+        }
+        if let Some(d) = self.deadline_ms {
+            pairs.push(("deadline_ms".to_string(), JsonValue::Num(d as f64)));
+        }
+        JsonValue::Obj(pairs).to_string()
+    }
+
+    /// The single query as a [`TimeSeries`].
+    pub fn series(&self) -> TimeSeries {
+        TimeSeries::new(self.query.clone())
+    }
+
+    /// The batch queries as [`TimeSeries`] values.
+    pub fn batch_series(&self) -> Vec<TimeSeries> {
+        self.queries.iter().map(|q| TimeSeries::new(q.clone())).collect()
+    }
+}
+
+fn series_values(v: &JsonValue) -> Option<Vec<f32>> {
+    v.as_arr()?
+        .iter()
+        .map(|x| x.as_f64().map(|f| f as f32))
+        .collect()
+}
+
+fn values_json(values: &[f32]) -> JsonValue {
+    JsonValue::Arr(values.iter().map(|&v| JsonValue::Num(f64::from(v))).collect())
+}
+
+fn response_head(id: u64, op: Op) -> Vec<(String, JsonValue)> {
+    vec![
+        ("id".to_string(), JsonValue::Num(id as f64)),
+        ("ok".to_string(), JsonValue::Bool(true)),
+        ("op".to_string(), JsonValue::Str(op.name().to_string())),
+    ]
+}
+
+fn push_completeness(pairs: &mut Vec<(String, JsonValue)>, completeness: Option<&Completeness>) {
+    if let Some(c) = completeness {
+        pairs.push(("partial".to_string(), JsonValue::Bool(!c.is_complete())));
+        pairs.push((
+            "skipped".to_string(),
+            JsonValue::Arr(
+                c.partitions_skipped
+                    .iter()
+                    .map(|&p| JsonValue::Num(f64::from(p)))
+                    .collect(),
+            ),
+        ));
+        pairs.push(("exact".to_string(), JsonValue::Bool(c.exact)));
+    }
+}
+
+fn neighbors_json(neighbors: &[(f64, u64)]) -> JsonValue {
+    JsonValue::Arr(
+        neighbors
+            .iter()
+            .map(|&(d, rid)| {
+                JsonValue::Arr(vec![JsonValue::Num(d), JsonValue::Num(rid as f64)])
+            })
+            .collect(),
+    )
+}
+
+/// Encodes an exact-match answer.
+pub fn encode_exact(
+    id: u64,
+    outcome: &ExactMatchOutcome,
+    completeness: Option<&Completeness>,
+) -> String {
+    let mut pairs = response_head(id, Op::Exact);
+    pairs.push((
+        "matches".to_string(),
+        JsonValue::Arr(
+            outcome
+                .matches
+                .iter()
+                .map(|&r| JsonValue::Num(r as f64))
+                .collect(),
+        ),
+    ));
+    pairs.push((
+        "bloom_rejected".to_string(),
+        JsonValue::Bool(outcome.bloom_rejected),
+    ));
+    push_completeness(&mut pairs, completeness);
+    JsonValue::Obj(pairs).to_string()
+}
+
+/// Encodes an approximate-kNN answer.
+pub fn encode_knn(id: u64, answer: &KnnAnswer, completeness: Option<&Completeness>) -> String {
+    let mut pairs = response_head(id, Op::Knn);
+    pairs.push(("neighbors".to_string(), neighbors_json(&answer.neighbors)));
+    push_completeness(&mut pairs, completeness);
+    JsonValue::Obj(pairs).to_string()
+}
+
+/// Encodes an exact-kNN answer.
+pub fn encode_exact_knn(
+    id: u64,
+    answer: &ExactKnnAnswer,
+    completeness: Option<&Completeness>,
+) -> String {
+    let mut pairs = response_head(id, Op::ExactKnn);
+    let flat: Vec<(f64, u64)> = answer.neighbors.iter().map(|n| (n.distance, n.rid)).collect();
+    pairs.push(("neighbors".to_string(), neighbors_json(&flat)));
+    push_completeness(&mut pairs, completeness);
+    JsonValue::Obj(pairs).to_string()
+}
+
+/// Encodes a range-query answer.
+pub fn encode_range(id: u64, answer: &RangeAnswer, completeness: Option<&Completeness>) -> String {
+    let mut pairs = response_head(id, Op::Range);
+    let flat: Vec<(f64, u64)> = answer.matches.iter().map(|n| (n.distance, n.rid)).collect();
+    pairs.push(("matches".to_string(), neighbors_json(&flat)));
+    push_completeness(&mut pairs, completeness);
+    JsonValue::Obj(pairs).to_string()
+}
+
+/// Encodes a shared-scan batch-kNN answer.
+pub fn encode_batch(id: u64, answers: &[KnnAnswer], completeness: Option<&Completeness>) -> String {
+    let mut pairs = response_head(id, Op::Batch);
+    pairs.push((
+        "answers".to_string(),
+        JsonValue::Arr(
+            answers
+                .iter()
+                .map(|a| neighbors_json(&a.neighbors))
+                .collect(),
+        ),
+    ));
+    push_completeness(&mut pairs, completeness);
+    JsonValue::Obj(pairs).to_string()
+}
+
+/// Encodes a failure. `code` is stable and machine-checkable
+/// (`Overloaded`, `DeadlineExceeded`, `BadRequest`, `QueryError`);
+/// `detail` is free-form.
+pub fn encode_error(id: u64, code: &str, detail: &str) -> String {
+    JsonValue::Obj(vec![
+        ("id".to_string(), JsonValue::Num(id as f64)),
+        ("ok".to_string(), JsonValue::Bool(false)),
+        ("error".to_string(), JsonValue::Str(code.to_string())),
+        ("detail".to_string(), JsonValue::Str(detail.to_string())),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_through_the_wire_format() {
+        let mut req = Request::new(3, Op::Knn);
+        req.query = vec![1.5, -2.0, 0.25];
+        req.k = 7;
+        req.strategy = KnnStrategy::OnePartition;
+        req.priority = 2;
+        req.deadline_ms = Some(500);
+        let line = req.to_line();
+        let back = Request::from_line(&line).unwrap();
+        assert_eq!(back.id, 3);
+        assert_eq!(back.op, Op::Knn);
+        assert_eq!(back.query, req.query);
+        assert_eq!(back.k, 7);
+        assert_eq!(back.strategy, KnnStrategy::OnePartition);
+        assert_eq!(back.priority, 2);
+        assert_eq!(back.deadline_ms, Some(500));
+        // Re-encoding is the identity: the protocol is canonical.
+        assert_eq!(back.to_line(), line);
+    }
+
+    #[test]
+    fn batch_request_requires_queries() {
+        let mut req = Request::new(1, Op::Batch);
+        req.queries = vec![vec![0.5, 1.0], vec![2.0, 3.0]];
+        req.k = 2;
+        let back = Request::from_line(&req.to_line()).unwrap();
+        assert_eq!(back.queries, req.queries);
+        assert!(Request::from_line(r#"{"id":1,"op":"batch"}"#).is_err());
+        assert!(Request::from_line(r#"{"id":1,"op":"exact"}"#).is_err());
+        assert!(Request::from_line(r#"{"op":"exact","query":[1]}"#).is_err());
+        assert!(Request::from_line(r#"{"id":1,"op":"sort","query":[1]}"#).is_err());
+    }
+
+    #[test]
+    fn responses_have_stable_shapes() {
+        let outcome = ExactMatchOutcome {
+            matches: vec![4, 9],
+            bloom_rejected: false,
+            partitions_loaded: 1,
+        };
+        assert_eq!(
+            encode_exact(5, &outcome, None),
+            r#"{"id":5,"ok":true,"op":"exact","matches":[4,9],"bloom_rejected":false}"#
+        );
+        let knn = KnnAnswer {
+            neighbors: vec![(0.5, 11), (1.25, 2)],
+            partitions_loaded: 1,
+            candidates_refined: 2,
+            candidates_abandoned: 0,
+        };
+        assert_eq!(
+            encode_knn(6, &knn, None),
+            r#"{"id":6,"ok":true,"op":"knn","neighbors":[[0.5,11],[1.25,2]]}"#
+        );
+        let partial = Completeness {
+            partitions_visited: 3,
+            partitions_skipped: vec![2],
+            exact: false,
+        };
+        assert_eq!(
+            encode_knn(6, &knn, Some(&partial)),
+            r#"{"id":6,"ok":true,"op":"knn","neighbors":[[0.5,11],[1.25,2]],"partial":true,"skipped":[2],"exact":false}"#
+        );
+        assert_eq!(
+            encode_error(9, "Overloaded", "queue full"),
+            r#"{"id":9,"ok":false,"error":"Overloaded","detail":"queue full"}"#
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! The resident daemon: TCP accept loop, connection threads, graceful
+//! shutdown.
+//!
+//! [`QueryServer::start`] binds a listener (port `0` picks a free port —
+//! the bound address is on the returned [`ServerHandle`]) and spawns one
+//! accept thread plus one thread per connection. Each connection reads
+//! newline-terminated JSON requests ([`crate::protocol`]), pushes them
+//! through the shared [`Admission`] gate, executes admitted queries
+//! against the resident [`TardisIndex`], and writes one response line
+//! per request, in order.
+//!
+//! A request line beginning with `GET ` is served as a one-shot HTTP
+//! response instead: the Prometheus text of the cluster's metrics —
+//! including the live scheduler gauges — so the same port answers
+//! `curl http://addr/metrics`.
+//!
+//! # Shutdown
+//!
+//! [`ServerHandle::shutdown`] (or a SIGTERM routed through
+//! [`sigterm_flag`]) stops the accept loop, closes the admission gate —
+//! every *queued* query is answered `Overloaded` — and joins the
+//! connection threads, which finish writing responses for queries
+//! already executing. Nothing in flight is dropped silently: every
+//! accepted request is answered or explicitly shed before the process
+//! exits.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use tardis_cluster::{BackoffClock, Cluster};
+use tardis_core::{
+    exact_knn, exact_knn_degraded, exact_match, exact_match_degraded, knn_approximate,
+    knn_approximate_degraded, knn_batch, knn_batch_degraded, range_query, range_query_degraded,
+    DegradedPolicy, TardisIndex,
+};
+
+use crate::admission::{Admission, Admitted};
+use crate::protocol::{
+    encode_batch, encode_error, encode_exact, encode_exact_knn, encode_knn, encode_range, Op,
+    Request,
+};
+
+/// Poll interval for the accept loop and connection read timeouts.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Configuration for [`QueryServer::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` binds a free port (read it back from
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Queries executing concurrently before new arrivals queue.
+    pub max_in_flight: usize,
+    /// Queued queries before new arrivals are shed with `Overloaded`.
+    pub queue_capacity: usize,
+    /// Default admission deadline for requests that set none;
+    /// `None` = wait indefinitely.
+    pub default_deadline_ms: Option<u64>,
+    /// Degraded-serving policy: `None` fails queries on unavailable
+    /// partitions, `Some(BestEffort)` serves partial answers with a
+    /// coverage report.
+    pub policy: Option<DegradedPolicy>,
+    /// Clock for admission deadlines (virtual in deterministic tests).
+    pub clock: BackoffClock,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_in_flight: 8,
+            queue_capacity: 64,
+            default_deadline_ms: None,
+            policy: None,
+            clock: BackoffClock::Real,
+        }
+    }
+}
+
+struct Shared {
+    cluster: Arc<Cluster>,
+    index: Arc<TardisIndex>,
+    admission: Arc<Admission>,
+    policy: Option<DegradedPolicy>,
+    default_deadline_ms: Option<u64>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Shared {
+    /// Admits and executes one request line, returning the response line.
+    fn execute_line(&self, line: &str) -> String {
+        let req = match Request::from_line(line) {
+            Ok(req) => req,
+            Err(why) => return encode_error(0, "BadRequest", &why),
+        };
+        let deadline = req
+            .deadline_ms
+            .or(self.default_deadline_ms)
+            .map(Duration::from_millis);
+        match self.admission.admit(req.priority, deadline) {
+            Admitted::Overloaded => encode_error(req.id, "Overloaded", "admission queue full"),
+            Admitted::DeadlineExceeded => {
+                encode_error(req.id, "DeadlineExceeded", "deadline passed while queued")
+            }
+            Admitted::Permit(permit) => {
+                let response = self.run(&req);
+                drop(permit);
+                response
+            }
+        }
+    }
+
+    fn run(&self, req: &Request) -> String {
+        let index = &*self.index;
+        let cluster = &*self.cluster;
+        let id = req.id;
+        let result = match (self.policy, req.op) {
+            (None, Op::Exact) => exact_match(index, cluster, &req.series(), req.use_bloom)
+                .map(|o| encode_exact(id, &o, None)),
+            (None, Op::Knn) => {
+                knn_approximate(index, cluster, &req.series(), req.k, req.strategy)
+                    .map(|a| encode_knn(id, &a, None))
+            }
+            (None, Op::ExactKnn) => exact_knn(index, cluster, &req.series(), req.k)
+                .map(|a| encode_exact_knn(id, &a, None)),
+            (None, Op::Range) => range_query(index, cluster, &req.series(), req.epsilon)
+                .map(|a| encode_range(id, &a, None)),
+            (None, Op::Batch) => {
+                knn_batch(index, cluster, &req.batch_series(), req.k, req.strategy)
+                    .map(|a| encode_batch(id, &a, None))
+            }
+            (Some(policy), Op::Exact) => {
+                exact_match_degraded(index, cluster, &req.series(), req.use_bloom, policy)
+                    .map(|d| encode_exact(id, &d.answer, Some(&d.completeness)))
+            }
+            (Some(policy), Op::Knn) => knn_approximate_degraded(
+                index,
+                cluster,
+                &req.series(),
+                req.k,
+                req.strategy,
+                policy,
+            )
+            .map(|d| encode_knn(id, &d.answer, Some(&d.completeness))),
+            (Some(policy), Op::ExactKnn) => {
+                exact_knn_degraded(index, cluster, &req.series(), req.k, policy)
+                    .map(|d| encode_exact_knn(id, &d.answer, Some(&d.completeness)))
+            }
+            (Some(policy), Op::Range) => {
+                range_query_degraded(index, cluster, &req.series(), req.epsilon, policy)
+                    .map(|d| encode_range(id, &d.answer, Some(&d.completeness)))
+            }
+            (Some(policy), Op::Batch) => knn_batch_degraded(
+                index,
+                cluster,
+                &req.batch_series(),
+                req.k,
+                req.strategy,
+                policy,
+            )
+            .map(|d| encode_batch(id, &d.answer, Some(&d.completeness))),
+        };
+        result.unwrap_or_else(|e| encode_error(id, "QueryError", &e.to_string()))
+    }
+
+    fn metrics_http(&self) -> String {
+        let body = self.cluster.metrics().snapshot().prometheus_text(None);
+        format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Drain complete lines from the buffer first.
+        while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=nl).collect();
+            let line = String::from_utf8_lossy(&line);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with("GET ") {
+                let _ = stream.write_all(shared.metrics_http().as_bytes());
+                return;
+            }
+            let response = shared.execute_line(line);
+            if stream
+                .write_all(format!("{response}\n").as_bytes())
+                .is_err()
+            {
+                return;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // EOF
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// The resident query daemon.
+pub struct QueryServer;
+
+impl QueryServer {
+    /// Binds `config.addr` and starts serving. The cluster and index
+    /// stay resident for the life of the handle.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn start(
+        cluster: Arc<Cluster>,
+        index: Arc<TardisIndex>,
+        config: ServerConfig,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let admission = Admission::new(
+            config.max_in_flight,
+            config.queue_capacity,
+            config.clock.clone(),
+            Some(cluster.metrics_arc()),
+        );
+        let shared = Arc::new(Shared {
+            cluster,
+            index,
+            admission: Arc::clone(&admission),
+            policy: config.policy,
+            default_deadline_ms: config.default_deadline_ms,
+            shutdown: Arc::clone(&shutdown),
+        });
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_shared = Arc::clone(&shared);
+        let accept = thread::spawn(move || {
+            let conns: Mutex<Vec<thread::JoinHandle<()>>> = Mutex::new(Vec::new());
+            while !accept_shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let shared = Arc::clone(&accept_shared);
+                        conns
+                            .lock()
+                            .unwrap()
+                            .push(thread::spawn(move || handle_connection(stream, shared)));
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        thread::sleep(POLL);
+                    }
+                    Err(_) => break,
+                }
+            }
+            // Stop admitting queued work, then drain connections: each
+            // finishes (or sheds) what it already accepted.
+            accept_shared.admission.close();
+            for conn in conns.into_inner().unwrap() {
+                let _ = conn.join();
+            }
+        });
+
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// A running daemon. Dropping the handle shuts it down gracefully.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The flag that requests shutdown; share it with a signal handler.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Graceful shutdown: stop accepting, shed the queue, answer what
+    /// is in flight, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Blocks until the shutdown flag is raised (by [`Self::shutdown`],
+    /// a signal handler, or another thread), then drains.
+    pub fn wait(mut self) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            thread::sleep(POLL);
+        }
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SIGTERM.store(true, Ordering::SeqCst);
+}
+
+/// Installs a SIGTERM + SIGINT handler that raises [`sigterm_flag`].
+/// Uses the C `signal` entry point directly (no libc crate in this
+/// workspace); async-signal-safe because the handler only stores an
+/// atomic.
+pub fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(15, on_signal); // SIGTERM
+        signal(2, on_signal); // SIGINT
+    }
+}
+
+/// True once SIGTERM/SIGINT was received after
+/// [`install_signal_handlers`].
+pub fn sigterm_flag() -> bool {
+    SIGTERM.load(Ordering::SeqCst)
+}

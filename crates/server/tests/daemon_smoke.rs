@@ -1,0 +1,121 @@
+//! End-to-end smoke: boot a daemon on port 0, run one query per path
+//! over real TCP, check each response byte-for-byte against the shared
+//! protocol encoders fed by direct in-process calls, scrape `/metrics`,
+//! and shut down gracefully.
+
+use std::sync::Arc;
+
+use tardis_cluster::{Cluster, ClusterConfig};
+use tardis_core::{
+    exact_knn, exact_match, knn_approximate, knn_batch, range_query, KnnStrategy, TardisConfig,
+    TardisIndex,
+};
+use tardis_data::{write_dataset, RandomWalk, SeriesGen};
+use tardis_server::{
+    protocol, scrape_metrics, Client, Op, QueryServer, Request, ServerConfig,
+};
+
+#[test]
+fn daemon_answers_every_query_path_and_shuts_down() {
+    let cluster = Arc::new(
+        Cluster::new(ClusterConfig {
+            n_workers: 4,
+            ..ClusterConfig::default()
+        })
+        .unwrap(),
+    );
+    let gen = RandomWalk::with_len(11, 48);
+    write_dataset(&cluster, "ds", &gen, 1_200, 150).unwrap();
+    let config = TardisConfig {
+        g_max_size: 300,
+        l_max_size: 50,
+        sampling_fraction: 0.5,
+        ..TardisConfig::default()
+    };
+    let (index, _) = TardisIndex::build(&cluster, "ds", &config).unwrap();
+    let index = Arc::new(index);
+
+    let handle = QueryServer::start(
+        Arc::clone(&cluster),
+        Arc::clone(&index),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).unwrap();
+
+    let q = gen.series(37);
+    let values: Vec<f32> = q.values().to_vec();
+
+    // Exact match.
+    let mut req = Request::new(1, Op::Exact);
+    req.query = values.clone();
+    let got = client.send(&req).unwrap();
+    let want = protocol::encode_exact(1, &exact_match(&index, &cluster, &q, true).unwrap(), None);
+    assert_eq!(got, want);
+
+    // Approximate kNN.
+    let mut req = Request::new(2, Op::Knn);
+    req.query = values.clone();
+    req.k = 5;
+    req.strategy = KnnStrategy::OnePartition;
+    let got = client.send(&req).unwrap();
+    let want = protocol::encode_knn(
+        2,
+        &knn_approximate(&index, &cluster, &q, 5, KnnStrategy::OnePartition).unwrap(),
+        None,
+    );
+    assert_eq!(got, want);
+
+    // Exact kNN.
+    let mut req = Request::new(3, Op::ExactKnn);
+    req.query = values.clone();
+    req.k = 3;
+    let got = client.send(&req).unwrap();
+    let want = protocol::encode_exact_knn(3, &exact_knn(&index, &cluster, &q, 3).unwrap(), None);
+    assert_eq!(got, want);
+
+    // Range.
+    let mut req = Request::new(4, Op::Range);
+    req.query = values.clone();
+    req.epsilon = 2.5;
+    let got = client.send(&req).unwrap();
+    let want = protocol::encode_range(4, &range_query(&index, &cluster, &q, 2.5).unwrap(), None);
+    assert_eq!(got, want);
+
+    // Shared-scan batch.
+    let batch: Vec<Vec<f32>> = [5u64, 90, 411]
+        .iter()
+        .map(|&rid| gen.series(rid).values().to_vec())
+        .collect();
+    let mut req = Request::new(5, Op::Batch);
+    req.queries = batch.clone();
+    req.k = 4;
+    let got = client.send(&req).unwrap();
+    let series: Vec<_> = [5u64, 90, 411].iter().map(|&rid| gen.series(rid)).collect();
+    let want = protocol::encode_batch(
+        5,
+        &knn_batch(&index, &cluster, &series, 4, KnnStrategy::MultiPartition).unwrap(),
+        None,
+    );
+    assert_eq!(got, want);
+
+    // Bad request still gets a response, not a hang.
+    let got = client.send_line(r#"{"id":9,"op":"exact"}"#).unwrap();
+    assert!(got.contains("\"error\":\"BadRequest\""), "{got}");
+
+    // The same port speaks Prometheus.
+    let text = scrape_metrics(&addr).unwrap();
+    assert!(text.contains("tardis_queries_served"), "{text}");
+    assert!(text.contains("# TYPE tardis_queue_depth gauge"), "{text}");
+
+    handle.shutdown();
+    // Served count covers the five queries (BadRequest is rejected
+    // before admission).
+    assert_eq!(cluster.metrics().snapshot().queries_served, 5);
+    assert!(Client::connect(&addr).is_err() || {
+        // Accept raced the shutdown; either way no response can arrive.
+        let mut c = Client::connect(&addr).unwrap();
+        c.send_line(r#"{"id":1,"op":"exact","query":[1]}"#).is_err()
+    });
+}

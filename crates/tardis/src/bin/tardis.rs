@@ -40,6 +40,9 @@ fn main() -> ExitCode {
         "range" => cmd_range(&flags),
         "scrub" => cmd_scrub(&flags),
         "profile" => cmd_profile(&flags),
+        "serve" => cmd_serve(&flags),
+        "client" => cmd_client(&flags),
+        "metrics" => cmd_metrics(&flags),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -73,6 +76,14 @@ fn usage() {
     eprintln!("  range    --dir D --index NAME (--rid N | --query-file PATH) --epsilon E");
     eprintln!("  scrub    --dir D (verify every replica, re-replicate from healthy siblings)");
     eprintln!("  profile  --family F --records N [--seed S]");
+    eprintln!("  serve    --dir D --index NAME [--addr HOST:PORT] [--max-in-flight N]");
+    eprintln!("           [--queue N] [--deadline-ms N] (resident daemon; port 0 picks a free");
+    eprintln!("           port, prints 'listening on ADDR'; SIGTERM shuts down gracefully)");
+    eprintln!("  client   --addr HOST:PORT --op exact|knn|exact-knn|range|batch --dir D");
+    eprintln!("           --index NAME (--rid N | --query-file PATH) [--k N] [--epsilon E]");
+    eprintln!("           [--count N] [--strategy target|one|multi] [--no-bloom] [--priority P]");
+    eprintln!("           [--deadline-ms N]");
+    eprintln!("  metrics  --addr HOST:PORT (scrape the daemon's Prometheus text)");
     eprintln!();
     eprintln!("storage flags (any command taking --dir):");
     eprintln!("  --replication N      replicas per block when creating the cluster (default 2)");
@@ -789,6 +800,140 @@ fn cmd_profile(flags: &Flags) -> Result<(), String> {
         let lo = -4.0 + i as f64;
         say!("    [{:>4.1},{:>4.1}) {bar}", lo, lo + 1.0);
     }
+    Ok(())
+}
+
+/// Resolves which dataset an index was built over (the `{index}.dataset`
+/// link file) without paying the full index open.
+fn dataset_of(cluster: &Cluster, flags: &Flags) -> Result<String, String> {
+    let index_name = req(flags, "index")?;
+    let link = format!("{index_name}.dataset");
+    cluster
+        .dfs()
+        .list_blocks(&link)
+        .ok()
+        .and_then(|b| cluster.dfs().read_block(&b[0]).ok())
+        .and_then(|bytes| String::from_utf8(bytes).ok())
+        .ok_or_else(|| format!("index '{index_name}' has no dataset link"))
+}
+
+/// Runs the resident query daemon until SIGTERM/SIGINT. The index and
+/// its cluster stay in memory across all queries — the point of the
+/// daemon versus one CLI invocation per query. Prints
+/// `listening on ADDR` (flushed) so scripts binding port 0 can read the
+/// real port back.
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let cluster = std::sync::Arc::new(open_cluster(flags)?);
+    let (index, dataset) = open_index(&cluster, flags)?;
+    let index = std::sync::Arc::new(index);
+    let config = ServerConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        max_in_flight: opt_num(flags, "max-in-flight", 8)?,
+        queue_capacity: opt_num(flags, "queue", 64)?,
+        default_deadline_ms: flags
+            .get("deadline-ms")
+            .map(|v| v.parse().map_err(|_| format!("invalid --deadline-ms '{v}'")))
+            .transpose()?,
+        policy: degraded_policy(flags)?,
+        ..ServerConfig::default()
+    };
+    let handle = QueryServer::start(std::sync::Arc::clone(&cluster), index, config)
+        .map_err(|e| e.to_string())?;
+    println!("serving index '{}' over '{dataset}'", req(flags, "index")?);
+    println!("listening on {}", handle.addr());
+    std::io::stdout().flush().ok();
+    tardis::server::install_signal_handlers();
+    let flag = handle.shutdown_flag();
+    while !tardis::server::sigterm_flag() && !flag.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    handle.shutdown();
+    let snap = cluster.metrics().snapshot();
+    // Closed stdout is fine here — shutdown still completed.
+    out(format_args!(
+        "shutdown: {} served, {} shed, {} stolen task(s)",
+        snap.queries_served, snap.queries_shed, snap.tasks_stolen
+    ));
+    Ok(())
+}
+
+/// Sends one request to a running daemon and prints the raw response
+/// line. Queries resolve exactly like the local query commands: `--rid`
+/// regenerates a dataset member from the sidecar, `--query-file` reads
+/// values from disk; `--op batch` generates the same workload as
+/// `query-batch --count`.
+fn cmd_client(flags: &Flags) -> Result<(), String> {
+    let addr = req(flags, "addr")?;
+    let op = match req(flags, "op")? {
+        "exact" => Op::Exact,
+        "knn" => Op::Knn,
+        "exact-knn" => Op::ExactKnn,
+        "range" => Op::Range,
+        "batch" => Op::Batch,
+        other => return Err(format!("unknown --op '{other}' (exact|knn|exact-knn|range|batch)")),
+    };
+    let mut request = Request::new(opt_num(flags, "id", 1)?, op);
+    request.k = opt_num(flags, "k", 10)?;
+    request.epsilon = opt_num(flags, "epsilon", 1.0)?;
+    request.use_bloom = !flags.contains_key("no-bloom");
+    request.priority = opt_num(flags, "priority", 0u8)?;
+    request.deadline_ms = flags
+        .get("deadline-ms")
+        .map(|v| v.parse().map_err(|_| format!("invalid --deadline-ms '{v}'")))
+        .transpose()?;
+    if let Some(s) = flags.get("strategy") {
+        request.strategy = match s.as_str() {
+            "target" => KnnStrategy::TargetNode,
+            "one" => KnnStrategy::OnePartition,
+            "multi" => KnnStrategy::MultiPartition,
+            other => return Err(format!("unknown strategy '{other}' (target|one|multi)")),
+        };
+    }
+    let cluster = open_cluster(flags)?;
+    match op {
+        Op::Batch => {
+            let dataset = dataset_of(&cluster, flags)?;
+            let count: usize = opt_num(flags, "count", 16)?;
+            let seed: u64 = opt_num(flags, "seed", 0)?;
+            let (family, gen_seed, len, records) = read_sidecar(&cluster, &dataset)?;
+            let gen = family_gen(&family, gen_seed, Some(len))?;
+            request.queries = (0..count as u64)
+                .map(|i| {
+                    let r = seed.wrapping_add(i.wrapping_mul(131));
+                    let rid = if i % 4 == 3 {
+                        records + r // absent
+                    } else {
+                        r % records.max(1)
+                    };
+                    gen.series(rid).values().to_vec()
+                })
+                .collect();
+        }
+        _ => {
+            let dataset = if flags.contains_key("rid") {
+                dataset_of(&cluster, flags)?
+            } else {
+                String::new()
+            };
+            let query = load_query(&cluster, &dataset, flags)?;
+            request.query = query.values().to_vec();
+        }
+    }
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let response = client.send(&request).map_err(|e| e.to_string())?;
+    say!("{response}");
+    Ok(())
+}
+
+/// Scrapes a running daemon's Prometheus metrics text (same bytes as
+/// `curl http://ADDR/metrics`).
+fn cmd_metrics(flags: &Flags) -> Result<(), String> {
+    let addr = req(flags, "addr")?;
+    let text = scrape_metrics(addr).map_err(|e| e.to_string())?;
+    say!("{}", text.trim_end());
     Ok(())
 }
 

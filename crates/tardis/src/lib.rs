@@ -41,6 +41,7 @@ pub use tardis_cluster as cluster;
 pub use tardis_core as core;
 pub use tardis_data as data;
 pub use tardis_isax as isax;
+pub use tardis_server as server;
 pub use tardis_sigtree as sigtree;
 pub use tardis_ts as ts;
 
@@ -72,6 +73,9 @@ pub mod prelude {
         InMemoryDataset, NoaaLike, QueryKind, QueryWorkload, RandomWalk, SeriesGen, TexmexLike,
     };
     pub use tardis_isax::{SaxWord, SigT};
+    pub use tardis_server::{
+        scrape_metrics, Client, Op, QueryServer, Request, ServerConfig, ServerHandle,
+    };
     pub use tardis_ts::{euclidean, z_normalize, Record, TimeSeries};
 }
 

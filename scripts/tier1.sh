@@ -29,6 +29,47 @@ trap 'rm -rf "$DEMO"' EXIT
 T="target/release/tardis"
 "$T" generate --dir "$DEMO" --dataset rw --family randomwalk --records 3000 --replication 2
 "$T" build --dir "$DEMO" --dataset rw --index idx --capacity 300 --leaf 100 --replication 2
+
+echo "== tier-1: resident daemon smoke (serve, client, /metrics, SIGTERM) =="
+# Boot on port 0 and read the real port back from the flushed
+# 'listening on ADDR' line.
+"$T" serve --dir "$DEMO" --index idx --addr 127.0.0.1:0 --replication 2 >"$DEMO/serve.out" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^listening on //p' "$DEMO/serve.out" | head -n1)"
+    [[ -n "$ADDR" ]] && break
+    sleep 0.1
+done
+if [[ -z "$ADDR" ]]; then
+    echo "daemon smoke FAILED: daemon never printed its address" >&2
+    cat "$DEMO/serve.out" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+# A mixed smoke through every transport path: exact, kNN, and a
+# shared-scan batch, each answered on one line with ok:true.
+"$T" client --addr "$ADDR" --dir "$DEMO" --index idx --op exact --rid 7 --replication 2 | grep -q '"ok":true' || {
+    echo "daemon smoke FAILED: exact-match request" >&2; exit 1; }
+"$T" client --addr "$ADDR" --dir "$DEMO" --index idx --op knn --rid 7 --k 5 --replication 2 | grep -q '"ok":true' || {
+    echo "daemon smoke FAILED: knn request" >&2; exit 1; }
+"$T" client --addr "$ADDR" --dir "$DEMO" --index idx --op batch --count 4 --replication 2 | grep -q '"ok":true' || {
+    echo "daemon smoke FAILED: batch request" >&2; exit 1; }
+# The same port serves Prometheus text: the served counter must have
+# seen exactly the three requests above, and the scheduler gauges exist.
+"$T" metrics --addr "$ADDR" | grep -q 'tardis_queries_served 3' || {
+    echo "daemon smoke FAILED: /metrics did not count 3 served queries" >&2; exit 1; }
+"$T" metrics --addr "$ADDR" | grep -q '# TYPE tardis_queue_depth gauge' || {
+    echo "daemon smoke FAILED: /metrics is missing the scheduler gauges" >&2; exit 1; }
+# SIGTERM drains gracefully: the process exits 0 and reports its tally.
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "daemon smoke FAILED: daemon exited non-zero on SIGTERM" >&2; exit 1; }
+grep -q '^shutdown: 3 served' "$DEMO/serve.out" || {
+    echo "daemon smoke FAILED: no graceful shutdown tally" >&2
+    cat "$DEMO/serve.out" >&2
+    exit 1
+}
+
 # One datanode dies: every block keeps a replica on another node, so even
 # a fail-fast query is fully masked by replica failover...
 rm -rf "$DEMO/node-0"

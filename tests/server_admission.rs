@@ -1,0 +1,278 @@
+//! Admission-control soak: a sustained, skewed query stream past the
+//! daemon's capacity must stay bounded, shed explicitly, and leak
+//! nothing.
+//!
+//! * **Bounded**: the in-flight gauge never exceeds `max_in_flight`;
+//!   every request is answered — served or shed with `Overloaded` — so
+//!   the test itself terminating is the no-hang proof.
+//! * **Deterministic deadlines**: under a virtual [`BackoffClock`]
+//!   "now" never moves on its own, so a `deadline_ms: 0` request that
+//!   has to queue is *always* shed with `DeadlineExceeded`, and a
+//!   generous deadline is *always* served — no timing-dependent
+//!   outcomes.
+//! * **Leak-free**: after the stream drains and the daemon shuts down,
+//!   the shared block cache holds zero pins and the scheduler gauges
+//!   read zero.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tardis::prelude::*;
+
+fn build_small(
+    n_workers: usize,
+    cache_bytes: usize,
+    faults: Option<FaultPlan>,
+) -> (Arc<Cluster>, Arc<TardisIndex>, RandomWalk, u64) {
+    let mut config = ClusterConfig {
+        n_workers,
+        faults,
+        ..ClusterConfig::default()
+    };
+    config.dfs.cache_bytes = cache_bytes;
+    let cluster = Arc::new(Cluster::new(config).unwrap());
+    let n = 600u64;
+    let gen = RandomWalk::with_len(9, 64);
+    write_dataset(&cluster, "ds", &gen, n, 75).unwrap();
+    let tc = TardisConfig {
+        g_max_size: 400,
+        l_max_size: 80,
+        sampling_fraction: 0.5,
+        pth: 4,
+        ..TardisConfig::default()
+    };
+    let (index, _) = TardisIndex::build(&cluster, "ds", &tc).unwrap();
+    (cluster, Arc::new(index), gen, n)
+}
+
+/// Zipf-ish rid for request `h`: low ranks dominate, the tail thins out
+/// — the skew the admission queue sees in a real deployment.
+fn zipfian_rid(h: u64, n: u64) -> u64 {
+    (n / (1 + h % 97)) % n
+}
+
+#[test]
+fn overload_stays_bounded_sheds_explicitly_and_leaks_no_pins() {
+    // Cache enabled so batch queries exercise the pin/unpin path.
+    let (cluster, index, gen, n) = build_small(4, 1 << 20, None);
+    const MAX_IN_FLIGHT: usize = 2;
+    let handle = QueryServer::start(
+        Arc::clone(&cluster),
+        Arc::clone(&index),
+        ServerConfig {
+            max_in_flight: MAX_IN_FLIGHT,
+            queue_capacity: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    // 8 concurrent clients × 25 requests: far past a 2-slot daemon.
+    // Every request gets exactly one response line; a hang would hang
+    // the join and fail the suite's timeout.
+    let mut handles = Vec::new();
+    for c in 0..8u64 {
+        let addr = addr.clone();
+        let gen = gen.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).unwrap();
+            let mut served = 0u64;
+            let mut shed = 0u64;
+            for j in 0..25u64 {
+                let h = c * 1_000 + j;
+                let rid = zipfian_rid(h, n);
+                let req = if h % 5 == 4 {
+                    // Shared-scan batches mixed in: they pin partitions.
+                    let mut r = Request::new(h, Op::Batch);
+                    r.queries = [rid, (rid + 3) % n]
+                        .iter()
+                        .map(|&x| gen.series(x).values().to_vec())
+                        .collect();
+                    r.k = 3;
+                    r
+                } else {
+                    let mut r = Request::new(h, Op::Knn);
+                    r.query = gen.series(rid).values().to_vec();
+                    r.k = 4;
+                    r.strategy = KnnStrategy::OnePartition;
+                    r
+                };
+                let response = client.send(&req).unwrap();
+                if response.contains("\"ok\":true") {
+                    served += 1;
+                } else {
+                    assert!(
+                        response.contains("\"error\":\"Overloaded\""),
+                        "only Overloaded sheds are acceptable here: {response}"
+                    );
+                    shed += 1;
+                }
+            }
+            (served, shed)
+        }));
+    }
+    let (mut served, mut shed) = (0u64, 0u64);
+    for h in handles {
+        let (s, d) = h.join().unwrap();
+        served += s;
+        shed += d;
+    }
+    assert_eq!(served + shed, 8 * 25, "every request answered exactly once");
+    assert!(served > 0, "a 2-slot daemon still makes progress");
+
+    let snap = cluster.metrics().snapshot();
+    assert_eq!(snap.queries_served, served);
+    assert_eq!(snap.queries_shed, shed);
+    // The gauges are a live bound, sampled here after the drain; the
+    // admission gate never exceeds its configured cap by construction
+    // (in_flight is incremented only under `in_flight < max_in_flight`).
+    assert_eq!(snap.queries_in_flight, 0, "drained daemon has nothing in flight");
+    assert_eq!(snap.queue_depth, 0, "drained daemon has an empty queue");
+
+    handle.shutdown();
+    // No pinned partitions survive the drain: every batch PinGuard and
+    // every shared read released its count.
+    assert_eq!(cluster.dfs().total_pins(), 0, "leaked cache pins after drain");
+}
+
+#[test]
+fn deadlines_resolve_deterministically_under_virtual_clock() {
+    // A straggler partition task (500 ms) lets us *hold* the daemon's
+    // single slot with a query we control; the virtual admission clock
+    // never advances, so queued deadlines resolve by value, not timing.
+    let (cluster, index, gen, _n) = build_small(2, 0, None);
+    let sig = index.global().converter().sig_of(&gen.series(0)).unwrap();
+    let slow_pid = index.global().partition_of(&sig);
+    drop((cluster, index));
+    let plan = FaultPlan {
+        slow_task: Some((u64::from(slow_pid), Duration::from_millis(500))),
+        ..FaultPlan::default()
+    };
+    let (cluster, index, gen, _) = build_small(2, 0, Some(plan));
+
+    let clock = Arc::new(VirtualClock::new());
+    let handle = QueryServer::start(
+        Arc::clone(&cluster),
+        Arc::clone(&index),
+        ServerConfig {
+            max_in_flight: 1,
+            queue_capacity: 8,
+            clock: BackoffClock::Virtual(clock),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    // Occupy the slot: a batch touching the slow partition sleeps 500ms
+    // inside execution (admission already granted).
+    let blocker = {
+        let addr = addr.clone();
+        let q = gen.series(0).values().to_vec();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).unwrap();
+            let mut r = Request::new(1, Op::Batch);
+            r.queries = vec![q];
+            r.k = 2;
+            client.send(&r).unwrap()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Queued with deadline 0 under a frozen clock: always shed.
+    let mut client = Client::connect(&addr).unwrap();
+    let mut doomed = Request::new(2, Op::Knn);
+    doomed.query = gen.series(5).values().to_vec();
+    doomed.k = 2;
+    doomed.strategy = KnnStrategy::OnePartition;
+    doomed.deadline_ms = Some(0);
+    let response = client.send(&doomed).unwrap();
+    assert!(
+        response.contains("\"error\":\"DeadlineExceeded\""),
+        "zero deadline must shed deterministically: {response}"
+    );
+
+    // Queued with a generous deadline: always served once the slot
+    // frees (the frozen clock can never expire it).
+    let mut patient = Request::new(3, Op::Knn);
+    patient.query = gen.series(5).values().to_vec();
+    patient.k = 2;
+    patient.strategy = KnnStrategy::OnePartition;
+    patient.deadline_ms = Some(3_600_000);
+    let response = client.send(&patient).unwrap();
+    assert!(
+        response.contains("\"ok\":true"),
+        "generous deadline must be served: {response}"
+    );
+
+    let blocked = blocker.join().unwrap();
+    assert!(blocked.contains("\"ok\":true"), "{blocked}");
+    handle.shutdown();
+    let snap = cluster.metrics().snapshot();
+    assert_eq!(snap.queries_served, 2);
+    assert_eq!(snap.queries_shed, 1);
+}
+
+/// Graceful shutdown with traffic still arriving: whatever was accepted
+/// is answered or shed — never silently dropped — and the daemon's
+/// port closes.
+#[test]
+fn shutdown_answers_or_sheds_everything_in_flight() {
+    let (cluster, index, gen, n) = build_small(4, 0, None);
+    let handle = QueryServer::start(
+        Arc::clone(&cluster),
+        Arc::clone(&index),
+        ServerConfig {
+            max_in_flight: 2,
+            queue_capacity: 8,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    let mut clients = Vec::new();
+    for c in 0..4u64 {
+        let addr = addr.clone();
+        let gen = gen.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).unwrap();
+            let mut answered = 0u64;
+            for j in 0..10u64 {
+                let mut r = Request::new(c * 100 + j, Op::Knn);
+                r.query = gen.series((c * 37 + j * 13) % n).values().to_vec();
+                r.k = 3;
+                r.strategy = KnnStrategy::OnePartition;
+                // After shutdown the connection may close; that ends
+                // this client's stream, with every *prior* request
+                // already answered in order.
+                match client.send(&r) {
+                    Ok(response) => {
+                        assert!(
+                            response.contains("\"ok\":true")
+                                || response.contains("\"error\":\"Overloaded\"")
+                                || response.contains("\"error\":\"DeadlineExceeded\""),
+                            "unexpected response: {response}"
+                        );
+                        answered += 1;
+                    }
+                    Err(_) => break,
+                }
+            }
+            answered
+        }));
+    }
+    // Let traffic build, then pull the plug mid-stream.
+    std::thread::sleep(Duration::from_millis(100));
+    handle.shutdown();
+    let answered: u64 = clients.into_iter().map(|c| c.join().unwrap()).sum();
+
+    let snap = cluster.metrics().snapshot();
+    assert_eq!(
+        snap.queries_served + snap.queries_shed,
+        answered,
+        "every answered line was counted served or shed; none vanished"
+    );
+    assert_eq!(snap.queries_in_flight, 0);
+    assert_eq!(cluster.dfs().total_pins(), 0);
+}

@@ -1,0 +1,362 @@
+//! Server equivalence: every query path through the resident daemon
+//! must be **byte-identical** to a sequential single-process oracle.
+//!
+//! The oracle computes each answer by calling the core query functions
+//! directly — in submission order, on one thread — and encodes it with
+//! the same `tardis_server::protocol` encoders the daemon uses. The
+//! daemon then serves the same requests over real TCP from several
+//! concurrent connections, at worker widths 1, 4, and 8 (inline
+//! execution, moderate stealing, heavy stealing). Any divergence —
+//! reordered neighbors, a float formatted differently, a lost or
+//! duplicated response — fails the raw string comparison.
+//!
+//! Two deterministic fault scenarios ride along:
+//! * a seeded fault plan whose failures are fully masked by retries
+//!   (deep budget, zero backoff) must leave every byte unchanged;
+//! * killing every replica of one partition under a best-effort policy
+//!   must produce the *same partial answers* from the daemon as from
+//!   the sequential degraded oracle, coverage report included.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+use tardis::prelude::*;
+use tardis::server::protocol;
+
+const LEN: usize = 64;
+
+fn small_config() -> TardisConfig {
+    TardisConfig {
+        g_max_size: 400,
+        l_max_size: 80,
+        sampling_fraction: 0.5,
+        pth: 4,
+        ..TardisConfig::default()
+    }
+}
+
+/// Builds one request from two case-level random draws. `code` picks
+/// the op; `rid` seeds the query (occasionally absent from the
+/// dataset) and the per-op parameters.
+fn make_request(id: u64, code: u8, rid: u64, gen: &RandomWalk, n: u64) -> Request {
+    let rid = rid % (n + n / 4); // ~20% absent queries
+    let q = gen.series(rid).values().to_vec();
+    match code % 5 {
+        0 => {
+            let mut r = Request::new(id, Op::Exact);
+            r.query = q;
+            r.use_bloom = rid % 2 == 0;
+            r
+        }
+        1 => {
+            let mut r = Request::new(id, Op::Knn);
+            r.query = q;
+            r.k = 1 + (code as usize % 7);
+            r.strategy = KnnStrategy::ALL[(rid % 3) as usize];
+            r
+        }
+        2 => {
+            let mut r = Request::new(id, Op::ExactKnn);
+            r.query = q;
+            r.k = 1 + (code as usize % 4);
+            r
+        }
+        3 => {
+            let mut r = Request::new(id, Op::Range);
+            r.query = q;
+            r.epsilon = 0.5 + (rid % 5) as f64;
+            r
+        }
+        _ => {
+            let mut r = Request::new(id, Op::Batch);
+            r.queries = [rid, (rid + 7) % n, (rid * 3 + 1) % n]
+                .iter()
+                .map(|&x| gen.series(x).values().to_vec())
+                .collect();
+            r.k = 3;
+            r.strategy = KnnStrategy::ALL[(code % 3) as usize];
+            r
+        }
+    }
+}
+
+/// The sequential oracle: same dispatch as the daemon, same encoders,
+/// one thread, submission order.
+fn oracle(
+    index: &TardisIndex,
+    cluster: &Cluster,
+    req: &Request,
+    policy: Option<DegradedPolicy>,
+) -> String {
+    let id = req.id;
+    let q = TimeSeries::new(req.query.clone());
+    let batch: Vec<TimeSeries> = req
+        .queries
+        .iter()
+        .map(|v| TimeSeries::new(v.clone()))
+        .collect();
+    match (policy, req.op) {
+        (None, Op::Exact) => protocol::encode_exact(
+            id,
+            &exact_match(index, cluster, &q, req.use_bloom).unwrap(),
+            None,
+        ),
+        (None, Op::Knn) => protocol::encode_knn(
+            id,
+            &knn_approximate(index, cluster, &q, req.k, req.strategy).unwrap(),
+            None,
+        ),
+        (None, Op::ExactKnn) => {
+            protocol::encode_exact_knn(id, &exact_knn(index, cluster, &q, req.k).unwrap(), None)
+        }
+        (None, Op::Range) => protocol::encode_range(
+            id,
+            &range_query(index, cluster, &q, req.epsilon).unwrap(),
+            None,
+        ),
+        (None, Op::Batch) => protocol::encode_batch(
+            id,
+            &knn_batch(index, cluster, &batch, req.k, req.strategy).unwrap(),
+            None,
+        ),
+        (Some(p), Op::Exact) => {
+            let d = exact_match_degraded(index, cluster, &q, req.use_bloom, p).unwrap();
+            protocol::encode_exact(id, &d.answer, Some(&d.completeness))
+        }
+        (Some(p), Op::Knn) => {
+            let d = knn_approximate_degraded(index, cluster, &q, req.k, req.strategy, p).unwrap();
+            protocol::encode_knn(id, &d.answer, Some(&d.completeness))
+        }
+        (Some(p), Op::ExactKnn) => {
+            let d = exact_knn_degraded(index, cluster, &q, req.k, p).unwrap();
+            protocol::encode_exact_knn(id, &d.answer, Some(&d.completeness))
+        }
+        (Some(p), Op::Range) => {
+            let d = range_query_degraded(index, cluster, &q, req.epsilon, p).unwrap();
+            protocol::encode_range(id, &d.answer, Some(&d.completeness))
+        }
+        (Some(p), Op::Batch) => {
+            let d = knn_batch_degraded(index, cluster, &batch, req.k, req.strategy, p).unwrap();
+            protocol::encode_batch(id, &d.answer, Some(&d.completeness))
+        }
+    }
+}
+
+/// Computes oracle answers sequentially, boots a daemon, replays the
+/// same requests from `n_clients` concurrent connections, and demands
+/// byte equality response-by-response.
+fn check_daemon_equivalence(
+    cluster: Arc<Cluster>,
+    index: Arc<TardisIndex>,
+    requests: &[Request],
+    n_clients: usize,
+    policy: Option<DegradedPolicy>,
+) -> Result<(), TestCaseError> {
+    let mut expected = HashMap::new();
+    for req in requests {
+        expected.insert(req.id, oracle(&index, &cluster, req, policy));
+    }
+
+    let handle = QueryServer::start(
+        Arc::clone(&cluster),
+        Arc::clone(&index),
+        ServerConfig {
+            policy,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    // Round-robin the requests over the connections.
+    let mut handles = Vec::new();
+    for c in 0..n_clients {
+        let mine: Vec<Request> = requests
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % n_clients == c)
+            .map(|(_, r)| r.clone())
+            .collect();
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).unwrap();
+            mine.into_iter()
+                .map(|req| (req.id, client.send(&req).unwrap()))
+                .collect::<Vec<(u64, String)>>()
+        }));
+    }
+    let mut got = HashMap::new();
+    for h in handles {
+        for (id, response) in h.join().unwrap() {
+            got.insert(id, response);
+        }
+    }
+    handle.shutdown();
+
+    prop_assert_eq!(got.len(), expected.len(), "lost or duplicated responses");
+    for (id, want) in &expected {
+        let have = got.get(id).unwrap();
+        prop_assert_eq!(
+            have,
+            want,
+            "response {} diverged from the sequential oracle",
+            id
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    // Each case builds three indexes (one per worker width) and boots
+    // three daemons; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn daemon_is_byte_identical_to_sequential_oracle(
+        seed in 1u64..1000,
+        n in 250u64..600,
+        codes in proptest::collection::vec(0u8..=255, 8..16),
+        rids in proptest::collection::vec(0u64..10_000, 8..16),
+        n_clients in 2usize..5,
+    ) {
+        for &width in &[1usize, 4, 8] {
+            let cluster = Arc::new(
+                Cluster::new(ClusterConfig {
+                    n_workers: width,
+                    ..ClusterConfig::default()
+                })
+                .unwrap(),
+            );
+            let gen = RandomWalk::with_len(seed, LEN);
+            write_dataset(&cluster, "ds", &gen, n, 64).unwrap();
+            let (index, _) = TardisIndex::build(&cluster, "ds", &small_config()).unwrap();
+            let index = Arc::new(index);
+            let requests: Vec<Request> = codes
+                .iter()
+                .zip(&rids)
+                .enumerate()
+                .map(|(i, (&code, &rid))| make_request(i as u64 + 1, code, rid, &gen, n))
+                .collect();
+            check_daemon_equivalence(cluster, index, &requests, n_clients, None)?;
+        }
+    }
+}
+
+/// Retry-masked faults (deep budget, zero backoff) change nothing on
+/// the wire: the daemon under a seeded fault plan answers byte-for-byte
+/// like the oracle on the same faulted cluster.
+#[test]
+fn masked_faults_leave_every_response_byte_identical() {
+    let plan = FaultPlan {
+        seed: 77,
+        block_read_fail_p: 0.05,
+        task_fail_p: 0.02,
+        ..FaultPlan::default()
+    };
+    let retry = RetryPolicy {
+        max_attempts: 8,
+        backoff_base: Duration::ZERO,
+        backoff_cap: Duration::ZERO,
+        ..RetryPolicy::default()
+    };
+    let cluster = Arc::new(
+        Cluster::new(ClusterConfig {
+            n_workers: 4,
+            faults: Some(plan),
+            retry,
+            ..ClusterConfig::default()
+        })
+        .unwrap(),
+    );
+    let n = 500u64;
+    let gen = RandomWalk::with_len(21, LEN);
+    write_dataset(&cluster, "ds", &gen, n, 64).unwrap();
+    let (index, _) = TardisIndex::build(&cluster, "ds", &small_config()).unwrap();
+    let index = Arc::new(index);
+    let requests: Vec<Request> = (0..20u64)
+        .map(|i| make_request(i + 1, (i * 13) as u8, i * 97, &gen, n))
+        .collect();
+    check_daemon_equivalence(cluster, index, &requests, 3, None).unwrap();
+}
+
+/// Every replica of one partition dies on disk. Under a best-effort
+/// policy the daemon keeps answering — partial where that partition was
+/// needed — and each response, coverage report included, equals the
+/// sequential degraded oracle's bytes.
+#[test]
+fn best_effort_daemon_matches_degraded_oracle_with_dead_partition() {
+    let dir = std::env::temp_dir().join(format!(
+        "tardis-server-eq-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let result = std::panic::catch_unwind(|| {
+        best_effort_case(&dir);
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = result {
+        std::panic::resume_unwind(e);
+    }
+}
+
+fn best_effort_case(dir: &PathBuf) {
+    let cluster = Arc::new(
+        Cluster::at_dir(
+            dir,
+            ClusterConfig {
+                n_workers: 4,
+                ..ClusterConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    let n = 500u64;
+    let gen = RandomWalk::with_len(33, LEN);
+    write_dataset(&cluster, "ds", &gen, n, 64).unwrap();
+    let (index, _) = TardisIndex::build(&cluster, "ds", &small_config()).unwrap();
+    let index = Arc::new(index);
+
+    // Kill every replica of the partition that query rid=0 routes to.
+    let sig = index.global().converter().sig_of(&gen.series(0)).unwrap();
+    let dead_pid = index.global().partition_of(&sig);
+    let mut removed = 0;
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let node = entry.unwrap().path();
+        if node
+            .file_name()
+            .and_then(|s| s.to_str())
+            .is_some_and(|s| s.starts_with("node-"))
+        {
+            let part = node.join(format!("part-{dead_pid:05}"));
+            if part.exists() {
+                std::fs::remove_dir_all(&part).unwrap();
+                removed += 1;
+            }
+        }
+    }
+    assert!(removed > 0, "no replica of partition {dead_pid} found on disk");
+
+    let requests: Vec<Request> = (0..24u64)
+        .map(|i| make_request(i + 1, (i * 7) as u8, i * 41, &gen, n))
+        .collect();
+    // At least one request must actually touch the dead partition for
+    // the scenario to mean anything: rid 0 routes there by choice.
+    let mut probe = Request::new(100, Op::Knn);
+    probe.query = gen.series(0).values().to_vec();
+    probe.k = 3;
+    probe.strategy = KnnStrategy::OnePartition;
+    let mut requests = requests;
+    requests.push(probe);
+
+    check_daemon_equivalence(
+        cluster,
+        index,
+        &requests,
+        3,
+        Some(DegradedPolicy::BestEffort),
+    )
+    .unwrap();
+}
