@@ -14,8 +14,10 @@
 //! baselines vs the lane kernels and the PAA-prefilter block cascade;
 //! writes `BENCH_kernels.json`), `server` (resident `tardis-server`
 //! daemon vs cold per-query CLI-style index opens; writes
-//! `BENCH_server.json`), `all`, and `quick` (a reduced-size
-//! pass over everything for smoke testing).
+//! `BENCH_server.json`), `balance` (replica-aware load balancing under
+//! a Zipfian mix: replication 1 vs 2 vs adaptive hot-partition
+//! re-replication; writes `BENCH_balance.json`), `all`, and `quick` (a
+//! reduced-size pass over everything for smoke testing).
 
 use std::time::Duration;
 use tardis_baseline::baseline_knn;
@@ -101,15 +103,18 @@ fn main() {
     if run_all || cmd == "server" {
         server(scale);
     }
+    if run_all || cmd == "balance" {
+        balance(scale);
+    }
     if !run_all
         && ![
             "table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-            "fig17", "ablations", "profiles", "queries", "kernels", "server",
+            "fig17", "ablations", "profiles", "queries", "kernels", "server", "balance",
         ]
         .contains(&cmd)
     {
         eprintln!("unknown experiment '{cmd}'");
-        eprintln!("usage: experiments [table2|fig9|...|fig17|ablations|profiles|queries|kernels|server|all|quick] [--quick]");
+        eprintln!("usage: experiments [table2|fig9|...|fig17|ablations|profiles|queries|kernels|server|balance|all|quick] [--quick]");
         std::process::exit(2);
     }
     println!("\n(total experiment time: {})", secs(t0.elapsed()));
@@ -1278,6 +1283,306 @@ fn server(scale: Scale) {
     match std::fs::write("BENCH_server.json", &json) {
         Ok(()) => println!("wrote BENCH_server.json"),
         Err(e) => eprintln!("could not write BENCH_server.json: {e}"),
+    }
+}
+
+/// Replica-aware load balancing under a Zipfian mix: the same skewed
+/// workload is served by daemons over three stores — replication 1
+/// (every hot block has one serveable copy: its node is the ceiling),
+/// replication 2 (routing alternates the two copies: double the hot-set
+/// service capacity), and replication 1 with adaptive hot-partition
+/// re-replication (the server detects the hot set and raises just those
+/// partitions to 2 copies in the background). Sequential passes verify
+/// the answers are byte-identical across all three stores; concurrent
+/// passes measure throughput and tail latency. Writes
+/// `BENCH_balance.json`.
+fn balance(scale: Scale) {
+    banner("Balance", "replica-aware routing under a Zipfian mix (R1 vs R2 vs adaptive)");
+    use std::sync::Arc;
+    use tardis_cluster::{Cluster, ClusterConfig, DfsConfig};
+    use tardis_server::{Client, HotSetConfig, Op, QueryServer, Request, ServerConfig};
+
+    const K: usize = 10;
+    const N_CLIENTS: usize = 8;
+    const ZIPF_RANKS: u64 = 16;
+    const ZIPF_S: f64 = 2.0;
+
+    // Small partitions: with capacity 2000 < the 2048-record DFS block
+    // size, every partition is exactly one block — the hot set is a
+    // handful of blocks, the unit replication actually multiplies. The
+    // store geometry is pinned across scales (scale varies the request
+    // volume only) so the Zipfian mix always concentrates on a block
+    // whose node would otherwise serialise the run.
+    let n: u64 = 2_000;
+    let n_requests = scale.queries * 12;
+    let gen = Family::RandomWalk.generator();
+    let index_cfg = TardisConfig {
+        g_max_size: 2_000,
+        l_max_size: 500,
+        ..TardisConfig::default()
+    };
+    // Serving pays the fig14-style simulated HDFS read latency, with the
+    // cache disabled so every logical read exercises replica routing.
+    let dfs_cfg = |replication: u32| DfsConfig {
+        read_latency: Duration::from_millis(2),
+        cache_bytes: 0,
+        replication,
+        datanodes: 3,
+        ..DfsConfig::default()
+    };
+
+    // Zipfian over ZIPF_RANKS distinct stored series, s = 2: the top
+    // rank draws ~60% of the mix. Deterministic LCG per request index.
+    let weights: Vec<f64> = (0..ZIPF_RANKS)
+        .map(|r| 1.0 / ((r + 1) as f64).powf(ZIPF_S))
+        .collect();
+    let total_w: f64 = weights.iter().sum();
+    let rank_of = |i: u64| -> u64 {
+        let mut x = i.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xD1B5);
+        x ^= x >> 33;
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64 * total_w;
+        let mut acc = 0.0;
+        for (rank, w) in weights.iter().enumerate() {
+            acc += w;
+            if u < acc {
+                return rank as u64;
+            }
+        }
+        ZIPF_RANKS - 1
+    };
+    let requests: Vec<Request> = (0..n_requests as u64)
+        .map(|i| {
+            let rid = (rank_of(i) * 613) % n;
+            let mut r = if i % 3 == 2 {
+                let mut r = Request::new(i + 1, Op::Exact);
+                r.query = gen.series(rid).values().to_vec();
+                r
+            } else {
+                let mut r = Request::new(i + 1, Op::Knn);
+                r.query = gen.series(rid).values().to_vec();
+                r.k = K;
+                r.strategy = KnnStrategy::OnePartition;
+                r
+            };
+            r.deadline_ms = None;
+            r
+        })
+        .collect();
+
+    let build_store = |dir: &std::path::Path, replication: u32| {
+        let _ = std::fs::remove_dir_all(dir);
+        std::fs::create_dir_all(dir).expect("create store dir");
+        // Build without the read latency — only serving is timed.
+        let cluster = Cluster::at_dir(
+            dir,
+            ClusterConfig {
+                dfs: DfsConfig {
+                    replication,
+                    datanodes: 3,
+                    ..DfsConfig::default()
+                },
+                ..ClusterConfig::default()
+            },
+        )
+        .expect("cluster");
+        tardis_data::write_dataset(&cluster, "ds", gen.as_ref(), n, tardis_bench::BLOCK_RECORDS)
+            .expect("write dataset");
+        let (index, _) = TardisIndex::build(&cluster, "ds", &index_cfg).expect("build");
+        index.save(&cluster, "idx").expect("save");
+    };
+    let serve = |dir: &std::path::Path,
+                 replication: u32,
+                 hot: Option<HotSetConfig>|
+     -> (Arc<Cluster>, tardis_server::ServerHandle, String) {
+        let cluster = Arc::new(
+            Cluster::at_dir(
+                dir,
+                ClusterConfig {
+                    dfs: dfs_cfg(replication),
+                    ..ClusterConfig::default()
+                },
+            )
+            .expect("cluster"),
+        );
+        let index = Arc::new(TardisIndex::open(&cluster, "idx").expect("open"));
+        let handle = QueryServer::start(
+            Arc::clone(&cluster),
+            index,
+            ServerConfig {
+                max_in_flight: N_CLIENTS * 2,
+                queue_capacity: n_requests.max(64),
+                hot_set: hot,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("server start");
+        let addr = handle.addr().to_string();
+        (cluster, handle, addr)
+    };
+    let sequential_pass = |addr: &str| -> Vec<String> {
+        let mut client = Client::connect(addr).expect("connect");
+        requests
+            .iter()
+            .map(|req| client.send(req).expect("send"))
+            .collect()
+    };
+    let timed_pass = |addr: &str| -> (Duration, Duration, u64) {
+        let mut chunks: Vec<Vec<Request>> = vec![Vec::new(); N_CLIENTS];
+        for (i, req) in requests.iter().enumerate() {
+            chunks[i % N_CLIENTS].push(req.clone());
+        }
+        let t0 = std::time::Instant::now();
+        let workers: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let addr = addr.to_string();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(&addr).expect("connect");
+                    let mut lats = Vec::with_capacity(chunk.len());
+                    let mut shed = 0u64;
+                    for req in &chunk {
+                        let t = std::time::Instant::now();
+                        let response = client.send(req).expect("send");
+                        lats.push(t.elapsed());
+                        if !response.contains("\"ok\":true") {
+                            shed += 1;
+                        }
+                    }
+                    (lats, shed)
+                })
+            })
+            .collect();
+        let mut lats = Vec::with_capacity(requests.len());
+        let mut shed = 0u64;
+        for w in workers {
+            let (l, s) = w.join().expect("client thread");
+            lats.extend(l);
+            shed += s;
+        }
+        let total = t0.elapsed();
+        lats.sort();
+        let p99 = lats[lats.len().saturating_sub(1) * 99 / 100];
+        (total, p99, shed)
+    };
+
+    let root = std::env::temp_dir().join(format!("tardis-bench-balance-{}", std::process::id()));
+    let dir_r1 = root.join("r1");
+    let dir_r2 = root.join("r2");
+    let dir_ad = root.join("adaptive");
+    build_store(&dir_r1, 1);
+    build_store(&dir_r2, 2);
+    build_store(&dir_ad, 1);
+
+    // --- R1: the hotspot baseline. The sequential pass doubles as the
+    // answer oracle for the other two stores.
+    let (c1, h1, addr1) = serve(&dir_r1, 1, None);
+    let oracle = sequential_pass(&addr1);
+    let (r1_total, r1_p99, r1_shed) = timed_pass(&addr1);
+    let m1 = c1.metrics().snapshot();
+    h1.shutdown();
+
+    // --- R2: two routable copies of every block.
+    let (c2, h2, addr2) = serve(&dir_r2, 2, None);
+    assert_eq!(sequential_pass(&addr2), oracle, "R2 answers diverged from R1");
+    let (r2_total, r2_p99, r2_shed) = timed_pass(&addr2);
+    let m2 = c2.metrics().snapshot();
+    h2.shutdown();
+
+    // --- Adaptive: R1 store, hot set re-replicated to 2 in background.
+    let (ca, ha, addra) = serve(
+        &dir_ad,
+        1,
+        Some(HotSetConfig {
+            interval: Duration::from_millis(100),
+            top_k: 4,
+            min_accesses: 2.0,
+            target_replication: 2,
+            ..HotSetConfig::default()
+        }),
+    );
+    // The warm pass is also the oracle check; it feeds the access
+    // counters the hot-set detector diffs.
+    assert_eq!(sequential_pass(&addra), oracle, "adaptive answers diverged from R1");
+    // Wait for the background pass to actually widen the hot partitions.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while ca.metrics().snapshot().rereplications == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert_eq!(sequential_pass(&addra), oracle, "post-re-replication answers diverged");
+    let (ad_total, ad_p99, ad_shed) = timed_pass(&addra);
+    let ma = ca.metrics().snapshot();
+    ha.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+
+    let qps = |total: Duration| n_requests as f64 / total.as_secs_f64().max(1e-9);
+    let (r1_qps, r2_qps, ad_qps) = (qps(r1_total), qps(r2_total), qps(ad_total));
+    let speedup = r2_qps / r1_qps.max(1e-9);
+    let ad_speedup = ad_qps / r1_qps.max(1e-9);
+    let spread = |m: &tardis_cluster::MetricsSnapshot| -> String {
+        let reads: Vec<u64> = m.node_reads.iter().take(3).copied().collect();
+        format!("{reads:?}")
+    };
+    print_table(
+        &["Store", "Total", "QPS", "p99", "Shed", "NodeReads"],
+        &[
+            vec![
+                "replication 1".into(),
+                secs(r1_total),
+                format!("{r1_qps:.1}"),
+                format!("{:.1} ms", r1_p99.as_secs_f64() * 1e3),
+                r1_shed.to_string(),
+                spread(&m1),
+            ],
+            vec![
+                "replication 2".into(),
+                secs(r2_total),
+                format!("{r2_qps:.1}"),
+                format!("{:.1} ms", r2_p99.as_secs_f64() * 1e3),
+                r2_shed.to_string(),
+                spread(&m2),
+            ],
+            vec![
+                "adaptive (R1 + hot set)".into(),
+                secs(ad_total),
+                format!("{ad_qps:.1}"),
+                format!("{:.1} ms", ad_p99.as_secs_f64() * 1e3),
+                ad_shed.to_string(),
+                spread(&ma),
+            ],
+        ],
+    );
+    println!(
+        "R1->R2 speedup: {speedup:.2}x; adaptive: {ad_speedup:.2}x with {} \
+         re-replication(s) adding {} replica(s); answers byte-identical across stores",
+        ma.rereplications, ma.replicas_added
+    );
+
+    // Hand-rolled JSON (the workspace deliberately has no serde).
+    let json = format!(
+        "{{\n  \"bench\": \"balance\",\n  \"dataset\": \"RandomWalk\",\n  \"n_records\": {n},\n  \"n_requests\": {n_requests},\n  \"zipf_ranks\": {ZIPF_RANKS},\n  \"zipf_s\": {ZIPF_S},\n  \"clients\": {N_CLIENTS},\n  \"read_latency_ms\": 2,\n  \"answers_identical\": true,\n  \"r1\": {{\n    \"qps\": {:.3},\n    \"p99_ms\": {:.3},\n    \"shed\": {r1_shed},\n    \"node_reads\": {:?}\n  }},\n  \"r2\": {{\n    \"qps\": {:.3},\n    \"p99_ms\": {:.3},\n    \"shed\": {r2_shed},\n    \"node_reads\": {:?}\n  }},\n  \"adaptive\": {{\n    \"qps\": {:.3},\n    \"p99_ms\": {:.3},\n    \"shed\": {ad_shed},\n    \"rereplications\": {},\n    \"replicas_added\": {},\n    \"node_reads\": {:?}\n  }},\n  \"speedup_r1_to_r2\": {:.3},\n  \"speedup_r1_to_adaptive\": {:.3}\n}}\n",
+        r1_qps,
+        r1_p99.as_secs_f64() * 1e3,
+        &m1.node_reads[..3],
+        r2_qps,
+        r2_p99.as_secs_f64() * 1e3,
+        &m2.node_reads[..3],
+        ad_qps,
+        ad_p99.as_secs_f64() * 1e3,
+        ma.rereplications,
+        ma.replicas_added,
+        &ma.node_reads[..3],
+        speedup,
+        ad_speedup,
+    );
+    // Quick (CI smoke) runs must not clobber the checked-in full-scale
+    // baseline numbers.
+    if scale.base != FULL.base {
+        println!("quick scale: not writing BENCH_balance.json");
+        return;
+    }
+    match std::fs::write("BENCH_balance.json", &json) {
+        Ok(()) => println!("wrote BENCH_balance.json"),
+        Err(e) => eprintln!("could not write BENCH_balance.json: {e}"),
     }
 }
 

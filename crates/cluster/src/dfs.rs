@@ -31,10 +31,27 @@
 //!   daemon), and rewrites missing or corrupt replicas from a healthy
 //!   sibling.
 //!
+//! # Replica-aware read routing
+//!
+//! Replication is a *throughput* resource, not just a durability one:
+//! each read probes the block's replicas in least-loaded order — fewest
+//! in-flight probes first, then fewest served reads, remaining ties
+//! broken by node id (so a quiescent store reduces to a fixed,
+//! deterministic order). Routing only ever changes *which copy* serves
+//! the read, never the bytes: all healthy replicas are identical, and
+//! every fault decision is keyed on the block, not the probe order, so
+//! the chaos suites stay byte-identical. The simulated `read_latency`
+//! (plus any injected slow-node delay) is charged per *probe* and slept
+//! while holding the serving node's service slot, so concurrent reads
+//! landing on one datanode queue behind each other — exactly the
+//! contention replica routing exists to spread.
+//!
 //! Metrics stay *logical*: one `record_block_write` of payload length
 //! per append and one `record_block_read` per successful read, exactly
 //! as before replication — replica fan-out is a storage detail, like
-//! HDFS's.
+//! HDFS's. The physical layer is visible separately through the
+//! per-node probe counters (`node_reads`, `node_in_flight`,
+//! `node_probe_{missing,corrupt,dead}`).
 
 use crate::error::{ClusterError, MaybeTransient};
 use crate::fault::{FaultInjector, FaultSite, RetryPolicy};
@@ -164,6 +181,10 @@ pub struct ScrubReport {
     pub corrupt_replicas: u64,
     /// Blocks with no healthy replica left — unrepairable data loss.
     pub blocks_lost: u64,
+    /// Replicas created to top blocks up to a *raised* replication
+    /// factor (capacity, not repair) — the primitive adaptive
+    /// hot-partition re-replication drives.
+    pub replicas_added: u64,
 }
 
 /// The block store. Cloneable-by-reference via the owning [`crate::Cluster`].
@@ -181,6 +202,16 @@ pub struct Dfs {
     injector: Option<Arc<FaultInjector>>,
     /// Retry budget for transient block I/O failures.
     retry: RetryPolicy,
+    /// Per-datanode service slots: a probe holds its node's slot for the
+    /// simulated service time, so reads landing on one node serialize.
+    node_slots: Vec<Mutex<()>>,
+    /// Per-file replication overrides raised by [`Self::replicate_file`]
+    /// (hot partitions re-replicated above the store default).
+    file_replication: Mutex<HashMap<String, u32>>,
+    /// Replication factor each file's blocks were last written or topped
+    /// up at — scrub uses it to split lost-copy repairs from capacity
+    /// top-ups after a factor raise.
+    written_replication: Mutex<HashMap<String, u32>>,
 }
 
 impl Dfs {
@@ -199,6 +230,7 @@ impl Dfs {
         ));
         fs::create_dir_all(&root)?;
         let cache = Mutex::new(crate::cache::BlockCache::new(config.cache_bytes));
+        let node_slots = (0..config.datanodes.max(1)).map(|_| Mutex::new(())).collect();
         Ok(Dfs {
             root,
             config,
@@ -208,6 +240,9 @@ impl Dfs {
             owns_root: true,
             injector: None,
             retry: RetryPolicy::default(),
+            node_slots,
+            file_replication: Mutex::new(HashMap::new()),
+            written_replication: Mutex::new(HashMap::new()),
         })
     }
 
@@ -216,6 +251,7 @@ impl Dfs {
     pub fn at_dir(dir: &Path, config: DfsConfig, metrics: Arc<Metrics>) -> Result<Dfs, ClusterError> {
         fs::create_dir_all(dir)?;
         let cache = Mutex::new(crate::cache::BlockCache::new(config.cache_bytes));
+        let node_slots = (0..config.datanodes.max(1)).map(|_| Mutex::new(())).collect();
         Ok(Dfs {
             root: dir.to_path_buf(),
             config,
@@ -225,6 +261,9 @@ impl Dfs {
             owns_root: false,
             injector: None,
             retry: RetryPolicy::default(),
+            node_slots,
+            file_replication: Mutex::new(HashMap::new()),
+            written_replication: Mutex::new(HashMap::new()),
         })
     }
 
@@ -268,15 +307,56 @@ impl Dfs {
         (SplitMix64::new(key ^ PLACEMENT_SALT).next_u64() % datanodes as u64) as u32
     }
 
+    /// Datanode hosting replica `replica` of the block with placement
+    /// hash `key`.
+    fn replica_node(&self, key: u64, replica: u32) -> u32 {
+        let d = self.datanodes();
+        (Self::placement_start(key, d) + replica) % d
+    }
+
     /// Path of replica `replica` of `id` under its placement-assigned
     /// datanode directory.
     fn replica_path(&self, id: &BlockId, replica: u32) -> PathBuf {
         let key = FaultInjector::block_key(&id.file, id.index);
-        let d = self.datanodes();
-        let node = (Self::placement_start(key, d) + replica) % d;
-        self.datanode_dir(node)
+        self.datanode_dir(self.replica_node(key, replica))
             .join(&id.file)
             .join(format!("block-{:06}.bin", id.index))
+    }
+
+    /// The replication factor in force for `name`: the store default
+    /// raised by any [`Self::replicate_file`] override, clamped to the
+    /// datanode count.
+    pub fn replication_of(&self, name: &str) -> u32 {
+        let over = self.file_replication.lock().get(name).copied().unwrap_or(0);
+        self.replication().max(over).clamp(1, self.datanodes())
+    }
+
+    /// The block's replicas in least-loaded-first probe order: fewest
+    /// in-flight probes, then fewest served reads, remaining ties by
+    /// node id. On a quiescent store every signal is zero and the order
+    /// reduces to ascending node id — fixed and deterministic. Returns
+    /// `(node, replica)` pairs.
+    fn routed_replicas(&self, key: u64, replicas: u32) -> Vec<(u32, u32)> {
+        let mut order: Vec<(u64, u64, u32, u32)> = (0..replicas)
+            .map(|r| {
+                let node = self.replica_node(key, r);
+                let (in_flight, served) = self.metrics.node_load(node);
+                (in_flight, served, node, r)
+            })
+            .collect();
+        order.sort_unstable();
+        order.into_iter().map(|(_, _, node, r)| (node, r)).collect()
+    }
+
+    /// The replica indices of `id` in the probe order a read issued right
+    /// now would use, given live per-node load. Exposed for tests and
+    /// diagnostics.
+    pub fn probe_order(&self, id: &BlockId) -> Vec<u32> {
+        let key = FaultInjector::block_key(&id.file, id.index);
+        self.routed_replicas(key, self.replication_of(&id.file))
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect()
     }
 
     /// Appends one block to `name` (creating the file on first append).
@@ -302,6 +382,13 @@ impl Dfs {
                 Ok(()) => {
                     // Logical write: replica fan-out is a storage detail.
                     self.metrics.record_block_write(bytes.len() as u64);
+                    // Remember the factor the copies went down at, so a
+                    // later scrub can tell lost copies from capacity a
+                    // raised factor still owes.
+                    let factor = self.replication_of(name);
+                    let mut written = self.written_replication.lock();
+                    let slot = written.entry(name.to_string()).or_insert(0);
+                    *slot = (*slot).max(factor);
                     return Ok(id);
                 }
                 Err(e) if e.is_transient() && attempt < attempts => {
@@ -340,7 +427,7 @@ impl Dfs {
         if !self.config.write_latency.is_zero() {
             std::thread::sleep(self.config.write_latency);
         }
-        for replica in 0..self.replication() {
+        for replica in 0..self.replication_of(&id.file) {
             let mut frame = encode_frame(payload);
             if let Some(inj) = &self.injector {
                 if inj.corrupts_write(key, replica) {
@@ -463,10 +550,13 @@ impl Dfs {
         }
     }
 
-    /// One read attempt: stall/fault checks, latency, then the replica
-    /// failover loop. Whole-attempt injected faults stay *transient*
-    /// (they model a flaky network path, which a retry may route around);
-    /// per-replica failures are handled by failover inside the attempt.
+    /// One read attempt: stall/fault checks, then the replica failover
+    /// loop in least-loaded routing order ([`Self::routed_replicas`]).
+    /// Whole-attempt injected faults stay *transient* (they model a
+    /// flaky network path, which a retry may route around); per-replica
+    /// failures are handled by failover inside the attempt, each failed
+    /// probe paying its own service time ([`Self::probe_replica`]) and
+    /// feeding the per-node health counters.
     fn read_block_attempt(
         &self,
         id: &BlockId,
@@ -479,10 +569,7 @@ impl Dfs {
                 return Err(e);
             }
         }
-        if !self.config.read_latency.is_zero() {
-            std::thread::sleep(self.config.read_latency);
-        }
-        let replicas = self.replication();
+        let replicas = self.replication_of(&id.file);
         let killed = self
             .injector
             .as_ref()
@@ -492,9 +579,10 @@ impl Dfs {
         // "every copy is dead or corrupt" (AllReplicasFailed).
         let mut any_present = false;
         let mut skipped = 0u32;
-        for replica in 0..replicas {
+        for (node, replica) in self.routed_replicas(key, replicas) {
             let path = self.replica_path(id, replica);
             if !path.exists() {
+                self.metrics.record_node_probe_missing(node);
                 skipped += 1;
                 continue;
             }
@@ -502,11 +590,11 @@ impl Dfs {
             if killed == Some(replica) {
                 // Simulated dead datanode: the bytes are there, but the
                 // node hosting them is not answering this run.
+                self.metrics.record_node_probe_dead(node);
                 skipped += 1;
                 continue;
             }
-            let mut frame = Vec::new();
-            fs::File::open(&path)?.read_to_end(&mut frame)?;
+            let frame = self.probe_replica(node, &path)?;
             match decode_frame(&frame) {
                 Some(payload) => {
                     if skipped > 0 {
@@ -516,6 +604,7 @@ impl Dfs {
                     return Ok(payload.to_vec());
                 }
                 None => {
+                    self.metrics.record_node_probe_corrupt(node);
                     self.metrics.record_checksum_failure();
                     skipped += 1;
                 }
@@ -535,11 +624,39 @@ impl Dfs {
         }
     }
 
+    /// One physical replica probe: raises the node's in-flight gauge (so
+    /// concurrent routers see the queued demand immediately), holds the
+    /// node's service slot for the simulated service time — the store's
+    /// `read_latency` plus any injected slow-node delay, charged per
+    /// probe so degraded reads cost more — and then reads the frame
+    /// bytes off disk. The slot is held only for the simulated sleep:
+    /// with zero latency (the test default) probes never contend.
+    fn probe_replica(&self, node: u32, path: &Path) -> Result<Vec<u8>, ClusterError> {
+        self.metrics.node_read_begin(node);
+        let result: Result<Vec<u8>, ClusterError> = (|| {
+            let mut delay = self.config.read_latency;
+            if let Some(inj) = &self.injector {
+                if let Some(extra) = inj.node_delay(node) {
+                    delay += extra;
+                }
+            }
+            if !delay.is_zero() {
+                let _slot = self.node_slots[node as usize].lock();
+                std::thread::sleep(delay);
+            }
+            let mut frame = Vec::new();
+            fs::File::open(path)?.read_to_end(&mut frame)?;
+            Ok(frame)
+        })();
+        self.metrics.node_read_end(node, result.is_ok());
+        result
+    }
+
     /// Healthy replicas of a block currently on disk (frame verifies).
     /// Direct disk inspection — no fault injection, latency, or metrics.
     pub fn replica_count(&self, id: &BlockId) -> u32 {
         let mut n = 0;
-        for replica in 0..self.replication() {
+        for replica in 0..self.replication_of(&id.file) {
             let Ok(mut f) = fs::File::open(self.replica_path(id, replica)) else {
                 continue;
             };
@@ -579,52 +696,125 @@ impl Dfs {
     /// corruption plan (which only damages *foreground* writes).
     pub fn scrub(&self) -> Result<ScrubReport, ClusterError> {
         let mut report = ScrubReport::default();
-        let replicas = self.replication();
         for name in self.list_files() {
-            for index in 0..self.scan_block_count(&name) {
-                let id = BlockId::new(name.as_str(), index);
-                report.blocks_checked += 1;
-                let mut healthy: Option<Vec<u8>> = None;
-                let mut broken: Vec<u32> = Vec::new();
-                for replica in 0..replicas {
-                    match fs::File::open(self.replica_path(&id, replica)) {
-                        Ok(mut f) => {
-                            let mut frame = Vec::new();
-                            f.read_to_end(&mut frame)?;
-                            if decode_frame(&frame).is_some() {
-                                if healthy.is_none() {
-                                    healthy = Some(frame);
-                                }
-                            } else {
-                                report.corrupt_replicas += 1;
-                                broken.push(replica);
-                            }
-                        }
-                        Err(_) => broken.push(replica),
-                    }
-                }
-                let Some(frame) = healthy else {
-                    report.blocks_lost += 1;
-                    continue;
-                };
-                for replica in broken {
-                    let path = self.replica_path(&id, replica);
-                    let dir = path.parent().expect("replica path has a parent");
-                    fs::create_dir_all(dir)?;
-                    let tmp = dir.join(format!("block-{index:06}.tmp"));
-                    {
-                        let mut f = fs::File::create(&tmp)?;
-                        f.write_all(&frame)?;
-                    }
-                    fs::rename(&tmp, &path)?;
-                    report.replicas_repaired += 1;
-                }
-            }
+            self.scrub_file_into(&name, &mut report)?;
         }
+        self.record_scrub_outcome(&report);
+        Ok(report)
+    }
+
+    /// Raises `name`'s replication factor to `factor` (clamped to the
+    /// datanode count; never lowered) and immediately tops every block up
+    /// to it, reusing the scrub tmp+rename machinery — direct disk
+    /// maintenance, no fault injection or simulated latency. The override
+    /// lives on this store handle: subsequent reads route over the wider
+    /// replica set and subsequent appends write `factor` copies. Returns
+    /// the per-file scrub report; `replicas_added` counts the new copies.
+    pub fn replicate_file(&self, name: &str, factor: u32) -> Result<ScrubReport, ClusterError> {
+        let factor = factor.clamp(1, self.datanodes());
+        {
+            let mut over = self.file_replication.lock();
+            let slot = over.entry(name.to_string()).or_insert(0);
+            *slot = (*slot).max(factor);
+        }
+        let mut report = ScrubReport::default();
+        self.scrub_file_into(name, &mut report)?;
+        self.record_scrub_outcome(&report);
+        Ok(report)
+    }
+
+    /// Meters a finished scrub/top-up pass.
+    fn record_scrub_outcome(&self, report: &ScrubReport) {
         if report.replicas_repaired > 0 {
             self.metrics.record_scrub_repairs(report.replicas_repaired);
         }
-        Ok(report)
+        if report.replicas_added > 0 {
+            self.metrics.record_replicas_added(report.replicas_added);
+        }
+    }
+
+    /// Scrubs one file into `report`: verifies every replica slot up to
+    /// the file's *current* replication factor and rewrites broken slots
+    /// from the first healthy sibling. Slots below the factor the blocks
+    /// were written at count as `replicas_repaired` (a copy existed and
+    /// was lost); slots at or above it count as `replicas_added` — the
+    /// capacity a raised factor still owes.
+    fn scrub_file_into(&self, name: &str, report: &mut ScrubReport) -> Result<(), ClusterError> {
+        let target = self.replication_of(name);
+        let count = self.scan_block_count(name);
+        let written = self.written_factor(name, target, count);
+        let mut lost = false;
+        for index in 0..count {
+            let id = BlockId::new(name, index);
+            report.blocks_checked += 1;
+            let mut healthy: Option<Vec<u8>> = None;
+            let mut broken: Vec<u32> = Vec::new();
+            for replica in 0..target {
+                match fs::File::open(self.replica_path(&id, replica)) {
+                    Ok(mut f) => {
+                        let mut frame = Vec::new();
+                        f.read_to_end(&mut frame)?;
+                        if decode_frame(&frame).is_some() {
+                            if healthy.is_none() {
+                                healthy = Some(frame);
+                            }
+                        } else {
+                            report.corrupt_replicas += 1;
+                            broken.push(replica);
+                        }
+                    }
+                    Err(_) => broken.push(replica),
+                }
+            }
+            let Some(frame) = healthy else {
+                report.blocks_lost += 1;
+                lost = true;
+                continue;
+            };
+            for replica in broken {
+                let path = self.replica_path(&id, replica);
+                let dir = path.parent().expect("replica path has a parent");
+                fs::create_dir_all(dir)?;
+                let tmp = dir.join(format!("block-{index:06}.tmp"));
+                {
+                    let mut f = fs::File::create(&tmp)?;
+                    f.write_all(&frame)?;
+                }
+                fs::rename(&tmp, &path)?;
+                if replica < written {
+                    report.replicas_repaired += 1;
+                } else {
+                    report.replicas_added += 1;
+                }
+            }
+        }
+        if count > 0 && !lost {
+            // Every block now sits at the target factor: from here on,
+            // a missing copy below it is a loss to repair.
+            let mut map = self.written_replication.lock();
+            let slot = map.entry(name.to_string()).or_insert(0);
+            *slot = (*slot).max(target);
+        }
+        Ok(())
+    }
+
+    /// The factor `name`'s blocks were written at: recorded at append or
+    /// scrub time when this handle did the writing, else inferred from
+    /// disk — any slot that still holds a file (even a corrupt one)
+    /// proves a copy was written there.
+    fn written_factor(&self, name: &str, target: u32, count: u32) -> u32 {
+        if let Some(&w) = self.written_replication.lock().get(name) {
+            return w.clamp(1, target);
+        }
+        let mut w = 1u32;
+        for index in 0..count {
+            let id = BlockId::new(name, index);
+            let present = (0..target)
+                .filter(|&r| self.replica_path(&id, r).exists())
+                .count() as u32;
+            w = w.max(present);
+        }
+        w.clamp(1, target)
     }
 
     /// Current LRU cache occupancy in bytes (0 when disabled).
@@ -712,7 +902,7 @@ impl Dfs {
     pub fn file_size(&self, name: &str) -> Result<u64, ClusterError> {
         let mut total = 0;
         'blocks: for id in self.list_blocks(name)? {
-            for replica in 0..self.replication() {
+            for replica in 0..self.replication_of(name) {
                 if let Ok(meta) = fs::metadata(self.replica_path(&id, replica)) {
                     total += meta.len().saturating_sub(HEADER_LEN as u64);
                     continue 'blocks;
@@ -866,9 +1056,10 @@ mod tests {
         )
         .unwrap();
         let id = dfs.append_block("p", &[5; 64]).unwrap();
-        // Corrupt one replica on disk: the first (miss) read must detect
-        // it, fail over, and cache the verified payload.
-        let path = dfs.replica_path(&id, 0);
+        // Corrupt the first-probed replica on disk: the first (miss)
+        // read must detect it, fail over, and cache the verified
+        // payload.
+        let path = dfs.replica_path(&id, dfs.probe_order(&id)[0]);
         let mut frame = fs::read(&path).unwrap();
         let last = frame.len() - 1;
         frame[last] ^= 0xFF;
@@ -1003,6 +1194,10 @@ mod tests {
         let s = metrics.snapshot();
         assert!(s.replica_failovers > 0, "no failover despite a dead node");
         assert_eq!(s.block_read_retries, 0, "failover must not burn retries");
+        // Missing-copy probes are attributed to the wiped node, and only
+        // to it — the surviving nodes' copies are all present.
+        assert!(s.node_probe_missing[0] > 0, "wiped node probes unmetered");
+        assert_eq!(s.node_probe_missing[1..].iter().sum::<u64>(), 0);
     }
 
     #[test]
@@ -1010,8 +1205,9 @@ mod tests {
         let metrics = Arc::new(Metrics::new());
         let dfs = Dfs::temp(DfsConfig::default(), Arc::clone(&metrics)).unwrap();
         let id = dfs.append_block("x", &[7; 32]).unwrap();
-        // Flip one payload byte of replica 0 on disk.
-        let path = dfs.replica_path(&id, 0);
+        // Flip one payload byte of the first-probed replica on disk.
+        let first = dfs.probe_order(&id)[0];
+        let path = dfs.replica_path(&id, first);
         let mut frame = fs::read(&path).unwrap();
         frame[HEADER_LEN + 3] ^= 0xFF;
         fs::write(&path, &frame).unwrap();
@@ -1019,6 +1215,8 @@ mod tests {
         let s = metrics.snapshot();
         assert_eq!(s.checksum_failures, 1);
         assert_eq!(s.replica_failovers, 1);
+        // The rejection is attributed to the node that served the bytes.
+        assert_eq!(s.node_probe_corrupt.iter().sum::<u64>(), 1);
     }
 
     #[test]
@@ -1201,8 +1399,9 @@ mod tests {
         let s = metrics.snapshot();
         // Worst single-replica loss: handled entirely by failover, not
         // by the retry budget.
-        assert!(s.replica_failovers > 0, "some killed replica 0 expected");
+        assert!(s.replica_failovers > 0, "some first-probed kill expected");
         assert_eq!(s.block_read_retries, 0);
+        assert!(s.node_probe_dead.iter().sum::<u64>() > 0);
     }
 
     #[test]
@@ -1274,6 +1473,210 @@ mod tests {
         for (ca, cb) in a.iter().zip(&b) {
             assert_eq!(clean.read_block(ca).unwrap(), faulty.read_block(cb).unwrap());
         }
+    }
+
+    // ---- replica-aware routing and adaptive re-replication ----
+
+    /// Datanode index hosting replica `r` of `id`, parsed from its path.
+    fn node_hosting(dfs: &Dfs, id: &BlockId, r: u32) -> u32 {
+        let path = dfs.replica_path(id, r);
+        let node_dir = path.parent().unwrap().parent().unwrap();
+        node_dir
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .strip_prefix("node-")
+            .unwrap()
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn repeated_reads_of_one_block_alternate_replicas() {
+        let metrics = Arc::new(Metrics::new());
+        let dfs = Dfs::temp(DfsConfig::default(), Arc::clone(&metrics)).unwrap();
+        let id = dfs.append_block("b", &[9; 16]).unwrap();
+        for _ in 0..6 {
+            assert_eq!(dfs.read_block(&id).unwrap(), vec![9; 16]);
+        }
+        // Least-served routing must alternate between the two replicas:
+        // exactly 3 reads per hosting node, no failovers involved.
+        let s = metrics.snapshot();
+        let serving: Vec<u64> = s.node_reads.iter().copied().filter(|&n| n > 0).collect();
+        assert_eq!(serving, vec![3, 3], "reads did not alternate: {:?}", s.node_reads);
+        assert_eq!(s.replica_failovers, 0);
+    }
+
+    #[test]
+    fn probe_order_is_deterministic_when_quiescent() {
+        let dfs = temp_dfs();
+        let id = dfs.append_block("q", &[1; 8]).unwrap();
+        let order = dfs.probe_order(&id);
+        assert_eq!(order.len(), 2);
+        assert_eq!(order, dfs.probe_order(&id), "quiescent order must be stable");
+        // Zero load everywhere: ties break by ascending node id.
+        let nodes: Vec<u32> = order.iter().map(|&r| node_hosting(&dfs, &id, r)).collect();
+        assert!(nodes[0] < nodes[1]);
+    }
+
+    #[test]
+    fn in_flight_probes_steer_reads_to_the_idle_replica() {
+        let metrics = Arc::new(Metrics::new());
+        let mut dfs = Dfs::temp(
+            DfsConfig {
+                read_latency: Duration::from_millis(1),
+                ..DfsConfig::default()
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let id = dfs.append_block("z", &[1; 32]).unwrap();
+        let order = dfs.probe_order(&id);
+        let slow = node_hosting(&dfs, &id, order[0]);
+        let fast = node_hosting(&dfs, &id, order[1]);
+        // The first-probed node becomes a straggler: a long service time
+        // for every probe it hosts.
+        dfs.set_fault_injection(
+            Arc::new(FaultInjector::new(
+                crate::fault::FaultPlan {
+                    slow_node: Some((slow, Duration::from_millis(250))),
+                    ..crate::fault::FaultPlan::none()
+                },
+                Arc::clone(&metrics),
+            )),
+            RetryPolicy::default(),
+        );
+        let dfs = Arc::new(dfs);
+        let bg = Arc::clone(&dfs);
+        let bg_id = id.clone();
+        let t = std::thread::spawn(move || bg.read_block(&bg_id).unwrap());
+        // Once the slow probe is visibly in flight, a concurrent read
+        // must steer to the idle replica instead of queueing behind it.
+        while metrics.node_load(slow).0 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let t0 = std::time::Instant::now();
+        assert_eq!(dfs.read_block(&id).unwrap(), vec![1; 32]);
+        assert!(
+            t0.elapsed() < Duration::from_millis(200),
+            "read queued behind the slow node"
+        );
+        assert_eq!(metrics.snapshot().node_reads[fast as usize], 1);
+        assert_eq!(t.join().unwrap(), vec![1; 32]);
+        assert_eq!(metrics.snapshot().node_reads[slow as usize], 1);
+    }
+
+    #[test]
+    fn read_latency_is_charged_per_probe_on_failover() {
+        let dfs = Dfs::temp(
+            DfsConfig {
+                read_latency: Duration::from_millis(30),
+                ..DfsConfig::default()
+            },
+            Arc::new(Metrics::new()),
+        )
+        .unwrap();
+        let id = dfs.append_block("lat", &[4; 16]).unwrap();
+        let first = dfs.probe_order(&id)[0];
+        let path = dfs.replica_path(&id, first);
+        let mut frame = fs::read(&path).unwrap();
+        frame[HEADER_LEN + 2] ^= 0xFF;
+        fs::write(&path, &frame).unwrap();
+        let t0 = std::time::Instant::now();
+        assert_eq!(dfs.read_block(&id).unwrap(), vec![4; 16]);
+        // Two physical probes (corrupt, then healthy) — each pays the
+        // simulated latency, so a degraded read costs at least double.
+        assert!(
+            t0.elapsed() >= Duration::from_millis(60),
+            "failover read must pay latency per probe"
+        );
+    }
+
+    #[test]
+    fn replicate_file_tops_up_and_widens_routing() {
+        let metrics = Arc::new(Metrics::new());
+        let dfs = Dfs::temp(
+            DfsConfig {
+                replication: 1,
+                datanodes: 3,
+                ..DfsConfig::default()
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let ids = dfs
+            .write_blocks("p", (0..4).map(|i| vec![i as u8; 8]))
+            .unwrap();
+        for id in &ids {
+            assert_eq!(dfs.replica_count(id), 1);
+        }
+        assert_eq!(dfs.replication_of("p"), 1);
+        let report = dfs.replicate_file("p", 3).unwrap();
+        assert_eq!(report.blocks_checked, 4);
+        assert_eq!(report.replicas_added, 8, "4 blocks × 2 new copies");
+        assert_eq!(report.replicas_repaired, 0);
+        assert_eq!(report.blocks_lost, 0);
+        assert_eq!(dfs.replication_of("p"), 3);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(dfs.replica_count(id), 3);
+            assert_eq!(dfs.read_block(id).unwrap(), vec![i as u8; 8]);
+        }
+        assert_eq!(metrics.snapshot().replicas_added, 8);
+        // The top-up is idempotent, and a full scrub now treats the
+        // raised factor as the file's target.
+        assert_eq!(dfs.replicate_file("p", 3).unwrap().replicas_added, 0);
+        let again = dfs.scrub().unwrap();
+        assert_eq!((again.replicas_added, again.replicas_repaired), (0, 0));
+        // Losing a topped-up copy is a repair now, not an addition.
+        fs::remove_file(dfs.replica_path(&ids[0], 2)).unwrap();
+        let fixed = dfs.scrub().unwrap();
+        assert_eq!((fixed.replicas_repaired, fixed.replicas_added), (1, 0));
+        // New appends to the raised file write the raised factor.
+        let extra = dfs.append_block("p", &[9; 8]).unwrap();
+        assert_eq!(dfs.replica_count(&extra), 3);
+    }
+
+    #[test]
+    fn scrub_tops_up_preexisting_store_after_factor_raise() {
+        let root = std::env::temp_dir().join(format!("tardis-dfs-topup-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        {
+            let dfs = Dfs::at_dir(
+                &root,
+                DfsConfig {
+                    replication: 1,
+                    datanodes: 3,
+                    ..DfsConfig::default()
+                },
+                Arc::new(Metrics::new()),
+            )
+            .unwrap();
+            dfs.write_blocks("f", (0..5).map(|i| vec![i as u8; 4])).unwrap();
+        }
+        let metrics = Arc::new(Metrics::new());
+        let dfs = Dfs::at_dir(
+            &root,
+            DfsConfig {
+                replication: 2,
+                datanodes: 3,
+                ..DfsConfig::default()
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let report = dfs.scrub().unwrap();
+        assert_eq!(report.blocks_checked, 5);
+        // The old blocks were written at factor 1: the missing second
+        // copies are capacity to add, not losses to repair.
+        assert_eq!(report.replicas_added, 5);
+        assert_eq!(report.replicas_repaired, 0);
+        assert_eq!(metrics.snapshot().replicas_added, 5);
+        for i in 0..5 {
+            assert_eq!(dfs.replica_count(&BlockId::new("f", i)), 2);
+        }
+        assert_eq!(dfs.scrub().unwrap().replicas_added, 0);
+        fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

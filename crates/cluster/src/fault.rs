@@ -110,6 +110,12 @@ pub struct FaultPlan {
     /// Unlike `stall`, this is not a fault: nothing fails or retries,
     /// the task is simply slow.
     pub slow_task: Option<(u64, Duration)>,
+    /// When set, every replica probe served by datanode `.0` takes an
+    /// extra `.1` of service time (added to the store's simulated
+    /// `read_latency`, inside the node's service slot). Not a fault —
+    /// nothing fails or retries; the node is simply slow, which is
+    /// exactly what replica-aware routing must learn to avoid.
+    pub slow_node: Option<(u32, Duration)>,
 }
 
 impl Default for FaultPlan {
@@ -124,6 +130,7 @@ impl Default for FaultPlan {
             block_corrupt_p: 0.0,
             kill_one_replica: false,
             slow_task: None,
+            slow_node: None,
         }
     }
 }
@@ -321,6 +328,15 @@ impl FaultInjector {
     pub fn task_delay(&self, key: u64) -> Option<Duration> {
         match self.plan.slow_task {
             Some((slow_key, delay)) if slow_key == key => Some(delay),
+            _ => None,
+        }
+    }
+
+    /// Injected extra service time for replica probes on datanode
+    /// `node` (see [`FaultPlan::slow_node`]); `None` for healthy nodes.
+    pub fn node_delay(&self, node: u32) -> Option<Duration> {
+        match self.plan.slow_node {
+            Some((slow, delay)) if slow == node && !delay.is_zero() => Some(delay),
             _ => None,
         }
     }
@@ -575,6 +591,24 @@ mod tests {
         }
         assert!(differs, "replicas never rolled independently");
         assert!(!injector(FaultPlan::none()).corrupts_write(1, 0));
+    }
+
+    #[test]
+    fn slow_node_delay_applies_only_to_the_named_node() {
+        let inj = injector(FaultPlan {
+            slow_node: Some((2, Duration::from_millis(30))),
+            ..FaultPlan::none()
+        });
+        assert_eq!(inj.node_delay(2), Some(Duration::from_millis(30)));
+        assert_eq!(inj.node_delay(0), None);
+        assert_eq!(inj.node_delay(1), None);
+        assert_eq!(injector(FaultPlan::none()).node_delay(2), None);
+        // A zero delay is the same as no injection.
+        let zero = injector(FaultPlan {
+            slow_node: Some((2, Duration::ZERO)),
+            ..FaultPlan::none()
+        });
+        assert_eq!(zero.node_delay(2), None);
     }
 
     #[test]

@@ -9,6 +9,12 @@ use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Number of datanodes with individual read/probe accounting. Per-node
+/// counters live in fixed arrays so [`MetricsSnapshot`] stays `Copy`;
+/// nodes beyond this bound (no configuration in this repo reaches it)
+/// simply go untracked and fall back to replica-order routing.
+pub const MAX_TRACKED_NODES: usize = 16;
+
 /// Per-partition failure accounting: how often each partition's storage
 /// failed permanently, and which partitions are quarantined as
 /// unavailable (every replica of some block exhausted). Ordered
@@ -17,6 +23,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 struct PartitionHealth {
     failures: BTreeMap<u32, u64>,
     unavailable: BTreeSet<u32>,
+    accesses: BTreeMap<u32, u64>,
 }
 
 /// Atomic counters shared by the DFS, shuffle, and worker pool.
@@ -45,6 +52,14 @@ pub struct Metrics {
     queries_shed: AtomicU64,
     queue_depth: AtomicU64,
     queries_in_flight: AtomicU64,
+    replicas_added: AtomicU64,
+    rereplications: AtomicU64,
+    hot_partitions: AtomicU64,
+    node_reads: [AtomicU64; MAX_TRACKED_NODES],
+    node_in_flight: [AtomicU64; MAX_TRACKED_NODES],
+    node_probe_missing: [AtomicU64; MAX_TRACKED_NODES],
+    node_probe_corrupt: [AtomicU64; MAX_TRACKED_NODES],
+    node_probe_dead: [AtomicU64; MAX_TRACKED_NODES],
     partition_health: Mutex<PartitionHealth>,
 }
 
@@ -101,6 +116,26 @@ pub struct MetricsSnapshot {
     pub partition_failures: u64,
     /// Partitions currently quarantined as unavailable.
     pub partitions_unavailable: u64,
+    /// Replica copies created by capacity top-ups (scrub after a factor
+    /// raise, or hot-partition re-replication) — distinct from
+    /// `scrub_repairs`, which re-creates copies that were lost.
+    pub replicas_added: u64,
+    /// Files whose replication factor was raised by the adaptive
+    /// hot-partition re-replicator.
+    pub rereplications: u64,
+    /// Partitions currently classified as hot by the server (gauge).
+    pub hot_partitions: u64,
+    /// Replica reads served per datanode (routing's "served" signal).
+    pub node_reads: [u64; MAX_TRACKED_NODES],
+    /// Replica probes currently executing per datanode (gauge; routing's
+    /// primary load signal).
+    pub node_in_flight: [u64; MAX_TRACKED_NODES],
+    /// Replica probes that found the copy missing, per datanode.
+    pub node_probe_missing: [u64; MAX_TRACKED_NODES],
+    /// Replica probes rejected by checksum verification, per datanode.
+    pub node_probe_corrupt: [u64; MAX_TRACKED_NODES],
+    /// Replica probes skipped because the node was killed, per datanode.
+    pub node_probe_dead: [u64; MAX_TRACKED_NODES],
 }
 
 impl MetricsSnapshot {
@@ -226,6 +261,69 @@ impl MetricsSnapshot {
             "Partitions currently quarantined as unavailable.",
             self.partitions_unavailable,
         );
+        p.counter(
+            "tardis_replicas_added",
+            "Replica copies created by capacity top-ups.",
+            self.replicas_added,
+        );
+        p.counter(
+            "tardis_rereplications",
+            "Files re-replicated by the hot-partition balancer.",
+            self.rereplications,
+        );
+        p.gauge(
+            "tardis_hot_partitions",
+            "Partitions currently classified as hot.",
+            self.hot_partitions,
+        );
+        // Per-node replica health: only nodes with any activity are
+        // emitted, so small stores keep the dump compact.
+        for node in 0..MAX_TRACKED_NODES {
+            let active = self.node_reads[node]
+                | self.node_in_flight[node]
+                | self.node_probe_missing[node]
+                | self.node_probe_corrupt[node]
+                | self.node_probe_dead[node];
+            if active == 0 {
+                continue;
+            }
+            let label = node.to_string();
+            p.labeled_counter(
+                "tardis_node_reads_total",
+                "Replica reads served per datanode.",
+                "node",
+                &label,
+                self.node_reads[node],
+            );
+            p.labeled_gauge(
+                "tardis_node_in_flight",
+                "Replica probes currently executing per datanode.",
+                "node",
+                &label,
+                self.node_in_flight[node],
+            );
+            p.labeled_counter(
+                "tardis_node_probe_missing_total",
+                "Replica probes that found the copy missing, per datanode.",
+                "node",
+                &label,
+                self.node_probe_missing[node],
+            );
+            p.labeled_counter(
+                "tardis_node_probe_corrupt_total",
+                "Replica probes rejected by checksum, per datanode.",
+                "node",
+                &label,
+                self.node_probe_corrupt[node],
+            );
+            p.labeled_counter(
+                "tardis_node_probe_dead_total",
+                "Replica probes skipped on a killed datanode.",
+                "node",
+                &label,
+                self.node_probe_dead[node],
+            );
+        }
         if let Some(aggregates) = spans {
             p.spans(aggregates);
         }
@@ -280,8 +378,25 @@ impl MetricsSnapshot {
             // A quarantine count is a gauge, not a monotone counter: the
             // delta keeps the current value.
             partitions_unavailable: self.partitions_unavailable,
+            replicas_added: self.replicas_added.saturating_sub(earlier.replicas_added),
+            rereplications: self.rereplications.saturating_sub(earlier.rereplications),
+            hot_partitions: self.hot_partitions,
+            node_reads: delta_nodes(&self.node_reads, &earlier.node_reads),
+            // Per-node in-flight is a gauge: keep the current values.
+            node_in_flight: self.node_in_flight,
+            node_probe_missing: delta_nodes(&self.node_probe_missing, &earlier.node_probe_missing),
+            node_probe_corrupt: delta_nodes(&self.node_probe_corrupt, &earlier.node_probe_corrupt),
+            node_probe_dead: delta_nodes(&self.node_probe_dead, &earlier.node_probe_dead),
         }
     }
+}
+
+/// Element-wise saturating difference of per-node counter arrays.
+fn delta_nodes(
+    now: &[u64; MAX_TRACKED_NODES],
+    earlier: &[u64; MAX_TRACKED_NODES],
+) -> [u64; MAX_TRACKED_NODES] {
+    std::array::from_fn(|i| now[i].saturating_sub(earlier[i]))
 }
 
 impl Metrics {
@@ -398,6 +513,95 @@ impl Metrics {
         self.queries_in_flight.store(n, Ordering::Relaxed);
     }
 
+    /// Records `n` replica copies created by a capacity top-up.
+    pub fn record_replicas_added(&self, n: u64) {
+        self.replicas_added.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one file re-replicated by the hot-partition balancer.
+    pub fn record_rereplication(&self) {
+        self.rereplications.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sets the hot-partition-count gauge.
+    pub fn set_hot_partitions(&self, n: u64) {
+        self.hot_partitions.store(n, Ordering::Relaxed);
+    }
+
+    /// Marks a replica probe beginning on datanode `node` (raises the
+    /// node's in-flight gauge so concurrent routers see queued demand).
+    pub fn node_read_begin(&self, node: u32) {
+        if let Some(slot) = self.node_in_flight.get(node as usize) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Marks a replica probe ending on datanode `node`; `served` is true
+    /// when the node returned frame bytes (even bytes a later checksum
+    /// rejects — the node did the work either way).
+    pub fn node_read_end(&self, node: u32, served: bool) {
+        if let Some(slot) = self.node_in_flight.get(node as usize) {
+            slot.fetch_sub(1, Ordering::Relaxed);
+        }
+        if served {
+            if let Some(slot) = self.node_reads.get(node as usize) {
+                slot.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Records a replica probe that found the copy missing on `node`.
+    pub fn record_node_probe_missing(&self, node: u32) {
+        if let Some(slot) = self.node_probe_missing.get(node as usize) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a replica probe on `node` rejected by checksum.
+    pub fn record_node_probe_corrupt(&self, node: u32) {
+        if let Some(slot) = self.node_probe_corrupt.get(node as usize) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a replica probe skipped because `node` is killed.
+    pub fn record_node_probe_dead(&self, node: u32) {
+        if let Some(slot) = self.node_probe_dead.get(node as usize) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Routing's load signal for datanode `node`: `(in_flight, served)`.
+    /// Untracked nodes (beyond [`MAX_TRACKED_NODES`]) read as idle.
+    pub fn node_load(&self, node: u32) -> (u64, u64) {
+        match (
+            self.node_in_flight.get(node as usize),
+            self.node_reads.get(node as usize),
+        ) {
+            (Some(inflight), Some(reads)) => (
+                inflight.load(Ordering::Relaxed),
+                reads.load(Ordering::Relaxed),
+            ),
+            _ => (0, 0),
+        }
+    }
+
+    /// Records one access (physical load) of partition `pid`, feeding
+    /// the server's hot-set detector.
+    pub fn record_partition_access(&self, pid: u32) {
+        *self.partition_health.lock().accesses.entry(pid).or_insert(0) += 1;
+    }
+
+    /// Cumulative per-partition access counts, ascending by partition.
+    pub fn partition_accesses(&self) -> Vec<(u32, u64)> {
+        self.partition_health
+            .lock()
+            .accesses
+            .iter()
+            .map(|(&p, &n)| (p, n))
+            .collect()
+    }
+
     /// Records a permanent storage failure of partition `pid`; returns
     /// the partition's accumulated failure count.
     pub fn record_partition_failure(&self, pid: u32) -> u64 {
@@ -464,6 +668,14 @@ impl Metrics {
             queries_shed: self.queries_shed.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queries_in_flight: self.queries_in_flight.load(Ordering::Relaxed),
+            replicas_added: self.replicas_added.load(Ordering::Relaxed),
+            rereplications: self.rereplications.load(Ordering::Relaxed),
+            hot_partitions: self.hot_partitions.load(Ordering::Relaxed),
+            node_reads: load_nodes(&self.node_reads),
+            node_in_flight: load_nodes(&self.node_in_flight),
+            node_probe_missing: load_nodes(&self.node_probe_missing),
+            node_probe_corrupt: load_nodes(&self.node_probe_corrupt),
+            node_probe_dead: load_nodes(&self.node_probe_dead),
             partition_failures: {
                 let health = self.partition_health.lock();
                 health.failures.values().sum()
@@ -478,6 +690,7 @@ impl Metrics {
         let mut health = self.partition_health.lock();
         health.failures.clear();
         health.unavailable.clear();
+        health.accesses.clear();
     }
 
     /// Resets every counter to zero.
@@ -505,8 +718,23 @@ impl Metrics {
         self.queries_shed.store(0, Ordering::Relaxed);
         self.queue_depth.store(0, Ordering::Relaxed);
         self.queries_in_flight.store(0, Ordering::Relaxed);
+        self.replicas_added.store(0, Ordering::Relaxed);
+        self.rereplications.store(0, Ordering::Relaxed);
+        self.hot_partitions.store(0, Ordering::Relaxed);
+        for node in 0..MAX_TRACKED_NODES {
+            self.node_reads[node].store(0, Ordering::Relaxed);
+            self.node_in_flight[node].store(0, Ordering::Relaxed);
+            self.node_probe_missing[node].store(0, Ordering::Relaxed);
+            self.node_probe_corrupt[node].store(0, Ordering::Relaxed);
+            self.node_probe_dead[node].store(0, Ordering::Relaxed);
+        }
         self.reset_partition_health();
     }
+}
+
+/// Relaxed element-wise load of a per-node counter array.
+fn load_nodes(nodes: &[AtomicU64; MAX_TRACKED_NODES]) -> [u64; MAX_TRACKED_NODES] {
+    std::array::from_fn(|i| nodes[i].load(Ordering::Relaxed))
 }
 
 #[cfg(test)]
@@ -661,6 +889,85 @@ mod tests {
         assert!(text.contains("tardis_queries_in_flight 2"));
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn node_counters_track_probes_and_export_labels() {
+        let m = Metrics::new();
+        m.node_read_begin(1);
+        assert_eq!(m.node_load(1), (1, 0));
+        m.node_read_end(1, true);
+        assert_eq!(m.node_load(1), (0, 1));
+        m.node_read_begin(2);
+        m.node_read_end(2, false); // probe ended without serving bytes
+        m.record_node_probe_missing(0);
+        m.record_node_probe_corrupt(2);
+        m.record_node_probe_dead(1);
+        // Out-of-range nodes are silently untracked.
+        m.node_read_begin(MAX_TRACKED_NODES as u32 + 3);
+        m.node_read_end(MAX_TRACKED_NODES as u32 + 3, true);
+        assert_eq!(m.node_load(MAX_TRACKED_NODES as u32 + 3), (0, 0));
+        let s = m.snapshot();
+        assert_eq!(s.node_reads[1], 1);
+        assert_eq!(s.node_reads[2], 0);
+        assert_eq!(s.node_probe_missing[0], 1);
+        assert_eq!(s.node_probe_corrupt[2], 1);
+        assert_eq!(s.node_probe_dead[1], 1);
+        let text = s.prometheus_text(None);
+        assert!(text.contains("tardis_node_reads_total{node=\"1\"} 1"));
+        assert!(text.contains("tardis_node_probe_missing_total{node=\"0\"} 1"));
+        assert!(text.contains("tardis_node_probe_corrupt_total{node=\"2\"} 1"));
+        assert!(text.contains("tardis_node_probe_dead_total{node=\"1\"} 1"));
+        assert!(text.contains("# TYPE tardis_node_in_flight gauge"));
+        // Idle nodes stay out of the dump entirely.
+        assert!(!text.contains("{node=\"5\"}"));
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn rereplication_counters_and_partition_accesses() {
+        let m = Metrics::new();
+        m.record_partition_access(4);
+        m.record_partition_access(4);
+        m.record_partition_access(1);
+        assert_eq!(m.partition_accesses(), vec![(1, 1), (4, 2)]);
+        m.record_replicas_added(3);
+        m.record_rereplication();
+        m.set_hot_partitions(2);
+        let before = m.snapshot();
+        assert_eq!(before.replicas_added, 3);
+        assert_eq!(before.rereplications, 1);
+        assert_eq!(before.hot_partitions, 2);
+        m.record_replicas_added(2);
+        m.set_hot_partitions(1);
+        let d = m.snapshot().delta_since(&before);
+        assert_eq!(d.replicas_added, 2);
+        assert_eq!(d.rereplications, 0);
+        // Hot-set size is a gauge: the delta keeps the current value.
+        assert_eq!(d.hot_partitions, 1);
+        let text = m.snapshot().prometheus_text(None);
+        assert!(text.contains("tardis_replicas_added 5"));
+        assert!(text.contains("tardis_rereplications 1"));
+        assert!(text.contains("tardis_hot_partitions 1"));
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        assert!(m.partition_accesses().is_empty());
+    }
+
+    #[test]
+    fn node_read_deltas_subtract_counters_and_keep_gauges() {
+        let m = Metrics::new();
+        m.node_read_begin(0);
+        m.node_read_end(0, true);
+        let before = m.snapshot();
+        m.node_read_begin(0);
+        m.node_read_end(0, true);
+        m.node_read_begin(3);
+        let d = m.snapshot().delta_since(&before);
+        assert_eq!(d.node_reads[0], 1);
+        assert_eq!(d.node_in_flight[3], 1);
+        m.node_read_end(3, false);
     }
 
     #[test]

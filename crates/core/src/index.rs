@@ -294,6 +294,9 @@ impl TardisIndex {
         // here so single-query, batch, sibling, and range paths all agree
         // (a batch of one records exactly what a single call records).
         cluster.metrics().record_task();
+        // The same spot feeds the server's hot-set detector: one access
+        // per physical load, so cache-resident partitions don't count.
+        cluster.metrics().record_partition_access(pid);
         if self.config.clustered {
             // Entries carry their signatures on disk: no reconversion.
             // Shared reads make a cache hit zero-copy *and* frame-walk

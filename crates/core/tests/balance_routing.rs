@@ -1,0 +1,253 @@
+//! Replica-aware routing must never change an answer.
+//!
+//! Reads are routed to the least-loaded replica, so *which copy* serves
+//! each block depends on live load counters — but every copy holds the
+//! same bytes, so every query engine must return bit-identical results
+//! no matter how the counters are skewed, how wide the worker pool is,
+//! or how the two interleave. These properties pin that contract: the
+//! same workload runs against clusters whose per-node counters were
+//! pre-heated to arbitrary (proptest-chosen) values, across pool widths
+//! 1 / 4 / 8, and every engine's answers are compared bit-for-bit
+//! against a sequential single-query oracle on an untouched cluster.
+
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use tardis_cluster::{encode_records, Cluster, ClusterConfig, MAX_TRACKED_NODES};
+use tardis_core::{
+    exact_knn, exact_knn_batch, exact_match, exact_match_batch, knn_approximate, knn_batch,
+    range_query, ExactKnnAnswer, ExactMatchOutcome, KnnAnswer, KnnStrategy, RangeAnswer,
+    TardisConfig, TardisIndex,
+};
+use tardis_ts::{Record, TimeSeries};
+
+const N_RECORDS: u64 = 700;
+
+fn series(rid: u64) -> TimeSeries {
+    let mut x = rid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut acc = 0.0f32;
+    let mut v = Vec::with_capacity(64);
+    for _ in 0..64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc += ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+        v.push(acc);
+    }
+    tardis_ts::z_normalize_in_place(&mut v);
+    TimeSeries::new(v)
+}
+
+/// Replication 2 over 3 datanodes (the defaults) — every partition block
+/// has two routable copies, and a third node keeps placement non-trivial.
+fn cluster_at(dir: &Path, n_workers: usize) -> Cluster {
+    Cluster::at_dir(
+        dir,
+        ClusterConfig {
+            n_workers,
+            ..ClusterConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+struct Fixture {
+    dir: PathBuf,
+    index: TardisIndex,
+    /// Oracle cluster: untouched counters, width 1 — reads here take the
+    /// quiescent routing order.
+    oracle: Cluster,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dir =
+            std::env::temp_dir().join(format!("tardis-balance-routing-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let build = cluster_at(&dir, 4);
+        let blocks: Vec<Vec<u8>> = (0..N_RECORDS)
+            .collect::<Vec<u64>>()
+            .chunks(100)
+            .map(|chunk| {
+                encode_records(
+                    &chunk
+                        .iter()
+                        .map(|&rid| Record::new(rid, series(rid)))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        build.dfs().write_blocks("data", blocks).unwrap();
+        let config = TardisConfig {
+            g_max_size: 200,
+            l_max_size: 50,
+            sampling_fraction: 0.5,
+            ..TardisConfig::default()
+        };
+        let (index, _) = TardisIndex::build(&build, "data", &config).unwrap();
+        drop(build);
+        let oracle = cluster_at(&dir, 1);
+        Fixture { dir, index, oracle }
+    })
+}
+
+/// Skews a cluster's per-node load counters to arbitrary values, so its
+/// routing probe order differs from the quiescent (oracle) order.
+fn preheat(cluster: &Cluster, served: &[u64]) {
+    for (node, &count) in served.iter().enumerate().take(MAX_TRACKED_NODES) {
+        for _ in 0..count {
+            cluster.metrics().node_read_begin(node as u32);
+            cluster.metrics().node_read_end(node as u32, true);
+        }
+    }
+}
+
+fn workload(seeds: &[u64]) -> Vec<TimeSeries> {
+    seeds
+        .iter()
+        .map(|&s| {
+            if s % 2 == 0 {
+                series(s % N_RECORDS)
+            } else {
+                series(1_000_000 + s)
+            }
+        })
+        .collect()
+}
+
+fn assert_knn_eq(a: &KnnAnswer, b: &KnnAnswer, what: &str) {
+    assert_eq!(a.neighbors.len(), b.neighbors.len(), "{what}: length");
+    for (x, y) in a.neighbors.iter().zip(&b.neighbors) {
+        assert_eq!(x.1, y.1, "{what}: rid");
+        assert_eq!(x.0.to_bits(), y.0.to_bits(), "{what}: distance bits");
+    }
+    assert_eq!(a.partitions_loaded, b.partitions_loaded, "{what}: loads");
+}
+
+fn assert_exact_knn_eq(a: &ExactKnnAnswer, b: &ExactKnnAnswer, what: &str) {
+    assert_eq!(a.neighbors.len(), b.neighbors.len(), "{what}: length");
+    for (x, y) in a.neighbors.iter().zip(&b.neighbors) {
+        assert_eq!(x.rid, y.rid, "{what}: rid");
+        assert_eq!(x.distance.to_bits(), y.distance.to_bits(), "{what}: distance bits");
+    }
+}
+
+fn assert_range_eq(a: &RangeAnswer, b: &RangeAnswer, what: &str) {
+    assert_eq!(a.matches.len(), b.matches.len(), "{what}: length");
+    for (x, y) in a.matches.iter().zip(&b.matches) {
+        assert_eq!(x.rid, y.rid, "{what}: rid");
+        assert_eq!(x.distance.to_bits(), y.distance.to_bits(), "{what}: distance bits");
+    }
+    assert_eq!(a.partitions_loaded, b.partitions_loaded, "{what}: loads");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Single-query engines: a load-skewed cluster must answer exactly
+    /// like the quiescent oracle for every query path.
+    #[test]
+    fn skewed_routing_preserves_single_query_answers(
+        seeds in prop::collection::vec(0u64..2000, 1..10),
+        served in prop::collection::vec(0u64..40, 3),
+        width_idx in 0usize..3,
+        k in 1usize..6,
+        epsilon in 1.0f64..8.0,
+    ) {
+        let f = fixture();
+        let width = [1usize, 4, 8][width_idx];
+        let skewed = cluster_at(&f.dir, width);
+        preheat(&skewed, &served);
+        for q in workload(&seeds) {
+            let e0 = exact_match(&f.index, &f.oracle, &q, true).unwrap();
+            let e1 = exact_match(&f.index, &skewed, &q, true).unwrap();
+            prop_assert_eq!(&e0, &e1, "exact (bloom)");
+            let e0 = exact_match(&f.index, &f.oracle, &q, false).unwrap();
+            let e1 = exact_match(&f.index, &skewed, &q, false).unwrap();
+            prop_assert_eq!(&e0, &e1, "exact (no bloom)");
+            for strategy in [
+                KnnStrategy::TargetNode,
+                KnnStrategy::OnePartition,
+                KnnStrategy::MultiPartition,
+            ] {
+                let a0 = knn_approximate(&f.index, &f.oracle, &q, k, strategy).unwrap();
+                let a1 = knn_approximate(&f.index, &skewed, &q, k, strategy).unwrap();
+                assert_knn_eq(&a0, &a1, &format!("knn {strategy:?}"));
+            }
+            let x0 = exact_knn(&f.index, &f.oracle, &q, k).unwrap();
+            let x1 = exact_knn(&f.index, &skewed, &q, k).unwrap();
+            assert_exact_knn_eq(&x0, &x1, "exact-knn");
+            let r0 = range_query(&f.index, &f.oracle, &q, epsilon).unwrap();
+            let r1 = range_query(&f.index, &skewed, &q, epsilon).unwrap();
+            assert_range_eq(&r0, &r1, "range");
+        }
+    }
+
+    /// Batch engines: concurrent partition tasks race the routing
+    /// counters against each other, so which replica serves which block
+    /// is genuinely nondeterministic — the answers still must not be.
+    #[test]
+    fn skewed_routing_preserves_batch_answers(
+        seeds in prop::collection::vec(0u64..2000, 1..20),
+        served in prop::collection::vec(0u64..40, 3),
+        k in 1usize..6,
+    ) {
+        let f = fixture();
+        let queries = workload(&seeds);
+        let oracle_exact: Vec<ExactMatchOutcome> = queries
+            .iter()
+            .map(|q| exact_match(&f.index, &f.oracle, q, true).unwrap())
+            .collect();
+        let oracle_knn: Vec<KnnAnswer> = queries
+            .iter()
+            .map(|q| knn_approximate(&f.index, &f.oracle, q, k, KnnStrategy::MultiPartition).unwrap())
+            .collect();
+        let oracle_eknn: Vec<ExactKnnAnswer> = queries
+            .iter()
+            .map(|q| exact_knn(&f.index, &f.oracle, q, k).unwrap())
+            .collect();
+        for width in [1usize, 4, 8] {
+            let skewed = cluster_at(&f.dir, width);
+            preheat(&skewed, &served);
+            let exact = exact_match_batch(&f.index, &skewed, &queries, true).unwrap();
+            prop_assert_eq!(&exact, &oracle_exact, "exact batch at width {}", width);
+            let knn = knn_batch(&f.index, &skewed, &queries, k, KnnStrategy::MultiPartition).unwrap();
+            for (a, b) in knn.iter().zip(&oracle_knn) {
+                assert_knn_eq(a, b, &format!("knn batch at width {width}"));
+            }
+            let eknn = exact_knn_batch(&f.index, &skewed, &queries, k).unwrap();
+            for (a, b) in eknn.iter().zip(&oracle_eknn) {
+                assert_exact_knn_eq(a, b, &format!("exact-knn batch at width {width}"));
+            }
+        }
+    }
+}
+
+/// Routing really does move load around under skew: after heavily biasing
+/// one node, fresh reads prefer the others, and the serving spread is
+/// visible in the per-node counters.
+#[test]
+fn preheat_actually_changes_which_node_serves() {
+    let f = fixture();
+    let pid_file = f.index.partitions()[0].file.clone();
+
+    // Quiescent cluster: note which node serves the first block.
+    let quiet = cluster_at(&f.dir, 1);
+    let blocks = quiet.dfs().list_blocks(&pid_file).unwrap();
+    let first = quiet.dfs().probe_order(&blocks[0])[0];
+
+    // Bias that node sky-high: the same read must route elsewhere.
+    let skewed = cluster_at(&f.dir, 1);
+    for _ in 0..1000 {
+        skewed.metrics().node_read_begin(first);
+        skewed.metrics().node_read_end(first, true);
+    }
+    let rerouted = skewed.dfs().probe_order(&blocks[0])[0];
+    assert_ne!(first, rerouted, "biasing a node must deflect routing");
+
+    // And the bytes are identical either way.
+    let a = quiet.dfs().read_block(&blocks[0]).unwrap();
+    let b = skewed.dfs().read_block(&blocks[0]).unwrap();
+    assert_eq!(a, b);
+}

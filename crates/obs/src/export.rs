@@ -115,6 +115,19 @@ impl PromText {
         let _ = writeln!(self.out, "{name}{{{label_key}=\"{label_value}\"}} {value}");
     }
 
+    /// Appends a gauge sample with one label.
+    pub fn labeled_gauge(
+        &mut self,
+        name: &str,
+        help: &str,
+        label_key: &str,
+        label_value: &str,
+        value: u64,
+    ) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name}{{{label_key}=\"{label_value}\"}} {value}");
+    }
+
     /// Appends per-span-name `count` and `total microseconds` counters
     /// from a tracer's aggregates.
     pub fn spans(&mut self, aggregates: &[crate::span::SpanAggregate]) {

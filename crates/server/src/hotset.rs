@@ -1,0 +1,196 @@
+//! Hot-partition detection and adaptive re-replication.
+//!
+//! Under a skewed (Zipfian) query mix the same few partitions absorb
+//! most of the load. Replica-aware routing spreads their reads over the
+//! copies that exist, but the store default (replication 2) caps the
+//! spread — the throughput fix is to give the hot set *more copies*.
+//! Odyssey makes the same observation for distributed data-series
+//! search: replication is the load-balancing mechanism, not just the
+//! durability one.
+//!
+//! The pieces:
+//!
+//! * [`HotSetTracker`] — pure detection state: feeds on the cluster's
+//!   cumulative per-partition access counters (one access per physical
+//!   partition load, metered in `TardisIndex::load_partition`), keeps an
+//!   EWMA of per-interval deltas, and returns the top-k partitions whose
+//!   rate clears a floor. Deterministic: ties rank by partition id.
+//! * [`HotSetConfig`] — the knobs, carried on
+//!   [`ServerConfig`](crate::ServerConfig).
+//! * The background pass itself lives in the server: every interval it
+//!   observes the tracker, publishes the `tardis_hot_partitions` gauge,
+//!   and raises newly hot partitions' replication factor via
+//!   `Dfs::replicate_file` — the scrub top-up machinery, so copies land
+//!   tmp+rename and routing widens immediately.
+//!
+//! Detection is windowed on *deltas*, not totals, so a partition that
+//! was hot an hour ago decays out of the set instead of holding its
+//! slot forever; re-replication itself is monotone (factors are never
+//! lowered), which keeps the data path simple and answers stable.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Knobs for hot-set detection and adaptive re-replication.
+#[derive(Debug, Clone)]
+pub struct HotSetConfig {
+    /// How often the background pass samples access counters.
+    pub interval: Duration,
+    /// EWMA smoothing factor in `(0, 1]`: the weight of the newest
+    /// interval's access delta (1.0 = no smoothing).
+    pub ewma_alpha: f64,
+    /// At most this many partitions are hot at once.
+    pub top_k: usize,
+    /// Minimum smoothed accesses-per-interval before a partition can be
+    /// called hot (keeps idle stores from re-replicating noise).
+    pub min_accesses: f64,
+    /// Replication factor hot partitions are raised to (clamped to the
+    /// datanode count by the store).
+    pub target_replication: u32,
+}
+
+impl Default for HotSetConfig {
+    fn default() -> HotSetConfig {
+        HotSetConfig {
+            interval: Duration::from_millis(200),
+            ewma_alpha: 0.5,
+            top_k: 4,
+            min_accesses: 4.0,
+            target_replication: 3,
+        }
+    }
+}
+
+/// EWMA-based hot-set detector over cumulative access counters.
+///
+/// Feed it the cluster's `partition_accesses()` snapshot once per
+/// interval; it differences against the previous snapshot, folds the
+/// deltas into per-partition EWMAs, and returns the current hot set.
+#[derive(Debug)]
+pub struct HotSetTracker {
+    alpha: f64,
+    top_k: usize,
+    min_accesses: f64,
+    ewma: BTreeMap<u32, f64>,
+    last: BTreeMap<u32, u64>,
+}
+
+impl HotSetTracker {
+    /// Creates a tracker with `config`'s detection knobs.
+    pub fn new(config: &HotSetConfig) -> HotSetTracker {
+        HotSetTracker {
+            alpha: config.ewma_alpha.clamp(f64::MIN_POSITIVE, 1.0),
+            top_k: config.top_k,
+            min_accesses: config.min_accesses,
+            ewma: BTreeMap::new(),
+            last: BTreeMap::new(),
+        }
+    }
+
+    /// Feeds one interval's *cumulative* per-partition access counters
+    /// and returns the hot set: the top-k partitions by smoothed
+    /// per-interval access rate, among those clearing the floor, ranked
+    /// by rate descending with ties broken by ascending partition id.
+    pub fn observe(&mut self, cumulative: &[(u32, u64)]) -> Vec<u32> {
+        // Delta against the previous snapshot; partitions quiet this
+        // interval still decay via a zero delta.
+        let mut deltas: BTreeMap<u32, u64> = BTreeMap::new();
+        for &(pid, total) in cumulative {
+            let prev = self.last.insert(pid, total).unwrap_or(0);
+            deltas.insert(pid, total.saturating_sub(prev));
+        }
+        let pids: std::collections::BTreeSet<u32> = self
+            .ewma
+            .keys()
+            .copied()
+            .chain(deltas.keys().copied())
+            .collect();
+        for pid in pids {
+            let delta = deltas.get(&pid).copied().unwrap_or(0) as f64;
+            let slot = self.ewma.entry(pid).or_insert(0.0);
+            *slot = self.alpha * delta + (1.0 - self.alpha) * *slot;
+        }
+        let mut ranked: Vec<(u32, f64)> = self
+            .ewma
+            .iter()
+            .filter(|&(_, &rate)| rate >= self.min_accesses)
+            .map(|(&pid, &rate)| (pid, rate))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(self.top_k);
+        ranked.into_iter().map(|(pid, _)| pid).collect()
+    }
+
+    /// Current smoothed access rate of `pid` (0 when never seen).
+    pub fn rate(&self, pid: u32) -> f64 {
+        self.ewma.get(&pid).copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(top_k: usize, min: f64, alpha: f64) -> HotSetTracker {
+        HotSetTracker::new(&HotSetConfig {
+            top_k,
+            min_accesses: min,
+            ewma_alpha: alpha,
+            ..HotSetConfig::default()
+        })
+    }
+
+    #[test]
+    fn top_k_by_rate_with_floor() {
+        let mut t = tracker(2, 5.0, 1.0);
+        let hot = t.observe(&[(0, 100), (1, 40), (2, 3), (3, 60)]);
+        // Partition 2 misses the floor; 0 and 3 out-rate 1.
+        assert_eq!(hot, vec![0, 3]);
+    }
+
+    #[test]
+    fn deltas_not_totals_drive_the_ranking() {
+        let mut t = tracker(1, 1.0, 1.0);
+        assert_eq!(t.observe(&[(0, 1000), (1, 10)]), vec![0]);
+        // Next interval: 0 goes quiet, 1 takes all the traffic. With
+        // alpha=1 the hot set flips immediately.
+        assert_eq!(t.observe(&[(0, 1000), (1, 500)]), vec![1]);
+        assert_eq!(t.rate(0), 0.0);
+    }
+
+    #[test]
+    fn ewma_smooths_and_decays() {
+        let mut t = tracker(4, 0.0, 0.5);
+        t.observe(&[(7, 100)]);
+        assert_eq!(t.rate(7), 50.0);
+        // Quiet intervals decay the rate geometrically, even when the
+        // partition stops appearing in the snapshot at all.
+        t.observe(&[(7, 100)]);
+        assert_eq!(t.rate(7), 25.0);
+        t.observe(&[]);
+        assert_eq!(t.rate(7), 12.5);
+    }
+
+    #[test]
+    fn ties_rank_by_partition_id() {
+        let mut t = tracker(2, 1.0, 1.0);
+        let hot = t.observe(&[(9, 50), (2, 50), (5, 50)]);
+        assert_eq!(hot, vec![2, 5]);
+    }
+
+    #[test]
+    fn empty_and_idle_observations_yield_no_hot_set() {
+        let mut t = tracker(4, 1.0, 0.5);
+        assert!(t.observe(&[]).is_empty());
+        // A cumulative snapshot with no growth is an idle interval.
+        t.observe(&[(1, 10)]);
+        for _ in 0..10 {
+            t.observe(&[(1, 10)]);
+        }
+        assert!(t.observe(&[(1, 10)]).is_empty(), "idle partition never decayed");
+    }
+}

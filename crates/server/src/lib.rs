@@ -32,12 +32,14 @@
 
 pub mod admission;
 pub mod client;
+pub mod hotset;
 pub mod json;
 pub mod protocol;
 pub mod server;
 
 pub use admission::{Admission, Admitted, Permit};
 pub use client::{scrape_metrics, Client};
+pub use hotset::{HotSetConfig, HotSetTracker};
 pub use protocol::{Op, Request};
 pub use server::{
     install_signal_handlers, sigterm_flag, QueryServer, ServerConfig, ServerHandle,

@@ -24,6 +24,7 @@
 //! accepted request is answered or explicitly shed before the process
 //! exits.
 
+use std::collections::HashSet;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -39,6 +40,7 @@ use tardis_core::{
 };
 
 use crate::admission::{Admission, Admitted};
+use crate::hotset::{HotSetConfig, HotSetTracker};
 use crate::protocol::{
     encode_batch, encode_error, encode_exact, encode_exact_knn, encode_knn, encode_range, Op,
     Request,
@@ -66,6 +68,9 @@ pub struct ServerConfig {
     pub policy: Option<DegradedPolicy>,
     /// Clock for admission deadlines (virtual in deterministic tests).
     pub clock: BackoffClock,
+    /// Hot-set detection + adaptive re-replication; `None` disables the
+    /// background pass entirely.
+    pub hot_set: Option<HotSetConfig>,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +82,7 @@ impl Default for ServerConfig {
             default_deadline_ms: None,
             policy: None,
             clock: BackoffClock::Real,
+            hot_set: None,
         }
     }
 }
@@ -284,12 +290,72 @@ impl QueryServer {
             }
         });
 
+        let hotset = config
+            .hot_set
+            .map(|cfg| spawn_hot_set_pass(cfg, Arc::clone(&shared)));
+
         Ok(ServerHandle {
             addr,
             shutdown,
             accept: Some(accept),
+            hotset,
         })
     }
+}
+
+/// The background hot-set pass: every `cfg.interval`, diff the cluster's
+/// cumulative per-partition access counters, publish the
+/// `tardis_hot_partitions` gauge, and raise newly hot partitions to
+/// `cfg.target_replication` via the scrub top-up machinery. Failed
+/// raises (e.g. a transiently broken replica) are retried on the next
+/// pass; successful ones are remembered so each partition is
+/// re-replicated at most once per server lifetime (the factor is
+/// monotone anyway).
+fn spawn_hot_set_pass(cfg: HotSetConfig, shared: Arc<Shared>) -> thread::JoinHandle<()> {
+    thread::spawn(move || {
+        let mut tracker = HotSetTracker::new(&cfg);
+        let mut raised: HashSet<u32> = HashSet::new();
+        'pass: loop {
+            // Sleep the interval in POLL steps so shutdown stays prompt.
+            let mut slept = Duration::ZERO;
+            while slept < cfg.interval {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break 'pass;
+                }
+                let step = POLL.min(cfg.interval - slept);
+                thread::sleep(step);
+                slept += step;
+            }
+            let accesses = shared.cluster.metrics().partition_accesses();
+            let hot = tracker.observe(&accesses);
+            shared
+                .cluster
+                .metrics()
+                .set_hot_partitions(hot.len() as u64);
+            let partitions = shared.index.partitions();
+            for pid in hot {
+                if raised.contains(&pid) {
+                    continue;
+                }
+                let Some(meta) = partitions.get(pid as usize) else {
+                    continue;
+                };
+                match shared
+                    .cluster
+                    .dfs()
+                    .replicate_file(&meta.file, cfg.target_replication)
+                {
+                    Ok(_) => {
+                        shared.cluster.metrics().record_rereplication();
+                        raised.insert(pid);
+                    }
+                    Err(_) => {
+                        // Leave it un-raised: the next pass retries.
+                    }
+                }
+            }
+        }
+    })
 }
 
 /// A running daemon. Dropping the handle shuts it down gracefully.
@@ -297,6 +363,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept: Option<thread::JoinHandle<()>>,
+    hotset: Option<thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -329,6 +396,9 @@ impl ServerHandle {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
+        }
+        if let Some(hotset) = self.hotset.take() {
+            let _ = hotset.join();
         }
     }
 }

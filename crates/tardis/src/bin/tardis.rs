@@ -79,6 +79,11 @@ fn usage() {
     eprintln!("  serve    --dir D --index NAME [--addr HOST:PORT] [--max-in-flight N]");
     eprintln!("           [--queue N] [--deadline-ms N] (resident daemon; port 0 picks a free");
     eprintln!("           port, prints 'listening on ADDR'; SIGTERM shuts down gracefully)");
+    eprintln!("           [--hot-replication R] enable adaptive re-replication: partitions in");
+    eprintln!("           the hot set (top --hot-top-k by EWMA access rate, needing at least");
+    eprintln!("           --hot-min-accesses per interval) are raised to R replicas in the");
+    eprintln!("           background every --hot-interval-ms (defaults: top-k 4, min 4,");
+    eprintln!("           interval 500)");
     eprintln!("  client   --addr HOST:PORT --op exact|knn|exact-knn|range|batch --dir D");
     eprintln!("           --index NAME (--rid N | --query-file PATH) [--k N] [--epsilon E]");
     eprintln!("           [--count N] [--strategy target|one|multi] [--no-bloom] [--priority P]");
@@ -765,11 +770,12 @@ fn cmd_scrub(flags: &Flags) -> Result<(), String> {
     let t0 = std::time::Instant::now();
     let report = cluster.dfs().scrub().map_err(|e| e.to_string())?;
     say!(
-        "scrubbed {} block(s) in {:?}: {} corrupt replica(s) found, {} replica(s) repaired, {} block(s) lost",
+        "scrubbed {} block(s) in {:?}: {} corrupt replica(s) found, {} replica(s) repaired, {} replica(s) added, {} block(s) lost",
         report.blocks_checked,
         t0.elapsed(),
         report.corrupt_replicas,
         report.replicas_repaired,
+        report.replicas_added,
         report.blocks_lost
     );
     if report.blocks_lost > 0 {
@@ -826,6 +832,30 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let cluster = std::sync::Arc::new(open_cluster(flags)?);
     let (index, dataset) = open_index(&cluster, flags)?;
     let index = std::sync::Arc::new(index);
+    // Hot-set re-replication is opt-in: --hot-replication 2+ turns on the
+    // background pass with the remaining --hot-* knobs.
+    let hot_set = match flags.get("hot-replication") {
+        None => None,
+        Some(v) => {
+            let target: u32 = v
+                .parse()
+                .map_err(|_| format!("invalid --hot-replication '{v}'"))?;
+            if target < 2 {
+                return Err("--hot-replication must be at least 2".into());
+            }
+            Some(HotSetConfig {
+                interval: std::time::Duration::from_millis(opt_num(
+                    flags,
+                    "hot-interval-ms",
+                    500,
+                )?),
+                top_k: opt_num(flags, "hot-top-k", 4)?,
+                min_accesses: opt_num(flags, "hot-min-accesses", 4.0)?,
+                target_replication: target,
+                ..HotSetConfig::default()
+            })
+        }
+    };
     let config = ServerConfig {
         addr: flags
             .get("addr")
@@ -838,6 +868,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             .map(|v| v.parse().map_err(|_| format!("invalid --deadline-ms '{v}'")))
             .transpose()?,
         policy: degraded_policy(flags)?,
+        hot_set,
         ..ServerConfig::default()
     };
     let handle = QueryServer::start(std::sync::Arc::clone(&cluster), index, config)
@@ -857,6 +888,12 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         "shutdown: {} served, {} shed, {} stolen task(s)",
         snap.queries_served, snap.queries_shed, snap.tasks_stolen
     ));
+    if snap.rereplications > 0 {
+        out(format_args!(
+            "hot-set: {} partition(s) re-replicated, {} replica(s) added",
+            snap.rereplications, snap.replicas_added
+        ));
+    }
     Ok(())
 }
 

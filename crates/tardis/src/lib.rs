@@ -74,7 +74,8 @@ pub mod prelude {
     };
     pub use tardis_isax::{SaxWord, SigT};
     pub use tardis_server::{
-        scrape_metrics, Client, Op, QueryServer, Request, ServerConfig, ServerHandle,
+        scrape_metrics, Client, HotSetConfig, Op, QueryServer, Request, ServerConfig,
+        ServerHandle,
     };
     pub use tardis_ts::{euclidean, z_normalize, Record, TimeSeries};
 }

@@ -23,6 +23,10 @@ cargo test -q -p tardis-core cascade
 echo "== tier-1: batch-query benchmark smoke (quick scale) =="
 cargo run --release -p tardis-bench --bin experiments -- queries --quick
 
+echo "== tier-1: replica load-balancing benchmark smoke (quick scale) =="
+# Asserts internally that R1/R2/adaptive stores answer byte-identically.
+cargo run --release -p tardis-bench --bin experiments -- balance --quick
+
 echo "== tier-1: degraded-mode smoke (replication, scrub, best-effort serving) =="
 DEMO="$(mktemp -d)"
 trap 'rm -rf "$DEMO"' EXIT
@@ -69,6 +73,38 @@ grep -q '^shutdown: 3 served' "$DEMO/serve.out" || {
     cat "$DEMO/serve.out" >&2
     exit 1
 }
+
+echo "== tier-1: replica-aware routing smoke (skewed mix spreads over nodes) =="
+# A fresh daemon on the replication-2 store serves a skewed mix — the
+# same record hammered repeatedly. Replica-aware routing must spread the
+# reads: the per-node counters on /metrics show more than one node
+# serving, where replica-0-first routing would pin each block to one.
+"$T" serve --dir "$DEMO" --index idx --addr 127.0.0.1:0 --replication 2 >"$DEMO/serve2.out" 2>&1 &
+SERVE2_PID=$!
+ADDR2=""
+for _ in $(seq 1 100); do
+    ADDR2="$(sed -n 's/^listening on //p' "$DEMO/serve2.out" | head -n1)"
+    [[ -n "$ADDR2" ]] && break
+    sleep 0.1
+done
+if [[ -z "$ADDR2" ]]; then
+    echo "routing smoke FAILED: daemon never printed its address" >&2
+    cat "$DEMO/serve2.out" >&2
+    kill "$SERVE2_PID" 2>/dev/null || true
+    exit 1
+fi
+for _ in $(seq 1 8); do
+    "$T" client --addr "$ADDR2" --dir "$DEMO" --index idx --op knn --rid 7 --k 5 --strategy one --replication 2 | grep -q '"ok":true' || {
+        echo "routing smoke FAILED: skewed-mix request" >&2; exit 1; }
+done
+NODES_SERVING="$("$T" metrics --addr "$ADDR2" | grep -c '^tardis_node_reads_total{node=' || true)"
+if [[ "$NODES_SERVING" -lt 2 ]]; then
+    echo "routing smoke FAILED: only $NODES_SERVING node(s) served reads (hotspot!)" >&2
+    "$T" metrics --addr "$ADDR2" | grep 'tardis_node_' >&2 || true
+    exit 1
+fi
+kill -TERM "$SERVE2_PID"
+wait "$SERVE2_PID" || { echo "routing smoke FAILED: daemon exited non-zero on SIGTERM" >&2; exit 1; }
 
 # One datanode dies: every block keeps a replica on another node, so even
 # a fail-fast query is fully masked by replica failover...

@@ -394,6 +394,108 @@ fn retry_backoff_goes_through_virtual_clock() {
     );
 }
 
+/// Load-balanced routing's adversarial case: the *least-loaded* node is
+/// exactly where the router sends every next read, so losing that node
+/// mid-run hits the preferred probe target of all in-flight traffic.
+/// Failover must mask it completely — concurrent queries racing the kill
+/// and everything after it return answers byte-identical to a healthy
+/// run, and the dead-node probes are visible in the per-node counters.
+#[test]
+fn killing_the_least_loaded_node_mid_run_is_masked() {
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join(format!("tardis-chaos-killmin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let at = |n_workers: usize| {
+        Cluster::at_dir(
+            &dir,
+            ClusterConfig {
+                n_workers,
+                ..ClusterConfig::default() // replication 2 over 3 datanodes
+            },
+        )
+        .unwrap()
+    };
+
+    let gen = RandomWalk::with_len(808, 64);
+    let build = at(4);
+    write_dataset(&build, "killmin", &gen, 2_000, 100).unwrap();
+    let config = TardisConfig {
+        g_max_size: 400,
+        l_max_size: 100,
+        sampling_fraction: 0.4,
+        ..TardisConfig::default()
+    };
+    let (index, _) = TardisIndex::build(&build, "killmin", &config).unwrap();
+    let index = Arc::new(index);
+
+    type Battery = (Vec<Vec<u64>>, Vec<Vec<(f64, u64)>>);
+    let battery = |cluster: &Cluster| -> Battery {
+        let mut exact = Vec::new();
+        let mut knn = Vec::new();
+        for rid in [0u64, 7, 555, 1_999, 2_345] {
+            let q = gen.series(rid);
+            exact.push(exact_match(&index, cluster, &q, true).unwrap().matches);
+            knn.push(
+                knn_approximate(&index, cluster, &q, 8, KnnStrategy::MultiPartition)
+                    .unwrap()
+                    .neighbors,
+            );
+        }
+        (exact, knn)
+    };
+
+    // Reference answers with every node healthy.
+    let reference = battery(&build);
+    drop(build);
+
+    // Fresh cluster: heat the counters, find the least-loaded node, then
+    // wipe it while query threads are mid-flight.
+    let victim_cluster = Arc::new(at(4));
+    let _ = battery(&victim_cluster);
+    let snap = victim_cluster.metrics().snapshot();
+    let victim = (0..3u32)
+        .min_by_key(|&n| snap.node_reads[n as usize])
+        .unwrap();
+
+    std::thread::scope(|s| {
+        let mut workers = Vec::new();
+        for _ in 0..3 {
+            let cluster = Arc::clone(&victim_cluster);
+            let battery = &battery;
+            workers.push(s.spawn(move || {
+                let mut outs = Vec::new();
+                for _ in 0..3 {
+                    outs.push(battery(&cluster));
+                }
+                outs
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        std::fs::remove_dir_all(dir.join(format!("node-{victim}"))).unwrap();
+        for worker in workers {
+            for out in worker.join().unwrap() {
+                assert_eq!(out, reference, "answers diverged racing the node kill");
+            }
+        }
+    });
+
+    // The node is gone for good: one more battery must still match, and
+    // the router — which *prefers* the under-counted dead node — must
+    // have probed it and failed over.
+    assert_eq!(battery(&victim_cluster), reference, "post-kill answers diverged");
+    let m = victim_cluster.metrics().snapshot();
+    assert!(
+        m.node_probe_missing[victim as usize] > 0,
+        "the dead node was never probed: {m:?}"
+    );
+    assert!(m.replica_failovers > 0, "no failover ever fired: {m:?}");
+    assert_eq!(m.tasks_failed_permanently, 0, "the kill leaked: {m:?}");
+
+    drop(victim_cluster);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// A plan with every probability at zero behaves exactly like no plan:
 /// the injector is wired in but never fires.
 #[test]
