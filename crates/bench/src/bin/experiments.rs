@@ -16,8 +16,11 @@
 //! daemon vs cold per-query CLI-style index opens; writes
 //! `BENCH_server.json`), `balance` (replica-aware load balancing under
 //! a Zipfian mix: replication 1 vs 2 vs adaptive hot-partition
-//! re-replication; writes `BENCH_balance.json`), `all`, and `quick` (a
-//! reduced-size pass over everything for smoke testing).
+//! re-replication; writes `BENCH_balance.json`), `ingest` (continuous
+//! ingest through the daemon: sustained sealed-delta throughput plus
+//! query latency while the background compactor folds deltas; writes
+//! `BENCH_ingest.json`), `all`, and `quick` (a reduced-size pass over
+//! everything for smoke testing).
 
 use std::time::Duration;
 use tardis_baseline::baseline_knn;
@@ -106,15 +109,18 @@ fn main() {
     if run_all || cmd == "balance" {
         balance(scale);
     }
+    if run_all || cmd == "ingest" {
+        ingest(scale);
+    }
     if !run_all
         && ![
             "table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-            "fig17", "ablations", "profiles", "queries", "kernels", "server", "balance",
+            "fig17", "ablations", "profiles", "queries", "kernels", "server", "balance", "ingest",
         ]
         .contains(&cmd)
     {
         eprintln!("unknown experiment '{cmd}'");
-        eprintln!("usage: experiments [table2|fig9|...|fig17|ablations|profiles|queries|kernels|server|balance|all|quick] [--quick]");
+        eprintln!("usage: experiments [table2|fig9|...|fig17|ablations|profiles|queries|kernels|server|balance|ingest|all|quick] [--quick]");
         std::process::exit(2);
     }
     println!("\n(total experiment time: {})", secs(t0.elapsed()));
@@ -1166,7 +1172,9 @@ fn server(scale: Scale) {
                 tardis_core::knn_batch(&index, &cluster, &req.batch_series(), req.k, req.strategy)
                     .expect("batch");
             }
-            Op::ExactKnn | Op::Range => unreachable!("mix only issues exact/knn/batch"),
+            Op::ExactKnn | Op::Range | Op::Ingest | Op::Compact => {
+                unreachable!("mix only issues exact/knn/batch")
+            }
         }
     }
     let cold = t0.elapsed();
@@ -1583,6 +1591,212 @@ fn balance(scale: Scale) {
     match std::fs::write("BENCH_balance.json", &json) {
         Ok(()) => println!("wrote BENCH_balance.json"),
         Err(e) => eprintln!("could not write BENCH_balance.json: {e}"),
+    }
+}
+
+/// Continuous ingest through the resident daemon: an ingest client
+/// seals batches into delta partitions while query clients hammer the
+/// same daemon and the background compactor folds deltas into the base.
+/// Measures sustained ingest throughput (records/s), query p99 *during*
+/// ingest+compaction (queries never block on writers — they read an
+/// immutable index snapshot), and the compaction counters. Ends with a
+/// correctness probe: an ingested record must be exact-matchable after
+/// everything is folded. Writes `BENCH_ingest.json`.
+fn ingest(scale: Scale) {
+    banner(
+        "Ingest",
+        "continuous ingest: sealed deltas + background compaction under queries",
+    );
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use tardis_cluster::{Cluster, ClusterConfig, DfsConfig};
+    use tardis_server::{Client, CompactorConfig, Op, QueryServer, Request, ServerConfig};
+
+    const K: usize = 10;
+    const N_QUERY_CLIENTS: usize = 3;
+    const BATCH: u64 = 200;
+
+    let gen = Family::RandomWalk.generator();
+    let n = scale.base;
+    let n_batches = (scale.queries as u64 / 4).max(8);
+    let dir = std::env::temp_dir().join(format!("tardis-bench-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let config = || ClusterConfig {
+        dfs: DfsConfig {
+            cache_bytes: 256 << 20,
+            read_latency: Duration::from_millis(2),
+            ..DfsConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    {
+        let cluster = Cluster::at_dir(&dir, config()).expect("cluster");
+        tardis_data::write_dataset(&cluster, "ds", gen.as_ref(), n, tardis_bench::BLOCK_RECORDS)
+            .expect("write dataset");
+        let cfg = TardisConfig {
+            g_max_size: tardis_bench::PARTITION_CAPACITY,
+            l_max_size: tardis_bench::LOCAL_THRESHOLD,
+            ..TardisConfig::default()
+        };
+        let (index, _) = TardisIndex::build(&cluster, "ds", &cfg).expect("build");
+        index.save(&cluster, "idx").expect("save");
+    }
+
+    let cluster = Arc::new(Cluster::at_dir(&dir, config()).expect("cluster"));
+    let index = Arc::new(TardisIndex::open(&cluster, "idx").expect("open"));
+    let handle = QueryServer::start(
+        Arc::clone(&cluster),
+        Arc::clone(&index),
+        ServerConfig {
+            max_in_flight: N_QUERY_CLIENTS * 2 + 2,
+            queue_capacity: 256,
+            manifest: Some("idx".to_string()),
+            compaction: Some(CompactorConfig {
+                interval: Duration::from_millis(50),
+                min_deltas: 2,
+            }),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start");
+    let addr = handle.addr().to_string();
+
+    // Query clients loop over stored base records until ingest finishes;
+    // every latency is sampled *while* deltas are being sealed and folded.
+    let done = Arc::new(AtomicBool::new(false));
+    let query_workers: Vec<_> = (0..N_QUERY_CLIENTS)
+        .map(|c| {
+            let addr = addr.clone();
+            let done = Arc::clone(&done);
+            let gen = Family::RandomWalk.generator();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                let mut lats = Vec::new();
+                let mut i = c as u64;
+                while !done.load(Ordering::SeqCst) {
+                    let rid = (i * 389) % n;
+                    let mut r = if i % 2 == 0 {
+                        let mut r = Request::new(i + 1, Op::Exact);
+                        r.query = gen.series(rid).values().to_vec();
+                        r
+                    } else {
+                        let mut r = Request::new(i + 1, Op::Knn);
+                        r.query = gen.series(rid).values().to_vec();
+                        r.k = K;
+                        r
+                    };
+                    r.deadline_ms = Some(5_000);
+                    let t = std::time::Instant::now();
+                    let response = client.send(&r).expect("send");
+                    lats.push(t.elapsed());
+                    assert!(
+                        response.contains("\"ok\":true"),
+                        "query failed during ingest: {response}"
+                    );
+                    i += 1;
+                }
+                lats
+            })
+        })
+        .collect();
+
+    // The ingest client: sequential sealed batches of fresh records.
+    let t0 = std::time::Instant::now();
+    let mut ingest_client = Client::connect(&addr).expect("connect");
+    for b in 0..n_batches {
+        let start = n + b * BATCH;
+        let mut r = Request::new(b + 1, Op::Ingest);
+        r.records = (start..start + BATCH)
+            .map(|rid| (rid, gen.series(rid).values().to_vec()))
+            .collect();
+        let response = ingest_client.send(&r).expect("ingest");
+        assert!(
+            response.contains("\"ok\":true"),
+            "ingest failed: {response}"
+        );
+    }
+    let ingest_time = t0.elapsed();
+    done.store(true, Ordering::SeqCst);
+    let mut lats = Vec::new();
+    for w in query_workers {
+        lats.extend(w.join().expect("query thread"));
+    }
+
+    // Fold whatever the background compactor has not reached yet, then
+    // probe an ingested record end-to-end.
+    let compact_resp = ingest_client
+        .send(&Request::new(9_999, Op::Compact))
+        .expect("compact");
+    assert!(
+        compact_resp.contains("\"ok\":true"),
+        "compact failed: {compact_resp}"
+    );
+    let probe_rid = n + (n_batches / 2) * BATCH + 3;
+    let mut probe = Request::new(10_000, Op::Exact);
+    probe.query = gen.series(probe_rid).values().to_vec();
+    let probe_resp = ingest_client.send(&probe).expect("probe");
+    assert!(
+        probe_resp.contains("\"ok\":true") && probe_resp.contains(&probe_rid.to_string()),
+        "ingested record not found after compaction: {probe_resp}"
+    );
+
+    let snap = cluster.metrics().snapshot();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let total_records = n_batches * BATCH;
+    let ingest_rps = total_records as f64 / ingest_time.as_secs_f64().max(1e-9);
+    lats.sort();
+    let p99 = if lats.is_empty() {
+        Duration::ZERO
+    } else {
+        lats[lats.len().saturating_sub(1) * 99 / 100]
+    };
+    print_table(
+        &["Metric", "Value"],
+        &[
+            vec!["base records".into(), n.to_string()],
+            vec![
+                "ingested".into(),
+                format!("{total_records} ({n_batches} x {BATCH})"),
+            ],
+            vec!["ingest throughput".into(), format!("{ingest_rps:.0} records/s")],
+            vec![
+                "queries during ingest".into(),
+                format!("{} (p99 {:.1} ms)", lats.len(), p99.as_secs_f64() * 1e3),
+            ],
+            vec!["deltas sealed".into(), snap.deltas_sealed.to_string()],
+            vec!["compactions".into(), snap.compactions.to_string()],
+            vec![
+                "records folded".into(),
+                snap.compaction_records_folded.to_string(),
+            ],
+        ],
+    );
+    println!("(queries read an immutable snapshot: writers never block them;");
+    println!(" probe rid {probe_rid} exact-matched after the final fold)");
+
+    // Hand-rolled JSON (the workspace deliberately has no serde).
+    let json = format!(
+        "{{\n  \"bench\": \"ingest\",\n  \"dataset\": \"RandomWalk\",\n  \"base_records\": {n},\n  \"batches\": {n_batches},\n  \"batch_records\": {BATCH},\n  \"query_clients\": {N_QUERY_CLIENTS},\n  \"ingest\": {{\n    \"total_ms\": {:.3},\n    \"records_per_s\": {:.3}\n  }},\n  \"queries_during_ingest\": {{\n    \"count\": {},\n    \"p99_ms\": {:.3}\n  }},\n  \"compaction\": {{\n    \"deltas_sealed\": {},\n    \"compactions\": {},\n    \"records_folded\": {}\n  }}\n}}\n",
+        ingest_time.as_secs_f64() * 1e3,
+        ingest_rps,
+        lats.len(),
+        p99.as_secs_f64() * 1e3,
+        snap.deltas_sealed,
+        snap.compactions,
+        snap.compaction_records_folded,
+    );
+    // Quick (CI smoke) runs must not clobber the checked-in full-scale
+    // baseline numbers.
+    if scale.base != FULL.base {
+        println!("quick scale: not writing BENCH_ingest.json");
+        return;
+    }
+    match std::fs::write("BENCH_ingest.json", &json) {
+        Ok(()) => println!("wrote BENCH_ingest.json"),
+        Err(e) => eprintln!("could not write BENCH_ingest.json: {e}"),
     }
 }
 

@@ -897,6 +897,63 @@ impl Dfs {
         Ok(())
     }
 
+    /// Atomically replaces `name` with a single block holding `payload`.
+    /// Each replica is written tmp-then-rename *over* the existing copy
+    /// (placement hashes the file name, so the paths are stable), so a
+    /// concurrent reader of block 0 observes either the old frame or the
+    /// new one, never a torn write — the versioned-manifest swap. Stale
+    /// cached copies are purged and surplus blocks from a previous
+    /// multi-block incarnation are removed afterwards.
+    pub fn replace_file(&self, name: &str, payload: &[u8]) -> Result<BlockId, ClusterError> {
+        let id = BlockId::new(name, 0);
+        let key = FaultInjector::block_key(name, 0);
+        let attempts = self.retry.attempts();
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match self.write_block_attempt(&id, payload, key, attempt) {
+                Ok(()) => break,
+                Err(e) if e.is_transient() && attempt < attempts => {
+                    self.metrics.record_block_write_retry();
+                    self.retry.sleep_backoff(attempt);
+                }
+                Err(e) if e.is_transient() => {
+                    return Err(ClusterError::RetriesExhausted {
+                        op: "block write",
+                        attempts: attempt,
+                        source: Box::new(e),
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.metrics.record_block_write(payload.len() as u64);
+        {
+            let factor = self.replication_of(name);
+            let mut written = self.written_replication.lock();
+            let slot = written.entry(name.to_string()).or_insert(0);
+            *slot = (*slot).max(factor);
+        }
+        // Remove surplus blocks a previous multi-block incarnation left
+        // behind, then pin the next append index past the single block.
+        let count = self.scan_block_count(name);
+        for index in 1..count {
+            for node in 0..self.datanodes() {
+                let path = self
+                    .datanode_dir(node)
+                    .join(name)
+                    .join(format!("block-{index:06}.bin"));
+                if path.exists() {
+                    fs::remove_file(path)?;
+                }
+            }
+        }
+        self.next_index.lock().insert(name.to_string(), 1);
+        // Readers must not be served the pre-swap bytes from cache.
+        self.cache.lock().purge_file(name);
+        Ok(id)
+    }
+
     /// Total logical size of a file in payload bytes (replica fan-out and
     /// frame headers excluded, like HDFS file sizes).
     pub fn file_size(&self, name: &str) -> Result<u64, ClusterError> {

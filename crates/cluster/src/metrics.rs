@@ -55,6 +55,11 @@ pub struct Metrics {
     replicas_added: AtomicU64,
     rereplications: AtomicU64,
     hot_partitions: AtomicU64,
+    records_ingested: AtomicU64,
+    deltas_sealed: AtomicU64,
+    compactions: AtomicU64,
+    compaction_records_folded: AtomicU64,
+    deltas_active: AtomicU64,
     node_reads: [AtomicU64; MAX_TRACKED_NODES],
     node_in_flight: [AtomicU64; MAX_TRACKED_NODES],
     node_probe_missing: [AtomicU64; MAX_TRACKED_NODES],
@@ -125,6 +130,16 @@ pub struct MetricsSnapshot {
     pub rereplications: u64,
     /// Partitions currently classified as hot by the server (gauge).
     pub hot_partitions: u64,
+    /// Records accepted by the continuous-ingest path.
+    pub records_ingested: u64,
+    /// Sealed delta partitions written by ingest batches.
+    pub deltas_sealed: u64,
+    /// Compaction passes that folded deltas into the base index.
+    pub compactions: u64,
+    /// Records folded from deltas into the base by compaction.
+    pub compaction_records_folded: u64,
+    /// Sealed deltas currently awaiting compaction (gauge).
+    pub deltas_active: u64,
     /// Replica reads served per datanode (routing's "served" signal).
     pub node_reads: [u64; MAX_TRACKED_NODES],
     /// Replica probes currently executing per datanode (gauge; routing's
@@ -276,6 +291,31 @@ impl MetricsSnapshot {
             "Partitions currently classified as hot.",
             self.hot_partitions,
         );
+        p.counter(
+            "tardis_records_ingested",
+            "Records accepted by the continuous-ingest path.",
+            self.records_ingested,
+        );
+        p.counter(
+            "tardis_deltas_sealed",
+            "Sealed delta partitions written by ingest batches.",
+            self.deltas_sealed,
+        );
+        p.counter(
+            "tardis_compactions",
+            "Compaction passes that folded deltas into the base.",
+            self.compactions,
+        );
+        p.counter(
+            "tardis_compaction_records_folded",
+            "Records folded from deltas into the base by compaction.",
+            self.compaction_records_folded,
+        );
+        p.gauge(
+            "tardis_deltas_active",
+            "Sealed deltas currently awaiting compaction.",
+            self.deltas_active,
+        );
         // Per-node replica health: only nodes with any activity are
         // emitted, so small stores keep the dump compact.
         for node in 0..MAX_TRACKED_NODES {
@@ -381,6 +421,16 @@ impl MetricsSnapshot {
             replicas_added: self.replicas_added.saturating_sub(earlier.replicas_added),
             rereplications: self.rereplications.saturating_sub(earlier.rereplications),
             hot_partitions: self.hot_partitions,
+            records_ingested: self
+                .records_ingested
+                .saturating_sub(earlier.records_ingested),
+            deltas_sealed: self.deltas_sealed.saturating_sub(earlier.deltas_sealed),
+            compactions: self.compactions.saturating_sub(earlier.compactions),
+            compaction_records_folded: self
+                .compaction_records_folded
+                .saturating_sub(earlier.compaction_records_folded),
+            // The live-delta count is a gauge: keep the current value.
+            deltas_active: self.deltas_active,
             node_reads: delta_nodes(&self.node_reads, &earlier.node_reads),
             // Per-node in-flight is a gauge: keep the current values.
             node_in_flight: self.node_in_flight,
@@ -528,6 +578,28 @@ impl Metrics {
         self.hot_partitions.store(n, Ordering::Relaxed);
     }
 
+    /// Records `n` records accepted by the continuous-ingest path.
+    pub fn record_ingest(&self, n: u64) {
+        self.records_ingested.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one sealed delta partition written by an ingest batch.
+    pub fn record_delta_sealed(&self) {
+        self.deltas_sealed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a compaction pass that folded `folded` delta records.
+    pub fn record_compaction(&self, folded: u64) {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        self.compaction_records_folded
+            .fetch_add(folded, Ordering::Relaxed);
+    }
+
+    /// Sets the live-delta-count gauge.
+    pub fn set_deltas_active(&self, n: u64) {
+        self.deltas_active.store(n, Ordering::Relaxed);
+    }
+
     /// Marks a replica probe beginning on datanode `node` (raises the
     /// node's in-flight gauge so concurrent routers see queued demand).
     pub fn node_read_begin(&self, node: u32) {
@@ -671,6 +743,11 @@ impl Metrics {
             replicas_added: self.replicas_added.load(Ordering::Relaxed),
             rereplications: self.rereplications.load(Ordering::Relaxed),
             hot_partitions: self.hot_partitions.load(Ordering::Relaxed),
+            records_ingested: self.records_ingested.load(Ordering::Relaxed),
+            deltas_sealed: self.deltas_sealed.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            compaction_records_folded: self.compaction_records_folded.load(Ordering::Relaxed),
+            deltas_active: self.deltas_active.load(Ordering::Relaxed),
             node_reads: load_nodes(&self.node_reads),
             node_in_flight: load_nodes(&self.node_in_flight),
             node_probe_missing: load_nodes(&self.node_probe_missing),
@@ -721,6 +798,11 @@ impl Metrics {
         self.replicas_added.store(0, Ordering::Relaxed);
         self.rereplications.store(0, Ordering::Relaxed);
         self.hot_partitions.store(0, Ordering::Relaxed);
+        self.records_ingested.store(0, Ordering::Relaxed);
+        self.deltas_sealed.store(0, Ordering::Relaxed);
+        self.compactions.store(0, Ordering::Relaxed);
+        self.compaction_records_folded.store(0, Ordering::Relaxed);
+        self.deltas_active.store(0, Ordering::Relaxed);
         for node in 0..MAX_TRACKED_NODES {
             self.node_reads[node].store(0, Ordering::Relaxed);
             self.node_in_flight[node].store(0, Ordering::Relaxed);
@@ -968,6 +1050,38 @@ mod tests {
         assert_eq!(d.node_reads[0], 1);
         assert_eq!(d.node_in_flight[3], 1);
         m.node_read_end(3, false);
+    }
+
+    #[test]
+    fn ingest_and_compaction_counters() {
+        let m = Metrics::new();
+        m.record_ingest(100);
+        m.record_ingest(50);
+        m.record_delta_sealed();
+        m.record_delta_sealed();
+        m.set_deltas_active(2);
+        m.record_compaction(150);
+        let before = m.snapshot();
+        assert_eq!(before.records_ingested, 150);
+        assert_eq!(before.deltas_sealed, 2);
+        assert_eq!(before.compactions, 1);
+        assert_eq!(before.compaction_records_folded, 150);
+        assert_eq!(before.deltas_active, 2);
+        m.record_ingest(10);
+        m.set_deltas_active(0);
+        let d = m.snapshot().delta_since(&before);
+        assert_eq!(d.records_ingested, 10);
+        assert_eq!(d.compactions, 0);
+        // The live-delta count is a gauge: the delta keeps the value.
+        assert_eq!(d.deltas_active, 0);
+        let text = m.snapshot().prometheus_text(None);
+        assert!(text.contains("tardis_records_ingested 160"));
+        assert!(text.contains("tardis_deltas_sealed 2"));
+        assert!(text.contains("tardis_compactions 1"));
+        assert!(text.contains("tardis_compaction_records_folded 150"));
+        assert!(text.contains("# TYPE tardis_deltas_active gauge"));
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }
 
     #[test]

@@ -29,6 +29,18 @@ use tardis_ts::{Record, RecordId};
 /// blocks, mirroring an HDFS file).
 const PARTITION_BLOCK_RECORDS: usize = 2048;
 
+/// Magic prefix of the versioned (v2) manifest layout, which appends a
+/// manifest version, a delta-id high-water mark, and the sealed-delta
+/// table to the legacy layout. Legacy (un-prefixed) manifests still
+/// open, with zero deltas and version 0.
+const MANIFEST_MAGIC_V2: &[u8; 4] = b"TDM2";
+
+/// Synthetic partition-id space for sealed deltas: delta `i` is reported
+/// as `DELTA_PID_BASE | i` in degraded-serving skip lists, quarantine
+/// accounting, and query profiles, so delta failures never collide with
+/// a real base partition id.
+pub const DELTA_PID_BASE: u32 = 0x8000_0000;
+
 /// Per-partition metadata kept on the master.
 #[derive(Debug, Clone)]
 pub struct PartitionMeta {
@@ -44,6 +56,39 @@ pub struct PartitionMeta {
     pub index_bytes: usize,
     /// Bloom filter size in bytes (§VI-B1's ~66 KB per partition).
     pub bloom_bytes: usize,
+}
+
+/// Metadata of one sealed delta partition: a small, immutable
+/// Tardis-L written by a single ingest batch, served alongside the base
+/// until a compaction pass folds it in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaMeta {
+    /// Monotonically increasing delta id (never reused, even across
+    /// compactions).
+    pub delta_id: u64,
+    /// Records sealed into this delta.
+    pub n_records: u64,
+    /// DFS file holding the delta's clustered blocks.
+    pub file: String,
+    /// DFS file holding the delta's Bloom filter.
+    pub bloom_file: String,
+}
+
+/// What one compaction pass did. `retired_files` are the pre-compaction
+/// partition/delta files the new manifest no longer references: the
+/// caller deletes them once no reader can still hold the old snapshot
+/// ([`TardisIndex::compact`] deletes immediately; the resident server
+/// drains old snapshot handles first).
+#[derive(Debug, Clone, Default)]
+pub struct CompactionOutcome {
+    /// Delta records folded into the base.
+    pub folded_records: u64,
+    /// Sealed deltas folded (and retired).
+    pub deltas_folded: usize,
+    /// Base partitions rewritten at the new manifest version.
+    pub partitions_rewritten: usize,
+    /// Files no longer referenced by the post-compaction manifest.
+    pub retired_files: Vec<String>,
 }
 
 /// Timings and sizes of a full index build.
@@ -78,13 +123,26 @@ impl BuildReport {
     }
 }
 
-/// The built index handle.
+/// The built index handle. `Clone` is cheap relative to the data it
+/// references (metadata + resident filters only) and is how the
+/// resident server snapshots logical index state: writers clone, mutate
+/// the clone, and swap it in while readers keep the old snapshot.
+#[derive(Clone)]
 pub struct TardisIndex {
     config: TardisConfig,
     global: TardisG,
     parts: Vec<PartitionMeta>,
     /// In-memory Bloom filters (when `config.bloom_in_memory`).
     blooms: Vec<Option<BloomFilter>>,
+    /// Sealed delta partitions awaiting compaction, ascending delta id.
+    deltas: Vec<DeltaMeta>,
+    /// In-memory delta Bloom filters (when `config.bloom_in_memory`),
+    /// parallel to `deltas`.
+    delta_blooms: Vec<Option<BloomFilter>>,
+    /// Next delta id to assign (monotone across compactions).
+    next_delta_id: u64,
+    /// Manifest version, bumped by every compaction swap.
+    manifest_version: u64,
     /// The original dataset file (used by the un-clustered layout to
     /// fetch raw series).
     dataset_file: String,
@@ -215,6 +273,10 @@ impl TardisIndex {
                 global,
                 parts,
                 blooms,
+                deltas: Vec::new(),
+                delta_blooms: Vec::new(),
+                next_delta_id: 0,
+                manifest_version: 0,
                 dataset_file: dataset_file.to_string(),
                 dataset_block_records: dataset_block_records.max(1),
             },
@@ -240,6 +302,21 @@ impl TardisIndex {
     /// Number of partitions.
     pub fn n_partitions(&self) -> usize {
         self.parts.len()
+    }
+
+    /// Sealed delta partitions awaiting compaction, ascending delta id.
+    pub fn deltas(&self) -> &[DeltaMeta] {
+        &self.deltas
+    }
+
+    /// Number of live (uncompacted) deltas.
+    pub fn n_deltas(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Current manifest version (bumped by every compaction swap).
+    pub fn manifest_version(&self) -> u64 {
+        self.manifest_version
     }
 
     /// Tests the Bloom filter of partition `pid` for a signature:
@@ -445,6 +522,237 @@ impl TardisIndex {
         Ok(())
     }
 
+    /// Seals one ingest batch into a new immutable **delta partition**:
+    /// the records get their own Tardis-L (leaf-clustered SeriesBlock
+    /// arena + PAA sidecar, exactly like a base partition) and Bloom
+    /// filter, written through the replicated DFS and registered in the
+    /// manifest. Queries serve base ∪ deltas by merging at the answer
+    /// layer until a compaction pass folds the deltas into the base.
+    ///
+    /// Clustered layout only.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidConfig`] for un-clustered indexes or an empty
+    /// batch; conversion and DFS errors otherwise.
+    pub fn ingest_batch(
+        &mut self,
+        cluster: &Cluster,
+        records: Vec<Record>,
+    ) -> Result<DeltaMeta, CoreError> {
+        if !self.config.clustered {
+            return Err(CoreError::InvalidConfig {
+                reason: "continuous ingest requires the clustered layout".into(),
+            });
+        }
+        if records.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                reason: "ingest batch is empty".into(),
+            });
+        }
+        let converter = *self.global.converter();
+        let entries: Vec<Entry> = records
+            .into_iter()
+            .map(|r| Ok(Entry::new(converter.sig_of(&r.ts)?, r)))
+            .collect::<Result<_, CoreError>>()?;
+        let n_records = entries.len() as u64;
+        let delta_id = self.next_delta_id;
+        let file = format!("delta-{delta_id:06}");
+        let bloom_file = format!("dbloom-{delta_id:06}");
+        let mut bloom = self
+            .config
+            .bloom_enabled
+            .then(|| BloomFilter::with_capacity(entries.len().max(16), self.config.bloom_fpp));
+        let local = TardisL::build(entries, &self.config, bloom.as_mut());
+        // Seal: entries leave the arena leaf-clustered, so reloading the
+        // delta needs neither reconversion nor sidecar recomputation.
+        cluster.dfs().delete_file(&file)?;
+        let ordered: Vec<Entry> = local.clustered_entries();
+        for chunk in ordered.chunks(PARTITION_BLOCK_RECORDS.max(1)) {
+            cluster
+                .dfs()
+                .append_block(&file, &encode_clustered_block(chunk, self.config.word_len))?;
+        }
+        if let Some(filter) = &bloom {
+            cluster.dfs().delete_file(&bloom_file)?;
+            cluster.dfs().append_block(&bloom_file, &filter.to_bytes())?;
+        }
+        let meta = DeltaMeta {
+            delta_id,
+            n_records,
+            file,
+            bloom_file,
+        };
+        self.next_delta_id += 1;
+        self.deltas.push(meta.clone());
+        self.delta_blooms
+            .push(if self.config.bloom_in_memory { bloom } else { None });
+        cluster.metrics().record_ingest(n_records);
+        cluster.metrics().record_delta_sealed();
+        cluster.metrics().set_deltas_active(self.deltas.len() as u64);
+        Ok(meta)
+    }
+
+    /// Loads delta `idx` (position in [`Self::deltas`]) from DFS and
+    /// rebuilds its local index, mirroring [`Self::load_partition`] for
+    /// the clustered layout. Deltas stay out of the hot-set detector —
+    /// they are short-lived by design.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownPartition`] (with the synthetic
+    /// [`DELTA_PID_BASE`]-offset id) or DFS/decoding errors.
+    pub fn load_delta(&self, cluster: &Cluster, idx: usize) -> Result<TardisL, CoreError> {
+        let meta = self.deltas.get(idx).ok_or(CoreError::UnknownPartition {
+            pid: DELTA_PID_BASE | idx as u32,
+        })?;
+        cluster.metrics().record_task();
+        let mut blocks = Vec::new();
+        for id in cluster.dfs().list_blocks(&meta.file)? {
+            blocks.push(cluster.dfs().read_block_shared(&id)?);
+        }
+        let views: Vec<&[u8]> = blocks.iter().map(|b| b.as_slice()).collect();
+        TardisL::from_clustered_blocks(&views, &self.config)
+    }
+
+    /// Tests the Bloom filter of delta `idx` for a signature:
+    /// `Ok(false)` means definitely absent. Reads the filter from DFS
+    /// when not memory-resident, mirroring [`Self::bloom_test`].
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownPartition`] or DFS errors.
+    pub fn delta_bloom_test(
+        &self,
+        cluster: &Cluster,
+        idx: usize,
+        sig_nibbles: &[u8],
+    ) -> Result<bool, CoreError> {
+        let meta = self.deltas.get(idx).ok_or(CoreError::UnknownPartition {
+            pid: DELTA_PID_BASE | idx as u32,
+        })?;
+        if !self.config.bloom_enabled {
+            return Ok(true);
+        }
+        if let Some(Some(filter)) = self.delta_blooms.get(idx) {
+            return Ok(filter.contains(sig_nibbles));
+        }
+        let blocks = cluster.dfs().list_blocks(&meta.bloom_file)?;
+        let bytes = cluster.dfs().read_block(&blocks[0])?;
+        let filter = BloomFilter::from_bytes(&bytes).ok_or(CoreError::Cluster(
+            tardis_cluster::ClusterError::Codec {
+                context: "bloom filter",
+            },
+        ))?;
+        Ok(filter.contains(sig_nibbles))
+    }
+
+    /// Folds every sealed delta into the base index and deletes the
+    /// retired files immediately. Correct when no concurrent reader can
+    /// hold the pre-compaction snapshot (CLI, tests); the resident
+    /// server uses [`Self::compact_deferred`] and drains old snapshot
+    /// handles before deleting.
+    ///
+    /// # Errors
+    /// Same as [`Self::compact_deferred`], plus DFS deletion errors.
+    pub fn compact(&mut self, cluster: &Cluster) -> Result<CompactionOutcome, CoreError> {
+        let outcome = self.compact_deferred(cluster)?;
+        for file in &outcome.retired_files {
+            cluster.dfs().delete_file(file)?;
+        }
+        Ok(outcome)
+    }
+
+    /// Folds every sealed delta into the base index: delta entries are
+    /// routed through the (unchanged) global index, each affected
+    /// partition is rebuilt into **new versioned files**
+    /// (`part-{pid:05}.v{N}`), and the manifest version is bumped. The
+    /// pre-compaction files are *not* touched — a reader holding the old
+    /// snapshot keeps serving from them — and come back in
+    /// [`CompactionOutcome::retired_files`] for the caller to delete
+    /// once no old-snapshot reader remains ([`Dfs::delete_file`] also
+    /// evicts the retired blocks from the cache and releases their pins).
+    ///
+    /// Rebuilds are deterministic: partitions are processed ascending,
+    /// and delta entries append after base entries in delta-id order, so
+    /// a quiesced replay of the same ingest/compaction sequence yields a
+    /// byte-identical index.
+    ///
+    /// # Errors
+    /// [`CoreError::InvalidConfig`] for un-clustered indexes; DFS and
+    /// decoding errors otherwise.
+    ///
+    /// [`Dfs::delete_file`]: tardis_cluster::Dfs::delete_file
+    pub fn compact_deferred(
+        &mut self,
+        cluster: &Cluster,
+    ) -> Result<CompactionOutcome, CoreError> {
+        if self.deltas.is_empty() {
+            return Ok(CompactionOutcome::default());
+        }
+        if !self.config.clustered {
+            return Err(CoreError::InvalidConfig {
+                reason: "compaction requires the clustered layout".into(),
+            });
+        }
+        let version = self.manifest_version + 1;
+        // Route every delta entry (ascending delta id) through the
+        // global index.
+        let mut routed: std::collections::BTreeMap<PartitionId, Vec<Entry>> =
+            std::collections::BTreeMap::new();
+        let mut folded_records = 0u64;
+        for idx in 0..self.deltas.len() {
+            let local = self.load_delta(cluster, idx)?;
+            for entry in local.clustered_entries() {
+                let pid = self.global.partition_of(&entry.sig);
+                folded_records += 1;
+                routed.entry(pid).or_default().push(entry);
+            }
+        }
+        // Rebuild each affected partition at the new version (ascending
+        // pid — BTreeMap order — for determinism).
+        let mut retired_files = Vec::new();
+        let mut partitions_rewritten = 0usize;
+        for (pid, delta_entries) in routed {
+            let old = self
+                .parts
+                .get(pid as usize)
+                .ok_or(CoreError::UnknownPartition { pid })?
+                .clone();
+            let mut entries = self.load_partition(cluster, pid)?.clustered_entries();
+            entries.extend(delta_entries);
+            let part_file = format!("part-{pid:05}.v{version}");
+            let bloom_file = format!("bloom-{pid:05}.v{version}");
+            let (meta, resident) =
+                persist_partition(cluster, &self.config, pid, entries, part_file, bloom_file)?;
+            self.parts[pid as usize] = meta;
+            self.blooms[pid as usize] = resident;
+            if cluster.dfs().file_exists(&old.file) {
+                retired_files.push(old.file);
+            }
+            if cluster.dfs().file_exists(&old.bloom_file) {
+                retired_files.push(old.bloom_file);
+            }
+            partitions_rewritten += 1;
+        }
+        let deltas_folded = self.deltas.len();
+        for delta in self.deltas.drain(..) {
+            if cluster.dfs().file_exists(&delta.file) {
+                retired_files.push(delta.file);
+            }
+            if cluster.dfs().file_exists(&delta.bloom_file) {
+                retired_files.push(delta.bloom_file);
+            }
+        }
+        self.delta_blooms.clear();
+        self.manifest_version = version;
+        cluster.metrics().record_compaction(folded_records);
+        cluster.metrics().set_deltas_active(0);
+        Ok(CompactionOutcome {
+            folded_records,
+            deltas_folded,
+            partitions_rewritten,
+            retired_files,
+        })
+    }
+
     /// Persists the index manifest (configuration, global index, and
     /// partition metadata) to the DFS file `name`, so the index can be
     /// reopened with [`Self::open`] without rebuilding. Partition data and
@@ -453,8 +761,33 @@ impl TardisIndex {
     /// # Errors
     /// Propagates DFS errors.
     pub fn save(&self, cluster: &Cluster, name: &str) -> Result<(), CoreError> {
+        let buf = self.manifest_bytes();
+        cluster.dfs().delete_file(name)?;
+        cluster.dfs().append_block(name, &buf)?;
+        Ok(())
+    }
+
+    /// [`Self::save`] via [`Dfs::replace_file`]: every replica of the
+    /// manifest block is written tmp-then-rename over the old copy, so a
+    /// concurrent reader observes either the pre- or post-swap manifest,
+    /// never a torn one. This is the swap the background compactor uses.
+    ///
+    /// # Errors
+    /// Propagates DFS errors.
+    ///
+    /// [`Dfs::replace_file`]: tardis_cluster::Dfs::replace_file
+    pub fn save_atomic(&self, cluster: &Cluster, name: &str) -> Result<(), CoreError> {
+        cluster.dfs().replace_file(name, &self.manifest_bytes())?;
+        Ok(())
+    }
+
+    /// Serializes the versioned (v2, `TDM2`-tagged) manifest.
+    fn manifest_bytes(&self) -> Vec<u8> {
         use bytes::BufMut;
         let mut buf = bytes::BytesMut::new();
+        buf.put_slice(MANIFEST_MAGIC_V2);
+        buf.put_u64_le(self.manifest_version);
+        buf.put_u64_le(self.next_delta_id);
         // Config.
         buf.put_u16_le(self.config.word_len as u16);
         buf.put_u8(self.config.initial_card_bits);
@@ -484,12 +817,18 @@ impl TardisIndex {
             buf.put_u64_le(meta.index_bytes as u64);
             buf.put_u64_le(meta.bloom_bytes as u64);
         }
+        // Deltas.
+        buf.put_u32_le(self.deltas.len() as u32);
+        for delta in &self.deltas {
+            buf.put_u64_le(delta.delta_id);
+            buf.put_u64_le(delta.n_records);
+            put_str(&mut buf, &delta.file);
+            put_str(&mut buf, &delta.bloom_file);
+        }
         // Integrity checksum over the whole manifest.
         let checksum = tardis_bloom::fnv1a_64(&buf);
         buf.put_u64_le(checksum);
-        cluster.dfs().delete_file(name)?;
-        cluster.dfs().append_block(name, &buf)?;
-        Ok(())
+        buf.to_vec()
     }
 
     /// Reopens an index previously persisted with [`Self::save`].
@@ -516,6 +855,15 @@ impl TardisIndex {
             return Err(codec_err("manifest checksum mismatch"));
         }
         let mut buf = payload;
+        // Versioned (v2) manifests are magic-prefixed; anything else is
+        // a legacy manifest from before deltas existed.
+        let v2 = buf.len() >= 4 + 8 + 8 && &buf[..4] == MANIFEST_MAGIC_V2;
+        let (manifest_version, mut next_delta_id) = if v2 {
+            buf.advance(4);
+            (buf.get_u64_le(), buf.get_u64_le())
+        } else {
+            (0, 0)
+        };
         if buf.len() < 2 + 1 + 8 + 8 + 8 + 4 + 8 + 3 + 8 {
             return Err(codec_err("manifest header"));
         }
@@ -571,9 +919,36 @@ impl TardisIndex {
                 bloom_bytes,
             });
         }
+        let mut deltas = Vec::new();
+        if v2 {
+            if buf.len() < 4 {
+                return Err(codec_err("delta table header"));
+            }
+            let n_deltas = buf.get_u32_le() as usize;
+            deltas.reserve(n_deltas);
+            for _ in 0..n_deltas {
+                if buf.len() < 16 {
+                    return Err(codec_err("delta header"));
+                }
+                let delta_id = buf.get_u64_le();
+                let n_records = buf.get_u64_le();
+                let file = get_str(&mut buf).ok_or_else(|| codec_err("delta file"))?;
+                let bloom_file = get_str(&mut buf).ok_or_else(|| codec_err("delta bloom file"))?;
+                deltas.push(DeltaMeta {
+                    delta_id,
+                    n_records,
+                    file,
+                    bloom_file,
+                });
+            }
+        }
         if !buf.is_empty() {
             return Err(codec_err("trailing manifest bytes"));
         }
+        // Never reuse a delta id, even against a manifest whose
+        // high-water mark lagged.
+        next_delta_id =
+            next_delta_id.max(deltas.iter().map(|d| d.delta_id + 1).max().unwrap_or(0));
         // Reload Bloom filters when configured resident.
         let mut blooms = Vec::with_capacity(parts.len());
         for meta in &parts {
@@ -587,11 +962,28 @@ impl TardisIndex {
                 blooms.push(None);
             }
         }
+        let mut delta_blooms = Vec::with_capacity(deltas.len());
+        for meta in &deltas {
+            if config.bloom_enabled && config.bloom_in_memory {
+                let b = cluster.dfs().list_blocks(&meta.bloom_file)?;
+                let bytes = cluster.dfs().read_block(&b[0])?;
+                let filter =
+                    BloomFilter::from_bytes(&bytes).ok_or_else(|| codec_err("delta bloom"))?;
+                delta_blooms.push(Some(filter));
+            } else {
+                delta_blooms.push(None);
+            }
+        }
+        cluster.metrics().set_deltas_active(deltas.len() as u64);
         Ok(TardisIndex {
             config,
             global,
             parts,
             blooms,
+            deltas,
+            delta_blooms,
+            next_delta_id,
+            manifest_version,
             dataset_file,
             dataset_block_records,
         })
@@ -630,7 +1022,8 @@ fn get_str(buf: &mut &[u8]) -> Option<String> {
     Some(s)
 }
 
-/// Builds, persists, and summarizes one partition.
+/// Builds, persists, and summarizes one partition under the default
+/// (version-0) file names.
 fn build_partition(
     cluster: &Cluster,
     config: &TardisConfig,
@@ -639,6 +1032,21 @@ fn build_partition(
 ) -> Result<(PartitionMeta, Option<BloomFilter>), CoreError> {
     let part_file = format!("part-{pid:05}");
     let bloom_file = format!("bloom-{pid:05}");
+    persist_partition(cluster, config, pid, entries, part_file, bloom_file)
+}
+
+/// Builds, persists, and summarizes one partition under explicit file
+/// names. Compaction rebuilds partitions into *new versioned* names
+/// (`part-{pid:05}.v{N}`) so readers of the old snapshot keep serving
+/// from the untouched old files until those are retired.
+fn persist_partition(
+    cluster: &Cluster,
+    config: &TardisConfig,
+    pid: PartitionId,
+    entries: Vec<Entry>,
+    part_file: String,
+    bloom_file: String,
+) -> Result<(PartitionMeta, Option<BloomFilter>), CoreError> {
     let n_records = entries.len() as u64;
 
     let mut bloom = config

@@ -46,7 +46,7 @@ pub use entry::{decode_clustered_block, Entry, SigEntry};
 pub use error::CoreError;
 pub use eval::{error_ratio, ground_truth_knn, recall, Neighbor};
 pub use global::{GlobalBuildBreakdown, PartitionId, TardisG};
-pub use index::{BuildReport, TardisIndex};
+pub use index::{BuildReport, CompactionOutcome, DeltaMeta, TardisIndex, DELTA_PID_BASE};
 pub use local::{BlockEntry, TardisL};
 pub use query::batch::{
     exact_knn_batch, exact_knn_batch_degraded, exact_knn_batch_naive, exact_knn_batch_profiled,

@@ -51,7 +51,7 @@
 use crate::error::CoreError;
 use crate::eval::Neighbor;
 use crate::global::PartitionId;
-use crate::index::TardisIndex;
+use crate::index::{TardisIndex, DELTA_PID_BASE};
 use crate::local::TardisL;
 use crate::query::degraded::{Completeness, Degraded, DegradedPolicy};
 use crate::query::exact::{exact_match, ExactMatchOutcome};
@@ -59,8 +59,8 @@ use crate::query::exact_knn::{
     exact_knn, exact_knn_degraded, exact_visit_partition, partition_bound_order, ExactKnnAnswer,
 };
 use crate::query::knn::{
-    knn_approximate, plan_knn, scan_primary, scan_sibling, KnnAnswer, KnnPlan, KnnStrategy,
-    PrimaryScan, RefineStats, TopK,
+    knn_approximate, plan_knn, scan_delta, scan_primary, scan_sibling, KnnAnswer, KnnPlan,
+    KnnStrategy, PrimaryScan, RefineStats, TopK,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -105,11 +105,14 @@ pub fn exact_match_batch_profiled(
     let root = tracer.root("batch-exact");
     let root_id = root.id();
 
-    // Plan: route every query and run its Bloom probe (no partition
-    // loads). Sequential, so conversion errors surface in input order.
+    // Plan: route every query and run its Bloom probes — the base
+    // partition's and every sealed delta's (no partition loads).
+    // Sequential, so conversion errors surface in input order.
     let plan_span = root.child("plan");
     let converter = index.global().converter();
+    let n_deltas = index.n_deltas();
     let mut target: Vec<Option<PartitionId>> = Vec::with_capacity(queries.len());
+    let mut delta_hits: Vec<Vec<usize>> = Vec::with_capacity(queries.len());
     let mut sigs = Vec::with_capacity(queries.len());
     for q in queries {
         let sig = converter.sig_of(q)?;
@@ -119,15 +122,29 @@ pub fn exact_match_batch_profiled(
         } else {
             target.push(Some(pid));
         }
+        let mut hits = Vec::new();
+        for idx in 0..n_deltas {
+            if !use_bloom || index.delta_bloom_test(cluster, idx, sig.nibbles())? {
+                hits.push(idx);
+            }
+        }
+        delta_hits.push(hits);
         sigs.push(sig);
     }
     plan_span.add("queries", queries.len() as u64);
     drop(plan_span);
 
-    // Invert + load each distinct partition once.
+    // Invert + load each distinct partition once; deltas demanded by at
+    // least one query load once for the whole batch.
     let by_pid = invert(target.iter().enumerate().filter_map(|(i, p)| p.map(|p| (p, i))));
     let load_span = root.child("load");
     let store = load_partitions(index, cluster, by_pid.keys().copied().collect(), &load_span)?;
+    let demanded: BTreeSet<usize> = delta_hits.iter().flatten().copied().collect();
+    let mut delta_store: HashMap<usize, Arc<TardisL>> = HashMap::new();
+    for idx in demanded {
+        delta_store.insert(idx, Arc::new(index.load_delta(cluster, idx)?));
+    }
+    load_span.add("deltas", delta_store.len() as u64);
     drop(load_span);
 
     // Scan: one task per partition serves every query routed to it.
@@ -161,38 +178,46 @@ pub fn exact_match_batch_profiled(
     let mut outcomes = Vec::with_capacity(queries.len());
     let mut profiles = Vec::with_capacity(queries.len());
     for (i, pid) in target.iter().enumerate() {
-        match pid {
-            None => {
-                outcomes.push(ExactMatchOutcome {
-                    matches: Vec::new(),
-                    bloom_rejected: true,
-                    partitions_loaded: 0,
-                });
-                profiles.push(QueryProfile {
-                    bloom_rejected: 1,
-                    ..QueryProfile::default()
-                });
-            }
-            Some(pid) => {
-                let matches = matched[i].take().expect("scanned");
-                profiles.push(QueryProfile {
-                    partitions_loaded: 1,
-                    partition_ids: vec![*pid as u64],
-                    candidates_refined: matches.len() as u64,
-                    ..QueryProfile::default()
-                });
-                outcomes.push(ExactMatchOutcome {
-                    matches,
-                    bloom_rejected: false,
-                    partitions_loaded: 1,
-                });
-            }
+        if pid.is_none() && delta_hits[i].is_empty() {
+            outcomes.push(ExactMatchOutcome {
+                matches: Vec::new(),
+                bloom_rejected: true,
+                partitions_loaded: 0,
+            });
+            profiles.push(QueryProfile {
+                bloom_rejected: 1,
+                ..QueryProfile::default()
+            });
+            continue;
         }
+        let mut matches = match pid {
+            Some(_) => matched[i].take().expect("scanned"),
+            None => Vec::new(),
+        };
+        let mut partition_ids: Vec<u64> = pid.iter().map(|&p| p as u64).collect();
+        for &idx in &delta_hits[i] {
+            matches.extend(delta_store[&idx].lookup_exact(&sigs[i], &queries[i]));
+            partition_ids.push((DELTA_PID_BASE | idx as u32) as u64);
+        }
+        matches.sort_unstable();
+        matches.dedup();
+        let loaded = pid.is_some() as usize + delta_hits[i].len();
+        profiles.push(QueryProfile {
+            partitions_loaded: loaded,
+            partition_ids,
+            candidates_refined: matches.len() as u64,
+            ..QueryProfile::default()
+        });
+        outcomes.push(ExactMatchOutcome {
+            matches,
+            bloom_rejected: false,
+            partitions_loaded: loaded,
+        });
     }
     drop(merge_span);
     drop(root);
 
-    let batch = finish_batch(profiles, store.len(), root_id, tracer);
+    let batch = finish_batch(profiles, store.len() + delta_store.len(), root_id, tracer);
     Ok((outcomes, batch))
 }
 
@@ -235,10 +260,12 @@ pub fn exact_match_batch_degraded(
     use_bloom: bool,
     policy: DegradedPolicy,
 ) -> Result<Degraded<Vec<ExactMatchOutcome>>, CoreError> {
-    // Plan: route every query and run its Bloom probe (Blooms are
+    // Plan: route every query and run its Bloom probes (Blooms are
     // memory-resident, so probing needs no partition I/O).
     let converter = index.global().converter();
+    let n_deltas = index.n_deltas();
     let mut target: Vec<Option<PartitionId>> = Vec::with_capacity(queries.len());
+    let mut delta_hits: Vec<Vec<usize>> = Vec::with_capacity(queries.len());
     let mut sigs = Vec::with_capacity(queries.len());
     for q in queries {
         let sig = converter.sig_of(q)?;
@@ -248,12 +275,32 @@ pub fn exact_match_batch_degraded(
         } else {
             target.push(Some(pid));
         }
+        let mut hits = Vec::new();
+        for idx in 0..n_deltas {
+            if !use_bloom || index.delta_bloom_test(cluster, idx, sig.nibbles())? {
+                hits.push(idx);
+            }
+        }
+        delta_hits.push(hits);
         sigs.push(sig);
     }
 
     let by_pid = invert(target.iter().enumerate().filter_map(|(i, p)| p.map(|p| (p, i))));
-    let (store, skipped) =
+    let (store, mut skipped) =
         load_partitions_degraded(index, cluster, by_pid.keys().copied().collect(), policy)?;
+
+    // Deltas demanded by at least one query load once; a delta with no
+    // readable replicas joins the skip list under its synthetic marker.
+    let demanded: BTreeSet<usize> = delta_hits.iter().flatten().copied().collect();
+    let mut delta_store: HashMap<usize, Arc<TardisL>> = HashMap::new();
+    for idx in demanded {
+        match index.load_delta_degraded(cluster, idx, policy)? {
+            Some(local) => {
+                delta_store.insert(idx, Arc::new(local));
+            }
+            None => skipped.push(DELTA_PID_BASE | idx as u32),
+        }
+    }
 
     // Scan only the partitions that loaded.
     let groups: Vec<(PartitionId, Vec<usize>)> = by_pid
@@ -284,28 +331,37 @@ pub fn exact_match_batch_degraded(
     }
     let mut outcomes = Vec::with_capacity(queries.len());
     for (i, pid) in target.iter().enumerate() {
-        outcomes.push(match pid {
-            None => ExactMatchOutcome {
+        if pid.is_none() && delta_hits[i].is_empty() {
+            outcomes.push(ExactMatchOutcome {
                 matches: Vec::new(),
                 bloom_rejected: true,
                 partitions_loaded: 0,
-            },
-            Some(pid) if skipped_set.contains(pid) => ExactMatchOutcome {
-                matches: Vec::new(),
-                bloom_rejected: false,
-                partitions_loaded: 0,
-            },
-            Some(_) => ExactMatchOutcome {
-                matches: matched[i].take().expect("scanned"),
-                bloom_rejected: false,
-                partitions_loaded: 1,
-            },
+            });
+            continue;
+        }
+        let mut matches = match pid {
+            Some(pid) if !skipped_set.contains(pid) => matched[i].take().expect("scanned"),
+            _ => Vec::new(),
+        };
+        let mut loaded = matches!(pid, Some(pid) if !skipped_set.contains(pid)) as usize;
+        for &idx in &delta_hits[i] {
+            if let Some(local) = delta_store.get(&idx) {
+                matches.extend(local.lookup_exact(&sigs[i], &queries[i]));
+                loaded += 1;
+            }
+        }
+        matches.sort_unstable();
+        matches.dedup();
+        outcomes.push(ExactMatchOutcome {
+            matches,
+            bloom_rejected: false,
+            partitions_loaded: loaded,
         });
     }
     let exact = skipped.is_empty();
     Ok(Degraded {
         answer: outcomes,
-        completeness: Completeness::from_parts(store.len(), skipped, exact),
+        completeness: Completeness::from_parts(store.len() + delta_store.len(), skipped, exact),
     })
 }
 
@@ -357,7 +413,7 @@ pub fn knn_batch_profiled(
     }
     let out = knn_batch_impl(index, cluster, queries, k, strategy, &root)?;
     drop(root);
-    let physical = out.store.len();
+    let physical = out.store.len() + out.deltas.len();
     let batch = finish_batch(out.profiles, physical, root_id, tracer);
     Ok((out.answers, batch))
 }
@@ -420,8 +476,18 @@ pub fn knn_batch_degraded(
         .iter()
         .flat_map(|p| std::iter::once(p.primary).chain(p.siblings.iter().copied()))
         .collect();
-    let (store, skipped) =
+    let (store, mut skipped) =
         load_partitions_degraded(index, cluster, pids.into_iter().collect(), policy)?;
+
+    // Sealed deltas load once for the batch; an unreadable delta joins
+    // the skip list under its synthetic marker.
+    let mut delta_locals: Vec<(usize, Arc<TardisL>)> = Vec::new();
+    for idx in 0..index.n_deltas() {
+        match index.load_delta_degraded(cluster, idx, policy)? {
+            Some(local) => delta_locals.push((idx, Arc::new(local))),
+            None => skipped.push(DELTA_PID_BASE | idx as u32),
+        }
+    }
 
     let span = Span::noop();
 
@@ -515,6 +581,19 @@ pub fn knn_batch_degraded(
                 heap.push(d, rid);
             }
         }
+        for (idx, local) in &delta_locals {
+            stats += scan_delta(
+                local.as_ref(),
+                &queries[i],
+                plan,
+                k,
+                strategy,
+                &mut heap,
+                Some(cluster.pool()),
+                &span,
+            )?;
+            loaded_pids.push(DELTA_PID_BASE | *idx as u32);
+        }
         loaded_pids.sort_unstable();
         answers.push(KnnAnswer {
             neighbors: heap
@@ -530,7 +609,7 @@ pub fn knn_batch_degraded(
     let exact = skipped.is_empty();
     Ok(Degraded {
         answer: answers,
-        completeness: Completeness::from_parts(store.len(), skipped, exact),
+        completeness: Completeness::from_parts(store.len() + delta_locals.len(), skipped, exact),
     })
 }
 
@@ -542,6 +621,9 @@ pub(crate) struct KnnBatchOutput {
     pub(crate) profiles: Vec<QueryProfile>,
     pub(crate) plans: Vec<KnnPlan>,
     pub(crate) store: HashMap<PartitionId, Arc<TardisL>>,
+    /// Every sealed delta, deserialized once for the batch (ascending
+    /// delta order).
+    pub(crate) deltas: Vec<Arc<TardisL>>,
 }
 
 /// The shared-scan kNN pipeline: plan → invert → load → scan (primary
@@ -570,6 +652,12 @@ pub(crate) fn knn_batch_impl(
         .collect();
     let load_span = root.child("load");
     let store = load_partitions(index, cluster, pids.into_iter().collect(), &load_span)?;
+    // Every query scans every sealed delta, so each delta deserializes
+    // once for the whole batch.
+    let deltas: Vec<Arc<TardisL>> = (0..index.n_deltas())
+        .map(|idx| Ok(Arc::new(index.load_delta(cluster, idx)?)))
+        .collect::<Result<_, CoreError>>()?;
+    load_span.add("deltas", deltas.len() as u64);
     drop(load_span);
 
     let scan_span = root.child("scan");
@@ -669,6 +757,21 @@ pub(crate) fn knn_batch_impl(
                 heap.push(d, rid);
             }
         }
+        // Sealed deltas fold in after the siblings, ascending — the same
+        // heap-push order `knn_impl` uses, so tie-breaking is identical.
+        for (idx, local) in deltas.iter().enumerate() {
+            stats += scan_delta(
+                local.as_ref(),
+                &queries[i],
+                plan,
+                k,
+                strategy,
+                &mut heap,
+                Some(cluster.pool()),
+                &merge_span,
+            )?;
+            loaded_pids.push(DELTA_PID_BASE | idx as u32);
+        }
         loaded_pids.sort_unstable();
         profiles.push(QueryProfile {
             partitions_loaded: loaded_pids.len(),
@@ -698,6 +801,7 @@ pub(crate) fn knn_batch_impl(
         profiles,
         plans,
         store,
+        deltas,
     })
 }
 
@@ -844,6 +948,32 @@ pub fn exact_knn_batch_profiled(
                     lanes_pruned_paa += visit.paa_pruned;
                     refine_block_candidates += visit.block;
                 }
+                // Sealed deltas are always visited (no global lower
+                // bound), ascending — same order and accounting as the
+                // sequential path, reusing the seed phase's locals.
+                for (idx, local) in seed.deltas.iter().enumerate() {
+                    let load_span = q_span.child("load");
+                    load_span.add("partitions_loaded", 1);
+                    drop(load_span);
+                    loaded += 1;
+                    visited_pids.push(DELTA_PID_BASE | idx as u32);
+                    let visit = exact_visit_partition(
+                        local.as_ref(),
+                        query,
+                        &plan.paa,
+                        plan.n,
+                        k,
+                        &mut kth,
+                        &mut pool,
+                        None,
+                        &q_span,
+                    )?;
+                    candidates_pruned += visit.pruned;
+                    candidates_refined += visit.refined;
+                    candidates_abandoned += visit.abandoned;
+                    lanes_pruned_paa += visit.paa_pruned;
+                    refine_block_candidates += visit.block;
+                }
                 pool.sort_by(|a, b| {
                     a.distance
                         .partial_cmp(&b.distance)
@@ -883,7 +1013,7 @@ pub fn exact_knn_batch_profiled(
     drop(visit_span);
     drop(root);
 
-    let physical = shared.physical_loads();
+    let physical = shared.physical_loads() + seed.deltas.len();
     let mut answers = Vec::with_capacity(queries.len());
     let mut profiles = Vec::with_capacity(queries.len());
     for (answer, profile) in results {

@@ -148,6 +148,57 @@ impl TardisIndex {
             Err(e) => Err(e),
         }
     }
+
+    /// Loads sealed delta `idx` under a degraded-serving policy,
+    /// mirroring [`Self::load_partition_degraded`]. Deltas share the
+    /// base partitions' quarantine machinery under the synthetic id
+    /// `DELTA_PID_BASE | idx`, so a dead delta is skipped (or fails
+    /// fast) without colliding with any base partition's health
+    /// accounting.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownPartition`], [`CoreError::PartitionUnavailable`]
+    /// (fail-fast), or the underlying load error.
+    ///
+    /// [`DELTA_PID_BASE`]: crate::index::DELTA_PID_BASE
+    pub fn load_delta_degraded(
+        &self,
+        cluster: &Cluster,
+        idx: usize,
+        policy: DegradedPolicy,
+    ) -> Result<Option<TardisL>, CoreError> {
+        use crate::index::DELTA_PID_BASE;
+        use tardis_cluster::MaybeTransient;
+        let marker = DELTA_PID_BASE | idx as u32;
+        if self.deltas().get(idx).is_none() {
+            return Err(CoreError::UnknownPartition { pid: marker });
+        }
+        let metrics = cluster.metrics();
+        if !metrics.partition_available(marker) {
+            return match policy {
+                DegradedPolicy::FailFast => Err(CoreError::PartitionUnavailable { pid: marker }),
+                DegradedPolicy::BestEffort => {
+                    metrics.record_partition_skipped();
+                    Ok(None)
+                }
+            };
+        }
+        match self.load_delta(cluster, idx) {
+            Ok(local) => Ok(Some(local)),
+            Err(e @ CoreError::Cluster(_)) if !e.is_transient() => {
+                metrics.record_partition_failure(marker);
+                metrics.mark_partition_unavailable(marker);
+                match policy {
+                    DegradedPolicy::FailFast => Err(e),
+                    DegradedPolicy::BestEffort => {
+                        metrics.record_partition_skipped();
+                        Ok(None)
+                    }
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 
 use crate::error::CoreError;
 use crate::index::TardisIndex;
+use crate::local::TardisL;
 use crate::query::degraded::{Completeness, Degraded, DegradedPolicy};
 use tardis_cluster::{Cluster, QueryProfile, Tracer};
 use tardis_ts::{RecordId, TimeSeries};
@@ -18,11 +19,15 @@ use tardis_ts::{RecordId, TimeSeries};
 /// What an exact-match query did and found.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExactMatchOutcome {
-    /// Record ids whose series equal the query exactly (empty = absent).
+    /// Record ids whose series equal the query exactly (empty = absent),
+    /// ascending and deduplicated — the canonical order, identical
+    /// whether matches came from the base, a sealed delta, or both.
     pub matches: Vec<RecordId>,
-    /// Whether the Bloom filter short-circuited the query.
+    /// Whether the Bloom filters short-circuited the query (base *and*
+    /// every sealed delta rejected it).
     pub bloom_rejected: bool,
-    /// Partitions loaded from the DFS (0 or 1 for exact match).
+    /// Partitions loaded from the DFS (base partition plus any sealed
+    /// deltas whose filter admitted the signature).
     pub partitions_loaded: usize,
 }
 
@@ -105,9 +110,17 @@ pub fn exact_match_profiled(
     let pid = index.global().partition_of(&sig);
     drop(route_span);
 
-    // Step 3: Bloom test — prunes the partition load on a negative.
+    // Step 3: Bloom tests — the base partition and every sealed delta.
+    // A query absent everywhere terminates with zero loads.
     let prune_span = root.child("prune");
-    if use_bloom && !index.bloom_test(cluster, pid, sig.nibbles())? {
+    let base_positive = !use_bloom || index.bloom_test(cluster, pid, sig.nibbles())?;
+    let mut delta_hits: Vec<usize> = Vec::new();
+    for idx in 0..index.n_deltas() {
+        if !use_bloom || index.delta_bloom_test(cluster, idx, sig.nibbles())? {
+            delta_hits.push(idx);
+        }
+    }
+    if !base_positive && delta_hits.is_empty() {
         prune_span.add("bloom_rejected", 1);
         drop(prune_span);
         return finish(
@@ -125,26 +138,54 @@ pub fn exact_match_profiled(
     }
     drop(prune_span);
 
-    // Step 4: load the partition and look up the leaf.
+    // Step 4: load the base partition and admitted deltas, look up the
+    // leaf in each, and merge at the answer layer (canonical order:
+    // ascending rid, deduplicated).
     let load_span = root.child("load");
-    let local = index.load_partition(cluster, pid)?;
-    load_span.add("partitions_loaded", 1);
+    let base_local = if base_positive {
+        Some(index.load_partition(cluster, pid)?)
+    } else {
+        None
+    };
+    let delta_locals: Vec<TardisL> = delta_hits
+        .iter()
+        .map(|&idx| index.load_delta(cluster, idx))
+        .collect::<Result<_, CoreError>>()?;
+    let loaded = usize::from(base_local.is_some()) + delta_locals.len();
+    load_span.add("partitions_loaded", loaded as u64);
     drop(load_span);
     let refine_span = root.child("refine");
-    let matches = local.lookup_exact(&sig, query);
+    let mut matches = Vec::new();
+    if let Some(local) = &base_local {
+        matches.extend(local.lookup_exact(&sig, query));
+    }
+    for local in &delta_locals {
+        matches.extend(local.lookup_exact(&sig, query));
+    }
+    matches.sort_unstable();
+    matches.dedup();
     refine_span.add("candidates_refined", matches.len() as u64);
     drop(refine_span);
     let n_matches = matches.len() as u64;
+    let mut partition_ids: Vec<u64> = Vec::new();
+    if base_local.is_some() {
+        partition_ids.push(pid as u64);
+    }
+    partition_ids.extend(
+        delta_hits
+            .iter()
+            .map(|&idx| (crate::index::DELTA_PID_BASE | idx as u32) as u64),
+    );
     finish(
         root,
         ExactMatchOutcome {
             matches,
             bloom_rejected: false,
-            partitions_loaded: 1,
+            partitions_loaded: loaded,
         },
         QueryProfile {
-            partitions_loaded: 1,
-            partition_ids: vec![pid as u64],
+            partitions_loaded: loaded,
+            partition_ids,
             candidates_refined: n_matches,
             ..QueryProfile::default()
         },
@@ -185,10 +226,18 @@ pub fn exact_match_degraded_profiled(
     use_bloom: bool,
     policy: DegradedPolicy,
 ) -> Result<(Degraded<ExactMatchOutcome>, QueryProfile), CoreError> {
+    use crate::index::DELTA_PID_BASE;
     let converter = index.global().converter();
     let sig = converter.sig_of(query)?;
     let pid = index.global().partition_of(&sig);
-    if use_bloom && !index.bloom_test(cluster, pid, sig.nibbles())? {
+    let base_positive = !use_bloom || index.bloom_test(cluster, pid, sig.nibbles())?;
+    let mut delta_hits: Vec<usize> = Vec::new();
+    for idx in 0..index.n_deltas() {
+        if !use_bloom || index.delta_bloom_test(cluster, idx, sig.nibbles())? {
+            delta_hits.push(idx);
+        }
+    }
+    if !base_positive && delta_hits.is_empty() {
         return Ok((
             Degraded {
                 answer: ExactMatchOutcome {
@@ -204,42 +253,53 @@ pub fn exact_match_degraded_profiled(
             },
         ));
     }
-    match index.load_partition_degraded(cluster, pid, policy)? {
-        Some(local) => {
-            let matches = local.lookup_exact(&sig, query);
-            let n_matches = matches.len() as u64;
-            Ok((
-                Degraded {
-                    answer: ExactMatchOutcome {
-                        matches,
-                        bloom_rejected: false,
-                        partitions_loaded: 1,
-                    },
-                    completeness: Completeness::complete(1),
-                },
-                QueryProfile {
-                    partitions_loaded: 1,
-                    partition_ids: vec![pid as u64],
-                    candidates_refined: n_matches,
-                    ..QueryProfile::default()
-                },
-            ))
+    let mut matches = Vec::new();
+    let mut partition_ids: Vec<u64> = Vec::new();
+    let mut skipped: Vec<u32> = Vec::new();
+    let mut loaded = 0usize;
+    if base_positive {
+        match index.load_partition_degraded(cluster, pid, policy)? {
+            Some(local) => {
+                matches.extend(local.lookup_exact(&sig, query));
+                partition_ids.push(pid as u64);
+                loaded += 1;
+            }
+            None => skipped.push(pid),
         }
-        None => Ok((
-            Degraded {
-                answer: ExactMatchOutcome {
-                    matches: Vec::new(),
-                    bloom_rejected: false,
-                    partitions_loaded: 0,
-                },
-                completeness: Completeness::from_parts(0, vec![pid], false),
-            },
-            QueryProfile {
-                partitions_skipped: 1,
-                ..QueryProfile::default()
-            },
-        )),
     }
+    for &idx in &delta_hits {
+        let marker = DELTA_PID_BASE | idx as u32;
+        match index.load_delta_degraded(cluster, idx, policy)? {
+            Some(local) => {
+                matches.extend(local.lookup_exact(&sig, query));
+                partition_ids.push(marker as u64);
+                loaded += 1;
+            }
+            None => skipped.push(marker),
+        }
+    }
+    matches.sort_unstable();
+    matches.dedup();
+    let n_matches = matches.len() as u64;
+    let exact = skipped.is_empty();
+    let n_skipped = skipped.len() as u64;
+    Ok((
+        Degraded {
+            answer: ExactMatchOutcome {
+                matches,
+                bloom_rejected: false,
+                partitions_loaded: loaded,
+            },
+            completeness: Completeness::from_parts(loaded, skipped, exact),
+        },
+        QueryProfile {
+            partitions_loaded: loaded,
+            partition_ids,
+            candidates_refined: n_matches,
+            partitions_skipped: n_skipped,
+            ..QueryProfile::default()
+        },
+    ))
 }
 
 #[cfg(test)]

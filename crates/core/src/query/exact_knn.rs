@@ -160,6 +160,35 @@ pub fn exact_knn_profiled(
         refine_block_candidates += visit.block;
     }
 
+    // Step 4: sealed deltas are always visited, in ascending delta
+    // order — they carry no global lower bound, and exactness requires
+    // every ingested record be considered. The prune-scan inside the
+    // visit still eliminates most candidates against the current k-th.
+    for idx in 0..index.n_deltas() {
+        let load_span = root.child("load");
+        let local = index.load_delta(cluster, idx)?;
+        load_span.add("partitions_loaded", 1);
+        drop(load_span);
+        loaded += 1;
+        visited_pids.push(crate::index::DELTA_PID_BASE | idx as u32);
+        let visit = exact_visit_partition(
+            &local,
+            query,
+            &paa,
+            n,
+            k,
+            &mut kth,
+            &mut pool,
+            Some(cluster.pool()),
+            &root,
+        )?;
+        candidates_pruned += visit.pruned;
+        candidates_refined += visit.refined;
+        candidates_abandoned += visit.abandoned;
+        lanes_pruned_paa += visit.paa_pruned;
+        refine_block_candidates += visit.block;
+    }
+
     pool.sort_by(|a, b| {
         a.distance
             .partial_cmp(&b.distance)
@@ -306,6 +335,34 @@ pub fn exact_knn_degraded(
             }
             None => {
                 skipped.push(pid);
+                exact = false;
+            }
+        }
+    }
+
+    // Sealed deltas: always pruned-in (no global lower bound exists for
+    // them), so a skipped delta breaks exactness just like a skipped
+    // pruned-in base partition.
+    for idx in 0..index.n_deltas() {
+        let marker = crate::index::DELTA_PID_BASE | idx as u32;
+        match index.load_delta_degraded(cluster, idx, policy)? {
+            Some(local) => {
+                loaded += 1;
+                visited_ops += 1;
+                exact_visit_partition(
+                    &local,
+                    query,
+                    &paa,
+                    n,
+                    k,
+                    &mut kth,
+                    &mut pool,
+                    Some(cluster.pool()),
+                    &span,
+                )?;
+            }
+            None => {
+                skipped.push(marker);
                 exact = false;
             }
         }

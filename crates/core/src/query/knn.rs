@@ -191,6 +191,29 @@ pub(crate) fn knn_impl(
         }
     }
 
+    // Step 5: sealed deltas, merged at the answer layer. Deltas are
+    // scanned sequentially in ascending delta order so the heap's push
+    // sequence — and therefore every tie-break — is deterministic.
+    for idx in 0..index.n_deltas() {
+        let delta_span = root.child("delta");
+        delta_span.add("delta", idx as u64);
+        let load_span = delta_span.child("load");
+        let local = index.load_delta(cluster, idx)?;
+        load_span.add("partitions_loaded", 1);
+        drop(load_span);
+        stats += scan_delta(
+            &local,
+            query,
+            &plan,
+            k,
+            strategy,
+            &mut heap,
+            Some(cluster.pool()),
+            &delta_span,
+        )?;
+        loaded_pids.push(crate::index::DELTA_PID_BASE | idx as u32);
+    }
+
     loaded_pids.sort_unstable();
     let profile = QueryProfile {
         partitions_loaded: loaded_pids.len(),
@@ -215,6 +238,47 @@ pub(crate) fn knn_impl(
         },
         profile,
     ))
+}
+
+/// Per-delta kernel: applies the query's strategy to one sealed delta,
+/// pushing survivors straight into the shared heap. Target Node Access
+/// refines the delta's own target node (full-resolution distances, like
+/// the primary's); the pruning strategies prune-scan the delta with the
+/// heap's current k-th distance — sequential delta order keeps the
+/// threshold evolution deterministic.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scan_delta(
+    local: &TardisL,
+    query: &TimeSeries,
+    plan: &KnnPlan,
+    k: usize,
+    strategy: KnnStrategy,
+    heap: &mut TopK,
+    pool: Option<&WorkerPool>,
+    parent: &Span,
+) -> Result<RefineStats, CoreError> {
+    if strategy == KnnStrategy::TargetNode {
+        let refine_span = parent.child("refine");
+        let mut stats = RefineStats::default();
+        let target = local.target_node(&plan.sig, k);
+        let block = local.block();
+        for idx in local.candidates_under(target) {
+            let row = block.series(idx as usize);
+            if row.len() != query.len() {
+                stats.abandoned += 1;
+                stats.block += 1;
+                continue;
+            }
+            let d = squared_euclidean_lanes(query.values(), row);
+            heap.push(d, block.rid(idx as usize));
+            stats.refined += 1;
+            stats.block += 1;
+        }
+        refine_span.add("candidates_refined", stats.refined as u64);
+        return Ok(stats);
+    }
+    let threshold = heap.kth_distance().sqrt();
+    refine_partition(local, query, &plan.paa, plan.n, threshold, heap, pool, parent)
 }
 
 /// Runs one kNN-approximate query under a degraded-serving
@@ -313,6 +377,28 @@ pub fn knn_approximate_degraded_profiled(
                 }
                 None => skipped.push(sib),
             }
+        }
+    }
+    // Sealed deltas, merged sequentially like the fail-fast path; a
+    // delta with no readable replicas is skipped under the synthetic
+    // `DELTA_PID_BASE | idx` marker.
+    for idx in 0..index.n_deltas() {
+        let marker = crate::index::DELTA_PID_BASE | idx as u32;
+        match index.load_delta_degraded(cluster, idx, policy)? {
+            Some(local) => {
+                stats += scan_delta(
+                    &local,
+                    query,
+                    &plan,
+                    k,
+                    strategy,
+                    &mut heap,
+                    Some(cluster.pool()),
+                    &span,
+                )?;
+                loaded_pids.push(marker);
+            }
+            None => skipped.push(marker),
         }
     }
     loaded_pids.sort_unstable();

@@ -66,10 +66,18 @@ pub fn range_query(
         let local = index.load_partition(cluster, pid)?;
         scan_partition_range(&local, query, &paa, n, epsilon)
     });
+    // Sealed deltas have no global-leaf bound and are small: scan every
+    // one and merge at the answer layer (the final sort makes the order
+    // canonical regardless of which store a match came from).
+    let delta_idxs: Vec<usize> = (0..index.n_deltas()).collect();
+    let delta_scans: Vec<PartScan> = cluster.pool().par_map(delta_idxs, |idx| {
+        let local = index.load_delta(cluster, idx)?;
+        scan_partition_range(&local, query, &paa, n, epsilon)
+    });
 
     let mut matches = Vec::new();
     let mut refined = 0usize;
-    for scan in scans {
+    for scan in scans.into_iter().chain(delta_scans) {
         let (found, r) = scan?;
         matches.extend(found);
         refined += r;
@@ -77,7 +85,7 @@ pub fn range_query(
     sort_range_matches(&mut matches);
     Ok(RangeAnswer {
         matches,
-        partitions_loaded: qualifying.len(),
+        partitions_loaded: qualifying.len() + index.n_deltas(),
         partitions_pruned: pruned,
         candidates_refined: refined,
     })
@@ -123,11 +131,18 @@ pub fn range_query_degraded(
             None => Ok(None),
         }
     });
+    let delta_idxs: Vec<usize> = (0..index.n_deltas()).collect();
+    let delta_scans: Vec<PartScan> = cluster.pool().par_map(delta_idxs.clone(), |idx| {
+        match index.load_delta_degraded(cluster, idx, policy)? {
+            Some(local) => scan_partition_range(&local, query, &paa, n, epsilon).map(Some),
+            None => Ok(None),
+        }
+    });
 
     let mut matches = Vec::new();
     let mut refined = 0usize;
     let mut skipped: Vec<u32> = Vec::new();
-    // `par_map` preserves input order, so the zip is exact.
+    // `par_map` preserves input order, so the zips are exact.
     for (&pid, scan) in qualifying.iter().zip(scans) {
         match scan? {
             Some((found, r)) => {
@@ -137,8 +152,17 @@ pub fn range_query_degraded(
             None => skipped.push(pid),
         }
     }
+    for (&idx, scan) in delta_idxs.iter().zip(delta_scans) {
+        match scan? {
+            Some((found, r)) => {
+                matches.extend(found);
+                refined += r;
+            }
+            None => skipped.push(crate::index::DELTA_PID_BASE | idx as u32),
+        }
+    }
     sort_range_matches(&mut matches);
-    let visited = qualifying.len() - skipped.len();
+    let visited = qualifying.len() + delta_idxs.len() - skipped.len();
     let exact = skipped.is_empty();
     Ok(Degraded {
         answer: RangeAnswer {

@@ -1,0 +1,160 @@
+//! Compaction cache-coherence: compaction retires the pre-compaction
+//! partition and delta files, and deleting a retired file must both
+//! evict its blocks from the shared [`BlockCache`] and release any pins
+//! still held on it — a leaked pin would exempt dead blocks from the
+//! cache budget forever. Also pins the invariant that the shared-scan
+//! batch engines leave zero pins behind when serving base ∪ deltas.
+//!
+//! [`BlockCache`]: tardis_cluster::BlockCache
+
+use std::time::Duration;
+use tardis_cluster::{encode_records, Cluster, ClusterConfig, DfsConfig};
+use tardis_core::{
+    exact_knn_batch, exact_match, exact_match_batch, knn_batch, range_query, KnnStrategy,
+    TardisConfig, TardisIndex,
+};
+use tardis_ts::{Record, TimeSeries};
+
+fn series(rid: u64) -> TimeSeries {
+    let mut x = rid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut acc = 0.0f32;
+    let mut v = Vec::with_capacity(64);
+    for _ in 0..64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc += ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+        v.push(acc);
+    }
+    tardis_ts::z_normalize_in_place(&mut v);
+    TimeSeries::new(v)
+}
+
+fn setup(n: u64) -> (Cluster, TardisIndex) {
+    let cluster = Cluster::new(ClusterConfig {
+        n_workers: 4,
+        dfs: DfsConfig {
+            cache_bytes: 64 << 20,
+            read_latency: Duration::ZERO,
+            ..DfsConfig::default()
+        },
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let blocks: Vec<Vec<u8>> = (0..n)
+        .collect::<Vec<u64>>()
+        .chunks(100)
+        .map(|chunk| {
+            encode_records(
+                &chunk
+                    .iter()
+                    .map(|&rid| Record::new(rid, series(rid)))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    cluster.dfs().write_blocks("data", blocks).unwrap();
+    let config = TardisConfig {
+        g_max_size: 300,
+        l_max_size: 50,
+        sampling_fraction: 0.5,
+        ..TardisConfig::default()
+    };
+    let (index, _) = TardisIndex::build(&cluster, "data", &config).unwrap();
+    (cluster, index)
+}
+
+fn records(range: std::ops::Range<u64>) -> Vec<Record> {
+    range.map(|rid| Record::new(rid, series(rid))).collect()
+}
+
+#[test]
+fn compaction_evicts_retired_blocks_and_releases_pins() {
+    let (cluster, mut index) = setup(700);
+    index.ingest_batch(&cluster, records(10_000..10_040)).unwrap();
+    index.ingest_batch(&cluster, records(10_040..10_070)).unwrap();
+
+    // Warm the cache through real query traffic over base ∪ deltas,
+    // including the pin-using batch engines.
+    let queries: Vec<TimeSeries> = [5u64, 333, 699, 10_000, 10_069]
+        .iter()
+        .map(|&rid| series(rid))
+        .collect();
+    exact_match_batch(&index, &cluster, &queries, true).unwrap();
+    knn_batch(&index, &cluster, &queries, 5, KnnStrategy::MultiPartition).unwrap();
+    exact_knn_batch(&index, &cluster, &queries, 5).unwrap();
+    for q in &queries {
+        range_query(&index, &cluster, q, 2.0).unwrap();
+    }
+    assert_eq!(
+        cluster.dfs().total_pins(),
+        0,
+        "batch engines leaked pins over base ∪ deltas"
+    );
+    let warm_bytes = cluster.dfs().cache_used_bytes();
+    assert!(warm_bytes > 0, "query traffic did not populate the cache");
+
+    // Compact with deferred deletion so the retired set is observable.
+    let outcome = index.compact_deferred(&cluster).unwrap();
+    assert!(!outcome.retired_files.is_empty());
+    assert_eq!(outcome.deltas_folded, 2);
+
+    // Simulate a straggling reader still pinning a retired file: the
+    // delete must evict the blocks AND drop the pin, not strand it.
+    cluster.dfs().pin_file(&outcome.retired_files[0]);
+    assert_eq!(cluster.dfs().total_pins(), 1);
+    for file in &outcome.retired_files {
+        cluster.dfs().delete_file(file).unwrap();
+    }
+    assert_eq!(
+        cluster.dfs().total_pins(),
+        0,
+        "deleting a retired file must release its pins"
+    );
+    let after_bytes = cluster.dfs().cache_used_bytes();
+    assert!(
+        after_bytes < warm_bytes,
+        "retired blocks were not evicted ({after_bytes} >= {warm_bytes} bytes cached)"
+    );
+
+    // The post-compaction index answers from the new versioned files.
+    for rid in [5u64, 699, 10_000, 10_069] {
+        let out = exact_match(&index, &cluster, &series(rid), true).unwrap();
+        assert_eq!(out.matches, vec![rid], "rid {rid} lost after compaction");
+    }
+    exact_match_batch(&index, &cluster, &queries, true).unwrap();
+    knn_batch(&index, &cluster, &queries, 5, KnnStrategy::MultiPartition).unwrap();
+    assert_eq!(cluster.dfs().total_pins(), 0, "post-compaction batch leaked pins");
+}
+
+#[test]
+fn repeated_ingest_compact_cycles_do_not_leak_cache() {
+    let (cluster, mut index) = setup(400);
+    let mut next = 20_000u64;
+    let mut peak = 0usize;
+    for cycle in 0..4 {
+        index.ingest_batch(&cluster, records(next..next + 30)).unwrap();
+        next += 30;
+        let q = series(next - 1);
+        exact_match(&index, &cluster, &q, true).unwrap();
+        index.compact(&cluster).unwrap();
+        assert_eq!(index.n_deltas(), 0);
+        assert_eq!(cluster.dfs().total_pins(), 0, "cycle {cycle} leaked pins");
+        // Steady state: the cache holds one generation of files, so its
+        // footprint must plateau instead of growing with every cycle.
+        let used = cluster.dfs().cache_used_bytes();
+        if cycle == 1 {
+            peak = used;
+        } else if cycle > 1 {
+            assert!(
+                used <= peak.saturating_mul(2),
+                "cache grows across cycles: {used} bytes after cycle {cycle}, {peak} at cycle 1"
+            );
+        }
+    }
+    // Everything ingested across all cycles is still exact-matchable.
+    for rid in (20_000..next).step_by(17) {
+        let out = exact_match(&index, &cluster, &series(rid), true).unwrap();
+        assert_eq!(out.matches, vec![rid]);
+    }
+}

@@ -1,9 +1,14 @@
 //! Incremental insert: appended records become queryable, counts stay
 //! consistent, Bloom filters keep their no-false-negative guarantee, and
-//! a saved-then-reopened index still sees the appends.
+//! a saved-then-reopened index still sees the appends. The second half
+//! covers the continuous-ingest path: sealed delta partitions served
+//! alongside the base by every query path, compaction, and the
+//! save → reopen → ingest-more round trip.
 
 use tardis_cluster::{encode_records, Cluster, ClusterConfig};
-use tardis_core::{exact_match, knn_approximate, KnnStrategy, TardisConfig, TardisIndex};
+use tardis_core::{
+    exact_knn, exact_match, knn_approximate, range_query, KnnStrategy, TardisConfig, TardisIndex,
+};
 use tardis_ts::{Record, TimeSeries};
 
 fn series(rid: u64) -> TimeSeries {
@@ -148,4 +153,203 @@ fn empty_insert_is_a_noop() {
     index.insert_batch(&cluster, Vec::new()).unwrap();
     let after: u64 = index.partitions().iter().map(|p| p.n_records).sum();
     assert_eq!(before, after);
+}
+
+// ---------------------------------------------------------------------
+// Continuous ingest: sealed delta partitions.
+// ---------------------------------------------------------------------
+
+fn records(range: std::ops::Range<u64>) -> Vec<Record> {
+    range.map(|rid| Record::new(rid, series(rid))).collect()
+}
+
+/// An oracle index rebuilt from scratch over base + ingested rids: the
+/// exact query paths (exact match, range, exact kNN) must answer
+/// identically whether the records live in the base or in deltas.
+fn oracle(base: u64, extra: &[std::ops::Range<u64>]) -> (Cluster, TardisIndex) {
+    let cluster = Cluster::new(ClusterConfig {
+        n_workers: 4,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let mut rids: Vec<u64> = (0..base).collect();
+    for r in extra {
+        rids.extend(r.clone());
+    }
+    let blocks: Vec<Vec<u8>> = rids
+        .chunks(100)
+        .map(|chunk| {
+            encode_records(
+                &chunk
+                    .iter()
+                    .map(|&rid| Record::new(rid, series(rid)))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    cluster.dfs().write_blocks("data", blocks).unwrap();
+    let config = TardisConfig {
+        g_max_size: 300,
+        l_max_size: 50,
+        sampling_fraction: 0.5,
+        ..TardisConfig::default()
+    };
+    let (index, _) = TardisIndex::build(&cluster, "data", &config).unwrap();
+    (cluster, index)
+}
+
+#[test]
+fn ingested_deltas_serve_every_query_path() {
+    let (cluster, mut index) = setup(800);
+    index.ingest_batch(&cluster, records(10_000..10_030)).unwrap();
+    index.ingest_batch(&cluster, records(10_030..10_060)).unwrap();
+    assert_eq!(index.n_deltas(), 2);
+    let all_ingested = 10_000..10_060;
+    let (o_cluster, o_index) = oracle(800, std::slice::from_ref(&all_ingested));
+
+    for rid in [0u64, 421, 799, 10_000, 10_029, 10_030, 10_059] {
+        let q = series(rid);
+        // Exact match: present in exactly one of base / deltas.
+        let out = exact_match(&index, &cluster, &q, true).unwrap();
+        assert_eq!(out.matches, vec![rid], "exact rid {rid}");
+        assert!(!out.bloom_rejected, "bloom false negative on delta rid {rid}");
+        // Approximate kNN: every strategy must surface the stored record
+        // itself (distance 0) regardless of which layer holds it.
+        for strategy in [
+            KnnStrategy::TargetNode,
+            KnnStrategy::OnePartition,
+            KnnStrategy::MultiPartition,
+        ] {
+            let ans = knn_approximate(&index, &cluster, &q, 5, strategy).unwrap();
+            assert_eq!(ans.neighbors[0].1, rid, "{strategy:?} rid {rid}");
+            assert!(ans.neighbors[0].0 < 1e-6);
+        }
+        // Range and exact kNN: byte-identical to the rebuilt oracle —
+        // these answers are a pure function of the stored data.
+        let got = range_query(&index, &cluster, &q, 2.0).unwrap();
+        let want = range_query(&o_index, &o_cluster, &q, 2.0).unwrap();
+        assert_eq!(got.matches, want.matches, "range rid {rid}");
+        let got = exact_knn(&index, &cluster, &q, 7).unwrap();
+        let want = exact_knn(&o_index, &o_cluster, &q, 7).unwrap();
+        assert_eq!(got.neighbors, want.neighbors, "exact-knn rid {rid}");
+    }
+    // Absent queries stay absent (deltas widen, never pollute, answers).
+    let absent = series(77_777);
+    assert!(exact_match(&index, &cluster, &absent, true)
+        .unwrap()
+        .matches
+        .is_empty());
+}
+
+#[test]
+fn compaction_folds_deltas_and_preserves_exact_answers() {
+    let (cluster, mut index) = setup(600);
+    index.ingest_batch(&cluster, records(40_000..40_025)).unwrap();
+    index.ingest_batch(&cluster, records(40_025..40_045)).unwrap();
+    let version_before = index.manifest_version();
+    let probes: Vec<TimeSeries> = [3u64, 599, 40_000, 40_024, 40_044]
+        .iter()
+        .map(|&rid| series(rid))
+        .collect();
+    let before: Vec<_> = probes
+        .iter()
+        .map(|q| {
+            (
+                exact_match(&index, &cluster, q, true).unwrap().matches,
+                range_query(&index, &cluster, q, 2.5).unwrap().matches,
+                exact_knn(&index, &cluster, q, 5).unwrap().neighbors,
+            )
+        })
+        .collect();
+
+    let outcome = index.compact(&cluster).unwrap();
+    assert_eq!(outcome.deltas_folded, 2);
+    assert_eq!(outcome.folded_records, 45);
+    assert!(outcome.partitions_rewritten >= 1);
+    assert_eq!(index.n_deltas(), 0);
+    assert_eq!(index.manifest_version(), version_before + 1);
+
+    let after: Vec<_> = probes
+        .iter()
+        .map(|q| {
+            (
+                exact_match(&index, &cluster, q, true).unwrap().matches,
+                range_query(&index, &cluster, q, 2.5).unwrap().matches,
+                exact_knn(&index, &cluster, q, 5).unwrap().neighbors,
+            )
+        })
+        .collect();
+    assert_eq!(before, after, "exact answers changed across compaction");
+
+    // Compacting again is a no-op.
+    let outcome = index.compact(&cluster).unwrap();
+    assert_eq!(outcome.deltas_folded, 0);
+    assert_eq!(index.manifest_version(), version_before + 1);
+}
+
+#[test]
+fn ingest_survives_save_reopen_ingest_more() {
+    let (cluster, mut index) = setup(500);
+    index.ingest_batch(&cluster, records(50_000..50_020)).unwrap();
+    index.save_atomic(&cluster, "manifest").unwrap();
+
+    let mut reopened = TardisIndex::open(&cluster, "manifest").unwrap();
+    assert_eq!(reopened.n_deltas(), 1);
+    assert_eq!(reopened.deltas(), index.deltas());
+    // Ingest more on the reopened index: delta ids keep increasing.
+    let meta = reopened
+        .ingest_batch(&cluster, records(50_020..50_035))
+        .unwrap();
+    assert!(meta.delta_id > reopened.deltas()[0].delta_id);
+    reopened.save_atomic(&cluster, "manifest").unwrap();
+
+    let third = TardisIndex::open(&cluster, "manifest").unwrap();
+    assert_eq!(third.n_deltas(), 2);
+    for rid in [50_000u64, 50_019, 50_020, 50_034, 7] {
+        let q = series(rid);
+        let out = exact_match(&third, &cluster, &q, true).unwrap();
+        assert_eq!(out.matches, vec![rid], "rid {rid} after reopen");
+        let ans = knn_approximate(&third, &cluster, &q, 3, KnnStrategy::MultiPartition).unwrap();
+        assert_eq!(ans.neighbors[0].1, rid);
+        let rng = range_query(&third, &cluster, &q, 0.1).unwrap();
+        assert!(rng.matches.iter().any(|nb| nb.rid == rid));
+        let ek = exact_knn(&third, &cluster, &q, 3).unwrap();
+        assert_eq!(ek.neighbors[0].rid, rid);
+    }
+}
+
+#[test]
+fn ingest_rejects_empty_and_unclustered() {
+    let (cluster, mut index) = setup(300);
+    assert!(index.ingest_batch(&cluster, Vec::new()).is_err());
+
+    let cluster2 = Cluster::new(ClusterConfig {
+        n_workers: 2,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let blocks: Vec<Vec<u8>> = (0..200u64)
+        .collect::<Vec<u64>>()
+        .chunks(100)
+        .map(|chunk| {
+            encode_records(
+                &chunk
+                    .iter()
+                    .map(|&rid| Record::new(rid, series(rid)))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    cluster2.dfs().write_blocks("data", blocks).unwrap();
+    let config = TardisConfig {
+        clustered: false,
+        g_max_size: 150,
+        l_max_size: 40,
+        sampling_fraction: 0.5,
+        ..TardisConfig::default()
+    };
+    let (mut unclustered, _) = TardisIndex::build(&cluster2, "data", &config).unwrap();
+    assert!(unclustered
+        .ingest_batch(&cluster2, records(1_000..1_001))
+        .is_err());
 }

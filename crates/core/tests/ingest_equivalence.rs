@@ -1,0 +1,270 @@
+//! The continuous-ingest determinism contract: answers are a pure
+//! function of the logical index state (base ∪ sealed deltas), never of
+//! the worker-pool width, the degraded policy (on a healthy cluster), or
+//! — for the exact paths — of whether records live in the base or in
+//! deltas.
+//!
+//! A seeded interleaving of ingest batches and compactions is replayed
+//! on several fixtures: a quiesced single-worker oracle plus pool widths
+//! 4 and 8. After every mutation, every query path (exact match, the
+//! three approximate-kNN strategies, exact kNN, range) must answer
+//! byte-identically across all fixtures and both [`DegradedPolicy`]
+//! values. The exact paths are additionally compared against an index
+//! rebuilt from scratch over the union of all records.
+
+use tardis_cluster::{encode_records, Cluster, ClusterConfig};
+use tardis_core::{
+    exact_knn, exact_knn_degraded, exact_match, exact_match_degraded, knn_approximate,
+    knn_approximate_degraded, range_query, range_query_degraded, DegradedPolicy, KnnStrategy,
+    TardisConfig, TardisIndex,
+};
+use tardis_ts::{Record, TimeSeries};
+
+fn series(rid: u64) -> TimeSeries {
+    let mut x = rid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut acc = 0.0f32;
+    let mut v = Vec::with_capacity(64);
+    for _ in 0..64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc += ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+        v.push(acc);
+    }
+    tardis_ts::z_normalize_in_place(&mut v);
+    TimeSeries::new(v)
+}
+
+fn config() -> TardisConfig {
+    TardisConfig {
+        g_max_size: 250,
+        l_max_size: 40,
+        sampling_fraction: 0.5,
+        pth: 4,
+        ..TardisConfig::default()
+    }
+}
+
+fn build(n_workers: usize, rids: &[u64]) -> (Cluster, TardisIndex) {
+    let cluster = Cluster::new(ClusterConfig {
+        n_workers,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let blocks: Vec<Vec<u8>> = rids
+        .chunks(100)
+        .map(|chunk| {
+            encode_records(
+                &chunk
+                    .iter()
+                    .map(|&rid| Record::new(rid, series(rid)))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    cluster.dfs().write_blocks("data", blocks).unwrap();
+    let (index, _) = TardisIndex::build(&cluster, "data", &config()).unwrap();
+    (cluster, index)
+}
+
+fn records(range: std::ops::Range<u64>) -> Vec<Record> {
+    range.map(|rid| Record::new(rid, series(rid))).collect()
+}
+
+/// One fixture's full answer sheet for a probe query, over every query
+/// path and both degraded policies. Compared for exact equality across
+/// fixtures — floats included, since every fixture runs the same
+/// arithmetic in the same order.
+#[derive(Debug, PartialEq)]
+struct Answers {
+    exact: Vec<u64>,
+    knn: Vec<Vec<(f64, u64)>>,
+    exact_knn: Vec<(f64, u64)>,
+    range: Vec<(u64, f64)>,
+}
+
+fn answers(index: &TardisIndex, cluster: &Cluster, q: &TimeSeries) -> Answers {
+    let exact = exact_match(index, cluster, q, true).unwrap().matches;
+    let knn: Vec<Vec<(f64, u64)>> = [
+        KnnStrategy::TargetNode,
+        KnnStrategy::OnePartition,
+        KnnStrategy::MultiPartition,
+    ]
+    .iter()
+    .map(|&s| knn_approximate(index, cluster, q, 5, s).unwrap().neighbors)
+    .collect();
+    let exact_knn_ans = exact_knn(index, cluster, q, 5)
+        .unwrap()
+        .neighbors
+        .into_iter()
+        .map(|nb| (nb.distance, nb.rid))
+        .collect();
+    let range: Vec<(u64, f64)> = range_query(index, cluster, q, 2.0)
+        .unwrap()
+        .matches
+        .into_iter()
+        .map(|nb| (nb.rid, nb.distance))
+        .collect();
+
+    // The degraded variants on a healthy cluster must agree with the
+    // plain paths under both policies and report exact completeness.
+    for policy in [DegradedPolicy::FailFast, DegradedPolicy::BestEffort] {
+        let d = exact_match_degraded(index, cluster, q, true, policy).unwrap();
+        assert!(d.completeness.exact);
+        assert_eq!(d.answer.matches, exact, "degraded exact diverged ({policy:?})");
+        for (i, &s) in [
+            KnnStrategy::TargetNode,
+            KnnStrategy::OnePartition,
+            KnnStrategy::MultiPartition,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let d = knn_approximate_degraded(index, cluster, q, 5, s, policy).unwrap();
+            assert!(d.completeness.exact);
+            assert_eq!(d.answer.neighbors, knn[i], "degraded knn diverged ({s:?}, {policy:?})");
+        }
+        let d = exact_knn_degraded(index, cluster, q, 5, policy).unwrap();
+        assert!(d.completeness.exact);
+        let got: Vec<(f64, u64)> = d
+            .answer
+            .neighbors
+            .into_iter()
+            .map(|nb| (nb.distance, nb.rid))
+            .collect();
+        assert_eq!(got, exact_knn_ans, "degraded exact-knn diverged ({policy:?})");
+        let d = range_query_degraded(index, cluster, q, 2.0, policy).unwrap();
+        assert!(d.completeness.exact);
+        let got: Vec<(u64, f64)> = d
+            .answer
+            .matches
+            .into_iter()
+            .map(|nb| (nb.rid, nb.distance))
+            .collect();
+        assert_eq!(got, range, "degraded range diverged ({policy:?})");
+    }
+
+    Answers {
+        exact,
+        knn,
+        exact_knn: exact_knn_ans,
+        range,
+    }
+}
+
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+#[test]
+fn interleaved_ingest_matches_quiesced_oracle() {
+    const BASE: u64 = 600;
+    let base_rids: Vec<u64> = (0..BASE).collect();
+
+    // The interleaving plan: seeded ingest batches of varying size with
+    // compactions mixed in. Precomputed so every fixture replays the
+    // identical sequence.
+    let mut rng = Rng(0x5EED_CAFE);
+    let mut next_rid = 10_000u64;
+    let mut plan: Vec<Option<std::ops::Range<u64>>> = Vec::new(); // None = compact
+    for step in 0..8 {
+        if step == 3 || step == 6 {
+            plan.push(None);
+        } else {
+            let size = 8 + rng.next() % 25;
+            plan.push(Some(next_rid..next_rid + size));
+            next_rid += size;
+        }
+    }
+
+    // Fixture 0 is the quiesced single-worker oracle; widths 4 and 8
+    // must reproduce its answers bit-for-bit at every step.
+    let mut fixtures: Vec<(Cluster, TardisIndex)> = [1usize, 4, 8]
+        .iter()
+        .map(|&w| build(w, &base_rids))
+        .collect();
+
+    let mut ingested: Vec<u64> = Vec::new();
+    for (step, op) in plan.iter().enumerate() {
+        for (cluster, index) in &mut fixtures {
+            match op {
+                Some(batch) => {
+                    index.ingest_batch(cluster, records(batch.clone())).unwrap();
+                }
+                None => {
+                    index.compact(cluster).unwrap();
+                }
+            }
+        }
+        if let Some(batch) = op {
+            ingested.extend(batch.clone());
+        }
+
+        // Probes: a base member, the most recent ingests, an earlier
+        // ingest (possibly already compacted), and an absent series.
+        let mut probe_rids = vec![step as u64 * 83 % BASE];
+        probe_rids.extend(ingested.last().copied());
+        probe_rids.extend(ingested.first().copied());
+        probe_rids.extend(ingested.get(ingested.len() / 2).copied());
+        probe_rids.push(900_000 + step as u64); // absent
+        for rid in probe_rids {
+            let q = series(rid);
+            let (oracle_cluster, oracle_index) = &fixtures[0];
+            let want = answers(oracle_index, oracle_cluster, &q);
+            // Stored records must actually be found.
+            if rid < BASE || ingested.contains(&rid) {
+                assert_eq!(want.exact, vec![rid], "step {step} rid {rid} lost");
+            } else {
+                assert!(want.exact.is_empty(), "step {step} phantom rid {rid}");
+            }
+            for (w, (cluster, index)) in fixtures.iter().enumerate().skip(1) {
+                let got = answers(index, cluster, &q);
+                assert_eq!(
+                    got, want,
+                    "step {step} rid {rid}: width fixture {w} diverged from quiesced oracle"
+                );
+            }
+        }
+    }
+
+    // Final cross-check: the exact paths must also match an index
+    // rebuilt from scratch over base ∪ everything ingested — the answer
+    // cannot depend on which layer (base or delta) holds a record.
+    let mut all: Vec<u64> = base_rids.clone();
+    all.extend(&ingested);
+    let (fresh_cluster, fresh_index) = build(4, &all);
+    let (live_cluster, live_index) = &fixtures[1];
+    assert!(live_index.n_deltas() > 0, "plan must end with live deltas");
+    for &rid in [0u64, 123, ingested[0], *ingested.last().unwrap(), 900_100].iter() {
+        let q = series(rid);
+        assert_eq!(
+            exact_match(live_index, live_cluster, &q, true).unwrap().matches,
+            exact_match(&fresh_index, &fresh_cluster, &q, true).unwrap().matches,
+            "exact vs rebuild rid {rid}"
+        );
+        assert_eq!(
+            exact_knn(live_index, live_cluster, &q, 5).unwrap().neighbors,
+            exact_knn(&fresh_index, &fresh_cluster, &q, 5).unwrap().neighbors,
+            "exact-knn vs rebuild rid {rid}"
+        );
+        let live: Vec<(u64, f64)> = range_query(live_index, live_cluster, &q, 2.0)
+            .unwrap()
+            .matches
+            .into_iter()
+            .map(|nb| (nb.rid, nb.distance))
+            .collect();
+        let fresh: Vec<(u64, f64)> = range_query(&fresh_index, &fresh_cluster, &q, 2.0)
+            .unwrap()
+            .matches
+            .into_iter()
+            .map(|nb| (nb.rid, nb.distance))
+            .collect();
+        assert_eq!(live, fresh, "range vs rebuild rid {rid}");
+    }
+}

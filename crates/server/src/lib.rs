@@ -42,5 +42,6 @@ pub use client::{scrape_metrics, Client};
 pub use hotset::{HotSetConfig, HotSetTracker};
 pub use protocol::{Op, Request};
 pub use server::{
-    install_signal_handlers, sigterm_flag, QueryServer, ServerConfig, ServerHandle,
+    install_signal_handlers, sigterm_flag, CompactorConfig, QueryServer, ServerConfig,
+    ServerHandle,
 };

@@ -12,9 +12,10 @@
 //! | field         | type        | ops          | default           |
 //! |---------------|-------------|--------------|-------------------|
 //! | `id`          | number      | all          | required          |
-//! | `op`          | string      | all          | required — `"exact"`, `"knn"`, `"exact-knn"`, `"range"`, `"batch"` |
+//! | `op`          | string      | all          | required — `"exact"`, `"knn"`, `"exact-knn"`, `"range"`, `"batch"`, `"ingest"`, `"compact"` |
 //! | `query`       | `[number]`  | single ops   | required          |
 //! | `queries`     | `[[number]]`| `batch`      | required          |
+//! | `records`     | `[[rid,[number]]]` | `ingest` | required       |
 //! | `k`           | number      | kNN ops      | `1`               |
 //! | `strategy`    | string      | `knn`/`batch`| `"multi"` (`"target"`, `"one"`) |
 //! | `epsilon`     | number      | `range`      | `0`               |
@@ -54,6 +55,10 @@ pub enum Op {
     Range,
     /// Shared-scan kNN batch through the partition-task scheduler.
     Batch,
+    /// Continuous ingest: seal the carried records into a delta partition.
+    Ingest,
+    /// Fold every sealed delta into the base partitions.
+    Compact,
 }
 
 impl Op {
@@ -65,6 +70,8 @@ impl Op {
             Op::ExactKnn => "exact-knn",
             Op::Range => "range",
             Op::Batch => "batch",
+            Op::Ingest => "ingest",
+            Op::Compact => "compact",
         }
     }
 
@@ -75,6 +82,8 @@ impl Op {
             "exact-knn" => Some(Op::ExactKnn),
             "range" => Some(Op::Range),
             "batch" => Some(Op::Batch),
+            "ingest" => Some(Op::Ingest),
+            "compact" => Some(Op::Compact),
             _ => None,
         }
     }
@@ -91,6 +100,8 @@ pub struct Request {
     pub query: Vec<f32>,
     /// The query series (batch op).
     pub queries: Vec<Vec<f32>>,
+    /// Records to seal into a delta (`ingest` op): `(rid, values)`.
+    pub records: Vec<(u64, Vec<f32>)>,
     /// Neighbor count for kNN ops.
     pub k: usize,
     /// Partition-scope strategy for approximate kNN.
@@ -113,6 +124,7 @@ impl Request {
             op,
             query: Vec::new(),
             queries: Vec::new(),
+            records: Vec::new(),
             k: 1,
             strategy: KnnStrategy::MultiPartition,
             epsilon: 0.0,
@@ -151,6 +163,22 @@ impl Request {
                 .collect::<Option<Vec<_>>>()
                 .ok_or("'queries' must be arrays of numbers")?;
         }
+        if let Some(rs) = v.get("records") {
+            let arr = rs.as_arr().ok_or("'records' must be an array")?;
+            req.records = arr
+                .iter()
+                .map(|r| {
+                    let pair = r.as_arr()?;
+                    if pair.len() != 2 {
+                        return None;
+                    }
+                    let rid = pair[0].as_u64()?;
+                    let values = series_values(&pair[1])?;
+                    Some((rid, values))
+                })
+                .collect::<Option<Vec<_>>>()
+                .ok_or("'records' must be [rid, [values...]] pairs")?;
+        }
         if let Some(k) = v.get("k") {
             req.k = k.as_u64().ok_or("'k' must be a non-negative integer")? as usize;
         }
@@ -182,6 +210,12 @@ impl Request {
                     return Err("'batch' requires a non-empty 'queries'".into());
                 }
             }
+            Op::Ingest => {
+                if req.records.is_empty() {
+                    return Err("'ingest' requires a non-empty 'records'".into());
+                }
+            }
+            Op::Compact => {}
             _ => {
                 if req.query.is_empty() {
                     return Err(format!("'{}' requires a non-empty 'query'", op.name()));
@@ -206,6 +240,22 @@ impl Request {
                 JsonValue::Arr(self.queries.iter().map(|q| values_json(q)).collect()),
             ));
         }
+        if !self.records.is_empty() {
+            pairs.push((
+                "records".to_string(),
+                JsonValue::Arr(
+                    self.records
+                        .iter()
+                        .map(|(rid, values)| {
+                            JsonValue::Arr(vec![
+                                JsonValue::Num(*rid as f64),
+                                values_json(values),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
         match self.op {
             Op::Knn | Op::ExactKnn | Op::Batch => {
                 pairs.push(("k".to_string(), JsonValue::Num(self.k as f64)));
@@ -213,7 +263,7 @@ impl Request {
             Op::Range => {
                 pairs.push(("epsilon".to_string(), JsonValue::Num(self.epsilon)));
             }
-            Op::Exact => {}
+            Op::Exact | Op::Ingest | Op::Compact => {}
         }
         if matches!(self.op, Op::Knn | Op::Batch) {
             let name = match self.strategy {
@@ -243,6 +293,14 @@ impl Request {
     /// The batch queries as [`TimeSeries`] values.
     pub fn batch_series(&self) -> Vec<TimeSeries> {
         self.queries.iter().map(|q| TimeSeries::new(q.clone())).collect()
+    }
+
+    /// The carried ingest payload as [`Record`](tardis_ts::Record) values.
+    pub fn record_values(&self) -> Vec<tardis_ts::Record> {
+        self.records
+            .iter()
+            .map(|(rid, values)| tardis_ts::Record::new(*rid, TimeSeries::new(values.clone())))
+            .collect()
     }
 }
 
@@ -363,6 +421,40 @@ pub fn encode_batch(id: u64, answers: &[KnnAnswer], completeness: Option<&Comple
     JsonValue::Obj(pairs).to_string()
 }
 
+/// Encodes an ingest acknowledgement: how many records were sealed, the
+/// new delta's id, the active delta count, and the manifest version.
+pub fn encode_ingest(id: u64, accepted: usize, delta_id: u64, deltas: usize, version: u64) -> String {
+    let mut pairs = response_head(id, Op::Ingest);
+    pairs.push(("accepted".to_string(), JsonValue::Num(accepted as f64)));
+    pairs.push(("delta_id".to_string(), JsonValue::Num(delta_id as f64)));
+    pairs.push(("deltas".to_string(), JsonValue::Num(deltas as f64)));
+    pairs.push(("version".to_string(), JsonValue::Num(version as f64)));
+    JsonValue::Obj(pairs).to_string()
+}
+
+/// Encodes a compaction acknowledgement: records folded, deltas folded,
+/// base partitions rewritten, and the post-swap manifest version.
+pub fn encode_compact(
+    id: u64,
+    folded: u64,
+    deltas_folded: usize,
+    partitions_rewritten: usize,
+    version: u64,
+) -> String {
+    let mut pairs = response_head(id, Op::Compact);
+    pairs.push(("folded".to_string(), JsonValue::Num(folded as f64)));
+    pairs.push((
+        "deltas_folded".to_string(),
+        JsonValue::Num(deltas_folded as f64),
+    ));
+    pairs.push((
+        "partitions_rewritten".to_string(),
+        JsonValue::Num(partitions_rewritten as f64),
+    ));
+    pairs.push(("version".to_string(), JsonValue::Num(version as f64)));
+    JsonValue::Obj(pairs).to_string()
+}
+
 /// Encodes a failure. `code` is stable and machine-checkable
 /// (`Overloaded`, `DeadlineExceeded`, `BadRequest`, `QueryError`);
 /// `detail` is free-form.
@@ -412,6 +504,28 @@ mod tests {
         assert!(Request::from_line(r#"{"id":1,"op":"exact"}"#).is_err());
         assert!(Request::from_line(r#"{"op":"exact","query":[1]}"#).is_err());
         assert!(Request::from_line(r#"{"id":1,"op":"sort","query":[1]}"#).is_err());
+    }
+
+    #[test]
+    fn ingest_and_compact_wire_shapes() {
+        let mut req = Request::new(4, Op::Ingest);
+        req.records = vec![(7, vec![1.0, 2.0]), (9, vec![3.0, 4.0])];
+        let line = req.to_line();
+        let back = Request::from_line(&line).unwrap();
+        assert_eq!(back.records, req.records);
+        assert_eq!(back.to_line(), line);
+        assert!(Request::from_line(r#"{"id":1,"op":"ingest"}"#).is_err());
+        // compact carries no payload at all.
+        let c = Request::from_line(r#"{"id":2,"op":"compact"}"#).unwrap();
+        assert_eq!(c.op, Op::Compact);
+        assert_eq!(
+            encode_ingest(4, 2, 5, 3, 1),
+            r#"{"id":4,"ok":true,"op":"ingest","accepted":2,"delta_id":5,"deltas":3,"version":1}"#
+        );
+        assert_eq!(
+            encode_compact(8, 240, 3, 6, 2),
+            r#"{"id":8,"ok":true,"op":"compact","folded":240,"deltas_folded":3,"partitions_rewritten":6,"version":2}"#
+        );
     }
 
     #[test]

@@ -36,14 +36,14 @@ use tardis_cluster::{BackoffClock, Cluster};
 use tardis_core::{
     exact_knn, exact_knn_degraded, exact_match, exact_match_degraded, knn_approximate,
     knn_approximate_degraded, knn_batch, knn_batch_degraded, range_query, range_query_degraded,
-    DegradedPolicy, TardisIndex,
+    CompactionOutcome, CoreError, DegradedPolicy, TardisIndex,
 };
 
 use crate::admission::{Admission, Admitted};
 use crate::hotset::{HotSetConfig, HotSetTracker};
 use crate::protocol::{
-    encode_batch, encode_error, encode_exact, encode_exact_knn, encode_knn, encode_range, Op,
-    Request,
+    encode_batch, encode_compact, encode_error, encode_exact, encode_exact_knn, encode_ingest,
+    encode_knn, encode_range, Op, Request,
 };
 
 /// Poll interval for the accept loop and connection read timeouts.
@@ -71,6 +71,23 @@ pub struct ServerConfig {
     /// Hot-set detection + adaptive re-replication; `None` disables the
     /// background pass entirely.
     pub hot_set: Option<HotSetConfig>,
+    /// Manifest file name on the DFS: ingest and compaction persist
+    /// every index mutation through an atomic single-block overwrite of
+    /// this file. `None` keeps mutations memory-only.
+    pub manifest: Option<String>,
+    /// Background compaction; `None` folds deltas only on explicit
+    /// `compact` requests.
+    pub compaction: Option<CompactorConfig>,
+}
+
+/// Settings for the background compaction pass.
+#[derive(Debug, Clone)]
+pub struct CompactorConfig {
+    /// How often the pass checks for fold work.
+    pub interval: Duration,
+    /// Fold only once at least this many sealed deltas are active
+    /// (clamped to ≥ 1).
+    pub min_deltas: usize,
 }
 
 impl Default for ServerConfig {
@@ -83,13 +100,27 @@ impl Default for ServerConfig {
             policy: None,
             clock: BackoffClock::Real,
             hot_set: None,
+            manifest: None,
+            compaction: None,
         }
     }
 }
 
+/// How long a compaction waits for old-snapshot readers to drain before
+/// giving up on deleting the retired files (they are then left on disk
+/// for a later pass — safe, just unreclaimed).
+const DRAIN_CAP: Duration = Duration::from_secs(10);
+
 struct Shared {
     cluster: Arc<Cluster>,
-    index: Arc<TardisIndex>,
+    /// The current index snapshot. Queries lock only long enough to
+    /// clone the `Arc`, so they never block on ingest or compaction;
+    /// writers build a new snapshot off to the side and swap it in.
+    index: Mutex<Arc<TardisIndex>>,
+    /// Serializes ingest and compaction (the clone → mutate → persist →
+    /// swap sequence must not interleave).
+    writer: Mutex<()>,
+    manifest: Option<String>,
     admission: Arc<Admission>,
     policy: Option<DegradedPolicy>,
     default_deadline_ms: Option<u64>,
@@ -97,6 +128,70 @@ struct Shared {
 }
 
 impl Shared {
+    /// The current snapshot; the lock is held only for the `Arc` clone.
+    fn index(&self) -> Arc<TardisIndex> {
+        Arc::clone(&self.index.lock().unwrap())
+    }
+
+    /// Persists `next` (when a manifest is configured) and swaps it in,
+    /// returning the displaced snapshot. Persistence happens *before*
+    /// the swap, so a crashed save never leaves served state ahead of
+    /// durable state.
+    fn persist_and_swap(&self, next: TardisIndex) -> Result<Arc<TardisIndex>, CoreError> {
+        if let Some(name) = &self.manifest {
+            next.save_atomic(&self.cluster, name)?;
+        }
+        let next = Arc::new(next);
+        Ok(std::mem::replace(&mut *self.index.lock().unwrap(), next))
+    }
+
+    /// Seals one ingest batch into a delta and swaps the new snapshot in.
+    fn ingest(&self, req: &Request) -> Result<String, CoreError> {
+        let _writer = self.writer.lock().unwrap();
+        let mut next = TardisIndex::clone(&self.index());
+        let meta = next.ingest_batch(&self.cluster, req.record_values())?;
+        let deltas = next.n_deltas();
+        let version = next.manifest_version();
+        self.persist_and_swap(next)?;
+        Ok(encode_ingest(
+            req.id,
+            meta.n_records as usize,
+            meta.delta_id,
+            deltas,
+            version,
+        ))
+    }
+
+    /// Folds every sealed delta into the base and swaps the compacted
+    /// snapshot in. Retired files are deleted only after old-snapshot
+    /// readers drain (their partition loads may still be reading them).
+    fn compact(&self) -> Result<(CompactionOutcome, u64), CoreError> {
+        let _writer = self.writer.lock().unwrap();
+        let mut next = TardisIndex::clone(&self.index());
+        if next.n_deltas() == 0 {
+            let version = next.manifest_version();
+            return Ok((CompactionOutcome::default(), version));
+        }
+        let outcome = next.compact_deferred(&self.cluster)?;
+        let version = next.manifest_version();
+        let old = self.persist_and_swap(next)?;
+        let mut waited = Duration::ZERO;
+        while Arc::strong_count(&old) > 1
+            && waited < DRAIN_CAP
+            && !self.shutdown.load(Ordering::SeqCst)
+        {
+            thread::sleep(POLL);
+            waited += POLL;
+        }
+        if Arc::strong_count(&old) == 1 {
+            for file in &outcome.retired_files {
+                // Eviction also releases any cache pins on these blocks;
+                // a failure leaves the file for a later scrub/cleanup.
+                let _ = self.cluster.dfs().delete_file(file);
+            }
+        }
+        Ok((outcome, version))
+    }
     /// Admits and executes one request line, returning the response line.
     fn execute_line(&self, line: &str) -> String {
         let req = match Request::from_line(line) {
@@ -121,10 +216,21 @@ impl Shared {
     }
 
     fn run(&self, req: &Request) -> String {
-        let index = &*self.index;
+        let snapshot = self.index();
+        let index = &*snapshot;
         let cluster = &*self.cluster;
         let id = req.id;
         let result = match (self.policy, req.op) {
+            (_, Op::Ingest) => self.ingest(req),
+            (_, Op::Compact) => self.compact().map(|(o, version)| {
+                encode_compact(
+                    id,
+                    o.folded_records,
+                    o.deltas_folded,
+                    o.partitions_rewritten,
+                    version,
+                )
+            }),
             (None, Op::Exact) => exact_match(index, cluster, &req.series(), req.use_bloom)
                 .map(|o| encode_exact(id, &o, None)),
             (None, Op::Knn) => {
@@ -253,7 +359,9 @@ impl QueryServer {
         );
         let shared = Arc::new(Shared {
             cluster,
-            index,
+            index: Mutex::new(index),
+            writer: Mutex::new(()),
+            manifest: config.manifest,
             admission: Arc::clone(&admission),
             policy: config.policy,
             default_deadline_ms: config.default_deadline_ms,
@@ -293,12 +401,16 @@ impl QueryServer {
         let hotset = config
             .hot_set
             .map(|cfg| spawn_hot_set_pass(cfg, Arc::clone(&shared)));
+        let compactor = config
+            .compaction
+            .map(|cfg| spawn_compactor(cfg, Arc::clone(&shared)));
 
         Ok(ServerHandle {
             addr,
             shutdown,
             accept: Some(accept),
             hotset,
+            compactor,
         })
     }
 }
@@ -332,7 +444,8 @@ fn spawn_hot_set_pass(cfg: HotSetConfig, shared: Arc<Shared>) -> thread::JoinHan
                 .cluster
                 .metrics()
                 .set_hot_partitions(hot.len() as u64);
-            let partitions = shared.index.partitions();
+            let index = shared.index();
+            let partitions = index.partitions();
             for pid in hot {
                 if raised.contains(&pid) {
                     continue;
@@ -358,12 +471,36 @@ fn spawn_hot_set_pass(cfg: HotSetConfig, shared: Arc<Shared>) -> thread::JoinHan
     })
 }
 
+/// The background compaction pass: every `cfg.interval`, fold the sealed
+/// deltas into the base once at least `cfg.min_deltas` are active. A
+/// failed fold (e.g. injected write faults past the retry budget) leaves
+/// the old snapshot serving and is retried on the next pass — the
+/// manifest only ever swaps on success.
+fn spawn_compactor(cfg: CompactorConfig, shared: Arc<Shared>) -> thread::JoinHandle<()> {
+    thread::spawn(move || loop {
+        // Sleep the interval in POLL steps so shutdown stays prompt.
+        let mut slept = Duration::ZERO;
+        while slept < cfg.interval {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let step = POLL.min(cfg.interval - slept);
+            thread::sleep(step);
+            slept += step;
+        }
+        if shared.index().n_deltas() >= cfg.min_deltas.max(1) {
+            let _ = shared.compact();
+        }
+    })
+}
+
 /// A running daemon. Dropping the handle shuts it down gracefully.
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept: Option<thread::JoinHandle<()>>,
     hotset: Option<thread::JoinHandle<()>>,
+    compactor: Option<thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -399,6 +536,9 @@ impl ServerHandle {
         }
         if let Some(hotset) = self.hotset.take() {
             let _ = hotset.join();
+        }
+        if let Some(compactor) = self.compactor.take() {
+            let _ = compactor.join();
         }
     }
 }

@@ -38,6 +38,8 @@ fn main() -> ExitCode {
         "knn" => cmd_knn(&flags),
         "query-batch" => cmd_query_batch(&flags),
         "range" => cmd_range(&flags),
+        "ingest" => cmd_ingest(&flags),
+        "compact" => cmd_compact(&flags),
         "scrub" => cmd_scrub(&flags),
         "profile" => cmd_profile(&flags),
         "serve" => cmd_serve(&flags),
@@ -74,6 +76,11 @@ fn usage() {
     eprintln!("           [--mode exact|knn|exact-knn] [--strategy target|one|multi]");
     eprintln!("           [--no-bloom] [--profile] [--trace-out PATH]");
     eprintln!("  range    --dir D --index NAME (--rid N | --query-file PATH) --epsilon E");
+    eprintln!("  ingest   --dir D --index NAME --start N --count N [--seed S] (seal a batch of");
+    eprintln!("           generated records rid in [start, start+count) into a delta partition;");
+    eprintln!("           queries serve base + deltas immediately)");
+    eprintln!("  compact  --dir D --index NAME (fold all sealed deltas into the base partitions");
+    eprintln!("           and bump the manifest version)");
     eprintln!("  scrub    --dir D (verify every replica, re-replicate from healthy siblings)");
     eprintln!("  profile  --family F --records N [--seed S]");
     eprintln!("  serve    --dir D --index NAME [--addr HOST:PORT] [--max-in-flight N]");
@@ -84,10 +91,13 @@ fn usage() {
     eprintln!("           --hot-min-accesses per interval) are raised to R replicas in the");
     eprintln!("           background every --hot-interval-ms (defaults: top-k 4, min 4,");
     eprintln!("           interval 500)");
-    eprintln!("  client   --addr HOST:PORT --op exact|knn|exact-knn|range|batch --dir D");
-    eprintln!("           --index NAME (--rid N | --query-file PATH) [--k N] [--epsilon E]");
+    eprintln!("           [--manifest NAME] persist ingests/compactions back to NAME atomically");
+    eprintln!("           [--compact-interval-ms N] run the background compactor every N ms,");
+    eprintln!("           folding deltas whenever at least --compact-min (default 1) are sealed");
+    eprintln!("  client   --addr HOST:PORT --op exact|knn|exact-knn|range|batch|ingest|compact");
+    eprintln!("           --dir D --index NAME (--rid N | --query-file PATH) [--k N] [--epsilon E]");
     eprintln!("           [--count N] [--strategy target|one|multi] [--no-bloom] [--priority P]");
-    eprintln!("           [--deadline-ms N]");
+    eprintln!("           [--deadline-ms N]; ingest takes --start/--count (generated records)");
     eprintln!("  metrics  --addr HOST:PORT (scrape the daemon's Prometheus text)");
     eprintln!();
     eprintln!("storage flags (any command taking --dir):");
@@ -762,6 +772,69 @@ fn cmd_range(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// Generates `--count` records (rid in `[start, start+count)`) from the
+/// index's dataset family and seals them into one delta partition. The
+/// manifest is rewritten atomically, so queries against the saved index
+/// see base + delta immediately — no rebuild.
+fn cmd_ingest(flags: &Flags) -> Result<(), String> {
+    let cluster = open_cluster(flags)?;
+    let index_name = req(flags, "index")?.to_string();
+    let (mut index, dataset) = open_index(&cluster, flags)?;
+    let start: u64 = opt_num(flags, "start", 0)?;
+    let count: u64 = opt_num(flags, "count", 1_000)?;
+    if count == 0 {
+        return Err("--count must be at least 1".into());
+    }
+    let (family, seed, len, _records) = read_sidecar(&cluster, &dataset)?;
+    let gen = family_gen(&family, seed, Some(len))?;
+    let records: Vec<Record> = (start..start + count)
+        .map(|rid| Record::new(rid, gen.series(rid)))
+        .collect();
+    let t0 = std::time::Instant::now();
+    let meta = index
+        .ingest_batch(&cluster, records)
+        .map_err(|e| e.to_string())?;
+    index
+        .save_atomic(&cluster, &index_name)
+        .map_err(|e| e.to_string())?;
+    say!(
+        "sealed delta {} ({} record(s)) in {:?}; {} delta(s) active, manifest v{}",
+        meta.delta_id,
+        meta.n_records,
+        t0.elapsed(),
+        index.n_deltas(),
+        index.manifest_version()
+    );
+    Ok(())
+}
+
+/// Folds every sealed delta into the base partitions (rewriting only the
+/// partitions that receive records), bumps the manifest version, and
+/// swaps the manifest atomically.
+fn cmd_compact(flags: &Flags) -> Result<(), String> {
+    let cluster = open_cluster(flags)?;
+    let index_name = req(flags, "index")?.to_string();
+    let (mut index, _dataset) = open_index(&cluster, flags)?;
+    if index.n_deltas() == 0 {
+        say!("nothing to compact: no sealed deltas");
+        return Ok(());
+    }
+    let t0 = std::time::Instant::now();
+    let outcome = index.compact(&cluster).map_err(|e| e.to_string())?;
+    index
+        .save_atomic(&cluster, &index_name)
+        .map_err(|e| e.to_string())?;
+    say!(
+        "folded {} record(s) from {} delta(s) into {} partition(s) in {:?}; manifest v{}",
+        outcome.folded_records,
+        outcome.deltas_folded,
+        outcome.partitions_rewritten,
+        t0.elapsed(),
+        index.manifest_version()
+    );
+    Ok(())
+}
+
 /// Verifies every replica of every block and re-replicates from healthy
 /// siblings. Run after a datanode loss (or on a schedule) to restore
 /// full replication before a second failure can cause data loss.
@@ -869,6 +942,21 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
             .transpose()?,
         policy: degraded_policy(flags)?,
         hot_set,
+        // --manifest makes ingest/compact durable: every mutation is
+        // persisted via an atomic manifest swap before queries see it.
+        manifest: flags.get("manifest").cloned(),
+        compaction: match flags.get("compact-interval-ms") {
+            None => None,
+            Some(v) => {
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("invalid --compact-interval-ms '{v}'"))?;
+                Some(CompactorConfig {
+                    interval: std::time::Duration::from_millis(ms),
+                    min_deltas: opt_num(flags, "compact-min", 1)?,
+                })
+            }
+        },
         ..ServerConfig::default()
     };
     let handle = QueryServer::start(std::sync::Arc::clone(&cluster), index, config)
@@ -910,7 +998,13 @@ fn cmd_client(flags: &Flags) -> Result<(), String> {
         "exact-knn" => Op::ExactKnn,
         "range" => Op::Range,
         "batch" => Op::Batch,
-        other => return Err(format!("unknown --op '{other}' (exact|knn|exact-knn|range|batch)")),
+        "ingest" => Op::Ingest,
+        "compact" => Op::Compact,
+        other => {
+            return Err(format!(
+                "unknown --op '{other}' (exact|knn|exact-knn|range|batch|ingest|compact)"
+            ))
+        }
     };
     let mut request = Request::new(opt_num(flags, "id", 1)?, op);
     request.k = opt_num(flags, "k", 10)?;
@@ -931,6 +1025,20 @@ fn cmd_client(flags: &Flags) -> Result<(), String> {
     }
     let cluster = open_cluster(flags)?;
     match op {
+        Op::Compact => {}
+        Op::Ingest => {
+            let dataset = dataset_of(&cluster, flags)?;
+            let start: u64 = opt_num(flags, "start", 0)?;
+            let count: u64 = opt_num(flags, "count", 1_000)?;
+            if count == 0 {
+                return Err("--count must be at least 1".into());
+            }
+            let (family, gen_seed, len, _records) = read_sidecar(&cluster, &dataset)?;
+            let gen = family_gen(&family, gen_seed, Some(len))?;
+            request.records = (start..start + count)
+                .map(|rid| (rid, gen.series(rid).values().to_vec()))
+                .collect();
+        }
         Op::Batch => {
             let dataset = dataset_of(&cluster, flags)?;
             let count: usize = opt_num(flags, "count", 16)?;

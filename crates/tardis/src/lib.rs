@@ -65,8 +65,8 @@ pub mod prelude {
         exact_match_profiled, ground_truth_knn, knn_approximate, knn_approximate_degraded,
         knn_approximate_degraded_profiled, knn_approximate_profiled, knn_batch, knn_batch_degraded,
         knn_batch_naive, knn_batch_profiled, range_query, range_query_degraded, recall,
-        BatchProfile, Completeness, CoreError, Degraded, DegradedPolicy, KnnStrategy, TardisConfig,
-        TardisIndex,
+        BatchProfile, CompactionOutcome, Completeness, CoreError, Degraded, DegradedPolicy,
+        DeltaMeta, KnnStrategy, TardisConfig, TardisIndex, DELTA_PID_BASE,
     };
     pub use tardis_data::{
         profile_dataset, read_series_file, write_dataset, write_series_file, DnaLike,
@@ -74,8 +74,8 @@ pub mod prelude {
     };
     pub use tardis_isax::{SaxWord, SigT};
     pub use tardis_server::{
-        scrape_metrics, Client, HotSetConfig, Op, QueryServer, Request, ServerConfig,
-        ServerHandle,
+        scrape_metrics, Client, CompactorConfig, HotSetConfig, Op, QueryServer, Request,
+        ServerConfig, ServerHandle,
     };
     pub use tardis_ts::{euclidean, z_normalize, Record, TimeSeries};
 }

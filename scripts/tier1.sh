@@ -106,6 +106,44 @@ fi
 kill -TERM "$SERVE2_PID"
 wait "$SERVE2_PID" || { echo "routing smoke FAILED: daemon exited non-zero on SIGTERM" >&2; exit 1; }
 
+echo "== tier-1: continuous-ingest smoke (ingest, query during deltas, compact) =="
+# A --manifest daemon accepts ingest batches over the socket, serves the
+# ingested records immediately (no PARTIAL), folds them on demand, and
+# leaves a store that still scrubs clean.
+"$T" serve --dir "$DEMO" --index idx --addr 127.0.0.1:0 --replication 2 --manifest idx >"$DEMO/serve3.out" 2>&1 &
+SERVE3_PID=$!
+ADDR3=""
+for _ in $(seq 1 100); do
+    ADDR3="$(sed -n 's/^listening on //p' "$DEMO/serve3.out" | head -n1)"
+    [[ -n "$ADDR3" ]] && break
+    sleep 0.1
+done
+if [[ -z "$ADDR3" ]]; then
+    echo "ingest smoke FAILED: daemon never printed its address" >&2
+    cat "$DEMO/serve3.out" >&2
+    kill "$SERVE3_PID" 2>/dev/null || true
+    exit 1
+fi
+"$T" client --addr "$ADDR3" --dir "$DEMO" --index idx --op ingest --start 3000 --count 50 --replication 2 | grep -q '"ok":true' || {
+    echo "ingest smoke FAILED: ingest request" >&2; exit 1; }
+# The ingested record answers from its sealed delta, fully (no PARTIAL).
+INGEST_PROBE="$("$T" client --addr "$ADDR3" --dir "$DEMO" --index idx --op exact --rid 3020 --replication 2)"
+echo "$INGEST_PROBE" | grep -q '"ok":true' || {
+    echo "ingest smoke FAILED: query over delta: $INGEST_PROBE" >&2; exit 1; }
+echo "$INGEST_PROBE" | grep -q '\[3020\]' || {
+    echo "ingest smoke FAILED: ingested rid 3020 not found: $INGEST_PROBE" >&2; exit 1; }
+echo "$INGEST_PROBE" | grep -qi 'partial' && {
+    echo "ingest smoke FAILED: delta query reported partial: $INGEST_PROBE" >&2; exit 1; }
+"$T" client --addr "$ADDR3" --dir "$DEMO" --index idx --op compact --replication 2 | grep -q '"folded":50' || {
+    echo "ingest smoke FAILED: compact did not fold the delta" >&2; exit 1; }
+# The folded record still answers, now from the rewritten base.
+"$T" client --addr "$ADDR3" --dir "$DEMO" --index idx --op exact --rid 3020 --replication 2 | grep -q '\[3020\]' || {
+    echo "ingest smoke FAILED: rid 3020 lost after compaction" >&2; exit 1; }
+kill -TERM "$SERVE3_PID"
+wait "$SERVE3_PID" || { echo "ingest smoke FAILED: daemon exited non-zero on SIGTERM" >&2; exit 1; }
+# The post-compaction store (versioned partition files) scrubs clean.
+"$T" scrub --dir "$DEMO" --replication 2
+
 # One datanode dies: every block keeps a replica on another node, so even
 # a fail-fast query is fully masked by replica failover...
 rm -rf "$DEMO/node-0"

@@ -496,6 +496,165 @@ fn killing_the_least_loaded_node_mid_run_is_masked() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Continuous-ingest acceptance: a seeded faulted run interleaving
+/// ingest batches, queries over base ∪ deltas, and compactions must be
+/// **bit-identical** to a quiesced oracle — a fault-free single-worker
+/// cluster replaying the exact same ingest/compaction sequence. Answers
+/// are a pure function of the logical index state; faults perturb only
+/// *when* work happens. The retry machinery must be visible in the
+/// Prometheus dump and nothing may fail permanently.
+#[test]
+fn ingest_compaction_chaos_matches_quiesced_oracle() {
+    let gen = RandomWalk::with_len(0x1A6E_5700, 64);
+
+    // The seeded interleaving: Some(range) seals a delta, None compacts.
+    // The final ingest stays live so the comparison covers deltas too.
+    let ops: Vec<Option<std::ops::Range<u64>>> = vec![
+        Some(N_RECORDS..N_RECORDS + 500),
+        Some(N_RECORDS + 500..N_RECORDS + 800),
+        None,
+        Some(N_RECORDS + 800..N_RECORDS + 1_100),
+        None,
+        Some(N_RECORDS + 1_100..N_RECORDS + 1_300),
+    ];
+
+    #[derive(Debug, PartialEq)]
+    struct Sheet {
+        exact: Vec<Vec<u64>>,
+        knn: Vec<Vec<(f64, u64)>>,
+        exact_knn: Vec<Vec<(f64, u64)>>,
+        range: Vec<Vec<(u64, f64)>>,
+        batch_exact: Vec<Vec<u64>>,
+        batch_knn: Vec<Vec<(f64, u64)>>,
+        version: u64,
+        live_deltas: usize,
+    }
+
+    let run = |cluster: &Cluster| -> Sheet {
+        write_dataset(cluster, "chaos-ingest", &gen, N_RECORDS, BLOCK_RECORDS as usize).unwrap();
+        let (mut index, _) =
+            TardisIndex::build(cluster, "chaos-ingest", &chaos_config()).unwrap();
+        let mut sheet = Sheet {
+            exact: Vec::new(),
+            knn: Vec::new(),
+            exact_knn: Vec::new(),
+            range: Vec::new(),
+            batch_exact: Vec::new(),
+            batch_knn: Vec::new(),
+            version: 0,
+            live_deltas: 0,
+        };
+        let mut last_ingested = 0u64;
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                Some(batch) => {
+                    let records: Vec<Record> = batch
+                        .clone()
+                        .map(|rid| Record::new(rid, gen.series(rid)))
+                        .collect();
+                    index.ingest_batch(cluster, records).unwrap();
+                    last_ingested = batch.end - 1;
+                }
+                None => {
+                    index.compact(cluster).unwrap();
+                }
+            }
+            // Probe every query path after every mutation.
+            for rid in [
+                step as u64 * 919 % N_RECORDS,
+                N_RECORDS, // first-ever ingested (compacted later)
+                last_ingested,
+                N_RECORDS * 3, // absent
+            ] {
+                let q = gen.series(rid);
+                sheet
+                    .exact
+                    .push(exact_match(&index, cluster, &q, true).unwrap().matches);
+                for strategy in KnnStrategy::ALL {
+                    sheet.knn.push(
+                        knn_approximate(&index, cluster, &q, 8, strategy)
+                            .unwrap()
+                            .neighbors,
+                    );
+                }
+                sheet.exact_knn.push(
+                    exact_knn(&index, cluster, &q, 5)
+                        .unwrap()
+                        .neighbors
+                        .into_iter()
+                        .map(|nb| (nb.distance, nb.rid))
+                        .collect(),
+                );
+                sheet.range.push(
+                    range_query(&index, cluster, &q, 2.0)
+                        .unwrap()
+                        .matches
+                        .into_iter()
+                        .map(|nb| (nb.rid, nb.distance))
+                        .collect(),
+                );
+            }
+        }
+        // Shared-scan batch engines over the final base ∪ deltas state.
+        let queries: Vec<TimeSeries> = (0..16u64)
+            .map(|i| {
+                gen.series(match i % 4 {
+                    0 => (i * 131) % N_RECORDS,
+                    1 => N_RECORDS + (i * 67) % 1_300,
+                    2 => last_ingested - i,
+                    _ => N_RECORDS * 3 + i, // absent
+                })
+            })
+            .collect();
+        sheet.batch_exact = exact_match_batch(&index, cluster, &queries, true)
+            .unwrap()
+            .into_iter()
+            .map(|o| o.matches)
+            .collect();
+        sheet.batch_knn = knn_batch(&index, cluster, &queries, 8, KnnStrategy::MultiPartition)
+            .unwrap()
+            .into_iter()
+            .map(|a| a.neighbors)
+            .collect();
+        sheet.version = index.manifest_version();
+        sheet.live_deltas = index.n_deltas();
+        sheet
+    };
+
+    // Quiesced oracle: no faults, a single worker, sequential replay.
+    let oracle_cluster = Cluster::new(ClusterConfig {
+        n_workers: 1,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    let oracle = run(&oracle_cluster);
+    assert_eq!(oracle.version, 2, "two compactions must bump twice");
+    assert_eq!(oracle.live_deltas, 1, "the last ingest must stay live");
+
+    // Chaos run: same sequence under block/task faults with retries.
+    let faulted = cluster_with(Some(chaos_plan(0x1A6E_5EED)), chaos_retry());
+    let chaos = run(&faulted);
+    assert_eq!(chaos, oracle, "faulted ingest run diverged from the quiesced oracle");
+
+    let m = faulted.metrics().snapshot();
+    assert!(m.faults_injected > 0, "plan injected nothing: {m:?}");
+    assert_eq!(m.records_ingested, 1_300);
+    assert_eq!(m.deltas_sealed, 4);
+    assert_eq!(m.compactions, 2);
+    assert_eq!(
+        m.tasks_failed_permanently, 0,
+        "an ingest-path task leaked through the retry budget: {m:?}"
+    );
+    // Retries visible in the Prometheus dump.
+    let dump = m.prometheus_text(None);
+    let line = dump
+        .lines()
+        .find(|l| l.contains("task_retries") && !l.starts_with('#'))
+        .expect("task_retries exported");
+    let value: f64 = line.split_whitespace().last().unwrap().parse().unwrap();
+    assert!(value > 0.0, "retry counter not exported: {line}");
+}
+
 /// A plan with every probability at zero behaves exactly like no plan:
 /// the injector is wired in but never fires.
 #[test]

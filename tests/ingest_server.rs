@@ -1,0 +1,241 @@
+//! The resident daemon under continuous ingest: writers (ingest and
+//! compaction) mutate a cloned index and swap an immutable snapshot in
+//! atomically, so queries never block on them — they grab the current
+//! snapshot `Arc` and run. These tests pin that down over real TCP:
+//! queries complete *while* ingest batches and a compaction are in
+//! flight, answers stay correct throughout, the background compactor
+//! folds deltas on its own, and a `--manifest` daemon persists every
+//! mutation so a reopen sees the full history.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tardis::prelude::*;
+
+const LEN: usize = 64;
+const BASE: u64 = 3_000;
+
+fn fixture() -> (Arc<Cluster>, Arc<TardisIndex>, RandomWalk) {
+    let cluster = Arc::new(
+        Cluster::new(ClusterConfig {
+            n_workers: 4,
+            ..ClusterConfig::default()
+        })
+        .unwrap(),
+    );
+    let gen = RandomWalk::with_len(42, LEN);
+    write_dataset(&cluster, "ds", &gen, BASE, 250).unwrap();
+    let config = TardisConfig {
+        g_max_size: 400,
+        l_max_size: 80,
+        sampling_fraction: 0.5,
+        ..TardisConfig::default()
+    };
+    let (index, _) = TardisIndex::build(&cluster, "ds", &config).unwrap();
+    index.save(&cluster, "idx").unwrap();
+    (cluster, Arc::new(index), gen)
+}
+
+fn ingest_request(id: u64, gen: &RandomWalk, start: u64, count: u64) -> Request {
+    let mut r = Request::new(id, Op::Ingest);
+    r.records = (start..start + count)
+        .map(|rid| (rid, gen.series(rid).values().to_vec()))
+        .collect();
+    r
+}
+
+fn exact_request(id: u64, gen: &RandomWalk, rid: u64) -> Request {
+    let mut r = Request::new(id, Op::Exact);
+    r.query = gen.series(rid).values().to_vec();
+    r
+}
+
+/// Queries must keep completing while ingest batches and a compaction
+/// are in flight on the same daemon: the writer path serializes on its
+/// own lock and swaps a fresh snapshot in, while readers only clone the
+/// current snapshot `Arc` — they never wait for the writer.
+#[test]
+fn queries_complete_while_ingest_and_compaction_run() {
+    let (cluster, index, gen) = fixture();
+    let handle = QueryServer::start(
+        Arc::clone(&cluster),
+        index,
+        ServerConfig {
+            max_in_flight: 8,
+            queue_capacity: 64,
+            manifest: Some("idx".to_string()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    // Writer thread: a stream of ingest batches, then one compaction of
+    // everything — a long window during which the writer lock is
+    // repeatedly held.
+    const BATCHES: u64 = 4;
+    const BATCH: u64 = 1_500;
+    let writer_busy = Arc::new(AtomicBool::new(true));
+    let writer = {
+        let addr = addr.clone();
+        let gen = gen.clone();
+        let busy = Arc::clone(&writer_busy);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).unwrap();
+            for b in 0..BATCHES {
+                let req = ingest_request(b + 1, &gen, BASE + b * BATCH, BATCH);
+                let resp = client.send(&req).unwrap();
+                assert!(resp.contains("\"ok\":true"), "ingest failed: {resp}");
+            }
+            let resp = client.send(&Request::new(99, Op::Compact)).unwrap();
+            assert!(resp.contains("\"ok\":true"), "compact failed: {resp}");
+            busy.store(false, Ordering::SeqCst);
+        })
+    };
+
+    // Reader: hammer exact queries on its own connection for the whole
+    // writer window. Every one must succeed; the count completed while
+    // the writer was still busy is the non-blocking evidence.
+    let mut client = Client::connect(&addr).unwrap();
+    let mut during_writer = 0u64;
+    let mut i = 0u64;
+    loop {
+        let busy_before = writer_busy.load(Ordering::SeqCst);
+        if !busy_before {
+            break;
+        }
+        let rid = (i * 389) % BASE;
+        let t0 = Instant::now();
+        let resp = client.send(&exact_request(1_000 + i, &gen, rid)).unwrap();
+        let lat = t0.elapsed();
+        assert!(resp.contains("\"ok\":true"), "query failed mid-ingest: {resp}");
+        assert!(resp.contains(&format!("[{rid}]")), "wrong answer mid-ingest: {resp}");
+        if writer_busy.load(Ordering::SeqCst) {
+            // Completed strictly inside the writer window: the query
+            // did not wait for the in-flight ingest/compaction.
+            during_writer += 1;
+            assert!(
+                lat < Duration::from_secs(5),
+                "query stalled {lat:?} behind a writer"
+            );
+        }
+        i += 1;
+    }
+    writer.join().unwrap();
+    assert!(
+        during_writer > 0,
+        "no query completed during the ingest/compaction window — readers blocked on writers"
+    );
+
+    // Post-window: ingested records answer, and the manifest persisted
+    // every mutation (a reopen sees the post-compaction state).
+    for rid in [BASE, BASE + 2 * BATCH + 17, BASE + BATCHES * BATCH - 1] {
+        let resp = client.send(&exact_request(5_000 + rid, &gen, rid)).unwrap();
+        assert!(
+            resp.contains("\"ok\":true") && resp.contains(&format!("[{rid}]")),
+            "ingested rid {rid} not found: {resp}"
+        );
+    }
+    let snap = cluster.metrics().snapshot();
+    assert_eq!(snap.records_ingested, BATCHES * BATCH);
+    assert_eq!(snap.deltas_sealed, BATCHES);
+    assert!(snap.compactions >= 1);
+    handle.shutdown();
+
+    let reopened = TardisIndex::open(&cluster, "idx").unwrap();
+    assert_eq!(reopened.n_deltas(), 0, "compaction not persisted");
+    assert!(reopened.manifest_version() >= 1);
+    let out = exact_match(&reopened, &cluster, &gen.series(BASE + 1), true).unwrap();
+    assert_eq!(out.matches, vec![BASE + 1]);
+}
+
+/// The background compactor folds sealed deltas on its own schedule;
+/// answers are identical before and after the fold (exact paths are
+/// compaction-invariant).
+#[test]
+fn background_compactor_folds_deltas() {
+    let (cluster, index, gen) = fixture();
+    let handle = QueryServer::start(
+        Arc::clone(&cluster),
+        index,
+        ServerConfig {
+            manifest: Some("idx".to_string()),
+            compaction: Some(CompactorConfig {
+                interval: Duration::from_millis(20),
+                min_deltas: 1,
+            }),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+    for b in 0..3u64 {
+        let resp = client
+            .send(&ingest_request(b + 1, &gen, BASE + b * 100, 100))
+            .unwrap();
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+    }
+    // The compactor needs no nudge: poll until it has folded everything.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        let snap = cluster.metrics().snapshot();
+        if snap.compactions >= 1 && snap.deltas_active == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let snap = cluster.metrics().snapshot();
+    assert!(snap.compactions >= 1, "background compactor never ran");
+    assert_eq!(snap.deltas_active, 0, "deltas left unfolded");
+    assert_eq!(snap.compaction_records_folded, 300);
+    // Folded records still answer over the wire.
+    for rid in [BASE + 3, BASE + 157, BASE + 299] {
+        let resp = client.send(&exact_request(10 + rid, &gen, rid)).unwrap();
+        assert!(
+            resp.contains("\"ok\":true") && resp.contains(&format!("[{rid}]")),
+            "rid {rid} lost after background fold: {resp}"
+        );
+    }
+    handle.shutdown();
+}
+
+/// Wire-level contract of the new ops: ingest reports the sealed delta,
+/// compact reports the fold, and both keep the daemon serving.
+#[test]
+fn ingest_and_compact_wire_responses() {
+    let (cluster, index, gen) = fixture();
+    let handle = QueryServer::start(
+        Arc::clone(&cluster),
+        index,
+        ServerConfig {
+            manifest: Some("idx".to_string()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+
+    let resp = client.send(&ingest_request(7, &gen, BASE, 40)).unwrap();
+    assert!(resp.contains("\"op\":\"ingest\""), "{resp}");
+    assert!(resp.contains("\"accepted\":40"), "{resp}");
+    assert!(resp.contains("\"deltas\":1"), "{resp}");
+
+    // Compacting with no prior deltas after this fold is reported too.
+    let resp = client.send(&Request::new(8, Op::Compact)).unwrap();
+    assert!(resp.contains("\"op\":\"compact\""), "{resp}");
+    assert!(resp.contains("\"folded\":40"), "{resp}");
+    assert!(resp.contains("\"deltas_folded\":1"), "{resp}");
+
+    // A second compact is a no-op, not an error.
+    let resp = client.send(&Request::new(9, Op::Compact)).unwrap();
+    assert!(resp.contains("\"ok\":true") && resp.contains("\"folded\":0"), "{resp}");
+
+    // An empty ingest is a protocol error, and the connection survives.
+    let resp = client
+        .send_line("{\"id\":10,\"op\":\"ingest\"}")
+        .unwrap();
+    assert!(resp.contains("\"ok\":false"), "{resp}");
+    let resp = client.send(&exact_request(11, &gen, 5)).unwrap();
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    handle.shutdown();
+}

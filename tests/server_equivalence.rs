@@ -141,6 +141,9 @@ fn oracle(
             let d = knn_batch_degraded(index, cluster, &batch, req.k, req.strategy, p).unwrap();
             protocol::encode_batch(id, &d.answer, Some(&d.completeness))
         }
+        (_, Op::Ingest | Op::Compact) => {
+            unreachable!("this suite replays read-only mixes; writer ops have their own tests")
+        }
     }
 }
 
