@@ -449,6 +449,54 @@ impl Dfs {
         Ok(())
     }
 
+    /// One replace attempt ([`Self::replace_file`]): like
+    /// [`Self::write_block_attempt`] but two-phase — every replica's new
+    /// frame is staged to its tmp file first, and only then are all
+    /// replicas renamed into place. An I/O failure (or crash) during
+    /// staging leaves every live replica on the *old* version; only a
+    /// crash inside the rename loop can leave replicas at mixed
+    /// versions, each still a valid frame.
+    fn replace_block_attempt(
+        &self,
+        id: &BlockId,
+        payload: &[u8],
+        key: u64,
+        attempt: u32,
+    ) -> Result<(), ClusterError> {
+        if let Some(inj) = &self.injector {
+            if let Some(e) = inj.fault_for(FaultSite::BlockWrite, key, attempt) {
+                return Err(e);
+            }
+        }
+        if !self.config.write_latency.is_zero() {
+            std::thread::sleep(self.config.write_latency);
+        }
+        let mut staged = Vec::new();
+        for replica in 0..self.replication_of(&id.file) {
+            let mut frame = encode_frame(payload);
+            if let Some(inj) = &self.injector {
+                if inj.corrupts_write(key, replica) {
+                    corrupt_frame(&mut frame, key, replica);
+                }
+            }
+            let path = self.replica_path(id, replica);
+            let dir = path.parent().expect("replica path has a parent");
+            fs::create_dir_all(dir)?;
+            // The replica index in the tmp name keeps stages distinct
+            // even if two replicas ever share a datanode directory.
+            let tmp = dir.join(format!("block-{:06}.r{replica}.tmp", id.index));
+            {
+                let mut f = fs::File::create(&tmp)?;
+                f.write_all(&frame)?;
+            }
+            staged.push((tmp, path));
+        }
+        for (tmp, path) in staged {
+            fs::rename(&tmp, &path)?;
+        }
+        Ok(())
+    }
+
     /// Writes a sequence of blocks to `name`, returning their ids.
     pub fn write_blocks(
         &self,
@@ -897,13 +945,24 @@ impl Dfs {
         Ok(())
     }
 
-    /// Atomically replaces `name` with a single block holding `payload`.
-    /// Each replica is written tmp-then-rename *over* the existing copy
-    /// (placement hashes the file name, so the paths are stable), so a
-    /// concurrent reader of block 0 observes either the old frame or the
-    /// new one, never a torn write — the versioned-manifest swap. Stale
-    /// cached copies are purged and surplus blocks from a previous
-    /// multi-block incarnation are removed afterwards.
+    /// Replaces `name` with a single block holding `payload`. Every
+    /// replica's new frame is staged to a tmp file first, then all
+    /// replicas are renamed *over* the existing copies (placement hashes
+    /// the file name, so the paths are stable) — the versioned-manifest
+    /// swap. Stale cached copies are purged and surplus blocks from a
+    /// previous multi-block incarnation are removed afterwards.
+    ///
+    /// # Atomicity
+    /// The swap is atomic **per replica**, not per file: each rename
+    /// flips one whole checksummed frame, so a concurrent reader always
+    /// observes a valid old *or* new frame, never a torn one. Staging
+    /// every tmp before the first rename shrinks — but cannot close —
+    /// the window in which a crash leaves replicas at different
+    /// versions; after such a crash, reads of the file may
+    /// nondeterministically serve either version depending on replica
+    /// choice. Callers needing cross-replica agreement must version the
+    /// payload itself (the index manifest embeds `manifest_version` and
+    /// a checksum for exactly this reason).
     pub fn replace_file(&self, name: &str, payload: &[u8]) -> Result<BlockId, ClusterError> {
         let id = BlockId::new(name, 0);
         let key = FaultInjector::block_key(name, 0);
@@ -911,7 +970,7 @@ impl Dfs {
         let mut attempt = 0;
         loop {
             attempt += 1;
-            match self.write_block_attempt(&id, payload, key, attempt) {
+            match self.replace_block_attempt(&id, payload, key, attempt) {
                 Ok(()) => break,
                 Err(e) if e.is_transient() && attempt < attempts => {
                     self.metrics.record_block_write_retry();

@@ -136,8 +136,11 @@ pub struct TardisIndex {
     blooms: Vec<Option<BloomFilter>>,
     /// Sealed delta partitions awaiting compaction, ascending delta id.
     deltas: Vec<DeltaMeta>,
-    /// In-memory delta Bloom filters (when `config.bloom_in_memory`),
-    /// parallel to `deltas`.
+    /// In-memory delta Bloom filters, parallel to `deltas`. Unlike base
+    /// filters these are always resident while Bloom is enabled
+    /// (`bloom_in_memory` notwithstanding): they are small, immutable,
+    /// and probed by *every* exact query, so a non-resident delta filter
+    /// would cost one DFS read per delta per query on the hottest path.
     delta_blooms: Vec<Option<BloomFilter>>,
     /// Next delta id to assign (monotone across compactions).
     next_delta_id: u64,
@@ -539,6 +542,25 @@ impl TardisIndex {
         cluster: &Cluster,
         records: Vec<Record>,
     ) -> Result<DeltaMeta, CoreError> {
+        let meta = self.ingest_batch_unmetered(cluster, records)?;
+        cluster.metrics().record_ingest(meta.n_records);
+        cluster.metrics().record_delta_sealed();
+        cluster.metrics().set_deltas_active(self.deltas.len() as u64);
+        Ok(meta)
+    }
+
+    /// [`Self::ingest_batch`] without the cluster-metric updates: for
+    /// callers that commit the mutation in a later step (the resident
+    /// server persists and swaps the snapshot first), so a failed commit
+    /// never reports a mutation that is not being served.
+    ///
+    /// # Errors
+    /// Same as [`Self::ingest_batch`].
+    pub fn ingest_batch_unmetered(
+        &mut self,
+        cluster: &Cluster,
+        records: Vec<Record>,
+    ) -> Result<DeltaMeta, CoreError> {
         if !self.config.clustered {
             return Err(CoreError::InvalidConfig {
                 reason: "continuous ingest requires the clustered layout".into(),
@@ -584,11 +606,9 @@ impl TardisIndex {
         };
         self.next_delta_id += 1;
         self.deltas.push(meta.clone());
-        self.delta_blooms
-            .push(if self.config.bloom_in_memory { bloom } else { None });
-        cluster.metrics().record_ingest(n_records);
-        cluster.metrics().record_delta_sealed();
-        cluster.metrics().set_deltas_active(self.deltas.len() as u64);
+        // Delta filters stay resident even when base filters spill to
+        // disk — see the `delta_blooms` field doc.
+        self.delta_blooms.push(bloom);
         Ok(meta)
     }
 
@@ -614,8 +634,10 @@ impl TardisIndex {
     }
 
     /// Tests the Bloom filter of delta `idx` for a signature:
-    /// `Ok(false)` means definitely absent. Reads the filter from DFS
-    /// when not memory-resident, mirroring [`Self::bloom_test`].
+    /// `Ok(false)` means definitely absent. Delta filters are resident
+    /// whenever Bloom is enabled (sealed and reopened alike), so unlike
+    /// [`Self::bloom_test`] this normally never touches the DFS; the
+    /// read-from-DFS path below is a defensive fallback only.
     ///
     /// # Errors
     /// [`CoreError::UnknownPartition`] or DFS errors.
@@ -684,6 +706,25 @@ impl TardisIndex {
         &mut self,
         cluster: &Cluster,
     ) -> Result<CompactionOutcome, CoreError> {
+        let outcome = self.compact_deferred_unmetered(cluster)?;
+        if outcome.deltas_folded > 0 {
+            cluster.metrics().record_compaction(outcome.folded_records);
+            cluster.metrics().set_deltas_active(self.deltas.len() as u64);
+        }
+        Ok(outcome)
+    }
+
+    /// [`Self::compact_deferred`] without the cluster-metric updates:
+    /// for callers that commit the mutation in a later step (the
+    /// resident server persists and swaps the snapshot first), so a
+    /// failed commit never reports a fold that is not being served.
+    ///
+    /// # Errors
+    /// Same as [`Self::compact_deferred`].
+    pub fn compact_deferred_unmetered(
+        &mut self,
+        cluster: &Cluster,
+    ) -> Result<CompactionOutcome, CoreError> {
         if self.deltas.is_empty() {
             return Ok(CompactionOutcome::default());
         }
@@ -743,8 +784,6 @@ impl TardisIndex {
         }
         self.delta_blooms.clear();
         self.manifest_version = version;
-        cluster.metrics().record_compaction(folded_records);
-        cluster.metrics().set_deltas_active(0);
         Ok(CompactionOutcome {
             folded_records,
             deltas_folded,
@@ -768,9 +807,13 @@ impl TardisIndex {
     }
 
     /// [`Self::save`] via [`Dfs::replace_file`]: every replica of the
-    /// manifest block is written tmp-then-rename over the old copy, so a
+    /// manifest block is staged then renamed over the old copy, so a
     /// concurrent reader observes either the pre- or post-swap manifest,
-    /// never a torn one. This is the swap the background compactor uses.
+    /// never a torn one. The swap is per-replica (see the
+    /// [`Dfs::replace_file`] atomicity note): a crash mid-swap can leave
+    /// replicas on different manifest versions, each internally
+    /// consistent — which version a reopen sees then depends on replica
+    /// choice. This is the swap the background compactor uses.
     ///
     /// # Errors
     /// Propagates DFS errors.
@@ -962,9 +1005,11 @@ impl TardisIndex {
                 blooms.push(None);
             }
         }
+        // Delta filters reload resident whenever Bloom is enabled, even
+        // with `bloom_in_memory` off — see the `delta_blooms` field doc.
         let mut delta_blooms = Vec::with_capacity(deltas.len());
         for meta in &deltas {
-            if config.bloom_enabled && config.bloom_in_memory {
+            if config.bloom_enabled {
                 let b = cluster.dfs().list_blocks(&meta.bloom_file)?;
                 let bytes = cluster.dfs().read_block(&b[0])?;
                 let filter =

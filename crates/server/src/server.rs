@@ -125,6 +125,12 @@ struct Shared {
     policy: Option<DegradedPolicy>,
     default_deadline_ms: Option<u64>,
     shutdown: Arc<AtomicBool>,
+    /// Retired file generations whose deletion was deferred because an
+    /// old-snapshot reader outlived the post-compaction drain window.
+    /// Each entry pairs the displaced snapshot (held weakly, so parking
+    /// never extends its life) with the files only it can still read;
+    /// [`Shared::reclaim_retired`] deletes them once it is gone.
+    retired: Mutex<Vec<(std::sync::Weak<TardisIndex>, Vec<String>)>>,
 }
 
 impl Shared {
@@ -145,14 +151,19 @@ impl Shared {
         Ok(std::mem::replace(&mut *self.index.lock().unwrap(), next))
     }
 
-    /// Seals one ingest batch into a delta and swaps the new snapshot in.
+    /// Seals one ingest batch into a delta and swaps the new snapshot
+    /// in. Metrics are recorded only after the swap: a failed persist
+    /// must not report a mutation that is not being served.
     fn ingest(&self, req: &Request) -> Result<String, CoreError> {
         let _writer = self.writer.lock().unwrap();
         let mut next = TardisIndex::clone(&self.index());
-        let meta = next.ingest_batch(&self.cluster, req.record_values())?;
+        let meta = next.ingest_batch_unmetered(&self.cluster, req.record_values())?;
         let deltas = next.n_deltas();
         let version = next.manifest_version();
         self.persist_and_swap(next)?;
+        self.cluster.metrics().record_ingest(meta.n_records);
+        self.cluster.metrics().record_delta_sealed();
+        self.cluster.metrics().set_deltas_active(deltas as u64);
         Ok(encode_ingest(
             req.id,
             meta.n_records as usize,
@@ -164,17 +175,28 @@ impl Shared {
 
     /// Folds every sealed delta into the base and swaps the compacted
     /// snapshot in. Retired files are deleted only after old-snapshot
-    /// readers drain (their partition loads may still be reading them).
+    /// readers drain (their partition loads may still be reading them);
+    /// a generation that fails to drain within [`DRAIN_CAP`] is parked
+    /// and reclaimed by a later [`Self::reclaim_retired`] pass instead
+    /// of leaking. The drain runs *outside* the writer lock, so ingest
+    /// and follow-up compactions never stall behind a slow reader.
     fn compact(&self) -> Result<(CompactionOutcome, u64), CoreError> {
-        let _writer = self.writer.lock().unwrap();
-        let mut next = TardisIndex::clone(&self.index());
-        if next.n_deltas() == 0 {
+        let (outcome, version, old) = {
+            let _writer = self.writer.lock().unwrap();
+            let mut next = TardisIndex::clone(&self.index());
+            if next.n_deltas() == 0 {
+                let version = next.manifest_version();
+                return Ok((CompactionOutcome::default(), version));
+            }
+            let outcome = next.compact_deferred_unmetered(&self.cluster)?;
             let version = next.manifest_version();
-            return Ok((CompactionOutcome::default(), version));
-        }
-        let outcome = next.compact_deferred(&self.cluster)?;
-        let version = next.manifest_version();
-        let old = self.persist_and_swap(next)?;
+            let old = self.persist_and_swap(next)?;
+            // Post-swap (still under the writer lock, so the gauge
+            // cannot race a concurrent ingest): the fold is now served.
+            self.cluster.metrics().record_compaction(outcome.folded_records);
+            self.cluster.metrics().set_deltas_active(0);
+            (outcome, version, old)
+        };
         let mut waited = Duration::ZERO;
         while Arc::strong_count(&old) > 1
             && waited < DRAIN_CAP
@@ -189,8 +211,32 @@ impl Shared {
                 // a failure leaves the file for a later scrub/cleanup.
                 let _ = self.cluster.dfs().delete_file(file);
             }
+        } else {
+            // A straggling reader still holds the displaced snapshot:
+            // park the files and delete them once it drops.
+            self.retired
+                .lock()
+                .unwrap()
+                .push((Arc::downgrade(&old), outcome.retired_files.clone()));
         }
+        self.reclaim_retired();
         Ok((outcome, version))
+    }
+
+    /// Deletes parked retired files whose displaced snapshot has fully
+    /// dropped (no reader can still load from them); generations with a
+    /// live straggler stay parked for the next pass.
+    fn reclaim_retired(&self) {
+        let mut parked = self.retired.lock().unwrap();
+        parked.retain(|(snapshot, files)| {
+            if snapshot.strong_count() > 0 {
+                return true;
+            }
+            for file in files {
+                let _ = self.cluster.dfs().delete_file(file);
+            }
+            false
+        });
     }
     /// Admits and executes one request line, returning the response line.
     fn execute_line(&self, line: &str) -> String {
@@ -216,21 +262,35 @@ impl Shared {
     }
 
     fn run(&self, req: &Request) -> String {
+        let id = req.id;
+        // Mutating ops dispatch *before* a snapshot is taken: holding
+        // the current snapshot across compact() would keep the displaced
+        // generation's strong count above 1 for the whole drain window,
+        // so its retired files could never be deleted.
+        match req.op {
+            Op::Ingest | Op::Compact => {
+                let result = if req.op == Op::Ingest {
+                    self.ingest(req)
+                } else {
+                    self.compact().map(|(o, version)| {
+                        encode_compact(
+                            id,
+                            o.folded_records,
+                            o.deltas_folded,
+                            o.partitions_rewritten,
+                            version,
+                        )
+                    })
+                };
+                return result.unwrap_or_else(|e| encode_error(id, "QueryError", &e.to_string()));
+            }
+            _ => {}
+        }
         let snapshot = self.index();
         let index = &*snapshot;
         let cluster = &*self.cluster;
-        let id = req.id;
         let result = match (self.policy, req.op) {
-            (_, Op::Ingest) => self.ingest(req),
-            (_, Op::Compact) => self.compact().map(|(o, version)| {
-                encode_compact(
-                    id,
-                    o.folded_records,
-                    o.deltas_folded,
-                    o.partitions_rewritten,
-                    version,
-                )
-            }),
+            (_, Op::Ingest) | (_, Op::Compact) => unreachable!("dispatched above"),
             (None, Op::Exact) => exact_match(index, cluster, &req.series(), req.use_bloom)
                 .map(|o| encode_exact(id, &o, None)),
             (None, Op::Knn) => {
@@ -366,6 +426,7 @@ impl QueryServer {
             policy: config.policy,
             default_deadline_ms: config.default_deadline_ms,
             shutdown: Arc::clone(&shutdown),
+            retired: Mutex::new(Vec::new()),
         });
 
         let accept_shutdown = Arc::clone(&shutdown);
@@ -488,6 +549,9 @@ fn spawn_compactor(cfg: CompactorConfig, shared: Arc<Shared>) -> thread::JoinHan
             thread::sleep(step);
             slept += step;
         }
+        // Reclaim generations parked behind a straggling reader even on
+        // ticks with no fold work.
+        shared.reclaim_retired();
         if shared.index().n_deltas() >= cfg.min_deltas.max(1) {
             let _ = shared.compact();
         }

@@ -239,3 +239,46 @@ fn ingest_and_compact_wire_responses() {
     assert!(resp.contains("\"ok\":true"), "{resp}");
     handle.shutdown();
 }
+
+/// Regression: a socket-initiated compact must delete the retired
+/// delta files promptly. The connection thread used to take its query
+/// snapshot *before* dispatching the op, keeping the displaced
+/// generation's `Arc` alive across the drain loop — compact spun the
+/// full 10 s drain cap (stalling ingest behind the writer lock) and
+/// then skipped the deletion, leaking the old generation forever.
+#[test]
+fn wire_compact_deletes_retired_files_promptly() {
+    let (cluster, index, gen) = fixture();
+    let handle = QueryServer::start(
+        Arc::clone(&cluster),
+        index,
+        ServerConfig {
+            manifest: Some("idx".to_string()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(&handle.addr().to_string()).unwrap();
+
+    let resp = client.send(&ingest_request(1, &gen, BASE, 60)).unwrap();
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(cluster.dfs().file_exists("delta-000000"), "delta not sealed to DFS");
+
+    let t0 = Instant::now();
+    let resp = client.send(&Request::new(2, Op::Compact)).unwrap();
+    let took = t0.elapsed();
+    assert!(resp.contains("\"ok\":true") && resp.contains("\"folded\":60"), "{resp}");
+    // With no concurrent reader the old snapshot drains immediately; a
+    // compact that approaches the drain cap means the dispatcher itself
+    // pinned the displaced generation.
+    assert!(took < Duration::from_secs(8), "compact stalled {took:?} in the drain loop");
+    assert!(
+        !cluster.dfs().file_exists("delta-000000"),
+        "retired delta file leaked after wire compact"
+    );
+    assert!(
+        !cluster.dfs().file_exists("dbloom-000000"),
+        "retired delta bloom leaked after wire compact"
+    );
+    handle.shutdown();
+}
