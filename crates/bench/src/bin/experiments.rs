@@ -19,8 +19,10 @@
 //! re-replication; writes `BENCH_balance.json`), `ingest` (continuous
 //! ingest through the daemon: sustained sealed-delta throughput plus
 //! query latency while the background compactor folds deltas; writes
-//! `BENCH_ingest.json`), `all`, and `quick` (a reduced-size pass over
-//! everything for smoke testing).
+//! `BENCH_ingest.json`), `build` (in-memory vs external-sort bounded
+//! memory construction: wall time and peak heap at 1x and 10x scale;
+//! writes `BENCH_build.json`), `all`, and `quick` (a reduced-size pass
+//! over everything for smoke testing).
 
 use std::time::Duration;
 use tardis_baseline::baseline_knn;
@@ -31,6 +33,11 @@ use tardis_core::{
 };
 use tardis_data::{profile_dataset, QueryWorkload};
 use tardis_ts::{distribution_mse, TimeSeries};
+
+/// Track peak heap so the `build` experiment can demonstrate the
+/// external-sort build's flat memory profile with real numbers.
+#[global_allocator]
+static ALLOC: tardis_cluster::PeakAlloc = tardis_cluster::PeakAlloc;
 
 /// Scale profile: full (default) or quick (CI smoke).
 #[derive(Clone, Copy)]
@@ -112,15 +119,19 @@ fn main() {
     if run_all || cmd == "ingest" {
         ingest(scale);
     }
+    if run_all || cmd == "build" {
+        build(scale);
+    }
     if !run_all
         && ![
             "table2", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
             "fig17", "ablations", "profiles", "queries", "kernels", "server", "balance", "ingest",
+            "build",
         ]
         .contains(&cmd)
     {
         eprintln!("unknown experiment '{cmd}'");
-        eprintln!("usage: experiments [table2|fig9|...|fig17|ablations|profiles|queries|kernels|server|balance|ingest|all|quick] [--quick]");
+        eprintln!("usage: experiments [table2|fig9|...|fig17|ablations|profiles|queries|kernels|server|balance|ingest|build|all|quick] [--quick]");
         std::process::exit(2);
     }
     println!("\n(total experiment time: {})", secs(t0.elapsed()));
@@ -1818,4 +1829,122 @@ fn size_histogram(index: &TardisIndex) -> Vec<f64> {
         }
     }
     counts
+}
+
+/// External-sort bounded-memory construction vs the in-memory build:
+/// wall time and peak heap at base scale for both paths, then the
+/// sorted build alone at 10x — the scale the in-memory path is no
+/// longer comfortable at. The clusters are disk-backed (spilled runs
+/// must hit real storage) and each phase runs in a fresh process-wide
+/// peak-heap window. Writes `BENCH_build.json`.
+fn build(scale: Scale) {
+    banner("Build", "in-memory vs external-sort (bounded memory) construction");
+    use tardis_cluster::obs::peak;
+    use tardis_cluster::{Cluster, ClusterConfig};
+    use tardis_core::SortedBuildOptions;
+
+    let family = Family::Noaa;
+    let config = TardisConfig {
+        g_max_size: tardis_bench::PARTITION_CAPACITY,
+        l_max_size: tardis_bench::LOCAL_THRESHOLD,
+        ..TardisConfig::default()
+    };
+    // Small enough that the sorted build spills many runs at both
+    // scales: peak memory should track this budget, not the dataset.
+    let opts = SortedBuildOptions {
+        run_budget_bytes: 4 << 20,
+    };
+    let root = std::env::temp_dir().join(format!("tardis-bench-build-{}", std::process::id()));
+
+    // One phase: dataset written, allocator peak reset, one build run.
+    let phase = |label: &str, n: u64, sorted: bool| -> (std::time::Duration, u64, usize) {
+        let dir = root.join(label);
+        std::fs::create_dir_all(&dir).expect("bench dir");
+        let cluster = Cluster::at_dir(&dir, ClusterConfig::default()).expect("cluster");
+        let gen = family.generator();
+        tardis_data::write_dataset(&cluster, "data", gen.as_ref(), n, tardis_bench::BLOCK_RECORDS)
+            .expect("write dataset");
+        peak::reset_peak();
+        let t = std::time::Instant::now();
+        let (index, report) = if sorted {
+            TardisIndex::build_sorted(&cluster, "data", &config, &opts).expect("sorted build")
+        } else {
+            TardisIndex::build(&cluster, "data", &config).expect("build")
+        };
+        let wall = t.elapsed();
+        let peak_bytes = peak::peak_bytes();
+        assert_eq!(report.n_records, n);
+        let n_partitions = index.n_partitions();
+        drop(index);
+        drop(cluster);
+        std::fs::remove_dir_all(&dir).ok();
+        (wall, peak_bytes, n_partitions)
+    };
+
+    let base = scale.base;
+    let big = base * 10;
+    let (mem_wall, mem_peak, mem_parts) = phase("mem-1x", base, false);
+    let (sorted_wall, sorted_peak, sorted_parts) = phase("sorted-1x", base, true);
+    assert_eq!(mem_parts, sorted_parts, "builds disagree on partitioning");
+    let (big_wall, big_peak, big_parts) = phase("sorted-10x", big, true);
+    std::fs::remove_dir_all(&root).ok();
+
+    print_table(
+        &["Build", "Records", "Wall", "Peak heap", "Partitions"],
+        &[
+            vec![
+                "in-memory".into(),
+                base.to_string(),
+                secs(mem_wall),
+                human_bytes(mem_peak as usize),
+                mem_parts.to_string(),
+            ],
+            vec![
+                "sorted (4 MiB budget)".into(),
+                base.to_string(),
+                secs(sorted_wall),
+                human_bytes(sorted_peak as usize),
+                sorted_parts.to_string(),
+            ],
+            vec![
+                "sorted (4 MiB budget)".into(),
+                big.to_string(),
+                secs(big_wall),
+                human_bytes(big_peak as usize),
+                big_parts.to_string(),
+            ],
+        ],
+    );
+    let growth = big_peak as f64 / sorted_peak.max(1) as f64;
+    println!(
+        "peak-heap growth for 10x more data on the sorted path: {growth:.2}x \
+         (flat-memory contract: stays near 1x while the dataset grows 10x)"
+    );
+
+    // Hand-rolled JSON (the workspace deliberately has no serde).
+    let json = format!(
+        "{{\n  \"bench\": \"build\",\n  \"dataset\": \"{}\",\n  \"run_budget_bytes\": {},\n  \"in_memory\": {{\n    \"n_records\": {},\n    \"wall_ms\": {:.3},\n    \"peak_heap_bytes\": {}\n  }},\n  \"sorted_1x\": {{\n    \"n_records\": {},\n    \"wall_ms\": {:.3},\n    \"peak_heap_bytes\": {}\n  }},\n  \"sorted_10x\": {{\n    \"n_records\": {},\n    \"wall_ms\": {:.3},\n    \"peak_heap_bytes\": {}\n  }},\n  \"sorted_peak_growth_10x\": {:.3}\n}}\n",
+        family.name(),
+        opts.run_budget_bytes,
+        base,
+        mem_wall.as_secs_f64() * 1e3,
+        mem_peak,
+        base,
+        sorted_wall.as_secs_f64() * 1e3,
+        sorted_peak,
+        big,
+        big_wall.as_secs_f64() * 1e3,
+        big_peak,
+        growth,
+    );
+    // Quick (CI smoke) runs must not clobber the checked-in full-scale
+    // baseline numbers.
+    if scale.base != FULL.base {
+        println!("quick scale: not writing BENCH_build.json");
+        return;
+    }
+    match std::fs::write("BENCH_build.json", &json) {
+        Ok(()) => println!("wrote BENCH_build.json"),
+        Err(e) => eprintln!("could not write BENCH_build.json: {e}"),
+    }
 }

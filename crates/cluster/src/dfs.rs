@@ -945,6 +945,22 @@ impl Dfs {
         Ok(())
     }
 
+    /// Deletes every file whose name starts with `prefix`, returning how
+    /// many were removed. Used by staged pipelines (the external-sort
+    /// build spills `extsort-run-*` files) to clean their scratch space
+    /// up in one sweep — both before a build (stale runs from an aborted
+    /// predecessor) and after a successful merge.
+    pub fn delete_files_with_prefix(&self, prefix: &str) -> Result<usize, ClusterError> {
+        let mut deleted = 0;
+        for name in self.list_files() {
+            if name.starts_with(prefix) {
+                self.delete_file(&name)?;
+                deleted += 1;
+            }
+        }
+        Ok(deleted)
+    }
+
     /// Replaces `name` with a single block holding `payload`. Every
     /// replica's new frame is staged to a tmp file first, then all
     /// replicas are renamed *over* the existing copies (placement hashes

@@ -54,7 +54,7 @@ pub use dfs::{BlockId, Dfs, DfsConfig, ScrubReport};
 pub use error::{ClusterError, MaybeTransient};
 pub use fault::{BackoffClock, FaultInjector, FaultPlan, FaultSite, RetryPolicy, VirtualClock};
 pub use metrics::{Metrics, MetricsSnapshot, MAX_TRACKED_NODES};
-pub use obs::{chrome_trace_json, BatchProfile, PromText, QueryProfile, Span, SpanAggregate, SpanNode, SpanRecord, Tracer};
+pub use obs::{chrome_trace_json, BatchProfile, PeakAlloc, PromText, QueryProfile, Span, SpanAggregate, SpanNode, SpanRecord, Tracer};
 pub use pool::{TaskError, WorkerPool};
 pub use steal::{Claimed, StealQueues};
 

@@ -316,6 +316,17 @@ impl MetricsSnapshot {
             "Sealed deltas currently awaiting compaction.",
             self.deltas_active,
         );
+        // Only meaningful in binaries that install `tardis_obs::PeakAlloc`
+        // as the global allocator; elsewhere the probe reads 0 and the
+        // gauge is omitted rather than reported as a misleading zero.
+        let peak = tardis_obs::peak::peak_bytes();
+        if peak > 0 {
+            p.gauge(
+                "tardis_build_peak_bytes",
+                "Peak live heap bytes since the last reset (tracking allocator installed).",
+                peak,
+            );
+        }
         // Per-node replica health: only nodes with any activity are
         // emitted, so small stores keep the dump compact.
         for node in 0..MAX_TRACKED_NODES {

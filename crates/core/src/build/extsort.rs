@@ -1,0 +1,734 @@
+//! External-sort bottom-up build: sorted runs on the DFS, a k-way merge
+//! in global signature order, and leaf-streamed partition construction.
+//!
+//! The pipeline replaces the in-memory build's read-all/shuffle-all/
+//! build-all steps with four bounded-memory stages:
+//!
+//! 1. **Scan + convert in waves.** Dataset blocks are read and converted
+//!    in parallel a wave at a time; each converted entry is tagged with
+//!    its target partition id and its global dataset position (`seq`).
+//! 2. **Spill sorted runs.** Once the buffered entries exceed the run
+//!    budget, they are sorted by the merge key and written to the
+//!    replicated DFS as `extsort-run-*` files — checksum-framed blocks
+//!    like any other, so run I/O inherits fault injection, retries, and
+//!    scrub coverage for free. Runs are deleted after a successful
+//!    merge.
+//! 3. **k-way merge.** Run cursors stream one block at a time; a binary
+//!    heap yields entries in `(pid, signature descending, seq)` order.
+//! 4. **Leaf-streamed partition writes.** Each partition is materialized
+//!    exactly once, in merge order, by a writer that replays the
+//!    Tardis-L split rules on the open (descending) path only — closed
+//!    subtrees are reduced to size accounting, emitted leaves go
+//!    straight to clustered DFS blocks, and at most one partition's
+//!    draft state is alive at a time.
+//!
+//! **Byte-identity contract.** The output is byte-identical to the
+//! in-memory build — same partition files, Bloom sidecars, metadata, and
+//! therefore identical query answers. The merge key makes this work:
+//!
+//! * The in-memory shuffle concatenates per-block buckets in dataset
+//!   block order, so a partition's insertion order equals global dataset
+//!   order — replicated here by the `seq` tiebreak.
+//! * `SigTree::subtree_leaves` emits leaves in *descending* plane-key
+//!   order (stack DFS over ascending `BTreeMap` children), and fixed
+//!   length signatures sort lexicographically exactly like their
+//!   plane-key vectors — so descending signature order visits entries
+//!   grouped by final leaf, in on-disk leaf order.
+//! * Within a leaf the real tree keeps insertion (`seq`) order, so each
+//!   closed leaf's buffered entries are re-sorted by `seq` before
+//!   emission.
+//! * A leaf's identity depends only on the signature multiset: a node is
+//!   internal exactly when its subtree count exceeds `l_max_size` and it
+//!   sits above `initial_card_bits` — which the writer can decide online
+//!   from prefix counts, holding only the open path plus undecided
+//!   entry groups (at most `l_max_size` entries per open layer).
+
+use crate::config::TardisConfig;
+use crate::entry::{encode_clustered_block, Entry, SigEntry};
+use crate::error::CoreError;
+use crate::global::{PartitionId, TardisG};
+use crate::index::{BuildReport, PartitionMeta, PARTITION_BLOCK_RECORDS};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+use tardis_bloom::BloomFilter;
+use tardis_cluster::{
+    decode_records, encode_records, BlockId, Broadcast, Cluster, ClusterError, Decode, Encode,
+    Tracer,
+};
+use tardis_isax::SigT;
+use tardis_ts::Record;
+
+/// DFS name prefix of spilled run files (`extsort-run-00000`, …).
+pub const RUN_FILE_PREFIX: &str = "extsort-run-";
+
+/// Records per spilled run block. Small enough that one in-flight block
+/// per run cursor stays negligible next to the run budget.
+const RUN_BLOCK_RECORDS: usize = 512;
+
+/// Dataset blocks read + converted per parallel wave. Bounds the raw
+/// bytes in flight between budget checks; the run buffer itself is
+/// bounded by [`SortedBuildOptions::run_budget_bytes`].
+const SCAN_WAVE_BLOCKS: usize = 16;
+
+/// Tuning knobs of [`crate::index::TardisIndex::build_sorted`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortedBuildOptions {
+    /// Approximate bytes of converted entries buffered in memory before
+    /// a sorted run is spilled to the DFS. Peak build memory scales with
+    /// this budget (plus one partition's draft state), not the dataset.
+    pub run_budget_bytes: usize,
+}
+
+impl Default for SortedBuildOptions {
+    fn default() -> Self {
+        SortedBuildOptions {
+            run_budget_bytes: 32 << 20,
+        }
+    }
+}
+
+/// Everything `TardisIndex::build_sorted` needs to assemble the handle.
+pub(crate) struct SortedBuildOutput {
+    pub global: TardisG,
+    pub parts: Vec<PartitionMeta>,
+    pub blooms: Vec<Option<BloomFilter>>,
+    pub report: BuildReport,
+    pub dataset_block_records: usize,
+}
+
+/// One spilled entry: merge key fields plus the converted entry.
+struct RunRecord {
+    pid: PartitionId,
+    seq: u64,
+    entry: Entry,
+}
+
+impl Encode for RunRecord {
+    fn encode(&self, buf: &mut bytes::BytesMut) {
+        use bytes::BufMut;
+        buf.put_u32_le(self.pid);
+        buf.put_u64_le(self.seq);
+        self.entry.encode(buf);
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        12 + self.entry.encoded_len_hint()
+    }
+}
+
+impl Decode for RunRecord {
+    fn decode(buf: &mut &[u8]) -> Result<Self, ClusterError> {
+        use bytes::Buf;
+        if buf.len() < 12 {
+            return Err(ClusterError::Codec {
+                context: "run record header",
+            });
+        }
+        let pid = buf.get_u32_le();
+        let seq = buf.get_u64_le();
+        let entry = Entry::decode(buf)?;
+        Ok(RunRecord { pid, seq, entry })
+    }
+}
+
+/// The global merge order: partition id ascending, signature
+/// *descending* (on-disk leaf order), dataset position ascending
+/// (in-leaf insertion order). Total — `seq` is globally unique.
+fn merge_cmp(a: &RunRecord, b: &RunRecord) -> Ordering {
+    a.pid
+        .cmp(&b.pid)
+        .then_with(|| b.entry.sig.cmp(&a.entry.sig))
+        .then_with(|| a.seq.cmp(&b.seq))
+}
+
+/// In-memory footprint estimate of one buffered run record, used
+/// against the run budget.
+fn run_record_bytes(entry: &Entry) -> usize {
+    std::mem::size_of::<RunRecord>()
+        + entry.sig.nibbles().len()
+        + entry.record.ts.len() * std::mem::size_of::<f32>()
+}
+
+/// Sorts and spills the buffered records as run `idx`, clearing the
+/// buffer (capacity is retained for the next run).
+fn spill_run(
+    cluster: &Cluster,
+    idx: usize,
+    records: &mut Vec<RunRecord>,
+) -> Result<String, CoreError> {
+    records.sort_unstable_by(merge_cmp);
+    let file = format!("{RUN_FILE_PREFIX}{idx:05}");
+    for chunk in records.chunks(RUN_BLOCK_RECORDS) {
+        cluster.dfs().append_block(&file, &encode_records(chunk))?;
+    }
+    records.clear();
+    Ok(file)
+}
+
+/// Streams one spilled run back in order, one DFS block in memory at a
+/// time. Reads go through the normal replicated path, so injected
+/// faults are retried like any other block read.
+struct RunCursor<'a> {
+    cluster: &'a Cluster,
+    blocks: Vec<BlockId>,
+    next_block: usize,
+    items: std::vec::IntoIter<RunRecord>,
+}
+
+impl<'a> RunCursor<'a> {
+    fn new(cluster: &'a Cluster, file: &str) -> Result<RunCursor<'a>, CoreError> {
+        Ok(RunCursor {
+            cluster,
+            blocks: cluster.dfs().list_blocks(file)?,
+            next_block: 0,
+            items: Vec::new().into_iter(),
+        })
+    }
+
+    fn next(&mut self) -> Result<Option<RunRecord>, CoreError> {
+        loop {
+            if let Some(r) = self.items.next() {
+                return Ok(Some(r));
+            }
+            if self.next_block >= self.blocks.len() {
+                return Ok(None);
+            }
+            let bytes = self.cluster.dfs().read_block(&self.blocks[self.next_block])?;
+            self.next_block += 1;
+            self.items = decode_records::<RunRecord>(&bytes)?.into_iter();
+        }
+    }
+}
+
+/// Heap adapter inverting [`merge_cmp`] so `BinaryHeap::pop` yields the
+/// globally smallest record.
+struct HeapItem {
+    rec: RunRecord,
+    src: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        merge_cmp(&other.rec, &self.rec).then_with(|| other.src.cmp(&self.src))
+    }
+}
+
+/// k-way merge over run cursors.
+struct RunMerger<'a> {
+    cursors: Vec<RunCursor<'a>>,
+    heap: BinaryHeap<HeapItem>,
+}
+
+impl<'a> RunMerger<'a> {
+    fn new(cluster: &'a Cluster, files: &[String]) -> Result<RunMerger<'a>, CoreError> {
+        let mut cursors = Vec::with_capacity(files.len());
+        let mut heap = BinaryHeap::with_capacity(files.len());
+        for (src, file) in files.iter().enumerate() {
+            let mut cursor = RunCursor::new(cluster, file)?;
+            if let Some(rec) = cursor.next()? {
+                heap.push(HeapItem { rec, src });
+            }
+            cursors.push(cursor);
+        }
+        Ok(RunMerger { cursors, heap })
+    }
+
+    fn next(&mut self) -> Result<Option<RunRecord>, CoreError> {
+        let Some(top) = self.heap.pop() else {
+            return Ok(None);
+        };
+        if let Some(rec) = self.cursors[top.src].next()? {
+            self.heap.push(HeapItem { rec, src: top.src });
+        }
+        Ok(Some(top.rec))
+    }
+}
+
+/// Number of leading bit-planes `a` and `b` share (0..=`max_bits`).
+fn common_layers(a: &SigT, b: &SigT, max_bits: u8) -> u8 {
+    let npp = a.nibbles_per_plane();
+    let (an, bn) = (a.nibbles(), b.nibbles());
+    for layer in 0..max_bits as usize {
+        if an[layer * npp..(layer + 1) * npp] != bn[layer * npp..(layer + 1) * npp] {
+            return layer as u8;
+        }
+    }
+    max_bits
+}
+
+/// Semantic size of one tree node at `layer` with `n_children` links —
+/// must mirror `sigtree::Node::mem_bytes` (packed signature + child
+/// links + count + header) for `index_bytes` parity.
+fn node_mem(config: &TardisConfig, layer: u8, n_children: usize) -> usize {
+    let sig_nibbles = layer as usize * (config.word_len / 4);
+    sig_nibbles.div_ceil(2) + n_children * 8 + 4 + 8
+}
+
+/// An entry buffered while its final leaf is still undecided.
+struct PendingEntry {
+    seq: u64,
+    entry: Entry,
+}
+
+/// One open node on the writer's descending path.
+///
+/// Entries are buffered at the deepest node (`open_items`); when a node
+/// closes undecided its entries bubble up as one *group* per closed
+/// child. A node that crosses the split threshold becomes internal for
+/// good and flushes its groups as final leaves; a node that closes
+/// below the threshold under an internal parent *is* a final leaf.
+struct DraftNode {
+    layer: u8,
+    count: u64,
+    n_children: usize,
+    internal: bool,
+    /// Closed-child groups awaiting this node's internal/leaf decision,
+    /// in close (descending-signature) order.
+    groups: Vec<Vec<PendingEntry>>,
+    /// Raw entries (deepest node only).
+    open_items: Vec<PendingEntry>,
+    /// Deepest node decided as a final max-depth leaf while still open:
+    /// its entries stream straight to the block emitter.
+    streaming: bool,
+}
+
+impl DraftNode {
+    fn new(layer: u8) -> DraftNode {
+        DraftNode {
+            layer,
+            count: 0,
+            n_children: 0,
+            internal: false,
+            groups: Vec::new(),
+            open_items: Vec::new(),
+            streaming: false,
+        }
+    }
+}
+
+/// Builds one partition from its merged entry stream, holding only the
+/// open tree path, undecided entry groups, and one pending output block
+/// — never the whole partition. Produces byte-identical DFS files and
+/// metadata to `persist_partition` over the same entries.
+struct PartitionStreamWriter<'a> {
+    cluster: &'a Cluster,
+    config: &'a TardisConfig,
+    pid: PartitionId,
+    part_file: String,
+    bloom_file: String,
+    bloom: Option<BloomFilter>,
+    stack: Vec<DraftNode>,
+    prev_sig: Option<SigT>,
+    /// Accumulated `Node::mem_bytes` of finalized nodes.
+    node_bytes: usize,
+    n_entries: u64,
+    /// Entries awaiting the next clustered block write.
+    pending: Vec<Entry>,
+    wrote_block: bool,
+}
+
+impl<'a> PartitionStreamWriter<'a> {
+    fn new(
+        cluster: &'a Cluster,
+        config: &'a TardisConfig,
+        pid: PartitionId,
+        expected_records: usize,
+    ) -> Result<PartitionStreamWriter<'a>, CoreError> {
+        let part_file = format!("part-{pid:05}");
+        let bloom_file = format!("bloom-{pid:05}");
+        // Same clean-slate delete the in-memory persist does. The Bloom
+        // filter is sized from the total records routed to this pid
+        // (known from the spill phase) — identical to sizing from the
+        // materialized entry vector.
+        cluster.dfs().delete_file(&part_file)?;
+        let bloom = config
+            .bloom_enabled
+            .then(|| BloomFilter::with_capacity(expected_records.max(16), config.bloom_fpp));
+        Ok(PartitionStreamWriter {
+            cluster,
+            config,
+            pid,
+            part_file,
+            bloom_file,
+            bloom,
+            stack: Vec::new(),
+            prev_sig: None,
+            node_bytes: 0,
+            n_entries: 0,
+            pending: Vec::with_capacity(PARTITION_BLOCK_RECORDS.min(4096)),
+            wrote_block: false,
+        })
+    }
+
+    /// Feeds the next entry in merge order (signature descending, then
+    /// `seq` ascending).
+    fn push(&mut self, seq: u64, entry: Entry) -> Result<(), CoreError> {
+        let max_bits = self.config.initial_card_bits;
+        if let Some(filter) = self.bloom.as_mut() {
+            filter.insert(entry.sig.nibbles());
+        }
+        self.n_entries += 1;
+        match self.prev_sig.take() {
+            None => {
+                debug_assert!(self.stack.is_empty());
+                for layer in 0..=max_bits {
+                    self.stack.push(DraftNode::new(layer));
+                }
+            }
+            Some(prev) => {
+                let d = common_layers(&prev, &entry.sig, max_bits);
+                self.close_to_depth(d)?;
+                for layer in (d + 1)..=max_bits {
+                    self.stack.push(DraftNode::new(layer));
+                }
+            }
+        }
+        for node in &mut self.stack {
+            node.count += 1;
+        }
+        self.promote_internal()?;
+        self.prev_sig = Some(entry.sig.clone());
+        // Deliver the entry. `initial_card_bits >= 1` (validated), so the
+        // deepest node always has a parent on the stack.
+        let parent_internal = self.stack[self.stack.len() - 2].internal;
+        if parent_internal {
+            // Max-depth node under an internal parent is a final leaf no
+            // matter how large it grows; its entries arrive in seq order
+            // (single signature), so stream them out immediately.
+            let deepest = self.stack.last_mut().expect("path open");
+            deepest.streaming = true;
+            let buffered = std::mem::take(&mut deepest.open_items);
+            for item in buffered {
+                self.emit_entry(item.entry)?;
+            }
+            self.emit_entry(entry)?;
+        } else {
+            self.stack
+                .last_mut()
+                .expect("path open")
+                .open_items
+                .push(PendingEntry { seq, entry });
+        }
+        Ok(())
+    }
+
+    /// Marks open nodes whose count crossed the split threshold as
+    /// internal, flushing their buffered groups as final leaves — top
+    /// down, so shallower (lexicographically later-closing) groups emit
+    /// before deeper ones, matching on-disk leaf order.
+    fn promote_internal(&mut self) -> Result<(), CoreError> {
+        let threshold = self.config.l_max_size as u64;
+        let max_bits = self.config.initial_card_bits;
+        let mut i = 0;
+        while i < self.stack.len() {
+            let node = &mut self.stack[i];
+            if !node.internal && node.layer < max_bits && node.count > threshold {
+                node.internal = true;
+                let child_layer = node.layer + 1;
+                let groups = std::mem::take(&mut node.groups);
+                for group in groups {
+                    self.emit_leaf(child_layer, group)?;
+                    self.stack[i].n_children += 1;
+                }
+            }
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// Closes open nodes deeper than `depth`, deepest first.
+    fn close_to_depth(&mut self, depth: u8) -> Result<(), CoreError> {
+        while self.stack.last().map(|n| n.layer).unwrap_or(0) > depth {
+            let node = self.stack.pop().expect("non-empty stack");
+            self.close_node(node)?;
+        }
+        Ok(())
+    }
+
+    /// Finalizes a closed node into its parent (the new stack top).
+    fn close_node(&mut self, node: DraftNode) -> Result<(), CoreError> {
+        let parent = self.stack.last_mut().expect("closed node has a parent");
+        if node.internal {
+            // Children already emitted/accounted; the node itself is a
+            // finalized interior node.
+            debug_assert!(node.groups.is_empty() && node.open_items.is_empty());
+            self.node_bytes += node_mem(self.config, node.layer, node.n_children);
+            parent.n_children += 1;
+        } else if node.streaming {
+            // Decided max-depth leaf; entries already emitted in order.
+            debug_assert!(node.groups.is_empty() && node.open_items.is_empty());
+            self.node_bytes += node_mem(self.config, node.layer, 0);
+            parent.n_children += 1;
+        } else {
+            // Undecided: merge buffered descendants into one group. If
+            // the parent is already internal this group is a final leaf
+            // child; otherwise its fate bubbles up with the parent.
+            let mut merged: Vec<PendingEntry> =
+                Vec::with_capacity(node.groups.iter().map(Vec::len).sum::<usize>() + node.open_items.len());
+            for group in node.groups {
+                merged.extend(group);
+            }
+            merged.extend(node.open_items);
+            if parent.internal {
+                parent.n_children += 1;
+                let layer = node.layer;
+                self.emit_leaf(layer, merged)?;
+            } else {
+                parent.groups.push(merged);
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits one finalized leaf: entries restored to insertion (`seq`)
+    /// order, then appended to the clustered output.
+    fn emit_leaf(&mut self, layer: u8, mut items: Vec<PendingEntry>) -> Result<(), CoreError> {
+        items.sort_unstable_by_key(|p| p.seq);
+        for item in items {
+            self.emit_entry(item.entry)?;
+        }
+        self.node_bytes += node_mem(self.config, layer, 0);
+        Ok(())
+    }
+
+    fn emit_entry(&mut self, entry: Entry) -> Result<(), CoreError> {
+        self.pending.push(entry);
+        if self.pending.len() >= PARTITION_BLOCK_RECORDS {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    /// Writes the pending entries as one partition block (the same
+    /// chunking `persist_partition` applies to its ordered entry list).
+    fn flush_block(&mut self) -> Result<(), CoreError> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let bytes = if self.config.clustered {
+            encode_clustered_block(&self.pending, self.config.word_len)
+        } else {
+            let sigs: Vec<SigEntry> = self
+                .pending
+                .iter()
+                .map(|e| SigEntry::new(e.sig.clone(), e.record.rid))
+                .collect();
+            encode_records(&sigs)
+        };
+        self.cluster.dfs().append_block(&self.part_file, &bytes)?;
+        self.wrote_block = true;
+        self.pending.clear();
+        Ok(())
+    }
+
+    /// Seals the partition: closes the remaining path, flushes the tail
+    /// block, persists the Bloom sidecar, and returns metadata identical
+    /// to the in-memory `persist_partition`.
+    fn finish(mut self) -> Result<(PartitionMeta, Option<BloomFilter>), CoreError> {
+        if self.stack.is_empty() {
+            // Empty partition: the tree is a bare root leaf.
+            self.node_bytes += node_mem(self.config, 0, 0);
+        } else {
+            self.close_to_depth(0)?;
+            let root = self.stack.pop().expect("root remains");
+            debug_assert!(self.stack.is_empty());
+            if root.internal {
+                debug_assert!(root.groups.is_empty() && root.open_items.is_empty());
+                self.node_bytes += node_mem(self.config, 0, root.n_children);
+            } else {
+                let mut merged: Vec<PendingEntry> = Vec::new();
+                for group in root.groups {
+                    merged.extend(group);
+                }
+                merged.extend(root.open_items);
+                self.emit_leaf(0, merged)?;
+            }
+        }
+        self.flush_block()?;
+        if !self.wrote_block {
+            // Parity with the in-memory path: an empty partition still
+            // persists one empty block.
+            let bytes = if self.config.clustered {
+                encode_clustered_block(&[], self.config.word_len)
+            } else {
+                encode_records::<SigEntry>(&[])
+            };
+            self.cluster.dfs().append_block(&self.part_file, &bytes)?;
+        }
+        let bloom_bytes = self.bloom.as_ref().map(BloomFilter::mem_bytes).unwrap_or(0);
+        if let Some(filter) = &self.bloom {
+            self.cluster.dfs().delete_file(&self.bloom_file)?;
+            self.cluster
+                .dfs()
+                .append_block(&self.bloom_file, &filter.to_bytes())?;
+        }
+        let sig_nibbles = self.config.initial_card_bits as usize * (self.config.word_len / 4);
+        let per_entry = sig_nibbles.div_ceil(2) + 8;
+        let index_bytes = crate::local::TardisL::tree_struct_bytes()
+            + self.node_bytes
+            + per_entry * self.n_entries as usize;
+        let meta = PartitionMeta {
+            pid: self.pid,
+            n_records: self.n_entries,
+            file: self.part_file,
+            bloom_file: self.bloom_file,
+            index_bytes,
+            bloom_bytes,
+        };
+        let resident = if self.config.bloom_in_memory {
+            self.bloom
+        } else {
+            None
+        };
+        Ok((meta, resident))
+    }
+}
+
+/// The full sorted-build pipeline; see the module docs. Called by
+/// [`crate::index::TardisIndex::build_sorted_profiled`], which owns the
+/// public API surface and assembles the index handle.
+pub(crate) fn build_sorted_impl(
+    cluster: &Cluster,
+    dataset_file: &str,
+    config: &TardisConfig,
+    opts: &SortedBuildOptions,
+    tracer: &Tracer,
+) -> Result<SortedBuildOutput, CoreError> {
+    config.validate()?;
+    let root = tracer.root("build");
+    let mut report = BuildReport::default();
+
+    // ---- Step 1: global index (identical to the in-memory path). ----
+    let global = TardisG::build_traced(cluster, dataset_file, config, &root)?;
+    report.global = global.breakdown;
+    report.global_index_bytes = global.mem_bytes();
+    let n_partitions = global.n_partitions();
+    let partitioner = Broadcast::new(global, report.global_index_bytes, cluster.metrics());
+
+    // ---- Step 2: scan + convert in waves, spilling sorted runs. ----
+    let t0 = Instant::now();
+    let read_span = root.child("read-convert");
+    // Sweep stale runs from an aborted predecessor before appending.
+    cluster.dfs().delete_files_with_prefix(RUN_FILE_PREFIX)?;
+    let block_ids = cluster.dfs().list_blocks(dataset_file)?;
+    let converter = *partitioner.converter();
+    let mut pid_counts = vec![0u64; n_partitions];
+    let mut run_files: Vec<String> = Vec::new();
+    let mut buffer: Vec<RunRecord> = Vec::new();
+    let mut buffered_bytes = 0usize;
+    let mut n_records = 0u64;
+    let mut dataset_block_records = 0usize;
+    for wave in block_ids.chunks(SCAN_WAVE_BLOCKS) {
+        let per_block: Vec<Vec<(PartitionId, Entry)>> = cluster.pool().try_par_map(
+            wave.to_vec(),
+            |id| -> Result<Vec<(PartitionId, Entry)>, CoreError> {
+                let bytes = cluster.dfs().read_block(&id)?;
+                let records: Vec<Record> = decode_records(&bytes)?;
+                cluster.metrics().record_task();
+                records
+                    .into_iter()
+                    .map(|r| {
+                        let sig = converter.sig_of(&r.ts)?;
+                        let pid = partitioner.partition_of(&sig);
+                        Ok((pid, Entry::new(sig, r)))
+                    })
+                    .collect()
+            },
+        )?;
+        // Sequential seq assignment in block order replicates the
+        // in-memory shuffle's concatenation order exactly.
+        for entries in per_block {
+            dataset_block_records = dataset_block_records.max(entries.len());
+            for (pid, entry) in entries {
+                pid_counts[pid as usize] += 1;
+                buffered_bytes += run_record_bytes(&entry);
+                buffer.push(RunRecord {
+                    pid,
+                    seq: n_records,
+                    entry,
+                });
+                n_records += 1;
+            }
+            if buffered_bytes >= opts.run_budget_bytes && !buffer.is_empty() {
+                run_files.push(spill_run(cluster, run_files.len(), &mut buffer)?);
+                buffered_bytes = 0;
+            }
+        }
+    }
+    if !buffer.is_empty() {
+        run_files.push(spill_run(cluster, run_files.len(), &mut buffer)?);
+    }
+    drop(buffer);
+    read_span.add("records", n_records);
+    read_span.add("runs", run_files.len() as u64);
+    drop(read_span);
+    report.read_convert = t0.elapsed();
+    report.n_records = n_records;
+    report.n_partitions = n_partitions;
+
+    // ---- Step 3: open the k-way merge (the shuffle analogue). ----
+    let t_merge = Instant::now();
+    let merge_span = root.child("merge");
+    let mut merger = RunMerger::new(cluster, &run_files)?;
+    drop(merge_span);
+    report.shuffle = t_merge.elapsed();
+
+    // ---- Step 4: leaf-streamed partition builds, one pid at a time. ----
+    let t1 = Instant::now();
+    let local_span = root.child("local-build");
+    let mut parts = Vec::with_capacity(n_partitions);
+    let mut blooms = Vec::with_capacity(n_partitions);
+    let mut next = merger.next()?;
+    for pid in 0..n_partitions as PartitionId {
+        cluster.metrics().record_task();
+        let part_span = local_span.child("partition");
+        part_span.add("pid", pid as u64);
+        let mut writer =
+            PartitionStreamWriter::new(cluster, config, pid, pid_counts[pid as usize] as usize)?;
+        while let Some(rec) = next.take() {
+            if rec.pid != pid {
+                next = Some(rec);
+                break;
+            }
+            writer.push(rec.seq, rec.entry)?;
+            next = merger.next()?;
+        }
+        let (meta, bloom) = writer.finish()?;
+        part_span.add("records", meta.n_records);
+        drop(part_span);
+        report.local_index_bytes += meta.index_bytes;
+        report.bloom_bytes += meta.bloom_bytes;
+        parts.push(meta);
+        blooms.push(bloom);
+    }
+    debug_assert!(next.is_none(), "merged entries beyond the partition space");
+    local_span.add("partitions", parts.len() as u64);
+    drop(local_span);
+    report.local_build = t1.elapsed();
+
+    // ---- Success: retire the runs. ----
+    for file in &run_files {
+        cluster.dfs().delete_file(file)?;
+    }
+
+    let global = partitioner.value().clone();
+    Ok(SortedBuildOutput {
+        global,
+        parts,
+        blooms,
+        report,
+        dataset_block_records: dataset_block_records.max(1),
+    })
+}

@@ -1,0 +1,17 @@
+//! Bounded-memory (bottom-up) index construction.
+//!
+//! The default build path ([`crate::index::TardisIndex::build`])
+//! materializes every converted record of every partition in RAM at
+//! once, which caps practical builds well below the scales the paper
+//! targets. This module provides the Coconut-style alternative: because
+//! iSAX-T signatures are *sortable* byte strings, the index can be
+//! constructed bottom-up from a globally sorted entry stream at a peak
+//! memory bounded by the sort-run budget instead of the dataset size.
+//!
+//! [`extsort`] implements the pipeline; see
+//! [`crate::index::TardisIndex::build_sorted`] for the public entry
+//! point.
+
+pub mod extsort;
+
+pub use extsort::SortedBuildOptions;

@@ -27,7 +27,7 @@ use tardis_ts::{Record, RecordId};
 
 /// Records per persisted partition block (a partition spans a handful of
 /// blocks, mirroring an HDFS file).
-const PARTITION_BLOCK_RECORDS: usize = 2048;
+pub(crate) const PARTITION_BLOCK_RECORDS: usize = 2048;
 
 /// Magic prefix of the versioned (v2) manifest layout, which appends a
 /// manifest version, a delta-id high-water mark, and the sealed-delta
@@ -284,6 +284,68 @@ impl TardisIndex {
                 dataset_block_records: dataset_block_records.max(1),
             },
             report,
+        ))
+    }
+
+    /// Builds the complete index with **bounded peak memory**: instead
+    /// of materializing every converted record in RAM, the build spills
+    /// sorted runs to the DFS, k-way merges them in global signature
+    /// order, and streams each partition's clustered blocks leaf by
+    /// leaf. Peak memory scales with
+    /// [`SortedBuildOptions::run_budget_bytes`] plus one partition's
+    /// draft tree path — not with the dataset.
+    ///
+    /// The output is byte-identical to [`Self::build`]: same partition
+    /// files, Bloom sidecars, and metadata, and therefore identical
+    /// answers on every query path.
+    ///
+    /// # Errors
+    /// Same as [`Self::build`].
+    pub fn build_sorted(
+        cluster: &Cluster,
+        dataset_file: &str,
+        config: &TardisConfig,
+        opts: &crate::build::SortedBuildOptions,
+    ) -> Result<(TardisIndex, BuildReport), CoreError> {
+        Self::build_sorted_profiled(
+            cluster,
+            dataset_file,
+            config,
+            opts,
+            &tardis_cluster::Tracer::disabled(),
+        )
+    }
+
+    /// [`Self::build_sorted`] with build-phase spans accumulated in
+    /// `tracer` (same shape as [`Self::build_profiled`], with the
+    /// shuffle step replaced by a `merge` span and the `read-convert`
+    /// span additionally carrying the number of spilled runs).
+    ///
+    /// # Errors
+    /// Same as [`Self::build`].
+    pub fn build_sorted_profiled(
+        cluster: &Cluster,
+        dataset_file: &str,
+        config: &TardisConfig,
+        opts: &crate::build::SortedBuildOptions,
+        tracer: &tardis_cluster::Tracer,
+    ) -> Result<(TardisIndex, BuildReport), CoreError> {
+        let out =
+            crate::build::extsort::build_sorted_impl(cluster, dataset_file, config, opts, tracer)?;
+        Ok((
+            TardisIndex {
+                config: config.clone(),
+                global: out.global,
+                parts: out.parts,
+                blooms: out.blooms,
+                deltas: Vec::new(),
+                delta_blooms: Vec::new(),
+                next_delta_id: 0,
+                manifest_version: 0,
+                dataset_file: dataset_file.to_string(),
+                dataset_block_records: out.dataset_block_records,
+            },
+            out.report,
         ))
     }
 

@@ -28,6 +28,7 @@
 //! [`eval`].
 
 pub mod block;
+pub mod build;
 pub mod config;
 pub mod convert;
 pub mod entry;
@@ -40,6 +41,7 @@ pub mod packing;
 pub mod query;
 
 pub use block::{SeriesBlock, SeriesBlockBuilder};
+pub use build::SortedBuildOptions;
 pub use config::TardisConfig;
 pub use convert::Converter;
 pub use entry::{decode_clustered_block, Entry, SigEntry};

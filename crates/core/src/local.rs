@@ -277,6 +277,14 @@ impl TardisL {
         self.tree.mem_bytes() + per_entry
     }
 
+    /// Fixed [`SigTree`] struct overhead counted by `tree.mem_bytes()`
+    /// on top of the per-node sizes — the sorted build reproduces
+    /// [`Self::index_mem_bytes`] without materializing a tree, and this
+    /// keeps the two accountings from drifting apart.
+    pub(crate) fn tree_struct_bytes() -> usize {
+        std::mem::size_of::<SigTree<BlockEntry>>()
+    }
+
     /// Clustered serialization order: entries grouped leaf by leaf, so
     /// that similar series are adjacent on disk. Materializes owned
     /// [`Entry`] values from the block arena.

@@ -1,0 +1,199 @@
+//! The sorted build under seeded fault injection.
+//!
+//! Every byte the external sort moves — dataset reads, run-file writes,
+//! run-file reads during the merge, partition/bloom writes — goes
+//! through the replicated DFS, so injected transient faults must be
+//! absorbed by the normal retry machinery without changing a single
+//! output byte. These tests run the sorted build on a cluster whose
+//! fault plan fails reads, writes, and tasks, then compare the result
+//! against a clean build: answers identical, retries actually happened,
+//! and no run files left behind.
+
+use std::time::Duration;
+use tardis_cluster::{
+    encode_records, BackoffClock, Cluster, ClusterConfig, FaultPlan, RetryPolicy,
+};
+use tardis_core::{
+    exact_knn, exact_match, knn_approximate, range_query, KnnStrategy, SortedBuildOptions,
+    TardisConfig, TardisIndex,
+};
+use tardis_ts::{Record, TimeSeries};
+
+const N_RECORDS: u64 = 360;
+
+fn series(rid: u64) -> TimeSeries {
+    let mut x = rid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut acc = 0.0f32;
+    let mut v = Vec::with_capacity(64);
+    for _ in 0..64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc += ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+        v.push(acc);
+    }
+    tardis_ts::z_normalize_in_place(&mut v);
+    TimeSeries::new(v)
+}
+
+fn config() -> TardisConfig {
+    TardisConfig {
+        g_max_size: 120,
+        l_max_size: 40,
+        sampling_fraction: 0.5,
+        ..TardisConfig::default()
+    }
+}
+
+fn faulty_cluster(seed: u64) -> Cluster {
+    Cluster::new(ClusterConfig {
+        n_workers: 4,
+        faults: Some(FaultPlan {
+            seed,
+            block_read_fail_p: 0.10,
+            block_write_fail_p: 0.10,
+            task_fail_p: 0.05,
+            ..FaultPlan::default()
+        }),
+        retry: RetryPolicy {
+            max_attempts: 64,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(8),
+            clock: BackoffClock::Virtual(Default::default()),
+        },
+        ..ClusterConfig::default()
+    })
+    .unwrap()
+}
+
+fn clean_cluster() -> Cluster {
+    Cluster::new(ClusterConfig {
+        n_workers: 4,
+        ..ClusterConfig::default()
+    })
+    .unwrap()
+}
+
+fn write_data(cluster: &Cluster) {
+    let blocks: Vec<Vec<u8>> = (0..N_RECORDS)
+        .collect::<Vec<u64>>()
+        .chunks(60)
+        .map(|chunk| {
+            encode_records(
+                &chunk
+                    .iter()
+                    .map(|&rid| Record::new(rid, series(rid)))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    cluster.dfs().write_blocks("data", blocks).unwrap();
+}
+
+/// Faults are injected throughout the spill/merge/stream pipeline, the
+/// build still succeeds, and its answers are bit-identical to a clean
+/// build's on every query path.
+#[test]
+fn sorted_build_survives_fault_injection_with_identical_answers() {
+    let clean = clean_cluster();
+    write_data(&clean);
+    let cfg = config();
+    let (oracle, oracle_report) = TardisIndex::build(&clean, "data", &cfg).unwrap();
+
+    let faulty = faulty_cluster(0x7A8D_15B3);
+    write_data(&faulty);
+    let opts = SortedBuildOptions {
+        run_budget_bytes: 16 << 10,
+    };
+    let (index, report) = TardisIndex::build_sorted(&faulty, "data", &cfg, &opts).unwrap();
+
+    // The plan really fired, and the retries absorbed every fault.
+    let m = faulty.metrics().snapshot();
+    assert!(m.faults_injected > 0, "fault plan never fired");
+    assert!(
+        m.block_read_retries + m.block_write_retries + m.task_retries > 0,
+        "no retries recorded despite injected faults"
+    );
+    assert_eq!(m.tasks_failed_permanently, 0, "a task exhausted its retries");
+
+    // Same logical index as the clean oracle.
+    assert_eq!(report.n_records, oracle_report.n_records);
+    assert_eq!(report.n_partitions, oracle_report.n_partitions);
+    assert_eq!(report.local_index_bytes, oracle_report.local_index_bytes);
+    assert_eq!(report.bloom_bytes, oracle_report.bloom_bytes);
+
+    // Run files are cleaned up even on the fault-injected path.
+    assert!(
+        !faulty
+            .dfs()
+            .list_files()
+            .iter()
+            .any(|n| n.starts_with("extsort-run-")),
+        "leftover run files after a fault-injected sorted build"
+    );
+
+    // Answers bit-identical to the clean in-memory oracle. Queries run
+    // against the faulty cluster too — reads keep being injected, which
+    // is fine: retried reads return the same bytes.
+    for &rid in &[5u64, 111, 222, 333] {
+        let q = series(rid);
+        let ea = exact_match(&oracle, &clean, &q, true).unwrap();
+        let eb = exact_match(&index, &faulty, &q, true).unwrap();
+        assert_eq!(ea.matches, eb.matches, "exact rid {rid}");
+
+        for strategy in KnnStrategy::ALL {
+            let ka = knn_approximate(&oracle, &clean, &q, 5, strategy).unwrap();
+            let kb = knn_approximate(&index, &faulty, &q, 5, strategy).unwrap();
+            let na: Vec<(u64, u64)> = ka.neighbors.iter().map(|&(d, r)| (d.to_bits(), r)).collect();
+            let nb: Vec<(u64, u64)> = kb.neighbors.iter().map(|&(d, r)| (d.to_bits(), r)).collect();
+            assert_eq!(na, nb, "knn {strategy:?} rid {rid}");
+        }
+
+        let xa = exact_knn(&oracle, &clean, &q, 5).unwrap();
+        let xb = exact_knn(&index, &faulty, &q, 5).unwrap();
+        let ex_a: Vec<(u64, u64)> =
+            xa.neighbors.iter().map(|n| (n.distance.to_bits(), n.rid)).collect();
+        let ex_b: Vec<(u64, u64)> =
+            xb.neighbors.iter().map(|n| (n.distance.to_bits(), n.rid)).collect();
+        assert_eq!(ex_a, ex_b, "exact-knn rid {rid}");
+
+        let ra = range_query(&oracle, &clean, &q, 4.0).unwrap();
+        let rb = range_query(&index, &faulty, &q, 4.0).unwrap();
+        let rm_a: Vec<(u64, u64)> =
+            ra.matches.iter().map(|n| (n.distance.to_bits(), n.rid)).collect();
+        let rm_b: Vec<(u64, u64)> =
+            rb.matches.iter().map(|n| (n.distance.to_bits(), n.rid)).collect();
+        assert_eq!(rm_a, rm_b, "range rid {rid}");
+    }
+}
+
+/// Stale run files from a crashed predecessor build must not leak into
+/// (or corrupt) a fresh sorted build.
+#[test]
+fn sorted_build_sweeps_stale_run_files() {
+    let cluster = clean_cluster();
+    write_data(&cluster);
+    // Simulate an aborted earlier attempt: a well-formed-looking but
+    // bogus run file that a correct build must delete, not merge.
+    cluster
+        .dfs()
+        .append_block("extsort-run-00000", b"stale garbage from a dead build")
+        .unwrap();
+    let cfg = config();
+    let opts = SortedBuildOptions {
+        run_budget_bytes: 16 << 10,
+    };
+    let (index, report) = TardisIndex::build_sorted(&cluster, "data", &cfg, &opts).unwrap();
+    assert_eq!(report.n_records, N_RECORDS);
+    assert!(
+        !cluster
+            .dfs()
+            .list_files()
+            .iter()
+            .any(|n| n.starts_with("extsort-run-")),
+        "stale or new run files left behind"
+    );
+    let q = series(42);
+    let outcome = exact_match(&index, &cluster, &q, true).unwrap();
+    assert_eq!(outcome.matches, vec![42]);
+}

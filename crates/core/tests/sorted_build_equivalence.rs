@@ -1,0 +1,379 @@
+//! The bounded-memory sorted build must be **byte-identical** to the
+//! in-memory build.
+//!
+//! `TardisIndex::build_sorted` promises more than equal query answers:
+//! the partition files, Bloom sidecars, and metadata it produces are the
+//! same bytes `TardisIndex::build` would have written. These tests pin
+//! that contract the strong way — build both ways over the same dataset
+//! and compare every persisted byte — across all four dataset profiles,
+//! then confirm the consequence (identical answers on all five query
+//! paths) at pool widths 1, 4, and 8, and finally let proptest sweep
+//! tree/budget configurations looking for a splitting corner the fixed
+//! profiles miss.
+
+use proptest::prelude::*;
+use std::path::Path;
+use tardis_cluster::{Cluster, ClusterConfig, Tracer};
+use tardis_core::{
+    exact_knn, exact_match, knn_approximate, range_query, BuildReport, KnnStrategy,
+    SortedBuildOptions, TardisConfig, TardisIndex,
+};
+use tardis_data::{DnaLike, NoaaLike, RandomWalk, SeriesGen, TexmexLike};
+use tardis_ts::TimeSeries;
+
+const N_RECORDS: u64 = 420;
+const RECORDS_PER_BLOCK: usize = 48;
+
+/// Small enough that a 420-record dataset spills several runs.
+const TINY_RUN_BUDGET: SortedBuildOptions = SortedBuildOptions {
+    run_budget_bytes: 16 << 10,
+};
+
+fn config() -> TardisConfig {
+    TardisConfig {
+        g_max_size: 150,
+        l_max_size: 40,
+        sampling_fraction: 0.5,
+        ..TardisConfig::default()
+    }
+}
+
+fn mem_cluster(n_workers: usize) -> Cluster {
+    Cluster::new(ClusterConfig {
+        n_workers,
+        ..ClusterConfig::default()
+    })
+    .unwrap()
+}
+
+fn disk_cluster(dir: &Path, n_workers: usize) -> Cluster {
+    Cluster::at_dir(
+        dir,
+        ClusterConfig {
+            n_workers,
+            ..ClusterConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Every persisted index file (`part-*` / `bloom-*`), fully read, in
+/// name order: the exact bytes a query will ever see.
+fn index_files(cluster: &Cluster) -> Vec<(String, Vec<Vec<u8>>)> {
+    let mut names: Vec<String> = cluster
+        .dfs()
+        .list_files()
+        .into_iter()
+        .filter(|n| n.starts_with("part-") || n.starts_with("bloom-"))
+        .collect();
+    names.sort();
+    names
+        .into_iter()
+        .map(|name| {
+            let blocks = cluster
+                .dfs()
+                .list_blocks(&name)
+                .unwrap()
+                .iter()
+                .map(|id| cluster.dfs().read_block(id).unwrap())
+                .collect();
+            (name, blocks)
+        })
+        .collect()
+}
+
+fn assert_reports_match(mem: &BuildReport, sorted: &BuildReport, label: &str) {
+    assert_eq!(mem.n_records, sorted.n_records, "{label}: n_records");
+    assert_eq!(mem.n_partitions, sorted.n_partitions, "{label}: n_partitions");
+    assert_eq!(
+        mem.global_index_bytes, sorted.global_index_bytes,
+        "{label}: global_index_bytes"
+    );
+    assert_eq!(
+        mem.local_index_bytes, sorted.local_index_bytes,
+        "{label}: local_index_bytes"
+    );
+    assert_eq!(mem.bloom_bytes, sorted.bloom_bytes, "{label}: bloom_bytes");
+}
+
+fn assert_indexes_match(mem: &TardisIndex, sorted: &TardisIndex, label: &str) {
+    assert_eq!(mem.n_partitions(), sorted.n_partitions(), "{label}: partitions");
+    for (a, b) in mem.partitions().iter().zip(sorted.partitions()) {
+        assert_eq!(a.pid, b.pid, "{label}: pid");
+        assert_eq!(a.n_records, b.n_records, "{label}: pid {} n_records", a.pid);
+        assert_eq!(a.file, b.file, "{label}: pid {} file", a.pid);
+        assert_eq!(a.bloom_file, b.bloom_file, "{label}: pid {} bloom_file", a.pid);
+        assert_eq!(
+            a.index_bytes, b.index_bytes,
+            "{label}: pid {} index_bytes",
+            a.pid
+        );
+        assert_eq!(
+            a.bloom_bytes, b.bloom_bytes,
+            "{label}: pid {} bloom_bytes",
+            a.pid
+        );
+    }
+}
+
+/// Builds both ways over the same in-memory dataset and compares every
+/// persisted byte. The sorted build runs *second in the same cluster*
+/// (the in-memory output is snapshotted first), so any divergence —
+/// extra block, different chunking, different Bloom bits — shows up as
+/// a byte diff on identically named files.
+fn assert_byte_identical(gen: &dyn SeriesGen, config: &TardisConfig, opts: &SortedBuildOptions) {
+    let label = gen.name().to_string();
+    let cluster = mem_cluster(4);
+    tardis_data::write_dataset(&cluster, "data", gen, N_RECORDS, RECORDS_PER_BLOCK).unwrap();
+
+    let (mem_index, mem_report) = TardisIndex::build(&cluster, "data", config).unwrap();
+    let mem_files = index_files(&cluster);
+
+    let tracer = Tracer::new();
+    let (sorted_index, sorted_report) =
+        TardisIndex::build_sorted_profiled(&cluster, "data", config, opts, &tracer).unwrap();
+    let sorted_files = index_files(&cluster);
+
+    // The tiny budget must actually exercise the external path: several
+    // runs spilled, none left behind.
+    let read_convert = tracer
+        .span_tree()
+        .iter()
+        .find_map(|n| n.find("read-convert").cloned())
+        .expect("read-convert span");
+    assert!(
+        read_convert.counter("runs").unwrap_or(0) > 1,
+        "{label}: expected multiple spilled runs, got {:?}",
+        read_convert.counter("runs")
+    );
+    assert!(
+        !cluster
+            .dfs()
+            .list_files()
+            .iter()
+            .any(|n| n.starts_with("extsort-run-")),
+        "{label}: leftover run files after a successful sorted build"
+    );
+
+    assert_reports_match(&mem_report, &sorted_report, &label);
+    assert_indexes_match(&mem_index, &sorted_index, &label);
+    assert_eq!(
+        mem_files.len(),
+        sorted_files.len(),
+        "{label}: persisted file count"
+    );
+    for ((name_a, blocks_a), (name_b, blocks_b)) in mem_files.iter().zip(&sorted_files) {
+        assert_eq!(name_a, name_b, "{label}: file name");
+        assert_eq!(
+            blocks_a.len(),
+            blocks_b.len(),
+            "{label}: {name_a} block count"
+        );
+        for (i, (a, b)) in blocks_a.iter().zip(blocks_b).enumerate() {
+            assert!(a == b, "{label}: {name_a} block {i} bytes differ");
+        }
+    }
+}
+
+#[test]
+fn sorted_build_is_byte_identical_on_random_walk() {
+    assert_byte_identical(&RandomWalk::with_len(7, 64), &config(), &TINY_RUN_BUDGET);
+}
+
+#[test]
+fn sorted_build_is_byte_identical_on_texmex() {
+    assert_byte_identical(&TexmexLike::new(11), &config(), &TINY_RUN_BUDGET);
+}
+
+#[test]
+fn sorted_build_is_byte_identical_on_dna() {
+    assert_byte_identical(&DnaLike::new(13), &config(), &TINY_RUN_BUDGET);
+}
+
+#[test]
+fn sorted_build_is_byte_identical_on_noaa() {
+    assert_byte_identical(&NoaaLike::new(17), &config(), &TINY_RUN_BUDGET);
+}
+
+/// The unclustered layout persists `(sig, rid)` pairs instead of full
+/// records — a different wire format the streaming writer must also
+/// reproduce exactly.
+#[test]
+fn sorted_build_is_byte_identical_unclustered() {
+    let cfg = TardisConfig {
+        clustered: false,
+        ..config()
+    };
+    assert_byte_identical(&RandomWalk::with_len(23, 64), &cfg, &TINY_RUN_BUDGET);
+}
+
+/// Without Bloom filters there are no sidecar files to write — the
+/// writer must not emit empty `bloom-*` files or count filter bytes.
+#[test]
+fn sorted_build_is_byte_identical_without_bloom() {
+    let cfg = TardisConfig {
+        bloom_enabled: false,
+        ..config()
+    };
+    assert_byte_identical(&RandomWalk::with_len(29, 64), &cfg, &TINY_RUN_BUDGET);
+}
+
+/// A budget larger than the dataset degenerates to a single run — the
+/// merge and streaming writer must behave identically.
+#[test]
+fn sorted_build_is_byte_identical_with_single_run() {
+    let label = "single-run";
+    let cluster = mem_cluster(4);
+    let gen = RandomWalk::with_len(31, 64);
+    tardis_data::write_dataset(&cluster, "data", &gen, N_RECORDS, RECORDS_PER_BLOCK).unwrap();
+    let cfg = config();
+    let (mem_index, mem_report) = TardisIndex::build(&cluster, "data", &cfg).unwrap();
+    let mem_files = index_files(&cluster);
+    let opts = SortedBuildOptions {
+        run_budget_bytes: 1 << 30,
+    };
+    let (sorted_index, sorted_report) =
+        TardisIndex::build_sorted(&cluster, "data", &cfg, &opts).unwrap();
+    assert_reports_match(&mem_report, &sorted_report, label);
+    assert_indexes_match(&mem_index, &sorted_index, label);
+    assert_eq!(mem_files, index_files(&cluster), "{label}: file bytes");
+}
+
+/// Identical answers on all five query paths (exact match, the three
+/// kNN strategies, exact kNN, range) at pool widths 1 / 4 / 8, compared
+/// bit-for-bit. The two indexes live in separate directories so each
+/// width gets a fresh cluster handle over each build's own files.
+#[test]
+fn sorted_build_answers_match_across_pool_widths() {
+    let base = std::env::temp_dir().join(format!("tardis-sorted-eq-{}", std::process::id()));
+    let dir_mem = base.join("mem");
+    let dir_sorted = base.join("sorted");
+    std::fs::create_dir_all(&dir_mem).unwrap();
+    std::fs::create_dir_all(&dir_sorted).unwrap();
+    let result = std::panic::catch_unwind(|| {
+        answers_match_across_pool_widths(&dir_mem, &dir_sorted);
+    });
+    std::fs::remove_dir_all(&base).ok();
+    if let Err(e) = result {
+        std::panic::resume_unwind(e);
+    }
+}
+
+fn answers_match_across_pool_widths(dir_mem: &Path, dir_sorted: &Path) {
+    let gen = RandomWalk::with_len(41, 64);
+    let cfg = config();
+    let build_mem = disk_cluster(dir_mem, 4);
+    let build_sorted = disk_cluster(dir_sorted, 4);
+    tardis_data::write_dataset(&build_mem, "data", &gen, N_RECORDS, RECORDS_PER_BLOCK).unwrap();
+    tardis_data::write_dataset(&build_sorted, "data", &gen, N_RECORDS, RECORDS_PER_BLOCK).unwrap();
+    let (index_mem, _) = TardisIndex::build(&build_mem, "data", &cfg).unwrap();
+    let (index_sorted, _) =
+        TardisIndex::build_sorted(&build_sorted, "data", &cfg, &TINY_RUN_BUDGET).unwrap();
+    drop(build_mem);
+    drop(build_sorted);
+
+    // Present queries (regenerated records) plus one absent probe.
+    let mut queries: Vec<TimeSeries> = [3u64, 97, 201, 350]
+        .iter()
+        .map(|&rid| gen.series(rid))
+        .collect();
+    queries.push(RandomWalk::with_len(999, 64).series(N_RECORDS + 5));
+
+    for width in [1usize, 4, 8] {
+        let ca = disk_cluster(dir_mem, width);
+        let cb = disk_cluster(dir_sorted, width);
+        for (qi, q) in queries.iter().enumerate() {
+            let ctx = format!("width {width} query {qi}");
+            let ea = exact_match(&index_mem, &ca, q, true).unwrap();
+            let eb = exact_match(&index_sorted, &cb, q, true).unwrap();
+            assert_eq!(ea.matches, eb.matches, "{ctx}: exact matches");
+            assert_eq!(ea.bloom_rejected, eb.bloom_rejected, "{ctx}: bloom");
+
+            for strategy in KnnStrategy::ALL {
+                let ka = knn_approximate(&index_mem, &ca, q, 5, strategy).unwrap();
+                let kb = knn_approximate(&index_sorted, &cb, q, 5, strategy).unwrap();
+                let na: Vec<(u64, u64)> = ka
+                    .neighbors
+                    .iter()
+                    .map(|&(d, rid)| (d.to_bits(), rid))
+                    .collect();
+                let nb: Vec<(u64, u64)> = kb
+                    .neighbors
+                    .iter()
+                    .map(|&(d, rid)| (d.to_bits(), rid))
+                    .collect();
+                assert_eq!(na, nb, "{ctx}: {strategy:?} neighbors");
+            }
+
+            let xa = exact_knn(&index_mem, &ca, q, 5).unwrap();
+            let xb = exact_knn(&index_sorted, &cb, q, 5).unwrap();
+            let ex_a: Vec<(u64, u64)> = xa
+                .neighbors
+                .iter()
+                .map(|n| (n.distance.to_bits(), n.rid))
+                .collect();
+            let ex_b: Vec<(u64, u64)> = xb
+                .neighbors
+                .iter()
+                .map(|n| (n.distance.to_bits(), n.rid))
+                .collect();
+            assert_eq!(ex_a, ex_b, "{ctx}: exact-knn neighbors");
+
+            let ra = range_query(&index_mem, &ca, q, 4.0).unwrap();
+            let rb = range_query(&index_sorted, &cb, q, 4.0).unwrap();
+            let rm_a: Vec<(u64, u64)> = ra
+                .matches
+                .iter()
+                .map(|n| (n.distance.to_bits(), n.rid))
+                .collect();
+            let rm_b: Vec<(u64, u64)> = rb
+                .matches
+                .iter()
+                .map(|n| (n.distance.to_bits(), n.rid))
+                .collect();
+            assert_eq!(rm_a, rm_b, "{ctx}: range matches");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Config sweep: small split thresholds force deep trees and
+    /// max-depth overflow leaves, tiny budgets force many runs, and odd
+    /// partition-count/bloom combinations probe the metadata paths.
+    #[test]
+    fn sorted_build_matches_under_arbitrary_configs(
+        l_max_size in 4usize..48,
+        g_max_size in 60usize..240,
+        run_budget in 2048usize..24_576,
+        bloom_enabled in any::<bool>(),
+        clustered in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let cfg = TardisConfig {
+            g_max_size,
+            l_max_size,
+            sampling_fraction: 0.5,
+            bloom_enabled,
+            clustered,
+            ..TardisConfig::default()
+        };
+        let cluster = mem_cluster(4);
+        let gen = RandomWalk::with_len(seed, 32);
+        tardis_data::write_dataset(&cluster, "data", &gen, 260, 40).unwrap();
+        let (mem_index, mem_report) = TardisIndex::build(&cluster, "data", &cfg).unwrap();
+        let mem_files = index_files(&cluster);
+        let opts = SortedBuildOptions { run_budget_bytes: run_budget };
+        let (sorted_index, sorted_report) =
+            TardisIndex::build_sorted(&cluster, "data", &cfg, &opts).unwrap();
+        assert_reports_match(&mem_report, &sorted_report, "proptest");
+        assert_indexes_match(&mem_index, &sorted_index, "proptest");
+        prop_assert_eq!(mem_files, index_files(&cluster));
+        prop_assert!(!cluster
+            .dfs()
+            .list_files()
+            .iter()
+            .any(|n| n.starts_with("extsort-run-")));
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`export`] — a chrome-trace JSON exporter (loadable in
 //!   `about:tracing` / Perfetto) and a Prometheus text renderer that the
 //!   cluster merges with its [`MetricsSnapshot`]-style counters.
+//! * [`peak`] — an opt-in peak-heap tracking global allocator
+//!   ([`PeakAlloc`]) that proves the bounded-memory build's flat-memory
+//!   claim; exporters surface it as the `tardis_build_peak_bytes` gauge.
 //!
 //! **Overhead contract:** a disabled tracer ([`Tracer::disabled`], the
 //! default for library users) must cost *one branch and no allocation*
@@ -28,9 +31,11 @@
 //! counting global allocator.
 
 pub mod export;
+pub mod peak;
 pub mod profile;
 pub mod span;
 
 pub use export::{chrome_trace_json, PromText};
+pub use peak::PeakAlloc;
 pub use profile::{BatchProfile, QueryProfile};
 pub use span::{Span, SpanAggregate, SpanNode, SpanRecord, Tracer};

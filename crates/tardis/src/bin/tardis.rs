@@ -23,6 +23,12 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use tardis::prelude::*;
 
+/// Track peak heap usage so `build --low-memory` can report the flat
+/// memory profile it promises (also exported as the
+/// `tardis_build_peak_bytes` gauge by the daemon's metrics endpoint).
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, flags)) = parse(&args) else {
@@ -67,6 +73,8 @@ fn usage() {
     eprintln!("  generate --dir D --dataset NAME --family F --records N [--seed S] [--len L]");
     eprintln!("  import   --dir D --dataset NAME --file PATH (one series per line)");
     eprintln!("  build    --dir D --dataset NAME --index NAME [--capacity N] [--leaf N] [--sampling PCT]");
+    eprintln!("           [--low-memory] [--run-budget-mb N] (external-sort build: bounded peak");
+    eprintln!("           memory, byte-identical output; budget default 32 MiB)");
     eprintln!("  stats    --dir D --index NAME");
     eprintln!("  exact    --dir D --index NAME (--rid N | --query-file PATH) [--no-bloom]");
     eprintln!("           [--profile] [--trace-out PATH]");
@@ -135,7 +143,7 @@ fn parse(args: &[String]) -> Option<(String, Flags)> {
     while i < rest.len() {
         let key = rest[i].strip_prefix("--")?;
         // Boolean flags take no value.
-        if key == "no-bloom" || key == "profile" {
+        if key == "no-bloom" || key == "profile" || key == "low-memory" {
             flags.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -331,9 +339,16 @@ fn cmd_build(flags: &Flags) -> Result<(), String> {
         pth: opt_num(flags, "pth", 40)?,
         ..TardisConfig::default()
     };
+    let low_memory = flags.contains_key("low-memory");
     let t0 = std::time::Instant::now();
-    let (index, report) =
-        TardisIndex::build(&cluster, dataset, &config).map_err(|e| e.to_string())?;
+    tardis::cluster::obs::peak::reset_peak();
+    let (index, report) = if low_memory {
+        let opts = tardis_core_sorted_opts(flags)?;
+        TardisIndex::build_sorted(&cluster, dataset, &config, &opts).map_err(|e| e.to_string())?
+    } else {
+        TardisIndex::build(&cluster, dataset, &config).map_err(|e| e.to_string())?
+    };
+    let peak_bytes = tardis::cluster::obs::peak::peak_bytes();
     index.save(&cluster, index_name).map_err(|e| e.to_string())?;
     // Remember which dataset this index covers.
     let link = format!("{index_name}.dataset");
@@ -344,15 +359,27 @@ fn cmd_build(flags: &Flags) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     println!(
         "built + saved '{index_name}': {} records, {} partitions, {:?} total \
-         (global {:?}, shuffle {:?}, local {:?})",
+         (global {:?}, shuffle {:?}, local {:?}), peak heap {:.1} MiB{}",
         report.n_records,
         report.n_partitions,
         t0.elapsed(),
         report.global.total(),
         report.shuffle,
-        report.local_build
+        report.local_build,
+        peak_bytes as f64 / (1024.0 * 1024.0),
+        if low_memory { " [low-memory]" } else { "" }
     );
     Ok(())
+}
+
+fn tardis_core_sorted_opts(flags: &Flags) -> Result<tardis::core::SortedBuildOptions, String> {
+    let budget_mb: usize = opt_num(flags, "run-budget-mb", 32)?;
+    if budget_mb == 0 {
+        return Err("--run-budget-mb must be at least 1".into());
+    }
+    Ok(tardis::core::SortedBuildOptions {
+        run_budget_bytes: budget_mb << 20,
+    })
 }
 
 fn open_index(cluster: &Cluster, flags: &Flags) -> Result<(TardisIndex, String), String> {

@@ -54,7 +54,8 @@ pub mod prelude {
     pub use tardis_bloom::BloomFilter;
     pub use tardis_cluster::{
         chrome_trace_json, BackoffClock, Cluster, ClusterConfig, ClusterError, Dataset, DfsConfig,
-        FaultPlan, FaultSite, MaybeTransient, MetricsSnapshot, PromText, QueryProfile, RetryPolicy,
+        FaultPlan, FaultSite, MaybeTransient, MetricsSnapshot, PeakAlloc, PromText, QueryProfile,
+        RetryPolicy,
         ScrubReport, Tracer, VirtualClock, WorkerPool,
     };
     pub use tardis_core::{
@@ -66,7 +67,7 @@ pub mod prelude {
         knn_approximate_degraded_profiled, knn_approximate_profiled, knn_batch, knn_batch_degraded,
         knn_batch_naive, knn_batch_profiled, range_query, range_query_degraded, recall,
         BatchProfile, CompactionOutcome, Completeness, CoreError, Degraded, DegradedPolicy,
-        DeltaMeta, KnnStrategy, TardisConfig, TardisIndex, DELTA_PID_BASE,
+        DeltaMeta, KnnStrategy, SortedBuildOptions, TardisConfig, TardisIndex, DELTA_PID_BASE,
     };
     pub use tardis_data::{
         profile_dataset, read_series_file, write_dataset, write_series_file, DnaLike,

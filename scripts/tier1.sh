@@ -34,6 +34,24 @@ T="target/release/tardis"
 "$T" generate --dir "$DEMO" --dataset rw --family randomwalk --records 3000 --replication 2
 "$T" build --dir "$DEMO" --dataset rw --index idx --capacity 300 --leaf 100 --replication 2
 
+echo "== tier-1: bounded-memory sorted-build smoke (external sort, byte-identical) =="
+# The low-memory build writes the same partition bytes as the in-memory
+# build above (same config, same dataset), so the store keeps serving
+# both manifests. A 1 MiB run budget forces real spill/merge activity.
+"$T" build --dir "$DEMO" --dataset rw --index idx-lm --capacity 300 --leaf 100 --replication 2 \
+    --low-memory --run-budget-mb 1 | grep -q '\[low-memory\]' || {
+    echo "sorted-build smoke FAILED: low-memory build did not report itself" >&2; exit 1; }
+"$T" exact --dir "$DEMO" --index idx-lm --rid 7 --replication 2 | grep -q 'record ids \[7\]' || {
+    echo "sorted-build smoke FAILED: exact match on the sorted-built index" >&2; exit 1; }
+"$T" knn --dir "$DEMO" --index idx-lm --rid 7 --k 5 --replication 2 | grep -q . || {
+    echo "sorted-build smoke FAILED: knn on the sorted-built index" >&2; exit 1; }
+# All spilled run files were retired on success...
+if ls "$DEMO"/node-*/extsort-run-* >/dev/null 2>&1; then
+    echo "sorted-build smoke FAILED: leftover extsort run files" >&2; exit 1
+fi
+# ...and the store (partitions + blooms + manifests) scrubs clean.
+"$T" scrub --dir "$DEMO" --replication 2
+
 echo "== tier-1: resident daemon smoke (serve, client, /metrics, SIGTERM) =="
 # Boot on port 0 and read the real port back from the flushed
 # 'listening on ADDR' line.
