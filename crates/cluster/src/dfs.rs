@@ -185,6 +185,10 @@ pub struct ScrubReport {
     /// factor (capacity, not repair) — the primitive adaptive
     /// hot-partition re-replication drives.
     pub replicas_added: u64,
+    /// Leftover staging files (`block-*.tmp` / `block-*.rN.tmp`) swept
+    /// from datanode directories — debris of writes interrupted between
+    /// staging and rename.
+    pub tmp_swept: u64,
 }
 
 /// The block store. Cloneable-by-reference via the owning [`crate::Cluster`].
@@ -272,6 +276,17 @@ impl Dfs {
     pub fn set_fault_injection(&mut self, injector: Arc<FaultInjector>, retry: RetryPolicy) {
         self.injector = Some(injector);
         self.retry = retry;
+    }
+
+    /// Consults the armed crash plan at a named site (no-op without an
+    /// injector). Callers propagate the error immediately — the
+    /// simulated `kill -9` unwinds with whatever partial files the
+    /// completed syscalls left.
+    fn crash_point(&self, site: &'static str) -> Result<(), ClusterError> {
+        match &self.injector {
+            Some(inj) => inj.crash_point(site),
+            None => Ok(()),
+        }
     }
 
     /// The retry policy in force for block I/O.
@@ -428,6 +443,9 @@ impl Dfs {
             std::thread::sleep(self.config.write_latency);
         }
         for replica in 0..self.replication_of(&id.file) {
+            // A crash here leaves replicas 0..replica written and the
+            // rest absent — a block at reduced (or zero) replication.
+            self.crash_point("dfs.write_block.replica")?;
             let mut frame = encode_frame(payload);
             if let Some(inj) = &self.injector {
                 if inj.corrupts_write(key, replica) {
@@ -473,6 +491,10 @@ impl Dfs {
         }
         let mut staged = Vec::new();
         for replica in 0..self.replication_of(&id.file) {
+            // A crash while staging leaves every live replica on the
+            // old version plus orphaned `*.rN.tmp` files for the scrub
+            // sweep — the swap never started.
+            self.crash_point("dfs.replace.stage")?;
             let mut frame = encode_frame(payload);
             if let Some(inj) = &self.injector {
                 if inj.corrupts_write(key, replica) {
@@ -492,6 +514,11 @@ impl Dfs {
             staged.push((tmp, path));
         }
         for (tmp, path) in staged {
+            // THE mixed-version window: a crash between renames leaves
+            // some replicas on the new version and some on the old —
+            // each a valid frame. Generation resolution at open/fsck
+            // rolls the file forward to the newest valid payload.
+            self.crash_point("dfs.replace.rename")?;
             fs::rename(&tmp, &path)?;
         }
         Ok(())
@@ -751,6 +778,90 @@ impl Dfs {
         Ok(report)
     }
 
+    /// The storage-layer half of startup recovery (`tardis fsck`): one
+    /// scrub pass — sweeps staging `*.tmp` debris and re-heals missing
+    /// or corrupt replicas. Index-level recovery (`recover_store` in
+    /// `tardis-core`) resolves manifest generations and collects
+    /// orphaned generation files first, then finishes with this.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn fsck(&self) -> Result<ScrubReport, ClusterError> {
+        self.scrub()
+    }
+
+    /// Every checksum-valid replica payload of `id` currently on disk,
+    /// as `(replica, payload)` pairs. Direct disk inspection — no fault
+    /// injection, latency, cache, or metrics — for callers that must
+    /// see *all* versions a mixed-version crash left behind (manifest
+    /// generation resolution), not whichever copy routing probes first.
+    pub fn read_replica_payloads(&self, id: &BlockId) -> Vec<(u32, Vec<u8>)> {
+        let mut out = Vec::new();
+        for replica in 0..self.replication_of(&id.file) {
+            let Ok(frame) = fs::read(self.replica_path(id, replica)) else {
+                continue;
+            };
+            if let Some(payload) = decode_frame(&frame) {
+                out.push((replica, payload.to_vec()));
+            }
+        }
+        out
+    }
+
+    /// Rewrites every replica of `id` that does not already hold
+    /// `payload` (tmp-then-rename, direct disk maintenance like scrub),
+    /// returning how many replicas were rewritten. Cached copies of the
+    /// file are purged so readers can't be served the losing version.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn heal_block(&self, id: &BlockId, payload: &[u8]) -> Result<u64, ClusterError> {
+        let frame = encode_frame(payload);
+        let mut healed = 0u64;
+        for replica in 0..self.replication_of(&id.file) {
+            let path = self.replica_path(id, replica);
+            if fs::read(&path).map(|b| b == frame).unwrap_or(false) {
+                continue;
+            }
+            let dir = path.parent().expect("replica path has a parent");
+            fs::create_dir_all(dir)?;
+            let tmp = dir.join(format!("block-{:06}.tmp", id.index));
+            fs::write(&tmp, &frame)?;
+            fs::rename(&tmp, &path)?;
+            healed += 1;
+        }
+        if healed > 0 {
+            self.cache.lock().purge_file(&id.file);
+        }
+        Ok(healed)
+    }
+
+    /// Deletes staging `block-*.tmp` / `block-*.rN.tmp` files under
+    /// `name` on every datanode, returning how many were removed.
+    fn sweep_tmp_files(&self, name: &str) -> Result<u64, ClusterError> {
+        let mut swept = 0u64;
+        for node in 0..self.datanodes() {
+            let Ok(entries) = fs::read_dir(self.datanode_dir(node).join(name)) else {
+                continue;
+            };
+            for e in entries.filter_map(|e| e.ok()) {
+                let file_name = e.file_name();
+                let Some(s) = file_name.to_str() else { continue };
+                if s.starts_with("block-") && s.ends_with(".tmp") {
+                    fs::remove_file(e.path())?;
+                    swept += 1;
+                }
+            }
+            // A directory that held only staged tmps (a crash before the
+            // first rename of a brand-new file) is itself debris.
+            let dir = self.datanode_dir(node).join(name);
+            if fs::read_dir(&dir).is_ok_and(|mut d| d.next().is_none()) {
+                fs::remove_dir(&dir)?;
+            }
+        }
+        Ok(swept)
+    }
+
     /// Raises `name`'s replication factor to `factor` (clamped to the
     /// datanode count; never lowered) and immediately tops every block up
     /// to it, reusing the scrub tmp+rename machinery — direct disk
@@ -779,6 +890,9 @@ impl Dfs {
         if report.replicas_added > 0 {
             self.metrics.record_replicas_added(report.replicas_added);
         }
+        if report.tmp_swept > 0 {
+            self.metrics.record_tmp_swept(report.tmp_swept);
+        }
     }
 
     /// Scrubs one file into `report`: verifies every replica slot up to
@@ -788,6 +902,11 @@ impl Dfs {
     /// was lost); slots at or above it count as `replicas_added` — the
     /// capacity a raised factor still owes.
     fn scrub_file_into(&self, name: &str, report: &mut ScrubReport) -> Result<(), ClusterError> {
+        // Sweep staging debris first: `block-*.tmp` / `block-*.rN.tmp`
+        // files a crashed write left between stage and rename. They are
+        // invisible to readers (only `.bin` files are probed) but leak
+        // disk forever if nobody collects them.
+        report.tmp_swept += self.sweep_tmp_files(name)?;
         let target = self.replication_of(name);
         let count = self.scan_block_count(name);
         let written = self.written_factor(name, target, count);
@@ -828,6 +947,11 @@ impl Dfs {
                     let mut f = fs::File::create(&tmp)?;
                     f.write_all(&frame)?;
                 }
+                // Scrub bypasses fault *probability* plans (it models a
+                // local maintenance daemon) but still honours armed
+                // crash points: a crash here strands the staged tmp,
+                // which the next scrub's sweep collects.
+                self.crash_point("dfs.scrub.repair")?;
                 fs::rename(&tmp, &path)?;
                 if replica < written {
                     report.replicas_repaired += 1;

@@ -66,6 +66,19 @@ pub enum ClusterError {
         /// Replicas that were tried.
         replicas: u32,
     },
+    /// A deliberate process crash injected by a seeded [`FaultPlan`]
+    /// crash point: the operation unwinds mid-flight, leaving exactly
+    /// the partial on-disk state the aborted syscall sequence would.
+    /// *Permanent* by design — a `kill -9` is not retried; recovery
+    /// happens at the next startup (`fsck`), not in a retry loop.
+    ///
+    /// [`FaultPlan`]: crate::fault::FaultPlan
+    CrashInjected {
+        /// Registered crash-site name (e.g. `dfs.replace.rename`).
+        site: &'static str,
+        /// 1-based arrival at the site that fired.
+        hit: u64,
+    },
 }
 
 /// Classifies errors into transient (worth retrying) and permanent.
@@ -84,12 +97,14 @@ impl MaybeTransient for ClusterError {
             // Lost connections / faulted reads / crashed executors: retry.
             ClusterError::Io(_) | ClusterError::InjectedFault { .. } => true,
             ClusterError::TaskPanicked { .. } => true,
-            // Logical errors no retry can fix.
+            // Logical errors no retry can fix. A crash is permanent
+            // too: the "process" is gone, nothing retries a kill -9.
             ClusterError::MissingFile { .. }
             | ClusterError::MissingBlock { .. }
             | ClusterError::Codec { .. }
             | ClusterError::RetriesExhausted { .. }
-            | ClusterError::AllReplicasFailed { .. } => false,
+            | ClusterError::AllReplicasFailed { .. }
+            | ClusterError::CrashInjected { .. } => false,
         }
     }
 }
@@ -117,6 +132,9 @@ impl fmt::Display for ClusterError {
                     f,
                     "all {replicas} replicas of {file}/block-{index} dead or corrupt"
                 )
+            }
+            ClusterError::CrashInjected { site, hit } => {
+                write!(f, "injected crash at {site} (hit {hit})")
             }
         }
     }
@@ -192,6 +210,16 @@ mod tests {
         };
         assert!(!e.is_transient(), "replica exhaustion must be permanent");
         assert!(e.to_string().contains("2 replicas"), "{e}");
+        let crash = ClusterError::CrashInjected {
+            site: "dfs.replace.rename",
+            hit: 2,
+        };
+        assert!(
+            !crash.is_transient(),
+            "a kill -9 is not retried; recovery happens at restart"
+        );
+        assert!(crash.to_string().contains("dfs.replace.rename"), "{crash}");
+        assert!(crash.to_string().contains("hit 2"), "{crash}");
     }
 
     #[test]

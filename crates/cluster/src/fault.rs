@@ -29,9 +29,54 @@
 use crate::error::ClusterError;
 use crate::metrics::Metrics;
 use crate::rng::{hash_bytes, SplitMix64};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Every registered crash-point site, for suites that must prove they
+/// exercised the whole catalogue. Sites are named `layer.operation.step`
+/// and sit *between* the syscalls of a multi-step mutation; see
+/// [`FaultInjector::crash_point`].
+pub const CRASH_SITES: &[&str] = &[
+    "dfs.write_block.replica",
+    "dfs.replace.stage",
+    "dfs.replace.rename",
+    "dfs.scrub.repair",
+    "core.ingest.seal",
+    "core.compact.swap",
+    "core.compact.retire",
+];
+
+/// One armed crash point: the `hit`-th arrival (1-based) at the named
+/// site aborts the process-in-miniature — the mutation unwinds with
+/// [`ClusterError::CrashInjected`], leaving whatever partial files the
+/// real syscall sequence would leave behind on a `kill -9`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// Registered site name (see [`CRASH_SITES`]).
+    pub site: String,
+    /// Which arrival at the site fires (1-based).
+    pub hit: u64,
+}
+
+impl CrashSpec {
+    /// Parses a `SITE:HIT` spec (e.g. `dfs.replace.rename:2`); a bare
+    /// `SITE` means the first arrival.
+    pub fn parse(s: &str) -> Option<CrashSpec> {
+        let (site, hit) = match s.rsplit_once(':') {
+            Some((site, hit)) => (site, hit.parse().ok()?),
+            None => (s, 1),
+        };
+        if site.is_empty() || hit == 0 {
+            return None;
+        }
+        Some(CrashSpec {
+            site: site.to_string(),
+            hit,
+        })
+    }
+}
 
 /// Where a fault can be injected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +161,11 @@ pub struct FaultPlan {
     /// nothing fails or retries; the node is simply slow, which is
     /// exactly what replica-aware routing must learn to avoid.
     pub slow_node: Option<(u32, Duration)>,
+    /// When set, the `hit`-th arrival at the named crash site aborts
+    /// the mutation with [`ClusterError::CrashInjected`] — the
+    /// deterministic `kill -9`. At most one crash fires per plan (the
+    /// "process" is dead afterwards); recovery is a restart concern.
+    pub crash_point: Option<CrashSpec>,
 }
 
 impl Default for FaultPlan {
@@ -131,6 +181,7 @@ impl Default for FaultPlan {
             kill_one_replica: false,
             slow_task: None,
             slow_node: None,
+            crash_point: None,
         }
     }
 }
@@ -297,6 +348,10 @@ pub struct FaultInjector {
     /// Per-stage namespace for task keys, so "task 3 of the shuffle" and
     /// "task 3 of the local build" roll independent faults.
     task_epoch: AtomicU64,
+    /// Arrivals observed at each crash site so far (1-based when read
+    /// back). Counting is the one place crash points are stateful: "the
+    /// 3rd rename" is a position in an execution, not a hashable key.
+    crash_counts: Mutex<HashMap<&'static str, u64>>,
 }
 
 impl FaultInjector {
@@ -310,6 +365,7 @@ impl FaultInjector {
             plan,
             metrics,
             task_epoch: AtomicU64::new(0),
+            crash_counts: Mutex::new(HashMap::new()),
         }
     }
 
@@ -397,6 +453,42 @@ impl FaultInjector {
         }
         let mix = SplitMix64::new(self.plan.seed ^ key ^ 0x9E37_79B9_0000_0005).next_u64();
         Some((mix % replication as u64) as u32)
+    }
+
+    /// A named crash point inside a multi-step mutation. Counts the
+    /// arrival; when the plan arms this site and this is the armed
+    /// arrival, returns [`ClusterError::CrashInjected`] — the caller
+    /// propagates it *immediately*, unwinding with exactly the partial
+    /// on-disk state the completed steps left behind, as a real
+    /// `kill -9` at that syscall boundary would. The error is permanent
+    /// (dead processes don't retry) and is counted in
+    /// `crashes_injected`.
+    ///
+    /// # Errors
+    /// [`ClusterError::CrashInjected`] when the armed crash fires.
+    pub fn crash_point(&self, site: &'static str) -> Result<(), ClusterError> {
+        let hit = {
+            let mut counts = self.crash_counts.lock().expect("crash counter poisoned");
+            let slot = counts.entry(site).or_insert(0);
+            *slot += 1;
+            *slot
+        };
+        match &self.plan.crash_point {
+            Some(spec) if spec.site == site && spec.hit == hit => {
+                self.metrics.record_crash_injected();
+                Err(ClusterError::CrashInjected { site, hit })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Arrivals observed at every crash site so far, for dry runs that
+    /// enumerate which `(site, hit)` pairs an operation passes through.
+    pub fn crash_site_arrivals(&self) -> Vec<(&'static str, u64)> {
+        let counts = self.crash_counts.lock().expect("crash counter poisoned");
+        let mut v: Vec<(&'static str, u64)> = counts.iter().map(|(&s, &n)| (s, n)).collect();
+        v.sort_unstable();
+        v
     }
 
     /// Whether the write of replica `replica` of the block identified by
@@ -591,6 +683,67 @@ mod tests {
         }
         assert!(differs, "replicas never rolled independently");
         assert!(!injector(FaultPlan::none()).corrupts_write(1, 0));
+    }
+
+    #[test]
+    fn crash_spec_parses_site_and_hit() {
+        let spec = CrashSpec::parse("dfs.replace.rename:3").unwrap();
+        assert_eq!(spec.site, "dfs.replace.rename");
+        assert_eq!(spec.hit, 3);
+        // A bare site means the first arrival.
+        assert_eq!(CrashSpec::parse("core.ingest.seal").unwrap().hit, 1);
+        assert!(CrashSpec::parse("").is_none());
+        assert!(CrashSpec::parse("site:0").is_none(), "hits are 1-based");
+        assert!(CrashSpec::parse("site:x").is_none());
+    }
+
+    #[test]
+    fn crash_point_fires_on_the_armed_arrival_only() {
+        let inj = injector(FaultPlan {
+            crash_point: Some(CrashSpec {
+                site: "dfs.replace.rename".into(),
+                hit: 2,
+            }),
+            ..FaultPlan::none()
+        });
+        assert!(inj.crash_point("dfs.replace.rename").is_ok());
+        // Other sites count independently and never fire.
+        assert!(inj.crash_point("dfs.replace.stage").is_ok());
+        let err = inj.crash_point("dfs.replace.rename").unwrap_err();
+        match &err {
+            ClusterError::CrashInjected { site, hit } => {
+                assert_eq!(*site, "dfs.replace.rename");
+                assert_eq!(*hit, 2);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        use crate::error::MaybeTransient;
+        assert!(!err.is_transient(), "crashes must not be retried");
+        // Arrivals keep counting past the crash (a dry re-run through
+        // the same injector would see later hits), but the armed pair
+        // matches exactly once.
+        assert!(inj.crash_point("dfs.replace.rename").is_ok());
+    }
+
+    #[test]
+    fn crash_arrivals_enumerate_sites() {
+        let inj = injector(FaultPlan::none());
+        for _ in 0..3 {
+            inj.crash_point("core.compact.swap").unwrap();
+        }
+        inj.crash_point("core.ingest.seal").unwrap();
+        assert_eq!(
+            inj.crash_site_arrivals(),
+            vec![("core.compact.swap", 3), ("core.ingest.seal", 1)]
+        );
+    }
+
+    #[test]
+    fn crash_sites_catalogue_is_wellformed() {
+        for site in CRASH_SITES {
+            let spec = CrashSpec::parse(site).expect("catalogue entry parses");
+            assert_eq!(&spec.site, site);
+        }
     }
 
     #[test]

@@ -52,7 +52,10 @@ pub use codec::{decode_record_into, decode_records, encode_records, Decode, Enco
 pub use dataset::Dataset;
 pub use dfs::{BlockId, Dfs, DfsConfig, ScrubReport};
 pub use error::{ClusterError, MaybeTransient};
-pub use fault::{BackoffClock, FaultInjector, FaultPlan, FaultSite, RetryPolicy, VirtualClock};
+pub use fault::{
+    BackoffClock, CrashSpec, FaultInjector, FaultPlan, FaultSite, RetryPolicy, VirtualClock,
+    CRASH_SITES,
+};
 pub use metrics::{Metrics, MetricsSnapshot, MAX_TRACKED_NODES};
 pub use obs::{chrome_trace_json, BatchProfile, PeakAlloc, PromText, QueryProfile, Span, SpanAggregate, SpanNode, SpanRecord, Tracer};
 pub use pool::{TaskError, WorkerPool};
@@ -165,6 +168,21 @@ impl Cluster {
     /// The fault injector, when the cluster was configured with a plan.
     pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
         self.injector.as_ref()
+    }
+
+    /// Consults the armed crash plan at a named site (no-op without a
+    /// fault plan). Higher layers (`tardis-core`'s ingest/compaction
+    /// mutations) call this between their multi-step persistence
+    /// syscalls; the returned error must be propagated immediately —
+    /// it is the simulated `kill -9`.
+    ///
+    /// # Errors
+    /// [`ClusterError::CrashInjected`] when the armed crash fires.
+    pub fn crash_point(&self, site: &'static str) -> Result<(), ClusterError> {
+        match &self.injector {
+            Some(inj) => inj.crash_point(site),
+            None => Ok(()),
+        }
     }
 }
 

@@ -60,6 +60,12 @@ pub struct Metrics {
     compactions: AtomicU64,
     compaction_records_folded: AtomicU64,
     deltas_active: AtomicU64,
+    crashes_injected: AtomicU64,
+    recovery_runs: AtomicU64,
+    recovery_manifests_rolled: AtomicU64,
+    recovery_tmp_swept: AtomicU64,
+    recovery_orphans_deleted: AtomicU64,
+    recovery_replicas_healed: AtomicU64,
     node_reads: [AtomicU64; MAX_TRACKED_NODES],
     node_in_flight: [AtomicU64; MAX_TRACKED_NODES],
     node_probe_missing: [AtomicU64; MAX_TRACKED_NODES],
@@ -140,6 +146,20 @@ pub struct MetricsSnapshot {
     pub compaction_records_folded: u64,
     /// Sealed deltas currently awaiting compaction (gauge).
     pub deltas_active: u64,
+    /// Crashes deliberately injected at armed crash points.
+    pub crashes_injected: u64,
+    /// Startup recovery (fsck) passes run over the store.
+    pub recovery_runs: u64,
+    /// Manifests rolled forward to their newest checksum-valid version
+    /// by recovery (a losing replica was healed in place).
+    pub recovery_manifests_rolled: u64,
+    /// Leftover staging `*.tmp` files swept by recovery/scrub.
+    pub recovery_tmp_swept: u64,
+    /// Orphaned generation files (unreferenced by any manifest) deleted
+    /// by recovery.
+    pub recovery_orphans_deleted: u64,
+    /// Manifest replicas healed in place by generation resolution.
+    pub recovery_replicas_healed: u64,
     /// Replica reads served per datanode (routing's "served" signal).
     pub node_reads: [u64; MAX_TRACKED_NODES],
     /// Replica probes currently executing per datanode (gauge; routing's
@@ -316,6 +336,36 @@ impl MetricsSnapshot {
             "Sealed deltas currently awaiting compaction.",
             self.deltas_active,
         );
+        p.counter(
+            "tardis_crashes_injected",
+            "Crashes deliberately injected at armed crash points.",
+            self.crashes_injected,
+        );
+        p.counter(
+            "tardis_recovery_runs",
+            "Startup recovery (fsck) passes run over the store.",
+            self.recovery_runs,
+        );
+        p.counter(
+            "tardis_recovery_manifests_rolled",
+            "Manifests rolled forward to their newest valid version by recovery.",
+            self.recovery_manifests_rolled,
+        );
+        p.counter(
+            "tardis_recovery_tmp_swept",
+            "Leftover staging *.tmp files swept by recovery/scrub.",
+            self.recovery_tmp_swept,
+        );
+        p.counter(
+            "tardis_recovery_orphans_deleted",
+            "Orphaned generation files deleted by recovery.",
+            self.recovery_orphans_deleted,
+        );
+        p.counter(
+            "tardis_recovery_replicas_healed",
+            "Manifest replicas healed in place by generation resolution.",
+            self.recovery_replicas_healed,
+        );
         // Only meaningful in binaries that install `tardis_obs::PeakAlloc`
         // as the global allocator; elsewhere the probe reads 0 and the
         // gauge is omitted rather than reported as a misleading zero.
@@ -442,6 +492,22 @@ impl MetricsSnapshot {
                 .saturating_sub(earlier.compaction_records_folded),
             // The live-delta count is a gauge: keep the current value.
             deltas_active: self.deltas_active,
+            crashes_injected: self
+                .crashes_injected
+                .saturating_sub(earlier.crashes_injected),
+            recovery_runs: self.recovery_runs.saturating_sub(earlier.recovery_runs),
+            recovery_manifests_rolled: self
+                .recovery_manifests_rolled
+                .saturating_sub(earlier.recovery_manifests_rolled),
+            recovery_tmp_swept: self
+                .recovery_tmp_swept
+                .saturating_sub(earlier.recovery_tmp_swept),
+            recovery_orphans_deleted: self
+                .recovery_orphans_deleted
+                .saturating_sub(earlier.recovery_orphans_deleted),
+            recovery_replicas_healed: self
+                .recovery_replicas_healed
+                .saturating_sub(earlier.recovery_replicas_healed),
             node_reads: delta_nodes(&self.node_reads, &earlier.node_reads),
             // Per-node in-flight is a gauge: keep the current values.
             node_in_flight: self.node_in_flight,
@@ -611,6 +677,39 @@ impl Metrics {
         self.deltas_active.store(n, Ordering::Relaxed);
     }
 
+    /// Records one crash fired at an armed crash point.
+    pub fn record_crash_injected(&self) {
+        self.crashes_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one startup recovery (fsck) pass that deleted
+    /// `orphans_deleted` unreferenced generation files. Manifest
+    /// resolution and tmp sweeps are metered at their own choke points
+    /// ([`Self::record_manifest_resolution`], [`Self::record_tmp_swept`])
+    /// because they also run outside full recovery passes.
+    pub fn record_recovery_run(&self, orphans_deleted: u64) {
+        self.recovery_runs.fetch_add(1, Ordering::Relaxed);
+        self.recovery_orphans_deleted
+            .fetch_add(orphans_deleted, Ordering::Relaxed);
+    }
+
+    /// Records one manifest generation resolution: `rolled` when
+    /// replicas held diverging versions (the newest valid one won), and
+    /// `replicas_healed` losing/missing replicas rewritten in place.
+    pub fn record_manifest_resolution(&self, rolled: bool, replicas_healed: u64) {
+        if rolled {
+            self.recovery_manifests_rolled.fetch_add(1, Ordering::Relaxed);
+        }
+        self.recovery_replicas_healed
+            .fetch_add(replicas_healed, Ordering::Relaxed);
+    }
+
+    /// Records `n` leftover staging `*.tmp` files swept by a
+    /// scrub/recovery pass.
+    pub fn record_tmp_swept(&self, n: u64) {
+        self.recovery_tmp_swept.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Marks a replica probe beginning on datanode `node` (raises the
     /// node's in-flight gauge so concurrent routers see queued demand).
     pub fn node_read_begin(&self, node: u32) {
@@ -759,6 +858,12 @@ impl Metrics {
             compactions: self.compactions.load(Ordering::Relaxed),
             compaction_records_folded: self.compaction_records_folded.load(Ordering::Relaxed),
             deltas_active: self.deltas_active.load(Ordering::Relaxed),
+            crashes_injected: self.crashes_injected.load(Ordering::Relaxed),
+            recovery_runs: self.recovery_runs.load(Ordering::Relaxed),
+            recovery_manifests_rolled: self.recovery_manifests_rolled.load(Ordering::Relaxed),
+            recovery_tmp_swept: self.recovery_tmp_swept.load(Ordering::Relaxed),
+            recovery_orphans_deleted: self.recovery_orphans_deleted.load(Ordering::Relaxed),
+            recovery_replicas_healed: self.recovery_replicas_healed.load(Ordering::Relaxed),
             node_reads: load_nodes(&self.node_reads),
             node_in_flight: load_nodes(&self.node_in_flight),
             node_probe_missing: load_nodes(&self.node_probe_missing),
@@ -814,6 +919,12 @@ impl Metrics {
         self.compactions.store(0, Ordering::Relaxed);
         self.compaction_records_folded.store(0, Ordering::Relaxed);
         self.deltas_active.store(0, Ordering::Relaxed);
+        self.crashes_injected.store(0, Ordering::Relaxed);
+        self.recovery_runs.store(0, Ordering::Relaxed);
+        self.recovery_manifests_rolled.store(0, Ordering::Relaxed);
+        self.recovery_tmp_swept.store(0, Ordering::Relaxed);
+        self.recovery_orphans_deleted.store(0, Ordering::Relaxed);
+        self.recovery_replicas_healed.store(0, Ordering::Relaxed);
         for node in 0..MAX_TRACKED_NODES {
             self.node_reads[node].store(0, Ordering::Relaxed);
             self.node_in_flight[node].store(0, Ordering::Relaxed);
@@ -1091,6 +1202,37 @@ mod tests {
         assert!(text.contains("tardis_compactions 1"));
         assert!(text.contains("tardis_compaction_records_folded 150"));
         assert!(text.contains("# TYPE tardis_deltas_active gauge"));
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn crash_and_recovery_counters() {
+        let m = Metrics::new();
+        m.record_crash_injected();
+        m.record_recovery_run(3);
+        m.record_manifest_resolution(true, 4);
+        m.record_tmp_swept(2);
+        let before = m.snapshot();
+        assert_eq!(before.crashes_injected, 1);
+        assert_eq!(before.recovery_runs, 1);
+        assert_eq!(before.recovery_manifests_rolled, 1);
+        assert_eq!(before.recovery_tmp_swept, 2);
+        assert_eq!(before.recovery_orphans_deleted, 3);
+        assert_eq!(before.recovery_replicas_healed, 4);
+        m.record_manifest_resolution(false, 0);
+        m.record_recovery_run(1);
+        let d = m.snapshot().delta_since(&before);
+        assert_eq!(d.recovery_runs, 1);
+        assert_eq!(d.recovery_orphans_deleted, 1);
+        assert_eq!(d.recovery_tmp_swept, 0);
+        let text = m.snapshot().prometheus_text(None);
+        assert!(text.contains("tardis_crashes_injected 1"));
+        assert!(text.contains("tardis_recovery_runs 2"));
+        assert!(text.contains("tardis_recovery_manifests_rolled 1"));
+        assert!(text.contains("tardis_recovery_tmp_swept 2"));
+        assert!(text.contains("tardis_recovery_orphans_deleted 4"));
+        assert!(text.contains("tardis_recovery_replicas_healed 4"));
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }

@@ -656,6 +656,11 @@ impl TardisIndex {
                 .dfs()
                 .append_block(&file, &encode_clustered_block(chunk, self.config.word_len))?;
         }
+        // Mid-seal crash window: the delta's clustered blocks are on
+        // disk but neither its Bloom sidecar nor the manifest entry the
+        // caller persists afterwards exist — the orphaned delta files
+        // must be GC'd back to the pre-ingest state at recovery.
+        cluster.crash_point("core.ingest.seal")?;
         if let Some(filter) = &bloom {
             cluster.dfs().delete_file(&bloom_file)?;
             cluster.dfs().append_block(&bloom_file, &filter.to_bytes())?;
@@ -738,10 +743,28 @@ impl TardisIndex {
     /// Same as [`Self::compact_deferred`], plus DFS deletion errors.
     pub fn compact(&mut self, cluster: &Cluster) -> Result<CompactionOutcome, CoreError> {
         let outcome = self.compact_deferred(cluster)?;
-        for file in &outcome.retired_files {
+        Self::retire_files(cluster, &outcome.retired_files)?;
+        Ok(outcome)
+    }
+
+    /// Deletes the files a compaction pass retired, consulting the
+    /// `core.compact.retire` crash point before each delete.
+    ///
+    /// Ordering contract for persistent callers: save the
+    /// post-compaction manifest (via [`Self::save_atomic`]) **before**
+    /// retiring. A crash after the save leaves the old generation's
+    /// files on disk but unreferenced — recovery GCs them. Retiring
+    /// first would let a crash strand the *old* manifest pointing at
+    /// deleted files: permanent data loss no recovery can undo.
+    ///
+    /// # Errors
+    /// Propagates DFS deletion errors and the injected crash.
+    pub fn retire_files(cluster: &Cluster, retired: &[String]) -> Result<(), CoreError> {
+        for file in retired {
+            cluster.crash_point("core.compact.retire")?;
             cluster.dfs().delete_file(file)?;
         }
-        Ok(outcome)
+        Ok(())
     }
 
     /// Folds every sealed delta into the base index: delta entries are
@@ -823,6 +846,10 @@ impl TardisIndex {
             entries.extend(delta_entries);
             let part_file = format!("part-{pid:05}.v{version}");
             let bloom_file = format!("bloom-{pid:05}.v{version}");
+            // Mid-swap crash window: partitions already rewritten at the
+            // new version are orphans (the manifest still names the old
+            // generation) — recovery GCs them back to the pre-state.
+            cluster.crash_point("core.compact.swap")?;
             let (meta, resident) =
                 persist_partition(cluster, &self.config, pid, entries, part_file, bloom_file)?;
             self.parts[pid as usize] = meta;
@@ -937,123 +964,57 @@ impl TardisIndex {
     }
 
     /// Reopens an index previously persisted with [`Self::save`].
-    /// Bloom filters are reloaded into memory when the saved configuration
-    /// asked for residency.
+    ///
+    /// Every open resolves the manifest's **generation** first: all
+    /// replicas of the manifest block are read directly, the newest
+    /// checksum-valid version wins (a crash between per-replica renames
+    /// can leave replicas on different versions), and losing, corrupt,
+    /// or missing replicas are healed in place with the winner's bytes.
+    /// Bloom filters are reloaded into memory when the saved
+    /// configuration asked for residency.
     ///
     /// # Errors
     /// Propagates DFS errors; malformed manifests yield codec errors.
     pub fn open(cluster: &Cluster, name: &str) -> Result<TardisIndex, CoreError> {
-        use bytes::Buf;
+        let decoded = crate::recovery::resolve_manifest(cluster, name)?;
+        Self::from_decoded(cluster, decoded)
+    }
+
+    /// Runs full store recovery ([`crate::recovery::recover_store`]:
+    /// manifest resolution, orphan GC, scrub) and then reopens the
+    /// manifest `name` — the one-call startup path the daemon and every
+    /// directory-backed CLI open use after a possible crash.
+    ///
+    /// # Errors
+    /// Propagates recovery and open errors.
+    pub fn recover(
+        cluster: &Cluster,
+        name: &str,
+    ) -> Result<(TardisIndex, crate::recovery::RecoveryReport), CoreError> {
+        let report = crate::recovery::recover_store(cluster)?;
+        let index = Self::open(cluster, name)?;
+        Ok((index, report))
+    }
+
+    /// Finishes an open from an already-resolved manifest: reloads the
+    /// resident Bloom filters and assembles the handle.
+    pub(crate) fn from_decoded(
+        cluster: &Cluster,
+        decoded: DecodedManifest,
+    ) -> Result<TardisIndex, CoreError> {
         fn codec_err(context: &'static str) -> CoreError {
             CoreError::Cluster(tardis_cluster::ClusterError::Codec { context })
         }
-        let blocks = cluster.dfs().list_blocks(name)?;
-        let bytes = cluster
-            .dfs()
-            .read_block(blocks.first().ok_or_else(|| codec_err("empty manifest"))?)?;
-        if bytes.len() < 8 {
-            return Err(codec_err("manifest too short"));
-        }
-        let (payload, tail) = bytes.split_at(bytes.len() - 8);
-        let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
-        if tardis_bloom::fnv1a_64(payload) != stored {
-            return Err(codec_err("manifest checksum mismatch"));
-        }
-        let mut buf = payload;
-        // Versioned (v2) manifests are magic-prefixed; anything else is
-        // a legacy manifest from before deltas existed.
-        let v2 = buf.len() >= 4 + 8 + 8 && &buf[..4] == MANIFEST_MAGIC_V2;
-        let (manifest_version, mut next_delta_id) = if v2 {
-            buf.advance(4);
-            (buf.get_u64_le(), buf.get_u64_le())
-        } else {
-            (0, 0)
-        };
-        if buf.len() < 2 + 1 + 8 + 8 + 8 + 4 + 8 + 3 + 8 {
-            return Err(codec_err("manifest header"));
-        }
-        let config = TardisConfig {
-            word_len: buf.get_u16_le() as usize,
-            initial_card_bits: buf.get_u8(),
-            g_max_size: buf.get_u64_le() as usize,
-            l_max_size: buf.get_u64_le() as usize,
-            sampling_fraction: buf.get_f64_le(),
-            pth: buf.get_u32_le() as usize,
-            bloom_fpp: buf.get_f64_le(),
-            bloom_enabled: buf.get_u8() != 0,
-            bloom_in_memory: buf.get_u8() != 0,
-            clustered: buf.get_u8() != 0,
-            seed: buf.get_u64_le(),
-        };
-        config.validate()?;
-        let dataset_file = get_str(&mut buf).ok_or_else(|| codec_err("dataset file"))?;
-        if buf.len() < 8 + 4 {
-            return Err(codec_err("dataset block size"));
-        }
-        let dataset_block_records = buf.get_u64_le() as usize;
-        let global_len = buf.get_u32_le() as usize;
-        if buf.len() < global_len {
-            return Err(codec_err("global index body"));
-        }
-        let global = TardisG::from_bytes(&buf[..global_len])?;
-        buf.advance(global_len);
-        if buf.len() < 4 {
-            return Err(codec_err("partition table header"));
-        }
-        let n_parts = buf.get_u32_le() as usize;
-        let mut parts = Vec::with_capacity(n_parts);
-        for _ in 0..n_parts {
-            if buf.len() < 12 {
-                return Err(codec_err("partition header"));
-            }
-            let pid = buf.get_u32_le();
-            let n_records = buf.get_u64_le();
-            let file = get_str(&mut buf).ok_or_else(|| codec_err("partition file"))?;
-            let bloom_file = get_str(&mut buf).ok_or_else(|| codec_err("bloom file"))?;
-            if buf.len() < 16 {
-                return Err(codec_err("partition sizes"));
-            }
-            let index_bytes = buf.get_u64_le() as usize;
-            let bloom_bytes = buf.get_u64_le() as usize;
-            parts.push(PartitionMeta {
-                pid,
-                n_records,
-                file,
-                bloom_file,
-                index_bytes,
-                bloom_bytes,
-            });
-        }
-        let mut deltas = Vec::new();
-        if v2 {
-            if buf.len() < 4 {
-                return Err(codec_err("delta table header"));
-            }
-            let n_deltas = buf.get_u32_le() as usize;
-            deltas.reserve(n_deltas);
-            for _ in 0..n_deltas {
-                if buf.len() < 16 {
-                    return Err(codec_err("delta header"));
-                }
-                let delta_id = buf.get_u64_le();
-                let n_records = buf.get_u64_le();
-                let file = get_str(&mut buf).ok_or_else(|| codec_err("delta file"))?;
-                let bloom_file = get_str(&mut buf).ok_or_else(|| codec_err("delta bloom file"))?;
-                deltas.push(DeltaMeta {
-                    delta_id,
-                    n_records,
-                    file,
-                    bloom_file,
-                });
-            }
-        }
-        if !buf.is_empty() {
-            return Err(codec_err("trailing manifest bytes"));
-        }
-        // Never reuse a delta id, even against a manifest whose
-        // high-water mark lagged.
-        next_delta_id =
-            next_delta_id.max(deltas.iter().map(|d| d.delta_id + 1).max().unwrap_or(0));
+        let DecodedManifest {
+            config,
+            global,
+            parts,
+            deltas,
+            next_delta_id,
+            manifest_version,
+            dataset_file,
+            dataset_block_records,
+        } = decoded;
         // Reload Bloom filters when configured resident.
         let mut blooms = Vec::with_capacity(parts.len());
         for meta in &parts {
@@ -1112,6 +1073,186 @@ fn put_str(buf: &mut bytes::BytesMut, s: &str) {
     use bytes::BufMut;
     buf.put_u16_le(s.len() as u16);
     buf.put_slice(s.as_bytes());
+}
+
+/// A fully parsed manifest payload, independent of any live cluster
+/// state: the unit manifest generation resolution compares across
+/// replicas, recovery harvests file references from, and the
+/// robustness proptests attack with adversarial bytes.
+#[derive(Debug)]
+pub(crate) struct DecodedManifest {
+    pub(crate) config: TardisConfig,
+    pub(crate) global: TardisG,
+    pub(crate) parts: Vec<PartitionMeta>,
+    pub(crate) deltas: Vec<DeltaMeta>,
+    pub(crate) next_delta_id: u64,
+    pub(crate) manifest_version: u64,
+    pub(crate) dataset_file: String,
+    pub(crate) dataset_block_records: usize,
+}
+
+impl DecodedManifest {
+    /// Generation-resolution ordering key. Compaction bumps the
+    /// manifest version, ingest bumps the delta high-water mark, and
+    /// every persisted mutation strictly increases the pair — so the
+    /// lexicographic max across replicas is the newest committed state.
+    pub(crate) fn generation(&self) -> (u64, u64) {
+        (self.manifest_version, self.next_delta_id)
+    }
+
+    /// Every DFS file this manifest's generation keeps alive: partition
+    /// and Bloom files, sealed deltas and their filters, and the
+    /// original dataset.
+    pub(crate) fn referenced_files(&self) -> impl Iterator<Item = &str> {
+        self.parts
+            .iter()
+            .flat_map(|p| [p.file.as_str(), p.bloom_file.as_str()])
+            .chain(
+                self.deltas
+                    .iter()
+                    .flat_map(|d| [d.file.as_str(), d.bloom_file.as_str()]),
+            )
+            .chain(std::iter::once(self.dataset_file.as_str()))
+    }
+}
+
+/// Parses one manifest block payload (either layout: legacy or
+/// `TDM2`-prefixed v2), verifying the trailing FNV-1a checksum first.
+///
+/// Decoding is allocation-safe against adversarial bytes: table counts
+/// are sanity-checked against the bytes remaining *before* any reserve,
+/// so a crafted header cannot make a corrupt manifest allocate more
+/// than its own length.
+///
+/// # Errors
+/// [`CoreError::Cluster`] codec errors on any malformed input.
+pub(crate) fn decode_manifest(bytes: &[u8]) -> Result<DecodedManifest, CoreError> {
+    use bytes::Buf;
+    fn codec_err(context: &'static str) -> CoreError {
+        CoreError::Cluster(tardis_cluster::ClusterError::Codec { context })
+    }
+    if bytes.len() < 8 {
+        return Err(codec_err("manifest too short"));
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    if tardis_bloom::fnv1a_64(payload) != stored {
+        return Err(codec_err("manifest checksum mismatch"));
+    }
+    let mut buf = payload;
+    // Versioned (v2) manifests are magic-prefixed; anything else is
+    // a legacy manifest from before deltas existed.
+    let v2 = buf.len() >= 4 + 8 + 8 && &buf[..4] == MANIFEST_MAGIC_V2;
+    let (manifest_version, mut next_delta_id) = if v2 {
+        buf.advance(4);
+        (buf.get_u64_le(), buf.get_u64_le())
+    } else {
+        (0, 0)
+    };
+    if buf.len() < 2 + 1 + 8 + 8 + 8 + 4 + 8 + 3 + 8 {
+        return Err(codec_err("manifest header"));
+    }
+    let config = TardisConfig {
+        word_len: buf.get_u16_le() as usize,
+        initial_card_bits: buf.get_u8(),
+        g_max_size: buf.get_u64_le() as usize,
+        l_max_size: buf.get_u64_le() as usize,
+        sampling_fraction: buf.get_f64_le(),
+        pth: buf.get_u32_le() as usize,
+        bloom_fpp: buf.get_f64_le(),
+        bloom_enabled: buf.get_u8() != 0,
+        bloom_in_memory: buf.get_u8() != 0,
+        clustered: buf.get_u8() != 0,
+        seed: buf.get_u64_le(),
+    };
+    config.validate()?;
+    let dataset_file = get_str(&mut buf).ok_or_else(|| codec_err("dataset file"))?;
+    if buf.len() < 8 + 4 {
+        return Err(codec_err("dataset block size"));
+    }
+    let dataset_block_records = buf.get_u64_le() as usize;
+    let global_len = buf.get_u32_le() as usize;
+    if buf.len() < global_len {
+        return Err(codec_err("global index body"));
+    }
+    let global = TardisG::from_bytes(&buf[..global_len])?;
+    buf.advance(global_len);
+    if buf.len() < 4 {
+        return Err(codec_err("partition table header"));
+    }
+    let n_parts = buf.get_u32_le() as usize;
+    // Each entry occupies ≥ 32 bytes (4+8 ids/counts, two 2-byte string
+    // prefixes, 16 size bytes): a count the remaining payload cannot
+    // possibly hold is corruption, caught before `with_capacity`.
+    if n_parts > buf.len() / 32 {
+        return Err(codec_err("partition count"));
+    }
+    let mut parts = Vec::with_capacity(n_parts);
+    for _ in 0..n_parts {
+        if buf.len() < 12 {
+            return Err(codec_err("partition header"));
+        }
+        let pid = buf.get_u32_le();
+        let n_records = buf.get_u64_le();
+        let file = get_str(&mut buf).ok_or_else(|| codec_err("partition file"))?;
+        let bloom_file = get_str(&mut buf).ok_or_else(|| codec_err("bloom file"))?;
+        if buf.len() < 16 {
+            return Err(codec_err("partition sizes"));
+        }
+        let index_bytes = buf.get_u64_le() as usize;
+        let bloom_bytes = buf.get_u64_le() as usize;
+        parts.push(PartitionMeta {
+            pid,
+            n_records,
+            file,
+            bloom_file,
+            index_bytes,
+            bloom_bytes,
+        });
+    }
+    let mut deltas = Vec::new();
+    if v2 {
+        if buf.len() < 4 {
+            return Err(codec_err("delta table header"));
+        }
+        let n_deltas = buf.get_u32_le() as usize;
+        // Same sanity cap as the partition table: ≥ 20 bytes per entry.
+        if n_deltas > buf.len() / 20 {
+            return Err(codec_err("delta count"));
+        }
+        deltas.reserve(n_deltas);
+        for _ in 0..n_deltas {
+            if buf.len() < 16 {
+                return Err(codec_err("delta header"));
+            }
+            let delta_id = buf.get_u64_le();
+            let n_records = buf.get_u64_le();
+            let file = get_str(&mut buf).ok_or_else(|| codec_err("delta file"))?;
+            let bloom_file = get_str(&mut buf).ok_or_else(|| codec_err("delta bloom file"))?;
+            deltas.push(DeltaMeta {
+                delta_id,
+                n_records,
+                file,
+                bloom_file,
+            });
+        }
+    }
+    if !buf.is_empty() {
+        return Err(codec_err("trailing manifest bytes"));
+    }
+    // Never reuse a delta id, even against a manifest whose high-water
+    // mark lagged.
+    next_delta_id = next_delta_id.max(deltas.iter().map(|d| d.delta_id + 1).max().unwrap_or(0));
+    Ok(DecodedManifest {
+        config,
+        global,
+        parts,
+        deltas,
+        next_delta_id,
+        manifest_version,
+        dataset_file,
+        dataset_block_records,
+    })
 }
 
 /// Reads a length-prefixed UTF-8 string; `None` on malformed input.

@@ -39,6 +39,7 @@ pub mod index;
 pub mod local;
 pub mod packing;
 pub mod query;
+pub mod recovery;
 
 pub use block::{SeriesBlock, SeriesBlockBuilder};
 pub use build::SortedBuildOptions;
@@ -67,4 +68,5 @@ pub use query::knn::{
     knn_approximate, knn_approximate_degraded, knn_approximate_degraded_profiled,
     knn_approximate_profiled, KnnAnswer, KnnStrategy,
 };
+pub use recovery::{recover_store, RecoveryReport};
 pub use tardis_cluster::{BatchProfile, QueryProfile, Tracer};

@@ -1,0 +1,197 @@
+//! Startup recovery (`fsck`): manifest generation resolution, orphaned
+//! generation-file garbage collection, and a final storage scrub.
+//!
+//! The crash model (see `DESIGN.md` §16) keeps every multi-step
+//! mutation recoverable by construction: new data is always written to
+//! *fresh* generation files (`part-*.vN`, `delta-*`, `extsort-run-*`),
+//! and the manifest swap is the single commit point. A crash therefore
+//! leaves exactly one of two on-disk states reachable — the pre-state
+//! (commit never happened; the new generation's files are orphans) or
+//! the post-state (commit happened; the old generation's files are
+//! orphans) — plus, when the crash hit between per-replica manifest
+//! renames, a *mixed* manifest whose replicas disagree. Recovery
+//! resolves all three:
+//!
+//! 1. **Resolve** every manifest to its newest checksum-valid version
+//!    across replicas, healing losing/corrupt/missing replicas in place
+//!    (a mixed manifest always rolls *forward*: the newer version's
+//!    data files were durably written before its manifest was).
+//! 2. **GC** generation files referenced by no parseable manifest.
+//! 3. **Scrub** the block store: sweep leftover `*.tmp` staging files
+//!    and re-heal under-replicated blocks.
+
+use crate::error::CoreError;
+use crate::index::{decode_manifest, DecodedManifest};
+use std::collections::BTreeSet;
+use tardis_cluster::Cluster;
+
+/// What one recovery pass repaired. All-zero on a clean store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Manifests whose replicas held diverging versions and were rolled
+    /// forward to the newest checksum-valid one.
+    pub manifests_rolled_forward: u64,
+    /// Leftover staging `*.tmp` files swept by the scrub phase.
+    pub tmp_swept: u64,
+    /// Unreferenced generation files deleted.
+    pub orphans_deleted: u64,
+    /// Replicas healed: manifest losers rewritten in place, plus block
+    /// replicas the scrub phase repaired or topped up.
+    pub replicas_healed: u64,
+    /// Blocks the scrub phase found with no healthy replica left —
+    /// unrepairable data loss (never caused by a crash alone).
+    pub blocks_lost: u64,
+}
+
+impl RecoveryReport {
+    /// `true` when the pass changed nothing and found no loss — the
+    /// store was already consistent.
+    pub fn is_clean(&self) -> bool {
+        *self == RecoveryReport::default()
+    }
+}
+
+/// File-name prefixes of **generation files**: build/ingest/compaction
+/// outputs whose liveness is decided solely by manifest references.
+/// Everything else (datasets, manifests) is never GC'd.
+const GENERATION_PREFIXES: &[&str] = &["part-", "bloom-", "delta-", "dbloom-", "extsort-run-"];
+
+fn is_generation_file(name: &str) -> bool {
+    GENERATION_PREFIXES.iter().any(|p| name.starts_with(p))
+}
+
+/// Resolves the manifest file `name` across its replicas: every
+/// checksum-valid replica is parsed, the newest generation (lexicographic
+/// `(manifest_version, next_delta_id)`) wins, and losing, corrupt, or
+/// missing replicas are healed in place with the winner's bytes.
+///
+/// # Errors
+/// When no replica parses, falls through to an ordinary replicated read
+/// so the usual error (all replicas dead, checksum mismatch, codec
+/// context) surfaces; DFS errors propagate.
+pub(crate) fn resolve_manifest(
+    cluster: &Cluster,
+    name: &str,
+) -> Result<DecodedManifest, CoreError> {
+    match try_resolve_manifest(cluster, name)? {
+        Some(resolved) => Ok(resolved.decoded),
+        None => {
+            // No replica holds a parseable manifest: read through the
+            // normal failover path so the caller gets the same error a
+            // plain open would have produced.
+            let blocks = cluster.dfs().list_blocks(name)?;
+            let id = blocks.first().ok_or(CoreError::Cluster(
+                tardis_cluster::ClusterError::Codec {
+                    context: "empty manifest",
+                },
+            ))?;
+            let bytes = cluster.dfs().read_block(id)?;
+            decode_manifest(&bytes)
+        }
+    }
+}
+
+struct ResolvedManifest {
+    decoded: DecodedManifest,
+    /// Replicas held diverging generations (crash between renames).
+    rolled: bool,
+    /// Losing/corrupt/missing replicas rewritten with the winner.
+    healed: u64,
+}
+
+/// [`resolve_manifest`] that answers `None` (instead of an error) when
+/// `name` does not hold a parseable manifest in any replica — the probe
+/// recovery uses to discover manifests among arbitrary DFS files.
+fn try_resolve_manifest(
+    cluster: &Cluster,
+    name: &str,
+) -> Result<Option<ResolvedManifest>, CoreError> {
+    let Ok(blocks) = cluster.dfs().list_blocks(name) else {
+        return Ok(None);
+    };
+    let Some(id) = blocks.first() else {
+        return Ok(None);
+    };
+    // Direct per-replica reads (no failover): resolution must see every
+    // version that survived the crash, not just the first healthy one.
+    let candidates = cluster.dfs().read_replica_payloads(id);
+    let mut parsed: Vec<(Vec<u8>, DecodedManifest)> = Vec::new();
+    for (_replica, payload) in candidates {
+        if let Ok(decoded) = decode_manifest(&payload) {
+            parsed.push((payload, decoded));
+        }
+    }
+    if parsed.is_empty() {
+        return Ok(None);
+    }
+    // Newest generation wins; ties keep the lowest replica index so
+    // resolution is deterministic.
+    let mut best = 0;
+    for i in 1..parsed.len() {
+        if parsed[i].1.generation() > parsed[best].1.generation() {
+            best = i;
+        }
+    }
+    let rolled = parsed
+        .iter()
+        .any(|(_, d)| d.generation() != parsed[best].1.generation());
+    let healed = cluster.dfs().heal_block(id, &parsed[best].0)?;
+    if rolled || healed > 0 {
+        cluster
+            .metrics()
+            .record_manifest_resolution(rolled, healed);
+    }
+    let (_, decoded) = parsed.swap_remove(best);
+    Ok(Some(ResolvedManifest {
+        decoded,
+        rolled,
+        healed,
+    }))
+}
+
+/// Recovers the whole store after a crash (or verifies a clean one):
+/// resolves every manifest, garbage-collects orphaned generation files,
+/// and scrubs the block store. Idempotent — a second pass on the same
+/// store reports all zeros (barring pre-existing `blocks_lost`).
+///
+/// Generation files referenced by **no** parseable manifest are
+/// deleted: an index persisted without ever saving a manifest is
+/// indistinguishable from an aborted build and is swept. References are
+/// unioned across *all* manifests in the store, so several indexes
+/// sharing one DFS directory (e.g. a normal and a low-memory build of
+/// the same dataset) protect each other's files.
+///
+/// # Errors
+/// Propagates DFS errors.
+pub fn recover_store(cluster: &Cluster) -> Result<RecoveryReport, CoreError> {
+    let mut report = RecoveryReport::default();
+    let files = cluster.dfs().list_files();
+    // Phase 1: resolve manifests, harvesting the live-file set.
+    let mut refs: BTreeSet<String> = BTreeSet::new();
+    for name in &files {
+        if is_generation_file(name) {
+            continue;
+        }
+        if let Some(resolved) = try_resolve_manifest(cluster, name)? {
+            if resolved.rolled {
+                report.manifests_rolled_forward += 1;
+            }
+            report.replicas_healed += resolved.healed;
+            refs.extend(resolved.decoded.referenced_files().map(str::to_string));
+        }
+    }
+    // Phase 2: GC generation files no manifest references.
+    for name in &files {
+        if is_generation_file(name) && !refs.contains(name) {
+            cluster.dfs().delete_file(name)?;
+            report.orphans_deleted += 1;
+        }
+    }
+    cluster.metrics().record_recovery_run(report.orphans_deleted);
+    // Phase 3: scrub — sweeps staging tmps, re-heals stragglers.
+    let scrub = cluster.dfs().scrub()?;
+    report.tmp_swept = scrub.tmp_swept;
+    report.replicas_healed += scrub.replicas_repaired + scrub.replicas_added;
+    report.blocks_lost = scrub.blocks_lost;
+    Ok(report)
+}

@@ -1,0 +1,475 @@
+//! Crash-consistency chaos suite: for every registered crash point
+//! reachable from build / build-sorted / ingest / compact / scrub, the
+//! operation is killed mid-flight at that exact point (a seeded
+//! [`CrashSpec`] turns the named site into a simulated `kill -9`), the
+//! store is reopened by a *fresh* cluster, and startup recovery
+//! ([`recover_store`]) must restore a store **byte-identical** to either
+//! the pre-operation or the post-operation oracle — never a third
+//! state. When the matching oracle holds a manifest, every query path
+//! (exact match, the three approximate-kNN strategies, exact kNN,
+//! range, and the batch engine) must answer identically on the
+//! recovered store and the oracle.
+//!
+//! Arrival positions are enumerated by a dry run with a counting (but
+//! never-firing) injector, then each reachable site is crashed at its
+//! first, middle, and last arrival.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use tardis_cluster::{
+    encode_records, Cluster, ClusterConfig, CrashSpec, FaultPlan, CRASH_SITES,
+};
+use tardis_core::{
+    exact_knn, exact_match, exact_match_batch, knn_approximate, range_query, recover_store,
+    CoreError, KnnStrategy, SortedBuildOptions, TardisConfig, TardisIndex,
+};
+use tardis_ts::{Record, TimeSeries};
+
+fn series(rid: u64) -> TimeSeries {
+    let mut x = rid.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut acc = 0.0f32;
+    let mut v = Vec::with_capacity(64);
+    for _ in 0..64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        acc += ((x >> 40) as f32 / (1u32 << 24) as f32) - 0.5;
+        v.push(acc);
+    }
+    tardis_ts::z_normalize_in_place(&mut v);
+    TimeSeries::new(v)
+}
+
+fn config() -> TardisConfig {
+    TardisConfig {
+        g_max_size: 150,
+        l_max_size: 30,
+        sampling_fraction: 0.5,
+        pth: 4,
+        ..TardisConfig::default()
+    }
+}
+
+fn records(range: std::ops::Range<u64>) -> Vec<Record> {
+    range.map(|rid| Record::new(rid, series(rid))).collect()
+}
+
+/// Single-worker cluster at `dir`: placement, task order, and therefore
+/// every crash-point arrival position are deterministic.
+fn cluster_at(dir: &Path, crash: Option<CrashSpec>, counting: bool) -> Cluster {
+    let faults = if crash.is_some() || counting {
+        Some(FaultPlan {
+            crash_point: crash,
+            ..FaultPlan::default()
+        })
+    } else {
+        None
+    };
+    Cluster::at_dir(
+        dir,
+        ClusterConfig {
+            n_workers: 1,
+            faults,
+            ..ClusterConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Recursive tree snapshot: relative path → file bytes (directories
+/// appear with an empty marker so leftover empty dirs are caught too).
+fn snapshot(root: &Path) -> BTreeMap<PathBuf, Option<Vec<u8>>> {
+    let mut out = BTreeMap::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let rel = path.strip_prefix(root).unwrap().to_path_buf();
+            if path.is_dir() {
+                out.insert(rel, None);
+                stack.push(path);
+            } else {
+                out.insert(rel, Some(std::fs::read(&path).unwrap()));
+            }
+        }
+    }
+    out
+}
+
+fn copy_tree(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let path = entry.unwrap().path();
+        let to = dst.join(path.file_name().unwrap());
+        if path.is_dir() {
+            copy_tree(&path, &to);
+        } else {
+            std::fs::copy(&path, &to).unwrap();
+        }
+    }
+}
+
+/// Human-readable first difference between two snapshots, for failure
+/// messages.
+fn diff_summary(
+    a: &BTreeMap<PathBuf, Option<Vec<u8>>>,
+    b: &BTreeMap<PathBuf, Option<Vec<u8>>>,
+) -> String {
+    let keys: BTreeSet<&PathBuf> = a.keys().chain(b.keys()).collect();
+    for k in keys {
+        match (a.get(k), b.get(k)) {
+            (None, Some(_)) => return format!("missing {}", k.display()),
+            (Some(_), None) => return format!("extra {}", k.display()),
+            (Some(x), Some(y)) if x != y => return format!("content differs at {}", k.display()),
+            _ => {}
+        }
+    }
+    "identical".into()
+}
+
+/// One query's answers across the five query paths. Derived [`PartialEq`]
+/// compares floats exactly — the recovered store and the oracle run the
+/// same arithmetic in the same order.
+#[derive(Debug, PartialEq)]
+struct Answers {
+    exact: Vec<u64>,
+    knn: Vec<Vec<(f64, u64)>>,
+    exact_knn: Vec<(f64, u64)>,
+    range: Vec<(u64, f64)>,
+    batch: Vec<Vec<u64>>,
+}
+
+fn answers(index: &TardisIndex, cluster: &Cluster, q: &TimeSeries) -> Answers {
+    let exact = exact_match(index, cluster, q, true).unwrap().matches;
+    let knn: Vec<Vec<(f64, u64)>> = [
+        KnnStrategy::TargetNode,
+        KnnStrategy::OnePartition,
+        KnnStrategy::MultiPartition,
+    ]
+    .iter()
+    .map(|&s| knn_approximate(index, cluster, q, 5, s).unwrap().neighbors)
+    .collect();
+    let exact_knn_ans: Vec<(f64, u64)> = exact_knn(index, cluster, q, 5)
+        .unwrap()
+        .neighbors
+        .into_iter()
+        .map(|nb| (nb.distance, nb.rid))
+        .collect();
+    let range: Vec<(u64, f64)> = range_query(index, cluster, q, 2.0)
+        .unwrap()
+        .matches
+        .into_iter()
+        .map(|nb| (nb.rid, nb.distance))
+        .collect();
+    let batch: Vec<Vec<u64>> = exact_match_batch(index, cluster, std::slice::from_ref(q), true)
+        .unwrap()
+        .into_iter()
+        .map(|o| o.matches)
+        .collect();
+    Answers {
+        exact,
+        knn,
+        exact_knn: exact_knn_ans,
+        range,
+        batch,
+    }
+}
+
+/// Writes the 400-record dataset every scenario builds on.
+fn write_base_dataset(cluster: &Cluster) {
+    let blocks: Vec<Vec<u8>> = (0..400u64)
+        .collect::<Vec<u64>>()
+        .chunks(100)
+        .map(|chunk| {
+            encode_records(
+                &chunk
+                    .iter()
+                    .map(|&rid| Record::new(rid, series(rid)))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    cluster.dfs().write_blocks("data", blocks).unwrap();
+}
+
+/// A crash scenario: a base store, one multi-step operation, and the
+/// crash sites that operation is expected to pass through.
+struct Scenario {
+    name: &'static str,
+    setup: fn(&Cluster),
+    op: fn(&Cluster) -> Result<(), CoreError>,
+    expected_sites: &'static [&'static str],
+}
+
+fn op_build(cluster: &Cluster) -> Result<(), CoreError> {
+    let (index, _) = TardisIndex::build(cluster, "data", &config())?;
+    index.save_atomic(cluster, "idx")?;
+    Ok(())
+}
+
+fn op_build_sorted(cluster: &Cluster) -> Result<(), CoreError> {
+    let opts = SortedBuildOptions {
+        run_budget_bytes: 64 << 10,
+    };
+    let (index, _) = TardisIndex::build_sorted(cluster, "data", &config(), &opts)?;
+    index.save_atomic(cluster, "idx")?;
+    Ok(())
+}
+
+fn op_ingest(cluster: &Cluster) -> Result<(), CoreError> {
+    let mut index = TardisIndex::open(cluster, "idx")?;
+    index.ingest_batch(cluster, records(400..460))?;
+    index.save_atomic(cluster, "idx")?;
+    Ok(())
+}
+
+fn op_compact(cluster: &Cluster) -> Result<(), CoreError> {
+    let mut index = TardisIndex::open(cluster, "idx")?;
+    let outcome = index.compact_deferred(cluster)?;
+    index.save_atomic(cluster, "idx")?;
+    TardisIndex::retire_files(cluster, &outcome.retired_files)?;
+    Ok(())
+}
+
+fn op_scrub(cluster: &Cluster) -> Result<(), CoreError> {
+    cluster.dfs().scrub()?;
+    Ok(())
+}
+
+fn setup_dataset_only(cluster: &Cluster) {
+    write_base_dataset(cluster);
+}
+
+fn setup_built(cluster: &Cluster) {
+    write_base_dataset(cluster);
+    op_build(cluster).unwrap();
+}
+
+fn setup_with_deltas(cluster: &Cluster) {
+    setup_built(cluster);
+    let mut index = TardisIndex::open(cluster, "idx").unwrap();
+    index.ingest_batch(cluster, records(400..430)).unwrap();
+    index.save_atomic(cluster, "idx").unwrap();
+    index.ingest_batch(cluster, records(430..460)).unwrap();
+    index.save_atomic(cluster, "idx").unwrap();
+}
+
+/// A built store with one replica of one partition block deleted, so
+/// scrub has a repair to stage (and crash inside).
+fn setup_damaged(cluster: &Cluster) {
+    setup_built(cluster);
+    let root = cluster.dfs().root().to_path_buf();
+    let mut victims: Vec<PathBuf> = snapshot(&root)
+        .into_keys()
+        .filter(|p| {
+            p.to_string_lossy().contains("part-00000") && p.extension().is_some_and(|e| e == "bin")
+        })
+        .map(|rel| root.join(rel))
+        .collect();
+    victims.sort();
+    let victim = victims.first().expect("a part-00000 replica on disk");
+    std::fs::remove_file(victim).unwrap();
+}
+
+fn run_scenario(scenario: &Scenario) {
+    let root = std::env::temp_dir().join(format!(
+        "tardis-crash-{}-{}",
+        scenario.name,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+
+    // Base store, then the two oracles: pre (untouched copy) and post
+    // (the operation run to completion, no faults).
+    let base = root.join("base");
+    {
+        let cluster = cluster_at(&base, None, false);
+        (scenario.setup)(&cluster);
+    }
+    let pre_dir = root.join("pre");
+    copy_tree(&base, &pre_dir);
+    let post_dir = root.join("post");
+    copy_tree(&base, &post_dir);
+    {
+        let cluster = cluster_at(&post_dir, None, false);
+        (scenario.op)(&cluster).unwrap();
+    }
+    let pre_snap = snapshot(&pre_dir);
+    let post_snap = snapshot(&post_dir);
+    assert_ne!(
+        diff_summary(&pre_snap, &post_snap),
+        "identical",
+        "{}: operation must change the store",
+        scenario.name
+    );
+
+    // Dry run with a counting injector to enumerate arrival positions.
+    let dry_dir = root.join("dry");
+    copy_tree(&base, &dry_dir);
+    let arrivals: Vec<(&'static str, u64)> = {
+        let cluster = cluster_at(&dry_dir, None, true);
+        (scenario.op)(&cluster).unwrap();
+        cluster.fault_injector().unwrap().crash_site_arrivals()
+    };
+    let observed: BTreeSet<&str> = arrivals.iter().map(|&(s, _)| s).collect();
+    let expected: BTreeSet<&str> = scenario.expected_sites.iter().copied().collect();
+    assert_eq!(
+        observed, expected,
+        "{}: crash sites passed through by the operation",
+        scenario.name
+    );
+
+    let mut checked_metrics = false;
+    for &(site, total) in &arrivals {
+        // First, middle, and last arrival at each site.
+        let hits: BTreeSet<u64> = [1, total.div_ceil(2), total].into_iter().collect();
+        for hit in hits {
+            let work = root.join(format!("work-{}-{hit}", site.replace('.', "_")));
+            copy_tree(&base, &work);
+            {
+                let cluster = cluster_at(
+                    &work,
+                    Some(CrashSpec::parse(&format!("{site}:{hit}")).unwrap()),
+                    false,
+                );
+                let err = (scenario.op)(&cluster)
+                    .expect_err("armed crash point must abort the operation");
+                let msg = err.to_string();
+                assert!(
+                    msg.contains("injected crash at") && msg.contains(site),
+                    "{}: unexpected error at {site}:{hit}: {msg}",
+                    scenario.name
+                );
+            }
+            // Reopen with a fresh cluster (the "restarted process") and
+            // run startup recovery.
+            let cluster = cluster_at(&work, None, false);
+            let report = recover_store(&cluster).unwrap();
+            assert_eq!(report.blocks_lost, 0, "{}: {site}:{hit}", scenario.name);
+            if !checked_metrics {
+                let text = cluster.metrics().snapshot().prometheus_text(None);
+                for counter in [
+                    "tardis_recovery_runs 1",
+                    "tardis_recovery_manifests_rolled",
+                    "tardis_recovery_tmp_swept",
+                    "tardis_recovery_orphans_deleted",
+                    "tardis_recovery_replicas_healed",
+                ] {
+                    assert!(text.contains(counter), "missing {counter} in:\n{text}");
+                }
+                checked_metrics = true;
+            }
+            let got = snapshot(&work);
+            let matches_pre = got == pre_snap;
+            let matches_post = got == post_snap;
+            assert!(
+                matches_pre || matches_post,
+                "{}: crash at {site}:{hit} recovered to a third state \
+                 (vs pre: {}; vs post: {})",
+                scenario.name,
+                diff_summary(&got, &pre_snap),
+                diff_summary(&got, &post_snap)
+            );
+            // Query equivalence against the matching oracle, when it
+            // holds an index to open.
+            let oracle_dir = if matches_pre { &pre_dir } else { &post_dir };
+            if cluster.dfs().file_exists("idx") {
+                let oracle = cluster_at(oracle_dir, None, false);
+                let got_index = TardisIndex::open(&cluster, "idx").unwrap();
+                let want_index = TardisIndex::open(&oracle, "idx").unwrap();
+                for rid in [7u64, 455, 40_000] {
+                    let q = series(rid);
+                    assert_eq!(
+                        answers(&got_index, &cluster, &q),
+                        answers(&want_index, &oracle, &q),
+                        "{}: answers diverged after {site}:{hit} (rid {rid})",
+                        scenario.name
+                    );
+                }
+            }
+            std::fs::remove_dir_all(&work).unwrap();
+        }
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+const BUILD_SITES: &[&str] = &[
+    "dfs.write_block.replica",
+    "dfs.replace.stage",
+    "dfs.replace.rename",
+];
+
+#[test]
+fn crash_recovery_build() {
+    run_scenario(&Scenario {
+        name: "build",
+        setup: setup_dataset_only,
+        op: op_build,
+        expected_sites: BUILD_SITES,
+    });
+}
+
+#[test]
+fn crash_recovery_build_sorted() {
+    run_scenario(&Scenario {
+        name: "build-sorted",
+        setup: setup_dataset_only,
+        op: op_build_sorted,
+        expected_sites: BUILD_SITES,
+    });
+}
+
+#[test]
+fn crash_recovery_ingest() {
+    run_scenario(&Scenario {
+        name: "ingest",
+        setup: setup_built,
+        op: op_ingest,
+        expected_sites: &[
+            "dfs.write_block.replica",
+            "dfs.replace.stage",
+            "dfs.replace.rename",
+            "core.ingest.seal",
+        ],
+    });
+}
+
+#[test]
+fn crash_recovery_compact() {
+    run_scenario(&Scenario {
+        name: "compact",
+        setup: setup_with_deltas,
+        op: op_compact,
+        expected_sites: &[
+            "dfs.write_block.replica",
+            "dfs.replace.stage",
+            "dfs.replace.rename",
+            "core.compact.swap",
+            "core.compact.retire",
+        ],
+    });
+}
+
+#[test]
+fn crash_recovery_scrub() {
+    run_scenario(&Scenario {
+        name: "scrub",
+        setup: setup_damaged,
+        op: op_scrub,
+        expected_sites: &["dfs.scrub.repair"],
+    });
+}
+
+/// The five scenarios together must exercise the full registered
+/// catalogue — a new crash site cannot be added without chaos coverage.
+#[test]
+fn scenarios_cover_every_registered_crash_site() {
+    let covered: BTreeSet<&str> = BUILD_SITES
+        .iter()
+        .chain(&["core.ingest.seal", "core.compact.swap", "core.compact.retire", "dfs.scrub.repair"])
+        .copied()
+        .collect();
+    let registered: BTreeSet<&str> = CRASH_SITES.iter().copied().collect();
+    assert_eq!(covered, registered);
+}

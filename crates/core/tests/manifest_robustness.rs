@@ -80,6 +80,204 @@ fn global_from_bytes_detects_every_single_byte_flip() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Adversarial manifest decoding (proptest): any byte-level damage —
+// truncation, bit flips, stale magic, wholesale garbage — must yield a
+// codec error. Never a panic, never an OOM-sized allocation, never a
+// silently misparsed index. Both the legacy (magic-less) and the `TDM2`
+// layouts are covered.
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Built once: (saved `TDM2` manifest bytes, serialized global image).
+fn canonical_images() -> &'static (Vec<u8>, Vec<u8>) {
+    static IMAGES: OnceLock<(Vec<u8>, Vec<u8>)> = OnceLock::new();
+    IMAGES.get_or_init(|| {
+        let (cluster, index) = setup();
+        index.save(&cluster, "m").unwrap();
+        let blocks = cluster.dfs().list_blocks("m").unwrap();
+        let manifest = cluster.dfs().read_block(&blocks[0]).unwrap();
+        (manifest, index.global().to_bytes())
+    })
+}
+
+/// Writes `bytes` as the single manifest block of a fresh store and
+/// opens it, returning the result (panics propagate to the caller —
+/// that *is* the failure mode under test).
+fn open_bytes(bytes: &[u8]) -> Result<TardisIndex, tardis_core::CoreError> {
+    let cluster = Cluster::new(ClusterConfig {
+        n_workers: 1,
+        ..ClusterConfig::default()
+    })
+    .unwrap();
+    cluster.dfs().append_block("m", bytes).unwrap();
+    TardisIndex::open(&cluster, "m")
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Hand-serialized legacy (pre-`TDM2`, magic-less) manifest: config,
+/// dataset linkage, global image, empty partition table, checksum.
+fn legacy_manifest() -> Vec<u8> {
+    let (_, global) = canonical_images();
+    let config = TardisConfig {
+        g_max_size: 150,
+        l_max_size: 30,
+        sampling_fraction: 0.5,
+        ..TardisConfig::default()
+    };
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(config.word_len as u16).to_le_bytes());
+    buf.push(config.initial_card_bits);
+    buf.extend_from_slice(&(config.g_max_size as u64).to_le_bytes());
+    buf.extend_from_slice(&(config.l_max_size as u64).to_le_bytes());
+    buf.extend_from_slice(&config.sampling_fraction.to_le_bytes());
+    buf.extend_from_slice(&(config.pth as u32).to_le_bytes());
+    buf.extend_from_slice(&config.bloom_fpp.to_le_bytes());
+    buf.push(config.bloom_enabled as u8);
+    buf.push(config.bloom_in_memory as u8);
+    buf.push(config.clustered as u8);
+    buf.extend_from_slice(&config.seed.to_le_bytes());
+    put_str(&mut buf, "data");
+    buf.extend_from_slice(&100u64.to_le_bytes());
+    buf.extend_from_slice(&(global.len() as u32).to_le_bytes());
+    buf.extend_from_slice(global);
+    buf.extend_from_slice(&0u32.to_le_bytes()); // no partitions
+    let checksum = tardis_bloom::fnv1a_64(&buf);
+    buf.extend_from_slice(&checksum.to_le_bytes());
+    buf
+}
+
+/// Walks the `TDM2` layout up to the partition-table count, returning
+/// its byte offset. Mirrors the writer's layout on purpose: the test
+/// must be able to aim corruption at the count fields precisely.
+fn v2_n_parts_offset(bytes: &[u8]) -> usize {
+    let mut at = 4 + 8 + 8; // magic, manifest_version, next_delta_id
+    at += 2 + 1 + 8 + 8 + 8 + 4 + 8 + 1 + 1 + 1 + 8; // config
+    let dlen = u16::from_le_bytes(bytes[at..at + 2].try_into().unwrap()) as usize;
+    at += 2 + dlen; // dataset file
+    at += 8; // dataset_block_records
+    let glen = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+    at + 4 + glen
+}
+
+/// Continues the walk past the partition entries to the delta count.
+fn v2_n_deltas_offset(bytes: &[u8]) -> usize {
+    let mut at = v2_n_parts_offset(bytes);
+    let n_parts = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+    at += 4;
+    for _ in 0..n_parts {
+        at += 4 + 8; // pid, n_records
+        for _ in 0..2 {
+            let slen = u16::from_le_bytes(bytes[at..at + 2].try_into().unwrap()) as usize;
+            at += 2 + slen;
+        }
+        at += 8 + 8; // index_bytes, bloom_bytes
+    }
+    at
+}
+
+/// Patches `bytes[at..at + N]` and restamps the trailing checksum, so
+/// the damage reaches the structural decoder instead of being absorbed
+/// by the checksum gate.
+fn patch_and_restamp(bytes: &[u8], at: usize, patch: &[u8]) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    out[at..at + patch.len()].copy_from_slice(patch);
+    let payload_len = out.len() - 8;
+    let checksum = tardis_bloom::fnv1a_64(&out[..payload_len]);
+    out[payload_len..].copy_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+#[test]
+fn legacy_manifest_still_opens() {
+    let index = open_bytes(&legacy_manifest()).unwrap();
+    assert_eq!(index.deltas().len(), 0);
+}
+
+#[test]
+fn oversized_partition_count_rejected_without_allocation() {
+    let (v2, _) = canonical_images();
+    let at = v2_n_parts_offset(v2);
+    let bomb = patch_and_restamp(v2, at, &u32::MAX.to_le_bytes());
+    // A count claiming ~4 billion entries in a few-KB payload must be
+    // rejected by the structural sanity cap — before any `Vec` reserve
+    // could turn it into an OOM — not by an entry-parse error.
+    let Err(err) = open_bytes(&bomb) else {
+        panic!("partition-count bomb accepted")
+    };
+    assert!(err.to_string().contains("partition count"), "got: {err}");
+}
+
+#[test]
+fn oversized_delta_count_rejected_without_allocation() {
+    let (v2, _) = canonical_images();
+    let at = v2_n_deltas_offset(v2);
+    let bomb = patch_and_restamp(v2, at, &u32::MAX.to_le_bytes());
+    let Err(err) = open_bytes(&bomb) else {
+        panic!("delta-count bomb accepted")
+    };
+    assert!(err.to_string().contains("delta count"), "got: {err}");
+}
+
+#[test]
+fn stale_magic_versions_rejected() {
+    let (v2, _) = canonical_images();
+    // A manifest stamped with a magic this build doesn't know falls back
+    // to the legacy interpretation, whose config decode must reject the
+    // alien bytes — a downgrade must fail loudly, never half-parse.
+    for magic in [b"TDM1", b"TDM3", b"TDM9", b"XXXX"] {
+        let stale = patch_and_restamp(v2, 0, magic);
+        assert!(open_bytes(&stale).is_err(), "magic {magic:?} accepted");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        prop_assert!(open_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn v2_truncation_always_errors(pos in any::<usize>()) {
+        let (v2, _) = canonical_images();
+        let cut = pos % v2.len();
+        prop_assert!(open_bytes(&v2[..cut]).is_err(), "cut {} accepted", cut);
+    }
+
+    #[test]
+    fn v2_bit_flips_always_error(pos in any::<usize>(), bit in 0u8..8) {
+        let (v2, _) = canonical_images();
+        let mut bytes = v2.clone();
+        let at = pos % bytes.len();
+        bytes[at] ^= 1 << bit;
+        prop_assert!(open_bytes(&bytes).is_err(), "flip at {} bit {} accepted", at, bit);
+    }
+
+    #[test]
+    fn legacy_truncation_always_errors(pos in any::<usize>()) {
+        let legacy = legacy_manifest();
+        let cut = pos % legacy.len();
+        prop_assert!(open_bytes(&legacy[..cut]).is_err(), "cut {} accepted", cut);
+    }
+
+    #[test]
+    fn legacy_bit_flips_always_error(pos in any::<usize>(), bit in 0u8..8) {
+        let legacy = legacy_manifest();
+        let mut bytes = legacy.clone();
+        let at = pos % bytes.len();
+        bytes[at] ^= 1 << bit;
+        prop_assert!(open_bytes(&bytes).is_err(), "flip at {} bit {} accepted", at, bit);
+    }
+}
+
 #[test]
 fn open_never_panics_on_truncated_manifest() {
     let (cluster, index) = setup();

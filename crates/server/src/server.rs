@@ -206,11 +206,11 @@ impl Shared {
             waited += POLL;
         }
         if Arc::strong_count(&old) == 1 {
-            for file in &outcome.retired_files {
-                // Eviction also releases any cache pins on these blocks;
-                // a failure leaves the file for a later scrub/cleanup.
-                let _ = self.cluster.dfs().delete_file(file);
-            }
+            // Eviction also releases any cache pins on these blocks; a
+            // failure (or an injected `core.compact.retire` crash)
+            // leaves the remaining files for startup recovery to GC —
+            // the manifest was already persisted, so they are orphans.
+            let _ = TardisIndex::retire_files(&self.cluster, &outcome.retired_files);
         } else {
             // A straggling reader still holds the displaced snapshot:
             // park the files and delete them once it drops.

@@ -47,6 +47,7 @@ fn main() -> ExitCode {
         "ingest" => cmd_ingest(&flags),
         "compact" => cmd_compact(&flags),
         "scrub" => cmd_scrub(&flags),
+        "fsck" => cmd_fsck(&flags),
         "profile" => cmd_profile(&flags),
         "serve" => cmd_serve(&flags),
         "client" => cmd_client(&flags),
@@ -90,6 +91,9 @@ fn usage() {
     eprintln!("  compact  --dir D --index NAME (fold all sealed deltas into the base partitions");
     eprintln!("           and bump the manifest version)");
     eprintln!("  scrub    --dir D (verify every replica, re-replicate from healthy siblings)");
+    eprintln!("  fsck     --dir D (startup recovery as a command: resolve manifest replica");
+    eprintln!("           versions, delete orphaned generation files, sweep staging tmps,");
+    eprintln!("           re-heal replicas; non-zero exit if the store is still inconsistent)");
     eprintln!("  profile  --family F --records N [--seed S]");
     eprintln!("  serve    --dir D --index NAME [--addr HOST:PORT] [--max-in-flight N]");
     eprintln!("           [--queue N] [--deadline-ms N] (resident daemon; port 0 picks a free");
@@ -112,6 +116,9 @@ fn usage() {
     eprintln!("  --replication N      replicas per block when creating the cluster (default 2)");
     eprintln!("  --degraded POLICY    fail-fast (default) or best-effort; best-effort skips");
     eprintln!("                       partitions with no serveable replica and reports which");
+    eprintln!("  --crash-at SITE[:N]  deterministic crash injection: abort (simulated kill -9)");
+    eprintln!("                       at the N-th arrival (default 1st) of a named crash point");
+    eprintln!("                       inside a multi-step mutation; recover with 'tardis fsck'");
     eprintln!();
     eprintln!("families: randomwalk | texmex | dna | noaa");
 }
@@ -179,6 +186,20 @@ fn open_cluster(flags: &Flags) -> Result<Cluster, String> {
         }
         config.dfs.replication = r;
         config.dfs.datanodes = config.dfs.datanodes.max(r);
+    }
+    if let Some(raw) = flags.get("crash-at") {
+        let spec = CrashSpec::parse(raw)
+            .ok_or_else(|| format!("invalid --crash-at '{raw}' (expected SITE[:HIT])"))?;
+        if !CRASH_SITES.contains(&spec.site.as_str()) {
+            return Err(format!(
+                "unknown crash site '{}'; registered sites: {}",
+                spec.site,
+                CRASH_SITES.join(", ")
+            ));
+        }
+        let mut plan = config.faults.take().unwrap_or_default();
+        plan.crash_point = Some(spec);
+        config.faults = Some(plan);
     }
     Cluster::at_dir(&dir, config).map_err(|e| e.to_string())
 }
@@ -349,7 +370,9 @@ fn cmd_build(flags: &Flags) -> Result<(), String> {
         TardisIndex::build(&cluster, dataset, &config).map_err(|e| e.to_string())?
     };
     let peak_bytes = tardis::cluster::obs::peak::peak_bytes();
-    index.save(&cluster, index_name).map_err(|e| e.to_string())?;
+    // Atomic swap: a crash mid-save leaves either the old index or the
+    // new one (rolled forward by recovery), never a missing manifest.
+    index.save_atomic(&cluster, index_name).map_err(|e| e.to_string())?;
     // Remember which dataset this index covers.
     let link = format!("{index_name}.dataset");
     cluster.dfs().delete_file(&link).map_err(|e| e.to_string())?;
@@ -384,7 +407,21 @@ fn tardis_core_sorted_opts(flags: &Flags) -> Result<tardis::core::SortedBuildOpt
 
 fn open_index(cluster: &Cluster, flags: &Flags) -> Result<(TardisIndex, String), String> {
     let index_name = req(flags, "index")?;
-    let index = TardisIndex::open(cluster, index_name).map_err(|e| e.to_string())?;
+    // Startup recovery on every directory-backed open (and therefore at
+    // daemon boot): resolve manifest generations, GC crash debris,
+    // scrub the block store. Silent when there was nothing to repair.
+    let (index, report) = TardisIndex::recover(cluster, index_name).map_err(|e| e.to_string())?;
+    if !report.is_clean() {
+        eprintln!(
+            "recovery: {} manifest(s) rolled forward, {} orphan(s) deleted, {} tmp(s) swept, \
+             {} replica(s) healed, {} block(s) lost",
+            report.manifests_rolled_forward,
+            report.orphans_deleted,
+            report.tmp_swept,
+            report.replicas_healed,
+            report.blocks_lost
+        );
+    }
     let link = format!("{index_name}.dataset");
     let dataset = cluster
         .dfs()
@@ -847,10 +884,15 @@ fn cmd_compact(flags: &Flags) -> Result<(), String> {
         return Ok(());
     }
     let t0 = std::time::Instant::now();
-    let outcome = index.compact(&cluster).map_err(|e| e.to_string())?;
+    // Commit order matters for crash safety: persist the post-compaction
+    // manifest first, and only then delete the files it retired — a
+    // crash in between leaves unreferenced (GC-able) debris, never a
+    // manifest pointing at deleted data.
+    let outcome = index.compact_deferred(&cluster).map_err(|e| e.to_string())?;
     index
         .save_atomic(&cluster, &index_name)
         .map_err(|e| e.to_string())?;
+    TardisIndex::retire_files(&cluster, &outcome.retired_files).map_err(|e| e.to_string())?;
     say!(
         "folded {} record(s) from {} delta(s) into {} partition(s) in {:?}; manifest v{}",
         outcome.folded_records,
@@ -884,6 +926,41 @@ fn cmd_scrub(flags: &Flags) -> Result<(), String> {
             report.blocks_lost
         ));
     }
+    Ok(())
+}
+
+/// Startup recovery as an explicit command: resolves every manifest to
+/// its newest checksum-valid replica version, deletes generation files
+/// no manifest references, sweeps leftover staging tmps, and re-heals
+/// under-replicated blocks. A second verification pass must then find
+/// a fully consistent store, or the command exits non-zero.
+fn cmd_fsck(flags: &Flags) -> Result<(), String> {
+    let cluster = open_cluster(flags)?;
+    let t0 = std::time::Instant::now();
+    let report = recover_store(&cluster).map_err(|e| e.to_string())?;
+    say!(
+        "fsck in {:?}: {} manifest(s) rolled forward, {} orphan(s) deleted, {} tmp(s) swept, \
+         {} replica(s) healed, {} block(s) lost",
+        t0.elapsed(),
+        report.manifests_rolled_forward,
+        report.orphans_deleted,
+        report.tmp_swept,
+        report.replicas_healed,
+        report.blocks_lost
+    );
+    let verify = recover_store(&cluster).map_err(|e| e.to_string())?;
+    if !verify.is_clean() {
+        return Err(format!(
+            "store still inconsistent after repair: {} manifest(s) unresolved, {} orphan(s), \
+             {} tmp(s), {} replica(s) unhealed, {} block(s) lost",
+            verify.manifests_rolled_forward,
+            verify.orphans_deleted,
+            verify.tmp_swept,
+            verify.replicas_healed,
+            verify.blocks_lost
+        ));
+    }
+    say!("store is consistent");
     Ok(())
 }
 

@@ -53,10 +53,9 @@ pub mod prelude {
     };
     pub use tardis_bloom::BloomFilter;
     pub use tardis_cluster::{
-        chrome_trace_json, BackoffClock, Cluster, ClusterConfig, ClusterError, Dataset, DfsConfig,
-        FaultPlan, FaultSite, MaybeTransient, MetricsSnapshot, PeakAlloc, PromText, QueryProfile,
-        RetryPolicy,
-        ScrubReport, Tracer, VirtualClock, WorkerPool,
+        chrome_trace_json, BackoffClock, Cluster, ClusterConfig, ClusterError, CrashSpec, Dataset,
+        DfsConfig, FaultPlan, FaultSite, MaybeTransient, MetricsSnapshot, PeakAlloc, PromText,
+        QueryProfile, RetryPolicy, ScrubReport, Tracer, VirtualClock, WorkerPool, CRASH_SITES,
     };
     pub use tardis_core::{
         error_ratio, exact_knn, exact_knn_batch, exact_knn_batch_degraded, exact_knn_batch_naive,
@@ -66,8 +65,9 @@ pub mod prelude {
         exact_match_profiled, ground_truth_knn, knn_approximate, knn_approximate_degraded,
         knn_approximate_degraded_profiled, knn_approximate_profiled, knn_batch, knn_batch_degraded,
         knn_batch_naive, knn_batch_profiled, range_query, range_query_degraded, recall,
-        BatchProfile, CompactionOutcome, Completeness, CoreError, Degraded, DegradedPolicy,
-        DeltaMeta, KnnStrategy, SortedBuildOptions, TardisConfig, TardisIndex, DELTA_PID_BASE,
+        recover_store, BatchProfile, CompactionOutcome, Completeness, CoreError, Degraded,
+        DegradedPolicy, DeltaMeta, KnnStrategy, RecoveryReport, SortedBuildOptions, TardisConfig,
+        TardisIndex, DELTA_PID_BASE,
     };
     pub use tardis_data::{
         profile_dataset, read_series_file, write_dataset, write_series_file, DnaLike,

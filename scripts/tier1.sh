@@ -162,6 +162,71 @@ wait "$SERVE3_PID" || { echo "ingest smoke FAILED: daemon exited non-zero on SIG
 # The post-compaction store (versioned partition files) scrubs clean.
 "$T" scrub --dir "$DEMO" --replication 2
 
+echo "== tier-1: crash-recovery smoke (mid-swap crash, fsck, rolled-forward queries) =="
+# A --manifest daemon armed with a deterministic crash point: each
+# save_atomic renames 2 manifest replicas (replication 2), so the socket
+# ingest consumes rename arrivals 1-2 and the socket compaction dies at
+# arrival 4 — between its own two replica renames, manifest replicas on
+# different generations, retired files never deleted.
+"$T" serve --dir "$DEMO" --index idx --addr 127.0.0.1:0 --replication 2 --manifest idx \
+    --crash-at dfs.replace.rename:4 >"$DEMO/serve4.out" 2>&1 &
+SERVE4_PID=$!
+ADDR4=""
+for _ in $(seq 1 100); do
+    ADDR4="$(sed -n 's/^listening on //p' "$DEMO/serve4.out" | head -n1)"
+    [[ -n "$ADDR4" ]] && break
+    sleep 0.1
+done
+if [[ -z "$ADDR4" ]]; then
+    echo "crash smoke FAILED: daemon never printed its address" >&2
+    cat "$DEMO/serve4.out" >&2
+    kill "$SERVE4_PID" 2>/dev/null || true
+    exit 1
+fi
+"$T" client --addr "$ADDR4" --dir "$DEMO" --index idx --op ingest --start 4000 --count 50 --replication 2 | grep -q '"ok":true' || {
+    echo "crash smoke FAILED: pre-crash ingest" >&2; exit 1; }
+"$T" client --addr "$ADDR4" --dir "$DEMO" --index idx --op compact --replication 2 | grep -q '"ok":false' || {
+    echo "crash smoke FAILED: armed compaction did not abort" >&2; exit 1; }
+# The injected crash is a kill -9 stand-in: take the process down hard.
+kill -9 "$SERVE4_PID" 2>/dev/null || true
+wait "$SERVE4_PID" 2>/dev/null || true
+# fsck rolls the manifest forward to the post-compaction generation, GCs
+# the retired base/delta files, then re-runs recovery and exits non-zero
+# unless the second pass finds nothing left to fix.
+"$T" fsck --dir "$DEMO" --replication 2 | tee "$DEMO/fsck.out"
+grep -q '1 manifest(s) rolled forward' "$DEMO/fsck.out" || {
+    echo "crash smoke FAILED: fsck did not roll the manifest forward" >&2; exit 1; }
+grep -q 'store is consistent' "$DEMO/fsck.out" || {
+    echo "crash smoke FAILED: fsck verification pass" >&2; exit 1; }
+# The rolled-forward store serves the compacted record, fully (no PARTIAL).
+CRASH_PROBE="$("$T" exact --dir "$DEMO" --index idx --rid 4020 --replication 2 --degraded best-effort)"
+echo "$CRASH_PROBE" | grep -q '\[4020\]' || {
+    echo "crash smoke FAILED: rid 4020 lost across the crash: $CRASH_PROBE" >&2; exit 1; }
+echo "$CRASH_PROBE" | grep -qi 'partial' && {
+    echo "crash smoke FAILED: recovered query reported partial: $CRASH_PROBE" >&2; exit 1; }
+# A fresh daemon boots through the same recovery path and exports the
+# RecoveryReport counters on /metrics.
+"$T" serve --dir "$DEMO" --index idx --addr 127.0.0.1:0 --replication 2 --manifest idx >"$DEMO/serve5.out" 2>&1 &
+SERVE5_PID=$!
+ADDR5=""
+for _ in $(seq 1 100); do
+    ADDR5="$(sed -n 's/^listening on //p' "$DEMO/serve5.out" | head -n1)"
+    [[ -n "$ADDR5" ]] && break
+    sleep 0.1
+done
+if [[ -z "$ADDR5" ]]; then
+    echo "crash smoke FAILED: post-recovery daemon never printed its address" >&2
+    cat "$DEMO/serve5.out" >&2
+    kill "$SERVE5_PID" 2>/dev/null || true
+    exit 1
+fi
+"$T" metrics --addr "$ADDR5" | grep -q '^tardis_recovery_runs 1' || {
+    echo "crash smoke FAILED: /metrics is missing the recovery counters" >&2; exit 1; }
+kill -TERM "$SERVE5_PID"
+wait "$SERVE5_PID" || { echo "crash smoke FAILED: daemon exited non-zero on SIGTERM" >&2; exit 1; }
+# The recovered store scrubs clean.
+"$T" scrub --dir "$DEMO" --replication 2
+
 # One datanode dies: every block keeps a replica on another node, so even
 # a fail-fast query is fully masked by replica failover...
 rm -rf "$DEMO/node-0"
